@@ -1,0 +1,107 @@
+//! Compile-time cost of the ADDS pipeline itself: parsing, summaries,
+//! path-matrix analysis, and the strip-mine transformation.
+
+use adds_core::{analyze_function, compile, Summaries};
+use adds_lang::programs;
+use adds_lang::types::check_source;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis_pipeline");
+    g.bench_function("parse_typecheck_barnes_hut", |b| {
+        b.iter(|| check_source(programs::BARNES_HUT).unwrap());
+    });
+    g.bench_function("summaries_barnes_hut", |b| {
+        let tp = check_source(programs::BARNES_HUT).unwrap();
+        b.iter(|| Summaries::compute(&tp));
+    });
+    g.bench_function("path_matrix_bhl1", |b| {
+        let tp = check_source(programs::BARNES_HUT).unwrap();
+        let sums = Summaries::compute(&tp);
+        b.iter(|| analyze_function(&tp, &sums, "bhl1").unwrap());
+    });
+    g.bench_function("path_matrix_insert_particle", |b| {
+        let tp = check_source(programs::BARNES_HUT).unwrap();
+        let sums = Summaries::compute(&tp);
+        b.iter(|| analyze_function(&tp, &sums, "insert_particle").unwrap());
+    });
+    g.bench_function("full_compile_barnes_hut", |b| {
+        b.iter(|| compile(programs::BARNES_HUT).unwrap());
+    });
+    g.bench_function("parallelize_barnes_hut", |b| {
+        b.iter(|| adds_core::parallelize_program(programs::BARNES_HUT).unwrap());
+    });
+    g.finish();
+}
+
+fn scaling(c: &mut Criterion) {
+    // Analysis cost as the analyzed loop nest grows.
+    let mut g = c.benchmark_group("analysis_scaling");
+    for vars in [2usize, 6, 12] {
+        let mut body = String::new();
+        let mut decls = String::new();
+        for i in 0..vars {
+            decls.push_str(&format!("var q{i}: L*;\n"));
+            body.push_str(&format!("q{i} = p; "));
+        }
+        let src = format!(
+            "type L [X] {{ int v; L *next is uniquely forward along X; }};
+            procedure f(head: L*) {{
+                var p: L*;
+                {decls}
+                p = head;
+                while p <> NULL {{
+                    {body}
+                    p->v = p->v + 1;
+                    p = p->next;
+                }}
+            }}"
+        );
+        let tp = check_source(&src).unwrap();
+        let sums = Summaries::compute(&tp);
+        g.bench_function(format!("live_vars_{vars}"), |b| {
+            b.iter(|| analyze_function(&tp, &sums, "f").unwrap());
+        });
+    }
+    g.finish();
+}
+
+/// P1 — analysis cost of the §2.1 baselines vs the paper's pipeline, on
+/// the ladder programs. The baselines iterate storage-graph fixpoints;
+/// ADDS+GPM pays for summaries + the path-matrix fixpoint. Shapes, not
+/// absolutes, are the claim: all are trivially compile-time cheap.
+fn prior_work(c: &mut Criterion) {
+    use adds_klimit::{analyze_function as klimit_analyze, programs, Mode};
+    let mut g = c.benchmark_group("prior_work_cost");
+    for (name, src, func) in programs::ladder_programs() {
+        let short: String = name
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
+        let tp = check_source(src).unwrap();
+        for mode in [Mode::Blob, Mode::KLimit(3), Mode::AllocSite] {
+            g.bench_function(format!("{short}/{}", mode.name()), |b| {
+                b.iter(|| klimit_analyze(&tp, func, mode).unwrap());
+            });
+        }
+        let twin = programs::adds_twin(src);
+        let ttp = check_source(&twin).unwrap();
+        let sums = Summaries::compute(&ttp);
+        g.bench_function(format!("{short}/adds_gpm"), |b| {
+            b.iter(|| analyze_function(&ttp, &sums, func).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Bounded sampling: full-precision runs are unnecessary for the shape
+    // claims and keep `cargo bench --workspace` under a few minutes.
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = pipeline, scaling, prior_work
+}
+criterion_main!(benches);

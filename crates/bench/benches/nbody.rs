@@ -1,0 +1,97 @@
+//! B1 + E1-adjacent microbenchmarks: Barnes–Hut vs direct-sum crossover
+//! (the §4.1 O(N log N) vs O(N²) claim) and sequential vs strip-parallel
+//! force phases.
+
+use adds_nbody::{gen, Octree, SimParams, Simulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bh_vs_direct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bh_vs_direct");
+    g.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        let params = SimParams {
+            theta: 0.7,
+            dt: 0.001,
+            eps: 1e-3,
+        };
+        g.bench_with_input(BenchmarkId::new("barnes_hut", n), &n, |b, &n| {
+            let mut sim = Simulation::new(gen::plummer(n, 1), params);
+            b.iter(|| sim.step_sequential());
+        });
+        g.bench_with_input(BenchmarkId::new("direct_n2", n), &n, |b, &n| {
+            let mut sim = Simulation::new(gen::plummer(n, 1), params);
+            b.iter(|| sim.step_direct());
+        });
+    }
+    g.finish();
+}
+
+fn seq_vs_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("seq_vs_parallel_step");
+    g.sample_size(10);
+    let n = 2048;
+    let params = SimParams {
+        theta: 0.7,
+        dt: 0.001,
+        eps: 1e-3,
+    };
+    g.bench_function("seq", |b| {
+        let mut sim = Simulation::new(gen::plummer(n, 1), params);
+        b.iter(|| sim.step_sequential());
+    });
+    for threads in [4usize, 7] {
+        g.bench_with_input(BenchmarkId::new("par", threads), &threads, |b, &t| {
+            let mut sim = Simulation::new(gen::plummer(n, 1), params);
+            b.iter(|| sim.step_parallel(t));
+        });
+    }
+    g.finish();
+}
+
+fn tree_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_build");
+    for n in [256usize, 2048] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let plist = gen::plummer(n, 1);
+            b.iter(|| Octree::build(&plist));
+        });
+    }
+    g.finish();
+}
+
+/// W1 — the §4.2 aside: arrays-and-iteration O(N²) Water vs the pointer
+/// tree-code, sequential cost and slice-parallel step cost.
+fn water(c: &mut Criterion) {
+    use adds_nbody::water::{lattice, WaterParams};
+    let mut g = c.benchmark_group("water_arrays");
+    for n in [128usize, 512] {
+        g.bench_with_input(BenchmarkId::new("seq_step", n), &n, |b, &n| {
+            let mut w = lattice(n, 7, WaterParams::default());
+            w.run(1, 1); // prime forces
+            b.iter(|| w.step_sequential());
+        });
+        g.bench_with_input(BenchmarkId::new("par4_step", n), &n, |b, &n| {
+            let mut w = lattice(n, 7, WaterParams::default());
+            w.run(1, 1);
+            b.iter(|| w.step_parallel(4));
+        });
+        g.bench_with_input(BenchmarkId::new("newton3_step", n), &n, |b, &n| {
+            let mut w = lattice(n, 7, WaterParams::default());
+            w.run(1, 1);
+            b.iter(|| w.step_sequential_newton3());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Bounded sampling: full-precision runs are unnecessary for the shape
+    // claims and keep `cargo bench --workspace` under a few minutes.
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bh_vs_direct, seq_vs_parallel, tree_build, water
+}
+criterion_main!(benches);

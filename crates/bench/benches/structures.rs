@@ -1,0 +1,132 @@
+//! Structure-level benchmarks: list scaling (sequential vs strip-parallel),
+//! orthogonal-list SpMV, range-tree queries, bignum multiplication.
+
+use adds_structures::{Bignum, OrthList, Point, Polynomial, RangeTree2D};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn poly_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("poly_scale");
+    // 10k terms keeps each iteration ~50 µs; this container's scheduler
+    // penalizes long single-thread pointer-chasing bursts unpredictably at
+    // larger sizes (observed: 100k-term runs exceeding their criterion
+    // estimate by two orders of magnitude).
+    let n = 10_000;
+    g.bench_function("sequential", |b| {
+        let mut p = Polynomial::from_terms((0..n).map(|i| (i as i64 + 1, i)));
+        b.iter(|| p.scale_in_place(3));
+    });
+    for threads in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            let mut p = Polynomial::from_terms((0..n).map(|i| (i as i64 + 1, i)));
+            b.iter(|| p.scale_parallel(3, t));
+        });
+    }
+    g.finish();
+}
+
+fn spmv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("orthlist_spmv");
+    let n = 2000;
+    let m = OrthList::from_triplets(
+        n,
+        n,
+        (0..n).flat_map(|i| {
+            [
+                (i, i, 2.0),
+                (i, (i + 1) % n, -1.0),
+                (i, (i + n - 1) % n, -1.0),
+                (i, (i * 7 + 3) % n, 0.5),
+            ]
+        }),
+    );
+    let x: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+    g.bench_function("sequential", |b| b.iter(|| m.spmv(&x)));
+    for threads in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| m.spmv_parallel(&x, t));
+        });
+    }
+    g.finish();
+}
+
+fn range_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rangetree");
+    for n in [1_000usize, 10_000] {
+        let pts: Vec<Point> = (0..n)
+            .map(|i| Point {
+                x: (i as f64 * 0.618_033_988_75).fract() * 100.0,
+                y: (i as f64 * 0.414_213_562_37).fract() * 100.0,
+                id: i as u32,
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("build", n), &pts, |b, pts| {
+            b.iter(|| RangeTree2D::build(pts.clone()));
+        });
+        let t = RangeTree2D::build(pts);
+        g.bench_with_input(BenchmarkId::new("rect_query", n), &t, |b, t| {
+            b.iter(|| t.rectangle_count(10.0, 40.0, 20.0, 60.0));
+        });
+    }
+    g.finish();
+}
+
+fn bignum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bignum");
+    let a = {
+        let mut f = Bignum::from_u64(1);
+        for k in 2..=40 {
+            f = f.mul_small(k);
+        }
+        f
+    };
+    g.bench_function("mul_small", |b| b.iter(|| a.mul_small(997)));
+    g.bench_function("mul_full", |b| b.iter(|| a.mul(&a)));
+    g.bench_function("add", |b| b.iter(|| a.add(&a)));
+    g.finish();
+}
+
+/// The §1 quadtree: build and rectangle-query cost vs a naive scan, at
+/// growing N — pruning must beat the O(N) filter for selective queries.
+fn quadtree(c: &mut Criterion) {
+    use adds_structures::{QPoint, Quadtree};
+    let mut g = c.benchmark_group("quadtree");
+    for n in [256usize, 4096] {
+        let pts: Vec<QPoint> = (0..n)
+            .map(|i| {
+                let a = i as f64 * 0.61803398875;
+                QPoint {
+                    x: (a.fract() * 1000.0).floor(),
+                    y: ((a * 7.0).fract() * 1000.0).floor(),
+                    id: i as u32,
+                }
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| Quadtree::build(pts.clone()));
+        });
+        let t = Quadtree::build(pts.clone());
+        g.bench_with_input(BenchmarkId::new("rect_query", n), &n, |b, _| {
+            b.iter(|| t.rectangle_query(100.0, 180.0, 700.0, 790.0));
+        });
+        g.bench_with_input(BenchmarkId::new("naive_filter", n), &n, |b, _| {
+            b.iter(|| {
+                pts.iter()
+                    .filter(|p| p.x >= 100.0 && p.x <= 180.0 && p.y >= 700.0 && p.y <= 790.0)
+                    .count()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Bounded sampling: full-precision runs are unnecessary for the shape
+    // claims and keep `cargo bench --workspace` under a few minutes.
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = poly_scale, spmv, range_queries, bignum, quadtree
+}
+criterion_main!(benches);

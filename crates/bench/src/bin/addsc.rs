@@ -1,0 +1,223 @@
+//! `addsc` — the ADDS source-to-source compiler driver.
+//!
+//! The tool a downstream user runs on their own IL files:
+//!
+//! ```text
+//! addsc check   prog.adds             # parse + ADDS well-formedness + types
+//! addsc analyze prog.adds [func]      # path matrices, validation events
+//! addsc loops   prog.adds             # parallelizability verdict per loop
+//! addsc prior   prog.adds [func]      # §2.1 baseline verdicts (no ADDS used)
+//! addsc par     prog.adds             # emit strip-mined source on stdout
+//! addsc run     prog.adds main [pes]  # interpret (main takes no args)
+//! ```
+//!
+//! With no file, reads from stdin; `-` also means stdin. The built-in demo
+//! programs are reachable as `@barnes_hut`, `@scale`, `@scale_plain`,
+//! `@subtree_move`, `@loop_built`, `@recursive_built`.
+
+use adds_core::{check_function, compile};
+use adds_lang::programs;
+use std::io::Read;
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<String, String> {
+    match path {
+        "@barnes_hut" => Ok(programs::BARNES_HUT.to_string()),
+        "@scale" => Ok(programs::LIST_SCALE_ADDS.to_string()),
+        "@scale_plain" => Ok(programs::LIST_SCALE_PLAIN.to_string()),
+        "@subtree_move" => Ok(programs::SUBTREE_MOVE.to_string()),
+        "@loop_built" => Ok(adds_klimit::programs::LOOP_BUILT_SCALE.to_string()),
+        "@recursive_built" => Ok(adds_klimit::programs::RECURSIVE_BUILT_SCALE.to_string()),
+        "-" => {
+            let mut s = String::new();
+            std::io::stdin()
+                .read_to_string(&mut s)
+                .map_err(|e| e.to_string())?;
+            Ok(s)
+        }
+        p => std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}")),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: addsc <check|analyze|loops|prior|par|run> <file|@demo|-> [args]\n\
+         demos: @barnes_hut @scale @scale_plain @subtree_move @loop_built @recursive_built"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let src = match load(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match cmd.as_str() {
+        "check" => match adds_lang::check_source(&src) {
+            Ok(tp) => {
+                println!(
+                    "ok: {} type(s), {} function(s)",
+                    tp.adds.len(),
+                    tp.program.funcs.len()
+                );
+                for t in tp.adds.types() {
+                    println!("  type {} [{}]", t.name, t.dims.join("]["));
+                }
+                ExitCode::SUCCESS
+            }
+            Err(d) => {
+                eprintln!("{}", d.render(&src));
+                ExitCode::FAILURE
+            }
+        },
+        "analyze" => {
+            let c = match compile(&src) {
+                Ok(c) => c,
+                Err(d) => {
+                    eprintln!("{}", d.render(&src));
+                    return ExitCode::FAILURE;
+                }
+            };
+            let targets: Vec<String> = match args.get(2) {
+                Some(f) => vec![f.clone()],
+                None => c.analyses.keys().cloned().collect(),
+            };
+            for f in targets {
+                let Some(an) = c.analysis(&f) else {
+                    eprintln!("no such function `{f}`");
+                    return ExitCode::FAILURE;
+                };
+                println!("== {f} ==");
+                for (i, lp) in an.loops.iter().enumerate() {
+                    println!("-- loop {} fixed-point path matrix --", i + 1);
+                    println!("{}", lp.bottom.pm.render());
+                }
+                for e in &an.events {
+                    println!("  {e}");
+                }
+                println!(
+                    "  abstraction fully valid at exit: {}\n",
+                    an.exit.fully_valid()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "loops" => {
+            let c = match compile(&src) {
+                Ok(c) => c,
+                Err(d) => {
+                    eprintln!("{}", d.render(&src));
+                    return ExitCode::FAILURE;
+                }
+            };
+            for f in &c.tp.program.funcs {
+                let Some(an) = c.analysis(&f.name) else { continue };
+                for chk in check_function(&c.tp, &c.summaries, an, &f.name) {
+                    let what = chk
+                        .pattern
+                        .as_ref()
+                        .map(|p| format!("chase `{}` via `{}`", p.var, p.field))
+                        .unwrap_or_else(|| "unrecognized".to_string());
+                    if chk.parallelizable {
+                        println!("{}: PARALLELIZABLE ({what})", f.name);
+                    } else {
+                        println!("{}: sequential ({what})", f.name);
+                        for r in &chk.reasons {
+                            println!("    - {r}");
+                        }
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "prior" => {
+            // The §2.1 baselines — deliberately blind to ADDS declarations.
+            let tp = match adds_lang::check_source(&src) {
+                Ok(tp) => tp,
+                Err(d) => {
+                    eprintln!("{}", d.render(&src));
+                    return ExitCode::FAILURE;
+                }
+            };
+            use adds_klimit::Mode;
+            let funcs: Vec<String> = match args.get(2) {
+                Some(f) => vec![f.clone()],
+                None => tp.program.funcs.iter().map(|f| f.name.clone()).collect(),
+            };
+            for f in funcs {
+                println!("== {f} ==");
+                for mode in [Mode::Blob, Mode::KLimit(2), Mode::AllocSite] {
+                    for chk in adds_klimit::check_function(&tp, &f, mode) {
+                        let what = chk
+                            .pattern
+                            .as_ref()
+                            .map(|(v, fld)| format!("chase `{v}` via `{fld}`"))
+                            .unwrap_or_else(|| "unrecognized".to_string());
+                        if chk.parallelizable {
+                            println!("  {:<18} PARALLELIZABLE ({what})", mode.name());
+                        } else {
+                            println!("  {:<18} sequential ({what})", mode.name());
+                            for r in &chk.reasons {
+                                println!("      - {r}");
+                            }
+                        }
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "par" => match adds_core::parallelize_to_source(&src) {
+            Ok(out) => {
+                print!("{out}");
+                ExitCode::SUCCESS
+            }
+            Err(d) => {
+                eprintln!("{}", d.render(&src));
+                ExitCode::FAILURE
+            }
+        },
+        "run" => {
+            let Some(entry) = args.get(2) else {
+                return usage();
+            };
+            let pes: usize = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(4);
+            let tp = match adds_lang::check_source(&src) {
+                Ok(tp) => tp,
+                Err(d) => {
+                    eprintln!("{}", d.render(&src));
+                    return ExitCode::FAILURE;
+                }
+            };
+            let cfg = adds_machine::MachineConfig {
+                pes,
+                ..Default::default()
+            };
+            let mut it = adds_machine::Interp::new(&tp, cfg);
+            match it.call(entry, &[]) {
+                Ok(v) => {
+                    for line in &it.output {
+                        println!("{line}");
+                    }
+                    println!(
+                        "=> {v}   ({} cycles, {} stmts)",
+                        it.clock, it.stats.stmts
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("runtime error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

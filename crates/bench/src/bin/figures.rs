@@ -1,0 +1,117 @@
+//! F1–F5 — the paper's figures regenerated from live structures — plus
+//! `quadtree`, the §1 motivating structure (Figure 5 one dimension down).
+//!
+//! Usage: `figures [fig1|fig2|fig3|fig4|fig5|quadtree]` (default: all).
+
+use adds_nbody::{gen, Octree};
+use adds_structures::render::*;
+use adds_structures::{
+    cyclic_list, tournament, Bignum, OneWayList, OrthList, Point, Polynomial, QPoint,
+    Quadtree, RangeTree2D,
+};
+
+fn want(which: &str) -> bool {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    args.is_empty() || args.iter().any(|a| a == which || a == "all")
+}
+
+fn main() {
+    if want("fig1") {
+        println!("== Figure 1: other structures built from the same ListNode type ==\n");
+        println!("(a) a proper one-way list:");
+        println!("{}\n", render_edges(&OneWayList::from_iter_back([1, 2, 3, 4])));
+        println!("(b) a cyclic list:");
+        println!("{}\n", render_edges(&cyclic_list(4)));
+        println!("(c) a tournament (shared successors):");
+        println!("{}\n", render_edges(&tournament(3)));
+    }
+
+    if want("fig2") {
+        println!("== Figure 2: the one-way linked list (§3.1.1) ==\n");
+        let b = Bignum::from_decimal("3,298,991").unwrap();
+        println!("bignum: {}\n", render_bignum(&b));
+        let p = Polynomial::paper_example();
+        println!("polynomial: {}\n", render_poly(&p));
+    }
+
+    if want("fig3") {
+        println!("== Figure 3: an orthogonal list (sparse matrix) ==\n");
+        let m = OrthList::from_triplets(
+            4,
+            5,
+            [
+                (0, 0, 2.0),
+                (0, 3, 1.0),
+                (1, 1, 5.0),
+                (2, 0, -1.0),
+                (2, 2, 3.0),
+                (2, 4, 8.0),
+                (3, 3, 7.0),
+            ],
+        );
+        m.validate_shape().expect("valid shape");
+        println!("{}\n", render_orthlist(&m));
+    }
+
+    if want("fig4") {
+        println!("== Figure 4: a two-dimensional range tree ==\n");
+        let pts: Vec<Point> = (0..8)
+            .map(|i| Point {
+                x: i as f64,
+                y: ((i * 37) % 8) as f64,
+                id: i as u32,
+            })
+            .collect();
+        let t = RangeTree2D::build(pts);
+        t.validate_shape().expect("valid shape");
+        println!("{}\n", render_rangetree(&t));
+        let hits = t.rectangle_query(2.0, 5.0, 1.0, 6.0);
+        println!(
+            "query [2,5]x[1,6] -> {} points: {:?}\n",
+            hits.len(),
+            hits.iter().map(|p| p.id).collect::<Vec<_>>()
+        );
+    }
+
+    if want("fig5") {
+        println!("== Figure 5: an octree (leaves = particles, chained) ==\n");
+        let plist = gen::uniform_cube(16, 42);
+        let tree = Octree::build(&plist);
+        tree.validate_shape(&plist).expect("valid shape");
+        println!(
+            "octree over 16 particles: {} nodes, depth {}, {} leaves",
+            tree.len(),
+            tree.depth(),
+            tree.leaf_count()
+        );
+        println!("leaf chain (the `leaves` dimension):");
+        let order: Vec<u32> = plist.iter_chain().collect();
+        println!("  particles {:?} linked by next, -/ at the end", order);
+        println!("down dimension: subtrees[8] per node, uniquely forward (disjoint).");
+    }
+
+    if want("quadtree") {
+        println!("\n== §1 quadtree (computational geometry; Figure 5 in 2-D) ==\n");
+        let pts: Vec<QPoint> = (0..12)
+            .map(|i| QPoint {
+                x: ((i * 37) % 12) as f64 * 3.0,
+                y: ((i * 23) % 12) as f64 * 3.0,
+                id: i as u32,
+            })
+            .collect();
+        let t = Quadtree::build(pts);
+        t.validate_shape().expect("valid shape");
+        println!(
+            "quadtree over 12 points: {} stored, leaf chain {:?}",
+            t.len(),
+            t.leaves().map(|p| p.id).collect::<Vec<_>>()
+        );
+        let hits = t.rectangle_query(5.0, 25.0, 5.0, 25.0);
+        println!(
+            "query [5,25]x[5,25] -> {} points: {:?}",
+            hits.len(),
+            hits.iter().map(|p| p.id).collect::<Vec<_>>()
+        );
+        println!("{}", adds_structures::quadtree::ADDS_DECL);
+    }
+}

@@ -1,0 +1,112 @@
+//! W1 — the §4.1/§4.2 narrative quantified: arrays-and-iteration O(N²)
+//! (SPLASH-Water-style) vs the pointer-structure O(N log N) tree-code.
+//!
+//! Three claims from the paper's prose, regenerated:
+//!
+//! 1. §4.1: the all-pairs algorithm is O(N²), Barnes–Hut O(N log N) — so
+//!    the tree-code must overtake it as N grows (crossover table);
+//! 2. §4.2: the array code parallelizes trivially ("most likely for ease
+//!    of parallelization") — near-linear speedups with zero analysis;
+//! 3. §4.2: the pointer code parallelizes *only* given shape knowledge —
+//!    same strip-mined speedups, but licensed by the ADDS pipeline.
+//!
+//! Usage: `water_vs_tree [--quick]`.
+
+use adds_bench::{best_of, fmt_dur, speedup, Table};
+use adds_nbody::water::{lattice, WaterParams};
+use adds_nbody::{gen, SimParams, Simulation};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 1 } else { 3 };
+    let steps = if quick { 2 } else { 5 };
+    let sizes: &[usize] = if quick {
+        &[64, 256]
+    } else {
+        &[64, 256, 1024, 4096]
+    };
+    let params = SimParams {
+        theta: 0.7,
+        dt: 0.001,
+        eps: 1e-3,
+    };
+
+    // ---- claim 1: O(N²) vs O(N log N) crossover -----------------------
+    println!("== W1a: all-pairs (arrays) vs tree-code (pointers), sequential ==\n");
+    let mut t = Table::new(
+        "sequential time per step",
+        &["N", "water O(N^2)", "barnes-hut O(N log N)", "tree wins?"],
+    );
+    for &n in sizes {
+        let wt = best_of(reps, || {
+            let mut w = lattice(n, 7, WaterParams::default());
+            w.run(steps, 1);
+        });
+        let bt = best_of(reps, || {
+            let mut s = Simulation::new(gen::plummer(n, 7), params);
+            s.run_sequential(steps);
+        });
+        t.row(vec![
+            n.to_string(),
+            fmt_dur(wt / steps as u32),
+            fmt_dur(bt / steps as u32),
+            if bt < wt { "yes".into() } else { "not yet".into() },
+        ]);
+    }
+    println!("{}", t.render());
+
+    // ---- claims 2+3: both parallelize; only one needed analysis -------
+    let n = if quick { 512 } else { 2048 };
+    println!("== W1b: speedups at N={n} ({steps} steps) ==\n");
+    let mut t = Table::new(
+        "speedup (threads)",
+        &["code", "1", "4", "7", "licensed by"],
+    );
+    let wseq = best_of(reps, || {
+        let mut w = lattice(n, 7, WaterParams::default());
+        w.run(steps, 1);
+    });
+    let w4 = best_of(reps, || {
+        let mut w = lattice(n, 7, WaterParams::default());
+        w.run(steps, 4);
+    });
+    let w7 = best_of(reps, || {
+        let mut w = lattice(n, 7, WaterParams::default());
+        w.run(steps, 7);
+    });
+    t.row(vec![
+        "water (arrays, O(N^2))".into(),
+        "1.0".into(),
+        format!("{:.1}", speedup(wseq, w4)),
+        format!("{:.1}", speedup(wseq, w7)),
+        "index ranges alone".into(),
+    ]);
+    let bseq = best_of(reps, || {
+        let mut s = Simulation::new(gen::plummer(n, 7), params);
+        s.run_sequential(steps);
+    });
+    let b4 = best_of(reps, || {
+        let mut s = Simulation::new(gen::plummer(n, 7), params);
+        s.run_parallel(steps, 4);
+    });
+    let b7 = best_of(reps, || {
+        let mut s = Simulation::new(gen::plummer(n, 7), params);
+        s.run_parallel(steps, 7);
+    });
+    t.row(vec![
+        "barnes-hut (pointers)".into(),
+        "1.0".into(),
+        format!("{:.1}", speedup(bseq, b4)),
+        format!("{:.1}", speedup(bseq, b7)),
+        "ADDS + path matrices".into(),
+    ]);
+    println!("{}", t.render());
+
+    println!(
+        "the paper's §4.2 point: the left column of work was historically\n\
+         rewritten into the top row's style *because* compilers could prove\n\
+         index-range disjointness but not pointer-structure disjointness.\n\
+         With the ADDS declaration the bottom row parallelizes too — and\n\
+         keeps its O(N log N) advantage."
+    );
+}

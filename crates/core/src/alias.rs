@@ -1,0 +1,70 @@
+//! Alias queries over analysis results — the consumer-facing face of the
+//! path matrix (§3.3.2: "the PM can be used for alias analysis to determine
+//! whether two pointer variables are potential aliases").
+
+use crate::analysis::State;
+
+/// May `a` and `b` point to the same node at this program point?
+pub fn may_alias(state: &State, a: &str, b: &str) -> bool {
+    if a == b {
+        return true;
+    }
+    if !state.pm.has_var(a) || !state.pm.has_var(b) {
+        // Unknown variables: conservatively yes.
+        return true;
+    }
+    state.pm.get(a, b).may_alias()
+}
+
+/// Must `a` and `b` point to the same node at this program point?
+pub fn must_alias(state: &State, a: &str, b: &str) -> bool {
+    if a == b {
+        return true;
+    }
+    state.pm.has_var(a) && state.pm.has_var(b) && state.pm.get(a, b).must_alias()
+}
+
+/// Are `a` and `b` proven to never alias at this program point?
+pub fn no_alias(state: &State, a: &str, b: &str) -> bool {
+    a != b && state.pm.has_var(a) && state.pm.has_var(b) && !state.pm.get(a, b).may_alias()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze_function;
+    use crate::summary::Summaries;
+    use adds_lang::programs;
+    use adds_lang::types::check_source;
+
+    fn bottom_state() -> State {
+        let tp = check_source(programs::LIST_SCALE_ADDS).unwrap();
+        let sums = Summaries::compute(&tp);
+        let an = analyze_function(&tp, &sums, "scale").unwrap();
+        an.loops[0].bottom.clone()
+    }
+
+    #[test]
+    fn list_walk_proves_no_alias() {
+        let st = bottom_state();
+        assert!(no_alias(&st, "head", "p"));
+        assert!(no_alias(&st, "p'", "p"));
+        assert!(!may_alias(&st, "head", "p"));
+    }
+
+    #[test]
+    fn reflexive_queries() {
+        let st = bottom_state();
+        assert!(may_alias(&st, "p", "p"));
+        assert!(must_alias(&st, "p", "p"));
+        assert!(!no_alias(&st, "p", "p"));
+    }
+
+    #[test]
+    fn unknown_vars_are_conservative() {
+        let st = bottom_state();
+        assert!(may_alias(&st, "head", "mystery"));
+        assert!(!must_alias(&st, "head", "mystery"));
+        assert!(!no_alias(&st, "head", "mystery"));
+    }
+}

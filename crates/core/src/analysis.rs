@@ -1,0 +1,1303 @@
+//! General path matrix analysis (§3.3).
+//!
+//! An abstract interpreter over IL functions. At every program point it
+//! maintains a [`State`]: the path matrix over live pointer variables plus
+//! the set of active abstraction [`Violation`]s. ADDS declarations guide the
+//! transfer functions ("pointer rules"): acyclic routes let `p = p->next`
+//! prove movement to a new node, `uniquely` routes drive sharing detection,
+//! field groups and dimension independence prove sibling disjointness.
+//!
+//! Loops are analyzed to a fixpoint. At each back-edge, every loop-carried
+//! pointer `p` is snapshotted into a primed twin `p'`, so the fixpoint matrix
+//! exposes the relation between consecutive iterations (`PM(p', p) = next`),
+//! exactly as printed in §3.3.2 of the paper.
+
+use crate::matrix::{primed, PathMatrix};
+use crate::paths::{Alias, Desc, Entry};
+use crate::summary::{RetSource, Summaries};
+use crate::validate::{ValidationEvent, Violation, ViolationKind};
+use adds_lang::adds::AddsFieldKind;
+use adds_lang::ast::*;
+use adds_lang::source::Span;
+use adds_lang::types::TypedProgram;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Analysis state at one program point.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct State {
+    /// The path matrix at this program point.
+    pub pm: PathMatrix,
+    /// ADDS properties currently broken (empty = abstraction valid).
+    pub violations: BTreeSet<Violation>,
+}
+
+impl State {
+    /// Control-flow join: the least state describing both inputs.
+    pub fn join(&self, other: &State) -> State {
+        State {
+            pm: self.pm.join(&other.pm),
+            violations: self.violations.union(&other.violations).cloned().collect(),
+        }
+    }
+
+    /// Is the declared abstraction currently valid with respect to the
+    /// route property of `type_name::field`?
+    pub fn abstraction_valid(&self, type_name: &str, field: &str) -> bool {
+        !self.violations.iter().any(|v| v.affects(type_name, field))
+    }
+
+    /// Is the abstraction fully valid (no active violations at all)?
+    pub fn fully_valid(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// May declared properties of `field` (acyclicity, uniqueness,
+    /// disjointness) be *relied upon* right now? False while any violation
+    /// involving the field is active — proofs must not use a property the
+    /// program has temporarily broken (§3.3.1).
+    pub fn field_trustworthy(&self, field: &str) -> bool {
+        !self.violations.iter().any(|v| v.field == field)
+    }
+}
+
+/// Result of analyzing one loop.
+#[derive(Clone, Debug)]
+pub struct LoopAnalysis {
+    /// The loop's source span.
+    pub span: Span,
+    /// State at the loop head once the fixpoint is reached (iterations ≥ 1).
+    pub head: State,
+    /// State at the loop bottom after the *first* iteration — the paper's
+    /// "after one iteration" matrix.
+    pub first_bottom: State,
+    /// State at the loop bottom once the fixpoint is reached — the paper's
+    /// "fixed point" matrix.
+    pub bottom: State,
+}
+
+/// Result of analyzing one function.
+#[derive(Clone, Debug)]
+pub struct FnAnalysis {
+    /// Analyzed function name.
+    pub func: String,
+    /// State after each statement (in source order of the final pass).
+    pub after: Vec<(Span, State)>,
+    /// Every loop (any nesting depth), in source order.
+    pub loops: Vec<LoopAnalysis>,
+    /// Abstraction broken/repaired events, in analysis order.
+    pub events: Vec<ValidationEvent>,
+    /// State at function exit.
+    pub exit: State,
+}
+
+impl FnAnalysis {
+    /// State immediately after the statement covering `span`.
+    pub fn state_after(&self, span: Span) -> Option<&State> {
+        self.after
+            .iter()
+            .find(|(s, _)| s.start == span.start)
+            .map(|(_, st)| st)
+    }
+
+    /// Analysis of the loop whose span starts at `span`.
+    pub fn loop_at(&self, span: Span) -> Option<&LoopAnalysis> {
+        self.loops.iter().find(|l| l.span.start == span.start)
+    }
+}
+
+/// Per-field properties resolved from the ADDS environment, merged across
+/// record types (conservatively) so descriptors can be interpreted without
+/// carrying their record type.
+#[derive(Clone, Debug, Default)]
+struct FieldProps {
+    direction: Option<Direction>,
+    unique: bool,
+    is_array: bool,
+}
+
+/// Analyze a single function of a typed program.
+pub fn analyze_function(tp: &TypedProgram, sums: &Summaries, name: &str) -> Option<FnAnalysis> {
+    let f = tp.program.func(name)?;
+    let mut field_props: BTreeMap<String, FieldProps> = BTreeMap::new();
+    for t in tp.adds.types() {
+        for fld in &t.fields {
+            if let AddsFieldKind::Pointer {
+                array_len, route, ..
+            } = &fld.kind
+            {
+                let p = field_props.entry(fld.name.clone()).or_insert(FieldProps {
+                    direction: Some(route.direction),
+                    unique: route.unique,
+                    is_array: array_len.is_some(),
+                });
+                // Same field name in several types: merge conservatively.
+                if p.direction != Some(route.direction) {
+                    p.direction = Some(Direction::Unknown);
+                }
+                p.unique &= route.unique;
+                p.is_array |= array_len.is_some();
+            }
+        }
+    }
+
+    let mut az = Analyzer {
+        tp,
+        sums,
+        fname: name.to_string(),
+        field_props,
+        var_records: BTreeMap::new(),
+        tmp: 0,
+        after: Vec::new(),
+        loops: Vec::new(),
+        events: Vec::new(),
+        recording: true,
+    };
+
+    let mut state = State::default();
+    for (i, p) in f.params.iter().enumerate() {
+        let Ty::Ptr(rec) = &p.ty else { continue };
+        state.pm.add_var(&p.name);
+        az.var_records.insert(p.name.clone(), rec.clone());
+        // Same-typed parameters may alias on entry; differently-typed
+        // records cannot.
+        for q in &f.params[..i] {
+            if let Ty::Ptr(qrec) = &q.ty {
+                if qrec == rec {
+                    state.pm.set_alias(&p.name, &q.name, Alias::Maybe);
+                }
+            }
+        }
+    }
+
+    az.block(&f.body, &mut state);
+    Some(FnAnalysis {
+        func: name.to_string(),
+        after: az.after,
+        loops: az.loops,
+        events: az.events,
+        exit: state,
+    })
+}
+
+struct Analyzer<'a> {
+    tp: &'a TypedProgram,
+    sums: &'a Summaries,
+    fname: String,
+    field_props: BTreeMap<String, FieldProps>,
+    /// Record type of each pointer variable (params, locals, temps, primes).
+    var_records: BTreeMap<String, String>,
+    tmp: usize,
+    after: Vec<(Span, State)>,
+    loops: Vec<LoopAnalysis>,
+    events: Vec<ValidationEvent>,
+    /// Recording is disabled during the non-final fixpoint sweeps of loops.
+    recording: bool,
+}
+
+impl<'a> Analyzer<'a> {
+    fn props(&self, field: &str) -> FieldProps {
+        self.field_props.get(field).cloned().unwrap_or_default()
+    }
+
+    fn is_acyclic(&self, field: &str) -> bool {
+        matches!(
+            self.props(field).direction,
+            Some(Direction::Forward) | Some(Direction::Backward)
+        )
+    }
+
+    fn var_record(&self, v: &str) -> Option<&str> {
+        self.var_records.get(v).map(String::as_str)
+    }
+
+    /// Record type + field → pointer target record type.
+    fn field_target(&self, rec: &str, field: &str) -> Option<String> {
+        self.tp
+            .field_ty(rec, field)
+            .and_then(|t| t.pointee().map(str::to_string))
+    }
+
+    fn fresh_tmp(&mut self) -> String {
+        self.tmp += 1;
+        format!("$t{}", self.tmp)
+    }
+
+    fn record_after(&mut self, span: Span, state: &State) {
+        if self.recording {
+            self.after.push((span, state.clone()));
+        }
+    }
+
+    // ------------------------------------------------------------- structure
+
+    fn block(&mut self, b: &Block, state: &mut State) {
+        for s in &b.stmts {
+            self.stmt(s, state);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt, state: &mut State) {
+        match s {
+            Stmt::VarDecl {
+                name, init, span, ..
+            } => {
+                if let Some(rec) = self
+                    .tp
+                    .var_ty(&self.fname, name)
+                    .and_then(|t| t.pointee().map(str::to_string))
+                {
+                    self.var_records.insert(name.clone(), rec);
+                    state.pm.add_var(name.clone());
+                }
+                if let Some(e) = init {
+                    let lv = LValue::var(name.clone(), *span);
+                    self.assign(&lv, e, *span, state);
+                }
+                self.record_after(*span, state);
+            }
+            Stmt::Assign { lhs, rhs, span } => {
+                self.assign(lhs, rhs, *span, state);
+                self.record_after(*span, state);
+            }
+            Stmt::While { cond, body, span } => {
+                self.eval_for_effects(cond, state);
+                self.analyze_loop(body, *span, state);
+                self.record_after(*span, state);
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                span,
+            } => {
+                self.eval_for_effects(cond, state);
+                let mut s1 = state.clone();
+                self.block(then_blk, &mut s1);
+                let joined = match else_blk {
+                    Some(e) => {
+                        let mut s2 = state.clone();
+                        self.block(e, &mut s2);
+                        s1.join(&s2)
+                    }
+                    None => s1.join(state),
+                };
+                *state = joined;
+                self.record_after(*span, state);
+            }
+            Stmt::For {
+                from,
+                to,
+                body,
+                span,
+                ..
+            } => {
+                self.eval_for_effects(from, state);
+                self.eval_for_effects(to, state);
+                self.analyze_loop(body, *span, state);
+                self.record_after(*span, state);
+            }
+            Stmt::Return { value, span } => {
+                if let Some(e) = value {
+                    self.eval_for_effects(e, state);
+                }
+                self.record_after(*span, state);
+            }
+            Stmt::Call(c) => {
+                self.apply_call(c, state);
+                self.record_after(c.span, state);
+            }
+        }
+    }
+
+    /// Fixpoint loop analysis with primed loop-carried variables.
+    fn analyze_loop(&mut self, body: &Block, span: Span, state: &mut State) {
+        let entry = state.clone();
+        let carried = Self::assigned_pointer_vars(body, self.tp, &self.fname);
+        for p in &carried {
+            if let Some(rec) = self.var_record(p).map(str::to_string) {
+                self.var_records.insert(primed(p), rec);
+            }
+        }
+
+        let was_recording = self.recording;
+        self.recording = false;
+
+        let mut top = entry.clone();
+        let mut first_bottom: Option<State> = None;
+        let mut last_bottom = entry.clone();
+        for _round in 0..100 {
+            let mut b = top.clone();
+            self.block(body, &mut b);
+            if first_bottom.is_none() {
+                first_bottom = Some(b.clone());
+            }
+            last_bottom = b.clone();
+            // Back-edge: snapshot each carried pointer into its primed twin,
+            // then merge with the entry state.
+            let mut primed_state = b;
+            for p in &carried {
+                if primed_state.pm.has_var(p) {
+                    primed_state.pm.copy_var(&primed(p), p);
+                }
+            }
+            let new_top = entry.join(&primed_state);
+            if new_top == top {
+                break;
+            }
+            top = new_top;
+        }
+
+        // One final recorded pass from the converged loop head.
+        self.recording = was_recording;
+        if self.recording {
+            let mut b = top.clone();
+            self.block(body, &mut b);
+            last_bottom = b;
+        }
+
+        if self.recording {
+            self.loops.push(LoopAnalysis {
+                span,
+                head: top.clone(),
+                first_bottom: first_bottom.clone().unwrap_or_else(|| top.clone()),
+                bottom: last_bottom.clone(),
+            });
+        }
+
+        // After the loop: either zero iterations (entry) or some iterations
+        // (bottom). Primed twins are analysis-internal: drop them.
+        let mut exit = entry.join(&last_bottom);
+        for p in &carried {
+            exit.pm.remove_var(&primed(p));
+        }
+        *state = exit;
+    }
+
+    fn assigned_pointer_vars(body: &Block, tp: &TypedProgram, fname: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        fn walk(b: &Block, out: &mut Vec<String>) {
+            for s in &b.stmts {
+                match s {
+                    Stmt::Assign { lhs, .. } if lhs.is_var() => out.push(lhs.base.clone()),
+                    Stmt::VarDecl {
+                        name,
+                        init: Some(_),
+                        ..
+                    } => out.push(name.clone()),
+                    Stmt::While { body, .. } | Stmt::For { body, .. } => walk(body, out),
+                    Stmt::If {
+                        then_blk, else_blk, ..
+                    } => {
+                        walk(then_blk, out);
+                        if let Some(e) = else_blk {
+                            walk(e, out);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        walk(body, &mut out);
+        out.sort();
+        out.dedup();
+        out.retain(|v| {
+            tp.var_ty(fname, v)
+                .is_some_and(|t| t.is_pointer())
+        });
+        out
+    }
+
+    // ------------------------------------------------------------ assignment
+
+    fn assign(&mut self, lhs: &LValue, rhs: &Expr, span: Span, state: &mut State) {
+        // Scalar assignments never change the path matrix, but evaluate the
+        // RHS for call effects.
+        let lhs_is_ptr = self.lvalue_is_pointer(lhs);
+        if !lhs_is_ptr {
+            self.eval_for_effects(rhs, state);
+            return;
+        }
+
+        if lhs.is_var() {
+            self.assign_var(&lhs.base.clone(), rhs, span, state);
+        } else {
+            self.assign_field(lhs, rhs, span, state);
+        }
+    }
+
+    fn lvalue_is_pointer(&self, lv: &LValue) -> bool {
+        let base_rec = self
+            .tp
+            .var_ty(&self.fname, &lv.base)
+            .and_then(|t| t.pointee().map(str::to_string))
+            .or_else(|| self.var_record(&lv.base).map(str::to_string));
+        let Some(mut rec) = base_rec else {
+            return false;
+        };
+        if lv.path.is_empty() {
+            return true;
+        }
+        for acc in &lv.path {
+            match self.tp.field_ty(&rec, &acc.field) {
+                Some(Ty::Ptr(t)) => rec = t,
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// `p = <rhs>` where `p` is a pointer variable.
+    fn assign_var(&mut self, p: &str, rhs: &Expr, span: Span, state: &mut State) {
+        state.pm.add_var(p);
+        match rhs {
+            Expr::Null(_) => {
+                state.pm.clear_var(p);
+            }
+            Expr::New(rec, _) => {
+                state.pm.clear_var(p);
+                self.var_records.insert(p.to_string(), rec.clone());
+            }
+            Expr::Var(q, _) => {
+                if !state.pm.has_var(q) {
+                    // Unknown variable (e.g. scalar) — treat as unrelated.
+                    state.pm.clear_var(p);
+                    return;
+                }
+                state.pm.copy_var(p, q);
+                if let Some(r) = self.var_record(q).map(str::to_string) {
+                    self.var_records.insert(p.to_string(), r);
+                }
+            }
+            Expr::Field { .. } => {
+                let tmps = self.materialize_path(rhs, state);
+                if let Some(rep) = tmps.last().cloned() {
+                    state.pm.copy_var(p, &rep);
+                    if let Some(r) = self.var_record(&rep).map(str::to_string) {
+                        self.var_records.insert(p.to_string(), r);
+                    }
+                }
+                self.drop_tmps(&tmps, state);
+            }
+            Expr::Call(c) => {
+                self.apply_call_assign(p, c, state);
+            }
+            _ => {
+                // Non-pointer expression assigned to pointer: type checker
+                // rejects this; be safe anyway.
+                state.pm.clear_var(p);
+            }
+        }
+        let _ = span;
+    }
+
+    /// Materialize a pointer path expression `v->f1->f2...` into temps,
+    /// returning them in order (last is the representative). Also used for
+    /// pointer-typed call arguments.
+    fn materialize_path(&mut self, e: &Expr, state: &mut State) -> Vec<String> {
+        let Some((base, fields)) = Self::pointer_path_of(e) else {
+            return Vec::new();
+        };
+        // Evaluate array indices for call effects.
+        self.eval_indices(e, state);
+        let mut tmps = Vec::new();
+        let mut cur = base;
+        for f in fields {
+            let t = self.fresh_tmp();
+            self.deref_into(&t, &cur, &f, state);
+            tmps.push(t.clone());
+            cur = t;
+        }
+        tmps
+    }
+
+    fn pointer_path_of(e: &Expr) -> Option<(String, Vec<String>)> {
+        match e {
+            Expr::Var(v, _) => Some((v.clone(), Vec::new())),
+            Expr::Field { base, field, .. } => {
+                let (b, mut path) = Self::pointer_path_of(base)?;
+                path.push(field.clone());
+                Some((b, path))
+            }
+            _ => None,
+        }
+    }
+
+    fn eval_indices(&mut self, e: &Expr, state: &mut State) {
+        if let Expr::Field { base, index, .. } = e {
+            self.eval_indices(base, state);
+            if let Some(i) = index {
+                self.eval_for_effects(i, state);
+            }
+        }
+    }
+
+    fn drop_tmps(&mut self, tmps: &[String], state: &mut State) {
+        for t in tmps {
+            state.pm.remove_var(t);
+            self.var_records.remove(t);
+        }
+    }
+
+    /// `dst = src->field` — the traversal rule.
+    fn deref_into(&mut self, dst: &str, src: &str, field: &str, state: &mut State) {
+        state.pm.add_var(dst);
+        state.pm.clear_var(dst);
+        if let Some(rec) = self.var_record(src).map(str::to_string) {
+            if let Some(target) = self.field_target(&rec, field) {
+                self.var_records.insert(dst.to_string(), target);
+            }
+        }
+        let props = self.props(field);
+
+        if !state.pm.has_var(src) {
+            return;
+        }
+
+        // Functional-field must-alias: if a single `field` link from `src`
+        // to some x is already recorded, `src->field` IS x (fields are
+        // functions of the node — except array fields).
+        if !props.is_array {
+            let vars: Vec<String> = state.pm.vars().to_vec();
+            for x in &vars {
+                if x != dst && state.pm.get(src, x).has_single_link(field) {
+                    let x = x.clone();
+                    state.pm.copy_var(dst, &x);
+                    return;
+                }
+            }
+        }
+
+        let src_rec = self.var_record(src).map(str::to_string);
+        let vars: Vec<String> = state.pm.vars().to_vec();
+        for x in &vars {
+            if x == dst {
+                continue;
+            }
+            if x == src {
+                // src -field-> dst: a definite single link; acyclic fields
+                // guarantee the endpoints differ — but only while the
+                // abstraction for `field` is intact.
+                let alias = if self.is_acyclic(field) && state.field_trustworthy(field) {
+                    Alias::No
+                } else {
+                    Alias::Maybe
+                };
+                state.pm.add_link(src, dst, field, alias);
+                continue;
+            }
+            let e_xs = state.pm.get(x, src);
+            // Compose x→src paths with the new link to get x→dst paths.
+            let mut entry = Entry::none();
+            if e_xs.must_alias() {
+                entry.add_path(Desc::one(field));
+            } else {
+                for d in &e_xs.paths {
+                    entry.add_path(d.step(field));
+                }
+            }
+            // Alias verdict.
+            entry.alias = if !entry.paths.is_empty() && self.paths_prove_distinct(&entry, state) {
+                Alias::No
+            } else if !entry.paths.is_empty() {
+                Alias::Maybe
+            } else {
+                self.no_path_alias_verdict(x, src, field, src_rec.as_deref(), state)
+            };
+            let back_alias = entry.alias;
+            state.pm.set(x, dst, entry);
+            let mut back = state.pm.get(dst, x);
+            back.alias = back_alias;
+            state.pm.set(dst, x, back);
+        }
+    }
+
+    /// A non-empty must-path proves the endpoints distinct when every field
+    /// it uses travels an acyclic route in a consistent direction (all
+    /// forward or all backward): such paths can never return to their start
+    /// (§3.1, §3.3 — "freed from estimating needless cycles").
+    fn paths_prove_distinct(&self, e: &Entry, state: &State) -> bool {
+        !e.paths.is_empty()
+            && e.paths.iter().all(|d| {
+                !d.len.may_be_empty()
+                    && d.fields.iter().all(|f| state.field_trustworthy(f))
+                    && {
+                        let dirs: BTreeSet<_> = d
+                            .fields
+                            .iter()
+                            .map(|f| self.props(f).direction)
+                            .collect();
+                        dirs.len() == 1
+                            && matches!(
+                                dirs.first().unwrap(),
+                                Some(Direction::Forward) | Some(Direction::Backward)
+                            )
+                    }
+            })
+    }
+
+    /// Alias verdict for `x` vs `src->field` when no path connects them.
+    /// Disjointness can still be proven from the ADDS declaration: sibling
+    /// links in the same group, or links along independent dimensions.
+    fn no_path_alias_verdict(
+        &self,
+        x: &str,
+        src: &str,
+        field: &str,
+        src_rec: Option<&str>,
+        state: &State,
+    ) -> Alias {
+        let e_sx = state.pm.get(src, x);
+        if let Some(rec) = src_rec {
+            if let Some(t) = self.tp.adds.get(rec) {
+                for d in &e_sx.paths {
+                    if d.len == crate::paths::Len::One && d.fields.len() == 1 {
+                        let g = d.fields.first().unwrap();
+                        if g != field
+                            && state.field_trustworthy(g)
+                            && state.field_trustworthy(field)
+                            && (t.same_group(g, field) || t.fields_on_independent_dims(g, field))
+                        {
+                            // x = src->g with g,field disjoint routes.
+                            return Alias::No;
+                        }
+                    }
+                }
+            }
+        }
+        // Different record types can never alias.
+        if let (Some(rx), Some(rs)) = (self.var_record(x), src_rec) {
+            if let Some(tgt) = self.field_target(rs, field) {
+                if rx != tgt {
+                    return Alias::No;
+                }
+            }
+        }
+        // If x is provably unrelated to everything (e.g. fresh), x→dst
+        // stays unknown-but-uncertain.
+        Alias::Maybe
+    }
+
+    /// `p->f = <rhs>` (after base normalization) — the shape-mutation rule.
+    fn assign_field(&mut self, lhs: &LValue, rhs: &Expr, span: Span, state: &mut State) {
+        // Normalize the base chain so the write is `base->field = rhs`.
+        let mut tmps = Vec::new();
+        let mut base = lhs.base.clone();
+        for acc in &lhs.path[..lhs.path.len() - 1] {
+            if let Some(i) = &acc.index {
+                self.eval_for_effects(i, state);
+            }
+            let t = self.fresh_tmp();
+            self.deref_into(&t, &base, &acc.field, state);
+            tmps.push(t.clone());
+            base = t;
+        }
+        let last = lhs.path.last().expect("non-var lvalue");
+        if let Some(i) = &last.index {
+            self.eval_for_effects(i, state);
+        }
+        let field = last.field.clone();
+
+        // Normalize RHS to a representative variable (or NULL).
+        let rhs_rep: Option<String> = match rhs {
+            Expr::Null(_) => None,
+            Expr::Var(q, _) => Some(q.clone()),
+            Expr::Field { .. } => {
+                let chain = self.materialize_path(rhs, state);
+                let rep = chain.last().cloned();
+                tmps.extend(chain);
+                rep
+            }
+            Expr::New(rec, _) => {
+                let t = self.fresh_tmp();
+                state.pm.add_var(&t);
+                self.var_records.insert(t.clone(), rec.clone());
+                tmps.push(t.clone());
+                Some(t)
+            }
+            Expr::Call(c) => {
+                let t = self.fresh_tmp();
+                self.apply_call_assign(&t, c, state);
+                tmps.push(t.clone());
+                Some(t)
+            }
+            _ => {
+                self.eval_for_effects(rhs, state);
+                None
+            }
+        };
+
+        self.pointer_store(&base, &field, rhs_rep.as_deref(), span, state);
+        self.drop_tmps(&tmps, state);
+    }
+
+    /// The core `p->f = q` rule: validation, edge removal, edge addition,
+    /// and repair detection.
+    fn pointer_store(
+        &mut self,
+        p: &str,
+        field: &str,
+        q: Option<&str>,
+        span: Span,
+        state: &mut State,
+    ) {
+        let props = self.props(field);
+        let p_rec = self.var_record(p).map(str::to_string);
+        let type_name = p_rec.clone().unwrap_or_default();
+
+        // --- repair detection: overwriting a holder's edge resolves
+        //     sharing violations held by (aliases of) `p`.
+        let repaired: Vec<Violation> = state
+            .violations
+            .iter()
+            .filter(|v| {
+                v.field == field
+                    && v.kind == ViolationKind::Sharing
+                    && v.holders.iter().any(|h| {
+                        h == p || (state.pm.has_var(h) && state.pm.get(h, p).must_alias())
+                    })
+            })
+            .cloned()
+            .collect();
+        for v in repaired {
+            state.violations.remove(&v);
+            if self.recording {
+                self.events.push(ValidationEvent::Repaired {
+                    at: span,
+                    violation: v,
+                });
+            }
+        }
+
+        if let Some(q) = q {
+            // --- validation: uniqueness (sharing) ---
+            if props.unique && state.pm.has_var(q) {
+                let witnesses: Vec<String> = state
+                    .pm
+                    .incoming_via(field, q)
+                    .into_iter()
+                    .filter(|y| !state.pm.get(y, p).must_alias() && y != p)
+                    .collect();
+                if !witnesses.is_empty() {
+                    let mut holders: BTreeSet<String> =
+                        witnesses.iter().cloned().collect();
+                    holders.insert(p.to_string());
+                    let v = Violation {
+                        kind: ViolationKind::Sharing,
+                        type_name: type_name.clone(),
+                        field: field.to_string(),
+                        holders,
+                        at: span,
+                    };
+                    if state.violations.insert(v.clone()) && self.recording {
+                        self.events.push(ValidationEvent::Broken {
+                            at: span,
+                            violation: v,
+                        });
+                    }
+                }
+            }
+            // --- validation: acyclicity (cycle) ---
+            if self.is_acyclic(field) && state.pm.has_var(q) {
+                let e_qp = state.pm.get(q, p);
+                let cycle_possible = q == p || e_qp.must_alias() || !e_qp.paths.is_empty();
+                if cycle_possible {
+                    let v = Violation {
+                        kind: ViolationKind::Cycle,
+                        type_name: type_name.clone(),
+                        field: field.to_string(),
+                        holders: BTreeSet::from([p.to_string()]),
+                        at: span,
+                    };
+                    if state.violations.insert(v.clone()) && self.recording {
+                        self.events.push(ValidationEvent::Broken {
+                            at: span,
+                            violation: v,
+                        });
+                    }
+                }
+            }
+        }
+
+        // --- edge removal: the old `p->field` edge is overwritten, and any
+        //     recorded path using `field` may have run through it.
+        let vars: Vec<String> = state.pm.vars().to_vec();
+        for r in &vars {
+            for s in &vars {
+                if r == s {
+                    continue;
+                }
+                let mut e = state.pm.get(r, s);
+                if e.uses_field(field) {
+                    e.remove_paths_using(field);
+                    state.pm.set(r, s, e);
+                }
+            }
+        }
+
+        // --- edge addition: p -field-> q, for all must-aliases.
+        if let Some(q) = q {
+            if state.pm.has_var(q) {
+                let cycle_flagged = state
+                    .violations
+                    .iter()
+                    .any(|v| v.kind == ViolationKind::Cycle && v.field == field);
+                let alias = if self.is_acyclic(field) && !cycle_flagged {
+                    Alias::No
+                } else {
+                    Alias::Maybe
+                };
+                let p_aliases: Vec<String> = vars
+                    .iter()
+                    .filter(|x| *x == p || state.pm.get(x, p).must_alias())
+                    .cloned()
+                    .collect();
+                let q_aliases: Vec<String> = vars
+                    .iter()
+                    .filter(|x| *x == q || state.pm.get(x, q).must_alias())
+                    .cloned()
+                    .collect();
+                for x in &p_aliases {
+                    for y in &q_aliases {
+                        if x != y {
+                            state.pm.add_link(x, y, field, alias);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------ calls
+
+    /// Evaluate an expression only for its (call) effects on the state.
+    fn eval_for_effects(&mut self, e: &Expr, state: &mut State) {
+        match e {
+            Expr::Call(c) => {
+                self.apply_call(c, state);
+            }
+            Expr::Unary { operand, .. } => self.eval_for_effects(operand, state),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.eval_for_effects(lhs, state);
+                self.eval_for_effects(rhs, state);
+            }
+            Expr::Field { base, index, .. } => {
+                self.eval_for_effects(base, state);
+                if let Some(i) = index {
+                    self.eval_for_effects(i, state);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Representative PM variables for each call argument (temps are created
+    /// for pointer path arguments and must be dropped by the caller).
+    fn arg_reps(&mut self, c: &Call, state: &mut State) -> (Vec<Option<String>>, Vec<String>) {
+        let mut reps = Vec::new();
+        let mut tmps = Vec::new();
+        for a in &c.args {
+            match a {
+                Expr::Var(v, _) if state.pm.has_var(v) => reps.push(Some(v.clone())),
+                Expr::Field { .. } => {
+                    let chain = self.materialize_path(a, state);
+                    reps.push(chain.last().cloned());
+                    tmps.extend(chain);
+                }
+                other => {
+                    self.eval_for_effects(other, state);
+                    reps.push(None);
+                }
+            }
+        }
+        (reps, tmps)
+    }
+
+    /// Apply a call's heap effects (shape mutations invalidate affected
+    /// path descriptors).
+    fn apply_call(&mut self, c: &Call, state: &mut State) {
+        let (_reps, tmps) = self.arg_reps(c, state);
+        self.apply_call_mutations(c, state);
+        self.drop_tmps(&tmps, state);
+    }
+
+    fn apply_call_mutations(&mut self, c: &Call, state: &mut State) {
+        let Some(sum) = self.sums.get(&c.callee) else {
+            return; // intrinsic: pure
+        };
+        if sum.ptr_writes.is_empty() {
+            return;
+        }
+        let mutated: BTreeSet<String> = sum
+            .ptr_writes
+            .iter()
+            .map(|u| u.field.clone())
+            .collect();
+        let vars: Vec<String> = state.pm.vars().to_vec();
+        for r in &vars {
+            for s in &vars {
+                if r == s {
+                    continue;
+                }
+                let mut e = state.pm.get(r, s);
+                let mut changed = false;
+                for f in &mutated {
+                    changed |= e.remove_paths_using(f);
+                }
+                if changed {
+                    // The mutation may have rerouted the path: endpoints may
+                    // now coincide only if the route could cycle back; the
+                    // alias verdict between two *variables* is unaffected by
+                    // heap writes, so keep it.
+                    state.pm.set(r, s, e);
+                }
+            }
+        }
+    }
+
+    /// `x = f(args)` — bind the return value.
+    fn apply_call_assign(&mut self, x: &str, c: &Call, state: &mut State) {
+        let (reps, tmps) = self.arg_reps(c, state);
+        self.apply_call_mutations(c, state);
+
+        state.pm.add_var(x);
+        state.pm.clear_var(x);
+        // Record type of x from the call's return type.
+        if let Some(sig) = self.tp.sigs.get(&c.callee) {
+            if let Some(Ty::Ptr(rec)) = &sig.ret {
+                self.var_records.insert(x.to_string(), rec.clone());
+            }
+        }
+
+        let Some(sum) = self.sums.get(&c.callee) else {
+            self.drop_tmps(&tmps, state);
+            return;
+        };
+
+        // Which arguments may the return value relate to? Params returned
+        // directly or reachably; and, conservatively, captured params when a
+        // fresh node is returned (the fresh structure may reach them — this
+        // is what makes the paper's `root =?` entries).
+        let mut alias_args: BTreeSet<usize> = BTreeSet::new();
+        let fresh_returned = sum.returns.contains(&RetSource::Fresh);
+        for src in &sum.returns {
+            match src {
+                RetSource::Param(i) | RetSource::ReachableFrom(i) => {
+                    alias_args.insert(*i);
+                }
+                _ => {}
+            }
+        }
+        if fresh_returned {
+            alias_args.extend(sum.captures.iter().copied());
+        }
+
+        let vars: Vec<String> = state.pm.vars().to_vec();
+        for y in &vars {
+            if y == x {
+                continue;
+            }
+            let related = alias_args.iter().any(|i| {
+                reps.get(*i).and_then(|r| r.as_ref()).is_some_and(|rep| {
+                    y == rep
+                        || state.pm.get(y, rep).may_alias()
+                        || !state.pm.get(y, rep).paths.is_empty()
+                        || !state.pm.get(rep, y).paths.is_empty()
+                })
+            });
+            if related {
+                state.pm.set_alias(x, y, Alias::Maybe);
+            }
+        }
+        self.drop_tmps(&tmps, state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adds_lang::programs;
+    use adds_lang::types::check_source;
+
+    fn analyze(src: &str, func: &str) -> FnAnalysis {
+        let tp = check_source(src).unwrap();
+        let sums = Summaries::compute(&tp);
+        analyze_function(&tp, &sums, func).unwrap()
+    }
+
+    // ---------------------------------------------------------------- §3.3.2
+
+    #[test]
+    fn scale_without_adds_is_conservative() {
+        let an = analyze(programs::LIST_SCALE_PLAIN, "scale");
+        let lp = &an.loops[0];
+        // With unknown directions, head/p may alias (=?).
+        assert!(lp.bottom.pm.get("head", "p").may_alias());
+        assert!(lp.bottom.pm.get("p'", "p").may_alias());
+    }
+
+    #[test]
+    fn scale_with_adds_proves_no_aliasing() {
+        let an = analyze(programs::LIST_SCALE_ADDS, "scale");
+        let lp = &an.loops[0];
+        // Fixed point (paper's third matrix): head→p is next+, p'→p is next,
+        // head→p' is next+, and *none* of them may alias.
+        let hp = lp.bottom.pm.get("head", "p");
+        assert_eq!(hp.display(), "next+", "head→p:\n{}", lp.bottom.pm);
+        assert!(!hp.may_alias());
+        let pp = lp.bottom.pm.get("p'", "p");
+        assert_eq!(pp.display(), "next", "p'→p:\n{}", lp.bottom.pm);
+        assert!(!pp.may_alias());
+        let hp2 = lp.bottom.pm.get("head", "p'");
+        assert_eq!(hp2.display(), "next+", "head→p':\n{}", lp.bottom.pm);
+        assert!(!hp2.may_alias());
+    }
+
+    #[test]
+    fn scale_first_iteration_matrix() {
+        let an = analyze(programs::LIST_SCALE_ADDS, "scale");
+        let lp = &an.loops[0];
+        // After one iteration (paper's second matrix): head→p is a single
+        // next link.
+        assert_eq!(lp.first_bottom.pm.get("head", "p").display(), "next");
+    }
+
+    #[test]
+    fn scale_before_loop_head_aliases_p() {
+        let an = analyze(programs::LIST_SCALE_ADDS, "scale");
+        // After `p = head` (paper's first matrix): p and head are aliases.
+        let (_, st) = &an.after[1]; // var decl, then assignment
+        assert!(st.pm.get("head", "p").must_alias());
+    }
+
+    // ---------------------------------------------------------------- §3.3.1
+
+    #[test]
+    fn subtree_move_breaks_then_repairs() {
+        let an = analyze(programs::SUBTREE_MOVE, "move_subtree");
+        assert_eq!(an.events.len(), 2, "{:?}", an.events);
+        assert!(an.events[0].is_broken());
+        assert!(!an.events[1].is_broken());
+        // Abstraction is valid again at exit.
+        assert!(an.exit.fully_valid());
+    }
+
+    #[test]
+    fn subtree_move_violation_names_left_field() {
+        let an = analyze(programs::SUBTREE_MOVE, "move_subtree");
+        let ValidationEvent::Broken { violation, .. } = &an.events[0] else {
+            panic!()
+        };
+        assert_eq!(violation.field, "left");
+        assert_eq!(violation.kind, ViolationKind::Sharing);
+        assert!(violation.holders.contains("p1"));
+        assert!(violation.holders.contains("p2"));
+    }
+
+    #[test]
+    fn unrepaired_sharing_stays_invalid() {
+        let src = "
+            type BinTree [down] {
+                int data;
+                BinTree *left, *right is uniquely forward along down;
+            };
+            procedure bad(p1: BinTree*, p2: BinTree*) {
+                p1->left = p2->left;
+            }";
+        let an = analyze(src, "bad");
+        assert_eq!(an.events.len(), 1);
+        assert!(!an.exit.fully_valid());
+        assert!(!an.exit.abstraction_valid("BinTree", "left"));
+        assert!(an.exit.abstraction_valid("BinTree", "right"));
+    }
+
+    #[test]
+    fn cycle_store_is_detected() {
+        let src = "
+            type L [X] { int v; L *next is uniquely forward along X; };
+            procedure mk_cycle(a: L*) {
+                var b: L*;
+                b = a->next;
+                b->next = a;
+            }";
+        let an = analyze(src, "mk_cycle");
+        assert!(an
+            .events
+            .iter()
+            .any(|e| matches!(e, ValidationEvent::Broken { violation, .. }
+                 if violation.kind == ViolationKind::Cycle)));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle_violation() {
+        let src = "
+            type L [X] { int v; L *next is uniquely forward along X; };
+            procedure mk_self(a: L*) {
+                a->next = a;
+            }";
+        let an = analyze(src, "mk_self");
+        assert!(!an.exit.abstraction_valid("L", "next"));
+    }
+
+    #[test]
+    fn legitimate_append_keeps_abstraction_valid() {
+        let src = "
+            type L [X] { int v; L *next is uniquely forward along X; };
+            procedure append_fresh(a: L*) {
+                var n: L*;
+                n = new L;
+                a->next = n;
+            }";
+        let an = analyze(src, "append_fresh");
+        assert!(an.exit.fully_valid(), "{:?}", an.events);
+    }
+
+    // ---------------------------------------------------------------- §4.3.2
+
+    #[test]
+    fn bhl1_matrix_matches_paper() {
+        let an = analyze(programs::BARNES_HUT, "bhl1");
+        let lp = &an.loops[0];
+        let pm = &lp.bottom.pm;
+        // particles→p: next+; particles→p': next+; p'→p: next.
+        assert_eq!(pm.get("particles", "p").display(), "next+", "\n{pm}");
+        assert_eq!(pm.get("particles", "p'").display(), "next+", "\n{pm}");
+        assert_eq!(pm.get("p'", "p").display(), "next", "\n{pm}");
+        // None of the list walkers alias.
+        assert!(!pm.get("particles", "p").may_alias());
+        assert!(!pm.get("p'", "p").may_alias());
+        // root is a possible alias of all of them (the paper's =? column).
+        assert!(pm.get("root", "particles").may_alias(), "\n{pm}");
+        assert!(pm.get("root", "p").may_alias(), "\n{pm}");
+    }
+
+    #[test]
+    fn bhl2_matrix_is_clean_too() {
+        let an = analyze(programs::BARNES_HUT, "bhl2");
+        let lp = &an.loops[0];
+        assert!(!lp.bottom.pm.get("p'", "p").may_alias());
+        assert_eq!(lp.bottom.pm.get("particles", "p").display(), "next+");
+    }
+
+    #[test]
+    fn build_tree_loop_keeps_next_chain_facts() {
+        let an = analyze(programs::BARNES_HUT, "build_tree");
+        // The while loop over particles: despite insert_particle mutating
+        // subtrees, the next-chain facts survive (next is never written).
+        let lp = an
+            .loops
+            .iter()
+            .find(|l| {
+                l.bottom.pm.has_var("p'")
+            })
+            .expect("particle loop analyzed");
+        assert_eq!(lp.bottom.pm.get("p'", "p").display(), "next");
+        assert!(!lp.bottom.pm.get("p'", "p").may_alias());
+    }
+
+    #[test]
+    fn insert_particle_temporary_sharing_repaired() {
+        let an = analyze(programs::BARNES_HUT, "insert_particle");
+        // The paper's §4.3.2: `m->subtrees[qc] = child` shares the
+        // competitor; `cur->subtrees[q] = m` repairs it.
+        let breaks: Vec<_> = an.events.iter().filter(|e| e.is_broken()).collect();
+        let repairs: Vec<_> = an.events.iter().filter(|e| !e.is_broken()).collect();
+        assert!(!breaks.is_empty(), "expected a sharing break: {:?}", an.events);
+        assert!(!repairs.is_empty(), "expected a repair: {:?}", an.events);
+    }
+
+    #[test]
+    fn exit_state_drops_primed_vars() {
+        let an = analyze(programs::LIST_SCALE_ADDS, "scale");
+        assert!(!an.exit.pm.has_var("p'"));
+        assert!(an.exit.pm.has_var("p"));
+    }
+
+    #[test]
+    fn sibling_subtrees_are_disjoint() {
+        let src = "
+            type BinTree [down] {
+                int data;
+                BinTree *left, *right is uniquely forward along down;
+            };
+            procedure probe(t: BinTree*) {
+                var a: BinTree*;
+                var b: BinTree*;
+                a = t->left;
+                b = t->right;
+                a->data = 1;
+                b->data = 2;
+            }";
+        let an = analyze(src, "probe");
+        let (_, st) = an
+            .after
+            .iter()
+            .rev()
+            .find(|(_, st)| st.pm.has_var("a") && st.pm.has_var("b"))
+            .unwrap();
+        assert!(
+            !st.pm.get("a", "b").may_alias(),
+            "left/right groups must be disjoint:\n{}",
+            st.pm
+        );
+    }
+
+    #[test]
+    fn independent_dimensions_are_disjoint() {
+        let src = "
+            type RT [down][sub] where sub||down {
+                int data;
+                RT *left, *right is uniquely forward along down;
+                RT *subtree is uniquely forward along sub;
+            };
+            procedure probe(t: RT*) {
+                var a: RT*;
+                var s: RT*;
+                a = t->left;
+                s = t->subtree;
+                a->data = 1;
+            }";
+        let an = analyze(src, "probe");
+        let (_, st) = an
+            .after
+            .iter()
+            .rev()
+            .find(|(_, st)| st.pm.has_var("a") && st.pm.has_var("s"))
+            .unwrap();
+        assert!(
+            !st.pm.get("a", "s").may_alias(),
+            "independent dims must be disjoint:\n{}",
+            st.pm
+        );
+    }
+
+    #[test]
+    fn dependent_dimensions_may_alias() {
+        // Octree: down and leaves are dependent — a node reached along
+        // down may be the same node reached along leaves.
+        let src = "
+            type O [down][leaves] {
+                int data;
+                O *kid is uniquely forward along down;
+                O *next is uniquely forward along leaves;
+            };
+            procedure probe(t: O*) {
+                var a: O*;
+                var b: O*;
+                a = t->kid;
+                b = t->next;
+                a->data = 1;
+            }";
+        let an = analyze(src, "probe");
+        let (_, st) = an
+            .after
+            .iter()
+            .rev()
+            .find(|(_, st)| st.pm.has_var("a") && st.pm.has_var("b"))
+            .unwrap();
+        assert!(
+            st.pm.get("a", "b").may_alias(),
+            "dependent dims stay conservative:\n{}",
+            st.pm
+        );
+    }
+}

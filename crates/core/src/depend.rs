@@ -1,0 +1,755 @@
+//! Loop dependence testing for pointer-chasing loops (§4.3.2–4.3.3).
+//!
+//! A loop of the shape
+//!
+//! ```text
+//! while p <> NULL { body(p); p = p->f; }
+//! ```
+//!
+//! is parallelizable when the analysis can show that no two iterations
+//! conflict. The conditions implemented here are the paper's:
+//!
+//! 1. `f` is `uniquely forward` and the abstraction for it is **valid** at
+//!    loop entry, so `p = p->f` always moves to a *new* node
+//!    (the path matrix fixpoint must show `PM(p', p)` no-alias);
+//! 2. the body **writes only to the node denoted by `p`** (directly), never
+//!    through other variables, and mutates **no pointer fields** anywhere;
+//! 3. any data read through *other* (loop-invariant) pointers — e.g. the
+//!    octree via `root` — is read-only **in the fields the body writes**:
+//!    the written field set must be disjoint from every reachable read set,
+//!    since `p`'s node may itself be reachable from those pointers;
+//! 4. no scalar loop-carried dependence (accumulators disqualify the loop).
+
+use crate::analysis::FnAnalysis;
+use crate::summary::{Depth, Summaries};
+use adds_lang::ast::*;
+use adds_lang::source::Span;
+use adds_lang::types::TypedProgram;
+use std::collections::BTreeSet;
+
+/// The recognized pointer-chase pattern of a loop.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChasePattern {
+    /// The loop-carried pointer variable (`p`).
+    pub var: String,
+    /// Its record type.
+    pub record: String,
+    /// The advancing field (`next`).
+    pub field: String,
+    /// Index (in `body.stmts`) of the advance statement `p = p->field`.
+    pub advance_idx: usize,
+}
+
+/// Verdict for one loop.
+#[derive(Clone, Debug)]
+pub struct LoopCheck {
+    /// The loop's source span.
+    pub span: Span,
+    /// The recognized chase pattern, if any.
+    pub pattern: Option<ChasePattern>,
+    /// Whether strip-mining is licensed.
+    pub parallelizable: bool,
+    /// Human-readable reasons when not parallelizable.
+    pub reasons: Vec<String>,
+}
+
+/// Check every `while` loop of `func` for strip-mine parallelizability.
+pub fn check_function(
+    tp: &TypedProgram,
+    sums: &Summaries,
+    an: &FnAnalysis,
+    func: &str,
+) -> Vec<LoopCheck> {
+    let Some(f) = tp.program.func(func) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    collect_whiles(&f.body, &mut |cond, body, span| {
+        out.push(check_loop_inner(tp, sums, an, func, cond, body, span));
+    });
+    out
+}
+
+/// Check a single `while` loop (identified by its span) of `func`.
+pub fn check_loop(
+    tp: &TypedProgram,
+    sums: &Summaries,
+    an: &FnAnalysis,
+    func: &str,
+    span: Span,
+) -> Option<LoopCheck> {
+    check_function(tp, sums, an, func)
+        .into_iter()
+        .find(|c| c.span.start == span.start)
+}
+
+fn collect_whiles(b: &Block, visit: &mut impl FnMut(&Expr, &Block, Span)) {
+    for s in &b.stmts {
+        match s {
+            Stmt::While { cond, body, span } => {
+                visit(cond, body, *span);
+                collect_whiles(body, visit);
+            }
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
+                collect_whiles(then_blk, visit);
+                if let Some(e) = else_blk {
+                    collect_whiles(e, visit);
+                }
+            }
+            Stmt::For { body, .. } => collect_whiles(body, visit),
+            _ => {}
+        }
+    }
+}
+
+fn check_loop_inner(
+    tp: &TypedProgram,
+    sums: &Summaries,
+    an: &FnAnalysis,
+    func: &str,
+    cond: &Expr,
+    body: &Block,
+    span: Span,
+) -> LoopCheck {
+    let mut reasons = Vec::new();
+
+    // ---- pattern: `while p <> NULL` -----------------------------------
+    let var = match chase_cond_var(cond) {
+        Some(v) => v,
+        None => {
+            return LoopCheck {
+                span,
+                pattern: None,
+                parallelizable: false,
+                reasons: vec!["loop condition is not `p <> NULL`".into()],
+            }
+        }
+    };
+    let record = match tp.var_ty(func, &var) {
+        Some(Ty::Ptr(r)) => r.clone(),
+        _ => {
+            return LoopCheck {
+                span,
+                pattern: None,
+                parallelizable: false,
+                reasons: vec![format!("`{var}` is not a pointer variable")],
+            }
+        }
+    };
+
+    // ---- pattern: advance statement `p = p->f` -------------------------
+    let mut advance: Option<(usize, String)> = None;
+    for (i, s) in body.stmts.iter().enumerate() {
+        if let Stmt::Assign { lhs, rhs, .. } = s {
+            if lhs.is_var() && lhs.base == var {
+                match rhs.as_pointer_path() {
+                    Some((base, fields)) if base == var && fields.len() == 1 => {
+                        if advance.is_some() {
+                            reasons.push(format!("`{var}` is advanced more than once"));
+                        }
+                        advance = Some((i, fields[0].clone()));
+                    }
+                    _ => reasons.push(format!(
+                        "`{var}` is assigned something other than `{var}-><field>`"
+                    )),
+                }
+            }
+        } else if assigns_var_deep(s, &var) {
+            reasons.push(format!("`{var}` is assigned inside nested control flow"));
+        }
+    }
+    let Some((advance_idx, field)) = advance else {
+        reasons.push(format!("no advance statement `{var} = {var}-><field>`"));
+        return LoopCheck {
+            span,
+            pattern: None,
+            parallelizable: false,
+            reasons,
+        };
+    };
+    if advance_idx + 1 != body.stmts.len() {
+        reasons.push("advance statement is not the last statement of the body".into());
+    }
+    let pattern = ChasePattern {
+        var: var.clone(),
+        record: record.clone(),
+        field: field.clone(),
+        advance_idx,
+    };
+
+    // ---- condition 1: uniquely-forward advance + valid abstraction -----
+    let adds_ty = tp.adds.get(&record);
+    match adds_ty {
+        Some(t) if t.is_uniquely_forward(&field) => {}
+        Some(_) => reasons.push(format!(
+            "field `{field}` of `{record}` is not declared `uniquely forward`"
+        )),
+        None => reasons.push(format!("`{record}` has no ADDS declaration")),
+    }
+    if let Some(lp) = an.loop_at(span) {
+        if !lp.head.abstraction_valid(&record, &field) {
+            reasons.push(format!(
+                "abstraction for `{record}.{field}` is broken at loop entry"
+            ));
+        }
+        // The fixpoint must show consecutive iterations on distinct nodes.
+        let primed = crate::matrix::primed(&var);
+        if lp.bottom.pm.has_var(&primed) && lp.bottom.pm.get(&primed, &var).may_alias() {
+            reasons.push(format!(
+                "analysis cannot prove `{var}` moves to a new node each iteration"
+            ));
+        }
+    } else {
+        reasons.push("loop was not analyzed".into());
+    }
+
+    // ---- conditions 2-4: body effects ----------------------------------
+    let effects = body_effects(tp, sums, func, body, advance_idx, &var, &mut reasons);
+
+    // 2: writes only direct-to-p; no pointer writes at all.
+    if !effects.ptr_write_free {
+        reasons.push("body mutates pointer fields (shape changes)".into());
+    }
+    for w in &effects.foreign_writes {
+        reasons.push(format!("body writes through `{w}`, not only through `{var}`"));
+    }
+    if effects.writes_reachable {
+        reasons.push(format!(
+            "body writes to nodes *reachable* from `{var}`, not just `{var}`'s node"
+        ));
+    }
+
+    // 3: field disjointness between written fields and reachable reads.
+    let overlap: Vec<&String> = effects
+        .written_fields
+        .intersection(&effects.reachable_read_fields)
+        .collect();
+    if !overlap.is_empty() {
+        reasons.push(format!(
+            "written fields {:?} are also read through other pointers",
+            overlap
+        ));
+    }
+    // The advance field must never be written.
+    if effects.written_fields.contains(&field) {
+        reasons.push(format!("body writes the advance field `{field}`"));
+    }
+
+    // 4: scalar loop-carried dependences.
+    for v in &effects.carried_scalars {
+        reasons.push(format!("scalar `{v}` carries a dependence across iterations"));
+    }
+
+    LoopCheck {
+        span,
+        pattern: Some(pattern),
+        parallelizable: reasons.is_empty(),
+        reasons,
+    }
+}
+
+/// Does `cond` have the shape `p <> NULL` (or `NULL <> p`)?
+fn chase_cond_var(cond: &Expr) -> Option<String> {
+    let Expr::Binary {
+        op: BinOp::Ne,
+        lhs,
+        rhs,
+        ..
+    } = cond
+    else {
+        return None;
+    };
+    match (lhs.as_ref(), rhs.as_ref()) {
+        (Expr::Var(v, _), Expr::Null(_)) | (Expr::Null(_), Expr::Var(v, _)) => Some(v.clone()),
+        _ => None,
+    }
+}
+
+fn assigns_var_deep(s: &Stmt, var: &str) -> bool {
+    match s {
+        Stmt::Assign { lhs, .. } => lhs.is_var() && lhs.base == var,
+        Stmt::VarDecl { name, .. } => name == var,
+        Stmt::While { body, .. } | Stmt::For { body, .. } => {
+            body.stmts.iter().any(|s| assigns_var_deep(s, var))
+        }
+        Stmt::If {
+            then_blk, else_blk, ..
+        } => {
+            then_blk.stmts.iter().any(|s| assigns_var_deep(s, var))
+                || else_blk
+                    .as_ref()
+                    .is_some_and(|b| b.stmts.iter().any(|s| assigns_var_deep(s, var)))
+        }
+        _ => false,
+    }
+}
+
+#[derive(Default)]
+struct BodyEffects {
+    /// Scalar fields written via the chase variable.
+    written_fields: BTreeSet<String>,
+    /// Fields read at reachable depth through any pointer (chase var or
+    /// invariant pointers like `root`).
+    reachable_read_fields: BTreeSet<String>,
+    /// Pointer vars other than the chase var written through.
+    foreign_writes: BTreeSet<String>,
+    writes_reachable: bool,
+    ptr_write_free: bool,
+    carried_scalars: BTreeSet<String>,
+}
+
+fn body_effects(
+    tp: &TypedProgram,
+    sums: &Summaries,
+    func: &str,
+    body: &Block,
+    advance_idx: usize,
+    var: &str,
+    reasons: &mut Vec<String>,
+) -> BodyEffects {
+    let mut fx = BodyEffects {
+        ptr_write_free: true,
+        ..Default::default()
+    };
+
+    // Scalars declared inside the body are iteration-private.
+    let mut local_scalars: BTreeSet<String> = BTreeSet::new();
+    let mut assigned_scalars: BTreeSet<String> = BTreeSet::new();
+    let mut read_scalars: BTreeSet<String> = BTreeSet::new();
+
+    for (i, s) in body.stmts.iter().enumerate() {
+        if i == advance_idx {
+            continue;
+        }
+        stmt_effects(
+            tp,
+            sums,
+            func,
+            s,
+            var,
+            &mut fx,
+            &mut local_scalars,
+            &mut assigned_scalars,
+            &mut read_scalars,
+            reasons,
+        );
+    }
+
+    for v in assigned_scalars {
+        if !local_scalars.contains(&v) && read_scalars.contains(&v) {
+            fx.carried_scalars.insert(v);
+        }
+    }
+    fx
+}
+
+#[allow(clippy::too_many_arguments)]
+fn stmt_effects(
+    tp: &TypedProgram,
+    sums: &Summaries,
+    func: &str,
+    s: &Stmt,
+    var: &str,
+    fx: &mut BodyEffects,
+    local_scalars: &mut BTreeSet<String>,
+    assigned_scalars: &mut BTreeSet<String>,
+    read_scalars: &mut BTreeSet<String>,
+    reasons: &mut Vec<String>,
+) {
+    let is_ptr = |v: &str| tp.var_ty(func, v).is_some_and(|t| t.is_pointer());
+    match s {
+        Stmt::VarDecl { name, init, .. } => {
+            if !is_ptr(name) {
+                local_scalars.insert(name.clone());
+            }
+            if let Some(e) = init {
+                expr_effects(tp, sums, func, e, var, fx, read_scalars, reasons);
+            }
+        }
+        Stmt::Assign { lhs, rhs, .. } => {
+            expr_effects(tp, sums, func, rhs, var, fx, read_scalars, reasons);
+            if lhs.is_var() {
+                if is_ptr(&lhs.base) {
+                    // Pointer-variable rebinding inside the body (other than
+                    // the advance) makes tracking imprecise.
+                    reasons.push(format!(
+                        "pointer variable `{}` is re-bound inside the body",
+                        lhs.base
+                    ));
+                } else {
+                    assigned_scalars.insert(lhs.base.clone());
+                }
+                return;
+            }
+            // Heap write through lhs.base.
+            let depth = lhs.path.len();
+            let last = lhs.path.last().expect("field lvalue");
+            let written_is_ptr = lvalue_field_is_pointer(tp, func, lhs);
+            if written_is_ptr {
+                fx.ptr_write_free = false;
+            }
+            if lhs.base == var {
+                if depth > 1 {
+                    fx.writes_reachable = true;
+                }
+                fx.written_fields.insert(last.field.clone());
+            } else {
+                fx.foreign_writes.insert(lhs.base.clone());
+            }
+            // Reads of intermediate links count as reachable reads.
+            for acc in &lhs.path[..depth - 1] {
+                fx.reachable_read_fields.insert(acc.field.clone());
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            expr_effects(tp, sums, func, cond, var, fx, read_scalars, reasons);
+            for s in &body.stmts {
+                stmt_effects(
+                    tp, sums, func, s, var, fx, local_scalars, assigned_scalars, read_scalars,
+                    reasons,
+                );
+            }
+        }
+        Stmt::For { from, to, body, .. } => {
+            expr_effects(tp, sums, func, from, var, fx, read_scalars, reasons);
+            expr_effects(tp, sums, func, to, var, fx, read_scalars, reasons);
+            for s in &body.stmts {
+                stmt_effects(
+                    tp, sums, func, s, var, fx, local_scalars, assigned_scalars, read_scalars,
+                    reasons,
+                );
+            }
+        }
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            ..
+        } => {
+            expr_effects(tp, sums, func, cond, var, fx, read_scalars, reasons);
+            for s in then_blk
+                .stmts
+                .iter()
+                .chain(else_blk.iter().flat_map(|b| b.stmts.iter()))
+            {
+                stmt_effects(
+                    tp, sums, func, s, var, fx, local_scalars, assigned_scalars, read_scalars,
+                    reasons,
+                );
+            }
+        }
+        Stmt::Return { value, .. } => {
+            if let Some(e) = value {
+                expr_effects(tp, sums, func, e, var, fx, read_scalars, reasons);
+            }
+            reasons.push("body returns out of the loop".into());
+        }
+        Stmt::Call(c) => {
+            call_effects(tp, sums, func, c, var, fx, read_scalars, reasons);
+        }
+    }
+}
+
+fn lvalue_field_is_pointer(tp: &TypedProgram, func: &str, lv: &LValue) -> bool {
+    let Some(mut rec) = tp
+        .var_ty(func, &lv.base)
+        .and_then(|t| t.pointee().map(str::to_string))
+    else {
+        return false;
+    };
+    for (i, acc) in lv.path.iter().enumerate() {
+        match tp.field_ty(&rec, &acc.field) {
+            Some(Ty::Ptr(t)) => {
+                if i + 1 == lv.path.len() {
+                    return true;
+                }
+                rec = t;
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+#[allow(clippy::too_many_arguments)]
+fn expr_effects(
+    tp: &TypedProgram,
+    sums: &Summaries,
+    func: &str,
+    e: &Expr,
+    var: &str,
+    fx: &mut BodyEffects,
+    read_scalars: &mut BTreeSet<String>,
+    reasons: &mut Vec<String>,
+) {
+    match e {
+        Expr::Var(v, _) if !tp.var_ty(func, v).is_some_and(|t| t.is_pointer()) => {
+            read_scalars.insert(v.clone());
+        }
+        Expr::Var(..) => {}
+        Expr::Field {
+            base, field, index, ..
+        } => {
+            expr_effects(tp, sums, func, base, var, fx, read_scalars, reasons);
+            if let Some(i) = index {
+                expr_effects(tp, sums, func, i, var, fx, read_scalars, reasons);
+            }
+            // Depth > 1 or non-chase base ⇒ reachable read.
+            match base.as_ref() {
+                Expr::Var(v, _) if v == var => {
+                    // direct read of p's field — always safe vs other
+                    // iterations' direct writes (distinct nodes).
+                }
+                _ => {
+                    fx.reachable_read_fields.insert(field.clone());
+                }
+            }
+            // Reading a link field from p directly still matters if another
+            // iteration *writes* that link — covered by written∩read on the
+            // advance field check; record link reads through p too when they
+            // lead onward (conservatively treat nested reads above).
+        }
+        Expr::Unary { operand, .. } => {
+            expr_effects(tp, sums, func, operand, var, fx, read_scalars, reasons)
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            expr_effects(tp, sums, func, lhs, var, fx, read_scalars, reasons);
+            expr_effects(tp, sums, func, rhs, var, fx, read_scalars, reasons);
+        }
+        Expr::Call(c) => call_effects(tp, sums, func, c, var, fx, read_scalars, reasons),
+        _ => {}
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn call_effects(
+    tp: &TypedProgram,
+    sums: &Summaries,
+    func: &str,
+    c: &Call,
+    var: &str,
+    fx: &mut BodyEffects,
+    read_scalars: &mut BTreeSet<String>,
+    reasons: &mut Vec<String>,
+) {
+    for a in &c.args {
+        expr_effects(tp, sums, func, a, var, fx, read_scalars, reasons);
+    }
+    let Some(sum) = sums.get(&c.callee) else {
+        return; // intrinsic: pure
+    };
+    if sum.mutates_shape() {
+        fx.ptr_write_free = false;
+    }
+    // Map callee effects through the arguments.
+    for (j, a) in c.args.iter().enumerate() {
+        let arg_var = match a {
+            Expr::Var(v, _) => Some(v.clone()),
+            _ => a.as_pointer_path().map(|(b, _)| b),
+        };
+        let Some(av) = arg_var else { continue };
+        if !tp.var_ty(func, &av).is_some_and(|t| t.is_pointer()) {
+            continue;
+        }
+        let arg_is_direct_chase = av == var && matches!(a, Expr::Var(..));
+        // Writes.
+        for u in sum.writes.iter().chain(sum.ptr_writes.iter()) {
+            if u.param != j {
+                continue;
+            }
+            if arg_is_direct_chase {
+                if u.depth == Depth::Direct {
+                    fx.written_fields.insert(u.field.clone());
+                } else {
+                    fx.writes_reachable = true;
+                    fx.written_fields.insert(u.field.clone());
+                }
+            } else {
+                fx.foreign_writes.insert(av.clone());
+            }
+        }
+        // Reads: direct reads of the chase var's node are iteration-private;
+        // everything else is potentially shared.
+        for u in &sum.reads {
+            if u.param != j {
+                continue;
+            }
+            if arg_is_direct_chase && u.depth == Depth::Direct {
+                continue;
+            }
+            fx.reachable_read_fields.insert(u.field.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze_function;
+    use adds_lang::programs;
+    use adds_lang::types::check_source;
+
+    fn checks(src: &str, func: &str) -> Vec<LoopCheck> {
+        let tp = check_source(src).unwrap();
+        let sums = Summaries::compute(&tp);
+        let an = analyze_function(&tp, &sums, func).unwrap();
+        check_function(&tp, &sums, &an, func)
+    }
+
+    #[test]
+    fn scale_loop_is_parallelizable() {
+        let cs = checks(programs::LIST_SCALE_ADDS, "scale");
+        assert_eq!(cs.len(), 1);
+        assert!(cs[0].parallelizable, "{:?}", cs[0].reasons);
+        let p = cs[0].pattern.as_ref().unwrap();
+        assert_eq!(p.var, "p");
+        assert_eq!(p.field, "next");
+    }
+
+    #[test]
+    fn scale_without_adds_is_not() {
+        let cs = checks(programs::LIST_SCALE_PLAIN, "scale");
+        assert!(!cs[0].parallelizable);
+        assert!(cs[0]
+            .reasons
+            .iter()
+            .any(|r| r.contains("uniquely forward")));
+    }
+
+    #[test]
+    fn bhl1_is_parallelizable() {
+        let cs = checks(programs::BARNES_HUT, "bhl1");
+        assert_eq!(cs.len(), 1);
+        assert!(cs[0].parallelizable, "{:?}", cs[0].reasons);
+    }
+
+    #[test]
+    fn bhl2_is_parallelizable() {
+        let cs = checks(programs::BARNES_HUT, "bhl2");
+        assert!(cs[0].parallelizable, "{:?}", cs[0].reasons);
+    }
+
+    #[test]
+    fn build_tree_loop_is_rejected() {
+        let cs = checks(programs::BARNES_HUT, "build_tree");
+        let c = cs
+            .iter()
+            .find(|c| c.pattern.as_ref().is_some_and(|p| p.var == "p"))
+            .unwrap();
+        assert!(!c.parallelizable);
+        assert!(
+            c.reasons.iter().any(|r| r.contains("pointer fields")
+                || r.contains("re-bound")
+                || r.contains("writes through")),
+            "{:?}",
+            c.reasons
+        );
+    }
+
+    #[test]
+    fn accumulator_loop_is_rejected() {
+        let cs = checks(programs::LIST_SUM, "sum");
+        assert!(!cs[0].parallelizable);
+        assert!(
+            cs[0].reasons.iter().any(|r| r.contains("scalar")),
+            "{:?}",
+            cs[0].reasons
+        );
+    }
+
+    #[test]
+    fn force_writing_positions_would_be_rejected() {
+        // A corrupted BHL1 whose "force" computation writes x — which other
+        // iterations read through the tree. Field disjointness must fail.
+        let src = "
+            type O [down][leaves] {
+                real mass, x, fx;
+                bool is_leaf;
+                O *kids[8] is uniquely forward along down;
+                O *next is uniquely forward along leaves;
+            };
+            procedure bad_force(p: O*, node: O*) {
+                var i: int;
+                if node == NULL { return; }
+                p->x = p->x + node->x;
+                for i = 0 to 7 {
+                    bad_force(p, node->kids[i]);
+                }
+            }
+            procedure loop1(particles: O*, root: O*) {
+                var p: O*;
+                p = particles;
+                while p <> NULL {
+                    bad_force(p, root);
+                    p = p->next;
+                }
+            }";
+        let cs = checks(src, "loop1");
+        assert!(!cs[0].parallelizable);
+        assert!(
+            cs[0].reasons.iter().any(|r| r.contains("also read")),
+            "{:?}",
+            cs[0].reasons
+        );
+    }
+
+    #[test]
+    fn writing_the_advance_field_is_rejected() {
+        let src = "
+            type L [X] { int v; L *next is uniquely forward along X; };
+            procedure cut(head: L*) {
+                var p: L*;
+                p = head;
+                while p <> NULL {
+                    p->next = NULL;
+                    p = p->next;
+                }
+            }";
+        let cs = checks(src, "cut");
+        assert!(!cs[0].parallelizable);
+    }
+
+    #[test]
+    fn broken_abstraction_disables_parallelization() {
+        // The list is corrupted (a cycle is created) before the loop; the
+        // uniquely-forward property can no longer be relied upon.
+        let src = "
+            type L [X] { int v; L *next is uniquely forward along X; };
+            procedure walk(head: L*) {
+                var p: L*;
+                var q: L*;
+                q = head->next;
+                q->next = head;
+                p = head;
+                while p <> NULL {
+                    p->v = 0;
+                    p = p->next;
+                }
+            }";
+        let cs = checks(src, "walk");
+        assert!(!cs[0].parallelizable);
+        assert!(
+            cs[0].reasons.iter().any(|r| r.contains("broken")),
+            "{:?}",
+            cs[0].reasons
+        );
+    }
+
+    #[test]
+    fn non_chase_loops_are_classified() {
+        let src = "
+            type L [X] { int v; L *next is uniquely forward along X; };
+            procedure f(head: L*, n: int) {
+                var i: int;
+                i = 0;
+                while i < n {
+                    i = i + 1;
+                }
+            }";
+        let cs = checks(src, "f");
+        assert!(!cs[0].parallelizable);
+        assert!(cs[0].pattern.is_none());
+    }
+}

@@ -1,0 +1,103 @@
+//! The end-to-end source-to-source pipeline:
+//! parse → typecheck → summarize → analyze → legality → transform.
+
+use crate::analysis::{analyze_function, FnAnalysis};
+use crate::summary::Summaries;
+use crate::transform::stripmine::{strip_mine_program, StripMined};
+use adds_lang::ast::Program;
+use adds_lang::source::Diagnostics;
+use adds_lang::types::{check_source, TypedProgram};
+use std::collections::BTreeMap;
+
+/// A fully compiled (parsed, typed, summarized, analyzed) program.
+pub struct Compiled {
+    /// The typed program.
+    pub tp: TypedProgram,
+    /// Interprocedural effect summaries.
+    pub summaries: Summaries,
+    /// Path-matrix analysis results per function.
+    pub analyses: BTreeMap<String, FnAnalysis>,
+}
+
+impl Compiled {
+    /// Analysis results for `func`, if it was analyzed.
+    pub fn analysis(&self, func: &str) -> Option<&FnAnalysis> {
+        self.analyses.get(func)
+    }
+}
+
+/// Compile IL source through analysis.
+pub fn compile(src: &str) -> Result<Compiled, Diagnostics> {
+    let tp = check_source(src)?;
+    let summaries = Summaries::compute(&tp);
+    let mut analyses = BTreeMap::new();
+    for f in &tp.program.funcs {
+        if let Some(an) = analyze_function(&tp, &summaries, &f.name) {
+            analyses.insert(f.name.clone(), an);
+        }
+    }
+    Ok(Compiled {
+        tp,
+        summaries,
+        analyses,
+    })
+}
+
+/// Compile and strip-mine every parallelizable loop. Returns the transformed
+/// program (source-to-source) and the per-function transformation reports.
+pub fn parallelize_program(src: &str) -> Result<(Program, Vec<StripMined>), Diagnostics> {
+    let c = compile(src)?;
+    Ok(strip_mine_program(&c.tp, &c.summaries, &c.analyses))
+}
+
+/// Compile, strip-mine, and pretty-print the transformed source.
+pub fn parallelize_to_source(src: &str) -> Result<String, Diagnostics> {
+    let (prog, _) = parallelize_program(src)?;
+    Ok(adds_lang::pretty::program(&prog))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adds_lang::programs;
+
+    #[test]
+    fn compile_analyzes_every_function() {
+        let c = compile(programs::BARNES_HUT).unwrap();
+        for f in &c.tp.program.funcs {
+            assert!(c.analysis(&f.name).is_some(), "missing analysis for {}", f.name);
+        }
+    }
+
+    #[test]
+    fn parallelize_barnes_hut_end_to_end() {
+        let (prog, reports) = parallelize_program(programs::BARNES_HUT).unwrap();
+        let parallelized: Vec<&str> = reports
+            .iter()
+            .filter(|r| !r.parallelized.is_empty())
+            .map(|r| r.func.name.as_str())
+            .collect();
+        assert!(parallelized.contains(&"bhl1"));
+        assert!(parallelized.contains(&"bhl2"));
+        // Helpers exist in the output program.
+        assert!(prog.funcs.iter().any(|f| f.name.starts_with("_bhl1")));
+        assert!(prog.funcs.iter().any(|f| f.name.starts_with("_bhl2")));
+        // build_tree's loop stays sequential.
+        let bt = prog.func("build_tree").unwrap();
+        let printed = adds_lang::pretty::function(bt);
+        assert!(!printed.contains("parfor"), "{printed}");
+    }
+
+    #[test]
+    fn parallelize_to_source_reparses() {
+        let out = parallelize_to_source(programs::BARNES_HUT).unwrap();
+        let reparsed = adds_lang::parse_program(&out).unwrap();
+        adds_lang::check(reparsed).unwrap();
+    }
+
+    #[test]
+    fn errors_propagate() {
+        assert!(compile("type T {").is_err());
+        assert!(parallelize_program("procedure f(p: Missing*) { }").is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! # adds-core — general path matrix analysis and parallelizing transforms
+//!
+//! The primary contribution of the ADDS paper: given IL programs whose
+//! record types carry ADDS shape declarations (`adds-lang`), this crate
+//!
+//! 1. computes **interprocedural effect summaries** ([`summary`]),
+//! 2. runs **general path matrix analysis** ([`analysis`]) — per-program-point
+//!    path matrices ([`matrix`], [`paths`]) with **abstraction validation**
+//!    ([`validate`]),
+//! 3. answers **alias queries** and **loop dependence** questions
+//!    ([`alias`], [`depend`]), and
+//! 4. applies the **parallelizing transformations** of §4.3.3 and the
+//!    companion papers ([`transform`]): strip-mining, loop unrolling,
+//!    software pipelining.
+//!
+//! The [`driver`] module wires these into a source-to-source pipeline.
+
+#![warn(missing_docs)]
+
+pub mod alias;
+pub mod analysis;
+pub mod depend;
+pub mod driver;
+pub mod matrix;
+pub mod paths;
+pub mod summary;
+pub mod transform;
+pub mod validate;
+
+pub use analysis::{analyze_function, FnAnalysis, LoopAnalysis, State};
+pub use depend::{check_function, check_loop, ChasePattern, LoopCheck};
+pub use driver::{compile, parallelize_program, parallelize_to_source, Compiled};
+pub use matrix::PathMatrix;
+pub use paths::{Alias, Desc, Entry};
+pub use summary::{Summaries, Summary};
+pub use validate::{ValidationEvent, Violation, ViolationKind};

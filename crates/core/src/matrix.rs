@@ -1,0 +1,347 @@
+//! The path matrix: one [`Entry`] per ordered pair of live pointer
+//! variables, as in §3.3 of the paper.
+
+use crate::paths::{Alias, Desc, Entry};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A variable name in the matrix. Loop analysis introduces primed copies
+/// (`p'`); statement normalization introduces short-lived temporaries.
+pub type Var = String;
+
+/// The primed twin of `v` (the previous iteration's value, §3.3.2).
+pub fn primed(v: &str) -> Var {
+    format!("{v}'")
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+/// A path matrix: one [`Entry`] per ordered pair of live pointer
+/// variables (§3.3). `PM(r, s)` records the explicit path or alias from
+/// `r`'s node to `s`'s node.
+pub struct PathMatrix {
+    vars: Vec<Var>,
+    /// Sparse storage: missing ⇒ `Entry::none()` off-diagonal, `must` on the
+    /// diagonal.
+    entries: BTreeMap<(Var, Var), Entry>,
+}
+
+impl PathMatrix {
+    /// The empty matrix (no variables).
+    pub fn new() -> PathMatrix {
+        PathMatrix::default()
+    }
+
+    /// Tracked variables, in insertion order.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// Is `v` tracked?
+    pub fn has_var(&self, v: &str) -> bool {
+        self.vars.iter().any(|x| x == v)
+    }
+
+    /// Add a variable with blank (no-alias) relationships to all others.
+    pub fn add_var(&mut self, v: impl Into<Var>) {
+        let v = v.into();
+        if !self.has_var(&v) {
+            self.vars.push(v);
+        }
+    }
+
+    /// Drop `v` and all its entries (a dead variable).
+    pub fn remove_var(&mut self, v: &str) {
+        self.vars.retain(|x| x != v);
+        self.entries.retain(|(r, s), _| r != v && s != v);
+    }
+
+    /// The entry `PM(r, s)`; conservative `=?` for untracked variables.
+    pub fn get(&self, r: &str, s: &str) -> Entry {
+        if r == s {
+            return Entry::must();
+        }
+        self.entries
+            .get(&(r.to_string(), s.to_string()))
+            .cloned()
+            .unwrap_or_else(Entry::none)
+    }
+
+    /// Overwrite `PM(r, s)`.
+    pub fn set(&mut self, r: &str, s: &str, e: Entry) {
+        if r == s {
+            return;
+        }
+        debug_assert!(self.has_var(r), "unknown row var {r}");
+        debug_assert!(self.has_var(s), "unknown col var {s}");
+        if e.is_none() {
+            self.entries.remove(&(r.to_string(), s.to_string()));
+        } else {
+            self.entries.insert((r.to_string(), s.to_string()), e);
+        }
+    }
+
+    /// Set the alias verdict symmetrically, preserving paths.
+    pub fn set_alias(&mut self, r: &str, s: &str, a: Alias) {
+        let mut e = self.get(r, s);
+        e.alias = a;
+        self.set(r, s, e);
+        let mut e = self.get(s, r);
+        e.alias = a;
+        self.set(s, r, e);
+    }
+
+    /// Clear all relationships of `v` (e.g. `v = NULL`).
+    pub fn clear_var(&mut self, v: &str) {
+        self.entries.retain(|(r, s), _| r != v && s != v);
+    }
+
+    /// `dst` becomes an exact copy of `src`'s node: copies every
+    /// relationship and marks them must-aliases (the `p = q` rule).
+    pub fn copy_var(&mut self, dst: &str, src: &str) {
+        if dst == src {
+            return;
+        }
+        self.add_var(dst);
+        self.clear_var(dst);
+        for other in self.vars.clone() {
+            if other == dst || other == src {
+                continue;
+            }
+            let fwd = self.get(src, &other);
+            let bwd = self.get(&other, src);
+            self.set(dst, &other, fwd);
+            self.set(&other, dst, bwd);
+        }
+        self.set(dst, src, Entry::must());
+        self.set(src, dst, Entry::must());
+    }
+
+    /// Rename `old` to `new` (used for priming at loop back-edges). Any
+    /// existing `new` relationships are dropped first.
+    pub fn rename_var(&mut self, old: &str, new: &str) {
+        if old == new || !self.has_var(old) {
+            return;
+        }
+        self.add_var(new);
+        self.clear_var(new);
+        let old_entries: Vec<((Var, Var), Entry)> = self
+            .entries
+            .iter()
+            .filter(|((r, s), _)| r == old || s == old)
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        for ((r, s), e) in old_entries {
+            self.entries.remove(&(r.clone(), s.clone()));
+            let nr = if r == old { new.to_string() } else { r };
+            let ns = if s == old { new.to_string() } else { s };
+            if nr != ns {
+                self.entries.insert((nr, ns), e);
+            }
+        }
+        self.vars.retain(|x| x != old);
+    }
+
+    /// Pairwise join over the union of variable sets. A variable absent on
+    /// one side is ⊥ there (unreachable on that path), so the other side's
+    /// relationships pass through unchanged.
+    pub fn join(&self, other: &PathMatrix) -> PathMatrix {
+        let mut vars = self.vars.clone();
+        for v in &other.vars {
+            if !vars.contains(v) {
+                vars.push(v.clone());
+            }
+        }
+        let mut out = PathMatrix {
+            vars: vars.clone(),
+            entries: BTreeMap::new(),
+        };
+        for r in &vars {
+            for s in &vars {
+                if r == s {
+                    continue;
+                }
+                let a_has = self.has_var(r) && self.has_var(s);
+                let b_has = other.has_var(r) && other.has_var(s);
+                let e = match (a_has, b_has) {
+                    (true, true) => self.get(r, s).join(&other.get(r, s)),
+                    (true, false) => self.get(r, s),
+                    (false, true) => other.get(r, s),
+                    (false, false) => Entry::none(),
+                };
+                out.set(r, s, e);
+            }
+        }
+        out
+    }
+
+    /// All variables `y` such that a recorded single `field` link leads from
+    /// `y`'s node to `x`'s node (`y -f-> x`). These witness existing
+    /// incoming edges during abstraction validation.
+    pub fn incoming_via(&self, field: &str, x: &str) -> Vec<Var> {
+        self.vars
+            .iter()
+            .filter(|y| y.as_str() != x && self.get(y, x).has_single_link(field))
+            .cloned()
+            .collect()
+    }
+
+    /// Record a definite single link `r -f-> s`, with the alias verdict for
+    /// the endpoints supplied by the caller.
+    pub fn add_link(&mut self, r: &str, s: &str, field: &str, alias: Alias) {
+        let mut e = self.get(r, s);
+        e.add_path(Desc::one(field));
+        e.alias = alias;
+        self.set(r, s, e.clone());
+        let mut back = self.get(s, r);
+        back.alias = alias;
+        self.set(s, r, back);
+    }
+
+    /// Render the matrix in the paper's tabular format.
+    pub fn render(&self) -> String {
+        let mut order = self.vars.clone();
+        // Stable, readable order: unprimed before primed twin.
+        order.sort_by_key(|v| (v.ends_with('\''), self.vars.iter().position(|x| x == v)));
+        let width = order
+            .iter()
+            .map(|v| v.len())
+            .chain(std::iter::once(4))
+            .max()
+            .unwrap()
+            .max(
+                order
+                    .iter()
+                    .flat_map(|r| order.iter().map(move |s| self.get(r, s).display().len()))
+                    .max()
+                    .unwrap_or(0),
+            )
+            + 1;
+        let mut out = String::new();
+        out.push_str(&format!("{:width$} ", ""));
+        for v in &order {
+            out.push_str(&format!("| {v:width$}"));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat((width + 3) * (order.len() + 1)));
+        out.push('\n');
+        for r in &order {
+            out.push_str(&format!("{r:width$} "));
+            for s in &order {
+                out.push_str(&format!("| {:width$}", self.get(r, s).display()));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for PathMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::{Alias, Desc, Entry};
+
+    fn pm(vars: &[&str]) -> PathMatrix {
+        let mut m = PathMatrix::new();
+        for v in vars {
+            m.add_var(*v);
+        }
+        m
+    }
+
+    #[test]
+    fn diagonal_is_must() {
+        let m = pm(&["p", "q"]);
+        assert!(m.get("p", "p").must_alias());
+        assert!(m.get("p", "q").is_none());
+    }
+
+    #[test]
+    fn copy_var_duplicates_relationships() {
+        let mut m = pm(&["head", "p", "q"]);
+        m.set(
+            "head",
+            "p",
+            Entry::with_path(Alias::No, Desc::one("next")),
+        );
+        m.copy_var("q", "p");
+        assert!(m.get("q", "p").must_alias());
+        assert!(m.get("p", "q").must_alias());
+        assert_eq!(m.get("head", "q").paths, m.get("head", "p").paths);
+    }
+
+    #[test]
+    fn rename_var_becomes_primed() {
+        let mut m = pm(&["head", "p"]);
+        m.set("head", "p", Entry::with_path(Alias::No, Desc::one("next")));
+        m.rename_var("p", &primed("p"));
+        assert!(!m.has_var("p"));
+        assert!(m.has_var("p'"));
+        assert_eq!(
+            m.get("head", "p'").paths,
+            std::collections::BTreeSet::from([Desc::one("next")])
+        );
+    }
+
+    #[test]
+    fn clear_var_removes_all_relationships() {
+        let mut m = pm(&["p", "q"]);
+        m.set("p", "q", Entry::maybe());
+        m.set("q", "p", Entry::maybe());
+        m.clear_var("p");
+        assert!(m.get("p", "q").is_none());
+        assert!(m.get("q", "p").is_none());
+    }
+
+    #[test]
+    fn join_on_missing_var_passes_through() {
+        let mut a = pm(&["p", "q"]);
+        a.set("p", "q", Entry::with_path(Alias::No, Desc::one("next")));
+        let b = pm(&["p"]); // q absent: ⊥ on this side
+        let j = a.join(&b);
+        assert_eq!(j.get("p", "q"), a.get("p", "q"));
+    }
+
+    #[test]
+    fn join_merges_entries() {
+        let mut a = pm(&["p", "q"]);
+        a.set("p", "q", Entry::with_path(Alias::No, Desc::one("next")));
+        let mut b = pm(&["p", "q"]);
+        b.set("p", "q", Entry::with_path(Alias::No, Desc::plus("next")));
+        let j = a.join(&b);
+        assert_eq!(
+            j.get("p", "q").paths,
+            std::collections::BTreeSet::from([Desc::plus("next")])
+        );
+    }
+
+    #[test]
+    fn incoming_via_detects_witnesses() {
+        let mut m = pm(&["p1", "p2", "t"]);
+        m.add_link("p2", "t", "left", Alias::No);
+        assert_eq!(m.incoming_via("left", "t"), vec!["p2".to_string()]);
+        assert!(m.incoming_via("right", "t").is_empty());
+    }
+
+    #[test]
+    fn render_contains_paper_entries() {
+        let mut m = pm(&["head", "p"]);
+        m.set("head", "p", Entry::with_path(Alias::No, Desc::plus("next")));
+        let s = m.render();
+        assert!(s.contains("next+"), "{s}");
+        assert!(s.contains("head"), "{s}");
+    }
+
+    #[test]
+    fn set_alias_is_symmetric() {
+        let mut m = pm(&["a", "b"]);
+        m.set_alias("a", "b", Alias::Maybe);
+        assert_eq!(m.get("a", "b").alias, Alias::Maybe);
+        assert_eq!(m.get("b", "a").alias, Alias::Maybe);
+    }
+}

@@ -1,0 +1,464 @@
+//! The path algebra of general path matrix analysis.
+//!
+//! A path matrix entry `PM(r, s)` describes the relationship between the
+//! nodes pointed to by `r` and `s`: whether they may/must be **aliases**, and
+//! any **paths** of field links known to lead from `r`'s node to `s`'s node.
+//! The paper prints entries like `=`, `=?`, `next`, `next+`; this module
+//! gives those a lattice structure with join (for control-flow merges and
+//! loop widening) and composition (for traversal statements).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// May/must aliasing between two pointers.
+///
+/// `No` is the strong claim — it is what licenses parallelization — so the
+/// lattice order is `No ⊑ Maybe` with `Must` an exact (incomparable) element
+/// that joins with anything else to `Maybe`-or-better via [`Alias::join`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Alias {
+    /// Definitely not the same node (paper: blank entry).
+    No,
+    /// Definitely the same node (paper: `=`).
+    Must,
+    /// Possibly the same node (paper: `=?`).
+    Maybe,
+}
+
+impl Alias {
+    /// Least upper bound of two alias facts.
+    pub fn join(self, other: Alias) -> Alias {
+        use Alias::*;
+        match (self, other) {
+            (No, No) => No,
+            (Must, Must) => Must,
+            // Mixing "same" and "different" (or anything with Maybe)
+            // yields uncertainty.
+            _ => Maybe,
+        }
+    }
+
+    /// Could the two pointers denote the same node?
+    pub fn may_alias(self) -> bool {
+        !matches!(self, Alias::No)
+    }
+}
+
+/// How many links a path descriptor stands for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Len {
+    /// Exactly one link (paper: `f`).
+    One,
+    /// One or more links (paper: `f+`).
+    AtLeastOne,
+    /// Zero or more links (paper-adjacent: `f*`; arises from joining `=`
+    /// with `f+` at loop merges).
+    AtLeastZero,
+}
+
+impl Len {
+    /// Least upper bound of two length facts.
+    pub fn join(self, other: Len) -> Len {
+        use Len::*;
+        match (self, other) {
+            (One, One) => One,
+            (AtLeastZero, _) | (_, AtLeastZero) => AtLeastZero,
+            _ => AtLeastOne,
+        }
+    }
+
+    /// Concatenation of two path lengths.
+    pub fn compose(self, other: Len) -> Len {
+        use Len::*;
+        match (self, other) {
+            // 1 + 1 ≥ 1, anything + ≥1 is ≥ 1, ...
+            (AtLeastZero, AtLeastZero) => AtLeastZero,
+            _ => AtLeastOne,
+        }
+    }
+
+    /// May the path have zero length (i.e. allow the endpoints to be equal)?
+    pub fn may_be_empty(self) -> bool {
+        matches!(self, Len::AtLeastZero)
+    }
+}
+
+/// A path descriptor: a set of fields the path uses, and a length bound.
+/// `One`/`AtLeastOne` over a single field render as the paper's `f` / `f+`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Desc {
+    /// The fields the path may traverse.
+    pub fields: BTreeSet<String>,
+    /// How many links the path may span.
+    pub len: Len,
+}
+
+impl Desc {
+    /// A path of exactly one `field` link.
+    pub fn one(field: impl Into<String>) -> Desc {
+        Desc {
+            fields: BTreeSet::from([field.into()]),
+            len: Len::One,
+        }
+    }
+
+    /// A path of one or more `field` links (`field+`).
+    pub fn plus(field: impl Into<String>) -> Desc {
+        Desc {
+            fields: BTreeSet::from([field.into()]),
+            len: Len::AtLeastOne,
+        }
+    }
+
+    /// A path of zero or more `field` links (`field*`).
+    pub fn star(field: impl Into<String>) -> Desc {
+        Desc {
+            fields: BTreeSet::from([field.into()]),
+            len: Len::AtLeastZero,
+        }
+    }
+
+    /// Does the path use `field`?
+    pub fn uses(&self, field: &str) -> bool {
+        self.fields.contains(field)
+    }
+
+    /// Join two descriptors over the same journey (same endpoints).
+    pub fn join(&self, other: &Desc) -> Desc {
+        Desc {
+            fields: self.fields.union(&other.fields).cloned().collect(),
+            len: self.len.join(other.len),
+        }
+    }
+
+    /// Concatenate `self` (r→s) with `other` (s→t) into r→t.
+    pub fn compose(&self, other: &Desc) -> Desc {
+        Desc {
+            fields: self.fields.union(&other.fields).cloned().collect(),
+            len: self.len.compose(other.len),
+        }
+    }
+
+    /// Extend the path by one extra link along `field`.
+    pub fn step(&self, field: &str) -> Desc {
+        self.compose(&Desc::one(field))
+    }
+}
+
+impl fmt::Display for Desc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let suffix = match self.len {
+            Len::One => "",
+            Len::AtLeastOne => "+",
+            Len::AtLeastZero => "*",
+        };
+        if self.fields.len() == 1 {
+            write!(f, "{}{suffix}", self.fields.first().unwrap())
+        } else {
+            let list: Vec<&str> = self.fields.iter().map(String::as_str).collect();
+            write!(f, "{{{}}}{suffix}", list.join(","))
+        }
+    }
+}
+
+/// A path matrix entry: the alias verdict plus the set of *must-exist* paths
+/// from the row variable's node to the column variable's node.
+///
+/// Path descriptors are must-information (the links definitely exist right
+/// now); the alias field is the may-information queried by parallelization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// The alias fact between the two pointers.
+    pub alias: Alias,
+    /// Known explicit paths from the row node to the column node.
+    pub paths: BTreeSet<Desc>,
+}
+
+/// Cap on distinct descriptors per entry; beyond it we merge into one
+/// widened descriptor so fixpoints stay small.
+const MAX_DESCS: usize = 4;
+
+impl Entry {
+    /// Nothing known to relate the two pointers (and they are not aliases):
+    /// the paper's blank entry.
+    pub fn none() -> Entry {
+        Entry {
+            alias: Alias::No,
+            paths: BTreeSet::new(),
+        }
+    }
+
+    /// Definitely the same node.
+    pub fn must() -> Entry {
+        Entry {
+            alias: Alias::Must,
+            paths: BTreeSet::new(),
+        }
+    }
+
+    /// Possibly the same node, no path information.
+    pub fn maybe() -> Entry {
+        Entry {
+            alias: Alias::Maybe,
+            paths: BTreeSet::new(),
+        }
+    }
+
+    /// A known path with an alias verdict supplied by the caller (which
+    /// knows the field directions).
+    pub fn with_path(alias: Alias, desc: Desc) -> Entry {
+        Entry {
+            alias,
+            paths: BTreeSet::from([desc]),
+        }
+    }
+
+    /// Proven: no alias and no recorded path.
+    pub fn is_none(&self) -> bool {
+        self.alias == Alias::No && self.paths.is_empty()
+    }
+
+    /// Could the two pointers denote the same node?
+    pub fn may_alias(&self) -> bool {
+        self.alias.may_alias()
+    }
+
+    /// Proven: the two pointers denote the same node.
+    pub fn must_alias(&self) -> bool {
+        self.alias == Alias::Must
+    }
+
+    /// Does any recorded path use `field`?
+    pub fn uses_field(&self, field: &str) -> bool {
+        self.paths.iter().any(|d| d.uses(field))
+    }
+
+    /// Is there a recorded path consisting of exactly one `field` link?
+    /// (Used for the functional-field must-alias derivation and for
+    /// detecting existing incoming edges during validation.)
+    pub fn has_single_link(&self, field: &str) -> bool {
+        self.paths
+            .iter()
+            .any(|d| d.len == Len::One && d.fields.len() == 1 && d.uses(field))
+    }
+
+    /// Record another explicit path (joining with an existing one on the
+    /// same fields).
+    pub fn add_path(&mut self, desc: Desc) {
+        // Merge with an existing descriptor over the same field set.
+        if let Some(existing) = self.paths.iter().find(|d| d.fields == desc.fields).cloned() {
+            if existing.len == desc.len {
+                return;
+            }
+            self.paths.remove(&existing);
+            self.paths.insert(existing.join(&desc));
+            return;
+        }
+        self.paths.insert(desc);
+        if self.paths.len() > MAX_DESCS {
+            // Widen: collapse everything into a single descriptor.
+            let merged = self
+                .paths
+                .iter()
+                .cloned()
+                .reduce(|a, b| a.join(&b))
+                .expect("non-empty");
+            self.paths = BTreeSet::from([merged]);
+        }
+    }
+
+    /// Remove all path descriptors that use `field` (the edge may have been
+    /// overwritten). Returns true if anything was removed.
+    pub fn remove_paths_using(&mut self, field: &str) -> bool {
+        let before = self.paths.len();
+        self.paths.retain(|d| !d.uses(field));
+        self.paths.len() != before
+    }
+
+    /// Control-flow join.
+    pub fn join(&self, other: &Entry) -> Entry {
+        let alias = self.alias.join(other.alias);
+        let mut paths = BTreeSet::new();
+        // A path survives a join only if it exists on both sides; paths over
+        // the same field set join their length bounds. `Must` on one side is
+        // a zero-length path: joining it with `f`/`f+` yields `f*`.
+        for d in &self.paths {
+            if let Some(o) = other.paths.iter().find(|o| o.fields == d.fields) {
+                paths.insert(d.join(o));
+            } else if other.alias == Alias::Must {
+                paths.insert(Desc {
+                    fields: d.fields.clone(),
+                    len: d.len.join(Len::AtLeastZero),
+                });
+            }
+        }
+        if self.alias == Alias::Must {
+            for o in &other.paths {
+                if !paths.iter().any(|p| p.fields == o.fields) {
+                    paths.insert(Desc {
+                        fields: o.fields.clone(),
+                        len: o.len.join(Len::AtLeastZero),
+                    });
+                }
+            }
+        }
+        let mut e = Entry {
+            alias,
+            paths: BTreeSet::new(),
+        };
+        for d in paths {
+            e.add_path(d);
+        }
+        e
+    }
+
+    /// Render like the paper: `=`, `=?`, `next`, `next+`, or blank.
+    pub fn display(&self) -> String {
+        match self.alias {
+            Alias::Must => "=".to_string(),
+            Alias::Maybe => {
+                // Prefer showing a star-path when that is the reason for
+                // uncertainty; otherwise the paper's `=?`.
+                if self.paths.len() == 1 {
+                    let d = self.paths.first().unwrap();
+                    if d.len == Len::AtLeastZero {
+                        return d.to_string();
+                    }
+                }
+                "=?".to_string()
+            }
+            Alias::No => self
+                .paths
+                .iter()
+                .map(Desc::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
+        }
+    }
+}
+
+impl fmt::Display for Entry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alias_join_table() {
+        use Alias::*;
+        assert_eq!(No.join(No), No);
+        assert_eq!(Must.join(Must), Must);
+        assert_eq!(No.join(Must), Maybe);
+        assert_eq!(Maybe.join(No), Maybe);
+        assert_eq!(Maybe.join(Must), Maybe);
+    }
+
+    #[test]
+    fn len_join_and_compose() {
+        use Len::*;
+        assert_eq!(One.join(One), One);
+        assert_eq!(One.join(AtLeastOne), AtLeastOne);
+        assert_eq!(One.join(AtLeastZero), AtLeastZero);
+        assert_eq!(One.compose(One), AtLeastOne);
+        assert_eq!(AtLeastZero.compose(AtLeastZero), AtLeastZero);
+        assert_eq!(AtLeastZero.compose(One), AtLeastOne);
+    }
+
+    #[test]
+    fn desc_display_matches_paper() {
+        assert_eq!(Desc::one("next").to_string(), "next");
+        assert_eq!(Desc::plus("next").to_string(), "next+");
+        assert_eq!(Desc::star("next").to_string(), "next*");
+        let multi = Desc::one("subtrees").step("next");
+        assert_eq!(multi.to_string(), "{next,subtrees}+");
+    }
+
+    #[test]
+    fn entry_display_matches_paper() {
+        assert_eq!(Entry::must().display(), "=");
+        assert_eq!(Entry::maybe().display(), "=?");
+        assert_eq!(Entry::none().display(), "");
+        assert_eq!(
+            Entry::with_path(Alias::No, Desc::plus("next")).display(),
+            "next+"
+        );
+        assert_eq!(
+            Entry::with_path(Alias::Maybe, Desc::star("next")).display(),
+            "next*"
+        );
+    }
+
+    #[test]
+    fn one_joined_with_plus_is_plus() {
+        let a = Entry::with_path(Alias::No, Desc::one("next"));
+        let b = Entry::with_path(Alias::No, Desc::plus("next"));
+        let j = a.join(&b);
+        assert_eq!(j.alias, Alias::No);
+        assert_eq!(j.paths, BTreeSet::from([Desc::plus("next")]));
+    }
+
+    #[test]
+    fn must_joined_with_path_is_star() {
+        // `=` ⊔ `next` = `next*` — the head/p' merge at a loop head.
+        let a = Entry::must();
+        let b = Entry::with_path(Alias::No, Desc::one("next"));
+        let j = a.join(&b);
+        assert_eq!(j.alias, Alias::Maybe);
+        assert_eq!(j.paths, BTreeSet::from([Desc::star("next")]));
+        assert_eq!(j.display(), "next*");
+    }
+
+    #[test]
+    fn join_drops_one_sided_paths() {
+        let a = Entry::with_path(Alias::No, Desc::one("next"));
+        let b = Entry::none();
+        let j = a.join(&b);
+        assert!(j.paths.is_empty());
+        assert_eq!(j.alias, Alias::No);
+    }
+
+    #[test]
+    fn add_path_merges_same_fields() {
+        let mut e = Entry::none();
+        e.add_path(Desc::one("next"));
+        e.add_path(Desc::plus("next"));
+        assert_eq!(e.paths.len(), 1);
+        assert_eq!(e.paths.first().unwrap().len, Len::AtLeastOne);
+    }
+
+    #[test]
+    fn widening_caps_descriptor_count() {
+        let mut e = Entry::none();
+        for f in ["a", "b", "c", "d", "e"] {
+            e.add_path(Desc::one(f));
+        }
+        assert_eq!(e.paths.len(), 1);
+        let d = e.paths.first().unwrap();
+        assert_eq!(d.fields.len(), 5);
+    }
+
+    #[test]
+    fn remove_paths_using_field() {
+        let mut e = Entry::none();
+        e.add_path(Desc::one("left"));
+        e.add_path(Desc::one("next"));
+        assert!(e.remove_paths_using("left"));
+        assert!(!e.uses_field("left"));
+        assert!(e.uses_field("next"));
+        assert!(!e.remove_paths_using("left"));
+    }
+
+    #[test]
+    fn single_link_detection() {
+        let mut e = Entry::none();
+        e.add_path(Desc::plus("next"));
+        assert!(!e.has_single_link("next"));
+        let mut e = Entry::none();
+        e.add_path(Desc::one("next"));
+        assert!(e.has_single_link("next"));
+    }
+}

@@ -1,0 +1,611 @@
+//! Bottom-up interprocedural effect summaries.
+//!
+//! For every function we compute which *parameters'* structures it reads and
+//! writes, at field granularity, and whether it mutates pointer fields
+//! (changes shape). This is the information the paper appeals to in §4.3.2:
+//! "analysis of compute_force would show that the data accessed via root
+//! (and all nodes derived from root) are used in a read-only manner."
+//!
+//! The domain is deliberately small: each pointer-typed local is mapped to a
+//! *provenance* — which parameters it may equal (`direct`), which parameters'
+//! structures it may point into (`reach`), and whether it may point to
+//! freshly allocated nodes. Effects are `(param, field, depth, kind)`
+//! tuples; recursion is handled by a fixpoint over the call graph.
+
+use adds_lang::ast::*;
+use adds_lang::types::TypedProgram;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Whether an access touches the parameter's own node or something reachable
+/// from it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Depth {
+    /// On the parameter's own node (`p->f`).
+    Direct,
+    /// Anywhere reachable from the parameter.
+    Reachable,
+}
+
+/// One field access attributed to a parameter.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FieldUse {
+    /// Which parameter (by position).
+    pub param: usize,
+    /// Which field.
+    pub field: String,
+    /// Directly on the parameter's node, or anywhere reachable.
+    pub depth: Depth,
+}
+
+/// Where a function's return value may come from.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RetSource {
+    /// May be (an alias of) parameter `i` itself.
+    Param(usize),
+    /// May point into the structure reachable from parameter `i`.
+    ReachableFrom(usize),
+    /// May be a freshly allocated node.
+    Fresh,
+    /// May be NULL.
+    Null,
+}
+
+/// The effect summary of one function.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Fields the function may read through each parameter.
+    pub reads: BTreeSet<FieldUse>,
+    /// Scalar fields the function may write through each parameter.
+    pub writes: BTreeSet<FieldUse>,
+    /// Writes to pointer fields — shape mutations (§3.3.1).
+    pub ptr_writes: BTreeSet<FieldUse>,
+    /// Where the returned pointer may come from.
+    pub returns: BTreeSet<RetSource>,
+    /// Parameters whose nodes are stored into some heap location by this
+    /// function (they *escape* into another structure). A fresh return value
+    /// may reach captured parameters, which is what makes the paper's
+    /// `root =?` entries conservative but correct.
+    pub captures: BTreeSet<usize>,
+}
+
+impl Summary {
+    /// Does this function mutate any pointer field of any parameter's
+    /// structure?
+    pub fn mutates_shape(&self) -> bool {
+        !self.ptr_writes.is_empty()
+    }
+
+    /// Fields written (at any depth) via parameter `i`.
+    pub fn fields_written_via(&self, param: usize) -> BTreeSet<&str> {
+        self.writes
+            .iter()
+            .chain(self.ptr_writes.iter())
+            .filter(|u| u.param == param)
+            .map(|u| u.field.as_str())
+            .collect()
+    }
+
+    /// Fields read via parameter `i` at `Reachable` depth.
+    pub fn reachable_reads_via(&self, param: usize) -> BTreeSet<&str> {
+        self.reads
+            .iter()
+            .filter(|u| u.param == param && u.depth == Depth::Reachable)
+            .map(|u| u.field.as_str())
+            .collect()
+    }
+
+    /// Are all writes via parameter `i` at `Direct` depth (the param's own
+    /// node) — the condition "writes only to the node denoted by p"?
+    pub fn writes_only_direct(&self, param: usize) -> bool {
+        self.writes
+            .iter()
+            .chain(self.ptr_writes.iter())
+            .filter(|u| u.param == param)
+            .all(|u| u.depth == Depth::Direct)
+    }
+}
+
+/// Abstract provenance of a pointer value.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Prov {
+    /// May be exactly parameter i's node.
+    pub direct: BTreeSet<usize>,
+    /// May be a node reachable (≥1 link) from parameter i.
+    pub reach: BTreeSet<usize>,
+    /// The return may be a freshly allocated node.
+    pub fresh: bool,
+    /// The return may be NULL.
+    pub null: bool,
+}
+
+impl Prov {
+    fn of_param(i: usize) -> Prov {
+        Prov {
+            direct: BTreeSet::from([i]),
+            ..Default::default()
+        }
+    }
+
+    fn fresh() -> Prov {
+        Prov {
+            fresh: true,
+            ..Default::default()
+        }
+    }
+
+    fn null() -> Prov {
+        Prov {
+            null: true,
+            ..Default::default()
+        }
+    }
+
+    fn merge(&mut self, other: &Prov) -> bool {
+        let before = self.clone();
+        self.direct.extend(other.direct.iter().copied());
+        self.reach.extend(other.reach.iter().copied());
+        self.fresh |= other.fresh;
+        self.null |= other.null;
+        *self != before
+    }
+
+    /// Provenance after one field dereference: anything direct becomes
+    /// reachable; reachable stays reachable.
+    fn deref(&self) -> Prov {
+        let mut reach = self.reach.clone();
+        reach.extend(self.direct.iter().copied());
+        Prov {
+            direct: BTreeSet::new(),
+            reach,
+            fresh: self.fresh,
+            null: false,
+        }
+    }
+}
+
+/// All function summaries for a program.
+#[derive(Clone, Debug, Default)]
+pub struct Summaries {
+    map: BTreeMap<String, Summary>,
+}
+
+impl Summaries {
+    /// The summary for `func`.
+    pub fn get(&self, func: &str) -> Option<&Summary> {
+        self.map.get(func)
+    }
+
+    /// Compute summaries for every function, iterating to a fixpoint so
+    /// (mutual) recursion is handled.
+    pub fn compute(tp: &TypedProgram) -> Summaries {
+        let mut out = Summaries::default();
+        for f in &tp.program.funcs {
+            out.map.insert(f.name.clone(), Summary::default());
+        }
+        loop {
+            let mut changed = false;
+            for f in &tp.program.funcs {
+                let s = summarize_function(tp, f, &out);
+                let slot = out.map.get_mut(&f.name).expect("pre-seeded");
+                if *slot != s {
+                    *slot = s;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return out;
+            }
+        }
+    }
+}
+
+fn summarize_function(tp: &TypedProgram, f: &FunDecl, sums: &Summaries) -> Summary {
+    let mut cx = Cx {
+        tp,
+        sums,
+        f,
+        prov: BTreeMap::new(),
+        summary: Summary::default(),
+    };
+    for (i, p) in f.params.iter().enumerate() {
+        if p.ty.is_pointer() {
+            cx.prov.insert(p.name.clone(), Prov::of_param(i));
+        }
+    }
+    // Provenances can grow through loops: iterate the whole body until the
+    // provenance map and summary stabilize.
+    loop {
+        let before = (cx.prov.clone(), cx.summary.clone());
+        cx.block(&f.body);
+        if before == (cx.prov.clone(), cx.summary.clone()) {
+            return cx.summary;
+        }
+    }
+}
+
+struct Cx<'a> {
+    tp: &'a TypedProgram,
+    sums: &'a Summaries,
+    f: &'a FunDecl,
+    prov: BTreeMap<String, Prov>,
+    summary: Summary,
+}
+
+impl<'a> Cx<'a> {
+    fn block(&mut self, b: &Block) {
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::VarDecl { name, init, .. } => {
+                if let Some(e) = init {
+                    let p = self.expr(e);
+                    if self.is_ptr_var(name) {
+                        self.bind(name, &p);
+                    }
+                }
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                let rhs_prov = self.expr(rhs);
+                if lhs.is_var() {
+                    if self.is_ptr_var(&lhs.base) {
+                        self.bind(&lhs.base, &rhs_prov);
+                    }
+                    return;
+                }
+                // Heap write: walk to the final base, recording reads of the
+                // intermediate links, then record the write.
+                let mut base_prov = self.var_prov(&lhs.base);
+                let mut rec_ty = self.var_record(&lhs.base);
+                for (k, acc) in lhs.path.iter().enumerate() {
+                    if let Some(idx) = &acc.index {
+                        self.expr(idx);
+                    }
+                    let last = k + 1 == lhs.path.len();
+                    if last {
+                        let is_ptr_field = rec_ty
+                            .as_deref()
+                            .and_then(|r| self.tp.field_ty(r, &acc.field))
+                            .is_some_and(|t| t.is_pointer());
+                        if is_ptr_field {
+                            // The stored value escapes into a structure.
+                            self.summary.captures.extend(rhs_prov.direct.iter());
+                            self.summary.captures.extend(rhs_prov.reach.iter());
+                        }
+                        self.record_write(&base_prov, &acc.field, is_ptr_field);
+                    } else {
+                        self.record_read(&base_prov, &acc.field);
+                        rec_ty = rec_ty
+                            .as_deref()
+                            .and_then(|r| self.tp.field_ty(r, &acc.field))
+                            .and_then(|t| t.pointee().map(str::to_string));
+                        base_prov = base_prov.deref();
+                    }
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                self.expr(cond);
+                self.block(body);
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                self.expr(cond);
+                self.block(then_blk);
+                if let Some(e) = else_blk {
+                    self.block(e);
+                }
+            }
+            Stmt::For { from, to, body, .. } => {
+                self.expr(from);
+                self.expr(to);
+                self.block(body);
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(e) = value {
+                    let p = self.expr(e);
+                    self.record_return(&p);
+                }
+            }
+            Stmt::Call(c) => {
+                self.call(c);
+            }
+        }
+    }
+
+    /// Evaluate an expression for its effects, returning its provenance
+    /// (meaningful only for pointer-typed expressions).
+    fn expr(&mut self, e: &Expr) -> Prov {
+        match e {
+            Expr::Int(..) | Expr::Real(..) | Expr::Bool(..) => Prov::default(),
+            Expr::Null(_) => Prov::null(),
+            Expr::New(..) => Prov::fresh(),
+            Expr::Var(v, _) => self.var_prov(v),
+            Expr::Field {
+                base, field, index, ..
+            } => {
+                if let Some(idx) = index {
+                    self.expr(idx);
+                }
+                let bp = self.expr(base);
+                self.record_read(&bp, field);
+                bp.deref()
+            }
+            Expr::Unary { operand, .. } => {
+                self.expr(operand);
+                Prov::default()
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+                Prov::default()
+            }
+            Expr::Call(c) => self.call(c),
+        }
+    }
+
+    fn call(&mut self, c: &Call) -> Prov {
+        let arg_provs: Vec<Prov> = c.args.iter().map(|a| self.expr(a)).collect();
+        let Some(callee) = self.sums.get(&c.callee).cloned() else {
+            // Intrinsic: no pointer effects.
+            return Prov::default();
+        };
+        // Map callee effects through argument provenance.
+        for u in &callee.reads {
+            if let Some(ap) = arg_provs.get(u.param) {
+                self.record_use(ap, &u.field, u.depth, Kind::Read);
+            }
+        }
+        for u in &callee.writes {
+            if let Some(ap) = arg_provs.get(u.param) {
+                self.record_use(ap, &u.field, u.depth, Kind::Write);
+            }
+        }
+        for u in &callee.ptr_writes {
+            if let Some(ap) = arg_provs.get(u.param) {
+                self.record_use(ap, &u.field, u.depth, Kind::PtrWrite);
+            }
+        }
+        for j in &callee.captures {
+            if let Some(ap) = arg_provs.get(*j) {
+                self.summary.captures.extend(ap.direct.iter());
+                self.summary.captures.extend(ap.reach.iter());
+            }
+        }
+        // Return provenance.
+        let mut ret = Prov::default();
+        for src in &callee.returns {
+            match src {
+                RetSource::Param(i) => {
+                    if let Some(ap) = arg_provs.get(*i) {
+                        ret.merge(ap);
+                    }
+                }
+                RetSource::ReachableFrom(i) => {
+                    if let Some(ap) = arg_provs.get(*i) {
+                        ret.merge(&ap.deref());
+                    }
+                }
+                RetSource::Fresh => ret.fresh = true,
+                RetSource::Null => ret.null = true,
+            }
+        }
+        ret
+    }
+
+    fn record_return(&mut self, p: &Prov) {
+        for i in &p.direct {
+            self.summary.returns.insert(RetSource::Param(*i));
+        }
+        for i in &p.reach {
+            self.summary.returns.insert(RetSource::ReachableFrom(*i));
+        }
+        if p.fresh {
+            self.summary.returns.insert(RetSource::Fresh);
+        }
+        if p.null {
+            self.summary.returns.insert(RetSource::Null);
+        }
+    }
+
+    fn record_read(&mut self, p: &Prov, field: &str) {
+        self.record_use(p, field, Depth::Direct, Kind::Read);
+    }
+
+    fn record_write(&mut self, p: &Prov, field: &str, is_ptr: bool) {
+        self.record_use(
+            p,
+            field,
+            Depth::Direct,
+            if is_ptr { Kind::PtrWrite } else { Kind::Write },
+        );
+    }
+
+    /// Attribute an access through provenance `p`. `base_depth` is the depth
+    /// of the access relative to `p` itself; direct provenance keeps it,
+    /// reach provenance lifts it to `Reachable`.
+    fn record_use(&mut self, p: &Prov, field: &str, base_depth: Depth, kind: Kind) {
+        let set = match kind {
+            Kind::Read => &mut self.summary.reads,
+            Kind::Write => &mut self.summary.writes,
+            Kind::PtrWrite => &mut self.summary.ptr_writes,
+        };
+        for i in &p.direct {
+            set.insert(FieldUse {
+                param: *i,
+                field: field.to_string(),
+                depth: base_depth,
+            });
+        }
+        for i in &p.reach {
+            set.insert(FieldUse {
+                param: *i,
+                field: field.to_string(),
+                depth: Depth::Reachable,
+            });
+        }
+        // Accesses to purely fresh or null provenance have no external
+        // effect.
+    }
+
+    fn bind(&mut self, var: &str, p: &Prov) {
+        self.prov
+            .entry(var.to_string())
+            .or_default()
+            .merge(p);
+    }
+
+    fn var_prov(&self, v: &str) -> Prov {
+        self.prov.get(v).cloned().unwrap_or_default()
+    }
+
+    fn is_ptr_var(&self, v: &str) -> bool {
+        self.tp
+            .var_ty(&self.f.name, v)
+            .is_some_and(|t| t.is_pointer())
+    }
+
+    fn var_record(&self, v: &str) -> Option<String> {
+        self.tp
+            .var_ty(&self.f.name, v)
+            .and_then(|t| t.pointee().map(str::to_string))
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Kind {
+    Read,
+    Write,
+    PtrWrite,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adds_lang::programs;
+    use adds_lang::types::check_source;
+
+    fn summaries(src: &str) -> (TypedProgram, Summaries) {
+        let tp = check_source(src).unwrap();
+        let s = Summaries::compute(&tp);
+        (tp, s)
+    }
+
+    #[test]
+    fn scale_writes_only_coef_directly() {
+        let (_tp, s) = summaries(programs::LIST_SCALE_ADDS);
+        let sum = s.get("scale").unwrap();
+        assert!(!sum.mutates_shape());
+        // head is param 0: the loop variable p derives from head, so writes
+        // land at Reachable depth (and Direct for the first node).
+        let written: BTreeSet<&str> = sum.fields_written_via(0);
+        assert_eq!(written, BTreeSet::from(["coef"]));
+        // next is read but never written.
+        assert!(sum.reads.iter().any(|u| u.field == "next"));
+        assert!(!sum.writes.iter().any(|u| u.field == "next"));
+    }
+
+    #[test]
+    fn compute_force_reads_tree_read_only() {
+        let (_tp, s) = summaries(programs::BARNES_HUT);
+        let sum = s.get("compute_force_on").unwrap();
+        assert!(!sum.mutates_shape());
+        // Writes go only to param 0 (p), at its own node.
+        assert!(sum.writes_only_direct(0));
+        assert_eq!(
+            sum.fields_written_via(0),
+            BTreeSet::from(["fx", "fy", "fz"])
+        );
+        // Param 1 (the tree root) is read-only.
+        assert!(sum.fields_written_via(1).is_empty());
+        let reads = sum.reachable_reads_via(1);
+        assert!(reads.contains("mass"), "{reads:?}");
+        assert!(reads.contains("subtrees"), "{reads:?}");
+        // The tree read set never includes the force fields.
+        assert!(!reads.contains("fx"));
+    }
+
+    #[test]
+    fn insert_particle_mutates_shape() {
+        let (_tp, s) = summaries(programs::BARNES_HUT);
+        let sum = s.get("insert_particle").unwrap();
+        assert!(sum.mutates_shape());
+        assert!(sum
+            .ptr_writes
+            .iter()
+            .any(|u| u.field == "subtrees" && u.param == 1));
+    }
+
+    #[test]
+    fn build_tree_summary_includes_callee_effects() {
+        let (_tp, s) = summaries(programs::BARNES_HUT);
+        let sum = s.get("build_tree").unwrap();
+        // build_tree never mutates pointer fields of the *particles'* own
+        // structure — all tree links live in freshly allocated internal
+        // nodes ("the next field is never updated in any of these
+        // subroutines", §4.3.2)...
+        assert!(!sum.ptr_writes.iter().any(|u| u.field == "next"));
+        // ...but the particles are captured under the fresh tree.
+        assert!(sum.captures.contains(&0));
+        // Returns: fresh (new root).
+        assert!(sum.returns.contains(&RetSource::Fresh));
+        // next is read while walking the particle list but never written.
+        assert!(sum.reads.iter().any(|u| u.field == "next" && u.param == 0));
+        assert!(!sum.writes.iter().any(|u| u.field == "next"));
+    }
+
+    #[test]
+    fn insert_particle_captures_the_particle() {
+        let (_tp, s) = summaries(programs::BARNES_HUT);
+        let sum = s.get("insert_particle").unwrap();
+        assert!(sum.captures.contains(&0), "{:?}", sum.captures);
+    }
+
+    #[test]
+    fn compute_new_vel_pos_touches_only_own_node() {
+        let (_tp, s) = summaries(programs::BARNES_HUT);
+        let sum = s.get("compute_new_vel_pos").unwrap();
+        assert!(!sum.mutates_shape());
+        assert!(sum.writes_only_direct(0));
+        assert_eq!(
+            sum.fields_written_via(0),
+            BTreeSet::from(["vx", "vy", "vz", "x", "y", "z"])
+        );
+        assert!(sum.writes.iter().all(|u| u.depth == Depth::Direct));
+    }
+
+    #[test]
+    fn recursive_accumulate_force_reaches_fixpoint() {
+        let (_tp, s) = summaries(programs::BARNES_HUT);
+        let sum = s.get("accumulate_force").unwrap();
+        // The recursion distributes param-1 reads across the whole subtree.
+        assert!(sum
+            .reads
+            .iter()
+            .any(|u| u.param == 1 && u.field == "subtrees" && u.depth == Depth::Reachable));
+        assert!(!sum.mutates_shape());
+    }
+
+    #[test]
+    fn subtree_move_is_shape_mutation() {
+        let (_tp, s) = summaries(programs::SUBTREE_MOVE);
+        let sum = s.get("move_subtree").unwrap();
+        assert!(sum.mutates_shape());
+        let fields: BTreeSet<&str> = sum.ptr_writes.iter().map(|u| u.field.as_str()).collect();
+        assert_eq!(fields, BTreeSet::from(["left"]));
+    }
+
+    #[test]
+    fn expand_box_returns_fresh_or_param() {
+        let (_tp, s) = summaries(programs::BARNES_HUT);
+        let sum = s.get("expand_box").unwrap();
+        assert!(sum.returns.contains(&RetSource::Fresh));
+        assert!(sum.returns.contains(&RetSource::Param(1)));
+    }
+}

@@ -1,0 +1,186 @@
+//! Parallelizing and optimizing transformations enabled by the analysis.
+//!
+//! * [`stripmine`] — the paper's §4.3.3 transformation: strip-mine a
+//!   pointer-chasing loop by the number of processors and run the strip in
+//!   parallel (MIMD loop parallelization).
+//! * [`unroll`] — loop unrolling for pointer loops \[HG92\].
+//! * [`pipeline`] — software pipelining of traversal vs. processing
+//!   \[HHN92\].
+//!
+//! All three require the loop to be a verified [`ChasePattern`]
+//! (see [`crate::depend`]); strip-mining additionally requires full
+//! independence of iterations.
+
+pub mod pipeline;
+pub mod stripmine;
+pub mod unroll;
+
+use adds_lang::ast::*;
+use adds_lang::source::Span;
+
+/// Shared helpers for building synthetic AST.
+pub(crate) fn var(name: &str) -> Expr {
+    Expr::Var(name.to_string(), Span::default())
+}
+
+pub(crate) fn int(v: i64) -> Expr {
+    Expr::Int(v, Span::default())
+}
+
+pub(crate) fn field(base: Expr, f: &str) -> Expr {
+    Expr::Field {
+        base: Box::new(base),
+        field: f.to_string(),
+        index: None,
+        span: Span::default(),
+    }
+}
+
+pub(crate) fn ne_null(v: &str) -> Expr {
+    Expr::Binary {
+        op: BinOp::Ne,
+        lhs: Box::new(var(v)),
+        rhs: Box::new(Expr::Null(Span::default())),
+        span: Span::default(),
+    }
+}
+
+pub(crate) fn binary(op: BinOp, l: Expr, r: Expr) -> Expr {
+    Expr::Binary {
+        op,
+        lhs: Box::new(l),
+        rhs: Box::new(r),
+        span: Span::default(),
+    }
+}
+
+pub(crate) fn assign(lhs: LValue, rhs: Expr) -> Stmt {
+    Stmt::Assign {
+        lhs,
+        rhs,
+        span: Span::default(),
+    }
+}
+
+pub(crate) fn assign_var(name: &str, rhs: Expr) -> Stmt {
+    assign(LValue::var(name, Span::default()), rhs)
+}
+
+/// `p = p->f`
+pub(crate) fn advance(p: &str, f: &str) -> Stmt {
+    assign_var(p, field(var(p), f))
+}
+
+pub(crate) fn block(stmts: Vec<Stmt>) -> Block {
+    Block {
+        stmts,
+        span: Span::default(),
+    }
+}
+
+/// Variables referenced (read) anywhere in a block.
+pub(crate) fn free_vars(b: &Block, out: &mut std::collections::BTreeSet<String>) {
+    fn expr(e: &Expr, out: &mut std::collections::BTreeSet<String>) {
+        match e {
+            Expr::Var(v, _) => {
+                out.insert(v.clone());
+            }
+            Expr::Field { base, index, .. } => {
+                expr(base, out);
+                if let Some(i) = index {
+                    expr(i, out);
+                }
+            }
+            Expr::Unary { operand, .. } => expr(operand, out),
+            Expr::Binary { lhs, rhs, .. } => {
+                expr(lhs, out);
+                expr(rhs, out);
+            }
+            Expr::Call(c) => {
+                for a in &c.args {
+                    expr(a, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    fn stmt(s: &Stmt, out: &mut std::collections::BTreeSet<String>) {
+        match s {
+            Stmt::VarDecl { init, .. } => {
+                if let Some(e) = init {
+                    expr(e, out);
+                }
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                if !lhs.is_var() {
+                    out.insert(lhs.base.clone());
+                }
+                for acc in &lhs.path {
+                    if let Some(i) = &acc.index {
+                        expr(i, out);
+                    }
+                }
+                expr(rhs, out);
+            }
+            Stmt::While { cond, body, .. } => {
+                expr(cond, out);
+                free_vars(body, out);
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                expr(cond, out);
+                free_vars(then_blk, out);
+                if let Some(e) = else_blk {
+                    free_vars(e, out);
+                }
+            }
+            Stmt::For { from, to, body, .. } => {
+                expr(from, out);
+                expr(to, out);
+                free_vars(body, out);
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(e) = value {
+                    expr(e, out);
+                }
+            }
+            Stmt::Call(c) => {
+                for a in &c.args {
+                    expr(a, out);
+                }
+            }
+        }
+    }
+    for s in &b.stmts {
+        stmt(s, out);
+    }
+}
+
+/// Variables declared or bound inside a block (loop-private).
+pub(crate) fn bound_vars(b: &Block, out: &mut std::collections::BTreeSet<String>) {
+    for s in &b.stmts {
+        match s {
+            Stmt::VarDecl { name, .. } => {
+                out.insert(name.clone());
+            }
+            Stmt::For { var, body, .. } => {
+                out.insert(var.clone());
+                bound_vars(body, out);
+            }
+            Stmt::While { body, .. } => bound_vars(body, out),
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
+                bound_vars(then_blk, out);
+                if let Some(e) = else_blk {
+                    bound_vars(e, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}

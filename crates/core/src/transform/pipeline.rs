@@ -1,0 +1,210 @@
+//! Software pipelining of pointer loops \[HHN92\].
+//!
+//! The traversal (`p = p->next`) is the loop-carried dependence; the
+//! processing of each node is independent. Pipelining skews the two so the
+//! next node is fetched *before* the current node is processed, overlapping
+//! pointer-chasing latency with useful work:
+//!
+//! ```text
+//! p = head;                     p = head;
+//! while p <> NULL {             if p <> NULL {
+//!     work(p);           ⇒          q = p->next;
+//!     p = p->next;                  while q <> NULL {
+//! }                                     work(p);
+//!                                       p = q;
+//!                                       q = q->next;
+//!                                   }
+//!                                   work(p);
+//!                               }
+//! ```
+//!
+//! Legality needs exactly the alias fact the path matrix provides: `work(p)`
+//! must not modify `q = p->next`'s target link (no writes to the advance
+//! field, nodes distinct).
+
+use crate::depend::ChasePattern;
+use adds_lang::ast::*;
+use adds_lang::source::Span;
+
+/// Pipeline the chase loop identified by `pattern` inside `func`.
+/// `lookahead_var` names the prefetched pointer (e.g. `"q"`); it must not
+/// collide with an existing variable.
+pub fn pipeline_loop(
+    func: &FunDecl,
+    pattern: &ChasePattern,
+    lookahead_var: &str,
+) -> Option<FunDecl> {
+    let mut f = func.clone();
+    let done = rewrite(&mut f.body, pattern, lookahead_var);
+    done.then_some(f)
+}
+
+#[allow(clippy::collapsible_match)]
+fn rewrite(b: &mut Block, pat: &ChasePattern, q: &str) -> bool {
+    for s in &mut b.stmts {
+        match s {
+            Stmt::While { cond, body, span } => {
+                if is_chase_loop(cond, pat) {
+                    *s = pipelined(body, pat, q, *span);
+                    return true;
+                }
+                if rewrite(body, pat, q) {
+                    return true;
+                }
+            }
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
+                if rewrite(then_blk, pat, q) {
+                    return true;
+                }
+                if let Some(e) = else_blk {
+                    if rewrite(e, pat, q) {
+                        return true;
+                    }
+                }
+            }
+            Stmt::For { body, .. } => {
+                if rewrite(body, pat, q) {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+fn is_chase_loop(cond: &Expr, pat: &ChasePattern) -> bool {
+    matches!(
+        cond,
+        Expr::Binary { op: BinOp::Ne, lhs, rhs, .. }
+            if matches!((lhs.as_ref(), rhs.as_ref()),
+                (Expr::Var(v, _), Expr::Null(_)) if *v == pat.var)
+    )
+}
+
+fn sp() -> Span {
+    Span::default()
+}
+
+fn ne_null(v: &str) -> Expr {
+    Expr::Binary {
+        op: BinOp::Ne,
+        lhs: Box::new(Expr::Var(v.to_string(), sp())),
+        rhs: Box::new(Expr::Null(sp())),
+        span: sp(),
+    }
+}
+
+fn pipelined(body: &Block, pat: &ChasePattern, q: &str, span: Span) -> Stmt {
+    let mut work = body.stmts.clone();
+    work.remove(pat.advance_idx);
+
+    // q = p->next;
+    let fetch_q = Stmt::Assign {
+        lhs: LValue::var(q, sp()),
+        rhs: Expr::Field {
+            base: Box::new(Expr::Var(pat.var.clone(), sp())),
+            field: pat.field.clone(),
+            index: None,
+            span: sp(),
+        },
+        span: sp(),
+    };
+    // p = q;
+    let shift = Stmt::Assign {
+        lhs: LValue::var(&pat.var, sp()),
+        rhs: Expr::Var(q.to_string(), sp()),
+        span: sp(),
+    };
+    // q = q->next;
+    let fetch_next = Stmt::Assign {
+        lhs: LValue::var(q, sp()),
+        rhs: Expr::Field {
+            base: Box::new(Expr::Var(q.to_string(), sp())),
+            field: pat.field.clone(),
+            index: None,
+            span: sp(),
+        },
+        span: sp(),
+    };
+
+    let mut kernel = work.clone();
+    kernel.push(shift);
+    kernel.push(fetch_next);
+
+    let steady = Stmt::While {
+        cond: ne_null(q),
+        body: Block {
+            stmts: kernel,
+            span: sp(),
+        },
+        span: sp(),
+    };
+
+    // Epilogue: process the final node.
+    let mut then_stmts = vec![fetch_q, steady];
+    then_stmts.extend(work);
+
+    Stmt::If {
+        cond: ne_null(&pat.var),
+        then_blk: Block {
+            stmts: then_stmts,
+            span: sp(),
+        },
+        else_blk: None,
+        span,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze_function;
+    use crate::depend::check_function;
+    use crate::summary::Summaries;
+    use adds_lang::programs;
+    use adds_lang::types::{check, check_source};
+
+    fn pattern_of(src: &str, func: &str) -> (adds_lang::types::TypedProgram, ChasePattern) {
+        let tp = check_source(src).unwrap();
+        let sums = Summaries::compute(&tp);
+        let an = analyze_function(&tp, &sums, func).unwrap();
+        let checks = check_function(&tp, &sums, &an, func);
+        let pat = checks[0].pattern.clone().unwrap();
+        (tp, pat)
+    }
+
+    #[test]
+    fn pipelined_shape() {
+        let (tp, pat) = pattern_of(programs::LIST_SCALE_ADDS, "scale");
+        let f = tp.program.func("scale").unwrap();
+        let p = pipeline_loop(f, &pat, "q").unwrap();
+        let printed = adds_lang::pretty::function(&p);
+        assert!(printed.contains("q = p->next;"), "{printed}");
+        assert!(printed.contains("while q <> NULL"), "{printed}");
+        assert!(printed.contains("p = q;"), "{printed}");
+        assert!(printed.contains("q = q->next;"), "{printed}");
+        // work appears twice: kernel + epilogue.
+        assert_eq!(printed.matches("p->coef = p->coef * c;").count(), 2);
+    }
+
+    #[test]
+    fn pipelined_function_type_checks() {
+        let (tp, pat) = pattern_of(programs::LIST_SCALE_ADDS, "scale");
+        let f = tp.program.func("scale").unwrap();
+        let p = pipeline_loop(f, &pat, "q").unwrap();
+        let mut prog = tp.program.clone();
+        *prog.funcs.iter_mut().find(|g| g.name == "scale").unwrap() = p;
+        check(prog).expect("pipelined program type checks");
+    }
+
+    #[test]
+    fn missing_loop_returns_none() {
+        let (tp, mut pat) = pattern_of(programs::LIST_SCALE_ADDS, "scale");
+        pat.var = "zz".into();
+        let f = tp.program.func("scale").unwrap();
+        assert!(pipeline_loop(f, &pat, "q").is_none());
+    }
+}

@@ -1,0 +1,430 @@
+//! Strip-mine loop parallelization (§4.3.3).
+//!
+//! Transforms a verified pointer-chasing loop
+//!
+//! ```text
+//! p = particles;
+//! while p <> NULL {
+//!     compute_force_on(p, root, theta);
+//!     p = p->next;
+//! }
+//! ```
+//!
+//! into the paper's form: each round processes `PEs` list nodes in parallel,
+//! with PE *i* skipping *i* nodes ahead (FOR2 inside the helper), and the
+//! master pointer then skipping `PEs` nodes (FOR1):
+//!
+//! ```text
+//! while p <> NULL {
+//!     parfor i = 0 to PEs - 1 {
+//!         _bhl1_iteration(i, p, root, theta);
+//!     }
+//!     for i = 0 to PEs - 1 {
+//!         p = p->next;
+//!     }
+//! }
+//!
+//! procedure _bhl1_iteration(i: int, p: Octree*, root: ..., theta: ...) {
+//!     for k = 1 to i { p = p->next; }
+//!     if p <> NULL { <body without the advance> }
+//! }
+//! ```
+//!
+//! Both FOR loops may run `p` past the end of the list; this relies on
+//! **speculative traversability** (§3.2), which the execution substrate
+//! guarantees for ADDS structures.
+
+use super::*;
+use crate::depend::{check_function, ChasePattern, LoopCheck};
+use crate::summary::Summaries;
+use crate::FnAnalysis;
+use adds_lang::ast::*;
+use adds_lang::source::Span;
+use adds_lang::types::{TypedProgram, PES_CONST};
+use std::collections::BTreeSet;
+
+/// Outcome of strip-mining one function.
+#[derive(Clone, Debug)]
+pub struct StripMined {
+    /// The rewritten function.
+    pub func: FunDecl,
+    /// The generated per-PE helper procedures (one per parallelized loop).
+    pub helpers: Vec<FunDecl>,
+    /// Loops that were parallelized.
+    pub parallelized: Vec<ChasePattern>,
+    /// Loops that were left sequential, with reasons.
+    pub skipped: Vec<LoopCheck>,
+}
+
+/// Strip-mine every parallelizable `while` loop of `func_name`.
+///
+/// Only loops whose [`LoopCheck`] verdict is `parallelizable` are touched;
+/// the rest are reported in `skipped`.
+pub fn strip_mine_function(
+    tp: &TypedProgram,
+    sums: &Summaries,
+    an: &FnAnalysis,
+    func_name: &str,
+) -> Option<StripMined> {
+    let f = tp.program.func(func_name)?;
+    let checks = check_function(tp, sums, an, func_name);
+
+    let mut out = StripMined {
+        func: f.clone(),
+        helpers: Vec::new(),
+        parallelized: Vec::new(),
+        skipped: Vec::new(),
+    };
+
+    let mut counter = 0usize;
+    let body = rewrite_block(
+        tp,
+        &f.body,
+        func_name,
+        &checks,
+        &mut out.helpers,
+        &mut out.parallelized,
+        &mut out.skipped,
+        &mut counter,
+    );
+    out.func.body = body;
+    Some(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rewrite_block(
+    tp: &TypedProgram,
+    b: &Block,
+    func_name: &str,
+    checks: &[LoopCheck],
+    helpers: &mut Vec<FunDecl>,
+    parallelized: &mut Vec<ChasePattern>,
+    skipped: &mut Vec<LoopCheck>,
+    counter: &mut usize,
+) -> Block {
+    let mut stmts = Vec::new();
+    for s in &b.stmts {
+        match s {
+            Stmt::While { cond, body, span } => {
+                let check = checks.iter().find(|c| c.span.start == span.start);
+                match check {
+                    Some(c) if c.parallelizable => {
+                        let pat = c.pattern.clone().expect("parallelizable implies pattern");
+                        let (loop_stmt, helper) =
+                            build_strip(tp, func_name, &pat, cond, body, counter);
+                        stmts.push(loop_stmt);
+                        helpers.push(helper);
+                        parallelized.push(pat);
+                    }
+                    other => {
+                        if let Some(c) = other {
+                            skipped.push(c.clone());
+                        }
+                        // Recurse into the sequential loop body.
+                        let inner = rewrite_block(
+                            tp, body, func_name, checks, helpers, parallelized, skipped, counter,
+                        );
+                        stmts.push(Stmt::While {
+                            cond: cond.clone(),
+                            body: inner,
+                            span: *span,
+                        });
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                span,
+            } => stmts.push(Stmt::If {
+                cond: cond.clone(),
+                then_blk: rewrite_block(
+                    tp, then_blk, func_name, checks, helpers, parallelized, skipped, counter,
+                ),
+                else_blk: else_blk.as_ref().map(|e| {
+                    rewrite_block(
+                        tp, e, func_name, checks, helpers, parallelized, skipped, counter,
+                    )
+                }),
+                span: *span,
+            }),
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+                parallel,
+                span,
+            } => stmts.push(Stmt::For {
+                var: var.clone(),
+                from: from.clone(),
+                to: to.clone(),
+                body: rewrite_block(
+                    tp, body, func_name, checks, helpers, parallelized, skipped, counter,
+                ),
+                parallel: *parallel,
+                span: *span,
+            }),
+            other => stmts.push(other.clone()),
+        }
+    }
+    Block {
+        stmts,
+        span: b.span,
+    }
+}
+
+/// `PEs - 1`
+fn pes_minus_one() -> Expr {
+    binary(BinOp::Sub, var(PES_CONST), int(1))
+}
+
+fn build_strip(
+    tp: &TypedProgram,
+    func_name: &str,
+    pat: &ChasePattern,
+    cond: &Expr,
+    body: &Block,
+    counter: &mut usize,
+) -> (Stmt, FunDecl) {
+    *counter += 1;
+    let helper_name = format!("_{}_loop{}_iteration", func_name, counter);
+
+    // Work = body minus the advance statement.
+    let mut work: Vec<Stmt> = body.stmts.clone();
+    work.remove(pat.advance_idx);
+
+    // Free variables of the work that must be passed to the helper:
+    // everything referenced that is not bound inside and not the chase var.
+    let work_blk = block(work.clone());
+    let mut free = BTreeSet::new();
+    free_vars(&work_blk, &mut free);
+    let mut bound = BTreeSet::new();
+    bound_vars(&work_blk, &mut bound);
+    let mut extra_params: Vec<(String, Ty)> = Vec::new();
+    for v in &free {
+        if v == &pat.var || bound.contains(v) || v == PES_CONST {
+            continue;
+        }
+        if let Some(ty) = tp.var_ty(func_name, v) {
+            extra_params.push((v.clone(), ty.clone()));
+        }
+    }
+
+    // Helper: procedure _f_loopN_iteration(i: int, p: T*, <frees>)
+    let mut params = vec![
+        Param {
+            name: "i".into(),
+            ty: Ty::Int,
+            span: Span::default(),
+        },
+        Param {
+            name: pat.var.clone(),
+            ty: Ty::Ptr(pat.record.clone()),
+            span: Span::default(),
+        },
+    ];
+    for (name, ty) in &extra_params {
+        params.push(Param {
+            name: name.clone(),
+            ty: ty.clone(),
+            span: Span::default(),
+        });
+    }
+
+    // for k = 1 to i { p = p->next; }   (FOR2 — speculative)
+    let skip_loop = Stmt::For {
+        var: "k".into(),
+        from: int(1),
+        to: var("i"),
+        body: block(vec![advance(&pat.var, &pat.field)]),
+        parallel: false,
+        span: Span::default(),
+    };
+    // if p <> NULL { work }
+    let guarded = Stmt::If {
+        cond: ne_null(&pat.var),
+        then_blk: block(work),
+        else_blk: None,
+        span: Span::default(),
+    };
+    let helper = FunDecl {
+        name: helper_name.clone(),
+        params,
+        ret: None,
+        body: block(vec![skip_loop, guarded]),
+        span: Span::default(),
+    };
+
+    // Call: _helper(i, p, frees...)
+    let mut args = vec![var("i"), var(&pat.var)];
+    for (name, _) in &extra_params {
+        args.push(var(name));
+    }
+    let call = Stmt::Call(Call {
+        callee: helper_name,
+        args,
+        span: Span::default(),
+    });
+
+    // parfor i = 0 to PEs-1 { _helper(i, p, ...); }
+    let parfor = Stmt::For {
+        var: "i".into(),
+        from: int(0),
+        to: pes_minus_one(),
+        body: block(vec![call]),
+        parallel: true,
+        span: Span::default(),
+    };
+    // for i = 0 to PEs-1 { p = p->next; }   (FOR1 — speculative)
+    let for1 = Stmt::For {
+        var: "i".into(),
+        from: int(0),
+        to: pes_minus_one(),
+        body: block(vec![advance(&pat.var, &pat.field)]),
+        parallel: false,
+        span: Span::default(),
+    };
+
+    let loop_stmt = Stmt::While {
+        cond: cond.clone(),
+        body: block(vec![parfor, for1]),
+        span: Span::default(),
+    };
+    (loop_stmt, helper)
+}
+
+/// Strip-mine a whole program: every parallelizable loop of every function.
+/// Returns the transformed program and per-function reports.
+pub fn strip_mine_program(
+    tp: &TypedProgram,
+    sums: &Summaries,
+    analyses: &std::collections::BTreeMap<String, FnAnalysis>,
+) -> (Program, Vec<StripMined>) {
+    let mut prog = tp.program.clone();
+    let mut reports = Vec::new();
+    let mut new_funcs = Vec::new();
+    for f in &mut prog.funcs {
+        let Some(an) = analyses.get(&f.name) else {
+            continue;
+        };
+        if let Some(sm) = strip_mine_function(tp, sums, an, &f.name) {
+            if !sm.parallelized.is_empty() {
+                *f = sm.func.clone();
+                new_funcs.extend(sm.helpers.clone());
+            }
+            reports.push(sm);
+        }
+    }
+    prog.funcs.extend(new_funcs);
+    (prog, reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze_function;
+    use adds_lang::programs;
+    use adds_lang::types::{check, check_source};
+
+    fn strip(src: &str, func: &str) -> (TypedProgram, StripMined) {
+        let tp = check_source(src).unwrap();
+        let sums = Summaries::compute(&tp);
+        let an = analyze_function(&tp, &sums, func).unwrap();
+        let sm = strip_mine_function(&tp, &sums, &an, func).unwrap();
+        (tp, sm)
+    }
+
+    #[test]
+    fn scale_loop_is_strip_mined() {
+        let (_tp, sm) = strip(programs::LIST_SCALE_ADDS, "scale");
+        assert_eq!(sm.parallelized.len(), 1);
+        assert_eq!(sm.helpers.len(), 1);
+        let printed = adds_lang::pretty::function(&sm.func);
+        assert!(printed.contains("parfor i = 0 to PEs - 1"), "{printed}");
+        assert!(printed.contains("for i = 0 to PEs - 1"), "{printed}");
+        let helper = adds_lang::pretty::function(&sm.helpers[0]);
+        assert!(helper.contains("for k = 1 to i"), "{helper}");
+        assert!(helper.contains("if p <> NULL"), "{helper}");
+        assert!(helper.contains("p->coef = p->coef * c;"), "{helper}");
+    }
+
+    #[test]
+    fn helper_receives_free_variables() {
+        let (_tp, sm) = strip(programs::LIST_SCALE_ADDS, "scale");
+        let h = &sm.helpers[0];
+        let names: Vec<&str> = h.params.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["i", "p", "c"]);
+        assert_eq!(h.params[2].ty, Ty::Int);
+    }
+
+    #[test]
+    fn bhl1_transformation_matches_paper_shape() {
+        let (_tp, sm) = strip(programs::BARNES_HUT, "bhl1");
+        assert_eq!(sm.parallelized.len(), 1);
+        let printed = adds_lang::pretty::function(&sm.func);
+        // The paper's transformed loop (§4.3.3).
+        assert!(printed.contains("while p <> NULL"), "{printed}");
+        assert!(printed.contains("parfor i = 0 to PEs - 1"), "{printed}");
+        let helper = adds_lang::pretty::function(&sm.helpers[0]);
+        assert!(
+            helper.contains("compute_force_on(p, root, theta);"),
+            "{helper}"
+        );
+        // Helper params: i, p, then the frees (root, theta).
+        let names: Vec<&str> = sm.helpers[0].params.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["i", "p", "root", "theta"]);
+    }
+
+    #[test]
+    fn non_parallelizable_loops_are_left_alone() {
+        let (_tp, sm) = strip(programs::LIST_SUM, "sum");
+        assert!(sm.parallelized.is_empty());
+        assert_eq!(sm.skipped.len(), 1);
+        assert!(sm.helpers.is_empty());
+        let printed = adds_lang::pretty::function(&sm.func);
+        assert!(!printed.contains("parfor"), "{printed}");
+    }
+
+    #[test]
+    fn transformed_program_type_checks() {
+        let tp = check_source(programs::BARNES_HUT).unwrap();
+        let sums = Summaries::compute(&tp);
+        let mut analyses = std::collections::BTreeMap::new();
+        for f in &tp.program.funcs {
+            analyses.insert(
+                f.name.clone(),
+                analyze_function(&tp, &sums, &f.name).unwrap(),
+            );
+        }
+        let (prog, reports) = strip_mine_program(&tp, &sums, &analyses);
+        let par_fns: Vec<&str> = reports
+            .iter()
+            .filter(|r| !r.parallelized.is_empty())
+            .map(|r| r.func.name.as_str())
+            .collect();
+        assert!(par_fns.contains(&"bhl1"), "{par_fns:?}");
+        assert!(par_fns.contains(&"bhl2"), "{par_fns:?}");
+        // The whole transformed program must re-typecheck.
+        check(prog).expect("transformed program type checks");
+    }
+
+    #[test]
+    fn transformed_program_round_trips_through_printer() {
+        let tp = check_source(programs::LIST_SCALE_ADDS).unwrap();
+        let sums = Summaries::compute(&tp);
+        let mut analyses = std::collections::BTreeMap::new();
+        for f in &tp.program.funcs {
+            analyses.insert(
+                f.name.clone(),
+                analyze_function(&tp, &sums, &f.name).unwrap(),
+            );
+        }
+        let (prog, _) = strip_mine_program(&tp, &sums, &analyses);
+        let printed = adds_lang::pretty::program(&prog);
+        let reparsed = adds_lang::parse_program(&printed).unwrap();
+        assert_eq!(adds_lang::pretty::program(&reparsed), printed);
+        check(reparsed).expect("printed transform re-typechecks");
+    }
+}

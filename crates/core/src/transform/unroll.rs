@@ -1,0 +1,162 @@
+//! Loop unrolling for pointer-chasing loops \[HG92\].
+//!
+//! ```text
+//! while p <> NULL {            while p <> NULL {
+//!     work(p);                     work(p);
+//!     p = p->next;        ⇒        p = p->next;
+//! }                                if p <> NULL {
+//!                                      work(p);
+//!                                      p = p->next;
+//!                                  }
+//!                              }
+//! ```
+//!
+//! The transformation is semantics-preserving for any factor ≥ 1: each copy
+//! is guarded. Its profit comes from fewer loop-condition evaluations and
+//! branches per processed node; with *speculative traversability* the guard
+//! on the pointer advance itself can be omitted (only the work is guarded),
+//! which is how ADDS enables the more aggressive variant.
+
+use crate::depend::ChasePattern;
+use adds_lang::ast::*;
+use adds_lang::source::Span;
+
+/// Unroll the chase loop identified by `pattern` inside `func` by `factor`.
+/// Returns the rewritten function, or `None` if the loop is not found.
+pub fn unroll_loop(func: &FunDecl, pattern: &ChasePattern, factor: usize) -> Option<FunDecl> {
+    assert!(factor >= 1, "unroll factor must be at least 1");
+    let mut f = func.clone();
+    let done = rewrite(&mut f.body, pattern, factor);
+    done.then_some(f)
+}
+
+#[allow(clippy::collapsible_match)]
+fn rewrite(b: &mut Block, pattern: &ChasePattern, factor: usize) -> bool {
+    for s in &mut b.stmts {
+        match s {
+            Stmt::While { cond, body, .. } => {
+                if is_chase_loop(cond, body, pattern) {
+                    *body = unrolled_body(body, pattern, factor);
+                    return true;
+                }
+                if rewrite(body, pattern, factor) {
+                    return true;
+                }
+            }
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
+                if rewrite(then_blk, pattern, factor) {
+                    return true;
+                }
+                if let Some(e) = else_blk {
+                    if rewrite(e, pattern, factor) {
+                        return true;
+                    }
+                }
+            }
+            Stmt::For { body, .. } => {
+                if rewrite(body, pattern, factor) {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+fn is_chase_loop(cond: &Expr, body: &Block, pattern: &ChasePattern) -> bool {
+    let cond_ok = matches!(
+        cond,
+        Expr::Binary { op: BinOp::Ne, lhs, rhs, .. }
+            if matches!((lhs.as_ref(), rhs.as_ref()),
+                (Expr::Var(v, _), Expr::Null(_)) if *v == pattern.var)
+    );
+    cond_ok && body.stmts.len() > pattern.advance_idx
+}
+
+fn unrolled_body(body: &Block, pattern: &ChasePattern, factor: usize) -> Block {
+    let one_copy = body.stmts.clone();
+    let mut stmts = one_copy.clone();
+    for _ in 1..factor {
+        // if p <> NULL { <copy> }
+        stmts.push(Stmt::If {
+            cond: Expr::Binary {
+                op: BinOp::Ne,
+                lhs: Box::new(Expr::Var(pattern.var.clone(), Span::default())),
+                rhs: Box::new(Expr::Null(Span::default())),
+                span: Span::default(),
+            },
+            then_blk: Block {
+                stmts: one_copy.clone(),
+                span: Span::default(),
+            },
+            else_blk: None,
+            span: Span::default(),
+        });
+    }
+    Block {
+        stmts,
+        span: body.span,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze_function;
+    use crate::depend::check_function;
+    use crate::summary::Summaries;
+    use adds_lang::programs;
+    use adds_lang::types::{check, check_source};
+
+    fn pattern_of(src: &str, func: &str) -> (adds_lang::types::TypedProgram, ChasePattern) {
+        let tp = check_source(src).unwrap();
+        let sums = Summaries::compute(&tp);
+        let an = analyze_function(&tp, &sums, func).unwrap();
+        let checks = check_function(&tp, &sums, &an, func);
+        let pat = checks[0].pattern.clone().unwrap();
+        (tp, pat)
+    }
+
+    #[test]
+    fn unroll_by_two_duplicates_body_guarded() {
+        let (tp, pat) = pattern_of(programs::LIST_SCALE_ADDS, "scale");
+        let f = tp.program.func("scale").unwrap();
+        let u = unroll_loop(f, &pat, 2).unwrap();
+        let printed = adds_lang::pretty::function(&u);
+        assert_eq!(printed.matches("p->coef = p->coef * c;").count(), 2);
+        assert_eq!(printed.matches("p = p->next;").count(), 2);
+        assert!(printed.contains("if p <> NULL"), "{printed}");
+    }
+
+    #[test]
+    fn unroll_by_one_is_identity() {
+        let (tp, pat) = pattern_of(programs::LIST_SCALE_ADDS, "scale");
+        let f = tp.program.func("scale").unwrap();
+        let u = unroll_loop(f, &pat, 1).unwrap();
+        assert_eq!(
+            adds_lang::pretty::function(&u),
+            adds_lang::pretty::function(f)
+        );
+    }
+
+    #[test]
+    fn unrolled_function_type_checks() {
+        let (tp, pat) = pattern_of(programs::LIST_SCALE_ADDS, "scale");
+        let f = tp.program.func("scale").unwrap();
+        let u = unroll_loop(f, &pat, 4).unwrap();
+        let mut prog = tp.program.clone();
+        *prog.funcs.iter_mut().find(|g| g.name == "scale").unwrap() = u;
+        check(prog).expect("unrolled program type checks");
+    }
+
+    #[test]
+    fn missing_loop_returns_none() {
+        let (tp, mut pat) = pattern_of(programs::LIST_SCALE_ADDS, "scale");
+        pat.var = "nonesuch".into();
+        let f = tp.program.func("scale").unwrap();
+        assert!(unroll_loop(f, &pat, 2).is_none());
+    }
+}

@@ -1,0 +1,168 @@
+//! Abstraction validation (§3.3.1).
+//!
+//! ADDS declarations assert *invariants* (disjoint subtrees, acyclic unique
+//! chains) that imperative programs routinely break and re-establish. The
+//! analysis must notice the break — so no transformation relies on an invalid
+//! property — and notice the repair, without treating either as an error.
+//!
+//! A [`Violation`] records one broken property. Sharing violations carry the
+//! *holder* variables (every pointer known to hold an incoming edge to the
+//! shared node); when a later statement overwrites a holder's edge, the
+//! violation is repaired.
+
+use adds_lang::source::Span;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Which declared property a store broke.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ViolationKind {
+    /// A node acquired (or may have acquired) two incoming links along a
+    /// `uniquely` field — subtrees are no longer disjoint.
+    Sharing,
+    /// A store may have closed a cycle along a `forward`/`backward`
+    /// (acyclic) field.
+    Cycle,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationKind::Sharing => write!(f, "sharing"),
+            ViolationKind::Cycle => write!(f, "cycle"),
+        }
+    }
+}
+
+/// One active break in the declared abstraction.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    /// Which property is broken.
+    pub kind: ViolationKind,
+    /// Record type whose declaration is violated.
+    pub type_name: String,
+    /// The field whose route property is violated.
+    pub field: String,
+    /// Variables holding the offending edges. Overwriting `h->field` for a
+    /// holder `h` repairs a sharing violation.
+    pub holders: BTreeSet<String>,
+    /// Where the break happened.
+    pub at: Span,
+}
+
+impl Violation {
+    /// Is the declared property of `type_name` (as needed through `field`)
+    /// affected by this violation?
+    pub fn affects(&self, type_name: &str, field: &str) -> bool {
+        self.type_name == type_name && self.field == field
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} violation on `{}` field `{}` (holders: {})",
+            self.kind,
+            self.type_name,
+            self.field,
+            self.holders
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+/// A timeline event reported by the analyzer: the abstraction broke or was
+/// repaired at a given statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationEvent {
+    /// A store broke a declared property.
+    Broken {
+        /// The offending statement.
+        at: Span,
+        /// What broke.
+        violation: Violation,
+    },
+    /// A later store restored the property.
+    Repaired {
+        /// The repairing statement.
+        at: Span,
+        /// What was repaired.
+        violation: Violation,
+    },
+}
+
+impl ValidationEvent {
+    /// The statement where the event happened.
+    pub fn span(&self) -> Span {
+        match self {
+            ValidationEvent::Broken { at, .. } | ValidationEvent::Repaired { at, .. } => *at,
+        }
+    }
+
+    /// Is this a break (as opposed to a repair)?
+    pub fn is_broken(&self) -> bool {
+        matches!(self, ValidationEvent::Broken { .. })
+    }
+}
+
+impl fmt::Display for ValidationEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationEvent::Broken { violation, .. } => {
+                write!(f, "abstraction BROKEN: {violation}")
+            }
+            ValidationEvent::Repaired { violation, .. } => {
+                write!(f, "abstraction REPAIRED: {violation}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v() -> Violation {
+        Violation {
+            kind: ViolationKind::Sharing,
+            type_name: "BinTree".into(),
+            field: "left".into(),
+            holders: BTreeSet::from(["p1".to_string(), "p2".to_string()]),
+            at: Span::default(),
+        }
+    }
+
+    #[test]
+    fn affects_matches_type_and_field() {
+        let v = v();
+        assert!(v.affects("BinTree", "left"));
+        assert!(!v.affects("BinTree", "right"));
+        assert!(!v.affects("Octree", "left"));
+    }
+
+    #[test]
+    fn display_mentions_holders() {
+        let s = v().to_string();
+        assert!(s.contains("p1"));
+        assert!(s.contains("p2"));
+        assert!(s.contains("sharing"));
+    }
+
+    #[test]
+    fn event_kind_predicates() {
+        let e = ValidationEvent::Broken {
+            at: Span::default(),
+            violation: v(),
+        };
+        assert!(e.is_broken());
+        let e = ValidationEvent::Repaired {
+            at: Span::default(),
+            violation: v(),
+        };
+        assert!(!e.is_broken());
+    }
+}

@@ -1,0 +1,295 @@
+//! Analysis integration tests over the paper's *other* declared structures
+//! (§3.1.3): the orthogonal list and the 2-D range tree as IL programs.
+//! These exercise the multi-dimensional reasoning — dependent vs independent
+//! dimensions, opposite-direction pairs, grouped fields.
+
+use adds_core::{analyze_function, check_function, compile, Summaries};
+use adds_lang::types::check_source;
+
+const ORTH_PROGRAM: &str = "
+type OrthList [X] [Y]
+{
+    real data;
+    OrthList *across is uniquely forward along X;
+    OrthList *back is backward along X;
+    OrthList *down is uniquely forward along Y;
+    OrthList *up is backward along Y;
+};
+
+procedure scale_row(rowhead: OrthList*, c: real)
+{
+    var p: OrthList*;
+    p = rowhead;
+    while p <> NULL
+    {
+        p->data = p->data * c;
+        p = p->across;
+    }
+}
+
+procedure scale_col(colhead: OrthList*, c: real)
+{
+    var p: OrthList*;
+    p = colhead;
+    while p <> NULL
+    {
+        p->data = p->data * c;
+        p = p->down;
+    }
+}
+
+procedure zigzag(start: OrthList*)
+{
+    var p: OrthList*;
+    var q: OrthList*;
+    p = start->across;
+    q = start->down;
+    p->data = 1.0;
+    q->data = 2.0;
+}
+";
+
+#[test]
+fn row_walk_is_parallelizable() {
+    let c = compile(ORTH_PROGRAM).unwrap();
+    let an = c.analysis("scale_row").unwrap();
+    let checks = check_function(&c.tp, &c.summaries, an, "scale_row");
+    assert!(checks[0].parallelizable, "{:?}", checks[0].reasons);
+    // The loop walks `across`, uniquely forward along X.
+    let pat = checks[0].pattern.as_ref().unwrap();
+    assert_eq!(pat.field, "across");
+}
+
+#[test]
+fn col_walk_is_parallelizable() {
+    let c = compile(ORTH_PROGRAM).unwrap();
+    let an = c.analysis("scale_col").unwrap();
+    let checks = check_function(&c.tp, &c.summaries, an, "scale_col");
+    assert!(checks[0].parallelizable, "{:?}", checks[0].reasons);
+}
+
+#[test]
+fn row_fixpoint_matrix_is_clean() {
+    let c = compile(ORTH_PROGRAM).unwrap();
+    let an = c.analysis("scale_row").unwrap();
+    let pm = &an.loops[0].bottom.pm;
+    assert_eq!(pm.get("rowhead", "p").display(), "across+");
+    assert_eq!(pm.get("p'", "p").display(), "across");
+    assert!(!pm.get("p'", "p").may_alias());
+}
+
+#[test]
+fn dependent_dimensions_stay_conservative() {
+    // X and Y are dependent (no `where` clause): a node reached via
+    // `across` MAY be the node reached via `down` — the paper's Figure 3
+    // observation ("traversing along X from r4 and along Y from c3 may
+    // lead to the same node").
+    let c = compile(ORTH_PROGRAM).unwrap();
+    let an = c.analysis("zigzag").unwrap();
+    let (_, st) = an
+        .after
+        .iter()
+        .rev()
+        .find(|(_, st)| st.pm.has_var("p") && st.pm.has_var("q"))
+        .unwrap();
+    assert!(
+        st.pm.get("p", "q").may_alias(),
+        "dependent dims must stay =?:\n{}",
+        st.pm
+    );
+}
+
+const RANGE_TREE_PROGRAM: &str = "
+type RT [down] [sub] [leaves] where sub||down, sub||leaves
+{
+    int data;
+    RT *left, *right is uniquely forward along down;
+    RT *subtree is uniquely forward along sub;
+    RT *next is uniquely forward along leaves;
+    RT *prev is backward along leaves;
+};
+
+procedure probe(t: RT*)
+{
+    var a: RT*;
+    var s: RT*;
+    var l: RT*;
+    a = t->left;
+    s = t->subtree;
+    l = t->next;
+    a->data = 1;
+    s->data = 2;
+    l->data = 3;
+}
+
+procedure sweep_leaves(first: RT*)
+{
+    var p: RT*;
+    p = first;
+    while p <> NULL
+    {
+        p->data = p->data + 1;
+        p = p->next;
+    }
+}
+";
+
+#[test]
+fn independent_sub_dimension_proves_disjointness() {
+    let c = compile(RANGE_TREE_PROGRAM).unwrap();
+    let an = c.analysis("probe").unwrap();
+    let (_, st) = an
+        .after
+        .iter()
+        .rev()
+        .find(|(_, st)| st.pm.has_var("a") && st.pm.has_var("s") && st.pm.has_var("l"))
+        .unwrap();
+    // sub || down: subtree node cannot be the left child.
+    assert!(
+        !st.pm.get("a", "s").may_alias(),
+        "sub || down must prove disjoint:\n{}",
+        st.pm
+    );
+    // sub || leaves: subtree node cannot be the next leaf.
+    assert!(
+        !st.pm.get("s", "l").may_alias(),
+        "sub || leaves must prove disjoint:\n{}",
+        st.pm
+    );
+    // down vs leaves are dependent: left child MAY be the next leaf.
+    assert!(
+        st.pm.get("a", "l").may_alias(),
+        "down vs leaves are dependent:\n{}",
+        st.pm
+    );
+}
+
+#[test]
+fn leaf_sweep_is_parallelizable() {
+    let c = compile(RANGE_TREE_PROGRAM).unwrap();
+    let an = c.analysis("sweep_leaves").unwrap();
+    let checks = check_function(&c.tp, &c.summaries, an, "sweep_leaves");
+    assert!(checks[0].parallelizable, "{:?}", checks[0].reasons);
+}
+
+#[test]
+fn two_way_walk_forward_not_confused_by_prev() {
+    // next+prev on one dimension is NOT a cycle: the forward sweep is
+    // still provably alias-free even though a backward field exists.
+    let src = "
+        type TW [X] {
+            int v;
+            TW *next is uniquely forward along X;
+            TW *prev is backward along X;
+        };
+        procedure sweep(head: TW*) {
+            var p: TW*;
+            p = head;
+            while p <> NULL {
+                p->v = p->v * 2;
+                p = p->next;
+            }
+        }";
+    let tp = check_source(src).unwrap();
+    let sums = Summaries::compute(&tp);
+    let an = analyze_function(&tp, &sums, "sweep").unwrap();
+    let pm = &an.loops[0].bottom.pm;
+    assert!(!pm.get("p'", "p").may_alias(), "\n{pm}");
+    let checks = check_function(&tp, &sums, &an, "sweep");
+    assert!(checks[0].parallelizable, "{:?}", checks[0].reasons);
+}
+
+#[test]
+fn mixed_direction_walk_is_not_proven_distinct() {
+    // Walking next then prev can return to the start — entries must stay
+    // conservative.
+    let src = "
+        type TW [X] {
+            int v;
+            TW *next is uniquely forward along X;
+            TW *prev is backward along X;
+        };
+        procedure wander(head: TW*) {
+            var p: TW*;
+            p = head->next;
+            p = p->prev;
+            p->v = 0;
+        }";
+    let tp = check_source(src).unwrap();
+    let sums = Summaries::compute(&tp);
+    let an = analyze_function(&tp, &sums, "wander").unwrap();
+    let (_, st) = an
+        .after
+        .iter()
+        .rev()
+        .find(|(_, st)| st.pm.has_var("p"))
+        .unwrap();
+    // head->next->prev IS head: must-alias or at least may-alias.
+    assert!(
+        st.pm.get("head", "p").may_alias(),
+        "next∘prev may return to head:\n{}",
+        st.pm
+    );
+}
+
+// ---------------------------------------------------------------- quadtree
+
+/// The §1 quadtree (2-D Figure 5): a leaf sweep along `next` with the
+/// `down` dimension read-only, exactly the BHL1 pattern one dimension down.
+const QUADTREE_PROGRAM: &str = "
+type Quadtree [down][leaves]
+{
+    real x, y, val;
+    bool is_leaf;
+    Quadtree *children[4] is uniquely forward along down;
+    Quadtree *next is uniquely forward along leaves;
+};
+
+procedure sweep_leaves(first: Quadtree*, c: real)
+{
+    var p: Quadtree*;
+    p = first;
+    while p <> NULL
+    {
+        p->val = p->val * c;
+        p = p->next;
+    }
+}
+
+procedure descend(root: Quadtree*)
+{
+    var p: Quadtree*;
+    p = root;
+    while p <> NULL
+    {
+        p->val = 0.0;
+        p = p->children[0];
+    }
+}
+";
+
+#[test]
+fn quadtree_leaf_sweep_is_parallelizable() {
+    let c = compile(QUADTREE_PROGRAM).unwrap();
+    let an = c.analysis("sweep_leaves").unwrap();
+    let checks = check_function(&c.tp, &c.summaries, an, "sweep_leaves");
+    assert!(checks[0].parallelizable, "{:?}", checks[0].reasons);
+    assert_eq!(checks[0].pattern.as_ref().unwrap().field, "next");
+}
+
+#[test]
+fn quadtree_spine_descent_never_revisits() {
+    // Walking children[0] is uniquely forward along `down`: each step is a
+    // new node, so the loop-carried alias must be refuted at fixpoint.
+    let c = compile(QUADTREE_PROGRAM).unwrap();
+    let an = c.analysis("descend").unwrap();
+    let lp = an
+        .loops
+        .first()
+        .expect("descend has a loop");
+    assert!(
+        !lp.bottom.pm.get("p'", "p").may_alias(),
+        "{}",
+        lp.bottom.pm.render()
+    );
+}

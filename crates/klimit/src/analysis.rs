@@ -1,0 +1,834 @@
+//! Abstract interpretation of IL functions over storage graphs.
+//!
+//! One analyzer serves all three §2.1 baselines; [`Mode`] selects the
+//! abstraction discipline applied after every transfer function:
+//!
+//! * [`Mode::Blob`] — every heap cell merges into the per-type external
+//!   node immediately: the "overly conservative assumptions" of
+//!   approach (1).
+//! * [`Mode::KLimit`]`(k)` — cells more than `k` dereferences from every
+//!   live variable merge into a per-type summary node (\[JM81\] and the
+//!   k-limited variations). Merging manufactures the spurious cycles the
+//!   paper criticizes.
+//! * [`Mode::AllocSite`] — recency-split allocation-site naming with
+//!   strong updates and allocation-ordered edges (\[CWZ90\] direction).
+//!
+//! All modes are intraprocedural with conservative call handling: a call
+//! havocs everything reachable from its pointer arguments into the
+//! external world. That is the honest classical setting — and exactly why
+//! §2.1 says these techniques fail "in the presence of general recursion":
+//! the invariant cannot cross a call boundary, while an ADDS declaration
+//! can.
+
+use crate::graph::{EdgeKind, Label, StorageGraph};
+use adds_lang::ast::*;
+use adds_lang::source::{Diagnostics, Span};
+use adds_lang::types::{check_source, TypedProgram};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which §2.1 baseline to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Approach (1): all pointer structures are one unknown blob.
+    Blob,
+    /// k-limited storage graphs \[JM81, LH88, HPR89\].
+    KLimit(usize),
+    /// Allocation-site naming with recency + ordered edges \[CWZ90\].
+    AllocSite,
+}
+
+impl Mode {
+    /// Human-readable name used by the ablation tables.
+    pub fn name(self) -> String {
+        match self {
+            Mode::Blob => "conservative".into(),
+            Mode::KLimit(k) => format!("k-limited(k={k})"),
+            Mode::AllocSite => "alloc-site (CWZ)".into(),
+        }
+    }
+
+    fn tracks_order(self) -> bool {
+        matches!(self, Mode::AllocSite)
+    }
+}
+
+/// Storage graphs computed for one function.
+#[derive(Clone, Debug)]
+pub struct FnGraphs {
+    /// Analyzed function name.
+    pub func: String,
+    /// Baseline discipline used.
+    pub mode: Mode,
+    /// Graph at function entry (parameters point at the external world).
+    pub entry: StorageGraph,
+    /// Graph at function exit.
+    pub exit: StorageGraph,
+    /// Per-loop head fixpoints, keyed by the loop's span start.
+    pub loops: BTreeMap<u32, LoopGraph>,
+}
+
+/// The fixpoint state of one `while`/`for` loop.
+#[derive(Clone, Debug)]
+pub struct LoopGraph {
+    /// The loop's source span.
+    pub span: Span,
+    /// Invariant graph at the loop head (holds before every iteration).
+    pub head: StorageGraph,
+}
+
+impl FnGraphs {
+    /// The loop whose span starts at `start`, if analyzed.
+    pub fn loop_at(&self, start: u32) -> Option<&LoopGraph> {
+        self.loops.get(&start)
+    }
+}
+
+/// Analyze `func` of an already-typed program under `mode`.
+pub fn analyze_function(tp: &TypedProgram, func: &str, mode: Mode) -> Option<FnGraphs> {
+    let f = tp.program.func(func)?;
+    let mut ana = Ana {
+        tp,
+        func: f,
+        mode,
+        sites: BTreeMap::new(),
+        loops: BTreeMap::new(),
+    };
+    let mut g = StorageGraph::new();
+    for p in &f.params {
+        match &p.ty {
+            Ty::Ptr(record) => {
+                let ext = ana.external(&mut g, record);
+                g.set_var(&p.name, [ext].into_iter().collect());
+            }
+            _ => { /* scalars irrelevant */ }
+        }
+    }
+    ana.normalize(&mut g);
+    let entry = g.clone();
+    let exit = ana.block(g, &f.body);
+    Some(FnGraphs {
+        func: func.to_string(),
+        mode,
+        entry,
+        exit,
+        loops: ana.loops,
+    })
+}
+
+/// Parse + typecheck `src`, then analyze `func` under `mode`.
+pub fn analyze_source(src: &str, func: &str, mode: Mode) -> Result<FnGraphs, Diagnostics> {
+    let tp = check_source(src)?;
+    analyze_function(&tp, func, mode).ok_or_else(|| {
+        let mut d = Diagnostics::default();
+        d.push(adds_lang::source::Diagnostic::new(
+            Span::default(),
+            format!("no such function `{func}`"),
+        ));
+        d
+    })
+}
+
+/// Fixpoint iteration bound; the label lattice is finite so this should
+/// never trigger — it guards against a non-monotone transfer bug.
+const MAX_FIXPOINT_ITERS: usize = 100;
+
+struct Ana<'a> {
+    tp: &'a TypedProgram,
+    func: &'a FunDecl,
+    mode: Mode,
+    /// Allocation sites keyed by the `new` expression's span start, so
+    /// site identity is stable across fixpoint re-analysis.
+    sites: BTreeMap<u32, u32>,
+    loops: BTreeMap<u32, LoopGraph>,
+}
+
+impl<'a> Ana<'a> {
+    // ----------------------------------------------------------- helpers
+
+    /// Get-or-create the external node for `record`, materializing its
+    /// conservative field closure (every pointer field of an external cell
+    /// may point at the external cell of the field's target type).
+    fn external(&self, g: &mut StorageGraph, record: &str) -> Label {
+        let label = Label::External(record.to_string());
+        if g.lookup(&label).is_some() {
+            return label;
+        }
+        let mut work = vec![record.to_string()];
+        while let Some(r) = work.pop() {
+            let l = Label::External(r.clone());
+            if g.lookup(&l).is_some() {
+                continue;
+            }
+            g.node(l.clone(), &r);
+            let Some(td) = self.tp.program.type_decl(&r) else {
+                continue;
+            };
+            let mut targets: Vec<(String, String)> = Vec::new();
+            for fd in &td.fields {
+                if let FieldKind::Pointer { target, .. } = &fd.kind {
+                    for name in &fd.names {
+                        targets.push((name.clone(), target.clone()));
+                    }
+                }
+            }
+            for (field, target) in targets {
+                let tl = Label::External(target.clone());
+                if g.lookup(&tl).is_none() {
+                    work.push(target.clone());
+                    work.push(r.clone()); // revisit to add the edge after target exists
+                    continue;
+                }
+                g.add_edge(&l, &field, tl, EdgeKind::Unordered);
+            }
+        }
+        // Second pass: with all nodes present, add every closure edge.
+        let records: Vec<String> = g
+            .labels()
+            .filter_map(|l| match l {
+                Label::External(r) => Some(r.clone()),
+                _ => None,
+            })
+            .collect();
+        for r in records {
+            let l = Label::External(r.clone());
+            let Some(td) = self.tp.program.type_decl(&r) else {
+                continue;
+            };
+            let mut edges: Vec<(String, String)> = Vec::new();
+            for fd in &td.fields {
+                if let FieldKind::Pointer { target, .. } = &fd.kind {
+                    for name in &fd.names {
+                        edges.push((name.clone(), target.clone()));
+                    }
+                }
+            }
+            for (field, target) in edges {
+                let tl = Label::External(target.clone());
+                if g.lookup(&tl).is_none() {
+                    g.node(tl.clone(), &target);
+                }
+                g.add_edge(&l, &field, tl, EdgeKind::Unordered);
+            }
+        }
+        label
+    }
+
+    fn site_of(&mut self, span: Span) -> u32 {
+        let next = self.sites.len() as u32;
+        *self.sites.entry(span.start).or_insert(next)
+    }
+
+    // ------------------------------------------------------ normalization
+
+    fn normalize(&self, g: &mut StorageGraph) {
+        match self.mode {
+            Mode::Blob => {
+                let heap: Vec<(Label, String)> = g
+                    .labels()
+                    .filter(|l| !matches!(l, Label::External(_)))
+                    .map(|l| {
+                        let id = g.lookup(l).unwrap();
+                        (l.clone(), g.record(id).to_string())
+                    })
+                    .collect();
+                for (l, r) in heap {
+                    self.external(g, &r);
+                    g.merge_into(&l, &Label::External(r));
+                }
+            }
+            Mode::KLimit(k) => {
+                g.collect_garbage();
+                loop {
+                    let depths = g.depths();
+                    let deep: Vec<(Label, String)> = g
+                        .labels()
+                        .filter(|l| !matches!(l, Label::External(_) | Label::Summary(_)))
+                        .filter(|l| depths.get(l).is_none_or(|d| *d > k))
+                        .map(|l| {
+                            let id = g.lookup(l).unwrap();
+                            (l.clone(), g.record(id).to_string())
+                        })
+                        .collect();
+                    if deep.is_empty() {
+                        break;
+                    }
+                    for (l, r) in deep {
+                        g.node(Label::Summary(r.clone()), &r);
+                        g.merge_into(&l, &Label::Summary(r));
+                    }
+                }
+            }
+            Mode::AllocSite => g.collect_garbage(),
+        }
+    }
+
+    // -------------------------------------------------- expression values
+
+    /// Evaluate an expression: apply its heap effects (calls, `new`) and
+    /// return its may-point-to set when pointer-typed.
+    fn eval(&mut self, g: &mut StorageGraph, e: &Expr) -> BTreeSet<Label> {
+        match e {
+            Expr::Int(..) | Expr::Real(..) | Expr::Bool(..) | Expr::Null(_) => BTreeSet::new(),
+            Expr::Var(v, _) => g.points_to(v),
+            Expr::New(record, span) => self.alloc(g, record, *span),
+            Expr::Field {
+                base, field, index, ..
+            } => {
+                if let Some(ix) = index {
+                    self.eval(g, ix);
+                }
+                let sources = self.eval(g, base);
+                let mut out = BTreeSet::new();
+                for src in sources {
+                    for (tgt, _) in g.edges(&src, field) {
+                        out.insert(tgt);
+                    }
+                }
+                out
+            }
+            Expr::Unary { operand, .. } => {
+                self.eval(g, operand);
+                BTreeSet::new()
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                self.eval(g, lhs);
+                self.eval(g, rhs);
+                BTreeSet::new()
+            }
+            Expr::Call(c) => self.call(g, c),
+        }
+    }
+
+    /// `new T`: demote the site's previous fresh node, then allocate.
+    fn alloc(&mut self, g: &mut StorageGraph, record: &str, span: Span) -> BTreeSet<Label> {
+        let site = self.site_of(span);
+        let fresh = Label::Fresh(site);
+        if g.lookup(&fresh).is_some() {
+            g.node(Label::Old(site), record);
+            g.merge_into(&fresh, &Label::Old(site));
+        }
+        g.node(fresh.clone(), record);
+        [fresh].into_iter().collect()
+    }
+
+    /// Conservative call: havoc everything reachable from pointer
+    /// arguments, return the external node of the return type.
+    fn call(&mut self, g: &mut StorageGraph, c: &Call) -> BTreeSet<Label> {
+        let mut roots: BTreeSet<Label> = BTreeSet::new();
+        for a in &c.args {
+            roots.extend(self.eval(g, a));
+        }
+        // Reach set.
+        let mut reach = roots.clone();
+        let mut work: Vec<Label> = roots.into_iter().collect();
+        while let Some(l) = work.pop() {
+            for (_, tgt, _) in g.out_edges(&l) {
+                if reach.insert(tgt.clone()) {
+                    work.push(tgt);
+                }
+            }
+        }
+        for l in reach {
+            if matches!(l, Label::External(_)) {
+                continue;
+            }
+            let record = g.record(g.lookup(&l).unwrap()).to_string();
+            self.external(g, &record);
+            g.merge_into(&l, &Label::External(record));
+        }
+        match self
+            .tp
+            .sigs
+            .get(&c.callee)
+            .and_then(|s| s.ret.clone())
+        {
+            Some(Ty::Ptr(r)) => {
+                let ext = self.external(g, &r);
+                [ext].into_iter().collect()
+            }
+            _ => BTreeSet::new(),
+        }
+    }
+
+    // ---------------------------------------------------------- statements
+
+    fn block(&mut self, mut g: StorageGraph, b: &Block) -> StorageGraph {
+        for s in &b.stmts {
+            g = self.stmt(g, s);
+        }
+        g
+    }
+
+    fn stmt(&mut self, mut g: StorageGraph, s: &Stmt) -> StorageGraph {
+        match s {
+            Stmt::VarDecl { name, ty, init, .. } => {
+                let is_ptr = match ty {
+                    Some(t) => t.is_pointer(),
+                    None => matches!(
+                        self.tp.var_ty(&self.func.name, name),
+                        Some(Ty::Ptr(_))
+                    ),
+                };
+                let pts = match init {
+                    Some(e) => self.eval(&mut g, e),
+                    None => BTreeSet::new(),
+                };
+                if is_ptr {
+                    g.set_var(name, pts);
+                }
+                self.normalize(&mut g);
+                g
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                let val = self.eval(&mut g, rhs);
+                self.assign(&mut g, lhs, val, rhs);
+                self.normalize(&mut g);
+                g
+            }
+            Stmt::While { cond, body, span } => self.loop_fixpoint(g, cond, body, *span),
+            Stmt::For {
+                from, to, body, span, ..
+            } => {
+                self.eval(&mut g, from);
+                self.eval(&mut g, to);
+                // A counted loop body may run zero or more times: same
+                // fixpoint as `while`, without a condition.
+                self.loop_fixpoint_body(g, None, body, *span)
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                self.eval(&mut g, cond);
+                let gt = self.block(g.clone(), then_blk);
+                let ge = match else_blk {
+                    Some(e) => self.block(g, e),
+                    None => g,
+                };
+                let mut j = gt.join(&ge);
+                self.normalize(&mut j);
+                j
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(v) = value {
+                    self.eval(&mut g, v);
+                }
+                g
+            }
+            Stmt::Call(c) => {
+                self.call(&mut g, c);
+                self.normalize(&mut g);
+                g
+            }
+        }
+    }
+
+    fn loop_fixpoint(
+        &mut self,
+        g: StorageGraph,
+        cond: &Expr,
+        body: &Block,
+        span: Span,
+    ) -> StorageGraph {
+        self.loop_fixpoint_body(g, Some(cond), body, span)
+    }
+
+    fn loop_fixpoint_body(
+        &mut self,
+        mut g: StorageGraph,
+        cond: Option<&Expr>,
+        body: &Block,
+        span: Span,
+    ) -> StorageGraph {
+        if let Some(c) = cond {
+            self.eval(&mut g, c);
+        }
+        self.normalize(&mut g);
+        let mut head = g.clone();
+        for iter in 0.. {
+            assert!(
+                iter < MAX_FIXPOINT_ITERS,
+                "storage-graph fixpoint failed to converge (non-monotone transfer?)"
+            );
+            let after = self.block(head.clone(), body);
+            let mut joined = g.join(&after);
+            self.normalize(&mut joined);
+            if joined.subsumed_by(&head) {
+                break;
+            }
+            head = joined;
+        }
+        self.loops.insert(
+            span.start,
+            LoopGraph {
+                span,
+                head: head.clone(),
+            },
+        );
+        head
+    }
+
+    /// Perform `lhs = val`, where `rhs` is the original right-hand side
+    /// (used to decide edge ordering).
+    fn assign(&mut self, g: &mut StorageGraph, lhs: &LValue, val: BTreeSet<Label>, rhs: &Expr) {
+        if lhs.is_var() {
+            let is_ptr = matches!(
+                self.tp.var_ty(&self.func.name, &lhs.base),
+                Some(Ty::Ptr(_))
+            );
+            if is_ptr {
+                g.set_var(&lhs.base, val);
+            }
+            return;
+        }
+
+        // Navigate the prefix: p->a->b = v stores through the cells of
+        // p->a. Loads along the way.
+        let mut sources = g.points_to(&lhs.base);
+        for step in &lhs.path[..lhs.path.len() - 1] {
+            if let Some(ix) = &step.index {
+                self.eval(g, ix);
+            }
+            let mut next = BTreeSet::new();
+            for s in &sources {
+                for (t, _) in g.edges(s, &step.field) {
+                    next.insert(t);
+                }
+            }
+            sources = next;
+        }
+        let last = lhs.path.last().expect("non-var lvalue has a path");
+        if let Some(ix) = &last.index {
+            self.eval(g, ix);
+        }
+
+        // Scalar stores don't change the graph.
+        let field_is_ptr = sources.iter().next().is_some_and(|s| {
+            let record = g.record(g.lookup(s).unwrap()).to_string();
+            matches!(self.tp.field_ty(&record, &last.field), Some(Ty::Ptr(_)))
+        });
+        if !field_is_ptr {
+            return;
+        }
+
+        let kind = self.store_kind(g, &sources, &val, rhs);
+        let strong = sources.len() == 1
+            && sources.iter().all(|s| !s.is_summary())
+            && g.lookup(sources.iter().next().unwrap()).is_some();
+        if strong {
+            let src = sources.iter().next().unwrap().clone();
+            let tgts: BTreeMap<Label, EdgeKind> =
+                val.iter().map(|t| (t.clone(), kind)).collect();
+            g.set_edges(&src, &last.field, tgts);
+        } else {
+            for src in &sources {
+                for tgt in &val {
+                    g.add_edge(src, &last.field, tgt.clone(), kind);
+                }
+            }
+        }
+    }
+
+    /// An edge is allocation-ordered when the analysis can see that every
+    /// stored target is a *virgin* cell — freshly allocated, with no
+    /// outgoing pointer edges yet — distinct from every store source. A
+    /// concrete cycle cannot consist solely of such edges (its
+    /// last-created edge would point at a cell that already carried an
+    /// outgoing cycle edge, contradicting virginity), so cycle queries may
+    /// ignore all-ordered cycles. Only the CWZ-style mode tracks this;
+    /// note it certifies append-built lists but not prepend-built ones
+    /// (where the stored target is the old head), a documented
+    /// imprecision relative to full \[CWZ90\].
+    fn store_kind(
+        &self,
+        g: &StorageGraph,
+        sources: &BTreeSet<Label>,
+        val: &BTreeSet<Label>,
+        _rhs: &Expr,
+    ) -> EdgeKind {
+        if !self.mode.tracks_order() {
+            return EdgeKind::Unordered;
+        }
+        if val.is_empty() {
+            return EdgeKind::Ordered; // storing NULL adds no edges anyway
+        }
+        let all_virgin_fresh = val
+            .iter()
+            .all(|t| matches!(t, Label::Fresh(_)) && g.out_edges(t).is_empty());
+        let disjoint = val.intersection(sources).next().is_none();
+        if all_virgin_fresh && disjoint {
+            EdgeKind::Ordered
+        } else {
+            EdgeKind::Unordered
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIST_DECL: &str = "
+type L { int v; L *next; };
+";
+
+    fn prog(body: &str) -> String {
+        format!("{LIST_DECL}\nprocedure main() {{\nvar a: L*; var b: L*; var p: L*;\n{body}\n}}")
+    }
+
+    fn analyze(body: &str, mode: Mode) -> FnGraphs {
+        analyze_source(&prog(body), "main", mode).expect("program analyzes")
+    }
+
+    #[test]
+    fn straight_line_list_stays_concrete_in_allocsite_mode() {
+        let g = analyze(
+            "a = new L; b = new L; a->next = b; p = a->next;",
+            Mode::AllocSite,
+        )
+        .exit;
+        // Two distinct sites, both fresh, p points exactly at b's cell.
+        assert_eq!(g.points_to("p"), g.points_to("b"));
+        assert_eq!(g.points_to("p").len(), 1);
+        assert_ne!(g.points_to("a"), g.points_to("b"));
+    }
+
+    #[test]
+    fn blob_mode_merges_everything_immediately() {
+        let g = analyze("a = new L; b = new L;", Mode::Blob).exit;
+        assert_eq!(g.points_to("a"), g.points_to("b"));
+        assert!(g
+            .points_to("a")
+            .iter()
+            .all(|l| matches!(l, Label::External(_))));
+    }
+
+    #[test]
+    fn loop_built_list_summarizes_under_klimit() {
+        let body = "
+a = new L;
+p = a;
+var i: int;
+i = 0;
+while i < 10 {
+    b = new L;
+    p->next = b;
+    p = b;
+    i = i + 1;
+}
+";
+        let g = analyze(body, Mode::KLimit(2)).exit;
+        // The interior cells merge into the site summary node, and the
+        // chain edges among them become an *unordered* next self-loop —
+        // the manufactured cycle of §2.1. (In k-limit mode no ordering is
+        // tracked, so nothing can exonerate the loop.)
+        let old = Label::Old(1);
+        assert!(g.lookup(&old).is_some(), "{g}");
+        let next = g.edges(&old, "next");
+        assert_eq!(next.get(&old), Some(&EdgeKind::Unordered), "{g}");
+    }
+
+    #[test]
+    fn deep_straight_line_chain_hits_the_k_frontier() {
+        // Four cells from four distinct sites, only the head kept in a
+        // variable: cells deeper than k=1 merge into the per-type Summary
+        // node and the chain edge between them becomes a self-loop.
+        let body = "
+a = new L;
+b = new L;
+a->next = b;
+p = new L;
+b->next = p;
+b = new L;
+p->next = b;
+b = NULL;
+p = NULL;
+";
+        let g = analyze(body, Mode::KLimit(1)).exit;
+        let sum = Label::Summary("L".into());
+        assert!(g.lookup(&sum).is_some(), "{g}");
+        assert!(
+            g.edges(&sum, "next").contains_key(&sum),
+            "summary must self-loop: {g}"
+        );
+        // With k=3 the same chain stays fully concrete.
+        let g3 = analyze(body, Mode::KLimit(3)).exit;
+        assert!(g3.lookup(&Label::Summary("L".into())).is_none(), "{g3}");
+    }
+
+    #[test]
+    fn loop_built_list_keeps_ordered_edges_under_allocsite() {
+        let body = "
+a = new L;
+p = a;
+var i: int;
+i = 0;
+while i < 10 {
+    b = new L;
+    p->next = b;
+    p = b;
+    i = i + 1;
+}
+";
+        let g = analyze(body, Mode::AllocSite).exit;
+        // The old summarized cells exist, but every next-edge among the
+        // loop cells is allocation-ordered, so no unordered self-loop.
+        let mut saw_ordered = false;
+        for l in g.labels() {
+            for (f, _tgt, k) in g.out_edges(l) {
+                if f == "next" && !matches!(l, Label::External(_)) {
+                    saw_ordered = true;
+                    assert_eq!(k, EdgeKind::Ordered, "unordered next edge at {l}: {g}");
+                }
+            }
+        }
+        assert!(saw_ordered, "expected next edges: {g}");
+    }
+
+    #[test]
+    fn explicit_cycle_store_is_unordered() {
+        let g = analyze("a = new L; b = new L; a->next = b; b->next = a;", Mode::AllocSite).exit;
+        // b->next = a stores an older cell (a has out-edges): unordered.
+        let a = g.points_to("a").into_iter().next().unwrap();
+        let b = g.points_to("b").into_iter().next().unwrap();
+        assert_eq!(g.edges(&b, "next")[&a], EdgeKind::Unordered);
+        assert_eq!(g.edges(&a, "next")[&b], EdgeKind::Ordered);
+    }
+
+    #[test]
+    fn self_store_is_unordered() {
+        let g = analyze("a = new L; a->next = a;", Mode::AllocSite).exit;
+        let a = g.points_to("a").into_iter().next().unwrap();
+        assert_eq!(g.edges(&a, "next")[&a], EdgeKind::Unordered);
+    }
+
+    #[test]
+    fn call_havocs_reachable_cells() {
+        let src = format!(
+            "{LIST_DECL}
+procedure touch(x: L*) {{ }}
+procedure main() {{
+    var a: L*; var b: L*;
+    a = new L;
+    b = new L;
+    a->next = b;
+    touch(a);
+}}"
+        );
+        let g = analyze_source(&src, "main", Mode::AllocSite).unwrap().exit;
+        assert!(
+            g.points_to("a")
+                .iter()
+                .all(|l| matches!(l, Label::External(_))),
+            "{g}"
+        );
+        assert!(g
+            .points_to("b")
+            .iter()
+            .all(|l| matches!(l, Label::External(_))));
+    }
+
+    #[test]
+    fn params_start_external() {
+        let src = format!("{LIST_DECL}\nprocedure f(h: L*) {{ var p: L*; p = h->next; }}");
+        let fg = analyze_source(&src, "f", Mode::AllocSite).unwrap();
+        assert_eq!(
+            fg.exit.points_to("p"),
+            fg.exit.points_to("h"),
+            "loads from external stay external"
+        );
+    }
+
+    #[test]
+    fn strong_update_overwrites_fresh_field() {
+        let g = analyze(
+            "a = new L; b = new L; a->next = b; a->next = NULL; p = a->next;",
+            Mode::AllocSite,
+        )
+        .exit;
+        assert!(g.points_to("p").is_empty(), "{g}");
+    }
+
+    #[test]
+    fn recency_split_keeps_fresh_and_old_nodes() {
+        // An append loop keeps the older cells reachable through the
+        // chain, so the loop site must show both its fresh and its old
+        // (summary) node, and stores into the old node must accumulate.
+        let body = "
+var i: int;
+a = new L;
+p = a;
+i = 0;
+while i < 3 {
+    b = new L;
+    p->next = b;
+    p = b;
+    i = i + 1;
+}
+";
+        let g = analyze(body, Mode::AllocSite).exit;
+        assert!(g.lookup(&Label::Fresh(1)).is_some(), "{g}");
+        assert!(g.lookup(&Label::Old(1)).is_some(), "{g}");
+        // The tail variable sees the fresh cell; the old summary stays
+        // reachable through the chain (head.next may reach it).
+        assert!(g.points_to("p").contains(&Label::Fresh(1)), "{g}");
+        let head = g.points_to("a").into_iter().next().unwrap();
+        assert!(g.edges(&head, "next").contains_key(&Label::Old(1)), "{g}");
+    }
+
+    #[test]
+    fn unreachable_old_cells_are_garbage_collected() {
+        // Allocating in a loop without linking drops the old cells: no
+        // variable or edge reaches them.
+        let body = "
+var i: int;
+i = 0;
+while i < 3 {
+    a = new L;
+    i = i + 1;
+}
+";
+        let g = analyze(body, Mode::AllocSite).exit;
+        assert!(g.lookup(&Label::Old(0)).is_none(), "{g}");
+        assert_eq!(g.points_to("a"), [Label::Fresh(0)].into_iter().collect());
+    }
+
+    #[test]
+    fn fixpoint_terminates_on_nested_loops() {
+        let body = "
+var i: int; var j: int;
+i = 0;
+while i < 4 {
+    a = new L;
+    j = 0;
+    while j < 4 {
+        b = new L;
+        a->next = b;
+        j = j + 1;
+    }
+    i = i + 1;
+}
+";
+        for mode in [Mode::Blob, Mode::KLimit(1), Mode::KLimit(3), Mode::AllocSite] {
+            let fg = analyze(body, mode);
+            assert_eq!(fg.loops.len(), 2, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn loop_head_graphs_are_recorded() {
+        let body = "
+a = new L;
+p = a;
+while p <> NULL {
+    p = p->next;
+}
+";
+        let fg = analyze(body, Mode::AllocSite);
+        assert_eq!(fg.loops.len(), 1);
+        let lg = fg.loops.values().next().unwrap();
+        assert!(lg.head.points_to("p").contains(&Label::Fresh(0)));
+    }
+}

@@ -1,0 +1,193 @@
+//! IL programs exercising the §2.1 baselines. Each builds (or receives) a
+//! one-way list and then runs the paper's §3.3.2 scaling loop over it; they
+//! differ only in *where the list comes from*, which is exactly the axis
+//! along which the prior analyses succeed or fail.
+//!
+//! None of these declare ADDS routes — the point of the comparison is what
+//! can be proven *without* declarations. Their ADDS twins live in
+//! `adds_lang::programs`.
+
+/// A four-cell list built by straight-line code, scaled in the same
+/// function. Heap analyses see four concrete cells: k-limiting succeeds
+/// for k ≥ 3 and fails for k = 1 (the depth-2/3 cells merge and the chain
+/// edge between them becomes a summary self-loop).
+pub const STRAIGHT_LINE_SCALE: &str = "
+type L { int v; L *next; };
+
+procedure main()
+{
+    var a: L*; var b: L*; var c: L*; var d: L*; var p: L*;
+    a = new L;
+    b = new L;
+    c = new L;
+    d = new L;
+    a->next = b;
+    b->next = c;
+    c->next = d;
+    b = NULL;
+    c = NULL;
+    d = NULL;
+    p = a;
+    while p <> NULL
+    {
+        p->v = p->v * 2;
+        p = p->next;
+    }
+}
+";
+
+/// An unbounded list built by a loop (append at the tail), scaled in the
+/// same function. The k-limit family merges the interior cells and
+/// manufactures a `next` cycle — §2.1's central complaint — while the
+/// CWZ-style mode keeps every `next` edge allocation-ordered and can still
+/// license the parallelization.
+pub const LOOP_BUILT_SCALE: &str = "
+type L { int v; L *next; };
+
+procedure main()
+{
+    var head: L*; var tail: L*; var b: L*; var p: L*;
+    var i: int;
+    head = new L;
+    tail = head;
+    i = 0;
+    while i < 100
+    {
+        b = new L;
+        tail->next = b;
+        tail = b;
+        i = i + 1;
+    }
+    p = head;
+    while p <> NULL
+    {
+        p->v = p->v * 2;
+        p = p->next;
+    }
+}
+";
+
+/// The same list built by a *recursive* function. Every baseline collapses
+/// at the call boundary ("fails … in the presence of general recursion"),
+/// while the ADDS declaration carries the shape across it.
+pub const RECURSIVE_BUILT_SCALE: &str = "
+type L { int v; L *next; };
+
+function build(n: int): L*
+{
+    var node: L*;
+    if n <= 0 { return NULL; }
+    node = new L;
+    node->v = n;
+    node->next = build(n - 1);
+    return node;
+}
+
+procedure main()
+{
+    var head: L*; var p: L*;
+    head = build(100);
+    p = head;
+    while p <> NULL
+    {
+        p->v = p->v * 2;
+        p = p->next;
+    }
+}
+";
+
+/// The paper's actual `scale` procedure: the list arrives as a parameter.
+/// With no declaration, a parameter is the unknown external world and
+/// nothing can be proven — "a lack of appropriate data structure
+/// declarations is the most serious impediment".
+pub const PARAM_SCALE: &str = "
+type L { int v; L *next; };
+
+procedure scale(head: L*, c: int)
+{
+    var p: L*;
+    p = head;
+    while p <> NULL
+    {
+        p->v = p->v * c;
+        p = p->next;
+    }
+}
+";
+
+/// The same unbounded list built by *prepending* at the head. Concretely
+/// just as acyclic as the append version, but our CWZ-style mode cannot
+/// certify it: the prepend store's target is the old head (a cell that
+/// already carries pointers), so the virgin-target ordering argument does
+/// not apply — a documented imprecision relative to full \[CWZ90\], which
+/// handles this case with reference counts. The declared shape is
+/// indifferent to build order: ADDS still proves the walk.
+pub const PREPEND_BUILT_SCALE: &str = "
+type L { int v; L *next; };
+
+procedure main()
+{
+    var head: L*; var b: L*; var p: L*;
+    var i: int;
+    head = NULL;
+    i = 0;
+    while i < 100
+    {
+        b = new L;
+        b->next = head;
+        head = b;
+        i = i + 1;
+    }
+    p = head;
+    while p <> NULL
+    {
+        p->v = p->v * 2;
+        p = p->next;
+    }
+}
+";
+
+/// The ADDS-declared twin of any of this module's programs: identical code,
+/// but the list type declares its shape (`next` is uniquely forward), which
+/// is what the paper's own analysis consumes. Used by the precision-ladder
+/// ablation to run ADDS + general path matrix analysis on the same inputs.
+pub fn adds_twin(src: &str) -> String {
+    src.replace(
+        "type L { int v; L *next; };",
+        "type L [X] { int v; L *next is uniquely forward along X; };",
+    )
+}
+
+/// All (name, program, function) triples, in the order the ladder prints
+/// them.
+pub fn ladder_programs() -> [(&'static str, &'static str, &'static str); 5] {
+    [
+        ("straight-line build", STRAIGHT_LINE_SCALE, "main"),
+        ("loop build (append)", LOOP_BUILT_SCALE, "main"),
+        ("loop build (prepend)", PREPEND_BUILT_SCALE, "main"),
+        ("recursive build", RECURSIVE_BUILT_SCALE, "main"),
+        ("list as parameter", PARAM_SCALE, "scale"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adds_lang::types::check_source;
+
+    #[test]
+    fn all_programs_typecheck() {
+        for (name, src, _) in ladder_programs() {
+            check_source(src).unwrap_or_else(|e| panic!("{name}: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn adds_twins_typecheck_and_differ() {
+        for (name, src, _) in ladder_programs() {
+            let twin = adds_twin(src);
+            assert_ne!(twin, src, "{name}: twin substitution must apply");
+            check_source(&twin).unwrap_or_else(|e| panic!("{name} twin: {e:?}"));
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Queries a parallelizing compiler would pose to a storage graph:
+//! may-alias, shape classification, and walk-distinctness (the fact that
+//! licenses strip-mining a pointer-chasing loop).
+
+use crate::graph::{EdgeKind, Label, StorageGraph};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// May `x` and `y` point at the same cell?
+///
+/// True iff their may-point-to sets intersect. Summary and external labels
+/// intersecting means "possibly the same concrete cell", which is all a
+/// may-analysis can say.
+pub fn may_alias(g: &StorageGraph, x: &str, y: &str) -> bool {
+    let px = g.points_to(x);
+    let py = g.points_to(y);
+    px.intersection(&py).next().is_some()
+}
+
+/// Shape estimate for the structure reachable from `roots`, mirroring the
+/// tree / DAG / cyclic trichotomy the paper uses for Figure 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Shape {
+    /// No abstract sharing, no possible cycle.
+    Tree,
+    /// Sharing (a cell with more than one abstract in-edge) but no
+    /// possible cycle.
+    Dag,
+    /// A cycle cannot be ruled out.
+    Cyclic,
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Shape::Tree => write!(f, "tree"),
+            Shape::Dag => write!(f, "DAG (shared)"),
+            Shape::Cyclic => write!(f, "possibly cyclic"),
+        }
+    }
+}
+
+/// Classify the structure reachable from `roots`.
+///
+/// A cycle is *possible* when the reachable subgraph contains a cycle with
+/// at least one [`EdgeKind::Unordered`] edge (a cycle of all-ordered edges
+/// would have to visit strictly newer cells forever — concretely
+/// impossible). Sharing is judged by abstract in-degree, where summary
+/// sources count as many.
+pub fn classify_shape(g: &StorageGraph, roots: &BTreeSet<Label>) -> Shape {
+    let reach = reachable(g, roots);
+    if has_mixed_cycle(g, &reach) {
+        return Shape::Cyclic;
+    }
+    // Summary nodes represent many cells: a self-edge among them was
+    // already handled by the cycle check (merging makes those edges
+    // unordered unless proven); sharing remains.
+    let shared = reach
+        .iter()
+        .any(|l| g.abstract_in_degree(l) > 1);
+    if shared {
+        Shape::Dag
+    } else {
+        Shape::Tree
+    }
+}
+
+/// The core strip-mining question (§4.3.2): in a loop advancing along
+/// `field` from the cells in `start`, can two iterations ever see the same
+/// cell?
+///
+/// Returns `true` (distinct) iff the `field`-subgraph reachable from
+/// `start`:
+///
+/// 1. contains no external node (unknown world ⇒ anything possible), and
+/// 2. contains no cycle with an unordered edge (an all-ordered cycle is
+///    concretely impossible), and
+/// 3. contains no unordered self-loop on a summary node (two iterations
+///    may land on two cells both represented by the summary — only the
+///    allocation-order argument rules out a revisit).
+///
+/// Conditions 2 and 3 coincide: a summary self-loop *is* a cycle in the
+/// abstract graph, so the single mixed-cycle test covers both.
+pub fn walk_is_distinct(g: &StorageGraph, start: &BTreeSet<Label>, field: &str) -> bool {
+    // Restrict reachability to `field` edges.
+    let mut reach: BTreeSet<Label> = start.clone();
+    let mut work: Vec<Label> = start.iter().cloned().collect();
+    while let Some(l) = work.pop() {
+        if matches!(l, Label::External(_)) {
+            return false;
+        }
+        for (tgt, _) in g.edges(&l, field) {
+            if reach.insert(tgt.clone()) {
+                work.push(tgt);
+            }
+        }
+    }
+    if reach.iter().any(|l| matches!(l, Label::External(_))) {
+        return false;
+    }
+    !field_subgraph_has_mixed_cycle(g, &reach, field)
+}
+
+fn reachable(g: &StorageGraph, roots: &BTreeSet<Label>) -> BTreeSet<Label> {
+    let mut reach = roots.clone();
+    let mut work: Vec<Label> = roots.iter().cloned().collect();
+    while let Some(l) = work.pop() {
+        for (_, tgt, _) in g.out_edges(&l) {
+            if reach.insert(tgt.clone()) {
+                work.push(tgt);
+            }
+        }
+    }
+    reach
+}
+
+/// Is there a cycle within `scope` containing at least one unordered edge?
+fn has_mixed_cycle(g: &StorageGraph, scope: &BTreeSet<Label>) -> bool {
+    any_mixed_cycle(scope, |l| {
+        g.out_edges(l)
+            .into_iter()
+            .filter(|(_, t, _)| scope.contains(t))
+            .map(|(_, t, k)| (t, k))
+            .collect()
+    })
+}
+
+fn field_subgraph_has_mixed_cycle(
+    g: &StorageGraph,
+    scope: &BTreeSet<Label>,
+    field: &str,
+) -> bool {
+    any_mixed_cycle(scope, |l| {
+        g.edges(l, field)
+            .into_iter()
+            .filter(|(t, _)| scope.contains(t))
+            .collect()
+    })
+}
+
+/// Cycle detection distinguishing edge kinds. A cycle made only of
+/// [`EdgeKind::Ordered`] edges is ignored (concretely impossible); any
+/// cycle containing an unordered edge counts.
+///
+/// Implementation: Tarjan-free two-pass — first find cycles in the full
+/// subgraph; if a cycle exists, check whether removing ordered edges still
+/// leaves a cycle through each strongly connected region. Since graphs
+/// here are tiny (≤ tens of nodes), we simply test: does the subgraph
+/// restricted to *all* edges contain a cycle through any unordered edge?
+/// An unordered edge `u → v` lies on a cycle iff `u` is reachable from
+/// `v`.
+fn any_mixed_cycle<F>(scope: &BTreeSet<Label>, succ: F) -> bool
+where
+    F: Fn(&Label) -> BTreeMap<Label, EdgeKind>,
+{
+    for u in scope {
+        for (v, kind) in succ(u) {
+            if kind == EdgeKind::Ordered {
+                continue;
+            }
+            // unordered u → v: cycle iff u reachable from v
+            let mut seen: BTreeSet<Label> = BTreeSet::new();
+            let mut work = vec![v.clone()];
+            while let Some(n) = work.pop() {
+                if &n == u {
+                    return true;
+                }
+                if !seen.insert(n.clone()) {
+                    continue;
+                }
+                for (t, _) in succ(&n) {
+                    work.push(t);
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{EdgeKind, Label, StorageGraph};
+
+    fn set(labels: &[Label]) -> BTreeSet<Label> {
+        labels.iter().cloned().collect()
+    }
+
+    fn chain(kind: EdgeKind) -> (StorageGraph, BTreeSet<Label>) {
+        let mut g = StorageGraph::new();
+        g.node(Label::Fresh(0), "L");
+        g.node(Label::Fresh(1), "L");
+        g.node(Label::Fresh(2), "L");
+        g.add_edge(&Label::Fresh(0), "next", Label::Fresh(1), kind);
+        g.add_edge(&Label::Fresh(1), "next", Label::Fresh(2), kind);
+        (g, set(&[Label::Fresh(0)]))
+    }
+
+    #[test]
+    fn acyclic_chain_is_distinct_and_tree() {
+        let (g, roots) = chain(EdgeKind::Unordered);
+        assert!(walk_is_distinct(&g, &roots, "next"));
+        assert_eq!(classify_shape(&g, &roots), Shape::Tree);
+    }
+
+    #[test]
+    fn unordered_self_loop_blocks_distinctness() {
+        let (mut g, roots) = chain(EdgeKind::Unordered);
+        g.add_edge(
+            &Label::Fresh(2),
+            "next",
+            Label::Fresh(2),
+            EdgeKind::Unordered,
+        );
+        assert!(!walk_is_distinct(&g, &roots, "next"));
+        assert_eq!(classify_shape(&g, &roots), Shape::Cyclic);
+    }
+
+    #[test]
+    fn ordered_self_loop_is_harmless() {
+        // The CWZ-style summary of a loop-built list: old#0 --ordered--> old#0.
+        let mut g = StorageGraph::new();
+        g.node(Label::Fresh(0), "L");
+        g.node(Label::Old(1), "L");
+        g.add_edge(&Label::Fresh(0), "next", Label::Old(1), EdgeKind::Ordered);
+        g.add_edge(&Label::Old(1), "next", Label::Old(1), EdgeKind::Ordered);
+        let roots = set(&[Label::Fresh(0)]);
+        assert!(walk_is_distinct(&g, &roots, "next"));
+        // Ordering proves acyclicity but not absence of sharing: two old
+        // cells may point at the same newer cell with both edges ordered.
+        // Without CWZ's reference counts the summary self-edge must be
+        // reported as possible sharing — DAG, not tree.
+        assert_eq!(classify_shape(&g, &roots), Shape::Dag);
+    }
+
+    #[test]
+    fn mixed_cycle_is_detected() {
+        // a --ordered--> b --unordered--> a : possible concrete cycle.
+        let mut g = StorageGraph::new();
+        g.node(Label::Fresh(0), "L");
+        g.node(Label::Fresh(1), "L");
+        g.add_edge(&Label::Fresh(0), "next", Label::Fresh(1), EdgeKind::Ordered);
+        g.add_edge(
+            &Label::Fresh(1),
+            "next",
+            Label::Fresh(0),
+            EdgeKind::Unordered,
+        );
+        let roots = set(&[Label::Fresh(0)]);
+        assert!(!walk_is_distinct(&g, &roots, "next"));
+        assert_eq!(classify_shape(&g, &roots), Shape::Cyclic);
+    }
+
+    #[test]
+    fn external_world_blocks_distinctness() {
+        let mut g = StorageGraph::new();
+        g.node(Label::External("L".into()), "L");
+        let roots = set(&[Label::External("L".into())]);
+        assert!(!walk_is_distinct(&g, &roots, "next"));
+    }
+
+    #[test]
+    fn sharing_makes_dag() {
+        // two parents point at one child, no cycles
+        let mut g = StorageGraph::new();
+        g.node(Label::Fresh(0), "T");
+        g.node(Label::Fresh(1), "T");
+        g.node(Label::Fresh(2), "T");
+        g.add_edge(&Label::Fresh(0), "left", Label::Fresh(2), EdgeKind::Unordered);
+        g.add_edge(&Label::Fresh(1), "left", Label::Fresh(2), EdgeKind::Unordered);
+        let roots = set(&[Label::Fresh(0), Label::Fresh(1)]);
+        assert_eq!(classify_shape(&g, &roots), Shape::Dag);
+    }
+
+    #[test]
+    fn may_alias_by_intersection() {
+        let mut g = StorageGraph::new();
+        g.node(Label::Fresh(0), "L");
+        g.node(Label::Fresh(1), "L");
+        g.set_var("x", set(&[Label::Fresh(0), Label::Fresh(1)]));
+        g.set_var("y", set(&[Label::Fresh(1)]));
+        g.set_var("z", set(&[Label::Fresh(0)]));
+        assert!(may_alias(&g, "x", "y"));
+        assert!(may_alias(&g, "x", "z"));
+        assert!(!may_alias(&g, "y", "z"));
+        assert!(!may_alias(&g, "y", "unbound"));
+    }
+
+    #[test]
+    fn off_field_cycle_does_not_block_walk() {
+        // A cycle through `prev` must not prevent a `next` walk from being
+        // distinct (the paper's two-way list: forward-only traversals are
+        // fine even though next/prev form 2-cycles — though prior analyses
+        // only see this when the cells are concrete).
+        let mut g = StorageGraph::new();
+        g.node(Label::Fresh(0), "L");
+        g.node(Label::Fresh(1), "L");
+        g.add_edge(&Label::Fresh(0), "next", Label::Fresh(1), EdgeKind::Unordered);
+        g.add_edge(&Label::Fresh(1), "prev", Label::Fresh(0), EdgeKind::Unordered);
+        let roots = set(&[Label::Fresh(0)]);
+        assert!(walk_is_distinct(&g, &roots, "next"));
+        // But the full-shape classification reports the cycle.
+        assert_eq!(classify_shape(&g, &roots), Shape::Cyclic);
+    }
+}

@@ -1,0 +1,168 @@
+//! Robustness of the §2.1 baseline analyses on the paper's real programs:
+//! every function of the Barnes–Hut IL (array-of-pointer fields, recursion,
+//! mutual calls, nested control flow) must analyze without panicking and
+//! produce sound-looking graphs, in every mode.
+
+use adds_klimit::{analyze_function, check_function, classify_shape, Mode, Shape};
+use adds_lang::programs;
+use adds_lang::types::check_source;
+
+const MODES: [Mode; 4] = [
+    Mode::Blob,
+    Mode::KLimit(1),
+    Mode::KLimit(3),
+    Mode::AllocSite,
+];
+
+#[test]
+fn every_barnes_hut_function_analyzes_in_every_mode() {
+    let tp = check_source(programs::BARNES_HUT).unwrap();
+    for f in &tp.program.funcs {
+        for mode in MODES {
+            let fg = analyze_function(&tp, &f.name, mode)
+                .unwrap_or_else(|| panic!("{}: no analysis", f.name));
+            assert_eq!(fg.func, f.name);
+            // Exit graphs must be renderable and self-consistent.
+            let rendered = fg.exit.render();
+            assert!(rendered.is_ascii() || !rendered.is_empty());
+        }
+    }
+}
+
+#[test]
+fn build_tree_loops_are_never_licensed() {
+    // build_tree mutates the structure through calls; no baseline (and
+    // also not the ADDS pipeline — see core's tests) may parallelize it.
+    let tp = check_source(programs::BARNES_HUT).unwrap();
+    for mode in MODES {
+        for chk in check_function(&tp, "build_tree", mode) {
+            assert!(!chk.parallelizable, "{}: {:?}", mode.name(), chk.span);
+        }
+    }
+}
+
+#[test]
+fn array_pointer_fields_are_tracked_per_name() {
+    // Stores through subtrees[i] are merged over the whole field (index-
+    // insensitive), which must be conservative: after storing through one
+    // index, a load from any index may see the stored cell.
+    let src = "
+type T { int v; T *kids[4]; };
+procedure main() {
+    var a: T*; var b: T*; var c: T*;
+    a = new T;
+    b = new T;
+    a->kids[0] = b;
+    c = a->kids[3];
+}";
+    let tp = check_source(src).unwrap();
+    let fg = analyze_function(&tp, "main", Mode::AllocSite).unwrap();
+    assert_eq!(
+        fg.exit.points_to("c"),
+        fg.exit.points_to("b"),
+        "index-insensitive field load must see the store\n{}",
+        fg.exit
+    );
+}
+
+#[test]
+fn if_join_unions_both_branches() {
+    let src = "
+type L { int v; L *next; };
+procedure main(flag: bool) {
+    var a: L*; var b: L*; var p: L*;
+    a = new L;
+    b = new L;
+    if flag { p = a; } else { p = b; }
+}";
+    let tp = check_source(src).unwrap();
+    let fg = analyze_function(&tp, "main", Mode::AllocSite).unwrap();
+    let pts = fg.exit.points_to("p");
+    assert_eq!(pts.len(), 2, "{}", fg.exit);
+    assert!(adds_klimit::may_alias(&fg.exit, "p", "a"));
+    assert!(adds_klimit::may_alias(&fg.exit, "p", "b"));
+    assert!(!adds_klimit::may_alias(&fg.exit, "a", "b"));
+}
+
+#[test]
+fn counted_for_loop_is_treated_as_zero_or_more() {
+    // The body may never run: bindings before the loop must survive the
+    // join, and loop effects must be included.
+    let src = "
+type L { int v; L *next; };
+procedure main() {
+    var a: L*; var p: L*;
+    var i: int;
+    a = new L;
+    p = a;
+    for i = 0 to 9 {
+        p = new L;
+    }
+}";
+    let tp = check_source(src).unwrap();
+    let fg = analyze_function(&tp, "main", Mode::AllocSite).unwrap();
+    let pts = fg.exit.points_to("p");
+    assert!(pts.contains(&adds_klimit::Label::Fresh(0)), "{}", fg.exit);
+    assert!(pts.contains(&adds_klimit::Label::Fresh(1)), "{}", fg.exit);
+}
+
+#[test]
+fn acyclic_build_classifies_acyclic_in_allocsite_mode() {
+    // An append-built list from the roots of all variables: shape must
+    // not be Cyclic under the ordering refinement.
+    let src = "
+type L { int v; L *next; };
+procedure main() {
+    var a: L*; var t: L*; var b: L*;
+    var i: int;
+    a = new L;
+    t = a;
+    i = 0;
+    while i < 50 {
+        b = new L;
+        t->next = b;
+        t = b;
+        i = i + 1;
+    }
+}";
+    let tp = check_source(src).unwrap();
+    let fg = analyze_function(&tp, "main", Mode::AllocSite).unwrap();
+    let roots = fg.exit.points_to("a");
+    assert_ne!(classify_shape(&fg.exit, &roots), Shape::Cyclic, "{}", fg.exit);
+    // The same program under k-limiting *is* classified cyclic — the
+    // spurious cycle of §2.1.
+    let fg = analyze_function(&tp, "main", Mode::KLimit(2)).unwrap();
+    let roots = fg.exit.points_to("a");
+    assert_eq!(classify_shape(&fg.exit, &roots), Shape::Cyclic, "{}", fg.exit);
+}
+
+#[test]
+fn explicit_ring_is_cyclic_in_every_mode() {
+    let src = "
+type L { int v; L *next; };
+procedure main() {
+    var a: L*; var b: L*;
+    a = new L;
+    b = new L;
+    a->next = b;
+    b->next = a;
+}";
+    let tp = check_source(src).unwrap();
+    for mode in MODES {
+        let fg = analyze_function(&tp, "main", mode).unwrap();
+        let roots = fg.exit.points_to("a");
+        assert_eq!(
+            classify_shape(&fg.exit, &roots),
+            Shape::Cyclic,
+            "{}: a ring must classify cyclic",
+            mode.name()
+        );
+    }
+}
+
+#[test]
+fn mode_names_are_stable_for_reports() {
+    assert_eq!(Mode::Blob.name(), "conservative");
+    assert_eq!(Mode::KLimit(2).name(), "k-limited(k=2)");
+    assert_eq!(Mode::AllocSite.name(), "alloc-site (CWZ)");
+}

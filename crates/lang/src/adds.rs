@@ -1,0 +1,565 @@
+//! Semantic model of ADDS declarations.
+//!
+//! This module resolves the syntactic `TypeDecl`s into a queryable model:
+//! dimensions get indices, fields get resolved routes, independence is a
+//! symmetric relation, and the well-formedness rules of §3.1 are enforced.
+//!
+//! The properties the model exposes are exactly the ones the analysis
+//! exploits (§3.1, §3.3):
+//!
+//! * a `forward` field along dimension `D` moves away from `D`'s origin, so
+//!   chains of forward fields along one dimension are **acyclic**;
+//! * a `uniquely forward` field additionally guarantees at most one incoming
+//!   link per node along `D`, so distinct forward traversals are **disjoint**
+//!   (trees rather than DAGs);
+//! * fields grouped in one declaration (e.g. `*left, *right`) traverse to
+//!   **disjoint** substructures;
+//! * `where A || B` declares dimensions **independent**: no node reachable by
+//!   forward traversal along `A` is reachable by forward traversal along `B`.
+
+use crate::ast::{Direction, FieldKind, Program, ScalarTy, TypeDecl};
+use crate::source::{Diagnostic, Diagnostics};
+use std::collections::HashMap;
+
+/// Index of a dimension within one ADDS type.
+pub type DimId = usize;
+
+/// Resolved model for one ADDS record type.
+#[derive(Clone, Debug)]
+pub struct AddsType {
+    /// Record type name.
+    pub name: String,
+    /// Declared dimension names, in order.
+    pub dims: Vec<String>,
+    /// Symmetric independence relation, indexed `[a][b]`.
+    independent: Vec<Vec<bool>>,
+    /// Resolved fields, in declaration order.
+    pub fields: Vec<AddsField>,
+    /// Groups of pointer-field indices declared together (disjointness).
+    pub groups: Vec<Vec<usize>>,
+}
+
+/// Resolved model for one field.
+#[derive(Clone, Debug)]
+pub struct AddsField {
+    /// Field name.
+    pub name: String,
+    /// Scalar or pointer with its resolved route.
+    pub kind: AddsFieldKind,
+}
+
+/// Resolved field payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AddsFieldKind {
+    /// A scalar field.
+    Scalar(ScalarTy),
+    /// A recursive pointer field.
+    Pointer {
+        /// Target record type.
+        target: String,
+        /// `Some(n)` for `*f[n]` array fields.
+        array_len: Option<usize>,
+        /// The resolved ADDS route.
+        route: ResolvedRoute,
+    },
+}
+
+/// Route with the dimension resolved to an index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResolvedRoute {
+    /// At most one incoming link per node along the dimension.
+    pub unique: bool,
+    /// Forward, backward, or unknown.
+    pub direction: Direction,
+    /// Index into [`AddsType::dims`].
+    pub dim: DimId,
+}
+
+impl ResolvedRoute {
+    /// Forward and backward routes are acyclic by definition; only the
+    /// default `unknown` direction may close cycles (paper §3.1.2).
+    pub fn is_acyclic(&self) -> bool {
+        !matches!(self.direction, Direction::Unknown)
+    }
+}
+
+impl AddsType {
+    /// Are dimensions `a` and `b` declared independent?
+    pub fn dims_independent(&self, a: DimId, b: DimId) -> bool {
+        self.independent
+            .get(a)
+            .and_then(|row| row.get(b))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Index of dimension `name`.
+    pub fn dim_id(&self, name: &str) -> Option<DimId> {
+        self.dims.iter().position(|d| d == name)
+    }
+
+    /// The resolved field named `name`.
+    pub fn field(&self, name: &str) -> Option<&AddsField> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Position of field `name` in declaration order.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// The resolved route of a pointer field, if `name` is one.
+    pub fn route(&self, name: &str) -> Option<ResolvedRoute> {
+        match self.field(name).map(|f| &f.kind) {
+            Some(AddsFieldKind::Pointer { route, .. }) => Some(*route),
+            _ => None,
+        }
+    }
+
+    /// Is `field` declared (uniquely or not) forward along some dimension?
+    pub fn is_forward(&self, field: &str) -> bool {
+        self.route(field)
+            .is_some_and(|r| r.direction == Direction::Forward)
+    }
+
+    /// Is `field` a `uniquely forward` field? This is the property that makes
+    /// `p = p->f` provably move to a *new* node on every application, and
+    /// forward chains disjoint (§3.1.1).
+    pub fn is_uniquely_forward(&self, field: &str) -> bool {
+        self.route(field)
+            .is_some_and(|r| r.unique && r.direction == Direction::Forward)
+    }
+
+    /// Is traversal along `field` guaranteed acyclic?
+    pub fn is_acyclic_field(&self, field: &str) -> bool {
+        self.route(field).is_some_and(|r| r.is_acyclic())
+    }
+
+    /// Do `f` and `g` traverse the *same dimension* in *opposite directions*?
+    /// (e.g. `next`/`prev`). The analysis must not mistake such pairs for
+    /// cycles: the abstraction "frees the approximation from estimating
+    /// needless cycles" (§3.3).
+    pub fn opposite_pair(&self, f: &str, g: &str) -> bool {
+        match (self.route(f), self.route(g)) {
+            (Some(rf), Some(rg)) => {
+                rf.dim == rg.dim
+                    && matches!(
+                        (rf.direction, rg.direction),
+                        (Direction::Forward, Direction::Backward)
+                            | (Direction::Backward, Direction::Forward)
+                    )
+            }
+            _ => false,
+        }
+    }
+
+    /// Are two pointer fields declared in the same group (disjoint subtrees)?
+    pub fn same_group(&self, f: &str, g: &str) -> bool {
+        let (Some(fi), Some(gi)) = (self.field_index(f), self.field_index(g)) else {
+            return false;
+        };
+        self.groups
+            .iter()
+            .any(|grp| grp.contains(&fi) && grp.contains(&gi))
+    }
+
+    /// Are forward traversals along the dimensions of `f` and `g` provably
+    /// disjoint because the dimensions are independent?
+    pub fn fields_on_independent_dims(&self, f: &str, g: &str) -> bool {
+        match (self.route(f), self.route(g)) {
+            (Some(rf), Some(rg)) => self.dims_independent(rf.dim, rg.dim),
+            _ => false,
+        }
+    }
+
+    /// Pointer fields traversing dimension `dim`, with their directions.
+    pub fn fields_along(&self, dim: DimId) -> Vec<(&str, ResolvedRoute)> {
+        self.fields
+            .iter()
+            .filter_map(|f| match &f.kind {
+                AddsFieldKind::Pointer { route, .. } if route.dim == dim => {
+                    Some((f.name.as_str(), *route))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// The resolved ADDS environment for a whole program: every record type.
+#[derive(Clone, Debug, Default)]
+pub struct AddsEnv {
+    types: HashMap<String, AddsType>,
+}
+
+impl AddsEnv {
+    /// The resolved model for record type `name`.
+    pub fn get(&self, name: &str) -> Option<&AddsType> {
+        self.types.get(name)
+    }
+
+    /// All resolved record types (unordered).
+    pub fn types(&self) -> impl Iterator<Item = &AddsType> {
+        self.types.values()
+    }
+
+    /// Number of record types in the program.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Whether the program declares no record types.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// Build and well-formedness-check the environment for `program`.
+    pub fn build(program: &Program) -> Result<AddsEnv, Diagnostics> {
+        let mut diags = Diagnostics::default();
+        let mut env = AddsEnv::default();
+
+        let names: Vec<&str> = program.types.iter().map(|t| t.name.as_str()).collect();
+        for decl in &program.types {
+            if env.types.contains_key(&decl.name) {
+                diags.push(Diagnostic::new(
+                    decl.span,
+                    format!("duplicate type declaration `{}`", decl.name),
+                ));
+                continue;
+            }
+            if let Some(t) = resolve_type(decl, &names, &mut diags) {
+                env.types.insert(decl.name.clone(), t);
+            }
+        }
+        diags.into_result(env)
+    }
+}
+
+/// The implicit dimension name used when a type declares no dimensions:
+/// "by default, a structure has one dimension D" (§3.1.2).
+pub const DEFAULT_DIM: &str = "D";
+
+fn resolve_type(
+    decl: &TypeDecl,
+    known_types: &[&str],
+    diags: &mut Diagnostics,
+) -> Option<AddsType> {
+    let mut ok = true;
+
+    // Dimensions: explicit list, or the implicit default `D`.
+    let dims: Vec<String> = if decl.dims.is_empty() {
+        vec![DEFAULT_DIM.to_string()]
+    } else {
+        decl.dims.clone()
+    };
+    for (i, d) in dims.iter().enumerate() {
+        if dims[..i].contains(d) {
+            diags.push(Diagnostic::new(
+                decl.span,
+                format!("duplicate dimension `{d}` in type `{}`", decl.name),
+            ));
+            ok = false;
+        }
+    }
+
+    let dim_id = |name: &str| dims.iter().position(|d| d == name);
+
+    // Independence relation (symmetric closure of the declared pairs).
+    let n = dims.len();
+    let mut independent = vec![vec![false; n]; n];
+    for (a, b) in &decl.independent {
+        match (dim_id(a), dim_id(b)) {
+            (Some(ia), Some(ib)) if ia != ib => {
+                independent[ia][ib] = true;
+                independent[ib][ia] = true;
+            }
+            (Some(_), Some(_)) => {
+                diags.push(Diagnostic::new(
+                    decl.span,
+                    format!("dimension `{a}` cannot be independent of itself"),
+                ));
+                ok = false;
+            }
+            _ => {
+                diags.push(Diagnostic::new(
+                    decl.span,
+                    format!(
+                        "independence clause references undeclared dimension in `{} || {}`",
+                        a, b
+                    ),
+                ));
+                ok = false;
+            }
+        }
+    }
+
+    // Fields.
+    let mut fields = Vec::new();
+    let mut groups = Vec::new();
+    let mut seen_fields: HashMap<&str, ()> = HashMap::new();
+    for fd in &decl.fields {
+        for name in &fd.names {
+            if seen_fields.insert(name, ()).is_some() {
+                diags.push(Diagnostic::new(
+                    fd.span,
+                    format!("duplicate field `{name}` in type `{}`", decl.name),
+                ));
+                ok = false;
+            }
+        }
+        match &fd.kind {
+            FieldKind::Scalar(st) => {
+                for name in &fd.names {
+                    fields.push(AddsField {
+                        name: name.clone(),
+                        kind: AddsFieldKind::Scalar(*st),
+                    });
+                }
+            }
+            FieldKind::Pointer {
+                target,
+                array_len,
+                route,
+            } => {
+                if !known_types.contains(&target.as_str()) {
+                    diags.push(Diagnostic::new(
+                        fd.span,
+                        format!(
+                            "pointer field target type `{target}` is not declared (in `{}`)",
+                            decl.name
+                        ),
+                    ));
+                    ok = false;
+                }
+                let resolved = match route {
+                    Some(r) => match dim_id(&r.dim) {
+                        Some(d) => ResolvedRoute {
+                            unique: r.unique,
+                            direction: r.direction,
+                            dim: d,
+                        },
+                        None => {
+                            diags.push(Diagnostic::new(
+                                fd.span,
+                                format!(
+                                    "route references undeclared dimension `{}` (in `{}`)",
+                                    r.dim, decl.name
+                                ),
+                            ));
+                            ok = false;
+                            ResolvedRoute {
+                                unique: false,
+                                direction: Direction::Unknown,
+                                dim: 0,
+                            }
+                        }
+                    },
+                    // Default: unknown direction along the first dimension.
+                    None => ResolvedRoute {
+                        unique: false,
+                        direction: Direction::Unknown,
+                        dim: 0,
+                    },
+                };
+                let start = fields.len();
+                for name in &fd.names {
+                    fields.push(AddsField {
+                        name: name.clone(),
+                        kind: AddsFieldKind::Pointer {
+                            target: target.clone(),
+                            array_len: *array_len,
+                            route: resolved,
+                        },
+                    });
+                }
+                // A multi-name pointer declaration, or an array field, forms
+                // a disjointness group (paper: "listing the fields left and
+                // right together" / `subtrees[8]`).
+                if fd.names.len() > 1 || array_len.is_some() {
+                    groups.push((start..fields.len()).collect());
+                }
+            }
+        }
+    }
+
+    // Every explicitly declared dimension should be traversed by some field;
+    // a dimension nothing traverses is almost certainly a typo.
+    for (i, d) in dims.iter().enumerate() {
+        if !decl.dims.is_empty() {
+            let used = fields.iter().any(|f| match &f.kind {
+                AddsFieldKind::Pointer { route, .. } => route.dim == i,
+                _ => false,
+            });
+            if !used {
+                diags.push(Diagnostic::new(
+                    decl.span,
+                    format!("dimension `{d}` of `{}` is traversed by no field", decl.name),
+                ));
+                ok = false;
+            }
+        }
+    }
+
+    ok.then_some(AddsType {
+        name: decl.name.clone(),
+        dims,
+        independent,
+        fields,
+        groups,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn env_of(src: &str) -> AddsEnv {
+        AddsEnv::build(&parse_program(src).unwrap()).unwrap()
+    }
+
+    fn env_err(src: &str) -> Diagnostics {
+        AddsEnv::build(&parse_program(src).unwrap()).unwrap_err()
+    }
+
+    const ONE_WAY_LIST: &str =
+        "type OneWayList [X] { int data; OneWayList *next is uniquely forward along X; };";
+
+    const ORTH_LIST: &str = "type OrthList [X][Y] {
+        int data;
+        OrthList *across is uniquely forward along X;
+        OrthList *back is backward along X;
+        OrthList *down is uniquely forward along Y;
+        OrthList *up is backward along Y;
+    };";
+
+    const RANGE_TREE: &str =
+        "type TwoDRangeTree [down][sub][leaves] where sub||down, sub||leaves {
+        int data;
+        TwoDRangeTree *left, *right is uniquely forward along down;
+        TwoDRangeTree *subtree is uniquely forward along sub;
+        TwoDRangeTree *next is uniquely forward along leaves;
+        TwoDRangeTree *prev is backward along leaves;
+    };";
+
+    #[test]
+    fn one_way_list_properties() {
+        let env = env_of(ONE_WAY_LIST);
+        let t = env.get("OneWayList").unwrap();
+        assert!(t.is_uniquely_forward("next"));
+        assert!(t.is_acyclic_field("next"));
+        assert!(t.is_forward("next"));
+        assert_eq!(t.dims, vec!["X"]);
+    }
+
+    #[test]
+    fn default_dimension_is_unknown_direction() {
+        let env = env_of("type ListNode { int coef, exp; ListNode *next; };");
+        let t = env.get("ListNode").unwrap();
+        assert_eq!(t.dims, vec![DEFAULT_DIM]);
+        assert!(!t.is_acyclic_field("next"));
+        assert!(!t.is_uniquely_forward("next"));
+        // Grouped scalars split into individual fields.
+        assert!(t.field("coef").is_some());
+        assert!(t.field("exp").is_some());
+    }
+
+    #[test]
+    fn orthogonal_list_dependent_dimensions() {
+        let env = env_of(ORTH_LIST);
+        let t = env.get("OrthList").unwrap();
+        let x = t.dim_id("X").unwrap();
+        let y = t.dim_id("Y").unwrap();
+        // Unlisted pairs are dependent — the paper's conservative default.
+        assert!(!t.dims_independent(x, y));
+        assert!(t.opposite_pair("across", "back"));
+        assert!(t.opposite_pair("down", "up"));
+        assert!(!t.opposite_pair("across", "up"));
+    }
+
+    #[test]
+    fn range_tree_independence_is_symmetric() {
+        let env = env_of(RANGE_TREE);
+        let t = env.get("TwoDRangeTree").unwrap();
+        let down = t.dim_id("down").unwrap();
+        let sub = t.dim_id("sub").unwrap();
+        let leaves = t.dim_id("leaves").unwrap();
+        assert!(t.dims_independent(sub, down));
+        assert!(t.dims_independent(down, sub));
+        assert!(t.dims_independent(sub, leaves));
+        assert!(!t.dims_independent(down, leaves));
+        assert!(t.same_group("left", "right"));
+        assert!(!t.same_group("left", "subtree"));
+        assert!(t.fields_on_independent_dims("subtree", "left"));
+        assert!(!t.fields_on_independent_dims("next", "left"));
+    }
+
+    #[test]
+    fn octree_array_field_forms_group() {
+        let env = env_of(
+            "type Octree [down][leaves] {
+                real mass;
+                Octree *subtrees[8] is uniquely forward along down;
+                Octree *next is uniquely forward along leaves;
+            };",
+        );
+        let t = env.get("Octree").unwrap();
+        assert_eq!(t.groups.len(), 1);
+        assert!(t.is_uniquely_forward("subtrees"));
+        assert_eq!(t.fields_along(t.dim_id("down").unwrap()).len(), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_route_dimension() {
+        let d = env_err("type T [X] { T *next is forward along Z; };");
+        assert!(d.0[0].message.contains("undeclared dimension"));
+    }
+
+    #[test]
+    fn rejects_duplicate_fields_and_dims() {
+        let d = env_err("type T [X][X] { T *next is forward along X; };");
+        assert!(d.0.iter().any(|e| e.message.contains("duplicate dimension")));
+        let d = env_err("type T [X] { int a; int a; T *next is forward along X; };");
+        assert!(d.0.iter().any(|e| e.message.contains("duplicate field")));
+    }
+
+    #[test]
+    fn rejects_self_independence() {
+        let d = env_err("type T [X] where X||X { T *next is forward along X; };");
+        assert!(d.0[0].message.contains("independent of itself"));
+    }
+
+    #[test]
+    fn rejects_unknown_target_type() {
+        let d = env_err("type T [X] { U *next is forward along X; };");
+        assert!(d.0[0].message.contains("not declared"));
+    }
+
+    #[test]
+    fn rejects_untraversed_dimension() {
+        let d = env_err("type T [X][Y] { T *next is forward along X; };");
+        assert!(d.0[0].message.contains("traversed by no field"));
+    }
+
+    #[test]
+    fn rejects_independence_with_unknown_dim() {
+        let d = env_err("type T [X] where X||Q { T *next is forward along X; };");
+        assert!(d.0[0].message.contains("undeclared dimension"));
+    }
+
+    #[test]
+    fn two_way_list_is_not_cyclic() {
+        let env = env_of(
+            "type TwoWayList [X] {
+                int data;
+                TwoWayList *next is uniquely forward along X;
+                TwoWayList *prev is backward along X;
+            };",
+        );
+        let t = env.get("TwoWayList").unwrap();
+        // forward+backward on one dimension is NOT a cycle (§3.3).
+        assert!(t.opposite_pair("next", "prev"));
+        assert!(t.is_acyclic_field("next"));
+        assert!(t.is_acyclic_field("prev"));
+    }
+}

@@ -1,0 +1,574 @@
+//! Abstract syntax tree of the ADDS intermediate language.
+//!
+//! The language mirrors the code fragments in the paper: C-like records with
+//! recursive pointer fields annotated by ADDS routes, functions and
+//! procedures, `while`/`if` statements, pointer assignment, `new`, `NULL`.
+//! Counted loops (`for i = a to b`) and parallel loops (`parfor`) exist so
+//! the strip-mining transformation of §4.3.3 can be expressed in-language.
+
+use crate::source::Span;
+
+/// A complete translation unit: type declarations followed by functions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// Record type declarations, in source order.
+    pub types: Vec<TypeDecl>,
+    /// Function and procedure definitions, in source order.
+    pub funcs: Vec<FunDecl>,
+}
+
+impl Program {
+    /// Find the declaration of record type `name`.
+    pub fn type_decl(&self, name: &str) -> Option<&TypeDecl> {
+        self.types.iter().find(|t| t.name == name)
+    }
+
+    /// Find the function or procedure named `name`.
+    pub fn func(&self, name: &str) -> Option<&FunDecl> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+}
+
+/// `type Name [d1][d2] where a||b { fields };`
+#[derive(Clone, Debug, PartialEq)]
+pub struct TypeDecl {
+    /// Record type name.
+    pub name: String,
+    /// Declared dimension names, in order. Empty means the implicit single
+    /// dimension `D` with unknown directions (the paper's default).
+    pub dims: Vec<String>,
+    /// `where X || Y` clauses: pairs of *independent* dimensions.
+    /// Unlisted pairs are dependent (the paper's conservative default).
+    pub independent: Vec<(String, String)>,
+    /// Field declarations (scalars and pointer groups).
+    pub fields: Vec<FieldDecl>,
+    /// Source location of the declaration.
+    pub span: Span,
+}
+
+impl TypeDecl {
+    /// Find the field declaration group containing `field`.
+    pub fn field_group(&self, field: &str) -> Option<&FieldDecl> {
+        self.fields
+            .iter()
+            .find(|f| f.names.iter().any(|n| n == field))
+    }
+
+    /// All pointer field names, flattened (array fields appear once).
+    pub fn pointer_fields(&self) -> impl Iterator<Item = &str> {
+        self.fields
+            .iter()
+            .filter(|f| matches!(f.kind, FieldKind::Pointer { .. }))
+            .flat_map(|f| f.names.iter().map(String::as_str))
+    }
+}
+
+/// One field declaration, possibly declaring a *group* of fields at once.
+///
+/// Grouping is semantically meaningful for pointers: `Octree *left, *right is
+/// uniquely forward along down;` declares that left- and right-traversals are
+/// disjoint (paper §3.1.3). An array field `*subtrees[8]` is a group of 8.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FieldDecl {
+    /// The field name(s) declared together (grouping is meaningful).
+    pub names: Vec<String>,
+    /// Scalar or pointer, with the ADDS route for pointers.
+    pub kind: FieldKind,
+    /// Source location of the field declaration.
+    pub span: Span,
+}
+
+/// What a record field holds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldKind {
+    /// A scalar (int / real / bool) field.
+    Scalar(ScalarTy),
+    /// A recursive pointer field (possibly an array of pointers).
+    Pointer {
+        /// Name of the target record type (recursive references allowed).
+        target: String,
+        /// `Some(n)` for `*f[n]` array-of-pointer fields.
+        array_len: Option<usize>,
+        /// The ADDS route; `None` means the default `unknown` direction
+        /// along the implicit dimension.
+        route: Option<Route>,
+    },
+}
+
+/// Scalar field types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ScalarTy {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Real,
+    /// Boolean.
+    Bool,
+}
+
+/// `is [uniquely] forward|backward along D`
+#[derive(Clone, Debug, PartialEq)]
+pub struct Route {
+    /// `uniquely`: at most one incoming link per node along the dimension.
+    pub unique: bool,
+    /// Traversal direction relative to the dimension's origin.
+    pub direction: Direction,
+    /// The dimension this field traverses.
+    pub dim: String,
+}
+
+/// Direction a pointer field travels along its dimension (§3.1.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Direction {
+    /// One unit away from the origin (acyclic).
+    Forward,
+    /// One unit back toward the origin.
+    Backward,
+    /// Default when no route is declared: possibly cyclic.
+    Unknown,
+}
+
+/// Value types of the language.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Real,
+    /// Boolean.
+    Bool,
+    /// Pointer to a named record type.
+    Ptr(String),
+}
+
+impl Ty {
+    /// Is this a pointer type?
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, Ty::Ptr(_))
+    }
+
+    /// The pointed-to record type name, for pointer types.
+    pub fn pointee(&self) -> Option<&str> {
+        match self {
+            Ty::Ptr(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Ty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Ty::Int => write!(f, "int"),
+            Ty::Real => write!(f, "real"),
+            Ty::Bool => write!(f, "bool"),
+            Ty::Ptr(t) => write!(f, "{t}*"),
+        }
+    }
+}
+
+/// `function f(p: T*, n: int): T* { ... }` — `ret` is `None` for procedures.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FunDecl {
+    /// Function name.
+    pub name: String,
+    /// Formal parameters (types are mandatory).
+    pub params: Vec<Param>,
+    /// Return type; `None` for procedures.
+    pub ret: Option<Ty>,
+    /// Function body.
+    pub body: Block,
+    /// Source location of the definition.
+    pub span: Span,
+}
+
+/// One formal parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Ty,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A `{ ... }` statement sequence.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Block {
+    /// The statements, in order.
+    pub stmts: Vec<Stmt>,
+    /// Source span of the whole block.
+    pub span: Span,
+}
+
+/// Statements of the IL.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// Optional `var x: T;` declaration (type may be inferred when omitted).
+    VarDecl {
+        /// Variable name.
+        name: String,
+        /// Declared type, if annotated.
+        ty: Option<Ty>,
+        /// Initializer, if present.
+        init: Option<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `lhs = rhs;` — variable or field assignment.
+    Assign {
+        /// Assignment target.
+        lhs: LValue,
+        /// Assigned value.
+        rhs: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// `while cond { body }`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+        /// Source location.
+        span: Span,
+    },
+    /// `if cond { … } [else { … }]`.
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Taken when the condition holds.
+        then_blk: Block,
+        /// Taken otherwise, if present.
+        else_blk: Option<Block>,
+        /// Source location.
+        span: Span,
+    },
+    /// `for i = a to b { ... }` — inclusive bounds, as in the paper's
+    /// `for i = 0 to PEs-1`.
+    For {
+        /// Induction variable.
+        var: String,
+        /// Lower bound (inclusive).
+        from: Expr,
+        /// Upper bound (inclusive).
+        to: Expr,
+        /// Loop body.
+        body: Block,
+        /// `true` for `parfor` (the §4.3.3 parallel region).
+        parallel: bool,
+        /// Source location.
+        span: Span,
+    },
+    /// `return [value];`.
+    Return {
+        /// Returned value, absent in procedures.
+        value: Option<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Expression statement: a call evaluated for effect.
+    Call(Call),
+}
+
+impl Stmt {
+    /// Source span of any statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::VarDecl { span, .. }
+            | Stmt::Assign { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::Return { span, .. } => *span,
+            Stmt::Call(c) => c.span,
+        }
+    }
+}
+
+/// A chain of field accesses rooted at a variable: `p->subtrees[i]->next`.
+///
+/// An empty `path` is a plain variable. Each step dereferences the pointer
+/// produced so far.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LValue {
+    /// Root variable.
+    pub base: String,
+    /// Field dereference chain (empty for a plain variable).
+    pub path: Vec<FieldAccess>,
+    /// Source location.
+    pub span: Span,
+}
+
+impl LValue {
+    /// A plain-variable lvalue.
+    pub fn var(name: impl Into<String>, span: Span) -> Self {
+        LValue {
+            base: name.into(),
+            path: Vec::new(),
+            span,
+        }
+    }
+
+    /// Is this a plain variable (no dereferences)?
+    pub fn is_var(&self) -> bool {
+        self.path.is_empty()
+    }
+
+    /// For single-step lvalues like `p->f`, the `(base, field)` pair.
+    pub fn as_single_field(&self) -> Option<(&str, &str)> {
+        match self.path.as_slice() {
+            [only] => Some((&self.base, &only.field)),
+            _ => None,
+        }
+    }
+}
+
+/// One step of a field dereference chain.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FieldAccess {
+    /// Field name.
+    pub field: String,
+    /// `Some` for array-of-pointer elements: `subtrees[i]`.
+    pub index: Option<Box<Expr>>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A function or procedure call.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Call {
+    /// Callee name.
+    pub callee: String,
+    /// Actual arguments.
+    pub args: Vec<Expr>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Expressions of the IL.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Span),
+    /// Real literal.
+    Real(f64, Span),
+    /// Boolean literal.
+    Bool(bool, Span),
+    /// The null pointer constant.
+    Null(Span),
+    /// Variable reference.
+    Var(String, Span),
+    /// `base->field` or `base->field[index]`.
+    Field {
+        /// Pointer being dereferenced.
+        base: Box<Expr>,
+        /// Field name.
+        field: String,
+        /// Element index for array-of-pointer fields.
+        index: Option<Box<Expr>>,
+        /// Source location.
+        span: Span,
+    },
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// Its operand.
+        operand: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Function call in expression position.
+    Call(Call),
+    /// `new T` allocates a fresh record with NULL/zero fields.
+    New(String, Span),
+}
+
+impl Expr {
+    /// Source span of any expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Int(_, s)
+            | Expr::Real(_, s)
+            | Expr::Bool(_, s)
+            | Expr::Null(s)
+            | Expr::Var(_, s)
+            | Expr::New(_, s) => *s,
+            Expr::Field { span, .. } | Expr::Unary { span, .. } | Expr::Binary { span, .. } => {
+                *span
+            }
+            Expr::Call(c) => c.span,
+        }
+    }
+
+    /// If this expression is a pure pointer path `v(->f)*`, return the base
+    /// variable and field chain. Used heavily by the path matrix rules.
+    pub fn as_pointer_path(&self) -> Option<(String, Vec<String>)> {
+        match self {
+            Expr::Var(v, _) => Some((v.clone(), Vec::new())),
+            Expr::Field { base, field, .. } => {
+                let (b, mut path) = base.as_pointer_path()?;
+                path.push(field.clone());
+                Some((b, path))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+}
+
+/// Binary operators. `Eq`/`Ne` compare pointers by node identity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// Is this a comparison operator?
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// Is this `&&` or `||`?
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// Surface syntax of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp() -> Span {
+        Span::default()
+    }
+
+    #[test]
+    fn pointer_path_extraction() {
+        // p->next->next
+        let e = Expr::Field {
+            base: Box::new(Expr::Field {
+                base: Box::new(Expr::Var("p".into(), sp())),
+                field: "next".into(),
+                index: None,
+                span: sp(),
+            }),
+            field: "next".into(),
+            index: None,
+            span: sp(),
+        };
+        let (base, path) = e.as_pointer_path().unwrap();
+        assert_eq!(base, "p");
+        assert_eq!(path, vec!["next".to_string(), "next".to_string()]);
+    }
+
+    #[test]
+    fn non_path_expressions_are_rejected() {
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Int(1, sp())),
+            rhs: Box::new(Expr::Int(2, sp())),
+            span: sp(),
+        };
+        assert!(e.as_pointer_path().is_none());
+    }
+
+    #[test]
+    fn lvalue_single_field() {
+        let lv = LValue {
+            base: "p".into(),
+            path: vec![FieldAccess {
+                field: "coef".into(),
+                index: None,
+                span: sp(),
+            }],
+            span: sp(),
+        };
+        assert_eq!(lv.as_single_field(), Some(("p", "coef")));
+        assert!(!lv.is_var());
+        assert!(LValue::var("q", sp()).is_var());
+    }
+
+    #[test]
+    fn type_decl_field_group_lookup() {
+        let td = TypeDecl {
+            name: "BinTree".into(),
+            dims: vec!["down".into()],
+            independent: vec![],
+            fields: vec![FieldDecl {
+                names: vec!["left".into(), "right".into()],
+                kind: FieldKind::Pointer {
+                    target: "BinTree".into(),
+                    array_len: None,
+                    route: Some(Route {
+                        unique: true,
+                        direction: Direction::Forward,
+                        dim: "down".into(),
+                    }),
+                },
+                span: sp(),
+            }],
+            span: sp(),
+        };
+        assert!(td.field_group("left").is_some());
+        assert!(td.field_group("right").is_some());
+        assert!(td.field_group("up").is_none());
+        assert_eq!(td.pointer_fields().collect::<Vec<_>>(), vec!["left", "right"]);
+    }
+}

@@ -1,0 +1,364 @@
+//! Hand-written lexer for the ADDS intermediate language.
+//!
+//! Comments: `//` to end of line and `/* ... */` (non-nesting), both skipped.
+//! The paper writes inequality as `<>`; we accept it as a synonym for `!=`.
+
+use crate::source::{Diagnostic, Span};
+use crate::token::{Token, TokenKind};
+
+/// A hand-written scanner over the IL's token set.
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Start scanning `src` from the beginning.
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Lex the whole input into a token vector terminated by `Eof`.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, Diagnostic> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let end = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if end {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), Diagnostic> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.pos += 2;
+                                break;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(Diagnostic::new(
+                                    Span::new(start as u32, self.pos as u32),
+                                    "unterminated block comment",
+                                ))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, Diagnostic> {
+        self.skip_trivia()?;
+        let start = self.pos as u32;
+        let Some(b) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                span: Span::new(start, start),
+            });
+        };
+
+        let kind = match b {
+            b'{' => self.single(TokenKind::LBrace),
+            b'}' => self.single(TokenKind::RBrace),
+            b'(' => self.single(TokenKind::LParen),
+            b')' => self.single(TokenKind::RParen),
+            b'[' => self.single(TokenKind::LBracket),
+            b']' => self.single(TokenKind::RBracket),
+            b';' => self.single(TokenKind::Semi),
+            b',' => self.single(TokenKind::Comma),
+            b':' => self.single(TokenKind::Colon),
+            b'*' => self.single(TokenKind::Star),
+            b'+' => self.single(TokenKind::Plus),
+            b'%' => self.single(TokenKind::Percent),
+            b'/' => self.single(TokenKind::Slash),
+            b'-' => {
+                self.bump();
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    TokenKind::Arrow
+                } else {
+                    TokenKind::Minus
+                }
+            }
+            b'=' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::NotEq
+                } else {
+                    TokenKind::Bang
+                }
+            }
+            b'<' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        TokenKind::Le
+                    }
+                    Some(b'>') => {
+                        self.bump();
+                        TokenKind::NotEq
+                    }
+                    _ => TokenKind::Lt,
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'&' => {
+                self.bump();
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    TokenKind::AndAnd
+                } else {
+                    return Err(Diagnostic::new(
+                        Span::new(start, self.pos as u32),
+                        "expected `&&`",
+                    ));
+                }
+            }
+            b'|' => {
+                self.bump();
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    return Err(Diagnostic::new(
+                        Span::new(start, self.pos as u32),
+                        "expected `||`",
+                    ));
+                }
+            }
+            b'0'..=b'9' => self.number(start)?,
+            b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(),
+            other => {
+                return Err(Diagnostic::new(
+                    Span::new(start, start + 1),
+                    format!("unexpected character `{}`", other as char),
+                ))
+            }
+        };
+
+        Ok(Token {
+            kind,
+            span: Span::new(start, self.pos as u32),
+        })
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.bump();
+        kind
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'_' || b.is_ascii_alphanumeric() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()))
+    }
+
+    fn number(&mut self, start: u32) -> Result<TokenKind, Diagnostic> {
+        let begin = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_real = false;
+        // A `.` begins a fractional part only when followed by a digit, so
+        // that ranges or member access never lex as part of a number.
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'0'..=b'9')) {
+            is_real = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            let save = self.pos;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if matches!(self.peek(), Some(b'0'..=b'9')) {
+                is_real = true;
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            } else {
+                // Not an exponent after all (e.g. identifier following).
+                self.pos = save;
+            }
+        }
+        let text = &self.src[begin..self.pos];
+        if is_real {
+            text.parse::<f64>()
+                .map(TokenKind::Real)
+                .map_err(|e| Diagnostic::new(Span::new(start, self.pos as u32), e.to_string()))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|e| Diagnostic::new(Span::new(start, self.pos as u32), e.to_string()))
+        }
+    }
+}
+
+/// Convenience: lex a complete source string.
+pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostic> {
+    Lexer::new(src).tokenize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_paper_style_declaration() {
+        let ks = kinds("type OneWayList [X] { OneWayList *next is uniquely forward along X; };");
+        assert_eq!(
+            ks,
+            vec![
+                KwType,
+                Ident("OneWayList".into()),
+                LBracket,
+                Ident("X".into()),
+                RBracket,
+                LBrace,
+                Ident("OneWayList".into()),
+                Star,
+                Ident("next".into()),
+                KwIs,
+                KwUniquely,
+                KwForward,
+                KwAlong,
+                Ident("X".into()),
+                Semi,
+                RBrace,
+                Semi,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn paper_not_equal_spelling() {
+        assert_eq!(kinds("p <> NULL"), vec![Ident("p".into()), NotEq, KwNull, Eof]);
+        assert_eq!(kinds("p != NULL"), vec![Ident("p".into()), NotEq, KwNull, Eof]);
+    }
+
+    #[test]
+    fn arrow_vs_minus() {
+        assert_eq!(
+            kinds("p->next - 1"),
+            vec![Ident("p".into()), Arrow, Ident("next".into()), Minus, Int(1), Eof]
+        );
+    }
+
+    #[test]
+    fn numbers_int_and_real() {
+        assert_eq!(kinds("42"), vec![Int(42), Eof]);
+        assert_eq!(kinds("3.25"), vec![Real(3.25), Eof]);
+        assert_eq!(kinds("1e3"), vec![Real(1000.0), Eof]);
+        assert_eq!(kinds("2.5e-1"), vec![Real(0.25), Eof]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a /* BHL1 */ b // trailing\nc"),
+            vec![Ident("a".into()), Ident("b".into()), Ident("c".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(lex("p # q").is_err());
+        assert!(lex("a & b").is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("< <= > >= == = !"),
+            vec![Lt, Le, Gt, Ge, EqEq, Assign, Bang, Eof]
+        );
+    }
+
+    #[test]
+    fn spans_are_correct() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+    }
+}

@@ -1,0 +1,47 @@
+//! # adds-lang — the ADDS intermediate language
+//!
+//! This crate implements the *host language* of the ADDS paper (Hummel,
+//! Nicolau & Hendren, ICPP 1992): a small C-like imperative language with
+//! recursive record types, pointers, and — the paper's contribution — **ADDS
+//! shape declarations** describing the dimensions and traversal directions of
+//! pointer data structures:
+//!
+//! ```text
+//! type Octree [down][leaves]
+//! {
+//!     real mass;
+//!     Octree *subtrees[8] is uniquely forward along down;
+//!     Octree *next is uniquely forward along leaves;
+//! };
+//! ```
+//!
+//! Provided here:
+//!
+//! * [`lexer`] / [`parser`] — concrete syntax → [`ast`],
+//! * [`adds`] — the resolved semantic model of ADDS declarations
+//!   (dimensions, routes, uniqueness, groups, independence) with
+//!   well-formedness checking,
+//! * [`types`] — type checking with local inference,
+//! * [`pretty`] — a printer whose output re-parses to the same program,
+//! * [`programs`] — the paper's example programs embedded as IL source.
+//!
+//! Analysis and transformation live in `adds-core`; execution in
+//! `adds-machine`.
+
+#![warn(missing_docs)]
+
+pub mod adds;
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod programs;
+pub mod source;
+pub mod token;
+pub mod types;
+
+pub use adds::{AddsEnv, AddsType};
+pub use ast::{Direction, Program, Ty};
+pub use parser::parse_program;
+pub use source::{Diagnostic, Diagnostics, Span};
+pub use types::{check, check_source, TypedProgram};

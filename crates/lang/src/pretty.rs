@@ -1,0 +1,356 @@
+//! Pretty printer emitting paper-style source from the AST.
+//!
+//! The output re-parses to an identical AST (round-trip property, tested
+//! here and property-tested in the crate tests), and is used for the golden
+//! comparison of the strip-mined code in §4.3.3.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render a whole program.
+pub fn program(p: &Program) -> String {
+    let mut out = String::new();
+    for t in &p.types {
+        type_decl(&mut out, t);
+        out.push('\n');
+    }
+    for f in &p.funcs {
+        fun_decl(&mut out, f);
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a single function.
+pub fn function(f: &FunDecl) -> String {
+    let mut out = String::new();
+    fun_decl(&mut out, f);
+    out
+}
+
+/// Render a single statement at given indent.
+pub fn statement(s: &Stmt) -> String {
+    let mut out = String::new();
+    stmt(&mut out, s, 0);
+    out
+}
+
+fn type_decl(out: &mut String, t: &TypeDecl) {
+    let _ = write!(out, "type {}", t.name);
+    for d in &t.dims {
+        let _ = write!(out, " [{d}]");
+    }
+    if !t.independent.is_empty() {
+        let clauses: Vec<String> = t
+            .independent
+            .iter()
+            .map(|(a, b)| format!("{a}||{b}"))
+            .collect();
+        let _ = write!(out, " where {}", clauses.join(", "));
+    }
+    out.push_str("\n{\n");
+    for f in &t.fields {
+        field_decl(out, f);
+    }
+    out.push_str("};\n");
+}
+
+fn field_decl(out: &mut String, f: &FieldDecl) {
+    match &f.kind {
+        FieldKind::Scalar(st) => {
+            let name = match st {
+                ScalarTy::Int => "int",
+                ScalarTy::Real => "real",
+                ScalarTy::Bool => "bool",
+            };
+            let _ = writeln!(out, "    {} {};", name, f.names.join(", "));
+        }
+        FieldKind::Pointer {
+            target,
+            array_len,
+            route,
+        } => {
+            let names: Vec<String> = f
+                .names
+                .iter()
+                .map(|n| match array_len {
+                    Some(len) => format!("*{n}[{len}]"),
+                    None => format!("*{n}"),
+                })
+                .collect();
+            let _ = write!(out, "    {} {}", target, names.join(", "));
+            if let Some(r) = route {
+                let _ = write!(
+                    out,
+                    " is {}{} along {}",
+                    if r.unique { "uniquely " } else { "" },
+                    match r.direction {
+                        Direction::Forward => "forward",
+                        Direction::Backward => "backward",
+                        Direction::Unknown => "unknown",
+                    },
+                    r.dim
+                );
+            }
+            out.push_str(";\n");
+        }
+    }
+}
+
+fn fun_decl(out: &mut String, f: &FunDecl) {
+    let kw = if f.ret.is_some() { "function" } else { "procedure" };
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|p| format!("{}: {}", p.name, p.ty))
+        .collect();
+    let _ = write!(out, "{kw} {}({})", f.name, params.join(", "));
+    if let Some(rt) = &f.ret {
+        let _ = write!(out, ": {rt}");
+    }
+    out.push('\n');
+    block(out, &f.body, 0);
+}
+
+fn block(out: &mut String, b: &Block, indent: usize) {
+    indent_to(out, indent);
+    out.push_str("{\n");
+    for s in &b.stmts {
+        stmt(out, s, indent + 1);
+    }
+    indent_to(out, indent);
+    out.push_str("}\n");
+}
+
+fn indent_to(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("    ");
+    }
+}
+
+fn stmt(out: &mut String, s: &Stmt, indent: usize) {
+    match s {
+        Stmt::VarDecl { name, ty, init, .. } => {
+            indent_to(out, indent);
+            let _ = write!(out, "var {name}");
+            if let Some(t) = ty {
+                let _ = write!(out, ": {t}");
+            }
+            if let Some(e) = init {
+                let _ = write!(out, " = {}", expr(e));
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Assign { lhs, rhs, .. } => {
+            indent_to(out, indent);
+            let _ = writeln!(out, "{} = {};", lvalue(lhs), expr(rhs));
+        }
+        Stmt::While { cond, body, .. } => {
+            indent_to(out, indent);
+            let _ = writeln!(out, "while {}", expr(cond));
+            block(out, body, indent);
+        }
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            ..
+        } => {
+            indent_to(out, indent);
+            let _ = writeln!(out, "if {}", expr(cond));
+            block(out, then_blk, indent);
+            if let Some(e) = else_blk {
+                indent_to(out, indent);
+                out.push_str("else\n");
+                block(out, e, indent);
+            }
+        }
+        Stmt::For {
+            var,
+            from,
+            to,
+            body,
+            parallel,
+            ..
+        } => {
+            indent_to(out, indent);
+            let kw = if *parallel { "parfor" } else { "for" };
+            let _ = writeln!(out, "{kw} {var} = {} to {}", expr(from), expr(to));
+            block(out, body, indent);
+        }
+        Stmt::Return { value, .. } => {
+            indent_to(out, indent);
+            match value {
+                Some(e) => {
+                    let _ = writeln!(out, "return {};", expr(e));
+                }
+                None => out.push_str("return;\n"),
+            }
+        }
+        Stmt::Call(c) => {
+            indent_to(out, indent);
+            let _ = writeln!(out, "{};", call(c));
+        }
+    }
+}
+
+fn lvalue(lv: &LValue) -> String {
+    let mut s = lv.base.clone();
+    for acc in &lv.path {
+        s.push_str("->");
+        s.push_str(&acc.field);
+        if let Some(i) = &acc.index {
+            let _ = write!(s, "[{}]", expr(i));
+        }
+    }
+    s
+}
+
+fn call(c: &Call) -> String {
+    let args: Vec<String> = c.args.iter().map(expr).collect();
+    format!("{}({})", c.callee, args.join(", "))
+}
+
+/// Render an expression with minimal parentheses (parenthesizing any binary
+/// subexpression of a binary expression keeps the output unambiguous and
+/// close to the paper's style).
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(v, _) => v.to_string(),
+        Expr::Real(v, _) => {
+            let s = format!("{v}");
+            if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Expr::Bool(b, _) => b.to_string(),
+        Expr::Null(_) => "NULL".to_string(),
+        Expr::Var(v, _) => v.clone(),
+        Expr::Field {
+            base, field, index, ..
+        } => {
+            let b = match base.as_ref() {
+                e @ (Expr::Var(..) | Expr::Field { .. } | Expr::Call(_)) => expr(e),
+                other => format!("({})", expr(other)),
+            };
+            match index {
+                Some(i) => format!("{b}->{field}[{}]", expr(i)),
+                None => format!("{b}->{field}"),
+            }
+        }
+        Expr::Unary { op, operand, .. } => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            match operand.as_ref() {
+                e @ (Expr::Int(..) | Expr::Real(..) | Expr::Var(..) | Expr::Field { .. }) => {
+                    format!("{sym}{}", expr(e))
+                }
+                other => format!("{sym}({})", expr(other)),
+            }
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            format!(
+                "{} {} {}",
+                sub_expr(lhs),
+                op.symbol(),
+                sub_expr(rhs)
+            )
+        }
+        Expr::Call(c) => call(c),
+        Expr::New(t, _) => format!("new {t}"),
+    }
+}
+
+fn sub_expr(e: &Expr) -> String {
+    match e {
+        Expr::Binary { .. } => format!("({})", expr(e)),
+        _ => expr(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn round_trip(src: &str) {
+        let p1 = parse_program(src).unwrap();
+        let printed = program(&p1);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{printed}"));
+        // Compare shape, ignoring spans: print both and compare text.
+        assert_eq!(printed, program(&p2), "round-trip not stable:\n{printed}");
+    }
+
+    #[test]
+    fn round_trips_declarations() {
+        round_trip(
+            "type TwoDRangeTree [down][sub][leaves] where sub||down, sub||leaves {
+                int data;
+                TwoDRangeTree *left, *right is uniquely forward along down;
+                TwoDRangeTree *subtree is uniquely forward along sub;
+                TwoDRangeTree *next is uniquely forward along leaves;
+                TwoDRangeTree *prev is backward along leaves;
+            };",
+        );
+    }
+
+    #[test]
+    fn round_trips_functions() {
+        round_trip(
+            "type L [X] { int v; L *next is uniquely forward along X; };
+            function sum(head: L*): int {
+                var s: int = 0;
+                var p: L*;
+                p = head;
+                while p <> NULL {
+                    s = s + p->v;
+                    p = p->next;
+                }
+                return s;
+            }",
+        );
+    }
+
+    #[test]
+    fn round_trips_parallel_loops() {
+        round_trip(
+            "type O [down] { real m; O *kids[8] is uniquely forward along down; };
+            procedure f(root: O*) {
+                var i: int;
+                parfor i = 0 to PEs-1 {
+                    print(i);
+                }
+            }",
+        );
+    }
+
+    #[test]
+    fn prints_paper_style_condition() {
+        let p = parse_program(
+            "type L [X] { int v; L *next is uniquely forward along X; };
+            procedure f(p: L*) { while p <> NULL { p = p->next; } }",
+        )
+        .unwrap();
+        let s = program(&p);
+        assert!(s.contains("while p <> NULL"), "{s}");
+    }
+
+    #[test]
+    fn binary_nesting_is_parenthesized() {
+        let e = crate::parser::parse_expr("a + b * c").unwrap();
+        assert_eq!(expr(&e), "a + (b * c)");
+    }
+
+    #[test]
+    fn real_literals_keep_decimal_point() {
+        let e = crate::parser::parse_expr("2.0").unwrap();
+        assert_eq!(expr(&e), "2.0");
+        let e = crate::parser::parse_expr("1.0 / 2.0").unwrap();
+        assert_eq!(expr(&e), "1.0 / 2.0");
+    }
+}

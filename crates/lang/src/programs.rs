@@ -1,0 +1,454 @@
+//! The paper's example programs, embedded as IL source.
+//!
+//! These are the inputs to every analysis demo, golden test and simulated
+//! experiment: the §3.3.2 list-scaling loop (with and without an ADDS
+//! declaration), the §3.3.1 subtree move, and the full Barnes–Hut tree-code
+//! of §4 (octree build via `expand_box`/`insert_particle`, recursive
+//! `compute_force`, and the BHL1/BHL2 loops).
+
+/// §3.3.2 — the polynomial scaling loop *without* an ADDS declaration.
+/// `ListNode` has the implicit single dimension with unknown direction, so
+/// a conservative analysis must assume `next` may be cyclic.
+pub const LIST_SCALE_PLAIN: &str = "
+type ListNode
+{
+    int coef, exp;
+    ListNode *next;
+};
+
+procedure scale(head: ListNode*, c: int)
+{
+    var p: ListNode*;
+    p = head;
+    while p <> NULL
+    {
+        p->coef = p->coef * c;
+        p = p->next;
+    }
+}
+";
+
+/// §3.1.1 / §3.3.2 — the same loop with the `OneWayList`-style declaration:
+/// `next` is uniquely forward along `X`, so the analysis can prove `head`,
+/// `p` and `p'` are never aliases.
+pub const LIST_SCALE_ADDS: &str = "
+type ListNode [X]
+{
+    int coef, exp;
+    ListNode *next is uniquely forward along X;
+};
+
+procedure scale(head: ListNode*, c: int)
+{
+    var p: ListNode*;
+    p = head;
+    while p <> NULL
+    {
+        p->coef = p->coef * c;
+        p = p->next;
+    }
+}
+";
+
+/// §3.3.1 — moving a subtree between nodes of a binary tree. The first
+/// statement breaks the disjointness property (p1 and p2 share a subtree);
+/// the second repairs it.
+pub const SUBTREE_MOVE: &str = "
+type BinTree [down]
+{
+    int data;
+    BinTree *left, *right is uniquely forward along down;
+};
+
+procedure move_subtree(p1: BinTree*, p2: BinTree*)
+{
+    p1->left = p2->left;
+    p2->left = NULL;
+}
+";
+
+/// §4.3.1 — the octree declaration, extended with the scalar payload the
+/// simulation needs (positions, velocities, forces, box geometry).
+///
+/// Leaves are the particles themselves (`is_leaf`), linked into a one-way
+/// list along `leaves` exactly as in Figure 5.
+pub const OCTREE_DECL: &str = "
+type Octree [down][leaves]
+{
+    real mass, x, y, z;
+    real vx, vy, vz;
+    real fx, fy, fz;
+    real cx, cy, cz, hw;
+    bool is_leaf;
+    Octree *subtrees[8] is uniquely forward along down;
+    Octree *next is uniquely forward along leaves;
+};
+";
+
+/// §4.1–4.3 — the full Barnes–Hut tree-code in IL. Includes `build_tree`
+/// (with the paper's `expand_box` and `insert_particle`, preserving the
+/// *temporary sharing* order of §4.3.2: the competitor is linked under the
+/// new subtree **before** the new subtree replaces it in the original tree),
+/// the recursive force computation, the integrator, and the two leaf-list
+/// loops BHL1/BHL2 that the transformation parallelizes.
+pub const BARNES_HUT: &str = "
+type Octree [down][leaves]
+{
+    real mass, x, y, z;
+    real vx, vy, vz;
+    real fx, fy, fz;
+    real cx, cy, cz, hw;
+    bool is_leaf;
+    Octree *subtrees[8] is uniquely forward along down;
+    Octree *next is uniquely forward along leaves;
+};
+
+function new_internal(cx: real, cy: real, cz: real, hw: real): Octree*
+{
+    var n: Octree*;
+    n = new Octree;
+    n->is_leaf = false;
+    n->cx = cx;
+    n->cy = cy;
+    n->cz = cz;
+    n->hw = hw;
+    n->mass = 0.0;
+    return n;
+}
+
+function octant_of(node: Octree*, x: real, y: real, z: real): int
+{
+    var q: int;
+    q = 0;
+    if x >= node->cx { q = q + 1; }
+    if y >= node->cy { q = q + 2; }
+    if z >= node->cz { q = q + 4; }
+    return q;
+}
+
+function child_cx(node: Octree*, q: int): real
+{
+    if q % 2 == 1 { return node->cx + node->hw / 2.0; }
+    return node->cx - node->hw / 2.0;
+}
+
+function child_cy(node: Octree*, q: int): real
+{
+    if (q / 2) % 2 == 1 { return node->cy + node->hw / 2.0; }
+    return node->cy - node->hw / 2.0;
+}
+
+function child_cz(node: Octree*, q: int): real
+{
+    if (q / 4) % 2 == 1 { return node->cz + node->hw / 2.0; }
+    return node->cz - node->hw / 2.0;
+}
+
+function contains(node: Octree*, p: Octree*): bool
+{
+    if p->x < node->cx - node->hw { return false; }
+    if p->x >= node->cx + node->hw { return false; }
+    if p->y < node->cy - node->hw { return false; }
+    if p->y >= node->cy + node->hw { return false; }
+    if p->z < node->cz - node->hw { return false; }
+    if p->z >= node->cz + node->hw { return false; }
+    return true;
+}
+
+function expand_box(p: Octree*, root: Octree*): Octree*
+{
+    var r: Octree*;
+    var nr: Octree*;
+    var ncx: real;
+    var ncy: real;
+    var ncz: real;
+    var q: int;
+    if root == NULL
+    {
+        r = new_internal(p->x, p->y, p->z, 1.0);
+        return r;
+    }
+    r = root;
+    while !contains(r, p)
+    {
+        ncx = r->cx - r->hw;
+        if p->x >= r->cx { ncx = r->cx + r->hw; }
+        ncy = r->cy - r->hw;
+        if p->y >= r->cy { ncy = r->cy + r->hw; }
+        ncz = r->cz - r->hw;
+        if p->z >= r->cz { ncz = r->cz + r->hw; }
+        nr = new_internal(ncx, ncy, ncz, r->hw * 2.0);
+        q = octant_of(nr, r->cx, r->cy, r->cz);
+        nr->subtrees[q] = r;
+        r = nr;
+    }
+    return r;
+}
+
+procedure insert_particle(p: Octree*, root: Octree*)
+{
+    var cur: Octree*;
+    var child: Octree*;
+    var m: Octree*;
+    var q: int;
+    var qc: int;
+    var done: bool;
+    cur = root;
+    done = false;
+    while !done
+    {
+        q = octant_of(cur, p->x, p->y, p->z);
+        child = cur->subtrees[q];
+        if child == NULL
+        {
+            cur->subtrees[q] = p;
+            done = true;
+        }
+        else
+        {
+            if child->is_leaf
+            {
+                m = new_internal(child_cx(cur, q), child_cy(cur, q), child_cz(cur, q), cur->hw / 2.0);
+                qc = octant_of(m, child->x, child->y, child->z);
+                m->subtrees[qc] = child;
+                cur->subtrees[q] = m;
+                cur = m;
+            }
+            else
+            {
+                cur = child;
+            }
+        }
+    }
+}
+
+procedure compute_mass(node: Octree*)
+{
+    var i: int;
+    var c: Octree*;
+    var mx: real;
+    var my: real;
+    var mz: real;
+    if node == NULL { return; }
+    if node->is_leaf { return; }
+    node->mass = 0.0;
+    mx = 0.0;
+    my = 0.0;
+    mz = 0.0;
+    for i = 0 to 7
+    {
+        c = node->subtrees[i];
+        if c <> NULL
+        {
+            compute_mass(c);
+            node->mass = node->mass + c->mass;
+            mx = mx + c->mass * c->x;
+            my = my + c->mass * c->y;
+            mz = mz + c->mass * c->z;
+        }
+    }
+    if node->mass > 0.0
+    {
+        node->x = mx / node->mass;
+        node->y = my / node->mass;
+        node->z = mz / node->mass;
+    }
+}
+
+function build_tree(particles: Octree*): Octree*
+{
+    var p: Octree*;
+    var root: Octree*;
+    p = particles;
+    root = NULL;
+    while p <> NULL
+    {
+        root = expand_box(p, root);
+        insert_particle(p, root);
+        p = p->next;
+    }
+    compute_mass(root);
+    return root;
+}
+
+procedure accumulate_force(p: Octree*, node: Octree*, theta: real)
+{
+    var dx: real;
+    var dy: real;
+    var dz: real;
+    var dist: real;
+    var f: real;
+    var i: int;
+    if node == NULL { return; }
+    if node == p { return; }
+    dx = node->x - p->x;
+    dy = node->y - p->y;
+    dz = node->z - p->z;
+    dist = sqrt(dx * dx + dy * dy + dz * dz) + 0.0001;
+    if node->is_leaf
+    {
+        f = p->mass * node->mass / (dist * dist * dist);
+        p->fx = p->fx + f * dx;
+        p->fy = p->fy + f * dy;
+        p->fz = p->fz + f * dz;
+        return;
+    }
+    if node->hw * 2.0 / dist < theta
+    {
+        f = p->mass * node->mass / (dist * dist * dist);
+        p->fx = p->fx + f * dx;
+        p->fy = p->fy + f * dy;
+        p->fz = p->fz + f * dz;
+        return;
+    }
+    for i = 0 to 7
+    {
+        accumulate_force(p, node->subtrees[i], theta);
+    }
+}
+
+procedure compute_force_on(p: Octree*, root: Octree*, theta: real)
+{
+    p->fx = 0.0;
+    p->fy = 0.0;
+    p->fz = 0.0;
+    accumulate_force(p, root, theta);
+}
+
+procedure compute_new_vel_pos(p: Octree*, dt: real)
+{
+    p->vx = p->vx + dt * p->fx / p->mass;
+    p->vy = p->vy + dt * p->fy / p->mass;
+    p->vz = p->vz + dt * p->fz / p->mass;
+    p->x = p->x + dt * p->vx;
+    p->y = p->y + dt * p->vy;
+    p->z = p->z + dt * p->vz;
+}
+
+procedure bhl1(particles: Octree*, root: Octree*, theta: real)
+{
+    var p: Octree*;
+    p = particles;
+    while p <> NULL
+    {
+        compute_force_on(p, root, theta);
+        p = p->next;
+    }
+}
+
+procedure bhl2(particles: Octree*, dt: real)
+{
+    var p: Octree*;
+    p = particles;
+    while p <> NULL
+    {
+        compute_new_vel_pos(p, dt);
+        p = p->next;
+    }
+}
+
+procedure step(particles: Octree*, theta: real, dt: real)
+{
+    var root: Octree*;
+    root = build_tree(particles);
+    bhl1(particles, root, theta);
+    bhl2(particles, dt);
+}
+
+procedure simulate(particles: Octree*, steps: int, theta: real, dt: real)
+{
+    var t: int;
+    for t = 1 to steps
+    {
+        step(particles, theta, dt);
+    }
+}
+";
+
+/// A tiny list-sum program used by interpreter unit tests.
+pub const LIST_SUM: &str = "
+type L [X]
+{
+    int v;
+    L *next is uniquely forward along X;
+};
+
+function sum(head: L*): int
+{
+    var s: int;
+    var p: L*;
+    s = 0;
+    p = head;
+    while p <> NULL
+    {
+        s = s + p->v;
+        p = p->next;
+    }
+    return s;
+}
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::check_source;
+
+    #[test]
+    fn list_scale_plain_typechecks() {
+        let tp = check_source(LIST_SCALE_PLAIN).unwrap();
+        let t = tp.adds.get("ListNode").unwrap();
+        assert!(!t.is_uniquely_forward("next"));
+    }
+
+    #[test]
+    fn list_scale_adds_typechecks() {
+        let tp = check_source(LIST_SCALE_ADDS).unwrap();
+        let t = tp.adds.get("ListNode").unwrap();
+        assert!(t.is_uniquely_forward("next"));
+    }
+
+    #[test]
+    fn subtree_move_typechecks() {
+        let tp = check_source(SUBTREE_MOVE).unwrap();
+        let t = tp.adds.get("BinTree").unwrap();
+        assert!(t.same_group("left", "right"));
+    }
+
+    #[test]
+    fn octree_decl_typechecks() {
+        let tp = check_source(&format!(
+            "{OCTREE_DECL} procedure noop(n: Octree*) {{ n->mass = 0.0; }}"
+        ))
+        .unwrap();
+        let t = tp.adds.get("Octree").unwrap();
+        assert!(t.is_uniquely_forward("subtrees"));
+        assert!(t.is_uniquely_forward("next"));
+        assert_eq!(t.dims, vec!["down", "leaves"]);
+    }
+
+    #[test]
+    fn barnes_hut_typechecks() {
+        let tp = check_source(BARNES_HUT).unwrap();
+        assert!(tp.program.func("build_tree").is_some());
+        assert!(tp.program.func("bhl1").is_some());
+        assert!(tp.program.func("bhl2").is_some());
+        assert!(tp.program.func("simulate").is_some());
+        assert_eq!(
+            tp.var_ty("bhl1", "p"),
+            Some(&crate::ast::Ty::Ptr("Octree".to_string()))
+        );
+    }
+
+    #[test]
+    fn list_sum_typechecks() {
+        check_source(LIST_SUM).unwrap();
+    }
+
+    #[test]
+    fn barnes_hut_pretty_round_trips() {
+        let p1 = crate::parser::parse_program(BARNES_HUT).unwrap();
+        let printed = crate::pretty::program(&p1);
+        let p2 = crate::parser::parse_program(&printed).unwrap();
+        assert_eq!(crate::pretty::program(&p2), printed);
+    }
+}

@@ -1,0 +1,179 @@
+//! Source positions, spans and diagnostics for the ADDS intermediate language.
+
+use std::fmt;
+
+/// A half-open byte range into the original source text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: u32, end: u32) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Whether this is the default (position-free) span.
+    pub fn is_dummy(&self) -> bool {
+        self.start == 0 && self.end == 0
+    }
+}
+
+/// Line/column pair (1-based) for rendering diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+/// Resolve a byte offset to a 1-based line/column within `src`.
+pub fn line_col(src: &str, offset: u32) -> LineCol {
+    let offset = (offset as usize).min(src.len());
+    let mut line = 1u32;
+    let mut col = 1u32;
+    for (i, ch) in src.char_indices() {
+        if i >= offset {
+            break;
+        }
+        if ch == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    LineCol { line, col }
+}
+
+/// A diagnostic produced by the lexer, parser, type checker or well-formedness
+/// checks on ADDS declarations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Where the problem is.
+    pub span: Span,
+    /// What the problem is.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A diagnostic for `span` with the given message.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Render with line/column info against the original source.
+    pub fn render(&self, src: &str) -> String {
+        let lc = line_col(src, self.span.start);
+        format!("{}:{}: {}", lc.line, lc.col, self.message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error at byte {}: {}", self.span.start, self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// Multiple diagnostics bundled as one error value.
+/// A batch of diagnostics, in emission order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Diagnostics(pub Vec<Diagnostic>);
+
+impl Diagnostics {
+    /// Whether no diagnostics were emitted.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Append one diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.0.push(d);
+    }
+
+    /// Render all diagnostics against their source text.
+    pub fn render(&self, src: &str) -> String {
+        self.0
+            .iter()
+            .map(|d| d.render(src))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// `Ok(value)` when empty, `Err(self)` otherwise.
+    pub fn into_result<T>(self, value: T) -> Result<T, Diagnostics> {
+        if self.is_empty() {
+            Ok(value)
+        } else {
+            Err(self)
+        }
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Diagnostics {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn line_col_basic() {
+        let src = "ab\ncd\nef";
+        assert_eq!(line_col(src, 0), LineCol { line: 1, col: 1 });
+        assert_eq!(line_col(src, 3), LineCol { line: 2, col: 1 });
+        assert_eq!(line_col(src, 4), LineCol { line: 2, col: 2 });
+        assert_eq!(line_col(src, 7), LineCol { line: 3, col: 2 });
+    }
+
+    #[test]
+    fn line_col_clamps_past_end() {
+        let src = "x";
+        let lc = line_col(src, 999);
+        assert_eq!(lc.line, 1);
+    }
+
+    #[test]
+    fn diagnostic_render_uses_line_col() {
+        let src = "a\nbcd";
+        let d = Diagnostic::new(Span::new(3, 4), "bad token");
+        assert_eq!(d.render(src), "2:2: bad token");
+    }
+}

@@ -1,0 +1,214 @@
+//! Tokens of the ADDS intermediate language.
+
+use crate::source::Span;
+use std::fmt;
+
+/// The kind of a lexical token. Variant names follow the lexeme: `Kw*`
+/// are keywords, the rest are literals, identifiers, punctuation and
+/// operators (see [`TokenKind::describe`] for the surface spelling).
+#[derive(Clone, Debug, PartialEq)]
+#[allow(missing_docs)]
+pub enum TokenKind {
+    // Literals and identifiers
+    Ident(String),
+    Int(i64),
+    Real(f64),
+
+    // Keywords
+    KwType,
+    KwFunction,
+    KwProcedure,
+    KwWhere,
+    KwIs,
+    KwUniquely,
+    KwForward,
+    KwBackward,
+    KwAlong,
+    KwInt,
+    KwReal,
+    KwBool,
+    KwWhile,
+    KwIf,
+    KwThen,
+    KwElse,
+    KwReturn,
+    KwNull,
+    KwNew,
+    KwTrue,
+    KwFalse,
+    KwFor,
+    KwParfor,
+    KwTo,
+    KwVar,
+
+    // Punctuation / operators
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Star,
+    Arrow,     // ->
+    Assign,    // =
+    EqEq,      // ==
+    NotEq,     // != or <>
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    AndAnd,
+    OrOr,      // also `||` in `where X || Y`
+    Bang,
+
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword lookup for an identifier-shaped lexeme.
+    pub fn keyword(s: &str) -> Option<TokenKind> {
+        use TokenKind::*;
+        Some(match s {
+            "type" => KwType,
+            "function" => KwFunction,
+            "procedure" => KwProcedure,
+            "where" => KwWhere,
+            "is" => KwIs,
+            "uniquely" => KwUniquely,
+            "forward" => KwForward,
+            "backward" => KwBackward,
+            "along" => KwAlong,
+            "int" => KwInt,
+            "real" => KwReal,
+            "bool" | "boolean" => KwBool,
+            "while" => KwWhile,
+            "if" => KwIf,
+            "then" => KwThen,
+            "else" => KwElse,
+            "return" => KwReturn,
+            "NULL" | "null" => KwNull,
+            "new" => KwNew,
+            "true" => KwTrue,
+            "false" => KwFalse,
+            "for" => KwFor,
+            "parfor" => KwParfor,
+            "to" => KwTo,
+            "var" => KwVar,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable description used in parse error messages.
+    pub fn describe(&self) -> String {
+        use TokenKind::*;
+        match self {
+            Ident(s) => format!("identifier `{s}`"),
+            Int(v) => format!("integer literal `{v}`"),
+            Real(v) => format!("real literal `{v}`"),
+            Eof => "end of input".to_string(),
+            other => format!("`{}`", other.lexeme()),
+        }
+    }
+
+    /// Canonical lexeme for fixed tokens (empty for variable ones).
+    pub fn lexeme(&self) -> &'static str {
+        use TokenKind::*;
+        match self {
+            KwType => "type",
+            KwFunction => "function",
+            KwProcedure => "procedure",
+            KwWhere => "where",
+            KwIs => "is",
+            KwUniquely => "uniquely",
+            KwForward => "forward",
+            KwBackward => "backward",
+            KwAlong => "along",
+            KwInt => "int",
+            KwReal => "real",
+            KwBool => "bool",
+            KwWhile => "while",
+            KwIf => "if",
+            KwThen => "then",
+            KwElse => "else",
+            KwReturn => "return",
+            KwNull => "NULL",
+            KwNew => "new",
+            KwTrue => "true",
+            KwFalse => "false",
+            KwFor => "for",
+            KwParfor => "parfor",
+            KwTo => "to",
+            KwVar => "var",
+            LBrace => "{",
+            RBrace => "}",
+            LParen => "(",
+            RParen => ")",
+            LBracket => "[",
+            RBracket => "]",
+            Semi => ";",
+            Comma => ",",
+            Colon => ":",
+            Star => "*",
+            Arrow => "->",
+            Assign => "=",
+            EqEq => "==",
+            NotEq => "!=",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            Plus => "+",
+            Minus => "-",
+            Slash => "/",
+            Percent => "%",
+            AndAnd => "&&",
+            OrOr => "||",
+            Bang => "!",
+            Ident(_) | Int(_) | Real(_) | Eof => "",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it sits in the source.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_round_trip() {
+        for kw in ["type", "while", "forward", "uniquely", "parfor"] {
+            let tok = TokenKind::keyword(kw).expect("is a keyword");
+            assert_eq!(tok.lexeme(), if kw == "boolean" { "bool" } else { kw });
+        }
+        assert_eq!(TokenKind::keyword("boolean"), Some(TokenKind::KwBool));
+        assert_eq!(TokenKind::keyword("frobnicate"), None);
+    }
+
+    #[test]
+    fn describe_variable_tokens() {
+        assert_eq!(TokenKind::Ident("p".into()).describe(), "identifier `p`");
+        assert_eq!(TokenKind::Int(42).describe(), "integer literal `42`");
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+    }
+}

@@ -1,0 +1,872 @@
+//! Type checking and local-variable type inference for the IL.
+//!
+//! Parameters and return types are explicitly annotated; local variables may
+//! be declared with `var` or introduced by assignment, in which case their
+//! type is inferred by a fixpoint pass (so `root = NULL; ... root =
+//! expand_box(p, root);` types `root` from its later use, as the paper's
+//! `build_tree` requires).
+
+use crate::adds::{AddsEnv, AddsFieldKind};
+use crate::ast::*;
+use crate::source::{Diagnostic, Diagnostics, Span};
+use std::collections::HashMap;
+
+/// Signature of a function or intrinsic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuncSig {
+    /// Parameter types, in order.
+    pub params: Vec<Ty>,
+    /// Return type; `None` for procedures.
+    pub ret: Option<Ty>,
+}
+
+/// A fully checked program: AST plus resolved ADDS environment, function
+/// signatures, and per-function local variable types (parameters included).
+#[derive(Clone, Debug)]
+pub struct TypedProgram {
+    /// The checked AST.
+    pub program: Program,
+    /// Resolved ADDS shape models per record type.
+    pub adds: AddsEnv,
+    /// Function signatures by name.
+    pub sigs: HashMap<String, FuncSig>,
+    /// Per-function variable types (parameters included).
+    pub locals: HashMap<String, HashMap<String, Ty>>,
+}
+
+impl TypedProgram {
+    /// Type of variable `var` inside function `func`.
+    pub fn var_ty(&self, func: &str, var: &str) -> Option<&Ty> {
+        self.locals.get(func).and_then(|m| m.get(var))
+    }
+
+    /// Type of record field `field` in record type `record`.
+    pub fn field_ty(&self, record: &str, field: &str) -> Option<Ty> {
+        field_ty(&self.adds, record, field)
+    }
+}
+
+/// Intrinsic functions available to every program. `print` accepts exactly
+/// one argument of any type; the numeric intrinsics mirror what the N-body
+/// kernels need.
+pub fn intrinsic_sig(name: &str) -> Option<FuncSig> {
+    let sig = |params: Vec<Ty>, ret: Option<Ty>| Some(FuncSig { params, ret });
+    match name {
+        "sqrt" | "fabs" => sig(vec![Ty::Real], Some(Ty::Real)),
+        "min" | "max" => sig(vec![Ty::Real, Ty::Real], Some(Ty::Real)),
+        "abs" => sig(vec![Ty::Int], Some(Ty::Int)),
+        "itor" => sig(vec![Ty::Int], Some(Ty::Real)),
+        "print" => None, // handled specially (polymorphic)
+        _ => None,
+    }
+}
+
+/// Name of the builtin integer constant holding the processor count,
+/// referenced by the strip-mined code of §4.3.3.
+pub const PES_CONST: &str = "PEs";
+
+fn field_ty(adds: &AddsEnv, record: &str, field: &str) -> Option<Ty> {
+    let t = adds.get(record)?;
+    match &t.field(field)?.kind {
+        AddsFieldKind::Scalar(ScalarTy::Int) => Some(Ty::Int),
+        AddsFieldKind::Scalar(ScalarTy::Real) => Some(Ty::Real),
+        AddsFieldKind::Scalar(ScalarTy::Bool) => Some(Ty::Bool),
+        AddsFieldKind::Pointer { target, .. } => Some(Ty::Ptr(target.clone())),
+    }
+}
+
+/// Check a parsed program, producing the typed program or diagnostics.
+pub fn check(program: Program) -> Result<TypedProgram, Diagnostics> {
+    let adds = AddsEnv::build(&program)?;
+    let mut diags = Diagnostics::default();
+
+    // Collect signatures first so calls can be checked in any order.
+    let mut sigs: HashMap<String, FuncSig> = HashMap::new();
+    for f in &program.funcs {
+        if sigs.contains_key(&f.name) {
+            diags.push(Diagnostic::new(
+                f.span,
+                format!("duplicate function `{}`", f.name),
+            ));
+            continue;
+        }
+        for p in &f.params {
+            if let Ty::Ptr(t) = &p.ty {
+                if adds.get(t).is_none() {
+                    diags.push(Diagnostic::new(
+                        p.span,
+                        format!("parameter `{}` has undeclared record type `{t}`", p.name),
+                    ));
+                }
+            }
+        }
+        if let Some(Ty::Ptr(t)) = &f.ret {
+            if adds.get(t).is_none() {
+                diags.push(Diagnostic::new(
+                    f.span,
+                    format!("return type references undeclared record type `{t}`"),
+                ));
+            }
+        }
+        sigs.insert(
+            f.name.clone(),
+            FuncSig {
+                params: f.params.iter().map(|p| p.ty.clone()).collect(),
+                ret: f.ret.clone(),
+            },
+        );
+    }
+
+    let mut locals = HashMap::new();
+    for f in &program.funcs {
+        let mut checker = FuncChecker {
+            adds: &adds,
+            sigs: &sigs,
+            fun: f,
+            vars: HashMap::new(),
+            diags: &mut diags,
+        };
+        checker.run();
+        let vars = checker.vars;
+        locals.insert(f.name.clone(), vars);
+    }
+
+    diags.into_result(TypedProgram {
+        program: program.clone(),
+        adds,
+        sigs,
+        locals,
+    })
+}
+
+/// Convenience: parse then check.
+pub fn check_source(src: &str) -> Result<TypedProgram, Diagnostics> {
+    let program = crate::parser::parse_program(src).map_err(|d| Diagnostics(vec![d]))?;
+    check(program)
+}
+
+struct FuncChecker<'a> {
+    adds: &'a AddsEnv,
+    sigs: &'a HashMap<String, FuncSig>,
+    fun: &'a FunDecl,
+    vars: HashMap<String, Ty>,
+    diags: &'a mut Diagnostics,
+}
+
+impl<'a> FuncChecker<'a> {
+    fn run(&mut self) {
+        let fun = self.fun;
+        for p in &fun.params {
+            self.vars.insert(p.name.clone(), p.ty.clone());
+        }
+
+        // Inference fixpoint: repeatedly sweep the body binding any variable
+        // whose defining expression has a known type, until stable.
+        loop {
+            let before = self.vars.len();
+            self.infer_block(&fun.body);
+            if self.vars.len() == before {
+                break;
+            }
+        }
+
+        // Final strict pass.
+        self.check_block(&fun.body);
+    }
+
+    // -------------------------------------------------------- inference pass
+
+    fn infer_block(&mut self, b: &Block) {
+        for s in &b.stmts {
+            self.infer_stmt(s);
+        }
+    }
+
+    fn infer_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::VarDecl { name, ty, init, .. } => {
+                if let Some(t) = ty {
+                    self.vars.entry(name.clone()).or_insert_with(|| t.clone());
+                } else if let Some(e) = init {
+                    if let Some(t) = self.try_ty(e) {
+                        self.vars.entry(name.clone()).or_insert(t);
+                    }
+                }
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                if lhs.is_var() && !self.vars.contains_key(&lhs.base) {
+                    if let Some(t) = self.try_ty(rhs) {
+                        self.vars.insert(lhs.base.clone(), t);
+                    }
+                }
+            }
+            Stmt::While { body, .. } => self.infer_block(body),
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
+                self.infer_block(then_blk);
+                if let Some(e) = else_blk {
+                    self.infer_block(e);
+                }
+            }
+            Stmt::For { var, body, .. } => {
+                self.vars.entry(var.clone()).or_insert(Ty::Int);
+                self.infer_block(body);
+            }
+            Stmt::Return { .. } | Stmt::Call(_) => {}
+        }
+    }
+
+    /// Best-effort expression typing during inference (no diagnostics).
+    fn try_ty(&mut self, e: &Expr) -> Option<Ty> {
+        match e {
+            Expr::Int(..) => Some(Ty::Int),
+            Expr::Real(..) => Some(Ty::Real),
+            Expr::Bool(..) => Some(Ty::Bool),
+            Expr::Null(_) => None, // polymorphic: resolved by a later binding
+            Expr::New(t, _) => Some(Ty::Ptr(t.clone())),
+            Expr::Var(v, _) => {
+                if v == PES_CONST {
+                    Some(Ty::Int)
+                } else {
+                    self.vars.get(v).cloned()
+                }
+            }
+            Expr::Field { base, field, .. } => {
+                let bt = self.try_ty(base)?;
+                field_ty(self.adds, bt.pointee()?, field)
+            }
+            Expr::Unary { operand, op, .. } => match op {
+                UnOp::Neg => self.try_ty(operand),
+                UnOp::Not => Some(Ty::Bool),
+            },
+            Expr::Binary { op, lhs, rhs, .. } => {
+                if op.is_comparison() || op.is_logical() {
+                    Some(Ty::Bool)
+                } else {
+                    let lt = self.try_ty(lhs);
+                    let rt = self.try_ty(rhs);
+                    match (lt, rt) {
+                        (Some(Ty::Real), _) | (_, Some(Ty::Real)) => Some(Ty::Real),
+                        (Some(Ty::Int), Some(Ty::Int)) => Some(Ty::Int),
+                        _ => None,
+                    }
+                }
+            }
+            Expr::Call(c) => {
+                if let Some(sig) = self.sigs.get(&c.callee) {
+                    sig.ret.clone()
+                } else {
+                    intrinsic_sig(&c.callee).and_then(|s| s.ret)
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ strict pass
+
+    fn check_block(&mut self, b: &Block) {
+        for s in &b.stmts {
+            self.check_stmt(s);
+        }
+    }
+
+    fn check_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::VarDecl {
+                name, ty, init, span,
+            } => {
+                let declared = self.vars.get(name).cloned();
+                if declared.is_none() {
+                    self.diags.push(Diagnostic::new(
+                        *span,
+                        format!("cannot infer a type for variable `{name}`"),
+                    ));
+                    return;
+                }
+                if let (Some(annot), Some(actual)) = (ty, &declared) {
+                    if annot != actual {
+                        self.diags.push(Diagnostic::new(
+                            *span,
+                            format!("variable `{name}` declared `{annot}` but bound `{actual}`"),
+                        ));
+                    }
+                }
+                if let Some(e) = init {
+                    let target = declared.unwrap();
+                    if matches!(e, Expr::Null(_)) {
+                        self.require_nullable(&target, e.span());
+                    } else if let Some(et) = self.expr_ty(e) {
+                        self.require_assignable(&target, &et, e.span());
+                    }
+                }
+            }
+            Stmt::Assign { lhs, rhs, span } => {
+                let lt = self.lvalue_ty(lhs);
+                if matches!(rhs, Expr::Null(_)) {
+                    if let Some(lt) = lt {
+                        self.require_nullable(&lt, *span);
+                    }
+                    return;
+                }
+                let rt = self.expr_ty(rhs);
+                if let (Some(lt), Some(rt)) = (lt, rt) {
+                    self.require_assignable(&lt, &rt, *span);
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                self.require_bool(cond);
+                self.check_block(body);
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                self.require_bool(cond);
+                self.check_block(then_blk);
+                if let Some(e) = else_blk {
+                    self.check_block(e);
+                }
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+                span,
+                ..
+            } => {
+                if self.vars.get(var) != Some(&Ty::Int) {
+                    self.diags.push(Diagnostic::new(
+                        *span,
+                        format!("loop variable `{var}` must be int"),
+                    ));
+                }
+                self.require_int(from);
+                self.require_int(to);
+                self.check_block(body);
+            }
+            Stmt::Return { value, span } => match (&self.fun.ret.clone(), value) {
+                (Some(rt), Some(e)) => {
+                    if matches!(e, Expr::Null(_)) {
+                        self.require_nullable(rt, e.span());
+                    } else if let Some(et) = self.expr_ty(e) {
+                        self.require_assignable(rt, &et, e.span());
+                    }
+                }
+                (Some(_), None) => self.diags.push(Diagnostic::new(
+                    *span,
+                    format!("function `{}` must return a value", self.fun.name),
+                )),
+                (None, Some(_)) => self.diags.push(Diagnostic::new(
+                    *span,
+                    format!("procedure `{}` cannot return a value", self.fun.name),
+                )),
+                (None, None) => {}
+            },
+            Stmt::Call(c) => {
+                self.check_call(c);
+            }
+        }
+    }
+
+    fn lvalue_ty(&mut self, lv: &LValue) -> Option<Ty> {
+        let mut ty = match self.vars.get(&lv.base) {
+            Some(t) => t.clone(),
+            None => {
+                self.diags.push(Diagnostic::new(
+                    lv.span,
+                    format!("unknown variable `{}`", lv.base),
+                ));
+                return None;
+            }
+        };
+        for acc in &lv.path {
+            let Some(rec) = ty.pointee().map(str::to_string) else {
+                self.diags.push(Diagnostic::new(
+                    acc.span,
+                    format!("`->{}` applied to non-pointer of type `{ty}`", acc.field),
+                ));
+                return None;
+            };
+            self.check_field_access(&rec, &acc.field, acc.index.as_deref(), acc.span)?;
+            ty = field_ty(self.adds, &rec, &acc.field)?;
+        }
+        Some(ty)
+    }
+
+    /// Validates that `field` exists on `rec` and indexing matches the
+    /// declared shape (array fields must be indexed; plain fields must not).
+    fn check_field_access(
+        &mut self,
+        rec: &str,
+        field: &str,
+        index: Option<&Expr>,
+        span: Span,
+    ) -> Option<()> {
+        let t = self.adds.get(rec)?;
+        let Some(f) = t.field(field) else {
+            self.diags.push(Diagnostic::new(
+                span,
+                format!("record `{rec}` has no field `{field}`"),
+            ));
+            return None;
+        };
+        let is_array = matches!(
+            &f.kind,
+            AddsFieldKind::Pointer {
+                array_len: Some(_),
+                ..
+            }
+        );
+        match (is_array, index) {
+            (true, None) => {
+                self.diags.push(Diagnostic::new(
+                    span,
+                    format!("array field `{field}` requires an index"),
+                ));
+                return None;
+            }
+            (false, Some(_)) => {
+                self.diags.push(Diagnostic::new(
+                    span,
+                    format!("field `{field}` is not an array"),
+                ));
+                return None;
+            }
+            _ => {}
+        }
+        if let Some(idx) = index {
+            self.require_int(idx);
+        }
+        Some(())
+    }
+
+    fn expr_ty(&mut self, e: &Expr) -> Option<Ty> {
+        match e {
+            Expr::Int(..) => Some(Ty::Int),
+            Expr::Real(..) => Some(Ty::Real),
+            Expr::Bool(..) => Some(Ty::Bool),
+            Expr::Null(_) => None, // handled by require_assignable / comparisons
+            Expr::New(t, span) => {
+                if self.adds.get(t).is_none() {
+                    self.diags.push(Diagnostic::new(
+                        *span,
+                        format!("`new` of undeclared record type `{t}`"),
+                    ));
+                    return None;
+                }
+                Some(Ty::Ptr(t.clone()))
+            }
+            Expr::Var(v, span) => {
+                if v == PES_CONST {
+                    return Some(Ty::Int);
+                }
+                match self.vars.get(v) {
+                    Some(t) => Some(t.clone()),
+                    None => {
+                        self.diags
+                            .push(Diagnostic::new(*span, format!("unknown variable `{v}`")));
+                        None
+                    }
+                }
+            }
+            Expr::Field {
+                base, field, index, span,
+            } => {
+                let bt = self.expr_ty(base)?;
+                let Some(rec) = bt.pointee().map(str::to_string) else {
+                    self.diags.push(Diagnostic::new(
+                        *span,
+                        format!("`->{field}` applied to non-pointer of type `{bt}`"),
+                    ));
+                    return None;
+                };
+                self.check_field_access(&rec, field, index.as_deref(), *span)?;
+                field_ty(self.adds, &rec, field)
+            }
+            Expr::Unary { op, operand, span } => {
+                let t = self.expr_ty(operand)?;
+                match op {
+                    UnOp::Neg if matches!(t, Ty::Int | Ty::Real) => Some(t),
+                    UnOp::Not if t == Ty::Bool => Some(Ty::Bool),
+                    _ => {
+                        self.diags.push(Diagnostic::new(
+                            *span,
+                            format!("unary operator not applicable to `{t}`"),
+                        ));
+                        None
+                    }
+                }
+            }
+            Expr::Binary { op, lhs, rhs, span } => self.binary_ty(*op, lhs, rhs, *span),
+            Expr::Call(c) => self.check_call(c),
+        }
+    }
+
+    fn binary_ty(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr, span: Span) -> Option<Ty> {
+        // NULL literals: only meaningful against pointers.
+        let l_null = matches!(lhs, Expr::Null(_));
+        let r_null = matches!(rhs, Expr::Null(_));
+        if op.is_comparison() {
+            if matches!(op, BinOp::Eq | BinOp::Ne) && (l_null || r_null) {
+                let other = if l_null { rhs } else { lhs };
+                if !(l_null && r_null) {
+                    let t = self.expr_ty(other)?;
+                    if !t.is_pointer() {
+                        self.diags.push(Diagnostic::new(
+                            span,
+                            format!("cannot compare `{t}` with NULL"),
+                        ));
+                        return None;
+                    }
+                }
+                return Some(Ty::Bool);
+            }
+            let lt = self.expr_ty(lhs)?;
+            let rt = self.expr_ty(rhs)?;
+            let compatible = match (&lt, &rt) {
+                (Ty::Int, Ty::Int) | (Ty::Real, Ty::Real) => true,
+                (Ty::Int, Ty::Real) | (Ty::Real, Ty::Int) => true,
+                (Ty::Bool, Ty::Bool) if matches!(op, BinOp::Eq | BinOp::Ne) => true,
+                (Ty::Ptr(a), Ty::Ptr(b)) if matches!(op, BinOp::Eq | BinOp::Ne) => a == b,
+                _ => false,
+            };
+            if !compatible {
+                self.diags.push(Diagnostic::new(
+                    span,
+                    format!("cannot compare `{lt}` with `{rt}`"),
+                ));
+                return None;
+            }
+            return Some(Ty::Bool);
+        }
+        if op.is_logical() {
+            self.require_bool(lhs);
+            self.require_bool(rhs);
+            return Some(Ty::Bool);
+        }
+        // Arithmetic.
+        let lt = self.expr_ty(lhs)?;
+        let rt = self.expr_ty(rhs)?;
+        match (&lt, &rt) {
+            (Ty::Int, Ty::Int) => Some(Ty::Int),
+            (Ty::Real, Ty::Real) | (Ty::Int, Ty::Real) | (Ty::Real, Ty::Int) => Some(Ty::Real),
+            _ => {
+                self.diags.push(Diagnostic::new(
+                    span,
+                    format!("arithmetic on `{lt}` and `{rt}`"),
+                ));
+                None
+            }
+        }
+    }
+
+    fn check_call(&mut self, c: &Call) -> Option<Ty> {
+        if c.callee == "print" {
+            if c.args.len() != 1 {
+                self.diags.push(Diagnostic::new(
+                    c.span,
+                    "print takes exactly one argument".to_string(),
+                ));
+            } else {
+                self.expr_ty(&c.args[0]);
+            }
+            return None;
+        }
+        let sig = match self.sigs.get(&c.callee).cloned() {
+            Some(s) => s,
+            None => match intrinsic_sig(&c.callee) {
+                Some(s) => s,
+                None => {
+                    self.diags.push(Diagnostic::new(
+                        c.span,
+                        format!("unknown function `{}`", c.callee),
+                    ));
+                    return None;
+                }
+            },
+        };
+        if sig.params.len() != c.args.len() {
+            self.diags.push(Diagnostic::new(
+                c.span,
+                format!(
+                    "`{}` expects {} argument(s), got {}",
+                    c.callee,
+                    sig.params.len(),
+                    c.args.len()
+                ),
+            ));
+            return sig.ret;
+        }
+        for (arg, expect) in c.args.iter().zip(&sig.params) {
+            if matches!(arg, Expr::Null(_)) {
+                if !expect.is_pointer() {
+                    self.diags.push(Diagnostic::new(
+                        arg.span(),
+                        format!("NULL passed where `{expect}` expected"),
+                    ));
+                }
+                continue;
+            }
+            if let Some(at) = self.expr_ty(arg) {
+                self.require_assignable(expect, &at, arg.span());
+            }
+        }
+        sig.ret
+    }
+
+    fn require_assignable(&mut self, target: &Ty, value: &Ty, span: Span) {
+        let ok = match (target, value) {
+            (a, b) if a == b => true,
+            (Ty::Real, Ty::Int) => true, // implicit int→real promotion
+            _ => false,
+        };
+        if !ok {
+            self.diags.push(Diagnostic::new(
+                span,
+                format!("cannot assign `{value}` to `{target}`"),
+            ));
+        }
+    }
+
+    fn require_nullable(&mut self, target: &Ty, span: Span) {
+        if !target.is_pointer() {
+            self.diags.push(Diagnostic::new(
+                span,
+                format!("cannot assign NULL to `{target}`"),
+            ));
+        }
+    }
+
+    fn require_bool(&mut self, e: &Expr) {
+        if let Some(t) = self.expr_ty(e) {
+            if t != Ty::Bool {
+                self.diags.push(Diagnostic::new(
+                    e.span(),
+                    format!("expected bool, found `{t}`"),
+                ));
+            }
+        }
+    }
+
+    fn require_int(&mut self, e: &Expr) {
+        if let Some(t) = self.expr_ty(e) {
+            if t != Ty::Int {
+                self.diags.push(Diagnostic::new(
+                    e.span(),
+                    format!("expected int, found `{t}`"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIST: &str =
+        "type ListNode [X] { int coef, exp; ListNode *next is uniquely forward along X; };";
+
+    #[test]
+    fn checks_paper_scale_loop() {
+        let src = format!(
+            "{LIST}
+            procedure scale(head: ListNode*, c: int) {{
+                var p: ListNode*;
+                p = head;
+                while p <> NULL {{
+                    p->coef = p->coef * c;
+                    p = p->next;
+                }}
+            }}"
+        );
+        let tp = check_source(&src).unwrap();
+        assert_eq!(
+            tp.var_ty("scale", "p"),
+            Some(&Ty::Ptr("ListNode".to_string()))
+        );
+        assert_eq!(tp.field_ty("ListNode", "coef"), Some(Ty::Int));
+    }
+
+    #[test]
+    fn infers_local_from_assignment() {
+        let src = format!(
+            "{LIST}
+            function second(head: ListNode*): ListNode* {{
+                q = head->next;
+                return q;
+            }}"
+        );
+        let tp = check_source(&src).unwrap();
+        assert_eq!(
+            tp.var_ty("second", "q"),
+            Some(&Ty::Ptr("ListNode".to_string()))
+        );
+    }
+
+    #[test]
+    fn infers_null_first_local_via_fixpoint() {
+        // `root = NULL` first, typed by the later assignment — the
+        // build_tree pattern from §4.3.2.
+        let src = format!(
+            "{LIST}
+            function pick(head: ListNode*): ListNode* {{
+                root = NULL;
+                if head <> NULL {{
+                    root = head->next;
+                }}
+                return root;
+            }}"
+        );
+        let tp = check_source(&src).unwrap();
+        assert_eq!(
+            tp.var_ty("pick", "root"),
+            Some(&Ty::Ptr("ListNode".to_string()))
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_field() {
+        let src = format!(
+            "{LIST}
+            procedure f(p: ListNode*) {{ p->weight = 1; }}"
+        );
+        let err = check_source(&src).unwrap_err();
+        assert!(err.0.iter().any(|d| d.message.contains("no field `weight`")));
+    }
+
+    #[test]
+    fn rejects_type_confusion() {
+        let src = format!(
+            "{LIST}
+            procedure f(p: ListNode*) {{ p->coef = p->next; }}"
+        );
+        let err = check_source(&src).unwrap_err();
+        assert!(err.0.iter().any(|d| d.message.contains("cannot assign")));
+    }
+
+    #[test]
+    fn rejects_null_compared_to_int() {
+        let src = format!(
+            "{LIST}
+            procedure f(p: ListNode*) {{ if p->coef == NULL then p->coef = 0; }}"
+        );
+        let err = check_source(&src).unwrap_err();
+        assert!(err.0.iter().any(|d| d.message.contains("NULL")));
+    }
+
+    #[test]
+    fn array_fields_require_index() {
+        let src = "type Octree [down] { real mass; Octree *subtrees[8] is uniquely forward along down; };
+            procedure f(n: Octree*) { n->subtrees = NULL; }";
+        let err = check_source(src).unwrap_err();
+        assert!(err.0.iter().any(|d| d.message.contains("requires an index")));
+
+        let ok = "type Octree [down] { real mass; Octree *subtrees[8] is uniquely forward along down; };
+            procedure f(n: Octree*, q: Octree*) { n->subtrees[0] = q; }";
+        assert!(check_source(ok).is_ok());
+    }
+
+    #[test]
+    fn non_array_fields_reject_index() {
+        let src = format!(
+            "{LIST}
+            procedure f(p: ListNode*, q: ListNode*) {{ p->next[0] = q; }}"
+        );
+        let err = check_source(&src).unwrap_err();
+        assert!(err.0.iter().any(|d| d.message.contains("not an array")));
+    }
+
+    #[test]
+    fn pes_constant_is_int() {
+        let src = format!(
+            "{LIST}
+            procedure f(head: ListNode*) {{
+                var i: int;
+                for i = 0 to PEs-1 {{
+                    print(i);
+                }}
+            }}"
+        );
+        assert!(check_source(&src).is_ok());
+    }
+
+    #[test]
+    fn return_type_mismatch_is_rejected() {
+        let src = format!(
+            "{LIST}
+            function f(p: ListNode*): int {{ return p; }}"
+        );
+        let err = check_source(&src).unwrap_err();
+        assert!(err.0.iter().any(|d| d.message.contains("cannot assign")));
+    }
+
+    #[test]
+    fn procedures_cannot_return_values() {
+        let src = format!(
+            "{LIST}
+            procedure f(p: ListNode*) {{ return 3; }}"
+        );
+        let err = check_source(&src).unwrap_err();
+        assert!(err.0.iter().any(|d| d.message.contains("cannot return")));
+    }
+
+    #[test]
+    fn call_arity_and_types_checked() {
+        let src = format!(
+            "{LIST}
+            function g(x: int): int {{ return x + 1; }}
+            procedure f(p: ListNode*) {{
+                p->coef = g(1, 2);
+            }}"
+        );
+        let err = check_source(&src).unwrap_err();
+        assert!(err.0.iter().any(|d| d.message.contains("expects 1 argument")));
+    }
+
+    #[test]
+    fn intrinsics_have_signatures() {
+        let src = format!(
+            "{LIST}
+            procedure f(p: ListNode*) {{
+                var x: real;
+                x = sqrt(2.0);
+                x = min(x, fabs(x));
+                p->coef = abs(0 - 3);
+            }}"
+        );
+        assert!(check_source(&src).is_ok());
+    }
+
+    #[test]
+    fn int_promotes_to_real() {
+        let src = format!(
+            "{LIST}
+            procedure f(p: ListNode*) {{
+                var x: real;
+                x = 3;
+                x = x + 1;
+            }}"
+        );
+        assert!(check_source(&src).is_ok());
+    }
+
+    #[test]
+    fn uninferable_variable_is_an_error() {
+        let src = format!(
+            "{LIST}
+            procedure f(p: ListNode*) {{
+                q = NULL;
+            }}"
+        );
+        let err = check_source(&src).unwrap_err();
+        assert!(err
+            .0
+            .iter()
+            .any(|d| d.message.contains("cannot infer") || d.message.contains("unknown variable")));
+    }
+}

@@ -1,0 +1,103 @@
+//! Cycle cost model for the simulated machine.
+//!
+//! The Sequent profile is calibrated to the era of the paper's evaluation
+//! (Sequent Symmetry-class shared-memory multiprocessor): slow floating
+//! point relative to integer ops, memory an order of magnitude slower than
+//! registers, and — the paper's caveat (3) — *very* slow synchronization.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+/// Cycle charges per abstract operation.
+pub struct CostModel {
+    /// Integer ALU op.
+    pub alu: u64,
+    /// Floating-point op.
+    pub fp: u64,
+    /// Square root.
+    pub sqrt: u64,
+    /// Heap load / store.
+    pub load: u64,
+    /// Heap store.
+    pub store: u64,
+    /// Conditional branch (loop/if condition).
+    pub branch: u64,
+    /// Function call overhead.
+    pub call: u64,
+    /// Heap allocation.
+    pub alloc: u64,
+    /// Barrier synchronization of one parallel region round.
+    pub sync: u64,
+}
+
+impl CostModel {
+    /// Sequent Symmetry-like profile ("synchronization on a Sequent is
+    /// rather slow", §4.4).
+    pub fn sequent() -> CostModel {
+        CostModel {
+            alu: 1,
+            fp: 40,
+            sqrt: 240,
+            load: 3,
+            store: 3,
+            branch: 2,
+            call: 15,
+            alloc: 30,
+            sync: 1500,
+        }
+    }
+
+    /// A modern-ish uniform profile (used by ablations).
+    pub fn uniform() -> CostModel {
+        CostModel {
+            alu: 1,
+            fp: 2,
+            sqrt: 15,
+            load: 2,
+            store: 2,
+            branch: 1,
+            call: 5,
+            alloc: 10,
+            sync: 100,
+        }
+    }
+
+    /// Everything free except synchronization — isolates sync overhead for
+    /// the A3 ablation.
+    pub fn with_sync(mut self, sync: u64) -> CostModel {
+        self.sync = sync;
+        self
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::sequent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequent_sync_is_slow() {
+        let c = CostModel::sequent();
+        assert!(c.sync > 100 * c.alu);
+        assert!(c.fp > c.alu);
+        assert!(c.sqrt > c.fp);
+    }
+
+    #[test]
+    fn with_sync_overrides() {
+        let c = CostModel::sequent().with_sync(7);
+        assert_eq!(c.sync, 7);
+        assert_eq!(c.fp, CostModel::sequent().fp);
+    }
+
+    #[test]
+    fn profiles_differ() {
+        assert_ne!(CostModel::sequent(), CostModel::uniform());
+        assert_eq!(CostModel::default(), CostModel::sequent());
+    }
+}

@@ -1,0 +1,1060 @@
+//! The IL interpreter with MIMD cost accounting.
+//!
+//! Executes typed IL programs over a [`Heap`]. Sequential statements accrue
+//! cycles on a single clock; a `parfor` region executes its iterations with
+//! *static strip scheduling* over the configured number of PEs and advances
+//! the clock by the busiest PE plus one barrier synchronization — the
+//! machine model of the paper's §4.4 evaluation.
+//!
+//! Two extra services matter to the reproduction:
+//!
+//! * **Speculative traversability** (§3.2): reading a field of NULL yields
+//!   the field's default value instead of faulting (writes still fault).
+//!   This is what lets the strip-mined FOR1/FOR2 loops of §4.3.3 run off
+//!   the end of the particle list safely.
+//! * **Conflict detection**: each `parfor` iteration's heap read/write sets
+//!   are recorded; overlapping writes (or write/read overlap) between
+//!   iterations are reported. This dynamically validates what the static
+//!   analysis proved.
+
+use crate::cost::CostModel;
+use crate::value::{Heap, Layouts, NodeId, Value};
+use adds_lang::ast::*;
+use adds_lang::types::{TypedProgram, PES_CONST};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+#[derive(Clone, Debug)]
+/// Configuration of the simulated machine.
+pub struct MachineConfig {
+    /// Number of processing elements for `parfor` regions.
+    pub pes: usize,
+    /// Speculative traversability (§3.2). On by default — ADDS structures
+    /// guarantee it.
+    pub speculative: bool,
+    /// Record per-iteration access sets in `parfor` and detect conflicts.
+    pub detect_conflicts: bool,
+    /// Run-time ADDS shape checking after every pointer store (§2.2).
+    pub check_shapes: bool,
+    /// Abort when a conflict is found (otherwise conflicts are collected).
+    pub strict_conflicts: bool,
+    /// Per-operation cycle charges.
+    pub cost: CostModel,
+    /// Statement budget to catch runaway programs (None = unlimited).
+    pub fuel: Option<u64>,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            pes: 4,
+            speculative: true,
+            detect_conflicts: false,
+            check_shapes: false,
+            strict_conflicts: false,
+            cost: CostModel::sequent(),
+            fuel: Some(500_000_000),
+        }
+    }
+}
+
+/// A detected cross-iteration conflict in a parallel region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Conflict {
+    /// First conflicting `parfor` iteration.
+    pub iter_a: usize,
+    /// Second conflicting iteration.
+    pub iter_b: usize,
+    /// The heap record both touched.
+    pub node: NodeId,
+    /// The slot within that record.
+    pub slot: usize,
+    /// true = write/write, false = write/read.
+    pub write_write: bool,
+}
+
+impl fmt::Display for Conflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} conflict between iterations {} and {} on node#{} slot {}",
+            if self.write_write { "write/write" } else { "write/read" },
+            self.iter_a,
+            self.iter_b,
+            self.node,
+            self.slot
+        )
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+/// Execution counters.
+pub struct ExecStats {
+    /// Statements executed.
+    pub stmts: u64,
+    /// Records allocated.
+    pub allocs: u64,
+    /// Calls made.
+    pub calls: u64,
+    /// `parfor` rounds executed.
+    pub parallel_rounds: u64,
+    /// Deepest call stack seen.
+    pub max_call_depth: usize,
+}
+
+#[derive(Debug)]
+/// Why execution aborted.
+pub enum RuntimeError {
+    /// Dereferenced NULL outside speculative traversal.
+    NullDeref(String),
+    /// Dynamic type mismatch (interpreter bug or host misuse).
+    Type(String),
+    /// Called an undefined function.
+    NoSuchFunction(String),
+    /// Exceeded the statement budget.
+    OutOfFuel,
+    /// A `parfor` conflict under strict checking.
+    Conflict(Conflict),
+    /// `parfor` inside `parfor` is not modeled.
+    NestedParfor,
+    /// Anything else (message).
+    Other(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::NullDeref(m) => write!(f, "null dereference: {m}"),
+            RuntimeError::Type(m) => write!(f, "type error: {m}"),
+            RuntimeError::NoSuchFunction(m) => write!(f, "no such function: {m}"),
+            RuntimeError::OutOfFuel => write!(f, "out of fuel"),
+            RuntimeError::Conflict(c) => write!(f, "parallel conflict: {c}"),
+            RuntimeError::NestedParfor => write!(f, "nested parfor is not supported"),
+            RuntimeError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+type RResult<T> = Result<T, RuntimeError>;
+
+fn type_err<T>(m: impl Into<String>) -> RResult<T> {
+    Err(RuntimeError::Type(m.into()))
+}
+
+/// Why a block stopped executing.
+enum Flow {
+    Normal,
+    Return(Value),
+}
+
+/// The interpreter. Owns the heap for the duration of a run.
+pub struct Interp<'a> {
+    /// The program being run.
+    pub tp: &'a TypedProgram,
+    /// Record layouts.
+    pub layouts: Layouts,
+    /// Machine configuration.
+    pub cfg: MachineConfig,
+    /// The heap.
+    pub heap: Heap,
+    /// Simulated clock, in cycles.
+    pub clock: u64,
+    /// Execution counters.
+    pub stats: ExecStats,
+    /// Conflicts detected in `parfor` regions (non-strict mode).
+    pub conflicts: Vec<Conflict>,
+    /// Dynamic ADDS shape violations (when `check_shapes` is on).
+    pub shape_reports: Vec<crate::shapecheck::ShapeReport>,
+    /// Lines printed by the program.
+    pub output: Vec<String>,
+    fuel: u64,
+    depth: usize,
+    /// Access log for the current parfor iteration, if any.
+    log: Option<AccessLog>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct AccessLog {
+    reads: BTreeSet<(NodeId, usize)>,
+    writes: BTreeSet<(NodeId, usize)>,
+}
+
+type Frame = HashMap<String, Value>;
+
+impl<'a> Interp<'a> {
+    /// A fresh machine for `tp`.
+    pub fn new(tp: &'a TypedProgram, cfg: MachineConfig) -> Interp<'a> {
+        Interp {
+            tp,
+            layouts: Layouts::from_adds(&tp.adds),
+            fuel: cfg.fuel.unwrap_or(u64::MAX),
+            cfg,
+            heap: Heap::new(),
+            clock: 0,
+            stats: ExecStats::default(),
+            conflicts: Vec::new(),
+            shape_reports: Vec::new(),
+            output: Vec::new(),
+            depth: 0,
+            log: None,
+        }
+    }
+
+    /// Allocate a record of `ty` from host code.
+    pub fn host_alloc(&mut self, ty: &str) -> NodeId {
+        let layout = self.layouts.get(ty).expect("known record type").clone();
+        self.heap.alloc(&layout)
+    }
+
+    /// Host field write (no cycle cost).
+    pub fn host_store(&mut self, node: NodeId, field: &str, idx: usize, v: Value) {
+        let ty = self.heap.type_of(node).expect("valid node").to_string();
+        let slot = self
+            .layouts
+            .get(&ty)
+            .and_then(|l| l.slot(field))
+            .unwrap_or_else(|| panic!("field {field} of {ty}"));
+        assert!(idx < slot.len, "index {idx} out of range for {field}");
+        let off = slot.offset + idx;
+        self.heap.store(node, off, v).expect("valid store");
+    }
+
+    /// Host field read (no cycle cost).
+    pub fn host_load(&self, node: NodeId, field: &str, idx: usize) -> Value {
+        let ty = self.heap.type_of(node).expect("valid node");
+        let slot = self
+            .layouts
+            .get(ty)
+            .and_then(|l| l.slot(field))
+            .unwrap_or_else(|| panic!("field {field} of {ty}"));
+        assert!(idx < slot.len);
+        self.heap.load(node, slot.offset + idx).expect("valid load")
+    }
+
+    /// Call a function by name with the given argument values.
+    pub fn call(&mut self, name: &str, args: &[Value]) -> RResult<Value> {
+        let f = self
+            .tp
+            .program
+            .func(name)
+            .ok_or_else(|| RuntimeError::NoSuchFunction(name.to_string()))?;
+        if f.params.len() != args.len() {
+            return type_err(format!(
+                "{name} expects {} args, got {}",
+                f.params.len(),
+                args.len()
+            ));
+        }
+        self.charge(self.cfg.cost.call);
+        self.stats.calls += 1;
+        self.depth += 1;
+        self.stats.max_call_depth = self.stats.max_call_depth.max(self.depth);
+        let mut frame: Frame = f
+            .params
+            .iter()
+            .zip(args)
+            .map(|(p, v)| (p.name.clone(), *v))
+            .collect();
+        let flow = self.block(&f.body, &mut frame)?;
+        self.depth -= 1;
+        Ok(match flow {
+            Flow::Return(v) => v,
+            Flow::Normal => Value::Null,
+        })
+    }
+
+    fn charge(&mut self, cycles: u64) {
+        self.clock += cycles;
+    }
+
+    fn burn_fuel(&mut self) -> RResult<()> {
+        self.stats.stmts += 1;
+        if self.fuel == 0 {
+            return Err(RuntimeError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn block(&mut self, b: &Block, frame: &mut Frame) -> RResult<Flow> {
+        for s in &b.stmts {
+            match self.stmt(s, frame)? {
+                Flow::Normal => {}
+                ret => return Ok(ret),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn stmt(&mut self, s: &Stmt, frame: &mut Frame) -> RResult<Flow> {
+        self.burn_fuel()?;
+        match s {
+            Stmt::VarDecl { name, init, .. } => {
+                let v = match init {
+                    Some(e) => self.expr(e, frame)?,
+                    None => Value::Null,
+                };
+                frame.insert(name.clone(), v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                let v = self.expr(rhs, frame)?;
+                self.assign(lhs, v, frame)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::While { cond, body, .. } => {
+                loop {
+                    self.charge(self.cfg.cost.branch);
+                    if !self
+                        .expr(cond, frame)?
+                        .truthy()
+                        .map_err(RuntimeError::Type)?
+                    {
+                        return Ok(Flow::Normal);
+                    }
+                    match self.block(body, frame)? {
+                        Flow::Normal => {}
+                        ret => return Ok(ret),
+                    }
+                    self.burn_fuel()?;
+                }
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                self.charge(self.cfg.cost.branch);
+                if self
+                    .expr(cond, frame)?
+                    .truthy()
+                    .map_err(RuntimeError::Type)?
+                {
+                    self.block(then_blk, frame)
+                } else if let Some(e) = else_blk {
+                    self.block(e, frame)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+                parallel,
+                ..
+            } => {
+                let lo = self.expr(from, frame)?.as_int().map_err(RuntimeError::Type)?;
+                let hi = self.expr(to, frame)?.as_int().map_err(RuntimeError::Type)?;
+                if *parallel {
+                    self.parfor(var, lo, hi, body, frame)?;
+                    Ok(Flow::Normal)
+                } else {
+                    for i in lo..=hi {
+                        self.charge(self.cfg.cost.branch);
+                        frame.insert(var.clone(), Value::Int(i));
+                        match self.block(body, frame)? {
+                            Flow::Normal => {}
+                            ret => return Ok(ret),
+                        }
+                        self.burn_fuel()?;
+                    }
+                    Ok(Flow::Normal)
+                }
+            }
+            Stmt::Return { value, .. } => {
+                let v = match value {
+                    Some(e) => self.expr(e, frame)?,
+                    None => Value::Null,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Call(c) => {
+                self.call_expr(c, frame)?;
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    /// Execute a `parfor` region: iterations run with private copies of the
+    /// frame over a shared heap; the clock advances by the busiest PE under
+    /// static strip scheduling, plus one barrier sync.
+    fn parfor(
+        &mut self,
+        var: &str,
+        lo: i64,
+        hi: i64,
+        body: &Block,
+        frame: &Frame,
+    ) -> RResult<()> {
+        if self.log.is_some() {
+            return Err(RuntimeError::NestedParfor);
+        }
+        let pes = self.cfg.pes.max(1);
+        let start_clock = self.clock;
+        let mut pe_time = vec![0u64; pes];
+        let mut logs: Vec<AccessLog> = Vec::new();
+        self.stats.parallel_rounds += 1;
+
+        for (k, i) in (lo..=hi).enumerate() {
+            let pe = k % pes;
+            self.clock = start_clock;
+            if self.cfg.detect_conflicts {
+                self.log = Some(AccessLog::default());
+            }
+            let mut iter_frame = frame.clone();
+            iter_frame.insert(var.to_string(), Value::Int(i));
+            let flow = self.block(body, &mut iter_frame)?;
+            if matches!(flow, Flow::Return(_)) {
+                return Err(RuntimeError::Other(
+                    "return from inside parfor".to_string(),
+                ));
+            }
+            pe_time[pe] += self.clock - start_clock;
+            if let Some(log) = self.log.take() {
+                logs.push(log);
+            }
+        }
+
+        // Conflict detection across iterations.
+        if self.cfg.detect_conflicts {
+            for a in 0..logs.len() {
+                for b in a + 1..logs.len() {
+                    for w in &logs[a].writes {
+                        if logs[b].writes.contains(w) {
+                            let c = Conflict {
+                                iter_a: a,
+                                iter_b: b,
+                                node: w.0,
+                                slot: w.1,
+                                write_write: true,
+                            };
+                            if self.cfg.strict_conflicts {
+                                return Err(RuntimeError::Conflict(c));
+                            }
+                            self.conflicts.push(c);
+                        } else if logs[b].reads.contains(w) {
+                            let c = Conflict {
+                                iter_a: a,
+                                iter_b: b,
+                                node: w.0,
+                                slot: w.1,
+                                write_write: false,
+                            };
+                            if self.cfg.strict_conflicts {
+                                return Err(RuntimeError::Conflict(c));
+                            }
+                            self.conflicts.push(c);
+                        }
+                    }
+                    // write/read the other way.
+                    for w in &logs[b].writes {
+                        if logs[a].reads.contains(w) && !logs[a].writes.contains(w) {
+                            let c = Conflict {
+                                iter_a: a,
+                                iter_b: b,
+                                node: w.0,
+                                slot: w.1,
+                                write_write: false,
+                            };
+                            if self.cfg.strict_conflicts {
+                                return Err(RuntimeError::Conflict(c));
+                            }
+                            self.conflicts.push(c);
+                        }
+                    }
+                }
+            }
+        }
+
+        let busiest = pe_time.iter().copied().max().unwrap_or(0);
+        self.clock = start_clock + busiest + self.cfg.cost.sync;
+        Ok(())
+    }
+
+    fn assign(&mut self, lhs: &LValue, v: Value, frame: &mut Frame) -> RResult<()> {
+        if lhs.is_var() {
+            frame.insert(lhs.base.clone(), v);
+            return Ok(());
+        }
+        // Walk to the last node.
+        let mut cur = self.read_var(&lhs.base, frame)?;
+        for acc in &lhs.path[..lhs.path.len() - 1] {
+            let idx = self.index_of(acc, frame)?;
+            cur = self.load_field(cur, &acc.field, idx)?;
+        }
+        let last = lhs.path.last().expect("field lvalue");
+        let idx = self.index_of(last, frame)?;
+        let Value::Ptr(node) = cur else {
+            return Err(RuntimeError::NullDeref(format!(
+                "write to `{}` through NULL",
+                last.field
+            )));
+        };
+        self.store_field(node, &last.field, idx, v)
+    }
+
+    fn index_of(&mut self, acc: &FieldAccess, frame: &mut Frame) -> RResult<usize> {
+        match &acc.index {
+            Some(e) => {
+                let i = self.expr(e, frame)?.as_int().map_err(RuntimeError::Type)?;
+                if i < 0 {
+                    return type_err(format!("negative index {i}"));
+                }
+                Ok(i as usize)
+            }
+            None => Ok(0),
+        }
+    }
+
+    fn slot_of(&self, node: NodeId, field: &str, idx: usize) -> RResult<usize> {
+        let ty = self.heap.type_of(node).map_err(RuntimeError::Other)?;
+        let slot = self
+            .layouts
+            .get(ty)
+            .and_then(|l| l.slot(field))
+            .ok_or_else(|| RuntimeError::Type(format!("no field `{field}` on `{ty}`")))?;
+        if idx >= slot.len {
+            return type_err(format!("index {idx} out of bounds for `{field}`"));
+        }
+        Ok(slot.offset + idx)
+    }
+
+    fn load_field(&mut self, base: Value, field: &str, idx: usize) -> RResult<Value> {
+        self.charge(self.cfg.cost.load);
+        match base {
+            Value::Ptr(node) => {
+                let slot = self.slot_of(node, field, idx)?;
+                if let Some(log) = &mut self.log {
+                    log.reads.insert((node, slot));
+                }
+                self.heap.load(node, slot).map_err(RuntimeError::Other)
+            }
+            Value::Null if self.cfg.speculative => {
+                // Speculative traversability: reading past the end of a
+                // structure yields the field's default value.
+                Ok(Value::Null)
+            }
+            Value::Null => Err(RuntimeError::NullDeref(format!("read of `{field}`"))),
+            other => type_err(format!("field read on non-pointer {other}")),
+        }
+    }
+
+    fn store_field(&mut self, node: NodeId, field: &str, idx: usize, v: Value) -> RResult<()> {
+        self.charge(self.cfg.cost.store);
+        let slot = self.slot_of(node, field, idx)?;
+        if let Some(log) = &mut self.log {
+            log.writes.insert((node, slot));
+        }
+        self.heap.store(node, slot, v).map_err(RuntimeError::Other)?;
+        if self.cfg.check_shapes {
+            let ty = self
+                .heap
+                .type_of(node)
+                .map_err(RuntimeError::Other)?
+                .to_string();
+            let is_ptr = self
+                .layouts
+                .get(&ty)
+                .and_then(|l| l.slot(field))
+                .is_some_and(|s| s.is_ptr);
+            if is_ptr {
+                let reports = crate::shapecheck::check_store(
+                    &self.tp.adds,
+                    &self.layouts,
+                    &self.heap,
+                    &ty,
+                    field,
+                    node,
+                    v,
+                );
+                self.shape_reports.extend(reports);
+            }
+        }
+        Ok(())
+    }
+
+    fn read_var(&mut self, name: &str, frame: &Frame) -> RResult<Value> {
+        if name == PES_CONST {
+            return Ok(Value::Int(self.cfg.pes as i64));
+        }
+        frame
+            .get(name)
+            .copied()
+            .ok_or_else(|| RuntimeError::Type(format!("unbound variable `{name}`")))
+    }
+
+    fn expr(&mut self, e: &Expr, frame: &mut Frame) -> RResult<Value> {
+        match e {
+            Expr::Int(v, _) => Ok(Value::Int(*v)),
+            Expr::Real(v, _) => Ok(Value::Real(*v)),
+            Expr::Bool(b, _) => Ok(Value::Bool(*b)),
+            Expr::Null(_) => Ok(Value::Null),
+            Expr::Var(v, _) => self.read_var(v, frame),
+            Expr::New(ty, _) => {
+                self.charge(self.cfg.cost.alloc);
+                self.stats.allocs += 1;
+                let layout = self
+                    .layouts
+                    .get(ty)
+                    .ok_or_else(|| RuntimeError::Type(format!("unknown type `{ty}`")))?
+                    .clone();
+                Ok(Value::Ptr(self.heap.alloc(&layout)))
+            }
+            Expr::Field {
+                base, field, index, ..
+            } => {
+                let b = self.expr(base, frame)?;
+                let idx = match index {
+                    Some(i) => {
+                        let v = self.expr(i, frame)?.as_int().map_err(RuntimeError::Type)?;
+                        if v < 0 {
+                            return type_err(format!("negative index {v}"));
+                        }
+                        v as usize
+                    }
+                    None => 0,
+                };
+                self.load_field(b, field, idx)
+            }
+            Expr::Unary { op, operand, .. } => {
+                let v = self.expr(operand, frame)?;
+                match op {
+                    UnOp::Neg => match v {
+                        Value::Int(i) => {
+                            self.charge(self.cfg.cost.alu);
+                            Ok(Value::Int(-i))
+                        }
+                        Value::Real(r) => {
+                            self.charge(self.cfg.cost.fp);
+                            Ok(Value::Real(-r))
+                        }
+                        other => type_err(format!("negate {other}")),
+                    },
+                    UnOp::Not => Ok(Value::Bool(!v.truthy().map_err(RuntimeError::Type)?)),
+                }
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let l = self.expr(lhs, frame)?;
+                let r = self.expr(rhs, frame)?;
+                self.binop(*op, l, r)
+            }
+            Expr::Call(c) => self.call_expr(c, frame),
+        }
+    }
+
+    fn binop(&mut self, op: BinOp, l: Value, r: Value) -> RResult<Value> {
+        use BinOp::*;
+        // Pointer / NULL comparisons.
+        if matches!(op, Eq | Ne) {
+            let eq = match (l, r) {
+                (Value::Ptr(a), Value::Ptr(b)) => Some(a == b),
+                (Value::Null, Value::Null) => Some(true),
+                (Value::Ptr(_), Value::Null) | (Value::Null, Value::Ptr(_)) => Some(false),
+                (Value::Bool(a), Value::Bool(b)) => Some(a == b),
+                _ => None,
+            };
+            if let Some(eq) = eq {
+                self.charge(self.cfg.cost.alu);
+                return Ok(Value::Bool(if op == Eq { eq } else { !eq }));
+            }
+        }
+        if matches!(op, And | Or) {
+            let a = l.truthy().map_err(RuntimeError::Type)?;
+            let b = r.truthy().map_err(RuntimeError::Type)?;
+            self.charge(self.cfg.cost.alu);
+            return Ok(Value::Bool(if op == And { a && b } else { a || b }));
+        }
+        // Numeric.
+        match (l, r) {
+            (Value::Int(a), Value::Int(b)) => {
+                self.charge(self.cfg.cost.alu);
+                Ok(match op {
+                    Add => Value::Int(a.wrapping_add(b)),
+                    Sub => Value::Int(a.wrapping_sub(b)),
+                    Mul => Value::Int(a.wrapping_mul(b)),
+                    Div => {
+                        if b == 0 {
+                            return Err(RuntimeError::Other("division by zero".into()));
+                        }
+                        Value::Int(a / b)
+                    }
+                    Rem => {
+                        if b == 0 {
+                            return Err(RuntimeError::Other("modulo by zero".into()));
+                        }
+                        Value::Int(a % b)
+                    }
+                    Lt => Value::Bool(a < b),
+                    Le => Value::Bool(a <= b),
+                    Gt => Value::Bool(a > b),
+                    Ge => Value::Bool(a >= b),
+                    Eq => Value::Bool(a == b),
+                    Ne => Value::Bool(a != b),
+                    And | Or => unreachable!(),
+                })
+            }
+            (l, r) => {
+                let a = l.as_real().map_err(RuntimeError::Type)?;
+                let b = r.as_real().map_err(RuntimeError::Type)?;
+                self.charge(self.cfg.cost.fp);
+                Ok(match op {
+                    Add => Value::Real(a + b),
+                    Sub => Value::Real(a - b),
+                    Mul => Value::Real(a * b),
+                    Div => Value::Real(a / b),
+                    Rem => Value::Real(a % b),
+                    Lt => Value::Bool(a < b),
+                    Le => Value::Bool(a <= b),
+                    Gt => Value::Bool(a > b),
+                    Ge => Value::Bool(a >= b),
+                    Eq => Value::Bool(a == b),
+                    Ne => Value::Bool(a != b),
+                    And | Or => unreachable!(),
+                })
+            }
+        }
+    }
+
+    fn call_expr(&mut self, c: &Call, frame: &mut Frame) -> RResult<Value> {
+        // Intrinsics.
+        match c.callee.as_str() {
+            "print" => {
+                let v = self.expr(&c.args[0], frame)?;
+                self.output.push(v.to_string());
+                return Ok(Value::Null);
+            }
+            "sqrt" => {
+                let v = self.expr(&c.args[0], frame)?.as_real().map_err(RuntimeError::Type)?;
+                self.charge(self.cfg.cost.sqrt);
+                return Ok(Value::Real(v.sqrt()));
+            }
+            "fabs" => {
+                let v = self.expr(&c.args[0], frame)?.as_real().map_err(RuntimeError::Type)?;
+                self.charge(self.cfg.cost.fp);
+                return Ok(Value::Real(v.abs()));
+            }
+            "abs" => {
+                let v = self.expr(&c.args[0], frame)?.as_int().map_err(RuntimeError::Type)?;
+                self.charge(self.cfg.cost.alu);
+                return Ok(Value::Int(v.abs()));
+            }
+            "min" | "max" => {
+                let a = self.expr(&c.args[0], frame)?.as_real().map_err(RuntimeError::Type)?;
+                let b = self.expr(&c.args[1], frame)?.as_real().map_err(RuntimeError::Type)?;
+                self.charge(self.cfg.cost.fp);
+                return Ok(Value::Real(if c.callee == "min" {
+                    a.min(b)
+                } else {
+                    a.max(b)
+                }));
+            }
+            "itor" => {
+                let v = self.expr(&c.args[0], frame)?.as_int().map_err(RuntimeError::Type)?;
+                self.charge(self.cfg.cost.alu);
+                return Ok(Value::Real(v as f64));
+            }
+            _ => {}
+        }
+        let args: Vec<Value> = c
+            .args
+            .iter()
+            .map(|a| self.expr(a, frame))
+            .collect::<RResult<_>>()?;
+        self.call(&c.callee, &args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adds_lang::programs;
+    use adds_lang::types::check_source;
+
+    fn interp_for<'a>(tp: &'a TypedProgram, cfg: MachineConfig) -> Interp<'a> {
+        Interp::new(tp, cfg)
+    }
+
+    fn build_list(interp: &mut Interp, values: &[i64]) -> Value {
+        let mut head = Value::Null;
+        for v in values.iter().rev() {
+            let n = interp.host_alloc("L");
+            interp.host_store(n, "v", 0, Value::Int(*v));
+            interp.host_store(n, "next", 0, head);
+            head = Value::Ptr(n);
+        }
+        head
+    }
+
+    #[test]
+    fn list_sum_executes() {
+        let tp = check_source(programs::LIST_SUM).unwrap();
+        let mut it = interp_for(&tp, MachineConfig::default());
+        let head = build_list(&mut it, &[1, 2, 3, 4, 5]);
+        let out = it.call("sum", &[head]).unwrap();
+        assert_eq!(out, Value::Int(15));
+        assert!(it.clock > 0);
+    }
+
+    #[test]
+    fn empty_list_sums_to_zero() {
+        let tp = check_source(programs::LIST_SUM).unwrap();
+        let mut it = interp_for(&tp, MachineConfig::default());
+        let out = it.call("sum", &[Value::Null]).unwrap();
+        assert_eq!(out, Value::Int(0));
+    }
+
+    #[test]
+    fn scale_loop_multiplies_coefficients() {
+        let tp = check_source(programs::LIST_SCALE_ADDS).unwrap();
+        let mut it = interp_for(&tp, MachineConfig::default());
+        // ListNode { coef, exp, next }
+        let mut head = Value::Null;
+        let mut ids = Vec::new();
+        for (coef, exp) in [(451, 31), (10, 13), (4, 0)].iter().rev() {
+            let n = it.host_alloc("ListNode");
+            it.host_store(n, "coef", 0, Value::Int(*coef));
+            it.host_store(n, "exp", 0, Value::Int(*exp));
+            it.host_store(n, "next", 0, head);
+            head = Value::Ptr(n);
+            ids.push(n);
+        }
+        it.call("scale", &[head, Value::Int(3)]).unwrap();
+        let coefs: Vec<i64> = ids
+            .iter()
+            .rev()
+            .map(|n| it.host_load(*n, "coef", 0).as_int().unwrap())
+            .collect();
+        assert_eq!(coefs, vec![1353, 30, 12]);
+    }
+
+    #[test]
+    fn speculative_traversal_past_end() {
+        let src = "
+            type L [X] { int v; L *next is uniquely forward along X; };
+            function off_end(head: L*): L* {
+                var p: L*;
+                var i: int;
+                p = head;
+                for i = 1 to 10 {
+                    p = p->next;
+                }
+                return p;
+            }";
+        let tp = check_source(src).unwrap();
+        let mut it = interp_for(&tp, MachineConfig::default());
+        let head = build_list(&mut it, &[1, 2]);
+        let out = it.call("off_end", &[head]).unwrap();
+        assert_eq!(out, Value::Null);
+
+        // Without speculative traversability, the same program faults.
+        let cfg = MachineConfig {
+            speculative: false,
+            ..MachineConfig::default()
+        };
+        let mut it = interp_for(&tp, cfg);
+        let head = build_list(&mut it, &[1, 2]);
+        let err = it.call("off_end", &[head]).unwrap_err();
+        assert!(matches!(err, RuntimeError::NullDeref(_)));
+    }
+
+    #[test]
+    fn writes_through_null_always_fault() {
+        let src = "
+            type L [X] { int v; L *next is uniquely forward along X; };
+            procedure bad(p: L*) {
+                var q: L*;
+                q = p->next;
+                q->v = 1;
+            }";
+        let tp = check_source(src).unwrap();
+        let mut it = interp_for(&tp, MachineConfig::default());
+        let head = build_list(&mut it, &[1]);
+        let err = it.call("bad", &[head]).unwrap_err();
+        assert!(matches!(err, RuntimeError::NullDeref(_)));
+    }
+
+    #[test]
+    fn parfor_runs_all_iterations_and_charges_sync() {
+        let src = "
+            type L [X] { int v; L *next is uniquely forward along X; };
+            procedure touch(head: L*) {
+                var i: int;
+                var p: L*;
+                parfor i = 0 to 3 {
+                    p = head;
+                    p->v = p->v;
+                }
+            }";
+        let tp = check_source(src).unwrap();
+        let mut it = interp_for(&tp, MachineConfig::default());
+        let head = build_list(&mut it, &[7]);
+        let before_sync = it.cfg.cost.sync;
+        it.call("touch", &[head]).unwrap();
+        assert!(it.clock >= before_sync);
+        assert_eq!(it.stats.parallel_rounds, 1);
+    }
+
+    #[test]
+    fn parfor_conflict_detection_catches_shared_writes() {
+        let src = "
+            type L [X] { int v; L *next is uniquely forward along X; };
+            procedure race(head: L*) {
+                var i: int;
+                parfor i = 0 to 3 {
+                    head->v = i;
+                }
+            }";
+        let tp = check_source(src).unwrap();
+        let cfg = MachineConfig {
+            detect_conflicts: true,
+            ..MachineConfig::default()
+        };
+        let mut it = interp_for(&tp, cfg);
+        let head = build_list(&mut it, &[0]);
+        it.call("race", &[head]).unwrap();
+        assert!(!it.conflicts.is_empty());
+        assert!(it.conflicts[0].write_write);
+    }
+
+    #[test]
+    fn parfor_strict_conflicts_abort() {
+        let src = "
+            type L [X] { int v; L *next is uniquely forward along X; };
+            procedure race(head: L*) {
+                var i: int;
+                parfor i = 0 to 3 {
+                    head->v = i;
+                }
+            }";
+        let tp = check_source(src).unwrap();
+        let cfg = MachineConfig {
+            detect_conflicts: true,
+            strict_conflicts: true,
+            ..MachineConfig::default()
+        };
+        let mut it = interp_for(&tp, cfg);
+        let head = build_list(&mut it, &[0]);
+        assert!(matches!(
+            it.call("race", &[head]),
+            Err(RuntimeError::Conflict(_))
+        ));
+    }
+
+    #[test]
+    fn disjoint_parfor_writes_have_no_conflicts() {
+        let src = "
+            type L [X] { int v; L *next is uniquely forward along X; };
+            procedure iter(i: int, head: L*) {
+                var p: L*;
+                var k: int;
+                p = head;
+                for k = 1 to i {
+                    p = p->next;
+                }
+                if p <> NULL {
+                    p->v = p->v * 2;
+                }
+            }
+            procedure run(head: L*) {
+                var i: int;
+                parfor i = 0 to 3 {
+                    iter(i, head);
+                }
+            }";
+        let tp = check_source(src).unwrap();
+        let cfg = MachineConfig {
+            detect_conflicts: true,
+            strict_conflicts: true,
+            ..MachineConfig::default()
+        };
+        let mut it = interp_for(&tp, cfg);
+        let head = build_list(&mut it, &[1, 2, 3, 4]);
+        it.call("run", &[head]).unwrap();
+        assert!(it.conflicts.is_empty());
+    }
+
+    #[test]
+    fn pes_constant_reflects_config() {
+        let src = "
+            type L [X] { int v; L *next is uniquely forward along X; };
+            function pes(head: L*): int { return PEs; }";
+        let tp = check_source(src).unwrap();
+        let cfg = MachineConfig {
+            pes: 7,
+            ..MachineConfig::default()
+        };
+        let mut it = interp_for(&tp, cfg);
+        assert_eq!(it.call("pes", &[Value::Null]).unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn fuel_limits_runaway_loops() {
+        let src = "
+            type L [X] { int v; L *next is uniquely forward along X; };
+            procedure spin(head: L*) {
+                var i: int;
+                i = 0;
+                while i < 10 {
+                    i = i * 1;
+                }
+            }";
+        let tp = check_source(src).unwrap();
+        let cfg = MachineConfig {
+            fuel: Some(10_000),
+            ..MachineConfig::default()
+        };
+        let mut it = interp_for(&tp, cfg);
+        assert!(matches!(
+            it.call("spin", &[Value::Null]),
+            Err(RuntimeError::OutOfFuel)
+        ));
+    }
+
+    #[test]
+    fn intrinsics_compute() {
+        let src = "
+            type L [X] { int v; L *next is uniquely forward along X; };
+            function hyp(a: real, b: real): real {
+                return sqrt(a * a + b * b);
+            }";
+        let tp = check_source(src).unwrap();
+        let mut it = interp_for(&tp, MachineConfig::default());
+        let out = it
+            .call("hyp", &[Value::Real(3.0), Value::Real(4.0)])
+            .unwrap();
+        assert_eq!(out, Value::Real(5.0));
+    }
+
+    #[test]
+    fn print_collects_output() {
+        let src = "
+            type L [X] { int v; L *next is uniquely forward along X; };
+            procedure main(head: L*) {
+                print(42);
+                print(head);
+            }";
+        let tp = check_source(src).unwrap();
+        let mut it = interp_for(&tp, MachineConfig::default());
+        it.call("main", &[Value::Null]).unwrap();
+        assert_eq!(it.output, vec!["42", "NULL"]);
+    }
+
+    #[test]
+    fn recursion_works() {
+        let src = "
+            type L [X] { int v; L *next is uniquely forward along X; };
+            function fib(n: int): int {
+                if n < 2 { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }";
+        let tp = check_source(src).unwrap();
+        let mut it = interp_for(&tp, MachineConfig::default());
+        assert_eq!(it.call("fib", &[Value::Int(10)]).unwrap(), Value::Int(55));
+        assert!(it.stats.max_call_depth >= 10);
+    }
+}

@@ -1,0 +1,26 @@
+//! # adds-machine — IL execution substrate and simulated multiprocessor
+//!
+//! Executes ADDS IL programs (from `adds-lang`, transformed by `adds-core`)
+//! on a simulated MIMD machine:
+//!
+//! * [`value`] — runtime values, record layouts, the arena heap (which makes
+//!   every structure speculatively traversable, §3.2),
+//! * [`interp`] — the interpreter with cycle accounting, static strip
+//!   scheduling of `parfor` regions, and dynamic write-conflict detection,
+//! * [`cost`] — cycle cost models, including the Sequent-class profile used
+//!   to regenerate the §4.4 tables,
+//! * [`sequent`] — whole-workload helpers (Barnes–Hut over a particle heap).
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod interp;
+pub mod sequent;
+pub mod shapecheck;
+pub mod value;
+
+pub use cost::CostModel;
+pub use interp::{Conflict, ExecStats, Interp, MachineConfig, RuntimeError};
+pub use sequent::{run_barnes_hut, uniform_cloud, BodyInit, SimRun};
+pub use shapecheck::{ShapeReport, ShapeReportKind};
+pub use value::{Heap, Layouts, NodeId, Value};

@@ -1,0 +1,241 @@
+//! The simulated Sequent-class multiprocessor: a convenience layer that runs
+//! whole IL workloads (notably the Barnes–Hut tree-code of §4) under the
+//! cycle model and reports simulated times.
+//!
+//! This is the substitute for the paper's Sequent hardware (see DESIGN.md
+//! §5): deterministic, parameterized by PE count and synchronization cost,
+//! with static strip scheduling — the same mechanisms that shaped the
+//! paper's measured speedups.
+
+use crate::cost::CostModel;
+use crate::interp::{Interp, MachineConfig, RuntimeError};
+use crate::value::Value;
+use adds_lang::types::TypedProgram;
+use serde::{Deserialize, Serialize};
+
+/// A particle's initial condition for the simulated N-body runs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BodyInit {
+    /// Particle mass.
+    pub mass: f64,
+    /// Position vector.
+    pub pos: [f64; 3],
+    /// Velocity vector.
+    pub vel: [f64; 3],
+}
+
+/// Result of one simulated run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimRun {
+    /// Simulated cycles consumed.
+    pub cycles: u64,
+    /// Number of parallel rounds executed (0 for sequential code).
+    pub parallel_rounds: u64,
+    /// Conflicts detected (must be empty for a correct parallelization).
+    pub conflict_count: usize,
+    /// Final particle states, for cross-checking runs against each other.
+    pub bodies: Vec<BodyInit>,
+}
+
+/// Build the particle leaf list in the interpreter's heap and return the
+/// head pointer. Particles are `Octree` records with `is_leaf = true`,
+/// linked through `next` in order — Figure 5's leaves chain.
+pub fn build_particles(interp: &mut Interp, bodies: &[BodyInit]) -> Value {
+    let mut head = Value::Null;
+    for b in bodies.iter().rev() {
+        let n = interp.host_alloc("Octree");
+        interp.host_store(n, "mass", 0, Value::Real(b.mass));
+        interp.host_store(n, "x", 0, Value::Real(b.pos[0]));
+        interp.host_store(n, "y", 0, Value::Real(b.pos[1]));
+        interp.host_store(n, "z", 0, Value::Real(b.pos[2]));
+        interp.host_store(n, "vx", 0, Value::Real(b.vel[0]));
+        interp.host_store(n, "vy", 0, Value::Real(b.vel[1]));
+        interp.host_store(n, "vz", 0, Value::Real(b.vel[2]));
+        interp.host_store(n, "is_leaf", 0, Value::Bool(true));
+        interp.host_store(n, "next", 0, head);
+        head = Value::Ptr(n);
+    }
+    head
+}
+
+/// Read the particle states back out of the heap.
+pub fn read_particles(interp: &Interp, mut head: Value) -> Vec<BodyInit> {
+    let mut out = Vec::new();
+    while let Value::Ptr(n) = head {
+        out.push(BodyInit {
+            mass: interp.host_load(n, "mass", 0).as_real().unwrap(),
+            pos: [
+                interp.host_load(n, "x", 0).as_real().unwrap(),
+                interp.host_load(n, "y", 0).as_real().unwrap(),
+                interp.host_load(n, "z", 0).as_real().unwrap(),
+            ],
+            vel: [
+                interp.host_load(n, "vx", 0).as_real().unwrap(),
+                interp.host_load(n, "vy", 0).as_real().unwrap(),
+                interp.host_load(n, "vz", 0).as_real().unwrap(),
+            ],
+        });
+        head = interp.host_load(n, "next", 0);
+    }
+    out
+}
+
+/// Run `simulate(particles, steps, theta, dt)` from a (possibly transformed)
+/// Barnes–Hut IL program on the simulated machine.
+#[allow(clippy::too_many_arguments)]
+pub fn run_barnes_hut(
+    tp: &TypedProgram,
+    bodies: &[BodyInit],
+    steps: i64,
+    theta: f64,
+    dt: f64,
+    pes: usize,
+    cost: CostModel,
+    detect_conflicts: bool,
+) -> Result<SimRun, RuntimeError> {
+    let cfg = MachineConfig {
+        pes,
+        speculative: true,
+        detect_conflicts,
+        check_shapes: false,
+        strict_conflicts: false,
+        cost,
+        fuel: None,
+    };
+    let mut it = Interp::new(tp, cfg);
+    let head = build_particles(&mut it, bodies);
+    it.call(
+        "simulate",
+        &[head, Value::Int(steps), Value::Real(theta), Value::Real(dt)],
+    )?;
+    Ok(SimRun {
+        cycles: it.clock,
+        parallel_rounds: it.stats.parallel_rounds,
+        conflict_count: it.conflicts.len(),
+        bodies: read_particles(&it, head),
+    })
+}
+
+/// Deterministic pseudo-random particle cloud (no external RNG needed at
+/// this layer; the bench harness uses `rand` for richer models).
+pub fn uniform_cloud(n: usize, seed: u64) -> Vec<BodyInit> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = || {
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let v = state.wrapping_mul(0x2545F4914F6CDD1D);
+        (v >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| BodyInit {
+            mass: 1.0 / n as f64,
+            pos: [next() * 2.0 - 1.0, next() * 2.0 - 1.0, next() * 2.0 - 1.0],
+            vel: [0.0, 0.0, 0.0],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adds_lang::programs;
+    use adds_lang::types::check_source;
+
+    fn tp_seq() -> TypedProgram {
+        check_source(programs::BARNES_HUT).unwrap()
+    }
+
+    #[test]
+    fn uniform_cloud_is_deterministic() {
+        let a = uniform_cloud(16, 42);
+        let b = uniform_cloud(16, 42);
+        assert_eq!(a, b);
+        let c = uniform_cloud(16, 43);
+        assert_ne!(a, c);
+        for p in &a {
+            for d in 0..3 {
+                assert!(p.pos[d] >= -1.0 && p.pos[d] <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_barnes_hut_runs() {
+        let tp = tp_seq();
+        let bodies = uniform_cloud(24, 7);
+        let run = run_barnes_hut(&tp, &bodies, 2, 0.7, 0.01, 1, CostModel::uniform(), false)
+            .unwrap();
+        assert!(run.cycles > 0);
+        assert_eq!(run.parallel_rounds, 0);
+        assert_eq!(run.bodies.len(), 24);
+        // Particles must have moved.
+        assert!(run
+            .bodies
+            .iter()
+            .zip(&bodies)
+            .any(|(a, b)| a.pos != b.pos));
+    }
+
+    #[test]
+    fn particles_round_trip_through_heap() {
+        let tp = tp_seq();
+        let bodies = uniform_cloud(5, 3);
+        let mut it = Interp::new(&tp, MachineConfig::default());
+        let head = build_particles(&mut it, &bodies);
+        let back = read_particles(&it, head);
+        assert_eq!(back, bodies);
+    }
+
+    #[test]
+    fn transformed_parallel_run_matches_sequential() {
+        // Parallelize BHL1/BHL2 via the core pipeline, then check the
+        // simulated parallel execution computes identical trajectories and
+        // detects no conflicts.
+        let (prog, _) = adds_core::parallelize_program(programs::BARNES_HUT).unwrap();
+        let par_src = adds_lang::pretty::program(&prog);
+        let tp_par = check_source(&par_src).unwrap();
+        let tp_seq = tp_seq();
+
+        let bodies = uniform_cloud(20, 11);
+        let seq =
+            run_barnes_hut(&tp_seq, &bodies, 2, 0.7, 0.01, 1, CostModel::uniform(), false)
+                .unwrap();
+        let par =
+            run_barnes_hut(&tp_par, &bodies, 2, 0.7, 0.01, 4, CostModel::uniform(), true)
+                .unwrap();
+        assert_eq!(par.conflict_count, 0, "parallel iterations must not conflict");
+        assert!(par.parallel_rounds > 0, "transformed code ran parallel rounds");
+        for (a, b) in seq.bodies.iter().zip(&par.bodies) {
+            for d in 0..3 {
+                assert!(
+                    (a.pos[d] - b.pos[d]).abs() < 1e-9,
+                    "trajectory mismatch: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_cycles_beat_sequential_for_large_enough_n() {
+        let (prog, _) = adds_core::parallelize_program(programs::BARNES_HUT).unwrap();
+        let par_src = adds_lang::pretty::program(&prog);
+        let tp_par = check_source(&par_src).unwrap();
+        let tp_s = tp_seq();
+        let bodies = uniform_cloud(64, 5);
+        let seq =
+            run_barnes_hut(&tp_s, &bodies, 1, 0.7, 0.01, 1, CostModel::sequent(), false).unwrap();
+        let par =
+            run_barnes_hut(&tp_par, &bodies, 1, 0.7, 0.01, 4, CostModel::sequent(), false)
+                .unwrap();
+        assert!(
+            par.cycles < seq.cycles,
+            "4-PE simulated run should be faster: {} vs {}",
+            par.cycles,
+            seq.cycles
+        );
+        // But not superlinear.
+        assert!(par.cycles * 4 > seq.cycles, "speedup must be sublinear");
+    }
+}

@@ -1,0 +1,274 @@
+//! Run-time ADDS shape checking — the paper's §2.2 "positive side-effect":
+//! "the compiler's ability to generate run-time checks for the proper use
+//! of dynamic data structures."
+//!
+//! When enabled, every pointer-field store is followed by an incremental
+//! check of the declared route properties of that field:
+//!
+//! * `uniquely` — the stored target must not acquire a second incoming link
+//!   along the field's *dimension* (sharing);
+//! * `forward`/`backward` — following fields of that dimension from the
+//!   stored target must not lead back to the stored-into node (cycle).
+//!
+//! Reports are collected, not fatal: imperative programs legitimately break
+//! and repair their abstractions (§3.3.1), and the reports let a user see
+//! exactly where — dynamically mirroring what abstraction validation
+//! reports statically.
+
+use crate::value::{Heap, Layouts, NodeId, Value};
+use adds_lang::adds::AddsEnv;
+use adds_lang::ast::Direction;
+use std::fmt;
+
+/// One dynamic shape violation observed after a store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShapeReport {
+    /// What was observed.
+    pub kind: ShapeReportKind,
+    /// The declared type involved.
+    pub type_name: String,
+    /// The field whose route property is involved.
+    pub field: String,
+    /// The heap record at the violation.
+    pub node: NodeId,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+/// The kind of run-time shape observation.
+pub enum ShapeReportKind {
+    /// Node has ≥ 2 incoming links along a `uniquely` dimension.
+    Sharing,
+    /// A cycle along an acyclic (forward/backward) dimension.
+    Cycle,
+}
+
+impl fmt::Display for ShapeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "runtime {} on `{}.{}` at node#{}",
+            match self.kind {
+                ShapeReportKind::Sharing => "sharing",
+                ShapeReportKind::Cycle => "cycle",
+            },
+            self.type_name,
+            self.field,
+            self.node
+        )
+    }
+}
+
+/// Check the route properties of `field` of record type `ty` after a store
+/// `node.field[_] = target`. Returns any violations observed.
+pub fn check_store(
+    adds: &AddsEnv,
+    layouts: &Layouts,
+    heap: &Heap,
+    ty: &str,
+    field: &str,
+    node: NodeId,
+    target: Value,
+) -> Vec<ShapeReport> {
+    let mut out = Vec::new();
+    let Some(t) = adds.get(ty) else {
+        return out;
+    };
+    let Some(route) = t.route(field) else {
+        return out;
+    };
+    let Value::Ptr(target) = target else {
+        return out; // storing NULL can only *repair* properties
+    };
+
+    // Fields of the same dimension on this record type (for cycle walking
+    // and sharing counting we consider the stored field's dimension).
+    let dim_fields: Vec<String> = t
+        .fields_along(route.dim)
+        .into_iter()
+        .filter(|(_, r)| r.direction == route.direction)
+        .map(|(n, _)| n.to_string())
+        .collect();
+
+    // --- sharing: count incoming links to `target` along this dimension.
+    if route.unique {
+        let mut incoming = 0usize;
+        for id in 0..heap.len() as NodeId {
+            let Ok(nty) = heap.type_of(id) else { continue };
+            if nty != ty {
+                continue;
+            }
+            let Some(layout) = layouts.get(nty) else {
+                continue;
+            };
+            for f in &dim_fields {
+                let Some(slot) = layout.slot(f) else { continue };
+                for k in 0..slot.len {
+                    if let Ok(Value::Ptr(p)) = heap.load(id, slot.offset + k) {
+                        if p == target {
+                            incoming += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if incoming > 1 {
+            out.push(ShapeReport {
+                kind: ShapeReportKind::Sharing,
+                type_name: ty.to_string(),
+                field: field.to_string(),
+                node: target,
+            });
+        }
+    }
+
+    // --- cycle: can we reach `node` from `target` along this direction?
+    if matches!(route.direction, Direction::Forward | Direction::Backward) {
+        let mut visited = vec![false; heap.len()];
+        let mut stack = vec![target];
+        let mut found = false;
+        while let Some(cur) = stack.pop() {
+            if cur == node {
+                found = true;
+                break;
+            }
+            let idx = cur as usize;
+            if idx >= visited.len() || visited[idx] {
+                continue;
+            }
+            visited[idx] = true;
+            let Ok(nty) = heap.type_of(cur) else { continue };
+            let Some(layout) = layouts.get(nty) else {
+                continue;
+            };
+            for f in &dim_fields {
+                let Some(slot) = layout.slot(f) else { continue };
+                for k in 0..slot.len {
+                    if let Ok(Value::Ptr(p)) = heap.load(cur, slot.offset + k) {
+                        stack.push(p);
+                    }
+                }
+            }
+        }
+        if found {
+            out.push(ShapeReport {
+                kind: ShapeReportKind::Cycle,
+                type_name: ty.to_string(),
+                field: field.to_string(),
+                node,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Interp, MachineConfig};
+    use adds_lang::types::check_source;
+
+    const LIST: &str =
+        "type L [X] { int v; L *next is uniquely forward along X; };
+         procedure noop(p: L*) { p->v = 0; }";
+
+    fn setup() -> (adds_lang::types::TypedProgram,) {
+        (check_source(LIST).unwrap(),)
+    }
+
+    #[test]
+    fn clean_store_reports_nothing() {
+        let (tp,) = setup();
+        let mut it = Interp::new(&tp, MachineConfig::default());
+        let a = it.host_alloc("L");
+        let b = it.host_alloc("L");
+        it.host_store(a, "next", 0, Value::Ptr(b));
+        let reports = check_store(
+            &it.tp.adds,
+            &it.layouts,
+            &it.heap,
+            "L",
+            "next",
+            a,
+            Value::Ptr(b),
+        );
+        assert!(reports.is_empty(), "{reports:?}");
+    }
+
+    #[test]
+    fn sharing_is_reported() {
+        let (tp,) = setup();
+        let mut it = Interp::new(&tp, MachineConfig::default());
+        let a = it.host_alloc("L");
+        let b = it.host_alloc("L");
+        let shared = it.host_alloc("L");
+        it.host_store(a, "next", 0, Value::Ptr(shared));
+        it.host_store(b, "next", 0, Value::Ptr(shared));
+        let reports = check_store(
+            &it.tp.adds,
+            &it.layouts,
+            &it.heap,
+            "L",
+            "next",
+            b,
+            Value::Ptr(shared),
+        );
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].kind, ShapeReportKind::Sharing);
+        assert_eq!(reports[0].node, shared);
+    }
+
+    #[test]
+    fn cycle_is_reported() {
+        let (tp,) = setup();
+        let mut it = Interp::new(&tp, MachineConfig::default());
+        let a = it.host_alloc("L");
+        let b = it.host_alloc("L");
+        it.host_store(a, "next", 0, Value::Ptr(b));
+        it.host_store(b, "next", 0, Value::Ptr(a));
+        let reports = check_store(
+            &it.tp.adds,
+            &it.layouts,
+            &it.heap,
+            "L",
+            "next",
+            b,
+            Value::Ptr(a),
+        );
+        assert!(reports.iter().any(|r| r.kind == ShapeReportKind::Cycle));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let (tp,) = setup();
+        let mut it = Interp::new(&tp, MachineConfig::default());
+        let a = it.host_alloc("L");
+        it.host_store(a, "next", 0, Value::Ptr(a));
+        let reports = check_store(
+            &it.tp.adds,
+            &it.layouts,
+            &it.heap,
+            "L",
+            "next",
+            a,
+            Value::Ptr(a),
+        );
+        assert!(reports.iter().any(|r| r.kind == ShapeReportKind::Cycle));
+    }
+
+    #[test]
+    fn null_store_reports_nothing() {
+        let (tp,) = setup();
+        let mut it = Interp::new(&tp, MachineConfig::default());
+        let a = it.host_alloc("L");
+        let reports = check_store(
+            &it.tp.adds,
+            &it.layouts,
+            &it.heap,
+            "L",
+            "next",
+            a,
+            Value::Null,
+        );
+        assert!(reports.is_empty());
+    }
+}

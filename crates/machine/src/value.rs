@@ -1,0 +1,336 @@
+//! Runtime values, record layouts and the heap of the IL machine.
+
+use adds_lang::adds::{AddsEnv, AddsFieldKind};
+use adds_lang::ast::ScalarTy;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A runtime value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Real(f64),
+    /// Boolean.
+    Bool(bool),
+    /// A non-null pointer to a heap node.
+    Ptr(NodeId),
+    /// The null pointer.
+    Null,
+}
+
+/// Index of a heap record.
+pub type NodeId = u32;
+
+impl Value {
+    /// The boolean this value denotes, or a type error.
+    pub fn truthy(&self) -> Result<bool, String> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other}")),
+        }
+    }
+
+    /// The integer this value denotes, or a type error.
+    pub fn as_int(&self) -> Result<i64, String> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            other => Err(format!("expected int, got {other}")),
+        }
+    }
+
+    /// The real this value denotes (ints coerce), or a type error.
+    pub fn as_real(&self) -> Result<f64, String> {
+        match self {
+            Value::Real(v) => Ok(*v),
+            Value::Int(v) => Ok(*v as f64),
+            other => Err(format!("expected real, got {other}")),
+        }
+    }
+
+    /// Is this the null pointer?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Real(v) => write!(f, "{v}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Ptr(n) => write!(f, "node#{n}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+/// Where a field lives inside a record: contiguous slots (array pointer
+/// fields occupy `len` slots).
+#[derive(Clone, Debug)]
+pub struct FieldSlot {
+    /// First slot of the field within the record.
+    pub offset: usize,
+    /// Number of slots (1, or the array length).
+    pub len: usize,
+    /// Whether the slots hold pointers.
+    pub is_ptr: bool,
+    /// The scalar type, for scalar fields.
+    pub scalar: Option<ScalarTy>,
+}
+
+/// Layout of one record type.
+#[derive(Clone, Debug)]
+pub struct Layout {
+    /// Record type this layout realizes.
+    pub type_name: String,
+    /// Total slot count.
+    pub slots: usize,
+    /// Field name → slot placement.
+    pub fields: BTreeMap<String, FieldSlot>,
+}
+
+impl Layout {
+    /// Placement of `field`, if declared.
+    pub fn slot(&self, field: &str) -> Option<&FieldSlot> {
+        self.fields.get(field)
+    }
+
+    fn default_value(slot: &FieldSlot) -> Value {
+        if slot.is_ptr {
+            Value::Null
+        } else {
+            match slot.scalar {
+                Some(ScalarTy::Int) => Value::Int(0),
+                Some(ScalarTy::Real) => Value::Real(0.0),
+                Some(ScalarTy::Bool) => Value::Bool(false),
+                None => Value::Null,
+            }
+        }
+    }
+}
+
+/// Layouts for every record type of a program.
+#[derive(Clone, Debug, Default)]
+pub struct Layouts {
+    map: BTreeMap<String, Layout>,
+}
+
+impl Layouts {
+    /// Compute layouts for every record type in the environment.
+    pub fn from_adds(adds: &AddsEnv) -> Layouts {
+        let mut map = BTreeMap::new();
+        for t in adds.types() {
+            let mut fields = BTreeMap::new();
+            let mut offset = 0usize;
+            for f in &t.fields {
+                let (len, is_ptr, scalar) = match &f.kind {
+                    AddsFieldKind::Scalar(st) => (1, false, Some(*st)),
+                    AddsFieldKind::Pointer { array_len, .. } => {
+                        (array_len.unwrap_or(1), true, None)
+                    }
+                };
+                fields.insert(
+                    f.name.clone(),
+                    FieldSlot {
+                        offset,
+                        len,
+                        is_ptr,
+                        scalar,
+                    },
+                );
+                offset += len;
+            }
+            map.insert(
+                t.name.clone(),
+                Layout {
+                    type_name: t.name.clone(),
+                    slots: offset,
+                    fields,
+                },
+            );
+        }
+        Layouts { map }
+    }
+
+    /// The layout of record type `ty`.
+    pub fn get(&self, ty: &str) -> Option<&Layout> {
+        self.map.get(ty)
+    }
+}
+
+/// One heap record.
+#[derive(Clone, Debug)]
+pub struct Record {
+    /// The record's type.
+    pub type_name: String,
+    /// Field storage, addressed via the type's [`Layout`].
+    pub slots: Box<[Value]>,
+}
+
+/// The heap: an arena of records. `NodeId`s are indices; NULL is a distinct
+/// [`Value`] variant, which is what makes every structure *speculatively
+/// traversable* (§3.2) — following a link off the end yields NULL, never a
+/// fault.
+#[derive(Clone, Debug, Default)]
+pub struct Heap {
+    nodes: Vec<Record>,
+}
+
+impl Heap {
+    /// The empty heap.
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Number of allocated records.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether nothing has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Allocate a record of `layout`'s type with NULL/zero fields.
+    pub fn alloc(&mut self, layout: &Layout) -> NodeId {
+        let slots: Vec<Value> = layout
+            .fields
+            .values()
+            .flat_map(|f| std::iter::repeat_n(Layout::default_value(f), f.len))
+            .collect();
+        // Slots must be ordered by offset, not field name order.
+        let mut ordered = vec![Value::Null; layout.slots];
+        for f in layout.fields.values() {
+            for k in 0..f.len {
+                ordered[f.offset + k] = Layout::default_value(f);
+            }
+        }
+        debug_assert_eq!(slots.len(), layout.slots);
+        self.nodes.push(Record {
+            type_name: layout.type_name.clone(),
+            slots: ordered.into_boxed_slice(),
+        });
+        (self.nodes.len() - 1) as NodeId
+    }
+
+    /// The record `id`, or an error for a dangling id.
+    pub fn record(&self, id: NodeId) -> Result<&Record, String> {
+        self.nodes
+            .get(id as usize)
+            .ok_or_else(|| format!("dangling node id {id}"))
+    }
+
+    /// The type of record `id`.
+    pub fn type_of(&self, id: NodeId) -> Result<&str, String> {
+        Ok(&self.record(id)?.type_name)
+    }
+
+    /// Read slot `slot` of record `id`.
+    pub fn load(&self, id: NodeId, slot: usize) -> Result<Value, String> {
+        let r = self.record(id)?;
+        r.slots
+            .get(slot)
+            .copied()
+            .ok_or_else(|| format!("slot {slot} out of range for node {id}"))
+    }
+
+    /// Write slot `slot` of record `id`.
+    pub fn store(&mut self, id: NodeId, slot: usize, v: Value) -> Result<(), String> {
+        let r = self
+            .nodes
+            .get_mut(id as usize)
+            .ok_or_else(|| format!("dangling node id {id}"))?;
+        let cell = r
+            .slots
+            .get_mut(slot)
+            .ok_or_else(|| format!("slot {slot} out of range for node {id}"))?;
+        *cell = v;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adds_lang::parser::parse_program;
+
+    fn layouts(src: &str) -> Layouts {
+        let p = parse_program(src).unwrap();
+        let adds = AddsEnv::build(&p).unwrap();
+        Layouts::from_adds(&adds)
+    }
+
+    #[test]
+    fn layout_sizes_account_for_arrays() {
+        let l = layouts(
+            "type Octree [down] {
+                real mass, x;
+                bool is_leaf;
+                Octree *subtrees[8] is uniquely forward along down;
+            };",
+        );
+        let lay = l.get("Octree").unwrap();
+        assert_eq!(lay.slots, 3 + 8);
+        assert_eq!(lay.slot("subtrees").unwrap().len, 8);
+        assert!(lay.slot("subtrees").unwrap().is_ptr);
+        assert_eq!(lay.slot("mass").unwrap().len, 1);
+    }
+
+    #[test]
+    fn alloc_initializes_defaults() {
+        let l = layouts(
+            "type N [X] { int a; real b; bool c; N *next is forward along X; };",
+        );
+        let lay = l.get("N").unwrap();
+        let mut heap = Heap::new();
+        let id = heap.alloc(lay);
+        assert_eq!(heap.load(id, lay.slot("a").unwrap().offset).unwrap(), Value::Int(0));
+        assert_eq!(
+            heap.load(id, lay.slot("b").unwrap().offset).unwrap(),
+            Value::Real(0.0)
+        );
+        assert_eq!(
+            heap.load(id, lay.slot("c").unwrap().offset).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            heap.load(id, lay.slot("next").unwrap().offset).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn store_and_load_round_trip() {
+        let l = layouts("type N [X] { int a; N *next is forward along X; };");
+        let lay = l.get("N").unwrap();
+        let mut heap = Heap::new();
+        let a = heap.alloc(lay);
+        let b = heap.alloc(lay);
+        heap.store(a, lay.slot("next").unwrap().offset, Value::Ptr(b))
+            .unwrap();
+        assert_eq!(
+            heap.load(a, lay.slot("next").unwrap().offset).unwrap(),
+            Value::Ptr(b)
+        );
+        assert_eq!(heap.type_of(b).unwrap(), "N");
+    }
+
+    #[test]
+    fn dangling_ids_error() {
+        let heap = Heap::new();
+        assert!(heap.load(42, 0).is_err());
+    }
+
+    #[test]
+    fn value_coercions() {
+        assert_eq!(Value::Int(3).as_real().unwrap(), 3.0);
+        assert_eq!(Value::Real(2.5).as_real().unwrap(), 2.5);
+        assert!(Value::Real(2.5).as_int().is_err());
+        assert!(Value::Bool(true).truthy().unwrap());
+        assert!(Value::Null.is_null());
+    }
+}

@@ -1,0 +1,235 @@
+//! Force computation: the recursive `compute_force` of §4.1 with the
+//! Barnes–Hut well-separated criterion, plus the O(N²) direct sum it
+//! replaces.
+
+use crate::octree::{NodeId, Octree};
+use crate::particle::{ParticleId, ParticleList};
+use crate::vec3::{Vec3, ZERO};
+
+/// Gravitational constant (natural units) and default softening.
+pub const G: f64 = 1.0;
+/// Default gravitational softening ε.
+pub const DEFAULT_EPS: f64 = 1e-4;
+/// Default Barnes–Hut opening angle θ.
+pub const DEFAULT_THETA: f64 = 0.7;
+
+/// Pairwise force on a body at `pos` with mass `m` from a point mass.
+#[inline]
+pub fn pair_force(pos: Vec3, m: f64, other_pos: Vec3, other_m: f64, eps: f64) -> Vec3 {
+    let d = other_pos - pos;
+    let dist = (d.norm_sq() + eps * eps).sqrt();
+    let f = G * m * other_m / (dist * dist * dist);
+    d * f
+}
+
+/// The paper's WELL-SEPARATED test: the node's box (side `2·hw`) subtends
+/// less than `theta` at distance `dist`.
+#[inline]
+pub fn well_separated(half_width: f64, dist: f64, theta: f64) -> bool {
+    half_width * 2.0 / dist < theta
+}
+
+/// Recursive force accumulation on particle `p` from the subtree at `node`
+/// — the paper's `compute_force`. Once a node is included, its subtrees are
+/// ignored.
+pub fn accumulate_force(
+    tree: &Octree,
+    plist: &ParticleList,
+    p: ParticleId,
+    node: Option<NodeId>,
+    theta: f64,
+    eps: f64,
+) -> Vec3 {
+    let Some(id) = node else {
+        return ZERO;
+    };
+    let n = tree.node(id);
+    let body = plist.get(p);
+
+    if let Some(other) = n.body {
+        if other == p {
+            return ZERO;
+        }
+        return pair_force(body.pos, body.mass, n.com, n.mass, eps);
+    }
+
+    let dist = (n.com - body.pos).norm() + eps;
+    if well_separated(n.half_width, dist, theta) {
+        return pair_force(body.pos, body.mass, n.com, n.mass, eps);
+    }
+    let mut f = ZERO;
+    for q in 0..8 {
+        f += accumulate_force(tree, plist, p, n.children[q], theta, eps);
+    }
+    f
+}
+
+/// Count of tree nodes *visited* while computing the force on `p` — the
+/// per-iteration work metric used by the scheduling ablations.
+pub fn force_visits(
+    tree: &Octree,
+    plist: &ParticleList,
+    p: ParticleId,
+    node: Option<NodeId>,
+    theta: f64,
+    eps: f64,
+) -> usize {
+    let Some(id) = node else {
+        return 0;
+    };
+    let n = tree.node(id);
+    let body = plist.get(p);
+    if n.body.is_some() {
+        return 1;
+    }
+    let dist = (n.com - body.pos).norm() + eps;
+    if well_separated(n.half_width, dist, theta) {
+        return 1;
+    }
+    1 + (0..8)
+        .map(|q| force_visits(tree, plist, p, n.children[q], theta, eps))
+        .sum::<usize>()
+}
+
+/// Direct O(N²) force on particle `p` — the "obvious implementation" of
+/// §4.1 that the tree-code replaces, and the reference for accuracy tests.
+pub fn direct_force(plist: &ParticleList, p: ParticleId, eps: f64) -> Vec3 {
+    let body = plist.get(p);
+    let mut f = ZERO;
+    for (i, other) in plist.particles().iter().enumerate() {
+        if i as ParticleId == p {
+            continue;
+        }
+        f += pair_force(body.pos, body.mass, other.pos, other.mass, eps);
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::particle::Particle;
+
+    fn plist(points: &[[f64; 3]]) -> ParticleList {
+        ParticleList::new(
+            points
+                .iter()
+                .map(|p| Particle::at_rest(1.0, Vec3::from_array(*p)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn pair_force_is_attractive_and_antisymmetric() {
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(1.0, 0.0, 0.0);
+        let fab = pair_force(a, 1.0, b, 1.0, 0.0);
+        let fba = pair_force(b, 1.0, a, 1.0, 0.0);
+        assert!(fab.x > 0.0, "force on a points toward b");
+        assert!((fab + fba).norm() < 1e-12, "Newton's third law");
+        assert!((fab.x - 1.0).abs() < 1e-12, "inverse square at unit distance");
+    }
+
+    #[test]
+    fn softening_bounds_close_encounters() {
+        let f = pair_force(ZERO, 1.0, Vec3::new(1e-12, 0.0, 0.0), 1.0, 1e-2);
+        assert!(f.norm() < 1e6, "softened force stays finite: {}", f.norm());
+    }
+
+    #[test]
+    fn well_separated_criterion() {
+        assert!(well_separated(0.5, 10.0, 0.5)); // far box
+        assert!(!well_separated(0.5, 1.0, 0.5)); // near box
+    }
+
+    #[test]
+    fn tree_force_matches_direct_for_small_theta() {
+        let pts: Vec<[f64; 3]> = (0..40)
+            .map(|i| {
+                let f = i as f64 * 0.61803398875;
+                [
+                    (f * 1.7).sin() * 2.0,
+                    (f * 2.3).cos() * 2.0,
+                    (f * 3.1).sin() * 2.0,
+                ]
+            })
+            .collect();
+        let l = plist(&pts);
+        let t = crate::octree::Octree::build(&l);
+        for p in 0..l.len() as ParticleId {
+            let bh = accumulate_force(&t, &l, p, t.root, 0.0, DEFAULT_EPS);
+            let direct = direct_force(&l, p, DEFAULT_EPS);
+            assert!(
+                (bh - direct).norm() < 1e-9,
+                "theta=0 must equal direct: {bh:?} vs {direct:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_force_approximates_direct_for_moderate_theta() {
+        let pts: Vec<[f64; 3]> = (0..100)
+            .map(|i| {
+                let f = i as f64;
+                [
+                    (f * 0.37).sin() * 5.0,
+                    (f * 0.73).cos() * 5.0,
+                    (f * 1.09).sin() * 5.0,
+                ]
+            })
+            .collect();
+        let l = plist(&pts);
+        let t = crate::octree::Octree::build(&l);
+        // Normalize by the mean force magnitude: particles whose net force
+        // nearly cancels make the pointwise relative error meaningless.
+        let mean_f: f64 = (0..l.len() as ParticleId)
+            .map(|p| direct_force(&l, p, DEFAULT_EPS).norm())
+            .sum::<f64>()
+            / l.len() as f64;
+        let mut max_err = 0.0f64;
+        let mut sum_err = 0.0f64;
+        for p in 0..l.len() as ParticleId {
+            let bh = accumulate_force(&t, &l, p, t.root, 0.5, DEFAULT_EPS);
+            let direct = direct_force(&l, p, DEFAULT_EPS);
+            let err = (bh - direct).norm() / mean_f;
+            max_err = max_err.max(err);
+            sum_err += err;
+        }
+        let mean_err = sum_err / l.len() as f64;
+        assert!(mean_err < 0.02, "theta=0.5 mean error {mean_err}");
+        // Individual particles in tight clumps can see larger (still
+        // bounded) deviations; the aggregate accuracy is what BH promises.
+        assert!(max_err < 0.5, "theta=0.5 worst error {max_err}");
+    }
+
+    #[test]
+    fn tree_force_visits_fewer_nodes_than_direct() {
+        let pts: Vec<[f64; 3]> = (0..256)
+            .map(|i| {
+                let f = i as f64;
+                [
+                    (f * 0.37).sin() * 5.0,
+                    (f * 0.73).cos() * 5.0,
+                    (f * 1.09).sin() * 5.0,
+                ]
+            })
+            .collect();
+        let l = plist(&pts);
+        let t = crate::octree::Octree::build(&l);
+        let visits = force_visits(&t, &l, 0, t.root, 1.0, DEFAULT_EPS);
+        assert!(
+            visits < l.len(),
+            "BH visits ({visits}) should be below N ({})",
+            l.len()
+        );
+    }
+
+    #[test]
+    fn self_force_is_zero() {
+        let l = plist(&[[0.0, 0.0, 0.0]]);
+        let t = crate::octree::Octree::build(&l);
+        let f = accumulate_force(&t, &l, 0, t.root, 0.5, DEFAULT_EPS);
+        assert_eq!(f, ZERO);
+        assert_eq!(direct_force(&l, 0, DEFAULT_EPS), ZERO);
+    }
+}

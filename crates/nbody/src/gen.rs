@@ -1,0 +1,105 @@
+//! Particle initial-condition generators.
+//!
+//! The paper does not state its initial distribution; we provide a uniform
+//! cube and the standard Plummer (1911) model used by the N-body community
+//! (cf. Barnes & Hut 1986, Appel 1985). Both are seeded and deterministic.
+
+use crate::particle::{Particle, ParticleList};
+use crate::vec3::Vec3;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// N equal-mass particles uniform in the cube [-1, 1]³, at rest.
+pub fn uniform_cube(n: usize, seed: u64) -> ParticleList {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mass = 1.0 / n.max(1) as f64;
+    ParticleList::new(
+        (0..n)
+            .map(|_| {
+                Particle::at_rest(
+                    mass,
+                    Vec3::new(
+                        rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0),
+                    ),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Plummer sphere: centrally concentrated cluster — the classic tree-code
+/// workload, and deliberately *imbalanced* for static scheduling (denser
+/// center ⇒ more expensive force evaluations), which is what shapes the
+/// paper's sublinear speedups.
+pub fn plummer(n: usize, seed: u64) -> ParticleList {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mass = 1.0 / n.max(1) as f64;
+    let a = 1.0; // scale radius
+    let particles = (0..n)
+        .map(|_| {
+            // Radius from the cumulative mass profile.
+            let m: f64 = rng.gen_range(1e-6..1.0f64);
+            let r = a / (m.powf(-2.0 / 3.0) - 1.0).sqrt();
+            let r = r.min(10.0 * a); // clip the rare far tail
+            // Isotropic direction.
+            let z: f64 = rng.gen_range(-1.0..1.0);
+            let phi: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            let s = (1.0 - z * z).sqrt();
+            let pos = Vec3::new(r * s * phi.cos(), r * s * phi.sin(), r * z);
+            Particle::at_rest(mass, pos)
+        })
+        .collect();
+    ParticleList::new(particles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_cube_is_seed_deterministic() {
+        let a = uniform_cube(32, 9);
+        let b = uniform_cube(32, 9);
+        assert_eq!(a.particles(), b.particles());
+        let c = uniform_cube(32, 10);
+        assert_ne!(a.particles(), c.particles());
+    }
+
+    #[test]
+    fn uniform_cube_in_bounds() {
+        let l = uniform_cube(100, 1);
+        for p in l.particles() {
+            assert!(p.pos.max_abs() <= 1.0);
+            assert_eq!(p.vel, crate::vec3::ZERO);
+        }
+    }
+
+    #[test]
+    fn plummer_is_centrally_concentrated() {
+        let l = plummer(500, 2);
+        let inner = l
+            .particles()
+            .iter()
+            .filter(|p| p.pos.norm() < 1.0)
+            .count();
+        let outer = l
+            .particles()
+            .iter()
+            .filter(|p| p.pos.norm() >= 1.0)
+            .count();
+        // Half-mass radius of Plummer is ≈ 1.3a; the inner region should
+        // hold a large fraction.
+        assert!(inner > outer / 4, "inner {inner} outer {outer}");
+        assert!(l.particles().iter().all(|p| p.pos.norm() <= 10.0 + 1e-9));
+    }
+
+    #[test]
+    fn masses_sum_to_one() {
+        for l in [uniform_cube(64, 3), plummer(64, 3)] {
+            let total: f64 = l.particles().iter().map(|p| p.mass).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # adds-nbody — the Barnes–Hut tree-code of §4, natively in Rust
+//!
+//! The workload the ADDS paper parallelizes: an N-body simulation over an
+//! octree whose leaves (the particles) form a one-way linked list
+//! (Figure 5). Provides:
+//!
+//! * [`octree`] — incremental tree construction exactly as in §4.3.2
+//!   (`expand_box` / `insert_particle` with the temporary-sharing insertion
+//!   order) plus run-time shape validation,
+//! * [`force`] — the recursive well-separated force computation and the
+//!   O(N²) direct sum baseline,
+//! * [`sim`] — the per-time-step driver (build → BHL1 → BHL2),
+//! * [`parallel`] — the §4.3.3 strip-mined parallel loops on real threads
+//!   (plus dynamic scheduling and subtree parallelism for the ablations),
+//! * [`stride`] — stride-disjoint mutable views: the Rust embodiment of the
+//!   disjointness the path-matrix analysis proves,
+//! * [`gen`] — seeded uniform-cube and Plummer initial conditions,
+//! * [`water`] — the §4.2 aside: a SPLASH-Water-style O(N²) arrays-and-
+//!   iteration MD code, the “ease of parallelization” counterpoint.
+
+#![warn(missing_docs)]
+
+pub mod force;
+pub mod gen;
+pub mod octree;
+pub mod parallel;
+pub mod particle;
+pub mod sim;
+pub mod stride;
+pub mod vec3;
+pub mod water;
+
+pub use force::{accumulate_force, direct_force, force_visits, DEFAULT_EPS, DEFAULT_THETA};
+pub use octree::{Node, NodeId, Octree};
+pub use parallel::{force_parallel_subtrees, Schedule};
+pub use particle::{Particle, ParticleId, ParticleList};
+pub use sim::{SimParams, Simulation};
+pub use stride::{disjoint_strides, StrideWriter};
+pub use water::{lattice, Molecule, WaterParams, WaterSim};
+pub use vec3::Vec3;

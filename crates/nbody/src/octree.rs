@@ -1,0 +1,375 @@
+//! The octree of §4.3.1, built exactly as the paper describes: incrementally
+//! per particle, growing the root box upward (`expand_box`) and descending
+//! to an empty octant (`insert_particle`, subdividing on collision), then a
+//! bottom-up mass/center-of-mass pass (`compute_mass`).
+//!
+//! Nodes live in an arena; the "pointers" of the paper are node ids. The
+//! `down` dimension is the `children` array (uniquely forward — every node
+//! has one parent); the `leaves` dimension is the particle list.
+
+use crate::particle::{ParticleId, ParticleList};
+use crate::vec3::{Vec3, ZERO};
+
+/// Index of an octree node within its arena.
+pub type NodeId = u32;
+
+#[derive(Clone, Debug)]
+/// One octree node: an internal point-mass or a leaf particle.
+pub struct Node {
+    /// Box center (internal nodes).
+    pub center: Vec3,
+    /// Half the box side length.
+    pub half_width: f64,
+    /// Total mass of the subtree (set by `compute_mass`).
+    pub mass: f64,
+    /// Center of mass of the subtree (set by `compute_mass`).
+    pub com: Vec3,
+    /// The eight `down`-dimension subtrees (Figure 5).
+    pub children: [Option<NodeId>; 8],
+    /// `Some(p)` for leaves: the particle this node represents.
+    pub body: Option<ParticleId>,
+}
+
+impl Node {
+    fn internal(center: Vec3, half_width: f64) -> Node {
+        Node {
+            center,
+            half_width,
+            mass: 0.0,
+            com: ZERO,
+            children: [None; 8],
+            body: None,
+        }
+    }
+
+    fn leaf(p: ParticleId) -> Node {
+        Node {
+            center: ZERO,
+            half_width: 0.0,
+            mass: 0.0,
+            com: ZERO,
+            children: [None; 8],
+            body: Some(p),
+        }
+    }
+
+    /// Is this a leaf (holds exactly one particle)?
+    pub fn is_leaf(&self) -> bool {
+        self.body.is_some()
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+/// The octree arena plus its root.
+pub struct Octree {
+    nodes: Vec<Node>,
+    /// The root node; `None` for an empty tree.
+    pub root: Option<NodeId>,
+}
+
+impl Octree {
+    /// The node `id`.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id as usize]
+    }
+
+    /// Number of nodes (internal + leaf).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn alloc(&mut self, n: Node) -> NodeId {
+        self.nodes.push(n);
+        (self.nodes.len() - 1) as NodeId
+    }
+
+    /// Octant of `pos` relative to `center`: bit 0 = x≥cx, bit 1 = y≥cy,
+    /// bit 2 = z≥cz.
+    pub fn octant_of(center: Vec3, pos: Vec3) -> usize {
+        (usize::from(pos.x >= center.x))
+            | (usize::from(pos.y >= center.y) << 1)
+            | (usize::from(pos.z >= center.z) << 2)
+    }
+
+    /// Center of child octant `q` of a node.
+    pub fn child_center(center: Vec3, half_width: f64, q: usize) -> Vec3 {
+        let h = half_width / 2.0;
+        Vec3::new(
+            center.x + if q & 1 != 0 { h } else { -h },
+            center.y + if q & 2 != 0 { h } else { -h },
+            center.z + if q & 4 != 0 { h } else { -h },
+        )
+    }
+
+    fn contains(&self, id: NodeId, pos: Vec3) -> bool {
+        let n = self.node(id);
+        (pos - n.center).max_abs() < n.half_width
+    }
+
+    /// Grow the root box until it contains `pos` (the paper's
+    /// `expand_box`), returning the (possibly new) root.
+    fn expand_box(&mut self, pos: Vec3, root: Option<NodeId>) -> NodeId {
+        let Some(mut root) = root else {
+            return self.alloc(Node::internal(pos, 1.0));
+        };
+        while !self.contains(root, pos) {
+            let (c, hw) = {
+                let r = self.node(root);
+                (r.center, r.half_width)
+            };
+            let nc = Vec3::new(
+                c.x + if pos.x >= c.x { hw } else { -hw },
+                c.y + if pos.y >= c.y { hw } else { -hw },
+                c.z + if pos.z >= c.z { hw } else { -hw },
+            );
+            let new_root = self.alloc(Node::internal(nc, hw * 2.0));
+            let q = Self::octant_of(nc, c);
+            self.nodes[new_root as usize].children[q] = Some(root);
+            root = new_root;
+        }
+        root
+    }
+
+    /// Descend from `root` to an empty octant for particle `p`, subdividing
+    /// when an octant is already occupied by another particle (the paper's
+    /// `insert_particle`, including the order that produces the §4.3.2
+    /// temporary sharing: the competitor is linked under the new internal
+    /// node first, then the new node replaces it in the original tree).
+    fn insert_particle(&mut self, p: ParticleId, plist: &ParticleList, root: NodeId) {
+        let pos = plist.get(p).pos;
+        let mut cur = root;
+        loop {
+            let (center, hw) = {
+                let n = self.node(cur);
+                (n.center, n.half_width)
+            };
+            let q = Self::octant_of(center, pos);
+            match self.node(cur).children[q] {
+                None => {
+                    let leaf = self.alloc(Node::leaf(p));
+                    self.nodes[cur as usize].children[q] = Some(leaf);
+                    return;
+                }
+                Some(child) if self.node(child).is_leaf() => {
+                    let competitor = child;
+                    let cpos = plist.get(self.node(competitor).body.unwrap()).pos;
+                    let m = self.alloc(Node::internal(
+                        Self::child_center(center, hw, q),
+                        hw / 2.0,
+                    ));
+                    let qc = Self::octant_of(self.node(m).center, cpos);
+                    // Temporary sharing: competitor reachable from both `cur`
+                    // and `m` between these two statements (§4.3.2).
+                    self.nodes[m as usize].children[qc] = Some(competitor);
+                    self.nodes[cur as usize].children[q] = Some(m);
+                    cur = m;
+                }
+                Some(child) => {
+                    cur = child;
+                }
+            }
+        }
+    }
+
+    /// Bottom-up mass and center-of-mass computation.
+    fn compute_mass(&mut self, id: NodeId, plist: &ParticleList) -> (f64, Vec3) {
+        if let Some(p) = self.node(id).body {
+            let part = plist.get(p);
+            self.nodes[id as usize].mass = part.mass;
+            self.nodes[id as usize].com = part.pos;
+            return (part.mass, part.pos * part.mass);
+        }
+        let mut mass = 0.0;
+        let mut weighted = ZERO;
+        for q in 0..8 {
+            if let Some(c) = self.node(id).children[q] {
+                let (m, w) = self.compute_mass(c, plist);
+                mass += m;
+                weighted += w;
+            }
+        }
+        self.nodes[id as usize].mass = mass;
+        self.nodes[id as usize].com = if mass > 0.0 { weighted / mass } else { ZERO };
+        (mass, weighted)
+    }
+
+    /// Build the tree for the current particle positions — the paper's
+    /// `build_tree`, walking the *leaf list* in link order.
+    pub fn build(plist: &ParticleList) -> Octree {
+        let mut tree = Octree::default();
+        let mut root: Option<NodeId> = None;
+        let mut p = plist.head();
+        while let Some(id) = p {
+            let pos = plist.get(id).pos;
+            let r = tree.expand_box(pos, root);
+            tree.insert_particle(id, plist, r);
+            root = Some(r);
+            p = plist.next_of(p);
+        }
+        if let Some(r) = root {
+            tree.compute_mass(r, plist);
+        }
+        tree.root = root;
+        tree
+    }
+
+    /// Depth of the tree (diagnostic).
+    pub fn depth(&self) -> usize {
+        fn rec(t: &Octree, id: NodeId) -> usize {
+            1 + t
+                .node(id)
+                .children
+                .iter()
+                .flatten()
+                .map(|c| rec(t, *c))
+                .max()
+                .unwrap_or(0)
+        }
+        self.root.map_or(0, |r| rec(self, r))
+    }
+
+    /// Number of leaves (must equal the particle count).
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// Structural validation: every node has at most one parent (the
+    /// `uniquely forward` property of `down`), the root has none, and every
+    /// particle appears in exactly one leaf. This is the run-time check the
+    /// paper's §2.2 mentions compilers could generate from ADDS.
+    pub fn validate_shape(&self, plist: &ParticleList) -> Result<(), String> {
+        let mut parents = vec![0usize; self.nodes.len()];
+        for n in &self.nodes {
+            for c in n.children.iter().flatten() {
+                parents[*c as usize] += 1;
+            }
+        }
+        let mut seen = vec![false; plist.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            if parents[i] > 1 {
+                return Err(format!("node {i} has {} parents", parents[i]));
+            }
+            if Some(i as NodeId) == self.root && parents[i] != 0 {
+                return Err("root has a parent".into());
+            }
+            if let Some(p) = n.body {
+                if seen[p as usize] {
+                    return Err(format!("particle {p} appears in two leaves"));
+                }
+                seen[p as usize] = true;
+            }
+        }
+        if let Some(missing) = seen.iter().position(|s| !s) {
+            if self.root.is_some() {
+                return Err(format!("particle {missing} not in the tree"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::particle::Particle;
+
+    fn plist(points: &[[f64; 3]]) -> ParticleList {
+        ParticleList::new(
+            points
+                .iter()
+                .map(|p| Particle::at_rest(1.0, Vec3::from_array(*p)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn octant_numbering() {
+        let c = ZERO;
+        assert_eq!(Octree::octant_of(c, Vec3::new(-1.0, -1.0, -1.0)), 0);
+        assert_eq!(Octree::octant_of(c, Vec3::new(1.0, -1.0, -1.0)), 1);
+        assert_eq!(Octree::octant_of(c, Vec3::new(-1.0, 1.0, -1.0)), 2);
+        assert_eq!(Octree::octant_of(c, Vec3::new(1.0, 1.0, 1.0)), 7);
+    }
+
+    #[test]
+    fn child_center_offsets() {
+        let cc = Octree::child_center(ZERO, 2.0, 7);
+        assert_eq!(cc, Vec3::new(1.0, 1.0, 1.0));
+        let cc = Octree::child_center(ZERO, 2.0, 0);
+        assert_eq!(cc, Vec3::new(-1.0, -1.0, -1.0));
+    }
+
+    #[test]
+    fn single_particle_tree() {
+        let l = plist(&[[0.5, 0.5, 0.5]]);
+        let t = Octree::build(&l);
+        assert_eq!(t.leaf_count(), 1);
+        assert!(t.root.is_some());
+        t.validate_shape(&l).unwrap();
+        let root = t.node(t.root.unwrap());
+        assert_eq!(root.mass, 1.0);
+        assert_eq!(root.com, Vec3::new(0.5, 0.5, 0.5));
+    }
+
+    #[test]
+    fn two_distant_particles_expand_box() {
+        let l = plist(&[[0.0, 0.0, 0.0], [10.0, 10.0, 10.0]]);
+        let t = Octree::build(&l);
+        assert_eq!(t.leaf_count(), 2);
+        t.validate_shape(&l).unwrap();
+        // Root box must contain both.
+        let root = t.node(t.root.unwrap());
+        assert!(root.half_width >= 5.0);
+        assert_eq!(root.mass, 2.0);
+        assert_eq!(root.com, Vec3::new(5.0, 5.0, 5.0));
+    }
+
+    #[test]
+    fn close_particles_subdivide() {
+        let l = plist(&[[0.1, 0.1, 0.1], [0.11, 0.1, 0.1], [0.9, 0.9, 0.9]]);
+        let t = Octree::build(&l);
+        assert_eq!(t.leaf_count(), 3);
+        assert!(t.depth() > 2, "collision forces subdivision: depth {}", t.depth());
+        t.validate_shape(&l).unwrap();
+    }
+
+    #[test]
+    fn mass_conservation() {
+        let pts: Vec<[f64; 3]> = (0..50)
+            .map(|i| {
+                let f = i as f64;
+                [f.sin() * 3.0, f.cos() * 2.0, (f * 0.7).sin()]
+            })
+            .collect();
+        let l = plist(&pts);
+        let t = Octree::build(&l);
+        assert_eq!(t.leaf_count(), 50);
+        let root = t.node(t.root.unwrap());
+        assert!((root.mass - 50.0).abs() < 1e-9);
+        t.validate_shape(&l).unwrap();
+    }
+
+    #[test]
+    fn empty_particle_list() {
+        let l = plist(&[]);
+        let t = Octree::build(&l);
+        assert!(t.root.is_none());
+        assert_eq!(t.leaf_count(), 0);
+        t.validate_shape(&l).unwrap();
+    }
+
+    #[test]
+    fn rebuild_after_motion_is_fresh() {
+        let mut l = plist(&[[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]]);
+        let t1 = Octree::build(&l);
+        l.get_mut(0).pos = Vec3::new(-5.0, 0.0, 0.0);
+        let t2 = Octree::build(&l);
+        t2.validate_shape(&l).unwrap();
+        assert!(t2.node(t2.root.unwrap()).half_width >= t1.node(t1.root.unwrap()).half_width);
+    }
+}

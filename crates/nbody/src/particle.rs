@@ -1,0 +1,187 @@
+//! Particles and the leaf list.
+//!
+//! Particles live in an arena and are threaded onto a one-way linked list
+//! (the `leaves` dimension of the paper's octree, Figure 5). The parallel
+//! drivers traverse this *list*, not the array — the strip-mined loop of
+//! §4.3.3 is a pointer-chasing loop, and we keep it one.
+
+use crate::vec3::{Vec3, ZERO};
+
+/// Index of a particle within the arena.
+pub type ParticleId = u32;
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+/// One body: mass, position, velocity.
+pub struct Particle {
+    /// Particle mass.
+    pub mass: f64,
+    /// Position.
+    pub pos: Vec3,
+    /// Velocity.
+    pub vel: Vec3,
+}
+
+impl Particle {
+    /// A particle at `pos` with zero velocity.
+    pub fn at_rest(mass: f64, pos: Vec3) -> Particle {
+        Particle {
+            mass,
+            pos,
+            vel: ZERO,
+        }
+    }
+}
+
+/// The particle arena plus the one-way leaf list over it.
+#[derive(Clone, Debug, Default)]
+pub struct ParticleList {
+    particles: Vec<Particle>,
+    next: Vec<Option<ParticleId>>,
+    head: Option<ParticleId>,
+}
+
+impl ParticleList {
+    /// Wrap `particles` and chain them in index order.
+    pub fn new(particles: Vec<Particle>) -> ParticleList {
+        let n = particles.len();
+        let next = (0..n)
+            .map(|i| {
+                if i + 1 < n {
+                    Some((i + 1) as ParticleId)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        ParticleList {
+            particles,
+            next,
+            head: if n == 0 { None } else { Some(0) },
+        }
+    }
+
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.particles.len()
+    }
+
+    /// Whether there are no particles.
+    pub fn is_empty(&self) -> bool {
+        self.particles.is_empty()
+    }
+
+    /// First particle of the leaf chain.
+    pub fn head(&self) -> Option<ParticleId> {
+        self.head
+    }
+
+    /// Follow the `next` link. `None` in, `None` out — speculative
+    /// traversability (§3.2) at the API level.
+    pub fn next_of(&self, p: Option<ParticleId>) -> Option<ParticleId> {
+        p.and_then(|i| self.next.get(i as usize).copied().flatten())
+    }
+
+    /// The particle `id`.
+    pub fn get(&self, id: ParticleId) -> &Particle {
+        &self.particles[id as usize]
+    }
+
+    /// Mutable access to particle `id`.
+    pub fn get_mut(&mut self, id: ParticleId) -> &mut Particle {
+        &mut self.particles[id as usize]
+    }
+
+    /// The underlying arena, in index order.
+    pub fn particles(&self) -> &[Particle] {
+        &self.particles
+    }
+
+    /// Mutable access to the arena.
+    pub fn particles_mut(&mut self) -> &mut [Particle] {
+        &mut self.particles
+    }
+
+    /// Iterate the leaf chain in link order.
+    pub fn iter_chain(&self) -> ChainIter<'_> {
+        ChainIter {
+            list: self,
+            cur: self.head,
+        }
+    }
+
+    /// Total momentum (diagnostic).
+    pub fn momentum(&self) -> Vec3 {
+        self.particles
+            .iter()
+            .fold(ZERO, |acc, p| acc + p.vel * p.mass)
+    }
+
+    /// Total kinetic energy (diagnostic).
+    pub fn kinetic_energy(&self) -> f64 {
+        self.particles
+            .iter()
+            .map(|p| 0.5 * p.mass * p.vel.norm_sq())
+            .sum()
+    }
+}
+
+/// Iterator over the leaf chain (`next` links).
+pub struct ChainIter<'a> {
+    list: &'a ParticleList,
+    cur: Option<ParticleId>,
+}
+
+impl<'a> Iterator for ChainIter<'a> {
+    type Item = ParticleId;
+    fn next(&mut self) -> Option<ParticleId> {
+        let c = self.cur?;
+        self.cur = self.list.next_of(Some(c));
+        Some(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(n: usize) -> ParticleList {
+        ParticleList::new(
+            (0..n)
+                .map(|i| Particle::at_rest(1.0, Vec3::new(i as f64, 0.0, 0.0)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn chain_visits_every_particle_once() {
+        let l = mk(5);
+        let order: Vec<ParticleId> = l.iter_chain().collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_list() {
+        let l = mk(0);
+        assert!(l.is_empty());
+        assert_eq!(l.head(), None);
+        assert_eq!(l.iter_chain().count(), 0);
+    }
+
+    #[test]
+    fn speculative_next_of_none_is_none() {
+        let l = mk(2);
+        assert_eq!(l.next_of(None), None);
+        let last = Some(1);
+        assert_eq!(l.next_of(last), None);
+        assert_eq!(l.next_of(l.next_of(last)), None);
+    }
+
+    #[test]
+    fn momentum_and_energy() {
+        let mut l = mk(2);
+        l.get_mut(0).vel = Vec3::new(1.0, 0.0, 0.0);
+        l.get_mut(1).vel = Vec3::new(-1.0, 0.0, 0.0);
+        assert_eq!(l.momentum(), ZERO);
+        assert_eq!(l.kinetic_energy(), 1.0);
+    }
+}

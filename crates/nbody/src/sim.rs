@@ -1,0 +1,223 @@
+//! The simulation drivers: the paper's per-time-step algorithm
+//! (`build_tree`; BHL1: forces; BHL2: integrate) in sequential form, plus
+//! the O(N²) baseline.
+
+use crate::force::{accumulate_force, direct_force, DEFAULT_EPS, DEFAULT_THETA};
+use crate::octree::Octree;
+use crate::particle::{ParticleId, ParticleList};
+use crate::vec3::{Vec3, ZERO};
+
+#[derive(Clone, Copy, Debug)]
+/// Physical and algorithmic parameters of a run.
+pub struct SimParams {
+    /// Barnes–Hut opening angle.
+    pub theta: f64,
+    /// Time step.
+    pub dt: f64,
+    /// Gravitational softening.
+    pub eps: f64,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        SimParams {
+            theta: DEFAULT_THETA,
+            dt: 0.001,
+            eps: DEFAULT_EPS,
+        }
+    }
+}
+
+/// A Barnes–Hut simulation over a particle leaf list.
+#[derive(Clone, Debug)]
+pub struct Simulation {
+    /// The bodies and their leaf chain.
+    pub particles: ParticleList,
+    /// Run parameters.
+    pub params: SimParams,
+    /// Per-particle forces of the current step (BHL1's output).
+    pub forces: Vec<Vec3>,
+    /// Tree statistics from the last step (diagnostics).
+    pub last_tree_nodes: usize,
+    /// Depth of the most recently built tree (instrumentation).
+    pub last_tree_depth: usize,
+}
+
+impl Simulation {
+    /// A simulation over `particles`.
+    pub fn new(particles: ParticleList, params: SimParams) -> Simulation {
+        let n = particles.len();
+        Simulation {
+            particles,
+            params,
+            forces: vec![ZERO; n],
+            last_tree_nodes: 0,
+            last_tree_depth: 0,
+        }
+    }
+
+    /// One sequential Barnes–Hut time step: rebuild, BHL1, BHL2 — walking
+    /// the leaf list exactly as the paper's loops do.
+    pub fn step_sequential(&mut self) {
+        let tree = Octree::build(&self.particles);
+        self.last_tree_nodes = tree.len();
+        self.last_tree_depth = tree.depth();
+
+        // BHL1: force on each particle.
+        let mut p = self.particles.head();
+        while let Some(id) = p {
+            self.forces[id as usize] = accumulate_force(
+                &tree,
+                &self.particles,
+                id,
+                tree.root,
+                self.params.theta,
+                self.params.eps,
+            );
+            p = self.particles.next_of(p);
+        }
+
+        // BHL2: new velocity and position.
+        let dt = self.params.dt;
+        let mut p = self.particles.head();
+        while let Some(id) = p {
+            let f = self.forces[id as usize];
+            let part = self.particles.get_mut(id);
+            part.vel += f * (dt / part.mass);
+            part.pos += part.vel * dt;
+            p = self.particles.next_of(p);
+        }
+    }
+
+    /// One O(N²) direct-sum step (the §4.1 baseline).
+    pub fn step_direct(&mut self) {
+        let n = self.particles.len();
+        for i in 0..n as ParticleId {
+            self.forces[i as usize] = direct_force(&self.particles, i, self.params.eps);
+        }
+        let dt = self.params.dt;
+        for i in 0..n {
+            let f = self.forces[i];
+            let part = &mut self.particles.particles_mut()[i];
+            part.vel += f * (dt / part.mass);
+            part.pos += part.vel * dt;
+        }
+    }
+
+    /// Run `steps` sequential BH steps.
+    pub fn run_sequential(&mut self, steps: usize) {
+        for _ in 0..steps {
+            self.step_sequential();
+        }
+    }
+
+    /// Run `steps` direct-sum steps.
+    pub fn run_direct(&mut self, steps: usize) {
+        for _ in 0..steps {
+            self.step_direct();
+        }
+    }
+
+    /// Approximate total energy (kinetic + pairwise potential), for
+    /// conservation diagnostics.
+    pub fn total_energy(&self) -> f64 {
+        let kin = self.particles.kinetic_energy();
+        let parts = self.particles.particles();
+        let mut pot = 0.0;
+        for i in 0..parts.len() {
+            for j in i + 1..parts.len() {
+                let d = (parts[i].pos - parts[j].pos).norm().max(self.params.eps);
+                pot -= parts[i].mass * parts[j].mass / d;
+            }
+        }
+        kin + pot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::particle::Particle;
+
+    fn two_body() -> ParticleList {
+        // Circular-ish binary.
+        ParticleList::new(vec![
+            Particle {
+                mass: 1.0,
+                pos: Vec3::new(-0.5, 0.0, 0.0),
+                vel: Vec3::new(0.0, -0.7, 0.0),
+            },
+            Particle {
+                mass: 1.0,
+                pos: Vec3::new(0.5, 0.0, 0.0),
+                vel: Vec3::new(0.0, 0.7, 0.0),
+            },
+        ])
+    }
+
+    #[test]
+    fn bh_and_direct_agree_for_small_steps() {
+        let params = SimParams {
+            theta: 0.0, // exact
+            dt: 0.001,
+            eps: 1e-4,
+        };
+        let mut a = Simulation::new(two_body(), params);
+        let mut b = Simulation::new(two_body(), params);
+        a.run_sequential(10);
+        b.run_direct(10);
+        for (x, y) in a.particles.particles().iter().zip(b.particles.particles()) {
+            assert!((x.pos - y.pos).norm() < 1e-10);
+            assert!((x.vel - y.vel).norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn momentum_is_conserved() {
+        let bodies = gen::uniform_cube(64, 42);
+        let mut sim = Simulation::new(bodies, SimParams::default());
+        let p0 = sim.particles.momentum();
+        sim.run_sequential(5);
+        let p1 = sim.particles.momentum();
+        // theta > 0 breaks exact symmetry; momentum drift must stay small.
+        assert!(
+            (p1 - p0).norm() < 1e-2,
+            "momentum drift {} too large",
+            (p1 - p0).norm()
+        );
+    }
+
+    #[test]
+    fn energy_roughly_conserved_over_short_run() {
+        let bodies = gen::plummer(32, 7);
+        let mut sim = Simulation::new(
+            bodies,
+            SimParams {
+                theta: 0.3,
+                dt: 0.0005,
+                eps: 0.05,
+            },
+        );
+        let e0 = sim.total_energy();
+        sim.run_sequential(20);
+        let e1 = sim.total_energy();
+        let rel = ((e1 - e0) / e0.abs()).abs();
+        assert!(rel < 0.05, "energy drift {rel}");
+    }
+
+    #[test]
+    fn tree_stats_are_recorded() {
+        let mut sim = Simulation::new(gen::uniform_cube(32, 3), SimParams::default());
+        sim.step_sequential();
+        assert!(sim.last_tree_nodes >= 32);
+        assert!(sim.last_tree_depth >= 2);
+    }
+
+    #[test]
+    fn empty_simulation_steps() {
+        let mut sim = Simulation::new(ParticleList::new(vec![]), SimParams::default());
+        sim.run_sequential(3);
+        sim.run_direct(3);
+    }
+}

@@ -1,0 +1,283 @@
+//! Arbitrary-precision integers over a one-way linked list — the paper's
+//! §3.1.1 motivating application ("a bignum can be represented by a list of
+//! nodes, where each node in the list contains a fixed number of digits …
+//! the integer is stored in reverse order for ease of manipulation").
+//!
+//! Three decimal digits per node, least-significant node first, exactly as
+//! in the paper's 3,298,991 example.
+
+use crate::list::OneWayList;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Digits per node (the paper's figure shows 3).
+pub const DIGITS_PER_NODE: u32 = 3;
+/// Numeric base of one limb (10^DIGITS_PER_NODE).
+pub const BASE: u64 = 10u64.pow(DIGITS_PER_NODE);
+
+/// An unsigned big integer: limbs in a one-way list, least significant
+/// first.
+#[derive(Clone, Debug, Default)]
+pub struct Bignum {
+    /// Limbs, least significant first (the paper's reverse order).
+    pub limbs: OneWayList<u64>,
+}
+
+impl Bignum {
+    /// The number 0 (empty limb list).
+    pub fn zero() -> Bignum {
+        Bignum {
+            limbs: OneWayList::from_iter_back([0]),
+        }
+    }
+
+    /// Convert from a machine integer.
+    pub fn from_u64(mut v: u64) -> Bignum {
+        let mut limbs = OneWayList::new();
+        if v == 0 {
+            limbs.push_back(0);
+        }
+        while v > 0 {
+            limbs.push_back(v % BASE);
+            v /= BASE;
+        }
+        Bignum { limbs }
+    }
+
+    /// Parse a decimal string.
+    pub fn from_decimal(s: &str) -> Result<Bignum, String> {
+        let s = s.trim().replace([',', '_'], "");
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(format!("not a decimal number: {s:?}"));
+        }
+        let digits: Vec<u8> = s.bytes().map(|b| b - b'0').collect();
+        let mut limbs = OneWayList::new();
+        // Walk from the least significant end in 3-digit groups.
+        let mut idx = digits.len();
+        while idx > 0 {
+            let start = idx.saturating_sub(DIGITS_PER_NODE as usize);
+            let mut limb = 0u64;
+            for d in &digits[start..idx] {
+                limb = limb * 10 + *d as u64;
+            }
+            limbs.push_back(limb);
+            idx = start;
+        }
+        let mut b = Bignum { limbs };
+        b.normalize();
+        Ok(b)
+    }
+
+    /// Digits of each node, least significant node first — the Figure 2
+    /// layout.
+    pub fn limb_values(&self) -> Vec<u64> {
+        self.limbs.iter().copied().collect()
+    }
+
+    fn normalize(&mut self) {
+        let mut vals = self.limb_values();
+        while vals.len() > 1 && *vals.last().unwrap() == 0 {
+            vals.pop();
+        }
+        self.limbs = OneWayList::from_iter_back(vals);
+    }
+
+    /// Is this 0?
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|l| *l == 0)
+    }
+
+    /// Sum of two bignums (walks both limb lists with carry).
+    pub fn add(&self, other: &Bignum) -> Bignum {
+        let a = self.limb_values();
+        let b = other.limb_values();
+        let mut out = Vec::with_capacity(a.len().max(b.len()) + 1);
+        let mut carry = 0u64;
+        for i in 0..a.len().max(b.len()) {
+            let s = a.get(i).copied().unwrap_or(0) + b.get(i).copied().unwrap_or(0) + carry;
+            out.push(s % BASE);
+            carry = s / BASE;
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        Bignum {
+            limbs: OneWayList::from_iter_back(out),
+        }
+    }
+
+    /// Multiply by a small constant — the list-walking loop the paper's
+    /// scale example generalizes.
+    pub fn mul_small(&self, c: u64) -> Bignum {
+        assert!(c < BASE * BASE, "constant too large");
+        let mut out = Vec::new();
+        let mut carry = 0u64;
+        for l in self.limbs.iter() {
+            let v = l * c + carry;
+            out.push(v % BASE);
+            carry = v / BASE;
+        }
+        while carry > 0 {
+            out.push(carry % BASE);
+            carry /= BASE;
+        }
+        if out.is_empty() {
+            out.push(0);
+        }
+        let mut b = Bignum {
+            limbs: OneWayList::from_iter_back(out),
+        };
+        b.normalize();
+        b
+    }
+
+    /// Full multiplication (schoolbook over limbs).
+    pub fn mul(&self, other: &Bignum) -> Bignum {
+        let a = self.limb_values();
+        let b = other.limb_values();
+        let mut acc = vec![0u64; a.len() + b.len() + 1];
+        for (i, x) in a.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, y) in b.iter().enumerate() {
+                let v = acc[i + j] + x * y + carry;
+                acc[i + j] = v % BASE;
+                carry = v / BASE;
+            }
+            let mut k = i + b.len();
+            while carry > 0 {
+                let v = acc[k] + carry;
+                acc[k] = v % BASE;
+                carry = v / BASE;
+                k += 1;
+            }
+        }
+        let mut bn = Bignum {
+            limbs: OneWayList::from_iter_back(acc),
+        };
+        bn.normalize();
+        bn
+    }
+
+    /// Compare absolute values.
+    pub fn cmp_magnitude(&self, other: &Bignum) -> Ordering {
+        let a = self.limb_values();
+        let b = other.limb_values();
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+            match x.cmp(y) {
+                Ordering::Equal => {}
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Decimal rendering (no separators).
+    pub fn to_decimal(&self) -> String {
+        let vals = self.limb_values();
+        let mut s = String::new();
+        for (i, l) in vals.iter().enumerate().rev() {
+            if i == vals.len() - 1 {
+                s.push_str(&l.to_string());
+            } else {
+                s.push_str(&format!("{:0width$}", l, width = DIGITS_PER_NODE as usize));
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for Bignum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_decimal())
+    }
+}
+
+impl PartialEq for Bignum {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_magnitude(other) == Ordering::Equal
+    }
+}
+impl Eq for Bignum {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_3_298_991() {
+        // "here is a linked-list representation of the integer 3,298,991
+        // (three digits per node)" — nodes 991 | 298 | 3, least significant
+        // first.
+        let b = Bignum::from_decimal("3,298,991").unwrap();
+        assert_eq!(b.limb_values(), vec![991, 298, 3]);
+        assert_eq!(b.to_decimal(), "3298991");
+    }
+
+    #[test]
+    fn from_u64_round_trips() {
+        for v in [0u64, 1, 999, 1000, 123_456_789, u32::MAX as u64] {
+            assert_eq!(Bignum::from_u64(v).to_decimal(), v.to_string());
+        }
+    }
+
+    #[test]
+    fn addition_with_carries() {
+        let a = Bignum::from_decimal("999999999").unwrap();
+        let b = Bignum::from_decimal("1").unwrap();
+        assert_eq!(a.add(&b).to_decimal(), "1000000000");
+        let z = Bignum::zero();
+        assert_eq!(a.add(&z), a);
+    }
+
+    #[test]
+    fn mul_small_scales() {
+        let a = Bignum::from_decimal("3298991").unwrap();
+        assert_eq!(a.mul_small(2).to_decimal(), "6597982");
+        assert_eq!(a.mul_small(0).to_decimal(), "0");
+        assert_eq!(a.mul_small(1), a);
+    }
+
+    #[test]
+    fn full_multiplication() {
+        let a = Bignum::from_decimal("123456789").unwrap();
+        let b = Bignum::from_decimal("987654321").unwrap();
+        assert_eq!(a.mul(&b).to_decimal(), "121932631112635269");
+        assert_eq!(a.mul(&Bignum::zero()).to_decimal(), "0");
+    }
+
+    #[test]
+    fn big_factorial() {
+        // 30! has 33 digits — needs real multi-limb arithmetic.
+        let mut f = Bignum::from_u64(1);
+        for k in 2..=30 {
+            f = f.mul_small(k);
+        }
+        assert_eq!(f.to_decimal(), "265252859812191058636308480000000");
+    }
+
+    #[test]
+    fn comparison() {
+        let a = Bignum::from_decimal("1000").unwrap();
+        let b = Bignum::from_decimal("999").unwrap();
+        assert_eq!(a.cmp_magnitude(&b), Ordering::Greater);
+        assert_eq!(b.cmp_magnitude(&a), Ordering::Less);
+        assert_eq!(a.cmp_magnitude(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn list_shape_stays_valid() {
+        let a = Bignum::from_decimal("98765432109876543210").unwrap();
+        a.limbs.validate_shape().unwrap();
+        let b = a.mul(&a);
+        b.limbs.validate_shape().unwrap();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Bignum::from_decimal("12a4").is_err());
+        assert!(Bignum::from_decimal("").is_err());
+    }
+}

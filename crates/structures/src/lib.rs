@@ -1,0 +1,38 @@
+//! # adds-structures — the paper's scientific pointer structures, natively
+//!
+//! Every data structure the paper uses to motivate ADDS (§3.1), implemented
+//! as a real Rust library with (a) the corresponding ADDS declaration
+//! attached as a constant, (b) run-time shape validators (the §2.2
+//! "compiler-generated run-time checks"), and (c) parallel operations where
+//! the declared shape licenses them:
+//!
+//! * [`list`] — the one-way linked list (Figure 2) with strip-parallel map,
+//! * [`bignum`] — "infinite" precision integers, 3 digits per node (§3.1.1),
+//! * [`poly`] — sparse polynomials incl. the §3.3.2 scaling loop,
+//! * [`orthlist`] — the orthogonal-list sparse matrix (Figure 3),
+//! * [`rangetree`] — the 2-D range tree (Figure 4),
+//! * [`twoway`] — the §2.2 two-way list (next/prev is not a cycle),
+//! * [`misuse`] — Figure 1's cyclic and tournament shapes built from the
+//!   *same* node type, with classification,
+//! * [`render`] — ASCII regeneration of the figures.
+
+#![warn(missing_docs)]
+
+pub mod bignum;
+pub mod list;
+pub mod misuse;
+pub mod orthlist;
+pub mod poly;
+pub mod quadtree;
+pub mod rangetree;
+pub mod twoway;
+pub mod render;
+
+pub use bignum::Bignum;
+pub use list::OneWayList;
+pub use misuse::{classify, cyclic_list, tournament, ListShape};
+pub use orthlist::OrthList;
+pub use poly::{Polynomial, Term};
+pub use quadtree::{QPoint, Quadtree};
+pub use rangetree::{Point, RangeTree2D};
+pub use twoway::TwoWayList;

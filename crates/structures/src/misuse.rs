@@ -1,0 +1,144 @@
+//! Figure 1: "Other possible data structures built using ListNode."
+//!
+//! The same `ListNode` type builds a proper one-way list, a *cyclic* list,
+//! and a "tournament" (shared suffix) — which is exactly why the type
+//! declaration alone tells the compiler nothing about shape, and why the
+//! run-time validators (and the static analysis) must distinguish them.
+
+use crate::list::{NodeId, OneWayList};
+
+/// Classification of a structure built from list nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ListShape {
+    /// A proper one-way list: acyclic, unique incoming links.
+    OneWay,
+    /// Contains a cycle along `next`.
+    Cyclic,
+    /// Acyclic but some node has several incoming links (DAG/tournament).
+    Shared,
+}
+
+/// Build the Figure 1 cyclic list: 1 → 2 → … → n → 1.
+pub fn cyclic_list(n: usize) -> OneWayList<i64> {
+    assert!(n >= 1);
+    let mut l = OneWayList::from_iter_back((1..=n as i64).collect::<Vec<_>>());
+    let last = (n - 1) as NodeId;
+    l.node_mut(last).next = Some(0);
+    l
+}
+
+/// Build the Figure 1 "tournament": pairs of nodes point at a shared
+/// successor, like a bracket. Returns the list arena; `head` is the first
+/// entry node.
+pub fn tournament(levels: usize) -> OneWayList<i64> {
+    assert!(levels >= 1);
+    let mut l = OneWayList::new();
+    // Allocate level by level: level k has 2^(levels-k-1) nodes; every two
+    // nodes of one level share a successor in the next.
+    let mut prev: Vec<NodeId> = Vec::new();
+    for lvl in 0..levels {
+        let count = 1usize << (levels - lvl - 1);
+        let mut this = Vec::with_capacity(count);
+        for i in 0..count {
+            let id = l.push_back((lvl * 100 + i) as i64);
+            this.push(id);
+        }
+        // Point the previous level's pairs at this level's nodes.
+        for (i, p) in prev.iter().enumerate() {
+            l.node_mut(*p).next = Some(this[i / 2]);
+        }
+        prev = this;
+    }
+    l
+}
+
+/// Classify an arbitrary node arena (reachability-insensitive, whole-arena
+/// check, mirroring what general path matrix analysis decides statically).
+pub fn classify<T>(l: &OneWayList<T>) -> ListShape {
+    // Sharing: several incoming next links.
+    let mut incoming = vec![0usize; l.nodes.len()];
+    for n in &l.nodes {
+        if let Some(nx) = n.next {
+            incoming[nx as usize] += 1;
+        }
+    }
+    let shared = incoming.iter().any(|c| *c > 1);
+
+    // Cycle: follow next from every node with bounded steps.
+    let mut cyclic = false;
+    for start in 0..l.nodes.len() {
+        let mut slow = Some(start as NodeId);
+        let mut fast = Some(start as NodeId);
+        loop {
+            fast = l.next_of(l.next_of(fast));
+            slow = l.next_of(slow);
+            match (slow, fast) {
+                (Some(a), Some(b)) if a == b => {
+                    cyclic = true;
+                    break;
+                }
+                (_, None) => break,
+                _ => {}
+            }
+        }
+        if cyclic {
+            break;
+        }
+    }
+
+    if cyclic {
+        ListShape::Cyclic
+    } else if shared {
+        ListShape::Shared
+    } else {
+        ListShape::OneWay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proper_list_classifies_one_way() {
+        let l = OneWayList::from_iter_back([1, 2, 3]);
+        assert_eq!(classify(&l), ListShape::OneWay);
+        assert!(l.validate_shape().is_ok());
+    }
+
+    #[test]
+    fn cyclic_list_detected() {
+        let l = cyclic_list(5);
+        assert_eq!(classify(&l), ListShape::Cyclic);
+        assert!(l.validate_shape().is_err());
+    }
+
+    #[test]
+    fn one_node_self_cycle() {
+        let l = cyclic_list(1);
+        assert_eq!(classify(&l), ListShape::Cyclic);
+    }
+
+    #[test]
+    fn tournament_detected_as_shared() {
+        let l = tournament(3); // 4 + 2 + 1 nodes
+        assert_eq!(l.nodes.len(), 7);
+        assert_eq!(classify(&l), ListShape::Shared);
+        assert!(l.validate_shape().is_err());
+    }
+
+    #[test]
+    fn tournament_structure_is_a_bracket() {
+        let l = tournament(2); // 2 entry nodes + 1 final
+        // Both entry nodes point at the final node.
+        assert_eq!(l.nodes[0].next, l.nodes[1].next);
+        assert!(l.nodes[0].next.is_some());
+    }
+
+    #[test]
+    fn iteration_over_cyclic_list_terminates() {
+        let l = cyclic_list(4);
+        // The guarded iterator must not loop forever.
+        assert!(l.iter().count() <= l.nodes.len() + 1);
+    }
+}

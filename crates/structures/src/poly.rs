@@ -1,0 +1,253 @@
+//! Sparse polynomials over a one-way linked list — the paper's second
+//! §3.1.1 application ("the polynomial 451x³¹ + 10x¹³ + 4 could be stored
+//! in a linked-list such that each node contains the coefficient and
+//! exponent for x"), including the §3.3.2 scaling loop in both sequential
+//! and strip-parallel forms.
+
+use crate::list::OneWayList;
+use std::fmt;
+
+/// One term: coefficient and exponent.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Term {
+    /// Coefficient.
+    pub coef: i64,
+    /// Exponent of x.
+    pub exp: u32,
+}
+
+/// A sparse polynomial; terms in strictly decreasing exponent order.
+#[derive(Clone, Debug, Default)]
+pub struct Polynomial {
+    /// Terms in descending exponent order, as a one-way list.
+    pub terms: OneWayList<Term>,
+}
+
+impl Polynomial {
+    /// The zero polynomial.
+    pub fn zero() -> Polynomial {
+        Polynomial {
+            terms: OneWayList::new(),
+        }
+    }
+
+    /// Build from (coef, exp) pairs; combines duplicates, drops zeros, and
+    /// sorts by decreasing exponent.
+    pub fn from_terms(pairs: impl IntoIterator<Item = (i64, u32)>) -> Polynomial {
+        let mut v: Vec<(i64, u32)> = Vec::new();
+        for (c, e) in pairs {
+            if let Some(slot) = v.iter_mut().find(|(_, ee)| *ee == e) {
+                slot.0 += c;
+            } else {
+                v.push((c, e));
+            }
+        }
+        v.retain(|(c, _)| *c != 0);
+        v.sort_by_key(|t| std::cmp::Reverse(t.1));
+        Polynomial {
+            terms: OneWayList::from_iter_back(v.into_iter().map(|(coef, exp)| Term { coef, exp })),
+        }
+    }
+
+    /// The paper's example: 451x³¹ + 10x¹³ + 4.
+    pub fn paper_example() -> Polynomial {
+        Polynomial::from_terms([(451, 31), (10, 13), (4, 0)])
+    }
+
+    /// The (coef, exp) pairs in list order.
+    pub fn term_pairs(&self) -> Vec<(i64, u32)> {
+        self.terms.iter().map(|t| (t.coef, t.exp)).collect()
+    }
+
+    /// Highest exponent; `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<u32> {
+        self.terms.iter().map(|t| t.exp).next()
+    }
+
+    /// Is this the zero polynomial?
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Evaluate at `x` (sparse Horner-free evaluation).
+    pub fn eval(&self, x: f64) -> f64 {
+        self.terms
+            .iter()
+            .map(|t| t.coef as f64 * x.powi(t.exp as i32))
+            .sum()
+    }
+
+    /// Multiply every coefficient by `c` — the §3.3.2 loop:
+    /// `while p <> NULL { p->coef = p->coef * c; p = p->next; }`.
+    pub fn scale_in_place(&mut self, c: i64) {
+        let mut p = self.terms.head();
+        while let Some(id) = p {
+            self.terms.node_mut(id).data.coef *= c;
+            p = self.terms.next_of(p);
+        }
+        if c == 0 {
+            *self = Polynomial::zero();
+        }
+    }
+
+    /// The same loop strip-mined across `threads` (the node processing is
+    /// independent — exactly what the ADDS analysis proves).
+    pub fn scale_parallel(&mut self, c: i64, threads: usize) {
+        let scaled: Vec<Term> = self.terms.par_map(threads, |t| Term {
+            coef: t.coef * c,
+            exp: t.exp,
+        });
+        self.terms = OneWayList::from_iter_back(scaled);
+        if c == 0 {
+            *self = Polynomial::zero();
+        }
+    }
+
+    /// Polynomial sum (merge walk over both term lists).
+    pub fn add(&self, other: &Polynomial) -> Polynomial {
+        Polynomial::from_terms(
+            self.term_pairs()
+                .into_iter()
+                .chain(other.term_pairs()),
+        )
+    }
+
+    /// Polynomial product.
+    pub fn mul(&self, other: &Polynomial) -> Polynomial {
+        let mut acc: Vec<(i64, u32)> = Vec::new();
+        for (c1, e1) in self.term_pairs() {
+            for (c2, e2) in other.term_pairs() {
+                acc.push((c1 * c2, e1 + e2));
+            }
+        }
+        Polynomial::from_terms(acc)
+    }
+
+    /// Formal derivative.
+    pub fn derivative(&self) -> Polynomial {
+        Polynomial::from_terms(
+            self.term_pairs()
+                .into_iter()
+                .filter(|(_, e)| *e > 0)
+                .map(|(c, e)| (c * e as i64, e - 1)),
+        )
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for t in self.terms.iter() {
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            match t.exp {
+                0 => write!(f, "{}", t.coef)?,
+                1 => write!(f, "{}x", t.coef)?,
+                e => write!(f, "{}x^{}", t.coef, e)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl PartialEq for Polynomial {
+    fn eq(&self, other: &Self) -> bool {
+        self.term_pairs() == other.term_pairs()
+    }
+}
+impl Eq for Polynomial {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_layout() {
+        let p = Polynomial::paper_example();
+        assert_eq!(p.term_pairs(), vec![(451, 31), (10, 13), (4, 0)]);
+        assert_eq!(p.to_string(), "451x^31 + 10x^13 + 4");
+        assert_eq!(p.degree(), Some(31));
+        p.terms.validate_shape().unwrap();
+    }
+
+    #[test]
+    fn scale_in_place_matches_paper_loop() {
+        let mut p = Polynomial::paper_example();
+        p.scale_in_place(2);
+        assert_eq!(p.term_pairs(), vec![(902, 31), (20, 13), (8, 0)]);
+    }
+
+    #[test]
+    fn scale_parallel_matches_sequential() {
+        for threads in [1, 2, 4, 7] {
+            let mut a = Polynomial::from_terms((0..200).map(|i| (i as i64 + 1, i)));
+            let mut b = a.clone();
+            a.scale_in_place(3);
+            b.scale_parallel(3, threads);
+            assert_eq!(a, b, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scale_by_zero_collapses() {
+        let mut p = Polynomial::paper_example();
+        p.scale_in_place(0);
+        assert!(p.is_zero());
+        let mut p = Polynomial::paper_example();
+        p.scale_parallel(0, 4);
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn eval_is_consistent() {
+        let p = Polynomial::from_terms([(2, 2), (-3, 1), (1, 0)]); // 2x² - 3x + 1
+        assert_eq!(p.eval(0.0), 1.0);
+        assert_eq!(p.eval(1.0), 0.0);
+        assert_eq!(p.eval(2.0), 3.0);
+    }
+
+    #[test]
+    fn add_combines_terms() {
+        let a = Polynomial::from_terms([(1, 2), (1, 0)]);
+        let b = Polynomial::from_terms([(2, 2), (-1, 0)]);
+        assert_eq!(a.add(&b).term_pairs(), vec![(3, 2)]);
+    }
+
+    #[test]
+    fn mul_expands() {
+        // (x+1)(x-1) = x² - 1
+        let a = Polynomial::from_terms([(1, 1), (1, 0)]);
+        let b = Polynomial::from_terms([(1, 1), (-1, 0)]);
+        assert_eq!(a.mul(&b).term_pairs(), vec![(1, 2), (-1, 0)]);
+    }
+
+    #[test]
+    fn derivative_rules() {
+        let p = Polynomial::paper_example();
+        assert_eq!(
+            p.derivative().term_pairs(),
+            vec![(451 * 31, 30), (10 * 13, 12)]
+        );
+        assert!(Polynomial::from_terms([(5, 0)]).derivative().is_zero());
+    }
+
+    #[test]
+    fn zero_polynomial_behaves() {
+        let z = Polynomial::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.eval(3.0), 0.0);
+        assert_eq!(z.to_string(), "0");
+        assert_eq!(z.degree(), None);
+    }
+
+    #[test]
+    fn duplicate_exponents_combine() {
+        let p = Polynomial::from_terms([(1, 5), (2, 5), (3, 5)]);
+        assert_eq!(p.term_pairs(), vec![(6, 5)]);
+    }
+}

@@ -1,0 +1,513 @@
+//! A point-region quadtree — the 2-D sibling of the paper's octree and one
+//! of the §1 motivating structures ("numerous data structures in scientific
+//! programs — sparse matrices and quadtrees for example — are typically
+//! built using recursively-defined pointer data structures", citing
+//! \[Sam90\]).
+//!
+//! The shape mirrors Figure 5 one dimension down: a `down` dimension of
+//! four uniquely-forward child links per node, and a `leaves` dimension
+//! chaining the stored points into a one-way list. Insertion follows the
+//! paper's §4.3.2 protocol — `expand_box` grows the root until the point
+//! fits, then `insert` subdivides occupied quadrants until the two points
+//! separate — including the *temporary sharing* window the abstraction
+//! validation discussion centres on (realized here atomically, since safe
+//! Rust cannot express the torn intermediate state; the IL version in
+//! `adds-lang::programs` exhibits it for the analysis).
+
+/// Index of a node within the quadtree arena.
+pub type NodeId = u32;
+
+/// The ADDS declaration this structure realizes.
+pub const ADDS_DECL: &str = "
+type Quadtree [down][leaves]
+{
+    real x, y;
+    bool is_leaf;
+    Quadtree *children[4] is uniquely forward along down;
+    Quadtree *next is uniquely forward along leaves;
+};
+";
+
+/// A stored point with a caller-supplied identifier.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QPoint {
+    /// x coordinate.
+    pub x: f64,
+    /// y coordinate.
+    pub y: f64,
+    /// Caller-supplied identifier reported by queries.
+    pub id: u32,
+}
+
+#[derive(Clone, Debug)]
+struct QNode {
+    /// Centre of this node's square region.
+    cx: f64,
+    cy: f64,
+    /// Half-width of the region.
+    hw: f64,
+    /// Child quadrants (the `down` dimension); all `None` for leaves.
+    children: [Option<NodeId>; 4],
+    /// Stored point — `Some` exactly for leaves.
+    point: Option<QPoint>,
+    /// Leaf chain (the `leaves` dimension).
+    next: Option<NodeId>,
+}
+
+impl QNode {
+    fn is_leaf(&self) -> bool {
+        self.point.is_some()
+    }
+
+    fn empty(cx: f64, cy: f64, hw: f64) -> QNode {
+        QNode {
+            cx,
+            cy,
+            hw,
+            children: [None; 4],
+            point: None,
+            next: None,
+        }
+    }
+}
+
+/// A point-region quadtree over an arena of nodes.
+#[derive(Clone, Debug, Default)]
+pub struct Quadtree {
+    nodes: Vec<QNode>,
+    root: Option<NodeId>,
+    /// Head of the leaf chain; rebuilt by [`Quadtree::relink_leaves`].
+    first_leaf: Option<NodeId>,
+    len: usize,
+}
+
+impl Quadtree {
+    /// The empty quadtree.
+    pub fn new() -> Quadtree {
+        Quadtree::default()
+    }
+
+    /// Build from a point set (inserting in order).
+    pub fn build(points: impl IntoIterator<Item = QPoint>) -> Quadtree {
+        let mut t = Quadtree::new();
+        for p in points {
+            t.insert(p);
+        }
+        t.relink_leaves();
+        t
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn alloc(&mut self, n: QNode) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(n);
+        id
+    }
+
+    fn quadrant(cx: f64, cy: f64, x: f64, y: f64) -> usize {
+        let mut q = 0;
+        if x >= cx {
+            q += 1;
+        }
+        if y >= cy {
+            q += 2;
+        }
+        q
+    }
+
+    fn child_centre(cx: f64, cy: f64, hw: f64, q: usize) -> (f64, f64) {
+        let h = hw / 2.0;
+        (
+            if q % 2 == 1 { cx + h } else { cx - h },
+            if q / 2 == 1 { cy + h } else { cy - h },
+        )
+    }
+
+    /// §4.3.2 `expand_box`: grow the root region (doubling the half-width,
+    /// keeping the current tree as one quadrant) until `(x, y)` fits.
+    fn expand_box(&mut self, x: f64, y: f64) {
+        let Some(mut root) = self.root else {
+            self.root = Some(self.alloc(QNode::empty(x, y, 1.0)));
+            return;
+        };
+        for _ in 0..256 {
+            let (cx, cy, hw) = {
+                let r = &self.nodes[root as usize];
+                (r.cx, r.cy, r.hw)
+            };
+            if (x - cx).abs() <= hw && (y - cy).abs() <= hw {
+                break;
+            }
+            // Grow toward the point: the old root becomes the quadrant of
+            // a new, twice-as-wide root whose centre steps toward (x,y).
+            let nx = if x >= cx { cx + hw } else { cx - hw };
+            let ny = if y >= cy { cy + hw } else { cy - hw };
+            let new_root = self.alloc(QNode::empty(nx, ny, hw * 2.0));
+            let q = Self::quadrant(nx, ny, cx, cy);
+            self.nodes[new_root as usize].children[q] = Some(root);
+            root = new_root;
+        }
+        self.root = Some(root);
+    }
+
+    /// Insert a point, subdividing occupied quadrants until it has one to
+    /// itself (§4.3.2 `insert_particle`). Duplicate coordinates nest until
+    /// the spatial resolution floor, then the oldest point is kept and the
+    /// new one replaces it (a documented departure: the paper's code
+    /// assumes distinct particle positions).
+    pub fn insert(&mut self, p: QPoint) {
+        self.expand_box(p.x, p.y);
+        let mut cur = self.root.expect("expand_box set a root");
+        // Empty tree: the root itself becomes a leaf.
+        if self.nodes[cur as usize].point.is_none()
+            && self.nodes[cur as usize].children.iter().all(Option::is_none)
+        {
+            self.nodes[cur as usize].point = Some(p);
+            self.len += 1;
+            return;
+        }
+        loop {
+            let (cx, cy, hw, is_leaf) = {
+                let n = &self.nodes[cur as usize];
+                (n.cx, n.cy, n.hw, n.is_leaf())
+            };
+            if is_leaf {
+                // Occupied: push the competitor down, then retry this node
+                // as an interior node.
+                let competitor = self.nodes[cur as usize].point.take().expect("leaf");
+                if hw < 1e-12 {
+                    // Resolution floor (coincident points): replace.
+                    self.nodes[cur as usize].point = Some(p);
+                    return;
+                }
+                let q = Self::quadrant(cx, cy, competitor.x, competitor.y);
+                let (qx, qy) = Self::child_centre(cx, cy, hw, q);
+                let child = self.alloc(QNode::empty(qx, qy, hw / 2.0));
+                self.nodes[child as usize].point = Some(competitor);
+                self.nodes[cur as usize].children[q] = Some(child);
+                continue;
+            }
+            let q = Self::quadrant(cx, cy, p.x, p.y);
+            match self.nodes[cur as usize].children[q] {
+                Some(c) => cur = c,
+                None => {
+                    let (qx, qy) = Self::child_centre(cx, cy, hw, q);
+                    let child = self.alloc(QNode::empty(qx, qy, hw / 2.0));
+                    self.nodes[child as usize].point = Some(p);
+                    self.nodes[cur as usize].children[q] = Some(child);
+                    self.len += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Rebuild the `leaves` chain in depth-first (spatial) order. The
+    /// octree of §4 keeps its particle list as the insertion input; here
+    /// the chain is derived, which keeps `insert` O(depth).
+    pub fn relink_leaves(&mut self) {
+        let mut order = Vec::new();
+        if let Some(r) = self.root {
+            self.collect_leaves(r, &mut order);
+        }
+        for n in &mut self.nodes {
+            n.next = None;
+        }
+        for w in order.windows(2) {
+            self.nodes[w[0] as usize].next = Some(w[1]);
+        }
+        self.first_leaf = order.first().copied();
+    }
+
+    fn collect_leaves(&self, id: NodeId, out: &mut Vec<NodeId>) {
+        let n = &self.nodes[id as usize];
+        if n.is_leaf() {
+            out.push(id);
+        }
+        for c in n.children.into_iter().flatten() {
+            self.collect_leaves(c, out);
+        }
+    }
+
+    /// Iterate the stored points along the `leaves` chain.
+    pub fn leaves(&self) -> impl Iterator<Item = QPoint> + '_ {
+        let mut cur = self.first_leaf;
+        std::iter::from_fn(move || {
+            let id = cur?;
+            let n = &self.nodes[id as usize];
+            cur = n.next;
+            n.point
+        })
+    }
+
+    /// All points with `x1 ≤ x ≤ x2 ∧ y1 ≤ y ≤ y2`, by region pruning.
+    pub fn rectangle_query(&self, x1: f64, x2: f64, y1: f64, y2: f64) -> Vec<QPoint> {
+        let mut out = Vec::new();
+        if let Some(r) = self.root {
+            self.query_rec(r, x1, x2, y1, y2, &mut out);
+        }
+        out
+    }
+
+    fn query_rec(&self, id: NodeId, x1: f64, x2: f64, y1: f64, y2: f64, out: &mut Vec<QPoint>) {
+        let n = &self.nodes[id as usize];
+        // Prune regions disjoint from the query rectangle.
+        if n.cx - n.hw > x2 || n.cx + n.hw < x1 || n.cy - n.hw > y2 || n.cy + n.hw < y1 {
+            return;
+        }
+        if let Some(p) = n.point {
+            if p.x >= x1 && p.x <= x2 && p.y >= y1 && p.y <= y2 {
+                out.push(p);
+            }
+        }
+        for c in n.children.into_iter().flatten() {
+            self.query_rec(c, x1, x2, y1, y2, out);
+        }
+    }
+
+    /// Verify the ADDS properties at run time (the paper's §2.2
+    /// "compiler-generated run-time checks" side-effect):
+    ///
+    /// * `down` is uniquely forward: every node has at most one incoming
+    ///   child link and the root has none (⇒ acyclic, disjoint subtrees);
+    /// * regions nest: each child's square lies inside its parent's and in
+    ///   the right quadrant;
+    /// * `leaves` is uniquely forward over exactly the leaf nodes.
+    pub fn validate_shape(&self) -> Result<(), String> {
+        let mut indeg = vec![0usize; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            for c in n.children.into_iter().flatten() {
+                let c = c as usize;
+                if c >= self.nodes.len() {
+                    return Err(format!("node {i}: dangling child {c}"));
+                }
+                indeg[c] += 1;
+                let ch = &self.nodes[c];
+                if ch.hw * 2.0 - n.hw > 1e-9 {
+                    return Err(format!("node {c}: child region not halved"));
+                }
+                if (ch.cx - n.cx).abs() > n.hw || (ch.cy - n.cy).abs() > n.hw {
+                    return Err(format!("node {c}: child region escapes parent"));
+                }
+            }
+        }
+        for (i, d) in indeg.iter().enumerate() {
+            if *d > 1 {
+                return Err(format!("node {i}: {d} incoming child links (sharing)"));
+            }
+            if Some(i as NodeId) == self.root && *d != 0 {
+                return Err("root has an incoming child link (cycle)".into());
+            }
+        }
+        // Reachability from the root is a tree (count check).
+        if let Some(r) = self.root {
+            let mut seen = vec![false; self.nodes.len()];
+            let mut stack = vec![r];
+            let mut count = 0usize;
+            while let Some(id) = stack.pop() {
+                let i = id as usize;
+                if seen[i] {
+                    return Err(format!("node {i}: reached twice (cycle or sharing)"));
+                }
+                seen[i] = true;
+                count += 1;
+                stack.extend(self.nodes[i].children.into_iter().flatten());
+            }
+            if count != self.nodes.len() {
+                return Err(format!(
+                    "{} nodes unreachable from the root",
+                    self.nodes.len() - count
+                ));
+            }
+        } else if !self.nodes.is_empty() {
+            return Err("nodes exist but the tree has no root".into());
+        }
+        // Leaf chain: visits each leaf exactly once, only leaves.
+        let mut chain = 0usize;
+        let mut visited = vec![false; self.nodes.len()];
+        let mut cur = self.first_leaf;
+        while let Some(id) = cur {
+            let i = id as usize;
+            if visited[i] {
+                return Err(format!("leaf chain revisits node {i} (cycle)"));
+            }
+            visited[i] = true;
+            if !self.nodes[i].is_leaf() {
+                return Err(format!("leaf chain passes through interior node {i}"));
+            }
+            chain += 1;
+            cur = self.nodes[i].next;
+        }
+        let leaves = self.nodes.iter().filter(|n| n.is_leaf()).count();
+        if self.first_leaf.is_some() && chain != leaves {
+            return Err(format!("leaf chain covers {chain} of {leaves} leaves"));
+        }
+        Ok(())
+    }
+
+    /// Test-only structural corruption hooks used by the validator tests.
+    #[doc(hidden)]
+    pub fn corrupt_share_child(&mut self) {
+        // Point two parents at the same child, breaking uniqueness.
+        let donors: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.children.iter().any(Option::is_some))
+            .map(|(i, _)| i as NodeId)
+            .collect();
+        if donors.len() < 2 {
+            return;
+        }
+        let shared = self.nodes[donors[0] as usize]
+            .children
+            .into_iter()
+            .flatten()
+            .next()
+            .unwrap();
+        let victim = donors[1] as usize;
+        let slot = self.nodes[victim]
+            .children
+            .iter()
+            .position(Option::is_some)
+            .unwrap();
+        self.nodes[victim].children[slot] = Some(shared);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<QPoint> {
+        coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| QPoint { x, y, id: i as u32 })
+            .collect()
+    }
+
+    fn grid(n: usize) -> Vec<QPoint> {
+        let mut v = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                v.push(QPoint {
+                    x: i as f64 * 1.7 + 0.13 * j as f64,
+                    y: j as f64 * 2.3 - 0.29 * i as f64,
+                    id: (i * n + j) as u32,
+                });
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let t = Quadtree::build([]);
+        assert!(t.is_empty());
+        assert!(t.validate_shape().is_ok());
+        assert!(t.rectangle_query(-1e9, 1e9, -1e9, 1e9).is_empty());
+
+        let t = Quadtree::build(pts(&[(1.0, 2.0)]));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.leaves().count(), 1);
+        assert!(t.validate_shape().is_ok());
+    }
+
+    #[test]
+    fn all_points_stored_and_chained() {
+        let points = grid(7);
+        let t = Quadtree::build(points.clone());
+        assert_eq!(t.len(), points.len());
+        assert!(t.validate_shape().is_ok(), "{:?}", t.validate_shape());
+        let mut got: Vec<u32> = t.leaves().map(|p| p.id).collect();
+        got.sort_unstable();
+        let want: Vec<u32> = (0..points.len() as u32).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rectangle_query_matches_naive_filter() {
+        let points = grid(8);
+        let t = Quadtree::build(points.clone());
+        for (x1, x2, y1, y2) in [
+            (-1.0, 3.0, -1.0, 3.0),
+            (2.0, 9.0, 0.0, 4.0),
+            (100.0, 200.0, 100.0, 200.0),
+            (-1e9, 1e9, -1e9, 1e9),
+        ] {
+            let mut got: Vec<u32> = t
+                .rectangle_query(x1, x2, y1, y2)
+                .iter()
+                .map(|p| p.id)
+                .collect();
+            got.sort_unstable();
+            let mut want: Vec<u32> = points
+                .iter()
+                .filter(|p| p.x >= x1 && p.x <= x2 && p.y >= y1 && p.y <= y2)
+                .map(|p| p.id)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "rect ({x1},{x2},{y1},{y2})");
+        }
+    }
+
+    #[test]
+    fn expand_box_reaches_distant_points() {
+        // Insertion order forces repeated root expansion, the §4.3.2
+        // expand_box path.
+        let t = Quadtree::build(pts(&[(0.0, 0.0), (1000.0, -2000.0), (-5000.0, 4.0)]));
+        assert_eq!(t.len(), 3);
+        assert!(t.validate_shape().is_ok(), "{:?}", t.validate_shape());
+        assert_eq!(t.rectangle_query(-6000.0, 2000.0, -3000.0, 100.0).len(), 3);
+    }
+
+    #[test]
+    fn close_pairs_subdivide_until_separated() {
+        let t = Quadtree::build(pts(&[(1.0, 1.0), (1.0 + 1e-6, 1.0 + 1e-6)]));
+        assert_eq!(t.len(), 2);
+        assert!(t.validate_shape().is_ok());
+        assert_eq!(t.leaves().count(), 2);
+    }
+
+    #[test]
+    fn validator_rejects_shared_subtrees() {
+        let mut t = Quadtree::build(grid(4));
+        assert!(t.validate_shape().is_ok());
+        t.corrupt_share_child();
+        let err = t.validate_shape().unwrap_err();
+        assert!(
+            err.contains("incoming child links") || err.contains("reached twice"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn relink_after_more_inserts_keeps_chain_complete() {
+        let mut t = Quadtree::build(grid(3));
+        t.insert(QPoint {
+            x: -7.5,
+            y: 3.25,
+            id: 999,
+        });
+        t.relink_leaves();
+        assert!(t.validate_shape().is_ok());
+        assert!(t.leaves().any(|p| p.id == 999));
+        assert_eq!(t.leaves().count(), t.len());
+    }
+
+    #[test]
+    fn adds_decl_parses_and_is_well_formed() {
+        let prog = adds_lang::parse_program(ADDS_DECL).expect("parses");
+        adds_lang::check(prog).expect("well-formed");
+    }
+}

@@ -1,0 +1,413 @@
+//! The two-dimensional range tree of §3.1.3 / Figure 4: "a binary tree of
+//! binary trees, where the leaves of each tree are linked together into a
+//! two-way linked list". Three ADDS dimensions: `down` (the x-tree),
+//! `sub` (each node's y-tree, *independent* of the others), and `leaves`
+//! (the two-way list), answering interval and rectangle queries.
+
+/// Index of a node within the tree arena.
+pub type NodeId = u32;
+
+/// The ADDS declaration this structure realizes (Figure 4).
+pub const ADDS_DECL: &str = "
+type TwoDRangeTree [down] [sub] [leaves] where sub||down, sub||leaves
+{
+    int data;
+    TwoDRangeTree *left, *right is uniquely forward along down;
+    TwoDRangeTree *subtree is uniquely forward along sub;
+    TwoDRangeTree *next is uniquely forward along leaves;
+    TwoDRangeTree *prev is backward along leaves;
+};
+";
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+/// A 2-D point with a caller-supplied identifier.
+pub struct Point {
+    /// x coordinate.
+    pub x: f64,
+    /// y coordinate.
+    pub y: f64,
+    /// Caller-supplied identifier reported by queries.
+    pub id: u32,
+}
+
+/// A node of the x-tree. Leaves hold one point and are chained by
+/// `next`/`prev`; internal nodes carry the split value and a y-sorted
+/// subtree (realized as a y-ordered binary tree over the same node arena).
+#[derive(Clone, Debug)]
+struct XNode {
+    /// Max x in the left subtree (split key).
+    split: f64,
+    left: Option<NodeId>,
+    right: Option<NodeId>,
+    /// Leaf payload.
+    point: Option<Point>,
+    /// Leaf chain (the `leaves` dimension).
+    next: Option<NodeId>,
+    prev: Option<NodeId>,
+    /// The associated structure (the `sub` dimension): all points of this
+    /// subtree sorted by y.
+    sub: Vec<Point>,
+}
+
+#[derive(Clone, Debug, Default)]
+/// The 2-D range tree (Figure 4): x-tree over y-sorted associates, leaves chained.
+pub struct RangeTree2D {
+    nodes: Vec<XNode>,
+    root: Option<NodeId>,
+    leftmost: Option<NodeId>,
+}
+
+impl RangeTree2D {
+    /// Build from a point set. O(n log² n).
+    pub fn build(mut points: Vec<Point>) -> RangeTree2D {
+        points.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
+        let mut t = RangeTree2D::default();
+        if points.is_empty() {
+            return t;
+        }
+        let root = t.build_rec(&points);
+        t.root = Some(root);
+        // Chain the leaves left-to-right.
+        let mut leaves = Vec::new();
+        t.collect_leaves(root, &mut leaves);
+        for w in leaves.windows(2) {
+            t.nodes[w[0] as usize].next = Some(w[1]);
+            t.nodes[w[1] as usize].prev = Some(w[0]);
+        }
+        t.leftmost = leaves.first().copied();
+        t
+    }
+
+    fn build_rec(&mut self, pts: &[Point]) -> NodeId {
+        let mut sub: Vec<Point> = pts.to_vec();
+        sub.sort_by(|a, b| a.y.partial_cmp(&b.y).unwrap());
+        if pts.len() == 1 {
+            let id = self.nodes.len() as NodeId;
+            self.nodes.push(XNode {
+                split: pts[0].x,
+                left: None,
+                right: None,
+                point: Some(pts[0]),
+                next: None,
+                prev: None,
+                sub,
+            });
+            return id;
+        }
+        let mid = pts.len() / 2;
+        let split = pts[mid - 1].x;
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(XNode {
+            split,
+            left: None,
+            right: None,
+            point: None,
+            next: None,
+            prev: None,
+            sub,
+        });
+        let l = self.build_rec(&pts[..mid]);
+        let r = self.build_rec(&pts[mid..]);
+        self.nodes[id as usize].left = Some(l);
+        self.nodes[id as usize].right = Some(r);
+        id
+    }
+
+    fn collect_leaves(&self, id: NodeId, out: &mut Vec<NodeId>) {
+        let n = &self.nodes[id as usize];
+        if n.point.is_some() {
+            out.push(id);
+            return;
+        }
+        if let Some(l) = n.left {
+            self.collect_leaves(l, out);
+        }
+        if let Some(r) = n.right {
+            self.collect_leaves(r, out);
+        }
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.nodes.iter().filter(|n| n.point.is_some()).count()
+    }
+
+    /// Whether no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// All points with x in [x1, x2], reported via the leaf chain — the
+    /// "find all points within the interval x1..x2" query.
+    pub fn interval_query(&self, x1: f64, x2: f64) -> Vec<Point> {
+        let mut out = Vec::new();
+        // Descend to the first leaf with x ≥ x1, then walk `next`.
+        let Some(mut cur) = self.root else {
+            return out;
+        };
+        loop {
+            let n = &self.nodes[cur as usize];
+            if n.point.is_some() {
+                break;
+            }
+            cur = if x1 <= n.split {
+                n.left.expect("internal has left")
+            } else {
+                n.right.expect("internal has right")
+            };
+        }
+        let mut leaf = Some(cur);
+        while let Some(id) = leaf {
+            let n = &self.nodes[id as usize];
+            let p = n.point.expect("leaf");
+            if p.x > x2 {
+                break;
+            }
+            if p.x >= x1 {
+                out.push(p);
+            }
+            leaf = n.next;
+        }
+        out
+    }
+
+    /// All points within [x1,x2] × [y1,y2] — the canonical 2-D range query
+    /// using the independent `sub` dimension: O(log² n + k).
+    pub fn rectangle_query(&self, x1: f64, x2: f64, y1: f64, y2: f64) -> Vec<Point> {
+        let mut out = Vec::new();
+        if let Some(root) = self.root {
+            self.rect_rec(root, x1, x2, y1, y2, f64::NEG_INFINITY, f64::INFINITY, &mut out);
+        }
+        out.sort_by(|a, b| (a.x, a.y).partial_cmp(&(b.x, b.y)).unwrap());
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn rect_rec(
+        &self,
+        id: NodeId,
+        x1: f64,
+        x2: f64,
+        y1: f64,
+        y2: f64,
+        lo: f64,
+        hi: f64,
+        out: &mut Vec<Point>,
+    ) {
+        let n = &self.nodes[id as usize];
+        if let Some(p) = n.point {
+            if p.x >= x1 && p.x <= x2 && p.y >= y1 && p.y <= y2 {
+                out.push(p);
+            }
+            return;
+        }
+        // Subtree x-range fully inside [x1, x2]: search the y-subtree.
+        if x1 <= lo && hi <= x2 {
+            let sub = &n.sub;
+            let start = sub.partition_point(|p| p.y < y1);
+            for p in &sub[start..] {
+                if p.y > y2 {
+                    break;
+                }
+                out.push(*p);
+            }
+            return;
+        }
+        // Otherwise recurse into children that intersect.
+        if x1 <= n.split {
+            if let Some(l) = n.left {
+                self.rect_rec(l, x1, x2, y1, y2, lo, n.split, out);
+            }
+        }
+        if x2 > n.split {
+            if let Some(r) = n.right {
+                self.rect_rec(r, x1, x2, y1, y2, n.split, hi, out);
+            }
+        }
+    }
+
+    /// Count of points in the rectangle (no reporting).
+    pub fn rectangle_count(&self, x1: f64, x2: f64, y1: f64, y2: f64) -> usize {
+        self.rectangle_query(x1, x2, y1, y2).len()
+    }
+
+    /// Leaf chain in x order (the `leaves` dimension).
+    pub fn leaves(&self) -> impl Iterator<Item = Point> + '_ {
+        let mut cur = self.leftmost;
+        std::iter::from_fn(move || {
+            let id = cur?;
+            let n = &self.nodes[id as usize];
+            cur = n.next;
+            n.point
+        })
+    }
+
+    /// Run-time validation of the Figure 4 shape: disjoint left/right
+    /// subtrees, leaf chain consistent with prev links and sorted by x,
+    /// every leaf reachable from the root exactly once.
+    pub fn validate_shape(&self) -> Result<(), String> {
+        let mut incoming = vec![0usize; self.nodes.len()];
+        for n in &self.nodes {
+            for c in [n.left, n.right].into_iter().flatten() {
+                incoming[c as usize] += 1;
+            }
+        }
+        if incoming.iter().any(|c| *c > 1) {
+            return Err("sharing along down".into());
+        }
+        // Leaf chain.
+        let mut prev: Option<NodeId> = None;
+        let mut cur = self.leftmost;
+        let mut last_x = f64::NEG_INFINITY;
+        let mut count = 0usize;
+        while let Some(id) = cur {
+            let n = &self.nodes[id as usize];
+            if n.point.is_none() {
+                return Err("internal node on the leaf chain".into());
+            }
+            if n.prev != prev {
+                return Err("prev link inconsistent".into());
+            }
+            let x = n.point.unwrap().x;
+            if x < last_x {
+                return Err("leaf chain not sorted by x".into());
+            }
+            last_x = x;
+            count += 1;
+            if count > self.nodes.len() {
+                return Err("cycle in leaf chain".into());
+            }
+            prev = cur;
+            cur = n.next;
+        }
+        if count != self.len() {
+            return Err(format!("chain covers {count} of {} leaves", self.len()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<Point> {
+        // n×n lattice with distinct coordinates.
+        let mut pts = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                pts.push(Point {
+                    x: i as f64 + j as f64 * 1e-6,
+                    y: j as f64,
+                    id: (i * n + j) as u32,
+                });
+            }
+        }
+        pts
+    }
+
+    fn brute(pts: &[Point], x1: f64, x2: f64, y1: f64, y2: f64) -> Vec<u32> {
+        let mut v: Vec<u32> = pts
+            .iter()
+            .filter(|p| p.x >= x1 && p.x <= x2 && p.y >= y1 && p.y <= y2)
+            .map(|p| p.id)
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn builds_and_validates() {
+        let t = RangeTree2D::build(grid(5));
+        assert_eq!(t.len(), 25);
+        t.validate_shape().unwrap();
+    }
+
+    #[test]
+    fn leaves_are_sorted_by_x() {
+        let t = RangeTree2D::build(grid(4));
+        let xs: Vec<f64> = t.leaves().map(|p| p.x).collect();
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(xs, sorted);
+        assert_eq!(xs.len(), 16);
+    }
+
+    #[test]
+    fn interval_query_matches_brute_force() {
+        let pts = grid(6);
+        let t = RangeTree2D::build(pts.clone());
+        let got: Vec<u32> = {
+            let mut v: Vec<u32> = t.interval_query(1.5, 4.2).iter().map(|p| p.id).collect();
+            v.sort();
+            v
+        };
+        let want = brute(&pts, 1.5, 4.2, f64::NEG_INFINITY, f64::INFINITY);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rectangle_query_matches_brute_force() {
+        let pts = grid(7);
+        let t = RangeTree2D::build(pts.clone());
+        for (x1, x2, y1, y2) in [
+            (0.0, 3.0, 1.0, 4.0),
+            (2.5, 5.5, 0.0, 2.0),
+            (-1.0, 10.0, -1.0, 10.0),
+            (3.0, 3.0, 0.0, 6.0),
+            (5.0, 2.0, 0.0, 6.0), // empty (inverted x)
+        ] {
+            let got: Vec<u32> = {
+                let mut v: Vec<u32> = t
+                    .rectangle_query(x1, x2, y1, y2)
+                    .iter()
+                    .map(|p| p.id)
+                    .collect();
+                v.sort();
+                v
+            };
+            let want = brute(&pts, x1, x2, y1, y2);
+            assert_eq!(got, want, "rect ({x1},{x2})×({y1},{y2})");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let t = RangeTree2D::build(vec![]);
+        assert!(t.is_empty());
+        assert!(t.rectangle_query(0.0, 1.0, 0.0, 1.0).is_empty());
+        t.validate_shape().unwrap();
+
+        let t = RangeTree2D::build(vec![Point {
+            x: 1.0,
+            y: 2.0,
+            id: 9,
+        }]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.rectangle_count(0.0, 2.0, 0.0, 3.0), 1);
+        assert_eq!(t.rectangle_count(2.0, 3.0, 0.0, 3.0), 0);
+        t.validate_shape().unwrap();
+    }
+
+    #[test]
+    fn adds_decl_is_well_formed() {
+        let prog = adds_lang::parse_program(ADDS_DECL).unwrap();
+        let env = adds_lang::AddsEnv::build(&prog).unwrap();
+        let t = env.get("TwoDRangeTree").unwrap();
+        let down = t.dim_id("down").unwrap();
+        let sub = t.dim_id("sub").unwrap();
+        let leaves = t.dim_id("leaves").unwrap();
+        assert!(t.dims_independent(sub, down));
+        assert!(t.dims_independent(sub, leaves));
+        assert!(!t.dims_independent(down, leaves));
+        assert!(t.same_group("left", "right"));
+    }
+
+    #[test]
+    fn rectangle_count_scales() {
+        let pts = grid(10);
+        let t = RangeTree2D::build(pts);
+        assert_eq!(t.rectangle_count(-1.0, 100.0, -1.0, 100.0), 100);
+        assert_eq!(t.rectangle_count(0.0, 0.1, 0.0, 0.0), 1);
+    }
+}

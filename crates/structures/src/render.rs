@@ -1,0 +1,157 @@
+//! ASCII renderings of the paper's figures, regenerated from live
+//! structures (used by the `figures` bench binary).
+
+use crate::bignum::Bignum;
+use crate::list::OneWayList;
+use crate::misuse::{classify, ListShape};
+use crate::orthlist::OrthList;
+use crate::poly::Polynomial;
+use crate::rangetree::RangeTree2D;
+use std::fmt::Write;
+
+/// Figure 2-style rendering of a list: `head -> |991| -> |298| -> |3| -/`.
+pub fn render_list<T: std::fmt::Display>(l: &OneWayList<T>) -> String {
+    let mut s = String::from("head");
+    for v in l.iter() {
+        let _ = write!(s, " -> |{v}|");
+    }
+    s.push_str(" -/");
+    s
+}
+
+/// Figure 2 with the bignum example: limbs least-significant first.
+pub fn render_bignum(b: &Bignum) -> String {
+    let mut s = format!("{} =", b.to_decimal());
+    for v in b.limb_values() {
+        let _ = write!(s, " |{v:03}| ->");
+    }
+    s.truncate(s.len() - 3);
+    s.push_str(" -/   (least significant node first)");
+    s
+}
+
+/// Polynomial rendering with its list layout.
+pub fn render_poly(p: &Polynomial) -> String {
+    let mut s = format!("{p}\n  as list:");
+    for (c, e) in p.term_pairs() {
+        let _ = write!(s, " |c:{c} e:{e}| ->");
+    }
+    s.push_str(" NULL");
+    s
+}
+
+/// Figure 1 caption line for a classified shape.
+pub fn render_classification(shape: ListShape) -> &'static str {
+    match shape {
+        ListShape::OneWay => "one-way linked list (valid OneWayList)",
+        ListShape::Cyclic => "cyclic structure (NOT a OneWayList)",
+        ListShape::Shared => "tournament/shared structure (NOT a OneWayList)",
+    }
+}
+
+/// Figure 1: render arena edges `i -> j` so the shape is visible.
+pub fn render_edges<T>(l: &OneWayList<T>) -> String {
+    let mut s = String::new();
+    for (i, n) in l.nodes.iter().enumerate() {
+        match n.next {
+            Some(j) => {
+                let _ = writeln!(s, "  node{i} -> node{j}");
+            }
+            None => {
+                let _ = writeln!(s, "  node{i} -/");
+            }
+        }
+    }
+    let _ = write!(s, "  shape: {}", render_classification(classify(l)));
+    s
+}
+
+/// Figure 3: dense grid view of an orthogonal list, dots for zeros.
+pub fn render_orthlist(m: &OrthList) -> String {
+    let dense = m.to_dense();
+    let mut s = String::new();
+    let _ = writeln!(s, "OrthList {}x{} ({} nonzeros)", m.rows, m.cols, m.nnz());
+    for row in &dense {
+        s.push_str("  ");
+        for v in row {
+            if *v == 0.0 {
+                s.push_str("   .  ");
+            } else {
+                let _ = write!(s, "{v:5.1} ");
+            }
+        }
+        s.push('\n');
+    }
+    s.push_str("  rows linked across/back (X), columns linked down/up (Y)");
+    s
+}
+
+/// Figure 4: leaf chain of a range tree.
+pub fn render_rangetree(t: &RangeTree2D) -> String {
+    let mut s = String::from("leaves:");
+    for p in t.leaves() {
+        let _ = write!(s, " ({:.1},{:.1})<->", p.x, p.y);
+    }
+    s.push_str(" -/\n  x-tree over leaves; independent y-subtree per node (sub || down)");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::misuse;
+    use crate::rangetree::Point;
+
+    #[test]
+    fn list_rendering_shows_values() {
+        let l = OneWayList::from_iter_back([1, 2, 3]);
+        assert_eq!(render_list(&l), "head -> |1| -> |2| -> |3| -/");
+    }
+
+    #[test]
+    fn bignum_rendering_matches_paper_layout() {
+        let b = Bignum::from_decimal("3298991").unwrap();
+        let s = render_bignum(&b);
+        assert!(s.contains("|991|"), "{s}");
+        assert!(s.contains("|298|"), "{s}");
+        assert!(s.contains("|003|"), "{s}");
+        assert!(s.starts_with("3298991 ="), "{s}");
+    }
+
+    #[test]
+    fn poly_rendering() {
+        let s = render_poly(&Polynomial::paper_example());
+        assert!(s.contains("451x^31 + 10x^13 + 4"), "{s}");
+        assert!(s.contains("|c:451 e:31|"), "{s}");
+    }
+
+    #[test]
+    fn edge_rendering_classifies() {
+        let s = render_edges(&misuse::cyclic_list(3));
+        assert!(s.contains("cyclic"), "{s}");
+        let s = render_edges(&misuse::tournament(2));
+        assert!(s.contains("tournament"), "{s}");
+        let s = render_edges(&OneWayList::from_iter_back([1, 2]));
+        assert!(s.contains("valid OneWayList"), "{s}");
+    }
+
+    #[test]
+    fn orthlist_rendering() {
+        let m = OrthList::from_triplets(2, 2, [(0, 0, 1.0), (1, 1, 2.0)]);
+        let s = render_orthlist(&m);
+        assert!(s.contains("2x2"), "{s}");
+        assert!(s.contains("1.0"), "{s}");
+        assert!(s.contains('.'), "{s}");
+    }
+
+    #[test]
+    fn rangetree_rendering() {
+        let t = RangeTree2D::build(vec![
+            Point { x: 1.0, y: 2.0, id: 0 },
+            Point { x: 3.0, y: 1.0, id: 1 },
+        ]);
+        let s = render_rangetree(&t);
+        assert!(s.contains("(1.0,2.0)"), "{s}");
+        assert!(s.contains("sub || down"), "{s}");
+    }
+}

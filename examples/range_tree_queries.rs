@@ -1,0 +1,51 @@
+//! The 2-D range tree of §3.1.3 / Figure 4 answering the paper's queries:
+//! "find all points within the interval x1..x2" and "find all points within
+//! the bounding rectangle (x1,y1) and (x2,y2)".
+//!
+//! Run with: `cargo run --example range_tree_queries`
+
+use adds::structures::{OrthList, Point, RangeTree2D};
+
+fn main() {
+    // A point cloud.
+    let pts: Vec<Point> = (0..1000)
+        .map(|i| Point {
+            x: (i as f64 * 0.618_033_988_75).fract() * 100.0,
+            y: (i as f64 * 0.414_213_562_37).fract() * 100.0,
+            id: i as u32,
+        })
+        .collect();
+
+    let tree = RangeTree2D::build(pts.clone());
+    tree.validate_shape().expect("Figure 4 shape holds");
+    println!("built 2-D range tree over {} points", tree.len());
+
+    // Interval query along the leaf chain (the `leaves` dimension).
+    let hits = tree.interval_query(10.0, 12.0);
+    println!("points with x in [10,12]: {}", hits.len());
+
+    // Rectangle query using the independent `sub` dimension.
+    let rect = tree.rectangle_query(25.0, 30.0, 40.0, 60.0);
+    println!("points in [25,30]x[40,60]: {}", rect.len());
+    // Cross-check against brute force.
+    let brute = pts
+        .iter()
+        .filter(|p| p.x >= 25.0 && p.x <= 30.0 && p.y >= 40.0 && p.y <= 60.0)
+        .count();
+    assert_eq!(rect.len(), brute);
+    println!("matches brute force: {brute}");
+
+    // The orthogonal list (Figure 3) as a sparse matrix.
+    let n = 6;
+    let m = OrthList::from_triplets(
+        n,
+        n,
+        (0..n).flat_map(|i| [(i, i, 2.0), (i, (i + 1) % n, -1.0)]),
+    );
+    m.validate_shape().expect("Figure 3 shape holds");
+    let x = vec![1.0; n];
+    println!("\nsparse matrix ({} nonzeros), A*1 = {:?}", m.nnz(), m.spmv(&x));
+    let y_par = m.spmv_parallel(&x, 3);
+    assert_eq!(m.spmv(&x), y_par);
+    println!("parallel row-wise SpMV agrees (rows are disjoint X chains)");
+}

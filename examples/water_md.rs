@@ -1,0 +1,62 @@
+//! The §4.2 aside: a SPLASH-Water-style O(N²) arrays-and-iteration MD run,
+//! showing (a) physical sanity (energy and momentum conservation) and
+//! (b) why array codes were the path of least resistance for 1990s
+//! parallelization — the slice decomposition is trivially safe.
+//!
+//! Run with: `cargo run --release --example water_md`
+
+use adds::nbody::water::{lattice, WaterParams};
+use std::time::Instant;
+
+fn main() {
+    // Big enough that a step's O(N²) force work (~10 ms) dwarfs the
+    // per-step thread spawn cost; SPLASH-era problem sizes behaved the
+    // same way relative to their machines.
+    let n = 2048;
+    let steps = 5;
+    let params = WaterParams::default();
+
+    // Physical sanity on a small box.
+    let mut s = lattice(125, 42, params);
+    s.run(1, 1); // prime forces
+    let e0 = s.energy();
+    let p0 = s.momentum();
+    s.run(steps, 1);
+    println!(
+        "N=125, {steps} steps:  energy {e0:.4} -> {:.4}   |momentum| {:.2e} -> {:.2e}",
+        s.energy(),
+        p0.norm(),
+        s.momentum().norm()
+    );
+
+    // The parallelization story: identical trajectories, no analysis needed.
+    let mut seq = lattice(n, 7, params);
+    let t0 = Instant::now();
+    seq.run(steps, 1);
+    let t_seq = t0.elapsed();
+
+    for threads in [2, 4, 7] {
+        let mut par = lattice(n, 7, params);
+        let t0 = Instant::now();
+        par.run(steps, threads);
+        let t_par = t0.elapsed();
+        assert_eq!(
+            seq.molecules(),
+            par.molecules(),
+            "slice-parallel Water must be bitwise deterministic"
+        );
+        println!(
+            "N={n}: {threads} threads  {:>8.1?} vs sequential {:>8.1?}  (speedup {:.1}x, bitwise equal)",
+            t_par,
+            t_seq,
+            t_seq.as_secs_f64() / t_par.as_secs_f64()
+        );
+    }
+
+    println!(
+        "\nEvery force slice writes its own indices — the compiler sees\n\
+         disjoint index ranges, no alias analysis required. The paper's\n\
+         point: pointer tree-codes deserve the same treatment, and ADDS\n\
+         declarations are what make it provable (see `nbody_sim`)."
+    );
+}

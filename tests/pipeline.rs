@@ -1,0 +1,153 @@
+//! Cross-crate integration: the full compile → analyze → validate →
+//! transform → execute pipeline, asserting the paper's artifacts.
+
+use adds::core::{check_function, compile, parallelize_program};
+use adds::lang::programs;
+use adds::machine::{run_barnes_hut, uniform_cloud, CostModel};
+
+#[test]
+fn pm1_conservative_matrix_is_all_maybe() {
+    let c = compile(programs::LIST_SCALE_PLAIN).unwrap();
+    let an = c.analysis("scale").unwrap();
+    let pm = &an.loops[0].bottom.pm;
+    for a in ["head", "p", "p'"] {
+        for b in ["head", "p", "p'"] {
+            if a != b {
+                assert!(pm.get(a, b).may_alias(), "{a} vs {b} must be =?\n{pm}");
+            }
+        }
+    }
+}
+
+#[test]
+fn pm2_fixpoint_matches_paper() {
+    let c = compile(programs::LIST_SCALE_ADDS).unwrap();
+    let an = c.analysis("scale").unwrap();
+    let pm = &an.loops[0].bottom.pm;
+    assert_eq!(pm.get("head", "p").display(), "next+");
+    assert_eq!(pm.get("head", "p'").display(), "next+");
+    assert_eq!(pm.get("p'", "p").display(), "next");
+    for (a, b) in [("head", "p"), ("head", "p'"), ("p'", "p")] {
+        assert!(!pm.get(a, b).may_alias(), "{a}/{b}\n{pm}");
+    }
+}
+
+#[test]
+fn pm3_bhl1_matrix_matches_paper() {
+    let c = compile(programs::BARNES_HUT).unwrap();
+    let an = c.analysis("bhl1").unwrap();
+    let pm = &an.loops[0].bottom.pm;
+    // The §4.3.2 matrix: root =? everything; the list walkers clean.
+    assert!(pm.get("root", "particles").may_alias());
+    assert!(pm.get("root", "p").may_alias());
+    assert_eq!(pm.get("particles", "p").display(), "next+");
+    assert_eq!(pm.get("p'", "p").display(), "next");
+    assert!(!pm.get("particles", "p").may_alias());
+}
+
+#[test]
+fn v1_subtree_move_timeline() {
+    let c = compile(programs::SUBTREE_MOVE).unwrap();
+    let an = c.analysis("move_subtree").unwrap();
+    assert_eq!(an.events.len(), 2);
+    assert!(an.events[0].is_broken());
+    assert!(!an.events[1].is_broken());
+    assert!(an.exit.fully_valid());
+}
+
+#[test]
+fn v2_insert_particle_breaks_and_repairs() {
+    let c = compile(programs::BARNES_HUT).unwrap();
+    let an = c.analysis("insert_particle").unwrap();
+    assert!(an.events.iter().any(|e| e.is_broken()));
+    assert!(an.events.iter().any(|e| !e.is_broken()));
+    // The leaf chain is untouched by tree building.
+    let bt = c.analysis("build_tree").unwrap();
+    assert!(bt.exit.abstraction_valid("Octree", "next"));
+}
+
+#[test]
+fn t1_transformed_code_shape() {
+    let (prog, _) = parallelize_program(programs::BARNES_HUT).unwrap();
+    let bhl1 = adds::lang::pretty::function(prog.func("bhl1").unwrap());
+    // The paper's §4.3.3 shape.
+    assert!(bhl1.contains("while p <> NULL"), "{bhl1}");
+    assert!(bhl1.contains("parfor i = 0 to PEs - 1"), "{bhl1}");
+    assert!(bhl1.contains("for i = 0 to PEs - 1"), "{bhl1}");
+    let helper = prog
+        .funcs
+        .iter()
+        .find(|f| f.name.starts_with("_bhl1"))
+        .expect("helper generated");
+    let h = adds::lang::pretty::function(helper);
+    assert!(h.contains("for k = 1 to i"), "{h}");
+    assert!(h.contains("if p <> NULL"), "{h}");
+}
+
+#[test]
+fn t1_only_legal_loops_parallelized() {
+    let (prog, reports) = parallelize_program(programs::BARNES_HUT).unwrap();
+    let names: Vec<&str> = reports
+        .iter()
+        .filter(|r| !r.parallelized.is_empty())
+        .map(|r| r.func.name.as_str())
+        .collect();
+    assert!(names.contains(&"bhl1"));
+    assert!(names.contains(&"bhl2"));
+    assert!(!names.contains(&"build_tree"));
+    // build_tree keeps a sequential loop.
+    let bt = adds::lang::pretty::function(prog.func("build_tree").unwrap());
+    assert!(!bt.contains("parfor"));
+}
+
+#[test]
+fn end_to_end_equivalence_and_speedup() {
+    let (prog, _) = parallelize_program(programs::BARNES_HUT).unwrap();
+    let tp_par = adds::lang::check_source(&adds::lang::pretty::program(&prog)).unwrap();
+    let tp_seq = adds::lang::check_source(programs::BARNES_HUT).unwrap();
+    let bodies = uniform_cloud(40, 13);
+    let seq =
+        run_barnes_hut(&tp_seq, &bodies, 2, 0.7, 0.01, 1, CostModel::sequent(), false).unwrap();
+    let par =
+        run_barnes_hut(&tp_par, &bodies, 2, 0.7, 0.01, 4, CostModel::sequent(), true).unwrap();
+    assert_eq!(par.conflict_count, 0);
+    assert!(par.cycles < seq.cycles);
+    assert!(par.cycles * 4 > seq.cycles, "sublinear");
+    for (a, b) in seq.bodies.iter().zip(&par.bodies) {
+        for d in 0..3 {
+            assert!((a.pos[d] - b.pos[d]).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn scale_loop_full_pipeline() {
+    let c = compile(programs::LIST_SCALE_ADDS).unwrap();
+    let an = c.analysis("scale").unwrap();
+    let checks = check_function(&c.tp, &c.summaries, an, "scale");
+    assert!(checks[0].parallelizable, "{:?}", checks[0].reasons);
+
+    // Plain version is rejected.
+    let c = compile(programs::LIST_SCALE_PLAIN).unwrap();
+    let an = c.analysis("scale").unwrap();
+    let checks = check_function(&c.tp, &c.summaries, an, "scale");
+    assert!(!checks[0].parallelizable);
+}
+
+#[test]
+fn transformed_source_is_itself_compilable_and_analyzable() {
+    // The output of the transformation must be a first-class program:
+    // compile it again and re-analyze.
+    let (prog, _) = parallelize_program(programs::BARNES_HUT).unwrap();
+    let src = adds::lang::pretty::program(&prog);
+    let c2 = compile(&src).unwrap();
+    assert!(c2.analysis("bhl1").is_some());
+    assert!(c2
+        .analysis("_bhl1_loop1_iteration")
+        .or_else(|| c2
+            .analyses
+            .iter()
+            .find(|(k, _)| k.starts_with("_bhl1"))
+            .map(|(_, v)| v))
+        .is_some());
+}

@@ -1,0 +1,108 @@
+//! The §2.1 precision ladder as a cross-crate integration test: the prior
+//! structure-estimation baselines (`adds-klimit`) vs the paper's ADDS +
+//! general path matrix pipeline (`adds-core`) on the same scaling loop,
+//! with the list arriving from four different origins.
+//!
+//! The expected matrix *is* the paper's motivation section:
+//!
+//! | origin           | blob | k=1 | k=3 | CWZ | ADDS |
+//! |------------------|------|-----|-----|-----|------|
+//! | straight-line    |  ✗   |  ✗  |  ✓  |  ✓  |  ✓   |
+//! | loop (append)    |  ✗   |  ✗  |  ✗  |  ✓  |  ✓   |
+//! | loop (prepend)   |  ✗   |  ✗  |  ✗  |  ✗* |  ✓   |
+//! | recursive build  |  ✗   |  ✗  |  ✗  |  ✗  |  ✓   |
+//! | parameter        |  ✗   |  ✗  |  ✗  |  ✗  |  ✓   |
+//!
+//! *our simplified CWZ variant; full \[CWZ90\] handles prepend — see
+//! `adds_klimit::programs::PREPEND_BUILT_SCALE`.
+
+use adds::klimit::{programs, verdict, Mode};
+
+fn prior(src: &str, func: &str, mode: Mode) -> bool {
+    let checks = verdict::check_source(src, func, mode).expect("program checks");
+    checks
+        .iter().rfind(|c| c.pattern.is_some())
+        .expect("walk loop recognized")
+        .parallelizable
+}
+
+fn adds(src: &str, func: &str) -> bool {
+    let twin = programs::adds_twin(src);
+    let c = adds::core::compile(&twin).expect("twin compiles");
+    let an = c.analysis(func).expect("function analyzed");
+    adds::core::check_function(&c.tp, &c.summaries, an, func)
+        .iter().rfind(|c| c.pattern.is_some())
+        .expect("walk loop recognized")
+        .parallelizable
+}
+
+#[test]
+fn ladder_matrix_matches_the_papers_motivation() {
+    // (origin, blob, k1, k3, cwz, adds)
+    let expected = [
+        ("straight-line build", false, false, true, true, true),
+        ("loop build (append)", false, false, false, true, true),
+        ("loop build (prepend)", false, false, false, false, true),
+        ("recursive build", false, false, false, false, true),
+        ("list as parameter", false, false, false, false, true),
+    ];
+    for ((name, src, func), (ename, blob, k1, k3, cwz, want_adds)) in
+        programs::ladder_programs().into_iter().zip(expected)
+    {
+        assert_eq!(name, ename, "program order");
+        assert_eq!(prior(src, func, Mode::Blob), blob, "{name}: blob");
+        assert_eq!(prior(src, func, Mode::KLimit(1)), k1, "{name}: k=1");
+        assert_eq!(prior(src, func, Mode::KLimit(3)), k3, "{name}: k=3");
+        assert_eq!(prior(src, func, Mode::AllocSite), cwz, "{name}: cwz");
+        assert_eq!(adds(src, func), want_adds, "{name}: adds");
+    }
+}
+
+#[test]
+fn adds_dominates_every_baseline_on_the_ladder() {
+    // The declared approach must never lose to a declaration-free one —
+    // the paper's central claim, as a property of the implementations.
+    for (name, src, func) in programs::ladder_programs() {
+        let adds_ok = adds(src, func);
+        for mode in [Mode::Blob, Mode::KLimit(1), Mode::KLimit(3), Mode::AllocSite] {
+            let prior_ok = prior(src, func, mode);
+            assert!(
+                adds_ok || !prior_ok,
+                "{name}: {} proves what ADDS cannot",
+                mode.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn baselines_never_parallelize_the_papers_own_fragment() {
+    // §3.3.2's `scale(head, c)` — the exact code the paper analyzes — is
+    // out of reach for every declaration-free baseline (PARAM_SCALE is
+    // that fragment), while the ADDS pipeline proves it (golden-tested in
+    // tests/pipeline.rs). Belt and suspenders for the paper's PM1 claim:
+    // "the compiler must assume that next is cyclic".
+    for mode in [Mode::Blob, Mode::KLimit(1), Mode::KLimit(3), Mode::AllocSite] {
+        assert!(!prior(programs::PARAM_SCALE, "scale", mode));
+    }
+}
+
+#[test]
+fn bhl1_is_beyond_every_baseline_but_not_beyond_adds() {
+    // The paper's §4.3 headline: BHL1 walks the leaf list while calling
+    // compute_force. The call alone havocs every storage-graph analysis;
+    // the ADDS pipeline proves it parallelizable (see tests/pipeline.rs).
+    let tp = adds::lang::types::check_source(adds::lang::programs::BARNES_HUT).unwrap();
+    for mode in [Mode::Blob, Mode::KLimit(3), Mode::AllocSite] {
+        let checks = adds::klimit::check_function(&tp, "bhl1", mode);
+        assert!(
+            checks.iter().all(|c| !c.parallelizable),
+            "{}: must not license BHL1",
+            mode.name()
+        );
+    }
+    let c = adds::core::compile(adds::lang::programs::BARNES_HUT).unwrap();
+    let an = c.analysis("bhl1").unwrap();
+    let checks = adds::core::check_function(&c.tp, &c.summaries, an, "bhl1");
+    assert!(checks.iter().any(|c| c.parallelizable));
+}

@@ -1,0 +1,492 @@
+//! Property-based tests across the workspace.
+//!
+//! The headline property is **analysis soundness**: on randomly generated
+//! pointer programs, whenever general path matrix analysis claims two
+//! variables can never alias, concrete execution must agree.
+#![allow(clippy::needless_range_loop)]
+
+use adds::core::compile;
+use adds::machine::{CostModel, Interp, MachineConfig, Value};
+use adds::nbody::{disjoint_strides, gen, SimParams, Simulation};
+use adds::structures::{OrthList, Point, Polynomial, RangeTree2D};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- generators
+
+/// One random pointer statement over variables of type `L*`.
+#[derive(Clone, Debug)]
+enum Op {
+    Copy(usize, usize),         // x = y;
+    Deref(usize, usize),        // x = y->next;
+    GuardedStore(usize, usize), // if x <> NULL { x->next = y; }
+    Fresh(usize),               // x = new L;
+    Null(usize),                // x = NULL;
+}
+
+const VARS: [&str; 5] = ["a", "b", "p", "q", "r"];
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let v = 0..VARS.len();
+    prop_oneof![
+        (v.clone(), 0..VARS.len()).prop_map(|(x, y)| Op::Copy(x, y)),
+        (v.clone(), 0..VARS.len()).prop_map(|(x, y)| Op::Deref(x, y)),
+        (v.clone(), 0..VARS.len()).prop_map(|(x, y)| Op::GuardedStore(x, y)),
+        v.clone().prop_map(Op::Fresh),
+        v.prop_map(Op::Null),
+    ]
+}
+
+fn render_program(ops: &[Op]) -> String {
+    let mut body = String::new();
+    // Start: a = head of a 4-node list; b = a->next; p,q,r = NULL.
+    body.push_str("p = NULL;\nq = NULL;\nr = NULL;\n");
+    for op in ops {
+        let line = match op {
+            Op::Copy(x, y) => format!("{} = {};\n", VARS[*x], VARS[*y]),
+            Op::Deref(x, y) => format!("{} = {}->next;\n", VARS[*x], VARS[*y]),
+            Op::GuardedStore(x, y) => format!(
+                "if {} <> NULL {{ {}->next = {}; }}\n",
+                VARS[*x], VARS[*x], VARS[*y]
+            ),
+            Op::Fresh(x) => format!("{} = new L;\n", VARS[*x]),
+            Op::Null(x) => format!("{} = NULL;\n", VARS[*x]),
+        };
+        body.push_str(&line);
+    }
+    // Emit pairwise "non-null and same node" observations.
+    let mut prints = String::new();
+    for i in 0..VARS.len() {
+        for j in (i + 1)..VARS.len() {
+            prints.push_str(&format!(
+                "print({a} <> NULL && {b} <> NULL && {a} == {b});\n",
+                a = VARS[i],
+                b = VARS[j]
+            ));
+        }
+    }
+    format!(
+        "type L [X] {{ int v; L *next is uniquely forward along X; }};
+        procedure f(a: L*, b: L*)
+        {{
+            var p: L*;
+            var q: L*;
+            var r: L*;
+            {body}
+            {prints}
+        }}"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness: analysis `no_alias` ⇒ concretely different nodes.
+    #[test]
+    fn analysis_no_alias_is_sound(ops in prop::collection::vec(op_strategy(), 0..12)) {
+        let src = render_program(&ops);
+        let compiled = compile(&src).expect("generated program compiles");
+        let an = compiled.analysis("f").expect("analyzed");
+        let exit = &an.exit;
+
+        // Concrete run: a 4-node list, a = head, b = head->next->next.
+        let tp = &compiled.tp;
+        let mut it = Interp::new(tp, MachineConfig {
+            cost: CostModel::uniform(),
+            ..MachineConfig::default()
+        });
+        let mut head = Value::Null;
+        let mut ids = Vec::new();
+        for i in (0..4).rev() {
+            let n = it.host_alloc("L");
+            it.host_store(n, "v", 0, Value::Int(i));
+            it.host_store(n, "next", 0, head);
+            head = Value::Ptr(n);
+            ids.push(n);
+        }
+        let b = it.host_load(ids[ids.len()-1], "next", 0); // head->next
+        let b = match b { Value::Ptr(n) => it.host_load(n, "next", 0), v => v };
+        it.call("f", &[head, b]).expect("runs");
+
+        // Compare: printed "true" means the pair was concretely aliased.
+        let mut k = 0;
+        for i in 0..VARS.len() {
+            for j in (i + 1)..VARS.len() {
+                let concretely_same = it.output[k] == "true";
+                k += 1;
+                if concretely_same {
+                    prop_assert!(
+                        exit.pm.get(VARS[i], VARS[j]).may_alias(),
+                        "analysis claimed {} and {} never alias, but they do\n{}\nprogram:\n{src}",
+                        VARS[i], VARS[j], exit.pm
+                    );
+                }
+            }
+        }
+    }
+
+    /// The strip writers cover every index exactly once, for any length and
+    /// thread count.
+    #[test]
+    fn stride_partition_is_exact(len in 0usize..200, k in 1usize..17) {
+        let mut data = vec![0u32; len];
+        let writers = disjoint_strides(&mut data, k);
+        let mut seen = vec![0u32; len];
+        for w in &writers {
+            for i in w.indices() {
+                seen[i] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|c| *c == 1));
+    }
+
+    /// Parallel polynomial scaling equals sequential for any term set.
+    #[test]
+    fn poly_scale_parallel_equals_sequential(
+        terms in prop::collection::vec((1i64..1000, 0u32..500), 0..60),
+        c in -10i64..10,
+        threads in 1usize..9,
+    ) {
+        let mut a = Polynomial::from_terms(terms.clone());
+        let mut b = a.clone();
+        a.scale_in_place(c);
+        b.scale_parallel(c, threads);
+        prop_assert_eq!(a, b);
+    }
+
+    /// SpMV over the orthogonal list equals the dense product.
+    #[test]
+    fn orthlist_spmv_equals_dense(
+        entries in prop::collection::vec((0usize..12, 0usize..12, -5.0f64..5.0), 0..40),
+        threads in 1usize..5,
+    ) {
+        let m = OrthList::from_triplets(12, 12, entries);
+        m.validate_shape().unwrap();
+        let x: Vec<f64> = (0..12).map(|i| i as f64 * 0.5 - 3.0).collect();
+        let dense = m.to_dense();
+        let want: Vec<f64> = dense
+            .iter()
+            .map(|row| row.iter().zip(&x).map(|(a, b)| a * b).sum())
+            .collect();
+        let seq = m.spmv(&x);
+        let par = m.spmv_parallel(&x, threads);
+        for ((s, p), w) in seq.iter().zip(&par).zip(&want) {
+            prop_assert!((s - w).abs() < 1e-9);
+            prop_assert!((p - w).abs() < 1e-9);
+        }
+    }
+
+    /// Range tree queries equal brute force on random point sets.
+    #[test]
+    fn rangetree_matches_brute_force(
+        pts in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..80),
+        rect in (0.0f64..100.0, 0.0f64..100.0, 0.0f64..100.0, 0.0f64..100.0),
+    ) {
+        // De-duplicate x coordinates (the tree assumes distinct x).
+        let mut points: Vec<Point> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, (x, y))| Point { x: x + i as f64 * 1e-7, y: *y, id: i as u32 })
+            .collect();
+        points.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
+        let t = RangeTree2D::build(points.clone());
+        t.validate_shape().unwrap();
+        let (x1, x2, y1, y2) = rect;
+        let (x1, x2) = (x1.min(x2), x1.max(x2));
+        let (y1, y2) = (y1.min(y2), y1.max(y2));
+        let mut got: Vec<u32> = t.rectangle_query(x1, x2, y1, y2).iter().map(|p| p.id).collect();
+        got.sort();
+        let mut want: Vec<u32> = points
+            .iter()
+            .filter(|p| p.x >= x1 && p.x <= x2 && p.y >= y1 && p.y <= y2)
+            .map(|p| p.id)
+            .collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Parallel N-body trajectories equal sequential ones bit-for-bit.
+    #[test]
+    fn nbody_parallel_equals_sequential(
+        n in 1usize..40,
+        threads in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let params = SimParams { theta: 0.7, dt: 0.01, eps: 1e-2 };
+        let mut a = Simulation::new(gen::uniform_cube(n, seed), params);
+        let mut b = Simulation::new(gen::uniform_cube(n, seed), params);
+        a.run_sequential(2);
+        b.run_parallel(2, threads);
+        for (x, y) in a.particles.particles().iter().zip(b.particles.particles()) {
+            prop_assert!((x.pos - y.pos).norm() < 1e-12);
+            prop_assert!((x.vel - y.vel).norm() < 1e-12);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Bignum arithmetic agrees with u128 reference arithmetic.
+    #[test]
+    fn bignum_matches_u128(a in 0u64..u64::MAX, b in 0u64..u64::MAX, c in 0u64..1000) {
+        use adds::structures::Bignum;
+        let ba = Bignum::from_u64(a);
+        let bb = Bignum::from_u64(b);
+        prop_assert_eq!(ba.add(&bb).to_decimal(), (a as u128 + b as u128).to_string());
+        prop_assert_eq!(ba.mul_small(c).to_decimal(), (a as u128 * c as u128).to_string());
+        prop_assert_eq!(ba.mul(&bb).to_decimal(), (a as u128 * b as u128).to_string());
+        prop_assert_eq!(
+            ba.cmp_magnitude(&bb),
+            a.cmp(&b)
+        );
+    }
+}
+
+// --------------------------------------------------------- §2.1 baselines
+
+/// Random pointer programs with no parameters: everything is built from
+/// `new`, so the storage-graph baselines see the whole heap (a parameter
+/// would collapse them to the external world and make soundness vacuous).
+fn render_noparam_program(ops: &[Op]) -> String {
+    let mut body = String::new();
+    // Build a 4-cell chain from 4 distinct sites: a = head, b = 3rd cell.
+    body.push_str(
+        "a = new L;\n\
+         a->next = new L;\n\
+         r = a->next;\n\
+         r->next = new L;\n\
+         r = r->next;\n\
+         r->next = new L;\n\
+         b = a->next;\n\
+         b = b->next;\n\
+         r = NULL;\np = NULL;\nq = NULL;\n",
+    );
+    for op in ops {
+        let line = match op {
+            Op::Copy(x, y) => format!("{} = {};\n", VARS[*x], VARS[*y]),
+            Op::Deref(x, y) => format!("{} = {}->next;\n", VARS[*x], VARS[*y]),
+            Op::GuardedStore(x, y) => format!(
+                "if {} <> NULL {{ {}->next = {}; }}\n",
+                VARS[*x], VARS[*x], VARS[*y]
+            ),
+            Op::Fresh(x) => format!("{} = new L;\n", VARS[*x]),
+            Op::Null(x) => format!("{} = NULL;\n", VARS[*x]),
+        };
+        body.push_str(&line);
+    }
+    // Alias observations (same order as VARS pairs).
+    let mut prints = String::new();
+    for i in 0..VARS.len() {
+        for j in (i + 1)..VARS.len() {
+            prints.push_str(&format!(
+                "print({a} <> NULL && {b} <> NULL && {a} == {b});\n",
+                a = VARS[i],
+                b = VARS[j]
+            ));
+        }
+    }
+    // Cycle probes: the heap holds at most ~20 cells, so a 64-step walk
+    // that hasn't terminated must have looped.
+    for v in VARS {
+        prints.push_str(&format!(
+            "w = {v};\ni = 0;\nwhile w <> NULL && i < 64 {{ w = w->next; i = i + 1; }}\nprint(i >= 64);\n"
+        ));
+    }
+    format!(
+        "type L {{ int v; L *next; }};
+        procedure f()
+        {{
+            var a: L*; var b: L*; var p: L*; var q: L*; var r: L*;
+            var w: L*;
+            var i: int;
+            {body}
+            {prints}
+        }}"
+    )
+}
+
+fn run_noparam(src: &str) -> Vec<String> {
+    let tp = adds::lang::types::check_source(src).expect("generated program compiles");
+    let mut it = Interp::new(
+        &tp,
+        MachineConfig {
+            cost: CostModel::uniform(),
+            ..MachineConfig::default()
+        },
+    );
+    it.call("f", &[]).expect("runs");
+    it.output.clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Soundness of every §2.1 baseline: a `no may-alias` claim must never
+    /// contradict a concrete execution.
+    #[test]
+    fn klimit_no_alias_is_sound(ops in prop::collection::vec(op_strategy(), 0..12)) {
+        use adds::klimit::{analyze_source, may_alias, Mode};
+        let src = render_noparam_program(&ops);
+        let output = run_noparam(&src);
+        for mode in [Mode::Blob, Mode::KLimit(1), Mode::KLimit(3), Mode::AllocSite] {
+            let fg = analyze_source(&src, "f", mode).expect("analyzes");
+            let mut k = 0;
+            for i in 0..VARS.len() {
+                for j in (i + 1)..VARS.len() {
+                    let concretely_same = output[k] == "true";
+                    k += 1;
+                    if concretely_same {
+                        prop_assert!(
+                            may_alias(&fg.exit, VARS[i], VARS[j]),
+                            "{}: claimed {} and {} never alias, but they do\n{}\nprogram:\n{src}",
+                            mode.name(), VARS[i], VARS[j], fg.exit
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Soundness of the shape estimate: if a concrete `next` walk from a
+    /// variable loops, no baseline may classify that variable's structure
+    /// as acyclic. This exercises the allocation-ordered edge machinery
+    /// end to end.
+    #[test]
+    fn klimit_acyclicity_claims_are_sound(ops in prop::collection::vec(op_strategy(), 0..12)) {
+        use adds::klimit::{analyze_source, classify_shape, Mode, Shape};
+        let src = render_noparam_program(&ops);
+        let output = run_noparam(&src);
+        let pair_count = VARS.len() * (VARS.len() - 1) / 2;
+        for mode in [Mode::KLimit(1), Mode::KLimit(3), Mode::AllocSite] {
+            let fg = analyze_source(&src, "f", mode).expect("analyzes");
+            for (vi, v) in VARS.iter().enumerate() {
+                let concrete_cycle = output[pair_count + vi] == "true";
+                if concrete_cycle {
+                    let roots = fg.exit.points_to(v);
+                    prop_assert!(
+                        classify_shape(&fg.exit, &roots) == Shape::Cyclic,
+                        "{}: concrete cycle from {v} but shape {:?}\n{}\nprogram:\n{src}",
+                        mode.name(), classify_shape(&fg.exit, &roots), fg.exit
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------- transform equivalence
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The §4.3.3 strip-mining transformation preserves semantics: for any
+    /// list contents, scaling through the transformed (parfor) program
+    /// yields the same list as the original, on any PE count, with zero
+    /// dynamic conflicts.
+    #[test]
+    fn stripmine_transform_preserves_list_scaling(
+        values in prop::collection::vec(-100i64..100, 0..25),
+        c in -5i64..6,
+        pes in 1usize..9,
+    ) {
+        let original = adds::lang::programs::LIST_SCALE_ADDS;
+        let transformed = adds::core::parallelize_to_source(original).expect("transforms");
+        prop_assert!(transformed.contains("parfor"), "{transformed}");
+
+        let run = |src: &str, pes: usize| -> (Vec<i64>, usize) {
+            let tp = adds::lang::types::check_source(src).expect("compiles");
+            let mut it = Interp::new(
+                &tp,
+                MachineConfig {
+                    pes,
+                    detect_conflicts: true,
+                    cost: CostModel::uniform(),
+                    ..MachineConfig::default()
+                },
+            );
+            // Build the list host-side.
+            let mut head = Value::Null;
+            let mut ids = Vec::new();
+            for &v in values.iter().rev() {
+                let n = it.host_alloc("ListNode");
+                it.host_store(n, "coef", 0, Value::Int(v));
+                it.host_store(n, "exp", 0, Value::Int(0));
+                it.host_store(n, "next", 0, head);
+                head = Value::Ptr(n);
+                ids.push(n);
+            }
+            ids.reverse();
+            it.call("scale", &[head, Value::Int(c)]).expect("runs");
+            let out: Vec<i64> = ids
+                .iter()
+                .map(|&n| match it.host_load(n, "coef", 0) {
+                    Value::Int(v) => v,
+                    v => panic!("coef became {v:?}"),
+                })
+                .collect();
+            (out, it.conflicts.len())
+        };
+
+        let (seq, _) = run(original, 1);
+        let (par, conflicts) = run(&transformed, pes);
+        let want: Vec<i64> = values.iter().map(|v| v * c).collect();
+        prop_assert_eq!(&seq, &want);
+        prop_assert_eq!(&par, &want);
+        prop_assert_eq!(conflicts, 0, "strip-mined iterations must be disjoint");
+    }
+}
+
+// --------------------------------------------------- quadtree and water
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quadtree rectangle queries equal the naive filter, and the ADDS
+    /// shape invariants hold, for arbitrary build sets and queries.
+    #[test]
+    fn quadtree_matches_naive_filter(
+        pts in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 0..80),
+        rect in (-60.0f64..60.0, -60.0f64..60.0, -60.0f64..60.0, -60.0f64..60.0),
+    ) {
+        use adds::structures::{QPoint, Quadtree};
+        // Distinct coordinates (coincident points hit the documented
+        // replacement rule, tested separately in the crate).
+        let points: Vec<QPoint> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, (x, y))| QPoint { x: x + i as f64 * 1e-6, y: *y, id: i as u32 })
+            .collect();
+        let t = Quadtree::build(points.clone());
+        prop_assert!(t.validate_shape().is_ok(), "{:?}", t.validate_shape());
+        prop_assert_eq!(t.len(), points.len());
+        let (x1, x2, y1, y2) = rect;
+        let (x1, x2) = (x1.min(x2), x1.max(x2));
+        let (y1, y2) = (y1.min(y2), y1.max(y2));
+        let mut got: Vec<u32> = t.rectangle_query(x1, x2, y1, y2).iter().map(|p| p.id).collect();
+        got.sort_unstable();
+        let mut want: Vec<u32> = points
+            .iter()
+            .filter(|p| p.x >= x1 && p.x <= x2 && p.y >= y1 && p.y <= y2)
+            .map(|p| p.id)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The slice-parallel Water step is bitwise equal to the sequential
+    /// one for any size/thread combination (the array code needs no
+    /// tolerance: same sums, same order).
+    #[test]
+    fn water_parallel_equals_sequential(
+        n in 0usize..28,
+        threads in 1usize..9,
+        steps in 1usize..3,
+    ) {
+        use adds::nbody::water::{lattice, WaterParams};
+        let mut a = lattice(n, 9, WaterParams::default());
+        let mut b = lattice(n, 9, WaterParams::default());
+        a.run(steps, 1);
+        b.run(steps, threads);
+        prop_assert_eq!(a.molecules(), b.molecules());
+    }
+}
