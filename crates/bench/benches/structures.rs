@@ -119,7 +119,7 @@ fn quadtree(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Bounded sampling: full-precision runs are unnecessary for the shape
     // claims and keep `cargo bench --workspace` under a few minutes.

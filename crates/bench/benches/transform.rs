@@ -74,7 +74,9 @@ fn transform_exec(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("interp_original", |b| b.iter(|| cycles_of(&orig, 500)));
     g.bench_function("interp_unrolled4", |b| b.iter(|| cycles_of(&unrolled, 500)));
-    g.bench_function("interp_pipelined", |b| b.iter(|| cycles_of(&pipelined, 500)));
+    g.bench_function("interp_pipelined", |b| {
+        b.iter(|| cycles_of(&pipelined, 500))
+    });
     g.finish();
 }
 
@@ -86,7 +88,7 @@ fn transform_cost(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Bounded sampling: full-precision runs are unnecessary for the shape
     // claims and keep `cargo bench --workspace` under a few minutes.

@@ -33,7 +33,10 @@ fn main() {
 
     if want("sched") {
         println!("== A1: static strip vs dynamic self-scheduling (N={n}, {steps} steps) ==\n");
-        let mut t = Table::new("schedule ablation", &["threads", "static", "dynamic", "dyn/static"]);
+        let mut t = Table::new(
+            "schedule ablation",
+            &["threads", "static", "dynamic", "dyn/static"],
+        );
         let seq = best_of(reps, || {
             let mut s = Simulation::new(gen::plummer(n, 3), params);
             s.run_sequential(steps);
@@ -83,7 +86,11 @@ fn main() {
         });
         println!("  64 force evaluations, theta=0.3, N={}:", plist.len());
         println!("  sequential subtrees: {}", fmt_dur(seq));
-        println!("  parallel subtrees:   {} ({:.2}x)", fmt_dur(par), speedup(seq, par));
+        println!(
+            "  parallel subtrees:   {} ({:.2}x)",
+            fmt_dur(par),
+            speedup(seq, par)
+        );
         println!("  (per-particle spawning is coarse; the paper lists this as");
         println!("   unexploited parallelism, worthwhile only for large subtrees)\n");
     }
@@ -95,8 +102,17 @@ fn main() {
         let tp_seq = check_source(programs::BARNES_HUT).expect("compile");
         let bodies = uniform_cloud(if quick { 64 } else { 128 }, 5);
         let mut t = Table::new("sync ablation (4 PEs)", &["sync cycles", "speedup vs seq"]);
-        let seqr = run_barnes_hut(&tp_seq, &bodies, 2, 0.7, 0.001, 1, CostModel::sequent(), false)
-            .expect("seq");
+        let seqr = run_barnes_hut(
+            &tp_seq,
+            &bodies,
+            2,
+            0.7,
+            0.001,
+            1,
+            CostModel::sequent(),
+            false,
+        )
+        .expect("seq");
         for sync in [0u64, 500, 1500, 5000, 20000, 100000] {
             let cost = CostModel::sequent().with_sync(sync);
             let r = run_barnes_hut(&tp_par, &bodies, 2, 0.7, 0.001, 4, cost, false).expect("par");

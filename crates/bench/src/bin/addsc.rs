@@ -119,7 +119,9 @@ fn main() -> ExitCode {
                 }
             };
             for f in &c.tp.program.funcs {
-                let Some(an) = c.analysis(&f.name) else { continue };
+                let Some(an) = c.analysis(&f.name) else {
+                    continue;
+                };
                 for chk in check_function(&c.tp, &c.summaries, an, &f.name) {
                     let what = chk
                         .pattern
@@ -206,10 +208,7 @@ fn main() -> ExitCode {
                     for line in &it.output {
                         println!("{line}");
                     }
-                    println!(
-                        "=> {v}   ({} cycles, {} stmts)",
-                        it.clock, it.stats.stmts
-                    );
+                    println!("=> {v}   ({} cycles, {} stmts)", it.clock, it.stats.stmts);
                     ExitCode::SUCCESS
                 }
                 Err(e) => {

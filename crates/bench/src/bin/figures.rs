@@ -6,8 +6,8 @@
 use adds_nbody::{gen, Octree};
 use adds_structures::render::*;
 use adds_structures::{
-    cyclic_list, tournament, Bignum, OneWayList, OrthList, Point, Polynomial, QPoint,
-    Quadtree, RangeTree2D,
+    cyclic_list, tournament, Bignum, OneWayList, OrthList, Point, Polynomial, QPoint, Quadtree,
+    RangeTree2D,
 };
 
 fn want(which: &str) -> bool {
@@ -19,7 +19,10 @@ fn main() {
     if want("fig1") {
         println!("== Figure 1: other structures built from the same ListNode type ==\n");
         println!("(a) a proper one-way list:");
-        println!("{}\n", render_edges(&OneWayList::from_iter_back([1, 2, 3, 4])));
+        println!(
+            "{}\n",
+            render_edges(&OneWayList::from_iter_back([1, 2, 3, 4]))
+        );
         println!("(b) a cyclic list:");
         println!("{}\n", render_edges(&cyclic_list(4)));
         println!("(c) a tournament (shared successors):");

@@ -44,7 +44,8 @@ fn main() {
         for mode in MODES {
             let checks = verdict::check_source(src, func, mode).expect("program checks");
             let walk = checks
-                .iter().rfind(|c| c.pattern.is_some())
+                .iter()
+                .rfind(|c| c.pattern.is_some())
                 .expect("walk loop found");
             row.push(mark(walk.parallelizable));
         }
@@ -57,9 +58,7 @@ fn main() {
     for (name, src, func) in programs::ladder_programs() {
         for mode in MODES {
             let checks = verdict::check_source(src, func, mode).expect("program checks");
-            let walk = checks
-                .iter().rfind(|c| c.pattern.is_some())
-                .unwrap();
+            let walk = checks.iter().rfind(|c| c.pattern.is_some()).unwrap();
             if let Some(r) = walk.reasons.first() {
                 println!("  {:<20} {:<18} {r}", name, walk.mode.name());
             }
@@ -87,7 +86,11 @@ fn main() {
 }
 
 fn mark(ok: bool) -> String {
-    if ok { "✓".into() } else { "✗".into() }
+    if ok {
+        "✓".into()
+    } else {
+        "✗".into()
+    }
 }
 
 /// The paper's own pipeline on the ADDS-declared twin of the same program.
@@ -96,7 +99,8 @@ fn adds_verdict(src: &str, func: &str) -> bool {
     let c = adds_core::compile(&twin).expect("twin compiles");
     let an = c.analysis(func).expect("function analyzed");
     adds_core::check_function(&c.tp, &c.summaries, an, func)
-        .iter().rfind(|c| c.pattern.is_some())
+        .iter()
+        .rfind(|c| c.pattern.is_some())
         .map(|c| c.parallelizable)
         .unwrap_or(false)
 }

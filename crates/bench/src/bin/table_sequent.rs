@@ -72,9 +72,15 @@ fn main() {
             let mc = r.cycles as f64 * scale / 1e6;
             let sp = seq_cycles[i] / r.cycles as f64;
             let (paper_t, paper_s) = if pes == 4 {
-                (PAPER_TIMES[i].par4_s, PAPER_TIMES[i].seq_s / PAPER_TIMES[i].par4_s)
+                (
+                    PAPER_TIMES[i].par4_s,
+                    PAPER_TIMES[i].seq_s / PAPER_TIMES[i].par4_s,
+                )
             } else {
-                (PAPER_TIMES[i].par7_s, PAPER_TIMES[i].seq_s / PAPER_TIMES[i].par7_s)
+                (
+                    PAPER_TIMES[i].par7_s,
+                    PAPER_TIMES[i].seq_s / PAPER_TIMES[i].par7_s,
+                )
             };
             trow.push(format!("{mc:.0} | {paper_t}s"));
             srow.push(format!("{sp:.1} | {paper_s:.1}"));

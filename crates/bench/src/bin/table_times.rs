@@ -62,9 +62,15 @@ fn main() {
         for (i, n) in PAPER_NS.iter().enumerate() {
             let d = run(*n, steps, Some(pes));
             let paper = if pes == 4 {
-                (PAPER_TIMES[i].par4_s, PAPER_TIMES[i].seq_s / PAPER_TIMES[i].par4_s)
+                (
+                    PAPER_TIMES[i].par4_s,
+                    PAPER_TIMES[i].seq_s / PAPER_TIMES[i].par4_s,
+                )
             } else {
-                (PAPER_TIMES[i].par7_s, PAPER_TIMES[i].seq_s / PAPER_TIMES[i].par7_s)
+                (
+                    PAPER_TIMES[i].par7_s,
+                    PAPER_TIMES[i].seq_s / PAPER_TIMES[i].par7_s,
+                )
             };
             trow.push(format!("{} | {}s", fmt_dur(d), paper.0));
             srow.push(format!("{:.1} | {:.1}", speedup(seq_times[i], d), paper.1));

@@ -34,7 +34,10 @@ fn main() {
     println!("== loops considered ==");
     for r in &reports {
         for p in &r.parallelized {
-            println!("  {}: PARALLELIZED (chase `{}` via `{}`)", r.func.name, p.var, p.field);
+            println!(
+                "  {}: PARALLELIZED (chase `{}` via `{}`)",
+                r.func.name, p.var, p.field
+            );
         }
         for s in &r.skipped {
             println!(
@@ -48,10 +51,28 @@ fn main() {
     // Equivalence check on the simulated machine.
     let tp_par = check_source(&adds_lang::pretty::program(&prog)).expect("transformed compiles");
     let bodies = uniform_cloud(48, 7);
-    let seq = run_barnes_hut(&tp_seq, &bodies, 3, 0.7, 0.01, 1, CostModel::uniform(), false)
-        .expect("seq run");
-    let par = run_barnes_hut(&tp_par, &bodies, 3, 0.7, 0.01, 4, CostModel::uniform(), true)
-        .expect("par run");
+    let seq = run_barnes_hut(
+        &tp_seq,
+        &bodies,
+        3,
+        0.7,
+        0.01,
+        1,
+        CostModel::uniform(),
+        false,
+    )
+    .expect("seq run");
+    let par = run_barnes_hut(
+        &tp_par,
+        &bodies,
+        3,
+        0.7,
+        0.01,
+        4,
+        CostModel::uniform(),
+        true,
+    )
+    .expect("par run");
     let max_err = seq
         .bodies
         .iter()
@@ -64,8 +85,14 @@ fn main() {
         .fold(0.0f64, f64::max);
     println!("\n== execution equivalence (48 particles, 3 steps) ==");
     println!("  max trajectory deviation seq vs par(4): {max_err:.2e}");
-    println!("  conflicts detected in parallel run:     {}", par.conflict_count);
-    println!("  parallel rounds executed:               {}", par.parallel_rounds);
+    println!(
+        "  conflicts detected in parallel run:     {}",
+        par.conflict_count
+    );
+    println!(
+        "  parallel rounds executed:               {}",
+        par.parallel_rounds
+    );
     println!(
         "  simulated cycles: seq {} vs par(4) {}  (speedup {:.2})",
         seq.cycles,

@@ -20,10 +20,7 @@ fn main() {
         for e in &an.events {
             println!("  {e}");
         }
-        println!(
-            "\n  abstraction valid at exit: {}\n",
-            an.exit.fully_valid()
-        );
+        println!("\n  abstraction valid at exit: {}\n", an.exit.fully_valid());
     }
 
     if want("v2") {
@@ -38,8 +35,7 @@ fn main() {
         let bt = c.analysis("build_tree").expect("analysis");
         println!(
             "\n  build_tree abstraction valid on return: {}",
-            bt.exit
-                .abstraction_valid("Octree", "next")
+            bt.exit.abstraction_valid("Octree", "next")
         );
         println!("  (the `next` chain is never touched, so the Octree declaration");
         println!("   is valid when BHL1 is reached — enabling the transformation)");

@@ -50,7 +50,11 @@ fn main() {
             n.to_string(),
             fmt_dur(wt / steps as u32),
             fmt_dur(bt / steps as u32),
-            if bt < wt { "yes".into() } else { "not yet".into() },
+            if bt < wt {
+                "yes".into()
+            } else {
+                "not yet".into()
+            },
         ]);
     }
     println!("{}", t.render());
@@ -58,10 +62,7 @@ fn main() {
     // ---- claims 2+3: both parallelize; only one needed analysis -------
     let n = if quick { 512 } else { 2048 };
     println!("== W1b: speedups at N={n} ({steps} steps) ==\n");
-    let mut t = Table::new(
-        "speedup (threads)",
-        &["code", "1", "4", "7", "licensed by"],
-    );
+    let mut t = Table::new("speedup (threads)", &["code", "1", "4", "7", "licensed by"]);
     let wseq = best_of(reps, || {
         let mut w = lattice(n, 7, WaterParams::default());
         w.run(steps, 1);

@@ -1,0 +1,352 @@
+//! Hand-rolled argument parsing (no `clap` available offline).
+//!
+//! Grammar: `adds-cli <command> [flags] [FILE...]`. Flags take their value
+//! as the following argument (`--jobs 4`) or inline (`--jobs=4`).
+
+use std::fmt;
+
+/// Output format selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// Human-readable text.
+    Text,
+    /// Machine-readable JSON (byte-stable; golden-tested).
+    Json,
+}
+
+/// The CLI subcommand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Parse and pretty-print, verifying the print→parse round trip.
+    Parse,
+    /// ADDS well-formedness + type check.
+    Check,
+    /// Path-matrix analysis with per-loop dependence verdicts.
+    Analyze,
+    /// Strip-mine parallelizable loops and emit transformed source.
+    Parallelize,
+    /// Execute on the simulated MIMD machine (sequential vs parallel).
+    Run,
+    /// Precision ladder: §2.1 baselines vs ADDS+GPM.
+    Ladder,
+}
+
+impl Command {
+    fn parse(s: &str) -> Option<Command> {
+        Some(match s {
+            "parse" => Command::Parse,
+            "check" => Command::Check,
+            "analyze" => Command::Analyze,
+            "parallelize" => Command::Parallelize,
+            "run" => Command::Run,
+            "ladder" => Command::Ladder,
+            _ => return None,
+        })
+    }
+}
+
+/// Parsed command line.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// The subcommand to run.
+    pub command: Command,
+    /// Run over the whole built-in corpus.
+    pub all: bool,
+    /// Selected built-in corpus programs (by name).
+    pub programs: Vec<String>,
+    /// IL source files.
+    pub files: Vec<String>,
+    /// Parallel batch workers (0 = one per core).
+    pub jobs: usize,
+    /// Output format.
+    pub format: Format,
+    /// Include per-loop fixpoint path matrices in reports.
+    pub matrices: bool,
+    /// `run`: PE counts to simulate.
+    pub pes: Vec<usize>,
+    /// `run`: particle count.
+    pub bodies: usize,
+    /// `run`: simulated steps.
+    pub steps: i64,
+    /// `run`: opening angle.
+    pub theta: f64,
+    /// `run`: time step.
+    pub dt: f64,
+    /// `ladder`: k values for the k-limited baseline.
+    pub klimits: Vec<usize>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            command: Command::Check,
+            all: false,
+            programs: Vec::new(),
+            files: Vec::new(),
+            jobs: 0,
+            format: Format::Text,
+            matrices: false,
+            pes: vec![4],
+            bodies: 64,
+            steps: 2,
+            theta: 0.7,
+            dt: 0.001,
+            klimits: vec![1, 2],
+        }
+    }
+}
+
+/// A usage error: message plus whether help was explicitly requested.
+#[derive(Debug)]
+pub struct UsageError {
+    /// What went wrong (empty for an explicit `--help`).
+    pub message: String,
+    /// `--help` / `help` was requested; exit 0, not 2.
+    pub help_requested: bool,
+}
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.message.is_empty() {
+            f.write_str(USAGE)
+        } else {
+            write!(f, "error: {}\n\n{}", self.message, USAGE)
+        }
+    }
+}
+
+/// The help text.
+pub const USAGE: &str = "\
+adds-cli — drive the ADDS pipeline end to end
+
+USAGE:
+    adds-cli <COMMAND> [OPTIONS] [FILE...]
+
+COMMANDS:
+    parse        parse IL and pretty-print (verifies the print->parse round trip)
+    check        parse + ADDS well-formedness + type check
+    analyze      path-matrix analysis; per-loop dependence verdicts
+    parallelize  strip-mine parallelizable loops, emit transformed source
+    run          execute Barnes-Hut on the simulated MIMD machine, seq vs par
+    ladder       precision ladder: prior-work baselines vs ADDS+GPM
+
+INPUT SELECTION (parse/check/analyze/parallelize):
+    --all             all built-in corpus programs
+    --program NAME    one built-in program (repeatable); see --list
+    --list            print corpus program names and exit
+    FILE...           IL source files
+
+OPTIONS:
+    --jobs N          parallel batch workers (default: one per core)
+    --format FMT      text | json                      [default: text]
+    --matrices        include exit path matrices in analyze reports
+    --pes LIST        run: comma-separated PE counts   [default: 4]
+    --bodies N        run: particle count              [default: 64]
+    --steps N         run: simulated steps             [default: 2]
+    --theta X         run: opening angle               [default: 0.7]
+    --dt X            run: time step                   [default: 0.001]
+    --klimit LIST     ladder: comma-separated k values [default: 1,2]
+    -h, --help        show this help
+";
+
+fn usage(message: impl Into<String>) -> UsageError {
+    UsageError {
+        message: message.into(),
+        help_requested: false,
+    }
+}
+
+fn take_value<'a>(
+    flag: &str,
+    inline: Option<String>,
+    it: &mut std::slice::Iter<'a, String>,
+) -> Result<String, UsageError> {
+    if let Some(v) = inline {
+        return Ok(v);
+    }
+    it.next()
+        .cloned()
+        .ok_or_else(|| usage(format!("{flag} requires a value")))
+}
+
+/// Parse `argv[1..]`. `Err` carries the usage text.
+pub fn parse(argv: &[String]) -> Result<ParsedArgs, UsageError> {
+    let mut it = argv.iter();
+    let Some(first) = it.next() else {
+        return Err(usage("missing command"));
+    };
+    if first == "-h" || first == "--help" || first == "help" {
+        return Err(UsageError {
+            message: String::new(),
+            help_requested: true,
+        });
+    }
+    if first == "--list" {
+        return Ok(ParsedArgs::ListCorpus);
+    }
+    let Some(command) = Command::parse(first) else {
+        return Err(usage(format!("unknown command `{first}`")));
+    };
+    let mut args = Args {
+        command,
+        ..Args::default()
+    };
+    let mut list = false;
+
+    while let Some(raw) = it.next() {
+        let (flag, inline) = match raw.split_once('=') {
+            Some((f, v)) if raw.starts_with("--") => (f.to_string(), Some(v.to_string())),
+            _ => (raw.clone(), None),
+        };
+        match flag.as_str() {
+            "-h" | "--help" => {
+                return Err(UsageError {
+                    message: String::new(),
+                    help_requested: true,
+                })
+            }
+            "--all" | "--list" | "--matrices" => {
+                if inline.is_some() {
+                    return Err(usage(format!("{flag} takes no value")));
+                }
+                match flag.as_str() {
+                    "--all" => args.all = true,
+                    "--list" => list = true,
+                    _ => args.matrices = true,
+                }
+            }
+            "--program" => {
+                let v = take_value("--program", inline, &mut it)?;
+                args.programs.push(v);
+            }
+            "--jobs" => {
+                let v = take_value("--jobs", inline, &mut it)?;
+                args.jobs = v
+                    .parse()
+                    .map_err(|_| usage(format!("--jobs expects an integer, got `{v}`")))?;
+            }
+            "--format" => {
+                let v = take_value("--format", inline, &mut it)?;
+                args.format = match v.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    _ => return Err(usage(format!("--format expects text|json, got `{v}`"))),
+                };
+            }
+            "--pes" => {
+                let v = take_value("--pes", inline, &mut it)?;
+                args.pes = parse_usize_list(&v)
+                    .ok_or_else(|| usage(format!("--pes expects e.g. 2,4,7 — got `{v}`")))?;
+            }
+            "--klimit" => {
+                let v = take_value("--klimit", inline, &mut it)?;
+                args.klimits = parse_usize_list(&v)
+                    .ok_or_else(|| usage(format!("--klimit expects e.g. 1,3 — got `{v}`")))?;
+            }
+            "--bodies" => {
+                let v = take_value("--bodies", inline, &mut it)?;
+                args.bodies = v
+                    .parse()
+                    .map_err(|_| usage(format!("--bodies expects an integer, got `{v}`")))?;
+            }
+            "--steps" => {
+                let v = take_value("--steps", inline, &mut it)?;
+                args.steps = v
+                    .parse()
+                    .map_err(|_| usage(format!("--steps expects an integer, got `{v}`")))?;
+            }
+            "--theta" => {
+                let v = take_value("--theta", inline, &mut it)?;
+                args.theta = v
+                    .parse()
+                    .map_err(|_| usage(format!("--theta expects a number, got `{v}`")))?;
+            }
+            "--dt" => {
+                let v = take_value("--dt", inline, &mut it)?;
+                args.dt = v
+                    .parse()
+                    .map_err(|_| usage(format!("--dt expects a number, got `{v}`")))?;
+            }
+            f if f.starts_with('-') => {
+                return Err(usage(format!("unknown option `{f}`")));
+            }
+            _ => args.files.push(raw.clone()),
+        }
+    }
+
+    if list {
+        return Ok(ParsedArgs::ListCorpus);
+    }
+    Ok(ParsedArgs::Run(args))
+}
+
+/// Result of argument parsing.
+#[derive(Debug)]
+pub enum ParsedArgs {
+    /// Run the command.
+    Run(Args),
+    /// `--list`: print corpus names and exit.
+    ListCorpus,
+}
+
+fn parse_usize_list(s: &str) -> Option<Vec<usize>> {
+    let out: Option<Vec<usize>> = s.split(',').map(|p| p.trim().parse().ok()).collect();
+    out.filter(|v: &Vec<usize>| !v.is_empty() && v.iter().all(|&x| x > 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_analyze_batch() {
+        let ParsedArgs::Run(a) = parse(&argv("analyze --all --jobs 4 --format json")).unwrap()
+        else {
+            panic!("expected Run");
+        };
+        assert_eq!(a.command, Command::Analyze);
+        assert!(a.all);
+        assert_eq!(a.jobs, 4);
+        assert_eq!(a.format, Format::Json);
+    }
+
+    #[test]
+    fn parses_inline_values_and_lists() {
+        let ParsedArgs::Run(a) = parse(&argv("run --pes=2,4,7 --bodies=32 --steps 1")).unwrap()
+        else {
+            panic!("expected Run");
+        };
+        assert_eq!(a.pes, vec![2, 4, 7]);
+        assert_eq!(a.bodies, 32);
+        assert_eq!(a.steps, 1);
+    }
+
+    #[test]
+    fn rejects_unknown_command_and_flag() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("check --wat")).is_err());
+        assert!(parse(&argv("check --jobs nope")).is_err());
+    }
+
+    #[test]
+    fn files_and_programs_collect() {
+        let ParsedArgs::Run(a) = parse(&argv("check --program barnes_hut a.il b.il")).unwrap()
+        else {
+            panic!("expected Run");
+        };
+        assert_eq!(a.programs, vec!["barnes_hut"]);
+        assert_eq!(a.files, vec!["a.il", "b.il"]);
+    }
+
+    #[test]
+    fn help_is_not_an_error_exit() {
+        let e = parse(&argv("--help")).unwrap_err();
+        assert!(e.help_requested);
+        let e = parse(&argv("analyze --help")).unwrap_err();
+        assert!(e.help_requested);
+    }
+}

@@ -1,0 +1,119 @@
+//! Input collection and the rayon-parallel batch executor.
+//!
+//! Every selected program (built-in corpus entries and user files) becomes
+//! an [`InputUnit`]; units run through the pipeline with `par_iter` on the
+//! configured worker count and results come back in input order, so output
+//! (and exit code aggregation) is deterministic regardless of `--jobs`.
+
+use crate::args::Args;
+use crate::corpus;
+use crate::pipeline::{run_unit, InputUnit};
+use crate::report::ProgramReport;
+use rayon::prelude::*;
+
+/// Resolve `--all`, `--program`, and file arguments into work units.
+/// Order: corpus entries first (corpus order), then files (argument order).
+pub fn collect_inputs(args: &Args) -> Result<Vec<InputUnit>, String> {
+    let mut units = Vec::new();
+    if args.all {
+        for e in corpus::CORPUS {
+            units.push(InputUnit {
+                name: e.name.to_string(),
+                origin: "builtin",
+                source: e.source.to_string(),
+            });
+        }
+    }
+    for name in &args.programs {
+        let Some(e) = corpus::find(name) else {
+            return Err(format!(
+                "unknown corpus program `{name}`; try --list for names"
+            ));
+        };
+        // Skip entries already selected by --all or a repeated --program.
+        if units
+            .iter()
+            .any(|u| u.origin == "builtin" && u.name == e.name)
+        {
+            continue;
+        }
+        units.push(InputUnit {
+            name: e.name.to_string(),
+            origin: "builtin",
+            source: e.source.to_string(),
+        });
+    }
+    for path in &args.files {
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        units.push(InputUnit {
+            name: path.clone(),
+            origin: "file",
+            source,
+        });
+    }
+    if units.is_empty() {
+        return Err("no inputs: pass --all, --program NAME, or one or more files".to_string());
+    }
+    Ok(units)
+}
+
+/// Run `units` through the pipeline in parallel on the configured pool.
+pub fn run_batch(units: &[InputUnit], args: &Args) -> Vec<ProgramReport> {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(args.jobs)
+        .build_global()
+        .expect("thread pool");
+    units
+        .par_iter()
+        .map(|u| run_unit(u, args.command, args.matrices))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::{Args, Command};
+
+    #[test]
+    fn all_collects_whole_corpus_in_order() {
+        let args = Args {
+            all: true,
+            ..Args::default()
+        };
+        let units = collect_inputs(&args).unwrap();
+        assert_eq!(units.len(), corpus::CORPUS.len());
+        assert_eq!(units[0].name, corpus::CORPUS[0].name);
+    }
+
+    #[test]
+    fn unknown_program_is_an_error() {
+        let args = Args {
+            programs: vec!["nope".into()],
+            ..Args::default()
+        };
+        assert!(collect_inputs(&args).is_err());
+    }
+
+    #[test]
+    fn empty_selection_is_an_error() {
+        assert!(collect_inputs(&Args::default()).is_err());
+    }
+
+    #[test]
+    fn batch_is_deterministic_across_jobs() {
+        let mk = |jobs| Args {
+            command: Command::Analyze,
+            all: true,
+            jobs,
+            ..Args::default()
+        };
+        let units = collect_inputs(&mk(1)).unwrap();
+        let seq = run_batch(&units, &mk(1));
+        let par = run_batch(&units, &mk(4));
+        let render = |rs: &[crate::report::ProgramReport]| {
+            rs.iter().map(|r| r.to_json().pretty()).collect::<String>()
+        };
+        assert_eq!(render(&seq), render(&par));
+    }
+}

@@ -1,0 +1,92 @@
+//! The built-in program corpus: every IL example the workspace embeds,
+//! addressable by name from the command line.
+
+use adds::lang::programs as lp;
+
+/// One corpus entry.
+#[derive(Clone, Copy, Debug)]
+pub struct CorpusEntry {
+    /// Stable CLI name.
+    pub name: &'static str,
+    /// IL source.
+    pub source: &'static str,
+    /// One-line description for `--list`.
+    pub about: &'static str,
+}
+
+/// The paper programs from `adds_lang::programs`, in a stable order.
+pub static CORPUS: &[CorpusEntry] = &[
+    CorpusEntry {
+        name: "list_scale_plain",
+        source: lp::LIST_SCALE_PLAIN,
+        about: "§3.3.2 one-way list scaling, no ADDS declaration (conservative)",
+    },
+    CorpusEntry {
+        name: "list_scale_adds",
+        source: lp::LIST_SCALE_ADDS,
+        about: "§3.3.2 one-way list scaling with the ADDS declaration",
+    },
+    CorpusEntry {
+        name: "subtree_move",
+        source: lp::SUBTREE_MOVE,
+        about: "§3.3.1 binary-tree subtree move (temporary sharing)",
+    },
+    CorpusEntry {
+        name: "orth_row_scale",
+        source: lp::ORTH_ROW_SCALE,
+        about: "§3.1.4 orthogonal-list sparse matrix, row-walk scaling",
+    },
+    CorpusEntry {
+        name: "octree_decl",
+        source: lp::OCTREE_DECL,
+        about: "§4.3.1 octree declaration (types only)",
+    },
+    CorpusEntry {
+        name: "barnes_hut",
+        source: lp::BARNES_HUT,
+        about: "§4 full Barnes-Hut tree-code with the BHL1/BHL2 loops",
+    },
+    CorpusEntry {
+        name: "list_sum",
+        source: lp::LIST_SUM,
+        about: "one-way list summation (function-return form)",
+    },
+];
+
+/// Look up a corpus entry by CLI name.
+pub fn find(name: &str) -> Option<&'static CorpusEntry> {
+    CORPUS.iter().find(|e| e.name == name)
+}
+
+/// Render the `--list` table.
+pub fn list_table() -> String {
+    let mut out = String::from("built-in corpus programs:\n");
+    for e in CORPUS {
+        out.push_str(&format!("  {:<18} {}\n", e.name, e.about));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        for e in CORPUS {
+            assert!(std::ptr::eq(find(e.name).unwrap(), e));
+        }
+        let mut names: Vec<_> = CORPUS.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CORPUS.len());
+    }
+
+    #[test]
+    fn every_corpus_program_typechecks() {
+        for e in CORPUS {
+            adds::lang::check_source(e.source)
+                .unwrap_or_else(|d| panic!("{} fails to typecheck: {d}", e.name));
+        }
+    }
+}

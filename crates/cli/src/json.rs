@@ -1,0 +1,172 @@
+//! Minimal JSON document model and serializer.
+//!
+//! The workspace has no network access to pull `serde`/`serde_json`, and the
+//! CLI's reports are write-only, so this hand-rolled emitter is all that is
+//! needed. Object keys keep insertion order, making the output byte-stable —
+//! the property the golden tests rely on.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer (emitted without a fraction).
+    Int(i64),
+    /// Unsigned integer (cycles counters exceed `i64` comfort zone).
+    UInt(u64),
+    /// Float (emitted via shortest-roundtrip `{}` formatting).
+    Float(f64),
+    /// String (escaped on write).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Build an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Serialize with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Float(f) => {
+                if f.is_finite() {
+                    let mut s = format!("{f}");
+                    // `{}` prints integral floats without a point; keep the
+                    // value unambiguously a float.
+                    if !s.contains(['.', 'e', 'E']) {
+                        s.push_str(".0");
+                    }
+                    out.push_str(&s);
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Convenience: a JSON array of strings.
+pub fn str_arr<S: AsRef<str>>(items: impl IntoIterator<Item = S>) -> Json {
+    Json::Arr(items.into_iter().map(|s| Json::str(s.as_ref())).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_nests() {
+        let v = Json::obj([
+            ("name", Json::str("say \"hi\"\nthere")),
+            ("n", Json::Int(-3)),
+            ("f", Json::Float(2.5)),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            ("arr", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let s = v.pretty();
+        assert!(s.contains("\"say \\\"hi\\\"\\nthere\""));
+        assert!(s.contains("\"f\": 2.5"));
+        assert!(s.contains("\"empty\": []"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn integral_floats_keep_a_point() {
+        let s = Json::Float(3.0).pretty();
+        assert_eq!(s, "3.0\n");
+    }
+}

@@ -1,0 +1,193 @@
+//! `adds-cli` — the end-to-end driver for the ADDS pipeline.
+//!
+//! One binary takes loop-based pointer programs from IL source to analysis
+//! verdicts, transformed source, and simulated-MIMD execution stats:
+//!
+//! ```text
+//! adds-cli analyze --all --jobs 4 --format json   # whole corpus, parallel
+//! adds-cli parallelize --program barnes_hut       # emit strip-mined source
+//! adds-cli run --pes 2,4,7 --bodies 96            # §4 speedup experiment
+//! adds-cli ladder --format json                   # §2 precision ladder
+//! ```
+//!
+//! Exit codes: 0 = success, 1 = at least one program failed its stage,
+//! 2 = usage error.
+
+mod args;
+mod batch;
+mod corpus;
+mod json;
+mod ladder;
+mod pipeline;
+mod report;
+mod runner;
+
+use args::{Command, Format, ParsedArgs};
+use json::Json;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(real_main(&argv));
+}
+
+/// Print to stderr, tolerating a vanished reader.
+fn emit_err(s: &str) {
+    use std::io::Write;
+    // Ignore write errors entirely: the exit code still reports the failure
+    // even when the stderr reader is gone.
+    let _ = std::io::stderr().write_all(s.as_bytes());
+}
+
+/// Print to stdout, exiting quietly if the reader went away (`| head`):
+/// Rust ignores SIGPIPE, so an unchecked `print!` would panic instead.
+fn emit(s: &str) {
+    use std::io::Write;
+    if let Err(e) = std::io::stdout().write_all(s.as_bytes()) {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+        panic!("failed writing to stdout: {e}");
+    }
+}
+
+fn real_main(argv: &[String]) -> i32 {
+    let args = match args::parse(argv) {
+        Ok(ParsedArgs::Run(a)) => a,
+        Ok(ParsedArgs::ListCorpus) => {
+            emit(&corpus::list_table());
+            return 0;
+        }
+        Err(e) if e.help_requested => {
+            emit(args::USAGE);
+            return 0;
+        }
+        Err(e) => {
+            emit_err(&format!("{e}\n"));
+            return 2;
+        }
+    };
+
+    match args.command {
+        Command::Parse | Command::Check | Command::Analyze | Command::Parallelize => {
+            let units = match batch::collect_inputs(&args) {
+                Ok(u) => u,
+                Err(msg) => {
+                    emit_err(&format!("error: {msg}\n"));
+                    return 2;
+                }
+            };
+            let started = std::time::Instant::now();
+            let reports = batch::run_batch(&units, &args);
+            let all_ok = reports.iter().all(|r| r.ok);
+            match args.format {
+                Format::Json => {
+                    let doc = Json::obj([
+                        ("schema", Json::str(schema_name(args.command))),
+                        ("ok", Json::Bool(all_ok)),
+                        (
+                            "programs",
+                            Json::Arr(reports.iter().map(|r| r.to_json()).collect()),
+                        ),
+                    ]);
+                    emit(&doc.pretty());
+                }
+                Format::Text => {
+                    for r in &reports {
+                        emit(&r.to_text());
+                    }
+                    let failed = reports.iter().filter(|r| !r.ok).count();
+                    emit(&format!(
+                        "{} program(s), {} failed, {:.1} ms\n",
+                        reports.len(),
+                        failed,
+                        started.elapsed().as_secs_f64() * 1e3
+                    ));
+                }
+            }
+            if all_ok {
+                0
+            } else {
+                1
+            }
+        }
+        Command::Run => {
+            let (name, source) = match run_input(&args) {
+                Ok(pair) => pair,
+                Err(msg) => {
+                    emit_err(&format!("error: {msg}\n"));
+                    return 2;
+                }
+            };
+            match runner::run_workload(&name, &source, &args) {
+                Ok(r) => {
+                    match args.format {
+                        Format::Json => emit(&runner::to_json(&r).pretty()),
+                        Format::Text => emit(&runner::to_text(&r)),
+                    }
+                    let clean = r
+                        .parallel
+                        .iter()
+                        .all(|p| p.conflicts == 0 && p.physics_matches);
+                    if clean {
+                        0
+                    } else {
+                        1
+                    }
+                }
+                Err(msg) => {
+                    emit_err(&format!("error: {msg}\n"));
+                    1
+                }
+            }
+        }
+        Command::Ladder => {
+            if args.all || !args.programs.is_empty() || !args.files.is_empty() {
+                emit_err(
+                    "error: `ladder` runs its own fixed program set; \
+                     --all/--program/files are not supported here\n",
+                );
+                return 2;
+            }
+            let rows = ladder::run_ladder(&args.klimits);
+            match args.format {
+                Format::Json => emit(&ladder::to_json(&rows).pretty()),
+                Format::Text => emit(&ladder::to_text(&rows)),
+            }
+            0
+        }
+    }
+}
+
+fn schema_name(command: Command) -> &'static str {
+    match command {
+        Command::Parse => "adds.parse/v1",
+        Command::Check => "adds.check/v1",
+        Command::Analyze => "adds.analyze/v1",
+        Command::Parallelize => "adds.parallelize/v1",
+        Command::Run | Command::Ladder => unreachable!("own schemas"),
+    }
+}
+
+/// `run` takes exactly one input; default is the built-in Barnes–Hut.
+fn run_input(args: &args::Args) -> Result<(String, String), String> {
+    if args.all {
+        return Err("`run` executes one program; --all is not supported here".to_string());
+    }
+    let mut named: Vec<(String, String)> = Vec::new();
+    for p in &args.programs {
+        let e = corpus::find(p).ok_or_else(|| format!("unknown corpus program `{p}`"))?;
+        named.push((e.name.to_string(), e.source.to_string()));
+    }
+    for f in &args.files {
+        let src = std::fs::read_to_string(f).map_err(|e| format!("cannot read `{f}`: {e}"))?;
+        named.push((f.clone(), src));
+    }
+    match named.len() {
+        0 => {
+            let e = corpus::find("barnes_hut").expect("corpus has barnes_hut");
+            Ok((e.name.to_string(), e.source.to_string()))
+        }
+        1 => Ok(named.pop().expect("len checked")),
+        n => Err(format!("`run` takes one program, got {n}")),
+    }
+}

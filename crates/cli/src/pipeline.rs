@@ -1,0 +1,274 @@
+//! Per-program pipeline stages behind the `parse`, `check`, `analyze`, and
+//! `parallelize` subcommands. Each stage builds on the previous one:
+//! analyze implies check implies parse.
+
+use crate::args::Command;
+use crate::report::{
+    AnalyzeReport, CheckReport, FnReport, LoopReport, ParseReport, ProgramReport, SkippedLoop,
+    TransformDecision, TransformReport, TypeSummary,
+};
+use adds::lang::adds::AddsFieldKind;
+use adds::lang::ast::Direction;
+use adds::lang::source::line_col;
+
+/// One unit of work for the batch executor.
+#[derive(Clone, Debug)]
+pub struct InputUnit {
+    /// Corpus name or file path.
+    pub name: String,
+    /// `"builtin"` or `"file"`.
+    pub origin: &'static str,
+    /// IL source text.
+    pub source: String,
+}
+
+/// Run the pipeline stage selected by `command` over one program.
+pub fn run_unit(unit: &InputUnit, command: Command, matrices: bool) -> ProgramReport {
+    let mut report = ProgramReport {
+        name: unit.name.clone(),
+        origin: unit.origin,
+        ok: true,
+        diagnostics: Vec::new(),
+        parse: None,
+        check: None,
+        analyze: None,
+        transform: None,
+    };
+
+    // Stage 1: parse (every command needs it; only `parse` reports it).
+    let program = match adds::lang::parse_program(&unit.source) {
+        Ok(p) => p,
+        Err(d) => {
+            return ProgramReport::failed(
+                unit.name.clone(),
+                unit.origin,
+                vec![d.render(&unit.source)],
+            )
+        }
+    };
+    if command == Command::Parse {
+        let pretty = adds::lang::pretty::program(&program);
+        let roundtrip_stable = match adds::lang::parse_program(&pretty) {
+            Ok(p2) => adds::lang::pretty::program(&p2) == pretty,
+            Err(_) => false,
+        };
+        report.parse = Some(ParseReport {
+            pretty,
+            roundtrip_stable,
+        });
+        report.ok = roundtrip_stable;
+        return report;
+    }
+
+    // Stage 2: ADDS well-formedness + type check.
+    let tp = match adds::lang::check_source(&unit.source) {
+        Ok(tp) => tp,
+        Err(d) => {
+            return ProgramReport::failed(
+                unit.name.clone(),
+                unit.origin,
+                vec![d.render(&unit.source)],
+            )
+        }
+    };
+    if command == Command::Check {
+        report.check = Some(check_report(&tp));
+        return report;
+    }
+
+    // Stage 3: path-matrix analysis + dependence verdicts.
+    let compiled = match adds::core::compile(&unit.source) {
+        Ok(c) => c,
+        Err(d) => {
+            return ProgramReport::failed(
+                unit.name.clone(),
+                unit.origin,
+                vec![d.render(&unit.source)],
+            )
+        }
+    };
+    if command == Command::Analyze {
+        report.analyze = Some(analyze_report(&unit.source, &compiled, matrices));
+        return report;
+    }
+
+    // Stage 4: the strip-mining transformation.
+    debug_assert_eq!(command, Command::Parallelize);
+    let (prog, decisions) = adds::core::transform::stripmine::strip_mine_program(
+        &compiled.tp,
+        &compiled.summaries,
+        &compiled.analyses,
+    );
+    let source = adds::lang::pretty::program(&prog);
+    let reparses = adds::lang::check_source(&source).is_ok();
+    let mut parallelized = Vec::new();
+    let mut skipped = Vec::new();
+    for d in &decisions {
+        for p in &d.parallelized {
+            parallelized.push(TransformDecision {
+                func: d.func.name.clone(),
+                var: p.var.clone(),
+                field: p.field.clone(),
+            });
+        }
+        for s in &d.skipped {
+            skipped.push(SkippedLoop {
+                func: d.func.name.clone(),
+                line: line_col(&unit.source, s.span.start).line,
+                reasons: crate::report::dedup_reasons(s.reasons.iter().cloned()),
+            });
+        }
+    }
+    report.ok = reparses;
+    report.transform = Some(TransformReport {
+        parallelized,
+        skipped,
+        source,
+        reparses,
+    });
+    report
+}
+
+fn check_report(tp: &adds::lang::TypedProgram) -> CheckReport {
+    let mut types = Vec::new();
+    for t in tp.program.types.iter() {
+        let Some(a) = tp.adds.get(&t.name) else {
+            continue;
+        };
+        let mut routes = Vec::new();
+        for f in &a.fields {
+            if let AddsFieldKind::Pointer {
+                target,
+                array_len,
+                route,
+            } = &f.kind
+            {
+                let arr = array_len.map(|n| format!("[{n}]")).unwrap_or_default();
+                let unique = if route.unique { "uniquely " } else { "" };
+                let dir = match route.direction {
+                    Direction::Forward => "forward",
+                    Direction::Backward => "backward",
+                    Direction::Unknown => "unknown-direction",
+                };
+                routes.push(format!(
+                    "{}{arr}: {target}* {unique}{dir} along {}",
+                    f.name, a.dims[route.dim]
+                ));
+            }
+        }
+        types.push(TypeSummary {
+            name: a.name.clone(),
+            dims: a.dims.clone(),
+            routes,
+        });
+    }
+    CheckReport {
+        types,
+        functions: tp.program.funcs.iter().map(|f| f.name.clone()).collect(),
+    }
+}
+
+fn analyze_report(src: &str, compiled: &adds::core::Compiled, matrices: bool) -> AnalyzeReport {
+    let mut functions = Vec::new();
+    for f in &compiled.tp.program.funcs {
+        let Some(an) = compiled.analysis(&f.name) else {
+            continue;
+        };
+        let checks = adds::core::check_function(&compiled.tp, &compiled.summaries, an, &f.name);
+        let loops = checks
+            .iter()
+            .map(|c| LoopReport {
+                line: line_col(src, c.span.start).line,
+                pattern: c
+                    .pattern
+                    .as_ref()
+                    .map(|p| format!("{} via {}", p.var, p.field)),
+                parallelizable: c.parallelizable,
+                reasons: crate::report::dedup_reasons(c.reasons.iter().cloned()),
+            })
+            .collect();
+        functions.push(FnReport {
+            name: f.name.clone(),
+            loops,
+            events: an.events.iter().map(|e| e.to_string()).collect(),
+            exit_valid: an.exit.fully_valid(),
+            exit_matrix: matrices.then(|| an.exit.pm.render().lines().map(String::from).collect()),
+        });
+    }
+    AnalyzeReport { functions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(name: &str, source: &str) -> InputUnit {
+        InputUnit {
+            name: name.into(),
+            origin: "builtin",
+            source: source.into(),
+        }
+    }
+
+    #[test]
+    fn analyze_list_scale_adds_parallelizes() {
+        let u = unit("list_scale_adds", adds::lang::programs::LIST_SCALE_ADDS);
+        let r = run_unit(&u, Command::Analyze, false);
+        assert!(r.ok);
+        let a = r.analyze.unwrap();
+        let scale = a.functions.iter().find(|f| f.name == "scale").unwrap();
+        assert_eq!(scale.loops.len(), 1);
+        assert!(scale.loops[0].parallelizable, "{:?}", scale.loops[0]);
+        assert_eq!(scale.loops[0].pattern.as_deref(), Some("p via next"));
+    }
+
+    #[test]
+    fn analyze_plain_list_stays_sequential() {
+        let u = unit("list_scale_plain", adds::lang::programs::LIST_SCALE_PLAIN);
+        let r = run_unit(&u, Command::Analyze, false);
+        assert!(r.ok);
+        let a = r.analyze.unwrap();
+        let scale = a.functions.iter().find(|f| f.name == "scale").unwrap();
+        assert!(!scale.loops[0].parallelizable);
+        assert!(!scale.loops[0].reasons.is_empty());
+    }
+
+    #[test]
+    fn parse_reports_roundtrip() {
+        let u = unit("barnes_hut", adds::lang::programs::BARNES_HUT);
+        let r = run_unit(&u, Command::Parse, false);
+        assert!(r.ok);
+        assert!(r.parse.unwrap().roundtrip_stable);
+    }
+
+    #[test]
+    fn parallelize_barnes_hut_reports_decisions() {
+        let u = unit("barnes_hut", adds::lang::programs::BARNES_HUT);
+        let r = run_unit(&u, Command::Parallelize, false);
+        assert!(r.ok);
+        let t = r.transform.unwrap();
+        assert!(t.reparses);
+        let funcs: Vec<&str> = t.parallelized.iter().map(|d| d.func.as_str()).collect();
+        assert!(
+            funcs.contains(&"bhl1") && funcs.contains(&"bhl2"),
+            "{funcs:?}"
+        );
+        assert!(t.source.contains("parfor"));
+    }
+
+    #[test]
+    fn bad_source_fails_with_diagnostics() {
+        let u = unit("broken", "type T {");
+        let r = run_unit(&u, Command::Analyze, false);
+        assert!(!r.ok);
+        assert!(!r.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn matrices_flag_adds_exit_matrix() {
+        let u = unit("list_scale_adds", adds::lang::programs::LIST_SCALE_ADDS);
+        let r = run_unit(&u, Command::Analyze, true);
+        let a = r.analyze.unwrap();
+        assert!(a.functions[0].exit_matrix.is_some());
+    }
+}

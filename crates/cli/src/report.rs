@@ -1,0 +1,387 @@
+//! The CLI's report model: one [`ProgramReport`] per input program, with
+//! sections filled in according to the subcommand, plus text and JSON
+//! renderers. JSON output is byte-stable (fixed key order, no timestamps),
+//! which the golden tests rely on.
+
+use crate::json::{str_arr, Json};
+
+/// Order-preserving dedup for verdict reasons: checkers can emit the same
+/// reason once per offending statement, which reads as noise in reports.
+pub fn dedup_reasons(reasons: impl IntoIterator<Item = String>) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for r in reasons {
+        if !out.contains(&r) {
+            out.push(r);
+        }
+    }
+    out
+}
+
+/// Report for one input program.
+#[derive(Clone, Debug)]
+pub struct ProgramReport {
+    /// Corpus name or file path.
+    pub name: String,
+    /// `"builtin"` or `"file"`.
+    pub origin: &'static str,
+    /// Whole pipeline stage succeeded for this program.
+    pub ok: bool,
+    /// Rendered diagnostics (parse/type errors), empty when `ok`.
+    pub diagnostics: Vec<String>,
+    /// `parse` section.
+    pub parse: Option<ParseReport>,
+    /// `check` section.
+    pub check: Option<CheckReport>,
+    /// `analyze` section.
+    pub analyze: Option<AnalyzeReport>,
+    /// `parallelize` section.
+    pub transform: Option<TransformReport>,
+}
+
+impl ProgramReport {
+    /// A report that failed before producing any section.
+    pub fn failed(name: String, origin: &'static str, diagnostics: Vec<String>) -> Self {
+        ProgramReport {
+            name,
+            origin,
+            ok: false,
+            diagnostics,
+            parse: None,
+            check: None,
+            analyze: None,
+            transform: None,
+        }
+    }
+}
+
+/// `parse` output: the pretty-printed program and round-trip stability.
+#[derive(Clone, Debug)]
+pub struct ParseReport {
+    /// Pretty-printed source.
+    pub pretty: String,
+    /// `parse(print(p))` prints identically.
+    pub roundtrip_stable: bool,
+}
+
+/// `check` output: the resolved ADDS model summary.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// Per record type: name, dimensions, and route descriptions.
+    pub types: Vec<TypeSummary>,
+    /// Function names in source order.
+    pub functions: Vec<String>,
+}
+
+/// Resolved ADDS summary for one record type.
+#[derive(Clone, Debug)]
+pub struct TypeSummary {
+    /// Record type name.
+    pub name: String,
+    /// Declared dimension names.
+    pub dims: Vec<String>,
+    /// Human-readable route per pointer field, e.g.
+    /// `next: uniquely forward along X`.
+    pub routes: Vec<String>,
+}
+
+/// `analyze` output.
+#[derive(Clone, Debug)]
+pub struct AnalyzeReport {
+    /// Per analyzed function, in source order.
+    pub functions: Vec<FnReport>,
+}
+
+/// Analysis report for one function.
+#[derive(Clone, Debug)]
+pub struct FnReport {
+    /// Function name.
+    pub name: String,
+    /// Per-loop dependence verdicts, in source order.
+    pub loops: Vec<LoopReport>,
+    /// Abstraction broken/repaired events, in analysis order.
+    pub events: Vec<String>,
+    /// No violation is active at function exit.
+    pub exit_valid: bool,
+    /// Rendered exit path matrix (only with `--matrices`).
+    pub exit_matrix: Option<Vec<String>>,
+}
+
+/// Dependence verdict for one loop.
+#[derive(Clone, Debug)]
+pub struct LoopReport {
+    /// 1-based source line of the loop head.
+    pub line: u32,
+    /// Recognized pointer-chase pattern, e.g. `p via next`.
+    pub pattern: Option<String>,
+    /// Strip-mining is licensed.
+    pub parallelizable: bool,
+    /// Reasons when not parallelizable.
+    pub reasons: Vec<String>,
+}
+
+/// `parallelize` output.
+#[derive(Clone, Debug)]
+pub struct TransformReport {
+    /// Loops transformed: `func: chase var via field`.
+    pub parallelized: Vec<TransformDecision>,
+    /// Loops left sequential, with reasons.
+    pub skipped: Vec<SkippedLoop>,
+    /// The transformed program, pretty-printed.
+    pub source: String,
+    /// The transformed source re-parses and re-typechecks.
+    pub reparses: bool,
+}
+
+/// One applied transformation.
+#[derive(Clone, Debug)]
+pub struct TransformDecision {
+    /// Enclosing function.
+    pub func: String,
+    /// Chased induction variable.
+    pub var: String,
+    /// Chased link field.
+    pub field: String,
+}
+
+/// One loop the transformer declined.
+#[derive(Clone, Debug)]
+pub struct SkippedLoop {
+    /// Enclosing function.
+    pub func: String,
+    /// 1-based source line of the loop head.
+    pub line: u32,
+    /// Why it stayed sequential.
+    pub reasons: Vec<String>,
+}
+
+// ------------------------------------------------------------------- JSON
+
+impl ProgramReport {
+    /// The report as a JSON value (section presence follows the command).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("program".to_string(), Json::str(&self.name)),
+            ("origin".to_string(), Json::str(self.origin)),
+            ("ok".to_string(), Json::Bool(self.ok)),
+            ("diagnostics".to_string(), str_arr(&self.diagnostics)),
+        ];
+        if let Some(p) = &self.parse {
+            pairs.push((
+                "parse".to_string(),
+                Json::obj([
+                    ("roundtrip_stable", Json::Bool(p.roundtrip_stable)),
+                    ("pretty", Json::str(&p.pretty)),
+                ]),
+            ));
+        }
+        if let Some(c) = &self.check {
+            pairs.push((
+                "check".to_string(),
+                Json::obj([
+                    (
+                        "types",
+                        Json::Arr(
+                            c.types
+                                .iter()
+                                .map(|t| {
+                                    Json::obj([
+                                        ("name", Json::str(&t.name)),
+                                        ("dims", str_arr(&t.dims)),
+                                        ("routes", str_arr(&t.routes)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("functions", str_arr(&c.functions)),
+                ]),
+            ));
+        }
+        if let Some(a) = &self.analyze {
+            pairs.push((
+                "analyze".to_string(),
+                Json::obj([(
+                    "functions",
+                    Json::Arr(a.functions.iter().map(FnReport::to_json).collect()),
+                )]),
+            ));
+        }
+        if let Some(t) = &self.transform {
+            pairs.push((
+                "parallelize".to_string(),
+                Json::obj([
+                    (
+                        "parallelized",
+                        Json::Arr(
+                            t.parallelized
+                                .iter()
+                                .map(|d| {
+                                    Json::obj([
+                                        ("function", Json::str(&d.func)),
+                                        ("var", Json::str(&d.var)),
+                                        ("field", Json::str(&d.field)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "skipped",
+                        Json::Arr(
+                            t.skipped
+                                .iter()
+                                .map(|s| {
+                                    Json::obj([
+                                        ("function", Json::str(&s.func)),
+                                        ("line", Json::Int(s.line as i64)),
+                                        ("reasons", str_arr(&s.reasons)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("reparses", Json::Bool(t.reparses)),
+                    ("source", Json::str(&t.source)),
+                ]),
+            ));
+        }
+        Json::Obj(pairs)
+    }
+}
+
+impl FnReport {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("name".to_string(), Json::str(&self.name)),
+            (
+                "loops".to_string(),
+                Json::Arr(
+                    self.loops
+                        .iter()
+                        .map(|l| {
+                            Json::obj([
+                                ("line", Json::Int(l.line as i64)),
+                                (
+                                    "pattern",
+                                    l.pattern.as_deref().map(Json::str).unwrap_or(Json::Null),
+                                ),
+                                ("parallelizable", Json::Bool(l.parallelizable)),
+                                ("reasons", str_arr(&l.reasons)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("events".to_string(), str_arr(&self.events)),
+            ("exit_valid".to_string(), Json::Bool(self.exit_valid)),
+        ];
+        if let Some(m) = &self.exit_matrix {
+            pairs.push(("exit_matrix".to_string(), str_arr(m)));
+        }
+        Json::Obj(pairs)
+    }
+}
+
+// ------------------------------------------------------------------- text
+
+impl ProgramReport {
+    /// Render for humans.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("== {} ({})\n", self.name, self.origin);
+        if !self.ok {
+            out.push_str("  FAILED\n");
+            for d in &self.diagnostics {
+                for line in d.lines() {
+                    out.push_str(&format!("  {line}\n"));
+                }
+            }
+            return out;
+        }
+        if let Some(p) = &self.parse {
+            out.push_str(&format!(
+                "  roundtrip: {}\n",
+                if p.roundtrip_stable {
+                    "stable"
+                } else {
+                    "UNSTABLE"
+                }
+            ));
+            out.push_str(&p.pretty);
+            if !p.pretty.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+        if let Some(c) = &self.check {
+            for t in &c.types {
+                out.push_str(&format!("  type {} [{}]\n", t.name, t.dims.join("][")));
+                for r in &t.routes {
+                    out.push_str(&format!("    {r}\n"));
+                }
+            }
+            if !c.functions.is_empty() {
+                out.push_str(&format!("  functions: {}\n", c.functions.join(", ")));
+            }
+            out.push_str("  check: ok\n");
+        }
+        if let Some(a) = &self.analyze {
+            for f in &a.functions {
+                out.push_str(&format!("  function {}\n", f.name));
+                if f.loops.is_empty() {
+                    out.push_str("    (no loops)\n");
+                }
+                for l in &f.loops {
+                    let verdict = if l.parallelizable {
+                        "PARALLELIZABLE".to_string()
+                    } else {
+                        format!("sequential ({})", l.reasons.join("; "))
+                    };
+                    let pattern = l
+                        .pattern
+                        .as_deref()
+                        .map(|p| format!("chase {p} — "))
+                        .unwrap_or_default();
+                    out.push_str(&format!(
+                        "    loop at line {}: {pattern}{verdict}\n",
+                        l.line
+                    ));
+                }
+                for e in &f.events {
+                    out.push_str(&format!("    event: {e}\n"));
+                }
+                if !f.exit_valid {
+                    out.push_str("    exit: abstraction NOT valid\n");
+                }
+                if let Some(m) = &f.exit_matrix {
+                    for line in m {
+                        out.push_str(&format!("    | {line}\n"));
+                    }
+                }
+            }
+        }
+        if let Some(t) = &self.transform {
+            for d in &t.parallelized {
+                out.push_str(&format!(
+                    "  parallelized {}: chase {} via {}\n",
+                    d.func, d.var, d.field
+                ));
+            }
+            for s in &t.skipped {
+                out.push_str(&format!(
+                    "  sequential {} loop at line {}: {}\n",
+                    s.func,
+                    s.line,
+                    s.reasons.join("; ")
+                ));
+            }
+            out.push_str(&format!(
+                "  transformed source re-parses: {}\n",
+                if t.reparses { "yes" } else { "NO" }
+            ));
+            out.push_str(&t.source);
+            if !t.source.ends_with('\n') {
+                out.push('\n');
+            }
+        }
+        out
+    }
+}

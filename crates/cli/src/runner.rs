@@ -1,0 +1,201 @@
+//! The `run` subcommand: execute the Barnes–Hut workload on the simulated
+//! Sequent-class MIMD machine, original source sequentially and the
+//! strip-mined transform at each requested PE count, and report cycle
+//! counts, speedups, conflicts, and whether the physics agrees — the §4
+//! experiment as one command.
+
+use crate::args::Args;
+use crate::json::Json;
+use adds::machine::{run_barnes_hut, uniform_cloud, CostModel};
+
+/// Deterministic seed for the particle cloud (same cloud every invocation,
+/// so cycle counts are reproducible).
+const CLOUD_SEED: u64 = 3;
+
+/// One parallel execution's outcome.
+#[derive(Clone, Debug)]
+pub struct ParRun {
+    /// Simulated PE count.
+    pub pes: usize,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Speedup over the sequential run.
+    pub speedup: f64,
+    /// Dynamic conflicts detected (must be 0).
+    pub conflicts: usize,
+    /// Barrier-synchronized parallel rounds executed.
+    pub parallel_rounds: u64,
+    /// Positions/velocities match the sequential run to 1e-9.
+    pub physics_matches: bool,
+}
+
+/// The whole `run` report.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Program name (corpus entry or file).
+    pub program: String,
+    /// Particle count.
+    pub bodies: usize,
+    /// Simulated steps.
+    pub steps: i64,
+    /// Sequential (1 PE, untransformed) cycles.
+    pub seq_cycles: u64,
+    /// One entry per `--pes` value.
+    pub parallel: Vec<ParRun>,
+}
+
+/// Execute the workload. `source` must contain the Barnes–Hut `simulate`
+/// entry procedure (the built-in `barnes_hut` program, or a file with the
+/// same shape).
+pub fn run_workload(name: &str, source: &str, args: &Args) -> Result<RunReport, String> {
+    let tp_seq =
+        adds::lang::check_source(source).map_err(|d| format!("{name}: {}", d.render(source)))?;
+    if tp_seq.program.func("simulate").is_none() {
+        return Err(format!(
+            "{name}: `run` needs a Barnes-Hut-shaped program with a `simulate` \
+             procedure (try the built-in `barnes_hut`)"
+        ));
+    }
+    let transformed = adds::core::parallelize_to_source(source)
+        .map_err(|d| format!("{name}: {}", d.render(source)))?;
+    let tp_par = adds::lang::check_source(&transformed)
+        .map_err(|d| format!("{name}: transformed source fails to re-check: {d}"))?;
+
+    let bodies = uniform_cloud(args.bodies, CLOUD_SEED);
+    let seq = run_barnes_hut(
+        &tp_seq,
+        &bodies,
+        args.steps,
+        args.theta,
+        args.dt,
+        1,
+        CostModel::sequent(),
+        false,
+    )
+    .map_err(|e| format!("{name}: sequential run failed: {e:?}"))?;
+
+    let mut parallel = Vec::new();
+    for &pes in &args.pes {
+        let par = run_barnes_hut(
+            &tp_par,
+            &bodies,
+            args.steps,
+            args.theta,
+            args.dt,
+            pes,
+            CostModel::sequent(),
+            true,
+        )
+        .map_err(|e| format!("{name}: parallel run at {pes} PEs failed: {e:?}"))?;
+        let physics_matches = seq.bodies.iter().zip(&par.bodies).all(|(a, b)| {
+            (0..3).all(|d| (a.pos[d] - b.pos[d]).abs() < 1e-9 && (a.vel[d] - b.vel[d]).abs() < 1e-9)
+        });
+        parallel.push(ParRun {
+            pes,
+            cycles: par.cycles,
+            speedup: seq.cycles as f64 / par.cycles as f64,
+            conflicts: par.conflict_count,
+            parallel_rounds: par.parallel_rounds,
+            physics_matches,
+        });
+    }
+
+    Ok(RunReport {
+        program: name.to_string(),
+        bodies: args.bodies,
+        steps: args.steps,
+        seq_cycles: seq.cycles,
+        parallel,
+    })
+}
+
+/// JSON document for `run --format json`.
+pub fn to_json(r: &RunReport) -> Json {
+    Json::obj([
+        ("schema", Json::str("adds.run/v1")),
+        ("program", Json::str(&r.program)),
+        ("bodies", Json::Int(r.bodies as i64)),
+        ("steps", Json::Int(r.steps)),
+        ("seq_cycles", Json::UInt(r.seq_cycles)),
+        (
+            "parallel",
+            Json::Arr(
+                r.parallel
+                    .iter()
+                    .map(|p| {
+                        Json::obj([
+                            ("pes", Json::Int(p.pes as i64)),
+                            ("cycles", Json::UInt(p.cycles)),
+                            (
+                                "speedup",
+                                Json::Float((p.speedup * 1000.0).round() / 1000.0),
+                            ),
+                            ("conflicts", Json::Int(p.conflicts as i64)),
+                            ("parallel_rounds", Json::UInt(p.parallel_rounds)),
+                            ("physics_matches", Json::Bool(p.physics_matches)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Text rendering for `run`.
+pub fn to_text(r: &RunReport) -> String {
+    let mut out = format!(
+        "{}: {} bodies, {} steps, simulated Sequent cost model\n",
+        r.program, r.bodies, r.steps
+    );
+    out.push_str(&format!("  seq     {:>14} cycles\n", r.seq_cycles));
+    for p in &r.parallel {
+        out.push_str(&format!(
+            "  par({:>2}) {:>14} cycles  speedup {:>5.2}  conflicts {}  rounds {}{}\n",
+            p.pes,
+            p.cycles,
+            p.speedup,
+            p.conflicts,
+            p.parallel_rounds,
+            if p.physics_matches {
+                ""
+            } else {
+                "  PHYSICS MISMATCH"
+            }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    #[test]
+    fn barnes_hut_speeds_up_with_no_conflicts() {
+        let args = Args {
+            bodies: 48,
+            steps: 1,
+            pes: vec![4],
+            ..Args::default()
+        };
+        let r = run_workload("barnes_hut", adds::lang::programs::BARNES_HUT, &args).unwrap();
+        assert_eq!(r.parallel.len(), 1);
+        let p = &r.parallel[0];
+        assert_eq!(p.conflicts, 0);
+        assert!(p.physics_matches);
+        assert!(p.speedup > 1.0, "speedup {}", p.speedup);
+    }
+
+    #[test]
+    fn non_nbody_program_is_a_clean_error() {
+        let args = Args::default();
+        let err = run_workload(
+            "list_scale_adds",
+            adds::lang::programs::LIST_SCALE_ADDS,
+            &args,
+        )
+        .unwrap_err();
+        assert!(err.contains("simulate"), "{err}");
+    }
+}

@@ -400,10 +400,7 @@ impl<'a> Analyzer<'a> {
         walk(body, &mut out);
         out.sort();
         out.dedup();
-        out.retain(|v| {
-            tp.var_ty(fname, v)
-                .is_some_and(|t| t.is_pointer())
-        });
+        out.retain(|v| tp.var_ty(fname, v).is_some_and(|t| t.is_pointer()));
         out
     }
 
@@ -618,20 +615,15 @@ impl<'a> Analyzer<'a> {
     fn paths_prove_distinct(&self, e: &Entry, state: &State) -> bool {
         !e.paths.is_empty()
             && e.paths.iter().all(|d| {
-                !d.len.may_be_empty()
-                    && d.fields.iter().all(|f| state.field_trustworthy(f))
-                    && {
-                        let dirs: BTreeSet<_> = d
-                            .fields
-                            .iter()
-                            .map(|f| self.props(f).direction)
-                            .collect();
-                        dirs.len() == 1
-                            && matches!(
-                                dirs.first().unwrap(),
-                                Some(Direction::Forward) | Some(Direction::Backward)
-                            )
-                    }
+                !d.len.may_be_empty() && d.fields.iter().all(|f| state.field_trustworthy(f)) && {
+                    let dirs: BTreeSet<_> =
+                        d.fields.iter().map(|f| self.props(f).direction).collect();
+                    dirs.len() == 1
+                        && matches!(
+                            dirs.first().unwrap(),
+                            Some(Direction::Forward) | Some(Direction::Backward)
+                        )
+                }
             })
     }
 
@@ -752,9 +744,9 @@ impl<'a> Analyzer<'a> {
             .filter(|v| {
                 v.field == field
                     && v.kind == ViolationKind::Sharing
-                    && v.holders.iter().any(|h| {
-                        h == p || (state.pm.has_var(h) && state.pm.get(h, p).must_alias())
-                    })
+                    && v.holders
+                        .iter()
+                        .any(|h| h == p || (state.pm.has_var(h) && state.pm.get(h, p).must_alias()))
             })
             .cloned()
             .collect();
@@ -778,8 +770,7 @@ impl<'a> Analyzer<'a> {
                     .filter(|y| !state.pm.get(y, p).must_alias() && y != p)
                     .collect();
                 if !witnesses.is_empty() {
-                    let mut holders: BTreeSet<String> =
-                        witnesses.iter().cloned().collect();
+                    let mut holders: BTreeSet<String> = witnesses.iter().cloned().collect();
                     holders.insert(p.to_string());
                     let v = Violation {
                         kind: ViolationKind::Sharing,
@@ -927,11 +918,7 @@ impl<'a> Analyzer<'a> {
         if sum.ptr_writes.is_empty() {
             return;
         }
-        let mutated: BTreeSet<String> = sum
-            .ptr_writes
-            .iter()
-            .map(|u| u.field.clone())
-            .collect();
+        let mutated: BTreeSet<String> = sum.ptr_writes.iter().map(|u| u.field.clone()).collect();
         let vars: Vec<String> = state.pm.vars().to_vec();
         for r in &vars {
             for s in &vars {
@@ -1186,9 +1173,7 @@ mod tests {
         let lp = an
             .loops
             .iter()
-            .find(|l| {
-                l.bottom.pm.has_var("p'")
-            })
+            .find(|l| l.bottom.pm.has_var("p'"))
             .expect("particle loop analyzed");
         assert_eq!(lp.bottom.pm.get("p'", "p").display(), "next");
         assert!(!lp.bottom.pm.get("p'", "p").may_alias());
@@ -1201,7 +1186,11 @@ mod tests {
         // competitor; `cur->subtrees[q] = m` repairs it.
         let breaks: Vec<_> = an.events.iter().filter(|e| e.is_broken()).collect();
         let repairs: Vec<_> = an.events.iter().filter(|e| !e.is_broken()).collect();
-        assert!(!breaks.is_empty(), "expected a sharing break: {:?}", an.events);
+        assert!(
+            !breaks.is_empty(),
+            "expected a sharing break: {:?}",
+            an.events
+        );
         assert!(!repairs.is_empty(), "expected a repair: {:?}", an.events);
     }
 

@@ -213,7 +213,9 @@ fn check_loop_inner(
         reasons.push("body mutates pointer fields (shape changes)".into());
     }
     for w in &effects.foreign_writes {
-        reasons.push(format!("body writes through `{w}`, not only through `{var}`"));
+        reasons.push(format!(
+            "body writes through `{w}`, not only through `{var}`"
+        ));
     }
     if effects.writes_reachable {
         reasons.push(format!(
@@ -239,7 +241,9 @@ fn check_loop_inner(
 
     // 4: scalar loop-carried dependences.
     for v in &effects.carried_scalars {
-        reasons.push(format!("scalar `{v}` carries a dependence across iterations"));
+        reasons.push(format!(
+            "scalar `{v}` carries a dependence across iterations"
+        ));
     }
 
     LoopCheck {
@@ -407,7 +411,15 @@ fn stmt_effects(
             expr_effects(tp, sums, func, cond, var, fx, read_scalars, reasons);
             for s in &body.stmts {
                 stmt_effects(
-                    tp, sums, func, s, var, fx, local_scalars, assigned_scalars, read_scalars,
+                    tp,
+                    sums,
+                    func,
+                    s,
+                    var,
+                    fx,
+                    local_scalars,
+                    assigned_scalars,
+                    read_scalars,
                     reasons,
                 );
             }
@@ -417,7 +429,15 @@ fn stmt_effects(
             expr_effects(tp, sums, func, to, var, fx, read_scalars, reasons);
             for s in &body.stmts {
                 stmt_effects(
-                    tp, sums, func, s, var, fx, local_scalars, assigned_scalars, read_scalars,
+                    tp,
+                    sums,
+                    func,
+                    s,
+                    var,
+                    fx,
+                    local_scalars,
+                    assigned_scalars,
+                    read_scalars,
                     reasons,
                 );
             }
@@ -435,7 +455,15 @@ fn stmt_effects(
                 .chain(else_blk.iter().flat_map(|b| b.stmts.iter()))
             {
                 stmt_effects(
-                    tp, sums, func, s, var, fx, local_scalars, assigned_scalars, read_scalars,
+                    tp,
+                    sums,
+                    func,
+                    s,
+                    var,
+                    fx,
+                    local_scalars,
+                    assigned_scalars,
+                    read_scalars,
                     reasons,
                 );
             }
@@ -612,10 +640,7 @@ mod tests {
     fn scale_without_adds_is_not() {
         let cs = checks(programs::LIST_SCALE_PLAIN, "scale");
         assert!(!cs[0].parallelizable);
-        assert!(cs[0]
-            .reasons
-            .iter()
-            .any(|r| r.contains("uniquely forward")));
+        assert!(cs[0].reasons.iter().any(|r| r.contains("uniquely forward")));
     }
 
     #[test]

@@ -65,7 +65,11 @@ mod tests {
     fn compile_analyzes_every_function() {
         let c = compile(programs::BARNES_HUT).unwrap();
         for f in &c.tp.program.funcs {
-            assert!(c.analysis(&f.name).is_some(), "missing analysis for {}", f.name);
+            assert!(
+                c.analysis(&f.name).is_some(),
+                "missing analysis for {}",
+                f.name
+            );
         }
     }
 

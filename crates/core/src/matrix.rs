@@ -264,11 +264,7 @@ mod tests {
     #[test]
     fn copy_var_duplicates_relationships() {
         let mut m = pm(&["head", "p", "q"]);
-        m.set(
-            "head",
-            "p",
-            Entry::with_path(Alias::No, Desc::one("next")),
-        );
+        m.set("head", "p", Entry::with_path(Alias::No, Desc::one("next")));
         m.copy_var("q", "p");
         assert!(m.get("q", "p").must_alias());
         assert!(m.get("p", "q").must_alias());

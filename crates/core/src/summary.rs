@@ -455,10 +455,7 @@ impl<'a> Cx<'a> {
     }
 
     fn bind(&mut self, var: &str, p: &Prov) {
-        self.prov
-            .entry(var.to_string())
-            .or_default()
-            .merge(p);
+        self.prov.entry(var.to_string()).or_default().merge(p);
     }
 
     fn var_prov(&self, v: &str) -> Prov {

@@ -122,7 +122,14 @@ fn rewrite_block(
                         }
                         // Recurse into the sequential loop body.
                         let inner = rewrite_block(
-                            tp, body, func_name, checks, helpers, parallelized, skipped, counter,
+                            tp,
+                            body,
+                            func_name,
+                            checks,
+                            helpers,
+                            parallelized,
+                            skipped,
+                            counter,
                         );
                         stmts.push(Stmt::While {
                             cond: cond.clone(),
@@ -140,11 +147,25 @@ fn rewrite_block(
             } => stmts.push(Stmt::If {
                 cond: cond.clone(),
                 then_blk: rewrite_block(
-                    tp, then_blk, func_name, checks, helpers, parallelized, skipped, counter,
+                    tp,
+                    then_blk,
+                    func_name,
+                    checks,
+                    helpers,
+                    parallelized,
+                    skipped,
+                    counter,
                 ),
                 else_blk: else_blk.as_ref().map(|e| {
                     rewrite_block(
-                        tp, e, func_name, checks, helpers, parallelized, skipped, counter,
+                        tp,
+                        e,
+                        func_name,
+                        checks,
+                        helpers,
+                        parallelized,
+                        skipped,
+                        counter,
                     )
                 }),
                 span: *span,
@@ -161,7 +182,14 @@ fn rewrite_block(
                 from: from.clone(),
                 to: to.clone(),
                 body: rewrite_block(
-                    tp, body, func_name, checks, helpers, parallelized, skipped, counter,
+                    tp,
+                    body,
+                    func_name,
+                    checks,
+                    helpers,
+                    parallelized,
+                    skipped,
+                    counter,
                 ),
                 parallel: *parallel,
                 span: *span,
@@ -373,7 +401,11 @@ mod tests {
             "{helper}"
         );
         // Helper params: i, p, then the frees (root, theta).
-        let names: Vec<&str> = sm.helpers[0].params.iter().map(|p| p.name.as_str()).collect();
+        let names: Vec<&str> = sm.helpers[0]
+            .params
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect();
         assert_eq!(names, vec!["i", "p", "root", "theta"]);
     }
 

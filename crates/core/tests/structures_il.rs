@@ -283,10 +283,7 @@ fn quadtree_spine_descent_never_revisits() {
     // new node, so the loop-carried alias must be refuted at fixpoint.
     let c = compile(QUADTREE_PROGRAM).unwrap();
     let an = c.analysis("descend").unwrap();
-    let lp = an
-        .loops
-        .first()
-        .expect("descend has a loop");
+    let lp = an.loops.first().expect("descend has a loop");
     assert!(
         !lp.bottom.pm.get("p'", "p").may_alias(),
         "{}",

@@ -336,12 +336,7 @@ impl<'a> Ana<'a> {
             self.external(g, &record);
             g.merge_into(&l, &Label::External(record));
         }
-        match self
-            .tp
-            .sigs
-            .get(&c.callee)
-            .and_then(|s| s.ret.clone())
-        {
+        match self.tp.sigs.get(&c.callee).and_then(|s| s.ret.clone()) {
             Some(Ty::Ptr(r)) => {
                 let ext = self.external(g, &r);
                 [ext].into_iter().collect()
@@ -364,10 +359,7 @@ impl<'a> Ana<'a> {
             Stmt::VarDecl { name, ty, init, .. } => {
                 let is_ptr = match ty {
                     Some(t) => t.is_pointer(),
-                    None => matches!(
-                        self.tp.var_ty(&self.func.name, name),
-                        Some(Ty::Ptr(_))
-                    ),
+                    None => matches!(self.tp.var_ty(&self.func.name, name), Some(Ty::Ptr(_))),
                 };
                 let pts = match init {
                     Some(e) => self.eval(&mut g, e),
@@ -387,7 +379,11 @@ impl<'a> Ana<'a> {
             }
             Stmt::While { cond, body, span } => self.loop_fixpoint(g, cond, body, *span),
             Stmt::For {
-                from, to, body, span, ..
+                from,
+                to,
+                body,
+                span,
+                ..
             } => {
                 self.eval(&mut g, from);
                 self.eval(&mut g, to);
@@ -474,10 +470,7 @@ impl<'a> Ana<'a> {
     /// (used to decide edge ordering).
     fn assign(&mut self, g: &mut StorageGraph, lhs: &LValue, val: BTreeSet<Label>, rhs: &Expr) {
         if lhs.is_var() {
-            let is_ptr = matches!(
-                self.tp.var_ty(&self.func.name, &lhs.base),
-                Some(Ty::Ptr(_))
-            );
+            let is_ptr = matches!(self.tp.var_ty(&self.func.name, &lhs.base), Some(Ty::Ptr(_)));
             if is_ptr {
                 g.set_var(&lhs.base, val);
             }
@@ -519,8 +512,7 @@ impl<'a> Ana<'a> {
             && g.lookup(sources.iter().next().unwrap()).is_some();
         if strong {
             let src = sources.iter().next().unwrap().clone();
-            let tgts: BTreeMap<Label, EdgeKind> =
-                val.iter().map(|t| (t.clone(), kind)).collect();
+            let tgts: BTreeMap<Label, EdgeKind> = val.iter().map(|t| (t.clone(), kind)).collect();
             g.set_edges(&src, &last.field, tgts);
         } else {
             for src in &sources {
@@ -689,7 +681,11 @@ while i < 10 {
 
     #[test]
     fn explicit_cycle_store_is_unordered() {
-        let g = analyze("a = new L; b = new L; a->next = b; b->next = a;", Mode::AllocSite).exit;
+        let g = analyze(
+            "a = new L; b = new L; a->next = b; b->next = a;",
+            Mode::AllocSite,
+        )
+        .exit;
         // b->next = a stores an older cell (a has out-edges): unordered.
         let a = g.points_to("a").into_iter().next().unwrap();
         let b = g.points_to("b").into_iter().next().unwrap();
@@ -811,7 +807,12 @@ while i < 4 {
     i = i + 1;
 }
 ";
-        for mode in [Mode::Blob, Mode::KLimit(1), Mode::KLimit(3), Mode::AllocSite] {
+        for mode in [
+            Mode::Blob,
+            Mode::KLimit(1),
+            Mode::KLimit(3),
+            Mode::AllocSite,
+        ] {
             let fg = analyze(body, mode);
             assert_eq!(fg.loops.len(), 2, "{mode:?}");
         }

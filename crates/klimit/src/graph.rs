@@ -511,9 +511,13 @@ mod tests {
         assert_eq!(g.lookup(&Label::Fresh(1)), None);
         assert_eq!(g.points_to("x"), set(&[Label::Old(9)]));
         // in-edge redirected
-        assert!(g.edges(&Label::Fresh(0), "next").contains_key(&Label::Old(9)));
+        assert!(g
+            .edges(&Label::Fresh(0), "next")
+            .contains_key(&Label::Old(9)));
         // out-edge kept
-        assert!(g.edges(&Label::Old(9), "next").contains_key(&Label::Fresh(0)));
+        assert!(g
+            .edges(&Label::Old(9), "next")
+            .contains_key(&Label::Fresh(0)));
     }
 
     #[test]

@@ -54,9 +54,7 @@ pub fn classify_shape(g: &StorageGraph, roots: &BTreeSet<Label>) -> Shape {
     // Summary nodes represent many cells: a self-edge among them was
     // already handled by the cycle check (merging makes those edges
     // unordered unless proven); sharing remains.
-    let shared = reach
-        .iter()
-        .any(|l| g.abstract_in_degree(l) > 1);
+    let shared = reach.iter().any(|l| g.abstract_in_degree(l) > 1);
     if shared {
         Shape::Dag
     } else {
@@ -124,11 +122,7 @@ fn has_mixed_cycle(g: &StorageGraph, scope: &BTreeSet<Label>) -> bool {
     })
 }
 
-fn field_subgraph_has_mixed_cycle(
-    g: &StorageGraph,
-    scope: &BTreeSet<Label>,
-    field: &str,
-) -> bool {
+fn field_subgraph_has_mixed_cycle(g: &StorageGraph, scope: &BTreeSet<Label>, field: &str) -> bool {
     any_mixed_cycle(scope, |l| {
         g.edges(l, field)
             .into_iter()
@@ -265,8 +259,18 @@ mod tests {
         g.node(Label::Fresh(0), "T");
         g.node(Label::Fresh(1), "T");
         g.node(Label::Fresh(2), "T");
-        g.add_edge(&Label::Fresh(0), "left", Label::Fresh(2), EdgeKind::Unordered);
-        g.add_edge(&Label::Fresh(1), "left", Label::Fresh(2), EdgeKind::Unordered);
+        g.add_edge(
+            &Label::Fresh(0),
+            "left",
+            Label::Fresh(2),
+            EdgeKind::Unordered,
+        );
+        g.add_edge(
+            &Label::Fresh(1),
+            "left",
+            Label::Fresh(2),
+            EdgeKind::Unordered,
+        );
         let roots = set(&[Label::Fresh(0), Label::Fresh(1)]);
         assert_eq!(classify_shape(&g, &roots), Shape::Dag);
     }
@@ -294,8 +298,18 @@ mod tests {
         let mut g = StorageGraph::new();
         g.node(Label::Fresh(0), "L");
         g.node(Label::Fresh(1), "L");
-        g.add_edge(&Label::Fresh(0), "next", Label::Fresh(1), EdgeKind::Unordered);
-        g.add_edge(&Label::Fresh(1), "prev", Label::Fresh(0), EdgeKind::Unordered);
+        g.add_edge(
+            &Label::Fresh(0),
+            "next",
+            Label::Fresh(1),
+            EdgeKind::Unordered,
+        );
+        g.add_edge(
+            &Label::Fresh(1),
+            "prev",
+            Label::Fresh(0),
+            EdgeKind::Unordered,
+        );
         let roots = set(&[Label::Fresh(0)]);
         assert!(walk_is_distinct(&g, &roots, "next"));
         // But the full-shape classification reports the cycle.

@@ -114,11 +114,19 @@ fn check_one(
             match rhs.as_pointer_path() {
                 Some((base, path)) if base == var && path.len() == 1 => path[0].clone(),
                 _ => {
-                    return fail(None, vec![format!("`{var}` reassigned to a non-advance value")])
+                    return fail(
+                        None,
+                        vec![format!("`{var}` reassigned to a non-advance value")],
+                    )
                 }
             }
         }
-        _ => return fail(None, vec![format!("no advance statement `{var} = {var}->f`")]),
+        _ => {
+            return fail(
+                None,
+                vec![format!("no advance statement `{var} = {var}->f`")],
+            )
+        }
     };
     if assigns_var_nested(&body.stmts[..body.stmts.len() - 1], &var) {
         return fail(
@@ -265,9 +273,7 @@ fn collect_conflicting_reads(
                 collect_conflicting_reads(s, var, written, out);
             }
         }
-        Stmt::For {
-            from, to, body, ..
-        } => {
+        Stmt::For { from, to, body, .. } => {
             visit_expr(from);
             visit_expr(to);
             for s in &body.stmts {
@@ -338,13 +344,7 @@ fn assigns_var_nested(stmts: &[Stmt], var: &str) -> bool {
     })
 }
 
-fn body_discipline(
-    tp: &TypedProgram,
-    func: &str,
-    var: &str,
-    s: &Stmt,
-    reasons: &mut Vec<String>,
-) {
+fn body_discipline(tp: &TypedProgram, func: &str, var: &str, s: &Stmt, reasons: &mut Vec<String>) {
     match s {
         Stmt::Assign { lhs, rhs, .. } => {
             if expr_has_call(rhs) {
@@ -425,12 +425,12 @@ fn expr_mentions_var(e: &Expr, var: &str) -> bool {
         Expr::Var(v, _) => v == var,
         Expr::Field { base, index, .. } => {
             expr_mentions_var(base, var)
-                || index.as_deref().is_some_and(|ix| expr_mentions_var(ix, var))
+                || index
+                    .as_deref()
+                    .is_some_and(|ix| expr_mentions_var(ix, var))
         }
         Expr::Unary { operand, .. } => expr_mentions_var(operand, var),
-        Expr::Binary { lhs, rhs, .. } => {
-            expr_mentions_var(lhs, var) || expr_mentions_var(rhs, var)
-        }
+        Expr::Binary { lhs, rhs, .. } => expr_mentions_var(lhs, var) || expr_mentions_var(rhs, var),
         Expr::Call(c) => c.args.iter().any(|a| expr_mentions_var(a, var)),
         _ => false,
     }
@@ -470,10 +470,7 @@ mod tests {
         for k in [1, 2, 4] {
             let v = verdicts(programs::LOOP_BUILT_SCALE, "main", Mode::KLimit(k));
             let walk = v.last().unwrap();
-            assert!(
-                !walk.parallelizable,
-                "k={k} must fail on an unbounded list"
-            );
+            assert!(!walk.parallelizable, "k={k} must fail on an unbounded list");
             assert!(
                 walk.reasons.iter().any(|r| r.contains("revisit")),
                 "{:?}",

@@ -128,12 +128,22 @@ procedure main() {
     let tp = check_source(src).unwrap();
     let fg = analyze_function(&tp, "main", Mode::AllocSite).unwrap();
     let roots = fg.exit.points_to("a");
-    assert_ne!(classify_shape(&fg.exit, &roots), Shape::Cyclic, "{}", fg.exit);
+    assert_ne!(
+        classify_shape(&fg.exit, &roots),
+        Shape::Cyclic,
+        "{}",
+        fg.exit
+    );
     // The same program under k-limiting *is* classified cyclic — the
     // spurious cycle of §2.1.
     let fg = analyze_function(&tp, "main", Mode::KLimit(2)).unwrap();
     let roots = fg.exit.points_to("a");
-    assert_eq!(classify_shape(&fg.exit, &roots), Shape::Cyclic, "{}", fg.exit);
+    assert_eq!(
+        classify_shape(&fg.exit, &roots),
+        Shape::Cyclic,
+        "{}",
+        fg.exit
+    );
 }
 
 #[test]

@@ -393,7 +393,10 @@ fn resolve_type(
             if !used {
                 diags.push(Diagnostic::new(
                     decl.span,
-                    format!("dimension `{d}` of `{}` is traversed by no field", decl.name),
+                    format!(
+                        "dimension `{d}` of `{}` is traversed by no field",
+                        decl.name
+                    ),
                 ));
                 ok = false;
             }
@@ -433,8 +436,7 @@ mod tests {
         OrthList *up is backward along Y;
     };";
 
-    const RANGE_TREE: &str =
-        "type TwoDRangeTree [down][sub][leaves] where sub||down, sub||leaves {
+    const RANGE_TREE: &str = "type TwoDRangeTree [down][sub][leaves] where sub||down, sub||leaves {
         int data;
         TwoDRangeTree *left, *right is uniquely forward along down;
         TwoDRangeTree *subtree is uniquely forward along sub;
@@ -518,7 +520,10 @@ mod tests {
     #[test]
     fn rejects_duplicate_fields_and_dims() {
         let d = env_err("type T [X][X] { T *next is forward along X; };");
-        assert!(d.0.iter().any(|e| e.message.contains("duplicate dimension")));
+        assert!(d
+            .0
+            .iter()
+            .any(|e| e.message.contains("duplicate dimension")));
         let d = env_err("type T [X] { int a; int a; T *next is forward along X; };");
         assert!(d.0.iter().any(|e| e.message.contains("duplicate field")));
     }

@@ -569,6 +569,9 @@ mod tests {
         assert!(td.field_group("left").is_some());
         assert!(td.field_group("right").is_some());
         assert!(td.field_group("up").is_none());
-        assert_eq!(td.pointer_fields().collect::<Vec<_>>(), vec!["left", "right"]);
+        assert_eq!(
+            td.pointer_fields().collect::<Vec<_>>(),
+            vec!["left", "right"]
+        );
     }
 }

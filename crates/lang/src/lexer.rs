@@ -308,15 +308,28 @@ mod tests {
 
     #[test]
     fn paper_not_equal_spelling() {
-        assert_eq!(kinds("p <> NULL"), vec![Ident("p".into()), NotEq, KwNull, Eof]);
-        assert_eq!(kinds("p != NULL"), vec![Ident("p".into()), NotEq, KwNull, Eof]);
+        assert_eq!(
+            kinds("p <> NULL"),
+            vec![Ident("p".into()), NotEq, KwNull, Eof]
+        );
+        assert_eq!(
+            kinds("p != NULL"),
+            vec![Ident("p".into()), NotEq, KwNull, Eof]
+        );
     }
 
     #[test]
     fn arrow_vs_minus() {
         assert_eq!(
             kinds("p->next - 1"),
-            vec![Ident("p".into()), Arrow, Ident("next".into()), Minus, Int(1), Eof]
+            vec![
+                Ident("p".into()),
+                Arrow,
+                Ident("next".into()),
+                Minus,
+                Int(1),
+                Eof
+            ]
         );
     }
 

@@ -43,7 +43,6 @@ impl Parser {
         self.toks[self.pos].span
     }
 
-
     fn bump(&mut self) -> Token {
         let t = self.toks[self.pos].clone();
         if self.pos + 1 < self.toks.len() {
@@ -71,7 +70,11 @@ impl Parser {
         } else {
             Err(Diagnostic::new(
                 self.peek_span(),
-                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek().describe()
+                ),
             ))
         }
     }
@@ -221,7 +224,10 @@ impl Parser {
                 t => {
                     return Err(Diagnostic::new(
                         t.span,
-                        format!("expected `forward` or `backward`, found {}", t.kind.describe()),
+                        format!(
+                            "expected `forward` or `backward`, found {}",
+                            t.kind.describe()
+                        ),
                     ))
                 }
             };
@@ -851,7 +857,13 @@ mod tests {
         match &body.stmts[3] {
             Stmt::While { body, .. } => {
                 assert!(matches!(body.stmts[0], Stmt::For { parallel: true, .. }));
-                assert!(matches!(body.stmts[1], Stmt::For { parallel: false, .. }));
+                assert!(matches!(
+                    body.stmts[1],
+                    Stmt::For {
+                        parallel: false,
+                        ..
+                    }
+                ));
             }
             _ => panic!(),
         }
@@ -901,10 +913,8 @@ mod tests {
 
     #[test]
     fn assignment_through_array_field() {
-        let prog = parse_program(
-            "procedure g(n: Octree*, q: Octree*) { n->subtrees[3] = q; }",
-        )
-        .unwrap();
+        let prog =
+            parse_program("procedure g(n: Octree*, q: Octree*) { n->subtrees[3] = q; }").unwrap();
         match &prog.funcs[0].body.stmts[0] {
             Stmt::Assign { lhs, .. } => {
                 assert_eq!(lhs.base, "n");
@@ -918,7 +928,11 @@ mod tests {
     #[test]
     fn error_messages_name_the_offender() {
         let err = parse_program("type T { int; }").unwrap_err();
-        assert!(err.message.contains("expected identifier"), "{}", err.message);
+        assert!(
+            err.message.contains("expected identifier"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]

@@ -98,7 +98,11 @@ fn field_decl(out: &mut String, f: &FieldDecl) {
 }
 
 fn fun_decl(out: &mut String, f: &FunDecl) {
-    let kw = if f.ret.is_some() { "function" } else { "procedure" };
+    let kw = if f.ret.is_some() {
+        "function"
+    } else {
+        "procedure"
+    };
     let params: Vec<String> = f
         .params
         .iter()
@@ -253,12 +257,7 @@ pub fn expr(e: &Expr) -> String {
             }
         }
         Expr::Binary { op, lhs, rhs, .. } => {
-            format!(
-                "{} {} {}",
-                sub_expr(lhs),
-                op.symbol(),
-                sub_expr(rhs)
-            )
+            format!("{} {} {}", sub_expr(lhs), op.symbol(), sub_expr(rhs))
         }
         Expr::Call(c) => call(c),
         Expr::New(t, _) => format!("new {t}"),

@@ -67,6 +67,37 @@ procedure move_subtree(p1: BinTree*, p2: BinTree*)
 }
 ";
 
+/// §3.1.4 — the orthogonal-list sparse matrix: row headers chained along
+/// dimension `Y` (`down`), row entries chained along dimension `X`
+/// (`across`). The procedure scales every stored entry by walking rows
+/// outer, entries inner — the loop the two-dimensional declaration lets the
+/// analysis parallelize across rows.
+pub const ORTH_ROW_SCALE: &str = "
+type OrthList [X] [Y]
+{
+    int data;
+    OrthList *across is uniquely forward along X;
+    OrthList *down is uniquely forward along Y;
+};
+
+procedure scale_rows(rows: OrthList*, c: int)
+{
+    var r: OrthList*;
+    var p: OrthList*;
+    r = rows;
+    while r <> NULL
+    {
+        p = r;
+        while p <> NULL
+        {
+            p->data = p->data * c;
+            p = p->across;
+        }
+        r = r->down;
+    }
+}
+";
+
 /// §4.3.1 — the octree declaration, extended with the scalar payload the
 /// simulation needs (positions, velocities, forces, box geometry).
 ///

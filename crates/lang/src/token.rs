@@ -52,10 +52,10 @@ pub enum TokenKind {
     Comma,
     Colon,
     Star,
-    Arrow,     // ->
-    Assign,    // =
-    EqEq,      // ==
-    NotEq,     // != or <>
+    Arrow,  // ->
+    Assign, // =
+    EqEq,   // ==
+    NotEq,  // != or <>
     Lt,
     Le,
     Gt,
@@ -65,7 +65,7 @@ pub enum TokenKind {
     Slash,
     Percent,
     AndAnd,
-    OrOr,      // also `||` in `where X || Y`
+    OrOr, // also `||` in `where X || Y`
     Bang,
 
     Eof,

@@ -274,7 +274,10 @@ impl<'a> FuncChecker<'a> {
     fn check_stmt(&mut self, s: &Stmt) {
         match s {
             Stmt::VarDecl {
-                name, ty, init, span,
+                name,
+                ty,
+                init,
+                span,
             } => {
                 let declared = self.vars.get(name).cloned();
                 if declared.is_none() {
@@ -474,7 +477,10 @@ impl<'a> FuncChecker<'a> {
                 }
             }
             Expr::Field {
-                base, field, index, span,
+                base,
+                field,
+                index,
+                span,
             } => {
                 let bt = self.expr_ty(base)?;
                 let Some(rec) = bt.pointee().map(str::to_string) else {
@@ -736,7 +742,10 @@ mod tests {
             procedure f(p: ListNode*) {{ p->weight = 1; }}"
         );
         let err = check_source(&src).unwrap_err();
-        assert!(err.0.iter().any(|d| d.message.contains("no field `weight`")));
+        assert!(err
+            .0
+            .iter()
+            .any(|d| d.message.contains("no field `weight`")));
     }
 
     #[test]
@@ -761,12 +770,17 @@ mod tests {
 
     #[test]
     fn array_fields_require_index() {
-        let src = "type Octree [down] { real mass; Octree *subtrees[8] is uniquely forward along down; };
+        let src =
+            "type Octree [down] { real mass; Octree *subtrees[8] is uniquely forward along down; };
             procedure f(n: Octree*) { n->subtrees = NULL; }";
         let err = check_source(src).unwrap_err();
-        assert!(err.0.iter().any(|d| d.message.contains("requires an index")));
+        assert!(err
+            .0
+            .iter()
+            .any(|d| d.message.contains("requires an index")));
 
-        let ok = "type Octree [down] { real mass; Octree *subtrees[8] is uniquely forward along down; };
+        let ok =
+            "type Octree [down] { real mass; Octree *subtrees[8] is uniquely forward along down; };
             procedure f(n: Octree*, q: Octree*) { n->subtrees[0] = q; }";
         assert!(check_source(ok).is_ok());
     }
@@ -825,7 +839,10 @@ mod tests {
             }}"
         );
         let err = check_source(&src).unwrap_err();
-        assert!(err.0.iter().any(|d| d.message.contains("expects 1 argument")));
+        assert!(err
+            .0
+            .iter()
+            .any(|d| d.message.contains("expects 1 argument")));
     }
 
     #[test]

@@ -20,8 +20,7 @@ fn leaf_expr() -> impl Strategy<Value = Expr> {
         Just(Expr::Bool(true, sp())),
         Just(Expr::Bool(false, sp())),
         Just(Expr::Null(sp())),
-        prop_oneof![Just("a"), Just("b"), Just("p")]
-            .prop_map(|v| Expr::Var(v.to_string(), sp())),
+        prop_oneof![Just("a"), Just("b"), Just("p")].prop_map(|v| Expr::Var(v.to_string(), sp())),
     ]
 }
 
@@ -63,7 +62,10 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 span: sp(),
             }),
             // Field access chains off a variable
-            (prop_oneof![Just("p"), Just("q")], prop_oneof![Just("next"), Just("left")])
+            (
+                prop_oneof![Just("p"), Just("q")],
+                prop_oneof![Just("next"), Just("left")]
+            )
                 .prop_map(|(v, f)| Expr::Field {
                     base: Box::new(Expr::Var(v.to_string(), sp())),
                     field: f.to_string(),

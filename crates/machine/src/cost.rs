@@ -5,9 +5,7 @@
 //! point relative to integer ops, memory an order of magnitude slower than
 //! registers, and — the paper's caveat (3) — *very* slow synchronization.
 
-use serde::{Deserialize, Serialize};
-
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 /// Cycle charges per abstract operation.
 pub struct CostModel {
     /// Integer ALU op.

@@ -78,7 +78,11 @@ impl fmt::Display for Conflict {
         write!(
             f,
             "{} conflict between iterations {} and {} on node#{} slot {}",
-            if self.write_write { "write/write" } else { "write/read" },
+            if self.write_write {
+                "write/write"
+            } else {
+                "write/read"
+            },
             self.iter_a,
             self.iter_b,
             self.node,
@@ -304,23 +308,21 @@ impl<'a> Interp<'a> {
                 self.assign(lhs, v, frame)?;
                 Ok(Flow::Normal)
             }
-            Stmt::While { cond, body, .. } => {
-                loop {
-                    self.charge(self.cfg.cost.branch);
-                    if !self
-                        .expr(cond, frame)?
-                        .truthy()
-                        .map_err(RuntimeError::Type)?
-                    {
-                        return Ok(Flow::Normal);
-                    }
-                    match self.block(body, frame)? {
-                        Flow::Normal => {}
-                        ret => return Ok(ret),
-                    }
-                    self.burn_fuel()?;
+            Stmt::While { cond, body, .. } => loop {
+                self.charge(self.cfg.cost.branch);
+                if !self
+                    .expr(cond, frame)?
+                    .truthy()
+                    .map_err(RuntimeError::Type)?
+                {
+                    return Ok(Flow::Normal);
                 }
-            }
+                match self.block(body, frame)? {
+                    Flow::Normal => {}
+                    ret => return Ok(ret),
+                }
+                self.burn_fuel()?;
+            },
             Stmt::If {
                 cond,
                 then_blk,
@@ -348,7 +350,10 @@ impl<'a> Interp<'a> {
                 parallel,
                 ..
             } => {
-                let lo = self.expr(from, frame)?.as_int().map_err(RuntimeError::Type)?;
+                let lo = self
+                    .expr(from, frame)?
+                    .as_int()
+                    .map_err(RuntimeError::Type)?;
                 let hi = self.expr(to, frame)?.as_int().map_err(RuntimeError::Type)?;
                 if *parallel {
                     self.parfor(var, lo, hi, body, frame)?;
@@ -383,14 +388,7 @@ impl<'a> Interp<'a> {
     /// Execute a `parfor` region: iterations run with private copies of the
     /// frame over a shared heap; the clock advances by the busiest PE under
     /// static strip scheduling, plus one barrier sync.
-    fn parfor(
-        &mut self,
-        var: &str,
-        lo: i64,
-        hi: i64,
-        body: &Block,
-        frame: &Frame,
-    ) -> RResult<()> {
+    fn parfor(&mut self, var: &str, lo: i64, hi: i64, body: &Block, frame: &Frame) -> RResult<()> {
         if self.log.is_some() {
             return Err(RuntimeError::NestedParfor);
         }
@@ -410,9 +408,7 @@ impl<'a> Interp<'a> {
             iter_frame.insert(var.to_string(), Value::Int(i));
             let flow = self.block(body, &mut iter_frame)?;
             if matches!(flow, Flow::Return(_)) {
-                return Err(RuntimeError::Other(
-                    "return from inside parfor".to_string(),
-                ));
+                return Err(RuntimeError::Other("return from inside parfor".to_string()));
             }
             pe_time[pe] += self.clock - start_clock;
             if let Some(log) = self.log.take() {
@@ -550,7 +546,9 @@ impl<'a> Interp<'a> {
         if let Some(log) = &mut self.log {
             log.writes.insert((node, slot));
         }
-        self.heap.store(node, slot, v).map_err(RuntimeError::Other)?;
+        self.heap
+            .store(node, slot, v)
+            .map_err(RuntimeError::Other)?;
         if self.cfg.check_shapes {
             let ty = self
                 .heap
@@ -729,23 +727,38 @@ impl<'a> Interp<'a> {
                 return Ok(Value::Null);
             }
             "sqrt" => {
-                let v = self.expr(&c.args[0], frame)?.as_real().map_err(RuntimeError::Type)?;
+                let v = self
+                    .expr(&c.args[0], frame)?
+                    .as_real()
+                    .map_err(RuntimeError::Type)?;
                 self.charge(self.cfg.cost.sqrt);
                 return Ok(Value::Real(v.sqrt()));
             }
             "fabs" => {
-                let v = self.expr(&c.args[0], frame)?.as_real().map_err(RuntimeError::Type)?;
+                let v = self
+                    .expr(&c.args[0], frame)?
+                    .as_real()
+                    .map_err(RuntimeError::Type)?;
                 self.charge(self.cfg.cost.fp);
                 return Ok(Value::Real(v.abs()));
             }
             "abs" => {
-                let v = self.expr(&c.args[0], frame)?.as_int().map_err(RuntimeError::Type)?;
+                let v = self
+                    .expr(&c.args[0], frame)?
+                    .as_int()
+                    .map_err(RuntimeError::Type)?;
                 self.charge(self.cfg.cost.alu);
                 return Ok(Value::Int(v.abs()));
             }
             "min" | "max" => {
-                let a = self.expr(&c.args[0], frame)?.as_real().map_err(RuntimeError::Type)?;
-                let b = self.expr(&c.args[1], frame)?.as_real().map_err(RuntimeError::Type)?;
+                let a = self
+                    .expr(&c.args[0], frame)?
+                    .as_real()
+                    .map_err(RuntimeError::Type)?;
+                let b = self
+                    .expr(&c.args[1], frame)?
+                    .as_real()
+                    .map_err(RuntimeError::Type)?;
                 self.charge(self.cfg.cost.fp);
                 return Ok(Value::Real(if c.callee == "min" {
                     a.min(b)
@@ -754,7 +767,10 @@ impl<'a> Interp<'a> {
                 }));
             }
             "itor" => {
-                let v = self.expr(&c.args[0], frame)?.as_int().map_err(RuntimeError::Type)?;
+                let v = self
+                    .expr(&c.args[0], frame)?
+                    .as_int()
+                    .map_err(RuntimeError::Type)?;
                 self.charge(self.cfg.cost.alu);
                 return Ok(Value::Real(v as f64));
             }

@@ -11,10 +11,9 @@ use crate::cost::CostModel;
 use crate::interp::{Interp, MachineConfig, RuntimeError};
 use crate::value::Value;
 use adds_lang::types::TypedProgram;
-use serde::{Deserialize, Serialize};
 
 /// A particle's initial condition for the simulated N-body runs.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BodyInit {
     /// Particle mass.
     pub mass: f64,
@@ -25,7 +24,7 @@ pub struct BodyInit {
 }
 
 /// Result of one simulated run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SimRun {
     /// Simulated cycles consumed.
     pub cycles: u64,
@@ -165,17 +164,13 @@ mod tests {
     fn sequential_barnes_hut_runs() {
         let tp = tp_seq();
         let bodies = uniform_cloud(24, 7);
-        let run = run_barnes_hut(&tp, &bodies, 2, 0.7, 0.01, 1, CostModel::uniform(), false)
-            .unwrap();
+        let run =
+            run_barnes_hut(&tp, &bodies, 2, 0.7, 0.01, 1, CostModel::uniform(), false).unwrap();
         assert!(run.cycles > 0);
         assert_eq!(run.parallel_rounds, 0);
         assert_eq!(run.bodies.len(), 24);
         // Particles must have moved.
-        assert!(run
-            .bodies
-            .iter()
-            .zip(&bodies)
-            .any(|(a, b)| a.pos != b.pos));
+        assert!(run.bodies.iter().zip(&bodies).any(|(a, b)| a.pos != b.pos));
     }
 
     #[test]
@@ -199,14 +194,36 @@ mod tests {
         let tp_seq = tp_seq();
 
         let bodies = uniform_cloud(20, 11);
-        let seq =
-            run_barnes_hut(&tp_seq, &bodies, 2, 0.7, 0.01, 1, CostModel::uniform(), false)
-                .unwrap();
-        let par =
-            run_barnes_hut(&tp_par, &bodies, 2, 0.7, 0.01, 4, CostModel::uniform(), true)
-                .unwrap();
-        assert_eq!(par.conflict_count, 0, "parallel iterations must not conflict");
-        assert!(par.parallel_rounds > 0, "transformed code ran parallel rounds");
+        let seq = run_barnes_hut(
+            &tp_seq,
+            &bodies,
+            2,
+            0.7,
+            0.01,
+            1,
+            CostModel::uniform(),
+            false,
+        )
+        .unwrap();
+        let par = run_barnes_hut(
+            &tp_par,
+            &bodies,
+            2,
+            0.7,
+            0.01,
+            4,
+            CostModel::uniform(),
+            true,
+        )
+        .unwrap();
+        assert_eq!(
+            par.conflict_count, 0,
+            "parallel iterations must not conflict"
+        );
+        assert!(
+            par.parallel_rounds > 0,
+            "transformed code ran parallel rounds"
+        );
         for (a, b) in seq.bodies.iter().zip(&par.bodies) {
             for d in 0..3 {
                 assert!(
@@ -226,9 +243,17 @@ mod tests {
         let bodies = uniform_cloud(64, 5);
         let seq =
             run_barnes_hut(&tp_s, &bodies, 1, 0.7, 0.01, 1, CostModel::sequent(), false).unwrap();
-        let par =
-            run_barnes_hut(&tp_par, &bodies, 1, 0.7, 0.01, 4, CostModel::sequent(), false)
-                .unwrap();
+        let par = run_barnes_hut(
+            &tp_par,
+            &bodies,
+            1,
+            0.7,
+            0.01,
+            4,
+            CostModel::sequent(),
+            false,
+        )
+        .unwrap();
         assert!(
             par.cycles < seq.cycles,
             "4-PE simulated run should be faster: {} vs {}",

@@ -167,8 +167,7 @@ mod tests {
     use crate::interp::{Interp, MachineConfig};
     use adds_lang::types::check_source;
 
-    const LIST: &str =
-        "type L [X] { int v; L *next is uniquely forward along X; };
+    const LIST: &str = "type L [X] { int v; L *next is uniquely forward along X; };
          procedure noop(p: L*) { p->v = 0; }";
 
     fn setup() -> (adds_lang::types::TypedProgram,) {

@@ -282,13 +282,14 @@ mod tests {
 
     #[test]
     fn alloc_initializes_defaults() {
-        let l = layouts(
-            "type N [X] { int a; real b; bool c; N *next is forward along X; };",
-        );
+        let l = layouts("type N [X] { int a; real b; bool c; N *next is forward along X; };");
         let lay = l.get("N").unwrap();
         let mut heap = Heap::new();
         let id = heap.alloc(lay);
-        assert_eq!(heap.load(id, lay.slot("a").unwrap().offset).unwrap(), Value::Int(0));
+        assert_eq!(
+            heap.load(id, lay.slot("a").unwrap().offset).unwrap(),
+            Value::Int(0)
+        );
         assert_eq!(
             heap.load(id, lay.slot("b").unwrap().offset).unwrap(),
             Value::Real(0.0)

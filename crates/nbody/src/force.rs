@@ -127,7 +127,10 @@ mod tests {
         let fba = pair_force(b, 1.0, a, 1.0, 0.0);
         assert!(fab.x > 0.0, "force on a points toward b");
         assert!((fab + fba).norm() < 1e-12, "Newton's third law");
-        assert!((fab.x - 1.0).abs() < 1e-12, "inverse square at unit distance");
+        assert!(
+            (fab.x - 1.0).abs() < 1e-12,
+            "inverse square at unit distance"
+        );
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub fn plummer(n: usize, seed: u64) -> ParticleList {
             let m: f64 = rng.gen_range(1e-6..1.0f64);
             let r = a / (m.powf(-2.0 / 3.0) - 1.0).sqrt();
             let r = r.min(10.0 * a); // clip the rare far tail
-            // Isotropic direction.
+                                     // Isotropic direction.
             let z: f64 = rng.gen_range(-1.0..1.0);
             let phi: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
             let s = (1.0 - z * z).sqrt();
@@ -79,16 +79,8 @@ mod tests {
     #[test]
     fn plummer_is_centrally_concentrated() {
         let l = plummer(500, 2);
-        let inner = l
-            .particles()
-            .iter()
-            .filter(|p| p.pos.norm() < 1.0)
-            .count();
-        let outer = l
-            .particles()
-            .iter()
-            .filter(|p| p.pos.norm() >= 1.0)
-            .count();
+        let inner = l.particles().iter().filter(|p| p.pos.norm() < 1.0).count();
+        let outer = l.particles().iter().filter(|p| p.pos.norm() >= 1.0).count();
         // Half-mass radius of Plummer is ≈ 1.3a; the inner region should
         // hold a large fraction.
         assert!(inner > outer / 4, "inner {inner} outer {outer}");

@@ -36,5 +36,5 @@ pub use parallel::{force_parallel_subtrees, Schedule};
 pub use particle::{Particle, ParticleId, ParticleList};
 pub use sim::{SimParams, Simulation};
 pub use stride::{disjoint_strides, StrideWriter};
-pub use water::{lattice, Molecule, WaterParams, WaterSim};
 pub use vec3::Vec3;
+pub use water::{lattice, Molecule, WaterParams, WaterSim};

@@ -158,10 +158,7 @@ impl Octree {
                 Some(child) if self.node(child).is_leaf() => {
                     let competitor = child;
                     let cpos = plist.get(self.node(competitor).body.unwrap()).pos;
-                    let m = self.alloc(Node::internal(
-                        Self::child_center(center, hw, q),
-                        hw / 2.0,
-                    ));
+                    let m = self.alloc(Node::internal(Self::child_center(center, hw, q), hw / 2.0));
                     let qc = Self::octant_of(self.node(m).center, cpos);
                     // Temporary sharing: competitor reachable from both `cur`
                     // and `m` between these two statements (§4.3.2).
@@ -334,7 +331,11 @@ mod tests {
         let l = plist(&[[0.1, 0.1, 0.1], [0.11, 0.1, 0.1], [0.9, 0.9, 0.9]]);
         let t = Octree::build(&l);
         assert_eq!(t.leaf_count(), 3);
-        assert!(t.depth() > 2, "collision forces subdivision: depth {}", t.depth());
+        assert!(
+            t.depth() > 2,
+            "collision forces subdivision: depth {}",
+            t.depth()
+        );
         t.validate_shape(&l).unwrap();
     }
 

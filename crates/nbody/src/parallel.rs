@@ -135,8 +135,8 @@ impl Simulation {
                             // SAFETY: this thread writes only particle
                             // indices ≡ t (mod threads); forces are read-only.
                             let sim = unsafe { &*world.0 };
-                            let parts_ptr =
-                                sim.particles.particles().as_ptr() as *mut crate::particle::Particle;
+                            let parts_ptr = sim.particles.particles().as_ptr()
+                                as *mut crate::particle::Particle;
                             let mut i = t;
                             while i < n {
                                 let f = sim.forces[i];
@@ -296,9 +296,7 @@ pub fn force_parallel_subtrees(
             if child.is_none() {
                 continue;
             }
-            handles.push(
-                s.spawn(move |_| accumulate_force(tree, plist, p, child, theta, eps)),
-            );
+            handles.push(s.spawn(move |_| accumulate_force(tree, plist, p, child, theta, eps)));
         }
         for h in handles {
             total += h.join().expect("subtree worker");

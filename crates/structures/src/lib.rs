@@ -25,8 +25,8 @@ pub mod orthlist;
 pub mod poly;
 pub mod quadtree;
 pub mod rangetree;
-pub mod twoway;
 pub mod render;
+pub mod twoway;
 
 pub use bignum::Bignum;
 pub use list::OneWayList;

@@ -170,9 +170,7 @@ impl<T> OneWayList<T> {
             fast = self.next_of(self.next_of(fast));
             slow = self.next_of(slow);
             match (slow, fast) {
-                (Some(a), Some(b)) if a == b => {
-                    return Err("cycle detected along next".into())
-                }
+                (Some(a), Some(b)) if a == b => return Err("cycle detected along next".into()),
                 (_, None) => return Ok(()),
                 _ => {}
             }
@@ -227,7 +225,9 @@ impl<T: Send + Sync> OneWayList<T> {
                 out[pos] = Some(r);
             }
         }
-        out.into_iter().map(|r| r.expect("position covered")).collect()
+        out.into_iter()
+            .map(|r| r.expect("position covered"))
+            .collect()
     }
 }
 

@@ -130,7 +130,7 @@ mod tests {
     #[test]
     fn tournament_structure_is_a_bracket() {
         let l = tournament(2); // 2 entry nodes + 1 final
-        // Both entry nodes point at the final node.
+                               // Both entry nodes point at the final node.
         assert_eq!(l.nodes[0].next, l.nodes[1].next);
         assert!(l.nodes[0].next.is_some());
     }

@@ -431,13 +431,7 @@ mod tests {
         let m = OrthList::from_triplets(
             n,
             n,
-            (0..n).flat_map(|i| {
-                [
-                    (i, i, 2.0),
-                    (i, (i + 1) % n, -1.0),
-                    (i, (i + 7) % n, 0.5),
-                ]
-            }),
+            (0..n).flat_map(|i| [(i, i, 2.0), (i, (i + 1) % n, -1.0), (i, (i + 7) % n, 0.5)]),
         );
         let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
         let seq = m.spmv(&x);

@@ -105,11 +105,7 @@ impl Polynomial {
 
     /// Polynomial sum (merge walk over both term lists).
     pub fn add(&self, other: &Polynomial) -> Polynomial {
-        Polynomial::from_terms(
-            self.term_pairs()
-                .into_iter()
-                .chain(other.term_pairs()),
-        )
+        Polynomial::from_terms(self.term_pairs().into_iter().chain(other.term_pairs()))
     }
 
     /// Polynomial product.

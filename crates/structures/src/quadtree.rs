@@ -169,7 +169,10 @@ impl Quadtree {
         let mut cur = self.root.expect("expand_box set a root");
         // Empty tree: the root itself becomes a leaf.
         if self.nodes[cur as usize].point.is_none()
-            && self.nodes[cur as usize].children.iter().all(Option::is_none)
+            && self.nodes[cur as usize]
+                .children
+                .iter()
+                .all(Option::is_none)
         {
             self.nodes[cur as usize].point = Some(p);
             self.len += 1;

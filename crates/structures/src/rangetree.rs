@@ -176,7 +176,16 @@ impl RangeTree2D {
     pub fn rectangle_query(&self, x1: f64, x2: f64, y1: f64, y2: f64) -> Vec<Point> {
         let mut out = Vec::new();
         if let Some(root) = self.root {
-            self.rect_rec(root, x1, x2, y1, y2, f64::NEG_INFINITY, f64::INFINITY, &mut out);
+            self.rect_rec(
+                root,
+                x1,
+                x2,
+                y1,
+                y2,
+                f64::NEG_INFINITY,
+                f64::INFINITY,
+                &mut out,
+            );
         }
         out.sort_by(|a, b| (a.x, a.y).partial_cmp(&(b.x, b.y)).unwrap());
         out

@@ -147,8 +147,16 @@ mod tests {
     #[test]
     fn rangetree_rendering() {
         let t = RangeTree2D::build(vec![
-            Point { x: 1.0, y: 2.0, id: 0 },
-            Point { x: 3.0, y: 1.0, id: 1 },
+            Point {
+                x: 1.0,
+                y: 2.0,
+                id: 0,
+            },
+            Point {
+                x: 3.0,
+                y: 1.0,
+                id: 1,
+            },
         ]);
         let s = render_rangetree(&t);
         assert!(s.contains("(1.0,2.0)"), "{s}");

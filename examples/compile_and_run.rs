@@ -29,7 +29,10 @@ fn main() {
         adds::core::parallelize_program(programs::BARNES_HUT).expect("parallelizes");
     for r in &reports {
         for p in &r.parallelized {
-            println!("parallelized {} (chase `{}` via `{}`)", r.func.name, p.var, p.field);
+            println!(
+                "parallelized {} (chase `{}` via `{}`)",
+                r.func.name, p.var, p.field
+            );
         }
     }
 
@@ -37,13 +40,31 @@ fn main() {
     let tp_seq = adds::lang::check_source(programs::BARNES_HUT).unwrap();
     let tp_par = adds::lang::check_source(&adds::lang::pretty::program(&prog)).unwrap();
     let bodies = uniform_cloud(96, 3);
-    let seq = run_barnes_hut(&tp_seq, &bodies, 2, 0.7, 0.001, 1, CostModel::sequent(), false)
-        .expect("seq");
+    let seq = run_barnes_hut(
+        &tp_seq,
+        &bodies,
+        2,
+        0.7,
+        0.001,
+        1,
+        CostModel::sequent(),
+        false,
+    )
+    .expect("seq");
     println!("\nsimulated cycles, 96 particles, 2 steps:");
     println!("  seq    : {:>12}", seq.cycles);
     for pes in [4usize, 7] {
-        let par = run_barnes_hut(&tp_par, &bodies, 2, 0.7, 0.001, pes, CostModel::sequent(), true)
-            .expect("par");
+        let par = run_barnes_hut(
+            &tp_par,
+            &bodies,
+            2,
+            0.7,
+            0.001,
+            pes,
+            CostModel::sequent(),
+            true,
+        )
+        .expect("par");
         assert_eq!(par.conflict_count, 0);
         // Same physics.
         for (a, b) in seq.bodies.iter().zip(&par.bodies) {

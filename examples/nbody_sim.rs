@@ -18,7 +18,10 @@ fn main() {
         eps: 1e-3,
     };
 
-    println!("Barnes-Hut: N={n}, {steps} steps, theta={}, Plummer model", params.theta);
+    println!(
+        "Barnes-Hut: N={n}, {steps} steps, theta={}, Plummer model",
+        params.theta
+    );
 
     // Sequential run.
     let mut seq = Simulation::new(gen::plummer(n, 1992), params);

@@ -19,7 +19,10 @@ fn main() {
         // The storage graph the baseline believes at the walk loop's head.
         let fg = analysis::analyze_source(src, "main", mode).expect("analyzes");
         let walk = fg.loops.values().next_back().expect("walk loop");
-        println!("storage graph at the walk-loop head:\n{}", walk.head.render());
+        println!(
+            "storage graph at the walk-loop head:\n{}",
+            walk.head.render()
+        );
 
         // Its verdict on strip-mining the walk.
         let checks = verdict::check_source(src, "main", mode).expect("checks");
@@ -27,7 +30,10 @@ fn main() {
         if walk_check.parallelizable {
             println!("verdict: parallelizable\n");
         } else {
-            println!("verdict: NOT parallelizable — {}\n", walk_check.reasons.join("; "));
+            println!(
+                "verdict: NOT parallelizable — {}\n",
+                walk_check.reasons.join("; ")
+            );
         }
     }
 
@@ -40,7 +46,8 @@ fn main() {
     let an = compiled.analysis("main").expect("analyzed");
     let checks = adds::core::check_function(&compiled.tp, &compiled.summaries, an, "main");
     let walk = checks
-        .iter().rfind(|c| c.pattern.is_some())
+        .iter()
+        .rfind(|c| c.pattern.is_some())
         .expect("walk loop");
     println!(
         "--- ADDS + general path matrix analysis ---\nverdict: {}",

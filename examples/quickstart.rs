@@ -16,16 +16,14 @@ fn main() {
 
     // 3. The loop's fixed-point path matrix: head, p, p' never alias.
     let fixpoint = &analysis.loops[0].bottom;
-    println!("=== loop fixed-point path matrix ===\n{}", fixpoint.pm.render());
+    println!(
+        "=== loop fixed-point path matrix ===\n{}",
+        fixpoint.pm.render()
+    );
     assert!(!fixpoint.pm.get("p'", "p").may_alias());
 
     // 4. Legality: the loop is parallelizable.
-    let checks = adds::core::check_function(
-        &compiled.tp,
-        &compiled.summaries,
-        analysis,
-        "scale",
-    );
+    let checks = adds::core::check_function(&compiled.tp, &compiled.summaries, analysis, "scale");
     println!("parallelizable: {}", checks[0].parallelizable);
     assert!(checks[0].parallelizable);
 

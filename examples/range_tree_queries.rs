@@ -44,7 +44,11 @@ fn main() {
     );
     m.validate_shape().expect("Figure 3 shape holds");
     let x = vec![1.0; n];
-    println!("\nsparse matrix ({} nonzeros), A*1 = {:?}", m.nnz(), m.spmv(&x));
+    println!(
+        "\nsparse matrix ({} nonzeros), A*1 = {:?}",
+        m.nnz(),
+        m.spmv(&x)
+    );
     let y_par = m.spmv_parallel(&x, 3);
     assert_eq!(m.spmv(&x), y_par);
     println!("parallel row-wise SpMV agrees (rows are disjoint X chains)");

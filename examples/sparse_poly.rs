@@ -37,7 +37,10 @@ fn main() {
 
     // Bignums: the paper's 3,298,991, stored 3 digits per node in reverse.
     let n = Bignum::from_decimal("3,298,991").unwrap();
-    println!("\nbignum 3,298,991 limbs (least significant first): {:?}", n.limb_values());
+    println!(
+        "\nbignum 3,298,991 limbs (least significant first): {:?}",
+        n.limb_values()
+    );
 
     // 50! needs "infinite" precision.
     let mut f = Bignum::from_u64(1);

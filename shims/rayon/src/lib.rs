@@ -1,0 +1,195 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this shim implements
+//! the subset of rayon used by `adds-cli`'s batch executor on top of
+//! `std::thread::scope`: `slice.par_iter().map(f).collect::<Vec<_>>()` plus
+//! the global [`ThreadPoolBuilder`] thread-count knob. Items are distributed
+//! to worker threads in contiguous chunks and results are returned in input
+//! order, which matches rayon's `collect` semantics for indexed iterators.
+//!
+//! This is not a work-stealing scheduler — chunking is static — but for the
+//! CLI's per-program pipeline jobs (coarse, similar-cost items) the
+//! difference is noise.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads the global "pool" uses.
+pub fn current_num_threads() -> usize {
+    let configured = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if configured > 0 {
+        configured
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Builder for the global thread pool, mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error from [`ThreadPoolBuilder::build_global`] (never produced here; the
+/// shim allows reconfiguration, where real rayon errors on the second call).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("global thread pool already initialized")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Start building.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker thread count (0 = one per available core).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install the configuration globally.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Parallel iterator traits and adaptors.
+pub mod iter {
+    use super::current_num_threads;
+
+    /// Conversion of `&collection` into a parallel iterator, mirroring
+    /// `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The borrowed item type.
+        type Item: 'data;
+        /// Create a parallel iterator over `&self`'s items.
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    /// Parallel iterator over `&[T]`.
+    pub struct ParIter<'data, T> {
+        slice: &'data [T],
+    }
+
+    impl<'data, T: Sync> ParIter<'data, T> {
+        /// Map each item through `f` in parallel.
+        pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+        where
+            F: Fn(&'data T) -> R + Sync,
+            R: Send,
+        {
+            ParMap {
+                slice: self.slice,
+                f,
+            }
+        }
+    }
+
+    /// The result of [`ParIter::map`].
+    pub struct ParMap<'data, T, F> {
+        slice: &'data [T],
+        f: F,
+    }
+
+    impl<'data, T, F, R> ParMap<'data, T, F>
+    where
+        T: Sync,
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        /// Execute the map on worker threads and collect results in input
+        /// order.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            let n = self.slice.len();
+            let threads = current_num_threads().clamp(1, n.max(1));
+            let f = &self.f;
+            if threads <= 1 || n <= 1 {
+                return self.slice.iter().map(f).collect();
+            }
+            let chunk = n.div_ceil(threads);
+            let mut parts: Vec<Vec<R>> = Vec::with_capacity(threads);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .slice
+                    .chunks(chunk)
+                    .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                    .collect();
+                for h in handles {
+                    parts.push(h.join().expect("rayon shim worker panicked"));
+                }
+            });
+            parts.into_iter().flatten().collect()
+        }
+    }
+}
+
+/// Common imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = items.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn respects_configured_jobs() {
+        crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build_global()
+            .unwrap();
+        assert_eq!(crate::current_num_threads(), 3);
+        let items = vec![1u32, 2, 3, 4, 5];
+        let sq: Vec<u32> = items.par_iter().map(|x| x * x).collect();
+        assert_eq!(sq, vec![1, 4, 9, 16, 25]);
+        crate::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = [7u8];
+        let out: Vec<u8> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

@@ -106,10 +106,28 @@ fn end_to_end_equivalence_and_speedup() {
     let tp_par = adds::lang::check_source(&adds::lang::pretty::program(&prog)).unwrap();
     let tp_seq = adds::lang::check_source(programs::BARNES_HUT).unwrap();
     let bodies = uniform_cloud(40, 13);
-    let seq =
-        run_barnes_hut(&tp_seq, &bodies, 2, 0.7, 0.01, 1, CostModel::sequent(), false).unwrap();
-    let par =
-        run_barnes_hut(&tp_par, &bodies, 2, 0.7, 0.01, 4, CostModel::sequent(), true).unwrap();
+    let seq = run_barnes_hut(
+        &tp_seq,
+        &bodies,
+        2,
+        0.7,
+        0.01,
+        1,
+        CostModel::sequent(),
+        false,
+    )
+    .unwrap();
+    let par = run_barnes_hut(
+        &tp_par,
+        &bodies,
+        2,
+        0.7,
+        0.01,
+        4,
+        CostModel::sequent(),
+        true,
+    )
+    .unwrap();
     assert_eq!(par.conflict_count, 0);
     assert!(par.cycles < seq.cycles);
     assert!(par.cycles * 4 > seq.cycles, "sublinear");

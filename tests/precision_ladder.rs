@@ -21,7 +21,8 @@ use adds::klimit::{programs, verdict, Mode};
 fn prior(src: &str, func: &str, mode: Mode) -> bool {
     let checks = verdict::check_source(src, func, mode).expect("program checks");
     checks
-        .iter().rfind(|c| c.pattern.is_some())
+        .iter()
+        .rfind(|c| c.pattern.is_some())
         .expect("walk loop recognized")
         .parallelizable
 }
@@ -31,7 +32,8 @@ fn adds(src: &str, func: &str) -> bool {
     let c = adds::core::compile(&twin).expect("twin compiles");
     let an = c.analysis(func).expect("function analyzed");
     adds::core::check_function(&c.tp, &c.summaries, an, func)
-        .iter().rfind(|c| c.pattern.is_some())
+        .iter()
+        .rfind(|c| c.pattern.is_some())
         .expect("walk loop recognized")
         .parallelizable
 }
@@ -64,7 +66,12 @@ fn adds_dominates_every_baseline_on_the_ladder() {
     // the paper's central claim, as a property of the implementations.
     for (name, src, func) in programs::ladder_programs() {
         let adds_ok = adds(src, func);
-        for mode in [Mode::Blob, Mode::KLimit(1), Mode::KLimit(3), Mode::AllocSite] {
+        for mode in [
+            Mode::Blob,
+            Mode::KLimit(1),
+            Mode::KLimit(3),
+            Mode::AllocSite,
+        ] {
             let prior_ok = prior(src, func, mode);
             assert!(
                 adds_ok || !prior_ok,
@@ -82,7 +89,12 @@ fn baselines_never_parallelize_the_papers_own_fragment() {
     // that fragment), while the ADDS pipeline proves it (golden-tested in
     // tests/pipeline.rs). Belt and suspenders for the paper's PM1 claim:
     // "the compiler must assume that next is cyclic".
-    for mode in [Mode::Blob, Mode::KLimit(1), Mode::KLimit(3), Mode::AllocSite] {
+    for mode in [
+        Mode::Blob,
+        Mode::KLimit(1),
+        Mode::KLimit(3),
+        Mode::AllocSite,
+    ] {
         assert!(!prior(programs::PARAM_SCALE, "scale", mode));
     }
 }
