@@ -37,7 +37,7 @@ fn variants() -> (String, String, String) {
     let f = c.tp.program.func("scale").unwrap();
 
     let unrolled = unroll_loop(f, &pat, 4).unwrap();
-    let pipelined = pipeline_loop(f, &pat, "q").unwrap();
+    let pipelined = pipeline_loop(f, &checks[0], "q").unwrap();
 
     let mk = |fun: &adds_lang::ast::FunDecl| {
         let mut prog = c.tp.program.clone();

@@ -43,7 +43,10 @@ fn main() {
             println!(
                 "  {}: left sequential — {}",
                 r.func.name,
-                s.reasons.first().map(String::as_str).unwrap_or("?")
+                s.reasons
+                    .first()
+                    .map(|r| r.to_string())
+                    .unwrap_or_else(|| "?".to_string())
             );
         }
     }

@@ -64,7 +64,11 @@ pub fn run_ladder(klimits: &[usize]) -> Vec<LadderRow> {
             .unwrap_or_else(|| panic!("ladder twin {name} has no analysis for {func}"));
         let checks = adds::core::check_function(&compiled.tp, &compiled.summaries, an, func);
         let parallelizable = !checks.is_empty() && checks.iter().all(|c| c.parallelizable);
-        let reasons = crate::report::dedup_reasons(checks.iter().flat_map(|c| c.reasons.clone()));
+        let reasons = crate::report::dedup_reasons(
+            checks
+                .iter()
+                .flat_map(|c| c.reasons.iter().map(|r| r.to_string())),
+        );
         cells.push(LadderCell {
             analysis: "adds_gpm".to_string(),
             parallelizable,

@@ -162,8 +162,8 @@ fn schema_name(command: Command) -> &'static str {
     match command {
         Command::Parse => "adds.parse/v1",
         Command::Check => "adds.check/v1",
-        Command::Analyze => "adds.analyze/v1",
-        Command::Parallelize => "adds.parallelize/v1",
+        Command::Analyze => "adds.analyze/v2",
+        Command::Parallelize => "adds.parallelize/v2",
         Command::Run | Command::Ladder => unreachable!("own schemas"),
     }
 }

@@ -4,8 +4,8 @@
 
 use crate::args::Command;
 use crate::report::{
-    AnalyzeReport, CheckReport, FnReport, LoopReport, ParseReport, ProgramReport, SkippedLoop,
-    TransformDecision, TransformReport, TypeSummary,
+    AnalyzeReport, CheckReport, FnReport, LoopEffectsReport, LoopReport, ParseReport,
+    ProgramReport, ReasonEntry, SkippedLoop, TransformDecision, TransformReport, TypeSummary,
 };
 use adds::lang::adds::AddsFieldKind;
 use adds::lang::ast::Direction;
@@ -115,7 +115,7 @@ pub fn run_unit(unit: &InputUnit, command: Command, matrices: bool) -> ProgramRe
             skipped.push(SkippedLoop {
                 func: d.func.name.clone(),
                 line: line_col(&unit.source, s.span.start).line,
-                reasons: crate::report::dedup_reasons(s.reasons.iter().cloned()),
+                reasons: crate::report::dedup_reasons(s.reasons.iter().map(ReasonEntry::of)),
             });
         }
     }
@@ -184,7 +184,17 @@ fn analyze_report(src: &str, compiled: &adds::core::Compiled, matrices: bool) ->
                     .as_ref()
                     .map(|p| format!("{} via {}", p.var, p.field)),
                 parallelizable: c.parallelizable,
-                reasons: crate::report::dedup_reasons(c.reasons.iter().cloned()),
+                reasons: crate::report::dedup_reasons(c.reasons.iter().map(ReasonEntry::of)),
+                effects: c.effects.as_ref().map(|fx| {
+                    let (writes, reads, ptr_writes, advances) =
+                        adds::core::depend::render_effects(fx);
+                    LoopEffectsReport {
+                        writes,
+                        reads,
+                        ptr_writes,
+                        advances,
+                    }
+                }),
             })
             .collect();
         functions.push(FnReport {

@@ -7,14 +7,34 @@ use crate::json::{str_arr, Json};
 
 /// Order-preserving dedup for verdict reasons: checkers can emit the same
 /// reason once per offending statement, which reads as noise in reports.
-pub fn dedup_reasons(reasons: impl IntoIterator<Item = String>) -> Vec<String> {
-    let mut out: Vec<String> = Vec::new();
+pub fn dedup_reasons<T: PartialEq>(reasons: impl IntoIterator<Item = T>) -> Vec<T> {
+    let mut out: Vec<T> = Vec::new();
     for r in reasons {
         if !out.contains(&r) {
             out.push(r);
         }
     }
     out
+}
+
+/// One structured not-parallelizable reason: the stable machine-readable
+/// code plus the human-readable message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReasonEntry {
+    /// Stable code, e.g. `not_uniquely_forward` (see `adds_core::depend::Reason`).
+    pub code: String,
+    /// Rendered message.
+    pub message: String,
+}
+
+impl ReasonEntry {
+    /// Build from a checker reason.
+    pub fn of(r: &adds::core::Reason) -> ReasonEntry {
+        ReasonEntry {
+            code: r.code().to_string(),
+            message: r.to_string(),
+        }
+    }
 }
 
 /// Report for one input program.
@@ -115,8 +135,23 @@ pub struct LoopReport {
     pub pattern: Option<String>,
     /// Strip-mining is licensed.
     pub parallelizable: bool,
-    /// Reasons when not parallelizable.
-    pub reasons: Vec<String>,
+    /// Structured reasons when not parallelizable.
+    pub reasons: Vec<ReasonEntry>,
+    /// The body's composed effect summary, when the pattern was recognized.
+    pub effects: Option<LoopEffectsReport>,
+}
+
+/// Rendered per-loop effect summary (`core::effects`).
+#[derive(Clone, Debug)]
+pub struct LoopEffectsReport {
+    /// Heap writes as access paths, e.g. `r[across*].data`.
+    pub writes: Vec<String>,
+    /// Heap reads as access paths.
+    pub reads: Vec<String>,
+    /// Pointer-field writes (shape mutations) as access paths.
+    pub ptr_writes: Vec<String>,
+    /// Summarized inner-cursor advance relations, e.g. `p via across`.
+    pub advances: Vec<String>,
 }
 
 /// `parallelize` output.
@@ -151,7 +186,7 @@ pub struct SkippedLoop {
     /// 1-based source line of the loop head.
     pub line: u32,
     /// Why it stayed sequential.
-    pub reasons: Vec<String>,
+    pub reasons: Vec<ReasonEntry>,
 }
 
 // ------------------------------------------------------------------- JSON
@@ -234,7 +269,7 @@ impl ProgramReport {
                                     Json::obj([
                                         ("function", Json::str(&s.func)),
                                         ("line", Json::Int(s.line as i64)),
-                                        ("reasons", str_arr(&s.reasons)),
+                                        ("reasons", reasons_json(&s.reasons)),
                                     ])
                                 })
                                 .collect(),
@@ -249,6 +284,21 @@ impl ProgramReport {
     }
 }
 
+/// Reasons as an array of `{code, message}` objects.
+fn reasons_json(reasons: &[ReasonEntry]) -> Json {
+    Json::Arr(
+        reasons
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("code", Json::str(&r.code)),
+                    ("message", Json::str(&r.message)),
+                ])
+            })
+            .collect(),
+    )
+}
+
 impl FnReport {
     fn to_json(&self) -> Json {
         let mut pairs = vec![
@@ -259,15 +309,27 @@ impl FnReport {
                     self.loops
                         .iter()
                         .map(|l| {
-                            Json::obj([
-                                ("line", Json::Int(l.line as i64)),
+                            let mut fields = vec![
+                                ("line".to_string(), Json::Int(l.line as i64)),
                                 (
-                                    "pattern",
+                                    "pattern".to_string(),
                                     l.pattern.as_deref().map(Json::str).unwrap_or(Json::Null),
                                 ),
-                                ("parallelizable", Json::Bool(l.parallelizable)),
-                                ("reasons", str_arr(&l.reasons)),
-                            ])
+                                ("parallelizable".to_string(), Json::Bool(l.parallelizable)),
+                                ("reasons".to_string(), reasons_json(&l.reasons)),
+                            ];
+                            if let Some(fx) = &l.effects {
+                                fields.push((
+                                    "effects".to_string(),
+                                    Json::obj([
+                                        ("writes", str_arr(&fx.writes)),
+                                        ("reads", str_arr(&fx.reads)),
+                                        ("ptr_writes", str_arr(&fx.ptr_writes)),
+                                        ("advances", str_arr(&fx.advances)),
+                                    ]),
+                                ));
+                            }
+                            Json::Obj(fields)
                         })
                         .collect(),
                 ),
@@ -333,7 +395,9 @@ impl ProgramReport {
                     let verdict = if l.parallelizable {
                         "PARALLELIZABLE".to_string()
                     } else {
-                        format!("sequential ({})", l.reasons.join("; "))
+                        let msgs: Vec<&str> =
+                            l.reasons.iter().map(|r| r.message.as_str()).collect();
+                        format!("sequential ({})", msgs.join("; "))
                     };
                     let pattern = l
                         .pattern
@@ -344,6 +408,19 @@ impl ProgramReport {
                         "    loop at line {}: {pattern}{verdict}\n",
                         l.line
                     ));
+                    if let Some(fx) = &l.effects {
+                        if !fx.writes.is_empty() || !fx.advances.is_empty() {
+                            out.push_str(&format!(
+                                "      effects: writes [{}]{}\n",
+                                fx.writes.join(", "),
+                                if fx.advances.is_empty() {
+                                    String::new()
+                                } else {
+                                    format!("  inner advances [{}]", fx.advances.join(", "))
+                                }
+                            ));
+                        }
+                    }
                 }
                 for e in &f.events {
                     out.push_str(&format!("    event: {e}\n"));
@@ -366,11 +443,12 @@ impl ProgramReport {
                 ));
             }
             for s in &t.skipped {
+                let msgs: Vec<&str> = s.reasons.iter().map(|r| r.message.as_str()).collect();
                 out.push_str(&format!(
                     "  sequential {} loop at line {}: {}\n",
                     s.func,
                     s.line,
-                    s.reasons.join("; ")
+                    msgs.join("; ")
                 ));
             }
             out.push_str(&format!(

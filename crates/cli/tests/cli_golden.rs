@@ -6,9 +6,12 @@
 //! intentional report change with:
 //!
 //! ```text
-//! cargo run --release -p adds-cli -- analyze --program NAME --format json \
-//!     > crates/cli/tests/golden/analyze_NAME.json
+//! UPDATE_GOLDEN=1 cargo test -p adds-cli --test cli_golden
 //! ```
+//!
+//! With `UPDATE_GOLDEN=1` the golden assertions rewrite the files under
+//! `crates/cli/tests/golden/` instead of comparing — review the diff before
+//! committing.
 
 use std::process::{Command, Output};
 
@@ -27,17 +30,36 @@ fn run_ok(args: &[&str]) -> Output {
     out
 }
 
+fn golden_path(name: &str) -> String {
+    format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
 fn golden(name: &str) -> String {
-    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    let path = golden_path(name);
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing golden {path}: {e}"))
+}
+
+/// Compare `actual` against the checked-in golden, or rewrite the golden
+/// when `UPDATE_GOLDEN=1` is set.
+fn assert_golden(name: &str, actual: &str) {
+    if std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1") {
+        std::fs::write(golden_path(name), actual).expect("write golden");
+        return;
+    }
+    assert_eq!(
+        actual,
+        golden(name),
+        "golden {name} differs — regenerate with \
+         `UPDATE_GOLDEN=1 cargo test -p adds-cli --test cli_golden` and review the diff"
+    );
 }
 
 #[test]
 fn analyze_json_matches_golden_barnes_hut() {
     let out = run_ok(&["analyze", "--program", "barnes_hut", "--format", "json"]);
-    assert_eq!(
-        String::from_utf8_lossy(&out.stdout),
-        golden("analyze_barnes_hut.json")
+    assert_golden(
+        "analyze_barnes_hut.json",
+        &String::from_utf8_lossy(&out.stdout),
     );
 }
 
@@ -50,18 +72,18 @@ fn analyze_json_matches_golden_one_way_list() {
         "--format",
         "json",
     ]);
-    assert_eq!(
-        String::from_utf8_lossy(&out.stdout),
-        golden("analyze_list_scale_adds.json")
+    assert_golden(
+        "analyze_list_scale_adds.json",
+        &String::from_utf8_lossy(&out.stdout),
     );
 }
 
 #[test]
 fn analyze_json_matches_golden_orthogonal_list() {
     let out = run_ok(&["analyze", "--program", "orth_row_scale", "--format", "json"]);
-    assert_eq!(
-        String::from_utf8_lossy(&out.stdout),
-        golden("analyze_orth_row_scale.json")
+    assert_golden(
+        "analyze_orth_row_scale.json",
+        &String::from_utf8_lossy(&out.stdout),
     );
 }
 
@@ -69,7 +91,7 @@ fn analyze_json_matches_golden_orthogonal_list() {
 fn analyze_all_jobs4_json_is_valid_and_covers_corpus() {
     let out = run_ok(&["analyze", "--all", "--jobs", "4", "--format", "json"]);
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.starts_with("{\n  \"schema\": \"adds.analyze/v1\""));
+    assert!(text.starts_with("{\n  \"schema\": \"adds.analyze/v2\""));
     // Every corpus program appears, and batch parallelism does not disturb
     // input order.
     let mut last = 0;

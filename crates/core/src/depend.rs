@@ -12,16 +12,28 @@
 //! 1. `f` is `uniquely forward` and the abstraction for it is **valid** at
 //!    loop entry, so `p = p->f` always moves to a *new* node
 //!    (the path matrix fixpoint must show `PM(p', p)` no-alias);
-//! 2. the body **writes only to the node denoted by `p`** (directly), never
-//!    through other variables, and mutates **no pointer fields** anywhere;
+//! 2. the body **writes only within `p`'s iteration-local region**: either
+//!    `p`'s own node, or nodes reached from it along a summarized inner
+//!    chase whose link fields are uniquely forward on a dimension
+//!    independent of `f` (so the regions of distinct iterations are
+//!    disjoint) — and it mutates **no pointer fields** anywhere;
 //! 3. any data read through *other* (loop-invariant) pointers — e.g. the
 //!    octree via `root` — is read-only **in the fields the body writes**:
 //!    the written field set must be disjoint from every reachable read set,
 //!    since `p`'s node may itself be reachable from those pointers;
-//! 4. no scalar loop-carried dependence (accumulators disqualify the loop).
+//! 4. no scalar or pointer value carries a dependence across iterations
+//!    (accumulators and cursors read before being re-bound disqualify the
+//!    loop).
+//!
+//! The check itself is small: it recognizes the chase pattern, then queries
+//! the composed [`EffectSummary`] of the body (`core::effects`), which
+//! summarizes blocks, branches, and inner loops bottom-up. Inner cursor
+//! rebinding is a local effect of the summary, not a rejection — this is
+//! what licenses the orthogonal-list row loop (`orth_row_scale`).
 
 use crate::analysis::FnAnalysis;
-use crate::summary::{Depth, Summaries};
+use crate::effects::{self, Access, EffectSummary, Via, FRESH_ROOT};
+use crate::summary::Summaries;
 use adds_lang::ast::*;
 use adds_lang::source::Span;
 use adds_lang::types::TypedProgram;
@@ -40,6 +52,222 @@ pub struct ChasePattern {
     pub advance_idx: usize,
 }
 
+/// A machine-readable reason a loop was not parallelized. [`Reason::code`]
+/// is the stable identifier reports key on; `Display` renders the
+/// human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reason {
+    /// The loop condition is not `p <> NULL`.
+    NotChaseCondition,
+    /// The condition variable is not a pointer.
+    NotPointerVar {
+        /// The offending variable.
+        var: String,
+    },
+    /// The cursor is advanced more than once per iteration.
+    MultipleAdvance {
+        /// The cursor variable.
+        var: String,
+    },
+    /// The cursor is assigned something other than `var-><field>`.
+    NonAdvanceAssign {
+        /// The cursor variable.
+        var: String,
+    },
+    /// The cursor is assigned inside nested control flow.
+    CursorAssignedInNested {
+        /// The cursor variable.
+        var: String,
+    },
+    /// No advance statement was found.
+    NoAdvance {
+        /// The cursor variable.
+        var: String,
+    },
+    /// The advance statement is not the last statement of the body.
+    AdvanceNotLast,
+    /// The advance field is not declared `uniquely forward`.
+    NotUniquelyForward {
+        /// The record type.
+        record: String,
+        /// The advance field.
+        field: String,
+    },
+    /// The record carries no ADDS declaration at all.
+    NoAddsDecl {
+        /// The record type.
+        record: String,
+    },
+    /// The route abstraction is broken at loop entry.
+    AbstractionBroken {
+        /// The record type.
+        record: String,
+        /// The advance field.
+        field: String,
+    },
+    /// The path matrix fixpoint cannot prove the cursor moves to a new node.
+    MayRevisit {
+        /// The cursor variable.
+        var: String,
+    },
+    /// The loop has no recorded analysis.
+    NotAnalyzed,
+    /// The body mutates pointer fields (shape changes).
+    PtrFieldMutated,
+    /// The body writes through a pointer other than the cursor.
+    ForeignWrite {
+        /// The loop-invariant root written through.
+        root: String,
+        /// The cursor variable.
+        var: String,
+    },
+    /// The body writes beyond the cursor's node along a chain that is not
+    /// provably iteration-local.
+    UnlicensedReachableWrite {
+        /// The cursor variable.
+        var: String,
+        /// The traversed link fields (empty for an unknown chain).
+        via: Vec<String>,
+    },
+    /// Written fields are also read through other pointers.
+    FieldConflict {
+        /// The overlapping fields.
+        fields: Vec<String>,
+    },
+    /// The body writes the advance field itself.
+    AdvanceFieldWritten {
+        /// The advance field.
+        field: String,
+    },
+    /// A scalar carries a dependence across iterations.
+    CarriedScalar {
+        /// The scalar variable.
+        var: String,
+    },
+    /// A pointer variable's value crosses iterations (read before re-bound,
+    /// or live after the loop).
+    CarriedPointer {
+        /// The pointer variable.
+        var: String,
+    },
+    /// The body returns out of the loop.
+    ReturnsFromLoop,
+    /// The effect summary lost precision.
+    Opaque {
+        /// What could not be summarized.
+        note: String,
+    },
+}
+
+impl Reason {
+    /// The stable machine-readable code for this reason.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Reason::NotChaseCondition => "not_chase_condition",
+            Reason::NotPointerVar { .. } => "not_pointer_var",
+            Reason::MultipleAdvance { .. } => "multiple_advance",
+            Reason::NonAdvanceAssign { .. } => "non_advance_assign",
+            Reason::CursorAssignedInNested { .. } => "cursor_assigned_in_nested",
+            Reason::NoAdvance { .. } => "no_advance",
+            Reason::AdvanceNotLast => "advance_not_last",
+            Reason::NotUniquelyForward { .. } => "not_uniquely_forward",
+            Reason::NoAddsDecl { .. } => "no_adds_decl",
+            Reason::AbstractionBroken { .. } => "abstraction_broken",
+            Reason::MayRevisit { .. } => "may_revisit",
+            Reason::NotAnalyzed => "not_analyzed",
+            Reason::PtrFieldMutated => "ptr_field_mutated",
+            Reason::ForeignWrite { .. } => "foreign_write",
+            Reason::UnlicensedReachableWrite { .. } => "unlicensed_reachable_write",
+            Reason::FieldConflict { .. } => "field_conflict",
+            Reason::AdvanceFieldWritten { .. } => "advance_field_written",
+            Reason::CarriedScalar { .. } => "carried_scalar",
+            Reason::CarriedPointer { .. } => "carried_pointer",
+            Reason::ReturnsFromLoop => "returns_from_loop",
+            Reason::Opaque { .. } => "opaque",
+        }
+    }
+
+    /// Substring test on the rendered message (convenience for tests and
+    /// report filters that predate the structured codes).
+    pub fn contains(&self, needle: &str) -> bool {
+        self.to_string().contains(needle)
+    }
+}
+
+impl std::fmt::Display for Reason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Reason::NotChaseCondition => write!(f, "loop condition is not `p <> NULL`"),
+            Reason::NotPointerVar { var } => write!(f, "`{var}` is not a pointer variable"),
+            Reason::MultipleAdvance { var } => write!(f, "`{var}` is advanced more than once"),
+            Reason::NonAdvanceAssign { var } => write!(
+                f,
+                "`{var}` is assigned something other than `{var}-><field>`"
+            ),
+            Reason::CursorAssignedInNested { var } => {
+                write!(f, "`{var}` is assigned inside nested control flow")
+            }
+            Reason::NoAdvance { var } => {
+                write!(f, "no advance statement `{var} = {var}-><field>`")
+            }
+            Reason::AdvanceNotLast => {
+                write!(f, "advance statement is not the last statement of the body")
+            }
+            Reason::NotUniquelyForward { record, field } => write!(
+                f,
+                "field `{field}` of `{record}` is not declared `uniquely forward`"
+            ),
+            Reason::NoAddsDecl { record } => write!(f, "`{record}` has no ADDS declaration"),
+            Reason::AbstractionBroken { record, field } => write!(
+                f,
+                "abstraction for `{record}.{field}` is broken at loop entry"
+            ),
+            Reason::MayRevisit { var } => write!(
+                f,
+                "analysis cannot prove `{var}` moves to a new node each iteration"
+            ),
+            Reason::NotAnalyzed => write!(f, "loop was not analyzed"),
+            Reason::PtrFieldMutated => write!(f, "body mutates pointer fields (shape changes)"),
+            Reason::ForeignWrite { root, var } => {
+                write!(f, "body writes through `{root}`, not only through `{var}`")
+            }
+            Reason::UnlicensedReachableWrite { var, via } => {
+                if via.is_empty() {
+                    write!(
+                        f,
+                        "body writes to nodes *reachable* from `{var}` along an \
+                         unknown chain, not just `{var}`'s node"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "body writes to nodes *reachable* from `{var}` via {{{}}}, and \
+                         the chain is not provably iteration-local",
+                        via.join(",")
+                    )
+                }
+            }
+            Reason::FieldConflict { fields } => write!(
+                f,
+                "written fields {fields:?} are also read through other pointers"
+            ),
+            Reason::AdvanceFieldWritten { field } => {
+                write!(f, "body writes the advance field `{field}`")
+            }
+            Reason::CarriedScalar { var } => {
+                write!(f, "scalar `{var}` carries a dependence across iterations")
+            }
+            Reason::CarriedPointer { var } => write!(
+                f,
+                "pointer variable `{var}` is re-bound inside the body and its \
+                 value crosses iterations"
+            ),
+            Reason::ReturnsFromLoop => write!(f, "body returns out of the loop"),
+            Reason::Opaque { note } => write!(f, "effect summary lost precision: {note}"),
+        }
+    }
+}
+
 /// Verdict for one loop.
 #[derive(Clone, Debug)]
 pub struct LoopCheck {
@@ -49,8 +277,12 @@ pub struct LoopCheck {
     pub pattern: Option<ChasePattern>,
     /// Whether strip-mining is licensed.
     pub parallelizable: bool,
-    /// Human-readable reasons when not parallelizable.
-    pub reasons: Vec<String>,
+    /// Structured reasons when not parallelizable.
+    pub reasons: Vec<Reason>,
+    /// The composed effect summary of the body (minus the advance), when the
+    /// chase pattern was recognized. Transformations consume this instead of
+    /// re-scanning the body.
+    pub effects: Option<EffectSummary>,
 }
 
 /// Check every `while` loop of `func` for strip-mine parallelizability.
@@ -65,7 +297,7 @@ pub fn check_function(
     };
     let mut out = Vec::new();
     collect_whiles(&f.body, &mut |cond, body, span| {
-        out.push(check_loop_inner(tp, sums, an, func, cond, body, span));
+        out.push(check_loop_inner(tp, sums, an, f, func, cond, body, span));
     });
     out
 }
@@ -104,10 +336,22 @@ fn collect_whiles(b: &Block, visit: &mut impl FnMut(&Expr, &Block, Span)) {
     }
 }
 
+fn failed(span: Span, reasons: Vec<Reason>) -> LoopCheck {
+    LoopCheck {
+        span,
+        pattern: None,
+        parallelizable: false,
+        reasons,
+        effects: None,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn check_loop_inner(
     tp: &TypedProgram,
     sums: &Summaries,
     an: &FnAnalysis,
+    f: &FunDecl,
     func: &str,
     cond: &Expr,
     body: &Block,
@@ -115,31 +359,18 @@ fn check_loop_inner(
 ) -> LoopCheck {
     let mut reasons = Vec::new();
 
-    // ---- pattern: `while p <> NULL` -----------------------------------
-    let var = match chase_cond_var(cond) {
+    // ---- (a) recognize the chase pattern -------------------------------
+    // `while p <> NULL`, with exactly one top-level advance `p = p->f` and
+    // no other assignment to `p` anywhere in the body.
+    let var = match effects::chase_cond_var(cond) {
         Some(v) => v,
-        None => {
-            return LoopCheck {
-                span,
-                pattern: None,
-                parallelizable: false,
-                reasons: vec!["loop condition is not `p <> NULL`".into()],
-            }
-        }
+        None => return failed(span, vec![Reason::NotChaseCondition]),
     };
     let record = match tp.var_ty(func, &var) {
         Some(Ty::Ptr(r)) => r.clone(),
-        _ => {
-            return LoopCheck {
-                span,
-                pattern: None,
-                parallelizable: false,
-                reasons: vec![format!("`{var}` is not a pointer variable")],
-            }
-        }
+        _ => return failed(span, vec![Reason::NotPointerVar { var }]),
     };
 
-    // ---- pattern: advance statement `p = p->f` -------------------------
     let mut advance: Option<(usize, String)> = None;
     for (i, s) in body.stmts.iter().enumerate() {
         if let Stmt::Assign { lhs, rhs, .. } = s {
@@ -147,30 +378,23 @@ fn check_loop_inner(
                 match rhs.as_pointer_path() {
                     Some((base, fields)) if base == var && fields.len() == 1 => {
                         if advance.is_some() {
-                            reasons.push(format!("`{var}` is advanced more than once"));
+                            reasons.push(Reason::MultipleAdvance { var: var.clone() });
                         }
                         advance = Some((i, fields[0].clone()));
                     }
-                    _ => reasons.push(format!(
-                        "`{var}` is assigned something other than `{var}-><field>`"
-                    )),
+                    _ => reasons.push(Reason::NonAdvanceAssign { var: var.clone() }),
                 }
             }
         } else if assigns_var_deep(s, &var) {
-            reasons.push(format!("`{var}` is assigned inside nested control flow"));
+            reasons.push(Reason::CursorAssignedInNested { var: var.clone() });
         }
     }
     let Some((advance_idx, field)) = advance else {
-        reasons.push(format!("no advance statement `{var} = {var}-><field>`"));
-        return LoopCheck {
-            span,
-            pattern: None,
-            parallelizable: false,
-            reasons,
-        };
+        reasons.push(Reason::NoAdvance { var });
+        return failed(span, reasons);
     };
     if advance_idx + 1 != body.stmts.len() {
-        reasons.push("advance statement is not the last statement of the body".into());
+        reasons.push(Reason::AdvanceNotLast);
     }
     let pattern = ChasePattern {
         var: var.clone(),
@@ -180,70 +404,121 @@ fn check_loop_inner(
     };
 
     // ---- condition 1: uniquely-forward advance + valid abstraction -----
-    let adds_ty = tp.adds.get(&record);
-    match adds_ty {
+    match tp.adds.get(&record) {
         Some(t) if t.is_uniquely_forward(&field) => {}
-        Some(_) => reasons.push(format!(
-            "field `{field}` of `{record}` is not declared `uniquely forward`"
-        )),
-        None => reasons.push(format!("`{record}` has no ADDS declaration")),
+        Some(_) => reasons.push(Reason::NotUniquelyForward {
+            record: record.clone(),
+            field: field.clone(),
+        }),
+        None => reasons.push(Reason::NoAddsDecl {
+            record: record.clone(),
+        }),
     }
-    if let Some(lp) = an.loop_at(span) {
+    let analyzed_loop = an.loop_at(span);
+    let loop_head = analyzed_loop.map(|lp| &lp.head);
+    if let Some(lp) = analyzed_loop {
         if !lp.head.abstraction_valid(&record, &field) {
-            reasons.push(format!(
-                "abstraction for `{record}.{field}` is broken at loop entry"
-            ));
+            reasons.push(Reason::AbstractionBroken {
+                record: record.clone(),
+                field: field.clone(),
+            });
         }
         // The fixpoint must show consecutive iterations on distinct nodes.
         let primed = crate::matrix::primed(&var);
         if lp.bottom.pm.has_var(&primed) && lp.bottom.pm.get(&primed, &var).may_alias() {
-            reasons.push(format!(
-                "analysis cannot prove `{var}` moves to a new node each iteration"
-            ));
+            reasons.push(Reason::MayRevisit { var: var.clone() });
         }
     } else {
-        reasons.push("loop was not analyzed".into());
+        reasons.push(Reason::NotAnalyzed);
     }
 
-    // ---- conditions 2-4: body effects ----------------------------------
-    let effects = body_effects(tp, sums, func, body, advance_idx, &var, &mut reasons);
+    // ---- (b) query the composed effect summary of the body -------------
+    let fx = effects::summarize_loop_body(tp, sums, func, body, advance_idx);
 
-    // 2: writes only direct-to-p; no pointer writes at all.
-    if !effects.ptr_write_free {
-        reasons.push("body mutates pointer fields (shape changes)".into());
+    if fx.returns {
+        reasons.push(Reason::ReturnsFromLoop);
     }
-    for w in &effects.foreign_writes {
-        reasons.push(format!(
-            "body writes through `{w}`, not only through `{var}`"
-        ));
-    }
-    if effects.writes_reachable {
-        reasons.push(format!(
-            "body writes to nodes *reachable* from `{var}`, not just `{var}`'s node"
-        ));
+    for note in &fx.opaque {
+        reasons.push(Reason::Opaque { note: note.clone() });
     }
 
-    // 3: field disjointness between written fields and reachable reads.
-    let overlap: Vec<&String> = effects
-        .written_fields
-        .intersection(&effects.reachable_read_fields)
+    // Condition 2a: no pointer-field mutation anywhere.
+    if !fx.ptr_writes.is_empty() {
+        reasons.push(Reason::PtrFieldMutated);
+    }
+
+    // Condition 2b: every scalar write lands in the cursor's
+    // iteration-local region.
+    let mut written_fields: BTreeSet<String> = BTreeSet::new();
+    let mut foreign_roots: BTreeSet<String> = BTreeSet::new();
+    let mut unlicensed_vias: BTreeSet<Vec<String>> = BTreeSet::new();
+    for a in fx.writes.iter().chain(fx.ptr_writes.iter()) {
+        if a.root == FRESH_ROOT {
+            continue; // nodes allocated this iteration are private
+        }
+        if a.root != var {
+            foreign_roots.insert(a.root.clone());
+            continue;
+        }
+        if region_is_iteration_local(tp, loop_head, &field, &a.via) {
+            written_fields.insert(a.field.clone());
+        } else {
+            unlicensed_vias.insert(via_fields(&a.via));
+            written_fields.insert(a.field.clone());
+        }
+    }
+    for root in foreign_roots {
+        reasons.push(Reason::ForeignWrite {
+            root,
+            var: var.clone(),
+        });
+    }
+    for via in unlicensed_vias {
+        reasons.push(Reason::UnlicensedReachableWrite {
+            var: var.clone(),
+            via,
+        });
+    }
+
+    // Condition 3: field disjointness between written fields and reads that
+    // may reach another iteration's region.
+    let mut reachable_reads: BTreeSet<String> = BTreeSet::new();
+    for a in &fx.reads {
+        if a.root == FRESH_ROOT {
+            continue;
+        }
+        if a.root == var && region_is_iteration_local(tp, loop_head, &field, &a.via) {
+            continue; // the iteration's own region
+        }
+        reachable_reads.insert(a.field.clone());
+    }
+    let overlap: Vec<String> = written_fields
+        .intersection(&reachable_reads)
+        .cloned()
         .collect();
     if !overlap.is_empty() {
-        reasons.push(format!(
-            "written fields {:?} are also read through other pointers",
-            overlap
-        ));
+        reasons.push(Reason::FieldConflict { fields: overlap });
     }
     // The advance field must never be written.
-    if effects.written_fields.contains(&field) {
-        reasons.push(format!("body writes the advance field `{field}`"));
+    if written_fields.contains(&field) {
+        reasons.push(Reason::AdvanceFieldWritten {
+            field: field.clone(),
+        });
     }
 
-    // 4: scalar loop-carried dependences.
-    for v in &effects.carried_scalars {
-        reasons.push(format!(
-            "scalar `{v}` carries a dependence across iterations"
-        ));
+    // Condition 4: carried scalars and carried pointers.
+    for v in fx.scalar_writes.intersection(&fx.scalar_reads) {
+        reasons.push(Reason::CarriedScalar { var: v.clone() });
+    }
+    for v in &fx.ptr_rebound {
+        if v == &var {
+            continue; // the cursor's own rebinding is the (checked) advance
+        }
+        // A re-bound pointer is iteration-private only if the region never
+        // uses its entry value and the variable is dead after the loop.
+        if fx.ptr_reads_before_bind.contains(v) || var_used_outside_loop(f, span, v) {
+            reasons.push(Reason::CarriedPointer { var: v.clone() });
+        }
     }
 
     LoopCheck {
@@ -251,24 +526,83 @@ fn check_loop_inner(
         pattern: Some(pattern),
         parallelizable: reasons.is_empty(),
         reasons,
+        effects: Some(fx),
     }
 }
 
-/// Does `cond` have the shape `p <> NULL` (or `NULL <> p`)?
-fn chase_cond_var(cond: &Expr) -> Option<String> {
-    let Expr::Binary {
-        op: BinOp::Ne,
-        lhs,
-        rhs,
-        ..
-    } = cond
-    else {
-        return None;
-    };
-    match (lhs.as_ref(), rhs.as_ref()) {
-        (Expr::Var(v, _), Expr::Null(_)) | (Expr::Null(_), Expr::Var(v, _)) => Some(v.clone()),
-        _ => None,
+fn via_fields(via: &Via) -> Vec<String> {
+    match via {
+        Via::Fields(s) => s.iter().cloned().collect(),
+        Via::Any => Vec::new(),
     }
+}
+
+/// Is the region `via(p)` guaranteed disjoint from `via(q)` for distinct
+/// iterations' cursors `p`, `q` (where `q = advance_field+(p)`)?
+///
+/// * The cursor's own node (`via` empty) always is: condition 1 proves the
+///   cursor moves to a new node each iteration.
+/// * A star-closed chain along exactly ONE link field `g` is
+///   iteration-local when `g` is `uniquely forward` (two `g*` chains that
+///   share a node must have one head inside the other's chain — uniqueness
+///   forbids a second `g` predecessor), is not the advance field itself,
+///   travels a dimension declared **independent** of the advance field's
+///   dimension (`where X||Y`, so one cursor cannot sit inside the other's
+///   chain: it would be reachable along both pure dimensions), and its
+///   route abstraction is intact at loop entry.
+/// * A chain mixing SEVERAL link fields is never licensed, even when each
+///   field passes the test pairwise: per-field uniqueness allows a node to
+///   carry one predecessor per field, so two mixed-field regions can merge
+///   without either chain containing the other's head.
+/// * An unknown chain (`Via::Any`) never is.
+fn region_is_iteration_local(
+    tp: &TypedProgram,
+    loop_head: Option<&crate::analysis::State>,
+    advance_field: &str,
+    via: &Via,
+) -> bool {
+    let Via::Fields(fields) = via else {
+        return false;
+    };
+    if fields.len() > 1 {
+        return false;
+    }
+    fields.iter().all(|g| {
+        g != advance_field
+            && loop_head.is_some_and(|h| h.field_trustworthy(g))
+            && field_uniquely_forward(tp, g)
+            && fields_provably_independent(tp, g, advance_field)
+    })
+}
+
+/// Is `g` declared `uniquely forward` in *every* record type that declares
+/// it (and in at least one)?
+fn field_uniquely_forward(tp: &TypedProgram, g: &str) -> bool {
+    let mut seen = false;
+    for t in tp.adds.types() {
+        if t.field(g).is_some() {
+            if !t.is_uniquely_forward(g) {
+                return false;
+            }
+            seen = true;
+        }
+    }
+    seen
+}
+
+/// Do `g` and `f` travel independent dimensions in every record type that
+/// declares both (and in at least one)?
+fn fields_provably_independent(tp: &TypedProgram, g: &str, f: &str) -> bool {
+    let mut seen = false;
+    for t in tp.adds.types() {
+        if t.field(g).is_some() && t.field(f).is_some() {
+            if !t.fields_on_independent_dims(g, f) {
+                return false;
+            }
+            seen = true;
+        }
+    }
+    seen
 }
 
 fn assigns_var_deep(s: &Stmt, var: &str) -> bool {
@@ -290,326 +624,76 @@ fn assigns_var_deep(s: &Stmt, var: &str) -> bool {
     }
 }
 
-#[derive(Default)]
-struct BodyEffects {
-    /// Scalar fields written via the chase variable.
-    written_fields: BTreeSet<String>,
-    /// Fields read at reachable depth through any pointer (chase var or
-    /// invariant pointers like `root`).
-    reachable_read_fields: BTreeSet<String>,
-    /// Pointer vars other than the chase var written through.
-    foreign_writes: BTreeSet<String>,
-    writes_reachable: bool,
-    ptr_write_free: bool,
-    carried_scalars: BTreeSet<String>,
+/// Is `var`'s value used anywhere in `f` outside the loop at `loop_span`?
+/// (Re-bound loop cursors must be dead after the loop for the strip-mined
+/// form — where the cursor becomes helper-local — to preserve semantics.)
+fn var_used_outside_loop(f: &FunDecl, loop_span: Span, var: &str) -> bool {
+    fn expr_uses(e: &Expr, var: &str) -> bool {
+        match e {
+            Expr::Var(v, _) => v == var,
+            Expr::Field { base, index, .. } => {
+                expr_uses(base, var) || index.as_deref().is_some_and(|i| expr_uses(i, var))
+            }
+            Expr::Unary { operand, .. } => expr_uses(operand, var),
+            Expr::Binary { lhs, rhs, .. } => expr_uses(lhs, var) || expr_uses(rhs, var),
+            Expr::Call(c) => c.args.iter().any(|a| expr_uses(a, var)),
+            _ => false,
+        }
+    }
+    fn block_uses(b: &Block, loop_span: Span, var: &str) -> bool {
+        b.stmts.iter().any(|s| stmt_uses(s, loop_span, var))
+    }
+    fn stmt_uses(s: &Stmt, loop_span: Span, var: &str) -> bool {
+        match s {
+            Stmt::While { cond, body, span } => {
+                if span.start == loop_span.start {
+                    return false; // the loop under test
+                }
+                expr_uses(cond, var) || block_uses(body, loop_span, var)
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                (!lhs.is_var() && lhs.base == var)
+                    || lhs
+                        .path
+                        .iter()
+                        .any(|a| a.index.as_deref().is_some_and(|i| expr_uses(i, var)))
+                    || expr_uses(rhs, var)
+            }
+            Stmt::VarDecl { init, .. } => init.as_ref().is_some_and(|e| expr_uses(e, var)),
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                expr_uses(cond, var)
+                    || block_uses(then_blk, loop_span, var)
+                    || else_blk
+                        .as_ref()
+                        .is_some_and(|e| block_uses(e, loop_span, var))
+            }
+            Stmt::For { from, to, body, .. } => {
+                expr_uses(from, var) || expr_uses(to, var) || block_uses(body, loop_span, var)
+            }
+            Stmt::Return { value, .. } => value.as_ref().is_some_and(|e| expr_uses(e, var)),
+            Stmt::Call(c) => c.args.iter().any(|a| expr_uses(a, var)),
+        }
+    }
+    block_uses(&f.body, loop_span, var)
 }
 
-fn body_effects(
-    tp: &TypedProgram,
-    sums: &Summaries,
-    func: &str,
-    body: &Block,
-    advance_idx: usize,
-    var: &str,
-    reasons: &mut Vec<String>,
-) -> BodyEffects {
-    let mut fx = BodyEffects {
-        ptr_write_free: true,
-        ..Default::default()
-    };
-
-    // Scalars declared inside the body are iteration-private.
-    let mut local_scalars: BTreeSet<String> = BTreeSet::new();
-    let mut assigned_scalars: BTreeSet<String> = BTreeSet::new();
-    let mut read_scalars: BTreeSet<String> = BTreeSet::new();
-
-    for (i, s) in body.stmts.iter().enumerate() {
-        if i == advance_idx {
-            continue;
-        }
-        stmt_effects(
-            tp,
-            sums,
-            func,
-            s,
-            var,
-            &mut fx,
-            &mut local_scalars,
-            &mut assigned_scalars,
-            &mut read_scalars,
-            reasons,
-        );
-    }
-
-    for v in assigned_scalars {
-        if !local_scalars.contains(&v) && read_scalars.contains(&v) {
-            fx.carried_scalars.insert(v);
-        }
-    }
-    fx
-}
-
-#[allow(clippy::too_many_arguments)]
-fn stmt_effects(
-    tp: &TypedProgram,
-    sums: &Summaries,
-    func: &str,
-    s: &Stmt,
-    var: &str,
-    fx: &mut BodyEffects,
-    local_scalars: &mut BTreeSet<String>,
-    assigned_scalars: &mut BTreeSet<String>,
-    read_scalars: &mut BTreeSet<String>,
-    reasons: &mut Vec<String>,
-) {
-    let is_ptr = |v: &str| tp.var_ty(func, v).is_some_and(|t| t.is_pointer());
-    match s {
-        Stmt::VarDecl { name, init, .. } => {
-            if !is_ptr(name) {
-                local_scalars.insert(name.clone());
-            }
-            if let Some(e) = init {
-                expr_effects(tp, sums, func, e, var, fx, read_scalars, reasons);
-            }
-        }
-        Stmt::Assign { lhs, rhs, .. } => {
-            expr_effects(tp, sums, func, rhs, var, fx, read_scalars, reasons);
-            if lhs.is_var() {
-                if is_ptr(&lhs.base) {
-                    // Pointer-variable rebinding inside the body (other than
-                    // the advance) makes tracking imprecise.
-                    reasons.push(format!(
-                        "pointer variable `{}` is re-bound inside the body",
-                        lhs.base
-                    ));
-                } else {
-                    assigned_scalars.insert(lhs.base.clone());
-                }
-                return;
-            }
-            // Heap write through lhs.base.
-            let depth = lhs.path.len();
-            let last = lhs.path.last().expect("field lvalue");
-            let written_is_ptr = lvalue_field_is_pointer(tp, func, lhs);
-            if written_is_ptr {
-                fx.ptr_write_free = false;
-            }
-            if lhs.base == var {
-                if depth > 1 {
-                    fx.writes_reachable = true;
-                }
-                fx.written_fields.insert(last.field.clone());
-            } else {
-                fx.foreign_writes.insert(lhs.base.clone());
-            }
-            // Reads of intermediate links count as reachable reads.
-            for acc in &lhs.path[..depth - 1] {
-                fx.reachable_read_fields.insert(acc.field.clone());
-            }
-        }
-        Stmt::While { cond, body, .. } => {
-            expr_effects(tp, sums, func, cond, var, fx, read_scalars, reasons);
-            for s in &body.stmts {
-                stmt_effects(
-                    tp,
-                    sums,
-                    func,
-                    s,
-                    var,
-                    fx,
-                    local_scalars,
-                    assigned_scalars,
-                    read_scalars,
-                    reasons,
-                );
-            }
-        }
-        Stmt::For { from, to, body, .. } => {
-            expr_effects(tp, sums, func, from, var, fx, read_scalars, reasons);
-            expr_effects(tp, sums, func, to, var, fx, read_scalars, reasons);
-            for s in &body.stmts {
-                stmt_effects(
-                    tp,
-                    sums,
-                    func,
-                    s,
-                    var,
-                    fx,
-                    local_scalars,
-                    assigned_scalars,
-                    read_scalars,
-                    reasons,
-                );
-            }
-        }
-        Stmt::If {
-            cond,
-            then_blk,
-            else_blk,
-            ..
-        } => {
-            expr_effects(tp, sums, func, cond, var, fx, read_scalars, reasons);
-            for s in then_blk
-                .stmts
-                .iter()
-                .chain(else_blk.iter().flat_map(|b| b.stmts.iter()))
-            {
-                stmt_effects(
-                    tp,
-                    sums,
-                    func,
-                    s,
-                    var,
-                    fx,
-                    local_scalars,
-                    assigned_scalars,
-                    read_scalars,
-                    reasons,
-                );
-            }
-        }
-        Stmt::Return { value, .. } => {
-            if let Some(e) = value {
-                expr_effects(tp, sums, func, e, var, fx, read_scalars, reasons);
-            }
-            reasons.push("body returns out of the loop".into());
-        }
-        Stmt::Call(c) => {
-            call_effects(tp, sums, func, c, var, fx, read_scalars, reasons);
-        }
-    }
-}
-
-fn lvalue_field_is_pointer(tp: &TypedProgram, func: &str, lv: &LValue) -> bool {
-    let Some(mut rec) = tp
-        .var_ty(func, &lv.base)
-        .and_then(|t| t.pointee().map(str::to_string))
-    else {
-        return false;
-    };
-    for (i, acc) in lv.path.iter().enumerate() {
-        match tp.field_ty(&rec, &acc.field) {
-            Some(Ty::Ptr(t)) => {
-                if i + 1 == lv.path.len() {
-                    return true;
-                }
-                rec = t;
-            }
-            _ => return false,
-        }
-    }
-    false
-}
-
-#[allow(clippy::too_many_arguments)]
-fn expr_effects(
-    tp: &TypedProgram,
-    sums: &Summaries,
-    func: &str,
-    e: &Expr,
-    var: &str,
-    fx: &mut BodyEffects,
-    read_scalars: &mut BTreeSet<String>,
-    reasons: &mut Vec<String>,
-) {
-    match e {
-        Expr::Var(v, _) if !tp.var_ty(func, v).is_some_and(|t| t.is_pointer()) => {
-            read_scalars.insert(v.clone());
-        }
-        Expr::Var(..) => {}
-        Expr::Field {
-            base, field, index, ..
-        } => {
-            expr_effects(tp, sums, func, base, var, fx, read_scalars, reasons);
-            if let Some(i) = index {
-                expr_effects(tp, sums, func, i, var, fx, read_scalars, reasons);
-            }
-            // Depth > 1 or non-chase base ⇒ reachable read.
-            match base.as_ref() {
-                Expr::Var(v, _) if v == var => {
-                    // direct read of p's field — always safe vs other
-                    // iterations' direct writes (distinct nodes).
-                }
-                _ => {
-                    fx.reachable_read_fields.insert(field.clone());
-                }
-            }
-            // Reading a link field from p directly still matters if another
-            // iteration *writes* that link — covered by written∩read on the
-            // advance field check; record link reads through p too when they
-            // lead onward (conservatively treat nested reads above).
-        }
-        Expr::Unary { operand, .. } => {
-            expr_effects(tp, sums, func, operand, var, fx, read_scalars, reasons)
-        }
-        Expr::Binary { lhs, rhs, .. } => {
-            expr_effects(tp, sums, func, lhs, var, fx, read_scalars, reasons);
-            expr_effects(tp, sums, func, rhs, var, fx, read_scalars, reasons);
-        }
-        Expr::Call(c) => call_effects(tp, sums, func, c, var, fx, read_scalars, reasons),
-        _ => {}
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn call_effects(
-    tp: &TypedProgram,
-    sums: &Summaries,
-    func: &str,
-    c: &Call,
-    var: &str,
-    fx: &mut BodyEffects,
-    read_scalars: &mut BTreeSet<String>,
-    reasons: &mut Vec<String>,
-) {
-    for a in &c.args {
-        expr_effects(tp, sums, func, a, var, fx, read_scalars, reasons);
-    }
-    let Some(sum) = sums.get(&c.callee) else {
-        return; // intrinsic: pure
-    };
-    if sum.mutates_shape() {
-        fx.ptr_write_free = false;
-    }
-    // Map callee effects through the arguments.
-    for (j, a) in c.args.iter().enumerate() {
-        let arg_var = match a {
-            Expr::Var(v, _) => Some(v.clone()),
-            _ => a.as_pointer_path().map(|(b, _)| b),
-        };
-        let Some(av) = arg_var else { continue };
-        if !tp.var_ty(func, &av).is_some_and(|t| t.is_pointer()) {
-            continue;
-        }
-        let arg_is_direct_chase = av == var && matches!(a, Expr::Var(..));
-        // Writes.
-        for u in sum.writes.iter().chain(sum.ptr_writes.iter()) {
-            if u.param != j {
-                continue;
-            }
-            if arg_is_direct_chase {
-                if u.depth == Depth::Direct {
-                    fx.written_fields.insert(u.field.clone());
-                } else {
-                    fx.writes_reachable = true;
-                    fx.written_fields.insert(u.field.clone());
-                }
-            } else {
-                fx.foreign_writes.insert(av.clone());
-            }
-        }
-        // Reads: direct reads of the chase var's node are iteration-private;
-        // everything else is potentially shared.
-        for u in &sum.reads {
-            if u.param != j {
-                continue;
-            }
-            if arg_is_direct_chase && u.depth == Depth::Direct {
-                continue;
-            }
-            fx.reachable_read_fields.insert(u.field.clone());
-        }
-    }
+/// Render a check's effect summary for reports: writes/reads as access
+/// paths, plus the summarized inner advance relations.
+pub fn render_effects(fx: &EffectSummary) -> (Vec<String>, Vec<String>, Vec<String>, Vec<String>) {
+    let writes: Vec<String> = fx.writes.iter().map(Access::render).collect();
+    let reads: Vec<String> = fx.reads.iter().map(Access::render).collect();
+    let ptr_writes: Vec<String> = fx.ptr_writes.iter().map(Access::render).collect();
+    let advances: Vec<String> = fx
+        .advances
+        .iter()
+        .flat_map(|(q, gs)| gs.iter().map(move |g| format!("{q} via {g}")))
+        .collect();
+    (writes, reads, ptr_writes, advances)
 }
 
 #[cfg(test)]
@@ -641,6 +725,10 @@ mod tests {
         let cs = checks(programs::LIST_SCALE_PLAIN, "scale");
         assert!(!cs[0].parallelizable);
         assert!(cs[0].reasons.iter().any(|r| r.contains("uniquely forward")));
+        assert!(cs[0]
+            .reasons
+            .iter()
+            .any(|r| r.code() == "not_uniquely_forward"));
     }
 
     #[test]
@@ -682,6 +770,7 @@ mod tests {
             "{:?}",
             cs[0].reasons
         );
+        assert!(cs[0].reasons.iter().any(|r| r.code() == "carried_scalar"));
     }
 
     #[test]
@@ -718,6 +807,7 @@ mod tests {
             "{:?}",
             cs[0].reasons
         );
+        assert!(cs[0].reasons.iter().any(|r| r.code() == "field_conflict"));
     }
 
     #[test]
@@ -776,5 +866,254 @@ mod tests {
         let cs = checks(src, "f");
         assert!(!cs[0].parallelizable);
         assert!(cs[0].pattern.is_none());
+    }
+
+    // ------------------------------------------------- nested chase loops
+
+    #[test]
+    fn orth_row_scale_outer_loop_is_licensed() {
+        // The orthogonal-list row loop: the inner `across` walk is a
+        // summarized local effect, and the `where X||Y` declaration proves
+        // the row regions of distinct iterations disjoint.
+        let cs = checks(programs::ORTH_ROW_SCALE, "scale_rows");
+        let outer = cs
+            .iter()
+            .find(|c| c.pattern.as_ref().is_some_and(|p| p.var == "r"))
+            .expect("outer loop recognized");
+        assert!(outer.parallelizable, "{:?}", outer.reasons);
+        let fx = outer.effects.as_ref().unwrap();
+        assert!(fx.advances.contains_key("p"));
+    }
+
+    #[test]
+    fn dependent_dims_block_the_nested_chase() {
+        // Same program but without `where X||Y`: the row chain may run into
+        // another iteration's region, so the outer loop must stay serial.
+        let src = "
+            type OrthList [X] [Y]
+            {
+                int data;
+                OrthList *across is uniquely forward along X;
+                OrthList *down is uniquely forward along Y;
+            };
+            procedure scale_rows(rows: OrthList*, c: int)
+            {
+                var r: OrthList*;
+                var p: OrthList*;
+                r = rows;
+                while r <> NULL
+                {
+                    p = r;
+                    while p <> NULL
+                    {
+                        p->data = p->data * c;
+                        p = p->across;
+                    }
+                    r = r->down;
+                }
+            }";
+        let cs = checks(src, "scale_rows");
+        let outer = cs
+            .iter()
+            .find(|c| c.pattern.as_ref().is_some_and(|p| p.var == "r"))
+            .unwrap();
+        assert!(!outer.parallelizable);
+        assert!(
+            outer
+                .reasons
+                .iter()
+                .any(|r| r.code() == "unlicensed_reachable_write"),
+            "{:?}",
+            outer.reasons
+        );
+    }
+
+    #[test]
+    fn inner_chase_along_the_advance_field_is_rejected() {
+        // The inner loop chases the SAME field the outer loop advances on:
+        // iteration regions overlap (a suffix of the outer chain).
+        let src = "
+            type L [X] { int v; L *next is uniquely forward along X; };
+            procedure smear(head: L*) {
+                var p: L*;
+                var q: L*;
+                p = head;
+                while p <> NULL {
+                    q = p;
+                    while q <> NULL {
+                        q->v = 0;
+                        q = q->next;
+                    }
+                    p = p->next;
+                }
+            }";
+        let cs = checks(src, "smear");
+        let outer = cs
+            .iter()
+            .find(|c| c.pattern.as_ref().is_some_and(|p| p.var == "p"))
+            .unwrap();
+        assert!(!outer.parallelizable, "{:?}", outer.reasons);
+    }
+
+    #[test]
+    fn cursor_read_before_rebinding_is_carried() {
+        // `p` is used at its previous-iteration value before being re-bound:
+        // a genuine cross-iteration pointer dependence.
+        let src = "
+            type OrthList [X] [Y] where X||Y
+            {
+                int data;
+                OrthList *across is uniquely forward along X;
+                OrthList *down is uniquely forward along Y;
+            };
+            procedure bad(rows: OrthList*) {
+                var r: OrthList*;
+                var p: OrthList*;
+                r = rows;
+                while r <> NULL {
+                    p->data = 0;
+                    p = r;
+                    r = r->down;
+                }
+            }";
+        let cs = checks(src, "bad");
+        let outer = cs
+            .iter()
+            .find(|c| c.pattern.as_ref().is_some_and(|p| p.var == "r"))
+            .unwrap();
+        assert!(!outer.parallelizable);
+        assert!(
+            outer.reasons.iter().any(|r| r.code() == "carried_pointer"),
+            "{:?}",
+            outer.reasons
+        );
+    }
+
+    #[test]
+    fn conditionally_rebound_pointer_is_carried() {
+        // `q` is re-bound only on one branch: when the branch is not taken,
+        // the body observes the PREVIOUS iteration's `q` — a cross-iteration
+        // pointer dependence no field-conflict check can see.
+        let src = "
+            type OrthList [X] [Y] where X||Y
+            {
+                int data, tag;
+                OrthList *across is uniquely forward along X;
+                OrthList *down is uniquely forward along Y;
+            };
+            procedure bad(rows: OrthList*, c: int) {
+                var r: OrthList*;
+                var q: OrthList*;
+                r = rows;
+                while r <> NULL {
+                    if c <> 0 { q = r; }
+                    r->data = q->tag;
+                    r = r->down;
+                }
+            }";
+        let cs = checks(src, "bad");
+        let outer = cs
+            .iter()
+            .find(|c| c.pattern.as_ref().is_some_and(|p| p.var == "r"))
+            .unwrap();
+        assert!(!outer.parallelizable);
+        assert!(
+            outer.reasons.iter().any(|r| r.code() == "carried_pointer"),
+            "{:?}",
+            outer.reasons
+        );
+    }
+
+    #[test]
+    fn mixed_field_region_is_not_licensed() {
+        // Both `across` (X) and `deep` (Z) are pairwise independent of the
+        // advance dimension Y, but a region mixing the two fields can merge
+        // with another iteration's region without violating either field's
+        // uniqueness — only single-field chains are licensed.
+        let src = "
+            type T [X] [Y] [Z] where X||Y, Z||Y
+            {
+                int data;
+                T *across is uniquely forward along X;
+                T *deep is uniquely forward along Z;
+                T *down is uniquely forward along Y;
+            };
+            procedure walk(rows: T*) {
+                var r: T*;
+                var p: T*;
+                r = rows;
+                while r <> NULL {
+                    p = r;
+                    while p <> NULL {
+                        p->data = 0;
+                        if p->data == 0 { p = p->across; } else { p = p->deep; }
+                    }
+                    r = r->down;
+                }
+            }";
+        let cs = checks(src, "walk");
+        let outer = cs
+            .iter()
+            .find(|c| c.pattern.as_ref().is_some_and(|p| p.var == "r"))
+            .unwrap();
+        assert!(
+            !outer.parallelizable,
+            "mixed-field region must not be licensed"
+        );
+        assert!(
+            outer
+                .reasons
+                .iter()
+                .any(|r| r.code() == "unlicensed_reachable_write"),
+            "{:?}",
+            outer.reasons
+        );
+    }
+
+    #[test]
+    fn rebound_cursor_live_after_loop_is_carried() {
+        // `p`'s final value is read after the loop: hoisting it into a
+        // helper would change the program's result.
+        let src = "
+            type OrthList [X] [Y] where X||Y
+            {
+                int data;
+                OrthList *across is uniquely forward along X;
+                OrthList *down is uniquely forward along Y;
+            };
+            function last(rows: OrthList*): OrthList* {
+                var r: OrthList*;
+                var p: OrthList*;
+                r = rows;
+                while r <> NULL {
+                    p = r;
+                    while p <> NULL {
+                        p->data = 0;
+                        p = p->across;
+                    }
+                    r = r->down;
+                }
+                return p;
+            }";
+        let cs = checks(src, "last");
+        let outer = cs
+            .iter()
+            .find(|c| c.pattern.as_ref().is_some_and(|p| p.var == "r"))
+            .unwrap();
+        assert!(!outer.parallelizable);
+        assert!(
+            outer.reasons.iter().any(|r| r.code() == "carried_pointer"),
+            "{:?}",
+            outer.reasons
+        );
+    }
+
+    #[test]
+    fn every_reason_has_a_stable_code() {
+        let cs = checks(programs::LIST_SCALE_PLAIN, "scale");
+        for r in &cs[0].reasons {
+            assert!(!r.code().is_empty());
+            assert!(!r.to_string().is_empty());
+        }
     }
 }

@@ -1,0 +1,796 @@
+//! Composable per-region effect summaries.
+//!
+//! The dependence test of §4.3.2–4.3.3 needs to know what a loop body *does*
+//! to the heap: which nodes it writes (keyed by an abstract access path from
+//! a region-entry variable), which fields it reads through loop-invariant
+//! roots, whether it mutates pointer fields, which scalars it carries across
+//! iterations, and how its cursors advance. Historically `core::depend`
+//! answered those questions with one monolithic AST walk that gave up on any
+//! inner control flow; this module instead computes a [`EffectSummary`]
+//! bottom-up over blocks, ifs, and *inner loops*, with a join/widen algebra,
+//! so an inner `while` (an inner cursor chasing its own link field) becomes
+//! a summarized local effect rather than a rejection.
+//!
+//! The abstract domain is deliberately small:
+//!
+//! * a *place* is where a pointer variable may point — a region-entry
+//!   *root* variable plus a [`Via`] describing the links traversed from it;
+//! * an [`Access`] attributes one field read/write to a root and a via;
+//! * inner loops are handled by iterating the body transfer function to a
+//!   fixpoint on the place environment (star-closing the traversed field
+//!   set) and then recording effects once from the widened environment.
+//!
+//! `core::depend` queries the summary to license or reject strip-mining;
+//! `core::transform` consumes the same summary (free-variable and
+//! advance-relation queries) instead of re-scanning loop bodies.
+
+use crate::summary::{Depth, RetSource, Summaries};
+use adds_lang::ast::*;
+use adds_lang::types::TypedProgram;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Pseudo-root for nodes allocated inside the region (iteration-private
+/// until linked into a structure, which is a pointer write and tracked
+/// separately).
+pub const FRESH_ROOT: &str = "$fresh";
+
+/// Pseudo-root for reads whose provenance was lost (e.g. a pointer joined
+/// from two different roots). Writes through unknown provenance are recorded
+/// as [`EffectSummary::opaque`] notes instead.
+pub const UNKNOWN_ROOT: &str = "?";
+
+/// The links an access may traverse from its root.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Via {
+    /// Zero or more links drawn from this field set. The empty set denotes
+    /// *exactly the root's node*.
+    Fields(BTreeSet<String>),
+    /// An unknown chain of links (anything reachable from the root).
+    Any,
+}
+
+impl Via {
+    /// The empty traversal: the root's own node.
+    pub fn direct() -> Via {
+        Via::Fields(BTreeSet::new())
+    }
+
+    /// Is this the root's own node, with no links traversed?
+    pub fn is_direct(&self) -> bool {
+        matches!(self, Via::Fields(s) if s.is_empty())
+    }
+
+    /// The traversal extended by one `field` link.
+    fn step(&self, field: &str) -> Via {
+        match self {
+            Via::Fields(s) => {
+                let mut s = s.clone();
+                s.insert(field.to_string());
+                Via::Fields(s)
+            }
+            Via::Any => Via::Any,
+        }
+    }
+
+    /// Least upper bound.
+    fn join(&self, other: &Via) -> Via {
+        match (self, other) {
+            (Via::Fields(a), Via::Fields(b)) => Via::Fields(a.union(b).cloned().collect()),
+            _ => Via::Any,
+        }
+    }
+}
+
+impl std::fmt::Display for Via {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Via::Fields(s) if s.is_empty() => Ok(()),
+            Via::Fields(s) => {
+                let fields: Vec<&str> = s.iter().map(String::as_str).collect();
+                write!(f, "[{}*]", fields.join(","))
+            }
+            Via::Any => write!(f, "[*]"),
+        }
+    }
+}
+
+/// One field access, attributed to a region-entry root variable.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Access {
+    /// The region-entry pointer variable the access is rooted at (or
+    /// [`FRESH_ROOT`] / [`UNKNOWN_ROOT`]).
+    pub root: String,
+    /// The links traversed from the root to the accessed node.
+    pub via: Via,
+    /// The accessed field.
+    pub field: String,
+}
+
+impl Access {
+    /// Render as `root.field`, `root[g*].field`, or `root[*].field`.
+    pub fn render(&self) -> String {
+        format!("{}{}.{}", self.root, self.via, self.field)
+    }
+}
+
+/// Where a pointer variable may point, relative to the region entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Place {
+    /// Somewhere in `via(root)` where `root` is a region-entry variable.
+    Rooted { root: String, via: Via },
+    /// A node allocated inside the region.
+    Fresh,
+    /// Definitely NULL (dereferences trap; no heap effect to record).
+    Null,
+    /// Provenance lost (join of different roots, unknown call result, …).
+    Opaque,
+}
+
+impl Place {
+    fn join(&self, other: &Place) -> Place {
+        match (self, other) {
+            (a, b) if a == b => a.clone(),
+            (Place::Null, p) | (p, Place::Null) => p.clone(),
+            (Place::Rooted { root: r1, via: v1 }, Place::Rooted { root: r2, via: v2 })
+                if r1 == r2 =>
+            {
+                Place::Rooted {
+                    root: r1.clone(),
+                    via: v1.join(v2),
+                }
+            }
+            _ => Place::Opaque,
+        }
+    }
+}
+
+type Env = BTreeMap<String, Place>;
+
+fn join_env(a: &Env, b: &Env) -> Env {
+    let mut out = Env::new();
+    for (k, pa) in a {
+        match b.get(k) {
+            Some(pb) => {
+                out.insert(k.clone(), pa.join(pb));
+            }
+            // Bound on one path only: the entry value may survive, so the
+            // variable's place is the join with "whatever it was" — which
+            // for a free variable is itself. Conservatively join with the
+            // free-variable place.
+            None => {
+                out.insert(
+                    k.clone(),
+                    pa.join(&Place::Rooted {
+                        root: k.clone(),
+                        via: Via::direct(),
+                    }),
+                );
+            }
+        }
+    }
+    for (k, pb) in b {
+        if !a.contains_key(k) {
+            out.insert(
+                k.clone(),
+                pb.join(&Place::Rooted {
+                    root: k.clone(),
+                    via: Via::direct(),
+                }),
+            );
+        }
+    }
+    out
+}
+
+/// The effect summary of one region (a loop body, a block, a branch).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EffectSummary {
+    /// Heap reads (scalar and link fields), keyed by access path.
+    pub reads: BTreeSet<Access>,
+    /// Heap writes to scalar fields.
+    pub writes: BTreeSet<Access>,
+    /// Heap writes to pointer fields — shape mutations.
+    pub ptr_writes: BTreeSet<Access>,
+    /// Free scalar variables read by the region.
+    pub scalar_reads: BTreeSet<String>,
+    /// Free scalar variables written by the region.
+    pub scalar_writes: BTreeSet<String>,
+    /// Variables declared inside the region (iteration-private).
+    pub locals: BTreeSet<String>,
+    /// Every free variable whose *value* the region uses (pointer roots,
+    /// scalars, call arguments) — what a hoisted helper must receive.
+    pub uses: BTreeSet<String>,
+    /// Free pointer variables whose region-entry value may be observed:
+    /// used before any rebinding, or re-bound on only one path of a branch
+    /// (loop-invariant roots, or carried cursors when also in
+    /// [`EffectSummary::ptr_rebound`]).
+    pub ptr_reads_before_bind: BTreeSet<String>,
+    /// Free pointer variables re-bound inside the region.
+    pub ptr_rebound: BTreeSet<String>,
+    /// Cursor advance relations of summarized inner chase loops:
+    /// `cursor -> advance fields`.
+    pub advances: BTreeMap<String, BTreeSet<String>>,
+    /// The region contains a `return`.
+    pub returns: bool,
+    /// Precision-loss notes: effects that could not be attributed to a root.
+    pub opaque: BTreeSet<String>,
+}
+
+impl EffectSummary {
+    /// Merge `other` into `self` — the compose operation of the algebra
+    /// (set union on every component; used for branches and sequencing).
+    pub fn absorb(&mut self, other: &EffectSummary) {
+        self.reads.extend(other.reads.iter().cloned());
+        self.writes.extend(other.writes.iter().cloned());
+        self.ptr_writes.extend(other.ptr_writes.iter().cloned());
+        self.scalar_reads.extend(other.scalar_reads.iter().cloned());
+        self.scalar_writes
+            .extend(other.scalar_writes.iter().cloned());
+        self.locals.extend(other.locals.iter().cloned());
+        self.uses.extend(other.uses.iter().cloned());
+        self.ptr_reads_before_bind
+            .extend(other.ptr_reads_before_bind.iter().cloned());
+        self.ptr_rebound.extend(other.ptr_rebound.iter().cloned());
+        for (k, v) in &other.advances {
+            self.advances
+                .entry(k.clone())
+                .or_default()
+                .extend(v.iter().cloned());
+        }
+        self.returns |= other.returns;
+        self.opaque.extend(other.opaque.iter().cloned());
+    }
+
+    /// All fields written (scalar and pointer), ignoring provenance.
+    pub fn written_fields(&self) -> BTreeSet<&str> {
+        self.writes
+            .iter()
+            .chain(self.ptr_writes.iter())
+            .map(|a| a.field.as_str())
+            .collect()
+    }
+
+    /// Does the region write `field` anywhere (scalar or pointer)?
+    pub fn writes_field(&self, field: &str) -> bool {
+        self.writes
+            .iter()
+            .chain(self.ptr_writes.iter())
+            .any(|a| a.field == field)
+    }
+
+    /// The free variables a hoisted copy of the region must receive:
+    /// everything used, written, or re-bound that is not region-local.
+    pub fn free_value_vars(&self) -> BTreeSet<String> {
+        let mut out: BTreeSet<String> = self.uses.clone();
+        out.extend(self.scalar_writes.iter().cloned());
+        out.extend(self.ptr_rebound.iter().cloned());
+        out.retain(|v| !self.locals.contains(v));
+        out.remove(FRESH_ROOT);
+        out.remove(UNKNOWN_ROOT);
+        out
+    }
+}
+
+enum Kind {
+    Read,
+    Write,
+    PtrWrite,
+}
+
+/// Summarize a loop body, skipping the advance statement at `advance_idx`
+/// (the statement the chase pattern accounts for separately).
+pub fn summarize_loop_body(
+    tp: &TypedProgram,
+    sums: &Summaries,
+    func: &str,
+    body: &Block,
+    advance_idx: usize,
+) -> EffectSummary {
+    let cx = Cx { tp, sums, func };
+    let mut env = Env::new();
+    let mut fx = EffectSummary::default();
+    for (i, s) in body.stmts.iter().enumerate() {
+        if i == advance_idx {
+            continue;
+        }
+        cx.stmt(s, &mut env, &mut fx);
+    }
+    fx
+}
+
+/// Summarize an arbitrary block (no statement skipped).
+pub fn summarize_block(
+    tp: &TypedProgram,
+    sums: &Summaries,
+    func: &str,
+    body: &Block,
+) -> EffectSummary {
+    let cx = Cx { tp, sums, func };
+    let mut env = Env::new();
+    let mut fx = EffectSummary::default();
+    cx.block(body, &mut env, &mut fx);
+    fx
+}
+
+/// Bound on the env-fixpoint rounds for inner loops. The place lattice is
+/// finite (field sets over the program's field universe, then `Any`/
+/// `Opaque`), so this is a safety net, not a precision knob.
+const MAX_WIDEN_ROUNDS: usize = 64;
+
+struct Cx<'a> {
+    tp: &'a TypedProgram,
+    sums: &'a Summaries,
+    func: &'a str,
+}
+
+impl<'a> Cx<'a> {
+    fn is_ptr(&self, v: &str) -> bool {
+        self.tp.var_ty(self.func, v).is_some_and(|t| t.is_pointer())
+    }
+
+    /// The place of variable `v`, registering the free-variable use.
+    fn lookup(&self, v: &str, env: &mut Env, fx: &mut EffectSummary) -> Place {
+        if let Some(p) = env.get(v) {
+            return p.clone();
+        }
+        // A free variable used at its region-entry value.
+        if !fx.locals.contains(v) {
+            fx.uses.insert(v.to_string());
+            fx.ptr_reads_before_bind.insert(v.to_string());
+        }
+        Place::Rooted {
+            root: v.to_string(),
+            via: Via::direct(),
+        }
+    }
+
+    fn bind(&self, v: &str, place: Place, env: &mut Env, fx: &mut EffectSummary) {
+        if !fx.locals.contains(v) {
+            fx.ptr_rebound.insert(v.to_string());
+        }
+        env.insert(v.to_string(), place);
+    }
+
+    fn record(&self, place: &Place, field: &str, kind: Kind, fx: &mut EffectSummary) {
+        let (root, via) = match place {
+            Place::Rooted { root, via } => (root.clone(), via.clone()),
+            Place::Fresh => (FRESH_ROOT.to_string(), Via::Any),
+            Place::Null => return,
+            Place::Opaque => match kind {
+                Kind::Read => (UNKNOWN_ROOT.to_string(), Via::Any),
+                Kind::Write | Kind::PtrWrite => {
+                    fx.opaque.insert(format!(
+                        "write to `{field}` through a pointer of unknown provenance"
+                    ));
+                    return;
+                }
+            },
+        };
+        let a = Access {
+            root,
+            via,
+            field: field.to_string(),
+        };
+        match kind {
+            Kind::Read => fx.reads.insert(a),
+            Kind::Write => fx.writes.insert(a),
+            Kind::PtrWrite => fx.ptr_writes.insert(a),
+        };
+    }
+
+    fn read_scalar(&self, v: &str, fx: &mut EffectSummary) {
+        if !fx.locals.contains(v) {
+            fx.scalar_reads.insert(v.to_string());
+            fx.uses.insert(v.to_string());
+        }
+    }
+
+    // ------------------------------------------------------------ structure
+
+    fn block(&self, b: &Block, env: &mut Env, fx: &mut EffectSummary) {
+        for s in &b.stmts {
+            self.stmt(s, env, fx);
+        }
+    }
+
+    fn stmt(&self, s: &Stmt, env: &mut Env, fx: &mut EffectSummary) {
+        match s {
+            Stmt::VarDecl { name, init, .. } => {
+                fx.locals.insert(name.clone());
+                let place = init
+                    .as_ref()
+                    .map(|e| self.expr(e, env, fx))
+                    .unwrap_or(Place::Null);
+                if self.is_ptr(name) {
+                    env.insert(name.clone(), place);
+                }
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                let rhs_place = self.expr(rhs, env, fx);
+                if lhs.is_var() {
+                    if self.is_ptr(&lhs.base) {
+                        self.bind(&lhs.base, rhs_place, env, fx);
+                    } else if !fx.locals.contains(&lhs.base) {
+                        fx.scalar_writes.insert(lhs.base.clone());
+                    }
+                    return;
+                }
+                // Heap write: walk the base chain (recording link reads),
+                // then the final store.
+                let mut place = self.lookup(&lhs.base.clone(), env, fx);
+                let mut rec = self
+                    .tp
+                    .var_ty(self.func, &lhs.base)
+                    .and_then(|t| t.pointee().map(str::to_string));
+                let depth = lhs.path.len();
+                for (k, acc) in lhs.path.iter().enumerate() {
+                    if let Some(i) = &acc.index {
+                        self.expr(i, env, fx);
+                    }
+                    if k + 1 == depth {
+                        let is_ptr_field = rec
+                            .as_deref()
+                            .and_then(|r| self.tp.field_ty(r, &acc.field))
+                            .is_some_and(|t| t.is_pointer());
+                        let kind = if is_ptr_field {
+                            Kind::PtrWrite
+                        } else {
+                            Kind::Write
+                        };
+                        self.record(&place, &acc.field, kind, fx);
+                    } else {
+                        self.record(&place, &acc.field, Kind::Read, fx);
+                        rec = rec
+                            .as_deref()
+                            .and_then(|r| self.tp.field_ty(r, &acc.field))
+                            .and_then(|t| t.pointee().map(str::to_string));
+                        place = match &place {
+                            Place::Rooted { root, via } => Place::Rooted {
+                                root: root.clone(),
+                                via: via.step(&acc.field),
+                            },
+                            other => other.clone(),
+                        };
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                self.expr(cond, env, fx);
+                let pre = env.clone();
+                let mut e1 = env.clone();
+                self.block(then_blk, &mut e1, fx);
+                let e2 = match else_blk {
+                    Some(e) => {
+                        let mut e2 = env.clone();
+                        self.block(e, &mut e2, fx);
+                        e2
+                    }
+                    None => env.clone(),
+                };
+                // A free pointer bound on only ONE path keeps its
+                // region-entry value on the other: the entry value may
+                // survive the branch and be observed afterwards, which is a
+                // cross-iteration use when the variable is also re-bound.
+                for v in e1.keys().chain(e2.keys()) {
+                    if !pre.contains_key(v)
+                        && !fx.locals.contains(v)
+                        && (e1.contains_key(v) != e2.contains_key(v))
+                        && self.is_ptr(v)
+                    {
+                        fx.uses.insert(v.clone());
+                        fx.ptr_reads_before_bind.insert(v.clone());
+                    }
+                }
+                *env = join_env(&e1, &e2);
+            }
+            Stmt::While { cond, body, .. } => {
+                // Record the inner cursor's advance relation when the loop
+                // is itself a chase (`while q <> NULL { …; q = q->g; }`).
+                if let Some(q) = chase_cond_var(cond) {
+                    if let Some(Stmt::Assign { lhs, rhs, .. }) = body.stmts.last() {
+                        if lhs.is_var() && lhs.base == q {
+                            if let Some((b, path)) = rhs.as_pointer_path() {
+                                if b == q && path.len() == 1 {
+                                    fx.advances
+                                        .entry(q.clone())
+                                        .or_default()
+                                        .insert(path[0].clone());
+                                }
+                            }
+                        }
+                    }
+                }
+                self.loop_region(std::slice::from_ref(cond), body, env, fx);
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+                ..
+            } => {
+                fx.locals.insert(var.clone());
+                self.loop_region(&[from.clone(), to.clone()], body, env, fx);
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(e) = value {
+                    self.expr(e, env, fx);
+                }
+                fx.returns = true;
+            }
+            Stmt::Call(c) => {
+                self.call(c, env, fx);
+            }
+        }
+    }
+
+    /// An inner loop: iterate the body transfer function on the place
+    /// environment to a fixpoint (widening cursor places to their traversed
+    /// field closure), then record effects once from the widened
+    /// environment. `heads` are the expressions evaluated each round (the
+    /// condition, or a `for` loop's bounds).
+    fn loop_region(&self, heads: &[Expr], body: &Block, env: &mut Env, fx: &mut EffectSummary) {
+        let entry = env.clone();
+        let mut cur = entry.clone();
+        for round in 0..MAX_WIDEN_ROUNDS {
+            let mut trial = cur.clone();
+            let mut scratch = fx.clone();
+            for h in heads {
+                self.expr(h, &mut trial, &mut scratch);
+            }
+            self.block(body, &mut trial, &mut scratch);
+            let widened = join_env(&cur, &trial);
+            if widened == cur {
+                break;
+            }
+            cur = widened;
+            if round + 1 == MAX_WIDEN_ROUNDS {
+                // Safety net: give up on anything still moving.
+                for (_, p) in cur.iter_mut() {
+                    *p = Place::Opaque;
+                }
+            }
+        }
+        // One recording pass from the widened environment.
+        *env = cur;
+        for h in heads {
+            self.expr(h, env, fx);
+        }
+        self.block(body, env, fx);
+        // The loop may run zero times.
+        *env = join_env(&entry, env);
+    }
+
+    // ---------------------------------------------------------- expressions
+
+    fn expr(&self, e: &Expr, env: &mut Env, fx: &mut EffectSummary) -> Place {
+        match e {
+            Expr::Int(..) | Expr::Real(..) | Expr::Bool(..) => Place::Null,
+            Expr::Null(_) => Place::Null,
+            Expr::New(..) => Place::Fresh,
+            Expr::Var(v, _) => {
+                if self.is_ptr(v) {
+                    self.lookup(v, env, fx)
+                } else {
+                    self.read_scalar(v, fx);
+                    Place::Null
+                }
+            }
+            Expr::Field {
+                base, field, index, ..
+            } => {
+                if let Some(i) = index {
+                    self.expr(i, env, fx);
+                }
+                let bp = self.expr(base, env, fx);
+                self.record(&bp, field, Kind::Read, fx);
+                match &bp {
+                    Place::Rooted { root, via } => Place::Rooted {
+                        root: root.clone(),
+                        via: via.step(field),
+                    },
+                    other => other.clone(),
+                }
+            }
+            Expr::Unary { operand, .. } => {
+                self.expr(operand, env, fx);
+                Place::Null
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                self.expr(lhs, env, fx);
+                self.expr(rhs, env, fx);
+                Place::Null
+            }
+            Expr::Call(c) => self.call(c, env, fx),
+        }
+    }
+
+    /// Map a callee's interprocedural summary ([`crate::summary`]) through
+    /// the argument places.
+    fn call(&self, c: &Call, env: &mut Env, fx: &mut EffectSummary) -> Place {
+        let arg_places: Vec<Place> = c.args.iter().map(|a| self.expr(a, env, fx)).collect();
+        let Some(sum) = self.sums.get(&c.callee) else {
+            // Intrinsic: pure.
+            return Place::Opaque;
+        };
+        let through = |place: &Place, depth: Depth| -> Place {
+            match depth {
+                Depth::Direct => place.clone(),
+                Depth::Reachable => match place {
+                    Place::Rooted { root, .. } => Place::Rooted {
+                        root: root.clone(),
+                        via: Via::Any,
+                    },
+                    other => other.clone(),
+                },
+            }
+        };
+        for u in &sum.reads {
+            if let Some(p) = arg_places.get(u.param) {
+                self.record(&through(p, u.depth), &u.field, Kind::Read, fx);
+            }
+        }
+        for u in &sum.writes {
+            if let Some(p) = arg_places.get(u.param) {
+                self.record(&through(p, u.depth), &u.field, Kind::Write, fx);
+            }
+        }
+        for u in &sum.ptr_writes {
+            if let Some(p) = arg_places.get(u.param) {
+                self.record(&through(p, u.depth), &u.field, Kind::PtrWrite, fx);
+            }
+        }
+        // Return-value provenance.
+        let mut ret: Option<Place> = None;
+        let mut add = |p: Place| {
+            ret = Some(match ret.take() {
+                None => p,
+                Some(q) => q.join(&p),
+            });
+        };
+        for src in &sum.returns {
+            match src {
+                RetSource::Param(i) => {
+                    if let Some(p) = arg_places.get(*i) {
+                        add(p.clone());
+                    }
+                }
+                RetSource::ReachableFrom(i) => {
+                    if let Some(p) = arg_places.get(*i) {
+                        add(through(p, Depth::Reachable));
+                    }
+                }
+                RetSource::Fresh => add(Place::Fresh),
+                RetSource::Null => add(Place::Null),
+            }
+        }
+        ret.unwrap_or(Place::Opaque)
+    }
+}
+
+/// Extract `q` from a `q <> NULL` / `NULL <> q` loop condition.
+pub(crate) fn chase_cond_var(cond: &Expr) -> Option<String> {
+    let Expr::Binary {
+        op: BinOp::Ne,
+        lhs,
+        rhs,
+        ..
+    } = cond
+    else {
+        return None;
+    };
+    match (lhs.as_ref(), rhs.as_ref()) {
+        (Expr::Var(v, _), Expr::Null(_)) | (Expr::Null(_), Expr::Var(v, _)) => Some(v.clone()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adds_lang::programs;
+    use adds_lang::types::check_source;
+
+    fn body_summary(src: &str, func: &str, advance_idx: usize) -> EffectSummary {
+        let tp = check_source(src).unwrap();
+        let sums = Summaries::compute(&tp);
+        let f = tp.program.func(func).unwrap();
+        // The single top-level while loop's body.
+        let body = f
+            .body
+            .stmts
+            .iter()
+            .find_map(|s| match s {
+                Stmt::While { body, .. } => Some(body),
+                _ => None,
+            })
+            .expect("function has a top-level while loop");
+        summarize_loop_body(&tp, &sums, func, body, advance_idx)
+    }
+
+    #[test]
+    fn flat_scale_body_is_direct() {
+        let fx = body_summary(programs::LIST_SCALE_ADDS, "scale", 1);
+        assert!(fx.ptr_writes.is_empty());
+        let w: Vec<String> = fx.writes.iter().map(Access::render).collect();
+        assert_eq!(w, vec!["p.coef"]);
+        assert!(fx.scalar_reads.contains("c"));
+        assert!(fx.ptr_rebound.is_empty());
+    }
+
+    #[test]
+    fn nested_row_walk_is_star_closed() {
+        let fx = body_summary(programs::ORTH_ROW_SCALE, "scale_rows", 2);
+        // The inner cursor's writes are attributed to the outer cursor `r`
+        // via the star-closed `across` chain (which covers `r`'s own node).
+        let w: Vec<String> = fx.writes.iter().map(Access::render).collect();
+        assert_eq!(w, vec!["r[across*].data"]);
+        // `p` is a region cursor: re-bound before any use of its entry
+        // value, and its advance relation is summarized.
+        assert!(fx.ptr_rebound.contains("p"));
+        assert!(!fx.ptr_reads_before_bind.contains("p"));
+        assert_eq!(
+            fx.advances.get("p"),
+            Some(&BTreeSet::from(["across".to_string()]))
+        );
+        assert!(fx.ptr_writes.is_empty());
+    }
+
+    #[test]
+    fn call_effects_map_through_places() {
+        let fx = body_summary(programs::BARNES_HUT, "bhl1", 1);
+        // compute_force_on(p, root, theta): writes land on p's own node,
+        // reads through root are reachable.
+        assert!(fx.writes.iter().all(|a| a.root == "p" && a.via.is_direct()));
+        assert!(fx
+            .reads
+            .iter()
+            .any(|a| a.root == "root" && a.via == Via::Any && a.field == "mass"));
+        assert!(fx.scalar_reads.contains("theta"));
+        assert!(fx.uses.contains("root"));
+    }
+
+    #[test]
+    fn branch_join_loses_exactness_not_root() {
+        let src = "
+            type L [X] { int v; L *next is uniquely forward along X; };
+            procedure f(head: L*, b: bool) {
+                var p: L*;
+                p = head;
+                while p <> NULL {
+                    if b { p->v = 1; } else { p->next->v = 2; }
+                    p = p->next;
+                }
+            }";
+        let tp = check_source(src).unwrap();
+        let sums = Summaries::compute(&tp);
+        let f = tp.program.func("f").unwrap();
+        let Stmt::While { body, .. } = &f.body.stmts[2] else {
+            panic!()
+        };
+        let fx = summarize_loop_body(&tp, &sums, "f", body, 1);
+        let w: Vec<String> = fx.writes.iter().map(Access::render).collect();
+        assert_eq!(w, vec!["p.v", "p[next*].v"]);
+    }
+
+    #[test]
+    fn free_value_vars_cover_helper_params() {
+        let fx = body_summary(programs::BARNES_HUT, "bhl1", 1);
+        let free = fx.free_value_vars();
+        assert!(free.contains("root"));
+        assert!(free.contains("theta"));
+        assert!(free.contains("p"));
+    }
+
+    #[test]
+    fn returns_and_scalar_carries_are_seen() {
+        let fx = body_summary(programs::LIST_SUM, "sum", 1);
+        assert!(fx.scalar_reads.contains("s"));
+        assert!(fx.scalar_writes.contains("s"));
+    }
+}

@@ -21,6 +21,7 @@ pub mod alias;
 pub mod analysis;
 pub mod depend;
 pub mod driver;
+pub mod effects;
 pub mod matrix;
 pub mod paths;
 pub mod summary;
@@ -28,8 +29,9 @@ pub mod transform;
 pub mod validate;
 
 pub use analysis::{analyze_function, FnAnalysis, LoopAnalysis, State};
-pub use depend::{check_function, check_loop, ChasePattern, LoopCheck};
+pub use depend::{check_function, check_loop, ChasePattern, LoopCheck, Reason};
 pub use driver::{compile, parallelize_program, parallelize_to_source, Compiled};
+pub use effects::{Access, EffectSummary, Via};
 pub use matrix::PathMatrix;
 pub use paths::{Alias, Desc, Entry};
 pub use summary::{Summaries, Summary};

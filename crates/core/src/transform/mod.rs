@@ -7,7 +7,7 @@
 //! * [`pipeline`] — software pipelining of traversal vs. processing
 //!   \[HHN92\].
 //!
-//! All three require the loop to be a verified [`ChasePattern`]
+//! All three require the loop to be a verified [`crate::depend::ChasePattern`]
 //! (see [`crate::depend`]); strip-mining additionally requires full
 //! independence of iterations.
 
@@ -75,112 +75,5 @@ pub(crate) fn block(stmts: Vec<Stmt>) -> Block {
     Block {
         stmts,
         span: Span::default(),
-    }
-}
-
-/// Variables referenced (read) anywhere in a block.
-pub(crate) fn free_vars(b: &Block, out: &mut std::collections::BTreeSet<String>) {
-    fn expr(e: &Expr, out: &mut std::collections::BTreeSet<String>) {
-        match e {
-            Expr::Var(v, _) => {
-                out.insert(v.clone());
-            }
-            Expr::Field { base, index, .. } => {
-                expr(base, out);
-                if let Some(i) = index {
-                    expr(i, out);
-                }
-            }
-            Expr::Unary { operand, .. } => expr(operand, out),
-            Expr::Binary { lhs, rhs, .. } => {
-                expr(lhs, out);
-                expr(rhs, out);
-            }
-            Expr::Call(c) => {
-                for a in &c.args {
-                    expr(a, out);
-                }
-            }
-            _ => {}
-        }
-    }
-    fn stmt(s: &Stmt, out: &mut std::collections::BTreeSet<String>) {
-        match s {
-            Stmt::VarDecl { init, .. } => {
-                if let Some(e) = init {
-                    expr(e, out);
-                }
-            }
-            Stmt::Assign { lhs, rhs, .. } => {
-                if !lhs.is_var() {
-                    out.insert(lhs.base.clone());
-                }
-                for acc in &lhs.path {
-                    if let Some(i) = &acc.index {
-                        expr(i, out);
-                    }
-                }
-                expr(rhs, out);
-            }
-            Stmt::While { cond, body, .. } => {
-                expr(cond, out);
-                free_vars(body, out);
-            }
-            Stmt::If {
-                cond,
-                then_blk,
-                else_blk,
-                ..
-            } => {
-                expr(cond, out);
-                free_vars(then_blk, out);
-                if let Some(e) = else_blk {
-                    free_vars(e, out);
-                }
-            }
-            Stmt::For { from, to, body, .. } => {
-                expr(from, out);
-                expr(to, out);
-                free_vars(body, out);
-            }
-            Stmt::Return { value, .. } => {
-                if let Some(e) = value {
-                    expr(e, out);
-                }
-            }
-            Stmt::Call(c) => {
-                for a in &c.args {
-                    expr(a, out);
-                }
-            }
-        }
-    }
-    for s in &b.stmts {
-        stmt(s, out);
-    }
-}
-
-/// Variables declared or bound inside a block (loop-private).
-pub(crate) fn bound_vars(b: &Block, out: &mut std::collections::BTreeSet<String>) {
-    for s in &b.stmts {
-        match s {
-            Stmt::VarDecl { name, .. } => {
-                out.insert(name.clone());
-            }
-            Stmt::For { var, body, .. } => {
-                out.insert(var.clone());
-                bound_vars(body, out);
-            }
-            Stmt::While { body, .. } => bound_vars(body, out),
-            Stmt::If {
-                then_blk, else_blk, ..
-            } => {
-                bound_vars(then_blk, out);
-                if let Some(e) = else_blk {
-                    bound_vars(e, out);
-                }
-            }
-            _ => {}
-        }
     }
 }

@@ -22,18 +22,24 @@
 //! must not modify `q = p->next`'s target link (no writes to the advance
 //! field, nodes distinct).
 
-use crate::depend::ChasePattern;
+use crate::depend::{ChasePattern, LoopCheck};
 use adds_lang::ast::*;
 use adds_lang::source::Span;
 
-/// Pipeline the chase loop identified by `pattern` inside `func`.
+/// Pipeline the chase loop identified by `check` inside `func`.
 /// `lookahead_var` names the prefetched pointer (e.g. `"q"`); it must not
 /// collide with an existing variable.
-pub fn pipeline_loop(
-    func: &FunDecl,
-    pattern: &ChasePattern,
-    lookahead_var: &str,
-) -> Option<FunDecl> {
+///
+/// Legality is read off the dependence check's effect summary rather than
+/// re-scanning the body: the loop must match the chase pattern and the body
+/// must not write the advance field (the only fact pipelining needs — the
+/// prefetched link must survive the work).
+pub fn pipeline_loop(func: &FunDecl, check: &LoopCheck, lookahead_var: &str) -> Option<FunDecl> {
+    let pattern = check.pattern.as_ref()?;
+    let fx = check.effects.as_ref()?;
+    if fx.writes_field(&pattern.field) {
+        return None;
+    }
     let mut f = func.clone();
     let done = rewrite(&mut f.body, pattern, lookahead_var);
     done.then_some(f)
@@ -167,20 +173,20 @@ mod tests {
     use adds_lang::programs;
     use adds_lang::types::{check, check_source};
 
-    fn pattern_of(src: &str, func: &str) -> (adds_lang::types::TypedProgram, ChasePattern) {
+    fn check_of(src: &str, func: &str) -> (adds_lang::types::TypedProgram, LoopCheck) {
         let tp = check_source(src).unwrap();
         let sums = Summaries::compute(&tp);
         let an = analyze_function(&tp, &sums, func).unwrap();
         let checks = check_function(&tp, &sums, &an, func);
-        let pat = checks[0].pattern.clone().unwrap();
-        (tp, pat)
+        let check = checks[0].clone();
+        (tp, check)
     }
 
     #[test]
     fn pipelined_shape() {
-        let (tp, pat) = pattern_of(programs::LIST_SCALE_ADDS, "scale");
+        let (tp, check) = check_of(programs::LIST_SCALE_ADDS, "scale");
         let f = tp.program.func("scale").unwrap();
-        let p = pipeline_loop(f, &pat, "q").unwrap();
+        let p = pipeline_loop(f, &check, "q").unwrap();
         let printed = adds_lang::pretty::function(&p);
         assert!(printed.contains("q = p->next;"), "{printed}");
         assert!(printed.contains("while q <> NULL"), "{printed}");
@@ -192,9 +198,9 @@ mod tests {
 
     #[test]
     fn pipelined_function_type_checks() {
-        let (tp, pat) = pattern_of(programs::LIST_SCALE_ADDS, "scale");
+        let (tp, lc) = check_of(programs::LIST_SCALE_ADDS, "scale");
         let f = tp.program.func("scale").unwrap();
-        let p = pipeline_loop(f, &pat, "q").unwrap();
+        let p = pipeline_loop(f, &lc, "q").unwrap();
         let mut prog = tp.program.clone();
         *prog.funcs.iter_mut().find(|g| g.name == "scale").unwrap() = p;
         check(prog).expect("pipelined program type checks");
@@ -202,9 +208,28 @@ mod tests {
 
     #[test]
     fn missing_loop_returns_none() {
-        let (tp, mut pat) = pattern_of(programs::LIST_SCALE_ADDS, "scale");
-        pat.var = "zz".into();
+        let (tp, mut check) = check_of(programs::LIST_SCALE_ADDS, "scale");
+        check.pattern.as_mut().unwrap().var = "zz".into();
         let f = tp.program.func("scale").unwrap();
-        assert!(pipeline_loop(f, &pat, "q").is_none());
+        assert!(pipeline_loop(f, &check, "q").is_none());
+    }
+
+    #[test]
+    fn advance_field_write_is_refused_via_summary() {
+        // The effect summary shows the body writing the advance field; the
+        // prefetched link would be stale, so pipelining must refuse.
+        let src = "
+            type L [X] { int v; L *next is uniquely forward along X; };
+            procedure cut(head: L*) {
+                var p: L*;
+                p = head;
+                while p <> NULL {
+                    p->next = NULL;
+                    p = p->next;
+                }
+            }";
+        let (tp, check) = check_of(src, "cut");
+        let f = tp.program.func("cut").unwrap();
+        assert!(pipeline_loop(f, &check, "q").is_none());
     }
 }

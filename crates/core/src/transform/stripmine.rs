@@ -36,12 +36,12 @@
 
 use super::*;
 use crate::depend::{check_function, ChasePattern, LoopCheck};
+use crate::effects::EffectSummary;
 use crate::summary::Summaries;
 use crate::FnAnalysis;
 use adds_lang::ast::*;
 use adds_lang::source::Span;
 use adds_lang::types::{TypedProgram, PES_CONST};
-use std::collections::BTreeSet;
 
 /// Outcome of strip-mining one function.
 #[derive(Clone, Debug)]
@@ -110,8 +110,9 @@ fn rewrite_block(
                 match check {
                     Some(c) if c.parallelizable => {
                         let pat = c.pattern.clone().expect("parallelizable implies pattern");
+                        let fx = c.effects.as_ref().expect("parallelizable implies effects");
                         let (loop_stmt, helper) =
-                            build_strip(tp, func_name, &pat, cond, body, counter);
+                            build_strip(tp, func_name, &pat, fx, cond, body, counter);
                         stmts.push(loop_stmt);
                         helpers.push(helper);
                         parallelized.push(pat);
@@ -212,6 +213,7 @@ fn build_strip(
     tp: &TypedProgram,
     func_name: &str,
     pat: &ChasePattern,
+    fx: &EffectSummary,
     cond: &Expr,
     body: &Block,
     counter: &mut usize,
@@ -223,19 +225,15 @@ fn build_strip(
     let mut work: Vec<Stmt> = body.stmts.clone();
     work.remove(pat.advance_idx);
 
-    // Free variables of the work that must be passed to the helper:
-    // everything referenced that is not bound inside and not the chase var.
-    let work_blk = block(work.clone());
-    let mut free = BTreeSet::new();
-    free_vars(&work_blk, &mut free);
-    let mut bound = BTreeSet::new();
-    bound_vars(&work_blk, &mut bound);
+    // Free variables of the work that must be passed to the helper, straight
+    // from the dependence check's effect summary (everything the region
+    // uses, writes, or re-binds that is not region-local).
     let mut extra_params: Vec<(String, Ty)> = Vec::new();
-    for v in &free {
-        if v == &pat.var || bound.contains(v) || v == PES_CONST {
+    for v in fx.free_value_vars() {
+        if v == pat.var || v == PES_CONST {
             continue;
         }
-        if let Some(ty) = tp.var_ty(func_name, v) {
+        if let Some(ty) = tp.var_ty(func_name, &v) {
             extra_params.push((v.clone(), ty.clone()));
         }
     }
@@ -407,6 +405,42 @@ mod tests {
             .map(|p| p.name.as_str())
             .collect();
         assert_eq!(names, vec!["i", "p", "root", "theta"]);
+    }
+
+    #[test]
+    fn orth_row_loop_is_strip_mined_end_to_end() {
+        // The nested-chase tentpole: the outer row loop of the orthogonal
+        // list is licensed (the inner `across` walk is a summarized local
+        // effect) and strip-mined; the inner loop rides along inside the
+        // helper, and the transformed program re-typechecks.
+        let (_tp, sm) = strip(programs::ORTH_ROW_SCALE, "scale_rows");
+        let outer = sm.parallelized.iter().find(|p| p.var == "r");
+        assert!(outer.is_some(), "skipped: {:?}", sm.skipped);
+        assert_eq!(outer.unwrap().field, "down");
+        let printed = adds_lang::pretty::function(&sm.func);
+        assert!(printed.contains("parfor i = 0 to PEs - 1"), "{printed}");
+        let helper = adds_lang::pretty::function(&sm.helpers[0]);
+        assert!(helper.contains("while p <> NULL"), "{helper}");
+        assert!(helper.contains("p = p->across;"), "{helper}");
+        // Helper params: i, the row cursor, then the frees (c, p).
+        let names: Vec<&str> = sm.helpers[0]
+            .params
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["i", "r", "c", "p"]);
+
+        let tp = check_source(programs::ORTH_ROW_SCALE).unwrap();
+        let sums = Summaries::compute(&tp);
+        let mut analyses = std::collections::BTreeMap::new();
+        for f in &tp.program.funcs {
+            analyses.insert(
+                f.name.clone(),
+                analyze_function(&tp, &sums, &f.name).unwrap(),
+            );
+        }
+        let (prog, _) = strip_mine_program(&tp, &sums, &analyses);
+        check(prog).expect("transformed orth program type checks");
     }
 
     #[test]

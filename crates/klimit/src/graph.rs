@@ -62,8 +62,8 @@ impl fmt::Display for Label {
     }
 }
 
-/// Index into [`StorageGraph::nodes`]. Stable within one graph only;
-/// cross-graph identity is by [`Label`].
+/// Index into a [`StorageGraph`]'s node table. Stable within one graph
+/// only; cross-graph identity is by [`Label`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 

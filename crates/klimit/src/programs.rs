@@ -9,8 +9,9 @@
 
 /// A four-cell list built by straight-line code, scaled in the same
 /// function. Heap analyses see four concrete cells: k-limiting succeeds
-/// for k ≥ 3 and fails for k = 1 (the depth-2/3 cells merge and the chain
-/// edge between them becomes a summary self-loop).
+/// for k ≥ 2 and fails for k = 1, where the depth-1..3 cells merge and the
+/// chain edge between them becomes a summary self-loop (the per-k sweep in
+/// `tests/k_sweep.rs` pins the exact threshold).
 pub const STRAIGHT_LINE_SCALE: &str = "
 type L { int v; L *next; };
 

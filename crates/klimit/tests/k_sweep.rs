@@ -1,0 +1,123 @@
+//! Per-k sweeps of the k-limit ladder (§2.1) — the Table-1-style comparison
+//! of "loop build (append)" vs "loop build (prepend)" at every k in 1..=4.
+//!
+//! Why raising k never rescues the loop-built lists:
+//!
+//! * **append** (`tail->next = b; tail = b`): after the builder's fixpoint,
+//!   the k-limited storage graph holds cells for the first k allocation
+//!   depths and one *summary* cell for everything deeper. The `next` edge
+//!   out of the summary cell points back into the summary cell — a
+//!   manufactured cycle — so `walk_is_distinct` cannot rule out revisiting
+//!   a node, at ANY finite k: the list's length is unbounded while k is
+//!   fixed. This is exactly §2.1's central complaint about \[JM81\]-style
+//!   k-limiting.
+//! * **prepend** (`b->next = head; head = b`): identical failure under
+//!   k-limiting, for the same reason — the direction the list grows does
+//!   not matter once the interior cells merge.
+//!
+//! Where the two DO diverge is the allocation-site (CWZ-style) rung:
+//! append's stores always target a *virgin* cell (the freshly allocated
+//! `b`), so every `next` edge respects allocation order and the graph stays
+//! provably acyclic; prepend's store targets the OLD head — a cell that
+//! already carries pointers — so the ordering argument collapses (full
+//! \[CWZ90\] recovers this case with reference counts; our simplified mode
+//! documents the imprecision). The ADDS-declared twin licenses both, since
+//! the declared shape is indifferent to build order.
+
+use adds_klimit::{programs, verdict, Mode};
+
+/// The walk loop's verdict under `mode` (the last chase loop of the
+/// function — the scaling walk, not the builder loop).
+fn walk_verdict(src: &str, func: &str, mode: Mode) -> bool {
+    let checks = verdict::check_source(src, func, mode).expect("program checks");
+    checks
+        .iter()
+        .rfind(|c| c.pattern.is_some())
+        .expect("walk loop recognized")
+        .parallelizable
+}
+
+#[test]
+fn append_vs_prepend_per_k_table() {
+    // (k, append licensed?, prepend licensed?) — neither is licensed at any
+    // k: the summary-cell cycle defeats the walk argument regardless of
+    // build direction.
+    for k in 1..=4 {
+        assert!(
+            !walk_verdict(programs::LOOP_BUILT_SCALE, "main", Mode::KLimit(k)),
+            "append must NOT be licensed at k={k}: the interior cells merge \
+             into a summary node whose next-edge is a self-loop"
+        );
+        assert!(
+            !walk_verdict(programs::PREPEND_BUILT_SCALE, "main", Mode::KLimit(k)),
+            "prepend must NOT be licensed at k={k}, same summary cycle"
+        );
+    }
+}
+
+#[test]
+fn append_failure_reason_is_the_summary_cycle() {
+    // The rejection must come from the walk argument (the manufactured
+    // cycle), not from the body discipline — the loop body itself is clean.
+    for k in 1..=4 {
+        let checks =
+            verdict::check_source(programs::LOOP_BUILT_SCALE, "main", Mode::KLimit(k)).unwrap();
+        let walk = checks.iter().rfind(|c| c.pattern.is_some()).unwrap();
+        assert!(
+            walk.reasons.iter().any(|r| r.contains("revisit")),
+            "k={k}: {:?}",
+            walk.reasons
+        );
+    }
+}
+
+#[test]
+fn straight_line_shows_the_k_threshold() {
+    // The k-limit family is not useless — a STATICALLY bounded list is
+    // licensed once k covers its depth. The 4-cell straight-line build
+    // needs k >= 2 (cells at depth 0 and 1 stay distinct, the depth-2/3
+    // merge no longer places the chain edge inside a summary cell on the
+    // path the walk visits).
+    assert!(!walk_verdict(
+        programs::STRAIGHT_LINE_SCALE,
+        "main",
+        Mode::KLimit(1)
+    ));
+    for k in 2..=4 {
+        assert!(
+            walk_verdict(programs::STRAIGHT_LINE_SCALE, "main", Mode::KLimit(k)),
+            "straight-line build must be licensed at k={k}"
+        );
+    }
+}
+
+#[test]
+fn alloc_site_splits_append_from_prepend() {
+    // The Table-1 divergence: allocation-site ordering licenses append
+    // (virgin-target stores keep edges allocation-ordered) but not our
+    // simplified prepend (the store target already carries pointers).
+    assert!(walk_verdict(
+        programs::LOOP_BUILT_SCALE,
+        "main",
+        Mode::AllocSite
+    ));
+    assert!(!walk_verdict(
+        programs::PREPEND_BUILT_SCALE,
+        "main",
+        Mode::AllocSite
+    ));
+}
+
+#[test]
+fn adds_twin_is_indifferent_to_build_order() {
+    // The paper's rung: with the declaration, both build orders license the
+    // walk — shape is declared, not inferred from the builder.
+    for src in [programs::LOOP_BUILT_SCALE, programs::PREPEND_BUILT_SCALE] {
+        let twin = programs::adds_twin(src);
+        let c = adds_core::compile(&twin).expect("twin compiles");
+        let an = c.analysis("main").expect("analyzed");
+        let checks = adds_core::check_function(&c.tp, &c.summaries, an, "main");
+        let walk = checks.iter().rfind(|c| c.pattern.is_some()).unwrap();
+        assert!(walk.parallelizable, "{:?}", walk.reasons);
+    }
+}

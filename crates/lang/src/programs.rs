@@ -69,11 +69,14 @@ procedure move_subtree(p1: BinTree*, p2: BinTree*)
 
 /// §3.1.4 — the orthogonal-list sparse matrix: row headers chained along
 /// dimension `Y` (`down`), row entries chained along dimension `X`
-/// (`across`). The procedure scales every stored entry by walking rows
+/// (`across`), with the dimensions declared independent (`where X||Y`): a
+/// pure-`across` chain and a pure-`down` chain from the same node share no
+/// other node. The procedure scales every stored entry by walking rows
 /// outer, entries inner — the loop the two-dimensional declaration lets the
-/// analysis parallelize across rows.
+/// analysis parallelize across rows (the inner `across` walk is a
+/// summarized, iteration-local effect).
 pub const ORTH_ROW_SCALE: &str = "
-type OrthList [X] [Y]
+type OrthList [X] [Y] where X||Y
 {
     int data;
     OrthList *across is uniquely forward along X;

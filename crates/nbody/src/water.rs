@@ -204,7 +204,7 @@ impl WaterSim {
     /// per thread. No shape analysis is needed to see this is safe: each
     /// thread writes `force[lo..hi]` and reads positions immutably —
     /// Rust's borrow checker proves what, for the pointer code, required
-    /// the ADDS declaration. Bitwise-identical to [`step_sequential`].
+    /// the ADDS declaration. Bitwise-identical to [`Self::step_sequential`].
     pub fn step_parallel(&mut self, threads: usize) {
         let threads = threads.max(1);
         let dt = self.params.dt;

@@ -1,0 +1,151 @@
+//! Cross-validation of the two §4 execution substrates on the SAME
+//! workload: the real-thread native Barnes–Hut (`adds-nbody`) against the
+//! simulated Sequent-class machine running the IL program (`adds-machine`).
+//!
+//! Two consistency properties, both tolerance-based:
+//!
+//! 1. **Physics**: the native simulation and the IL interpretation implement
+//!    the same algorithm (same incremental tree build, same opening
+//!    criterion, same integrator), so after a few steps their particle
+//!    states must agree closely — the only divergence sources are the
+//!    softening formula (`dist + ε` in IL vs `sqrt(dist² + ε²)` natively)
+//!    and floating-point summation order.
+//! 2. **Speedup model**: the simulated machine's parallel speedup at P PEs
+//!    must be consistent with the work-balance model derived from the
+//!    native tree: total force-phase work divided by the busiest static
+//!    stripe's work (the §4.3.3 schedule both substrates implement).
+//!    Simulated cycles also pay the sequential tree build and barrier
+//!    costs, so the model is an upper bound the measurement must approach
+//!    but not exceed by more than the tolerance.
+//!
+//! Wall-clock is deliberately NOT asserted — CI machines make thread timing
+//! meaningless; the machine's deterministic cycle counter plays that role.
+
+use adds_machine::{run_barnes_hut, uniform_cloud, BodyInit, CostModel};
+use adds_nbody::force::force_visits;
+use adds_nbody::octree::Octree;
+use adds_nbody::particle::{Particle, ParticleList};
+use adds_nbody::sim::{SimParams, Simulation};
+use adds_nbody::vec3::Vec3;
+
+const BODIES: usize = 48;
+const STEPS: usize = 2;
+const PES: usize = 4;
+const THETA: f64 = 0.5;
+const DT: f64 = 0.001;
+const EPS: f64 = 1e-4; // matches the IL program's hard-coded softening
+
+fn native_particles(bodies: &[BodyInit]) -> ParticleList {
+    ParticleList::new(
+        bodies
+            .iter()
+            .map(|b| Particle {
+                mass: b.mass,
+                pos: Vec3::new(b.pos[0], b.pos[1], b.pos[2]),
+                vel: Vec3::new(b.vel[0], b.vel[1], b.vel[2]),
+            })
+            .collect(),
+    )
+}
+
+fn machine_runs(bodies: &[BodyInit]) -> (adds_machine::SimRun, adds_machine::SimRun) {
+    let src = adds_lang::programs::BARNES_HUT;
+    let tp_seq = adds_lang::check_source(src).unwrap();
+    let transformed = adds_core::parallelize_to_source(src).unwrap();
+    let tp_par = adds_lang::check_source(&transformed).unwrap();
+    let seq = run_barnes_hut(
+        &tp_seq,
+        bodies,
+        STEPS as i64,
+        THETA,
+        DT,
+        1,
+        CostModel::sequent(),
+        false,
+    )
+    .unwrap();
+    let par = run_barnes_hut(
+        &tp_par,
+        bodies,
+        STEPS as i64,
+        THETA,
+        DT,
+        PES,
+        CostModel::sequent(),
+        true,
+    )
+    .unwrap();
+    (seq, par)
+}
+
+#[test]
+fn real_thread_result_matches_simulated_machine() {
+    let bodies = uniform_cloud(BODIES, 11);
+    let (_, par) = machine_runs(&bodies);
+    assert_eq!(par.conflict_count, 0);
+
+    // Real threads on the native implementation, same workload.
+    let mut sim = Simulation::new(
+        native_particles(&bodies),
+        SimParams {
+            theta: THETA,
+            dt: DT,
+            eps: EPS,
+        },
+    );
+    sim.run_parallel(STEPS, PES);
+
+    let mut worst = 0.0f64;
+    for (a, b) in par.bodies.iter().zip(sim.particles.particles()) {
+        for d in 0..3 {
+            worst = worst.max((a.pos[d] - [b.pos.x, b.pos.y, b.pos.z][d]).abs());
+            worst = worst.max((a.vel[d] - [b.vel.x, b.vel.y, b.vel.z][d]).abs());
+        }
+    }
+    // The softening formulas differ at O(ε) (ε = 1e-4); everything else is
+    // the same algorithm in two implementations, so agreement must hold at
+    // the ε scale (observed ~2e-6 on this workload; positions are O(1)).
+    assert!(
+        worst < EPS,
+        "native real-thread result diverged from the simulated machine: {worst:e}"
+    );
+}
+
+#[test]
+fn simulated_speedup_is_consistent_with_native_work_model() {
+    let bodies = uniform_cloud(BODIES, 11);
+    let (seq, par) = machine_runs(&bodies);
+    let simulated = seq.cycles as f64 / par.cycles as f64;
+    assert!(par.parallel_rounds > 0);
+
+    // Work-balance model from the native tree: per-particle force work is
+    // the number of tree nodes the recursion visits; the §4.3.3 static
+    // strip assigns particle i to PE i mod P.
+    let plist = native_particles(&bodies);
+    let tree = Octree::build(&plist);
+    let mut per_pe = [0usize; PES];
+    let mut total = 0usize;
+    for p in 0..BODIES {
+        let visits = force_visits(&tree, &plist, p as u32, tree.root, THETA, EPS);
+        per_pe[p % PES] += visits;
+        total += visits;
+    }
+    let model = total as f64 / *per_pe.iter().max().unwrap() as f64;
+
+    // The model ignores the sequential tree build, barriers, and the (well
+    // balanced) BHL2 — the measurement must land below the model but within
+    // tolerance of it, and both must show real parallelism.
+    assert!(
+        simulated > 1.5,
+        "simulated machine shows no parallelism: {simulated:.2}"
+    );
+    assert!(
+        simulated <= model * 1.10,
+        "simulated speedup {simulated:.2} exceeds the work-balance bound {model:.2}"
+    );
+    assert!(
+        simulated >= model * 0.55,
+        "simulated speedup {simulated:.2} inconsistent with work model {model:.2}: \
+         more than 45% lost to serial sections on this workload"
+    );
+}

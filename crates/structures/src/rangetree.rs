@@ -171,7 +171,7 @@ impl RangeTree2D {
         out
     }
 
-    /// All points within [x1,x2] × [y1,y2] — the canonical 2-D range query
+    /// All points within \[x1,x2\] × \[y1,y2\] — the canonical 2-D range query
     /// using the independent `sub` dimension: O(log² n + k).
     pub fn rectangle_query(&self, x1: f64, x2: f64, y1: f64, y2: f64) -> Vec<Point> {
         let mut out = Vec::new();

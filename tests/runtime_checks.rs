@@ -184,3 +184,49 @@ fn legal_transform_produces_no_conflicts_even_under_detection() {
     it.call("scale", &[head, Value::Int(3)]).unwrap();
     assert!(it.conflicts.is_empty());
 }
+
+#[test]
+fn strip_mined_orth_rows_run_conflict_free_and_correct() {
+    // The nested-chase tentpole, validated dynamically: strip-mine the
+    // orthogonal-list row loop (the inner `across` walk is a summarized
+    // iteration-local effect), build a ragged 5-row orthogonal list, and run
+    // the transformed program at 4 PEs with strict conflict detection. Every
+    // stored entry must be scaled exactly once and no write may conflict.
+    let out = adds::core::parallelize_to_source(programs::ORTH_ROW_SCALE).unwrap();
+    assert!(out.contains("parfor"), "row loop not strip-mined:\n{out}");
+    let tp = check_source(&out).unwrap();
+    let cfg = MachineConfig {
+        pes: 4,
+        detect_conflicts: true,
+        strict_conflicts: true, // abort on any conflict
+        cost: CostModel::uniform(),
+        ..MachineConfig::default()
+    };
+    let mut it = Interp::new(&tp, cfg);
+
+    // Rows of uneven length: row r holds entries with data = 100*r + j.
+    let widths = [4usize, 1, 7, 3, 5];
+    let mut rows = Value::Null;
+    let mut nodes = Vec::new();
+    for (r, w) in widths.iter().enumerate().rev() {
+        let mut across = Value::Null;
+        let mut row_nodes = Vec::new();
+        for j in (0..*w).rev() {
+            let n = it.host_alloc("OrthList");
+            it.host_store(n, "data", 0, Value::Int((100 * r + j) as i64));
+            it.host_store(n, "across", 0, across);
+            across = Value::Ptr(n);
+            row_nodes.push((n, 100 * r + j));
+        }
+        let head = row_nodes.last().expect("non-empty row").0;
+        it.host_store(head, "down", 0, rows);
+        rows = Value::Ptr(head);
+        nodes.extend(row_nodes);
+    }
+
+    it.call("scale_rows", &[rows, Value::Int(3)]).unwrap();
+    assert!(it.conflicts.is_empty(), "{:?}", it.conflicts);
+    for (n, v) in nodes {
+        assert_eq!(it.host_load(n, "data", 0), Value::Int(3 * v as i64));
+    }
+}
