@@ -1,0 +1,109 @@
+//! Machine engine benchmarks: the tree-walking interpreter vs the
+//! slot-resolved bytecode VM on the corpus workloads at 4 PEs, plus the
+//! compile pass itself. The checked-in perf baseline is produced by the
+//! `bench_machine` binary; this criterion bench is the interactive /
+//! CI-smoke view of the same comparison (`cargo bench --bench machine`,
+//! smoke: `cargo bench --bench machine -- --test`).
+
+use adds_lang::programs;
+use adds_lang::types::{check_source, TypedProgram};
+use adds_machine::diff::workloads;
+use adds_machine::{CompiledProgram, CostModel, Exec, Interp, MachineConfig, Value, Vm};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const PES: usize = 4;
+
+fn cfg(detect: bool) -> MachineConfig {
+    MachineConfig {
+        pes: PES,
+        detect_conflicts: detect,
+        cost: CostModel::sequent(),
+        ..MachineConfig::default()
+    }
+}
+
+fn parallelized(src: &str) -> TypedProgram {
+    let out = adds_core::parallelize_to_source(src).expect("pipeline runs");
+    check_source(&out).expect("transformed source re-checks")
+}
+
+fn bench_engines(
+    c: &mut Criterion,
+    label: &str,
+    tp: &TypedProgram,
+    entry: &str,
+    detect: bool,
+    setup: impl Fn(&mut dyn Exec) -> Vec<Value>,
+) {
+    let compiled = CompiledProgram::compile(tp);
+    let mut g = c.benchmark_group(label);
+    g.sample_size(10);
+    g.bench_function("interp", |b| {
+        b.iter(|| {
+            let mut it = Interp::new(tp, cfg(detect));
+            let args = setup(&mut it);
+            it.call(entry, &args).expect("workload runs");
+            it.stats.stmts
+        })
+    });
+    g.bench_function("vm", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(&compiled, cfg(detect));
+            let args = setup(&mut vm);
+            vm.call(entry, &args).expect("workload runs");
+            vm.stats.stmts
+        })
+    });
+    g.finish();
+}
+
+fn machine_benches(c: &mut Criterion) {
+    bench_engines(
+        c,
+        "machine/list_scale_adds@4pe",
+        &parallelized(programs::LIST_SCALE_ADDS),
+        "scale",
+        false,
+        |m| vec![workloads::scale_list(m, 5_000), Value::Int(3)],
+    );
+    bench_engines(
+        c,
+        "machine/list_scale_adds@4pe+conflicts",
+        &parallelized(programs::LIST_SCALE_ADDS),
+        "scale",
+        true,
+        |m| vec![workloads::scale_list(m, 5_000), Value::Int(3)],
+    );
+    bench_engines(
+        c,
+        "machine/orth_row_scale@4pe",
+        &parallelized(programs::ORTH_ROW_SCALE),
+        "scale_rows",
+        false,
+        |m| {
+            let widths: Vec<usize> = (0..60).map(|r| 30 + (r % 17)).collect();
+            vec![workloads::orth_rows(m, &widths), Value::Int(3)]
+        },
+    );
+    bench_engines(
+        c,
+        "machine/barnes_hut@4pe",
+        &parallelized(programs::BARNES_HUT),
+        "simulate",
+        false,
+        |m| {
+            let bodies = adds_machine::uniform_cloud(32, 7);
+            let head = adds_machine::sequent::build_particles(m, &bodies);
+            vec![head, Value::Int(1), Value::Real(0.7), Value::Real(0.01)]
+        },
+    );
+
+    // The compile pass itself (per whole program).
+    let tp = check_source(programs::BARNES_HUT).unwrap();
+    c.bench_function("machine/compile/barnes_hut", |b| {
+        b.iter(|| CompiledProgram::compile(&tp).code_len())
+    });
+}
+
+criterion_group!(benches, machine_benches);
+criterion_main!(benches);

@@ -1,0 +1,303 @@
+//! M1 — machine engine throughput: the tree-walking interpreter vs the
+//! slot-resolved bytecode VM on the corpus workloads, at 4 PEs where the
+//! program parallelizes.
+//!
+//! Writes `BENCH_machine.json` (schema `adds.bench-machine/v1`) so the
+//! repository carries a perf-trajectory baseline:
+//!
+//! ```text
+//! cargo run --release -p adds-bench --bin bench_machine          # regen
+//! cargo run --release -p adds-bench --bin bench_machine -- --check
+//! ```
+//!
+//! `--check` validates an existing file's schema (used by CI to keep the
+//! checked-in baseline from rotting); it does not compare numbers, which
+//! are machine-dependent.
+
+use adds_bench::best_of;
+use adds_lang::programs;
+use adds_lang::types::{check_source, TypedProgram};
+use adds_machine::diff::workloads;
+use adds_machine::{CompiledProgram, CostModel, Exec, Interp, MachineConfig, Value, Vm};
+use std::fmt::Write as _;
+
+const OUT_PATH: &str = "BENCH_machine.json";
+const SCHEMA: &str = "adds.bench-machine/v1";
+const PES: usize = 4;
+const REPS: usize = 7;
+
+struct Case {
+    name: &'static str,
+    variant: &'static str,
+    tp: TypedProgram,
+    entry: &'static str,
+    setup: fn(&mut dyn Exec) -> Vec<Value>,
+}
+
+fn cases() -> Vec<Case> {
+    let par = |src: &str| {
+        let out = adds_core::parallelize_to_source(src).expect("pipeline runs");
+        check_source(&out).expect("transformed source re-checks")
+    };
+    fn scale_args(m: &mut dyn Exec) -> Vec<Value> {
+        vec![workloads::scale_list(m, 20_000), Value::Int(3)]
+    }
+    fn orth_args(m: &mut dyn Exec) -> Vec<Value> {
+        let widths: Vec<usize> = (0..200).map(|r| 40 + (r % 37)).collect();
+        vec![workloads::orth_rows(m, &widths), Value::Int(3)]
+    }
+    fn sum_args(m: &mut dyn Exec) -> Vec<Value> {
+        vec![workloads::sum_list(m, 20_000)]
+    }
+    fn bh_args(m: &mut dyn Exec) -> Vec<Value> {
+        let bodies = adds_machine::uniform_cloud(64, 7);
+        let head = adds_machine::sequent::build_particles(m, &bodies);
+        vec![head, Value::Int(1), Value::Real(0.7), Value::Real(0.01)]
+    }
+    vec![
+        Case {
+            name: "list_scale_adds",
+            variant: "sequential",
+            tp: check_source(programs::LIST_SCALE_ADDS).unwrap(),
+            entry: "scale",
+            setup: scale_args,
+        },
+        Case {
+            name: "list_scale_adds",
+            variant: "parallelized",
+            tp: par(programs::LIST_SCALE_ADDS),
+            entry: "scale",
+            setup: scale_args,
+        },
+        Case {
+            name: "orth_row_scale",
+            variant: "sequential",
+            tp: check_source(programs::ORTH_ROW_SCALE).unwrap(),
+            entry: "scale_rows",
+            setup: orth_args,
+        },
+        Case {
+            name: "orth_row_scale",
+            variant: "parallelized",
+            tp: par(programs::ORTH_ROW_SCALE),
+            entry: "scale_rows",
+            setup: orth_args,
+        },
+        Case {
+            name: "barnes_hut",
+            variant: "sequential",
+            tp: check_source(programs::BARNES_HUT).unwrap(),
+            entry: "simulate",
+            setup: bh_args,
+        },
+        Case {
+            name: "barnes_hut",
+            variant: "parallelized",
+            tp: par(programs::BARNES_HUT),
+            entry: "simulate",
+            setup: bh_args,
+        },
+        Case {
+            name: "list_sum",
+            variant: "sequential",
+            tp: check_source(programs::LIST_SUM).unwrap(),
+            entry: "sum",
+            setup: sum_args,
+        },
+    ]
+}
+
+fn config(detect: bool) -> MachineConfig {
+    MachineConfig {
+        pes: PES,
+        cost: CostModel::sequent(),
+        detect_conflicts: detect,
+        ..MachineConfig::default()
+    }
+}
+
+struct Row {
+    name: &'static str,
+    variant: &'static str,
+    detect: bool,
+    stmts: u64,
+    cycles: u64,
+    compile_ns: u64,
+    interp_ns: u64,
+    vm_ns: u64,
+}
+
+/// Best (minimum) of `reps` samples of `f`'s reported duration — the
+/// robust estimator on shared/noisy hosts, applied identically to both
+/// engines.
+fn best_ns(reps: usize, mut f: impl FnMut() -> std::time::Duration) -> u64 {
+    (0..reps.max(1))
+        .map(|_| f().as_nanos() as u64)
+        .min()
+        .expect("at least one sample")
+}
+
+fn measure(case: &Case, detect: bool) -> Row {
+    // One instrumented run for the counters.
+    let compiled = CompiledProgram::compile(&case.tp);
+    let mut vm = Vm::new(&compiled, config(detect));
+    let args = (case.setup)(&mut vm);
+    vm.call(case.entry, &args).expect("workload runs");
+    assert!(
+        vm.conflicts.is_empty(),
+        "corpus workloads are conflict-free"
+    );
+    let stmts = vm.stats.stmts;
+    let cycles = vm.clock;
+
+    let compile_ns = best_of(REPS, || CompiledProgram::compile(&case.tp)).as_nanos() as u64;
+    // Time only the IL execution — heap setup is identical host-side work
+    // on both engines and compilation is reported separately.
+    let vm_ns = best_ns(REPS, || {
+        let mut vm = Vm::new(&compiled, config(detect));
+        let args = (case.setup)(&mut vm);
+        let t0 = std::time::Instant::now();
+        vm.call(case.entry, &args).expect("workload runs");
+        t0.elapsed()
+    });
+    let interp_ns = best_ns(REPS, || {
+        let mut it = Interp::new(&case.tp, config(detect));
+        let args = (case.setup)(&mut it);
+        let t0 = std::time::Instant::now();
+        it.call(case.entry, &args).expect("workload runs");
+        t0.elapsed()
+    });
+
+    Row {
+        name: case.name,
+        variant: case.variant,
+        detect,
+        stmts,
+        cycles,
+        compile_ns,
+        interp_ns,
+        vm_ns,
+    }
+}
+
+fn per_sec(count: u64, ns: u64) -> f64 {
+    count as f64 / (ns.max(1) as f64 / 1e9)
+}
+
+fn render(rows: &[Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(s, "  \"pes\": {PES},");
+    let _ = writeln!(s, "  \"cost_model\": \"sequent\",");
+    let _ = writeln!(s, "  \"programs\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let ratio = r.interp_ns as f64 / r.vm_ns.max(1) as f64;
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(s, "      \"variant\": \"{}\",", r.variant);
+        let _ = writeln!(s, "      \"detect_conflicts\": {},", r.detect);
+        let _ = writeln!(s, "      \"stmts\": {},", r.stmts);
+        let _ = writeln!(s, "      \"cycles\": {},", r.cycles);
+        let _ = writeln!(s, "      \"compile_ns\": {},", r.compile_ns);
+        let _ = writeln!(s, "      \"interp_ns\": {},", r.interp_ns);
+        let _ = writeln!(s, "      \"vm_ns\": {},", r.vm_ns);
+        let _ = writeln!(
+            s,
+            "      \"interp_stmts_per_sec\": {:.0},",
+            per_sec(r.stmts, r.interp_ns)
+        );
+        let _ = writeln!(
+            s,
+            "      \"vm_stmts_per_sec\": {:.0},",
+            per_sec(r.stmts, r.vm_ns)
+        );
+        let _ = writeln!(
+            s,
+            "      \"vm_cycles_per_sec\": {:.0},",
+            per_sec(r.cycles, r.vm_ns)
+        );
+        let _ = writeln!(s, "      \"interp_over_vm\": {:.2}", ratio);
+        let _ = write!(s, "    }}");
+        let _ = writeln!(s, "{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Keys every program entry must carry; `--check` fails on any miss.
+const REQUIRED_KEYS: &[&str] = &[
+    "\"name\"",
+    "\"variant\"",
+    "\"stmts\"",
+    "\"cycles\"",
+    "\"compile_ns\"",
+    "\"interp_ns\"",
+    "\"vm_ns\"",
+    "\"interp_stmts_per_sec\"",
+    "\"vm_stmts_per_sec\"",
+    "\"vm_cycles_per_sec\"",
+    "\"interp_over_vm\"",
+];
+
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    if !text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!(
+            "`{path}` does not carry schema `{SCHEMA}` — regenerate it with \
+             `cargo run --release -p adds-bench --bin bench_machine`"
+        ));
+    }
+    let entries = text.matches("\"name\"").count();
+    if entries < 2 {
+        return Err(format!("`{path}` has {entries} program entries, need >= 2"));
+    }
+    for key in REQUIRED_KEYS {
+        if text.matches(key).count() < entries {
+            return Err(format!(
+                "`{path}` is stale: key {key} missing from some program entries"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check") {
+        match check(OUT_PATH) {
+            Ok(()) => println!("{OUT_PATH}: schema ok"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let all = cases();
+    let mut rows: Vec<Row> = Vec::new();
+    for case in &all {
+        rows.push(measure(case, false));
+        // The production configuration for parallel runs: conflict
+        // detection on (what `adds-cli run` and the validation tests use).
+        if case.variant == "parallelized" {
+            rows.push(measure(case, true));
+        }
+    }
+    for r in &rows {
+        println!(
+            "{:<16} {:<13} detect={:<5} {:>9} stmts  interp {:>12.0} st/s  vm {:>12.0} st/s  ({:.1}x)",
+            r.name,
+            r.variant,
+            r.detect,
+            r.stmts,
+            per_sec(r.stmts, r.interp_ns),
+            per_sec(r.stmts, r.vm_ns),
+            r.interp_ns as f64 / r.vm_ns.max(1) as f64,
+        );
+    }
+    let doc = render(&rows);
+    std::fs::write(OUT_PATH, &doc).expect("write BENCH_machine.json");
+    println!("wrote {OUT_PATH}");
+}

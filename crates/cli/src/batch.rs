@@ -4,12 +4,19 @@
 //! an [`InputUnit`]; units run through the pipeline with `par_iter` on the
 //! configured worker count and results come back in input order, so output
 //! (and exit code aggregation) is deterministic regardless of `--jobs`.
+//!
+//! Analyze/parallelize reports depend only on the source text (plus the
+//! per-invocation command and flags), so the executor memoizes by source
+//! content: repeated files in a batch are computed once and their reports
+//! cloned with the per-input name restored — the first concrete step
+//! toward the ROADMAP's source-hash-keyed analysis server.
 
 use crate::args::Args;
 use crate::corpus;
 use crate::pipeline::{run_unit, InputUnit};
 use crate::report::ProgramReport;
 use rayon::prelude::*;
+use std::collections::HashMap;
 
 /// Resolve `--all`, `--program`, and file arguments into work units.
 /// Order: corpus entries first (corpus order), then files (argument order).
@@ -58,16 +65,51 @@ pub fn collect_inputs(args: &Args) -> Result<Vec<InputUnit>, String> {
     Ok(units)
 }
 
-/// Run `units` through the pipeline in parallel on the configured pool.
+/// Run `units` through the pipeline in parallel on the configured pool,
+/// computing each distinct source once.
 pub fn run_batch(units: &[InputUnit], args: &Args) -> Vec<ProgramReport> {
+    run_batch_memo(units, args).0
+}
+
+/// [`run_batch`] exposing how many units were actually computed (the rest
+/// were memo hits), for tests and diagnostics.
+pub(crate) fn run_batch_memo(units: &[InputUnit], args: &Args) -> (Vec<ProgramReport>, usize) {
     rayon::ThreadPoolBuilder::new()
         .num_threads(args.jobs)
         .build_global()
         .expect("thread pool");
-    units
+
+    // Deduplicate by source content. The report depends only on the source
+    // (name/origin are display fields, restored per input below).
+    let mut memo_key: HashMap<&str, usize> = HashMap::new();
+    let mut uniques: Vec<usize> = Vec::new();
+    let keys: Vec<usize> = units
+        .iter()
+        .enumerate()
+        .map(|(i, u)| {
+            *memo_key.entry(u.source.as_str()).or_insert_with(|| {
+                uniques.push(i);
+                uniques.len() - 1
+            })
+        })
+        .collect();
+
+    let computed: Vec<ProgramReport> = uniques
         .par_iter()
-        .map(|u| run_unit(u, args.command, args.matrices))
-        .collect()
+        .map(|&i| run_unit(&units[i], args.command, args.matrices))
+        .collect();
+
+    let reports = units
+        .iter()
+        .zip(&keys)
+        .map(|(u, &k)| {
+            let mut r = computed[k].clone();
+            r.name.clone_from(&u.name);
+            r.origin = u.origin;
+            r
+        })
+        .collect();
+    (reports, uniques.len())
 }
 
 #[cfg(test)]
@@ -98,6 +140,39 @@ mod tests {
     #[test]
     fn empty_selection_is_an_error() {
         assert!(collect_inputs(&Args::default()).is_err());
+    }
+
+    #[test]
+    fn repeated_sources_are_computed_once() {
+        let src = crate::corpus::find("list_scale_adds").unwrap().source;
+        let unit = |name: &str, source: &str| InputUnit {
+            name: name.into(),
+            origin: "file",
+            source: source.into(),
+        };
+        let units = vec![
+            unit("a.il", src),
+            unit("b.il", src),
+            unit("c.il", crate::corpus::find("list_sum").unwrap().source),
+            unit("d.il", src),
+        ];
+        let args = Args {
+            command: Command::Analyze,
+            ..Args::default()
+        };
+        let (reports, computed) = run_batch_memo(&units, &args);
+        assert_eq!(computed, 2, "two distinct sources");
+        assert_eq!(reports.len(), 4);
+        // Names are per input; content is shared.
+        assert_eq!(reports[0].name, "a.il");
+        assert_eq!(reports[1].name, "b.il");
+        assert_eq!(reports[3].name, "d.il");
+        let mut renamed = reports[0].clone();
+        renamed.name = "b.il".into();
+        assert_eq!(renamed.to_json().pretty(), reports[1].to_json().pretty());
+        // And memoized output equals the unmemoized single-unit run.
+        let direct = run_unit(&units[1], Command::Analyze, false);
+        assert_eq!(direct.to_json().pretty(), reports[1].to_json().pretty());
     }
 
     #[test]

@@ -1,0 +1,1060 @@
+//! Lowering of typed IL programs to the slot-resolved bytecode the
+//! [`crate::vm::Vm`] executes.
+//!
+//! The compile pass resolves, once, everything the tree-walking
+//! interpreter re-derives on every access:
+//!
+//! * **Variables → frame slots.** Each function gets a flat frame layout —
+//!   parameters first, then named locals (sorted for determinism), then
+//!   expression temporaries — so frames become plain `Vec<Value>` windows
+//!   instead of `HashMap<String, Value>`.
+//! * **Field accesses → record offsets.** The static type of every field
+//!   access base is known (the type checker records per-function variable
+//!   types), so `p->coef` compiles to a numeric offset; only array accesses
+//!   keep a runtime bounds check.
+//! * **Functions → ids.** Calls carry a function index; intrinsics become
+//!   dedicated opcodes.
+//!
+//! The bytecode preserves the interpreter's observable semantics exactly:
+//! cycle charges are emitted as explicit `Branch` points or
+//! charged inside the data opcodes in the same order the interpreter
+//! charges them, and every statement begins with a `Fuel` instruction so
+//! statement counts and out-of-fuel points agree. The one documented
+//! divergence: reading a local before its `var` declaration has executed
+//! yields NULL in the VM where the interpreter raises "unbound variable"
+//! (well-typed programs cannot observe this without contorted
+//! declaration-after-use blocks, which the corpus never contains).
+
+use crate::value::{Layout, Layouts, Value};
+use adds_lang::adds::AddsEnv;
+use adds_lang::ast::*;
+use adds_lang::types::{TypedProgram, PES_CONST};
+use std::collections::HashMap;
+
+/// A frame slot index.
+pub type Slot = u32;
+
+/// One bytecode instruction. Slots address the current frame.
+#[derive(Clone, Debug)]
+pub(crate) enum Instr {
+    /// `dst = v`.
+    Const { dst: Slot, v: Value },
+    /// `dst = src`.
+    Copy { dst: Slot, src: Slot },
+    /// `dst = PEs` (the machine's configured processor count).
+    Pes { dst: Slot },
+    /// `dst = new T` — charges `alloc`.
+    Alloc { dst: Slot, ty: u32 },
+    /// `dst = base->field` — charges `load`. `off` is the resolved record
+    /// offset; `access` is consulted only on error paths.
+    Load {
+        dst: Slot,
+        base: Slot,
+        off: u32,
+        access: u32,
+    },
+    /// Statement-initial `Load`: burn one statement of fuel, then load
+    /// (peephole fusion of the dominant chase-loop pattern `p = p->next`).
+    FuelLoad {
+        dst: Slot,
+        base: Slot,
+        off: u32,
+        access: u32,
+    },
+    /// Statement-initial `Copy` (fuel + copy).
+    FuelCopy { dst: Slot, src: Slot },
+    /// Statement-initial `Const` (fuel + const).
+    FuelConst { dst: Slot, v: Value },
+    /// `dst = base->field[idx]` — charges `load`; bounds-checks against
+    /// `len`.
+    LoadIdx {
+        dst: Slot,
+        base: Slot,
+        idx: Slot,
+        off: u32,
+        len: u32,
+        access: u32,
+    },
+    /// `base->field = src` — charges `store`; `is_ptr` gates shape checks.
+    Store {
+        base: Slot,
+        src: Slot,
+        off: u32,
+        is_ptr: bool,
+        access: u32,
+    },
+    /// `base->field[idx] = src` — charges `store`.
+    StoreIdx {
+        base: Slot,
+        idx: Slot,
+        src: Slot,
+        off: u32,
+        len: u32,
+        is_ptr: bool,
+        access: u32,
+    },
+    /// `dst = op src` (shared operator semantics).
+    Un { op: UnOp, dst: Slot, src: Slot },
+    /// `dst = lhs op rhs` (shared operator semantics).
+    Bin {
+        op: BinOp,
+        dst: Slot,
+        lhs: Slot,
+        rhs: Slot,
+    },
+    /// `dst = lhs op k` — literal right operand folded into the
+    /// instruction (same shared semantics and charges as `Bin`).
+    BinK {
+        op: BinOp,
+        dst: Slot,
+        lhs: Slot,
+        k: Value,
+    },
+    /// `dst = sqrt(src)` — charges `sqrt`.
+    Sqrt { dst: Slot, src: Slot },
+    /// `dst = fabs(src)` — charges `fp`.
+    Fabs { dst: Slot, src: Slot },
+    /// `dst = abs(src)` — charges `alu`.
+    Abs { dst: Slot, src: Slot },
+    /// `dst = min(a, b)` / `max(a, b)` — charges `fp`.
+    MinMax {
+        dst: Slot,
+        a: Slot,
+        b: Slot,
+        is_min: bool,
+    },
+    /// `dst = itor(src)` — charges `alu`.
+    Itor { dst: Slot, src: Slot },
+    /// `print(src)` — appends to the output log.
+    Print { src: Slot },
+    /// `dst = funcs[func](args..args+argc)` — charges `call`.
+    Call {
+        dst: Slot,
+        func: u32,
+        args: Slot,
+        argc: u32,
+    },
+    /// `return src`.
+    Ret { src: Slot },
+    /// `return;` / fall off the end (yields NULL).
+    RetNull,
+    /// Unconditional jump.
+    Jump { target: u32 },
+    /// Jump when `cond` is false; errors when `cond` is not a bool. When
+    /// `branch` is set, charge the loop/if `branch` cost first (fused
+    /// condition head whose operands need no evaluation code).
+    JumpIfFalse {
+        cond: Slot,
+        branch: bool,
+        target: u32,
+    },
+    /// Fused comparison + branch: `if !(lhs op rhs) jump target`, charging
+    /// exactly like `Bin` followed by `JumpIfFalse` (only emitted for
+    /// comparison operators, whose result is always bool). `branch` as in
+    /// [`Instr::JumpIfFalse`].
+    JumpCmpFalse {
+        op: BinOp,
+        lhs: Slot,
+        rhs: Slot,
+        branch: bool,
+        target: u32,
+    },
+    /// Fused comparison-with-literal + branch.
+    JumpCmpKFalse {
+        op: BinOp,
+        lhs: Slot,
+        k: Value,
+        branch: bool,
+        target: u32,
+    },
+    /// Fused loop tail: burn one statement of fuel, then jump.
+    FuelJump { target: u32 },
+    /// Charge one `branch` cycle cost (loop/if condition points).
+    Branch,
+    /// Burn one statement of fuel (counts toward `ExecStats::stmts`).
+    Fuel,
+    /// Error unless the slot holds an int (loop bound checks).
+    IntCheck { slot: Slot },
+    /// Fused self-chase loop `for k = i to hi { ptr = ptr->field }` — the
+    /// strip-mined walk's positioning and block-advance pattern. Replays
+    /// the exact per-iteration sequence (branch charge, `k` update, two
+    /// fuel burns, load charge, speculative NULL behavior, conflict read
+    /// logging) without per-link dispatch.
+    ChaseLoop {
+        k: Slot,
+        i: Slot,
+        hi: Slot,
+        ptr: Slot,
+        off: u32,
+        access: u32,
+    },
+    /// Fused read-modify-write `base->field = base->field op src`; burns
+    /// the statement fuel itself (always statement-initial).
+    FieldRmw {
+        op: BinOp,
+        base: Slot,
+        src: Slot,
+        off: u32,
+        is_ptr: bool,
+        access: u32,
+    },
+    /// [`Instr::FieldRmw`] with a literal right operand.
+    FieldRmwK {
+        op: BinOp,
+        base: Slot,
+        k: Value,
+        off: u32,
+        is_ptr: bool,
+        access: u32,
+    },
+    /// Counted-loop entry: skip to `exit` when `i > hi` (no charge).
+    ForEnter { i: Slot, hi: Slot, exit: u32 },
+    /// Counted-loop iteration head: charge `branch`, then `var = i`.
+    ForHead { var: Slot, i: Slot },
+    /// Counted-loop backedge: burn one statement of fuel; then, when
+    /// `i < hi`, increment and jump to `head`.
+    ForNext { i: Slot, hi: Slot, head: u32 },
+    /// Parallel region over `body..body_end` (which ends with `IterEnd`).
+    ParFor {
+        var: Slot,
+        lo: Slot,
+        hi: Slot,
+        body_end: u32,
+    },
+    /// End of a `parfor` iteration body.
+    IterEnd,
+}
+
+/// One compiled function.
+#[derive(Clone, Debug)]
+pub(crate) struct FuncCode {
+    pub(crate) n_params: u32,
+    /// Total frame size: params + named locals + expression temporaries.
+    pub(crate) frame_size: u32,
+    pub(crate) code: Vec<Instr>,
+}
+
+/// A typed program lowered to slot-resolved bytecode, ready to run on any
+/// number of [`crate::vm::Vm`] instances.
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    pub(crate) funcs: Vec<FuncCode>,
+    names: HashMap<String, u32>,
+    /// Record layouts (with precomputed default-slot vectors).
+    pub layouts: Layouts,
+    /// Per-type layouts by id, for `Alloc`.
+    pub(crate) type_layouts: Vec<Layout>,
+    /// Field names per interned access site, for error messages and shape
+    /// checks (the numeric facts are embedded in the instructions).
+    pub(crate) accesses: Vec<String>,
+    /// The ADDS shape model, for runtime shape checking.
+    pub(crate) adds: AddsEnv,
+}
+
+impl CompiledProgram {
+    /// Lower `tp` to bytecode. The pass is total on type-checked programs.
+    pub fn compile(tp: &TypedProgram) -> CompiledProgram {
+        let layouts = Layouts::from_adds(&tp.adds);
+        let mut type_ids = HashMap::new();
+        let mut type_layouts = Vec::new();
+        for t in tp.adds.types() {
+            type_ids.insert(t.name.clone(), type_layouts.len() as u32);
+            type_layouts.push(
+                layouts
+                    .get(&t.name)
+                    .expect("layout for every declared type")
+                    .clone(),
+            );
+        }
+        let names: HashMap<String, u32> = tp
+            .program
+            .funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), i as u32))
+            .collect();
+        let mut prog = CompiledProgram {
+            funcs: Vec::new(),
+            names,
+            layouts,
+            type_layouts,
+            accesses: Vec::new(),
+            adds: tp.adds.clone(),
+        };
+        for f in &tp.program.funcs {
+            let code = FnCompiler::compile(tp, &mut prog, &type_ids, f);
+            prog.funcs.push(code);
+        }
+        prog
+    }
+
+    /// Id of function `name`, if defined.
+    pub fn func_id(&self, name: &str) -> Option<u32> {
+        self.names.get(name).copied()
+    }
+
+    /// Number of compiled functions.
+    pub fn func_count(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Total bytecode instruction count (diagnostics / benchmarks).
+    pub fn code_len(&self) -> usize {
+        self.funcs.iter().map(|f| f.code.len()).sum()
+    }
+}
+
+/// Per-function lowering state.
+struct FnCompiler<'a> {
+    tp: &'a TypedProgram,
+    prog: &'a mut CompiledProgram,
+    type_ids: &'a HashMap<String, u32>,
+    vars_ty: &'a HashMap<String, Ty>,
+    slots: HashMap<String, Slot>,
+    code: Vec<Instr>,
+    /// First temp slot currently available (reset per statement).
+    temp_next: u32,
+    /// Temps below this are pinned (enclosing loop counters).
+    temp_floor: u32,
+    /// High-water mark → frame size.
+    max_slots: u32,
+    /// A statement's fuel burn is owed but not yet emitted: the next
+    /// instruction absorbs it (Fuel* fused forms) or it flushes as `Fuel`.
+    pending_fuel: bool,
+}
+
+impl<'a> FnCompiler<'a> {
+    fn compile(
+        tp: &'a TypedProgram,
+        prog: &'a mut CompiledProgram,
+        type_ids: &'a HashMap<String, u32>,
+        f: &FunDecl,
+    ) -> FuncCode {
+        static EMPTY: std::sync::OnceLock<HashMap<String, Ty>> = std::sync::OnceLock::new();
+        let vars_ty = tp
+            .locals
+            .get(&f.name)
+            .unwrap_or_else(|| EMPTY.get_or_init(HashMap::new));
+        // Frame layout: params in order, then remaining locals sorted.
+        let mut slots = HashMap::new();
+        for (i, p) in f.params.iter().enumerate() {
+            slots.insert(p.name.clone(), i as u32);
+        }
+        let mut rest: Vec<&String> = vars_ty.keys().filter(|n| !slots.contains_key(*n)).collect();
+        rest.sort();
+        for n in rest {
+            let next = slots.len() as u32;
+            slots.insert(n.clone(), next);
+        }
+        let n_named = slots.len() as u32;
+        let mut c = FnCompiler {
+            tp,
+            prog,
+            type_ids,
+            vars_ty,
+            slots,
+            code: Vec::new(),
+            temp_next: n_named,
+            temp_floor: n_named,
+            max_slots: n_named,
+            pending_fuel: false,
+        };
+        c.block(&f.body);
+        c.emit(Instr::RetNull);
+        FuncCode {
+            n_params: f.params.len() as u32,
+            frame_size: c.max_slots,
+            code: c.code,
+        }
+    }
+
+    fn temp(&mut self) -> Slot {
+        let s = self.temp_next;
+        self.temp_next += 1;
+        self.max_slots = self.max_slots.max(self.temp_next);
+        s
+    }
+
+    fn reset_temps(&mut self) {
+        self.temp_next = self.temp_floor;
+    }
+
+    /// Emit one instruction, absorbing a pending statement-fuel burn into
+    /// the fused `Fuel*` forms where one exists.
+    fn emit(&mut self, i: Instr) {
+        if self.pending_fuel {
+            self.pending_fuel = false;
+            match i {
+                Instr::Load {
+                    dst,
+                    base,
+                    off,
+                    access,
+                } => {
+                    self.code.push(Instr::FuelLoad {
+                        dst,
+                        base,
+                        off,
+                        access,
+                    });
+                    return;
+                }
+                Instr::Copy { dst, src } => {
+                    self.code.push(Instr::FuelCopy { dst, src });
+                    return;
+                }
+                Instr::Const { dst, v } => {
+                    self.code.push(Instr::FuelConst { dst, v });
+                    return;
+                }
+                _ => self.code.push(Instr::Fuel),
+            }
+        }
+        self.code.push(i);
+    }
+
+    fn flush_fuel(&mut self) {
+        if self.pending_fuel {
+            self.pending_fuel = false;
+            self.code.push(Instr::Fuel);
+        }
+    }
+
+    /// Current label (flushes pending fuel first — a fuel burn may never
+    /// move across a jump target).
+    fn here(&mut self) -> u32 {
+        self.flush_fuel();
+        self.code.len() as u32
+    }
+
+    /// Emit a placeholder jump to be patched later; returns its index.
+    fn jump_hole(&mut self, i: Instr) -> usize {
+        self.emit(i);
+        self.code.len() - 1
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        match &mut self.code[at] {
+            Instr::Jump { target: t }
+            | Instr::JumpIfFalse { target: t, .. }
+            | Instr::JumpCmpFalse { target: t, .. }
+            | Instr::JumpCmpKFalse { target: t, .. }
+            | Instr::ForEnter { exit: t, .. }
+            | Instr::ParFor { body_end: t, .. } => *t = target,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    /// Literal value of a constant expression, for immediate operands.
+    fn literal(e: &Expr) -> Option<Value> {
+        match e {
+            Expr::Int(v, _) => Some(Value::Int(*v)),
+            Expr::Real(v, _) => Some(Value::Real(*v)),
+            Expr::Bool(b, _) => Some(Value::Bool(*b)),
+            Expr::Null(_) => Some(Value::Null),
+            _ => None,
+        }
+    }
+
+    /// A plain frame-slot expression: a non-`PEs` variable (reading it
+    /// emits no code and charges nothing).
+    fn is_pure_slot(e: &Expr) -> bool {
+        matches!(e, Expr::Var(v, _) if v != PES_CONST)
+    }
+
+    /// Emit a condition head — the `branch` cycle charge plus a jump taken
+    /// when `cond` is false — fusing comparisons (and the branch charge,
+    /// when the operands need no evaluation code) into one instruction.
+    /// Returns the patch hole.
+    fn cond_jump_hole(&mut self, cond: &Expr) -> usize {
+        if let Expr::Binary { op, lhs, rhs, .. } = cond {
+            if op.is_comparison() {
+                // Charge-inside fusion is only valid when evaluating the
+                // operands emits no code (the interpreter charges the
+                // branch before evaluating the condition).
+                let fuse_branch = Self::is_pure_slot(lhs)
+                    && (Self::literal(rhs).is_some() || Self::is_pure_slot(rhs));
+                if !fuse_branch {
+                    self.emit(Instr::Branch);
+                }
+                let l = self.operand(lhs);
+                return match Self::literal(rhs) {
+                    Some(k) => self.jump_hole(Instr::JumpCmpKFalse {
+                        op: *op,
+                        lhs: l,
+                        k,
+                        branch: fuse_branch,
+                        target: 0,
+                    }),
+                    None => {
+                        let r = self.operand(rhs);
+                        self.jump_hole(Instr::JumpCmpFalse {
+                            op: *op,
+                            lhs: l,
+                            rhs: r,
+                            branch: fuse_branch,
+                            target: 0,
+                        })
+                    }
+                };
+            }
+        }
+        let fuse_branch = Self::is_pure_slot(cond);
+        if !fuse_branch {
+            self.emit(Instr::Branch);
+        }
+        let c = self.operand(cond);
+        self.jump_hole(Instr::JumpIfFalse {
+            cond: c,
+            branch: fuse_branch,
+            target: 0,
+        })
+    }
+
+    // ------------------------------------------------------------ statements
+
+    fn block(&mut self, b: &Block) {
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        self.reset_temps();
+        self.pending_fuel = true;
+        match s {
+            Stmt::VarDecl { name, init, .. } => {
+                let dst = self.slots[name.as_str()];
+                match init {
+                    Some(e) => self.expr_to(e, dst),
+                    None => self.emit(Instr::Const {
+                        dst,
+                        v: Value::Null,
+                    }),
+                }
+            }
+            Stmt::Assign { lhs, rhs, .. } => self.assign(lhs, rhs),
+            Stmt::While { cond, body, .. } => {
+                let head = self.here();
+                self.reset_temps();
+                let exit_hole = self.cond_jump_hole(cond);
+                self.block(body);
+                self.emit(Instr::FuelJump { target: head });
+                let exit = self.here();
+                self.patch(exit_hole, exit);
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                let else_hole = self.cond_jump_hole(cond);
+                self.block(then_blk);
+                if let Some(e) = else_blk {
+                    let end_hole = self.jump_hole(Instr::Jump { target: 0 });
+                    let else_at = self.here();
+                    self.patch(else_hole, else_at);
+                    self.block(e);
+                    let end = self.here();
+                    self.patch(end_hole, end);
+                } else {
+                    let end = self.here();
+                    self.patch(else_hole, end);
+                }
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+                parallel,
+                ..
+            } => {
+                let v = self.slots[var.as_str()];
+                let t_i = self.temp();
+                let t_hi = self.temp();
+                self.expr_to(from, t_i);
+                self.emit(Instr::IntCheck { slot: t_i });
+                self.expr_to(to, t_hi);
+                self.emit(Instr::IntCheck { slot: t_hi });
+                if *parallel {
+                    let hole = self.jump_hole(Instr::ParFor {
+                        var: v,
+                        lo: t_i,
+                        hi: t_hi,
+                        body_end: 0,
+                    });
+                    self.block(body);
+                    self.emit(Instr::IterEnd);
+                    let end = self.here();
+                    self.patch(hole, end);
+                } else if let Some((ptr, off, access)) = self.chase_body(var, body) {
+                    self.emit(Instr::ChaseLoop {
+                        k: v,
+                        i: t_i,
+                        hi: t_hi,
+                        ptr,
+                        off,
+                        access,
+                    });
+                } else {
+                    // Pin the counters for the duration of the body.
+                    let old_floor = self.temp_floor;
+                    self.temp_floor = t_hi + 1;
+                    let enter_hole = self.jump_hole(Instr::ForEnter {
+                        i: t_i,
+                        hi: t_hi,
+                        exit: 0,
+                    });
+                    let head = self.here();
+                    self.emit(Instr::ForHead { var: v, i: t_i });
+                    self.block(body);
+                    // ForNext burns the iteration's trailing fuel itself.
+                    self.emit(Instr::ForNext {
+                        i: t_i,
+                        hi: t_hi,
+                        head,
+                    });
+                    let exit = self.here();
+                    self.patch(enter_hole, exit);
+                    self.temp_floor = old_floor;
+                }
+            }
+            Stmt::Return { value, .. } => match value {
+                Some(e) => {
+                    let t = self.operand(e);
+                    self.emit(Instr::Ret { src: t });
+                }
+                None => self.emit(Instr::RetNull),
+            },
+            Stmt::Call(c) => {
+                let dst = self.temp();
+                self.call_to(c, dst);
+            }
+        }
+        // A statement that emitted no instructions (e.g. the self-copy
+        // `x = x;`) still owes its fuel burn.
+        self.flush_fuel();
+    }
+
+    /// Recognize the self-chase loop body `{ v = v->f; }` (no index, `v`
+    /// distinct from the loop variable); returns the pointer slot and
+    /// resolved access.
+    fn chase_body(&mut self, loop_var: &str, body: &Block) -> Option<(Slot, u32, u32)> {
+        let [Stmt::Assign { lhs, rhs, .. }] = body.stmts.as_slice() else {
+            return None;
+        };
+        if !lhs.is_var() || lhs.base == loop_var || lhs.base == PES_CONST {
+            return None;
+        }
+        let Expr::Field {
+            base,
+            field,
+            index: None,
+            ..
+        } = rhs
+        else {
+            return None;
+        };
+        if !matches!(&**base, Expr::Var(v, _) if *v == lhs.base) {
+            return None;
+        }
+        let rec = self.var_record_ty(&lhs.base)?;
+        let (access, off, _, _) = self.access_info(Some(&rec), field);
+        Some((self.slots[lhs.base.as_str()], off, access))
+    }
+
+    /// Recognize `v->f = v->f op x` with `x` a literal or plain variable;
+    /// emits the fused RMW and returns true.
+    fn try_rmw(&mut self, lhs: &LValue, rhs: &Expr) -> bool {
+        let Some((base_var, field)) = lhs.as_single_field() else {
+            return false;
+        };
+        if lhs.path[0].index.is_some() || base_var == PES_CONST {
+            return false;
+        }
+        let Expr::Binary {
+            op,
+            lhs: rl,
+            rhs: rr,
+            ..
+        } = rhs
+        else {
+            return false;
+        };
+        let reads_same_field = matches!(
+            &**rl,
+            Expr::Field { base, field: f2, index: None, .. }
+                if *f2 == field && matches!(&**base, Expr::Var(v, _) if v == base_var)
+        );
+        if !reads_same_field {
+            return false;
+        }
+        let Some(rec) = self.var_record_ty(base_var) else {
+            return false;
+        };
+        let k = Self::literal(rr);
+        if k.is_none() && !Self::is_pure_slot(rr) {
+            return false;
+        }
+        let (access, off, _, is_ptr) = self.access_info(Some(&rec), field);
+        let base = self.slots[base_var];
+        // Always statement-initial: the instruction burns the fuel itself.
+        debug_assert!(self.pending_fuel);
+        self.pending_fuel = false;
+        match k {
+            Some(k) => self.code.push(Instr::FieldRmwK {
+                op: *op,
+                base,
+                k,
+                off,
+                is_ptr,
+                access,
+            }),
+            None => {
+                let src = self.operand(rr);
+                self.code.push(Instr::FieldRmw {
+                    op: *op,
+                    base,
+                    src,
+                    off,
+                    is_ptr,
+                    access,
+                });
+            }
+        }
+        true
+    }
+
+    fn assign(&mut self, lhs: &LValue, rhs: &Expr) {
+        if lhs.is_var() {
+            let dst = self.slots[lhs.base.as_str()];
+            self.expr_to(rhs, dst);
+            return;
+        }
+        if self.try_rmw(lhs, rhs) {
+            return;
+        }
+        // RHS first, then walk to the last node — interpreter order.
+        let src = self.operand(rhs);
+        let mut cur = self.read_var(&lhs.base);
+        let mut rec = self.var_record_ty(&lhs.base);
+        for acc in &lhs.path[..lhs.path.len() - 1] {
+            let (access, off, len, _) = self.access_info(rec.as_deref(), &acc.field);
+            rec = rec
+                .as_deref()
+                .and_then(|r| self.tp.field_ty(r, &acc.field))
+                .and_then(|t| t.pointee().map(str::to_string));
+            let dst = self.temp();
+            match &acc.index {
+                Some(e) => {
+                    let idx = self.operand(e);
+                    self.emit(Instr::LoadIdx {
+                        dst,
+                        base: cur,
+                        idx,
+                        off,
+                        len,
+                        access,
+                    });
+                }
+                None => self.emit(Instr::Load {
+                    dst,
+                    base: cur,
+                    off,
+                    access,
+                }),
+            }
+            cur = dst;
+        }
+        let last = lhs.path.last().expect("field lvalue");
+        let (access, off, len, is_ptr) = self.access_info(rec.as_deref(), &last.field);
+        match &last.index {
+            Some(e) => {
+                let idx = self.operand(e);
+                self.emit(Instr::StoreIdx {
+                    base: cur,
+                    idx,
+                    src,
+                    off,
+                    len,
+                    is_ptr,
+                    access,
+                });
+            }
+            None => self.emit(Instr::Store {
+                base: cur,
+                src,
+                off,
+                is_ptr,
+                access,
+            }),
+        }
+    }
+
+    // ----------------------------------------------------------- expressions
+
+    /// Slot holding the value of `e`: variables in place, everything else
+    /// materialized into a fresh temp.
+    fn operand(&mut self, e: &Expr) -> Slot {
+        if let Expr::Var(v, _) = e {
+            if v != PES_CONST {
+                return self.read_var(v);
+            }
+        }
+        let t = self.temp();
+        self.expr_to(e, t);
+        t
+    }
+
+    /// Evaluate `e` into `dst`. Only the final producing instruction writes
+    /// `dst`; subexpression results go to fresh temps, so `dst` may alias a
+    /// variable read by the expression.
+    fn expr_to(&mut self, e: &Expr, dst: Slot) {
+        match e {
+            Expr::Int(v, _) => self.emit(Instr::Const {
+                dst,
+                v: Value::Int(*v),
+            }),
+            Expr::Real(v, _) => self.emit(Instr::Const {
+                dst,
+                v: Value::Real(*v),
+            }),
+            Expr::Bool(b, _) => self.emit(Instr::Const {
+                dst,
+                v: Value::Bool(*b),
+            }),
+            Expr::Null(_) => self.emit(Instr::Const {
+                dst,
+                v: Value::Null,
+            }),
+            Expr::Var(v, _) => {
+                if v == PES_CONST {
+                    self.emit(Instr::Pes { dst });
+                } else {
+                    let src = self.read_var(v);
+                    if src != dst {
+                        self.emit(Instr::Copy { dst, src });
+                    }
+                }
+            }
+            Expr::New(ty, _) => {
+                let id = *self
+                    .type_ids
+                    .get(ty)
+                    .unwrap_or_else(|| panic!("`new` of unknown type `{ty}` after type check"));
+                self.emit(Instr::Alloc { dst, ty: id });
+            }
+            Expr::Field {
+                base, field, index, ..
+            } => {
+                let rec = self.record_ty_of(base);
+                let b = self.operand(base);
+                let (access, off, len, _) = self.access_info(rec.as_deref(), field);
+                match index {
+                    Some(i) => {
+                        let idx = self.operand(i);
+                        self.emit(Instr::LoadIdx {
+                            dst,
+                            base: b,
+                            idx,
+                            off,
+                            len,
+                            access,
+                        });
+                    }
+                    None => self.emit(Instr::Load {
+                        dst,
+                        base: b,
+                        off,
+                        access,
+                    }),
+                }
+            }
+            Expr::Unary { op, operand, .. } => {
+                let src = self.operand(operand);
+                self.emit(Instr::Un { op: *op, dst, src });
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let l = self.operand(lhs);
+                match Self::literal(rhs) {
+                    Some(k) => self.emit(Instr::BinK {
+                        op: *op,
+                        dst,
+                        lhs: l,
+                        k,
+                    }),
+                    None => {
+                        let r = self.operand(rhs);
+                        self.emit(Instr::Bin {
+                            op: *op,
+                            dst,
+                            lhs: l,
+                            rhs: r,
+                        });
+                    }
+                }
+            }
+            Expr::Call(c) => self.call_to(c, dst),
+        }
+    }
+
+    fn call_to(&mut self, c: &Call, dst: Slot) {
+        // Intrinsics shadow user functions, as in the interpreter.
+        match c.callee.as_str() {
+            "print" => {
+                let src = self.operand(&c.args[0]);
+                self.emit(Instr::Print { src });
+                self.emit(Instr::Const {
+                    dst,
+                    v: Value::Null,
+                });
+                return;
+            }
+            "sqrt" => {
+                let src = self.operand(&c.args[0]);
+                self.emit(Instr::Sqrt { dst, src });
+                return;
+            }
+            "fabs" => {
+                let src = self.operand(&c.args[0]);
+                self.emit(Instr::Fabs { dst, src });
+                return;
+            }
+            "abs" => {
+                let src = self.operand(&c.args[0]);
+                self.emit(Instr::Abs { dst, src });
+                return;
+            }
+            "min" | "max" => {
+                let a = self.operand(&c.args[0]);
+                let b = self.operand(&c.args[1]);
+                self.emit(Instr::MinMax {
+                    dst,
+                    a,
+                    b,
+                    is_min: c.callee == "min",
+                });
+                return;
+            }
+            "itor" => {
+                let src = self.operand(&c.args[0]);
+                self.emit(Instr::Itor { dst, src });
+                return;
+            }
+            _ => {}
+        }
+        let func =
+            *self.prog.names.get(&c.callee).unwrap_or_else(|| {
+                panic!("call of unknown function `{}` after type check", c.callee)
+            });
+        // Arguments must land in consecutive temps.
+        let args = self.temp_next;
+        for _ in 0..c.args.len() {
+            self.temp();
+        }
+        for (k, a) in c.args.iter().enumerate() {
+            self.expr_to(a, args + k as u32);
+        }
+        self.emit(Instr::Call {
+            dst,
+            func,
+            args,
+            argc: c.args.len() as u32,
+        });
+    }
+
+    // -------------------------------------------------------------- resolution
+
+    fn read_var(&mut self, name: &str) -> Slot {
+        if name == PES_CONST {
+            let t = self.temp();
+            self.emit(Instr::Pes { dst: t });
+            return t;
+        }
+        *self
+            .slots
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown variable `{name}` after type check"))
+    }
+
+    /// Record type a pointer variable points to, if statically known.
+    fn var_record_ty(&self, name: &str) -> Option<String> {
+        if name == PES_CONST {
+            return None;
+        }
+        self.vars_ty
+            .get(name)
+            .and_then(|t| t.pointee().map(str::to_string))
+    }
+
+    /// Record type `e` points to, if statically known (it always is for
+    /// type-checked programs, except for literal-NULL bases).
+    fn record_ty_of(&self, e: &Expr) -> Option<String> {
+        self.static_ty(e)
+            .and_then(|t| t.pointee().map(str::to_string))
+    }
+
+    fn static_ty(&self, e: &Expr) -> Option<Ty> {
+        match e {
+            Expr::Int(..) => Some(Ty::Int),
+            Expr::Real(..) => Some(Ty::Real),
+            Expr::Bool(..) => Some(Ty::Bool),
+            Expr::Null(_) => None,
+            Expr::New(t, _) => Some(Ty::Ptr(t.clone())),
+            Expr::Var(v, _) => {
+                if v == PES_CONST {
+                    Some(Ty::Int)
+                } else {
+                    self.vars_ty.get(v).cloned()
+                }
+            }
+            Expr::Field { base, field, .. } => {
+                let bt = self.static_ty(base)?;
+                self.tp.field_ty(bt.pointee()?, field)
+            }
+            Expr::Unary { op, operand, .. } => match op {
+                UnOp::Neg => self.static_ty(operand),
+                UnOp::Not => Some(Ty::Bool),
+            },
+            Expr::Binary { op, lhs, rhs, .. } => {
+                if op.is_comparison() || op.is_logical() {
+                    Some(Ty::Bool)
+                } else {
+                    match (self.static_ty(lhs), self.static_ty(rhs)) {
+                        (Some(Ty::Real), _) | (_, Some(Ty::Real)) => Some(Ty::Real),
+                        _ => Some(Ty::Int),
+                    }
+                }
+            }
+            Expr::Call(c) => match c.callee.as_str() {
+                "sqrt" | "fabs" | "min" | "max" | "itor" => Some(Ty::Real),
+                "abs" => Some(Ty::Int),
+                "print" => None,
+                _ => self.tp.sigs.get(&c.callee).and_then(|s| s.ret.clone()),
+            },
+        }
+    }
+
+    /// Intern a resolved field access; returns `(id, offset, len, is_ptr)`
+    /// so the hot numeric facts can be embedded in the instruction (the
+    /// interned entry serves error messages and shape checks). A `None`
+    /// record type can only arise from a literal-NULL base, whose access
+    /// never reaches the offset at runtime (speculative NULL reads return
+    /// before offset use, and lvalues always root at a typed variable).
+    fn access_info(&mut self, rec: Option<&str>, field: &str) -> (u32, u32, u32, bool) {
+        let (offset, len, is_ptr) = match rec.and_then(|r| self.prog.layouts.get(r)) {
+            Some(layout) => {
+                let slot = layout.slot(field).unwrap_or_else(|| {
+                    panic!("field `{field}` missing from layout after type check")
+                });
+                (slot.offset as u32, slot.len as u32, slot.is_ptr)
+            }
+            None => (0, 1, false),
+        };
+        let id = self.prog.accesses.len() as u32;
+        self.prog.accesses.push(field.to_string());
+        (id, offset, len, is_ptr)
+    }
+}

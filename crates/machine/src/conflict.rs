@@ -1,0 +1,462 @@
+//! Dynamic conflict detection for `parfor` regions.
+//!
+//! Two implementations of the same specification:
+//!
+//! * `pairwise_conflicts` — the reference detector the tree-walking
+//!   interpreter uses: one `BTreeSet` access log per iteration, then a
+//!   pairwise set intersection over all iteration pairs. O(iters² · log
+//!   size); kept as the semantic oracle for differential testing.
+//! * [`ConflictTable`] — the VM's detector: one epoch-stamped table keyed
+//!   by `(node, slot)` holding per-slot writer/reader iteration lists,
+//!   filled during execution (the epoch stamp dedups repeated accesses
+//!   within one iteration, replacing the per-iteration set) and merged in a
+//!   single pass over touched slots at the barrier. O(total accesses +
+//!   conflicts reported).
+//!
+//! Both report, per conflicting `(node, slot)`:
+//! * every pair of distinct writing iterations as a write/write conflict;
+//! * every (writer, pure-reader) pair as a write/read conflict — an
+//!   iteration that both reads and writes a slot reports only the stronger
+//!   write/write conflicts against other writers.
+//!
+//! The two emit the same *set* of [`Conflict`]s but in different orders
+//! (pair-major vs slot-major); compare them order-insensitively.
+
+use crate::exec::Conflict;
+use crate::value::NodeId;
+use std::collections::BTreeSet;
+
+/// Per-iteration heap access log of the reference detector.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct AccessLog {
+    pub(crate) reads: BTreeSet<(NodeId, usize)>,
+    pub(crate) writes: BTreeSet<(NodeId, usize)>,
+}
+
+/// First conflict in the reference detector's pair-major order, without
+/// materializing the full (possibly quadratic) conflict list — the strict
+/// abort path, preserving the historical interpreter's early exit.
+pub(crate) fn pairwise_first(logs: &[AccessLog]) -> Option<Conflict> {
+    for a in 0..logs.len() {
+        for b in a + 1..logs.len() {
+            for w in &logs[a].writes {
+                if logs[b].writes.contains(w) {
+                    return Some(Conflict {
+                        iter_a: a,
+                        iter_b: b,
+                        node: w.0,
+                        slot: w.1,
+                        write_write: true,
+                    });
+                } else if logs[b].reads.contains(w) {
+                    return Some(Conflict {
+                        iter_a: a,
+                        iter_b: b,
+                        node: w.0,
+                        slot: w.1,
+                        write_write: false,
+                    });
+                }
+            }
+            for w in &logs[b].writes {
+                if logs[a].reads.contains(w) && !logs[a].writes.contains(w) {
+                    return Some(Conflict {
+                        iter_a: a,
+                        iter_b: b,
+                        node: w.0,
+                        slot: w.1,
+                        write_write: false,
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// The reference pairwise detector (the interpreter's historical
+/// algorithm, verbatim): conflicts in pair-major order.
+pub(crate) fn pairwise_conflicts(logs: &[AccessLog]) -> Vec<Conflict> {
+    let mut out = Vec::new();
+    for a in 0..logs.len() {
+        for b in a + 1..logs.len() {
+            for w in &logs[a].writes {
+                if logs[b].writes.contains(w) {
+                    out.push(Conflict {
+                        iter_a: a,
+                        iter_b: b,
+                        node: w.0,
+                        slot: w.1,
+                        write_write: true,
+                    });
+                } else if logs[b].reads.contains(w) {
+                    out.push(Conflict {
+                        iter_a: a,
+                        iter_b: b,
+                        node: w.0,
+                        slot: w.1,
+                        write_write: false,
+                    });
+                }
+            }
+            // write/read the other way.
+            for w in &logs[b].writes {
+                if logs[a].reads.contains(w) && !logs[a].writes.contains(w) {
+                    out.push(Conflict {
+                        iter_a: a,
+                        iter_b: b,
+                        node: w.0,
+                        slot: w.1,
+                        write_write: false,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Sentinel iteration stamp ("none yet"). Iterations are stored as `u32`;
+/// a `parfor` would need over four billion iterations to wrap, which the
+/// simulated machine cannot reach in practice.
+const NO_ITER: u32 = u32::MAX;
+
+/// Per-slot access cell of the single-pass detector: 32 packed bytes. The
+/// first accessing iteration of each kind is stored inline; the spill box
+/// only allocates for genuinely contended slots (a second distinct
+/// iteration), so conflict-free executions never touch the allocator while
+/// recording.
+#[derive(Clone, Debug)]
+struct SlotCell {
+    /// Region generation this cell was last used in (lazy reset).
+    gen: u32,
+    /// First writing / reading iteration (`NO_ITER` when none yet).
+    first_write: u32,
+    first_read: u32,
+    /// Epoch stamps: last iteration that recorded each kind (dedup).
+    last_write: u32,
+    last_read: u32,
+    /// Further distinct accessing iterations, in order (contended slots).
+    spill: Option<Box<Spill>>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Spill {
+    writes: Vec<u32>,
+    reads: Vec<u32>,
+}
+
+impl Default for SlotCell {
+    fn default() -> Self {
+        SlotCell {
+            gen: 0,
+            first_write: NO_ITER,
+            first_read: NO_ITER,
+            last_write: NO_ITER,
+            last_read: NO_ITER,
+            spill: None,
+        }
+    }
+}
+
+const NO_SPILL: &[u32] = &[];
+
+impl SlotCell {
+    fn more_writes(&self) -> &[u32] {
+        self.spill.as_ref().map_or(NO_SPILL, |s| &s.writes)
+    }
+
+    fn more_reads(&self) -> &[u32] {
+        self.spill.as_ref().map_or(NO_SPILL, |s| &s.reads)
+    }
+
+    fn is_writer(&self, iter: u32) -> bool {
+        self.first_write == iter || self.more_writes().binary_search(&iter).is_ok()
+    }
+
+    fn writers(&self) -> impl Iterator<Item = u32> + Clone + '_ {
+        std::iter::once(self.first_write)
+            .filter(|&w| w != NO_ITER)
+            .chain(self.more_writes().iter().copied())
+    }
+
+    fn readers(&self) -> impl Iterator<Item = u32> + '_ {
+        std::iter::once(self.first_read)
+            .filter(|&r| r != NO_ITER)
+            .chain(self.more_reads().iter().copied())
+    }
+}
+
+/// Epoch-stamped per-slot access table: the VM's single-pass conflict
+/// detector. Cells live in one flat vector parallel to the heap's flat
+/// value arena (keyed by the arena index [`crate::value::Heap::load_flat`]
+/// reports), and a region *generation* stamp resets cells lazily — so
+/// neither region entry nor recording ever hashes, chases per-node
+/// pointers, or clears storage. See the module docs for the specification.
+#[derive(Debug, Default)]
+pub struct ConflictTable {
+    /// One cell per flat heap slot, grown on demand.
+    cells: Vec<SlotCell>,
+    /// Touched slots in first-touch order — `(node, slot, flat)` — for
+    /// deterministic emission.
+    touched: Vec<(NodeId, u32, u32)>,
+    /// Current region generation.
+    gen: u32,
+    /// Current iteration (the epoch).
+    iter: u32,
+}
+
+impl ConflictTable {
+    /// Reset for a new `parfor` region (one counter bump; cell storage is
+    /// reused and reset lazily via the generation stamp).
+    pub fn begin_region(&mut self) {
+        self.gen += 1;
+        self.touched.clear();
+        self.iter = 0;
+    }
+
+    /// Enter iteration `k` of the current region. Iterations MUST be
+    /// entered in ascending order — the per-slot writer/reader lists rely
+    /// on it staying sorted (`is_writer` binary-searches them).
+    pub fn begin_iter(&mut self, k: usize) {
+        debug_assert!(
+            self.touched.is_empty() || k as u32 >= self.iter,
+            "parfor iterations must be recorded in ascending order"
+        );
+        self.iter = k as u32;
+    }
+
+    fn cell(&mut self, node: NodeId, slot: usize, flat: u32) -> &mut SlotCell {
+        let f = flat as usize;
+        if self.cells.len() <= f {
+            self.cells.resize_with(f + 1, SlotCell::default);
+        }
+        let cell = &mut self.cells[f];
+        if cell.gen != self.gen {
+            cell.gen = self.gen;
+            cell.first_write = NO_ITER;
+            cell.first_read = NO_ITER;
+            cell.last_write = NO_ITER;
+            cell.last_read = NO_ITER;
+            if let Some(s) = cell.spill.as_mut() {
+                s.writes.clear();
+                s.reads.clear();
+            }
+            self.touched.push((node, slot as u32, flat));
+        }
+        cell
+    }
+
+    /// Record a heap read of `(node, slot)` (at flat arena index `flat`)
+    /// by the current iteration.
+    #[inline]
+    pub fn record_read(&mut self, node: NodeId, slot: usize, flat: u32) {
+        let iter = self.iter;
+        let e = self.cell(node, slot, flat);
+        if e.last_read != iter {
+            e.last_read = iter;
+            if e.first_read == NO_ITER {
+                e.first_read = iter;
+            } else {
+                e.spill.get_or_insert_default().reads.push(iter);
+            }
+        }
+    }
+
+    /// Record a heap write of `(node, slot)` (at flat arena index `flat`)
+    /// by the current iteration.
+    #[inline]
+    pub fn record_write(&mut self, node: NodeId, slot: usize, flat: u32) {
+        let iter = self.iter;
+        let e = self.cell(node, slot, flat);
+        if e.last_write != iter {
+            e.last_write = iter;
+            if e.first_write == NO_ITER {
+                e.first_write = iter;
+            } else {
+                e.spill.get_or_insert_default().writes.push(iter);
+            }
+        }
+    }
+
+    /// First conflict in the table's slot-major emission order, without
+    /// materializing the (possibly quadratic) full list — the strict abort
+    /// path.
+    pub fn first_conflict(&self) -> Option<Conflict> {
+        for &(node, slot, flat) in &self.touched {
+            let e = &self.cells[flat as usize];
+            let slot = slot as usize;
+            let mut ws = e.writers();
+            if let Some(w1) = ws.next() {
+                if let Some(w2) = ws.next() {
+                    return Some(Conflict {
+                        iter_a: w1 as usize,
+                        iter_b: w2 as usize,
+                        node,
+                        slot,
+                        write_write: true,
+                    });
+                }
+                for r in e.readers() {
+                    if !e.is_writer(r) {
+                        return Some(Conflict {
+                            iter_a: w1.min(r) as usize,
+                            iter_b: w1.max(r) as usize,
+                            node,
+                            slot,
+                            write_write: false,
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Merge the region's accesses into the conflict list: one pass over
+    /// the touched slots, in slot-major (first-touch) order.
+    pub fn finish(&mut self) -> Vec<Conflict> {
+        let mut out = Vec::new();
+        for &(node, slot, flat) in &self.touched {
+            let e = &self.cells[flat as usize];
+            let slot = slot as usize;
+            let mut ws = e.writers();
+            while let Some(w1) = ws.next() {
+                for w2 in ws.clone() {
+                    out.push(Conflict {
+                        iter_a: w1 as usize,
+                        iter_b: w2 as usize,
+                        node,
+                        slot,
+                        write_write: true,
+                    });
+                }
+            }
+            if e.first_write == NO_ITER {
+                continue; // readers without a writer never conflict
+            }
+            for r in e.readers() {
+                // Writer/reader lists are in ascending iteration order.
+                if e.is_writer(r) {
+                    continue; // stronger write/write conflicts already cover it
+                }
+                for w in e.writers() {
+                    out.push(Conflict {
+                        iter_a: w.min(r) as usize,
+                        iter_b: w.max(r) as usize,
+                        node,
+                        slot,
+                        write_write: false,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Replay a set of logs through the single-pass table.
+    fn table_conflicts(logs: &[AccessLog]) -> Vec<Conflict> {
+        let mut t = ConflictTable::default();
+        t.begin_region();
+        for (k, log) in logs.iter().enumerate() {
+            t.begin_iter(k);
+            for &(n, s) in &log.reads {
+                t.record_read(n, s, n * 8 + s as u32);
+            }
+            for &(n, s) in &log.writes {
+                t.record_write(n, s, n * 8 + s as u32);
+            }
+        }
+        t.finish()
+    }
+
+    fn log(reads: &[(NodeId, usize)], writes: &[(NodeId, usize)]) -> AccessLog {
+        AccessLog {
+            reads: reads.iter().copied().collect(),
+            writes: writes.iter().copied().collect(),
+        }
+    }
+
+    fn sorted(mut v: Vec<Conflict>) -> Vec<Conflict> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn detectors_agree_on_shared_writer() {
+        // Three iterations write node 0 slot 1; one also reads it; a fourth
+        // only reads. Mixed ww and wr conflicts.
+        let logs = vec![
+            log(&[(0, 1)], &[(0, 1)]),
+            log(&[], &[(0, 1)]),
+            log(&[], &[(0, 1), (2, 0)]),
+            log(&[(0, 1), (2, 0)], &[]),
+        ];
+        let p = sorted(pairwise_conflicts(&logs));
+        let t = sorted(table_conflicts(&logs));
+        assert_eq!(p, t);
+        assert!(p.iter().any(|c| c.write_write));
+        assert!(p.iter().any(|c| !c.write_write));
+        // 3 ww pairs on (0,1), iter 3 reads it → 3 wr, plus (2,0) w/r pair.
+        assert_eq!(p.len(), 3 + 3 + 1);
+    }
+
+    #[test]
+    fn detectors_agree_on_disjoint_accesses() {
+        let logs = vec![
+            log(&[(0, 0)], &[(1, 0)]),
+            log(&[(0, 0)], &[(2, 0)]),
+            log(&[(0, 0)], &[(3, 0)]),
+        ];
+        assert!(pairwise_conflicts(&logs).is_empty());
+        assert!(table_conflicts(&logs).is_empty());
+    }
+
+    #[test]
+    fn read_then_write_in_same_iteration_is_not_self_conflicting() {
+        let logs = vec![log(&[(5, 2)], &[(5, 2)]), log(&[(5, 2)], &[])];
+        let p = sorted(pairwise_conflicts(&logs));
+        let t = sorted(table_conflicts(&logs));
+        assert_eq!(p, t);
+        assert_eq!(p.len(), 1);
+        assert!(!p[0].write_write);
+        assert_eq!((p[0].iter_a, p[0].iter_b), (0, 1));
+    }
+
+    #[test]
+    fn epoch_stamp_dedups_repeated_accesses() {
+        let mut t = ConflictTable::default();
+        t.begin_region();
+        t.begin_iter(0);
+        for _ in 0..10 {
+            t.record_write(7, 3, 59);
+            t.record_read(7, 3, 59);
+        }
+        t.begin_iter(1);
+        t.record_write(7, 3, 59);
+        let cs = t.finish();
+        // One ww pair, not 10.
+        assert_eq!(cs.len(), 1);
+        assert!(cs[0].write_write);
+    }
+
+    #[test]
+    fn table_resets_between_regions() {
+        let mut t = ConflictTable::default();
+        t.begin_region();
+        t.begin_iter(0);
+        t.record_write(1, 0, 8);
+        t.begin_iter(1);
+        t.record_write(1, 0, 8);
+        assert_eq!(t.finish().len(), 1);
+        t.begin_region();
+        t.begin_iter(0);
+        t.record_write(1, 0, 8);
+        assert!(t.finish().is_empty());
+    }
+}

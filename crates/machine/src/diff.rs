@@ -1,0 +1,181 @@
+//! Differential harness: run the same workload through the tree-walking
+//! interpreter (the reference) and the bytecode VM, and compare every
+//! observable — result, printed output, final heap, cycle count,
+//! [`ExecStats`], conflict set, and shape reports.
+//!
+//! Conflict lists are compared as sorted sets: the two detectors report
+//! the same conflicts in different orders (pair-major vs slot-major). On
+//! error, only the rendered error message is compared — both engines
+//! discard the machine on error, and the VM may have evaluated operands
+//! textually after the faulting one (see [`crate::vm`] docs).
+
+use crate::compile::CompiledProgram;
+use crate::exec::{Conflict, Exec, ExecStats, MachineConfig, RuntimeError};
+use crate::interp::Interp;
+use crate::shapecheck::ShapeReport;
+use crate::value::Value;
+use crate::vm::Vm;
+use adds_lang::types::TypedProgram;
+
+/// Everything observable about one finished run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Outcome {
+    /// Call result, errors rendered to their display string.
+    pub result: Result<Value, String>,
+    /// Printed lines.
+    pub output: Vec<String>,
+    /// Final clock.
+    pub clock: u64,
+    /// Execution counters.
+    pub stats: ExecStats,
+    /// Detected conflicts, sorted.
+    pub conflicts: Vec<Conflict>,
+    /// Shape reports, in emission order.
+    pub shapes: Vec<ShapeReport>,
+    /// Final heap: (type, slots) per record, in allocation order.
+    pub heap: Vec<(String, Vec<Value>)>,
+}
+
+impl Outcome {
+    /// Snapshot a finished machine.
+    pub fn observe(m: &dyn Exec, result: Result<Value, RuntimeError>) -> Outcome {
+        let heap = m.heap();
+        let mut records = Vec::with_capacity(heap.len());
+        for id in 0..heap.len() {
+            let r = heap.record(id as u32).expect("dense heap");
+            records.push((r.type_name.to_string(), r.slots.to_vec()));
+        }
+        let mut conflicts = m.conflicts().to_vec();
+        conflicts.sort();
+        Outcome {
+            result: result.map_err(|e| e.to_string()),
+            output: m.output().to_vec(),
+            clock: m.clock(),
+            stats: m.stats().clone(),
+            conflicts,
+            shapes: m.shape_reports().to_vec(),
+            heap: records,
+        }
+    }
+}
+
+/// Run `entry` under `cfg` on both engines. `setup` builds the input heap
+/// (through the engine-agnostic [`Exec`] interface) and returns the entry
+/// arguments; it runs once per engine.
+pub fn run_pair(
+    tp: &TypedProgram,
+    cfg: &MachineConfig,
+    entry: &str,
+    mut setup: impl FnMut(&mut dyn Exec) -> Vec<Value>,
+) -> (Outcome, Outcome) {
+    let mut interp = Interp::new(tp, cfg.clone());
+    let args = setup(&mut interp);
+    let r = Interp::call(&mut interp, entry, &args);
+    let reference = Outcome::observe(&interp, r);
+
+    let compiled = CompiledProgram::compile(tp);
+    let mut vm = Vm::new(&compiled, cfg.clone());
+    let args = setup(&mut vm);
+    let r = Vm::call(&mut vm, entry, &args);
+    let candidate = Outcome::observe(&vm, r);
+
+    (reference, candidate)
+}
+
+/// [`run_pair`] plus the equivalence assertion; `label` names the workload
+/// in panic messages.
+pub fn assert_equivalent(
+    label: &str,
+    tp: &TypedProgram,
+    cfg: &MachineConfig,
+    entry: &str,
+    setup: impl FnMut(&mut dyn Exec) -> Vec<Value>,
+) {
+    let (reference, candidate) = run_pair(tp, cfg, entry, setup);
+    match (&reference.result, &candidate.result) {
+        (Err(a), Err(b)) => {
+            assert_eq!(a, b, "{label}: engines report different errors");
+        }
+        _ => {
+            assert_eq!(
+                reference,
+                candidate,
+                "{label}: VM diverged from the interpreter \
+                 (pes={}, speculative={}, detect={}, strict={}, shapes={})",
+                cfg.pes,
+                cfg.speculative,
+                cfg.detect_conflicts,
+                cfg.strict_conflicts,
+                cfg.check_shapes
+            );
+        }
+    }
+}
+
+/// Engine-agnostic input builders for the corpus programs, shared by the
+/// differential tests and the machine benchmarks.
+pub mod workloads {
+    use super::*;
+
+    /// Build a `ListNode {coef, exp, next}` chain with `coef = i`,
+    /// `exp = 2 i` for i in 0..n; returns the head.
+    pub fn scale_list(m: &mut dyn Exec, n: usize) -> Value {
+        let mut head = Value::Null;
+        for i in (0..n).rev() {
+            let node = m.host_alloc("ListNode");
+            m.host_store(node, "coef", 0, Value::Int(i as i64));
+            m.host_store(node, "exp", 0, Value::Int(2 * i as i64));
+            m.host_store(node, "next", 0, head);
+            head = Value::Ptr(node);
+        }
+        head
+    }
+
+    /// Build an `L {v, next}` chain with `v = i` for i in 0..n.
+    pub fn sum_list(m: &mut dyn Exec, n: usize) -> Value {
+        let mut head = Value::Null;
+        for i in (0..n).rev() {
+            let node = m.host_alloc("L");
+            m.host_store(node, "v", 0, Value::Int(i as i64));
+            m.host_store(node, "next", 0, head);
+            head = Value::Ptr(node);
+        }
+        head
+    }
+
+    /// Build a ragged `OrthList` orthogonal list: row r (of width
+    /// `widths[r]`) holds `data = 100 r + j`, entries chained along
+    /// `across`, row heads chained along `down`. Returns the row-head
+    /// chain.
+    pub fn orth_rows(m: &mut dyn Exec, widths: &[usize]) -> Value {
+        let mut rows = Value::Null;
+        for (r, w) in widths.iter().enumerate().rev() {
+            let mut across = Value::Null;
+            let mut head = None;
+            for j in (0..*w).rev() {
+                let node = m.host_alloc("OrthList");
+                m.host_store(node, "data", 0, Value::Int((100 * r + j) as i64));
+                m.host_store(node, "across", 0, across);
+                across = Value::Ptr(node);
+                head = Some(node);
+            }
+            let head = head.expect("non-empty row");
+            m.host_store(head, "down", 0, rows);
+            rows = Value::Ptr(head);
+        }
+        rows
+    }
+
+    /// Build two one-node `BinTree`s where `p2->left` holds a subtree;
+    /// returns `[p1, p2]` for `move_subtree`.
+    pub fn bintree_pair(m: &mut dyn Exec) -> Vec<Value> {
+        let p1 = m.host_alloc("BinTree");
+        let p2 = m.host_alloc("BinTree");
+        let sub = m.host_alloc("BinTree");
+        m.host_store(p1, "data", 0, Value::Int(1));
+        m.host_store(p2, "data", 0, Value::Int(2));
+        m.host_store(sub, "data", 0, Value::Int(3));
+        m.host_store(p2, "left", 0, Value::Ptr(sub));
+        vec![Value::Ptr(p1), Value::Ptr(p2)]
+    }
+}

@@ -1,0 +1,153 @@
+//! Machine-model types shared by both execution engines — the
+//! tree-walking [`crate::interp::Interp`] and the bytecode [`crate::vm::Vm`]
+//! — plus the [`Exec`] trait that lets host code (workload builders, the
+//! differential harness, the Sequent runner) drive either engine through
+//! one interface.
+
+use crate::shapecheck::ShapeReport;
+use crate::value::{Heap, NodeId, Value};
+use crate::CostModel;
+use std::fmt;
+
+#[derive(Clone, Debug)]
+/// Configuration of the simulated machine.
+pub struct MachineConfig {
+    /// Number of processing elements for `parfor` regions.
+    pub pes: usize,
+    /// Speculative traversability (§3.2). On by default — ADDS structures
+    /// guarantee it.
+    pub speculative: bool,
+    /// Record per-iteration access sets in `parfor` and detect conflicts.
+    pub detect_conflicts: bool,
+    /// Run-time ADDS shape checking after every pointer store (§2.2).
+    pub check_shapes: bool,
+    /// Abort when a conflict is found (otherwise conflicts are collected).
+    pub strict_conflicts: bool,
+    /// Per-operation cycle charges.
+    pub cost: CostModel,
+    /// Statement budget to catch runaway programs (None = unlimited).
+    pub fuel: Option<u64>,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            pes: 4,
+            speculative: true,
+            detect_conflicts: false,
+            check_shapes: false,
+            strict_conflicts: false,
+            cost: CostModel::sequent(),
+            fuel: Some(500_000_000),
+        }
+    }
+}
+
+/// A detected cross-iteration conflict in a parallel region.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Conflict {
+    /// First conflicting `parfor` iteration.
+    pub iter_a: usize,
+    /// Second conflicting iteration.
+    pub iter_b: usize,
+    /// The heap record both touched.
+    pub node: NodeId,
+    /// The slot within that record.
+    pub slot: usize,
+    /// true = write/write, false = write/read.
+    pub write_write: bool,
+}
+
+impl fmt::Display for Conflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} conflict between iterations {} and {} on node#{} slot {}",
+            if self.write_write {
+                "write/write"
+            } else {
+                "write/read"
+            },
+            self.iter_a,
+            self.iter_b,
+            self.node,
+            self.slot
+        )
+    }
+}
+
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+/// Execution counters.
+pub struct ExecStats {
+    /// Statements executed.
+    pub stmts: u64,
+    /// Records allocated.
+    pub allocs: u64,
+    /// Calls made.
+    pub calls: u64,
+    /// `parfor` rounds executed.
+    pub parallel_rounds: u64,
+    /// Deepest call stack seen.
+    pub max_call_depth: usize,
+}
+
+#[derive(Debug)]
+/// Why execution aborted.
+pub enum RuntimeError {
+    /// Dereferenced NULL outside speculative traversal.
+    NullDeref(String),
+    /// Dynamic type mismatch (interpreter bug or host misuse).
+    Type(String),
+    /// Called an undefined function.
+    NoSuchFunction(String),
+    /// Exceeded the statement budget.
+    OutOfFuel,
+    /// A `parfor` conflict under strict checking.
+    Conflict(Conflict),
+    /// `parfor` inside `parfor` is not modeled.
+    NestedParfor,
+    /// Anything else (message).
+    Other(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::NullDeref(m) => write!(f, "null dereference: {m}"),
+            RuntimeError::Type(m) => write!(f, "type error: {m}"),
+            RuntimeError::NoSuchFunction(m) => write!(f, "no such function: {m}"),
+            RuntimeError::OutOfFuel => write!(f, "out of fuel"),
+            RuntimeError::Conflict(c) => write!(f, "parallel conflict: {c}"),
+            RuntimeError::NestedParfor => write!(f, "nested parfor is not supported"),
+            RuntimeError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Common driving surface of the two engines. Host access is
+/// uninstrumented (no cycles, no conflict logging); `call` runs IL code
+/// under the full machine model.
+pub trait Exec {
+    /// Allocate a record of `ty` from host code.
+    fn host_alloc(&mut self, ty: &str) -> NodeId;
+    /// Host field write (no cycle cost).
+    fn host_store(&mut self, node: NodeId, field: &str, idx: usize, v: Value);
+    /// Host field read (no cycle cost).
+    fn host_load(&self, node: NodeId, field: &str, idx: usize) -> Value;
+    /// Call a function by name with the given argument values.
+    fn call(&mut self, name: &str, args: &[Value]) -> Result<Value, RuntimeError>;
+    /// Simulated clock, in cycles.
+    fn clock(&self) -> u64;
+    /// Execution counters.
+    fn stats(&self) -> &ExecStats;
+    /// Conflicts detected in `parfor` regions (non-strict mode).
+    fn conflicts(&self) -> &[Conflict];
+    /// Dynamic ADDS shape violations (when `check_shapes` is on).
+    fn shape_reports(&self) -> &[ShapeReport];
+    /// Lines printed by the program.
+    fn output(&self) -> &[String];
+    /// The heap, for state inspection.
+    fn heap(&self) -> &Heap;
+}

@@ -17,129 +17,13 @@
 //!   iterations are reported. This dynamically validates what the static
 //!   analysis proved.
 
-use crate::cost::CostModel;
-use crate::value::{Heap, Layouts, NodeId, Value};
+use crate::conflict::{pairwise_conflicts, pairwise_first, AccessLog};
+use crate::value::{Heap, Layouts, NodeId, SlotError, Value};
 use adds_lang::ast::*;
 use adds_lang::types::{TypedProgram, PES_CONST};
-use std::collections::{BTreeSet, HashMap};
-use std::fmt;
+use std::collections::HashMap;
 
-#[derive(Clone, Debug)]
-/// Configuration of the simulated machine.
-pub struct MachineConfig {
-    /// Number of processing elements for `parfor` regions.
-    pub pes: usize,
-    /// Speculative traversability (§3.2). On by default — ADDS structures
-    /// guarantee it.
-    pub speculative: bool,
-    /// Record per-iteration access sets in `parfor` and detect conflicts.
-    pub detect_conflicts: bool,
-    /// Run-time ADDS shape checking after every pointer store (§2.2).
-    pub check_shapes: bool,
-    /// Abort when a conflict is found (otherwise conflicts are collected).
-    pub strict_conflicts: bool,
-    /// Per-operation cycle charges.
-    pub cost: CostModel,
-    /// Statement budget to catch runaway programs (None = unlimited).
-    pub fuel: Option<u64>,
-}
-
-impl Default for MachineConfig {
-    fn default() -> Self {
-        MachineConfig {
-            pes: 4,
-            speculative: true,
-            detect_conflicts: false,
-            check_shapes: false,
-            strict_conflicts: false,
-            cost: CostModel::sequent(),
-            fuel: Some(500_000_000),
-        }
-    }
-}
-
-/// A detected cross-iteration conflict in a parallel region.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Conflict {
-    /// First conflicting `parfor` iteration.
-    pub iter_a: usize,
-    /// Second conflicting iteration.
-    pub iter_b: usize,
-    /// The heap record both touched.
-    pub node: NodeId,
-    /// The slot within that record.
-    pub slot: usize,
-    /// true = write/write, false = write/read.
-    pub write_write: bool,
-}
-
-impl fmt::Display for Conflict {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} conflict between iterations {} and {} on node#{} slot {}",
-            if self.write_write {
-                "write/write"
-            } else {
-                "write/read"
-            },
-            self.iter_a,
-            self.iter_b,
-            self.node,
-            self.slot
-        )
-    }
-}
-
-#[derive(Clone, Debug, Default)]
-/// Execution counters.
-pub struct ExecStats {
-    /// Statements executed.
-    pub stmts: u64,
-    /// Records allocated.
-    pub allocs: u64,
-    /// Calls made.
-    pub calls: u64,
-    /// `parfor` rounds executed.
-    pub parallel_rounds: u64,
-    /// Deepest call stack seen.
-    pub max_call_depth: usize,
-}
-
-#[derive(Debug)]
-/// Why execution aborted.
-pub enum RuntimeError {
-    /// Dereferenced NULL outside speculative traversal.
-    NullDeref(String),
-    /// Dynamic type mismatch (interpreter bug or host misuse).
-    Type(String),
-    /// Called an undefined function.
-    NoSuchFunction(String),
-    /// Exceeded the statement budget.
-    OutOfFuel,
-    /// A `parfor` conflict under strict checking.
-    Conflict(Conflict),
-    /// `parfor` inside `parfor` is not modeled.
-    NestedParfor,
-    /// Anything else (message).
-    Other(String),
-}
-
-impl fmt::Display for RuntimeError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            RuntimeError::NullDeref(m) => write!(f, "null dereference: {m}"),
-            RuntimeError::Type(m) => write!(f, "type error: {m}"),
-            RuntimeError::NoSuchFunction(m) => write!(f, "no such function: {m}"),
-            RuntimeError::OutOfFuel => write!(f, "out of fuel"),
-            RuntimeError::Conflict(c) => write!(f, "parallel conflict: {c}"),
-            RuntimeError::NestedParfor => write!(f, "nested parfor is not supported"),
-            RuntimeError::Other(m) => write!(f, "{m}"),
-        }
-    }
-}
-
-impl std::error::Error for RuntimeError {}
+pub use crate::exec::{Conflict, Exec, ExecStats, MachineConfig, RuntimeError};
 
 type RResult<T> = Result<T, RuntimeError>;
 
@@ -179,12 +63,6 @@ pub struct Interp<'a> {
     log: Option<AccessLog>,
 }
 
-#[derive(Clone, Debug, Default)]
-struct AccessLog {
-    reads: BTreeSet<(NodeId, usize)>,
-    writes: BTreeSet<(NodeId, usize)>,
-}
-
 type Frame = HashMap<String, Value>;
 
 impl<'a> Interp<'a> {
@@ -214,27 +92,14 @@ impl<'a> Interp<'a> {
 
     /// Host field write (no cycle cost).
     pub fn host_store(&mut self, node: NodeId, field: &str, idx: usize, v: Value) {
-        let ty = self.heap.type_of(node).expect("valid node").to_string();
-        let slot = self
-            .layouts
-            .get(&ty)
-            .and_then(|l| l.slot(field))
-            .unwrap_or_else(|| panic!("field {field} of {ty}"));
-        assert!(idx < slot.len, "index {idx} out of range for {field}");
-        let off = slot.offset + idx;
+        let off = self.layouts.host_offset(&self.heap, node, field, idx);
         self.heap.store(node, off, v).expect("valid store");
     }
 
     /// Host field read (no cycle cost).
     pub fn host_load(&self, node: NodeId, field: &str, idx: usize) -> Value {
-        let ty = self.heap.type_of(node).expect("valid node");
-        let slot = self
-            .layouts
-            .get(ty)
-            .and_then(|l| l.slot(field))
-            .unwrap_or_else(|| panic!("field {field} of {ty}"));
-        assert!(idx < slot.len);
-        self.heap.load(node, slot.offset + idx).expect("valid load")
+        let off = self.layouts.host_offset(&self.heap, node, field, idx);
+        self.heap.load(node, off).expect("valid load")
     }
 
     /// Call a function by name with the given argument values.
@@ -416,54 +281,16 @@ impl<'a> Interp<'a> {
             }
         }
 
-        // Conflict detection across iterations.
+        // Conflict detection across iterations: the reference pairwise
+        // intersection (the VM uses the single-pass table instead). Strict
+        // mode aborts at the first hit without materializing the list.
         if self.cfg.detect_conflicts {
-            for a in 0..logs.len() {
-                for b in a + 1..logs.len() {
-                    for w in &logs[a].writes {
-                        if logs[b].writes.contains(w) {
-                            let c = Conflict {
-                                iter_a: a,
-                                iter_b: b,
-                                node: w.0,
-                                slot: w.1,
-                                write_write: true,
-                            };
-                            if self.cfg.strict_conflicts {
-                                return Err(RuntimeError::Conflict(c));
-                            }
-                            self.conflicts.push(c);
-                        } else if logs[b].reads.contains(w) {
-                            let c = Conflict {
-                                iter_a: a,
-                                iter_b: b,
-                                node: w.0,
-                                slot: w.1,
-                                write_write: false,
-                            };
-                            if self.cfg.strict_conflicts {
-                                return Err(RuntimeError::Conflict(c));
-                            }
-                            self.conflicts.push(c);
-                        }
-                    }
-                    // write/read the other way.
-                    for w in &logs[b].writes {
-                        if logs[a].reads.contains(w) && !logs[a].writes.contains(w) {
-                            let c = Conflict {
-                                iter_a: a,
-                                iter_b: b,
-                                node: w.0,
-                                slot: w.1,
-                                write_write: false,
-                            };
-                            if self.cfg.strict_conflicts {
-                                return Err(RuntimeError::Conflict(c));
-                            }
-                            self.conflicts.push(c);
-                        }
-                    }
+            if self.cfg.strict_conflicts {
+                if let Some(c) = pairwise_first(&logs) {
+                    return Err(RuntimeError::Conflict(c));
                 }
+            } else {
+                self.conflicts.append(&mut pairwise_conflicts(&logs));
             }
         }
 
@@ -509,15 +336,18 @@ impl<'a> Interp<'a> {
 
     fn slot_of(&self, node: NodeId, field: &str, idx: usize) -> RResult<usize> {
         let ty = self.heap.type_of(node).map_err(RuntimeError::Other)?;
-        let slot = self
-            .layouts
+        self.layouts
             .get(ty)
-            .and_then(|l| l.slot(field))
-            .ok_or_else(|| RuntimeError::Type(format!("no field `{field}` on `{ty}`")))?;
-        if idx >= slot.len {
-            return type_err(format!("index {idx} out of bounds for `{field}`"));
-        }
-        Ok(slot.offset + idx)
+            .ok_or(SlotError::NoSuchField)
+            .and_then(|l| l.offset_of(field, idx))
+            .map_err(|e| match e {
+                SlotError::NoSuchField => {
+                    RuntimeError::Type(format!("no field `{field}` on `{ty}`"))
+                }
+                SlotError::IndexOutOfRange => {
+                    RuntimeError::Type(format!("index {idx} out of bounds for `{field}`"))
+                }
+            })
     }
 
     fn load_field(&mut self, base: Value, field: &str, idx: usize) -> RResult<Value> {
@@ -621,20 +451,7 @@ impl<'a> Interp<'a> {
             }
             Expr::Unary { op, operand, .. } => {
                 let v = self.expr(operand, frame)?;
-                match op {
-                    UnOp::Neg => match v {
-                        Value::Int(i) => {
-                            self.charge(self.cfg.cost.alu);
-                            Ok(Value::Int(-i))
-                        }
-                        Value::Real(r) => {
-                            self.charge(self.cfg.cost.fp);
-                            Ok(Value::Real(-r))
-                        }
-                        other => type_err(format!("negate {other}")),
-                    },
-                    UnOp::Not => Ok(Value::Bool(!v.truthy().map_err(RuntimeError::Type)?)),
-                }
+                crate::ops::unop(*op, v, &self.cfg.cost, &mut self.clock)
             }
             Expr::Binary { op, lhs, rhs, .. } => {
                 let l = self.expr(lhs, frame)?;
@@ -646,76 +463,7 @@ impl<'a> Interp<'a> {
     }
 
     fn binop(&mut self, op: BinOp, l: Value, r: Value) -> RResult<Value> {
-        use BinOp::*;
-        // Pointer / NULL comparisons.
-        if matches!(op, Eq | Ne) {
-            let eq = match (l, r) {
-                (Value::Ptr(a), Value::Ptr(b)) => Some(a == b),
-                (Value::Null, Value::Null) => Some(true),
-                (Value::Ptr(_), Value::Null) | (Value::Null, Value::Ptr(_)) => Some(false),
-                (Value::Bool(a), Value::Bool(b)) => Some(a == b),
-                _ => None,
-            };
-            if let Some(eq) = eq {
-                self.charge(self.cfg.cost.alu);
-                return Ok(Value::Bool(if op == Eq { eq } else { !eq }));
-            }
-        }
-        if matches!(op, And | Or) {
-            let a = l.truthy().map_err(RuntimeError::Type)?;
-            let b = r.truthy().map_err(RuntimeError::Type)?;
-            self.charge(self.cfg.cost.alu);
-            return Ok(Value::Bool(if op == And { a && b } else { a || b }));
-        }
-        // Numeric.
-        match (l, r) {
-            (Value::Int(a), Value::Int(b)) => {
-                self.charge(self.cfg.cost.alu);
-                Ok(match op {
-                    Add => Value::Int(a.wrapping_add(b)),
-                    Sub => Value::Int(a.wrapping_sub(b)),
-                    Mul => Value::Int(a.wrapping_mul(b)),
-                    Div => {
-                        if b == 0 {
-                            return Err(RuntimeError::Other("division by zero".into()));
-                        }
-                        Value::Int(a / b)
-                    }
-                    Rem => {
-                        if b == 0 {
-                            return Err(RuntimeError::Other("modulo by zero".into()));
-                        }
-                        Value::Int(a % b)
-                    }
-                    Lt => Value::Bool(a < b),
-                    Le => Value::Bool(a <= b),
-                    Gt => Value::Bool(a > b),
-                    Ge => Value::Bool(a >= b),
-                    Eq => Value::Bool(a == b),
-                    Ne => Value::Bool(a != b),
-                    And | Or => unreachable!(),
-                })
-            }
-            (l, r) => {
-                let a = l.as_real().map_err(RuntimeError::Type)?;
-                let b = r.as_real().map_err(RuntimeError::Type)?;
-                self.charge(self.cfg.cost.fp);
-                Ok(match op {
-                    Add => Value::Real(a + b),
-                    Sub => Value::Real(a - b),
-                    Mul => Value::Real(a * b),
-                    Div => Value::Real(a / b),
-                    Rem => Value::Real(a % b),
-                    Lt => Value::Bool(a < b),
-                    Le => Value::Bool(a <= b),
-                    Gt => Value::Bool(a > b),
-                    Ge => Value::Bool(a >= b),
-                    Eq => Value::Bool(a == b),
-                    Ne => Value::Bool(a != b),
-                    And | Or => unreachable!(),
-                })
-            }
-        }
+        crate::ops::binop(op, l, r, &self.cfg.cost, &mut self.clock)
     }
 
     fn call_expr(&mut self, c: &Call, frame: &mut Frame) -> RResult<Value> {
@@ -782,6 +530,39 @@ impl<'a> Interp<'a> {
             .map(|a| self.expr(a, frame))
             .collect::<RResult<_>>()?;
         self.call(&c.callee, &args)
+    }
+}
+
+impl<'a> Exec for Interp<'a> {
+    fn host_alloc(&mut self, ty: &str) -> NodeId {
+        Interp::host_alloc(self, ty)
+    }
+    fn host_store(&mut self, node: NodeId, field: &str, idx: usize, v: Value) {
+        Interp::host_store(self, node, field, idx, v)
+    }
+    fn host_load(&self, node: NodeId, field: &str, idx: usize) -> Value {
+        Interp::host_load(self, node, field, idx)
+    }
+    fn call(&mut self, name: &str, args: &[Value]) -> RResult<Value> {
+        Interp::call(self, name, args)
+    }
+    fn clock(&self) -> u64 {
+        self.clock
+    }
+    fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+    fn conflicts(&self) -> &[Conflict] {
+        &self.conflicts
+    }
+    fn shape_reports(&self) -> &[crate::shapecheck::ShapeReport] {
+        &self.shape_reports
+    }
+    fn output(&self) -> &[String] {
+        &self.output
+    }
+    fn heap(&self) -> &Heap {
+        &self.heap
     }
 }
 

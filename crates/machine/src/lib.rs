@@ -3,24 +3,43 @@
 //! Executes ADDS IL programs (from `adds-lang`, transformed by `adds-core`)
 //! on a simulated MIMD machine:
 //!
-//! * [`value`] — runtime values, record layouts, the arena heap (which makes
-//!   every structure speculatively traversable, §3.2),
-//! * [`interp`] — the interpreter with cycle accounting, static strip
-//!   scheduling of `parfor` regions, and dynamic write-conflict detection,
+//! * [`value`] — runtime values, record layouts (with precomputed
+//!   default-slot vectors and shared offset resolution), the arena heap
+//!   (which makes every structure speculatively traversable, §3.2),
+//! * [`compile`] — lowering of typed programs to slot-resolved bytecode:
+//!   variables become numeric frame slots, field accesses become record
+//!   offsets, functions become ids,
+//! * [`vm`] — the bytecode executor: the fast engine every consumer runs
+//!   on, with cycle accounting, static strip scheduling of `parfor`
+//!   regions, and single-pass epoch-stamped conflict detection,
+//! * [`interp`] — the original tree-walking interpreter, kept as the
+//!   semantic reference for differential testing,
+//! * [`diff`] — the differential harness comparing the two engines on any
+//!   workload,
 //! * [`cost`] — cycle cost models, including the Sequent-class profile used
 //!   to regenerate the §4.4 tables,
 //! * [`sequent`] — whole-workload helpers (Barnes–Hut over a particle heap).
 
 #![warn(missing_docs)]
 
+pub mod compile;
+pub mod conflict;
 pub mod cost;
+pub mod diff;
+pub mod exec;
 pub mod interp;
+mod ops;
 pub mod sequent;
 pub mod shapecheck;
 pub mod value;
+pub mod vm;
 
+pub use compile::CompiledProgram;
+pub use conflict::ConflictTable;
 pub use cost::CostModel;
-pub use interp::{Conflict, ExecStats, Interp, MachineConfig, RuntimeError};
-pub use sequent::{run_barnes_hut, uniform_cloud, BodyInit, SimRun};
+pub use exec::{Conflict, Exec, ExecStats, MachineConfig, RuntimeError};
+pub use interp::Interp;
+pub use sequent::{run_barnes_hut, run_barnes_hut_interp, uniform_cloud, BodyInit, SimRun};
 pub use shapecheck::{ShapeReport, ShapeReportKind};
 pub use value::{Heap, Layouts, NodeId, Value};
+pub use vm::Vm;

@@ -1,0 +1,115 @@
+//! Value-level operator semantics shared by the interpreter and the VM.
+//!
+//! Both engines must agree bit-for-bit on results *and* cycle charges, so
+//! the dynamic dispatch on operand kinds (pointer equality, bool logic,
+//! int/real arithmetic with int→real coercion) lives here exactly once.
+
+use crate::cost::CostModel;
+use crate::exec::RuntimeError;
+use crate::value::Value;
+use adds_lang::ast::{BinOp, UnOp};
+
+type RResult<T> = Result<T, RuntimeError>;
+
+fn type_err<T>(m: impl Into<String>) -> RResult<T> {
+    Err(RuntimeError::Type(m.into()))
+}
+
+/// Apply a binary operator, charging `clock` per the cost model.
+pub(crate) fn binop(
+    op: BinOp,
+    l: Value,
+    r: Value,
+    cost: &CostModel,
+    clock: &mut u64,
+) -> RResult<Value> {
+    use BinOp::*;
+    // Pointer / NULL comparisons.
+    if matches!(op, Eq | Ne) {
+        let eq = match (l, r) {
+            (Value::Ptr(a), Value::Ptr(b)) => Some(a == b),
+            (Value::Null, Value::Null) => Some(true),
+            (Value::Ptr(_), Value::Null) | (Value::Null, Value::Ptr(_)) => Some(false),
+            (Value::Bool(a), Value::Bool(b)) => Some(a == b),
+            _ => None,
+        };
+        if let Some(eq) = eq {
+            *clock += cost.alu;
+            return Ok(Value::Bool(if op == Eq { eq } else { !eq }));
+        }
+    }
+    if matches!(op, And | Or) {
+        let a = l.truthy().map_err(RuntimeError::Type)?;
+        let b = r.truthy().map_err(RuntimeError::Type)?;
+        *clock += cost.alu;
+        return Ok(Value::Bool(if op == And { a && b } else { a || b }));
+    }
+    // Numeric.
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => {
+            *clock += cost.alu;
+            Ok(match op {
+                Add => Value::Int(a.wrapping_add(b)),
+                Sub => Value::Int(a.wrapping_sub(b)),
+                Mul => Value::Int(a.wrapping_mul(b)),
+                Div => {
+                    if b == 0 {
+                        return Err(RuntimeError::Other("division by zero".into()));
+                    }
+                    Value::Int(a / b)
+                }
+                Rem => {
+                    if b == 0 {
+                        return Err(RuntimeError::Other("modulo by zero".into()));
+                    }
+                    Value::Int(a % b)
+                }
+                Lt => Value::Bool(a < b),
+                Le => Value::Bool(a <= b),
+                Gt => Value::Bool(a > b),
+                Ge => Value::Bool(a >= b),
+                Eq => Value::Bool(a == b),
+                Ne => Value::Bool(a != b),
+                And | Or => unreachable!(),
+            })
+        }
+        (l, r) => {
+            let a = l.as_real().map_err(RuntimeError::Type)?;
+            let b = r.as_real().map_err(RuntimeError::Type)?;
+            *clock += cost.fp;
+            Ok(match op {
+                Add => Value::Real(a + b),
+                Sub => Value::Real(a - b),
+                Mul => Value::Real(a * b),
+                Div => Value::Real(a / b),
+                Rem => Value::Real(a % b),
+                Lt => Value::Bool(a < b),
+                Le => Value::Bool(a <= b),
+                Gt => Value::Bool(a > b),
+                Ge => Value::Bool(a >= b),
+                Eq => Value::Bool(a == b),
+                Ne => Value::Bool(a != b),
+                And | Or => unreachable!(),
+            })
+        }
+    }
+}
+
+/// Apply a unary operator, charging `clock` per the cost model (`not` is
+/// free, matching the historical interpreter).
+pub(crate) fn unop(op: UnOp, v: Value, cost: &CostModel, clock: &mut u64) -> RResult<Value> {
+    match op {
+        UnOp::Neg => match v {
+            Value::Int(i) => {
+                *clock += cost.alu;
+                Ok(Value::Int(-i))
+            }
+            Value::Real(r) => {
+                *clock += cost.fp;
+                Ok(Value::Real(-r))
+            }
+            other => type_err(format!("negate {other}")),
+        },
+        UnOp::Not => Ok(Value::Bool(!v.truthy().map_err(RuntimeError::Type)?)),
+    }
+}

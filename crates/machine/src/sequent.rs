@@ -7,9 +7,12 @@
 //! with static strip scheduling — the same mechanisms that shaped the
 //! paper's measured speedups.
 
+use crate::compile::CompiledProgram;
 use crate::cost::CostModel;
-use crate::interp::{Interp, MachineConfig, RuntimeError};
+use crate::exec::{Exec, MachineConfig, RuntimeError};
+use crate::interp::Interp;
 use crate::value::Value;
+use crate::vm::Vm;
 use adds_lang::types::TypedProgram;
 
 /// A particle's initial condition for the simulated N-body runs.
@@ -36,51 +39,83 @@ pub struct SimRun {
     pub bodies: Vec<BodyInit>,
 }
 
-/// Build the particle leaf list in the interpreter's heap and return the
+/// Build the particle leaf list in the machine's heap and return the
 /// head pointer. Particles are `Octree` records with `is_leaf = true`,
 /// linked through `next` in order — Figure 5's leaves chain.
-pub fn build_particles(interp: &mut Interp, bodies: &[BodyInit]) -> Value {
+pub fn build_particles(m: &mut dyn Exec, bodies: &[BodyInit]) -> Value {
     let mut head = Value::Null;
     for b in bodies.iter().rev() {
-        let n = interp.host_alloc("Octree");
-        interp.host_store(n, "mass", 0, Value::Real(b.mass));
-        interp.host_store(n, "x", 0, Value::Real(b.pos[0]));
-        interp.host_store(n, "y", 0, Value::Real(b.pos[1]));
-        interp.host_store(n, "z", 0, Value::Real(b.pos[2]));
-        interp.host_store(n, "vx", 0, Value::Real(b.vel[0]));
-        interp.host_store(n, "vy", 0, Value::Real(b.vel[1]));
-        interp.host_store(n, "vz", 0, Value::Real(b.vel[2]));
-        interp.host_store(n, "is_leaf", 0, Value::Bool(true));
-        interp.host_store(n, "next", 0, head);
+        let n = m.host_alloc("Octree");
+        m.host_store(n, "mass", 0, Value::Real(b.mass));
+        m.host_store(n, "x", 0, Value::Real(b.pos[0]));
+        m.host_store(n, "y", 0, Value::Real(b.pos[1]));
+        m.host_store(n, "z", 0, Value::Real(b.pos[2]));
+        m.host_store(n, "vx", 0, Value::Real(b.vel[0]));
+        m.host_store(n, "vy", 0, Value::Real(b.vel[1]));
+        m.host_store(n, "vz", 0, Value::Real(b.vel[2]));
+        m.host_store(n, "is_leaf", 0, Value::Bool(true));
+        m.host_store(n, "next", 0, head);
         head = Value::Ptr(n);
     }
     head
 }
 
 /// Read the particle states back out of the heap.
-pub fn read_particles(interp: &Interp, mut head: Value) -> Vec<BodyInit> {
+pub fn read_particles(m: &dyn Exec, mut head: Value) -> Vec<BodyInit> {
     let mut out = Vec::new();
     while let Value::Ptr(n) = head {
         out.push(BodyInit {
-            mass: interp.host_load(n, "mass", 0).as_real().unwrap(),
+            mass: m.host_load(n, "mass", 0).as_real().unwrap(),
             pos: [
-                interp.host_load(n, "x", 0).as_real().unwrap(),
-                interp.host_load(n, "y", 0).as_real().unwrap(),
-                interp.host_load(n, "z", 0).as_real().unwrap(),
+                m.host_load(n, "x", 0).as_real().unwrap(),
+                m.host_load(n, "y", 0).as_real().unwrap(),
+                m.host_load(n, "z", 0).as_real().unwrap(),
             ],
             vel: [
-                interp.host_load(n, "vx", 0).as_real().unwrap(),
-                interp.host_load(n, "vy", 0).as_real().unwrap(),
-                interp.host_load(n, "vz", 0).as_real().unwrap(),
+                m.host_load(n, "vx", 0).as_real().unwrap(),
+                m.host_load(n, "vy", 0).as_real().unwrap(),
+                m.host_load(n, "vz", 0).as_real().unwrap(),
             ],
         });
-        head = interp.host_load(n, "next", 0);
+        head = m.host_load(n, "next", 0);
     }
     out
 }
 
+fn sim_config(pes: usize, cost: CostModel, detect_conflicts: bool) -> MachineConfig {
+    MachineConfig {
+        pes,
+        speculative: true,
+        detect_conflicts,
+        check_shapes: false,
+        strict_conflicts: false,
+        cost,
+        fuel: None,
+    }
+}
+
+fn drive_sim(
+    m: &mut dyn Exec,
+    bodies: &[BodyInit],
+    steps: i64,
+    theta: f64,
+    dt: f64,
+) -> Result<SimRun, RuntimeError> {
+    let head = build_particles(m, bodies);
+    m.call(
+        "simulate",
+        &[head, Value::Int(steps), Value::Real(theta), Value::Real(dt)],
+    )?;
+    Ok(SimRun {
+        cycles: m.clock(),
+        parallel_rounds: m.stats().parallel_rounds,
+        conflict_count: m.conflicts().len(),
+        bodies: read_particles(m, head),
+    })
+}
+
 /// Run `simulate(particles, steps, theta, dt)` from a (possibly transformed)
-/// Barnes–Hut IL program on the simulated machine.
+/// Barnes–Hut IL program on the simulated machine (the bytecode VM).
 #[allow(clippy::too_many_arguments)]
 pub fn run_barnes_hut(
     tp: &TypedProgram,
@@ -92,27 +127,26 @@ pub fn run_barnes_hut(
     cost: CostModel,
     detect_conflicts: bool,
 ) -> Result<SimRun, RuntimeError> {
-    let cfg = MachineConfig {
-        pes,
-        speculative: true,
-        detect_conflicts,
-        check_shapes: false,
-        strict_conflicts: false,
-        cost,
-        fuel: None,
-    };
-    let mut it = Interp::new(tp, cfg);
-    let head = build_particles(&mut it, bodies);
-    it.call(
-        "simulate",
-        &[head, Value::Int(steps), Value::Real(theta), Value::Real(dt)],
-    )?;
-    Ok(SimRun {
-        cycles: it.clock,
-        parallel_rounds: it.stats.parallel_rounds,
-        conflict_count: it.conflicts.len(),
-        bodies: read_particles(&it, head),
-    })
+    let compiled = CompiledProgram::compile(tp);
+    let mut vm = Vm::new(&compiled, sim_config(pes, cost, detect_conflicts));
+    drive_sim(&mut vm, bodies, steps, theta, dt)
+}
+
+/// [`run_barnes_hut`] on the tree-walking interpreter — kept for
+/// differential validation of the VM (an order of magnitude slower).
+#[allow(clippy::too_many_arguments)]
+pub fn run_barnes_hut_interp(
+    tp: &TypedProgram,
+    bodies: &[BodyInit],
+    steps: i64,
+    theta: f64,
+    dt: f64,
+    pes: usize,
+    cost: CostModel,
+    detect_conflicts: bool,
+) -> Result<SimRun, RuntimeError> {
+    let mut it = Interp::new(tp, sim_config(pes, cost, detect_conflicts));
+    drive_sim(&mut it, bodies, steps, theta, dt)
 }
 
 /// Deterministic pseudo-random particle cloud (no external RNG needed at
@@ -232,6 +266,19 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn vm_run_matches_interpreter_run_exactly() {
+        let tp = tp_seq();
+        let bodies = uniform_cloud(16, 9);
+        let vm = run_barnes_hut(&tp, &bodies, 1, 0.7, 0.01, 4, CostModel::sequent(), true).unwrap();
+        let it = run_barnes_hut_interp(&tp, &bodies, 1, 0.7, 0.01, 4, CostModel::sequent(), true)
+            .unwrap();
+        assert_eq!(vm.cycles, it.cycles);
+        assert_eq!(vm.parallel_rounds, it.parallel_rounds);
+        assert_eq!(vm.conflict_count, it.conflict_count);
+        assert_eq!(vm.bodies, it.bodies);
     }
 
     #[test]

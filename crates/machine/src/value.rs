@@ -4,6 +4,7 @@ use adds_lang::adds::{AddsEnv, AddsFieldKind};
 use adds_lang::ast::ScalarTy;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A runtime value.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -84,18 +85,41 @@ pub struct FieldSlot {
 /// Layout of one record type.
 #[derive(Clone, Debug)]
 pub struct Layout {
-    /// Record type this layout realizes.
-    pub type_name: String,
+    /// Record type this layout realizes (shared so allocation never clones
+    /// the name's bytes).
+    pub type_name: Arc<str>,
     /// Total slot count.
     pub slots: usize,
     /// Field name → slot placement.
     pub fields: BTreeMap<String, FieldSlot>,
+    /// Default slot values in offset order, precomputed once so that
+    /// [`Heap::alloc`] is a single memcpy instead of a per-field rebuild.
+    pub defaults: Box<[Value]>,
+}
+
+/// Why resolving a `field[idx]` access against a [`Layout`] failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlotError {
+    /// The record type has no field of that name.
+    NoSuchField,
+    /// The index is outside the field's slot group.
+    IndexOutOfRange,
 }
 
 impl Layout {
     /// Placement of `field`, if declared.
     pub fn slot(&self, field: &str) -> Option<&FieldSlot> {
         self.fields.get(field)
+    }
+
+    /// Resolved record offset of `field[idx]` — the one place slot
+    /// arithmetic lives, shared by the interpreter, the VM, and host access.
+    pub fn offset_of(&self, field: &str, idx: usize) -> Result<usize, SlotError> {
+        let slot = self.fields.get(field).ok_or(SlotError::NoSuchField)?;
+        if idx >= slot.len {
+            return Err(SlotError::IndexOutOfRange);
+        }
+        Ok(slot.offset + idx)
     }
 
     fn default_value(slot: &FieldSlot) -> Value {
@@ -143,12 +167,19 @@ impl Layouts {
                 );
                 offset += len;
             }
+            let mut defaults = vec![Value::Null; offset];
+            for f in fields.values() {
+                for k in 0..f.len {
+                    defaults[f.offset + k] = Layout::default_value(f);
+                }
+            }
             map.insert(
                 t.name.clone(),
                 Layout {
-                    type_name: t.name.clone(),
+                    type_name: Arc::from(t.name.as_str()),
                     slots: offset,
                     fields,
+                    defaults: defaults.into_boxed_slice(),
                 },
             );
         }
@@ -159,24 +190,60 @@ impl Layouts {
     pub fn get(&self, ty: &str) -> Option<&Layout> {
         self.map.get(ty)
     }
+
+    /// Resolve `field[idx]` of the record `node` points to, for host-side
+    /// (zero-cost, uninstrumented) access. Panics on host misuse, exactly
+    /// like the historical per-machine helpers it replaces.
+    pub fn host_offset(&self, heap: &Heap, node: NodeId, field: &str, idx: usize) -> usize {
+        let ty = heap.type_of(node).expect("valid node");
+        let layout = self
+            .get(ty)
+            .unwrap_or_else(|| panic!("no layout for record type {ty}"));
+        match layout.offset_of(field, idx) {
+            Ok(off) => off,
+            Err(SlotError::NoSuchField) => panic!("field {field} of {ty}"),
+            Err(SlotError::IndexOutOfRange) => {
+                panic!("index {idx} out of range for {field}")
+            }
+        }
+    }
 }
 
-/// One heap record.
-#[derive(Clone, Debug)]
-pub struct Record {
+/// A borrowed view of one heap record.
+#[derive(Clone, Copy, Debug)]
+pub struct RecordView<'h> {
     /// The record's type.
-    pub type_name: String,
+    pub type_name: &'h str,
     /// Field storage, addressed via the type's [`Layout`].
-    pub slots: Box<[Value]>,
+    pub slots: &'h [Value],
+}
+
+/// Per-record arena placement.
+#[derive(Clone, Debug)]
+struct RecMeta {
+    /// First slot in the flat value arena.
+    start: u32,
+    /// Slot count.
+    len: u32,
+    /// The record's type (shared with the [`Layout`] it came from).
+    type_name: Arc<str>,
 }
 
 /// The heap: an arena of records. `NodeId`s are indices; NULL is a distinct
 /// [`Value`] variant, which is what makes every structure *speculatively
 /// traversable* (§3.2) — following a link off the end yields NULL, never a
 /// fault.
+///
+/// Storage is flat: all records' slots live in one contiguous `Vec<Value>`
+/// in allocation order, so structure walks that follow allocation order
+/// (the common case for the paper's list/tree builders) are
+/// prefetch-friendly and a field access costs one metadata read plus one
+/// value read — no per-record allocation, no second dependent pointer
+/// chase.
 #[derive(Clone, Debug, Default)]
 pub struct Heap {
-    nodes: Vec<Record>,
+    values: Vec<Value>,
+    recs: Vec<RecMeta>,
 }
 
 impl Heap {
@@ -187,68 +254,101 @@ impl Heap {
 
     /// Number of allocated records.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.recs.len()
     }
 
     /// Whether nothing has been allocated.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.recs.is_empty()
     }
 
-    /// Allocate a record of `layout`'s type with NULL/zero fields.
+    /// Allocate a record of `layout`'s type with NULL/zero fields: one
+    /// arena append of the precomputed default-slot vector.
     pub fn alloc(&mut self, layout: &Layout) -> NodeId {
-        let slots: Vec<Value> = layout
-            .fields
-            .values()
-            .flat_map(|f| std::iter::repeat_n(Layout::default_value(f), f.len))
-            .collect();
-        // Slots must be ordered by offset, not field name order.
-        let mut ordered = vec![Value::Null; layout.slots];
-        for f in layout.fields.values() {
-            for k in 0..f.len {
-                ordered[f.offset + k] = Layout::default_value(f);
-            }
-        }
-        debug_assert_eq!(slots.len(), layout.slots);
-        self.nodes.push(Record {
-            type_name: layout.type_name.clone(),
-            slots: ordered.into_boxed_slice(),
+        debug_assert_eq!(layout.defaults.len(), layout.slots);
+        assert!(
+            self.values.len() + layout.slots <= u32::MAX as usize,
+            "heap arena exceeds 2^32 slots"
+        );
+        let start = self.values.len() as u32;
+        self.values.extend_from_slice(&layout.defaults);
+        self.recs.push(RecMeta {
+            start,
+            len: layout.slots as u32,
+            type_name: Arc::clone(&layout.type_name),
         });
-        (self.nodes.len() - 1) as NodeId
+        (self.recs.len() - 1) as NodeId
     }
 
-    /// The record `id`, or an error for a dangling id.
-    pub fn record(&self, id: NodeId) -> Result<&Record, String> {
-        self.nodes
+    fn meta(&self, id: NodeId) -> Result<&RecMeta, String> {
+        self.recs
             .get(id as usize)
             .ok_or_else(|| format!("dangling node id {id}"))
     }
 
+    /// The record `id`, or an error for a dangling id.
+    pub fn record(&self, id: NodeId) -> Result<RecordView<'_>, String> {
+        let m = self.meta(id)?;
+        Ok(RecordView {
+            type_name: &m.type_name,
+            slots: &self.values[m.start as usize..m.start as usize + m.len as usize],
+        })
+    }
+
     /// The type of record `id`.
     pub fn type_of(&self, id: NodeId) -> Result<&str, String> {
-        Ok(&self.record(id)?.type_name)
+        Ok(&self.meta(id)?.type_name)
     }
 
     /// Read slot `slot` of record `id`.
+    #[inline]
     pub fn load(&self, id: NodeId, slot: usize) -> Result<Value, String> {
-        let r = self.record(id)?;
-        r.slots
-            .get(slot)
-            .copied()
-            .ok_or_else(|| format!("slot {slot} out of range for node {id}"))
+        let m = self.meta(id)?;
+        if slot >= m.len as usize {
+            return Err(format!("slot {slot} out of range for node {id}"));
+        }
+        Ok(self.values[m.start as usize + slot])
+    }
+
+    /// Like [`Heap::load`], but also returns the slot's index in the flat
+    /// value arena — a dense stable key instrumentation (the conflict
+    /// table) can use instead of hashing `(node, slot)`.
+    #[inline]
+    pub fn load_flat(&self, id: NodeId, slot: usize) -> Result<(Value, u32), String> {
+        let m = self.meta(id)?;
+        if slot >= m.len as usize {
+            return Err(format!("slot {slot} out of range for node {id}"));
+        }
+        let flat = m.start + slot as u32;
+        Ok((self.values[flat as usize], flat))
+    }
+
+    /// Like [`Heap::store`], but also returns the flat arena index.
+    #[inline]
+    pub fn store_flat(&mut self, id: NodeId, slot: usize, v: Value) -> Result<u32, String> {
+        let m = self
+            .recs
+            .get(id as usize)
+            .ok_or_else(|| format!("dangling node id {id}"))?;
+        if slot >= m.len as usize {
+            return Err(format!("slot {slot} out of range for node {id}"));
+        }
+        let flat = m.start + slot as u32;
+        self.values[flat as usize] = v;
+        Ok(flat)
     }
 
     /// Write slot `slot` of record `id`.
+    #[inline]
     pub fn store(&mut self, id: NodeId, slot: usize, v: Value) -> Result<(), String> {
-        let r = self
-            .nodes
-            .get_mut(id as usize)
+        let m = self
+            .recs
+            .get(id as usize)
             .ok_or_else(|| format!("dangling node id {id}"))?;
-        let cell = r
-            .slots
-            .get_mut(slot)
-            .ok_or_else(|| format!("slot {slot} out of range for node {id}"))?;
-        *cell = v;
+        if slot >= m.len as usize {
+            return Err(format!("slot {slot} out of range for node {id}"));
+        }
+        self.values[m.start as usize + slot] = v;
         Ok(())
     }
 }

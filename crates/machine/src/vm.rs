@@ -1,0 +1,760 @@
+//! The bytecode VM: a register-style executor over [`CompiledProgram`]
+//! that preserves the tree-walking interpreter's observable semantics —
+//! outputs, heap state, `ExecStats`, cycle counts, fuel exhaustion points,
+//! speculative traversability, shape checking — while running an order of
+//! magnitude faster:
+//!
+//! * frames are windows into one contiguous `Vec<Value>` stack (no
+//!   `HashMap<String, Value>` per call, no per-name hashing),
+//! * field accesses use compile-time-resolved record offsets,
+//! * `parfor` iteration frames are a memcpy of the window, not a hash-map
+//!   clone,
+//! * conflict detection uses the epoch-stamped single-pass
+//!   [`ConflictTable`] instead of per-iteration sets and pairwise
+//!   intersection — O(total accesses + conflicts) instead of
+//!   O(iterations² · set size). Conflict *sets* equal the reference
+//!   detector's; emission order is slot-major rather than pair-major.
+//!
+//! Known divergences from the interpreter, all confined to error paths:
+//! reading a local before its `var` statement executes yields NULL instead
+//! of an "unbound variable" error; operands textually after a
+//! type-faulting operand may have been evaluated (side effects on the
+//! discarded machine) before the identical error is raised; and under
+//! `strict_conflicts` the abort carries the first conflict in the VM's
+//! slot-major emission order, which may name a different (equally real)
+//! conflicting pair than the interpreter's pair-major first hit.
+
+use crate::compile::{CompiledProgram, Instr};
+use crate::conflict::ConflictTable;
+use crate::exec::{Conflict, Exec, ExecStats, MachineConfig, RuntimeError};
+use crate::shapecheck::ShapeReport;
+use crate::value::{Heap, NodeId, Value};
+
+type RResult<T> = Result<T, RuntimeError>;
+
+/// How a code region stopped executing.
+enum Ended {
+    /// `return` (or fell off the function's end).
+    Returned(Value),
+    /// Reached the end of a `parfor` iteration body.
+    Iter,
+}
+
+/// The bytecode machine. Owns the heap for the duration of a run.
+pub struct Vm<'p> {
+    /// The compiled program being run.
+    pub prog: &'p CompiledProgram,
+    /// Machine configuration.
+    pub cfg: MachineConfig,
+    /// The heap.
+    pub heap: Heap,
+    /// Simulated clock, in cycles.
+    pub clock: u64,
+    /// Execution counters.
+    pub stats: ExecStats,
+    /// Conflicts detected in `parfor` regions (non-strict mode).
+    pub conflicts: Vec<Conflict>,
+    /// Dynamic ADDS shape violations (when `check_shapes` is on).
+    pub shape_reports: Vec<ShapeReport>,
+    /// Lines printed by the program.
+    pub output: Vec<String>,
+    fuel: u64,
+    depth: usize,
+    stack: Vec<Value>,
+    /// Reusable per-PE time buffer for non-nested `parfor` regions.
+    pe_scratch: Vec<u64>,
+    table: ConflictTable,
+    /// Inside a `parfor` iteration with conflict detection active.
+    detecting: bool,
+}
+
+impl<'p> Vm<'p> {
+    /// A fresh machine for `prog`.
+    pub fn new(prog: &'p CompiledProgram, cfg: MachineConfig) -> Vm<'p> {
+        Vm {
+            prog,
+            fuel: cfg.fuel.unwrap_or(u64::MAX),
+            cfg,
+            heap: Heap::new(),
+            clock: 0,
+            stats: ExecStats::default(),
+            conflicts: Vec::new(),
+            shape_reports: Vec::new(),
+            output: Vec::new(),
+            depth: 0,
+            stack: Vec::new(),
+            pe_scratch: Vec::new(),
+            table: ConflictTable::default(),
+            detecting: false,
+        }
+    }
+
+    /// Allocate a record of `ty` from host code.
+    pub fn host_alloc(&mut self, ty: &str) -> NodeId {
+        let prog = self.prog;
+        let layout = prog.layouts.get(ty).expect("known record type");
+        self.heap.alloc(layout)
+    }
+
+    /// Host field write (no cycle cost).
+    pub fn host_store(&mut self, node: NodeId, field: &str, idx: usize, v: Value) {
+        let off = self.prog.layouts.host_offset(&self.heap, node, field, idx);
+        self.heap.store(node, off, v).expect("valid store");
+    }
+
+    /// Host field read (no cycle cost).
+    pub fn host_load(&self, node: NodeId, field: &str, idx: usize) -> Value {
+        let off = self.prog.layouts.host_offset(&self.heap, node, field, idx);
+        self.heap.load(node, off).expect("valid load")
+    }
+
+    /// Call a function by name with the given argument values.
+    pub fn call(&mut self, name: &str, args: &[Value]) -> RResult<Value> {
+        let func = self
+            .prog
+            .func_id(name)
+            .ok_or_else(|| RuntimeError::NoSuchFunction(name.to_string()))?;
+        let fc = &self.prog.funcs[func as usize];
+        if fc.n_params as usize != args.len() {
+            return Err(RuntimeError::Type(format!(
+                "{name} expects {} args, got {}",
+                fc.n_params,
+                args.len()
+            )));
+        }
+        let frame_size = fc.frame_size as usize;
+        self.clock += self.cfg.cost.call;
+        self.stats.calls += 1;
+        let depth0 = self.depth;
+        self.depth += 1;
+        self.stats.max_call_depth = self.stats.max_call_depth.max(self.depth);
+        let base = self.stack.len();
+        self.stack.extend_from_slice(args);
+        self.stack.resize(base + frame_size, Value::Null);
+        let ended = match self.exec(func, base, 0) {
+            Ok(e) => e,
+            Err(e) => {
+                // Leave the machine reusable after a recoverable error
+                // (e.g. out of fuel): unwind the frame stack and the
+                // parfor detection flag that the aborted execution may
+                // have left set.
+                self.stack.truncate(base);
+                self.depth = depth0;
+                self.detecting = false;
+                return Err(e);
+            }
+        };
+        self.stack.truncate(base);
+        self.depth -= 1;
+        match ended {
+            Ended::Returned(v) => Ok(v),
+            Ended::Iter => unreachable!("IterEnd outside parfor body"),
+        }
+    }
+
+    fn burn_fuel(&mut self) -> RResult<()> {
+        self.stats.stmts += 1;
+        if self.fuel == 0 {
+            return Err(RuntimeError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    #[inline]
+    fn slot(&self, base: usize, s: u32) -> Value {
+        debug_assert!(base + (s as usize) < self.stack.len());
+        // SAFETY: slots are compiler-assigned indices < frame_size, and the
+        // frame window [base, base + frame_size) is always in bounds.
+        unsafe { *self.stack.get_unchecked(base + s as usize) }
+    }
+
+    #[inline]
+    fn set_slot(&mut self, base: usize, s: u32, v: Value) {
+        debug_assert!(base + (s as usize) < self.stack.len());
+        // SAFETY: as in `slot`.
+        unsafe { *self.stack.get_unchecked_mut(base + s as usize) = v }
+    }
+
+    /// Run `func`'s code from `pc` over the frame at `base`.
+    fn exec(&mut self, func: u32, base: usize, mut pc: usize) -> RResult<Ended> {
+        let prog = self.prog;
+        let code = &prog.funcs[func as usize].code;
+        loop {
+            debug_assert!(pc < code.len());
+            // SAFETY: every jump target is compiler-generated and in
+            // bounds; straight-line fallthrough is terminated by
+            // RetNull/IterEnd before the end of the code array.
+            match unsafe { code.get_unchecked(pc) } {
+                Instr::Const { dst, v } => self.set_slot(base, *dst, *v),
+                Instr::Copy { dst, src } => {
+                    let v = self.slot(base, *src);
+                    self.set_slot(base, *dst, v);
+                }
+                Instr::Pes { dst } => self.set_slot(base, *dst, Value::Int(self.cfg.pes as i64)),
+                Instr::Alloc { dst, ty } => {
+                    self.clock += self.cfg.cost.alloc;
+                    self.stats.allocs += 1;
+                    let node = self.heap.alloc(&prog.type_layouts[*ty as usize]);
+                    self.set_slot(base, *dst, Value::Ptr(node));
+                }
+                Instr::Load {
+                    dst,
+                    base: b,
+                    off,
+                    access,
+                } => {
+                    let bv = self.slot(base, *b);
+                    let v = self.load(bv, *off as usize, *access)?;
+                    self.set_slot(base, *dst, v);
+                }
+                Instr::FuelLoad {
+                    dst,
+                    base: b,
+                    off,
+                    access,
+                } => {
+                    self.burn_fuel()?;
+                    let bv = self.slot(base, *b);
+                    let v = self.load(bv, *off as usize, *access)?;
+                    self.set_slot(base, *dst, v);
+                }
+                Instr::FuelCopy { dst, src } => {
+                    self.burn_fuel()?;
+                    let v = self.slot(base, *src);
+                    self.set_slot(base, *dst, v);
+                }
+                Instr::FuelConst { dst, v } => {
+                    self.burn_fuel()?;
+                    self.set_slot(base, *dst, *v);
+                }
+                Instr::LoadIdx {
+                    dst,
+                    base: b,
+                    idx,
+                    off,
+                    len,
+                    access,
+                } => {
+                    let i = self.index(base, *idx)?;
+                    let bv = self.slot(base, *b);
+                    let v = if i < *len as usize {
+                        self.load(bv, *off as usize + i, *access)?
+                    } else {
+                        self.load_oob(bv, i, *access)?
+                    };
+                    self.set_slot(base, *dst, v);
+                }
+                Instr::Store {
+                    base: b,
+                    src,
+                    off,
+                    is_ptr,
+                    access,
+                } => {
+                    let bv = self.slot(base, *b);
+                    let v = self.slot(base, *src);
+                    self.store(bv, *off as usize, *is_ptr, *access, v)?;
+                }
+                Instr::StoreIdx {
+                    base: b,
+                    idx,
+                    src,
+                    off,
+                    len,
+                    is_ptr,
+                    access,
+                } => {
+                    let i = self.index(base, *idx)?;
+                    let bv = self.slot(base, *b);
+                    let v = self.slot(base, *src);
+                    if i < *len as usize {
+                        self.store(bv, *off as usize + i, *is_ptr, *access, v)?;
+                    } else {
+                        self.store_oob(bv, i, *access)?;
+                    }
+                }
+                Instr::Un { op, dst, src } => {
+                    let v = self.slot(base, *src);
+                    let r = crate::ops::unop(*op, v, &self.cfg.cost, &mut self.clock)?;
+                    self.set_slot(base, *dst, r);
+                }
+                Instr::Bin { op, dst, lhs, rhs } => {
+                    let l = self.slot(base, *lhs);
+                    let r = self.slot(base, *rhs);
+                    let v = crate::ops::binop(*op, l, r, &self.cfg.cost, &mut self.clock)?;
+                    self.set_slot(base, *dst, v);
+                }
+                Instr::BinK { op, dst, lhs, k } => {
+                    let l = self.slot(base, *lhs);
+                    let v = crate::ops::binop(*op, l, *k, &self.cfg.cost, &mut self.clock)?;
+                    self.set_slot(base, *dst, v);
+                }
+                Instr::Sqrt { dst, src } => {
+                    let v = self
+                        .slot(base, *src)
+                        .as_real()
+                        .map_err(RuntimeError::Type)?;
+                    self.clock += self.cfg.cost.sqrt;
+                    self.set_slot(base, *dst, Value::Real(v.sqrt()));
+                }
+                Instr::Fabs { dst, src } => {
+                    let v = self
+                        .slot(base, *src)
+                        .as_real()
+                        .map_err(RuntimeError::Type)?;
+                    self.clock += self.cfg.cost.fp;
+                    self.set_slot(base, *dst, Value::Real(v.abs()));
+                }
+                Instr::Abs { dst, src } => {
+                    let v = self.slot(base, *src).as_int().map_err(RuntimeError::Type)?;
+                    self.clock += self.cfg.cost.alu;
+                    self.set_slot(base, *dst, Value::Int(v.abs()));
+                }
+                Instr::MinMax { dst, a, b, is_min } => {
+                    let x = self.slot(base, *a).as_real().map_err(RuntimeError::Type)?;
+                    let y = self.slot(base, *b).as_real().map_err(RuntimeError::Type)?;
+                    self.clock += self.cfg.cost.fp;
+                    let v = if *is_min { x.min(y) } else { x.max(y) };
+                    self.set_slot(base, *dst, Value::Real(v));
+                }
+                Instr::Itor { dst, src } => {
+                    let v = self.slot(base, *src).as_int().map_err(RuntimeError::Type)?;
+                    self.clock += self.cfg.cost.alu;
+                    self.set_slot(base, *dst, Value::Real(v as f64));
+                }
+                Instr::Print { src } => {
+                    let v = self.slot(base, *src);
+                    self.output.push(v.to_string());
+                }
+                Instr::Call {
+                    dst,
+                    func: callee,
+                    args,
+                    argc,
+                } => {
+                    self.clock += self.cfg.cost.call;
+                    self.stats.calls += 1;
+                    self.depth += 1;
+                    self.stats.max_call_depth = self.stats.max_call_depth.max(self.depth);
+                    let callee_size = prog.funcs[*callee as usize].frame_size as usize;
+                    let callee_base = self.stack.len();
+                    let args_at = base + *args as usize;
+                    self.stack
+                        .extend_from_within(args_at..args_at + *argc as usize);
+                    self.stack.resize(callee_base + callee_size, Value::Null);
+                    let ended = self.exec(*callee, callee_base, 0)?;
+                    self.stack.truncate(callee_base);
+                    self.depth -= 1;
+                    let v = match ended {
+                        Ended::Returned(v) => v,
+                        Ended::Iter => unreachable!("IterEnd outside parfor body"),
+                    };
+                    self.set_slot(base, *dst, v);
+                }
+                Instr::Ret { src } => return Ok(Ended::Returned(self.slot(base, *src))),
+                Instr::RetNull => return Ok(Ended::Returned(Value::Null)),
+                Instr::Jump { target } => {
+                    pc = *target as usize;
+                    continue;
+                }
+                Instr::JumpIfFalse {
+                    cond,
+                    branch,
+                    target,
+                } => {
+                    if *branch {
+                        self.clock += self.cfg.cost.branch;
+                    }
+                    if !self
+                        .slot(base, *cond)
+                        .truthy()
+                        .map_err(RuntimeError::Type)?
+                    {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Instr::JumpCmpFalse {
+                    op,
+                    lhs,
+                    rhs,
+                    branch,
+                    target,
+                } => {
+                    if *branch {
+                        self.clock += self.cfg.cost.branch;
+                    }
+                    let l = self.slot(base, *lhs);
+                    let r = self.slot(base, *rhs);
+                    let v = crate::ops::binop(*op, l, r, &self.cfg.cost, &mut self.clock)?;
+                    if !v.truthy().map_err(RuntimeError::Type)? {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Instr::JumpCmpKFalse {
+                    op,
+                    lhs,
+                    k,
+                    branch,
+                    target,
+                } => {
+                    if *branch {
+                        self.clock += self.cfg.cost.branch;
+                    }
+                    let l = self.slot(base, *lhs);
+                    let v = crate::ops::binop(*op, l, *k, &self.cfg.cost, &mut self.clock)?;
+                    if !v.truthy().map_err(RuntimeError::Type)? {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Instr::FuelJump { target } => {
+                    self.burn_fuel()?;
+                    pc = *target as usize;
+                    continue;
+                }
+                Instr::Branch => self.clock += self.cfg.cost.branch,
+                Instr::Fuel => self.burn_fuel()?,
+                Instr::IntCheck { slot } => {
+                    self.slot(base, *slot)
+                        .as_int()
+                        .map_err(RuntimeError::Type)?;
+                }
+                Instr::ChaseLoop {
+                    k,
+                    i,
+                    hi,
+                    ptr,
+                    off,
+                    access,
+                } => {
+                    let (Value::Int(mut i), Value::Int(hi)) =
+                        (self.slot(base, *i), self.slot(base, *hi))
+                    else {
+                        unreachable!("ChaseLoop after IntCheck")
+                    };
+                    let off = *off as usize;
+                    if i <= hi {
+                        loop {
+                            // ForHead: branch charge + loop-variable update.
+                            self.clock += self.cfg.cost.branch;
+                            self.set_slot(base, *k, Value::Int(i));
+                            // The chase statement: fuel, then the load
+                            // (same dispatch as the Load opcode).
+                            self.burn_fuel()?;
+                            let bv = self.slot(base, *ptr);
+                            let next = self.load(bv, off, *access)?;
+                            self.set_slot(base, *ptr, next);
+                            // ForNext: fuel, then advance or exit.
+                            self.burn_fuel()?;
+                            if i < hi {
+                                i += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                }
+                Instr::FieldRmw {
+                    op,
+                    base: b,
+                    src,
+                    off,
+                    is_ptr,
+                    access,
+                } => {
+                    self.burn_fuel()?;
+                    let bv = self.slot(base, *b);
+                    let cur = self.load(bv, *off as usize, *access)?;
+                    let r = self.slot(base, *src);
+                    let v = crate::ops::binop(*op, cur, r, &self.cfg.cost, &mut self.clock)?;
+                    self.store(bv, *off as usize, *is_ptr, *access, v)?;
+                }
+                Instr::FieldRmwK {
+                    op,
+                    base: b,
+                    k,
+                    off,
+                    is_ptr,
+                    access,
+                } => {
+                    self.burn_fuel()?;
+                    let bv = self.slot(base, *b);
+                    let cur = self.load(bv, *off as usize, *access)?;
+                    let v = crate::ops::binop(*op, cur, *k, &self.cfg.cost, &mut self.clock)?;
+                    self.store(bv, *off as usize, *is_ptr, *access, v)?;
+                }
+                Instr::ForEnter { i, hi, exit } => {
+                    let (Value::Int(a), Value::Int(b)) =
+                        (self.slot(base, *i), self.slot(base, *hi))
+                    else {
+                        unreachable!("ForEnter after IntCheck")
+                    };
+                    if a > b {
+                        pc = *exit as usize;
+                        continue;
+                    }
+                }
+                Instr::ForHead { var, i } => {
+                    self.clock += self.cfg.cost.branch;
+                    let v = self.slot(base, *i);
+                    self.set_slot(base, *var, v);
+                }
+                Instr::ForNext { i, hi, head } => {
+                    self.burn_fuel()?;
+                    let (Value::Int(a), Value::Int(b)) =
+                        (self.slot(base, *i), self.slot(base, *hi))
+                    else {
+                        unreachable!("ForNext after IntCheck")
+                    };
+                    if a < b {
+                        self.set_slot(base, *i, Value::Int(a + 1));
+                        pc = *head as usize;
+                        continue;
+                    }
+                }
+                Instr::ParFor {
+                    var,
+                    lo,
+                    hi,
+                    body_end,
+                } => {
+                    let (Value::Int(lo), Value::Int(hi)) =
+                        (self.slot(base, *lo), self.slot(base, *hi))
+                    else {
+                        unreachable!("ParFor after IntCheck")
+                    };
+                    self.parfor(func, base, pc + 1, *var, lo, hi)?;
+                    pc = *body_end as usize;
+                    continue;
+                }
+                Instr::IterEnd => return Ok(Ended::Iter),
+            }
+            pc += 1;
+        }
+    }
+
+    /// Execute a `parfor` region: iterations run over memcpy'd frame
+    /// copies with a shared heap; the clock advances by the busiest PE
+    /// under static strip scheduling, plus one barrier sync.
+    fn parfor(
+        &mut self,
+        func: u32,
+        base: usize,
+        body_pc: usize,
+        var: u32,
+        lo: i64,
+        hi: i64,
+    ) -> RResult<()> {
+        if self.detecting {
+            return Err(RuntimeError::NestedParfor);
+        }
+        let pes = self.cfg.pes.max(1);
+        let start_clock = self.clock;
+        // Reuse the scratch buffer; a nested region (detection off) takes
+        // a fresh empty Vec and allocates, which is fine because nesting
+        // is rare.
+        let mut pe_time = std::mem::take(&mut self.pe_scratch);
+        pe_time.clear();
+        pe_time.resize(pes, 0);
+        self.stats.parallel_rounds += 1;
+        let detect = self.cfg.detect_conflicts;
+        if detect {
+            self.table.begin_region();
+        }
+        let frame_size = self.prog.funcs[func as usize].frame_size as usize;
+
+        for (k, i) in (lo..=hi).enumerate() {
+            let pe = k % pes;
+            self.clock = start_clock;
+            if detect {
+                self.table.begin_iter(k);
+                self.detecting = true;
+            }
+            let iter_base = self.stack.len();
+            self.stack.extend_from_within(base..base + frame_size);
+            self.stack[iter_base + var as usize] = Value::Int(i);
+            let ended = self.exec(func, iter_base, body_pc)?;
+            self.stack.truncate(iter_base);
+            self.detecting = false;
+            if matches!(ended, Ended::Returned(_)) {
+                return Err(RuntimeError::Other("return from inside parfor".to_string()));
+            }
+            pe_time[pe] += self.clock - start_clock;
+        }
+
+        if detect {
+            if self.cfg.strict_conflicts {
+                if let Some(c) = self.table.first_conflict() {
+                    return Err(RuntimeError::Conflict(c));
+                }
+            } else {
+                let found = self.table.finish();
+                self.conflicts.extend(found);
+            }
+        }
+
+        let busiest = pe_time.iter().copied().max().unwrap_or(0);
+        self.pe_scratch = pe_time;
+        self.clock = start_clock + busiest + self.cfg.cost.sync;
+        Ok(())
+    }
+
+    /// Evaluate an index slot: non-negative int or the interpreter's
+    /// errors.
+    fn index(&self, base: usize, idx: u32) -> RResult<usize> {
+        let i = self.slot(base, idx).as_int().map_err(RuntimeError::Type)?;
+        if i < 0 {
+            return Err(RuntimeError::Type(format!("negative index {i}")));
+        }
+        Ok(i as usize)
+    }
+
+    /// Field load through `bv` at resolved offset `off` — charges `load`
+    /// first, exactly like the interpreter.
+    #[inline]
+    fn load(&mut self, bv: Value, off: usize, access: u32) -> RResult<Value> {
+        self.clock += self.cfg.cost.load;
+        match bv {
+            Value::Ptr(node) => {
+                if self.detecting {
+                    let (v, flat) = self
+                        .heap
+                        .load_flat(node, off)
+                        .map_err(RuntimeError::Other)?;
+                    self.table.record_read(node, off, flat);
+                    Ok(v)
+                } else {
+                    self.heap.load(node, off).map_err(RuntimeError::Other)
+                }
+            }
+            Value::Null if self.cfg.speculative => {
+                // Speculative traversability: reading past the end of a
+                // structure yields NULL (the interpreter's behavior).
+                Ok(Value::Null)
+            }
+            Value::Null => Err(RuntimeError::NullDeref(format!(
+                "read of `{}`",
+                self.prog.accesses[access as usize]
+            ))),
+            other => Err(RuntimeError::Type(format!(
+                "field read on non-pointer {other}"
+            ))),
+        }
+    }
+
+    /// Out-of-bounds indexed load: NULL bases still take the speculative /
+    /// fault paths before the bounds error, exactly like the interpreter's
+    /// `load_field` (which only bounds-checks on the pointer branch).
+    #[cold]
+    fn load_oob(&mut self, bv: Value, idx: usize, access: u32) -> RResult<Value> {
+        self.clock += self.cfg.cost.load;
+        match bv {
+            Value::Ptr(_) => Err(RuntimeError::Type(format!(
+                "index {idx} out of bounds for `{}`",
+                self.prog.accesses[access as usize]
+            ))),
+            Value::Null if self.cfg.speculative => Ok(Value::Null),
+            Value::Null => Err(RuntimeError::NullDeref(format!(
+                "read of `{}`",
+                self.prog.accesses[access as usize]
+            ))),
+            other => Err(RuntimeError::Type(format!(
+                "field read on non-pointer {other}"
+            ))),
+        }
+    }
+
+    /// Field store through `bv` at resolved offset `off`.
+    #[inline]
+    fn store(&mut self, bv: Value, off: usize, is_ptr: bool, access: u32, v: Value) -> RResult<()> {
+        let Value::Ptr(node) = bv else {
+            return Err(RuntimeError::NullDeref(format!(
+                "write to `{}` through NULL",
+                self.prog.accesses[access as usize]
+            )));
+        };
+        self.clock += self.cfg.cost.store;
+        if self.detecting {
+            let flat = self
+                .heap
+                .store_flat(node, off, v)
+                .map_err(RuntimeError::Other)?;
+            self.table.record_write(node, off, flat);
+        } else {
+            self.heap.store(node, off, v).map_err(RuntimeError::Other)?;
+        }
+        if self.cfg.check_shapes && is_ptr {
+            let prog = self.prog;
+            let ty = self
+                .heap
+                .type_of(node)
+                .map_err(RuntimeError::Other)?
+                .to_string();
+            let reports = crate::shapecheck::check_store(
+                &prog.adds,
+                &prog.layouts,
+                &self.heap,
+                &ty,
+                &prog.accesses[access as usize],
+                node,
+                v,
+            );
+            self.shape_reports.extend(reports);
+        }
+        Ok(())
+    }
+
+    /// Out-of-bounds indexed store: the NULL check precedes the charge and
+    /// the bounds error, exactly like the interpreter's `assign` +
+    /// `store_field` sequence.
+    #[cold]
+    fn store_oob(&mut self, bv: Value, idx: usize, access: u32) -> RResult<()> {
+        let Value::Ptr(_) = bv else {
+            return Err(RuntimeError::NullDeref(format!(
+                "write to `{}` through NULL",
+                self.prog.accesses[access as usize]
+            )));
+        };
+        self.clock += self.cfg.cost.store;
+        Err(RuntimeError::Type(format!(
+            "index {idx} out of bounds for `{}`",
+            self.prog.accesses[access as usize]
+        )))
+    }
+}
+
+impl<'p> Exec for Vm<'p> {
+    fn host_alloc(&mut self, ty: &str) -> NodeId {
+        Vm::host_alloc(self, ty)
+    }
+    fn host_store(&mut self, node: NodeId, field: &str, idx: usize, v: Value) {
+        Vm::host_store(self, node, field, idx, v)
+    }
+    fn host_load(&self, node: NodeId, field: &str, idx: usize) -> Value {
+        Vm::host_load(self, node, field, idx)
+    }
+    fn call(&mut self, name: &str, args: &[Value]) -> RResult<Value> {
+        Vm::call(self, name, args)
+    }
+    fn clock(&self) -> u64 {
+        self.clock
+    }
+    fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+    fn conflicts(&self) -> &[Conflict] {
+        &self.conflicts
+    }
+    fn shape_reports(&self) -> &[ShapeReport] {
+        &self.shape_reports
+    }
+    fn output(&self) -> &[String] {
+        &self.output
+    }
+    fn heap(&self) -> &Heap {
+        &self.heap
+    }
+}

@@ -1,0 +1,377 @@
+//! Differential suite: the bytecode VM must match the tree-walking
+//! interpreter on output, final heap, `ExecStats`, cycle counts, shape
+//! reports, and conflict sets for every corpus program (original and
+//! pipeline-parallelized), across machine configurations — including a
+//! proptest sweep over random configurations (PEs 1..8, speculative
+//! on/off, conflict detection on/off) and fuel-truncated runs.
+
+use adds_lang::programs;
+use adds_lang::types::{check_source, TypedProgram};
+use adds_machine::diff::{assert_equivalent, run_pair, workloads};
+use adds_machine::{CostModel, Exec, MachineConfig, Value};
+use proptest::prelude::*;
+
+/// One corpus workload the harness knows how to drive.
+struct Workload {
+    label: &'static str,
+    tp: TypedProgram,
+    entry: &'static str,
+    setup: fn(&mut dyn Exec) -> Vec<Value>,
+}
+
+fn parallelized(src: &str) -> TypedProgram {
+    let out = adds_core::parallelize_to_source(src).expect("pipeline runs");
+    check_source(&out).expect("transformed source re-checks")
+}
+
+fn corpus() -> Vec<Workload> {
+    fn scale_args(m: &mut dyn Exec) -> Vec<Value> {
+        vec![workloads::scale_list(m, 23), Value::Int(3)]
+    }
+    fn sum_args(m: &mut dyn Exec) -> Vec<Value> {
+        vec![workloads::sum_list(m, 17)]
+    }
+    fn orth_args(m: &mut dyn Exec) -> Vec<Value> {
+        vec![workloads::orth_rows(m, &[4, 1, 7, 3, 5]), Value::Int(3)]
+    }
+    fn bh_args(m: &mut dyn Exec) -> Vec<Value> {
+        let bodies = adds_machine::uniform_cloud(12, 11);
+        let head = adds_machine::sequent::build_particles(m, &bodies);
+        vec![head, Value::Int(1), Value::Real(0.7), Value::Real(0.01)]
+    }
+
+    vec![
+        Workload {
+            label: "list_scale_plain",
+            tp: check_source(programs::LIST_SCALE_PLAIN).unwrap(),
+            entry: "scale",
+            setup: scale_args,
+        },
+        Workload {
+            label: "list_scale_adds",
+            tp: check_source(programs::LIST_SCALE_ADDS).unwrap(),
+            entry: "scale",
+            setup: scale_args,
+        },
+        Workload {
+            label: "list_scale_adds (parallelized)",
+            tp: parallelized(programs::LIST_SCALE_ADDS),
+            entry: "scale",
+            setup: scale_args,
+        },
+        Workload {
+            label: "list_sum",
+            tp: check_source(programs::LIST_SUM).unwrap(),
+            entry: "sum",
+            setup: sum_args,
+        },
+        Workload {
+            label: "subtree_move",
+            tp: check_source(programs::SUBTREE_MOVE).unwrap(),
+            entry: "move_subtree",
+            setup: |m| workloads::bintree_pair(m),
+        },
+        Workload {
+            label: "orth_row_scale",
+            tp: check_source(programs::ORTH_ROW_SCALE).unwrap(),
+            entry: "scale_rows",
+            setup: orth_args,
+        },
+        Workload {
+            label: "orth_row_scale (parallelized)",
+            tp: parallelized(programs::ORTH_ROW_SCALE),
+            entry: "scale_rows",
+            setup: orth_args,
+        },
+        Workload {
+            label: "barnes_hut",
+            tp: check_source(programs::BARNES_HUT).unwrap(),
+            entry: "simulate",
+            setup: bh_args,
+        },
+        Workload {
+            label: "barnes_hut (parallelized)",
+            tp: parallelized(programs::BARNES_HUT),
+            entry: "simulate",
+            setup: bh_args,
+        },
+    ]
+}
+
+fn cfg(pes: usize, speculative: bool, detect: bool, shapes: bool) -> MachineConfig {
+    MachineConfig {
+        pes,
+        speculative,
+        detect_conflicts: detect,
+        check_shapes: shapes,
+        strict_conflicts: false,
+        cost: CostModel::sequent(),
+        fuel: Some(500_000_000),
+    }
+}
+
+#[test]
+fn whole_corpus_matches_across_fixed_configs() {
+    let configs = [
+        cfg(1, true, false, false),
+        cfg(4, true, true, false),
+        cfg(4, true, true, true),
+        cfg(7, false, true, false),
+    ];
+    for w in corpus() {
+        for c in &configs {
+            assert_equivalent(w.label, &w.tp, c, w.entry, w.setup);
+        }
+    }
+}
+
+#[test]
+fn uniform_cost_model_matches_too() {
+    let c = MachineConfig {
+        cost: CostModel::uniform(),
+        detect_conflicts: true,
+        ..MachineConfig::default()
+    };
+    for w in corpus() {
+        assert_equivalent(w.label, &w.tp, &c, w.entry, w.setup);
+    }
+}
+
+#[test]
+fn fuel_truncation_points_agree() {
+    // Out-of-fuel must strike after the same statement count in both
+    // engines — this pins stmt accounting even on partial runs.
+    let tp = check_source(programs::LIST_SCALE_ADDS).unwrap();
+    for fuel in [1, 2, 7, 40, 90] {
+        let c = MachineConfig {
+            fuel: Some(fuel),
+            ..MachineConfig::default()
+        };
+        let (a, b) = run_pair(&tp, &c, "scale", |m| {
+            vec![workloads::scale_list(m, 40), Value::Int(2)]
+        });
+        assert_eq!(a.result, b.result, "fuel={fuel}");
+        if fuel < 90 {
+            assert_eq!(a.result, Err("out of fuel".to_string()), "fuel={fuel}");
+        }
+    }
+}
+
+#[test]
+fn self_assignment_still_burns_fuel() {
+    // `p = p;` compiles to no data movement, but its statement-fuel burn
+    // must survive — stmt counts and out-of-fuel points are part of the
+    // machine model.
+    let src = "
+        type L [X] { int v; L *next is uniquely forward along X; };
+        procedure idle(head: L*) {
+            var p: L*;
+            var i: int;
+            p = head;
+            for i = 1 to 5 { p = p; }
+        }";
+    let tp = check_source(src).unwrap();
+    assert_equivalent(
+        "self-assignment",
+        &tp,
+        &MachineConfig::default(),
+        "idle",
+        |m| vec![workloads::sum_list(m, 1)],
+    );
+    for fuel in [1, 3, 8, 11] {
+        let c = MachineConfig {
+            fuel: Some(fuel),
+            ..MachineConfig::default()
+        };
+        let (a, b) = run_pair(&tp, &c, "idle", |m| vec![workloads::sum_list(m, 1)]);
+        assert_eq!(a.result, b.result, "fuel={fuel}");
+    }
+}
+
+#[test]
+fn strict_conflicts_abort_in_both_engines() {
+    let tp = check_source(ILLEGAL_PARALLEL_SUM).unwrap();
+    let c = MachineConfig {
+        pes: 4,
+        detect_conflicts: true,
+        strict_conflicts: true,
+        cost: CostModel::uniform(),
+        ..MachineConfig::default()
+    };
+    let (a, b) = run_pair(&tp, &c, "bad_parallel_sum", illegal_sum_args);
+    let a = a.result.unwrap_err();
+    let b = b.result.unwrap_err();
+    assert!(a.starts_with("parallel conflict:"), "{a}");
+    assert!(b.starts_with("parallel conflict:"), "{b}");
+}
+
+/// An ILLEGAL hand-"parallelization" of a reduction (also used by
+/// `tests/runtime_checks.rs`): every strip iteration adds into the same
+/// accumulator node, so iterations conflict.
+const ILLEGAL_PARALLEL_SUM: &str = "
+type L [X] { int v; L *next is uniquely forward along X; };
+type Acc [A] { int total; Acc *self is forward along A; };
+
+procedure _sum_iteration(i: int, p: L*, acc: Acc*)
+{
+    var k: int;
+    for k = 1 to i { p = p->next; }
+    if p <> NULL { acc->total = acc->total + p->v; }
+}
+
+procedure bad_parallel_sum(head: L*, acc: Acc*)
+{
+    var p: L*;
+    var i: int;
+    p = head;
+    while p <> NULL
+    {
+        parfor i = 0 to PEs - 1 { _sum_iteration(i, p, acc); }
+        for i = 0 to PEs - 1 { p = p->next; }
+    }
+}
+";
+
+fn illegal_sum_args(m: &mut dyn Exec) -> Vec<Value> {
+    let head = workloads::sum_list(m, 8);
+    let acc = m.host_alloc("Acc");
+    vec![head, Value::Ptr(acc)]
+}
+
+#[test]
+fn vm_is_reusable_after_an_aborted_run() {
+    // A strict-conflict abort (or any error) unwinds mid-parfor; the
+    // machine must stay usable: a later call may not spuriously report
+    // NestedParfor from a stale detection flag or run on leaked frames.
+    let src = format!(
+        "{ILLEGAL_PARALLEL_SUM}
+        procedure ok_parallel(head: L*) {{
+            var i: int;
+            var p: L*;
+            parfor i = 0 to 3 {{ p = head; }}
+        }}"
+    );
+    let tp = check_source(&src).unwrap();
+    let compiled = adds_machine::CompiledProgram::compile(&tp);
+    let mut vm = adds_machine::Vm::new(
+        &compiled,
+        MachineConfig {
+            pes: 4,
+            detect_conflicts: true,
+            strict_conflicts: true,
+            cost: CostModel::uniform(),
+            ..MachineConfig::default()
+        },
+    );
+    let args = illegal_sum_args(&mut vm);
+    let err = vm.call("bad_parallel_sum", &args).unwrap_err();
+    assert!(err.to_string().starts_with("parallel conflict:"), "{err}");
+    vm.call("ok_parallel", &[args[0]])
+        .expect("machine usable after an aborted run");
+}
+
+#[test]
+fn single_pass_detector_pins_pairwise_conflict_set() {
+    // The satellite pinning test: on known-conflicting programs the VM's
+    // epoch-stamped single-pass detector must report exactly the
+    // interpreter's pairwise conflict set (compared order-insensitively —
+    // `Outcome` already sorts).
+    let c = MachineConfig {
+        pes: 4,
+        detect_conflicts: true,
+        cost: CostModel::uniform(),
+        ..MachineConfig::default()
+    };
+
+    // The racing reduction: all-write/write conflicts on the accumulator.
+    let tp = check_source(ILLEGAL_PARALLEL_SUM).unwrap();
+    let (a, b) = run_pair(&tp, &c, "bad_parallel_sum", illegal_sum_args);
+    assert!(!a.conflicts.is_empty());
+    assert!(a.conflicts.iter().all(|x| x.write_write));
+    assert_eq!(a, b);
+
+    // Two writers plus pure readers: both conflict kinds at once.
+    let mixed = "
+        type L [X] { int v; L *next is uniquely forward along X; };
+        procedure mixed(head: L*) {
+            var i: int;
+            var x: int;
+            parfor i = 0 to 3 {
+                if i < 2 { head->v = i; }
+                x = head->v;
+            }
+        }";
+    let tp = check_source(mixed).unwrap();
+    let (a, b) = run_pair(&tp, &c, "mixed", |m| vec![workloads::sum_list(m, 1)]);
+    // Writers {0,1}, readers {0,1,2,3}: one ww pair + {2,3}×{0,1} wr pairs.
+    assert_eq!(a.conflicts.iter().filter(|x| x.write_write).count(), 1);
+    assert_eq!(a.conflicts.iter().filter(|x| !x.write_write).count(), 4);
+    assert_eq!(a.conflicts, b.conflicts);
+    assert_eq!(a, b);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random machine configurations over the non-nbody corpus: PEs 1..8,
+    /// speculative on/off, conflict detection on/off, shape checks
+    /// on/off, both cost models, varied workload sizes.
+    #[test]
+    fn random_configs_are_equivalent(
+        pes in 1usize..8,
+        speculative in (0u8..2).prop_map(|b| b == 1),
+        detect in (0u8..2).prop_map(|b| b == 1),
+        shapes in (0u8..2).prop_map(|b| b == 1),
+        uniform_cost in (0u8..2).prop_map(|b| b == 1),
+        n in 1usize..40,
+        which in 0usize..5,
+    ) {
+        let c = MachineConfig {
+            pes,
+            speculative,
+            detect_conflicts: detect,
+            check_shapes: shapes,
+            strict_conflicts: false,
+            cost: if uniform_cost { CostModel::uniform() } else { CostModel::sequent() },
+            fuel: Some(500_000_000),
+        };
+        let widths = [n.max(1), 1, (n / 2).max(1), 3];
+        match which {
+            0 => assert_equivalent(
+                "list_scale_adds",
+                &check_source(programs::LIST_SCALE_ADDS).unwrap(),
+                &c,
+                "scale",
+                |m| vec![workloads::scale_list(m, n), Value::Int(3)],
+            ),
+            1 => assert_equivalent(
+                "list_scale_adds (parallelized)",
+                &parallelized(programs::LIST_SCALE_ADDS),
+                &c,
+                "scale",
+                |m| vec![workloads::scale_list(m, n), Value::Int(3)],
+            ),
+            2 => assert_equivalent(
+                "orth_row_scale (parallelized)",
+                &parallelized(programs::ORTH_ROW_SCALE),
+                &c,
+                "scale_rows",
+                |m| vec![workloads::orth_rows(m, &widths), Value::Int(5)],
+            ),
+            3 => assert_equivalent(
+                "list_sum",
+                &check_source(programs::LIST_SUM).unwrap(),
+                &c,
+                "sum",
+                |m| vec![workloads::sum_list(m, n)],
+            ),
+            _ => assert_equivalent(
+                "illegal_parallel_sum",
+                &check_source(ILLEGAL_PARALLEL_SUM).unwrap(),
+                &c,
+                "bad_parallel_sum",
+                illegal_sum_args,
+            ),
+        }
+    }
+}

@@ -8,10 +8,28 @@
 //! fixed number of warm-up iterations) and reports the median per-iteration
 //! time to stdout. Good enough to keep `cargo bench` compiling and to give
 //! order-of-magnitude numbers; not a replacement for real criterion.
+//!
+//! Like real criterion, passing `--test` on the bench binary's command line
+//! (`cargo bench -- --test`) runs each benchmark exactly once without
+//! timing — the CI smoke mode that keeps bench code from rotting.
+//!
+//! On interpreting the numbers: every timing here is host wall-clock on
+//! whatever machine runs the bench — a shared CI container's throughput
+//! figures (e.g. the statements/second in `BENCH_machine.json`) say how
+//! engines compare *to each other* on that host, not how the simulated
+//! Sequent would perform; the machine's own deterministic cycle counter is
+//! the portable performance number.
 
 #![warn(missing_docs)]
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+/// `--test` smoke mode: run each benchmark body once, without timing.
+fn test_mode() -> bool {
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
 
 /// Prevent the optimizer from discarding a value (best-effort).
 pub fn black_box<T>(x: T) -> T {
@@ -132,8 +150,13 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Time `f`, recording the median of `sample_size` samples.
+    /// Time `f`, recording the median of `sample_size` samples (in
+    /// `--test` mode: run once, record nothing).
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if test_mode() {
+            black_box(f());
+            return;
+        }
         for _ in 0..3 {
             black_box(f()); // warm-up
         }
@@ -154,6 +177,10 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F)
         median_ns: None,
     };
     f(&mut b);
+    if test_mode() {
+        println!("test {id:<60} ... ok");
+        return;
+    }
     match b.median_ns {
         Some(ns) if ns >= 1e9 => println!("bench {id:<60} {:>12.3} s/iter", ns / 1e9),
         Some(ns) if ns >= 1e6 => println!("bench {id:<60} {:>12.3} ms/iter", ns / 1e6),

@@ -19,6 +19,14 @@
 //!   instead of rayon's adaptive splitting;
 //! * `build_global` may be called repeatedly (real rayon errors on the
 //!   second call).
+//!
+//! A note on throughput numbers: wall-clock speedups measured through this
+//! shim (batch mode, the native n-body benches) reflect the host the run
+//! happened on — CI containers are often single-core and/or throttled, so
+//! cross-run comparisons of absolute times are meaningless there. The
+//! simulated machine's cycle counts (and `BENCH_machine.json`'s
+//! engine-vs-engine ratios, measured back-to-back on one host) are the
+//! numbers that transfer across machines.
 
 #![warn(missing_docs)]
 

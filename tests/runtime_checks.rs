@@ -1,12 +1,16 @@
 //! Dynamic validation: run-time ADDS shape checks (§2.2) and failure
 //! injection — the machine's conflict detector must catch an *illegal*
 //! parallelization that the static legality test rejects.
+//!
+//! All tests here run on the bytecode VM (the production engine); the
+//! differential suite in `crates/machine/tests/differential.rs` pins the
+//! VM against the reference interpreter.
 
 use adds::lang::programs;
 use adds::lang::types::check_source;
 use adds::machine::{
-    sequent::build_particles, uniform_cloud, CostModel, Interp, MachineConfig, ShapeReportKind,
-    Value,
+    sequent::build_particles, uniform_cloud, CompiledProgram, CostModel, MachineConfig,
+    ShapeReportKind, Value, Vm,
 };
 
 #[test]
@@ -20,7 +24,8 @@ fn runtime_checks_observe_insert_particle_temporary_sharing() {
         cost: CostModel::uniform(),
         ..MachineConfig::default()
     };
-    let mut it = Interp::new(&tp, cfg);
+    let compiled = CompiledProgram::compile(&tp);
+    let mut it = Vm::new(&compiled, cfg);
     let head = build_particles(&mut it, &uniform_cloud(16, 3));
     it.call("build_tree", &[head]).unwrap();
     assert!(
@@ -47,7 +52,8 @@ fn runtime_checks_stay_silent_on_clean_list_code() {
         check_shapes: true,
         ..MachineConfig::default()
     };
-    let mut it = Interp::new(&tp, cfg);
+    let compiled = CompiledProgram::compile(&tp);
+    let mut it = Vm::new(&compiled, cfg);
     let mut head = Value::Null;
     for i in 0..10 {
         let n = it.host_alloc("ListNode");
@@ -117,7 +123,8 @@ fn failure_injection_conflicts_are_detected() {
         cost: CostModel::uniform(),
         ..MachineConfig::default()
     };
-    let mut it = Interp::new(&tp, cfg);
+    let compiled = CompiledProgram::compile(&tp);
+    let mut it = Vm::new(&compiled, cfg);
     let mut head = Value::Null;
     for i in 0..8 {
         let n = it.host_alloc("L");
@@ -173,7 +180,8 @@ fn legal_transform_produces_no_conflicts_even_under_detection() {
         cost: CostModel::uniform(),
         ..MachineConfig::default()
     };
-    let mut it = Interp::new(&tp, cfg);
+    let compiled = CompiledProgram::compile(&tp);
+    let mut it = Vm::new(&compiled, cfg);
     let mut head = Value::Null;
     for i in 0..13 {
         let n = it.host_alloc("ListNode");
@@ -202,7 +210,8 @@ fn strip_mined_orth_rows_run_conflict_free_and_correct() {
         cost: CostModel::uniform(),
         ..MachineConfig::default()
     };
-    let mut it = Interp::new(&tp, cfg);
+    let compiled = CompiledProgram::compile(&tp);
+    let mut it = Vm::new(&compiled, cfg);
 
     // Rows of uneven length: row r holds entries with data = 100*r + j.
     let widths = [4usize, 1, 7, 3, 5];
