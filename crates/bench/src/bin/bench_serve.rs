@@ -1,0 +1,265 @@
+//! S1 — `adds-serve` throughput: requests/sec through a real in-process
+//! HTTP server (TCP loopback, `Connection: close`), cold vs warm cache.
+//!
+//! Writes `BENCH_serve.json` (schema `adds.bench-serve/v1`) next to
+//! `BENCH_machine.json` so the repository carries a service-layer
+//! perf-trajectory baseline:
+//!
+//! ```text
+//! cargo run --release -p adds-bench --bin bench_serve          # regen
+//! cargo run --release -p adds-bench --bin bench_serve -- --check
+//! ```
+//!
+//! `--check` validates an existing file's schema (used by CI to keep the
+//! checked-in baseline from rotting); it does not compare numbers, which
+//! are machine-dependent.
+//!
+//! Rows:
+//! * `healthz` — the HTTP floor: connection setup + routing, no analysis.
+//! * `analyze cold` — every corpus program once against an empty cache
+//!   (all misses: full parse/check/analyze per request).
+//! * `analyze warm` — repeated requests for one program (all hits: the
+//!   content-addressed cache answers without recompute).
+//! * `parallelize warm` — same, for the transform endpoint.
+
+use adds_serve::corpus;
+use adds_serve::server::{ServeOptions, Server, ServerHandle};
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+const OUT_PATH: &str = "BENCH_serve.json";
+const SCHEMA: &str = "adds.bench-serve/v1";
+const JOBS: usize = 4;
+const CLIENT_THREADS: usize = 4;
+const WARM_REQUESTS: usize = 200;
+const HEALTHZ_REQUESTS: usize = 400;
+const REPS: usize = 3;
+
+fn spawn_server() -> ServerHandle {
+    let opts = ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: JOBS,
+    };
+    Server::bind(&opts)
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn workers")
+}
+
+/// One request, response read to EOF; panics on a non-2xx status so a
+/// broken server can't "win" the benchmark by failing fast.
+fn request(addr: SocketAddr, method: &str, target: &str, body: &[u8]) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    conn.write_all(head.as_bytes()).expect("write");
+    conn.write_all(body).expect("write body");
+    let mut raw = Vec::new();
+    conn.read_to_end(&mut raw).expect("read");
+    let status = raw
+        .get(9..12)
+        .and_then(|s| std::str::from_utf8(s).ok())
+        .unwrap_or("???");
+    assert!(
+        status.starts_with('2'),
+        "{method} {target} answered {status}"
+    );
+}
+
+/// Fan `total` identical requests over `threads` client threads; returns
+/// the wall-clock nanoseconds for the whole volley.
+fn volley(addr: SocketAddr, method: &str, target: &str, body: &[u8], total: usize) -> u64 {
+    let body: Arc<Vec<u8>> = Arc::new(body.to_vec());
+    let target = target.to_string();
+    let method = method.to_string();
+    let t0 = std::time::Instant::now();
+    let handles: Vec<_> = (0..CLIENT_THREADS)
+        .map(|i| {
+            let n = total / CLIENT_THREADS + usize::from(i < total % CLIENT_THREADS);
+            let (method, target, body) = (method.clone(), target.clone(), Arc::clone(&body));
+            std::thread::spawn(move || {
+                for _ in 0..n {
+                    request(addr, &method, &target, &body);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    t0.elapsed().as_nanos() as u64
+}
+
+struct Row {
+    endpoint: &'static str,
+    mode: &'static str,
+    requests: usize,
+    threads: usize,
+    total_ns: u64,
+}
+
+impl Row {
+    fn rps(&self) -> f64 {
+        self.requests as f64 / (self.total_ns.max(1) as f64 / 1e9)
+    }
+}
+
+fn measure() -> Vec<Row> {
+    let mut rows = Vec::new();
+
+    // HTTP floor: no analysis, just accept/route/respond.
+    let server = spawn_server();
+    let healthz_ns = (0..REPS)
+        .map(|_| volley(server.addr(), "GET", "/healthz", b"", HEALTHZ_REQUESTS))
+        .min()
+        .expect("reps");
+    rows.push(Row {
+        endpoint: "healthz",
+        mode: "floor",
+        requests: HEALTHZ_REQUESTS,
+        threads: CLIENT_THREADS,
+        total_ns: healthz_ns,
+    });
+    server.stop();
+
+    // Cold: each corpus program once against an empty cache. A fresh
+    // server per rep keeps every rep genuinely cold.
+    let cold_ns = (0..REPS)
+        .map(|_| {
+            let server = spawn_server();
+            let mut total = 0u64;
+            for e in corpus::CORPUS {
+                let t0 = std::time::Instant::now();
+                request(server.addr(), "POST", "/v1/analyze", e.source.as_bytes());
+                total += t0.elapsed().as_nanos() as u64;
+            }
+            server.stop();
+            total
+        })
+        .min()
+        .expect("reps");
+    rows.push(Row {
+        endpoint: "analyze",
+        mode: "cold",
+        requests: corpus::CORPUS.len(),
+        threads: 1,
+        total_ns: cold_ns,
+    });
+
+    // Warm: repeated identical requests served from the cache.
+    for (endpoint, target) in [
+        ("analyze", "/v1/analyze"),
+        ("parallelize", "/v1/parallelize"),
+    ] {
+        let server = spawn_server();
+        let src = corpus::find("barnes_hut").expect("corpus").source;
+        request(server.addr(), "POST", target, src.as_bytes()); // prime
+        let warm_ns = (0..REPS)
+            .map(|_| volley(server.addr(), "POST", target, src.as_bytes(), WARM_REQUESTS))
+            .min()
+            .expect("reps");
+        let state = server.state();
+        let stats = state.service.stats();
+        assert_eq!(
+            stats.get(&stats.misses),
+            1,
+            "warm volley must not recompute"
+        );
+        rows.push(Row {
+            endpoint,
+            mode: "warm",
+            requests: WARM_REQUESTS,
+            threads: CLIENT_THREADS,
+            total_ns: warm_ns,
+        });
+        server.stop();
+    }
+
+    rows
+}
+
+fn render(rows: &[Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(s, "  \"jobs\": {JOBS},");
+    let _ = writeln!(s, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"endpoint\": \"{}\",", r.endpoint);
+        let _ = writeln!(s, "      \"mode\": \"{}\",", r.mode);
+        let _ = writeln!(s, "      \"requests\": {},", r.requests);
+        let _ = writeln!(s, "      \"threads\": {},", r.threads);
+        let _ = writeln!(s, "      \"total_ns\": {},", r.total_ns);
+        let _ = writeln!(s, "      \"requests_per_sec\": {:.0}", r.rps());
+        let _ = write!(s, "    }}");
+        let _ = writeln!(s, "{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Keys every row must carry; `--check` fails on any miss.
+const REQUIRED_KEYS: &[&str] = &[
+    "\"endpoint\"",
+    "\"mode\"",
+    "\"requests\"",
+    "\"threads\"",
+    "\"total_ns\"",
+    "\"requests_per_sec\"",
+];
+
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    if !text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!(
+            "`{path}` does not carry schema `{SCHEMA}` — regenerate it with \
+             `cargo run --release -p adds-bench --bin bench_serve`"
+        ));
+    }
+    let entries = text.matches("\"endpoint\"").count();
+    if entries < 2 {
+        return Err(format!("`{path}` has {entries} rows, need >= 2"));
+    }
+    for key in REQUIRED_KEYS {
+        if text.matches(key).count() < entries {
+            return Err(format!(
+                "`{path}` is stale: key {key} missing from some rows"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check") {
+        match check(OUT_PATH) {
+            Ok(()) => println!("{OUT_PATH}: schema ok"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let rows = measure();
+    for r in &rows {
+        println!(
+            "{:<12} {:<5} {:>5} requests x{} threads  {:>10.0} req/s",
+            r.endpoint,
+            r.mode,
+            r.requests,
+            r.threads,
+            r.rps()
+        );
+    }
+    let doc = render(&rows);
+    std::fs::write(OUT_PATH, &doc).expect("write BENCH_serve.json");
+    println!("wrote {OUT_PATH}");
+}

@@ -29,6 +29,8 @@ pub enum Command {
     Run,
     /// Precision ladder: §2.1 baselines vs ADDS+GPM.
     Ladder,
+    /// Long-running HTTP server over the batch executor.
+    Serve,
 }
 
 impl Command {
@@ -40,7 +42,21 @@ impl Command {
             "parallelize" => Command::Parallelize,
             "run" => Command::Run,
             "ladder" => Command::Ladder,
+            "serve" => Command::Serve,
             _ => return None,
+        })
+    }
+
+    /// The report-producing pipeline stage behind this command, if any
+    /// (`run`/`ladder`/`serve` have their own drivers).
+    pub fn stage(self) -> Option<adds_serve::pipeline::Stage> {
+        use adds_serve::pipeline::Stage;
+        Some(match self {
+            Command::Parse => Stage::Parse,
+            Command::Check => Stage::Check,
+            Command::Analyze => Stage::Analyze,
+            Command::Parallelize => Stage::Parallelize,
+            Command::Run | Command::Ladder | Command::Serve => return None,
         })
     }
 }
@@ -74,6 +90,8 @@ pub struct Args {
     pub dt: f64,
     /// `ladder`: k values for the k-limited baseline.
     pub klimits: Vec<usize>,
+    /// `serve`: bind address.
+    pub addr: String,
 }
 
 impl Default for Args {
@@ -92,6 +110,7 @@ impl Default for Args {
             theta: 0.7,
             dt: 0.001,
             klimits: vec![1, 2],
+            addr: "127.0.0.1:8199".to_string(),
         }
     }
 }
@@ -129,6 +148,7 @@ COMMANDS:
     parallelize  strip-mine parallelizable loops, emit transformed source
     run          execute Barnes-Hut on the simulated MIMD machine, seq vs par
     ladder       precision ladder: prior-work baselines vs ADDS+GPM
+    serve        long-running HTTP server: POST /v1/{analyze,parallelize,run}
 
 INPUT SELECTION (parse/check/analyze/parallelize):
     --all             all built-in corpus programs
@@ -137,7 +157,8 @@ INPUT SELECTION (parse/check/analyze/parallelize):
     FILE...           IL source files
 
 OPTIONS:
-    --jobs N          parallel batch workers (default: one per core)
+    --jobs N          parallel batch/server workers (default: one per core)
+    --addr HOST:PORT  serve: bind address            [default: 127.0.0.1:8199]
     --format FMT      text | json                      [default: text]
     --matrices        include exit path matrices in analyze reports
     --pes LIST        run: comma-separated PE counts   [default: 4]
@@ -219,6 +240,9 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, UsageError> {
                 let v = take_value("--program", inline, &mut it)?;
                 args.programs.push(v);
             }
+            "--addr" => {
+                args.addr = take_value("--addr", inline, &mut it)?;
+            }
             "--jobs" => {
                 let v = take_value("--jobs", inline, &mut it)?;
                 args.jobs = v
@@ -289,10 +313,7 @@ pub enum ParsedArgs {
     ListCorpus,
 }
 
-fn parse_usize_list(s: &str) -> Option<Vec<usize>> {
-    let out: Option<Vec<usize>> = s.split(',').map(|p| p.trim().parse().ok()).collect();
-    out.filter(|v: &Vec<usize>| !v.is_empty() && v.iter().all(|&x| x > 0))
-}
+use adds_serve::server::parse_usize_list;
 
 #[cfg(test)]
 mod tests {
@@ -340,6 +361,21 @@ mod tests {
         };
         assert_eq!(a.programs, vec!["barnes_hut"]);
         assert_eq!(a.files, vec!["a.il", "b.il"]);
+    }
+
+    #[test]
+    fn parses_serve_with_addr() {
+        let ParsedArgs::Run(a) = parse(&argv("serve --addr 0.0.0.0:9000 --jobs 8")).unwrap() else {
+            panic!("expected Run");
+        };
+        assert_eq!(a.command, Command::Serve);
+        assert_eq!(a.addr, "0.0.0.0:9000");
+        assert_eq!(a.jobs, 8);
+        assert!(a.command.stage().is_none());
+        assert_eq!(
+            Command::Analyze.stage(),
+            Some(adds_serve::pipeline::Stage::Analyze)
+        );
     }
 
     #[test]

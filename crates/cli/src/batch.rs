@@ -5,18 +5,21 @@
 //! configured worker count and results come back in input order, so output
 //! (and exit code aggregation) is deterministic regardless of `--jobs`.
 //!
-//! Analyze/parallelize reports depend only on the source text (plus the
-//! per-invocation command and flags), so the executor memoizes by source
-//! content: repeated files in a batch are computed once and their reports
-//! cloned with the per-input name restored — the first concrete step
-//! toward the ROADMAP's source-hash-keyed analysis server.
+//! Reports depend only on the source bytes plus the stage fingerprint, so
+//! the batch runs through the same sharded single-flight content-hash
+//! cache (`adds_serve::cache`) the server mode uses: repeated files in a
+//! batch are computed once — even when two workers pick them up
+//! concurrently — and their reports are cloned with the per-input name
+//! restored.
 
 use crate::args::Args;
 use crate::corpus;
-use crate::pipeline::{run_unit, InputUnit};
 use crate::report::ProgramReport;
+use adds_serve::cache::{Cache, CacheStats};
+use adds_serve::pipeline::InputUnit;
+use adds_serve::service::cached_stage_report;
 use rayon::prelude::*;
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Resolve `--all`, `--program`, and file arguments into work units.
 /// Order: corpus entries first (corpus order), then files (argument order).
@@ -72,50 +75,39 @@ pub fn run_batch(units: &[InputUnit], args: &Args) -> Vec<ProgramReport> {
 }
 
 /// [`run_batch`] exposing how many units were actually computed (the rest
-/// were memo hits), for tests and diagnostics.
+/// were cache hits), for tests and diagnostics.
 pub(crate) fn run_batch_memo(units: &[InputUnit], args: &Args) -> (Vec<ProgramReport>, usize) {
     rayon::ThreadPoolBuilder::new()
         .num_threads(args.jobs)
         .build_global()
         .expect("thread pool");
 
-    // Deduplicate by source content. The report depends only on the source
-    // (name/origin are display fields, restored per input below).
-    let mut memo_key: HashMap<&str, usize> = HashMap::new();
-    let mut uniques: Vec<usize> = Vec::new();
-    let keys: Vec<usize> = units
-        .iter()
-        .enumerate()
-        .map(|(i, u)| {
-            *memo_key.entry(u.source.as_str()).or_insert_with(|| {
-                uniques.push(i);
-                uniques.len() - 1
-            })
-        })
-        .collect();
+    let stage = args.command.stage().expect("batch command has a stage");
+    let cache: Cache<ProgramReport> = Cache::new(Arc::new(CacheStats::default()));
 
-    let computed: Vec<ProgramReport> = uniques
-        .par_iter()
-        .map(|&i| run_unit(&units[i], args.command, args.matrices))
-        .collect();
-
+    // The cache key is (sha256(source), stage fingerprint); the canonical
+    // cached report carries the content hash as its name, so the display
+    // name/origin are restored per input below. Single flight means two
+    // workers hitting the same source concurrently still compute once.
     let reports = units
-        .iter()
-        .zip(&keys)
-        .map(|(u, &k)| {
-            let mut r = computed[k].clone();
+        .par_iter()
+        .map(|u| {
+            let (_, canonical, _) = cached_stage_report(&cache, stage, args.matrices, &u.source);
+            let mut r = (*canonical).clone();
             r.name.clone_from(&u.name);
             r.origin = u.origin;
             r
         })
         .collect();
-    (reports, uniques.len())
+    let computed = cache.stats().get(&cache.stats().misses) as usize;
+    (reports, computed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::args::{Args, Command};
+    use adds_serve::pipeline::{run_unit, Stage};
 
     #[test]
     fn all_collects_whole_corpus_in_order() {
@@ -170,8 +162,8 @@ mod tests {
         let mut renamed = reports[0].clone();
         renamed.name = "b.il".into();
         assert_eq!(renamed.to_json().pretty(), reports[1].to_json().pretty());
-        // And memoized output equals the unmemoized single-unit run.
-        let direct = run_unit(&units[1], Command::Analyze, false);
+        // And cached output equals the uncached single-unit run.
+        let direct = run_unit(&units[1], Stage::Analyze, false);
         assert_eq!(direct.to_json().pretty(), reports[1].to_json().pretty());
     }
 

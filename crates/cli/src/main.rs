@@ -8,20 +8,24 @@
 //! adds-cli parallelize --program barnes_hut       # emit strip-mined source
 //! adds-cli run --pes 2,4,7 --bodies 96            # §4 speedup experiment
 //! adds-cli ladder --format json                   # §2 precision ladder
+//! adds-cli serve --addr 127.0.0.1:8199 --jobs 4   # long-running HTTP server
 //! ```
+//!
+//! The report model, pipeline stages, and the content-addressed cache
+//! live in the `adds-serve` crate, shared with the server mode; this
+//! binary is argument parsing, batch fan-out, and rendering.
 //!
 //! Exit codes: 0 = success, 1 = at least one program failed its stage,
 //! 2 = usage error.
 
 mod args;
 mod batch;
-mod corpus;
-mod json;
 mod ladder;
-mod pipeline;
-mod report;
-mod runner;
 
+pub(crate) use adds_serve::{corpus, json, report};
+
+use adds_serve::runner;
+use adds_serve::server::{ServeOptions, Server};
 use args::{Command, Format, ParsedArgs};
 use json::Json;
 
@@ -82,7 +86,10 @@ fn real_main(argv: &[String]) -> i32 {
             match args.format {
                 Format::Json => {
                     let doc = Json::obj([
-                        ("schema", Json::str(schema_name(args.command))),
+                        (
+                            "schema",
+                            Json::str(args.command.stage().expect("batch command").schema()),
+                        ),
                         ("ok", Json::Bool(all_ok)),
                         (
                             "programs",
@@ -118,7 +125,14 @@ fn real_main(argv: &[String]) -> i32 {
                     return 2;
                 }
             };
-            match runner::run_workload(&name, &source, &args) {
+            let opts = runner::RunOptions {
+                pes: args.pes.clone(),
+                bodies: args.bodies,
+                steps: args.steps,
+                theta: args.theta,
+                dt: args.dt,
+            };
+            match runner::run_workload(&name, &source, &opts) {
                 Ok(r) => {
                     match args.format {
                         Format::Json => emit(&runner::to_json(&r).pretty()),
@@ -155,16 +169,37 @@ fn real_main(argv: &[String]) -> i32 {
             }
             0
         }
-    }
-}
-
-fn schema_name(command: Command) -> &'static str {
-    match command {
-        Command::Parse => "adds.parse/v1",
-        Command::Check => "adds.check/v1",
-        Command::Analyze => "adds.analyze/v2",
-        Command::Parallelize => "adds.parallelize/v2",
-        Command::Run | Command::Ladder => unreachable!("own schemas"),
+        Command::Serve => {
+            if args.all || !args.programs.is_empty() || !args.files.is_empty() {
+                emit_err(
+                    "error: `serve` takes sources over HTTP; \
+                     --all/--program/files are not supported here\n",
+                );
+                return 2;
+            }
+            let opts = ServeOptions {
+                addr: args.addr.clone(),
+                jobs: args.jobs,
+            };
+            let server = match Server::bind(&opts) {
+                Ok(s) => s,
+                Err(e) => {
+                    emit_err(&format!("error: cannot bind `{}`: {e}\n", opts.addr));
+                    return 1;
+                }
+            };
+            match server.local_addr() {
+                Ok(addr) => emit(&format!("adds-serve listening on http://{addr}\n")),
+                Err(_) => emit(&format!("adds-serve listening on {}\n", opts.addr)),
+            }
+            match server.run() {
+                Ok(()) => 0,
+                Err(e) => {
+                    emit_err(&format!("error: server failed: {e}\n"));
+                    1
+                }
+            }
+        }
     }
 }
 

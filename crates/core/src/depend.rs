@@ -192,6 +192,114 @@ impl Reason {
     pub fn contains(&self, needle: &str) -> bool {
         self.to_string().contains(needle)
     }
+
+    /// Every stable reason code, in variant declaration order. This is the
+    /// service's public vocabulary: `docs/reasons.md` documents each entry
+    /// and a test pins the two lists together so neither can drift.
+    pub const ALL_CODES: &'static [&'static str] = &[
+        "not_chase_condition",
+        "not_pointer_var",
+        "multiple_advance",
+        "non_advance_assign",
+        "cursor_assigned_in_nested",
+        "no_advance",
+        "advance_not_last",
+        "not_uniquely_forward",
+        "no_adds_decl",
+        "abstraction_broken",
+        "may_revisit",
+        "not_analyzed",
+        "ptr_field_mutated",
+        "foreign_write",
+        "unlicensed_reachable_write",
+        "field_conflict",
+        "advance_field_written",
+        "carried_scalar",
+        "carried_pointer",
+        "returns_from_loop",
+        "opaque",
+    ];
+
+    /// One sample of every variant, in declaration order (field contents
+    /// are placeholders). The match below is intentionally exhaustive
+    /// *without* a wildcard: adding a `Reason` variant fails compilation
+    /// here until the sample list — and with it [`Reason::ALL_CODES`] and
+    /// `docs/reasons.md` — is updated.
+    pub fn samples() -> Vec<Reason> {
+        let v = || "p".to_string();
+        let samples = vec![
+            Reason::NotChaseCondition,
+            Reason::NotPointerVar { var: v() },
+            Reason::MultipleAdvance { var: v() },
+            Reason::NonAdvanceAssign { var: v() },
+            Reason::CursorAssignedInNested { var: v() },
+            Reason::NoAdvance { var: v() },
+            Reason::AdvanceNotLast,
+            Reason::NotUniquelyForward {
+                record: "T".to_string(),
+                field: "next".to_string(),
+            },
+            Reason::NoAddsDecl {
+                record: "T".to_string(),
+            },
+            Reason::AbstractionBroken {
+                record: "T".to_string(),
+                field: "next".to_string(),
+            },
+            Reason::MayRevisit { var: v() },
+            Reason::NotAnalyzed,
+            Reason::PtrFieldMutated,
+            Reason::ForeignWrite {
+                root: "head".to_string(),
+                var: v(),
+            },
+            Reason::UnlicensedReachableWrite {
+                var: v(),
+                via: vec!["next".to_string()],
+            },
+            Reason::FieldConflict {
+                fields: vec!["data".to_string()],
+            },
+            Reason::AdvanceFieldWritten {
+                field: "next".to_string(),
+            },
+            Reason::CarriedScalar { var: v() },
+            Reason::CarriedPointer { var: v() },
+            Reason::ReturnsFromLoop,
+            Reason::Opaque {
+                note: "note".to_string(),
+            },
+        ];
+        // Exhaustiveness guard: every variant must appear above. A new
+        // variant makes this match non-exhaustive and the build fails,
+        // pointing the author at the sample list and ALL_CODES.
+        for s in &samples {
+            match s {
+                Reason::NotChaseCondition
+                | Reason::NotPointerVar { .. }
+                | Reason::MultipleAdvance { .. }
+                | Reason::NonAdvanceAssign { .. }
+                | Reason::CursorAssignedInNested { .. }
+                | Reason::NoAdvance { .. }
+                | Reason::AdvanceNotLast
+                | Reason::NotUniquelyForward { .. }
+                | Reason::NoAddsDecl { .. }
+                | Reason::AbstractionBroken { .. }
+                | Reason::MayRevisit { .. }
+                | Reason::NotAnalyzed
+                | Reason::PtrFieldMutated
+                | Reason::ForeignWrite { .. }
+                | Reason::UnlicensedReachableWrite { .. }
+                | Reason::FieldConflict { .. }
+                | Reason::AdvanceFieldWritten { .. }
+                | Reason::CarriedScalar { .. }
+                | Reason::CarriedPointer { .. }
+                | Reason::ReturnsFromLoop
+                | Reason::Opaque { .. } => {}
+            }
+        }
+        samples
+    }
 }
 
 impl std::fmt::Display for Reason {

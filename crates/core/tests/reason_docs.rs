@@ -1,0 +1,65 @@
+//! Pins `docs/reasons.md` to `adds_core::depend::Reason`: every variant's
+//! stable code must be documented, and the documentation must not list
+//! codes that no longer exist. Together with the exhaustive-match guard in
+//! `Reason::samples()`, a new variant cannot ship without a docs row.
+
+use adds_core::depend::Reason;
+use std::collections::BTreeSet;
+
+fn docs() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/reasons.md");
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+#[test]
+fn all_codes_matches_the_variants_exactly() {
+    let sampled: Vec<&'static str> = Reason::samples().iter().map(|r| r.code()).collect();
+    assert_eq!(
+        sampled,
+        Reason::ALL_CODES,
+        "ALL_CODES must list every variant's code in declaration order"
+    );
+    let unique: BTreeSet<_> = sampled.iter().collect();
+    assert_eq!(unique.len(), sampled.len(), "codes are distinct");
+}
+
+#[test]
+fn every_code_has_a_documented_table_row() {
+    let docs = docs();
+    for code in Reason::ALL_CODES {
+        assert!(
+            docs.contains(&format!("| `{code}` |")),
+            "docs/reasons.md is missing a table row for `{code}`"
+        );
+    }
+}
+
+#[test]
+fn docs_do_not_list_stale_codes() {
+    // Every `| `snake_case` |` row leader in the docs must be a live code.
+    let live: BTreeSet<&str> = Reason::ALL_CODES.iter().copied().collect();
+    for line in docs().lines() {
+        let Some(rest) = line.strip_prefix("| `") else {
+            continue;
+        };
+        let Some(code) = rest.split('`').next() else {
+            continue;
+        };
+        assert!(
+            live.contains(code),
+            "docs/reasons.md documents `{code}`, which is not a Reason code"
+        );
+    }
+}
+
+#[test]
+fn every_sample_renders_its_documented_message_shape() {
+    // The messages in the table are templates of the Display impl; make
+    // sure each variant still renders non-empty, distinct text.
+    let rendered: Vec<String> = Reason::samples().iter().map(|r| r.to_string()).collect();
+    for (r, text) in Reason::samples().iter().zip(&rendered) {
+        assert!(!text.is_empty(), "{} renders empty", r.code());
+    }
+    let unique: BTreeSet<_> = rendered.iter().collect();
+    assert_eq!(unique.len(), rendered.len(), "messages are distinguishable");
+}

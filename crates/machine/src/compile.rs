@@ -24,6 +24,39 @@
 //! yields NULL in the VM where the interpreter raises "unbound variable"
 //! (well-typed programs cannot observe this without contorted
 //! declaration-after-use blocks, which the corpus never contains).
+//!
+//! ## Opcode inventory
+//!
+//! The instruction set is deliberately small — five families plus the
+//! fused forms below:
+//!
+//! * **data movement** — `Const`, `Copy`, `Pes`;
+//! * **heap traffic** — `Alloc`, `Load`, `LoadIdx`, `Store`, `StoreIdx`
+//!   (offsets resolved at compile time; only indexed accesses carry a
+//!   bounds check);
+//! * **arithmetic** — `Un`, `Bin`, `BinK`, and the intrinsics `Sqrt`,
+//!   `Fabs`, `Abs`, `MinMax`, `Itor`;
+//! * **control** — `Call`, `Ret`, `RetNull`, `Jump`, `JumpIfFalse`,
+//!   `Branch` (cycle charge), `IntCheck`, the counted-loop triple
+//!   `ForEnter` / `ForHead` / `ForNext`, and the parallel-region pair
+//!   `ParFor` / `IterEnd`;
+//! * **accounting & I/O** — `Fuel` (one statement of budget), `Print`.
+//!
+//! ## Fusion inventory
+//!
+//! The peephole layer rewrites the dominant statement shapes into single
+//! opcodes. Every fused form charges cycles and burns fuel in exactly the
+//! order of the sequence it replaces (the differential suite pins this):
+//!
+//! | fused opcode | replaces | why it is hot |
+//! |---|---|---|
+//! | `FuelLoad` / `FuelCopy` / `FuelConst` | `Fuel` + `Load`/`Copy`/`Const` | statement-initial form of nearly every assignment |
+//! | `BinK`, `JumpCmpKFalse`, `FieldRmwK` | a `Const` + the literal-free form | literals appear in most conditions and updates |
+//! | `JumpCmpFalse` (with `branch`) | `Branch` + `Bin` + `JumpIfFalse` | every `while p <> NULL` / `if` head |
+//! | `FuelJump` | `Fuel` + `Jump` | loop backedges |
+//! | `FieldRmw` | `Load` + `Bin` + `Store` | `p->f = p->f op x` loop bodies |
+//! | `ForEnter`/`ForHead`/`ForNext` | head/backedge jump chains | the strip-mined `for k = lo to hi` |
+//! | `ChaseLoop` | the whole `for k { p = p->field }` loop | the strip-mined walk's positioning/block advance |
 
 use crate::value::{Layout, Layouts, Value};
 use adds_lang::adds::AddsEnv;

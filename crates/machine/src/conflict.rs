@@ -21,6 +21,33 @@
 //!
 //! The two emit the same *set* of [`Conflict`]s but in different orders
 //! (pair-major vs slot-major); compare them order-insensitively.
+//!
+//! ## `ConflictTable` invariants
+//!
+//! * **Flat-slot keying.** Cells live in one vector indexed by the heap's
+//!   flat arena slot (stable for a node's lifetime), so recording an
+//!   access is an array index — no hashing, no per-node chasing.
+//! * **Generation stamping.** [`ConflictTable::begin_region`] only bumps
+//!   the region generation; a cell whose stamp does not match is *stale by
+//!   definition* and is reset lazily on its first touch in the region.
+//!   Region entry is O(1) and cell storage is reused across regions.
+//! * **Epoch stamping.** `last_read` / `last_write` hold the last
+//!   recording iteration, so an iteration's repeated accesses to one slot
+//!   dedup with a single compare — this replaces the reference detector's
+//!   per-iteration `BTreeSet`.
+//! * **Ascending iterations.** [`ConflictTable::begin_iter`] must be
+//!   called with non-decreasing `k`: the per-slot writer/reader iteration
+//!   lists are then sorted by construction, `is_writer` can binary-search,
+//!   and emission order is deterministic.
+//! * **Inline until contended.** The first writer/reader of a slot lives
+//!   inline in the cell; spill vectors allocate only for slots genuinely
+//!   touched by several iterations, so the conflict-free fast path never
+//!   allocates.
+//! * **Slot-major emission.** [`ConflictTable::finish`] (and the strict
+//!   path [`ConflictTable::first_conflict`]) walk touched slots in
+//!   first-touch order, emitting write/write pairs then write/read pairs
+//!   per slot — the same set as the pairwise reference, in a different
+//!   (but deterministic) order.
 
 use crate::exec::Conflict;
 use crate::value::NodeId;

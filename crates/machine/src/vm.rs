@@ -13,7 +13,13 @@
 //!   [`ConflictTable`] instead of per-iteration sets and pairwise
 //!   intersection — O(total accesses + conflicts) instead of
 //!   O(iterations² · set size). Conflict *sets* equal the reference
-//!   detector's; emission order is slot-major rather than pair-major.
+//!   detector's; emission order is slot-major rather than pair-major
+//!   (see the invariants list in [`crate::conflict`]).
+//!
+//! The instruction set and the peephole-fused statement shapes the
+//! dispatch loop executes are inventoried in [`crate::compile`]'s module
+//! docs; the dispatch loop itself is one `match` per instruction with no
+//! separate decode step (instructions are already structured values).
 //!
 //! Known divergences from the interpreter, all confined to error paths:
 //! reading a local before its `var` statement executes yields NULL instead

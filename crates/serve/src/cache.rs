@@ -1,0 +1,305 @@
+//! The sharded, single-flight, content-addressed report cache.
+//!
+//! ## Key contract
+//!
+//! A cache entry is addressed by `(sha256(source bytes), config
+//! fingerprint)`. The fingerprint (see [`crate::service`]) encodes every
+//! input that can change the report besides the source itself — the stage
+//! and its schema version (`analyze/v2`), plus option flags (`+matrices`,
+//! the `run` parameters). Reports deliberately contain *no* other inputs:
+//! no timestamps, no hostnames, no request identity — so the same bytes
+//! under the same fingerprint are guaranteed a byte-identical report, and
+//! a cached answer is indistinguishable from a recompute. Display fields
+//! (program name, origin) are restored per request *after* retrieval; the
+//! cached canonical value always carries the content hash as its name.
+//!
+//! ## Single flight
+//!
+//! Concurrent requests for the same key compute the value once: the first
+//! requester inserts an in-flight marker and computes; everyone else
+//! blocks on the flight's condvar and receives the winner's `Arc`. If the
+//! computing thread panics, the flight is marked failed and waiters retry
+//! (one of them becomes the new computer), so a poisoned entry cannot
+//! wedge the cache.
+//!
+//! Entries are never evicted: the corpus of distinct sources a server sees
+//! is bounded by its clients' program set, and an entry is a few KB of
+//! rendered report. (`/v1/stats` exposes the entry count so an operator
+//! can watch it.)
+
+use crate::sha::Digest;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Number of independent shards; keys spread by the first digest byte.
+const SHARDS: usize = 16;
+
+/// How a lookup was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The value was already cached.
+    Hit,
+    /// This request computed the value.
+    Miss,
+    /// Another in-flight request computed it; this one waited.
+    Coalesced,
+}
+
+impl Outcome {
+    /// Stable lowercase name (used in the `X-Adds-Cache` response header).
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Hit => "hit",
+            Outcome::Miss => "miss",
+            Outcome::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// Monotonic cache counters, shared across caches of different value
+/// types (the server aggregates its report and run caches into one set).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Lookups answered from a completed entry.
+    pub hits: AtomicU64,
+    /// Lookups that computed the value.
+    pub misses: AtomicU64,
+    /// Lookups that waited on another request's computation.
+    pub coalesced: AtomicU64,
+    /// Computations currently running.
+    pub in_flight: AtomicU64,
+}
+
+impl CacheStats {
+    fn add(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot a counter.
+    pub fn get(&self, counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// One in-flight computation: waiters sleep on `cv` until `state` leaves
+/// `Running`.
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    cv: Condvar,
+}
+
+enum FlightState<V> {
+    Running,
+    Done(Arc<V>),
+    /// The computing thread panicked; waiters must retry.
+    Failed,
+}
+
+enum Entry<V> {
+    Ready(Arc<V>),
+    Pending(Arc<Flight<V>>),
+}
+
+type Key = (Digest, String);
+
+/// A sharded single-flight cache from `(content digest, fingerprint)` to
+/// immutable values.
+pub struct Cache<V> {
+    shards: Vec<Mutex<HashMap<Key, Entry<V>>>>,
+    stats: Arc<CacheStats>,
+}
+
+impl<V> Cache<V> {
+    /// An empty cache recording into `stats`.
+    pub fn new(stats: Arc<CacheStats>) -> Self {
+        Cache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            stats,
+        }
+    }
+
+    fn shard(&self, digest: &Digest) -> &Mutex<HashMap<Key, Entry<V>>> {
+        &self.shards[digest.0[0] as usize % SHARDS]
+    }
+
+    /// Total entries across shards (completed + in flight).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard").len())
+            .sum()
+    }
+
+    /// True when no entry has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The shared counters.
+    pub fn stats(&self) -> &Arc<CacheStats> {
+        &self.stats
+    }
+
+    /// Fetch the value for `(digest, fingerprint)`, computing it with `f`
+    /// on a miss. Concurrent calls with the same key compute once; the
+    /// others block until the winner finishes and share its `Arc`.
+    pub fn get_or_compute(
+        &self,
+        digest: Digest,
+        fingerprint: &str,
+        f: impl FnOnce() -> V,
+    ) -> (Arc<V>, Outcome) {
+        let key: Key = (digest, fingerprint.to_string());
+        loop {
+            let flight = {
+                let mut map = self.shard(&digest).lock().expect("cache shard");
+                match map.get(&key) {
+                    Some(Entry::Ready(v)) => {
+                        self.stats.add(&self.stats.hits);
+                        return (Arc::clone(v), Outcome::Hit);
+                    }
+                    Some(Entry::Pending(fl)) => Some(Arc::clone(fl)),
+                    None => {
+                        let fl = Arc::new(Flight {
+                            state: Mutex::new(FlightState::Running),
+                            cv: Condvar::new(),
+                        });
+                        map.insert(key.clone(), Entry::Pending(Arc::clone(&fl)));
+                        self.stats.add(&self.stats.misses);
+                        None
+                    }
+                }
+            };
+
+            if let Some(fl) = flight {
+                // Wait out the other request's computation.
+                let mut st = fl.state.lock().expect("flight state");
+                while matches!(*st, FlightState::Running) {
+                    st = fl.cv.wait(st).expect("flight wait");
+                }
+                match &*st {
+                    FlightState::Done(v) => {
+                        self.stats.add(&self.stats.coalesced);
+                        return (Arc::clone(v), Outcome::Coalesced);
+                    }
+                    // The computer panicked: retry from the top (this
+                    // request may become the new computer).
+                    FlightState::Failed => continue,
+                    FlightState::Running => unreachable!("loop exits on non-Running"),
+                }
+            }
+
+            // This request computes. The guard publishes failure (and
+            // removes the pending entry) if `f` panics, so waiters retry
+            // instead of hanging.
+            self.stats.add(&self.stats.in_flight);
+            let guard = FlightGuard {
+                cache: self,
+                key: &key,
+            };
+            let value = Arc::new(f());
+            self.finish(&key, FlightState::Done(Arc::clone(&value)), true);
+            std::mem::forget(guard);
+            self.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+            return (value, Outcome::Miss);
+        }
+    }
+
+    /// Look up a completed entry without computing.
+    pub fn peek(&self, digest: &Digest, fingerprint: &str) -> Option<Arc<V>> {
+        let key: Key = (*digest, fingerprint.to_string());
+        let map = self.shard(digest).lock().expect("cache shard");
+        match map.get(&key) {
+            Some(Entry::Ready(v)) => Some(Arc::clone(v)),
+            _ => None,
+        }
+    }
+
+    /// Publish a flight's terminal state and wake waiters. With
+    /// `keep: true` the entry becomes `Ready`; otherwise it is removed
+    /// (failure path).
+    fn finish(&self, key: &Key, terminal: FlightState<V>, keep: bool) {
+        let mut map = self.shard(&key.0).lock().expect("cache shard");
+        let Some(Entry::Pending(fl)) = (if keep {
+            match &terminal {
+                FlightState::Done(v) => map.insert(key.clone(), Entry::Ready(Arc::clone(v))),
+                _ => unreachable!("keep implies Done"),
+            }
+        } else {
+            map.remove(key)
+        }) else {
+            return;
+        };
+        drop(map);
+        let mut st = fl.state.lock().expect("flight state");
+        *st = terminal;
+        fl.cv.notify_all();
+    }
+}
+
+/// Removes a pending entry and fails its flight if the computing closure
+/// unwinds; defused with `mem::forget` on success.
+struct FlightGuard<'a, V> {
+    cache: &'a Cache<V>,
+    key: &'a Key,
+}
+
+impl<V> Drop for FlightGuard<'_, V> {
+    fn drop(&mut self) {
+        self.cache.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.cache.finish(self.key, FlightState::Failed, false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha::sha256;
+
+    fn cache() -> Cache<String> {
+        Cache::new(Arc::new(CacheStats::default()))
+    }
+
+    #[test]
+    fn hit_after_miss_returns_same_arc() {
+        let c = cache();
+        let d = sha256(b"source");
+        let (v1, o1) = c.get_or_compute(d, "analyze/v2", || "report".to_string());
+        let (v2, o2) = c.get_or_compute(d, "analyze/v2", || unreachable!("cached"));
+        assert_eq!(o1, Outcome::Miss);
+        assert_eq!(o2, Outcome::Hit);
+        assert!(Arc::ptr_eq(&v1, &v2));
+        assert_eq!(c.stats().get(&c.stats().hits), 1);
+        assert_eq!(c.stats().get(&c.stats().misses), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_separates_entries() {
+        let c = cache();
+        let d = sha256(b"source");
+        c.get_or_compute(d, "analyze/v2", || "a".to_string());
+        let (v, o) = c.get_or_compute(d, "parallelize/v2", || "p".to_string());
+        assert_eq!(o, Outcome::Miss);
+        assert_eq!(*v, "p");
+        assert_eq!(c.len(), 2);
+        assert!(c.peek(&d, "analyze/v2").is_some());
+        assert!(c.peek(&d, "check/v1").is_none());
+    }
+
+    #[test]
+    fn panicking_compute_does_not_wedge() {
+        let c = cache();
+        let d = sha256(b"source");
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.get_or_compute(d, "analyze/v2", || -> String { panic!("boom") })
+        }));
+        assert!(r.is_err());
+        assert_eq!(c.stats().get(&c.stats().in_flight), 0);
+        // The key is free again and computable.
+        let (v, o) = c.get_or_compute(d, "analyze/v2", || "ok".to_string());
+        assert_eq!(o, Outcome::Miss);
+        assert_eq!(*v, "ok");
+    }
+}

@@ -1,0 +1,284 @@
+//! A minimal HTTP/1.1 subset over `std::net`: enough to read one request
+//! (request line, headers, `Content-Length` body) and write one response,
+//! with hard limits on header and body size. Connections are
+//! `Connection: close` — one request per connection keeps the server a
+//! straight-line worker loop with no keep-alive bookkeeping. (curl, load
+//! balancers, and the bench client all handle this fine; revisit if a
+//! workload ever becomes connection-setup-bound.)
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted header block.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Largest accepted request body (IL sources are a few KB).
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// Decoded path, without the query string.
+    pub path: String,
+    /// Query parameters, percent-decoded, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// The request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of query parameter `key`.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read (mapped to 4xx responses).
+#[derive(Debug)]
+pub enum BadRequest {
+    /// Malformed request line or headers.
+    Malformed(String),
+    /// Header block or body over the size limits.
+    TooLarge(String),
+    /// Socket error mid-request.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for BadRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BadRequest::Malformed(m) => write!(f, "malformed request: {m}"),
+            BadRequest::TooLarge(m) => write!(f, "request too large: {m}"),
+            BadRequest::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+/// Read one request from the stream.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, BadRequest> {
+    // The head is read through a `Take` so a client streaming an endless
+    // request line (or header block) hits the cap instead of growing the
+    // line buffer without bound; the limit is raised for the body below.
+    let mut reader = BufReader::new(stream.take(MAX_HEADER_BYTES as u64));
+    let mut header_bytes = 0usize;
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(BadRequest::Io)?;
+    header_bytes += line.len();
+    let line = line.trim_end();
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        if header_bytes >= MAX_HEADER_BYTES {
+            return Err(BadRequest::TooLarge("request line".into()));
+        }
+        return Err(BadRequest::Malformed(format!("request line `{line}`")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(BadRequest::Malformed(format!("version `{version}`")));
+    }
+    let (method, target) = (method.to_string(), target.to_string());
+
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        let n = reader.read_line(&mut h).map_err(BadRequest::Io)?;
+        header_bytes += h.len();
+        if header_bytes >= MAX_HEADER_BYTES {
+            return Err(BadRequest::TooLarge("header block".into()));
+        }
+        if n == 0 {
+            return Err(BadRequest::Malformed(
+                "connection closed mid-headers".into(),
+            ));
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| BadRequest::Malformed(format!("content-length `{value}`")))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(BadRequest::TooLarge(format!(
+            "body of {content_length} bytes"
+        )));
+    }
+
+    // Allow the body through: the new limit covers the worst case where
+    // none of it was read ahead into the BufReader yet.
+    reader.get_mut().set_limit(content_length as u64);
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(BadRequest::Io)?;
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, parse_query(q)),
+        None => (target.as_str(), Vec::new()),
+    };
+    Ok(Request {
+        method,
+        path: percent_decode(path),
+        query,
+        body,
+    })
+}
+
+fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect()
+}
+
+/// Decode `%XX` escapes and `+`-as-space; invalid escapes pass through.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// A response about to be written.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra headers (name, value).
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A JSON error document `{"error": ...}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        let doc = crate::json::Json::obj([("error", crate::json::Json::str(message))]);
+        Response::json(status, doc.pretty())
+    }
+
+    /// Append a header.
+    pub fn with_header(mut self, name: &str, value: String) -> Response {
+        self.headers.push((name.to_string(), value));
+        self
+    }
+}
+
+/// Reason phrases for the statuses the server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        _ => "",
+    }
+}
+
+/// Serialize and send `resp`; the connection closes afterwards.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    for (name, value) in &resp.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_percent_and_plus() {
+        assert_eq!(percent_decode("a%2Fb+c"), "a/b c");
+        assert_eq!(percent_decode("plain"), "plain");
+        assert_eq!(percent_decode("bad%zz"), "bad%zz");
+        assert_eq!(percent_decode("trunc%2"), "trunc%2");
+    }
+
+    #[test]
+    fn parses_query_pairs() {
+        let q = parse_query("name=%2Ftmp%2Fx.il&matrices&pes=2,4");
+        assert_eq!(
+            q,
+            vec![
+                ("name".to_string(), "/tmp/x.il".to_string()),
+                ("matrices".to_string(), String::new()),
+                ("pes".to_string(), "2,4".to_string()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # adds-serve — the ADDS pipeline as a long-running service
+//!
+//! This crate turns the per-invocation CLI pipeline into an
+//! analysis-as-a-service layer, with no dependencies beyond `std` (the
+//! build environment is offline):
+//!
+//! * [`json`] / [`report`] / [`pipeline`] / [`runner`] / [`corpus`] — the
+//!   report model and stage drivers, moved here from `adds-cli` so both
+//!   the CLI and the server render the *same* byte-stable documents. A
+//!   report depends only on the source bytes and the stage options, never
+//!   on who asked.
+//! * [`sha`] — a self-contained SHA-256, the content address of every
+//!   source.
+//! * [`cache`] — a sharded, single-flight, content-hash report cache:
+//!   keyed by `(sha256(source), config fingerprint)`, concurrent identical
+//!   requests compute once and everyone else waits for the winner.
+//! * [`service`] — the cache-backed stage executor shared by the server
+//!   and the CLI batch mode, plus the config-fingerprint contract.
+//! * [`http`] — a minimal HTTP/1.1 request reader / response writer over
+//!   `std::net`.
+//! * [`server`] — the `adds-cli serve` engine: a `TcpListener` accept loop
+//!   fanned out over a fixed worker pool, routing
+//!   `POST /v1/{analyze,parallelize,run,check,parse}`,
+//!   `GET /v1/report/{sha256}`, `GET /v1/corpus[/{name}]`,
+//!   `GET /v1/stats`, and `GET /healthz`.
+//!
+//! The wire format *is* the CLI report format: `POST /v1/analyze` with a
+//! source body answers with a document byte-identical to
+//! `adds-cli analyze` on the same bytes (given the same display name), so
+//! goldens, scripts, and dashboards can consume either interchangeably.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod corpus;
+pub mod http;
+pub mod json;
+pub mod pipeline;
+pub mod report;
+pub mod runner;
+pub mod server;
+pub mod service;
+pub mod sha;

@@ -1,8 +1,7 @@
 //! Per-program pipeline stages behind the `parse`, `check`, `analyze`, and
-//! `parallelize` subcommands. Each stage builds on the previous one:
-//! analyze implies check implies parse.
+//! `parallelize` subcommands and the matching `POST /v1/*` endpoints. Each
+//! stage builds on the previous one: analyze implies check implies parse.
 
-use crate::args::Command;
 use crate::report::{
     AnalyzeReport, CheckReport, FnReport, LoopEffectsReport, LoopReport, ParseReport,
     ProgramReport, ReasonEntry, SkippedLoop, TransformDecision, TransformReport, TypeSummary,
@@ -10,6 +9,43 @@ use crate::report::{
 use adds::lang::adds::AddsFieldKind;
 use adds::lang::ast::Direction;
 use adds::lang::source::line_col;
+
+/// A report-producing pipeline stage. (The CLI's `run`/`ladder`/`serve`
+/// subcommands have their own drivers; only these four flow through
+/// [`run_unit`] and the report cache.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Parse and pretty-print, verifying the print→parse round trip.
+    Parse,
+    /// ADDS well-formedness + type check.
+    Check,
+    /// Path-matrix analysis with per-loop dependence verdicts.
+    Analyze,
+    /// Strip-mine parallelizable loops and emit transformed source.
+    Parallelize,
+}
+
+impl Stage {
+    /// The stage's lowercase name, as used in CLI commands and URL paths.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Check => "check",
+            Stage::Analyze => "analyze",
+            Stage::Parallelize => "parallelize",
+        }
+    }
+
+    /// The JSON `schema` tag of the stage's report document.
+    pub fn schema(self) -> &'static str {
+        match self {
+            Stage::Parse => "adds.parse/v1",
+            Stage::Check => "adds.check/v1",
+            Stage::Analyze => "adds.analyze/v2",
+            Stage::Parallelize => "adds.parallelize/v2",
+        }
+    }
+}
 
 /// One unit of work for the batch executor.
 #[derive(Clone, Debug)]
@@ -22,8 +58,8 @@ pub struct InputUnit {
     pub source: String,
 }
 
-/// Run the pipeline stage selected by `command` over one program.
-pub fn run_unit(unit: &InputUnit, command: Command, matrices: bool) -> ProgramReport {
+/// Run the selected pipeline `stage` over one program.
+pub fn run_unit(unit: &InputUnit, stage: Stage, matrices: bool) -> ProgramReport {
     let mut report = ProgramReport {
         name: unit.name.clone(),
         origin: unit.origin,
@@ -46,7 +82,7 @@ pub fn run_unit(unit: &InputUnit, command: Command, matrices: bool) -> ProgramRe
             )
         }
     };
-    if command == Command::Parse {
+    if stage == Stage::Parse {
         let pretty = adds::lang::pretty::program(&program);
         let roundtrip_stable = match adds::lang::parse_program(&pretty) {
             Ok(p2) => adds::lang::pretty::program(&p2) == pretty,
@@ -71,7 +107,7 @@ pub fn run_unit(unit: &InputUnit, command: Command, matrices: bool) -> ProgramRe
             )
         }
     };
-    if command == Command::Check {
+    if stage == Stage::Check {
         report.check = Some(check_report(&tp));
         return report;
     }
@@ -87,13 +123,13 @@ pub fn run_unit(unit: &InputUnit, command: Command, matrices: bool) -> ProgramRe
             )
         }
     };
-    if command == Command::Analyze {
+    if stage == Stage::Analyze {
         report.analyze = Some(analyze_report(&unit.source, &compiled, matrices));
         return report;
     }
 
     // Stage 4: the strip-mining transformation.
-    debug_assert_eq!(command, Command::Parallelize);
+    debug_assert_eq!(stage, Stage::Parallelize);
     let (prog, decisions) = adds::core::transform::stripmine::strip_mine_program(
         &compiled.tp,
         &compiled.summaries,
@@ -223,7 +259,7 @@ mod tests {
     #[test]
     fn analyze_list_scale_adds_parallelizes() {
         let u = unit("list_scale_adds", adds::lang::programs::LIST_SCALE_ADDS);
-        let r = run_unit(&u, Command::Analyze, false);
+        let r = run_unit(&u, Stage::Analyze, false);
         assert!(r.ok);
         let a = r.analyze.unwrap();
         let scale = a.functions.iter().find(|f| f.name == "scale").unwrap();
@@ -235,7 +271,7 @@ mod tests {
     #[test]
     fn analyze_plain_list_stays_sequential() {
         let u = unit("list_scale_plain", adds::lang::programs::LIST_SCALE_PLAIN);
-        let r = run_unit(&u, Command::Analyze, false);
+        let r = run_unit(&u, Stage::Analyze, false);
         assert!(r.ok);
         let a = r.analyze.unwrap();
         let scale = a.functions.iter().find(|f| f.name == "scale").unwrap();
@@ -246,7 +282,7 @@ mod tests {
     #[test]
     fn parse_reports_roundtrip() {
         let u = unit("barnes_hut", adds::lang::programs::BARNES_HUT);
-        let r = run_unit(&u, Command::Parse, false);
+        let r = run_unit(&u, Stage::Parse, false);
         assert!(r.ok);
         assert!(r.parse.unwrap().roundtrip_stable);
     }
@@ -254,7 +290,7 @@ mod tests {
     #[test]
     fn parallelize_barnes_hut_reports_decisions() {
         let u = unit("barnes_hut", adds::lang::programs::BARNES_HUT);
-        let r = run_unit(&u, Command::Parallelize, false);
+        let r = run_unit(&u, Stage::Parallelize, false);
         assert!(r.ok);
         let t = r.transform.unwrap();
         assert!(t.reparses);
@@ -269,7 +305,7 @@ mod tests {
     #[test]
     fn bad_source_fails_with_diagnostics() {
         let u = unit("broken", "type T {");
-        let r = run_unit(&u, Command::Analyze, false);
+        let r = run_unit(&u, Stage::Analyze, false);
         assert!(!r.ok);
         assert!(!r.diagnostics.is_empty());
     }
@@ -277,7 +313,7 @@ mod tests {
     #[test]
     fn matrices_flag_adds_exit_matrix() {
         let u = unit("list_scale_adds", adds::lang::programs::LIST_SCALE_ADDS);
-        let r = run_unit(&u, Command::Analyze, true);
+        let r = run_unit(&u, Stage::Analyze, true);
         let a = r.analyze.unwrap();
         assert!(a.functions[0].exit_matrix.is_some());
     }

@@ -4,13 +4,45 @@
 //! counts, speedups, conflicts, and whether the physics agrees — the §4
 //! experiment as one command.
 
-use crate::args::Args;
 use crate::json::Json;
 use adds::machine::{run_barnes_hut, uniform_cloud, CostModel};
+
+/// Parameters of a `run` workload execution. The defaults match the CLI's
+/// (`--pes 4 --bodies 64 --steps 2 --theta 0.7 --dt 0.001`), so a bare
+/// `POST /v1/run` reproduces `adds-cli run` exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunOptions {
+    /// PE counts to simulate, one parallel execution each.
+    pub pes: Vec<usize>,
+    /// Particle count.
+    pub bodies: usize,
+    /// Simulated steps.
+    pub steps: i64,
+    /// Opening angle.
+    pub theta: f64,
+    /// Time step.
+    pub dt: f64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            pes: vec![4],
+            bodies: 64,
+            steps: 2,
+            theta: 0.7,
+            dt: 0.001,
+        }
+    }
+}
 
 /// Deterministic seed for the particle cloud (same cloud every invocation,
 /// so cycle counts are reproducible).
 const CLOUD_SEED: u64 = 3;
+
+/// The `run` report's schema tag; the cache fingerprint is derived from
+/// it, so bumping the tag invalidates cached run entries automatically.
+pub const RUN_SCHEMA: &str = "adds.run/v1";
 
 /// One parallel execution's outcome.
 #[derive(Clone, Debug)]
@@ -47,7 +79,7 @@ pub struct RunReport {
 /// Execute the workload. `source` must contain the Barnes–Hut `simulate`
 /// entry procedure (the built-in `barnes_hut` program, or a file with the
 /// same shape).
-pub fn run_workload(name: &str, source: &str, args: &Args) -> Result<RunReport, String> {
+pub fn run_workload(name: &str, source: &str, args: &RunOptions) -> Result<RunReport, String> {
     let tp_seq =
         adds::lang::check_source(source).map_err(|d| format!("{name}: {}", d.render(source)))?;
     if tp_seq.program.func("simulate").is_none() {
@@ -112,7 +144,7 @@ pub fn run_workload(name: &str, source: &str, args: &Args) -> Result<RunReport, 
 /// JSON document for `run --format json`.
 pub fn to_json(r: &RunReport) -> Json {
     Json::obj([
-        ("schema", Json::str("adds.run/v1")),
+        ("schema", Json::str(RUN_SCHEMA)),
         ("program", Json::str(&r.program)),
         ("bodies", Json::Int(r.bodies as i64)),
         ("steps", Json::Int(r.steps)),
@@ -169,15 +201,14 @@ pub fn to_text(r: &RunReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::args::Args;
 
     #[test]
     fn barnes_hut_speeds_up_with_no_conflicts() {
-        let args = Args {
+        let args = RunOptions {
             bodies: 48,
             steps: 1,
             pes: vec![4],
-            ..Args::default()
+            ..RunOptions::default()
         };
         let r = run_workload("barnes_hut", adds::lang::programs::BARNES_HUT, &args).unwrap();
         assert_eq!(r.parallel.len(), 1);
@@ -189,7 +220,7 @@ mod tests {
 
     #[test]
     fn non_nbody_program_is_a_clean_error() {
-        let args = Args::default();
+        let args = RunOptions::default();
         let err = run_workload(
             "list_scale_adds",
             adds::lang::programs::LIST_SCALE_ADDS,

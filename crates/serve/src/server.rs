@@ -1,0 +1,520 @@
+//! The `adds-cli serve` engine: a `TcpListener` accept loop fanned out
+//! over a fixed worker pool, routing the `/v1` API over [`crate::http`].
+//!
+//! ## Endpoints
+//!
+//! | method + path | body | response |
+//! |---|---|---|
+//! | `POST /v1/analyze` | IL source | `adds.analyze/v2` document |
+//! | `POST /v1/parallelize` | IL source | `adds.parallelize/v2` document |
+//! | `POST /v1/check` | IL source | `adds.check/v1` document |
+//! | `POST /v1/parse` | IL source | `adds.parse/v1` document |
+//! | `POST /v1/run` | IL source | `adds.run/v1` document |
+//! | `GET /v1/report/{sha256}` | — | cached stage document or 404 |
+//! | `GET /v1/corpus` | — | built-in program list |
+//! | `GET /v1/corpus/{name}` | — | built-in program source (text) |
+//! | `GET /v1/stats` | — | `adds.serve-stats/v1` counters |
+//! | `GET /healthz` | — | `ok` |
+//!
+//! `POST` endpoints accept `?name=NAME` to set the report's display name
+//! (default: the body's sha256), `analyze` accepts `&matrices=1`, and
+//! `run` accepts `&pes=2,4&bodies=64&steps=2&theta=0.7&dt=0.001`.
+//! `GET /v1/report/{sha}` accepts `?stage=analyze|parallelize|check|parse`
+//! (default `analyze`), `&matrices=1`, and `&name=`. Responses to cacheable
+//! requests carry `X-Adds-Sha256` (the content address for later
+//! `/v1/report` fetches) and `X-Adds-Cache: hit|miss|coalesced`.
+
+use crate::corpus;
+use crate::http::{read_request, write_response, BadRequest, Request, Response};
+use crate::json::Json;
+use crate::pipeline::Stage;
+use crate::runner::RunOptions;
+use crate::service::Service;
+use crate::sha::Digest;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Bind address, e.g. `127.0.0.1:8199` (port 0 picks an ephemeral one).
+    pub addr: String,
+    /// Worker threads (0 = one per core).
+    pub jobs: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:8199".to_string(),
+            jobs: 0,
+        }
+    }
+}
+
+/// Per-endpoint request counters (monotonic, relaxed).
+#[derive(Debug, Default)]
+pub struct RequestStats {
+    /// `POST /v1/analyze`
+    pub analyze: AtomicU64,
+    /// `POST /v1/parallelize`
+    pub parallelize: AtomicU64,
+    /// `POST /v1/run`
+    pub run: AtomicU64,
+    /// `POST /v1/check`
+    pub check: AtomicU64,
+    /// `POST /v1/parse`
+    pub parse: AtomicU64,
+    /// `GET /v1/report/{sha}`
+    pub report: AtomicU64,
+    /// `GET /v1/corpus[/{name}]`
+    pub corpus: AtomicU64,
+    /// `GET /v1/stats`
+    pub stats: AtomicU64,
+    /// `GET /healthz`
+    pub healthz: AtomicU64,
+    /// Anything else (404s, bad methods, unreadable requests).
+    pub other: AtomicU64,
+}
+
+/// The shared server state: the cache-backed [`Service`] plus request
+/// counters. Routing lives here so tests can drive it without sockets.
+#[derive(Default)]
+pub struct ServerState {
+    /// The cache-backed stage/run executor.
+    pub service: Service,
+    /// Per-endpoint counters surfaced by `/v1/stats`.
+    pub requests: RequestStats,
+}
+
+impl ServerState {
+    fn count(&self, c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Route one request to a response.
+    pub fn handle(&self, req: &Request) -> Response {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => {
+                self.count(&self.requests.healthz);
+                Response::text(200, "ok\n")
+            }
+            ("GET", "/v1/stats") => {
+                self.count(&self.requests.stats);
+                Response::json(200, self.stats_doc().pretty())
+            }
+            ("GET", "/v1/corpus") => {
+                self.count(&self.requests.corpus);
+                let list = Json::obj([
+                    ("schema", Json::str("adds.corpus/v1")),
+                    (
+                        "programs",
+                        Json::Arr(
+                            corpus::CORPUS
+                                .iter()
+                                .map(|e| {
+                                    Json::obj([
+                                        ("name", Json::str(e.name)),
+                                        ("about", Json::str(e.about)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]);
+                Response::json(200, list.pretty())
+            }
+            ("GET", path) if path.starts_with("/v1/corpus/") => {
+                self.count(&self.requests.corpus);
+                let name = &path["/v1/corpus/".len()..];
+                match corpus::find(name) {
+                    Some(e) => Response::text(200, e.source),
+                    None => Response::error(404, &format!("unknown corpus program `{name}`")),
+                }
+            }
+            ("GET", path) if path.starts_with("/v1/report/") => {
+                self.count(&self.requests.report);
+                self.report_lookup(&path["/v1/report/".len()..], req)
+            }
+            ("POST", "/v1/analyze") => {
+                self.count(&self.requests.analyze);
+                self.stage_request(Stage::Analyze, req)
+            }
+            ("POST", "/v1/parallelize") => {
+                self.count(&self.requests.parallelize);
+                self.stage_request(Stage::Parallelize, req)
+            }
+            ("POST", "/v1/check") => {
+                self.count(&self.requests.check);
+                self.stage_request(Stage::Check, req)
+            }
+            ("POST", "/v1/parse") => {
+                self.count(&self.requests.parse);
+                self.stage_request(Stage::Parse, req)
+            }
+            ("POST", "/v1/run") => {
+                self.count(&self.requests.run);
+                self.run_request(req)
+            }
+            (method, path) => {
+                self.count(&self.requests.other);
+                let known_path = matches!(
+                    path,
+                    "/healthz"
+                        | "/v1/stats"
+                        | "/v1/corpus"
+                        | "/v1/analyze"
+                        | "/v1/parallelize"
+                        | "/v1/check"
+                        | "/v1/parse"
+                        | "/v1/run"
+                );
+                if known_path {
+                    Response::error(405, &format!("method {method} not allowed on {path}"))
+                } else {
+                    Response::error(404, &format!("no route for {method} {path}"))
+                }
+            }
+        }
+    }
+
+    /// The `/v1/stats` document (`adds.serve-stats/v1`): cache counters
+    /// and per-endpoint request counts. No timestamps — the document is a
+    /// pure function of the counters, so tests can golden it.
+    pub fn stats_doc(&self) -> Json {
+        let cs = self.service.stats();
+        let u = |a: &AtomicU64| Json::UInt(a.load(Ordering::Relaxed));
+        Json::obj([
+            ("schema", Json::str("adds.serve-stats/v1")),
+            (
+                "cache",
+                Json::obj([
+                    ("hits", u(&cs.hits)),
+                    ("misses", u(&cs.misses)),
+                    ("coalesced", u(&cs.coalesced)),
+                    ("in_flight", u(&cs.in_flight)),
+                    ("entries", Json::UInt(self.service.entries() as u64)),
+                ]),
+            ),
+            (
+                "requests",
+                Json::obj([
+                    ("analyze", u(&self.requests.analyze)),
+                    ("parallelize", u(&self.requests.parallelize)),
+                    ("run", u(&self.requests.run)),
+                    ("check", u(&self.requests.check)),
+                    ("parse", u(&self.requests.parse)),
+                    ("report", u(&self.requests.report)),
+                    ("corpus", u(&self.requests.corpus)),
+                    ("stats", u(&self.requests.stats)),
+                    ("healthz", u(&self.requests.healthz)),
+                    ("other", u(&self.requests.other)),
+                ]),
+            ),
+        ])
+    }
+
+    fn stage_request(&self, stage: Stage, req: &Request) -> Response {
+        let Ok(source) = std::str::from_utf8(&req.body) else {
+            return Response::error(400, "body is not valid UTF-8");
+        };
+        if source.is_empty() {
+            return Response::error(400, "empty body: POST the IL source");
+        }
+        let matrices = flag(req, "matrices");
+        let (digest, report, outcome) = self.service.stage_report(stage, matrices, source);
+        let doc = Service::stage_doc(stage, &report, req.param("name"));
+        Response::json(200, doc.pretty())
+            .with_header("X-Adds-Sha256", digest.hex())
+            .with_header("X-Adds-Cache", outcome.name().to_string())
+    }
+
+    fn run_request(&self, req: &Request) -> Response {
+        let Ok(source) = std::str::from_utf8(&req.body) else {
+            return Response::error(400, "body is not valid UTF-8");
+        };
+        if source.is_empty() {
+            return Response::error(400, "empty body: POST the IL source");
+        }
+        let opts = match run_options(req) {
+            Ok(o) => o,
+            Err(msg) => return Response::error(400, &msg),
+        };
+        let (digest, result, outcome) = self.service.run_report(source, &opts);
+        let resp = match &*result {
+            Ok(report) => Response::json(200, Service::run_doc(report, req.param("name")).pretty()),
+            Err(msg) => {
+                // The cached canonical error names the program by its
+                // content hash; restore the caller's display name, same
+                // as the Ok path does.
+                let msg = match req.param("name") {
+                    Some(n) => msg.replace(&digest.hex(), n),
+                    None => msg.clone(),
+                };
+                Response::error(422, &msg)
+            }
+        };
+        resp.with_header("X-Adds-Sha256", digest.hex())
+            .with_header("X-Adds-Cache", outcome.name().to_string())
+    }
+
+    fn report_lookup(&self, hex: &str, req: &Request) -> Response {
+        let Some(digest) = Digest::parse(hex) else {
+            return Response::error(400, "report id must be a 64-char sha256 hex string");
+        };
+        let stage = match req.param("stage").unwrap_or("analyze") {
+            "analyze" => Stage::Analyze,
+            "parallelize" => Stage::Parallelize,
+            "check" => Stage::Check,
+            "parse" => Stage::Parse,
+            other => return Response::error(400, &format!("unknown stage `{other}`")),
+        };
+        let matrices = flag(req, "matrices");
+        match self.service.lookup_report(&digest, stage, matrices) {
+            Some(report) => {
+                let doc = Service::stage_doc(stage, &report, req.param("name"));
+                Response::json(200, doc.pretty())
+                    .with_header("X-Adds-Sha256", digest.hex())
+                    .with_header("X-Adds-Cache", "hit".to_string())
+            }
+            None => Response::error(
+                404,
+                &format!(
+                    "no cached {} report for {hex}; POST the source to /v1/{} first",
+                    stage.name(),
+                    stage.name()
+                ),
+            ),
+        }
+    }
+}
+
+/// A boolean query flag: present (empty), `1`, or `true`.
+fn flag(req: &Request, key: &str) -> bool {
+    matches!(req.param(key), Some("" | "1" | "true"))
+}
+
+fn run_options(req: &Request) -> Result<RunOptions, String> {
+    let mut opts = RunOptions::default();
+    if let Some(v) = req.param("pes") {
+        opts.pes = parse_usize_list(v).ok_or(format!("pes expects e.g. 2,4,7 — got `{v}`"))?;
+        if opts.pes.len() > MAX_PES_LIST || opts.pes.iter().any(|&p| p > MAX_PES) {
+            return Err(format!(
+                "pes accepts at most {MAX_PES_LIST} values of at most {MAX_PES}"
+            ));
+        }
+    }
+    if let Some(v) = req.param("bodies") {
+        opts.bodies = v
+            .parse()
+            .map_err(|_| format!("bodies expects an integer, got `{v}`"))?;
+        if opts.bodies > MAX_BODIES {
+            return Err(format!("bodies is capped at {MAX_BODIES}"));
+        }
+    }
+    if let Some(v) = req.param("steps") {
+        opts.steps = v
+            .parse()
+            .map_err(|_| format!("steps expects an integer, got `{v}`"))?;
+        if !(0..=MAX_STEPS).contains(&opts.steps) {
+            return Err(format!("steps must be between 0 and {MAX_STEPS}"));
+        }
+    }
+    if let Some(v) = req.param("theta") {
+        opts.theta = v
+            .parse()
+            .map_err(|_| format!("theta expects a number, got `{v}`"))?;
+        if !(0.0..=MAX_THETA).contains(&opts.theta) {
+            return Err(format!("theta must be finite and in 0..={MAX_THETA}"));
+        }
+    }
+    if let Some(v) = req.param("dt") {
+        opts.dt = v
+            .parse()
+            .map_err(|_| format!("dt expects a number, got `{v}`"))?;
+        if !(opts.dt > 0.0 && opts.dt <= MAX_DT) {
+            return Err(format!("dt must be finite and in (0, {MAX_DT}]"));
+        }
+    }
+    Ok(opts)
+}
+
+/// `/v1/run` parameter caps: one request runs synchronously on one worker,
+/// so the knobs are bounded well past the paper's grid (N ≤ 1024, 80
+/// steps, 7 PEs) but short of tying the worker up indefinitely.
+const MAX_BODIES: usize = 16_384;
+const MAX_STEPS: i64 = 1_000;
+const MAX_PES: usize = 1_024;
+const MAX_PES_LIST: usize = 16;
+const MAX_THETA: f64 = 100.0;
+const MAX_DT: f64 = 100.0;
+
+/// Parse a comma-separated list of positive integers (`2,4,7`). Shared
+/// with the CLI's `--pes`/`--klimit` flags.
+pub fn parse_usize_list(s: &str) -> Option<Vec<usize>> {
+    let out: Option<Vec<usize>> = s.split(',').map(|p| p.trim().parse().ok()).collect();
+    out.filter(|v: &Vec<usize>| !v.is_empty() && v.iter().all(|&x| x > 0))
+}
+
+/// A bound, not-yet-serving server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    jobs: usize,
+}
+
+impl Server {
+    /// Bind `opts.addr` and prepare `opts.jobs` workers.
+    pub fn bind(opts: &ServeOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        let jobs = if opts.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            opts.jobs
+        };
+        Ok(Server {
+            listener,
+            state: Arc::new(ServerState::default()),
+            jobs,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared state (stats, service) — mainly for tests.
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Serve until the process exits: `jobs - 1` background workers plus
+    /// the calling thread, all accepting on the shared listener.
+    pub fn run(self) -> std::io::Result<()> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut workers = Vec::new();
+        for _ in 1..self.jobs {
+            workers.push(spawn_worker(&self.listener, &self.state, &stop)?);
+        }
+        worker_loop(&self.listener, &self.state, &stop);
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+
+    /// Start serving on background threads and return a handle that can
+    /// stop the server (used by tests and the bench driver).
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut workers = Vec::new();
+        for _ in 0..self.jobs {
+            workers.push(spawn_worker(&self.listener, &self.state, &stop)?);
+        }
+        Ok(ServerHandle {
+            addr,
+            state: self.state,
+            stop,
+            workers,
+        })
+    }
+}
+
+fn spawn_worker(
+    listener: &TcpListener,
+    state: &Arc<ServerState>,
+    stop: &Arc<AtomicBool>,
+) -> std::io::Result<std::thread::JoinHandle<()>> {
+    let listener = listener.try_clone()?;
+    let state = Arc::clone(state);
+    let stop = Arc::clone(stop);
+    Ok(std::thread::spawn(move || {
+        worker_loop(&listener, &state, &stop)
+    }))
+}
+
+/// Per-connection socket timeout: a worker blocked on a silent client
+/// gets its thread back instead of being parked forever (which would let
+/// `jobs` idle connections freeze the whole fixed pool).
+const SOCKET_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
+fn worker_loop(listener: &TcpListener, state: &ServerState, stop: &AtomicBool) {
+    loop {
+        let conn = listener.accept();
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok((mut conn, _)) = conn else {
+            // Accept can fail persistently (e.g. EMFILE under fd
+            // exhaustion); back off instead of spinning the core.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            continue;
+        };
+        handle_connection(&mut conn, state);
+    }
+}
+
+/// Read one request, route it, write one response. Socket errors are
+/// dropped: the client has gone away and the exit code of a server is not
+/// the place to report that.
+fn handle_connection(conn: &mut TcpStream, state: &ServerState) {
+    let _ = conn.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = conn.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let resp = match read_request(conn) {
+        Ok(req) => state.handle(&req),
+        Err(e) => {
+            state.requests.other.fetch_add(1, Ordering::Relaxed);
+            let status = match &e {
+                BadRequest::TooLarge(_) => 413,
+                _ => 400,
+            };
+            Response::error(status, &e.to_string())
+        }
+    };
+    let _ = write_response(conn, &resp);
+}
+
+/// A running server; dropping it (or calling [`ServerHandle::stop`])
+/// shuts the workers down.
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    state: Arc<ServerState>,
+    stop: Arc<AtomicBool>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (stats, service).
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Stop the workers: set the flag, then poke the listener once per
+    /// worker so blocked `accept`s wake up and observe it.
+    pub fn stop(self) {
+        // Shutdown lives in Drop so that both explicit stops and scope
+        // exits go through the same sequence.
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! A self-contained SHA-256 (FIPS 180-4), used as the content address of
+//! cached analysis reports.
+//!
+//! The build environment is offline, so the workspace cannot pull a hash
+//! crate; this is the textbook single-block-at-a-time implementation —
+//! plenty for hashing request bodies, and pinned against the NIST test
+//! vectors below.
+
+/// A SHA-256 digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// Lowercase hex rendering (the form used in URLs and cache keys).
+    pub fn hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            s.push(HEX[(b >> 4) as usize]);
+            s.push(HEX[(b & 0xf) as usize]);
+        }
+        s
+    }
+
+    /// Parse a 64-char lowercase/uppercase hex string.
+    pub fn parse(s: &str) -> Option<Digest> {
+        if s.len() != 64 || !s.is_ascii() {
+            return None;
+        }
+        let bytes = s.as_bytes();
+        let mut out = [0u8; 32];
+        for (i, o) in out.iter_mut().enumerate() {
+            let hi = (bytes[2 * i] as char).to_digit(16)?;
+            let lo = (bytes[2 * i + 1] as char).to_digit(16)?;
+            *o = ((hi << 4) | lo) as u8;
+        }
+        Some(Digest(out))
+    }
+}
+
+impl std::fmt::Debug for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Digest({})", self.hex())
+    }
+}
+
+impl std::fmt::Display for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+const HEX: [char; 16] = [
+    '0', '1', '2', '3', '4', '5', '6', '7', '8', '9', 'a', 'b', 'c', 'd', 'e', 'f',
+];
+
+/// The SHA-256 round constants (first 32 bits of the fractional parts of
+/// the cube roots of the first 64 primes).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Hash `data` in one call.
+pub fn sha256(data: &[u8]) -> Digest {
+    let mut state: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+
+    // Process full 64-byte blocks, then the padded tail: 0x80, zeros, and
+    // the bit length as a big-endian u64.
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut chunks = data.chunks_exact(64);
+    for block in &mut chunks {
+        compress(&mut state, block.try_into().expect("exact chunk"));
+    }
+    let rem = chunks.remainder();
+    let mut tail = [0u8; 128];
+    tail[..rem.len()].copy_from_slice(rem);
+    tail[rem.len()] = 0x80;
+    let tail_blocks = if rem.len() < 56 { 1 } else { 2 };
+    let end = tail_blocks * 64;
+    tail[end - 8..end].copy_from_slice(&bit_len.to_be_bytes());
+    for i in 0..tail_blocks {
+        compress(
+            &mut state,
+            tail[i * 64..(i + 1) * 64].try_into().expect("block"),
+        );
+    }
+
+    let mut out = [0u8; 32];
+    for (i, w) in state.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&w.to_be_bytes());
+    }
+    Digest(out)
+}
+
+fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    for (i, word) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes(word.try_into().expect("4 bytes"));
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nist_vectors() {
+        // FIPS 180-4 / NIST CAVP examples.
+        assert_eq!(
+            sha256(b"").hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            sha256(b"abc").hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // One million 'a's: exercises many blocks.
+        let million = vec![b'a'; 1_000_000];
+        assert_eq!(
+            sha256(&million).hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn padding_boundaries() {
+        // Lengths around the 56-byte padding split and the 64-byte block
+        // size must all round-trip through the two-block tail path.
+        for len in [0usize, 1, 55, 56, 57, 63, 64, 65, 119, 120, 127, 128] {
+            let data = vec![0x5au8; len];
+            let d = sha256(&data);
+            assert_eq!(d, sha256(&data), "deterministic at len {len}");
+            assert_eq!(Digest::parse(&d.hex()), Some(d), "hex round trip {len}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(Digest::parse("deadbeef").is_none());
+        assert!(Digest::parse(&"g".repeat(64)).is_none());
+    }
+}

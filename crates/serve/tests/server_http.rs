@@ -1,0 +1,385 @@
+//! Integration tests driving a real `adds-serve` server over TCP: routing,
+//! cache semantics (hit/miss/single-flight), byte-identity with the CLI
+//! report path, and the `/v1/stats` document shape.
+
+use adds_serve::cache::{Cache, CacheStats, Outcome};
+use adds_serve::json::Json;
+use adds_serve::pipeline::{run_unit, InputUnit, Stage};
+use adds_serve::server::{ServeOptions, Server, ServerHandle};
+use adds_serve::service::Service;
+use adds_serve::sha::sha256;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+
+fn spawn_server(jobs: usize) -> ServerHandle {
+    let opts = ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        jobs,
+    };
+    Server::bind(&opts).expect("bind").spawn().expect("spawn")
+}
+
+/// Minimal HTTP client: one request, read to EOF (the server closes).
+/// Returns (status, headers, body).
+fn http(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    conn.write_all(head.as_bytes()).expect("write head");
+    conn.write_all(body).expect("write body");
+    let mut raw = Vec::new();
+    conn.read_to_end(&mut raw).expect("read response");
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("header terminator");
+    let head = String::from_utf8_lossy(&raw[..split]).into_owned();
+    let resp_body = raw[split + 4..].to_vec();
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .expect("status line")
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers = lines
+        .filter_map(|l| l.split_once(": "))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    (status, headers, resp_body)
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+#[test]
+fn healthz_and_unknown_routes() {
+    let server = spawn_server(2);
+    let (status, _, body) = http(server.addr(), "GET", "/healthz", b"");
+    assert_eq!(status, 200);
+    assert_eq!(body, b"ok\n");
+
+    let (status, _, _) = http(server.addr(), "GET", "/nope", b"");
+    assert_eq!(status, 404);
+    let (status, _, _) = http(server.addr(), "GET", "/v1/analyze", b"");
+    assert_eq!(status, 405, "GET on a POST endpoint");
+    let (status, _, _) = http(server.addr(), "POST", "/healthz", b"");
+    assert_eq!(status, 405);
+    server.stop();
+}
+
+#[test]
+fn analyze_is_byte_identical_to_the_cli_report_path() {
+    let server = spawn_server(2);
+    let src = adds_serve::corpus::find("list_scale_adds").unwrap().source;
+
+    // What `adds-cli analyze x.il --format json` renders: the same
+    // run_unit + wrapper path the batch executor uses.
+    let unit = InputUnit {
+        name: "x.il".to_string(),
+        origin: "file",
+        source: src.to_string(),
+    };
+    let report = run_unit(&unit, Stage::Analyze, false);
+    let expected = Json::obj([
+        ("schema", Json::str(Stage::Analyze.schema())),
+        ("ok", Json::Bool(report.ok)),
+        ("programs", Json::Arr(vec![report.to_json()])),
+    ])
+    .pretty();
+
+    let (status, headers, body) = http(
+        server.addr(),
+        "POST",
+        "/v1/analyze?name=x.il",
+        src.as_bytes(),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(String::from_utf8_lossy(&body), expected, "byte-identical");
+    assert_eq!(header(&headers, "X-Adds-Cache"), Some("miss"));
+    assert_eq!(
+        header(&headers, "X-Adds-Sha256"),
+        Some(sha256(src.as_bytes()).hex().as_str())
+    );
+    server.stop();
+}
+
+#[test]
+fn repeated_request_is_served_from_cache_byte_identically() {
+    let server = spawn_server(2);
+    let src = adds_serve::corpus::find("orth_row_scale").unwrap().source;
+
+    let (s1, h1, b1) = http(server.addr(), "POST", "/v1/analyze", src.as_bytes());
+    let (s2, h2, b2) = http(server.addr(), "POST", "/v1/analyze", src.as_bytes());
+    assert_eq!((s1, s2), (200, 200));
+    assert_eq!(b1, b2, "same bytes in, byte-identical report out");
+    assert_eq!(header(&h1, "X-Adds-Cache"), Some("miss"));
+    assert_eq!(header(&h2, "X-Adds-Cache"), Some("hit"));
+
+    let state = server.state();
+    let stats = state.service.stats();
+    assert_eq!(stats.get(&stats.misses), 1, "computed once");
+    assert_eq!(stats.get(&stats.hits), 1, "second request hit");
+    server.stop();
+}
+
+#[test]
+fn report_lookup_round_trips_and_misses_cleanly() {
+    let server = spawn_server(2);
+    let src = adds_serve::corpus::find("list_sum").unwrap().source;
+    let sha = sha256(src.as_bytes()).hex();
+
+    // Not computed yet: 404 with a pointer to the POST endpoint.
+    let (status, _, body) = http(server.addr(), "GET", &format!("/v1/report/{sha}"), b"");
+    assert_eq!(status, 404);
+    assert!(String::from_utf8_lossy(&body).contains("/v1/analyze"));
+
+    let (_, _, posted) = http(server.addr(), "POST", "/v1/analyze", src.as_bytes());
+    let (status, headers, looked_up) =
+        http(server.addr(), "GET", &format!("/v1/report/{sha}"), b"");
+    assert_eq!(status, 200);
+    assert_eq!(looked_up, posted, "lookup returns the cached document");
+    assert_eq!(header(&headers, "X-Adds-Cache"), Some("hit"));
+
+    // A different stage for the same bytes is a different cache entry.
+    let (status, _, _) = http(
+        server.addr(),
+        "GET",
+        &format!("/v1/report/{sha}?stage=parallelize"),
+        b"",
+    );
+    assert_eq!(status, 404);
+
+    let (status, _, _) = http(server.addr(), "GET", "/v1/report/nothex", b"");
+    assert_eq!(status, 400);
+    server.stop();
+}
+
+#[test]
+fn corpus_endpoints_serve_the_builtin_programs() {
+    let server = spawn_server(2);
+    let (status, _, body) = http(server.addr(), "GET", "/v1/corpus", b"");
+    assert_eq!(status, 200);
+    let listing = String::from_utf8_lossy(&body).into_owned();
+    assert!(listing.contains("\"schema\": \"adds.corpus/v1\""));
+    for e in adds_serve::corpus::CORPUS {
+        assert!(listing.contains(e.name), "{} listed", e.name);
+    }
+
+    let (status, _, body) = http(server.addr(), "GET", "/v1/corpus/barnes_hut", b"");
+    assert_eq!(status, 200);
+    assert_eq!(
+        String::from_utf8_lossy(&body),
+        adds_serve::corpus::find("barnes_hut").unwrap().source
+    );
+
+    let (status, _, _) = http(server.addr(), "GET", "/v1/corpus/nope", b"");
+    assert_eq!(status, 404);
+    server.stop();
+}
+
+#[test]
+fn bad_requests_are_4xx_not_crashes() {
+    let server = spawn_server(2);
+    let (status, _, _) = http(server.addr(), "POST", "/v1/analyze", b"");
+    assert_eq!(status, 400, "empty body");
+    let (status, _, _) = http(server.addr(), "POST", "/v1/analyze", &[0xff, 0xfe]);
+    assert_eq!(status, 400, "invalid UTF-8");
+    let (status, _, _) = http(
+        server.addr(),
+        "POST",
+        "/v1/run?pes=zero",
+        b"proc main() { }",
+    );
+    assert_eq!(status, 400, "bad run params");
+
+    // A syntactically broken program is still a well-formed report
+    // (ok=false with diagnostics), matching the CLI.
+    let (status, _, body) = http(server.addr(), "POST", "/v1/analyze", b"type T {");
+    assert_eq!(status, 200);
+    let text = String::from_utf8_lossy(&body);
+    assert!(text.contains("\"ok\": false"));
+    assert!(text.contains("\"diagnostics\""));
+
+    // A checkable program without a `simulate` entry can't `run`: 422.
+    let src = adds_serve::corpus::find("list_sum").unwrap().source;
+    let (status, _, body) = http(server.addr(), "POST", "/v1/run", src.as_bytes());
+    assert_eq!(status, 422);
+    assert!(String::from_utf8_lossy(&body).contains("simulate"));
+
+    // The error message honors ?name= like the Ok path (the cached
+    // canonical error names the program by its content hash).
+    let (status, _, body) = http(
+        server.addr(),
+        "POST",
+        "/v1/run?name=mylist.il",
+        src.as_bytes(),
+    );
+    assert_eq!(status, 422);
+    let text = String::from_utf8_lossy(&body);
+    assert!(text.contains("mylist.il"), "{text}");
+    assert!(!text.contains(&sha256(src.as_bytes()).hex()), "{text}");
+
+    // Non-finite run parameters are rejected before they can poison the
+    // cache.
+    let bh = adds_serve::corpus::find("barnes_hut").unwrap().source;
+    let (status, _, _) = http(server.addr(), "POST", "/v1/run?theta=NaN", bh.as_bytes());
+    assert_eq!(status, 400, "NaN theta");
+    let (status, _, _) = http(server.addr(), "POST", "/v1/run?dt=-1", bh.as_bytes());
+    assert_eq!(status, 400, "negative dt");
+    let (status, _, _) = http(
+        server.addr(),
+        "POST",
+        "/v1/run?bodies=999999999",
+        bh.as_bytes(),
+    );
+    assert_eq!(status, 400, "absurd bodies");
+    server.stop();
+}
+
+#[test]
+fn stats_document_shape_is_golden_on_a_fresh_server() {
+    let server = spawn_server(1);
+    let (status, _, body) = http(server.addr(), "GET", "/v1/stats", b"");
+    assert_eq!(status, 200);
+    let expected = "\
+{
+  \"schema\": \"adds.serve-stats/v1\",
+  \"cache\": {
+    \"hits\": 0,
+    \"misses\": 0,
+    \"coalesced\": 0,
+    \"in_flight\": 0,
+    \"entries\": 0
+  },
+  \"requests\": {
+    \"analyze\": 0,
+    \"parallelize\": 0,
+    \"run\": 0,
+    \"check\": 0,
+    \"parse\": 0,
+    \"report\": 0,
+    \"corpus\": 0,
+    \"stats\": 1,
+    \"healthz\": 0,
+    \"other\": 0
+  }
+}
+";
+    assert_eq!(String::from_utf8_lossy(&body), expected);
+    server.stop();
+}
+
+#[test]
+fn single_flight_under_concurrent_identical_requests() {
+    // Drive the cache directly with real threads: the first caller
+    // computes (slowly), everyone else coalesces onto its flight.
+    let cache: Arc<Cache<String>> = Arc::new(Cache::new(Arc::new(CacheStats::default())));
+    let digest = sha256(b"the source");
+    const THREADS: usize = 8;
+    let start = Arc::new(Barrier::new(THREADS));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let cache = Arc::clone(&cache);
+            let start = Arc::clone(&start);
+            std::thread::spawn(move || {
+                start.wait();
+                cache.get_or_compute(digest, "analyze/v2", || {
+                    // Slow compute: give every other thread time to arrive
+                    // and park on the flight.
+                    std::thread::sleep(std::time::Duration::from_millis(150));
+                    "the report".to_string()
+                })
+            })
+        })
+        .collect();
+    let results: Vec<(Arc<String>, Outcome)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("joins"))
+        .collect();
+
+    let misses = results.iter().filter(|(_, o)| *o == Outcome::Miss).count();
+    assert_eq!(misses, 1, "exactly one computation");
+    for (v, _) in &results {
+        assert!(Arc::ptr_eq(v, &results[0].0), "everyone shares one Arc");
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.get(&stats.misses), 1);
+    assert_eq!(
+        stats.get(&stats.hits) + stats.get(&stats.coalesced),
+        (THREADS - 1) as u64
+    );
+    assert_eq!(stats.get(&stats.in_flight), 0);
+    assert_eq!(cache.len(), 1);
+}
+
+#[test]
+fn single_flight_through_the_service_computes_once() {
+    // Same property at the service level, with a real analysis as the
+    // payload: concurrent identical requests share one canonical report.
+    let svc = Arc::new(Service::new());
+    let src = adds_serve::corpus::find("barnes_hut").unwrap().source;
+    const THREADS: usize = 6;
+    let start = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let svc = Arc::clone(&svc);
+            let start = Arc::clone(&start);
+            std::thread::spawn(move || {
+                start.wait();
+                svc.stage_report(Stage::Analyze, false, src)
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("joins"))
+        .collect();
+
+    let stats = svc.stats();
+    assert_eq!(stats.get(&stats.misses), 1, "one compute across threads");
+    for (_, report, _) in &results {
+        assert!(Arc::ptr_eq(report, &results[0].1));
+    }
+    assert_eq!(svc.entries(), 1);
+}
+
+#[test]
+fn concurrent_distinct_requests_spread_over_workers() {
+    // Sanity: a multi-worker server answers interleaved distinct posts
+    // correctly (each becomes its own cache entry).
+    let server = spawn_server(4);
+    let names: Vec<&str> = adds_serve::corpus::CORPUS.iter().map(|e| e.name).collect();
+    let addr = server.addr();
+    let handles: Vec<_> = names
+        .iter()
+        .map(|&name| {
+            let src = adds_serve::corpus::find(name).unwrap().source;
+            std::thread::spawn(move || http(addr, "POST", "/v1/check", src.as_bytes()))
+        })
+        .collect();
+    for h in handles {
+        let (status, _, _) = h.join().expect("joins");
+        assert_eq!(status, 200);
+    }
+    let state = server.state();
+    let stats = state.service.stats();
+    assert_eq!(stats.get(&stats.misses), names.len() as u64);
+    assert_eq!(state.service.entries(), names.len());
+    server.stop();
+}
