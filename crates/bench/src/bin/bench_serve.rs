@@ -16,11 +16,15 @@
 //!
 //! Rows:
 //! * `healthz` — the HTTP floor: connection setup + routing, no analysis.
+//! * `healthz keepalive` — the same volley over persistent connections
+//!   (`Connection: keep-alive`): routing cost without per-request TCP
+//!   setup.
 //! * `analyze cold` — every corpus program once against an empty cache
 //!   (all misses: full parse/check/analyze per request).
 //! * `analyze warm` — repeated requests for one program (all hits: the
 //!   content-addressed cache answers without recompute).
-//! * `parallelize warm` — same, for the transform endpoint.
+//! * `analyze warm+keepalive` — warm hits over persistent connections.
+//! * `parallelize warm` — same as warm, for the transform endpoint.
 
 use adds_serve::corpus;
 use adds_serve::server::{ServeOptions, Server, ServerHandle};
@@ -41,6 +45,7 @@ fn spawn_server() -> ServerHandle {
     let opts = ServeOptions {
         addr: "127.0.0.1:0".to_string(),
         jobs: JOBS,
+        ..ServeOptions::default()
     };
     Server::bind(&opts)
         .expect("bind ephemeral port")
@@ -68,6 +73,85 @@ fn request(addr: SocketAddr, method: &str, target: &str, body: &[u8]) {
         status.starts_with('2'),
         "{method} {target} answered {status}"
     );
+}
+
+/// One request over an existing keep-alive connection; reads exactly one
+/// response framed by `Content-Length` so the socket stays reusable.
+fn request_keepalive(
+    conn: &mut std::io::BufReader<TcpStream>,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) {
+    use std::io::BufRead;
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: bench\r\nConnection: keep-alive\r\n\
+         Content-Length: {}\r\n\r\n",
+        body.len()
+    );
+    conn.get_mut().write_all(head.as_bytes()).expect("write");
+    conn.get_mut().write_all(body).expect("write body");
+    let mut status_line = String::new();
+    conn.read_line(&mut status_line).expect("status line");
+    assert!(
+        status_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap_or("???")
+            .starts_with('2'),
+        "{method} {target} answered {status_line}"
+    );
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        conn.read_line(&mut line).expect("header");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = line.split_once(": ") {
+            if k.eq_ignore_ascii_case("content-length") {
+                content_length = v.parse().expect("length");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    conn.read_exact(&mut body).expect("body");
+}
+
+/// Fan `total` identical requests over the client threads, each thread
+/// holding ONE keep-alive connection; returns wall-clock nanoseconds.
+fn volley_keepalive(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: &[u8],
+    total: usize,
+) -> u64 {
+    let body: Arc<Vec<u8>> = Arc::new(body.to_vec());
+    let target = target.to_string();
+    let method = method.to_string();
+    let t0 = std::time::Instant::now();
+    let handles: Vec<_> = (0..CLIENT_THREADS)
+        .map(|i| {
+            let n = total / CLIENT_THREADS + usize::from(i < total % CLIENT_THREADS);
+            let (method, target, body) = (method.clone(), target.clone(), Arc::clone(&body));
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                // Requests are written as head + body; disable Nagle so
+                // the body segment is not held for a delayed ACK.
+                stream.set_nodelay(true).expect("nodelay");
+                let mut conn = std::io::BufReader::new(stream);
+                for _ in 0..n {
+                    request_keepalive(&mut conn, &method, &target, &body);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    t0.elapsed().as_nanos() as u64
 }
 
 /// Fan `total` identical requests over `threads` client threads; returns
@@ -126,6 +210,22 @@ fn measure() -> Vec<Row> {
     });
     server.stop();
 
+    // The same floor over persistent connections: one socket per client
+    // thread, `Connection: keep-alive` framing.
+    let server = spawn_server();
+    let keepalive_ns = (0..REPS)
+        .map(|_| volley_keepalive(server.addr(), "GET", "/healthz", b"", HEALTHZ_REQUESTS))
+        .min()
+        .expect("reps");
+    rows.push(Row {
+        endpoint: "healthz",
+        mode: "keepalive",
+        requests: HEALTHZ_REQUESTS,
+        threads: CLIENT_THREADS,
+        total_ns: keepalive_ns,
+    });
+    server.stop();
+
     // Cold: each corpus program once against an empty cache. A fresh
     // server per rep keeps every rep genuinely cold.
     let cold_ns = (0..REPS)
@@ -178,6 +278,39 @@ fn measure() -> Vec<Row> {
         });
         server.stop();
     }
+
+    // Warm hits over persistent connections: cache answer + framing, no
+    // per-request TCP setup.
+    let server = spawn_server();
+    let src = corpus::find("barnes_hut").expect("corpus").source;
+    request(server.addr(), "POST", "/v1/analyze", src.as_bytes()); // prime
+    let warm_ka_ns = (0..REPS)
+        .map(|_| {
+            volley_keepalive(
+                server.addr(),
+                "POST",
+                "/v1/analyze",
+                src.as_bytes(),
+                WARM_REQUESTS,
+            )
+        })
+        .min()
+        .expect("reps");
+    let state = server.state();
+    let stats = state.service.stats();
+    assert_eq!(
+        stats.get(&stats.misses),
+        1,
+        "keep-alive warm volley must not recompute"
+    );
+    rows.push(Row {
+        endpoint: "analyze",
+        mode: "warm+keepalive",
+        requests: WARM_REQUESTS,
+        threads: CLIENT_THREADS,
+        total_ns: warm_ka_ns,
+    });
+    server.stop();
 
     rows
 }

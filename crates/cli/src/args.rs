@@ -92,6 +92,10 @@ pub struct Args {
     pub klimits: Vec<usize>,
     /// `serve`: bind address.
     pub addr: String,
+    /// `serve`: per-cache entry bound (0 = unbounded, CLOCK eviction).
+    pub cache_cap: usize,
+    /// `serve`: emit one JSON access-log line per request on stdout.
+    pub log: bool,
 }
 
 impl Default for Args {
@@ -111,6 +115,8 @@ impl Default for Args {
             dt: 0.001,
             klimits: vec![1, 2],
             addr: "127.0.0.1:8199".to_string(),
+            cache_cap: 0,
+            log: false,
         }
     }
 }
@@ -159,6 +165,8 @@ INPUT SELECTION (parse/check/analyze/parallelize):
 OPTIONS:
     --jobs N          parallel batch/server workers (default: one per core)
     --addr HOST:PORT  serve: bind address            [default: 127.0.0.1:8199]
+    --cache-cap N     serve: bound each cache to ~N entries (0 = unbounded)
+    --log             serve: one JSON access-log line per request on stdout
     --format FMT      text | json                      [default: text]
     --matrices        include exit path matrices in analyze reports
     --pes LIST        run: comma-separated PE counts   [default: 4]
@@ -226,13 +234,14 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, UsageError> {
                     help_requested: true,
                 })
             }
-            "--all" | "--list" | "--matrices" => {
+            "--all" | "--list" | "--matrices" | "--log" => {
                 if inline.is_some() {
                     return Err(usage(format!("{flag} takes no value")));
                 }
                 match flag.as_str() {
                     "--all" => args.all = true,
                     "--list" => list = true,
+                    "--log" => args.log = true,
                     _ => args.matrices = true,
                 }
             }
@@ -242,6 +251,12 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, UsageError> {
             }
             "--addr" => {
                 args.addr = take_value("--addr", inline, &mut it)?;
+            }
+            "--cache-cap" => {
+                let v = take_value("--cache-cap", inline, &mut it)?;
+                args.cache_cap = v
+                    .parse()
+                    .map_err(|_| usage(format!("--cache-cap expects an integer, got `{v}`")))?;
             }
             "--jobs" => {
                 let v = take_value("--jobs", inline, &mut it)?;
@@ -365,12 +380,18 @@ mod tests {
 
     #[test]
     fn parses_serve_with_addr() {
-        let ParsedArgs::Run(a) = parse(&argv("serve --addr 0.0.0.0:9000 --jobs 8")).unwrap() else {
+        let ParsedArgs::Run(a) = parse(&argv(
+            "serve --addr 0.0.0.0:9000 --jobs 8 --cache-cap 4096 --log",
+        ))
+        .unwrap() else {
             panic!("expected Run");
         };
         assert_eq!(a.command, Command::Serve);
         assert_eq!(a.addr, "0.0.0.0:9000");
         assert_eq!(a.jobs, 8);
+        assert_eq!(a.cache_cap, 4096);
+        assert!(a.log);
+        assert!(parse(&argv("serve --cache-cap nope")).is_err());
         assert!(a.command.stage().is_none());
         assert_eq!(
             Command::Analyze.stage(),

@@ -1,25 +1,23 @@
 //! Input collection and the rayon-parallel batch executor.
 //!
 //! Every selected program (built-in corpus entries and user files) becomes
-//! an [`InputUnit`]; units run through the pipeline with `par_iter` on the
-//! configured worker count and results come back in input order, so output
-//! (and exit code aggregation) is deterministic regardless of `--jobs`.
+//! an [`InputUnit`]; units run through one shared analysis [`Session`]
+//! with `par_iter` on the configured worker count and results come back in
+//! input order, so output (and exit code aggregation) is deterministic
+//! regardless of `--jobs`.
 //!
-//! Reports depend only on the source bytes plus the stage fingerprint, so
-//! the batch runs through the same sharded single-flight content-hash
-//! cache (`adds_serve::cache`) the server mode uses: repeated files in a
-//! batch are computed once — even when two workers pick them up
-//! concurrently — and their reports are cloned with the per-input name
-//! restored.
+//! Reports depend only on the source bytes plus the query fingerprint, so
+//! the batch memoizes through the same demand-driven session the server
+//! mode uses: repeated files in a batch are computed once — even when two
+//! workers pick them up concurrently (single flight) — and their reports
+//! are cloned with the per-input name restored.
 
 use crate::args::Args;
 use crate::corpus;
 use crate::report::ProgramReport;
-use adds_serve::cache::{Cache, CacheStats};
 use adds_serve::pipeline::InputUnit;
-use adds_serve::service::cached_stage_report;
+use adds_serve::service::{Session, StageRequest};
 use rayon::prelude::*;
-use std::sync::Arc;
 
 /// Resolve `--all`, `--program`, and file arguments into work units.
 /// Order: corpus entries first (corpus order), then files (argument order).
@@ -68,7 +66,7 @@ pub fn collect_inputs(args: &Args) -> Result<Vec<InputUnit>, String> {
     Ok(units)
 }
 
-/// Run `units` through the pipeline in parallel on the configured pool,
+/// Run `units` through the session in parallel on the configured pool,
 /// computing each distinct source once.
 pub fn run_batch(units: &[InputUnit], args: &Args) -> Vec<ProgramReport> {
     run_batch_memo(units, args).0
@@ -83,23 +81,23 @@ pub(crate) fn run_batch_memo(units: &[InputUnit], args: &Args) -> (Vec<ProgramRe
         .expect("thread pool");
 
     let stage = args.command.stage().expect("batch command has a stage");
-    let cache: Cache<ProgramReport> = Cache::new(Arc::new(CacheStats::default()));
+    let session = Session::new();
+    let request = StageRequest {
+        stage,
+        matrices: args.matrices,
+    };
 
-    // The cache key is (sha256(source), stage fingerprint); the canonical
-    // cached report carries the content hash as its name, so the display
-    // name/origin are restored per input below. Single flight means two
-    // workers hitting the same source concurrently still compute once.
+    // The report cache key is (sha256(source), composed fingerprint); the
+    // canonical cached report carries the content hash as its name, so
+    // the display name/origin are restored per input below. Single flight
+    // means two workers hitting the same source concurrently still
+    // compute once.
     let reports = units
         .par_iter()
-        .map(|u| {
-            let (_, canonical, _) = cached_stage_report(&cache, stage, args.matrices, &u.source);
-            let mut r = (*canonical).clone();
-            r.name.clone_from(&u.name);
-            r.origin = u.origin;
-            r
-        })
+        .map(|u| session.stage(&u.source, request).named(&u.name, u.origin))
         .collect();
-    let computed = cache.stats().get(&cache.stats().misses) as usize;
+    let stats = session.stats();
+    let computed = stats.get(&stats.misses) as usize;
     (reports, computed)
 }
 

@@ -11,8 +11,9 @@
 //! adds-cli serve --addr 127.0.0.1:8199 --jobs 4   # long-running HTTP server
 //! ```
 //!
-//! The report model, pipeline stages, and the content-addressed cache
-//! live in the `adds-serve` crate, shared with the server mode; this
+//! The report model and the demand-driven, content-addressed analysis
+//! session live in the `adds-query` crate (re-exported through
+//! `adds-serve`), shared with the server mode and library consumers; this
 //! binary is argument parsing, batch fan-out, and rendering.
 //!
 //! Exit codes: 0 = success, 1 = at least one program failed its stage,
@@ -132,6 +133,8 @@ fn real_main(argv: &[String]) -> i32 {
                 theta: args.theta,
                 dt: args.dt,
             };
+            // One-shot through the query session (run_workload builds a
+            // throwaway db and restores the display name).
             match runner::run_workload(&name, &source, &opts) {
                 Ok(r) => {
                     match args.format {
@@ -180,6 +183,8 @@ fn real_main(argv: &[String]) -> i32 {
             let opts = ServeOptions {
                 addr: args.addr.clone(),
                 jobs: args.jobs,
+                cache_capacity: args.cache_cap,
+                log: args.log,
             };
             let server = match Server::bind(&opts) {
                 Ok(s) => s,
@@ -188,9 +193,12 @@ fn real_main(argv: &[String]) -> i32 {
                     return 1;
                 }
             };
+            // With --log, stdout is the JSON access-log stream (one
+            // parseable line per request) — keep the banner off it.
+            let banner: fn(&str) = if args.log { emit_err } else { emit };
             match server.local_addr() {
-                Ok(addr) => emit(&format!("adds-serve listening on http://{addr}\n")),
-                Err(_) => emit(&format!("adds-serve listening on {}\n", opts.addr)),
+                Ok(addr) => banner(&format!("adds-serve listening on http://{addr}\n")),
+                Err(_) => banner(&format!("adds-serve listening on {}\n", opts.addr)),
             }
             match server.run() {
                 Ok(()) => 0,

@@ -28,7 +28,14 @@ impl Compiled {
 
 /// Compile IL source through analysis.
 pub fn compile(src: &str) -> Result<Compiled, Diagnostics> {
-    let tp = check_source(src)?;
+    Ok(compile_typed(check_source(src)?))
+}
+
+/// Run the analysis half of [`compile`] over an already-typed program —
+/// the entry point for demand-driven callers that obtained (and cached)
+/// the `TypedProgram` separately. Total: summaries and per-function
+/// analyses cannot fail on a type-checked program.
+pub fn compile_typed(tp: TypedProgram) -> Compiled {
     let summaries = Summaries::compute(&tp);
     let mut analyses = BTreeMap::new();
     for f in &tp.program.funcs {
@@ -36,11 +43,11 @@ pub fn compile(src: &str) -> Result<Compiled, Diagnostics> {
             analyses.insert(f.name.clone(), an);
         }
     }
-    Ok(Compiled {
+    Compiled {
         tp,
         summaries,
         analyses,
-    })
+    }
 }
 
 /// Compile and strip-mine every parallelizable loop. Returns the transformed

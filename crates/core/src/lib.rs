@@ -30,7 +30,7 @@ pub mod validate;
 
 pub use analysis::{analyze_function, FnAnalysis, LoopAnalysis, State};
 pub use depend::{check_function, check_loop, ChasePattern, LoopCheck, Reason};
-pub use driver::{compile, parallelize_program, parallelize_to_source, Compiled};
+pub use driver::{compile, compile_typed, parallelize_program, parallelize_to_source, Compiled};
 pub use effects::{Access, EffectSummary, Via};
 pub use matrix::PathMatrix;
 pub use paths::{Alias, Desc, Entry};

@@ -267,6 +267,14 @@ pub(crate) struct FuncCode {
     pub(crate) code: Vec<Instr>,
 }
 
+/// Schema version of the bytecode artifact this module produces. Cached
+/// compiled programs (the query layer's `compiled(src)` artifacts) embed
+/// this token in their fingerprints, so changing the instruction set or
+/// layout rules here invalidates stale bytecode without touching the
+/// analysis layers' cache entries. Bump it whenever a change makes old
+/// artifacts semantically different from a fresh compile.
+pub const BYTECODE_SCHEMA: &str = "machine-bytecode/v1";
+
 /// A typed program lowered to slot-resolved bytecode, ready to run on any
 /// number of [`crate::vm::Vm`] instances.
 #[derive(Clone, Debug)]

@@ -39,7 +39,9 @@ pub use conflict::ConflictTable;
 pub use cost::CostModel;
 pub use exec::{Conflict, Exec, ExecStats, MachineConfig, RuntimeError};
 pub use interp::Interp;
-pub use sequent::{run_barnes_hut, run_barnes_hut_interp, uniform_cloud, BodyInit, SimRun};
+pub use sequent::{
+    run_barnes_hut, run_barnes_hut_compiled, run_barnes_hut_interp, uniform_cloud, BodyInit, SimRun,
+};
 pub use shapecheck::{ShapeReport, ShapeReportKind};
 pub use value::{Heap, Layouts, NodeId, Value};
 pub use vm::Vm;

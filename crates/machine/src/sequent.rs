@@ -128,7 +128,34 @@ pub fn run_barnes_hut(
     detect_conflicts: bool,
 ) -> Result<SimRun, RuntimeError> {
     let compiled = CompiledProgram::compile(tp);
-    let mut vm = Vm::new(&compiled, sim_config(pes, cost, detect_conflicts));
+    run_barnes_hut_compiled(
+        &compiled,
+        bodies,
+        steps,
+        theta,
+        dt,
+        pes,
+        cost,
+        detect_conflicts,
+    )
+}
+
+/// [`run_barnes_hut`] over an already-compiled program: the bytecode
+/// artifact is immutable, so one compile can back any number of VMs —
+/// different PE counts, repeated requests, cached artifacts (the query
+/// layer memoizes [`CompiledProgram`]s by source hash and runs from here).
+#[allow(clippy::too_many_arguments)]
+pub fn run_barnes_hut_compiled(
+    compiled: &CompiledProgram,
+    bodies: &[BodyInit],
+    steps: i64,
+    theta: f64,
+    dt: f64,
+    pes: usize,
+    cost: CostModel,
+    detect_conflicts: bool,
+) -> Result<SimRun, RuntimeError> {
+    let mut vm = Vm::new(compiled, sim_config(pes, cost, detect_conflicts));
     drive_sim(&mut vm, bodies, steps, theta, dt)
 }
 

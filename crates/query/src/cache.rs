@@ -1,0 +1,463 @@
+//! The sharded, single-flight, content-addressed query cache.
+//!
+//! ## Key contract
+//!
+//! A cache entry is addressed by `(sha256(source bytes), query
+//! fingerprint)`. The fingerprint (see [`crate::fingerprint`]) encodes
+//! every input that can change the value besides the source itself — the
+//! query's own schema version plus the fingerprints of the queries it
+//! depends on, plus option flags (`+matrices`, the `run` parameters).
+//! Cached values deliberately contain *no* other inputs: no timestamps, no
+//! hostnames, no request identity — so the same bytes under the same
+//! fingerprint are guaranteed a byte-identical value, and a cached answer
+//! is indistinguishable from a recompute. Display fields (program name,
+//! origin) are restored per request *after* retrieval; the cached
+//! canonical value always carries the content hash as its name.
+//!
+//! ## Single flight
+//!
+//! Concurrent requests for the same key compute the value once: the first
+//! requester inserts an in-flight marker and computes; everyone else
+//! blocks on the flight's condvar and receives the winner's `Arc`. If the
+//! computing thread panics, the flight is marked failed and waiters retry
+//! (one of them becomes the new computer), so a poisoned entry cannot
+//! wedge the cache.
+//!
+//! ## Bounded capacity (CLOCK eviction)
+//!
+//! A cache built with [`Cache::bounded`] holds at most ~`capacity`
+//! completed entries (enforced per shard, so the bound is approximate for
+//! small capacities). Eviction is second-chance CLOCK: every hit sets the
+//! entry's reference bit; when a shard is full, a clock hand sweeps its
+//! ring, clearing reference bits, and evicts the first unreferenced entry
+//! it finds. In-flight entries are never evicted. [`Cache::new`] (capacity
+//! 0) keeps the historical no-eviction behavior: the corpus of distinct
+//! sources a server sees is bounded by its clients' program set, and an
+//! entry is a few KB of rendered report. Either way `/v1/stats` exposes
+//! the entry and eviction counts so an operator can watch it.
+
+use crate::sha::Digest;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Number of independent shards; keys spread by the first digest byte.
+const SHARDS: usize = 16;
+
+/// How a lookup was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The value was already cached.
+    Hit,
+    /// This request computed the value.
+    Miss,
+    /// Another in-flight request computed it; this one waited.
+    Coalesced,
+}
+
+impl Outcome {
+    /// Stable lowercase name (used in the `X-Adds-Cache` response header).
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Hit => "hit",
+            Outcome::Miss => "miss",
+            Outcome::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// Monotonic cache counters, shared across caches of different value
+/// types (the server aggregates its report and run caches into one set).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Lookups answered from a completed entry.
+    pub hits: AtomicU64,
+    /// Lookups that computed the value.
+    pub misses: AtomicU64,
+    /// Lookups that waited on another request's computation.
+    pub coalesced: AtomicU64,
+    /// Computations currently running.
+    pub in_flight: AtomicU64,
+    /// Completed entries evicted to stay under a capacity bound.
+    pub evicted: AtomicU64,
+}
+
+impl CacheStats {
+    fn add(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot a counter.
+    pub fn get(&self, counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// One in-flight computation: waiters sleep on `cv` until `state` leaves
+/// `Running`.
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    cv: Condvar,
+}
+
+enum FlightState<V> {
+    Running,
+    Done(Arc<V>),
+    /// The computing thread panicked; waiters must retry.
+    Failed,
+}
+
+enum Entry<V> {
+    Ready {
+        value: Arc<V>,
+        /// CLOCK reference bit: set on every hit, cleared by the sweeping
+        /// hand; an unreferenced entry is the next eviction victim.
+        referenced: bool,
+    },
+    Pending(Arc<Flight<V>>),
+}
+
+type Key = (Digest, String);
+
+/// One shard: the entry map plus its CLOCK ring. The ring is lazy — it
+/// may hold keys whose entries were already removed (failed flights); the
+/// sweep discards those when it meets them.
+struct Shard<V> {
+    map: HashMap<Key, Entry<V>>,
+    ring: Vec<Key>,
+    hand: usize,
+}
+
+impl<V> Shard<V> {
+    fn new() -> Self {
+        Shard {
+            map: HashMap::new(),
+            ring: Vec::new(),
+            hand: 0,
+        }
+    }
+}
+
+/// A sharded single-flight cache from `(content digest, fingerprint)` to
+/// immutable values, optionally bounded with CLOCK eviction.
+pub struct Cache<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    /// Completed-entry bound per shard; 0 = unbounded.
+    shard_capacity: usize,
+    stats: Arc<CacheStats>,
+}
+
+impl<V> Cache<V> {
+    /// An unbounded cache recording into `stats`.
+    pub fn new(stats: Arc<CacheStats>) -> Self {
+        Cache::bounded(stats, 0)
+    }
+
+    /// A cache holding at most ~`capacity` entries (completed or in
+    /// flight; 0 = unbounded). The bound is enforced per shard —
+    /// `capacity` is split over 16 shards, rounding up — so small
+    /// capacities are approximate, and a shard whose entries are all in
+    /// flight may briefly overshoot (in-flight entries are never evicted).
+    pub fn bounded(stats: Arc<CacheStats>, capacity: usize) -> Self {
+        Cache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
+            shard_capacity: if capacity == 0 {
+                0
+            } else {
+                capacity.div_ceil(SHARDS)
+            },
+            stats,
+        }
+    }
+
+    fn shard(&self, digest: &Digest) -> &Mutex<Shard<V>> {
+        &self.shards[digest.0[0] as usize % SHARDS]
+    }
+
+    /// Total entries across shards (completed + in flight).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard").map.len())
+            .sum()
+    }
+
+    /// True when no entry has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The shared counters.
+    pub fn stats(&self) -> &Arc<CacheStats> {
+        &self.stats
+    }
+
+    /// Fetch the value for `(digest, fingerprint)`, computing it with `f`
+    /// on a miss. Concurrent calls with the same key compute once; the
+    /// others block until the winner finishes and share its `Arc`.
+    pub fn get_or_compute(
+        &self,
+        digest: Digest,
+        fingerprint: &str,
+        f: impl FnOnce() -> V,
+    ) -> (Arc<V>, Outcome) {
+        let key: Key = (digest, fingerprint.to_string());
+        loop {
+            let flight = {
+                let mut shard = self.shard(&digest).lock().expect("cache shard");
+                match shard.map.get_mut(&key) {
+                    Some(Entry::Ready { value, referenced }) => {
+                        *referenced = true;
+                        let value = Arc::clone(value);
+                        self.stats.add(&self.stats.hits);
+                        return (value, Outcome::Hit);
+                    }
+                    Some(Entry::Pending(fl)) => Some(Arc::clone(fl)),
+                    None => {
+                        if self.shard_capacity > 0 {
+                            if shard.map.len() >= self.shard_capacity {
+                                evict_one(&mut shard, &self.stats);
+                            }
+                            // The ring only feeds the eviction sweep; an
+                            // unbounded cache skips it entirely rather
+                            // than mirroring every key a second time.
+                            shard.ring.push(key.clone());
+                        }
+                        let fl = Arc::new(Flight {
+                            state: Mutex::new(FlightState::Running),
+                            cv: Condvar::new(),
+                        });
+                        shard
+                            .map
+                            .insert(key.clone(), Entry::Pending(Arc::clone(&fl)));
+                        self.stats.add(&self.stats.misses);
+                        None
+                    }
+                }
+            };
+
+            if let Some(fl) = flight {
+                // Wait out the other request's computation.
+                let mut st = fl.state.lock().expect("flight state");
+                while matches!(*st, FlightState::Running) {
+                    st = fl.cv.wait(st).expect("flight wait");
+                }
+                match &*st {
+                    FlightState::Done(v) => {
+                        self.stats.add(&self.stats.coalesced);
+                        return (Arc::clone(v), Outcome::Coalesced);
+                    }
+                    // The computer panicked: retry from the top (this
+                    // request may become the new computer).
+                    FlightState::Failed => continue,
+                    FlightState::Running => unreachable!("loop exits on non-Running"),
+                }
+            }
+
+            // This request computes. The guard publishes failure (and
+            // removes the pending entry) if `f` panics, so waiters retry
+            // instead of hanging.
+            self.stats.add(&self.stats.in_flight);
+            let guard = FlightGuard {
+                cache: self,
+                key: &key,
+            };
+            let value = Arc::new(f());
+            self.finish(&key, FlightState::Done(Arc::clone(&value)), true);
+            std::mem::forget(guard);
+            self.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+            return (value, Outcome::Miss);
+        }
+    }
+
+    /// Look up a completed entry without computing.
+    pub fn peek(&self, digest: &Digest, fingerprint: &str) -> Option<Arc<V>> {
+        let key: Key = (*digest, fingerprint.to_string());
+        let mut shard = self.shard(digest).lock().expect("cache shard");
+        match shard.map.get_mut(&key) {
+            Some(Entry::Ready { value, referenced }) => {
+                *referenced = true;
+                Some(Arc::clone(value))
+            }
+            _ => None,
+        }
+    }
+
+    /// Publish a flight's terminal state and wake waiters. With
+    /// `keep: true` the entry becomes `Ready`; otherwise it is removed
+    /// (failure path).
+    fn finish(&self, key: &Key, terminal: FlightState<V>, keep: bool) {
+        let mut shard = self.shard(&key.0).lock().expect("cache shard");
+        let Some(Entry::Pending(fl)) = (if keep {
+            match &terminal {
+                FlightState::Done(v) => shard.map.insert(
+                    key.clone(),
+                    Entry::Ready {
+                        value: Arc::clone(v),
+                        referenced: false,
+                    },
+                ),
+                _ => unreachable!("keep implies Done"),
+            }
+        } else {
+            // The ring slot goes stale; the CLOCK sweep discards it.
+            shard.map.remove(key)
+        }) else {
+            return;
+        };
+        drop(shard);
+        let mut st = fl.state.lock().expect("flight state");
+        *st = terminal;
+        fl.cv.notify_all();
+    }
+}
+
+/// Advance the CLOCK hand until an unreferenced completed entry falls
+/// out. Referenced entries get their second chance (bit cleared);
+/// in-flight entries are skipped; stale ring slots are discarded. If a
+/// full sweep finds only in-flight entries, the shard temporarily
+/// overshoots its bound rather than stalling the insert.
+fn evict_one<V>(shard: &mut Shard<V>, stats: &CacheStats) {
+    let mut steps = 0;
+    let budget = 2 * shard.ring.len() + 2;
+    while steps < budget && !shard.ring.is_empty() {
+        steps += 1;
+        if shard.hand >= shard.ring.len() {
+            shard.hand = 0;
+        }
+        let key = shard.ring[shard.hand].clone();
+        match shard.map.get_mut(&key) {
+            None => {
+                // Stale slot; drop it without advancing — the swapped-in
+                // slot is examined next.
+                shard.ring.swap_remove(shard.hand);
+            }
+            Some(Entry::Pending(_)) => shard.hand += 1,
+            Some(Entry::Ready { referenced, .. }) if *referenced => {
+                *referenced = false;
+                shard.hand += 1;
+            }
+            Some(Entry::Ready { .. }) => {
+                shard.map.remove(&key);
+                shard.ring.swap_remove(shard.hand);
+                stats.add(&stats.evicted);
+                return;
+            }
+        }
+    }
+}
+
+/// Removes a pending entry and fails its flight if the computing closure
+/// unwinds; defused with `mem::forget` on success.
+struct FlightGuard<'a, V> {
+    cache: &'a Cache<V>,
+    key: &'a Key,
+}
+
+impl<V> Drop for FlightGuard<'_, V> {
+    fn drop(&mut self) {
+        self.cache.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.cache.finish(self.key, FlightState::Failed, false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha::sha256;
+
+    fn cache() -> Cache<String> {
+        Cache::new(Arc::new(CacheStats::default()))
+    }
+
+    /// A digest landing in shard 0 with a distinguishing tail byte.
+    fn d(n: u8) -> Digest {
+        let mut bytes = [0u8; 32];
+        bytes[31] = n;
+        Digest(bytes)
+    }
+
+    #[test]
+    fn hit_after_miss_returns_same_arc() {
+        let c = cache();
+        let d = sha256(b"source");
+        let (v1, o1) = c.get_or_compute(d, "analyze/v2", || "report".to_string());
+        let (v2, o2) = c.get_or_compute(d, "analyze/v2", || unreachable!("cached"));
+        assert_eq!(o1, Outcome::Miss);
+        assert_eq!(o2, Outcome::Hit);
+        assert!(Arc::ptr_eq(&v1, &v2));
+        assert_eq!(c.stats().get(&c.stats().hits), 1);
+        assert_eq!(c.stats().get(&c.stats().misses), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_separates_entries() {
+        let c = cache();
+        let d = sha256(b"source");
+        c.get_or_compute(d, "analyze/v2", || "a".to_string());
+        let (v, o) = c.get_or_compute(d, "parallelize/v2", || "p".to_string());
+        assert_eq!(o, Outcome::Miss);
+        assert_eq!(*v, "p");
+        assert_eq!(c.len(), 2);
+        assert!(c.peek(&d, "analyze/v2").is_some());
+        assert!(c.peek(&d, "check/v1").is_none());
+    }
+
+    #[test]
+    fn panicking_compute_does_not_wedge() {
+        let c = cache();
+        let d = sha256(b"source");
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.get_or_compute(d, "analyze/v2", || -> String { panic!("boom") })
+        }));
+        assert!(r.is_err());
+        assert_eq!(c.stats().get(&c.stats().in_flight), 0);
+        // The key is free again and computable.
+        let (v, o) = c.get_or_compute(d, "analyze/v2", || "ok".to_string());
+        assert_eq!(o, Outcome::Miss);
+        assert_eq!(*v, "ok");
+    }
+
+    #[test]
+    fn bounded_cache_evicts_at_capacity() {
+        // Capacity 16 → one completed entry per shard; all keys below land
+        // in shard 0, so the shard bound is exactly 1.
+        let c: Cache<u8> = Cache::bounded(Arc::new(CacheStats::default()), 16);
+        c.get_or_compute(d(1), "q/v1", || 1);
+        assert_eq!(c.len(), 1);
+        c.get_or_compute(d(2), "q/v1", || 2);
+        assert_eq!(c.len(), 1, "inserting at capacity evicts");
+        assert_eq!(c.stats().get(&c.stats().evicted), 1);
+        assert!(c.peek(&d(1), "q/v1").is_none(), "victim gone");
+        assert!(c.peek(&d(2), "q/v1").is_some());
+        // The evicted key is recomputable.
+        let (v, o) = c.get_or_compute(d(1), "q/v1", || 11);
+        assert_eq!((*v, o), (11, Outcome::Miss));
+    }
+
+    #[test]
+    fn clock_gives_referenced_entries_a_second_chance() {
+        // Shard-0 capacity 2: insert a and b, touch a, insert c — the
+        // sweep clears a's reference bit and evicts b (unreferenced).
+        let c: Cache<u8> = Cache::bounded(Arc::new(CacheStats::default()), 32);
+        c.get_or_compute(d(1), "q/v1", || 1);
+        c.get_or_compute(d(2), "q/v1", || 2);
+        c.get_or_compute(d(1), "q/v1", || unreachable!("hit"));
+        c.get_or_compute(d(3), "q/v1", || 3);
+        assert!(c.peek(&d(1), "q/v1").is_some(), "recently used survives");
+        assert!(c.peek(&d(2), "q/v1").is_none(), "cold entry evicted");
+        assert!(c.peek(&d(3), "q/v1").is_some());
+        assert_eq!(c.stats().get(&c.stats().evicted), 1);
+    }
+
+    #[test]
+    fn capacity_zero_never_evicts() {
+        let c: Cache<u8> = Cache::new(Arc::new(CacheStats::default()));
+        for n in 0..200u32 {
+            c.get_or_compute(sha256(&n.to_le_bytes()), "q/v1", || n as u8);
+        }
+        assert_eq!(c.len(), 200);
+        assert_eq!(c.stats().get(&c.stats().evicted), 0);
+    }
+}

@@ -1,0 +1,895 @@
+//! The demand-driven **analysis database**: every pipeline layer —
+//! parse → typecheck → ADDS declarations → effect summaries → per-loop
+//! verdicts → transform → machine compile → run — is a memoized query
+//! over source bytes, individually cached under the
+//! `(sha256(source), fingerprint)` contract of [`crate::cache`].
+//!
+//! Queries pull their inputs from the queries they depend on (the
+//! dependency graph is the fingerprint composition in
+//! [`crate::fingerprint`]), so a warm `parallelize` after an `analyze`
+//! reuses the parsed AST, the typed program, and the analysis fixpoints
+//! instead of recomputing them — the per-digest compute counters
+//! ([`AnalysisDb::computes`]) make that property testable.
+//!
+//! Failed upstream computations are artifacts too: a parse error is
+//! cached once as a [`Failure`] and every downstream query of the same
+//! bytes shares it.
+
+use crate::cache::{Cache, CacheStats, Outcome};
+use crate::fingerprint::{Fingerprints, Versions};
+use crate::report::{
+    CheckReport, FnReport, LoopEffectsReport, LoopReport, ParseReport, ProgramReport, ReasonEntry,
+    SkippedLoop, TransformDecision, TransformReport, TypeSummary,
+};
+use crate::runner::{ParRun, RunOptions, RunReport, CLOUD_SEED};
+use crate::session::Stage;
+use adds_core::depend::LoopCheck;
+use adds_lang::adds::AddsFieldKind;
+use adds_lang::ast::{Direction, Program};
+use adds_lang::source::line_col;
+use adds_lang::TypedProgram;
+use adds_machine::compile::CompiledProgram;
+use adds_machine::{uniform_cloud, CostModel};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+pub use crate::sha::{sha256, Digest};
+
+/// A failed upstream computation (parse or type errors), cached and
+/// shared by every downstream query of the same bytes.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// `Diagnostics::render` output (`line:col: message`, one per line) —
+    /// exactly what stage reports carry in `diagnostics`.
+    pub rendered: Vec<String>,
+    /// `Diagnostics` `Display` output (byte offsets), used where error
+    /// strings historically embedded `{d}` rather than a render.
+    pub display: String,
+}
+
+impl Failure {
+    fn of(d: &adds_lang::Diagnostics, src: &str) -> Failure {
+        Failure {
+            rendered: vec![d.render(src)],
+            display: d.to_string(),
+        }
+    }
+
+    fn of_one(d: &adds_lang::Diagnostic, src: &str) -> Failure {
+        Failure {
+            rendered: vec![d.render(src)],
+            display: d.to_string(),
+        }
+    }
+}
+
+/// Shorthand for a cached artifact: shared, and either the value or the
+/// upstream failure.
+pub type QueryResult<T> = Arc<Result<T, Failure>>;
+
+/// The analysis fixpoint artifact: `core::compile` output (typed program,
+/// interprocedural summaries, per-function path-matrix analyses).
+pub struct Analyzed(pub adds_core::Compiled);
+
+/// Which query computed — the key of the per-digest compute counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// `parsed(src)`
+    Parsed,
+    /// `roundtrip(src)`
+    Roundtrip,
+    /// `typed(src)`
+    Typed,
+    /// `adds_decls(src)`
+    AddsDecls,
+    /// `analyzed(src)`
+    Analyzed,
+    /// `effects(src, fn)`
+    Effects,
+    /// `loop_verdict(src, fn, i)`
+    LoopVerdict,
+    /// `transformed(src)`
+    Transformed,
+    /// `compiled(src)`
+    Compiled,
+    /// `run(src, opts)`
+    Run,
+    /// `report(src, stage, opts)`
+    Report,
+}
+
+impl QueryKind {
+    /// Every query kind, in pipeline order (stats rendering).
+    pub const ALL: &'static [QueryKind] = &[
+        QueryKind::Parsed,
+        QueryKind::Roundtrip,
+        QueryKind::Typed,
+        QueryKind::AddsDecls,
+        QueryKind::Analyzed,
+        QueryKind::Effects,
+        QueryKind::LoopVerdict,
+        QueryKind::Transformed,
+        QueryKind::Compiled,
+        QueryKind::Run,
+        QueryKind::Report,
+    ];
+
+    /// Stable snake_case name (used by `/v1/stats`).
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryKind::Parsed => "parsed",
+            QueryKind::Roundtrip => "roundtrip",
+            QueryKind::Typed => "typed",
+            QueryKind::AddsDecls => "adds_decls",
+            QueryKind::Analyzed => "analyzed",
+            QueryKind::Effects => "effects",
+            QueryKind::LoopVerdict => "loop_verdicts",
+            QueryKind::Transformed => "transformed",
+            QueryKind::Compiled => "compiled",
+            QueryKind::Run => "runs",
+            QueryKind::Report => "reports",
+        }
+    }
+}
+
+/// Per-digest entries kept in the diagnostic compute map. The map exists
+/// for reuse assertions (tests, debugging); past this bound it resets
+/// rather than growing with every distinct source a long-running server
+/// ever sees. The per-kind totals (atomics) are exact regardless.
+const MAX_TRACKED_DIGESTS: usize = 65_536;
+
+/// Compute counts: exact per-kind totals on lock-free atomics (the
+/// `/v1/stats` path reads only these), plus a bounded per-`(kind,
+/// digest)` diagnostic map for reuse assertions. Computes are rare —
+/// every one is a cache miss doing real analysis work — so a mutexed map
+/// on the bump path is plenty.
+#[derive(Default)]
+struct ComputeCounters {
+    totals: [std::sync::atomic::AtomicU64; QueryKind::ALL.len()],
+    map: Mutex<HashMap<(QueryKind, Digest), u64>>,
+}
+
+impl ComputeCounters {
+    fn bump(&self, kind: QueryKind, digest: Digest) {
+        self.totals[kind as usize].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut map = self.map.lock().expect("compute counters");
+        if map.len() >= MAX_TRACKED_DIGESTS && !map.contains_key(&(kind, digest)) {
+            map.clear();
+        }
+        *map.entry((kind, digest)).or_insert(0) += 1;
+    }
+
+    fn get(&self, kind: QueryKind, digest: &Digest) -> u64 {
+        *self
+            .map
+            .lock()
+            .expect("compute counters")
+            .get(&(kind, *digest))
+            .unwrap_or(&0)
+    }
+
+    fn total(&self, kind: QueryKind) -> u64 {
+        self.totals[kind as usize].load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+/// The shared cache bank behind one or more databases (a forked database
+/// with bumped [`Versions`] reuses the same bank; see
+/// [`AnalysisDb::fork_with_versions`]).
+struct Caches {
+    artifact_stats: Arc<CacheStats>,
+    report_stats: Arc<CacheStats>,
+    counters: ComputeCounters,
+    parsed: Cache<Result<Program, Failure>>,
+    roundtrip: Cache<Result<ParseReport, Failure>>,
+    typed: Cache<Result<TypedProgram, Failure>>,
+    adds_decls: Cache<Result<CheckReport, Failure>>,
+    analyzed: Cache<Result<Analyzed, Failure>>,
+    effects: Cache<Result<Vec<LoopCheck>, Failure>>,
+    verdicts: Cache<Result<Option<LoopCheck>, Failure>>,
+    transformed: Cache<Result<TransformReport, Failure>>,
+    compiled: Cache<Result<CompiledProgram, Failure>>,
+    runs: Cache<Result<RunReport, String>>,
+    reports: Cache<ProgramReport>,
+}
+
+impl Caches {
+    fn new(capacity: usize) -> Caches {
+        let artifact_stats = Arc::new(CacheStats::default());
+        let report_stats = Arc::new(CacheStats::default());
+        fn make<V>(stats: &Arc<CacheStats>, capacity: usize) -> Cache<V> {
+            Cache::bounded(Arc::clone(stats), capacity)
+        }
+        Caches {
+            parsed: make(&artifact_stats, capacity),
+            roundtrip: make(&artifact_stats, capacity),
+            typed: make(&artifact_stats, capacity),
+            adds_decls: make(&artifact_stats, capacity),
+            analyzed: make(&artifact_stats, capacity),
+            effects: make(&artifact_stats, capacity),
+            verdicts: make(&artifact_stats, capacity),
+            transformed: make(&artifact_stats, capacity),
+            compiled: make(&artifact_stats, capacity),
+            runs: make(&report_stats, capacity),
+            reports: make(&report_stats, capacity),
+            counters: ComputeCounters::default(),
+            artifact_stats,
+            report_stats,
+        }
+    }
+}
+
+/// The demand-driven, memoized analysis database. Cheap to share
+/// (`Clone` shares the cache bank) and safe to use from many threads —
+/// every cache is sharded and single-flight.
+#[derive(Clone)]
+pub struct AnalysisDb {
+    fp: Arc<Fingerprints>,
+    caches: Arc<Caches>,
+}
+
+impl Default for AnalysisDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AnalysisDb {
+    /// An unbounded database under the default fingerprint [`Versions`].
+    pub fn new() -> AnalysisDb {
+        AnalysisDb::with_capacity(0)
+    }
+
+    /// A database whose caches hold at most ~`capacity` entries each
+    /// (0 = unbounded), evicting CLOCK-style.
+    pub fn with_capacity(capacity: usize) -> AnalysisDb {
+        AnalysisDb {
+            fp: Arc::new(Fingerprints::default()),
+            caches: Arc::new(Caches::new(capacity)),
+        }
+    }
+
+    /// A database sharing this one's caches and counters but keyed under
+    /// `versions`. Queries whose composed fingerprints are unchanged keep
+    /// hitting the shared entries; bumped layers (and everything
+    /// downstream of them) recompute under their new keys.
+    pub fn fork_with_versions(&self, versions: &Versions) -> AnalysisDb {
+        AnalysisDb {
+            fp: Arc::new(Fingerprints::new(versions)),
+            caches: Arc::clone(&self.caches),
+        }
+    }
+
+    /// The composed fingerprint table this database keys under.
+    pub fn fingerprints(&self) -> &Fingerprints {
+        &self.fp
+    }
+
+    /// Cache counters of the artifact queries (parse … compile).
+    pub fn artifact_stats(&self) -> &Arc<CacheStats> {
+        &self.caches.artifact_stats
+    }
+
+    /// Cache counters of the request-level queries (reports + runs) —
+    /// the counters `/v1/stats` has always surfaced.
+    pub fn report_stats(&self) -> &Arc<CacheStats> {
+        &self.caches.report_stats
+    }
+
+    /// Completed + in-flight entries in the request-level caches.
+    pub fn report_entries(&self) -> usize {
+        self.caches.reports.len() + self.caches.runs.len()
+    }
+
+    /// Completed + in-flight entries in the artifact caches.
+    pub fn artifact_entries(&self) -> usize {
+        let c = &self.caches;
+        c.parsed.len()
+            + c.roundtrip.len()
+            + c.typed.len()
+            + c.adds_decls.len()
+            + c.analyzed.len()
+            + c.effects.len()
+            + c.verdicts.len()
+            + c.transformed.len()
+            + c.compiled.len()
+    }
+
+    /// How many times `kind` was *computed* (not served from cache) for
+    /// the exact source bytes hashing to `digest`.
+    pub fn computes(&self, kind: QueryKind, digest: &Digest) -> u64 {
+        self.caches.counters.get(kind, digest)
+    }
+
+    /// Total computes of `kind` across all sources.
+    pub fn total_computes(&self, kind: QueryKind) -> u64 {
+        self.caches.counters.total(kind)
+    }
+
+    fn counted<V>(
+        &self,
+        cache: &Cache<V>,
+        kind: QueryKind,
+        digest: Digest,
+        fingerprint: &str,
+        f: impl FnOnce() -> V,
+    ) -> (Arc<V>, Outcome) {
+        cache.get_or_compute(digest, fingerprint, || {
+            self.caches.counters.bump(kind, digest);
+            f()
+        })
+    }
+
+    // ----------------------------------------------------- artifact queries
+
+    /// `parsed(src)`: source → AST.
+    pub fn parsed(&self, src: &str) -> QueryResult<Program> {
+        let digest = sha256(src.as_bytes());
+        self.counted(
+            &self.caches.parsed,
+            QueryKind::Parsed,
+            digest,
+            &self.fp.parsed,
+            || adds_lang::parse_program(src).map_err(|d| Failure::of_one(&d, src)),
+        )
+        .0
+    }
+
+    /// `roundtrip(src)`: pretty-print the AST and verify the
+    /// print→parse→print fixpoint (the `parse` report section).
+    pub fn roundtrip(&self, src: &str) -> QueryResult<ParseReport> {
+        let digest = sha256(src.as_bytes());
+        self.counted(
+            &self.caches.roundtrip,
+            QueryKind::Roundtrip,
+            digest,
+            &self.fp.roundtrip,
+            || {
+                let program = self.parsed(src);
+                let program = match &*program {
+                    Ok(p) => p.clone(),
+                    Err(f) => return Err(f.clone()),
+                };
+                let pretty = adds_lang::pretty::program(&program);
+                let roundtrip_stable = match adds_lang::parse_program(&pretty) {
+                    Ok(p2) => adds_lang::pretty::program(&p2) == pretty,
+                    Err(_) => false,
+                };
+                Ok(ParseReport {
+                    pretty,
+                    roundtrip_stable,
+                })
+            },
+        )
+        .0
+    }
+
+    /// `typed(src)`: ADDS resolution + type check over the parsed AST.
+    pub fn typed(&self, src: &str) -> QueryResult<TypedProgram> {
+        let digest = sha256(src.as_bytes());
+        self.counted(
+            &self.caches.typed,
+            QueryKind::Typed,
+            digest,
+            &self.fp.typed,
+            || {
+                let program = self.parsed(src);
+                let program = match &*program {
+                    Ok(p) => p.clone(),
+                    Err(f) => return Err(f.clone()),
+                };
+                adds_lang::check(program).map_err(|d| Failure::of(&d, src))
+            },
+        )
+        .0
+    }
+
+    /// `adds_decls(src)`: the resolved ADDS declaration summary (the
+    /// `check` report section).
+    pub fn adds_decls(&self, src: &str) -> QueryResult<CheckReport> {
+        let digest = sha256(src.as_bytes());
+        self.counted(
+            &self.caches.adds_decls,
+            QueryKind::AddsDecls,
+            digest,
+            &self.fp.adds_decls,
+            || match &*self.typed(src) {
+                Ok(tp) => Ok(check_report(tp)),
+                Err(f) => Err(f.clone()),
+            },
+        )
+        .0
+    }
+
+    /// `analyzed(src)`: effect summaries + path-matrix fixpoints for every
+    /// function (the `core::compile` artifact).
+    pub fn analyzed(&self, src: &str) -> QueryResult<Analyzed> {
+        let digest = sha256(src.as_bytes());
+        self.counted(
+            &self.caches.analyzed,
+            QueryKind::Analyzed,
+            digest,
+            &self.fp.analyzed,
+            || match &*self.typed(src) {
+                Ok(tp) => Ok(Analyzed(adds_core::driver::compile_typed(tp.clone()))),
+                Err(f) => Err(f.clone()),
+            },
+        )
+        .0
+    }
+
+    /// `effects(src, func)`: per-loop dependence checks (chase pattern,
+    /// verdict, reasons, composed effect summary) for one function.
+    pub fn effects(&self, src: &str, func: &str) -> QueryResult<Vec<LoopCheck>> {
+        let digest = sha256(src.as_bytes());
+        self.counted(
+            &self.caches.effects,
+            QueryKind::Effects,
+            digest,
+            &self.fp.effects(func),
+            || match &*self.analyzed(src) {
+                Ok(Analyzed(c)) => Ok(match c.analysis(func) {
+                    Some(an) => adds_core::check_function(&c.tp, &c.summaries, an, func),
+                    None => Vec::new(),
+                }),
+                Err(f) => Err(f.clone()),
+            },
+        )
+        .0
+    }
+
+    /// `loop_verdict(src, func, index)`: the verdict for the `index`-th
+    /// `while` loop of `func` in source order (`None` when out of range).
+    pub fn loop_verdict(
+        &self,
+        src: &str,
+        func: &str,
+        index: usize,
+    ) -> QueryResult<Option<LoopCheck>> {
+        let digest = sha256(src.as_bytes());
+        self.counted(
+            &self.caches.verdicts,
+            QueryKind::LoopVerdict,
+            digest,
+            &self.fp.loop_verdict(func, index),
+            || match &*self.effects(src, func) {
+                Ok(checks) => Ok(checks.get(index).cloned()),
+                Err(f) => Err(f.clone()),
+            },
+        )
+        .0
+    }
+
+    /// `transformed(src)`: strip-mine every licensed loop and prove the
+    /// emitted source re-checks (the `parallelize` report section).
+    pub fn transformed(&self, src: &str) -> QueryResult<TransformReport> {
+        let digest = sha256(src.as_bytes());
+        self.counted(
+            &self.caches.transformed,
+            QueryKind::Transformed,
+            digest,
+            &self.fp.transformed,
+            || {
+                let analyzed = self.analyzed(src);
+                let Analyzed(c) = match &*analyzed {
+                    Ok(a) => a,
+                    Err(f) => return Err(f.clone()),
+                };
+                let (prog, decisions) = adds_core::transform::stripmine::strip_mine_program(
+                    &c.tp,
+                    &c.summaries,
+                    &c.analyses,
+                );
+                let source = adds_lang::pretty::program(&prog);
+                // The re-check of the emitted source is itself a typed
+                // query — of the *transformed* bytes — so a later
+                // `compiled`/`run` over that text starts warm.
+                let reparses = self.typed(&source).is_ok();
+                let mut parallelized = Vec::new();
+                let mut skipped = Vec::new();
+                for d in &decisions {
+                    for p in &d.parallelized {
+                        parallelized.push(TransformDecision {
+                            func: d.func.name.clone(),
+                            var: p.var.clone(),
+                            field: p.field.clone(),
+                        });
+                    }
+                    for s in &d.skipped {
+                        skipped.push(SkippedLoop {
+                            func: d.func.name.clone(),
+                            line: line_col(src, s.span.start).line,
+                            reasons: crate::report::dedup_reasons(
+                                s.reasons.iter().map(ReasonEntry::of),
+                            ),
+                        });
+                    }
+                }
+                Ok(TransformReport {
+                    parallelized,
+                    skipped,
+                    source,
+                    reparses,
+                })
+            },
+        )
+        .0
+    }
+
+    /// `compiled(src)`: the typed program lowered once to slot-resolved
+    /// machine bytecode, shared by every simulation of the same bytes.
+    pub fn compiled(&self, src: &str) -> QueryResult<CompiledProgram> {
+        let digest = sha256(src.as_bytes());
+        self.counted(
+            &self.caches.compiled,
+            QueryKind::Compiled,
+            digest,
+            &self.fp.compiled,
+            || match &*self.typed(src) {
+                Ok(tp) => Ok(CompiledProgram::compile(tp)),
+                Err(f) => Err(f.clone()),
+            },
+        )
+        .0
+    }
+
+    // ------------------------------------------------ request-level queries
+
+    /// `run(src, opts)`: the §4 experiment — sequential vs strip-mined
+    /// execution on the simulated machine at each PE count — built from
+    /// the `typed`/`transformed`/`compiled` artifacts. Errors are cached
+    /// too: the same bytes produce the same error. The canonical report
+    /// (and its error strings) name the program by its content hash;
+    /// callers restore their display name.
+    pub fn run(
+        &self,
+        src: &str,
+        opts: &RunOptions,
+    ) -> (Digest, Arc<Result<RunReport, String>>, Outcome) {
+        let digest = sha256(src.as_bytes());
+        let fingerprint = self.fp.run_report(opts);
+        let opts = opts.clone();
+        let (result, outcome) = self.counted(
+            &self.caches.runs,
+            QueryKind::Run,
+            digest,
+            &fingerprint,
+            || self.run_uncached(src, &digest.hex(), &opts),
+        );
+        (digest, result, outcome)
+    }
+
+    fn run_uncached(&self, src: &str, name: &str, opts: &RunOptions) -> Result<RunReport, String> {
+        let tp_seq = self.typed(src);
+        let tp_seq = match &*tp_seq {
+            Ok(tp) => tp.clone(),
+            Err(f) => return Err(format!("{name}: {}", f.rendered.join("\n"))),
+        };
+        if tp_seq.program.func("simulate").is_none() {
+            return Err(format!(
+                "{name}: `run` needs a Barnes-Hut-shaped program with a `simulate` \
+                 procedure (try the built-in `barnes_hut`)"
+            ));
+        }
+        let transformed = self.transformed(src);
+        let transformed = match &*transformed {
+            Ok(t) => t,
+            Err(f) => return Err(format!("{name}: {}", f.rendered.join("\n"))),
+        };
+        let seq_prog = self.compiled(src);
+        let seq_prog = match &*seq_prog {
+            Ok(p) => p.clone(),
+            Err(f) => return Err(format!("{name}: {}", f.rendered.join("\n"))),
+        };
+        let par_prog = self.compiled(&transformed.source);
+        let par_prog = match &*par_prog {
+            Ok(p) => p.clone(),
+            Err(f) => {
+                return Err(format!(
+                    "{name}: transformed source fails to re-check: {}",
+                    f.display
+                ))
+            }
+        };
+
+        let bodies = uniform_cloud(opts.bodies, CLOUD_SEED);
+        let seq = adds_machine::run_barnes_hut_compiled(
+            &seq_prog,
+            &bodies,
+            opts.steps,
+            opts.theta,
+            opts.dt,
+            1,
+            CostModel::sequent(),
+            false,
+        )
+        .map_err(|e| format!("{name}: sequential run failed: {e:?}"))?;
+
+        let mut parallel = Vec::new();
+        for &pes in &opts.pes {
+            let par = adds_machine::run_barnes_hut_compiled(
+                &par_prog,
+                &bodies,
+                opts.steps,
+                opts.theta,
+                opts.dt,
+                pes,
+                CostModel::sequent(),
+                true,
+            )
+            .map_err(|e| format!("{name}: parallel run at {pes} PEs failed: {e:?}"))?;
+            let physics_matches = seq.bodies.iter().zip(&par.bodies).all(|(a, b)| {
+                (0..3).all(|d| {
+                    (a.pos[d] - b.pos[d]).abs() < 1e-9 && (a.vel[d] - b.vel[d]).abs() < 1e-9
+                })
+            });
+            parallel.push(ParRun {
+                pes,
+                cycles: par.cycles,
+                speedup: seq.cycles as f64 / par.cycles as f64,
+                conflicts: par.conflict_count,
+                parallel_rounds: par.parallel_rounds,
+                physics_matches,
+            });
+        }
+
+        Ok(RunReport {
+            program: name.to_string(),
+            bodies: opts.bodies,
+            steps: opts.steps,
+            seq_cycles: seq.cycles,
+            parallel,
+        })
+    }
+
+    /// `report(src, stage, matrices)`: the rendered stage report, exactly
+    /// as the CLI and `POST /v1/*` emit it. The canonical report carries
+    /// the content hash as its display name (origin `"file"`); callers
+    /// restore their own name/origin on the way out.
+    pub fn stage_report(
+        &self,
+        src: &str,
+        stage: Stage,
+        matrices: bool,
+    ) -> (Digest, Arc<ProgramReport>, Outcome) {
+        let digest = sha256(src.as_bytes());
+        let fingerprint = self.fp.stage_report(stage, matrices);
+        let (report, outcome) = self.counted(
+            &self.caches.reports,
+            QueryKind::Report,
+            digest,
+            &fingerprint,
+            || self.compose_report(src, &digest.hex(), stage, matrices),
+        );
+        (digest, report, outcome)
+    }
+
+    /// Look up an already-computed stage report by content hash, without
+    /// computing (`GET /v1/report/{sha256}`).
+    pub fn lookup_report(
+        &self,
+        digest: &Digest,
+        stage: Stage,
+        matrices: bool,
+    ) -> Option<Arc<ProgramReport>> {
+        self.caches
+            .reports
+            .peek(digest, &self.fp.stage_report(stage, matrices))
+    }
+
+    fn compose_report(&self, src: &str, name: &str, stage: Stage, matrices: bool) -> ProgramReport {
+        let mut report = ProgramReport {
+            name: name.to_string(),
+            origin: "file",
+            ok: true,
+            diagnostics: Vec::new(),
+            parse: None,
+            check: None,
+            analyze: None,
+            transform: None,
+        };
+        let failed =
+            |f: &Failure| ProgramReport::failed(name.to_string(), "file", f.rendered.clone());
+        match stage {
+            Stage::Parse => match &*self.roundtrip(src) {
+                Ok(p) => {
+                    report.ok = p.roundtrip_stable;
+                    report.parse = Some(p.clone());
+                }
+                Err(f) => return failed(f),
+            },
+            Stage::Check => match &*self.adds_decls(src) {
+                Ok(c) => report.check = Some(c.clone()),
+                Err(f) => return failed(f),
+            },
+            Stage::Analyze => {
+                let analyzed = self.analyzed(src);
+                let Analyzed(c) = match &*analyzed {
+                    Ok(a) => a,
+                    Err(f) => return failed(f),
+                };
+                let mut functions = Vec::new();
+                for f in &c.tp.program.funcs {
+                    let Some(an) = c.analysis(&f.name) else {
+                        continue;
+                    };
+                    let checks = self.effects(src, &f.name);
+                    let checks = checks
+                        .as_ref()
+                        .as_ref()
+                        .expect("analyzed ok implies effects ok");
+                    let loops = checks
+                        .iter()
+                        .map(|c| LoopReport {
+                            line: line_col(src, c.span.start).line,
+                            pattern: c
+                                .pattern
+                                .as_ref()
+                                .map(|p| format!("{} via {}", p.var, p.field)),
+                            parallelizable: c.parallelizable,
+                            reasons: crate::report::dedup_reasons(
+                                c.reasons.iter().map(ReasonEntry::of),
+                            ),
+                            effects: c.effects.as_ref().map(|fx| {
+                                let (writes, reads, ptr_writes, advances) =
+                                    adds_core::depend::render_effects(fx);
+                                LoopEffectsReport {
+                                    writes,
+                                    reads,
+                                    ptr_writes,
+                                    advances,
+                                }
+                            }),
+                        })
+                        .collect();
+                    functions.push(FnReport {
+                        name: f.name.clone(),
+                        loops,
+                        events: an.events.iter().map(|e| e.to_string()).collect(),
+                        exit_valid: an.exit.fully_valid(),
+                        exit_matrix: matrices
+                            .then(|| an.exit.pm.render().lines().map(String::from).collect()),
+                    });
+                }
+                report.analyze = Some(crate::report::AnalyzeReport { functions });
+            }
+            Stage::Parallelize => match &*self.transformed(src) {
+                Ok(t) => {
+                    report.ok = t.reparses;
+                    report.transform = Some(t.clone());
+                }
+                Err(f) => return failed(f),
+            },
+        }
+        report
+    }
+}
+
+fn check_report(tp: &TypedProgram) -> CheckReport {
+    let mut types = Vec::new();
+    for t in tp.program.types.iter() {
+        let Some(a) = tp.adds.get(&t.name) else {
+            continue;
+        };
+        let mut routes = Vec::new();
+        for f in &a.fields {
+            if let AddsFieldKind::Pointer {
+                target,
+                array_len,
+                route,
+            } = &f.kind
+            {
+                let arr = array_len.map(|n| format!("[{n}]")).unwrap_or_default();
+                let unique = if route.unique { "uniquely " } else { "" };
+                let dir = match route.direction {
+                    Direction::Forward => "forward",
+                    Direction::Backward => "backward",
+                    Direction::Unknown => "unknown-direction",
+                };
+                routes.push(format!(
+                    "{}{arr}: {target}* {unique}{dir} along {}",
+                    f.name, a.dims[route.dim]
+                ));
+            }
+        }
+        types.push(TypeSummary {
+            name: a.name.clone(),
+            dims: a.dims.clone(),
+            routes,
+        });
+    }
+    CheckReport {
+        types,
+        functions: tp.program.funcs.iter().map(|f| f.name.clone()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adds_lang::programs;
+
+    #[test]
+    fn queries_layer_and_memoize() {
+        let db = AnalysisDb::new();
+        let src = programs::LIST_SCALE_ADDS;
+        let digest = sha256(src.as_bytes());
+
+        let typed = db.typed(src);
+        assert!(typed.is_ok());
+        assert_eq!(db.computes(QueryKind::Parsed, &digest), 1);
+        assert_eq!(db.computes(QueryKind::Typed, &digest), 1);
+
+        // A dependent query reuses the parse/typecheck.
+        let analyzed = db.analyzed(src);
+        assert!(analyzed.is_ok());
+        assert_eq!(db.computes(QueryKind::Parsed, &digest), 1);
+        assert_eq!(db.computes(QueryKind::Typed, &digest), 1);
+        assert_eq!(db.computes(QueryKind::Analyzed, &digest), 1);
+
+        // Repeats are hits.
+        let again = db.typed(src);
+        assert!(Arc::ptr_eq(&typed, &again));
+    }
+
+    #[test]
+    fn loop_verdict_projects_effects() {
+        let db = AnalysisDb::new();
+        let src = programs::LIST_SCALE_ADDS;
+        let v = db.loop_verdict(src, "scale", 0);
+        let v = v.as_ref().as_ref().expect("checks");
+        let check = v.as_ref().expect("loop 0 exists");
+        assert!(check.parallelizable);
+        let missing = db.loop_verdict(src, "scale", 9);
+        assert!(missing.as_ref().as_ref().unwrap().is_none());
+    }
+
+    #[test]
+    fn parse_errors_are_shared_failures() {
+        let db = AnalysisDb::new();
+        let src = "type T {";
+        let digest = sha256(src.as_bytes());
+        assert!(db.typed(src).is_err());
+        assert!(db.analyzed(src).is_err());
+        assert!(db.transformed(src).is_err());
+        // One parse, every downstream layer shares the failure.
+        assert_eq!(db.computes(QueryKind::Parsed, &digest), 1);
+        let (_, report, _) = db.stage_report(src, Stage::Analyze, false);
+        assert!(!report.ok);
+        assert!(!report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn run_reuses_compiled_artifacts() {
+        let db = AnalysisDb::new();
+        let src = programs::BARNES_HUT;
+        let digest = sha256(src.as_bytes());
+        let opts = RunOptions {
+            bodies: 24,
+            steps: 1,
+            pes: vec![2],
+            ..RunOptions::default()
+        };
+        let (_, result, o1) = db.run(src, &opts);
+        assert_eq!(o1, Outcome::Miss);
+        let report = result.as_ref().as_ref().expect("runs");
+        assert_eq!(report.parallel.len(), 1);
+        assert_eq!(report.parallel[0].conflicts, 0);
+        assert!(report.parallel[0].physics_matches);
+        assert_eq!(db.computes(QueryKind::Compiled, &digest), 1);
+        // A second run with different PEs reuses every artifact.
+        let opts2 = RunOptions {
+            pes: vec![4],
+            ..opts.clone()
+        };
+        let (_, _, o2) = db.run(src, &opts2);
+        assert_eq!(o2, Outcome::Miss, "different fingerprint");
+        assert_eq!(
+            db.computes(QueryKind::Compiled, &digest),
+            1,
+            "bytecode reused"
+        );
+        assert_eq!(db.computes(QueryKind::Typed, &digest), 1);
+        assert_eq!(db.computes(QueryKind::Transformed, &digest), 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! # adds-query — the ADDS pipeline as a demand-driven session
+//!
+//! The paper's pipeline is inherently layered — parse → typecheck → ADDS
+//! declarations → effect summaries → per-loop verdicts → transform →
+//! machine compile → run — and this crate exposes it that way: as a
+//! memoized **query database** plus a typed **session** front door shared
+//! by the CLI (`adds-cli`), the HTTP server (`adds-serve`), and library
+//! consumers (`adds::api`).
+//!
+//! * [`db`] — [`db::AnalysisDb`]: each pipeline layer is a derived query
+//!   (`parsed`, `typed`, `adds_decls`, `effects`, `loop_verdict`,
+//!   `transformed`, `compiled`, `run`, plus the rendered stage reports),
+//!   individually memoized under the `(sha256(source), fingerprint)`
+//!   contract. Dependent queries pull their inputs from upstream queries,
+//!   so a warm `parallelize` after an `analyze` re-parses nothing.
+//! * [`fingerprint`] — the composed fingerprint contract: every query's
+//!   key embeds its own `layer/version` token plus the fingerprints of
+//!   its dependencies, so schema bumps self-invalidate per layer.
+//! * [`session`] — [`session::Session`] with typed request/response
+//!   structs ([`session::StageRequest`], [`session::RunRequest`]), the
+//!   document renderers, and the cache/compute counters.
+//! * [`cache`] — the sharded, single-flight, optionally bounded
+//!   (CLOCK-evicting) content-hash cache underneath every query.
+//! * [`report`] / [`json`] / [`runner`] — the byte-stable report model
+//!   shared verbatim by the CLI and the server (plus a small JSON reader
+//!   for batch requests).
+//! * [`sha`] — the self-contained SHA-256 content address.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod db;
+pub mod fingerprint;
+pub mod json;
+pub mod report;
+pub mod runner;
+pub mod session;
+pub mod sha;
+
+pub use db::{AnalysisDb, QueryKind};
+pub use session::{
+    RunOutcome, RunRequest, Session, SessionConfig, Stage, StageOutcome, StageRequest,
+};

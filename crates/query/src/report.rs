@@ -29,7 +29,7 @@ pub struct ReasonEntry {
 
 impl ReasonEntry {
     /// Build from a checker reason.
-    pub fn of(r: &adds::core::Reason) -> ReasonEntry {
+    pub fn of(r: &adds_core::Reason) -> ReasonEntry {
         ReasonEntry {
             code: r.code().to_string(),
             message: r.to_string(),

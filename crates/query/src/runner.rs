@@ -5,7 +5,6 @@
 //! experiment as one command.
 
 use crate::json::Json;
-use adds::machine::{run_barnes_hut, uniform_cloud, CostModel};
 
 /// Parameters of a `run` workload execution. The defaults match the CLI's
 /// (`--pes 4 --bodies 64 --steps 2 --theta 0.7 --dt 0.001`), so a bare
@@ -38,7 +37,7 @@ impl Default for RunOptions {
 
 /// Deterministic seed for the particle cloud (same cloud every invocation,
 /// so cycle counts are reproducible).
-const CLOUD_SEED: u64 = 3;
+pub(crate) const CLOUD_SEED: u64 = 3;
 
 /// The `run` report's schema tag; the cache fingerprint is derived from
 /// it, so bumping the tag invalidates cached run entries automatically.
@@ -76,69 +75,23 @@ pub struct RunReport {
     pub parallel: Vec<ParRun>,
 }
 
-/// Execute the workload. `source` must contain the Barnes–Hut `simulate`
-/// entry procedure (the built-in `barnes_hut` program, or a file with the
-/// same shape).
+/// Execute the workload one-shot. `source` must contain the Barnes–Hut
+/// `simulate` entry procedure (the built-in `barnes_hut` program, or a
+/// file with the same shape). This is a convenience front over the
+/// `run(src, opts)` query of a throwaway [`crate::db::AnalysisDb`] — the
+/// single implementation both the CLI and the server memoize through —
+/// with the caller's display `name` restored in the report and any error
+/// message.
 pub fn run_workload(name: &str, source: &str, args: &RunOptions) -> Result<RunReport, String> {
-    let tp_seq =
-        adds::lang::check_source(source).map_err(|d| format!("{name}: {}", d.render(source)))?;
-    if tp_seq.program.func("simulate").is_none() {
-        return Err(format!(
-            "{name}: `run` needs a Barnes-Hut-shaped program with a `simulate` \
-             procedure (try the built-in `barnes_hut`)"
-        ));
+    let (digest, result, _) = crate::db::AnalysisDb::new().run(source, args);
+    match &*result {
+        Ok(report) => {
+            let mut report = report.clone();
+            report.program = name.to_string();
+            Ok(report)
+        }
+        Err(msg) => Err(msg.replace(&digest.hex(), name)),
     }
-    let transformed = adds::core::parallelize_to_source(source)
-        .map_err(|d| format!("{name}: {}", d.render(source)))?;
-    let tp_par = adds::lang::check_source(&transformed)
-        .map_err(|d| format!("{name}: transformed source fails to re-check: {d}"))?;
-
-    let bodies = uniform_cloud(args.bodies, CLOUD_SEED);
-    let seq = run_barnes_hut(
-        &tp_seq,
-        &bodies,
-        args.steps,
-        args.theta,
-        args.dt,
-        1,
-        CostModel::sequent(),
-        false,
-    )
-    .map_err(|e| format!("{name}: sequential run failed: {e:?}"))?;
-
-    let mut parallel = Vec::new();
-    for &pes in &args.pes {
-        let par = run_barnes_hut(
-            &tp_par,
-            &bodies,
-            args.steps,
-            args.theta,
-            args.dt,
-            pes,
-            CostModel::sequent(),
-            true,
-        )
-        .map_err(|e| format!("{name}: parallel run at {pes} PEs failed: {e:?}"))?;
-        let physics_matches = seq.bodies.iter().zip(&par.bodies).all(|(a, b)| {
-            (0..3).all(|d| (a.pos[d] - b.pos[d]).abs() < 1e-9 && (a.vel[d] - b.vel[d]).abs() < 1e-9)
-        });
-        parallel.push(ParRun {
-            pes,
-            cycles: par.cycles,
-            speedup: seq.cycles as f64 / par.cycles as f64,
-            conflicts: par.conflict_count,
-            parallel_rounds: par.parallel_rounds,
-            physics_matches,
-        });
-    }
-
-    Ok(RunReport {
-        program: name.to_string(),
-        bodies: args.bodies,
-        steps: args.steps,
-        seq_cycles: seq.cycles,
-        parallel,
-    })
 }
 
 /// JSON document for `run --format json`.
@@ -210,7 +163,7 @@ mod tests {
             pes: vec![4],
             ..RunOptions::default()
         };
-        let r = run_workload("barnes_hut", adds::lang::programs::BARNES_HUT, &args).unwrap();
+        let r = run_workload("barnes_hut", adds_lang::programs::BARNES_HUT, &args).unwrap();
         assert_eq!(r.parallel.len(), 1);
         let p = &r.parallel[0];
         assert_eq!(p.conflicts, 0);
@@ -223,7 +176,7 @@ mod tests {
         let args = RunOptions::default();
         let err = run_workload(
             "list_scale_adds",
-            adds::lang::programs::LIST_SCALE_ADDS,
+            adds_lang::programs::LIST_SCALE_ADDS,
             &args,
         )
         .unwrap_err();

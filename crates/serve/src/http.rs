@@ -1,18 +1,39 @@
-//! A minimal HTTP/1.1 subset over `std::net`: enough to read one request
-//! (request line, headers, `Content-Length` body) and write one response,
-//! with hard limits on header and body size. Connections are
-//! `Connection: close` — one request per connection keeps the server a
-//! straight-line worker loop with no keep-alive bookkeeping. (curl, load
-//! balancers, and the bench client all handle this fine; revisit if a
-//! workload ever becomes connection-setup-bound.)
+//! A minimal HTTP/1.1 subset over `std::net`: enough to read requests
+//! (request line, headers, `Content-Length` body) and write responses,
+//! with hard limits on header and body size.
+//!
+//! ## Connection lifetime
+//!
+//! Connections default to `Connection: close` — one request per
+//! connection keeps simple clients (read-to-EOF scripts, the bench's
+//! close-mode volleys) working unchanged. A client that sends
+//! `Connection: keep-alive` opts into connection reuse: the server
+//! answers `Connection: keep-alive` and reads the next request off the
+//! same socket, up to a per-connection request cap
+//! ([`KEEPALIVE_MAX_REQUESTS`]) and an idle timeout
+//! ([`KEEPALIVE_IDLE_TIMEOUT`]) between requests. (This inverts the
+//! HTTP/1.1 *default* — technically 1.1 connections are persistent unless
+//! `close` is sent — deliberately: it is strictly opt-in, so every
+//! pre-keep-alive consumer keeps its read-to-EOF framing, while curl,
+//! load balancers, and the bench's keep-alive mode get reuse by asking
+//! for it.)
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
 
 /// Largest accepted header block.
 const MAX_HEADER_BYTES: usize = 16 * 1024;
-/// Largest accepted request body (IL sources are a few KB).
+/// Largest accepted request body (IL sources are a few KB; batch
+/// documents a few MB at most).
 pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// Most requests served over one keep-alive connection before the server
+/// forces a close (bounds per-connection resource pinning; clients
+/// reconnect transparently).
+pub const KEEPALIVE_MAX_REQUESTS: usize = 256;
+
+/// How long an idle keep-alive connection may sit between requests before
+/// the server drops it.
+pub const KEEPALIVE_IDLE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
 
 /// A parsed request.
 #[derive(Clone, Debug)]
@@ -25,6 +46,9 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     /// The request body (empty without a `Content-Length`).
     pub body: Vec<u8>,
+    /// The client sent `Connection: keep-alive` (see the module docs —
+    /// reuse is opt-in).
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -46,6 +70,9 @@ pub enum BadRequest {
     TooLarge(String),
     /// Socket error mid-request.
     Io(std::io::Error),
+    /// Clean close before any request byte (end of a keep-alive
+    /// conversation, or a probe); not an error to report.
+    Closed,
 }
 
 impl std::fmt::Display for BadRequest {
@@ -54,27 +81,22 @@ impl std::fmt::Display for BadRequest {
             BadRequest::Malformed(m) => write!(f, "malformed request: {m}"),
             BadRequest::TooLarge(m) => write!(f, "request too large: {m}"),
             BadRequest::Io(e) => write!(f, "io error: {e}"),
+            BadRequest::Closed => write!(f, "connection closed"),
         }
     }
 }
 
-/// Read one request from the stream.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, BadRequest> {
-    // The head is read through a `Take` so a client streaming an endless
-    // request line (or header block) hits the cap instead of growing the
-    // line buffer without bound; the limit is raised for the body below.
-    let mut reader = BufReader::new(stream.take(MAX_HEADER_BYTES as u64));
+/// Read one request off a **persistent** buffered reader. The reader must
+/// live as long as the connection: read-ahead from one request (e.g. a
+/// pipelined next request) stays buffered for the next call instead of
+/// being dropped with a per-request reader.
+pub fn read_request<R: Read>(reader: &mut BufReader<R>) -> Result<Request, BadRequest> {
     let mut header_bytes = 0usize;
-    let mut line = String::new();
-    reader.read_line(&mut line).map_err(BadRequest::Io)?;
-    header_bytes += line.len();
+    let line = read_header_line(reader, &mut header_bytes, true)?;
     let line = line.trim_end();
     let mut parts = line.split_whitespace();
     let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
-        if header_bytes >= MAX_HEADER_BYTES {
-            return Err(BadRequest::TooLarge("request line".into()));
-        }
         return Err(BadRequest::Malformed(format!("request line `{line}`")));
     };
     if !version.starts_with("HTTP/1.") {
@@ -82,41 +104,52 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, BadRequest> {
     }
     let (method, target) = (method.to_string(), target.to_string());
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
+    let mut keep_alive = false;
     loop {
-        let mut h = String::new();
-        let n = reader.read_line(&mut h).map_err(BadRequest::Io)?;
-        header_bytes += h.len();
-        if header_bytes >= MAX_HEADER_BYTES {
-            return Err(BadRequest::TooLarge("header block".into()));
-        }
-        if n == 0 {
-            return Err(BadRequest::Malformed(
-                "connection closed mid-headers".into(),
-            ));
-        }
+        let h = read_header_line(reader, &mut header_bytes, false)?;
         let h = h.trim_end();
         if h.is_empty() {
             break;
         }
         if let Some((name, value)) = h.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| BadRequest::Malformed(format!("content-length `{value}`")))?;
+                // Exactly one Content-Length: accepting duplicates
+                // (last-wins) would let a front proxy and this parser
+                // frame the same bytes differently — the CL.CL flavor of
+                // the desync the transfer-encoding rejection below closes.
+                if content_length.is_some() {
+                    return Err(BadRequest::Malformed(
+                        "duplicate content-length header".into(),
+                    ));
+                }
+                content_length = Some(
+                    value
+                        .trim()
+                        .parse()
+                        .map_err(|_| BadRequest::Malformed(format!("content-length `{value}`")))?,
+                );
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                // Only Content-Length framing is implemented. Silently
+                // ignoring a chunked body would desync a keep-alive
+                // connection (the chunk bytes would parse as the next
+                // request) — request-smuggling territory behind a
+                // coalescing proxy — so refuse it outright.
+                return Err(BadRequest::Malformed(
+                    "transfer-encoding is not supported; send a Content-Length body".into(),
+                ));
             }
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(BadRequest::TooLarge(format!(
             "body of {content_length} bytes"
         )));
     }
 
-    // Allow the body through: the new limit covers the worst case where
-    // none of it was read ahead into the BufReader yet.
-    reader.get_mut().set_limit(content_length as u64);
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).map_err(BadRequest::Io)?;
 
@@ -129,7 +162,66 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, BadRequest> {
         path: percent_decode(path),
         query,
         body,
+        keep_alive,
     })
+}
+
+/// Read one `\n`-terminated line via `fill_buf`/`consume`, capping the
+/// whole header block at [`MAX_HEADER_BYTES`] so a client streaming an
+/// endless line cannot grow the buffer without bound. Clean EOF before
+/// the first byte of a request line reads as [`BadRequest::Closed`] (the
+/// client finished its keep-alive conversation); EOF anywhere else is a
+/// malformed request.
+fn read_header_line<R: Read>(
+    reader: &mut BufReader<R>,
+    used: &mut usize,
+    request_line: bool,
+) -> Result<String, BadRequest> {
+    let mut line = Vec::new();
+    loop {
+        let (consumed, done) = {
+            let chunk = reader.fill_buf().map_err(BadRequest::Io)?;
+            if chunk.is_empty() {
+                if request_line && line.is_empty() && *used == 0 {
+                    return Err(BadRequest::Closed);
+                }
+                if request_line {
+                    // Partial request line at EOF: report it like any
+                    // other malformed first line.
+                    break;
+                }
+                return Err(BadRequest::Malformed(
+                    "connection closed mid-headers".into(),
+                ));
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    line.extend_from_slice(&chunk[..=i]);
+                    (i + 1, true)
+                }
+                None => {
+                    line.extend_from_slice(chunk);
+                    (chunk.len(), false)
+                }
+            }
+        };
+        reader.consume(consumed);
+        *used += consumed;
+        if *used >= MAX_HEADER_BYTES {
+            return Err(BadRequest::TooLarge(
+                if request_line {
+                    "request line"
+                } else {
+                    "header block"
+                }
+                .into(),
+            ));
+        }
+        if done {
+            break;
+        }
+    }
+    Ok(String::from_utf8_lossy(&line).into_owned())
 }
 
 fn parse_query(q: &str) -> Vec<(String, String)> {
@@ -220,6 +312,14 @@ impl Response {
         self.headers.push((name.to_string(), value));
         self
     }
+
+    /// First value of an extra header (case-insensitive name match).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Reason phrases for the statuses the server emits.
@@ -236,24 +336,34 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Serialize and send `resp`; the connection closes afterwards.
-pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+/// Serialize and send `resp`. With `keep_alive` the connection header
+/// invites the client to reuse the socket; otherwise it announces the
+/// close that follows. Head and body go out as **one** write: the server
+/// sets `TCP_NODELAY`, so a separate small head write would become its
+/// own segment (and its own syscall) on every response.
+pub fn write_response(
+    stream: &mut impl Write,
+    resp: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut out = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         resp.status,
         reason(resp.status),
         resp.content_type,
-        resp.body.len()
-    );
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
+    )
+    .into_bytes();
     for (name, value) in &resp.headers {
-        head.push_str(name);
-        head.push_str(": ");
-        head.push_str(value);
-        head.push_str("\r\n");
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(value.as_bytes());
+        out.extend_from_slice(b"\r\n");
     }
-    head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(&resp.body)?;
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(&resp.body);
+    stream.write_all(&out)?;
     stream.flush()
 }
 

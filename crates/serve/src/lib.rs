@@ -1,26 +1,23 @@
 //! # adds-serve — the ADDS pipeline as a long-running service
 //!
-//! This crate turns the per-invocation CLI pipeline into an
-//! analysis-as-a-service layer, with no dependencies beyond `std` (the
-//! build environment is offline):
+//! This crate is the HTTP face of the demand-driven analysis session in
+//! `adds-query`, with no dependencies beyond `std` (the build environment
+//! is offline):
 //!
-//! * [`json`] / [`report`] / [`pipeline`] / [`runner`] / [`corpus`] — the
-//!   report model and stage drivers, moved here from `adds-cli` so both
-//!   the CLI and the server render the *same* byte-stable documents. A
-//!   report depends only on the source bytes and the stage options, never
-//!   on who asked.
-//! * [`sha`] — a self-contained SHA-256, the content address of every
-//!   source.
-//! * [`cache`] — a sharded, single-flight, content-hash report cache:
-//!   keyed by `(sha256(source), config fingerprint)`, concurrent identical
-//!   requests compute once and everyone else waits for the winner.
-//! * [`service`] — the cache-backed stage executor shared by the server
-//!   and the CLI batch mode, plus the config-fingerprint contract.
+//! * [`cache`] / [`json`] / [`report`] / [`runner`] / [`sha`] — re-exports
+//!   of the shared query-layer model, so existing `adds_serve::` paths
+//!   keep working: the report model is byte-stable and identical between
+//!   the CLI and the server because both render through the same session.
+//! * [`pipeline`] — the CLI's input units and the one-shot stage runner,
+//!   now thin wrappers over a [`service::Session`].
+//! * [`service`] — the session re-export plus the fingerprint contract
+//!   (see `adds_query::fingerprint` for the composed per-query table).
 //! * [`http`] — a minimal HTTP/1.1 request reader / response writer over
-//!   `std::net`.
+//!   `std::net`, with opt-in keep-alive.
+//! * [`logging`] — the structured access-log line (`serve --log`).
 //! * [`server`] — the `adds-cli serve` engine: a `TcpListener` accept loop
 //!   fanned out over a fixed worker pool, routing
-//!   `POST /v1/{analyze,parallelize,run,check,parse}`,
+//!   `POST /v1/{analyze,parallelize,run,check,parse,batch}`,
 //!   `GET /v1/report/{sha256}`, `GET /v1/corpus[/{name}]`,
 //!   `GET /v1/stats`, and `GET /healthz`.
 //!
@@ -28,16 +25,21 @@
 //! source body answers with a document byte-identical to
 //! `adds-cli analyze` on the same bytes (given the same display name), so
 //! goldens, scripts, and dashboards can consume either interchangeably.
+//! And because every endpoint runs over one shared session, a
+//! `parallelize` request after an `analyze` of the same bytes reuses the
+//! parse/typecheck/analysis artifacts instead of recomputing them.
 
 #![warn(missing_docs)]
 
-pub mod cache;
+pub use adds_query::cache;
+pub use adds_query::json;
+pub use adds_query::report;
+pub use adds_query::runner;
+pub use adds_query::sha;
+
 pub mod corpus;
 pub mod http;
-pub mod json;
+pub mod logging;
 pub mod pipeline;
-pub mod report;
-pub mod runner;
 pub mod server;
 pub mod service;
-pub mod sha;

@@ -1,0 +1,70 @@
+//! Structured access logs: with `adds-cli serve --log`, the server emits
+//! **one JSON line per request** on stdout. The shape is golden-tested
+//! and byte-stable given the same inputs — fixed key order, no
+//! timestamps beyond the duration — so log pipelines can parse it with a
+//! one-line schema:
+//!
+//! ```json
+//! {"method":"POST","path":"/v1/analyze","sha":"9c0b…","cache":"hit","status":200,"micros":412}
+//! ```
+//!
+//! `sha` and `cache` are `null` for requests that never touch the cache
+//! (`/healthz`, corpus reads, 4xx rejections).
+
+use crate::json::Json;
+
+/// Render one access-log line (no trailing newline). `sha` is the
+/// request body's content address and `cache` the `hit|miss|coalesced`
+/// disposition, when the route produced them.
+pub fn access_line(
+    method: &str,
+    path: &str,
+    sha: Option<&str>,
+    cache: Option<&str>,
+    status: u16,
+    micros: u64,
+) -> String {
+    let opt = |v: Option<&str>| v.map(Json::str).unwrap_or(Json::Null);
+    Json::obj([
+        ("method", Json::str(method)),
+        ("path", Json::str(path)),
+        ("sha", opt(sha)),
+        ("cache", opt(cache)),
+        ("status", Json::UInt(status as u64)),
+        ("micros", Json::UInt(micros)),
+    ])
+    .compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_line_shape_is_golden() {
+        assert_eq!(
+            access_line(
+                "POST",
+                "/v1/analyze",
+                Some("abc123"),
+                Some("miss"),
+                200,
+                412
+            ),
+            r#"{"method":"POST","path":"/v1/analyze","sha":"abc123","cache":"miss","status":200,"micros":412}"#
+        );
+        assert_eq!(
+            access_line("GET", "/healthz", None, None, 200, 3),
+            r#"{"method":"GET","path":"/healthz","sha":null,"cache":null,"status":200,"micros":3}"#
+        );
+    }
+
+    #[test]
+    fn access_line_is_parseable_json() {
+        let line = access_line("GET", "/v1/stats", None, None, 200, 17);
+        let v = Json::parse(&line).expect("valid JSON");
+        assert_eq!(v.get("path").unwrap().as_str(), Some("/v1/stats"));
+        assert_eq!(v.get("status").unwrap().as_usize(), Some(200));
+        assert_eq!(v.get("sha"), Some(&Json::Null));
+    }
+}

@@ -1,51 +1,15 @@
-//! Per-program pipeline stages behind the `parse`, `check`, `analyze`, and
-//! `parallelize` subcommands and the matching `POST /v1/*` endpoints. Each
-//! stage builds on the previous one: analyze implies check implies parse.
+//! Input units for the batch frontends and the one-shot stage runner.
+//!
+//! The stage dispatch itself lives in the query session
+//! (`adds_query::session`): a [`Stage`] names the derived document, a
+//! typed `StageRequest` asks for it, and the session memoizes every layer
+//! underneath. This module keeps the CLI-facing input model ([`InputUnit`])
+//! and a convenience one-shot runner for tests and scripts.
 
-use crate::report::{
-    AnalyzeReport, CheckReport, FnReport, LoopEffectsReport, LoopReport, ParseReport,
-    ProgramReport, ReasonEntry, SkippedLoop, TransformDecision, TransformReport, TypeSummary,
-};
-use adds::lang::adds::AddsFieldKind;
-use adds::lang::ast::Direction;
-use adds::lang::source::line_col;
+pub use adds_query::session::Stage;
 
-/// A report-producing pipeline stage. (The CLI's `run`/`ladder`/`serve`
-/// subcommands have their own drivers; only these four flow through
-/// [`run_unit`] and the report cache.)
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-pub enum Stage {
-    /// Parse and pretty-print, verifying the print→parse round trip.
-    Parse,
-    /// ADDS well-formedness + type check.
-    Check,
-    /// Path-matrix analysis with per-loop dependence verdicts.
-    Analyze,
-    /// Strip-mine parallelizable loops and emit transformed source.
-    Parallelize,
-}
-
-impl Stage {
-    /// The stage's lowercase name, as used in CLI commands and URL paths.
-    pub fn name(self) -> &'static str {
-        match self {
-            Stage::Parse => "parse",
-            Stage::Check => "check",
-            Stage::Analyze => "analyze",
-            Stage::Parallelize => "parallelize",
-        }
-    }
-
-    /// The JSON `schema` tag of the stage's report document.
-    pub fn schema(self) -> &'static str {
-        match self {
-            Stage::Parse => "adds.parse/v1",
-            Stage::Check => "adds.check/v1",
-            Stage::Analyze => "adds.analyze/v2",
-            Stage::Parallelize => "adds.parallelize/v2",
-        }
-    }
-}
+use crate::report::ProgramReport;
+use crate::service::{Session, StageRequest};
 
 /// One unit of work for the batch executor.
 #[derive(Clone, Debug)]
@@ -58,195 +22,20 @@ pub struct InputUnit {
     pub source: String,
 }
 
-/// Run the selected pipeline `stage` over one program.
+/// Run the selected pipeline `stage` over one program through a throwaway
+/// session, restoring the unit's display name/origin. Equivalent to (and
+/// byte-identical with) one CLI invocation over one file.
 pub fn run_unit(unit: &InputUnit, stage: Stage, matrices: bool) -> ProgramReport {
-    let mut report = ProgramReport {
-        name: unit.name.clone(),
-        origin: unit.origin,
-        ok: true,
-        diagnostics: Vec::new(),
-        parse: None,
-        check: None,
-        analyze: None,
-        transform: None,
-    };
-
-    // Stage 1: parse (every command needs it; only `parse` reports it).
-    let program = match adds::lang::parse_program(&unit.source) {
-        Ok(p) => p,
-        Err(d) => {
-            return ProgramReport::failed(
-                unit.name.clone(),
-                unit.origin,
-                vec![d.render(&unit.source)],
-            )
-        }
-    };
-    if stage == Stage::Parse {
-        let pretty = adds::lang::pretty::program(&program);
-        let roundtrip_stable = match adds::lang::parse_program(&pretty) {
-            Ok(p2) => adds::lang::pretty::program(&p2) == pretty,
-            Err(_) => false,
-        };
-        report.parse = Some(ParseReport {
-            pretty,
-            roundtrip_stable,
-        });
-        report.ok = roundtrip_stable;
-        return report;
-    }
-
-    // Stage 2: ADDS well-formedness + type check.
-    let tp = match adds::lang::check_source(&unit.source) {
-        Ok(tp) => tp,
-        Err(d) => {
-            return ProgramReport::failed(
-                unit.name.clone(),
-                unit.origin,
-                vec![d.render(&unit.source)],
-            )
-        }
-    };
-    if stage == Stage::Check {
-        report.check = Some(check_report(&tp));
-        return report;
-    }
-
-    // Stage 3: path-matrix analysis + dependence verdicts.
-    let compiled = match adds::core::compile(&unit.source) {
-        Ok(c) => c,
-        Err(d) => {
-            return ProgramReport::failed(
-                unit.name.clone(),
-                unit.origin,
-                vec![d.render(&unit.source)],
-            )
-        }
-    };
-    if stage == Stage::Analyze {
-        report.analyze = Some(analyze_report(&unit.source, &compiled, matrices));
-        return report;
-    }
-
-    // Stage 4: the strip-mining transformation.
-    debug_assert_eq!(stage, Stage::Parallelize);
-    let (prog, decisions) = adds::core::transform::stripmine::strip_mine_program(
-        &compiled.tp,
-        &compiled.summaries,
-        &compiled.analyses,
-    );
-    let source = adds::lang::pretty::program(&prog);
-    let reparses = adds::lang::check_source(&source).is_ok();
-    let mut parallelized = Vec::new();
-    let mut skipped = Vec::new();
-    for d in &decisions {
-        for p in &d.parallelized {
-            parallelized.push(TransformDecision {
-                func: d.func.name.clone(),
-                var: p.var.clone(),
-                field: p.field.clone(),
-            });
-        }
-        for s in &d.skipped {
-            skipped.push(SkippedLoop {
-                func: d.func.name.clone(),
-                line: line_col(&unit.source, s.span.start).line,
-                reasons: crate::report::dedup_reasons(s.reasons.iter().map(ReasonEntry::of)),
-            });
-        }
-    }
-    report.ok = reparses;
-    report.transform = Some(TransformReport {
-        parallelized,
-        skipped,
-        source,
-        reparses,
-    });
-    report
-}
-
-fn check_report(tp: &adds::lang::TypedProgram) -> CheckReport {
-    let mut types = Vec::new();
-    for t in tp.program.types.iter() {
-        let Some(a) = tp.adds.get(&t.name) else {
-            continue;
-        };
-        let mut routes = Vec::new();
-        for f in &a.fields {
-            if let AddsFieldKind::Pointer {
-                target,
-                array_len,
-                route,
-            } = &f.kind
-            {
-                let arr = array_len.map(|n| format!("[{n}]")).unwrap_or_default();
-                let unique = if route.unique { "uniquely " } else { "" };
-                let dir = match route.direction {
-                    Direction::Forward => "forward",
-                    Direction::Backward => "backward",
-                    Direction::Unknown => "unknown-direction",
-                };
-                routes.push(format!(
-                    "{}{arr}: {target}* {unique}{dir} along {}",
-                    f.name, a.dims[route.dim]
-                ));
-            }
-        }
-        types.push(TypeSummary {
-            name: a.name.clone(),
-            dims: a.dims.clone(),
-            routes,
-        });
-    }
-    CheckReport {
-        types,
-        functions: tp.program.funcs.iter().map(|f| f.name.clone()).collect(),
-    }
-}
-
-fn analyze_report(src: &str, compiled: &adds::core::Compiled, matrices: bool) -> AnalyzeReport {
-    let mut functions = Vec::new();
-    for f in &compiled.tp.program.funcs {
-        let Some(an) = compiled.analysis(&f.name) else {
-            continue;
-        };
-        let checks = adds::core::check_function(&compiled.tp, &compiled.summaries, an, &f.name);
-        let loops = checks
-            .iter()
-            .map(|c| LoopReport {
-                line: line_col(src, c.span.start).line,
-                pattern: c
-                    .pattern
-                    .as_ref()
-                    .map(|p| format!("{} via {}", p.var, p.field)),
-                parallelizable: c.parallelizable,
-                reasons: crate::report::dedup_reasons(c.reasons.iter().map(ReasonEntry::of)),
-                effects: c.effects.as_ref().map(|fx| {
-                    let (writes, reads, ptr_writes, advances) =
-                        adds::core::depend::render_effects(fx);
-                    LoopEffectsReport {
-                        writes,
-                        reads,
-                        ptr_writes,
-                        advances,
-                    }
-                }),
-            })
-            .collect();
-        functions.push(FnReport {
-            name: f.name.clone(),
-            loops,
-            events: an.events.iter().map(|e| e.to_string()).collect(),
-            exit_valid: an.exit.fully_valid(),
-            exit_matrix: matrices.then(|| an.exit.pm.render().lines().map(String::from).collect()),
-        });
-    }
-    AnalyzeReport { functions }
+    let session = Session::new();
+    session
+        .stage(&unit.source, StageRequest { stage, matrices })
+        .named(&unit.name, unit.origin)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adds::lang::programs;
 
     fn unit(name: &str, source: &str) -> InputUnit {
         InputUnit {
@@ -258,9 +47,11 @@ mod tests {
 
     #[test]
     fn analyze_list_scale_adds_parallelizes() {
-        let u = unit("list_scale_adds", adds::lang::programs::LIST_SCALE_ADDS);
+        let u = unit("list_scale_adds", programs::LIST_SCALE_ADDS);
         let r = run_unit(&u, Stage::Analyze, false);
         assert!(r.ok);
+        assert_eq!(r.name, "list_scale_adds");
+        assert_eq!(r.origin, "builtin");
         let a = r.analyze.unwrap();
         let scale = a.functions.iter().find(|f| f.name == "scale").unwrap();
         assert_eq!(scale.loops.len(), 1);
@@ -270,7 +61,7 @@ mod tests {
 
     #[test]
     fn analyze_plain_list_stays_sequential() {
-        let u = unit("list_scale_plain", adds::lang::programs::LIST_SCALE_PLAIN);
+        let u = unit("list_scale_plain", programs::LIST_SCALE_PLAIN);
         let r = run_unit(&u, Stage::Analyze, false);
         assert!(r.ok);
         let a = r.analyze.unwrap();
@@ -281,7 +72,7 @@ mod tests {
 
     #[test]
     fn parse_reports_roundtrip() {
-        let u = unit("barnes_hut", adds::lang::programs::BARNES_HUT);
+        let u = unit("barnes_hut", programs::BARNES_HUT);
         let r = run_unit(&u, Stage::Parse, false);
         assert!(r.ok);
         assert!(r.parse.unwrap().roundtrip_stable);
@@ -289,7 +80,7 @@ mod tests {
 
     #[test]
     fn parallelize_barnes_hut_reports_decisions() {
-        let u = unit("barnes_hut", adds::lang::programs::BARNES_HUT);
+        let u = unit("barnes_hut", programs::BARNES_HUT);
         let r = run_unit(&u, Stage::Parallelize, false);
         assert!(r.ok);
         let t = r.transform.unwrap();
@@ -312,7 +103,7 @@ mod tests {
 
     #[test]
     fn matrices_flag_adds_exit_matrix() {
-        let u = unit("list_scale_adds", adds::lang::programs::LIST_SCALE_ADDS);
+        let u = unit("list_scale_adds", programs::LIST_SCALE_ADDS);
         let r = run_unit(&u, Stage::Analyze, true);
         let a = r.analyze.unwrap();
         assert!(a.functions[0].exit_matrix.is_some());

@@ -1,5 +1,6 @@
 //! The `adds-cli serve` engine: a `TcpListener` accept loop fanned out
-//! over a fixed worker pool, routing the `/v1` API over [`crate::http`].
+//! over a fixed worker pool, routing the `/v1` API over [`crate::http`]
+//! into one shared, demand-driven [`Service`] session.
 //!
 //! ## Endpoints
 //!
@@ -10,6 +11,7 @@
 //! | `POST /v1/check` | IL source | `adds.check/v1` document |
 //! | `POST /v1/parse` | IL source | `adds.parse/v1` document |
 //! | `POST /v1/run` | IL source | `adds.run/v1` document |
+//! | `POST /v1/batch` | `adds.batch/v1` request | `adds.batch/v1` results |
 //! | `GET /v1/report/{sha256}` | — | cached stage document or 404 |
 //! | `GET /v1/corpus` | — | built-in program list |
 //! | `GET /v1/corpus/{name}` | — | built-in program source (text) |
@@ -23,13 +25,42 @@
 //! (default `analyze`), `&matrices=1`, and `&name=`. Responses to cacheable
 //! requests carry `X-Adds-Sha256` (the content address for later
 //! `/v1/report` fetches) and `X-Adds-Cache: hit|miss|coalesced`.
+//!
+//! ## `POST /v1/batch`
+//!
+//! One request, many stage/run items, all through the same session — so
+//! an `analyze` item warms every artifact a later `parallelize` item of
+//! the same source needs:
+//!
+//! ```json
+//! {"items": [
+//!   {"stage": "analyze", "program": "barnes_hut", "matrices": false},
+//!   {"stage": "parallelize", "program": "barnes_hut"},
+//!   {"stage": "check", "source": "type T ...", "name": "inline.il"},
+//!   {"stage": "run", "program": "barnes_hut", "pes": [2, 4], "bodies": 32}
+//! ]}
+//! ```
+//!
+//! Each item names either a built-in `program` or carries inline
+//! `source`. The response (`adds.batch/v1`) holds one result per item in
+//! order: `{name, sha256, cache, ok, doc}` — `doc` being byte-identical
+//! to the matching single-request document — or `{error}` for items that
+//! could not run.
+//!
+//! Connections are one-request-per-connection unless the client opts into
+//! keep-alive; see [`crate::http`]. With `--log`, every request emits one
+//! structured JSON line ([`crate::logging`]) on stdout.
 
 use crate::corpus;
-use crate::http::{read_request, write_response, BadRequest, Request, Response};
+use crate::http::{
+    read_request, write_response, BadRequest, Request, Response, KEEPALIVE_IDLE_TIMEOUT,
+    KEEPALIVE_MAX_REQUESTS,
+};
 use crate::json::Json;
+use crate::logging;
 use crate::pipeline::Stage;
 use crate::runner::RunOptions;
-use crate::service::Service;
+use crate::service::{RunRequest, Service, SessionConfig, StageRequest};
 use crate::sha::Digest;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -42,6 +73,10 @@ pub struct ServeOptions {
     pub addr: String,
     /// Worker threads (0 = one per core).
     pub jobs: usize,
+    /// Per-cache entry bound (0 = unbounded) with CLOCK eviction.
+    pub cache_capacity: usize,
+    /// Emit one structured JSON access-log line per request on stdout.
+    pub log: bool,
 }
 
 impl Default for ServeOptions {
@@ -49,6 +84,8 @@ impl Default for ServeOptions {
         ServeOptions {
             addr: "127.0.0.1:8199".to_string(),
             jobs: 0,
+            cache_capacity: 0,
+            log: false,
         }
     }
 }
@@ -66,6 +103,8 @@ pub struct RequestStats {
     pub check: AtomicU64,
     /// `POST /v1/parse`
     pub parse: AtomicU64,
+    /// `POST /v1/batch`
+    pub batch: AtomicU64,
     /// `GET /v1/report/{sha}`
     pub report: AtomicU64,
     /// `GET /v1/corpus[/{name}]`
@@ -78,15 +117,27 @@ pub struct RequestStats {
     pub other: AtomicU64,
 }
 
-/// The shared server state: the cache-backed [`Service`] plus request
+/// The shared server state: the session-backed [`Service`] plus request
 /// counters. Routing lives here so tests can drive it without sockets.
 #[derive(Default)]
 pub struct ServerState {
-    /// The cache-backed stage/run executor.
+    /// The demand-driven stage/run executor.
     pub service: Service,
     /// Per-endpoint counters surfaced by `/v1/stats`.
     pub requests: RequestStats,
+    /// Emit access-log lines (`serve --log`).
+    pub log_requests: bool,
 }
+
+/// Most items accepted in one `/v1/batch` request.
+const MAX_BATCH_ITEMS: usize = 256;
+
+/// Most `run` items per batch. A batch executes synchronously on one
+/// worker, and a single `run` item may legitimately sit near the per-run
+/// parameter caps — letting 256 of them ride one request would multiply
+/// the "don't tie the worker up indefinitely" bound by 256. Clients
+/// wanting more runs issue separate requests, which spread over the pool.
+const MAX_BATCH_RUN_ITEMS: usize = 4;
 
 impl ServerState {
     fn count(&self, c: &AtomicU64) {
@@ -157,6 +208,10 @@ impl ServerState {
                 self.count(&self.requests.run);
                 self.run_request(req)
             }
+            ("POST", "/v1/batch") => {
+                self.count(&self.requests.batch);
+                self.batch_request(req)
+            }
             (method, path) => {
                 self.count(&self.requests.other);
                 let known_path = matches!(
@@ -169,6 +224,7 @@ impl ServerState {
                         | "/v1/check"
                         | "/v1/parse"
                         | "/v1/run"
+                        | "/v1/batch"
                 );
                 if known_path {
                     Response::error(405, &format!("method {method} not allowed on {path}"))
@@ -179,9 +235,10 @@ impl ServerState {
         }
     }
 
-    /// The `/v1/stats` document (`adds.serve-stats/v1`): cache counters
-    /// and per-endpoint request counts. No timestamps — the document is a
-    /// pure function of the counters, so tests can golden it.
+    /// The `/v1/stats` document (`adds.serve-stats/v1`): request-level
+    /// cache counters, per-query-layer compute counters, and per-endpoint
+    /// request counts. No timestamps — the document is a pure function of
+    /// the counters, so tests can golden it.
     pub fn stats_doc(&self) -> Json {
         let cs = self.service.stats();
         let u = |a: &AtomicU64| Json::UInt(a.load(Ordering::Relaxed));
@@ -194,8 +251,36 @@ impl ServerState {
                     ("misses", u(&cs.misses)),
                     ("coalesced", u(&cs.coalesced)),
                     ("in_flight", u(&cs.in_flight)),
+                    ("evicted", u(&cs.evicted)),
                     ("entries", Json::UInt(self.service.entries() as u64)),
                 ]),
+            ),
+            (
+                "queries",
+                Json::Obj(
+                    // Per-layer compute counts, then the artifact caches'
+                    // own entry/hit/miss/eviction counters — with
+                    // `--cache-cap`, the memory-heavy artifacts (typed
+                    // programs, fixpoints, bytecode) evict here, not in
+                    // the report-level `cache` section above.
+                    self.service
+                        .query_computes()
+                        .into_iter()
+                        .map(|(name, n)| (name.to_string(), Json::UInt(n)))
+                        .chain({
+                            let qs = self.service.query_stats();
+                            [
+                                (
+                                    "entries".to_string(),
+                                    Json::UInt(self.service.db().artifact_entries() as u64),
+                                ),
+                                ("hits".to_string(), u(&qs.hits)),
+                                ("misses".to_string(), u(&qs.misses)),
+                                ("evicted".to_string(), u(&qs.evicted)),
+                            ]
+                        })
+                        .collect(),
+                ),
             ),
             (
                 "requests",
@@ -205,6 +290,7 @@ impl ServerState {
                     ("run", u(&self.requests.run)),
                     ("check", u(&self.requests.check)),
                     ("parse", u(&self.requests.parse)),
+                    ("batch", u(&self.requests.batch)),
                     ("report", u(&self.requests.report)),
                     ("corpus", u(&self.requests.corpus)),
                     ("stats", u(&self.requests.stats)),
@@ -223,11 +309,11 @@ impl ServerState {
             return Response::error(400, "empty body: POST the IL source");
         }
         let matrices = flag(req, "matrices");
-        let (digest, report, outcome) = self.service.stage_report(stage, matrices, source);
-        let doc = Service::stage_doc(stage, &report, req.param("name"));
+        let out = self.service.stage(source, StageRequest { stage, matrices });
+        let doc = Service::stage_doc(stage, &out.report, req.param("name"));
         Response::json(200, doc.pretty())
-            .with_header("X-Adds-Sha256", digest.hex())
-            .with_header("X-Adds-Cache", outcome.name().to_string())
+            .with_header("X-Adds-Sha256", out.digest.hex())
+            .with_header("X-Adds-Cache", out.outcome.name().to_string())
     }
 
     fn run_request(&self, req: &Request) -> Response {
@@ -241,37 +327,149 @@ impl ServerState {
             Ok(o) => o,
             Err(msg) => return Response::error(400, &msg),
         };
-        let (digest, result, outcome) = self.service.run_report(source, &opts);
-        let resp = match &*result {
+        let out = self.service.run(source, &RunRequest { opts });
+        let resp = match &*out.result {
             Ok(report) => Response::json(200, Service::run_doc(report, req.param("name")).pretty()),
             Err(msg) => {
                 // The cached canonical error names the program by its
                 // content hash; restore the caller's display name, same
                 // as the Ok path does.
                 let msg = match req.param("name") {
-                    Some(n) => msg.replace(&digest.hex(), n),
+                    Some(n) => msg.replace(&out.digest.hex(), n),
                     None => msg.clone(),
                 };
                 Response::error(422, &msg)
             }
         };
-        resp.with_header("X-Adds-Sha256", digest.hex())
-            .with_header("X-Adds-Cache", outcome.name().to_string())
+        resp.with_header("X-Adds-Sha256", out.digest.hex())
+            .with_header("X-Adds-Cache", out.outcome.name().to_string())
+    }
+
+    fn batch_request(&self, req: &Request) -> Response {
+        let Ok(body) = std::str::from_utf8(&req.body) else {
+            return Response::error(400, "body is not valid UTF-8");
+        };
+        let doc = match Json::parse(body) {
+            Ok(d) => d,
+            Err(e) => return Response::error(400, &format!("batch body is not JSON: {e}")),
+        };
+        let Some(items) = doc.get("items").and_then(Json::as_arr) else {
+            return Response::error(400, "batch body needs an `items` array");
+        };
+        if items.len() > MAX_BATCH_ITEMS {
+            return Response::error(
+                400,
+                &format!("batch accepts at most {MAX_BATCH_ITEMS} items"),
+            );
+        }
+        let runs = items
+            .iter()
+            .filter(|i| i.get("stage").and_then(Json::as_str) == Some("run"))
+            .count();
+        if runs > MAX_BATCH_RUN_ITEMS {
+            return Response::error(
+                400,
+                &format!("batch accepts at most {MAX_BATCH_RUN_ITEMS} `run` items"),
+            );
+        }
+        let mut ok = true;
+        let mut results = Vec::with_capacity(items.len());
+        for item in items {
+            let result = self.batch_item(item);
+            if let Err(msg) = &result {
+                ok = false;
+                results.push(Json::obj([("error", Json::str(msg))]));
+                continue;
+            }
+            let (item_ok, json) = result.expect("checked");
+            ok &= item_ok;
+            results.push(json);
+        }
+        let doc = Json::obj([
+            ("schema", Json::str("adds.batch/v1")),
+            ("ok", Json::Bool(ok)),
+            ("results", Json::Arr(results)),
+        ]);
+        Response::json(200, doc.pretty())
+    }
+
+    /// One batch item → `(ok, result object)` or an item-level error.
+    fn batch_item(&self, item: &Json) -> Result<(bool, Json), String> {
+        let stage_name = item
+            .get("stage")
+            .and_then(Json::as_str)
+            .ok_or("item needs a `stage` string")?;
+        let (name, source): (String, String) = match (
+            item.get("program").and_then(Json::as_str),
+            item.get("source").and_then(Json::as_str),
+        ) {
+            (Some(p), None) => {
+                let e = corpus::find(p).ok_or(format!("unknown corpus program `{p}`"))?;
+                (p.to_string(), e.source.to_string())
+            }
+            (None, Some(s)) => (String::new(), s.to_string()),
+            (Some(_), Some(_)) => return Err("item takes `program` or `source`, not both".into()),
+            (None, None) => return Err("item needs `program` or `source`".into()),
+        };
+        let display = item
+            .get("name")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .or(if name.is_empty() { None } else { Some(name) });
+
+        if stage_name == "run" {
+            let opts = batch_run_options(item)?;
+            let out = self.service.run(&source, &RunRequest { opts });
+            let (item_ok, doc) = match &*out.result {
+                Ok(report) => (true, Service::run_doc(report, display.as_deref())),
+                Err(msg) => {
+                    let msg = match &display {
+                        Some(n) => msg.replace(&out.digest.hex(), n),
+                        None => msg.clone(),
+                    };
+                    (false, Json::obj([("error", Json::str(&msg))]))
+                }
+            };
+            return Ok((
+                item_ok,
+                batch_result(&display, &out.digest, out.outcome.name(), item_ok, doc),
+            ));
+        }
+
+        let stage = Stage::parse_name(stage_name).ok_or(format!("unknown stage `{stage_name}`"))?;
+        let matrices = item
+            .get("matrices")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        let out = self
+            .service
+            .stage(&source, StageRequest { stage, matrices });
+        let doc = Service::stage_doc(stage, &out.report, display.as_deref());
+        Ok((
+            out.report.ok,
+            batch_result(
+                &display,
+                &out.digest,
+                out.outcome.name(),
+                out.report.ok,
+                doc,
+            ),
+        ))
     }
 
     fn report_lookup(&self, hex: &str, req: &Request) -> Response {
         let Some(digest) = Digest::parse(hex) else {
             return Response::error(400, "report id must be a 64-char sha256 hex string");
         };
-        let stage = match req.param("stage").unwrap_or("analyze") {
-            "analyze" => Stage::Analyze,
-            "parallelize" => Stage::Parallelize,
-            "check" => Stage::Check,
-            "parse" => Stage::Parse,
-            other => return Response::error(400, &format!("unknown stage `{other}`")),
+        let Some(stage) = Stage::parse_name(req.param("stage").unwrap_or("analyze")) else {
+            let other = req.param("stage").unwrap_or_default();
+            return Response::error(400, &format!("unknown stage `{other}`"));
         };
         let matrices = flag(req, "matrices");
-        match self.service.lookup_report(&digest, stage, matrices) {
+        match self
+            .service
+            .lookup(&digest, StageRequest { stage, matrices })
+        {
             Some(report) => {
                 let doc = Service::stage_doc(stage, &report, req.param("name"));
                 Response::json(200, doc.pretty())
@@ -290,6 +488,23 @@ impl ServerState {
     }
 }
 
+/// One `adds.batch/v1` result object.
+fn batch_result(name: &Option<String>, digest: &Digest, cache: &str, ok: bool, doc: Json) -> Json {
+    Json::obj([
+        (
+            "name",
+            match name {
+                Some(n) => Json::str(n),
+                None => Json::str(digest.hex()),
+            },
+        ),
+        ("sha256", Json::str(digest.hex())),
+        ("cache", Json::str(cache)),
+        ("ok", Json::Bool(ok)),
+        ("doc", doc),
+    ])
+}
+
 /// A boolean query flag: present (empty), `1`, or `true`.
 fn flag(req: &Request, key: &str) -> bool {
     matches!(req.param(key), Some("" | "1" | "true"))
@@ -299,50 +514,86 @@ fn run_options(req: &Request) -> Result<RunOptions, String> {
     let mut opts = RunOptions::default();
     if let Some(v) = req.param("pes") {
         opts.pes = parse_usize_list(v).ok_or(format!("pes expects e.g. 2,4,7 — got `{v}`"))?;
-        if opts.pes.len() > MAX_PES_LIST || opts.pes.iter().any(|&p| p > MAX_PES) {
-            return Err(format!(
-                "pes accepts at most {MAX_PES_LIST} values of at most {MAX_PES}"
-            ));
-        }
     }
     if let Some(v) = req.param("bodies") {
         opts.bodies = v
             .parse()
             .map_err(|_| format!("bodies expects an integer, got `{v}`"))?;
-        if opts.bodies > MAX_BODIES {
-            return Err(format!("bodies is capped at {MAX_BODIES}"));
-        }
     }
     if let Some(v) = req.param("steps") {
         opts.steps = v
             .parse()
             .map_err(|_| format!("steps expects an integer, got `{v}`"))?;
-        if !(0..=MAX_STEPS).contains(&opts.steps) {
-            return Err(format!("steps must be between 0 and {MAX_STEPS}"));
-        }
     }
     if let Some(v) = req.param("theta") {
         opts.theta = v
             .parse()
             .map_err(|_| format!("theta expects a number, got `{v}`"))?;
-        if !(0.0..=MAX_THETA).contains(&opts.theta) {
-            return Err(format!("theta must be finite and in 0..={MAX_THETA}"));
-        }
     }
     if let Some(v) = req.param("dt") {
         opts.dt = v
             .parse()
             .map_err(|_| format!("dt expects a number, got `{v}`"))?;
-        if !(opts.dt > 0.0 && opts.dt <= MAX_DT) {
-            return Err(format!("dt must be finite and in (0, {MAX_DT}]"));
-        }
     }
+    validate_run_options(&opts)?;
     Ok(opts)
 }
 
-/// `/v1/run` parameter caps: one request runs synchronously on one worker,
-/// so the knobs are bounded well past the paper's grid (N ≤ 1024, 80
-/// steps, 7 PEs) but short of tying the worker up indefinitely.
+/// Run parameters from a batch item's JSON fields (same caps as the query
+/// string form).
+fn batch_run_options(item: &Json) -> Result<RunOptions, String> {
+    let mut opts = RunOptions::default();
+    if let Some(pes) = item.get("pes") {
+        let list = pes
+            .as_arr()
+            .map(|items| items.iter().map(Json::as_usize).collect::<Option<Vec<_>>>())
+            .unwrap_or_default()
+            .filter(|v: &Vec<usize>| !v.is_empty() && v.iter().all(|&x| x > 0));
+        opts.pes = list.ok_or("pes expects an array of positive integers")?;
+    }
+    if let Some(v) = item.get("bodies") {
+        opts.bodies = v.as_usize().ok_or("bodies expects an integer")?;
+    }
+    if let Some(v) = item.get("steps") {
+        opts.steps = v
+            .as_f64()
+            .filter(|f| f.fract() == 0.0)
+            .ok_or("steps expects an integer")? as i64;
+    }
+    if let Some(v) = item.get("theta") {
+        opts.theta = v.as_f64().ok_or("theta expects a number")?;
+    }
+    if let Some(v) = item.get("dt") {
+        opts.dt = v.as_f64().ok_or("dt expects a number")?;
+    }
+    validate_run_options(&opts)?;
+    Ok(opts)
+}
+
+/// Shared `/v1/run` parameter caps: one request runs synchronously on one
+/// worker, so the knobs are bounded well past the paper's grid (N ≤ 1024,
+/// 80 steps, 7 PEs) but short of tying the worker up indefinitely.
+fn validate_run_options(opts: &RunOptions) -> Result<(), String> {
+    if opts.pes.len() > MAX_PES_LIST || opts.pes.iter().any(|&p| p > MAX_PES) {
+        return Err(format!(
+            "pes accepts at most {MAX_PES_LIST} values of at most {MAX_PES}"
+        ));
+    }
+    if opts.bodies > MAX_BODIES {
+        return Err(format!("bodies is capped at {MAX_BODIES}"));
+    }
+    if !(0..=MAX_STEPS).contains(&opts.steps) {
+        return Err(format!("steps must be between 0 and {MAX_STEPS}"));
+    }
+    if !(0.0..=MAX_THETA).contains(&opts.theta) {
+        return Err(format!("theta must be finite and in 0..={MAX_THETA}"));
+    }
+    if !(opts.dt > 0.0 && opts.dt <= MAX_DT) {
+        return Err(format!("dt must be finite and in (0, {MAX_DT}]"));
+    }
+    Ok(())
+}
+
 const MAX_BODIES: usize = 16_384;
 const MAX_STEPS: i64 = 1_000;
 const MAX_PES: usize = 1_024;
@@ -377,7 +628,14 @@ impl Server {
         };
         Ok(Server {
             listener,
-            state: Arc::new(ServerState::default()),
+            state: Arc::new(ServerState {
+                service: Service::with_config(&SessionConfig {
+                    cache_capacity: opts.cache_capacity,
+                    versions: None,
+                }),
+                requests: RequestStats::default(),
+                log_requests: opts.log,
+            }),
             jobs,
         })
     }
@@ -438,9 +696,11 @@ fn spawn_worker(
     }))
 }
 
-/// Per-connection socket timeout: a worker blocked on a silent client
-/// gets its thread back instead of being parked forever (which would let
-/// `jobs` idle connections freeze the whole fixed pool).
+/// Per-connection socket timeout for the *first* request: a worker
+/// blocked on a silent client gets its thread back instead of being
+/// parked forever (which would let `jobs` idle connections freeze the
+/// whole fixed pool). Subsequent keep-alive reads use the shorter
+/// [`KEEPALIVE_IDLE_TIMEOUT`].
 const SOCKET_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
 
 fn worker_loop(listener: &TcpListener, state: &ServerState, stop: &AtomicBool) {
@@ -459,24 +719,78 @@ fn worker_loop(listener: &TcpListener, state: &ServerState, stop: &AtomicBool) {
     }
 }
 
-/// Read one request, route it, write one response. Socket errors are
-/// dropped: the client has gone away and the exit code of a server is not
-/// the place to report that.
+/// Serve one connection: read a request, route it, write the response —
+/// and, when the client opted into keep-alive, loop for the next request
+/// until the idle timeout, the per-connection cap, or a close. Socket
+/// errors are dropped: the client has gone away and the exit code of a
+/// server is not the place to report that.
 fn handle_connection(conn: &mut TcpStream, state: &ServerState) {
     let _ = conn.set_read_timeout(Some(SOCKET_TIMEOUT));
     let _ = conn.set_write_timeout(Some(SOCKET_TIMEOUT));
-    let resp = match read_request(conn) {
-        Ok(req) => state.handle(&req),
-        Err(e) => {
-            state.requests.other.fetch_add(1, Ordering::Relaxed);
-            let status = match &e {
-                BadRequest::TooLarge(_) => 413,
-                _ => 400,
-            };
-            Response::error(status, &e.to_string())
+    // Responses are written as head + body; without TCP_NODELAY, Nagle
+    // holds the second small segment until the client ACKs, which on a
+    // keep-alive connection (no close to flush it) costs a delayed-ACK
+    // round trip (~40ms) per request.
+    let _ = conn.set_nodelay(true);
+    // ONE buffered reader for the whole connection: read-ahead from one
+    // request (a pipelined next request) must survive into the next
+    // `read_request` call. Responses are written through `get_mut`.
+    let mut reader = std::io::BufReader::new(conn);
+    let mut served = 0usize;
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(req) => req,
+            Err(BadRequest::Closed) => return,
+            Err(BadRequest::Io(_)) if served > 0 => {
+                // Idle keep-alive connection timed out or died mid-read;
+                // nothing useful to answer.
+                return;
+            }
+            Err(e) => {
+                state.requests.other.fetch_add(1, Ordering::Relaxed);
+                let status = match &e {
+                    BadRequest::TooLarge(_) => 413,
+                    _ => 400,
+                };
+                let resp = Response::error(status, &e.to_string());
+                if state.log_requests {
+                    emit_access_line("-", "-", &resp, 0);
+                }
+                let _ = write_response(reader.get_mut(), &resp, false);
+                return;
+            }
+        };
+        served += 1;
+        let keep_alive = req.keep_alive && served < KEEPALIVE_MAX_REQUESTS;
+        let started = std::time::Instant::now();
+        let resp = state.handle(&req);
+        let micros = started.elapsed().as_micros() as u64;
+        if state.log_requests {
+            emit_access_line(&req.method, &req.path, &resp, micros);
         }
-    };
-    let _ = write_response(conn, &resp);
+        if write_response(reader.get_mut(), &resp, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+        let _ = reader
+            .get_ref()
+            .set_read_timeout(Some(KEEPALIVE_IDLE_TIMEOUT));
+    }
+}
+
+/// Write one access-log line to stdout (locked per line; errors dropped —
+/// a closed stdout must not take the server down).
+fn emit_access_line(method: &str, path: &str, resp: &Response, micros: u64) {
+    use std::io::Write;
+    let line = logging::access_line(
+        method,
+        path,
+        resp.header("X-Adds-Sha256"),
+        resp.header("X-Adds-Cache"),
+        resp.status,
+        micros,
+    );
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(out, "{line}");
 }
 
 /// A running server; dropping it (or calling [`ServerHandle::stop`])

@@ -1,262 +1,55 @@
-//! The cache-backed stage executor shared by the HTTP server and the CLI
-//! batch mode, and the **config-fingerprint contract**.
+//! The cache-backed executor shared by the HTTP server and the CLI — now
+//! the demand-driven [`Session`] from `adds-query` — and the
+//! **fingerprint contract** it memoizes under.
 //!
 //! Every cached value is addressed by `(sha256(source), fingerprint)`.
-//! The fingerprint strings are part of the service's stable surface:
+//! Fingerprints compose: each query's fingerprint embeds its own
+//! `layer/version` token plus the fingerprints of the queries it depends
+//! on (the full table lives in `adds_query::fingerprint`), so bumping one
+//! layer's schema invalidates that layer and everything downstream —
+//! upstream entries stay warm. Report-level versions are still derived
+//! from the report schema tags (`adds.analyze/v2` → `analyze/v2`), so a
+//! report schema bump self-invalidates with no second table to edit.
 //!
-//! | request | fingerprint |
-//! |---|---|
-//! | `parse` | `parse/v1` |
-//! | `check` | `check/v1` |
-//! | `analyze` | `analyze/v2` |
-//! | `analyze --matrices` | `analyze/v2+matrices` |
-//! | `parallelize` | `parallelize/v2` |
-//! | `run` | `run/v1:pes=2,4;bodies=64;steps=2;theta=0.7;dt=0.001` |
-//!
-//! The version segment tracks the report schema tag (`adds.analyze/v2`
-//! etc.), so a schema bump automatically invalidates old entries. Cached
-//! canonical reports carry the content hash as their display name;
-//! [`Service::stage_doc`] restores the caller's name/origin on the way
+//! Cached canonical reports carry the content hash as their display name;
+//! [`Session::stage_doc`] restores the caller's name/origin on the way
 //! out, which is what makes a served report byte-identical to the CLI's.
 
-use crate::cache::{Cache, CacheStats, Outcome};
-use crate::json::Json;
-use crate::pipeline::{run_unit, InputUnit, Stage};
-use crate::report::ProgramReport;
-use crate::runner::{self, RunOptions, RunReport};
-use crate::sha::{sha256, Digest};
-use std::sync::Arc;
+pub use adds_query::fingerprint::{run_fingerprint, stage_fingerprint};
+pub use adds_query::session::{
+    RunOutcome, RunRequest, Session, SessionConfig, StageOutcome, StageRequest,
+};
 
-/// The fingerprint of a stage request (see the module table). Derived
-/// from [`Stage::schema`] (`adds.analyze/v2` → `analyze/v2`), so bumping
-/// a schema tag invalidates cached entries with no second table to edit.
-pub fn stage_fingerprint(stage: Stage, matrices: bool) -> String {
-    let schema = stage.schema();
-    let version = schema.strip_prefix("adds.").unwrap_or(schema);
-    if matrices && stage == Stage::Analyze {
-        format!("{version}+matrices")
-    } else {
-        version.to_string()
-    }
-}
-
-/// The fingerprint of a `run` request: the schema version (derived from
-/// [`runner::RUN_SCHEMA`]) plus every parameter that shapes the
-/// simulation.
-pub fn run_fingerprint(opts: &RunOptions) -> String {
-    let version = runner::RUN_SCHEMA
-        .strip_prefix("adds.")
-        .unwrap_or(runner::RUN_SCHEMA);
-    let pes: Vec<String> = opts.pes.iter().map(|p| p.to_string()).collect();
-    format!(
-        "{version}:pes={};bodies={};steps={};theta={};dt={}",
-        pes.join(","),
-        opts.bodies,
-        opts.steps,
-        opts.theta,
-        opts.dt
-    )
-}
-
-/// Run `stage` over `source` through `cache`: compute on miss, share the
-/// canonical report otherwise. The canonical report's display name is the
-/// content hash (origin `"file"`); callers restore their own name.
-pub fn cached_stage_report(
-    cache: &Cache<ProgramReport>,
-    stage: Stage,
-    matrices: bool,
-    source: &str,
-) -> (Digest, Arc<ProgramReport>, Outcome) {
-    let digest = sha256(source.as_bytes());
-    let fingerprint = stage_fingerprint(stage, matrices);
-    let (report, outcome) = cache.get_or_compute(digest, &fingerprint, || {
-        let unit = InputUnit {
-            name: digest.hex(),
-            origin: "file",
-            source: source.to_string(),
-        };
-        run_unit(&unit, stage, matrices)
-    });
-    (digest, report, outcome)
-}
-
-/// The server's state: one report cache, one run cache, shared counters.
-pub struct Service {
-    reports: Cache<ProgramReport>,
-    runs: Cache<Result<RunReport, String>>,
-    stats: Arc<CacheStats>,
-}
-
-impl Default for Service {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Service {
-    /// A fresh service with empty caches.
-    pub fn new() -> Self {
-        let stats = Arc::new(CacheStats::default());
-        Service {
-            reports: Cache::new(Arc::clone(&stats)),
-            runs: Cache::new(Arc::clone(&stats)),
-            stats,
-        }
-    }
-
-    /// The shared cache counters.
-    pub fn stats(&self) -> &Arc<CacheStats> {
-        &self.stats
-    }
-
-    /// Completed entries across both caches.
-    pub fn entries(&self) -> usize {
-        self.reports.len() + self.runs.len()
-    }
-
-    /// Run a stage request against the cache.
-    pub fn stage_report(
-        &self,
-        stage: Stage,
-        matrices: bool,
-        source: &str,
-    ) -> (Digest, Arc<ProgramReport>, Outcome) {
-        cached_stage_report(&self.reports, stage, matrices, source)
-    }
-
-    /// Run a `run` request against the cache. Errors (e.g. a program
-    /// without a `simulate` entry) are cached too: the same bytes produce
-    /// the same error.
-    pub fn run_report(
-        &self,
-        source: &str,
-        opts: &RunOptions,
-    ) -> (Digest, Arc<Result<RunReport, String>>, Outcome) {
-        let digest = sha256(source.as_bytes());
-        let fingerprint = run_fingerprint(opts);
-        let (result, outcome) = cache_run(&self.runs, digest, &fingerprint, source, opts);
-        (digest, result, outcome)
-    }
-
-    /// Look up an already-computed stage report by content hash, without
-    /// computing (`GET /v1/report/{sha256}`).
-    pub fn lookup_report(
-        &self,
-        digest: &Digest,
-        stage: Stage,
-        matrices: bool,
-    ) -> Option<Arc<ProgramReport>> {
-        self.reports
-            .peek(digest, &stage_fingerprint(stage, matrices))
-    }
-
-    /// The full response document for a stage request: the CLI's
-    /// `{schema, ok, programs}` wrapper around the canonical report with
-    /// the caller's display name restored. With `name = <digest hex>` and
-    /// origin `"file"` this is byte-identical to
-    /// `adds-cli <stage> <file> --format json`. The report is only cloned
-    /// when a rename is actually requested — the default (canonical-name)
-    /// path is a pure render, keeping warm cache hits cheap.
-    pub fn stage_doc(stage: Stage, report: &ProgramReport, name: Option<&str>) -> Json {
-        let program = match name {
-            Some(n) if n != report.name => {
-                let mut r = report.clone();
-                r.name = n.to_string();
-                r.to_json()
-            }
-            _ => report.to_json(),
-        };
-        Json::obj([
-            ("schema", Json::str(stage.schema())),
-            ("ok", Json::Bool(report.ok)),
-            ("programs", Json::Arr(vec![program])),
-        ])
-    }
-
-    /// The full response document for a `run` request, with the caller's
-    /// display name restored (clones only when renaming).
-    pub fn run_doc(report: &RunReport, name: Option<&str>) -> Json {
-        match name {
-            Some(n) if n != report.program => {
-                let mut r = report.clone();
-                r.program = n.to_string();
-                runner::to_json(&r)
-            }
-            _ => runner::to_json(report),
-        }
-    }
-}
-
-fn cache_run(
-    cache: &Cache<Result<RunReport, String>>,
-    digest: Digest,
-    fingerprint: &str,
-    source: &str,
-    opts: &RunOptions,
-) -> (Arc<Result<RunReport, String>>, Outcome) {
-    cache.get_or_compute(digest, fingerprint, || {
-        runner::run_workload(&digest.hex(), source, opts)
-    })
-}
+/// Back-compat name: the server's executor *is* the shared query session.
+pub type Service = Session;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adds::lang::programs;
+    use crate::pipeline::Stage;
+    use adds_query::runner::RunOptions;
 
     #[test]
-    fn stage_fingerprints_are_stable() {
-        assert_eq!(stage_fingerprint(Stage::Analyze, false), "analyze/v2");
+    fn stage_fingerprints_compose_and_stay_schema_tagged() {
+        assert_eq!(
+            stage_fingerprint(Stage::Analyze, false),
+            "analyze/v2(effects/v1(analyzed/v1(typed/v1(parsed/v1))))"
+        );
         assert_eq!(
             stage_fingerprint(Stage::Analyze, true),
-            "analyze/v2+matrices"
+            "analyze/v2(effects/v1(analyzed/v1(typed/v1(parsed/v1))))+matrices"
         );
-        assert_eq!(stage_fingerprint(Stage::Parse, false), "parse/v1");
-        // `--matrices` only affects analyze reports.
-        assert_eq!(stage_fingerprint(Stage::Check, true), "check/v1");
         assert_eq!(
-            run_fingerprint(&RunOptions::default()),
-            "run/v1:pes=4;bodies=64;steps=2;theta=0.7;dt=0.001"
+            stage_fingerprint(Stage::Parse, false),
+            "parse/v1(roundtrip/v1(parsed/v1))"
         );
-    }
-
-    #[test]
-    fn repeated_stage_request_hits_cache() {
-        let svc = Service::new();
-        let src = programs::LIST_SCALE_ADDS;
-        let (d1, r1, o1) = svc.stage_report(Stage::Analyze, false, src);
-        let (d2, r2, o2) = svc.stage_report(Stage::Analyze, false, src);
-        assert_eq!(d1, d2);
-        assert_eq!(o1, Outcome::Miss);
-        assert_eq!(o2, Outcome::Hit);
-        assert!(Arc::ptr_eq(&r1, &r2));
-        assert_eq!(svc.entries(), 1);
-        assert!(svc.lookup_report(&d1, Stage::Analyze, false).is_some());
-        assert!(svc.lookup_report(&d1, Stage::Parallelize, false).is_none());
-    }
-
-    #[test]
-    fn canonical_report_is_named_by_content_hash() {
-        let svc = Service::new();
-        let src = programs::LIST_SUM;
-        let (digest, report, _) = svc.stage_report(Stage::Check, false, src);
-        assert_eq!(report.name, digest.hex());
-        assert_eq!(report.origin, "file");
-        // Renaming through the doc wrapper restores the caller's view.
-        let doc = Service::stage_doc(Stage::Check, &report, Some("lists/sum.il")).pretty();
-        assert!(doc.contains("\"program\": \"lists/sum.il\""));
-        assert!(doc.contains("\"schema\": \"adds.check/v1\""));
-    }
-
-    #[test]
-    fn run_errors_are_cached() {
-        let svc = Service::new();
-        let src = programs::LIST_SUM; // no `simulate` entry
-        let (_, r1, o1) = svc.run_report(src, &RunOptions::default());
-        let (_, r2, o2) = svc.run_report(src, &RunOptions::default());
-        assert!(r1.is_err());
-        assert_eq!(o1, Outcome::Miss);
-        assert_eq!(o2, Outcome::Hit);
-        assert!(Arc::ptr_eq(&r1, &r2));
+        // `--matrices` only affects analyze reports.
+        assert_eq!(
+            stage_fingerprint(Stage::Check, true),
+            stage_fingerprint(Stage::Check, false)
+        );
+        assert!(run_fingerprint(&RunOptions::default())
+            .ends_with(":pes=4;bodies=64;steps=2;theta=0.7;dt=0.001"));
+        assert!(run_fingerprint(&RunOptions::default()).starts_with("run/v1("));
     }
 }

@@ -1,14 +1,16 @@
 //! Integration tests driving a real `adds-serve` server over TCP: routing,
 //! cache semantics (hit/miss/single-flight), byte-identity with the CLI
-//! report path, and the `/v1/stats` document shape.
+//! report path, keep-alive connection reuse, the batch endpoint, and the
+//! `/v1/stats` document shape.
 
 use adds_serve::cache::{Cache, CacheStats, Outcome};
+use adds_serve::http::KEEPALIVE_MAX_REQUESTS;
 use adds_serve::json::Json;
 use adds_serve::pipeline::{run_unit, InputUnit, Stage};
 use adds_serve::server::{ServeOptions, Server, ServerHandle};
 use adds_serve::service::Service;
 use adds_serve::sha::sha256;
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::{Arc, Barrier};
 
@@ -16,6 +18,7 @@ fn spawn_server(jobs: usize) -> ServerHandle {
     let opts = ServeOptions {
         addr: "127.0.0.1:0".to_string(),
         jobs,
+        ..ServeOptions::default()
     };
     Server::bind(&opts).expect("bind").spawn().expect("spawn")
 }
@@ -66,6 +69,53 @@ fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
         .map(|(_, v)| v.as_str())
 }
 
+/// Send one request over an existing keep-alive connection and read
+/// exactly one response (framed by Content-Length, so the socket stays
+/// usable). Returns (status, headers, body).
+fn http_keepalive(
+    conn: &mut BufReader<TcpStream>,
+    method: &str,
+    target: &str,
+    body: &[u8],
+    close: bool,
+) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let connection = if close { "close" } else { "keep-alive" };
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nConnection: {connection}\r\n\
+         Content-Length: {}\r\n\r\n",
+        body.len()
+    );
+    conn.get_mut().write_all(head.as_bytes()).expect("write");
+    conn.get_mut().write_all(body).expect("write body");
+    let mut status_line = String::new();
+    conn.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        conn.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = line.split_once(": ") {
+            if k.eq_ignore_ascii_case("content-length") {
+                content_length = v.parse().expect("length");
+            }
+            headers.push((k.to_string(), v.to_string()));
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    conn.read_exact(&mut body).expect("body");
+    (status, headers, body)
+}
+
 #[test]
 fn healthz_and_unknown_routes() {
     let server = spawn_server(2);
@@ -79,6 +129,8 @@ fn healthz_and_unknown_routes() {
     assert_eq!(status, 405, "GET on a POST endpoint");
     let (status, _, _) = http(server.addr(), "POST", "/healthz", b"");
     assert_eq!(status, 405);
+    let (status, _, _) = http(server.addr(), "GET", "/v1/batch", b"");
+    assert_eq!(status, 405, "GET on the batch endpoint");
     server.stop();
 }
 
@@ -88,7 +140,7 @@ fn analyze_is_byte_identical_to_the_cli_report_path() {
     let src = adds_serve::corpus::find("list_scale_adds").unwrap().source;
 
     // What `adds-cli analyze x.il --format json` renders: the same
-    // run_unit + wrapper path the batch executor uses.
+    // session + wrapper path the batch executor uses.
     let unit = InputUnit {
         name: "x.il".to_string(),
         origin: "file",
@@ -134,6 +186,221 @@ fn repeated_request_is_served_from_cache_byte_identically() {
     let stats = state.service.stats();
     assert_eq!(stats.get(&stats.misses), 1, "computed once");
     assert_eq!(stats.get(&stats.hits), 1, "second request hit");
+    server.stop();
+}
+
+#[test]
+fn dependent_stage_reuses_upstream_artifacts() {
+    // The tentpole property, observed over real HTTP: a warm
+    // `parallelize` after an `analyze` of the same bytes re-parses and
+    // re-checks nothing — it starts from the cached analysis artifacts.
+    use adds_serve::sha::sha256;
+    let server = spawn_server(2);
+    let src = adds_serve::corpus::find("barnes_hut").unwrap().source;
+    let digest = sha256(src.as_bytes());
+
+    let (s1, _, _) = http(server.addr(), "POST", "/v1/analyze", src.as_bytes());
+    assert_eq!(s1, 200);
+    let state = server.state();
+    let db = state.service.db();
+    use adds_query::QueryKind;
+    assert_eq!(db.computes(QueryKind::Parsed, &digest), 1);
+    assert_eq!(db.computes(QueryKind::Typed, &digest), 1);
+    assert_eq!(db.computes(QueryKind::Analyzed, &digest), 1);
+
+    let (s2, h2, _) = http(server.addr(), "POST", "/v1/parallelize", src.as_bytes());
+    assert_eq!(s2, 200);
+    assert_eq!(
+        header(&h2, "X-Adds-Cache"),
+        Some("miss"),
+        "different document"
+    );
+    assert_eq!(db.computes(QueryKind::Parsed, &digest), 1, "no re-parse");
+    assert_eq!(db.computes(QueryKind::Typed, &digest), 1, "no re-check");
+    assert_eq!(
+        db.computes(QueryKind::Analyzed, &digest),
+        1,
+        "no re-analysis"
+    );
+    assert_eq!(db.computes(QueryKind::Transformed, &digest), 1);
+    server.stop();
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let server = spawn_server(2);
+    let src = adds_serve::corpus::find("list_scale_adds").unwrap().source;
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut conn = BufReader::new(stream);
+
+    // Several requests over the same socket; the server honors opt-in
+    // keep-alive and answers each with Connection: keep-alive.
+    for i in 0..5 {
+        let (status, headers, body) =
+            http_keepalive(&mut conn, "POST", "/v1/analyze", src.as_bytes(), false);
+        assert_eq!(status, 200, "request {i}");
+        assert_eq!(header(&headers, "Connection"), Some("keep-alive"));
+        assert!(!body.is_empty());
+    }
+    let (status, headers, _) = http_keepalive(&mut conn, "GET", "/healthz", b"", false);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "Connection"), Some("keep-alive"));
+
+    // An explicit close ends the conversation: response says close, then
+    // EOF.
+    let (status, headers, _) = http_keepalive(&mut conn, "GET", "/healthz", b"", true);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "Connection"), Some("close"));
+    let mut rest = Vec::new();
+    conn.read_to_end(&mut rest).expect("EOF after close");
+    assert!(rest.is_empty());
+
+    // All of it was served by one worker pass over one socket; the cache
+    // saw one miss and the rest hits.
+    let state = server.state();
+    let stats = state.service.stats();
+    assert_eq!(stats.get(&stats.misses), 1);
+    assert_eq!(stats.get(&stats.hits), 4);
+    server.stop();
+}
+
+#[test]
+fn pipelined_keep_alive_requests_all_get_answered() {
+    // Two requests written back-to-back before reading anything (legal
+    // HTTP/1.1 pipelining): the server's per-connection reader must not
+    // drop the read-ahead containing request 2.
+    let server = spawn_server(1);
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut conn = BufReader::new(stream);
+    let one =
+        "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: keep-alive\r\nContent-Length: 0\r\n\r\n";
+    conn.get_mut()
+        .write_all(format!("{one}{one}").as_bytes())
+        .expect("write both");
+    let mut ok = 0;
+    for _ in 0..2 {
+        let mut status_line = String::new();
+        conn.read_line(&mut status_line).expect("status");
+        assert!(status_line.contains("200"), "{status_line}");
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            conn.read_line(&mut line).expect("header");
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(": ") {
+                if k.eq_ignore_ascii_case("content-length") {
+                    content_length = v.parse().expect("length");
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        conn.read_exact(&mut body).expect("body");
+        ok += 1;
+    }
+    assert_eq!(ok, 2, "both pipelined responses arrive");
+    server.stop();
+}
+
+#[test]
+fn keep_alive_honors_the_per_connection_request_cap() {
+    let server = spawn_server(1);
+    let mut conn = BufReader::new(TcpStream::connect(server.addr()).expect("connect"));
+    for i in 1..=KEEPALIVE_MAX_REQUESTS {
+        let (status, headers, _) = http_keepalive(&mut conn, "GET", "/healthz", b"", false);
+        assert_eq!(status, 200, "request {i}");
+        let expect = if i < KEEPALIVE_MAX_REQUESTS {
+            "keep-alive"
+        } else {
+            "close"
+        };
+        assert_eq!(
+            header(&headers, "Connection"),
+            Some(expect),
+            "request {i} of {KEEPALIVE_MAX_REQUESTS}"
+        );
+    }
+    let mut rest = Vec::new();
+    conn.read_to_end(&mut rest).expect("EOF at cap");
+    assert!(rest.is_empty());
+    server.stop();
+}
+
+#[test]
+fn batch_request_runs_many_stages_through_one_session() {
+    let server = spawn_server(2);
+    let src = adds_serve::corpus::find("list_scale_adds").unwrap().source;
+    let body = format!(
+        r#"{{"items": [
+            {{"stage": "analyze", "program": "list_scale_adds"}},
+            {{"stage": "parallelize", "program": "list_scale_adds"}},
+            {{"stage": "check", "source": {src_json}, "name": "inline.il"}},
+            {{"stage": "analyze", "program": "list_scale_adds"}}
+        ]}}"#,
+        src_json = Json::str(src).compact(),
+    );
+    let (status, _, resp) = http(server.addr(), "POST", "/v1/batch", body.as_bytes());
+    assert_eq!(status, 200);
+    let doc = Json::parse(&String::from_utf8_lossy(&resp)).expect("valid batch response");
+    assert_eq!(doc.get("schema").unwrap().as_str(), Some("adds.batch/v1"));
+    assert_eq!(doc.get("ok").unwrap().as_bool(), Some(true));
+    let results = doc.get("results").unwrap().as_arr().unwrap();
+    assert_eq!(results.len(), 4);
+    assert_eq!(
+        results[0].get("name").unwrap().as_str(),
+        Some("list_scale_adds")
+    );
+    assert_eq!(results[0].get("cache").unwrap().as_str(), Some("miss"));
+    assert_eq!(
+        results[3].get("cache").unwrap().as_str(),
+        Some("hit"),
+        "repeated item served from cache"
+    );
+    assert_eq!(results[2].get("name").unwrap().as_str(), Some("inline.il"));
+    // The embedded doc is the same document the single endpoint emits.
+    let inner = results[0].get("doc").unwrap();
+    assert_eq!(
+        inner.get("schema").unwrap().as_str(),
+        Some("adds.analyze/v2")
+    );
+
+    // The items shared one session: corpus source and inline source are
+    // the same bytes, so the parse happened once for them.
+    let state = server.state();
+    use adds_query::QueryKind;
+    let digest = sha256(src.as_bytes());
+    assert_eq!(state.service.db().computes(QueryKind::Parsed, &digest), 1);
+
+    // Malformed bodies are a 400, not a crash.
+    let (status, _, _) = http(server.addr(), "POST", "/v1/batch", b"{nope");
+    assert_eq!(status, 400);
+    let (status, _, _) = http(server.addr(), "POST", "/v1/batch", b"{\"items\": 3}");
+    assert_eq!(status, 400);
+
+    // A batch may carry only a few `run` items (each can be heavy and
+    // the batch runs synchronously on one worker).
+    let run_item = r#"{"stage": "run", "program": "barnes_hut"}"#;
+    let too_many = format!(r#"{{"items": [{}]}}"#, [run_item; 5].join(","));
+    let (status, _, resp) = http(server.addr(), "POST", "/v1/batch", too_many.as_bytes());
+    assert_eq!(status, 400);
+    assert!(String::from_utf8_lossy(&resp).contains("run"));
+
+    // Item-level failures embed an error and flip `ok`.
+    let (status, _, resp) = http(
+        server.addr(),
+        "POST",
+        "/v1/batch",
+        br#"{"items": [{"stage": "analyze", "program": "no_such_program"}]}"#,
+    );
+    assert_eq!(status, 200);
+    let doc = Json::parse(&String::from_utf8_lossy(&resp)).expect("valid");
+    assert_eq!(doc.get("ok").unwrap().as_bool(), Some(false));
+    let results = doc.get("results").unwrap().as_arr().unwrap();
+    assert!(results[0].get("error").unwrap().as_str().is_some());
     server.stop();
 }
 
@@ -248,6 +515,20 @@ fn bad_requests_are_4xx_not_crashes() {
         bh.as_bytes(),
     );
     assert_eq!(status, 400, "absurd bodies");
+
+    // Ambiguous or unsupported framing is refused, not guessed at.
+    let raw = |head: &str| {
+        let mut conn = TcpStream::connect(server.addr()).expect("connect");
+        conn.write_all(head.as_bytes()).expect("write");
+        let mut resp = Vec::new();
+        conn.read_to_end(&mut resp).expect("read");
+        String::from_utf8_lossy(&resp).into_owned()
+    };
+    let dup =
+        raw("GET /healthz HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\nContent-Length: 0\r\n\r\n");
+    assert!(dup.starts_with("HTTP/1.1 400"), "duplicate CL: {dup}");
+    let te = raw("GET /healthz HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n");
+    assert!(te.starts_with("HTTP/1.1 400"), "transfer-encoding: {te}");
     server.stop();
 }
 
@@ -264,7 +545,25 @@ fn stats_document_shape_is_golden_on_a_fresh_server() {
     \"misses\": 0,
     \"coalesced\": 0,
     \"in_flight\": 0,
+    \"evicted\": 0,
     \"entries\": 0
+  },
+  \"queries\": {
+    \"parsed\": 0,
+    \"roundtrip\": 0,
+    \"typed\": 0,
+    \"adds_decls\": 0,
+    \"analyzed\": 0,
+    \"effects\": 0,
+    \"loop_verdicts\": 0,
+    \"transformed\": 0,
+    \"compiled\": 0,
+    \"runs\": 0,
+    \"reports\": 0,
+    \"entries\": 0,
+    \"hits\": 0,
+    \"misses\": 0,
+    \"evicted\": 0
   },
   \"requests\": {
     \"analyze\": 0,
@@ -272,6 +571,7 @@ fn stats_document_shape_is_golden_on_a_fresh_server() {
     \"run\": 0,
     \"check\": 0,
     \"parse\": 0,
+    \"batch\": 0,
     \"report\": 0,
     \"corpus\": 0,
     \"stats\": 1,
@@ -281,6 +581,43 @@ fn stats_document_shape_is_golden_on_a_fresh_server() {
 }
 ";
     assert_eq!(String::from_utf8_lossy(&body), expected);
+    server.stop();
+}
+
+#[test]
+fn bounded_server_cache_reports_evictions() {
+    // A tiny capacity forces report-cache evictions; `/v1/stats` counts
+    // them. (Capacity is approximate — per shard — so drive enough
+    // distinct sources through to overflow any shard.)
+    let opts = ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 1,
+        cache_capacity: 16, // one report per shard
+        ..ServeOptions::default()
+    };
+    let server = Server::bind(&opts).expect("bind").spawn().expect("spawn");
+    for i in 0..24 {
+        let src = format!("type T{i} [X] {{ int v; }};");
+        let (status, _, _) = http(server.addr(), "POST", "/v1/parse", src.as_bytes());
+        assert_eq!(status, 200);
+    }
+    let state = server.state();
+    let stats = state.service.stats();
+    assert!(
+        stats.get(&stats.evicted) > 0,
+        "24 distinct sources through a 16-entry cache must evict"
+    );
+    // The artifact caches evict under the same cap and surface their own
+    // counter in the `queries` section.
+    let qs = state.service.query_stats();
+    assert!(qs.get(&qs.evicted) > 0, "artifact caches evict too");
+    let (_, _, body) = http(server.addr(), "GET", "/v1/stats", b"");
+    let text = String::from_utf8_lossy(&body);
+    assert_eq!(
+        text.matches("\"evicted\"").count(),
+        2,
+        "both cache sections report evictions: {text}"
+    );
     server.stop();
 }
 
@@ -330,7 +667,7 @@ fn single_flight_under_concurrent_identical_requests() {
 
 #[test]
 fn single_flight_through_the_service_computes_once() {
-    // Same property at the service level, with a real analysis as the
+    // Same property at the session level, with a real analysis as the
     // payload: concurrent identical requests share one canonical report.
     let svc = Arc::new(Service::new());
     let src = adds_serve::corpus::find("barnes_hut").unwrap().source;
@@ -342,7 +679,7 @@ fn single_flight_through_the_service_computes_once() {
             let start = Arc::clone(&start);
             std::thread::spawn(move || {
                 start.wait();
-                svc.stage_report(Stage::Analyze, false, src)
+                svc.analyze(src, false)
             })
         })
         .collect();
@@ -353,8 +690,8 @@ fn single_flight_through_the_service_computes_once() {
 
     let stats = svc.stats();
     assert_eq!(stats.get(&stats.misses), 1, "one compute across threads");
-    for (_, report, _) in &results {
-        assert!(Arc::ptr_eq(report, &results[0].1));
+    for out in &results {
+        assert!(Arc::ptr_eq(&out.report, &results[0].report));
     }
     assert_eq!(svc.entries(), 1);
 }

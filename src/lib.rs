@@ -24,6 +24,11 @@
 //! * [`structures`] — the §3.1 example structures (one-way lists, bignums,
 //!   polynomials, orthogonal lists, 2-D range trees, quadtrees) with
 //!   run-time shape validators.
+//! * [`query`] — the pipeline as a **demand-driven session**: memoized
+//!   queries per layer (`parsed`, `typed`, `effects`, `loop_verdict`,
+//!   `transformed`, `compiled`, `run`) under the `(sha256, fingerprint)`
+//!   contract, shared by the CLI, the HTTP server, and — via [`api`] —
+//!   library consumers.
 //!
 //! ## Quickstart
 //!
@@ -44,4 +49,42 @@ pub use adds_klimit as klimit;
 pub use adds_lang as lang;
 pub use adds_machine as machine;
 pub use adds_nbody as nbody;
+pub use adds_query as query;
 pub use adds_structures as structures;
+
+/// The **library API**: the same demand-driven [`Session`](api::Session)
+/// the CLI and the HTTP server are frontends over, re-exported for
+/// programmatic consumers.
+///
+/// A session memoizes every pipeline layer by content hash, so repeated
+/// and dependent requests share work — `parallelize` after `analyze` of
+/// the same bytes re-parses nothing, and identical concurrent requests
+/// compute once (single flight):
+///
+/// ```
+/// use adds::api::{Session, Stage, StageRequest};
+///
+/// let session = Session::new();
+/// let src = adds::lang::programs::LIST_SCALE_ADDS;
+///
+/// // Typed request → shared, cached report (the CLI/server wire format).
+/// let analyzed = session.stage(src, StageRequest::new(Stage::Analyze));
+/// assert!(analyzed.report.ok);
+///
+/// // Artifact-level queries ride the same cache:
+/// let verdict = session.db().loop_verdict(src, "scale", 0);
+/// let verdict = verdict.as_ref().as_ref().unwrap().as_ref().unwrap();
+/// assert!(verdict.parallelizable);
+///
+/// // The dependent stage starts from the cached analysis artifacts.
+/// let parallelized = session.parallelize(src);
+/// assert!(parallelized.report.ok);
+/// let digest = adds::query::db::sha256(src.as_bytes());
+/// assert_eq!(session.db().computes(adds::query::QueryKind::Parsed, &digest), 1);
+/// ```
+pub mod api {
+    pub use adds_query::db::{AnalysisDb, Failure, QueryKind, QueryResult};
+    pub use adds_query::session::{
+        RunOutcome, RunRequest, Session, SessionConfig, Stage, StageOutcome, StageRequest,
+    };
+}
