@@ -2,8 +2,11 @@
 //! slot-resolved bytecode VM on the corpus workloads, at 4 PEs where the
 //! program parallelizes.
 //!
-//! Writes `BENCH_machine.json` (schema `adds.bench-machine/v1`) so the
-//! repository carries a perf-trajectory baseline:
+//! Writes `BENCH_machine.json` (schema `adds.bench-machine/v2`) so the
+//! repository carries a perf-trajectory baseline. `/v2` added the
+//! `vm_profiled_ns` / `profiled_over_vm` columns: the same VM run with
+//! opcode/parfor profiling enabled, so the cost of `adds-cli profile`'s
+//! instrumentation is tracked alongside the engines:
 //!
 //! ```text
 //! cargo run --release -p adds-bench --bin bench_machine          # regen
@@ -22,7 +25,7 @@ use adds_machine::{CompiledProgram, CostModel, Exec, Interp, MachineConfig, Valu
 use std::fmt::Write as _;
 
 const OUT_PATH: &str = "BENCH_machine.json";
-const SCHEMA: &str = "adds.bench-machine/v1";
+const SCHEMA: &str = "adds.bench-machine/v2";
 const PES: usize = 4;
 const REPS: usize = 7;
 
@@ -125,6 +128,7 @@ struct Row {
     compile_ns: u64,
     interp_ns: u64,
     vm_ns: u64,
+    vm_profiled_ns: u64,
 }
 
 /// Best (minimum) of `reps` samples of `f`'s reported duration — the
@@ -167,6 +171,16 @@ fn measure(case: &Case, detect: bool) -> Row {
         it.call(case.entry, &args).expect("workload runs");
         t0.elapsed()
     });
+    // The same VM run with opcode counting + parfor attribution on — the
+    // instrumentation cost `adds-cli profile` pays.
+    let vm_profiled_ns = best_ns(REPS, || {
+        let mut vm = Vm::new(&compiled, config(detect));
+        vm.enable_profiling();
+        let args = (case.setup)(&mut vm);
+        let t0 = std::time::Instant::now();
+        vm.call(case.entry, &args).expect("workload runs");
+        t0.elapsed()
+    });
 
     Row {
         name: case.name,
@@ -177,6 +191,7 @@ fn measure(case: &Case, detect: bool) -> Row {
         compile_ns,
         interp_ns,
         vm_ns,
+        vm_profiled_ns,
     }
 }
 
@@ -202,6 +217,7 @@ fn render(rows: &[Row]) -> String {
         let _ = writeln!(s, "      \"compile_ns\": {},", r.compile_ns);
         let _ = writeln!(s, "      \"interp_ns\": {},", r.interp_ns);
         let _ = writeln!(s, "      \"vm_ns\": {},", r.vm_ns);
+        let _ = writeln!(s, "      \"vm_profiled_ns\": {},", r.vm_profiled_ns);
         let _ = writeln!(
             s,
             "      \"interp_stmts_per_sec\": {:.0},",
@@ -216,6 +232,11 @@ fn render(rows: &[Row]) -> String {
             s,
             "      \"vm_cycles_per_sec\": {:.0},",
             per_sec(r.cycles, r.vm_ns)
+        );
+        let _ = writeln!(
+            s,
+            "      \"profiled_over_vm\": {:.2},",
+            r.vm_profiled_ns as f64 / r.vm_ns.max(1) as f64
         );
         let _ = writeln!(s, "      \"interp_over_vm\": {:.2}", ratio);
         let _ = write!(s, "    }}");
@@ -235,6 +256,8 @@ const REQUIRED_KEYS: &[&str] = &[
     "\"compile_ns\"",
     "\"interp_ns\"",
     "\"vm_ns\"",
+    "\"vm_profiled_ns\"",
+    "\"profiled_over_vm\"",
     "\"interp_stmts_per_sec\"",
     "\"vm_stmts_per_sec\"",
     "\"vm_cycles_per_sec\"",

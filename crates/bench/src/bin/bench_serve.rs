@@ -1,9 +1,12 @@
 //! S1 — `adds-serve` throughput: requests/sec through a real in-process
 //! HTTP server (TCP loopback, `Connection: close`), cold vs warm cache.
 //!
-//! Writes `BENCH_serve.json` (schema `adds.bench-serve/v1`) next to
+//! Writes `BENCH_serve.json` (schema `adds.bench-serve/v2`) next to
 //! `BENCH_machine.json` so the repository carries a service-layer
-//! perf-trajectory baseline:
+//! perf-trajectory baseline. `/v2` added the `instrumentation` section:
+//! the keep-alive healthz volley with metrics recording on (the default)
+//! vs off (`instrument: false`), and the derived `overhead_pct`, which
+//! `--check` pins at ≤ 2%:
 //!
 //! ```text
 //! cargo run --release -p adds-bench --bin bench_serve          # regen
@@ -34,7 +37,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 
 const OUT_PATH: &str = "BENCH_serve.json";
-const SCHEMA: &str = "adds.bench-serve/v1";
+const SCHEMA: &str = "adds.bench-serve/v2";
 const JOBS: usize = 4;
 const CLIENT_THREADS: usize = 4;
 const WARM_REQUESTS: usize = 200;
@@ -42,9 +45,16 @@ const HEALTHZ_REQUESTS: usize = 400;
 const REPS: usize = 3;
 
 fn spawn_server() -> ServerHandle {
+    spawn_server_with(true)
+}
+
+/// `instrument: false` is the bare baseline for the overhead row — no
+/// latency histograms, gauges, or span checks on the request path.
+fn spawn_server_with(instrument: bool) -> ServerHandle {
     let opts = ServeOptions {
         addr: "127.0.0.1:0".to_string(),
         jobs: JOBS,
+        instrument,
         ..ServeOptions::default()
     };
     Server::bind(&opts)
@@ -186,9 +196,62 @@ struct Row {
     total_ns: u64,
 }
 
+/// The instrumentation-overhead measurement: the same keep-alive healthz
+/// volley against a bare (`instrument: false`) and a default
+/// (instrumented, tracing off) server.
+struct Overhead {
+    requests: usize,
+    bare_ns: u64,
+    instrumented_ns: u64,
+}
+
+impl Overhead {
+    /// Percentage the instrumented volley is slower than bare (negative
+    /// when measurement noise favours the instrumented run).
+    fn pct(&self) -> f64 {
+        (self.instrumented_ns as f64 - self.bare_ns as f64) / self.bare_ns.max(1) as f64 * 100.0
+    }
+}
+
 impl Row {
     fn rps(&self) -> f64 {
         self.requests as f64 / (self.total_ns.max(1) as f64 / 1e9)
+    }
+}
+
+/// Volley size and rep count for the overhead pin. Larger and more
+/// repeated than the throughput rows: the overhead ratio divides two
+/// noisy numbers, so each side needs a volley long enough to amortize
+/// scheduler jitter and enough reps for the min to reach the true floor.
+/// 1000 keeps each client connection under the server's 256-request
+/// keep-alive cap (4 client threads, one connection each).
+const OVERHEAD_REQUESTS: usize = 1_000;
+const OVERHEAD_REPS: usize = 15;
+
+/// Min-of-reps keep-alive healthz volleys against a bare and an
+/// instrumented server, interleaved rep by rep so slow host-load drift
+/// lands on both flavours equally instead of biasing whichever side
+/// happened to run later.
+fn measure_overhead() -> Overhead {
+    let bare = spawn_server_with(false);
+    let instrumented = spawn_server_with(true);
+    let sample = |server: &ServerHandle| {
+        volley_keepalive(server.addr(), "GET", "/healthz", b"", OVERHEAD_REQUESTS)
+    };
+    // Discarded warm-up volley per server.
+    sample(&bare);
+    sample(&instrumented);
+    let (mut bare_ns, mut instrumented_ns) = (u64::MAX, u64::MAX);
+    for _ in 0..OVERHEAD_REPS {
+        bare_ns = bare_ns.min(sample(&bare));
+        instrumented_ns = instrumented_ns.min(sample(&instrumented));
+    }
+    bare.stop();
+    instrumented.stop();
+    Overhead {
+        requests: OVERHEAD_REQUESTS,
+        bare_ns,
+        instrumented_ns,
     }
 }
 
@@ -315,11 +378,19 @@ fn measure() -> Vec<Row> {
     rows
 }
 
-fn render(rows: &[Row]) -> String {
+fn render(rows: &[Row], overhead: &Overhead) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"schema\": \"{SCHEMA}\",");
     let _ = writeln!(s, "  \"jobs\": {JOBS},");
+    let _ = writeln!(s, "  \"instrumentation\": {{");
+    let _ = writeln!(s, "    \"endpoint\": \"healthz\",");
+    let _ = writeln!(s, "    \"mode\": \"keepalive\",");
+    let _ = writeln!(s, "    \"requests\": {},", overhead.requests);
+    let _ = writeln!(s, "    \"bare_ns\": {},", overhead.bare_ns);
+    let _ = writeln!(s, "    \"instrumented_ns\": {},", overhead.instrumented_ns);
+    let _ = writeln!(s, "    \"overhead_pct\": {:.2}", overhead.pct());
+    let _ = writeln!(s, "  }},");
     let _ = writeln!(s, "  \"rows\": [");
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(s, "    {{");
@@ -347,6 +418,11 @@ const REQUIRED_KEYS: &[&str] = &[
     "\"requests_per_sec\"",
 ];
 
+/// The instrumentation-overhead ceiling `--check` enforces on the
+/// committed baseline: metrics recording must stay within 2% of bare on
+/// the healthz floor.
+const MAX_OVERHEAD_PCT: f64 = 2.0;
+
 fn check(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     if !text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
@@ -355,7 +431,9 @@ fn check(path: &str) -> Result<(), String> {
              `cargo run --release -p adds-bench --bin bench_serve`"
         ));
     }
-    let entries = text.matches("\"endpoint\"").count();
+    // `endpoint` appears once in the instrumentation header plus once per
+    // throughput row.
+    let entries = text.matches("\"endpoint\"").count().saturating_sub(1);
     if entries < 2 {
         return Err(format!("`{path}` has {entries} rows, need >= 2"));
     }
@@ -365,6 +443,18 @@ fn check(path: &str) -> Result<(), String> {
                 "`{path}` is stale: key {key} missing from some rows"
             ));
         }
+    }
+    let overhead: f64 = text
+        .split("\"overhead_pct\": ")
+        .nth(1)
+        .and_then(|rest| rest.split(['\n', ',']).next())
+        .and_then(|v| v.trim().parse().ok())
+        .ok_or(format!("`{path}` carries no parseable overhead_pct"))?;
+    if overhead > MAX_OVERHEAD_PCT {
+        return Err(format!(
+            "`{path}` pins instrumentation overhead at {overhead:.2}% > {MAX_OVERHEAD_PCT}% — \
+             the disabled-instrumentation path regressed; profile it before re-baselining"
+        ));
     }
     Ok(())
 }
@@ -382,6 +472,7 @@ fn main() {
         return;
     }
     let rows = measure();
+    let overhead = measure_overhead();
     for r in &rows {
         println!(
             "{:<12} {:<5} {:>5} requests x{} threads  {:>10.0} req/s",
@@ -392,7 +483,13 @@ fn main() {
             r.rps()
         );
     }
-    let doc = render(&rows);
+    println!(
+        "instrumentation overhead (healthz keepalive): {:.2}% (bare {} ns, instrumented {} ns)",
+        overhead.pct(),
+        overhead.bare_ns,
+        overhead.instrumented_ns
+    );
+    let doc = render(&rows, &overhead);
     std::fs::write(OUT_PATH, &doc).expect("write BENCH_serve.json");
     println!("wrote {OUT_PATH}");
 }

@@ -29,6 +29,8 @@ pub enum Command {
     Run,
     /// Precision ladder: §2.1 baselines vs ADDS+GPM.
     Ladder,
+    /// VM profiling: ranked hot-opcode / hot-parfor tables per workload.
+    Profile,
     /// Long-running HTTP server over the batch executor.
     Serve,
 }
@@ -42,6 +44,7 @@ impl Command {
             "parallelize" => Command::Parallelize,
             "run" => Command::Run,
             "ladder" => Command::Ladder,
+            "profile" => Command::Profile,
             "serve" => Command::Serve,
             _ => return None,
         })
@@ -56,7 +59,7 @@ impl Command {
             Command::Check => Stage::Check,
             Command::Analyze => Stage::Analyze,
             Command::Parallelize => Stage::Parallelize,
-            Command::Run | Command::Ladder | Command::Serve => return None,
+            Command::Run | Command::Ladder | Command::Profile | Command::Serve => return None,
         })
     }
 }
@@ -96,6 +99,11 @@ pub struct Args {
     pub cache_cap: usize,
     /// `serve`: emit one JSON access-log line per request on stdout.
     pub log: bool,
+    /// Record spans and write a Chrome `trace_event` JSON file on exit.
+    pub trace: Option<String>,
+    /// `profile`: validate the profile invariants instead of printing
+    /// tables (CI smoke).
+    pub check: bool,
 }
 
 impl Default for Args {
@@ -117,6 +125,8 @@ impl Default for Args {
             addr: "127.0.0.1:8199".to_string(),
             cache_cap: 0,
             log: false,
+            trace: None,
+            check: false,
         }
     }
 }
@@ -154,6 +164,8 @@ COMMANDS:
     parallelize  strip-mine parallelizable loops, emit transformed source
     run          execute Barnes-Hut on the simulated MIMD machine, seq vs par
     ladder       precision ladder: prior-work baselines vs ADDS+GPM
+    profile      run corpus workloads on the VM with profiling; ranked
+                 hot-opcode and hot-parfor tables (adds.profile/v1 in JSON)
     serve        long-running HTTP server: POST /v1/{analyze,parallelize,run}
 
 INPUT SELECTION (parse/check/analyze/parallelize):
@@ -175,6 +187,9 @@ OPTIONS:
     --theta X         run: opening angle               [default: 0.7]
     --dt X            run: time step                   [default: 0.001]
     --klimit LIST     ladder: comma-separated k values [default: 1,2]
+    --trace FILE      write a Chrome trace_event JSON file on exit
+                      (load in chrome://tracing or Perfetto)
+    --check           profile: validate invariants instead of printing
     -h, --help        show this help
 ";
 
@@ -234,7 +249,7 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, UsageError> {
                     help_requested: true,
                 })
             }
-            "--all" | "--list" | "--matrices" | "--log" => {
+            "--all" | "--list" | "--matrices" | "--log" | "--check" => {
                 if inline.is_some() {
                     return Err(usage(format!("{flag} takes no value")));
                 }
@@ -242,6 +257,7 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, UsageError> {
                     "--all" => args.all = true,
                     "--list" => list = true,
                     "--log" => args.log = true,
+                    "--check" => args.check = true,
                     _ => args.matrices = true,
                 }
             }
@@ -251,6 +267,9 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, UsageError> {
             }
             "--addr" => {
                 args.addr = take_value("--addr", inline, &mut it)?;
+            }
+            "--trace" => {
+                args.trace = Some(take_value("--trace", inline, &mut it)?);
             }
             "--cache-cap" => {
                 let v = take_value("--cache-cap", inline, &mut it)?;
@@ -376,6 +395,22 @@ mod tests {
         };
         assert_eq!(a.programs, vec!["barnes_hut"]);
         assert_eq!(a.files, vec!["a.il", "b.il"]);
+    }
+
+    #[test]
+    fn parses_profile_and_trace() {
+        let ParsedArgs::Run(a) = parse(&argv(
+            "profile --program barnes_hut --check --trace out.json",
+        ))
+        .unwrap() else {
+            panic!("expected Run");
+        };
+        assert_eq!(a.command, Command::Profile);
+        assert_eq!(a.programs, vec!["barnes_hut"]);
+        assert!(a.check);
+        assert_eq!(a.trace.as_deref(), Some("out.json"));
+        assert!(parse(&argv("profile --trace")).is_err());
+        assert!(parse(&argv("profile --check=1")).is_err());
     }
 
     #[test]

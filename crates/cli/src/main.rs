@@ -8,8 +8,13 @@
 //! adds-cli parallelize --program barnes_hut       # emit strip-mined source
 //! adds-cli run --pes 2,4,7 --bodies 96            # §4 speedup experiment
 //! adds-cli ladder --format json                   # §2 precision ladder
+//! adds-cli profile --program barnes_hut           # VM hot-opcode/parfor table
 //! adds-cli serve --addr 127.0.0.1:8199 --jobs 4   # long-running HTTP server
 //! ```
+//!
+//! Every command accepts `--trace FILE` to record spans across the query,
+//! machine, and serve layers and write Chrome `trace_event` JSON on exit
+//! (load in chrome://tracing or Perfetto).
 //!
 //! The report model and the demand-driven, content-addressed analysis
 //! session live in the `adds-query` crate (re-exported through
@@ -22,6 +27,7 @@
 mod args;
 mod batch;
 mod ladder;
+mod profile;
 
 pub(crate) use adds_serve::{corpus, json, report};
 
@@ -72,9 +78,27 @@ fn real_main(argv: &[String]) -> i32 {
         }
     };
 
+    // `serve` owns its trace lifecycle (enable at bind, dump at
+    // shutdown); every other command traces around its whole run here.
+    let trace_here = args.command != Command::Serve && args.trace.is_some();
+    if trace_here {
+        adds::obs::trace::enable();
+    }
+    let code = run_command(&args);
+    if trace_here {
+        let path = args.trace.as_deref().expect("checked");
+        if let Err(e) = adds::obs::trace::dump_to_file(path) {
+            emit_err(&format!("error: cannot write trace `{path}`: {e}\n"));
+            return 1;
+        }
+    }
+    code
+}
+
+fn run_command(args: &args::Args) -> i32 {
     match args.command {
         Command::Parse | Command::Check | Command::Analyze | Command::Parallelize => {
-            let units = match batch::collect_inputs(&args) {
+            let units = match batch::collect_inputs(args) {
                 Ok(u) => u,
                 Err(msg) => {
                     emit_err(&format!("error: {msg}\n"));
@@ -82,7 +106,7 @@ fn real_main(argv: &[String]) -> i32 {
                 }
             };
             let started = std::time::Instant::now();
-            let reports = batch::run_batch(&units, &args);
+            let reports = batch::run_batch(&units, args);
             let all_ok = reports.iter().all(|r| r.ok);
             match args.format {
                 Format::Json => {
@@ -119,7 +143,7 @@ fn real_main(argv: &[String]) -> i32 {
             }
         }
         Command::Run => {
-            let (name, source) = match run_input(&args) {
+            let (name, source) = match run_input(args) {
                 Ok(pair) => pair,
                 Err(msg) => {
                     emit_err(&format!("error: {msg}\n"));
@@ -172,6 +196,7 @@ fn real_main(argv: &[String]) -> i32 {
             }
             0
         }
+        Command::Profile => profile::run_profile(args),
         Command::Serve => {
             if args.all || !args.programs.is_empty() || !args.files.is_empty() {
                 emit_err(
@@ -185,6 +210,8 @@ fn real_main(argv: &[String]) -> i32 {
                 jobs: args.jobs,
                 cache_capacity: args.cache_cap,
                 log: args.log,
+                trace_path: args.trace.clone(),
+                ..ServeOptions::default()
             };
             let server = match Server::bind(&opts) {
                 Ok(s) => s,

@@ -1,0 +1,343 @@
+//! `adds-cli profile` — run the corpus workloads on the bytecode VM with
+//! profiling enabled and emit ranked hot-opcode / hot-`parfor` tables.
+//!
+//! The simulated clock drives the attribution, so the numbers are
+//! deterministic: the same program and inputs always produce the same
+//! profile. JSON output carries the `adds.profile/v1` schema; `--check`
+//! re-derives the profile invariants (counts conserve, parallel variants
+//! attribute their `parfor` sites) instead of printing, for CI smoke.
+
+use crate::args::{Args, Format};
+use crate::json::Json;
+use adds::lang::programs;
+use adds::lang::types::{check_source, TypedProgram};
+use adds::machine::diff::workloads;
+use adds::machine::{CompiledProgram, CostModel, Exec, MachineConfig, Value, Vm, VmProfile};
+
+const PES: usize = 4;
+
+/// One profileable corpus workload: the program, its entry point, and the
+/// heap setup that builds its input (sized down from the bench driver —
+/// profiling wants representative mix, not maximum load).
+struct Workload {
+    name: &'static str,
+    entry: &'static str,
+    source: &'static str,
+    /// Run a parallelized variant too (the program strip-mines).
+    parallelizes: bool,
+    setup: fn(&mut dyn Exec) -> Vec<Value>,
+}
+
+fn scale_args(m: &mut dyn Exec) -> Vec<Value> {
+    vec![workloads::scale_list(m, 5_000), Value::Int(3)]
+}
+
+fn orth_args(m: &mut dyn Exec) -> Vec<Value> {
+    let widths: Vec<usize> = (0..100).map(|r| 40 + (r % 37)).collect();
+    vec![workloads::orth_rows(m, &widths), Value::Int(3)]
+}
+
+fn sum_args(m: &mut dyn Exec) -> Vec<Value> {
+    vec![workloads::sum_list(m, 5_000)]
+}
+
+fn bh_args(m: &mut dyn Exec) -> Vec<Value> {
+    let bodies = adds::machine::uniform_cloud(64, 7);
+    let head = adds::machine::sequent::build_particles(m, &bodies);
+    vec![head, Value::Int(1), Value::Real(0.7), Value::Real(0.01)]
+}
+
+/// The runnable corpus workloads (same set the machine bench exercises).
+const WORKLOADS: &[Workload] = &[
+    Workload {
+        name: "list_scale_adds",
+        entry: "scale",
+        source: programs::LIST_SCALE_ADDS,
+        parallelizes: true,
+        setup: scale_args,
+    },
+    Workload {
+        name: "orth_row_scale",
+        entry: "scale_rows",
+        source: programs::ORTH_ROW_SCALE,
+        parallelizes: true,
+        setup: orth_args,
+    },
+    Workload {
+        name: "barnes_hut",
+        entry: "simulate",
+        source: programs::BARNES_HUT,
+        parallelizes: true,
+        setup: bh_args,
+    },
+    Workload {
+        name: "list_sum",
+        entry: "sum",
+        source: programs::LIST_SUM,
+        parallelizes: false,
+        setup: sum_args,
+    },
+];
+
+/// One profiled run: workload × variant, with the VM's counters and the
+/// captured profile.
+struct ProfiledRun {
+    name: &'static str,
+    variant: &'static str,
+    entry: &'static str,
+    stmts: u64,
+    cycles: u64,
+    prog: CompiledProgram,
+    profile: Box<VmProfile>,
+}
+
+fn config() -> MachineConfig {
+    MachineConfig {
+        pes: PES,
+        cost: CostModel::sequent(),
+        detect_conflicts: true,
+        ..MachineConfig::default()
+    }
+}
+
+fn profile_one(
+    w: &Workload,
+    variant: &'static str,
+    tp: &TypedProgram,
+) -> Result<ProfiledRun, String> {
+    let prog = CompiledProgram::compile(tp);
+    let mut vm = Vm::new(&prog, config());
+    vm.enable_profiling();
+    let args = (w.setup)(&mut vm);
+    vm.call(w.entry, &args)
+        .map_err(|e| format!("{} ({variant}): {e:?}", w.name))?;
+    if !vm.conflicts.is_empty() {
+        return Err(format!(
+            "{} ({variant}): corpus workloads must be conflict-free",
+            w.name
+        ));
+    }
+    let stmts = vm.stats.stmts;
+    let cycles = vm.clock;
+    let profile = vm.take_profile().expect("profiling was enabled");
+    Ok(ProfiledRun {
+        name: w.name,
+        variant,
+        entry: w.entry,
+        stmts,
+        cycles,
+        prog,
+        profile,
+    })
+}
+
+/// Run every selected workload (sequential and, where the program
+/// strip-mines, parallelized).
+fn profile_selected(selected: &[&Workload]) -> Result<Vec<ProfiledRun>, String> {
+    let mut runs = Vec::new();
+    for w in selected {
+        let tp = check_source(w.source).map_err(|e| format!("{}: {e:?}", w.name))?;
+        runs.push(profile_one(w, "sequential", &tp)?);
+        if w.parallelizes {
+            let src = adds::core::parallelize_to_source(w.source)
+                .map_err(|e| format!("{}: parallelize failed: {e:?}", w.name))?;
+            let tp = check_source(&src).map_err(|e| format!("{}: {e:?}", w.name))?;
+            runs.push(profile_one(w, "parallelized", &tp)?);
+        }
+    }
+    Ok(runs)
+}
+
+fn to_json(runs: &[ProfiledRun]) -> Json {
+    Json::obj([
+        ("schema", Json::str("adds.profile/v1")),
+        ("pes", Json::UInt(PES as u64)),
+        ("cost_model", Json::str("sequent")),
+        ("programs", Json::Arr(runs.iter().map(run_json).collect())),
+    ])
+}
+
+fn run_json(r: &ProfiledRun) -> Json {
+    let total = r.profile.total_ops().max(1);
+    Json::obj([
+        ("name", Json::str(r.name)),
+        ("variant", Json::str(r.variant)),
+        ("entry", Json::str(r.entry)),
+        ("stmts", Json::UInt(r.stmts)),
+        ("cycles", Json::UInt(r.cycles)),
+        ("total_ops", Json::UInt(r.profile.total_ops())),
+        (
+            "opcodes",
+            Json::Arr(
+                r.profile
+                    .ranked_opcodes()
+                    .into_iter()
+                    .map(|(op, n)| {
+                        Json::obj([
+                            ("op", Json::str(op.name())),
+                            ("count", Json::UInt(n)),
+                            (
+                                "share",
+                                Json::Float(((n as f64 / total as f64) * 1e4).round() / 1e4),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "loops",
+            Json::Arr(
+                r.profile
+                    .ranked_loops()
+                    .into_iter()
+                    .map(|((func, pc), l)| {
+                        Json::obj([
+                            ("func", Json::str(r.prog.func_name(func).unwrap_or("?"))),
+                            ("body_pc", Json::UInt(pc as u64)),
+                            ("iters", Json::UInt(l.iters)),
+                            ("cycles", Json::UInt(l.cycles)),
+                            ("max_iter_cycles", Json::UInt(l.max_iter_cycles)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn to_text(runs: &[ProfiledRun]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for r in runs {
+        let total = r.profile.total_ops();
+        let _ = writeln!(
+            s,
+            "{} ({}) — entry {}, {} ops, {} stmts, {} cycles @ {} PEs",
+            r.name, r.variant, r.entry, total, r.stmts, r.cycles, PES
+        );
+        let _ = writeln!(s, "  {:<14} {:>12} {:>7}", "opcode", "count", "share");
+        for (op, n) in r.profile.ranked_opcodes().into_iter().take(10) {
+            let _ = writeln!(
+                s,
+                "  {:<14} {:>12} {:>6.1}%",
+                op.name(),
+                n,
+                n as f64 / total.max(1) as f64 * 100.0
+            );
+        }
+        let loops = r.profile.ranked_loops();
+        if !loops.is_empty() {
+            let _ = writeln!(
+                s,
+                "  {:<22} {:>9} {:>12} {:>10}",
+                "parfor (func@pc)", "iters", "cycles", "max/iter"
+            );
+            for ((func, pc), l) in loops {
+                let site = format!("{}@{}", r.prog.func_name(func).unwrap_or("?"), pc);
+                let _ = writeln!(
+                    s,
+                    "  {:<22} {:>9} {:>12} {:>10}",
+                    site, l.iters, l.cycles, l.max_iter_cycles
+                );
+            }
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+/// The profile invariants `--check` pins (CI smoke): every run dispatched
+/// work, counts conserve under the ranking, and parallelized variants
+/// attribute at least one `parfor` site whose cycles fit the run.
+fn check_runs(runs: &[ProfiledRun]) -> Result<(), String> {
+    for r in runs {
+        let total = r.profile.total_ops();
+        if total == 0 {
+            return Err(format!("{} ({}): empty profile", r.name, r.variant));
+        }
+        let ranked_sum: u64 = r.profile.ranked_opcodes().iter().map(|&(_, n)| n).sum();
+        if ranked_sum != total {
+            return Err(format!(
+                "{} ({}): ranked opcode counts sum to {ranked_sum}, expected {total}",
+                r.name, r.variant
+            ));
+        }
+        let loops = r.profile.ranked_loops();
+        if r.variant == "parallelized" && loops.is_empty() {
+            return Err(format!(
+                "{} (parallelized): no parfor site attributed",
+                r.name
+            ));
+        }
+        for ((func, pc), l) in &loops {
+            if r.prog.func_name(*func).is_none() {
+                return Err(format!(
+                    "{} ({}): loop site references unknown function id {func}",
+                    r.name, r.variant
+                ));
+            }
+            if l.iters == 0 || l.cycles == 0 || l.max_iter_cycles > l.cycles {
+                return Err(format!(
+                    "{} ({}): degenerate loop profile at pc {pc}: {l:?}",
+                    r.name, r.variant
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Entry point for `adds-cli profile`. Returns the process exit code.
+pub fn run_profile(args: &Args) -> i32 {
+    if !args.files.is_empty() {
+        crate::emit_err(
+            "error: `profile` runs the built-in corpus workloads; \
+             use --program NAME to select one\n",
+        );
+        return 2;
+    }
+    let selected: Vec<&Workload> = if args.programs.is_empty() {
+        WORKLOADS.iter().collect()
+    } else {
+        let mut picked = Vec::new();
+        for name in &args.programs {
+            match WORKLOADS.iter().find(|w| w.name == name.as_str()) {
+                Some(w) => picked.push(w),
+                None => {
+                    let known: Vec<&str> = WORKLOADS.iter().map(|w| w.name).collect();
+                    crate::emit_err(&format!(
+                        "error: no profileable workload `{name}`; known: {}\n",
+                        known.join(", ")
+                    ));
+                    return 2;
+                }
+            }
+        }
+        picked
+    };
+    let runs = match profile_selected(&selected) {
+        Ok(r) => r,
+        Err(msg) => {
+            crate::emit_err(&format!("error: {msg}\n"));
+            return 1;
+        }
+    };
+    if args.check {
+        return match check_runs(&runs) {
+            Ok(()) => {
+                crate::emit(&format!("profile ok: {} run(s) validated\n", runs.len()));
+                0
+            }
+            Err(msg) => {
+                crate::emit_err(&format!("error: {msg}\n"));
+                1
+            }
+        };
+    }
+    match args.format {
+        Format::Json => crate::emit(&to_json(&runs).pretty()),
+        Format::Text => crate::emit(&to_text(&runs)),
+    }
+    0
+}

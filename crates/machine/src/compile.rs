@@ -258,6 +258,55 @@ pub(crate) enum Instr {
     IterEnd,
 }
 
+impl Instr {
+    /// The dense [`Opcode`](crate::profile::Opcode) of this instruction
+    /// (profiling counter index).
+    pub(crate) fn opcode(&self) -> crate::profile::Opcode {
+        use crate::profile::Opcode;
+        match self {
+            Instr::Const { .. } => Opcode::Const,
+            Instr::Copy { .. } => Opcode::Copy,
+            Instr::Pes { .. } => Opcode::Pes,
+            Instr::Alloc { .. } => Opcode::Alloc,
+            Instr::Load { .. } => Opcode::Load,
+            Instr::FuelLoad { .. } => Opcode::FuelLoad,
+            Instr::FuelCopy { .. } => Opcode::FuelCopy,
+            Instr::FuelConst { .. } => Opcode::FuelConst,
+            Instr::LoadIdx { .. } => Opcode::LoadIdx,
+            Instr::Store { .. } => Opcode::Store,
+            Instr::StoreIdx { .. } => Opcode::StoreIdx,
+            Instr::Un { .. } => Opcode::Un,
+            Instr::Bin { .. } => Opcode::Bin,
+            Instr::BinK { .. } => Opcode::BinK,
+            Instr::Sqrt { .. } => Opcode::Sqrt,
+            Instr::Fabs { .. } => Opcode::Fabs,
+            Instr::Abs { .. } => Opcode::Abs,
+            Instr::MinMax { .. } => Opcode::MinMax,
+            Instr::Itor { .. } => Opcode::Itor,
+            Instr::Print { .. } => Opcode::Print,
+            Instr::Call { .. } => Opcode::Call,
+            Instr::Ret { .. } => Opcode::Ret,
+            Instr::RetNull => Opcode::RetNull,
+            Instr::Jump { .. } => Opcode::Jump,
+            Instr::JumpIfFalse { .. } => Opcode::JumpIfFalse,
+            Instr::JumpCmpFalse { .. } => Opcode::JumpCmpFalse,
+            Instr::JumpCmpKFalse { .. } => Opcode::JumpCmpKFalse,
+            Instr::FuelJump { .. } => Opcode::FuelJump,
+            Instr::Branch => Opcode::Branch,
+            Instr::Fuel => Opcode::Fuel,
+            Instr::IntCheck { .. } => Opcode::IntCheck,
+            Instr::ChaseLoop { .. } => Opcode::ChaseLoop,
+            Instr::FieldRmw { .. } => Opcode::FieldRmw,
+            Instr::FieldRmwK { .. } => Opcode::FieldRmwK,
+            Instr::ForEnter { .. } => Opcode::ForEnter,
+            Instr::ForHead { .. } => Opcode::ForHead,
+            Instr::ForNext { .. } => Opcode::ForNext,
+            Instr::ParFor { .. } => Opcode::ParFor,
+            Instr::IterEnd => Opcode::IterEnd,
+        }
+    }
+}
+
 /// One compiled function.
 #[derive(Clone, Debug)]
 pub(crate) struct FuncCode {
@@ -295,6 +344,7 @@ pub struct CompiledProgram {
 impl CompiledProgram {
     /// Lower `tp` to bytecode. The pass is total on type-checked programs.
     pub fn compile(tp: &TypedProgram) -> CompiledProgram {
+        let _span = adds_obs::trace::span("machine.compile", "machine");
         let layouts = Layouts::from_adds(&tp.adds);
         let mut type_ids = HashMap::new();
         let mut type_layouts = Vec::new();
@@ -332,6 +382,14 @@ impl CompiledProgram {
     /// Id of function `name`, if defined.
     pub fn func_id(&self, name: &str) -> Option<u32> {
         self.names.get(name).copied()
+    }
+
+    /// Name of function `id`, if in range (profile rendering).
+    pub fn func_name(&self, id: u32) -> Option<&str> {
+        self.names
+            .iter()
+            .find(|(_, &v)| v == id)
+            .map(|(k, _)| k.as_str())
     }
 
     /// Number of compiled functions.

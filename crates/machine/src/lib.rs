@@ -12,6 +12,8 @@
 //! * [`vm`] — the bytecode executor: the fast engine every consumer runs
 //!   on, with cycle accounting, static strip scheduling of `parfor`
 //!   regions, and single-pass epoch-stamped conflict detection,
+//! * [`profile`] — opt-in VM profiling: dense per-opcode execution
+//!   counters and per-`parfor` cycle attribution (`adds-cli profile`),
 //! * [`interp`] — the original tree-walking interpreter, kept as the
 //!   semantic reference for differential testing,
 //! * [`diff`] — the differential harness comparing the two engines on any
@@ -29,6 +31,7 @@ pub mod diff;
 pub mod exec;
 pub mod interp;
 mod ops;
+pub mod profile;
 pub mod sequent;
 pub mod shapecheck;
 pub mod value;
@@ -39,6 +42,7 @@ pub use conflict::ConflictTable;
 pub use cost::CostModel;
 pub use exec::{Conflict, Exec, ExecStats, MachineConfig, RuntimeError};
 pub use interp::Interp;
+pub use profile::{LoopProfile, Opcode, VmProfile};
 pub use sequent::{
     run_barnes_hut, run_barnes_hut_compiled, run_barnes_hut_interp, uniform_cloud, BodyInit, SimRun,
 };

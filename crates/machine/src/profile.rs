@@ -1,0 +1,281 @@
+//! Opt-in VM profiling: a dense per-opcode execution counter array plus
+//! per-`parfor`-site cycle attribution.
+//!
+//! The profile answers the two questions superinstruction work needs:
+//! *which opcodes dominate dynamic dispatch* (so fusion candidates are
+//! chosen from evidence, not intuition) and *which parallel loops the
+//! simulated cycles actually go to*. Profiling is off by default — the
+//! dispatch loop pays one `Option` check per instruction — and enabled
+//! per-VM with [`crate::vm::Vm::enable_profiling`]; `adds-cli profile`
+//! is the user-facing frontend.
+
+use std::collections::HashMap;
+
+/// Dense opcode identifier — one variant per [`crate::compile`]
+/// instruction, used to index the profile's counter array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)] // names mirror the Instr variants 1:1
+pub enum Opcode {
+    Const,
+    Copy,
+    Pes,
+    Alloc,
+    Load,
+    FuelLoad,
+    FuelCopy,
+    FuelConst,
+    LoadIdx,
+    Store,
+    StoreIdx,
+    Un,
+    Bin,
+    BinK,
+    Sqrt,
+    Fabs,
+    Abs,
+    MinMax,
+    Itor,
+    Print,
+    Call,
+    Ret,
+    RetNull,
+    Jump,
+    JumpIfFalse,
+    JumpCmpFalse,
+    JumpCmpKFalse,
+    FuelJump,
+    Branch,
+    Fuel,
+    IntCheck,
+    ChaseLoop,
+    FieldRmw,
+    FieldRmwK,
+    ForEnter,
+    ForHead,
+    ForNext,
+    ParFor,
+    IterEnd,
+}
+
+impl Opcode {
+    /// Number of opcodes (the counter array length).
+    pub const COUNT: usize = 39;
+
+    /// Every opcode, in declaration order (`as usize` indexes this).
+    pub const ALL: &'static [Opcode] = &[
+        Opcode::Const,
+        Opcode::Copy,
+        Opcode::Pes,
+        Opcode::Alloc,
+        Opcode::Load,
+        Opcode::FuelLoad,
+        Opcode::FuelCopy,
+        Opcode::FuelConst,
+        Opcode::LoadIdx,
+        Opcode::Store,
+        Opcode::StoreIdx,
+        Opcode::Un,
+        Opcode::Bin,
+        Opcode::BinK,
+        Opcode::Sqrt,
+        Opcode::Fabs,
+        Opcode::Abs,
+        Opcode::MinMax,
+        Opcode::Itor,
+        Opcode::Print,
+        Opcode::Call,
+        Opcode::Ret,
+        Opcode::RetNull,
+        Opcode::Jump,
+        Opcode::JumpIfFalse,
+        Opcode::JumpCmpFalse,
+        Opcode::JumpCmpKFalse,
+        Opcode::FuelJump,
+        Opcode::Branch,
+        Opcode::Fuel,
+        Opcode::IntCheck,
+        Opcode::ChaseLoop,
+        Opcode::FieldRmw,
+        Opcode::FieldRmwK,
+        Opcode::ForEnter,
+        Opcode::ForHead,
+        Opcode::ForNext,
+        Opcode::ParFor,
+        Opcode::IterEnd,
+    ];
+
+    /// Stable display name (matches the `Instr` variant).
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::Const => "Const",
+            Opcode::Copy => "Copy",
+            Opcode::Pes => "Pes",
+            Opcode::Alloc => "Alloc",
+            Opcode::Load => "Load",
+            Opcode::FuelLoad => "FuelLoad",
+            Opcode::FuelCopy => "FuelCopy",
+            Opcode::FuelConst => "FuelConst",
+            Opcode::LoadIdx => "LoadIdx",
+            Opcode::Store => "Store",
+            Opcode::StoreIdx => "StoreIdx",
+            Opcode::Un => "Un",
+            Opcode::Bin => "Bin",
+            Opcode::BinK => "BinK",
+            Opcode::Sqrt => "Sqrt",
+            Opcode::Fabs => "Fabs",
+            Opcode::Abs => "Abs",
+            Opcode::MinMax => "MinMax",
+            Opcode::Itor => "Itor",
+            Opcode::Print => "Print",
+            Opcode::Call => "Call",
+            Opcode::Ret => "Ret",
+            Opcode::RetNull => "RetNull",
+            Opcode::Jump => "Jump",
+            Opcode::JumpIfFalse => "JumpIfFalse",
+            Opcode::JumpCmpFalse => "JumpCmpFalse",
+            Opcode::JumpCmpKFalse => "JumpCmpKFalse",
+            Opcode::FuelJump => "FuelJump",
+            Opcode::Branch => "Branch",
+            Opcode::Fuel => "Fuel",
+            Opcode::IntCheck => "IntCheck",
+            Opcode::ChaseLoop => "ChaseLoop",
+            Opcode::FieldRmw => "FieldRmw",
+            Opcode::FieldRmwK => "FieldRmwK",
+            Opcode::ForEnter => "ForEnter",
+            Opcode::ForHead => "ForHead",
+            Opcode::ForNext => "ForNext",
+            Opcode::ParFor => "ParFor",
+            Opcode::IterEnd => "IterEnd",
+        }
+    }
+}
+
+/// Cycle attribution for one `parfor` site (keyed by `(func id, body
+/// pc)` — the first instruction of the iteration body).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LoopProfile {
+    /// Iterations executed across all entries of the region.
+    pub iters: u64,
+    /// Simulated cycles summed over all iterations (per-iteration work,
+    /// before the busiest-PE reduction).
+    pub cycles: u64,
+    /// The most expensive single iteration, in cycles.
+    pub max_iter_cycles: u64,
+}
+
+/// A VM execution profile: dynamic opcode counts plus per-`parfor`
+/// cycle attribution. Deterministic for a deterministic program — the
+/// simulated clock, not wall time, is what's attributed.
+#[derive(Clone, Debug)]
+pub struct VmProfile {
+    /// Dynamic execution count per opcode, indexed by `Opcode as usize`.
+    pub op_counts: [u64; Opcode::COUNT],
+    /// Per-`parfor`-site attribution, keyed by `(func id, body pc)`.
+    pub loops: HashMap<(u32, u32), LoopProfile>,
+}
+
+impl Default for VmProfile {
+    fn default() -> Self {
+        VmProfile {
+            op_counts: [0; Opcode::COUNT],
+            loops: HashMap::new(),
+        }
+    }
+}
+
+impl VmProfile {
+    /// Total instructions dispatched.
+    pub fn total_ops(&self) -> u64 {
+        self.op_counts.iter().sum()
+    }
+
+    /// Opcodes with non-zero counts, most-executed first (count desc,
+    /// then declaration order for determinism).
+    pub fn ranked_opcodes(&self) -> Vec<(Opcode, u64)> {
+        let mut out: Vec<(Opcode, u64)> = Opcode::ALL
+            .iter()
+            .map(|&op| (op, self.op_counts[op as usize]))
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| (a.0 as u8).cmp(&(b.0 as u8))));
+        out
+    }
+
+    /// `parfor` sites, hottest (most total cycles) first; ties break on
+    /// the `(func, pc)` key for determinism.
+    pub fn ranked_loops(&self) -> Vec<((u32, u32), LoopProfile)> {
+        let mut out: Vec<((u32, u32), LoopProfile)> =
+            self.loops.iter().map(|(&k, &v)| (k, v)).collect();
+        out.sort_by(|a, b| b.1.cycles.cmp(&a.1.cycles).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Fold another profile into this one (aggregating across runs).
+    pub fn merge(&mut self, other: &VmProfile) {
+        for (a, b) in self.op_counts.iter_mut().zip(&other.op_counts) {
+            *a += b;
+        }
+        for (k, v) in &other.loops {
+            let e = self.loops.entry(*k).or_default();
+            e.iters += v.iters;
+            e.cycles += v.cycles;
+            e.max_iter_cycles = e.max_iter_cycles.max(v.max_iter_cycles);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_dense_and_in_declaration_order() {
+        assert_eq!(Opcode::ALL.len(), Opcode::COUNT);
+        for (i, op) in Opcode::ALL.iter().enumerate() {
+            assert_eq!(*op as usize, i, "{}", op.name());
+        }
+    }
+
+    #[test]
+    fn ranking_is_deterministic_and_descending() {
+        let mut p = VmProfile::default();
+        p.op_counts[Opcode::Load as usize] = 10;
+        p.op_counts[Opcode::Store as usize] = 10;
+        p.op_counts[Opcode::Call as usize] = 99;
+        let ranked = p.ranked_opcodes();
+        assert_eq!(ranked[0], (Opcode::Call, 99));
+        // Equal counts fall back to declaration order: Load before Store.
+        assert_eq!(ranked[1], (Opcode::Load, 10));
+        assert_eq!(ranked[2], (Opcode::Store, 10));
+        assert_eq!(p.total_ops(), 119);
+    }
+
+    #[test]
+    fn merge_aggregates_counts_and_loops() {
+        let mut a = VmProfile::default();
+        a.op_counts[Opcode::Bin as usize] = 5;
+        a.loops.insert(
+            (0, 7),
+            LoopProfile {
+                iters: 2,
+                cycles: 100,
+                max_iter_cycles: 60,
+            },
+        );
+        let mut b = VmProfile::default();
+        b.op_counts[Opcode::Bin as usize] = 3;
+        b.loops.insert(
+            (0, 7),
+            LoopProfile {
+                iters: 1,
+                cycles: 80,
+                max_iter_cycles: 80,
+            },
+        );
+        a.merge(&b);
+        assert_eq!(a.op_counts[Opcode::Bin as usize], 8);
+        let l = a.loops[&(0, 7)];
+        assert_eq!((l.iters, l.cycles, l.max_iter_cycles), (3, 180, 80));
+    }
+}

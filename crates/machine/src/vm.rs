@@ -33,8 +33,10 @@
 use crate::compile::{CompiledProgram, Instr};
 use crate::conflict::ConflictTable;
 use crate::exec::{Conflict, Exec, ExecStats, MachineConfig, RuntimeError};
+use crate::profile::VmProfile;
 use crate::shapecheck::ShapeReport;
 use crate::value::{Heap, NodeId, Value};
+use adds_obs::trace;
 
 type RResult<T> = Result<T, RuntimeError>;
 
@@ -72,6 +74,9 @@ pub struct Vm<'p> {
     table: ConflictTable,
     /// Inside a `parfor` iteration with conflict detection active.
     detecting: bool,
+    /// Opt-in execution profile ([`Vm::enable_profiling`]); `None` costs
+    /// the dispatch loop one branch per instruction.
+    profile: Option<Box<VmProfile>>,
 }
 
 impl<'p> Vm<'p> {
@@ -92,7 +97,27 @@ impl<'p> Vm<'p> {
             pe_scratch: Vec::new(),
             table: ConflictTable::default(),
             detecting: false,
+            profile: None,
         }
+    }
+
+    /// Turn on per-opcode counting and `parfor` cycle attribution for
+    /// subsequent calls (see [`crate::profile`]). Idempotent; counts
+    /// accumulate across calls until [`Vm::take_profile`].
+    pub fn enable_profiling(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(Box::default());
+        }
+    }
+
+    /// The accumulated profile, if profiling is enabled.
+    pub fn profile(&self) -> Option<&VmProfile> {
+        self.profile.as_deref()
+    }
+
+    /// Detach the accumulated profile, turning profiling back off.
+    pub fn take_profile(&mut self) -> Option<Box<VmProfile>> {
+        self.profile.take()
     }
 
     /// Allocate a record of `ty` from host code.
@@ -116,6 +141,10 @@ impl<'p> Vm<'p> {
 
     /// Call a function by name with the given argument values.
     pub fn call(&mut self, name: &str, args: &[Value]) -> RResult<Value> {
+        let mut span = trace::span("machine.run", "machine");
+        if let Some(s) = span.as_mut() {
+            s.arg("func", name);
+        }
         let func = self
             .prog
             .func_id(name)
@@ -191,7 +220,11 @@ impl<'p> Vm<'p> {
             // SAFETY: every jump target is compiler-generated and in
             // bounds; straight-line fallthrough is terminated by
             // RetNull/IterEnd before the end of the code array.
-            match unsafe { code.get_unchecked(pc) } {
+            let instr = unsafe { code.get_unchecked(pc) };
+            if let Some(p) = self.profile.as_deref_mut() {
+                p.op_counts[instr.opcode() as usize] += 1;
+            }
+            match instr {
                 Instr::Const { dst, v } => self.set_slot(base, *dst, *v),
                 Instr::Copy { dst, src } => {
                     let v = self.slot(base, *src);
@@ -588,10 +621,18 @@ impl<'p> Vm<'p> {
             if matches!(ended, Ended::Returned(_)) {
                 return Err(RuntimeError::Other("return from inside parfor".to_string()));
             }
-            pe_time[pe] += self.clock - start_clock;
+            let iter_cycles = self.clock - start_clock;
+            pe_time[pe] += iter_cycles;
+            if let Some(p) = self.profile.as_deref_mut() {
+                let site = p.loops.entry((func, body_pc as u32)).or_default();
+                site.iters += 1;
+                site.cycles += iter_cycles;
+                site.max_iter_cycles = site.max_iter_cycles.max(iter_cycles);
+            }
         }
 
         if detect {
+            let _span = trace::span("machine.conflict-merge", "machine");
             if self.cfg.strict_conflicts {
                 if let Some(c) = self.table.first_conflict() {
                     return Err(RuntimeError::Conflict(c));
@@ -762,5 +803,64 @@ impl<'p> Exec for Vm<'p> {
     }
     fn heap(&self) -> &Heap {
         &self.heap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::diff::workloads;
+    use adds_lang::programs;
+    use adds_lang::types::check_source;
+
+    fn config() -> MachineConfig {
+        MachineConfig {
+            pes: 4,
+            cost: CostModel::sequent(),
+            detect_conflicts: true,
+            ..MachineConfig::default()
+        }
+    }
+
+    #[test]
+    fn profiling_counts_opcodes_and_attributes_parfor_cycles() {
+        let src = adds_core::parallelize_to_source(programs::LIST_SCALE_ADDS).unwrap();
+        let tp = check_source(&src).unwrap();
+        let prog = CompiledProgram::compile(&tp);
+        let mut vm = Vm::new(&prog, config());
+        vm.enable_profiling();
+        let head = workloads::scale_list(&mut vm, 100);
+        vm.call("scale", &[head, Value::Int(3)]).expect("runs");
+        let p = vm.take_profile().expect("profiling was enabled");
+        assert!(p.total_ops() > 0);
+        // The strip-mined walk's fused chase shows up, and so does the
+        // parallel region.
+        assert!(p.op_counts[crate::profile::Opcode::ChaseLoop as usize] > 0);
+        assert!(p.op_counts[crate::profile::Opcode::ParFor as usize] > 0);
+        let loops = p.ranked_loops();
+        assert!(!loops.is_empty(), "parfor site attributed");
+        let ((func, _pc), site) = loops[0];
+        assert!(site.iters > 0 && site.cycles > 0);
+        assert!(site.max_iter_cycles <= site.cycles);
+        assert_eq!(prog.func_name(func), Some("scale"));
+        // take_profile turned profiling back off.
+        assert!(vm.profile().is_none());
+    }
+
+    #[test]
+    fn profiling_does_not_perturb_simulation() {
+        let tp = check_source(programs::LIST_SCALE_ADDS).unwrap();
+        let prog = CompiledProgram::compile(&tp);
+        let run = |profiled: bool| {
+            let mut vm = Vm::new(&prog, config());
+            if profiled {
+                vm.enable_profiling();
+            }
+            let head = workloads::scale_list(&mut vm, 50);
+            vm.call("scale", &[head, Value::Int(3)]).expect("runs");
+            (vm.clock, vm.stats.stmts)
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -1,0 +1,384 @@
+//! A lock-light span recorder with Chrome `trace_event` JSON export.
+//!
+//! Tracing is **off by default** and gated by one global atomic:
+//! [`span`] costs a single relaxed load when disabled, so instrumentation
+//! points can stay in release builds. When enabled (CLI `--trace out.json`
+//! or `serve --trace`), each thread appends complete events (`"ph":"X"`)
+//! to its own fixed-capacity ring buffer behind a per-thread mutex —
+//! never contended in steady state, hence "lock-light" — with timestamps
+//! in microseconds since a global monotonic epoch.
+//!
+//! [`render`] serializes a snapshot as `adds.trace/v1`: a Chrome
+//! [`trace_event`] object (`{"schema":…,"traceEvents":[…]}`) that loads
+//! directly in `chrome://tracing` and Perfetto, which both ignore the
+//! extra top-level keys.
+//!
+//! [`trace_event`]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Schema tag stamped on every trace document.
+pub const TRACE_SCHEMA: &str = "adds.trace/v1";
+
+/// Per-thread ring capacity: old events are overwritten (and counted as
+/// dropped) once a thread records more than this many.
+pub const RING_CAPACITY: usize = 65_536;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static SINKS: Mutex<Vec<Arc<ThreadSink>>> = Mutex::new(Vec::new());
+
+/// One recorded complete event (Chrome `"ph":"X"`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Span name, e.g. `query.analyzed`.
+    pub name: &'static str,
+    /// Category, e.g. `query` / `serve` / `machine`.
+    pub cat: &'static str,
+    /// Microseconds since the trace epoch.
+    pub ts_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Recording thread's dense trace id.
+    pub tid: u32,
+    /// Key/value annotations (digest prefixes, hit/miss, status…).
+    pub args: Vec<(&'static str, String)>,
+}
+
+struct ThreadSink {
+    tid: u32,
+    ring: Mutex<Ring>,
+}
+
+#[derive(Default)]
+struct Ring {
+    buf: Vec<Event>,
+    /// Next overwrite position once `buf` is full.
+    next: usize,
+    dropped: u64,
+}
+
+thread_local! {
+    static SINK: std::cell::OnceCell<Arc<ThreadSink>> = const { std::cell::OnceCell::new() };
+}
+
+/// Turn the recorder on (idempotent; pins the epoch on first call).
+pub fn enable() {
+    let _ = EPOCH.get_or_init(Instant::now);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn the recorder off. Buffered events stay until [`clear`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Is the recorder on? One relaxed load — the whole disabled-path cost.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Drop all buffered events (the thread rings stay registered).
+pub fn clear() {
+    let sinks = SINKS.lock().unwrap_or_else(|e| e.into_inner());
+    for s in sinks.iter() {
+        let mut ring = s.ring.lock().unwrap_or_else(|e| e.into_inner());
+        ring.buf.clear();
+        ring.next = 0;
+        ring.dropped = 0;
+    }
+}
+
+/// Microseconds since the trace epoch (0 before [`enable`]).
+pub fn now_us() -> u64 {
+    match EPOCH.get() {
+        Some(epoch) => epoch.elapsed().as_micros() as u64,
+        None => 0,
+    }
+}
+
+fn with_sink(f: impl FnOnce(&ThreadSink)) {
+    SINK.with(|cell| {
+        let sink = cell.get_or_init(|| {
+            let sink = Arc::new(ThreadSink {
+                tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+                ring: Mutex::new(Ring::default()),
+            });
+            SINKS
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(Arc::clone(&sink));
+            sink
+        });
+        f(sink);
+    });
+}
+
+fn push_event(mut event: Event) {
+    with_sink(|sink| {
+        event.tid = sink.tid;
+        let mut ring = sink.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.buf.len() < RING_CAPACITY {
+            ring.buf.push(event);
+        } else {
+            let at = ring.next;
+            ring.buf[at] = event;
+            ring.next = (at + 1) % RING_CAPACITY;
+            ring.dropped += 1;
+        }
+    });
+}
+
+/// A live span; records one complete event over its lifetime when
+/// dropped. Obtain via [`span`].
+pub struct Span {
+    name: &'static str,
+    cat: &'static str,
+    start: Instant,
+    start_us: u64,
+    args: Vec<(&'static str, String)>,
+}
+
+impl Span {
+    /// Attach a key/value annotation (e.g. `hit/miss`, digest prefix).
+    pub fn arg(&mut self, key: &'static str, value: impl Into<String>) {
+        self.args.push((key, value.into()));
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        push_event(Event {
+            name: self.name,
+            cat: self.cat,
+            ts_us: self.start_us,
+            dur_us: self.start.elapsed().as_micros() as u64,
+            tid: 0,
+            args: std::mem::take(&mut self.args),
+        });
+    }
+}
+
+/// Open a span, or `None` (for ~free) when tracing is disabled. The span
+/// records itself when dropped; annotate along the way with
+/// [`Span::arg`].
+#[inline]
+pub fn span(name: &'static str, cat: &'static str) -> Option<Span> {
+    if !enabled() {
+        return None;
+    }
+    Some(Span {
+        name,
+        cat,
+        start: Instant::now(),
+        start_us: now_us(),
+        args: Vec::new(),
+    })
+}
+
+/// Record a complete event over an explicit `[start, end]` interval —
+/// for phases whose start precedes the decision to record them (e.g. the
+/// server's parse-body phase). No-op when disabled.
+pub fn complete_between(
+    name: &'static str,
+    cat: &'static str,
+    start: Instant,
+    end: Instant,
+    args: Vec<(&'static str, String)>,
+) {
+    if !enabled() {
+        return;
+    }
+    let epoch = match EPOCH.get() {
+        Some(e) => *e,
+        None => return,
+    };
+    let ts_us = start.saturating_duration_since(epoch).as_micros() as u64;
+    let dur_us = end.saturating_duration_since(start).as_micros() as u64;
+    push_event(Event {
+        name,
+        cat,
+        ts_us,
+        dur_us,
+        tid: 0,
+        args,
+    });
+}
+
+/// Snapshot every thread's buffered events, sorted by
+/// `(ts, tid, name)` for deterministic rendering. Does not clear.
+pub fn snapshot() -> Vec<Event> {
+    let sinks = SINKS.lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = Vec::new();
+    for s in sinks.iter() {
+        let ring = s.ring.lock().unwrap_or_else(|e| e.into_inner());
+        out.extend(ring.buf.iter().cloned());
+    }
+    out.sort_by(|a, b| {
+        (a.ts_us, a.tid, a.name)
+            .partial_cmp(&(b.ts_us, b.tid, b.name))
+            .expect("total order")
+    });
+    out
+}
+
+/// Total events overwritten by ring wrap-around across all threads.
+pub fn dropped() -> u64 {
+    let sinks = SINKS.lock().unwrap_or_else(|e| e.into_inner());
+    sinks
+        .iter()
+        .map(|s| s.ring.lock().unwrap_or_else(|e| e.into_inner()).dropped)
+        .sum()
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render events as an `adds.trace/v1` Chrome `trace_event` document.
+/// Byte-stable given the same events: fixed key order, no timestamps
+/// beyond the events themselves.
+pub fn render(events: &[Event]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"schema\":\"");
+    out.push_str(TRACE_SCHEMA);
+    out.push_str("\",\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        escape_into(&mut out, e.name);
+        out.push_str("\",\"cat\":\"");
+        escape_into(&mut out, e.cat);
+        out.push_str("\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+        out.push_str(&e.tid.to_string());
+        out.push_str(",\"ts\":");
+        out.push_str(&e.ts_us.to_string());
+        out.push_str(",\"dur\":");
+        out.push_str(&e.dur_us.to_string());
+        if !e.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (j, (k, v)) in e.args.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                escape_into(&mut out, k);
+                out.push_str("\":\"");
+                escape_into(&mut out, v);
+                out.push('"');
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Render the current buffer ([`snapshot`] + [`render`]).
+pub fn render_current() -> String {
+    render(&snapshot())
+}
+
+/// Write the current buffer to `path` as `adds.trace/v1` JSON.
+pub fn dump_to_file(path: &str) -> std::io::Result<()> {
+    std::fs::write(path, render_current())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The enable gate is process-global; tests that flip it hold this
+    /// lock so parallel test threads don't see each other's state.
+    static GATE: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_span_is_none() {
+        let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+        disable();
+        assert!(span("obs.test.noop", "test").is_none());
+        enable();
+        assert!(span("obs.test.gate", "test").is_some());
+        disable();
+    }
+
+    #[test]
+    fn spans_record_events_with_args() {
+        let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+        enable();
+        {
+            let mut s = span("obs.test.spans_record", "test").expect("enabled");
+            s.arg("outcome", "miss");
+        }
+        disable();
+        let events = snapshot();
+        let mine: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "obs.test.spans_record")
+            .collect();
+        assert!(!mine.is_empty());
+        assert_eq!(mine[0].cat, "test");
+        assert_eq!(mine[0].args, vec![("outcome", "miss".to_string())]);
+    }
+
+    #[test]
+    fn render_is_golden_for_fixed_events() {
+        let events = vec![
+            Event {
+                name: "query.analyzed",
+                cat: "query",
+                ts_us: 10,
+                dur_us: 250,
+                tid: 1,
+                args: vec![("digest", "9c0b44aa".into()), ("outcome", "miss".into())],
+            },
+            Event {
+                name: "serve.request",
+                cat: "serve",
+                ts_us: 300,
+                dur_us: 42,
+                tid: 2,
+                args: vec![],
+            },
+        ];
+        assert_eq!(
+            render(&events),
+            "{\"schema\":\"adds.trace/v1\",\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+             {\"name\":\"query.analyzed\",\"cat\":\"query\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\
+             \"ts\":10,\"dur\":250,\"args\":{\"digest\":\"9c0b44aa\",\"outcome\":\"miss\"}},\
+             {\"name\":\"serve.request\",\"cat\":\"serve\",\"ph\":\"X\",\"pid\":1,\"tid\":2,\
+             \"ts\":300,\"dur\":42}]}"
+        );
+    }
+
+    #[test]
+    fn render_escapes_strings() {
+        let events = vec![Event {
+            name: "x",
+            cat: "c",
+            ts_us: 0,
+            dur_us: 0,
+            tid: 1,
+            args: vec![("k", "a\"b\\c\nd".into())],
+        }];
+        let doc = render(&events);
+        assert!(doc.contains("a\\\"b\\\\c\\nd"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Property tests for the log₂-scale histogram: bucket placement and the
+//! "quantile estimate is within one bucket width of the true quantile"
+//! contract, over the proptest shim.
+
+use adds_obs::metrics::{bucket_index, bucket_lower, bucket_upper, Histogram, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every sample lands in the bucket whose bounds contain it.
+    #[test]
+    fn samples_land_in_their_bucket(value in 0u64..u64::MAX) {
+        let i = bucket_index(value);
+        prop_assert!(i < HISTOGRAM_BUCKETS);
+        prop_assert!(bucket_lower(i) <= value);
+        prop_assert!(value <= bucket_upper(i));
+    }
+
+    /// Recording a batch puts each count in exactly one bucket and keeps
+    /// count/sum consistent.
+    #[test]
+    fn recorded_counts_are_conserved(values in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let counts = h.bucket_counts();
+        prop_assert_eq!(counts.iter().sum::<u64>(), values.len() as u64);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        for &v in &values {
+            prop_assert!(counts[bucket_index(v)] > 0);
+        }
+    }
+
+    /// For every quantile, the estimate is the upper bound of the bucket
+    /// holding the true quantile — i.e. the true order statistic lies
+    /// within one bucket width of the estimate.
+    #[test]
+    fn quantile_estimates_bound_true_quantile(
+        values in proptest::collection::vec(0u64..1_000_000, 1..200),
+        qi in 1usize..100,
+    ) {
+        let q = qi as f64 / 100.0;
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let est = h.quantile(q);
+        let bucket = bucket_index(truth);
+        prop_assert_eq!(est, bucket_upper(bucket));
+        prop_assert!(bucket_lower(bucket) <= truth && truth <= est);
+    }
+}

@@ -30,6 +30,8 @@ use adds_lang::source::line_col;
 use adds_lang::TypedProgram;
 use adds_machine::compile::CompiledProgram;
 use adds_machine::{uniform_cloud, CostModel};
+use adds_obs::metrics::Histogram;
+use adds_obs::trace;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -130,6 +132,24 @@ impl QueryKind {
             QueryKind::Report => "reports",
         }
     }
+
+    /// Trace span name for this query (`query.` + [`QueryKind::name`]),
+    /// static so the recorder never allocates for it.
+    pub fn span_name(self) -> &'static str {
+        match self {
+            QueryKind::Parsed => "query.parsed",
+            QueryKind::Roundtrip => "query.roundtrip",
+            QueryKind::Typed => "query.typed",
+            QueryKind::AddsDecls => "query.adds_decls",
+            QueryKind::Analyzed => "query.analyzed",
+            QueryKind::Effects => "query.effects",
+            QueryKind::LoopVerdict => "query.loop_verdicts",
+            QueryKind::Transformed => "query.transformed",
+            QueryKind::Compiled => "query.compiled",
+            QueryKind::Run => "query.runs",
+            QueryKind::Report => "query.reports",
+        }
+    }
 }
 
 /// Per-digest entries kept in the diagnostic compute map. The map exists
@@ -147,6 +167,10 @@ const MAX_TRACKED_DIGESTS: usize = 65_536;
 struct ComputeCounters {
     totals: [std::sync::atomic::AtomicU64; QueryKind::ALL.len()],
     map: Mutex<HashMap<(QueryKind, Digest), u64>>,
+    /// Diagnostic entries discarded by the bounded-map reset — surfaced
+    /// in `/v1/stats` so operators can tell when per-digest reuse
+    /// assertions are running on incomplete data.
+    dropped: std::sync::atomic::AtomicU64,
 }
 
 impl ComputeCounters {
@@ -154,6 +178,8 @@ impl ComputeCounters {
         self.totals[kind as usize].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut map = self.map.lock().expect("compute counters");
         if map.len() >= MAX_TRACKED_DIGESTS && !map.contains_key(&(kind, digest)) {
+            self.dropped
+                .fetch_add(map.len() as u64, std::sync::atomic::Ordering::Relaxed);
             map.clear();
         }
         *map.entry((kind, digest)).or_insert(0) += 1;
@@ -171,6 +197,10 @@ impl ComputeCounters {
     fn total(&self, kind: QueryKind) -> u64 {
         self.totals[kind as usize].load(std::sync::atomic::Ordering::Relaxed)
     }
+
+    fn dropped(&self) -> u64 {
+        self.dropped.load(std::sync::atomic::Ordering::Relaxed)
+    }
 }
 
 /// The shared cache bank behind one or more databases (a forked database
@@ -180,6 +210,10 @@ struct Caches {
     artifact_stats: Arc<CacheStats>,
     report_stats: Arc<CacheStats>,
     counters: ComputeCounters,
+    /// Per-layer compute duration histograms (µs): every cache miss that
+    /// runs real analysis work records how long the compute took, so
+    /// `/v1/metrics` can rank layers by where time actually goes.
+    durations: [Histogram; QueryKind::ALL.len()],
     parsed: Cache<Result<Program, Failure>>,
     roundtrip: Cache<Result<ParseReport, Failure>>,
     typed: Cache<Result<TypedProgram, Failure>>,
@@ -213,6 +247,7 @@ impl Caches {
             runs: make(&report_stats, capacity),
             reports: make(&report_stats, capacity),
             counters: ComputeCounters::default(),
+            durations: std::array::from_fn(|_| Histogram::new()),
             artifact_stats,
             report_stats,
         }
@@ -306,6 +341,19 @@ impl AnalysisDb {
         self.caches.counters.total(kind)
     }
 
+    /// Diagnostic per-digest compute entries dropped by the bounded-map
+    /// reset (see `MAX_TRACKED_DIGESTS`). Non-zero means
+    /// [`AnalysisDb::computes`] answers are incomplete for old digests;
+    /// the per-kind totals stay exact.
+    pub fn dropped_digest_entries(&self) -> u64 {
+        self.caches.counters.dropped()
+    }
+
+    /// The compute-duration histogram (µs) of one query layer.
+    pub fn layer_duration(&self, kind: QueryKind) -> &Histogram {
+        &self.caches.durations[kind as usize]
+    }
+
     fn counted<V>(
         &self,
         cache: &Cache<V>,
@@ -314,10 +362,20 @@ impl AnalysisDb {
         fingerprint: &str,
         f: impl FnOnce() -> V,
     ) -> (Arc<V>, Outcome) {
-        cache.get_or_compute(digest, fingerprint, || {
+        let mut span = trace::span(kind.span_name(), "query");
+        let (value, outcome) = cache.get_or_compute(digest, fingerprint, || {
             self.caches.counters.bump(kind, digest);
-            f()
-        })
+            let started = std::time::Instant::now();
+            let v = f();
+            self.caches.durations[kind as usize].record(started.elapsed().as_micros() as u64);
+            v
+        });
+        if let Some(s) = span.as_mut() {
+            s.arg("layer", kind.name());
+            s.arg("digest", &digest.hex()[..8]);
+            s.arg("outcome", outcome.name());
+        }
+        (value, outcome)
     }
 
     // ----------------------------------------------------- artifact queries
@@ -857,6 +915,38 @@ mod tests {
         let (_, report, _) = db.stage_report(src, Stage::Analyze, false);
         assert!(!report.ok);
         assert!(!report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn computes_record_layer_durations() {
+        let db = AnalysisDb::new();
+        let src = programs::LIST_SCALE_ADDS;
+        assert_eq!(db.layer_duration(QueryKind::Typed).count(), 0);
+        let _ = db.typed(src);
+        assert_eq!(db.layer_duration(QueryKind::Parsed).count(), 1);
+        assert_eq!(db.layer_duration(QueryKind::Typed).count(), 1);
+        // Hits don't re-record: the histogram tracks compute cost only.
+        let _ = db.typed(src);
+        assert_eq!(db.layer_duration(QueryKind::Typed).count(), 1);
+    }
+
+    #[test]
+    fn bounded_compute_map_counts_dropped_entries() {
+        let counters = ComputeCounters::default();
+        for i in 0..MAX_TRACKED_DIGESTS {
+            counters.bump(QueryKind::Parsed, sha256(&(i as u64).to_le_bytes()));
+        }
+        assert_eq!(counters.dropped(), 0);
+        // One more distinct digest trips the reset and counts every
+        // discarded entry.
+        counters.bump(QueryKind::Parsed, sha256(b"one more"));
+        assert_eq!(counters.dropped(), MAX_TRACKED_DIGESTS as u64);
+        assert_eq!(counters.get(QueryKind::Parsed, &sha256(b"one more")), 1);
+        // Totals stay exact across the reset.
+        assert_eq!(
+            counters.total(QueryKind::Parsed),
+            MAX_TRACKED_DIGESTS as u64 + 1
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //!   fanned out over a fixed worker pool, routing
 //!   `POST /v1/{analyze,parallelize,run,check,parse,batch}`,
 //!   `GET /v1/report/{sha256}`, `GET /v1/corpus[/{name}]`,
-//!   `GET /v1/stats`, and `GET /healthz`.
+//!   `GET /v1/stats`, `GET /v1/metrics` (Prometheus text),
+//!   `GET /v1/trace` (Chrome `trace_event` JSON, with `--trace`), and
+//!   `GET /healthz`.
 //!
 //! The wire format *is* the CLI report format: `POST /v1/analyze` with a
 //! source body answers with a document byte-identical to

@@ -15,7 +15,9 @@
 //! | `GET /v1/report/{sha256}` | — | cached stage document or 404 |
 //! | `GET /v1/corpus` | — | built-in program list |
 //! | `GET /v1/corpus/{name}` | — | built-in program source (text) |
-//! | `GET /v1/stats` | — | `adds.serve-stats/v1` counters |
+//! | `GET /v1/stats` | — | `adds.serve-stats/v2` counters + latency |
+//! | `GET /v1/metrics` | — | Prometheus text (`adds.metrics/v1`) |
+//! | `GET /v1/trace` | — | `adds.trace/v1` buffered spans (needs `--trace`) |
 //! | `GET /healthz` | — | `ok` |
 //!
 //! `POST` endpoints accept `?name=NAME` to set the report's display name
@@ -62,6 +64,9 @@ use crate::pipeline::Stage;
 use crate::runner::RunOptions;
 use crate::service::{RunRequest, Service, SessionConfig, StageRequest};
 use crate::sha::Digest;
+use adds_obs::metrics::{prom_counter, prom_gauge, prom_histogram, Counter, Gauge, Histogram};
+use adds_obs::trace;
+use adds_query::QueryKind;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -77,6 +82,13 @@ pub struct ServeOptions {
     pub cache_capacity: usize,
     /// Emit one structured JSON access-log line per request on stdout.
     pub log: bool,
+    /// Record metrics (latency histograms, gauges) and, when tracing is
+    /// on, spans. Default `true`; the bench driver's "bare" mode turns it
+    /// off to measure instrumentation overhead.
+    pub instrument: bool,
+    /// Write a Chrome `trace_event` JSON file here on shutdown
+    /// (`serve --trace out.json`); enables span recording.
+    pub trace_path: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -86,6 +98,8 @@ impl Default for ServeOptions {
             jobs: 0,
             cache_capacity: 0,
             log: false,
+            instrument: true,
+            trace_path: None,
         }
     }
 }
@@ -113,20 +127,145 @@ pub struct RequestStats {
     pub stats: AtomicU64,
     /// `GET /healthz`
     pub healthz: AtomicU64,
+    /// `GET /v1/metrics`
+    pub metrics: AtomicU64,
+    /// `GET /v1/trace`
+    pub trace: AtomicU64,
     /// Anything else (404s, bad methods, unreadable requests).
     pub other: AtomicU64,
 }
 
+/// Route classification for per-route metrics — one variant per
+/// `/v1/stats` request counter, dense so histograms index by it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+#[allow(missing_docs)] // names mirror the RequestStats fields 1:1
+pub enum Route {
+    Analyze,
+    Parallelize,
+    Run,
+    Check,
+    Parse,
+    Batch,
+    Report,
+    Corpus,
+    Stats,
+    Healthz,
+    Metrics,
+    Trace,
+    Other,
+}
+
+impl Route {
+    /// Number of routes (the histogram array length).
+    pub const COUNT: usize = 13;
+
+    /// Every route, in declaration order (`as usize` indexes this).
+    pub const ALL: &'static [Route] = &[
+        Route::Analyze,
+        Route::Parallelize,
+        Route::Run,
+        Route::Check,
+        Route::Parse,
+        Route::Batch,
+        Route::Report,
+        Route::Corpus,
+        Route::Stats,
+        Route::Healthz,
+        Route::Metrics,
+        Route::Trace,
+        Route::Other,
+    ];
+
+    /// Stable metric label (matches the `/v1/stats` request keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            Route::Analyze => "analyze",
+            Route::Parallelize => "parallelize",
+            Route::Run => "run",
+            Route::Check => "check",
+            Route::Parse => "parse",
+            Route::Batch => "batch",
+            Route::Report => "report",
+            Route::Corpus => "corpus",
+            Route::Stats => "stats",
+            Route::Healthz => "healthz",
+            Route::Metrics => "metrics",
+            Route::Trace => "trace",
+            Route::Other => "other",
+        }
+    }
+
+    /// Classify a request the same way [`ServerState::handle`] routes it.
+    pub fn classify(method: &str, path: &str) -> Route {
+        match (method, path) {
+            ("GET", "/healthz") => Route::Healthz,
+            ("GET", "/v1/stats") => Route::Stats,
+            ("GET", "/v1/metrics") => Route::Metrics,
+            ("GET", "/v1/trace") => Route::Trace,
+            ("GET", p) if p == "/v1/corpus" || p.starts_with("/v1/corpus/") => Route::Corpus,
+            ("GET", p) if p.starts_with("/v1/report/") => Route::Report,
+            ("POST", "/v1/analyze") => Route::Analyze,
+            ("POST", "/v1/parallelize") => Route::Parallelize,
+            ("POST", "/v1/run") => Route::Run,
+            ("POST", "/v1/check") => Route::Check,
+            ("POST", "/v1/parse") => Route::Parse,
+            ("POST", "/v1/batch") => Route::Batch,
+            _ => Route::Other,
+        }
+    }
+}
+
+/// Per-route latency histograms plus connection gauges — the
+/// `GET /v1/metrics` backing store. All lock-free.
+pub struct ServeMetrics {
+    /// Request latency (µs) per route, indexed by `Route as usize`.
+    pub route_latency: [Histogram; Route::COUNT],
+    /// Total request body bytes read.
+    pub bytes_in: Counter,
+    /// Connections currently open.
+    pub open_connections: Gauge,
+    /// Connections currently parked in (or serving) keep-alive reuse.
+    pub keepalive_connections: Gauge,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics {
+            route_latency: std::array::from_fn(|_| Histogram::new()),
+            bytes_in: Counter::new(),
+            open_connections: Gauge::new(),
+            keepalive_connections: Gauge::new(),
+        }
+    }
+}
+
 /// The shared server state: the session-backed [`Service`] plus request
 /// counters. Routing lives here so tests can drive it without sockets.
-#[derive(Default)]
 pub struct ServerState {
     /// The demand-driven stage/run executor.
     pub service: Service,
     /// Per-endpoint counters surfaced by `/v1/stats`.
     pub requests: RequestStats,
+    /// Latency histograms and connection gauges (`/v1/metrics`).
+    pub metrics: ServeMetrics,
     /// Emit access-log lines (`serve --log`).
     pub log_requests: bool,
+    /// Record latency/gauges and (when tracing) spans; off in the bench
+    /// driver's bare mode.
+    pub instrument: bool,
+}
+
+impl Default for ServerState {
+    fn default() -> Self {
+        ServerState {
+            service: Service::default(),
+            requests: RequestStats::default(),
+            metrics: ServeMetrics::default(),
+            log_requests: false,
+            instrument: true,
+        }
+    }
 }
 
 /// Most items accepted in one `/v1/batch` request.
@@ -154,6 +293,18 @@ impl ServerState {
             ("GET", "/v1/stats") => {
                 self.count(&self.requests.stats);
                 Response::json(200, self.stats_doc().pretty())
+            }
+            ("GET", "/v1/metrics") => {
+                self.count(&self.requests.metrics);
+                Response::text(200, self.metrics_text())
+            }
+            ("GET", "/v1/trace") => {
+                self.count(&self.requests.trace);
+                if trace::enabled() {
+                    Response::json(200, trace::render_current())
+                } else {
+                    Response::error(404, "tracing is off; start the server with --trace")
+                }
             }
             ("GET", "/v1/corpus") => {
                 self.count(&self.requests.corpus);
@@ -218,6 +369,8 @@ impl ServerState {
                     path,
                     "/healthz"
                         | "/v1/stats"
+                        | "/v1/metrics"
+                        | "/v1/trace"
                         | "/v1/corpus"
                         | "/v1/analyze"
                         | "/v1/parallelize"
@@ -235,15 +388,18 @@ impl ServerState {
         }
     }
 
-    /// The `/v1/stats` document (`adds.serve-stats/v1`): request-level
-    /// cache counters, per-query-layer compute counters, and per-endpoint
-    /// request counts. No timestamps — the document is a pure function of
-    /// the counters, so tests can golden it.
+    /// The `/v1/stats` document (`adds.serve-stats/v2`): request-level
+    /// cache counters, per-query-layer compute counters, per-endpoint
+    /// request counts, latency quantiles (per route and per query layer,
+    /// derived from the lock-free log₂ histograms), and connection
+    /// gauges. No timestamps — the document is a pure function of the
+    /// counters, so tests can golden it. (`/v2` added `queries.dropped`,
+    /// `latency`, and `connections` to the `/v1` shape.)
     pub fn stats_doc(&self) -> Json {
         let cs = self.service.stats();
         let u = |a: &AtomicU64| Json::UInt(a.load(Ordering::Relaxed));
         Json::obj([
-            ("schema", Json::str("adds.serve-stats/v1")),
+            ("schema", Json::str("adds.serve-stats/v2")),
             (
                 "cache",
                 Json::obj([
@@ -277,6 +433,10 @@ impl ServerState {
                                 ("hits".to_string(), u(&qs.hits)),
                                 ("misses".to_string(), u(&qs.misses)),
                                 ("evicted".to_string(), u(&qs.evicted)),
+                                (
+                                    "dropped".to_string(),
+                                    Json::UInt(self.service.db().dropped_digest_entries()),
+                                ),
                             ]
                         })
                         .collect(),
@@ -295,10 +455,167 @@ impl ServerState {
                     ("corpus", u(&self.requests.corpus)),
                     ("stats", u(&self.requests.stats)),
                     ("healthz", u(&self.requests.healthz)),
+                    ("metrics", u(&self.requests.metrics)),
+                    ("trace", u(&self.requests.trace)),
                     ("other", u(&self.requests.other)),
                 ]),
             ),
+            (
+                "latency",
+                Json::obj([
+                    (
+                        "routes",
+                        Json::Obj(
+                            Route::ALL
+                                .iter()
+                                .map(|&r| {
+                                    (
+                                        r.name().to_string(),
+                                        latency_summary(&self.metrics.route_latency[r as usize]),
+                                    )
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "layers",
+                        Json::Obj(
+                            QueryKind::ALL
+                                .iter()
+                                .map(|&k| {
+                                    (
+                                        k.name().to_string(),
+                                        latency_summary(self.service.db().layer_duration(k)),
+                                    )
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "connections",
+                Json::obj([
+                    ("open", Json::Int(self.metrics.open_connections.get())),
+                    (
+                        "keepalive",
+                        Json::Int(self.metrics.keepalive_connections.get()),
+                    ),
+                ]),
+            ),
         ])
+    }
+
+    /// The `GET /v1/metrics` body: Prometheus text exposition, headed by
+    /// a `# adds.metrics/v1` schema comment. Counters mirror `/v1/stats`;
+    /// the histograms add full per-route and per-query-layer latency
+    /// distributions (log₂ buckets, µs).
+    pub fn metrics_text(&self) -> String {
+        let cs = self.service.stats();
+        let qs = self.service.query_stats();
+        let a = |x: &AtomicU64| x.load(Ordering::Relaxed);
+        let mut out = String::from("# adds.metrics/v1\n");
+
+        out.push_str("# TYPE adds_requests_total counter\n");
+        for (&route, counter) in Route::ALL.iter().zip([
+            &self.requests.analyze,
+            &self.requests.parallelize,
+            &self.requests.run,
+            &self.requests.check,
+            &self.requests.parse,
+            &self.requests.batch,
+            &self.requests.report,
+            &self.requests.corpus,
+            &self.requests.stats,
+            &self.requests.healthz,
+            &self.requests.metrics,
+            &self.requests.trace,
+            &self.requests.other,
+        ]) {
+            let label = format!("route=\"{}\"", route.name());
+            prom_counter(&mut out, "adds_requests_total", &label, a(counter));
+        }
+        prom_counter(
+            &mut out,
+            "adds_request_body_bytes_total",
+            "",
+            self.metrics.bytes_in.get(),
+        );
+
+        out.push_str("# TYPE adds_cache_hits_total counter\n");
+        prom_counter(&mut out, "adds_cache_hits_total", "", a(&cs.hits));
+        prom_counter(&mut out, "adds_cache_misses_total", "", a(&cs.misses));
+        prom_counter(&mut out, "adds_cache_coalesced_total", "", a(&cs.coalesced));
+        prom_counter(&mut out, "adds_cache_evicted_total", "", a(&cs.evicted));
+        prom_gauge(
+            &mut out,
+            "adds_cache_entries",
+            "",
+            self.service.entries() as i64,
+        );
+
+        out.push_str("# TYPE adds_query_computes_total counter\n");
+        for (name, n) in self.service.query_computes() {
+            let label = format!("layer=\"{name}\"");
+            prom_counter(&mut out, "adds_query_computes_total", &label, n);
+        }
+        prom_counter(&mut out, "adds_query_cache_hits_total", "", a(&qs.hits));
+        prom_counter(&mut out, "adds_query_cache_misses_total", "", a(&qs.misses));
+        prom_counter(
+            &mut out,
+            "adds_query_cache_evicted_total",
+            "",
+            a(&qs.evicted),
+        );
+        prom_counter(
+            &mut out,
+            "adds_query_dropped_digests_total",
+            "",
+            self.service.db().dropped_digest_entries(),
+        );
+        prom_gauge(
+            &mut out,
+            "adds_query_artifact_entries",
+            "",
+            self.service.db().artifact_entries() as i64,
+        );
+
+        out.push_str("# TYPE adds_request_duration_us histogram\n");
+        for &route in Route::ALL {
+            let label = format!("route=\"{}\"", route.name());
+            prom_histogram(
+                &mut out,
+                "adds_request_duration_us",
+                &label,
+                &self.metrics.route_latency[route as usize],
+            );
+        }
+
+        out.push_str("# TYPE adds_query_duration_us histogram\n");
+        for &kind in QueryKind::ALL {
+            let label = format!("layer=\"{}\"", kind.name());
+            prom_histogram(
+                &mut out,
+                "adds_query_duration_us",
+                &label,
+                self.service.db().layer_duration(kind),
+            );
+        }
+
+        out.push_str("# TYPE adds_connections_open gauge\n");
+        prom_gauge(
+            &mut out,
+            "adds_connections_open",
+            "",
+            self.metrics.open_connections.get(),
+        );
+        prom_gauge(
+            &mut out,
+            "adds_connections_keepalive",
+            "",
+            self.metrics.keepalive_connections.get(),
+        );
+        out
     }
 
     fn stage_request(&self, stage: Stage, req: &Request) -> Response {
@@ -488,6 +805,18 @@ impl ServerState {
     }
 }
 
+/// A `{count, p50_us, p90_us, p99_us}` summary of one latency histogram
+/// (quantiles are log₂-bucket upper bounds — within one bucket width of
+/// the true value; 0 when empty).
+fn latency_summary(h: &Histogram) -> Json {
+    Json::obj([
+        ("count", Json::UInt(h.count())),
+        ("p50_us", Json::UInt(h.quantile(0.5))),
+        ("p90_us", Json::UInt(h.quantile(0.9))),
+        ("p99_us", Json::UInt(h.quantile(0.99))),
+    ])
+}
+
 /// One `adds.batch/v1` result object.
 fn batch_result(name: &Option<String>, digest: &Digest, cache: &str, ok: bool, doc: Json) -> Json {
     Json::obj([
@@ -613,10 +942,13 @@ pub struct Server {
     listener: TcpListener,
     state: Arc<ServerState>,
     jobs: usize,
+    trace_path: Option<String>,
 }
 
 impl Server {
-    /// Bind `opts.addr` and prepare `opts.jobs` workers.
+    /// Bind `opts.addr` and prepare `opts.jobs` workers. A `trace_path`
+    /// turns span recording on; the trace file is written when the server
+    /// stops.
     pub fn bind(opts: &ServeOptions) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&opts.addr)?;
         let jobs = if opts.jobs == 0 {
@@ -626,6 +958,9 @@ impl Server {
         } else {
             opts.jobs
         };
+        if opts.trace_path.is_some() {
+            trace::enable();
+        }
         Ok(Server {
             listener,
             state: Arc::new(ServerState {
@@ -634,9 +969,12 @@ impl Server {
                     versions: None,
                 }),
                 requests: RequestStats::default(),
+                metrics: ServeMetrics::default(),
                 log_requests: opts.log,
+                instrument: opts.instrument,
             }),
             jobs,
+            trace_path: opts.trace_path.clone(),
         })
     }
 
@@ -662,6 +1000,9 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        if let Some(path) = &self.trace_path {
+            trace::dump_to_file(path)?;
+        }
         Ok(())
     }
 
@@ -679,6 +1020,7 @@ impl Server {
             state: self.state,
             stop,
             workers,
+            trace_path: self.trace_path,
         })
     }
 }
@@ -724,6 +1066,47 @@ fn worker_loop(listener: &TcpListener, state: &ServerState, stop: &AtomicBool) {
 /// until the idle timeout, the per-connection cap, or a close. Socket
 /// errors are dropped: the client has gone away and the exit code of a
 /// server is not the place to report that.
+/// Keeps the connection gauges honest on every exit path: open on
+/// construction, closed (and un-counted from keep-alive, if parked
+/// there) on drop.
+struct ConnGauges<'a> {
+    metrics: &'a ServeMetrics,
+    on: bool,
+    keepalive: bool,
+}
+
+impl<'a> ConnGauges<'a> {
+    fn new(metrics: &'a ServeMetrics, on: bool) -> ConnGauges<'a> {
+        if on {
+            metrics.open_connections.inc();
+        }
+        ConnGauges {
+            metrics,
+            on,
+            keepalive: false,
+        }
+    }
+
+    /// The connection survived its first response and is now reusable.
+    fn entered_keepalive(&mut self) {
+        if self.on && !self.keepalive {
+            self.keepalive = true;
+            self.metrics.keepalive_connections.inc();
+        }
+    }
+}
+
+impl Drop for ConnGauges<'_> {
+    fn drop(&mut self) {
+        if self.on {
+            self.metrics.open_connections.dec();
+            if self.keepalive {
+                self.metrics.keepalive_connections.dec();
+            }
+        }
+    }
+}
+
 fn handle_connection(conn: &mut TcpStream, state: &ServerState) {
     let _ = conn.set_read_timeout(Some(SOCKET_TIMEOUT));
     let _ = conn.set_write_timeout(Some(SOCKET_TIMEOUT));
@@ -737,7 +1120,17 @@ fn handle_connection(conn: &mut TcpStream, state: &ServerState) {
     // `read_request` call. Responses are written through `get_mut`.
     let mut reader = std::io::BufReader::new(conn);
     let mut served = 0usize;
+    let mut gauges = ConnGauges::new(&state.metrics, state.instrument);
+    let tracing = state.instrument && trace::enabled();
     loop {
+        // The parse-body span must not absorb keep-alive idle time, so
+        // when tracing, block for the first byte *before* starting the
+        // clock.
+        if tracing {
+            use std::io::BufRead;
+            let _ = reader.fill_buf();
+        }
+        let parse_started = std::time::Instant::now();
         let req = match read_request(&mut reader) {
             Ok(req) => req,
             Err(BadRequest::Closed) => return,
@@ -754,23 +1147,67 @@ fn handle_connection(conn: &mut TcpStream, state: &ServerState) {
                 };
                 let resp = Response::error(status, &e.to_string());
                 if state.log_requests {
-                    emit_access_line("-", "-", &resp, 0);
+                    emit_access_line("-", "-", &resp, 0, 0);
+                }
+                if state.instrument {
+                    state.metrics.route_latency[Route::Other as usize].record(0);
                 }
                 let _ = write_response(reader.get_mut(), &resp, false);
                 return;
             }
         };
+        if tracing {
+            trace::complete_between(
+                "serve.parse-body",
+                "serve",
+                parse_started,
+                std::time::Instant::now(),
+                vec![("path", req.path.clone())],
+            );
+        }
         served += 1;
         let keep_alive = req.keep_alive && served < KEEPALIVE_MAX_REQUESTS;
+        let mut root = if tracing {
+            trace::span("serve.request", "serve")
+        } else {
+            None
+        };
         let started = std::time::Instant::now();
-        let resp = state.handle(&req);
+        let resp = {
+            let _execute = if tracing {
+                trace::span("serve.execute", "serve")
+            } else {
+                None
+            };
+            state.handle(&req)
+        };
         let micros = started.elapsed().as_micros() as u64;
-        if state.log_requests {
-            emit_access_line(&req.method, &req.path, &resp, micros);
+        if let Some(s) = root.as_mut() {
+            s.arg("method", req.method.clone());
+            s.arg("path", req.path.clone());
+            s.arg("status", resp.status.to_string());
         }
-        if write_response(reader.get_mut(), &resp, keep_alive).is_err() || !keep_alive {
+        if state.instrument {
+            let route = Route::classify(&req.method, &req.path);
+            state.metrics.route_latency[route as usize].record(micros);
+            state.metrics.bytes_in.add(req.body.len() as u64);
+        }
+        if state.log_requests {
+            emit_access_line(&req.method, &req.path, &resp, micros, req.body.len() as u64);
+        }
+        let write_ok = {
+            let _serialize = if tracing {
+                trace::span("serve.serialize", "serve")
+            } else {
+                None
+            };
+            write_response(reader.get_mut(), &resp, keep_alive).is_ok()
+        };
+        drop(root);
+        if !write_ok || !keep_alive {
             return;
         }
+        gauges.entered_keepalive();
         let _ = reader
             .get_ref()
             .set_read_timeout(Some(KEEPALIVE_IDLE_TIMEOUT));
@@ -779,7 +1216,7 @@ fn handle_connection(conn: &mut TcpStream, state: &ServerState) {
 
 /// Write one access-log line to stdout (locked per line; errors dropped —
 /// a closed stdout must not take the server down).
-fn emit_access_line(method: &str, path: &str, resp: &Response, micros: u64) {
+fn emit_access_line(method: &str, path: &str, resp: &Response, duration_us: u64, bytes_in: u64) {
     use std::io::Write;
     let line = logging::access_line(
         method,
@@ -787,7 +1224,8 @@ fn emit_access_line(method: &str, path: &str, resp: &Response, micros: u64) {
         resp.header("X-Adds-Sha256"),
         resp.header("X-Adds-Cache"),
         resp.status,
-        micros,
+        duration_us,
+        bytes_in,
     );
     let mut out = std::io::stdout().lock();
     let _ = writeln!(out, "{line}");
@@ -800,6 +1238,7 @@ pub struct ServerHandle {
     state: Arc<ServerState>,
     stop: Arc<AtomicBool>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    trace_path: Option<String>,
 }
 
 impl ServerHandle {
@@ -829,6 +1268,9 @@ impl Drop for ServerHandle {
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        if let Some(path) = &self.trace_path {
+            let _ = trace::dump_to_file(path);
         }
     }
 }

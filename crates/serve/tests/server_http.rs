@@ -537,51 +537,91 @@ fn stats_document_shape_is_golden_on_a_fresh_server() {
     let server = spawn_server(1);
     let (status, _, body) = http(server.addr(), "GET", "/v1/stats", b"");
     assert_eq!(status, 200);
-    let expected = "\
-{
-  \"schema\": \"adds.serve-stats/v1\",
-  \"cache\": {
-    \"hits\": 0,
-    \"misses\": 0,
-    \"coalesced\": 0,
-    \"in_flight\": 0,
-    \"evicted\": 0,
-    \"entries\": 0
-  },
-  \"queries\": {
-    \"parsed\": 0,
-    \"roundtrip\": 0,
-    \"typed\": 0,
-    \"adds_decls\": 0,
-    \"analyzed\": 0,
-    \"effects\": 0,
-    \"loop_verdicts\": 0,
-    \"transformed\": 0,
-    \"compiled\": 0,
-    \"runs\": 0,
-    \"reports\": 0,
-    \"entries\": 0,
-    \"hits\": 0,
-    \"misses\": 0,
-    \"evicted\": 0
-  },
-  \"requests\": {
-    \"analyze\": 0,
-    \"parallelize\": 0,
-    \"run\": 0,
-    \"check\": 0,
-    \"parse\": 0,
-    \"batch\": 0,
-    \"report\": 0,
-    \"corpus\": 0,
-    \"stats\": 1,
-    \"healthz\": 0,
-    \"other\": 0
-  }
-}
-";
+    // The full `adds.serve-stats/v2` document for one `/v1/stats` hit on
+    // a fresh single-worker server: all counters zero except the stats
+    // request itself and the requesting connection's own `open` gauge
+    // (latency for the stats route records *after* the handler, so its
+    // histogram is still empty here).
+    let expected = include_str!("golden/stats_fresh.json");
     assert_eq!(String::from_utf8_lossy(&body), expected);
     server.stop();
+}
+
+#[test]
+fn metrics_endpoint_serves_prometheus_text() {
+    let server = spawn_server(1);
+    // One analyze populates the request counter, its route latency
+    // histogram, and the per-layer query duration histograms.
+    let src = adds_serve::corpus::find("list_scale_adds").unwrap().source;
+    let (status, _, _) = http(server.addr(), "POST", "/v1/analyze", src.as_bytes());
+    assert_eq!(status, 200);
+    let (status, headers, body) = http(server.addr(), "GET", "/v1/metrics", b"");
+    assert_eq!(status, 200);
+    assert!(header(&headers, "Content-Type")
+        .unwrap_or_default()
+        .starts_with("text/plain"));
+    let text = String::from_utf8_lossy(&body);
+    assert!(text.starts_with("# adds.metrics/v1\n"), "{text}");
+    assert!(text.contains("adds_requests_total{route=\"analyze\"} 1"));
+    assert!(text.contains("adds_requests_total{route=\"metrics\"} 1"));
+    assert!(text.contains("adds_request_duration_us_count{route=\"analyze\"} 1"));
+    assert!(text.contains("adds_query_computes_total{layer=\"parsed\"} 1"));
+    assert!(text.contains("adds_query_duration_us_count{layer=\"analyzed\"} 1"));
+    assert!(text.contains("adds_cache_misses_total 1"));
+    assert!(text.contains("adds_connections_open 1"));
+    // The analyze body was counted.
+    assert!(text.contains(&format!("adds_request_body_bytes_total {}", src.len())));
+    // Stats and metrics agree on the analyze latency count.
+    let (_, _, stats) = http(server.addr(), "GET", "/v1/stats", b"");
+    let doc = Json::parse(&String::from_utf8_lossy(&stats)).expect("stats JSON");
+    let analyze = doc
+        .get("latency")
+        .and_then(|l| l.get("routes"))
+        .and_then(|r| r.get("analyze"))
+        .expect("latency.routes.analyze");
+    assert_eq!(analyze.get("count").unwrap().as_usize(), Some(1));
+    assert!(analyze.get("p50_us").unwrap().as_usize().unwrap() > 0);
+    server.stop();
+}
+
+#[test]
+fn trace_endpoint_returns_spans_when_tracing() {
+    // Tracing state is process-global, so this test owns its whole
+    // enable→serve→disable window.
+    let opts = ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 1,
+        trace_path: Some("/dev/null".to_string()),
+        ..ServeOptions::default()
+    };
+    let server = Server::bind(&opts).expect("bind").spawn().expect("spawn");
+    let src = adds_serve::corpus::find("list_sum").unwrap().source;
+    let (status, _, _) = http(server.addr(), "POST", "/v1/check", src.as_bytes());
+    assert_eq!(status, 200);
+    let (status, _, body) = http(server.addr(), "GET", "/v1/trace", b"");
+    assert_eq!(status, 200);
+    let text = String::from_utf8_lossy(&body);
+    let doc = Json::parse(&text).expect("trace JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("adds.trace/v1")
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("events");
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    assert!(names.contains(&"serve.request"), "{names:?}");
+    assert!(names.contains(&"serve.parse-body"), "{names:?}");
+    assert!(names.contains(&"serve.execute"), "{names:?}");
+    assert!(names.contains(&"serve.serialize"), "{names:?}");
+    assert!(names.contains(&"query.typed"), "{names:?}");
+    server.stop();
+    adds_obs::trace::disable();
+    adds_obs::trace::clear();
 }
 
 #[test]

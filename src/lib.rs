@@ -29,6 +29,10 @@
 //!   `transformed`, `compiled`, `run`) under the `(sha256, fingerprint)`
 //!   contract, shared by the CLI, the HTTP server, and — via [`api`] —
 //!   library consumers.
+//! * [`obs`] — the observability substrate threaded through all of the
+//!   above: lock-light span tracing with Chrome `trace_event` export
+//!   (`--trace out.json`), plus atomic counters/gauges and log-scale
+//!   latency histograms behind `GET /v1/metrics` and `/v1/stats`.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +53,7 @@ pub use adds_klimit as klimit;
 pub use adds_lang as lang;
 pub use adds_machine as machine;
 pub use adds_nbody as nbody;
+pub use adds_obs as obs;
 pub use adds_query as query;
 pub use adds_structures as structures;
 
