@@ -1,12 +1,16 @@
 //! S1 — `adds-serve` throughput: requests/sec through a real in-process
-//! HTTP server (TCP loopback, `Connection: close`), cold vs warm cache.
+//! HTTP server (TCP loopback), cold vs warm cache, serial vs parallel
+//! evaluation.
 //!
-//! Writes `BENCH_serve.json` (schema `adds.bench-serve/v2`) next to
+//! Writes `BENCH_serve.json` (schema `adds.bench-serve/v3`) next to
 //! `BENCH_machine.json` so the repository carries a service-layer
 //! perf-trajectory baseline. `/v2` added the `instrumentation` section:
 //! the keep-alive healthz volley with metrics recording on (the default)
 //! vs off (`instrument: false`), and the derived `overhead_pct`, which
-//! `--check` pins at ≤ 2%:
+//! `--check` pins at ≤ 2%. `/v3` adds `host_cpus`, the per-jobs cold
+//! rows, and the `parallel` section comparing a cold multi-item batch at
+//! `--jobs 1` vs `--jobs 4` (its `speedup` is only meaningful — and only
+//! enforced by `--check` — on a host with ≥ 4 CPUs):
 //!
 //! ```text
 //! cargo run --release -p adds-bench --bin bench_serve          # regen
@@ -19,11 +23,14 @@
 //!
 //! Rows:
 //! * `healthz` — the HTTP floor: connection setup + routing, no analysis.
-//! * `healthz keepalive` — the same volley over persistent connections
-//!   (`Connection: keep-alive`): routing cost without per-request TCP
-//!   setup.
-//! * `analyze cold` — every corpus program once against an empty cache
-//!   (all misses: full parse/check/analyze per request).
+//! * `healthz keepalive` — the same volley over persistent connections:
+//!   routing cost without per-request TCP setup.
+//! * `analyze cold@jobs=1|4` — every corpus program once against an
+//!   empty cache (all misses: full parse/check/analyze per request), at
+//!   both fan-out widths (per-function effects fan out within a request).
+//! * `batch cold@jobs=1|4` — ONE `/v1/batch` request carrying the whole
+//!   corpus against an empty cache: the parallel executor's headline
+//!   number (items fan out across workers, merged in input order).
 //! * `analyze warm` — repeated requests for one program (all hits: the
 //!   content-addressed cache answers without recompute).
 //! * `analyze warm+keepalive` — warm hits over persistent connections.
@@ -37,7 +44,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 
 const OUT_PATH: &str = "BENCH_serve.json";
-const SCHEMA: &str = "adds.bench-serve/v2";
+const SCHEMA: &str = "adds.bench-serve/v3";
 const JOBS: usize = 4;
 const CLIENT_THREADS: usize = 4;
 const WARM_REQUESTS: usize = 200;
@@ -51,9 +58,14 @@ fn spawn_server() -> ServerHandle {
 /// `instrument: false` is the bare baseline for the overhead row — no
 /// latency histograms, gauges, or span checks on the request path.
 fn spawn_server_with(instrument: bool) -> ServerHandle {
+    spawn_server_jobs(JOBS, instrument)
+}
+
+/// A server at an explicit fan-out width (the serial-vs-parallel rows).
+fn spawn_server_jobs(jobs: usize, instrument: bool) -> ServerHandle {
     let opts = ServeOptions {
         addr: "127.0.0.1:0".to_string(),
-        jobs: JOBS,
+        jobs,
         instrument,
         ..ServeOptions::default()
     };
@@ -63,12 +75,15 @@ fn spawn_server_with(instrument: bool) -> ServerHandle {
         .expect("spawn workers")
 }
 
-/// One request, response read to EOF; panics on a non-2xx status so a
-/// broken server can't "win" the benchmark by failing fast.
+/// One close-mode request: sends `Connection: close` explicitly (the
+/// server holds HTTP/1.1 sockets open by default, so EOF framing needs
+/// the header) and reads the response to EOF. Panics on a non-2xx status
+/// so a broken server can't "win" the benchmark by failing fast.
 fn request(addr: SocketAddr, method: &str, target: &str, body: &[u8]) {
     let mut conn = TcpStream::connect(addr).expect("connect");
     let head = format!(
-        "{method} {target} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+        "{method} {target} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n",
         body.len()
     );
     conn.write_all(head.as_bytes()).expect("write");
@@ -219,6 +234,23 @@ impl Row {
     }
 }
 
+/// The serial-vs-parallel cold-batch comparison, summarized so `--check`
+/// can enforce the speedup without re-deriving it from rows.
+struct Parallel {
+    /// CPUs the measuring host exposed; a single-core host cannot show a
+    /// wall-clock speedup no matter how well the executor scales, so
+    /// `--check` only enforces the ratio when this is ≥ [`JOBS`].
+    host_cpus: usize,
+    serial_ns: u64,
+    parallel_ns: u64,
+}
+
+impl Parallel {
+    fn speedup(&self) -> f64 {
+        self.serial_ns as f64 / self.parallel_ns.max(1) as f64
+    }
+}
+
 /// Volley size and rep count for the overhead pin. Larger and more
 /// repeated than the throughput rows: the overhead ratio divides two
 /// noisy numbers, so each side needs a volley long enough to amortize
@@ -289,29 +321,64 @@ fn measure() -> Vec<Row> {
     });
     server.stop();
 
-    // Cold: each corpus program once against an empty cache. A fresh
-    // server per rep keeps every rep genuinely cold.
-    let cold_ns = (0..REPS)
-        .map(|_| {
-            let server = spawn_server();
-            let mut total = 0u64;
-            for e in corpus::CORPUS {
+    // Cold: each corpus program once against an empty cache, at both
+    // fan-out widths (per-function `effects` queries fan out within each
+    // request). A fresh server per rep keeps every rep genuinely cold.
+    for (jobs, mode) in [(1usize, "cold@jobs=1"), (JOBS, "cold@jobs=4")] {
+        let cold_ns = (0..REPS)
+            .map(|_| {
+                let server = spawn_server_jobs(jobs, true);
+                let mut total = 0u64;
+                for e in corpus::CORPUS {
+                    let t0 = std::time::Instant::now();
+                    request(server.addr(), "POST", "/v1/analyze", e.source.as_bytes());
+                    total += t0.elapsed().as_nanos() as u64;
+                }
+                server.stop();
+                total
+            })
+            .min()
+            .expect("reps");
+        rows.push(Row {
+            endpoint: "analyze",
+            mode,
+            requests: corpus::CORPUS.len(),
+            threads: 1,
+            total_ns: cold_ns,
+        });
+    }
+
+    // Cold batch: ONE `/v1/batch` request carrying the whole corpus —
+    // the parallel executor's headline number. Items fan out across the
+    // session's workers and merge in input order; `jobs: 1` is the
+    // serial baseline for the `parallel` section's speedup.
+    let batch_body = {
+        let items: Vec<String> = corpus::CORPUS
+            .iter()
+            .map(|e| format!(r#"{{"stage": "analyze", "program": "{}"}}"#, e.name))
+            .collect();
+        format!(r#"{{"items": [{}]}}"#, items.join(","))
+    };
+    for (jobs, mode) in [(1usize, "cold@jobs=1"), (JOBS, "cold@jobs=4")] {
+        let batch_ns = (0..REPS)
+            .map(|_| {
+                let server = spawn_server_jobs(jobs, true);
                 let t0 = std::time::Instant::now();
-                request(server.addr(), "POST", "/v1/analyze", e.source.as_bytes());
-                total += t0.elapsed().as_nanos() as u64;
-            }
-            server.stop();
-            total
-        })
-        .min()
-        .expect("reps");
-    rows.push(Row {
-        endpoint: "analyze",
-        mode: "cold",
-        requests: corpus::CORPUS.len(),
-        threads: 1,
-        total_ns: cold_ns,
-    });
+                request(server.addr(), "POST", "/v1/batch", batch_body.as_bytes());
+                let ns = t0.elapsed().as_nanos() as u64;
+                server.stop();
+                ns
+            })
+            .min()
+            .expect("reps");
+        rows.push(Row {
+            endpoint: "batch",
+            mode,
+            requests: corpus::CORPUS.len(),
+            threads: jobs,
+            total_ns: batch_ns,
+        });
+    }
 
     // Warm: repeated identical requests served from the cache.
     for (endpoint, target) in [
@@ -378,11 +445,19 @@ fn measure() -> Vec<Row> {
     rows
 }
 
-fn render(rows: &[Row], overhead: &Overhead) -> String {
+fn render(rows: &[Row], overhead: &Overhead, parallel: &Parallel) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"schema\": \"{SCHEMA}\",");
     let _ = writeln!(s, "  \"jobs\": {JOBS},");
+    let _ = writeln!(s, "  \"host_cpus\": {},", parallel.host_cpus);
+    let _ = writeln!(s, "  \"parallel\": {{");
+    let _ = writeln!(s, "    \"endpoint\": \"batch\",");
+    let _ = writeln!(s, "    \"items\": {},", corpus::CORPUS.len());
+    let _ = writeln!(s, "    \"serial_ns\": {},", parallel.serial_ns);
+    let _ = writeln!(s, "    \"parallel_ns\": {},", parallel.parallel_ns);
+    let _ = writeln!(s, "    \"speedup\": {:.2}", parallel.speedup());
+    let _ = writeln!(s, "  }},");
     let _ = writeln!(s, "  \"instrumentation\": {{");
     let _ = writeln!(s, "    \"endpoint\": \"healthz\",");
     let _ = writeln!(s, "    \"mode\": \"keepalive\",");
@@ -423,6 +498,20 @@ const REQUIRED_KEYS: &[&str] = &[
 /// the healthz floor.
 const MAX_OVERHEAD_PCT: f64 = 2.0;
 
+/// The cold-batch speedup floor at 4 workers. Only enforced when the
+/// baseline was measured on a host with ≥ [`JOBS`] CPUs — a narrower box
+/// cannot show the wall-clock win however well the executor scales, so
+/// there `--check` validates the section's shape but not the ratio.
+const MIN_BATCH_SPEEDUP: f64 = 2.0;
+
+/// Extract the number following `"key": ` anywhere in `text`.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    text.split(&format!("\"{key}\": "))
+        .nth(1)
+        .and_then(|rest| rest.split(['\n', ',', '}']).next())
+        .and_then(|v| v.trim().parse().ok())
+}
+
 fn check(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     if !text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
@@ -431,9 +520,9 @@ fn check(path: &str) -> Result<(), String> {
              `cargo run --release -p adds-bench --bin bench_serve`"
         ));
     }
-    // `endpoint` appears once in the instrumentation header plus once per
-    // throughput row.
-    let entries = text.matches("\"endpoint\"").count().saturating_sub(1);
+    // `endpoint` appears once in the parallel header, once in the
+    // instrumentation header, plus once per throughput row.
+    let entries = text.matches("\"endpoint\"").count().saturating_sub(2);
     if entries < 2 {
         return Err(format!("`{path}` has {entries} rows, need >= 2"));
     }
@@ -444,17 +533,40 @@ fn check(path: &str) -> Result<(), String> {
             ));
         }
     }
-    let overhead: f64 = text
-        .split("\"overhead_pct\": ")
-        .nth(1)
-        .and_then(|rest| rest.split(['\n', ',']).next())
-        .and_then(|v| v.trim().parse().ok())
+    let overhead = json_number(&text, "overhead_pct")
         .ok_or(format!("`{path}` carries no parseable overhead_pct"))?;
     if overhead > MAX_OVERHEAD_PCT {
         return Err(format!(
             "`{path}` pins instrumentation overhead at {overhead:.2}% > {MAX_OVERHEAD_PCT}% — \
              the disabled-instrumentation path regressed; profile it before re-baselining"
         ));
+    }
+    // The `parallel` section: shape always, ratio only when the baseline
+    // host actually had the cores to show it.
+    for key in ["serial_ns", "parallel_ns", "speedup", "host_cpus"] {
+        if !text.contains(&format!("\"{key}\": ")) {
+            return Err(format!(
+                "`{path}` is stale: `{key}` missing — regenerate it with \
+                 `cargo run --release -p adds-bench --bin bench_serve`"
+            ));
+        }
+    }
+    let host_cpus = json_number(&text, "host_cpus").unwrap_or(0.0);
+    let speedup =
+        json_number(&text, "speedup").ok_or(format!("`{path}` carries no parseable speedup"))?;
+    if host_cpus >= JOBS as f64 && speedup < MIN_BATCH_SPEEDUP {
+        return Err(format!(
+            "`{path}` pins cold-batch speedup at {speedup:.2}x < {MIN_BATCH_SPEEDUP}x on a \
+             {host_cpus}-cpu host — the parallel executor regressed; profile before re-baselining"
+        ));
+    }
+    // Per-jobs cold rows present for both endpoints.
+    for mode in ["cold@jobs=1", "cold@jobs=4"] {
+        if text.matches(&format!("\"mode\": \"{mode}\"")).count() < 2 {
+            return Err(format!(
+                "`{path}` is stale: missing `{mode}` rows for analyze and batch"
+            ));
+        }
     }
     Ok(())
 }
@@ -473,6 +585,19 @@ fn main() {
     }
     let rows = measure();
     let overhead = measure_overhead();
+    let batch_ns = |mode: &str| {
+        rows.iter()
+            .find(|r| r.endpoint == "batch" && r.mode == mode)
+            .expect("batch row")
+            .total_ns
+    };
+    let parallel = Parallel {
+        host_cpus: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        serial_ns: batch_ns("cold@jobs=1"),
+        parallel_ns: batch_ns("cold@jobs=4"),
+    };
     for r in &rows {
         println!(
             "{:<12} {:<5} {:>5} requests x{} threads  {:>10.0} req/s",
@@ -489,7 +614,14 @@ fn main() {
         overhead.bare_ns,
         overhead.instrumented_ns
     );
-    let doc = render(&rows, &overhead);
+    println!(
+        "cold batch speedup at {JOBS} workers: {:.2}x on {} cpus (serial {} ns, parallel {} ns)",
+        parallel.speedup(),
+        parallel.host_cpus,
+        parallel.serial_ns,
+        parallel.parallel_ns
+    );
+    let doc = render(&rows, &overhead, &parallel);
     std::fs::write(OUT_PATH, &doc).expect("write BENCH_serve.json");
     println!("wrote {OUT_PATH}");
 }

@@ -175,7 +175,9 @@ INPUT SELECTION (parse/check/analyze/parallelize):
     FILE...           IL source files
 
 OPTIONS:
-    --jobs N          parallel batch/server workers (default: one per core)
+    --jobs N          parallel workers for batch/serve and query fan-out
+                      (default: one per core; output is byte-identical
+                      at every value)
     --addr HOST:PORT  serve: bind address            [default: 127.0.0.1:8199]
     --cache-cap N     serve: bound each cache to ~N entries (0 = unbounded)
     --log             serve: one JSON access-log line per request on stdout

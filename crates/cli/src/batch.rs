@@ -1,9 +1,10 @@
-//! Input collection and the rayon-parallel batch executor.
+//! Input collection and the parallel batch executor.
 //!
 //! Every selected program (built-in corpus entries and user files) becomes
-//! an [`InputUnit`]; units run through one shared analysis [`Session`]
-//! with `par_iter` on the configured worker count and results come back in
-//! input order, so output (and exit code aggregation) is deterministic
+//! an [`InputUnit`]; units fan out through one shared analysis
+//! [`Session`] on the `--jobs` worker budget (the session's deterministic
+//! executor — per-worker deques with stealing, results merged in input
+//! order), so output (and exit code aggregation) is byte-identical
 //! regardless of `--jobs`.
 //!
 //! Reports depend only on the source bytes plus the query fingerprint, so
@@ -17,7 +18,6 @@ use crate::corpus;
 use crate::report::ProgramReport;
 use adds_serve::pipeline::InputUnit;
 use adds_serve::service::{Session, StageRequest};
-use rayon::prelude::*;
 
 /// Resolve `--all`, `--program`, and file arguments into work units.
 /// Order: corpus entries first (corpus order), then files (argument order).
@@ -75,13 +75,8 @@ pub fn run_batch(units: &[InputUnit], args: &Args) -> Vec<ProgramReport> {
 /// [`run_batch`] exposing how many units were actually computed (the rest
 /// were cache hits), for tests and diagnostics.
 pub(crate) fn run_batch_memo(units: &[InputUnit], args: &Args) -> (Vec<ProgramReport>, usize) {
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(args.jobs)
-        .build_global()
-        .expect("thread pool");
-
     let stage = args.command.stage().expect("batch command has a stage");
-    let session = Session::new();
+    let session = Session::with_jobs(args.jobs);
     let request = StageRequest {
         stage,
         matrices: args.matrices,
@@ -92,10 +87,9 @@ pub(crate) fn run_batch_memo(units: &[InputUnit], args: &Args) -> (Vec<ProgramRe
     // the display name/origin are restored per input below. Single flight
     // means two workers hitting the same source concurrently still
     // compute once.
-    let reports = units
-        .par_iter()
-        .map(|u| session.stage(&u.source, request).named(&u.name, u.origin))
-        .collect();
+    let reports = session.par_map(units, |u| {
+        session.stage(&u.source, request).named(&u.name, u.origin)
+    });
     let stats = session.stats();
     let computed = stats.get(&stats.misses) as usize;
     (reports, computed)

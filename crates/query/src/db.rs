@@ -17,6 +17,7 @@
 
 use crate::cache::{Cache, CacheStats, Outcome};
 use crate::fingerprint::{Fingerprints, Versions};
+use crate::par::ParCounters;
 use crate::report::{
     CheckReport, FnReport, LoopEffectsReport, LoopReport, ParseReport, ProgramReport, ReasonEntry,
     SkippedLoop, TransformDecision, TransformReport, TypeSummary,
@@ -210,6 +211,10 @@ struct Caches {
     artifact_stats: Arc<CacheStats>,
     report_stats: Arc<CacheStats>,
     counters: ComputeCounters,
+    /// Parallel-executor counters (fan-outs, tasks, steals, worker
+    /// utilization) — per cache bank, like every other counter here, so
+    /// `/v1/stats` stays hermetic per server.
+    par: ParCounters,
     /// Per-layer compute duration histograms (µs): every cache miss that
     /// runs real analysis work records how long the compute took, so
     /// `/v1/metrics` can rank layers by where time actually goes.
@@ -247,6 +252,7 @@ impl Caches {
             runs: make(&report_stats, capacity),
             reports: make(&report_stats, capacity),
             counters: ComputeCounters::default(),
+            par: ParCounters::new(),
             durations: std::array::from_fn(|_| Histogram::new()),
             artifact_stats,
             report_stats,
@@ -261,6 +267,10 @@ impl Caches {
 pub struct AnalysisDb {
     fp: Arc<Fingerprints>,
     caches: Arc<Caches>,
+    /// Worker budget for internal query fan-outs (0 = one per core).
+    /// Parallelism never changes an answer, so this deliberately does
+    /// **not** participate in any fingerprint.
+    jobs: usize,
 }
 
 impl Default for AnalysisDb {
@@ -278,9 +288,18 @@ impl AnalysisDb {
     /// A database whose caches hold at most ~`capacity` entries each
     /// (0 = unbounded), evicting CLOCK-style.
     pub fn with_capacity(capacity: usize) -> AnalysisDb {
+        AnalysisDb::with_options(capacity, 0)
+    }
+
+    /// A database with an explicit cache capacity and fan-out worker
+    /// budget (`jobs`; 0 = one per core, 1 = fully serial evaluation).
+    /// The budget only affects wall-clock: reports are byte-identical at
+    /// every value.
+    pub fn with_options(capacity: usize, jobs: usize) -> AnalysisDb {
         AnalysisDb {
             fp: Arc::new(Fingerprints::default()),
             caches: Arc::new(Caches::new(capacity)),
+            jobs,
         }
     }
 
@@ -292,7 +311,30 @@ impl AnalysisDb {
         AnalysisDb {
             fp: Arc::new(Fingerprints::new(versions)),
             caches: Arc::clone(&self.caches),
+            jobs: self.jobs,
         }
+    }
+
+    /// The configured fan-out worker budget (0 = one per core).
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Parallel-executor counters (fan-outs, tasks, steals, worker
+    /// utilization), shared with everything on this cache bank.
+    pub fn par(&self) -> &ParCounters {
+        &self.caches.par
+    }
+
+    /// Map `f` over `items` on this database's worker budget, results in
+    /// input order — the fan-out batch frontends use for whole items.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.caches.par.map_ordered(self.jobs, items, f)
     }
 
     /// The composed fingerprint table this database keys under.
@@ -663,8 +705,10 @@ impl AnalysisDb {
         )
         .map_err(|e| format!("{name}: sequential run failed: {e:?}"))?;
 
-        let mut parallel = Vec::new();
-        for &pes in &opts.pes {
+        // Each PE count simulates independently; fan out and merge in
+        // `opts.pes` order. Errors surface in index order, so the first
+        // failing PE count reported matches the serial loop's.
+        let runs: Vec<Result<ParRun, String>> = self.par_map(&opts.pes, |&pes| {
             let par = adds_machine::run_barnes_hut_compiled(
                 &par_prog,
                 &bodies,
@@ -681,14 +725,18 @@ impl AnalysisDb {
                     (a.pos[d] - b.pos[d]).abs() < 1e-9 && (a.vel[d] - b.vel[d]).abs() < 1e-9
                 })
             });
-            parallel.push(ParRun {
+            Ok(ParRun {
                 pes,
                 cycles: par.cycles,
                 speedup: seq.cycles as f64 / par.cycles as f64,
                 conflicts: par.conflict_count,
                 parallel_rounds: par.parallel_rounds,
                 physics_matches,
-            });
+            })
+        });
+        let mut parallel = Vec::new();
+        for run in runs {
+            parallel.push(run?);
         }
 
         Ok(RunReport {
@@ -766,11 +814,11 @@ impl AnalysisDb {
                     Ok(a) => a,
                     Err(f) => return failed(f),
                 };
-                let mut functions = Vec::new();
-                for f in &c.tp.program.funcs {
-                    let Some(an) = c.analysis(&f.name) else {
-                        continue;
-                    };
+                // Per-function `effects` queries are independent (the
+                // fingerprint graph says so); fan them out and merge in
+                // program order — the serial output order.
+                let per_func = self.par_map(&c.tp.program.funcs, |f| {
+                    let an = c.analysis(&f.name)?;
                     let checks = self.effects(src, &f.name);
                     let checks = checks
                         .as_ref()
@@ -800,15 +848,16 @@ impl AnalysisDb {
                             }),
                         })
                         .collect();
-                    functions.push(FnReport {
+                    Some(FnReport {
                         name: f.name.clone(),
                         loops,
                         events: an.events.iter().map(|e| e.to_string()).collect(),
                         exit_valid: an.exit.fully_valid(),
                         exit_matrix: matrices
                             .then(|| an.exit.pm.render().lines().map(String::from).collect()),
-                    });
-                }
+                    })
+                });
+                let functions = per_func.into_iter().flatten().collect();
                 report.analyze = Some(crate::report::AnalyzeReport { functions });
             }
             Stage::Parallelize => match &*self.transformed(src) {

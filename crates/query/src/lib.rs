@@ -21,6 +21,10 @@
 //!   document renderers, and the cache/compute counters.
 //! * [`cache`] — the sharded, single-flight, optionally bounded
 //!   (CLOCK-evicting) content-hash cache underneath every query.
+//! * [`par`] — the deterministic parallel executor: fans independent
+//!   queries (per-function `effects`, per-PE runs, batch items) over a
+//!   bounded worker budget, merging results in canonical input order so
+//!   parallelism never changes a single output byte.
 //! * [`report`] / [`json`] / [`runner`] — the byte-stable report model
 //!   shared verbatim by the CLI and the server (plus a small JSON reader
 //!   for batch requests).
@@ -32,6 +36,7 @@ pub mod cache;
 pub mod db;
 pub mod fingerprint;
 pub mod json;
+pub mod par;
 pub mod report;
 pub mod runner;
 pub mod session;

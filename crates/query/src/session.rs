@@ -148,6 +148,10 @@ pub struct SessionConfig {
     pub cache_capacity: usize,
     /// Fingerprint version table override (None = the live defaults).
     pub versions: Option<Versions>,
+    /// Parallel fan-out worker budget (0 = one per core, 1 = serial).
+    /// Only affects wall-clock — every report is byte-identical at every
+    /// value, which the determinism tests pin.
+    pub jobs: usize,
 }
 
 /// One demand-driven analysis session over a shared [`AnalysisDb`].
@@ -165,14 +169,24 @@ impl Session {
         }
     }
 
-    /// A session with explicit capacity / fingerprint configuration.
+    /// A session with explicit capacity / fingerprint / parallelism
+    /// configuration.
     pub fn with_config(config: &SessionConfig) -> Session {
-        let db = AnalysisDb::with_capacity(config.cache_capacity);
+        let db = AnalysisDb::with_options(config.cache_capacity, config.jobs);
         let db = match &config.versions {
             Some(v) => db.fork_with_versions(v),
             None => db,
         };
         Session { db }
+    }
+
+    /// A session with an explicit fan-out worker budget (0 = one per
+    /// core, 1 = serial) and default caches/fingerprints.
+    pub fn with_jobs(jobs: usize) -> Session {
+        Session::with_config(&SessionConfig {
+            jobs,
+            ..SessionConfig::default()
+        })
     }
 
     /// The underlying query database (artifact-level queries:
@@ -240,6 +254,31 @@ impl Session {
     /// Artifact-level cache counters (parse … compile queries).
     pub fn query_stats(&self) -> &Arc<CacheStats> {
         self.db.artifact_stats()
+    }
+
+    /// Parallel-executor counters (fan-outs, tasks, steals, worker
+    /// utilization) — the `parallel` section of `/v1/stats`.
+    pub fn par_stats(&self) -> &crate::par::ParCounters {
+        self.db.par()
+    }
+
+    /// The session's fan-out worker budget (0 = one per core).
+    pub fn jobs(&self) -> usize {
+        self.db.jobs()
+    }
+
+    /// Map `f` over `items` on the session's worker budget, results in
+    /// input order. Batch frontends use this to execute whole items
+    /// concurrently through the shared database; determinism is the
+    /// executor's contract (canonical merge order, single-flight
+    /// coalescing underneath).
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.db.par_map(items, f)
     }
 
     /// Completed entries across the request-level caches.

@@ -15,7 +15,7 @@
 //! | `GET /v1/report/{sha256}` | — | cached stage document or 404 |
 //! | `GET /v1/corpus` | — | built-in program list |
 //! | `GET /v1/corpus/{name}` | — | built-in program source (text) |
-//! | `GET /v1/stats` | — | `adds.serve-stats/v2` counters + latency |
+//! | `GET /v1/stats` | — | `adds.serve-stats/v3` counters + latency |
 //! | `GET /v1/metrics` | — | Prometheus text (`adds.metrics/v1`) |
 //! | `GET /v1/trace` | — | `adds.trace/v1` buffered spans (needs `--trace`) |
 //! | `GET /healthz` | — | `ok` |
@@ -49,9 +49,10 @@
 //! to the matching single-request document — or `{error}` for items that
 //! could not run.
 //!
-//! Connections are one-request-per-connection unless the client opts into
-//! keep-alive; see [`crate::http`]. With `--log`, every request emits one
-//! structured JSON line ([`crate::logging`]) on stdout.
+//! Connections are persistent by default (HTTP/1.1 keep-alive) unless the
+//! client sends `Connection: close`; see [`crate::http`]. With `--log`,
+//! every request emits one structured JSON line ([`crate::logging`]) on
+//! stdout.
 
 use crate::corpus;
 use crate::http::{
@@ -76,7 +77,10 @@ use std::sync::Arc;
 pub struct ServeOptions {
     /// Bind address, e.g. `127.0.0.1:8199` (port 0 picks an ephemeral one).
     pub addr: String,
-    /// Worker threads (0 = one per core).
+    /// Worker budget (0 = one per core): HTTP worker threads, and the
+    /// session's parallel fan-out width (batch items, per-function
+    /// effects, per-PE runs). Only affects wall-clock — responses are
+    /// byte-identical at every value.
     pub jobs: usize,
     /// Per-cache entry bound (0 = unbounded) with CLOCK eviction.
     pub cache_capacity: usize,
@@ -388,18 +392,19 @@ impl ServerState {
         }
     }
 
-    /// The `/v1/stats` document (`adds.serve-stats/v2`): request-level
+    /// The `/v1/stats` document (`adds.serve-stats/v3`): request-level
     /// cache counters, per-query-layer compute counters, per-endpoint
     /// request counts, latency quantiles (per route and per query layer,
-    /// derived from the lock-free log₂ histograms), and connection
-    /// gauges. No timestamps — the document is a pure function of the
-    /// counters, so tests can golden it. (`/v2` added `queries.dropped`,
-    /// `latency`, and `connections` to the `/v1` shape.)
+    /// derived from the lock-free log₂ histograms), parallel-executor
+    /// counters, and connection gauges. No timestamps — the document is a
+    /// pure function of the counters, so tests can golden it. (`/v2`
+    /// added `queries.dropped`, `latency`, and `connections` to the `/v1`
+    /// shape; `/v3` added `parallel`.)
     pub fn stats_doc(&self) -> Json {
         let cs = self.service.stats();
         let u = |a: &AtomicU64| Json::UInt(a.load(Ordering::Relaxed));
         Json::obj([
-            ("schema", Json::str("adds.serve-stats/v2")),
+            ("schema", Json::str("adds.serve-stats/v3")),
             (
                 "cache",
                 Json::obj([
@@ -493,6 +498,41 @@ impl ServerState {
                     ),
                 ]),
             ),
+            ("parallel", {
+                let par = self.service.par_stats();
+                let qs = self.service.query_stats();
+                let ut = par.utilization();
+                Json::obj([
+                    // The *configured* budget (0 = one per core), not
+                    // the resolved count: the document must stay a
+                    // pure function of the counters, host-independent,
+                    // so the golden test can pin it.
+                    ("jobs", Json::UInt(self.service.jobs() as u64)),
+                    ("fanouts", Json::UInt(par.fanouts())),
+                    ("inline", Json::UInt(par.inline_runs())),
+                    ("tasks", Json::UInt(par.tasks())),
+                    ("steals", Json::UInt(par.steals())),
+                    // Single-flight coalescing across both cache
+                    // banks: concurrent duplicate demands that shared
+                    // one compute instead of racing.
+                    (
+                        "coalesced_flights",
+                        Json::UInt(
+                            qs.coalesced.load(Ordering::Relaxed)
+                                + cs.coalesced.load(Ordering::Relaxed),
+                        ),
+                    ),
+                    (
+                        "utilization_pct",
+                        Json::obj([
+                            ("count", Json::UInt(ut.count())),
+                            ("p50", Json::UInt(ut.quantile(0.5))),
+                            ("p90", Json::UInt(ut.quantile(0.9))),
+                            ("p99", Json::UInt(ut.quantile(0.99))),
+                        ]),
+                    ),
+                ])
+            }),
             (
                 "connections",
                 Json::obj([
@@ -578,6 +618,27 @@ impl ServerState {
             "adds_query_artifact_entries",
             "",
             self.service.db().artifact_entries() as i64,
+        );
+
+        let par = self.service.par_stats();
+        out.push_str("# TYPE adds_par_tasks_total counter\n");
+        prom_counter(&mut out, "adds_par_fanouts_total", "", par.fanouts());
+        prom_counter(&mut out, "adds_par_inline_total", "", par.inline_runs());
+        prom_counter(&mut out, "adds_par_tasks_total", "", par.tasks());
+        prom_counter(&mut out, "adds_par_steals_total", "", par.steals());
+        prom_counter(
+            &mut out,
+            "adds_par_coalesced_flights_total",
+            "",
+            a(&qs.coalesced) + a(&cs.coalesced),
+        );
+
+        out.push_str("# TYPE adds_par_worker_utilization_pct histogram\n");
+        prom_histogram(
+            &mut out,
+            "adds_par_worker_utilization_pct",
+            "",
+            par.utilization(),
         );
 
         out.push_str("# TYPE adds_request_duration_us histogram\n");
@@ -689,16 +750,52 @@ impl ServerState {
                 &format!("batch accepts at most {MAX_BATCH_RUN_ITEMS} `run` items"),
             );
         }
+        // Resolve every item up front (corpus lookup, option parsing) so
+        // execution works over plain data, then execute each *distinct*
+        // cache key once, concurrently, through the shared session.
+        // Duplicates are answered afterwards from the warm cache, so
+        // their `cache` labels ("hit") match a serial left-to-right
+        // execution exactly — parallelism must never leak into the bytes.
+        let resolved: Vec<Result<BatchItem, String>> =
+            items.iter().map(|i| self.resolve_batch_item(i)).collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut firsts: Vec<usize> = Vec::new();
+        let mut dups: Vec<usize> = Vec::new();
+        for (i, r) in resolved.iter().enumerate() {
+            if let Ok(item) = r {
+                if seen.insert(item.cache_key(&self.service)) {
+                    firsts.push(i);
+                } else {
+                    dups.push(i);
+                }
+            }
+        }
+        let first_results = self.service.par_map(&firsts, |&i| match &resolved[i] {
+            Ok(item) => self.exec_batch_item(item),
+            Err(_) => unreachable!("only resolved items are scheduled"),
+        });
+
+        let mut slots: Vec<Option<(bool, Json)>> = resolved
+            .iter()
+            .map(|r| match r {
+                Ok(_) => None,
+                Err(msg) => Some((false, Json::obj([("error", Json::str(msg))]))),
+            })
+            .collect();
+        for (&i, result) in firsts.iter().zip(first_results) {
+            slots[i] = Some(result);
+        }
+        for i in dups {
+            let Ok(item) = &resolved[i] else {
+                unreachable!()
+            };
+            slots[i] = Some(self.exec_batch_item(item));
+        }
+
         let mut ok = true;
         let mut results = Vec::with_capacity(items.len());
-        for item in items {
-            let result = self.batch_item(item);
-            if let Err(msg) = &result {
-                ok = false;
-                results.push(Json::obj([("error", Json::str(msg))]));
-                continue;
-            }
-            let (item_ok, json) = result.expect("checked");
+        for slot in slots {
+            let (item_ok, json) = slot.expect("every item answered");
             ok &= item_ok;
             results.push(json);
         }
@@ -710,8 +807,8 @@ impl ServerState {
         Response::json(200, doc.pretty())
     }
 
-    /// One batch item → `(ok, result object)` or an item-level error.
-    fn batch_item(&self, item: &Json) -> Result<(bool, Json), String> {
+    /// Validate one batch item into executable form (no session work yet).
+    fn resolve_batch_item(&self, item: &Json) -> Result<BatchItem, String> {
         let stage_name = item
             .get("stage")
             .and_then(Json::as_str)
@@ -734,44 +831,62 @@ impl ServerState {
             .map(str::to_string)
             .or(if name.is_empty() { None } else { Some(name) });
 
-        if stage_name == "run" {
-            let opts = batch_run_options(item)?;
-            let out = self.service.run(&source, &RunRequest { opts });
-            let (item_ok, doc) = match &*out.result {
-                Ok(report) => (true, Service::run_doc(report, display.as_deref())),
-                Err(msg) => {
-                    let msg = match &display {
-                        Some(n) => msg.replace(&out.digest.hex(), n),
-                        None => msg.clone(),
-                    };
-                    (false, Json::obj([("error", Json::str(&msg))]))
-                }
-            };
-            return Ok((
-                item_ok,
-                batch_result(&display, &out.digest, out.outcome.name(), item_ok, doc),
-            ));
-        }
+        let op = if stage_name == "run" {
+            BatchOp::Run(batch_run_options(item)?)
+        } else {
+            let stage =
+                Stage::parse_name(stage_name).ok_or(format!("unknown stage `{stage_name}`"))?;
+            let matrices = item
+                .get("matrices")
+                .and_then(Json::as_bool)
+                .unwrap_or(false);
+            BatchOp::Stage { stage, matrices }
+        };
+        Ok(BatchItem {
+            display,
+            source,
+            op,
+        })
+    }
 
-        let stage = Stage::parse_name(stage_name).ok_or(format!("unknown stage `{stage_name}`"))?;
-        let matrices = item
-            .get("matrices")
-            .and_then(Json::as_bool)
-            .unwrap_or(false);
-        let out = self
-            .service
-            .stage(&source, StageRequest { stage, matrices });
-        let doc = Service::stage_doc(stage, &out.report, display.as_deref());
-        Ok((
-            out.report.ok,
-            batch_result(
-                &display,
-                &out.digest,
-                out.outcome.name(),
-                out.report.ok,
-                doc,
-            ),
-        ))
+    /// Execute one resolved batch item → `(ok, result object)`.
+    fn exec_batch_item(&self, item: &BatchItem) -> (bool, Json) {
+        let display = &item.display;
+        match &item.op {
+            BatchOp::Run(opts) => {
+                let out = self
+                    .service
+                    .run(&item.source, &RunRequest { opts: opts.clone() });
+                let (item_ok, doc) = match &*out.result {
+                    Ok(report) => (true, Service::run_doc(report, display.as_deref())),
+                    Err(msg) => {
+                        let msg = match display {
+                            Some(n) => msg.replace(&out.digest.hex(), n),
+                            None => msg.clone(),
+                        };
+                        (false, Json::obj([("error", Json::str(&msg))]))
+                    }
+                };
+                (
+                    item_ok,
+                    batch_result(display, &out.digest, out.outcome.name(), item_ok, doc),
+                )
+            }
+            BatchOp::Stage { stage, matrices } => {
+                let out = self.service.stage(
+                    &item.source,
+                    StageRequest {
+                        stage: *stage,
+                        matrices: *matrices,
+                    },
+                );
+                let doc = Service::stage_doc(*stage, &out.report, display.as_deref());
+                (
+                    out.report.ok,
+                    batch_result(display, &out.digest, out.outcome.name(), out.report.ok, doc),
+                )
+            }
+        }
     }
 
     fn report_lookup(&self, hex: &str, req: &Request) -> Response {
@@ -815,6 +930,37 @@ fn latency_summary(h: &Histogram) -> Json {
         ("p90_us", Json::UInt(h.quantile(0.9))),
         ("p99_us", Json::UInt(h.quantile(0.99))),
     ])
+}
+
+/// One batch item, validated into executable form.
+struct BatchItem {
+    /// Caller's display name (`name`, or the corpus program name).
+    display: Option<String>,
+    /// Resolved IL source text.
+    source: String,
+    /// What to do with it.
+    op: BatchOp,
+}
+
+/// The operation a batch item requests.
+enum BatchOp {
+    Run(RunOptions),
+    Stage { stage: Stage, matrices: bool },
+}
+
+impl BatchItem {
+    /// The `(digest, fingerprint)` cache key this item's request-level
+    /// query resolves to — the identity the batch executor dedupes on, so
+    /// two items that would share a cache entry never race for it.
+    fn cache_key(&self, service: &Service) -> (Digest, String) {
+        let digest = crate::sha::sha256(self.source.as_bytes());
+        let fp = service.db().fingerprints();
+        let fingerprint = match &self.op {
+            BatchOp::Run(opts) => fp.run_report(opts),
+            BatchOp::Stage { stage, matrices } => fp.stage_report(*stage, *matrices),
+        };
+        (digest, fingerprint)
+    }
 }
 
 /// One `adds.batch/v1` result object.
@@ -964,9 +1110,15 @@ impl Server {
         Ok(Server {
             listener,
             state: Arc::new(ServerState {
+                // One `jobs` budget for both layers: HTTP workers above,
+                // query fan-out workers below. A fan-out inside a request
+                // spawns scoped threads, so peak threads are bounded by
+                // jobs × jobs, not unbounded recursion (nested fan-outs
+                // run inline).
                 service: Service::with_config(&SessionConfig {
                     cache_capacity: opts.cache_capacity,
                     versions: None,
+                    jobs: opts.jobs,
                 }),
                 requests: RequestStats::default(),
                 metrics: ServeMetrics::default(),

@@ -23,70 +23,9 @@ fn spawn_server(jobs: usize) -> ServerHandle {
     Server::bind(&opts).expect("bind").spawn().expect("spawn")
 }
 
-/// Minimal HTTP client: one request, read to EOF (the server closes).
-/// Returns (status, headers, body).
-fn http(
-    addr: SocketAddr,
-    method: &str,
-    target: &str,
-    body: &[u8],
-) -> (u16, Vec<(String, String)>, Vec<u8>) {
-    let mut conn = TcpStream::connect(addr).expect("connect");
-    let head = format!(
-        "{method} {target} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
-        body.len()
-    );
-    conn.write_all(head.as_bytes()).expect("write head");
-    conn.write_all(body).expect("write body");
-    let mut raw = Vec::new();
-    conn.read_to_end(&mut raw).expect("read response");
-    let split = raw
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .expect("header terminator");
-    let head = String::from_utf8_lossy(&raw[..split]).into_owned();
-    let resp_body = raw[split + 4..].to_vec();
-    let mut lines = head.lines();
-    let status: u16 = lines
-        .next()
-        .expect("status line")
-        .split_whitespace()
-        .nth(1)
-        .expect("status code")
-        .parse()
-        .expect("numeric status");
-    let headers = lines
-        .filter_map(|l| l.split_once(": "))
-        .map(|(k, v)| (k.to_string(), v.to_string()))
-        .collect();
-    (status, headers, resp_body)
-}
-
-fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
-    headers
-        .iter()
-        .find(|(k, _)| k.eq_ignore_ascii_case(name))
-        .map(|(_, v)| v.as_str())
-}
-
-/// Send one request over an existing keep-alive connection and read
-/// exactly one response (framed by Content-Length, so the socket stays
-/// usable). Returns (status, headers, body).
-fn http_keepalive(
-    conn: &mut BufReader<TcpStream>,
-    method: &str,
-    target: &str,
-    body: &[u8],
-    close: bool,
-) -> (u16, Vec<(String, String)>, Vec<u8>) {
-    let connection = if close { "close" } else { "keep-alive" };
-    let head = format!(
-        "{method} {target} HTTP/1.1\r\nHost: test\r\nConnection: {connection}\r\n\
-         Content-Length: {}\r\n\r\n",
-        body.len()
-    );
-    conn.get_mut().write_all(head.as_bytes()).expect("write");
-    conn.get_mut().write_all(body).expect("write body");
+/// Read exactly one `Content-Length`-framed response off `conn`, leaving
+/// the socket usable for the next request. Returns (status, headers, body).
+fn read_response(conn: &mut BufReader<TcpStream>) -> (u16, Vec<(String, String)>, Vec<u8>) {
     let mut status_line = String::new();
     conn.read_line(&mut status_line).expect("status line");
     let status: u16 = status_line
@@ -114,6 +53,59 @@ fn http_keepalive(
     let mut body = vec![0u8; content_length];
     conn.read_exact(&mut body).expect("body");
     (status, headers, body)
+}
+
+/// Minimal HTTP client: one request on a fresh connection, framed by
+/// `Content-Length`. No `Connection` header is sent — the server keeps
+/// HTTP/1.1 connections alive by default, so reading to EOF here would
+/// stall on the idle timeout; instead the socket is simply dropped.
+/// Returns (status, headers, body).
+fn http(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut conn = BufReader::new(stream);
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    conn.get_mut()
+        .write_all(head.as_bytes())
+        .expect("write head");
+    conn.get_mut().write_all(body).expect("write body");
+    read_response(&mut conn)
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+/// Send one request with an explicit `Connection` header over an existing
+/// connection and read exactly one response. Returns (status, headers,
+/// body).
+fn http_keepalive(
+    conn: &mut BufReader<TcpStream>,
+    method: &str,
+    target: &str,
+    body: &[u8],
+    close: bool,
+) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let connection = if close { "close" } else { "keep-alive" };
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nConnection: {connection}\r\n\
+         Content-Length: {}\r\n\r\n",
+        body.len()
+    );
+    conn.get_mut().write_all(head.as_bytes()).expect("write");
+    conn.get_mut().write_all(body).expect("write body");
+    read_response(conn)
 }
 
 #[test]
@@ -234,8 +226,8 @@ fn keep_alive_serves_many_requests_on_one_connection() {
     stream.set_nodelay(true).expect("nodelay");
     let mut conn = BufReader::new(stream);
 
-    // Several requests over the same socket; the server honors opt-in
-    // keep-alive and answers each with Connection: keep-alive.
+    // Several requests over the same socket; persistence is the default,
+    // and an explicit Connection: keep-alive is honored the same way.
     for i in 0..5 {
         let (status, headers, body) =
             http_keepalive(&mut conn, "POST", "/v1/analyze", src.as_bytes(), false);
@@ -262,6 +254,49 @@ fn keep_alive_serves_many_requests_on_one_connection() {
     let stats = state.service.stats();
     assert_eq!(stats.get(&stats.misses), 1);
     assert_eq!(stats.get(&stats.hits), 4);
+    server.stop();
+}
+
+#[test]
+fn persistent_connections_are_the_default() {
+    let server = spawn_server(1);
+
+    // HTTP/1.1 with no Connection header: the server answers keep-alive
+    // and the same socket serves further requests.
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut conn = BufReader::new(stream);
+    for i in 0..3 {
+        let req = "GET /healthz HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n";
+        conn.get_mut().write_all(req.as_bytes()).expect("write");
+        let (status, headers, body) = read_response(&mut conn);
+        assert_eq!(status, 200, "request {i}");
+        assert_eq!(header(&headers, "Connection"), Some("keep-alive"));
+        assert_eq!(body, b"ok\n");
+    }
+    drop(conn);
+
+    // HTTP/1.0 with no Connection header: exactly one response, then EOF.
+    let mut conn = BufReader::new(TcpStream::connect(server.addr()).expect("connect"));
+    let req = "GET /healthz HTTP/1.0\r\nHost: t\r\n\r\n";
+    conn.get_mut().write_all(req.as_bytes()).expect("write");
+    let (status, headers, _) = read_response(&mut conn);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "Connection"), Some("close"));
+    let mut rest = Vec::new();
+    conn.read_to_end(&mut rest).expect("EOF after HTTP/1.0");
+    assert!(rest.is_empty());
+
+    // HTTP/1.0 opting into keep-alive is still honored.
+    let mut conn = BufReader::new(TcpStream::connect(server.addr()).expect("connect"));
+    let req = "GET /healthz HTTP/1.0\r\nHost: t\r\nConnection: keep-alive\r\n\r\n";
+    conn.get_mut().write_all(req.as_bytes()).expect("write");
+    let (status, headers, _) = read_response(&mut conn);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "Connection"), Some("keep-alive"));
+    conn.get_mut().write_all(req.as_bytes()).expect("write");
+    let (status, _, _) = read_response(&mut conn);
+    assert_eq!(status, 200, "socket stayed usable");
     server.stop();
 }
 
@@ -537,7 +572,7 @@ fn stats_document_shape_is_golden_on_a_fresh_server() {
     let server = spawn_server(1);
     let (status, _, body) = http(server.addr(), "GET", "/v1/stats", b"");
     assert_eq!(status, 200);
-    // The full `adds.serve-stats/v2` document for one `/v1/stats` hit on
+    // The full `adds.serve-stats/v3` document for one `/v1/stats` hit on
     // a fresh single-worker server: all counters zero except the stats
     // request itself and the requesting connection's own `open` gauge
     // (latency for the stats route records *after* the handler, so its

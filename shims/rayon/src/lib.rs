@@ -1,22 +1,37 @@
 //! Offline stand-in for the `rayon` crate.
 //!
 //! The build environment has no access to crates.io, so this shim implements
-//! the subset of rayon used by `adds-cli`'s batch executor on top of
-//! `std::thread::scope`: `slice.par_iter().map(f).collect::<Vec<_>>()` plus
-//! the global [`ThreadPoolBuilder`] thread-count knob. Results are returned
-//! in input order, which matches rayon's `collect` semantics for indexed
-//! iterators.
+//! the subset of rayon used by the workspace on top of `std::thread::scope`:
 //!
-//! Scheduling is *chunk-stealing*: workers claim contiguous chunks of the
-//! shared work list from an atomic index until it is drained, so a batch
-//! with a few expensive programs no longer serializes behind whichever
-//! worker statically owned them. Deviations from real rayon:
+//! * `slice.par_iter().map(f).collect::<Vec<_>>()` plus the global
+//!   [`ThreadPoolBuilder`] thread-count knob (the original surface, used by
+//!   `adds-cli` and the n-body benches). Results are returned in input
+//!   order, which matches rayon's `collect` semantics for indexed
+//!   iterators. Scheduling is *chunk-stealing*: workers claim contiguous
+//!   chunks of the shared work list from an atomic index until drained.
+//! * [`scope`] — scoped spawn/join, used by `adds-query`'s deterministic
+//!   parallel executor (`query::par`) for its worker threads. Tasks may
+//!   borrow from the enclosing stack frame (`'scope` data), may spawn
+//!   further tasks, and a panicking task **poisons the scope**: remaining
+//!   tasks still run to completion, then the first panic payload is
+//!   re-thrown from `scope` itself — never a deadlock, matching rayon's
+//!   documented behavior.
 //!
-//! * no work-stealing deques — claiming is a single shared counter rather
-//!   than per-worker queues with steal-half, which is enough for the CLI's
-//!   coarse per-program jobs but would contend on very fine-grained items;
+//! Deviations from real rayon:
+//!
+//! * no work-stealing deques in `par_iter` — claiming is a single shared
+//!   counter rather than per-worker queues with steal-half, which is enough
+//!   for the CLI's coarse per-program jobs but would contend on very
+//!   fine-grained items (callers that need real deques use `query::par`,
+//!   which builds them on top of [`scope`]);
 //! * the chunk size is fixed at claim time (`len / (threads * 4)`, min 1)
 //!   instead of rayon's adaptive splitting;
+//! * [`scope`] runs on threads spawned per call (one per initially queued
+//!   task, capped) rather than a persistent pool, so `spawn` latency is a
+//!   thread spawn, not a deque push — fine for the coarse worker-per-scope
+//!   usage here, wrong for microtasks;
+//! * only the *first* panic payload is propagated (real rayon may collect
+//!   more than one); subsequent panics are swallowed;
 //! * `build_global` may be called repeatedly (real rayon errors on the
 //!   second call).
 //!
@@ -81,6 +96,111 @@ impl ThreadPoolBuilder {
     pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
         GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
         Ok(())
+    }
+}
+
+/// Create a scope in which tasks can be spawned that borrow `'scope` data,
+/// mirroring `rayon::scope`.
+///
+/// `op` receives a [`Scope`] handle; every task it (or a task) spawns is
+/// guaranteed to complete before `scope` returns. If any task panics the
+/// scope is *poisoned*: remaining tasks still run, and the first panic
+/// payload is re-thrown from `scope` after the join — so a panicking task
+/// can never deadlock the scope or silently vanish.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let registry = Scope {
+        inner: std::sync::Mutex::new(ScopeState {
+            queue: std::collections::VecDeque::new(),
+            running: 0,
+            panic: None,
+        }),
+        work: std::sync::Condvar::new(),
+    };
+    let result = op(&registry);
+    let queued = registry.inner.lock().unwrap().queue.len();
+    if queued > 0 {
+        // One OS thread per initially queued task (capped): the intended
+        // use is a handful of coarse workers per scope, not microtasks.
+        let threads = queued.min(MAX_SCOPE_THREADS);
+        std::thread::scope(|ts| {
+            for _ in 0..threads {
+                ts.spawn(|| registry.run_worker());
+            }
+            // The caller's thread joins the work instead of idling.
+            registry.run_worker();
+        });
+    }
+    let panic = registry.inner.lock().unwrap().panic.take();
+    if let Some(payload) = panic {
+        std::panic::resume_unwind(payload);
+    }
+    result
+}
+
+/// Upper bound on OS threads a single [`scope`] call will spawn.
+const MAX_SCOPE_THREADS: usize = 64;
+
+type ScopeTask<'scope> = Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>;
+
+struct ScopeState<'scope> {
+    queue: std::collections::VecDeque<ScopeTask<'scope>>,
+    running: usize,
+    panic: Option<Box<dyn std::any::Any + Send + 'static>>,
+}
+
+/// Handle for spawning tasks inside a [`scope`], mirroring `rayon::Scope`.
+pub struct Scope<'scope> {
+    inner: std::sync::Mutex<ScopeState<'scope>>,
+    work: std::sync::Condvar,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queue a task to run inside the scope. Tasks spawned from within
+    /// other tasks are also joined before [`scope`] returns.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        let mut state = self.inner.lock().unwrap();
+        state.queue.push_back(Box::new(body));
+        drop(state);
+        self.work.notify_one();
+    }
+
+    fn run_worker(&self) {
+        loop {
+            let task = {
+                let mut state = self.inner.lock().unwrap();
+                loop {
+                    if let Some(t) = state.queue.pop_front() {
+                        state.running += 1;
+                        break t;
+                    }
+                    if state.running == 0 {
+                        // Queue drained and nobody can refill it.
+                        self.work.notify_all();
+                        return;
+                    }
+                    state = self.work.wait(state).unwrap();
+                }
+            };
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(self)));
+            let mut state = self.inner.lock().unwrap();
+            state.running -= 1;
+            if let Err(payload) = outcome {
+                if state.panic.is_none() {
+                    state.panic = Some(payload);
+                }
+            }
+            let done = state.running == 0 && state.queue.is_empty();
+            drop(state);
+            if done {
+                self.work.notify_all();
+            }
+        }
     }
 }
 
@@ -278,6 +398,66 @@ mod tests {
             .num_threads(0)
             .build_global()
             .unwrap();
+    }
+
+    #[test]
+    fn scope_joins_all_tasks_and_borrows_stack_data() {
+        let hits: Vec<std::sync::atomic::AtomicUsize> = (0..8)
+            .map(|_| std::sync::atomic::AtomicUsize::new(0))
+            .collect();
+        crate::scope(|s| {
+            for slot in &hits {
+                s.spawn(move |_| {
+                    slot.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        });
+        for slot in &hits {
+            assert_eq!(slot.load(std::sync::atomic::Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn scope_tasks_can_spawn_more_tasks() {
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        crate::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|inner| {
+                    total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    inner.spawn(|_| {
+                        total.fetch_add(10, std::sync::atomic::Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 44);
+    }
+
+    #[test]
+    fn panicking_task_poisons_the_scope_instead_of_deadlocking() {
+        // The contract pinned here: one task panics, the scope still joins
+        // every other task (their side effects land), and the panic payload
+        // is re-thrown from `scope` itself. The test *completing* is the
+        // no-deadlock half of the assertion.
+        let survivors = std::sync::atomic::AtomicUsize::new(0);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::scope(|s| {
+                s.spawn(|_| panic!("poison"));
+                for _ in 0..6 {
+                    s.spawn(|_| {
+                        survivors.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        let payload = outcome.expect_err("scope must re-throw the task panic");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"poison"));
+        assert_eq!(survivors.load(std::sync::atomic::Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn scope_returns_the_closure_value_when_nothing_is_spawned() {
+        assert_eq!(crate::scope(|_| 42), 42);
     }
 
     #[test]
