@@ -165,7 +165,7 @@ COMMANDS:
     run          execute Barnes-Hut on the simulated MIMD machine, seq vs par
     ladder       precision ladder: prior-work baselines vs ADDS+GPM
     profile      run corpus workloads on the VM with profiling; ranked
-                 hot-opcode and hot-parfor tables (adds.profile/v1 in JSON)
+                 hot-opcode, superblock, and parfor tables (adds.profile/v2 in JSON)
     serve        long-running HTTP server: POST /v1/{analyze,parallelize,run}
 
 INPUT SELECTION (parse/check/analyze/parallelize):

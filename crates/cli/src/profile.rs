@@ -3,18 +3,48 @@
 //!
 //! The simulated clock drives the attribution, so the numbers are
 //! deterministic: the same program and inputs always produce the same
-//! profile. JSON output carries the `adds.profile/v1` schema; `--check`
-//! re-derives the profile invariants (counts conserve, parallel variants
-//! attribute their `parfor` sites) instead of printing, for CI smoke.
+//! profile. JSON output carries the `adds.profile/v2` schema (v2 added
+//! the per-superblock execution counts and the compile-time inlining
+//! stats); `--check` re-derives the profile invariants (counts conserve,
+//! superblock executions reconcile with `Super` dispatches, parallel
+//! variants attribute their `parfor` sites) and times the profiled VM
+//! against the plain VM to hold the overhead bound, for CI smoke.
 
 use crate::args::{Args, Format};
 use crate::json::Json;
 use adds::lang::programs;
 use adds::lang::types::{check_source, TypedProgram};
 use adds::machine::diff::workloads;
-use adds::machine::{CompiledProgram, CostModel, Exec, MachineConfig, Value, Vm, VmProfile};
+use adds::machine::{
+    CompiledProgram, CostModel, Exec, MachineConfig, Opcode, Value, Vm, VmProfile,
+};
 
 const PES: usize = 4;
+
+/// Ceiling on wall-time `profiled / plain` for the overhead gate: with
+/// per-superblock counters the profiled VM must stay within 10% of the
+/// unprofiled VM on the hot parallel list workload (the pre-superblock
+/// profiler sat at 1.21 there).
+const MAX_PROFILED_OVER_VM: f64 = 1.10;
+
+/// Repetitions per arm per measurement round; min-of-N on both sides
+/// filters scheduler noise the same way the bench driver does. The arms
+/// alternate every rep so clock drift lands on both evenly, and one
+/// untimed warmup per arm absorbs cold caches and page faults.
+const OVERHEAD_REPS: usize = 7;
+
+/// Measurement rounds for the overhead gate. Each round produces one
+/// `profiled_min / plain_min` ratio; the gate takes the smallest. A
+/// single round's ratio is only an upper bound on the true overhead
+/// (noise can inflate either arm's minimum), so the best round is the
+/// most faithful estimate — and a genuine regression past the bound
+/// still fails every round.
+const OVERHEAD_ROUNDS: usize = 3;
+
+/// List length for the overhead measurement — larger than the profiled
+/// corpus runs so each timed call is long enough (milliseconds) for the
+/// ratio of minima to be stable on a noisy host.
+const OVERHEAD_LIST_LEN: usize = 50_000;
 
 /// One profileable corpus workload: the program, its entry point, and the
 /// heap setup that builds its input (sized down from the bench driver —
@@ -150,7 +180,7 @@ fn profile_selected(selected: &[&Workload]) -> Result<Vec<ProfiledRun>, String> 
 
 fn to_json(runs: &[ProfiledRun]) -> Json {
     Json::obj([
-        ("schema", Json::str("adds.profile/v1")),
+        ("schema", Json::str("adds.profile/v2")),
         ("pes", Json::UInt(PES as u64)),
         ("cost_model", Json::str("sequent")),
         ("programs", Json::Arr(runs.iter().map(run_json).collect())),
@@ -166,6 +196,29 @@ fn run_json(r: &ProfiledRun) -> Json {
         ("stmts", Json::UInt(r.stmts)),
         ("cycles", Json::UInt(r.cycles)),
         ("total_ops", Json::UInt(r.profile.total_ops())),
+        (
+            "superblock_count",
+            Json::UInt(r.prog.superblock_count() as u64),
+        ),
+        ("inlined_calls", Json::UInt(r.prog.inlined_calls() as u64)),
+        (
+            "superblocks",
+            Json::Arr(
+                r.profile
+                    .ranked_superblocks()
+                    .into_iter()
+                    .map(|(id, execs)| {
+                        let (ops, fuel) = r.prog.superblock_info(id as usize).unwrap_or((0, 0));
+                        Json::obj([
+                            ("id", Json::UInt(id as u64)),
+                            ("execs", Json::UInt(execs)),
+                            ("ops", Json::UInt(ops as u64)),
+                            ("fuel", Json::UInt(fuel as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
         (
             "opcodes",
             Json::Arr(
@@ -226,6 +279,24 @@ fn to_text(runs: &[ProfiledRun]) -> String {
                 n as f64 / total.max(1) as f64 * 100.0
             );
         }
+        let sbs = r.profile.ranked_superblocks();
+        if !sbs.is_empty() {
+            let _ = writeln!(
+                s,
+                "  {} superblocks fused, {} calls inlined; hottest:",
+                r.prog.superblock_count(),
+                r.prog.inlined_calls()
+            );
+            let _ = writeln!(
+                s,
+                "  {:<14} {:>12} {:>5} {:>5}",
+                "superblock", "execs", "ops", "fuel"
+            );
+            for (id, execs) in sbs.into_iter().take(5) {
+                let (ops, fuel) = r.prog.superblock_info(id as usize).unwrap_or((0, 0));
+                let _ = writeln!(s, "  sb{:<12} {:>12} {:>5} {:>5}", id, execs, ops, fuel);
+            }
+        }
         let loops = r.profile.ranked_loops();
         if !loops.is_empty() {
             let _ = writeln!(
@@ -248,8 +319,10 @@ fn to_text(runs: &[ProfiledRun]) -> String {
 }
 
 /// The profile invariants `--check` pins (CI smoke): every run dispatched
-/// work, counts conserve under the ranking, and parallelized variants
-/// attribute at least one `parfor` site whose cycles fit the run.
+/// work, counts conserve under the rankings (opcodes *and* superblocks —
+/// every `Super` dispatch and `SuperLoop` iteration lands in exactly one
+/// superblock counter), and parallelized variants attribute at least one
+/// `parfor` site whose cycles fit the run.
 fn check_runs(runs: &[ProfiledRun]) -> Result<(), String> {
     for r in runs {
         let total = r.profile.total_ops();
@@ -262,6 +335,29 @@ fn check_runs(runs: &[ProfiledRun]) -> Result<(), String> {
                 "{} ({}): ranked opcode counts sum to {ranked_sum}, expected {total}",
                 r.name, r.variant
             ));
+        }
+        let sb_sum: u64 = r.profile.sb_counts.iter().sum();
+        let super_dispatches = r.profile.op_counts[Opcode::Super as usize];
+        if sb_sum != super_dispatches {
+            return Err(format!(
+                "{} ({}): superblock executions sum to {sb_sum}, but {super_dispatches} \
+                 Super dispatches were counted",
+                r.name, r.variant
+            ));
+        }
+        if r.name.starts_with("list_") && r.prog.superblock_count() == 0 {
+            return Err(format!(
+                "{} ({}): list workload compiled with no fused superblocks",
+                r.name, r.variant
+            ));
+        }
+        for (id, execs) in r.profile.ranked_superblocks() {
+            if execs == 0 || r.prog.superblock_info(id as usize).is_none() {
+                return Err(format!(
+                    "{} ({}): profile counted superblock {id} the program does not define",
+                    r.name, r.variant
+                ));
+            }
         }
         let loops = r.profile.ranked_loops();
         if r.variant == "parallelized" && loops.is_empty() {
@@ -286,6 +382,55 @@ fn check_runs(runs: &[ProfiledRun]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Wall-time overhead gate: the per-superblock profiler must cost ≤
+/// [`MAX_PROFILED_OVER_VM`] on the hot parallel list workload (the bench
+/// row the bound was set against: `list_scale_adds` parallelized,
+/// conflict detection off, so the fused register-carried loops — the
+/// paths the profiling branch could most plausibly slow down — are the
+/// ones being timed). Min-of-[`OVERHEAD_REPS`] on both arms, alternating
+/// so drift hits them evenly.
+fn check_overhead() -> Result<f64, String> {
+    let src = adds::core::parallelize_to_source(programs::LIST_SCALE_ADDS)
+        .map_err(|e| format!("overhead gate: parallelize failed: {e:?}"))?;
+    let tp = check_source(&src).map_err(|e| format!("overhead gate: {e:?}"))?;
+    let prog = CompiledProgram::compile(&tp);
+    let cfg = MachineConfig {
+        pes: PES,
+        cost: CostModel::sequent(),
+        detect_conflicts: false,
+        ..MachineConfig::default()
+    };
+    let run = |profiled: bool| -> Result<u64, String> {
+        let mut vm = Vm::new(&prog, cfg.clone());
+        if profiled {
+            vm.enable_profiling();
+        }
+        let head = workloads::scale_list(&mut vm, OVERHEAD_LIST_LEN);
+        let t = std::time::Instant::now();
+        vm.call("scale", &[head, Value::Int(3)])
+            .map_err(|e| format!("overhead gate: {e:?}"))?;
+        Ok(t.elapsed().as_nanos() as u64)
+    };
+    run(false)?;
+    run(true)?;
+    let mut ratio = f64::INFINITY;
+    for _ in 0..OVERHEAD_ROUNDS {
+        let (mut plain, mut profiled) = (u64::MAX, u64::MAX);
+        for _ in 0..OVERHEAD_REPS {
+            plain = plain.min(run(false)?);
+            profiled = profiled.min(run(true)?);
+        }
+        ratio = ratio.min(profiled as f64 / plain.max(1) as f64);
+    }
+    if ratio > MAX_PROFILED_OVER_VM {
+        return Err(format!(
+            "profiled VM is {ratio:.2}x the plain VM on list_scale_adds (parallelized); \
+             the per-superblock profiler must stay ≤ {MAX_PROFILED_OVER_VM}"
+        ));
+    }
+    Ok(ratio)
 }
 
 /// Entry point for `adds-cli profile`. Returns the process exit code.
@@ -324,9 +469,13 @@ pub fn run_profile(args: &Args) -> i32 {
         }
     };
     if args.check {
-        return match check_runs(&runs) {
-            Ok(()) => {
-                crate::emit(&format!("profile ok: {} run(s) validated\n", runs.len()));
+        return match check_runs(&runs).and_then(|()| check_overhead()) {
+            Ok(ratio) => {
+                crate::emit(&format!(
+                    "profile ok: {} run(s) validated, profiled_over_vm {ratio:.2} \
+                     (bound {MAX_PROFILED_OVER_VM})\n",
+                    runs.len()
+                ));
                 0
             }
             Err(msg) => {

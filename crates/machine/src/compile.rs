@@ -23,12 +23,19 @@
 //! divergence: reading a local before its `var` declaration has executed
 //! yields NULL in the VM where the interpreter raises "unbound variable"
 //! (well-typed programs cannot observe this without contorted
-//! declaration-after-use blocks, which the corpus never contains).
+//! declaration-after-use blocks, which the corpus never contains). Inlined
+//! calls extend that caveat: an inlined callee's locals live in a reused
+//! caller frame region, so such a contorted read would see the previous
+//! invocation's value rather than NULL.
 //!
 //! ## Opcode inventory
 //!
 //! The instruction set is deliberately small — five families plus the
-//! fused forms below:
+//! fused forms below. The `Instr` and [`crate::profile::Opcode`] enums are
+//! declared in the same *hot-first* order: the superinstructions and fused
+//! statement forms that dominate dynamic dispatch occupy a contiguous low
+//! discriminant range, so the VM's dispatch `match` lowers to a dense jump
+//! table with the hot arms packed together.
 //!
 //! * **data movement** — `Const`, `Copy`, `Pes`;
 //! * **heap traffic** — `Alloc`, `Load`, `LoadIdx`, `Store`, `StoreIdx`
@@ -38,15 +45,16 @@
 //!   `Fabs`, `Abs`, `MinMax`, `Itor`;
 //! * **control** — `Call`, `Ret`, `RetNull`, `Jump`, `JumpIfFalse`,
 //!   `Branch` (cycle charge), `IntCheck`, the counted-loop triple
-//!   `ForEnter` / `ForHead` / `ForNext`, and the parallel-region pair
-//!   `ParFor` / `IterEnd`;
+//!   `ForEnter` / `ForHead` / `ForNext`, the parallel-region pair
+//!   `ParFor` / `IterEnd`, and the inlined-call bookkeeping pair
+//!   `InlineEnter` / `InlineRet`;
 //! * **accounting & I/O** — `Fuel` (one statement of budget), `Print`.
 //!
 //! ## Fusion inventory
 //!
-//! The peephole layer rewrites the dominant statement shapes into single
-//! opcodes. Every fused form charges cycles and burns fuel in exactly the
-//! order of the sequence it replaces (the differential suite pins this):
+//! Two layers rewrite the dominant statement shapes into single opcodes.
+//! Every fused form charges cycles and burns fuel in exactly the order of
+//! the sequence it replaces (the differential suite pins this):
 //!
 //! | fused opcode | replaces | why it is hot |
 //! |---|---|---|
@@ -57,7 +65,22 @@
 //! | `FieldRmw` | `Load` + `Bin` + `Store` | `p->f = p->f op x` loop bodies |
 //! | `ForEnter`/`ForHead`/`ForNext` | head/backedge jump chains | the strip-mined `for k = lo to hi` |
 //! | `ChaseLoop` | the whole `for k { p = p->field }` loop | the strip-mined walk's positioning/block advance |
+//! | `GuardRmw` | `Fuel` + `JumpCmpKFalse` (`p <> NULL` guard) + `FieldRmw` | the strip-mined per-node guarded update |
+//!
+//! On top of the peephole layer, [`CompileOptions`] enables two
+//! whole-block passes (both on by default):
+//!
+//! | block form | replaces | accounting |
+//! |---|---|---|
+//! | `InlineEnter` … `InlineRet` | `Call` + frame push/pop of a tiny leaf callee | one `call` charge, call/depth counters kept exact |
+//! | `Super` | a straight-line run of ≥ 2 data instructions between branch targets | aggregate fuel + static cycle charge applied in bulk ([`crate::cost::Charge`]) |
+//! | `SuperLoop` | a whole `while cond { straight-line body }` loop | head check + body superblock + backedge fuel per iteration, no outer dispatch |
+//!
+//! Fuel-exhaustion points are preserved: a superblock whose remaining fuel
+//! cannot cover the bulk charge falls back to per-op execution with full
+//! accounting, so the failing statement is exactly the interpreter's.
 
+use crate::cost::Charge;
 use crate::value::{Layout, Layouts, Value};
 use adds_lang::adds::AddsEnv;
 use adds_lang::ast::*;
@@ -68,146 +91,17 @@ use std::collections::HashMap;
 pub type Slot = u32;
 
 /// One bytecode instruction. Slots address the current frame.
+///
+/// Variant order is the dense dispatch order (hot fused ops first) and
+/// mirrors [`crate::profile::Opcode`] exactly.
 #[derive(Clone, Debug)]
 pub(crate) enum Instr {
-    /// `dst = v`.
-    Const { dst: Slot, v: Value },
-    /// `dst = src`.
-    Copy { dst: Slot, src: Slot },
-    /// `dst = PEs` (the machine's configured processor count).
-    Pes { dst: Slot },
-    /// `dst = new T` — charges `alloc`.
-    Alloc { dst: Slot, ty: u32 },
-    /// `dst = base->field` — charges `load`. `off` is the resolved record
-    /// offset; `access` is consulted only on error paths.
-    Load {
-        dst: Slot,
-        base: Slot,
-        off: u32,
-        access: u32,
-    },
-    /// Statement-initial `Load`: burn one statement of fuel, then load
-    /// (peephole fusion of the dominant chase-loop pattern `p = p->next`).
-    FuelLoad {
-        dst: Slot,
-        base: Slot,
-        off: u32,
-        access: u32,
-    },
-    /// Statement-initial `Copy` (fuel + copy).
-    FuelCopy { dst: Slot, src: Slot },
-    /// Statement-initial `Const` (fuel + const).
-    FuelConst { dst: Slot, v: Value },
-    /// `dst = base->field[idx]` — charges `load`; bounds-checks against
-    /// `len`.
-    LoadIdx {
-        dst: Slot,
-        base: Slot,
-        idx: Slot,
-        off: u32,
-        len: u32,
-        access: u32,
-    },
-    /// `base->field = src` — charges `store`; `is_ptr` gates shape checks.
-    Store {
-        base: Slot,
-        src: Slot,
-        off: u32,
-        is_ptr: bool,
-        access: u32,
-    },
-    /// `base->field[idx] = src` — charges `store`.
-    StoreIdx {
-        base: Slot,
-        idx: Slot,
-        src: Slot,
-        off: u32,
-        len: u32,
-        is_ptr: bool,
-        access: u32,
-    },
-    /// `dst = op src` (shared operator semantics).
-    Un { op: UnOp, dst: Slot, src: Slot },
-    /// `dst = lhs op rhs` (shared operator semantics).
-    Bin {
-        op: BinOp,
-        dst: Slot,
-        lhs: Slot,
-        rhs: Slot,
-    },
-    /// `dst = lhs op k` — literal right operand folded into the
-    /// instruction (same shared semantics and charges as `Bin`).
-    BinK {
-        op: BinOp,
-        dst: Slot,
-        lhs: Slot,
-        k: Value,
-    },
-    /// `dst = sqrt(src)` — charges `sqrt`.
-    Sqrt { dst: Slot, src: Slot },
-    /// `dst = fabs(src)` — charges `fp`.
-    Fabs { dst: Slot, src: Slot },
-    /// `dst = abs(src)` — charges `alu`.
-    Abs { dst: Slot, src: Slot },
-    /// `dst = min(a, b)` / `max(a, b)` — charges `fp`.
-    MinMax {
-        dst: Slot,
-        a: Slot,
-        b: Slot,
-        is_min: bool,
-    },
-    /// `dst = itor(src)` — charges `alu`.
-    Itor { dst: Slot, src: Slot },
-    /// `print(src)` — appends to the output log.
-    Print { src: Slot },
-    /// `dst = funcs[func](args..args+argc)` — charges `call`.
-    Call {
-        dst: Slot,
-        func: u32,
-        args: Slot,
-        argc: u32,
-    },
-    /// `return src`.
-    Ret { src: Slot },
-    /// `return;` / fall off the end (yields NULL).
-    RetNull,
-    /// Unconditional jump.
-    Jump { target: u32 },
-    /// Jump when `cond` is false; errors when `cond` is not a bool. When
-    /// `branch` is set, charge the loop/if `branch` cost first (fused
-    /// condition head whose operands need no evaluation code).
-    JumpIfFalse {
-        cond: Slot,
-        branch: bool,
-        target: u32,
-    },
-    /// Fused comparison + branch: `if !(lhs op rhs) jump target`, charging
-    /// exactly like `Bin` followed by `JumpIfFalse` (only emitted for
-    /// comparison operators, whose result is always bool). `branch` as in
-    /// [`Instr::JumpIfFalse`].
-    JumpCmpFalse {
-        op: BinOp,
-        lhs: Slot,
-        rhs: Slot,
-        branch: bool,
-        target: u32,
-    },
-    /// Fused comparison-with-literal + branch.
-    JumpCmpKFalse {
-        op: BinOp,
-        lhs: Slot,
-        k: Value,
-        branch: bool,
-        target: u32,
-    },
-    /// Fused loop tail: burn one statement of fuel, then jump.
-    FuelJump { target: u32 },
-    /// Charge one `branch` cycle cost (loop/if condition points).
-    Branch,
-    /// Burn one statement of fuel (counts toward `ExecStats::stmts`).
-    Fuel,
-    /// Error unless the slot holds an int (loop bound checks).
-    IntCheck { slot: Slot },
+    /// Fused straight-line superblock: execute
+    /// `superblocks[sb]` as one dispatch with bulk fuel/cycle accounting.
+    Super { sb: u32 },
+    /// Fused single-block `while` loop: run `loop_blocks[lp]` to
+    /// completion, then continue at its exit pc.
+    SuperLoop { lp: u32 },
     /// Fused self-chase loop `for k = i to hi { ptr = ptr->field }` — the
     /// strip-mined walk's positioning and block-advance pattern. Replays
     /// the exact per-iteration sequence (branch charge, `k` update, two
@@ -218,6 +112,14 @@ pub(crate) enum Instr {
         i: Slot,
         hi: Slot,
         ptr: Slot,
+        off: u32,
+        access: u32,
+    },
+    /// Statement-initial `Load`: burn one statement of fuel, then load
+    /// (peephole fusion of the dominant chase-loop pattern `p = p->next`).
+    FuelLoad {
+        dst: Slot,
+        base: Slot,
         off: u32,
         access: u32,
     },
@@ -240,13 +142,105 @@ pub(crate) enum Instr {
         is_ptr: bool,
         access: u32,
     },
-    /// Counted-loop entry: skip to `exit` when `i > hi` (no charge).
-    ForEnter { i: Slot, hi: Slot, exit: u32 },
-    /// Counted-loop iteration head: charge `branch`, then `var = i`.
-    ForHead { var: Slot, i: Slot },
-    /// Counted-loop backedge: burn one statement of fuel; then, when
-    /// `i < hi`, increment and jump to `head`.
-    ForNext { i: Slot, hi: Slot, head: u32 },
+    /// Fused strip-mined guard: `fuel; if (cond != NULL) { cond->field =
+    /// cond->field op src }` — the per-node body the strip-mining
+    /// transformation emits inside every parallel iteration (the walk
+    /// positions `cond`, the guard skips past-the-end strips). Charges
+    /// exactly like `Fuel` + `JumpCmpKFalse` + (when taken) `FieldRmw`.
+    GuardRmw {
+        op: BinOp,
+        cond: Slot,
+        src: Slot,
+        off: u32,
+        is_ptr: bool,
+        access: u32,
+    },
+    /// Fused comparison + branch: `if !(lhs op rhs) jump target`, charging
+    /// exactly like `Bin` followed by `JumpIfFalse` (only emitted for
+    /// comparison operators, whose result is always bool). `branch` as in
+    /// [`Instr::JumpIfFalse`].
+    JumpCmpFalse {
+        op: BinOp,
+        lhs: Slot,
+        rhs: Slot,
+        branch: bool,
+        target: u32,
+    },
+    /// Fused comparison-with-literal + branch.
+    JumpCmpKFalse {
+        op: BinOp,
+        lhs: Slot,
+        k: Value,
+        branch: bool,
+        target: u32,
+    },
+    /// Fused loop tail: burn one statement of fuel, then jump.
+    FuelJump { target: u32 },
+    /// Statement-initial `Copy` (fuel + copy).
+    FuelCopy { dst: Slot, src: Slot },
+    /// Statement-initial `Const` (fuel + const).
+    FuelConst { dst: Slot, v: Value },
+    /// `dst = src`.
+    Copy { dst: Slot, src: Slot },
+    /// `dst = v`.
+    Const { dst: Slot, v: Value },
+    /// `dst = base->field` — charges `load`. `off` is the resolved record
+    /// offset; `access` is consulted only on error paths.
+    Load {
+        dst: Slot,
+        base: Slot,
+        off: u32,
+        access: u32,
+    },
+    /// `base->field = src` — charges `store`; `is_ptr` gates shape checks.
+    Store {
+        base: Slot,
+        src: Slot,
+        off: u32,
+        is_ptr: bool,
+        access: u32,
+    },
+    /// `dst = lhs op rhs` (shared operator semantics).
+    Bin {
+        op: BinOp,
+        dst: Slot,
+        lhs: Slot,
+        rhs: Slot,
+    },
+    /// `dst = lhs op k` — literal right operand folded into the
+    /// instruction (same shared semantics and charges as `Bin`).
+    BinK {
+        op: BinOp,
+        dst: Slot,
+        lhs: Slot,
+        k: Value,
+    },
+    /// Unconditional jump.
+    Jump { target: u32 },
+    /// Jump when `cond` is false; errors when `cond` is not a bool. When
+    /// `branch` is set, charge the loop/if `branch` cost first (fused
+    /// condition head whose operands need no evaluation code).
+    JumpIfFalse {
+        cond: Slot,
+        branch: bool,
+        target: u32,
+    },
+    /// `dst = funcs[func](args..args+argc)` — charges `call`.
+    Call {
+        dst: Slot,
+        func: u32,
+        args: Slot,
+        argc: u32,
+    },
+    /// Entry bookkeeping of a compile-time-inlined call: charges `call`
+    /// and keeps the call/depth counters exactly as a real frame push
+    /// would, without pushing a frame.
+    InlineEnter,
+    /// Exit bookkeeping of an inlined call (the shared join point every
+    /// inlined `return` jumps to).
+    InlineRet,
+    /// Error unless the slot holds an int (loop bound checks).
+    IntCheck { slot: Slot },
     /// Parallel region over `body..body_end` (which ends with `IterEnd`).
     ParFor {
         var: Slot,
@@ -256,6 +250,64 @@ pub(crate) enum Instr {
     },
     /// End of a `parfor` iteration body.
     IterEnd,
+    /// Counted-loop entry: skip to `exit` when `i > hi` (no charge).
+    ForEnter { i: Slot, hi: Slot, exit: u32 },
+    /// Counted-loop iteration head: charge `branch`, then `var = i`.
+    ForHead { var: Slot, i: Slot },
+    /// Counted-loop backedge: burn one statement of fuel; then, when
+    /// `i < hi`, increment and jump to `head`.
+    ForNext { i: Slot, hi: Slot, head: u32 },
+    /// `return src`.
+    Ret { src: Slot },
+    /// `return;` / fall off the end (yields NULL).
+    RetNull,
+    /// Burn one statement of fuel (counts toward `ExecStats::stmts`).
+    Fuel,
+    /// Charge one `branch` cycle cost (loop/if condition points).
+    Branch,
+    /// `dst = op src` (shared operator semantics).
+    Un { op: UnOp, dst: Slot, src: Slot },
+    /// `dst = sqrt(src)` — charges `sqrt`.
+    Sqrt { dst: Slot, src: Slot },
+    /// `dst = fabs(src)` — charges `fp`.
+    Fabs { dst: Slot, src: Slot },
+    /// `dst = abs(src)` — charges `alu`.
+    Abs { dst: Slot, src: Slot },
+    /// `dst = min(a, b)` / `max(a, b)` — charges `fp`.
+    MinMax {
+        dst: Slot,
+        a: Slot,
+        b: Slot,
+        is_min: bool,
+    },
+    /// `dst = itor(src)` — charges `alu`.
+    Itor { dst: Slot, src: Slot },
+    /// `dst = PEs` (the machine's configured processor count).
+    Pes { dst: Slot },
+    /// `dst = new T` — charges `alloc`.
+    Alloc { dst: Slot, ty: u32 },
+    /// `dst = base->field[idx]` — charges `load`; bounds-checks against
+    /// `len`.
+    LoadIdx {
+        dst: Slot,
+        base: Slot,
+        idx: Slot,
+        off: u32,
+        len: u32,
+        access: u32,
+    },
+    /// `base->field[idx] = src` — charges `store`.
+    StoreIdx {
+        base: Slot,
+        idx: Slot,
+        src: Slot,
+        off: u32,
+        len: u32,
+        is_ptr: bool,
+        access: u32,
+    },
+    /// `print(src)` — appends to the output log.
+    Print { src: Slot },
 }
 
 impl Instr {
@@ -264,45 +316,50 @@ impl Instr {
     pub(crate) fn opcode(&self) -> crate::profile::Opcode {
         use crate::profile::Opcode;
         match self {
-            Instr::Const { .. } => Opcode::Const,
-            Instr::Copy { .. } => Opcode::Copy,
-            Instr::Pes { .. } => Opcode::Pes,
-            Instr::Alloc { .. } => Opcode::Alloc,
-            Instr::Load { .. } => Opcode::Load,
+            Instr::Super { .. } => Opcode::Super,
+            Instr::SuperLoop { .. } => Opcode::SuperLoop,
+            Instr::ChaseLoop { .. } => Opcode::ChaseLoop,
             Instr::FuelLoad { .. } => Opcode::FuelLoad,
+            Instr::FieldRmw { .. } => Opcode::FieldRmw,
+            Instr::FieldRmwK { .. } => Opcode::FieldRmwK,
+            Instr::GuardRmw { .. } => Opcode::GuardRmw,
+            Instr::JumpCmpFalse { .. } => Opcode::JumpCmpFalse,
+            Instr::JumpCmpKFalse { .. } => Opcode::JumpCmpKFalse,
+            Instr::FuelJump { .. } => Opcode::FuelJump,
             Instr::FuelCopy { .. } => Opcode::FuelCopy,
             Instr::FuelConst { .. } => Opcode::FuelConst,
-            Instr::LoadIdx { .. } => Opcode::LoadIdx,
+            Instr::Copy { .. } => Opcode::Copy,
+            Instr::Const { .. } => Opcode::Const,
+            Instr::Load { .. } => Opcode::Load,
             Instr::Store { .. } => Opcode::Store,
-            Instr::StoreIdx { .. } => Opcode::StoreIdx,
-            Instr::Un { .. } => Opcode::Un,
             Instr::Bin { .. } => Opcode::Bin,
             Instr::BinK { .. } => Opcode::BinK,
+            Instr::Jump { .. } => Opcode::Jump,
+            Instr::JumpIfFalse { .. } => Opcode::JumpIfFalse,
+            Instr::Call { .. } => Opcode::Call,
+            Instr::InlineEnter => Opcode::InlineEnter,
+            Instr::InlineRet => Opcode::InlineRet,
+            Instr::IntCheck { .. } => Opcode::IntCheck,
+            Instr::ParFor { .. } => Opcode::ParFor,
+            Instr::IterEnd => Opcode::IterEnd,
+            Instr::ForEnter { .. } => Opcode::ForEnter,
+            Instr::ForHead { .. } => Opcode::ForHead,
+            Instr::ForNext { .. } => Opcode::ForNext,
+            Instr::Ret { .. } => Opcode::Ret,
+            Instr::RetNull => Opcode::RetNull,
+            Instr::Fuel => Opcode::Fuel,
+            Instr::Branch => Opcode::Branch,
+            Instr::Un { .. } => Opcode::Un,
             Instr::Sqrt { .. } => Opcode::Sqrt,
             Instr::Fabs { .. } => Opcode::Fabs,
             Instr::Abs { .. } => Opcode::Abs,
             Instr::MinMax { .. } => Opcode::MinMax,
             Instr::Itor { .. } => Opcode::Itor,
+            Instr::Pes { .. } => Opcode::Pes,
+            Instr::Alloc { .. } => Opcode::Alloc,
+            Instr::LoadIdx { .. } => Opcode::LoadIdx,
+            Instr::StoreIdx { .. } => Opcode::StoreIdx,
             Instr::Print { .. } => Opcode::Print,
-            Instr::Call { .. } => Opcode::Call,
-            Instr::Ret { .. } => Opcode::Ret,
-            Instr::RetNull => Opcode::RetNull,
-            Instr::Jump { .. } => Opcode::Jump,
-            Instr::JumpIfFalse { .. } => Opcode::JumpIfFalse,
-            Instr::JumpCmpFalse { .. } => Opcode::JumpCmpFalse,
-            Instr::JumpCmpKFalse { .. } => Opcode::JumpCmpKFalse,
-            Instr::FuelJump { .. } => Opcode::FuelJump,
-            Instr::Branch => Opcode::Branch,
-            Instr::Fuel => Opcode::Fuel,
-            Instr::IntCheck { .. } => Opcode::IntCheck,
-            Instr::ChaseLoop { .. } => Opcode::ChaseLoop,
-            Instr::FieldRmw { .. } => Opcode::FieldRmw,
-            Instr::FieldRmwK { .. } => Opcode::FieldRmwK,
-            Instr::ForEnter { .. } => Opcode::ForEnter,
-            Instr::ForHead { .. } => Opcode::ForHead,
-            Instr::ForNext { .. } => Opcode::ForNext,
-            Instr::ParFor { .. } => Opcode::ParFor,
-            Instr::IterEnd => Opcode::IterEnd,
         }
     }
 }
@@ -311,9 +368,73 @@ impl Instr {
 #[derive(Clone, Debug)]
 pub(crate) struct FuncCode {
     pub(crate) n_params: u32,
-    /// Total frame size: params + named locals + expression temporaries.
+    /// Total frame size: params + named locals + expression temporaries
+    /// (+ inlined-callee extension regions).
     pub(crate) frame_size: u32,
     pub(crate) code: Vec<Instr>,
+}
+
+/// Compile-time optimization switches. Production callers use the
+/// default (everything on); the differential suite sweeps the off
+/// combinations to pin the unoptimized lowering against the interpreter
+/// too.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Splice tiny leaf callees (the strip-mined per-iteration helpers)
+    /// into their callers, replacing the frame push/pop with
+    /// `InlineEnter`/`InlineRet` bookkeeping.
+    pub inline: bool,
+    /// Fuse straight-line opcode runs into `Super` blocks and
+    /// single-block `while` loops into `SuperLoop`, with precomputed
+    /// aggregate fuel and cycle charges.
+    pub fuse: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            inline: true,
+            fuse: true,
+        }
+    }
+}
+
+/// A fused straight-line run of data instructions, executed by the VM as
+/// one dispatch: aggregate fuel and the static cycle charge are applied
+/// in bulk, then the constituent ops run without their own accounting
+/// (value-dependent `Bin`/`Un` charges stay inside the ops).
+#[derive(Clone, Debug)]
+pub(crate) struct SuperBlock {
+    /// Statements of fuel the block burns (its statement-initial ops).
+    pub(crate) fuel: u32,
+    /// Static per-class cycle counts, resolved against the VM's cost
+    /// model at construction.
+    pub(crate) charge: Charge,
+    pub(crate) ops: Box<[Instr]>,
+}
+
+/// The condition head of a fused single-block `while` loop. All variants
+/// charge `branch` first (the fused heads only arise from pure-slot
+/// conditions, where the peephole layer already folded the charge in).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum LoopHead {
+    /// `while cond` over a plain bool slot.
+    Truthy { cond: Slot },
+    /// `while lhs op rhs`.
+    Cmp { op: BinOp, lhs: Slot, rhs: Slot },
+    /// `while lhs op k`.
+    CmpK { op: BinOp, lhs: Slot, k: Value },
+}
+
+/// A fused `while` loop whose whole body is one superblock: head check,
+/// body, backedge fuel — no per-iteration dispatch at all.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct LoopBlock {
+    pub(crate) head: LoopHead,
+    /// Body superblock id.
+    pub(crate) body: u32,
+    /// Continuation pc when the head check fails.
+    pub(crate) exit: u32,
 }
 
 /// Schema version of the bytecode artifact this module produces. Cached
@@ -321,8 +442,10 @@ pub(crate) struct FuncCode {
 /// this token in their fingerprints, so changing the instruction set or
 /// layout rules here invalidates stale bytecode without touching the
 /// analysis layers' cache entries. Bump it whenever a change makes old
-/// artifacts semantically different from a fresh compile.
-pub const BYTECODE_SCHEMA: &str = "machine-bytecode/v1";
+/// artifacts semantically different from a fresh compile. `/v2`:
+/// compile-time helper inlining, superblock fusion, and the hot-first
+/// dense opcode reorder.
+pub const BYTECODE_SCHEMA: &str = "machine-bytecode/v2";
 
 /// A typed program lowered to slot-resolved bytecode, ready to run on any
 /// number of [`crate::vm::Vm`] instances.
@@ -339,11 +462,25 @@ pub struct CompiledProgram {
     pub(crate) accesses: Vec<String>,
     /// The ADDS shape model, for runtime shape checking.
     pub(crate) adds: AddsEnv,
+    /// Fused straight-line blocks (`Super` targets and `SuperLoop`
+    /// bodies).
+    pub(crate) superblocks: Vec<SuperBlock>,
+    /// Fused whole-`while` loops (`SuperLoop` targets).
+    pub(crate) loop_blocks: Vec<LoopBlock>,
+    /// Call sites spliced into their callers at compile time.
+    inlined_calls: u32,
 }
 
 impl CompiledProgram {
-    /// Lower `tp` to bytecode. The pass is total on type-checked programs.
+    /// Lower `tp` to bytecode with the default optimizations (inlining
+    /// and superblock fusion on). The pass is total on type-checked
+    /// programs.
     pub fn compile(tp: &TypedProgram) -> CompiledProgram {
+        Self::compile_with(tp, CompileOptions::default())
+    }
+
+    /// [`CompiledProgram::compile`] with explicit optimization switches.
+    pub fn compile_with(tp: &TypedProgram, opts: CompileOptions) -> CompiledProgram {
         let _span = adds_obs::trace::span("machine.compile", "machine");
         let layouts = Layouts::from_adds(&tp.adds);
         let mut type_ids = HashMap::new();
@@ -371,10 +508,19 @@ impl CompiledProgram {
             type_layouts,
             accesses: Vec::new(),
             adds: tp.adds.clone(),
+            superblocks: Vec::new(),
+            loop_blocks: Vec::new(),
+            inlined_calls: 0,
         };
         for f in &tp.program.funcs {
             let code = FnCompiler::compile(tp, &mut prog, &type_ids, f);
             prog.funcs.push(code);
+        }
+        if opts.inline {
+            prog.inlined_calls = inline_pass(&mut prog);
+        }
+        if opts.fuse {
+            fuse_pass(&mut prog);
         }
         prog
     }
@@ -398,8 +544,27 @@ impl CompiledProgram {
     }
 
     /// Total bytecode instruction count (diagnostics / benchmarks).
+    /// Superblock constituent ops count once — fusion changes dispatch,
+    /// not code volume.
     pub fn code_len(&self) -> usize {
-        self.funcs.iter().map(|f| f.code.len()).sum()
+        self.funcs.iter().map(|f| f.code.len()).sum::<usize>()
+            + self.superblocks.iter().map(|b| b.ops.len()).sum::<usize>()
+    }
+
+    /// Number of fused superblocks (straight-line runs + loop bodies).
+    pub fn superblock_count(&self) -> usize {
+        self.superblocks.len()
+    }
+
+    /// Call sites spliced into their callers at compile time.
+    pub fn inlined_calls(&self) -> u32 {
+        self.inlined_calls
+    }
+
+    /// `(constituent ops, fuel)` of superblock `id`, for profile
+    /// rendering.
+    pub fn superblock_info(&self, id: usize) -> Option<(usize, u32)> {
+        self.superblocks.get(id).map(|b| (b.ops.len(), b.fuel))
     }
 }
 
@@ -1155,5 +1320,676 @@ impl<'a> FnCompiler<'a> {
         let id = self.prog.accesses.len() as u32;
         self.prog.accesses.push(field.to_string());
         (id, offset, len, is_ptr)
+    }
+}
+
+// ------------------------------------------------------------------ inlining
+
+/// Ceiling on callee size for inlining, in instructions. The strip-mined
+/// per-iteration helpers are well under this; it exists to keep code
+/// growth bounded on hand-written programs.
+const INLINE_MAX_CODE: usize = 64;
+
+/// A callee is inlinable when it is a small leaf: no calls (so one pass
+/// suffices and recursion is impossible) and no parallel regions (an
+/// inlined `IterEnd` would terminate the caller's iteration). `Ret` /
+/// `RetNull` are handled by expansion at the splice site.
+fn inlinable(fc: &FuncCode) -> bool {
+    fc.code.len() <= INLINE_MAX_CODE
+        && fc.code.iter().all(|i| {
+            !matches!(
+                i,
+                Instr::Call { .. } | Instr::ParFor { .. } | Instr::IterEnd
+            )
+        })
+}
+
+/// Splice inlinable callee bodies into every call site. Callee params
+/// alias the caller's argument temps (already populated by the call
+/// sequence); callee locals/temps live in a per-callee extension region
+/// appended to the caller frame. Returns the number of sites inlined.
+/// Callees stay in the function table — host code may still call them.
+fn inline_pass(prog: &mut CompiledProgram) -> u32 {
+    let snapshot = prog.funcs.clone();
+    let ok: Vec<bool> = snapshot.iter().map(inlinable).collect();
+    let eligible = |i: &Instr, fi: usize| -> bool {
+        matches!(i, Instr::Call { func, argc, .. }
+            if ok[*func as usize]
+                && *func as usize != fi
+                && *argc == snapshot[*func as usize].n_params)
+    };
+    let mut count = 0;
+    for fi in 0..prog.funcs.len() {
+        if prog.funcs[fi].code.iter().any(|i| eligible(i, fi)) {
+            count += inline_into(&mut prog.funcs[fi], fi, &snapshot, &ok);
+        }
+    }
+    count
+}
+
+/// Rewrite one function, splicing eligible callee bodies in place of
+/// their `Call` instructions.
+fn inline_into(fc: &mut FuncCode, fi: usize, snapshot: &[FuncCode], ok: &[bool]) -> u32 {
+    let old = std::mem::take(&mut fc.code);
+    let mut out: Vec<Instr> = Vec::with_capacity(old.len());
+    // Old-pc → new-pc map for the caller's own jump targets (the splice
+    // shifts everything after it).
+    let mut pos = vec![0u32; old.len() + 1];
+    let mut fixups: Vec<usize> = Vec::new();
+    // Each distinct callee gets one extension region in the caller frame;
+    // execution within a frame is sequential, so sites never overlap.
+    let mut region: HashMap<u32, u32> = HashMap::new();
+    let mut frame_size = fc.frame_size;
+    let mut count = 0;
+    for (pc, instr) in old.iter().enumerate() {
+        pos[pc] = out.len() as u32;
+        match instr {
+            Instr::Call {
+                dst,
+                func,
+                args,
+                argc,
+            } if ok[*func as usize]
+                && *func as usize != fi
+                && *argc == snapshot[*func as usize].n_params =>
+            {
+                let callee = &snapshot[*func as usize];
+                let base = *region.entry(*func).or_insert_with(|| {
+                    let b = frame_size;
+                    frame_size += callee.frame_size - callee.n_params;
+                    b
+                });
+                let n_params = callee.n_params;
+                let map = |s: Slot| -> Slot {
+                    if s < n_params {
+                        *args + s
+                    } else {
+                        base + (s - n_params)
+                    }
+                };
+                // Frame-push stand-in: the call charge and call/depth
+                // counters, with no frame traffic.
+                out.push(Instr::InlineEnter);
+                // Two-pass splice: compute the callee's new positions
+                // first (a `return` before the end widens to a result
+                // move plus a jump to the shared join point).
+                let clen = callee.code.len();
+                let mut cpos = vec![0u32; clen];
+                let mut at = out.len() as u32;
+                for (j, ci) in callee.code.iter().enumerate() {
+                    cpos[j] = at;
+                    let wide = matches!(ci, Instr::Ret { .. } | Instr::RetNull) && j + 1 != clen;
+                    at += if wide { 2 } else { 1 };
+                }
+                let join = at;
+                for (j, ci) in callee.code.iter().enumerate() {
+                    match ci {
+                        Instr::Ret { src } => {
+                            out.push(Instr::Copy {
+                                dst: *dst,
+                                src: map(*src),
+                            });
+                            if j + 1 != clen {
+                                out.push(Instr::Jump { target: join });
+                            }
+                        }
+                        Instr::RetNull => {
+                            out.push(Instr::Const {
+                                dst: *dst,
+                                v: Value::Null,
+                            });
+                            if j + 1 != clen {
+                                out.push(Instr::Jump { target: join });
+                            }
+                        }
+                        ci => {
+                            let mut ni = remap_slots(ci, &map);
+                            retarget(&mut ni, |t| cpos[t as usize]);
+                            out.push(ni);
+                        }
+                    }
+                }
+                debug_assert_eq!(out.len() as u32, join);
+                out.push(Instr::InlineRet);
+                count += 1;
+            }
+            i => {
+                if carries_target(i) {
+                    fixups.push(out.len());
+                }
+                out.push(i.clone());
+            }
+        }
+    }
+    pos[old.len()] = out.len() as u32;
+    for idx in fixups {
+        retarget(&mut out[idx], |t| pos[t as usize]);
+    }
+    fc.code = out;
+    fc.frame_size = frame_size;
+    count
+}
+
+/// Does this instruction carry a code target that must move when
+/// instructions shift?
+fn carries_target(i: &Instr) -> bool {
+    matches!(
+        i,
+        Instr::Jump { .. }
+            | Instr::JumpIfFalse { .. }
+            | Instr::JumpCmpFalse { .. }
+            | Instr::JumpCmpKFalse { .. }
+            | Instr::FuelJump { .. }
+            | Instr::ForEnter { .. }
+            | Instr::ForNext { .. }
+            | Instr::ParFor { .. }
+    )
+}
+
+/// Apply `f` to every code target `i` carries.
+fn retarget(i: &mut Instr, f: impl Fn(u32) -> u32) {
+    match i {
+        Instr::Jump { target }
+        | Instr::JumpIfFalse { target, .. }
+        | Instr::JumpCmpFalse { target, .. }
+        | Instr::JumpCmpKFalse { target, .. }
+        | Instr::FuelJump { target } => *target = f(*target),
+        Instr::ForEnter { exit, .. } => *exit = f(*exit),
+        Instr::ForNext { head, .. } => *head = f(*head),
+        Instr::ParFor { body_end, .. } => *body_end = f(*body_end),
+        _ => {}
+    }
+}
+
+/// Clone `i` with every frame-slot operand passed through `map`.
+fn remap_slots(i: &Instr, map: &impl Fn(Slot) -> Slot) -> Instr {
+    let mut n = i.clone();
+    match &mut n {
+        Instr::Const { dst, .. }
+        | Instr::FuelConst { dst, .. }
+        | Instr::Pes { dst }
+        | Instr::Alloc { dst, .. } => *dst = map(*dst),
+        Instr::Copy { dst, src }
+        | Instr::FuelCopy { dst, src }
+        | Instr::Un { dst, src, .. }
+        | Instr::Sqrt { dst, src }
+        | Instr::Fabs { dst, src }
+        | Instr::Abs { dst, src }
+        | Instr::Itor { dst, src } => {
+            *dst = map(*dst);
+            *src = map(*src);
+        }
+        Instr::Load { dst, base, .. } | Instr::FuelLoad { dst, base, .. } => {
+            *dst = map(*dst);
+            *base = map(*base);
+        }
+        Instr::LoadIdx { dst, base, idx, .. } => {
+            *dst = map(*dst);
+            *base = map(*base);
+            *idx = map(*idx);
+        }
+        Instr::Store { base, src, .. } | Instr::FieldRmw { base, src, .. } => {
+            *base = map(*base);
+            *src = map(*src);
+        }
+        Instr::StoreIdx { base, idx, src, .. } => {
+            *base = map(*base);
+            *idx = map(*idx);
+            *src = map(*src);
+        }
+        Instr::FieldRmwK { base, .. } => *base = map(*base),
+        Instr::GuardRmw { cond, src, .. } => {
+            *cond = map(*cond);
+            *src = map(*src);
+        }
+        Instr::Bin { dst, lhs, rhs, .. } => {
+            *dst = map(*dst);
+            *lhs = map(*lhs);
+            *rhs = map(*rhs);
+        }
+        Instr::BinK { dst, lhs, .. } => {
+            *dst = map(*dst);
+            *lhs = map(*lhs);
+        }
+        Instr::MinMax { dst, a, b, .. } => {
+            *dst = map(*dst);
+            *a = map(*a);
+            *b = map(*b);
+        }
+        Instr::Print { src } => *src = map(*src),
+        Instr::Call { dst, args, .. } => {
+            *dst = map(*dst);
+            *args = map(*args);
+        }
+        Instr::Ret { src } => *src = map(*src),
+        Instr::JumpIfFalse { cond, .. } => *cond = map(*cond),
+        Instr::JumpCmpFalse { lhs, rhs, .. } => {
+            *lhs = map(*lhs);
+            *rhs = map(*rhs);
+        }
+        Instr::JumpCmpKFalse { lhs, .. } => *lhs = map(*lhs),
+        Instr::IntCheck { slot } => *slot = map(*slot),
+        Instr::ChaseLoop { k, i, hi, ptr, .. } => {
+            *k = map(*k);
+            *i = map(*i);
+            *hi = map(*hi);
+            *ptr = map(*ptr);
+        }
+        Instr::ForEnter { i, hi, .. } | Instr::ForNext { i, hi, .. } => {
+            *i = map(*i);
+            *hi = map(*hi);
+        }
+        Instr::ForHead { var, i } => {
+            *var = map(*var);
+            *i = map(*i);
+        }
+        Instr::ParFor { var, lo, hi, .. } => {
+            *var = map(*var);
+            *lo = map(*lo);
+            *hi = map(*hi);
+        }
+        Instr::RetNull
+        | Instr::Jump { .. }
+        | Instr::FuelJump { .. }
+        | Instr::Branch
+        | Instr::Fuel
+        | Instr::IterEnd
+        | Instr::InlineEnter
+        | Instr::InlineRet => {}
+        Instr::Super { .. } | Instr::SuperLoop { .. } => {
+            unreachable!("fusion runs after inlining")
+        }
+    }
+    n
+}
+
+// ------------------------------------------------------------------- fusion
+
+/// Static accounting of one instruction inside a superblock: `(fuel,
+/// charge)` for its data-independent costs, or `None` when it cannot be
+/// fused (control flow, calls, dynamic fuel). `Un`/`Bin`/`BinK` fuse with
+/// an empty static charge — their alu-vs-fp charge depends on operand
+/// values and stays inside the op.
+fn fusion_parts(i: &Instr) -> Option<(u32, Charge)> {
+    let mut c = Charge::default();
+    let fuel = match i {
+        Instr::Const { .. }
+        | Instr::Copy { .. }
+        | Instr::Pes { .. }
+        | Instr::Print { .. }
+        | Instr::IntCheck { .. }
+        | Instr::Un { .. }
+        | Instr::Bin { .. }
+        | Instr::BinK { .. }
+        | Instr::InlineRet => 0,
+        Instr::Fuel | Instr::FuelCopy { .. } | Instr::FuelConst { .. } => 1,
+        Instr::Load { .. } | Instr::LoadIdx { .. } => {
+            c.load += 1;
+            0
+        }
+        Instr::FuelLoad { .. } => {
+            c.load += 1;
+            1
+        }
+        Instr::Store { .. } | Instr::StoreIdx { .. } => {
+            c.store += 1;
+            0
+        }
+        Instr::FieldRmw { .. } | Instr::FieldRmwK { .. } => {
+            c.load += 1;
+            c.store += 1;
+            1
+        }
+        Instr::Sqrt { .. } => {
+            c.sqrt += 1;
+            0
+        }
+        Instr::Fabs { .. } | Instr::MinMax { .. } => {
+            c.fp += 1;
+            0
+        }
+        Instr::Abs { .. } | Instr::Itor { .. } => {
+            c.alu += 1;
+            0
+        }
+        Instr::Alloc { .. } => {
+            c.alloc += 1;
+            0
+        }
+        Instr::Branch => {
+            c.branch += 1;
+            0
+        }
+        Instr::InlineEnter => {
+            c.call += 1;
+            0
+        }
+        _ => return None,
+    };
+    Some((fuel, c))
+}
+
+/// Aggregate `ops` into a new superblock; returns its id. An `IntCheck`
+/// directly after a constant-int write to the same slot is provably true
+/// and dropped (it charges nothing, so the block's accounting is
+/// unchanged).
+fn make_superblock(ops: &[Instr], sbs: &mut Vec<SuperBlock>) -> u32 {
+    let ops: Vec<Instr> = ops
+        .iter()
+        .enumerate()
+        .filter(|(j, op)| {
+            if let Instr::IntCheck { slot } = op {
+                if *j > 0 {
+                    if let Instr::Const {
+                        dst,
+                        v: Value::Int(_),
+                    }
+                    | Instr::FuelConst {
+                        dst,
+                        v: Value::Int(_),
+                    } = &ops[j - 1]
+                    {
+                        return dst != slot;
+                    }
+                }
+            }
+            true
+        })
+        .map(|(_, op)| op.clone())
+        .collect();
+    let ops = &ops[..];
+    let mut fuel = 0u32;
+    let mut charge = Charge::default();
+    for op in ops {
+        let (f, c) = fusion_parts(op).expect("only fusible ops reach a superblock");
+        fuel += f;
+        charge.alu += c.alu;
+        charge.fp += c.fp;
+        charge.sqrt += c.sqrt;
+        charge.load += c.load;
+        charge.store += c.store;
+        charge.branch += c.branch;
+        charge.call += c.call;
+        charge.alloc += c.alloc;
+    }
+    sbs.push(SuperBlock {
+        fuel,
+        charge,
+        ops: ops.to_vec().into_boxed_slice(),
+    });
+    (sbs.len() - 1) as u32
+}
+
+/// Fuse every function's straight-line runs and single-block `while`
+/// loops.
+fn fuse_pass(prog: &mut CompiledProgram) {
+    let mut sbs = Vec::new();
+    let mut lps = Vec::new();
+    for fc in &mut prog.funcs {
+        let code = std::mem::take(&mut fc.code);
+        fc.code = fuse_function(code, &mut sbs, &mut lps);
+    }
+    prog.superblocks = sbs;
+    prog.loop_blocks = lps;
+}
+
+/// Rewrite one function: whole eligible `while` loops become `SuperLoop`,
+/// remaining maximal straight-line fusible runs of length ≥ 2 become
+/// `Super`. Blocks never span a jump target (no entry into the middle of
+/// a fused region).
+fn fuse_function(
+    code: Vec<Instr>,
+    sbs: &mut Vec<SuperBlock>,
+    lps: &mut Vec<LoopBlock>,
+) -> Vec<Instr> {
+    let n = code.len();
+    // Every pc control flow can enter other than by falling through.
+    let mut leader = vec![false; n + 1];
+    leader[0] = true;
+    for (pc, i) in code.iter().enumerate() {
+        match i {
+            Instr::Jump { target }
+            | Instr::JumpIfFalse { target, .. }
+            | Instr::JumpCmpFalse { target, .. }
+            | Instr::JumpCmpKFalse { target, .. }
+            | Instr::FuelJump { target } => leader[*target as usize] = true,
+            Instr::ForEnter { exit, .. } => leader[*exit as usize] = true,
+            Instr::ForNext { head, .. } => leader[*head as usize] = true,
+            Instr::ParFor { body_end, .. } => {
+                leader[*body_end as usize] = true;
+                // The parfor body is entered directly per iteration.
+                leader[pc + 1] = true;
+            }
+            _ => {}
+        }
+    }
+    // Whole-loop candidates: a fused head at H jumping past a FuelJump
+    // backedge at B, with an all-fusible single-block body in between.
+    let mut loop_at: HashMap<usize, (usize, LoopHead)> = HashMap::new();
+    for (pc, i) in code.iter().enumerate() {
+        let Instr::FuelJump { target } = i else {
+            continue;
+        };
+        let h = *target as usize;
+        if h >= pc || pc == h + 1 {
+            continue; // forward jump, or empty body
+        }
+        let b = pc;
+        let head = match &code[h] {
+            Instr::JumpIfFalse {
+                cond,
+                branch: true,
+                target,
+            } if *target as usize == b + 1 => LoopHead::Truthy { cond: *cond },
+            Instr::JumpCmpFalse {
+                op,
+                lhs,
+                rhs,
+                branch: true,
+                target,
+            } if *target as usize == b + 1 => LoopHead::Cmp {
+                op: *op,
+                lhs: *lhs,
+                rhs: *rhs,
+            },
+            Instr::JumpCmpKFalse {
+                op,
+                lhs,
+                k,
+                branch: true,
+                target,
+            } if *target as usize == b + 1 => LoopHead::CmpK {
+                op: *op,
+                lhs: *lhs,
+                k: *k,
+            },
+            _ => continue,
+        };
+        if (h + 1..=b).any(|p| leader[p]) {
+            continue;
+        }
+        if code[h + 1..b].iter().any(|op| fusion_parts(op).is_none()) {
+            continue;
+        }
+        loop_at.insert(h, (b, head));
+    }
+
+    let mut out: Vec<Instr> = Vec::with_capacity(n);
+    let mut pos = vec![0u32; n + 1];
+    let mut fixups: Vec<usize> = Vec::new();
+    let mut loop_fix: Vec<(usize, u32)> = Vec::new();
+    let mut pc = 0;
+    while pc < n {
+        if let Some(&(b, head)) = loop_at.get(&pc) {
+            let at = out.len() as u32;
+            pos[pc..=b].fill(at);
+            let body = make_superblock(&code[pc + 1..b], sbs);
+            loop_fix.push((lps.len(), (b + 1) as u32));
+            out.push(Instr::SuperLoop {
+                lp: lps.len() as u32,
+            });
+            lps.push(LoopBlock {
+                head,
+                body,
+                exit: 0,
+            });
+            pc = b + 1;
+            continue;
+        }
+        // The strip-mined per-node guard `fuel; if (p != NULL) { p->f =
+        // p->f op x }` — one dispatch instead of three. Only when control
+        // cannot enter the middle of the pattern.
+        if pc + 2 < n && !leader[pc + 1] && !leader[pc + 2] {
+            if let (
+                Instr::Fuel,
+                Instr::JumpCmpKFalse {
+                    op: BinOp::Ne,
+                    lhs,
+                    k: Value::Null,
+                    branch: true,
+                    target,
+                },
+                Instr::FieldRmw {
+                    op,
+                    base,
+                    src,
+                    off,
+                    is_ptr,
+                    access,
+                },
+            ) = (&code[pc], &code[pc + 1], &code[pc + 2])
+            {
+                if *target as usize == pc + 3 && base == lhs {
+                    let at = out.len() as u32;
+                    pos[pc..pc + 3].fill(at);
+                    out.push(Instr::GuardRmw {
+                        op: *op,
+                        cond: *base,
+                        src: *src,
+                        off: *off,
+                        is_ptr: *is_ptr,
+                        access: *access,
+                    });
+                    pc += 3;
+                    continue;
+                }
+            }
+        }
+        // Maximal straight-line fusible run from pc (stopping at any
+        // later jump target).
+        let mut end = pc;
+        while end < n && fusion_parts(&code[end]).is_some() && (end == pc || !leader[end]) {
+            end += 1;
+        }
+        if end - pc >= 2 {
+            let at = out.len() as u32;
+            pos[pc..end].fill(at);
+            let sb = make_superblock(&code[pc..end], sbs);
+            out.push(Instr::Super { sb });
+            pc = end;
+            continue;
+        }
+        pos[pc] = out.len() as u32;
+        let i = code[pc].clone();
+        if carries_target(&i) {
+            fixups.push(out.len());
+        }
+        out.push(i);
+        pc += 1;
+    }
+    pos[n] = out.len() as u32;
+    for idx in fixups {
+        retarget(&mut out[idx], |t| pos[t as usize]);
+    }
+    for (lp, old_exit) in loop_fix {
+        lps[lp].exit = pos[old_exit as usize];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adds_lang::programs;
+    use adds_lang::types::check_source;
+
+    fn compiled(src: &str, opts: CompileOptions) -> CompiledProgram {
+        CompiledProgram::compile_with(&check_source(src).unwrap(), opts)
+    }
+
+    #[test]
+    fn sequential_list_loops_fuse_to_superloops() {
+        let p = compiled(programs::LIST_SCALE_ADDS, CompileOptions::default());
+        assert!(!p.loop_blocks.is_empty(), "chase loop fused");
+        let body = &p.superblocks[p.loop_blocks[0].body as usize];
+        // `p->coef = p->coef * c; p = p->next;` — two statements of fuel,
+        // one RMW (load+store) plus one chase load.
+        assert_eq!(body.fuel, 2);
+        assert_eq!((body.charge.load, body.charge.store), (2, 1));
+        let sum = compiled(programs::LIST_SUM, CompileOptions::default());
+        assert!(!sum.loop_blocks.is_empty());
+    }
+
+    #[test]
+    fn optimization_switches_gate_the_passes() {
+        let off = CompileOptions {
+            inline: false,
+            fuse: false,
+        };
+        let p = compiled(programs::LIST_SCALE_ADDS, off);
+        assert_eq!(p.superblock_count(), 0);
+        assert_eq!(p.inlined_calls(), 0);
+        assert!(p.loop_blocks.is_empty());
+    }
+
+    #[test]
+    fn strip_mined_helpers_inline_into_the_parallel_driver() {
+        let src = adds_core::parallelize_to_source(programs::LIST_SCALE_ADDS).unwrap();
+        let p = compiled(&src, CompileOptions::default());
+        assert!(p.inlined_calls() >= 1, "helper call spliced");
+        // The helper stays callable (host entry points survive).
+        assert!(p.func_count() >= 2);
+        // No Call instruction remains in the driver's parfor body; the
+        // spliced body is marked by the bookkeeping pair.
+        let driver = p.func_id("scale").unwrap();
+        let code = &p.funcs[driver as usize].code;
+        let has = |f: &dyn Fn(&Instr) -> bool| code.iter().any(f);
+        assert!(
+            has(&|i| matches!(i, Instr::Super { .. })),
+            "driver gained superblocks"
+        );
+        let all_blocks = code
+            .iter()
+            .chain(p.superblocks.iter().flat_map(|b| b.ops.iter()));
+        let mut enters = 0;
+        for i in all_blocks {
+            if matches!(i, Instr::InlineEnter) {
+                enters += 1;
+            }
+            assert!(
+                !matches!(i, Instr::Call { .. }),
+                "no call remains in the driver"
+            );
+        }
+        assert!(enters >= 1);
+    }
+
+    #[test]
+    fn fused_programs_shrink_dispatch_but_keep_ops() {
+        let base = compiled(
+            programs::BARNES_HUT,
+            CompileOptions {
+                inline: false,
+                fuse: false,
+            },
+        );
+        let fused = compiled(programs::BARNES_HUT, CompileOptions::default());
+        let dispatch: usize = fused.funcs.iter().map(|f| f.code.len()).sum();
+        assert!(
+            dispatch < base.code_len(),
+            "fusion shrinks the dispatch stream ({dispatch} vs {})",
+            base.code_len()
+        );
+        assert!(fused.superblock_count() > 0);
     }
 }

@@ -74,6 +74,47 @@ impl Default for CostModel {
     }
 }
 
+/// Static per-class operation counts accumulated over a fused superblock
+/// at compile time. The cost model is a *VM configuration*, not a
+/// compile-time constant, so fused blocks carry counts and each VM
+/// resolves them to a cycle total against its own model once, at
+/// construction ([`Charge::cycles`]). Value-dependent charges (`Bin`/`Un`
+/// picking alu vs fp from operand kinds) are deliberately excluded — those
+/// ops charge themselves even inside a block.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Charge {
+    /// Integer ALU ops with statically-known class (`Abs`, `Itor`).
+    pub alu: u32,
+    /// Floating-point ops (`Fabs`, `MinMax`).
+    pub fp: u32,
+    /// Square roots.
+    pub sqrt: u32,
+    /// Heap loads.
+    pub load: u32,
+    /// Heap stores.
+    pub store: u32,
+    /// Branch-point charges (`Branch`).
+    pub branch: u32,
+    /// Call overheads (`InlineEnter`).
+    pub call: u32,
+    /// Heap allocations.
+    pub alloc: u32,
+}
+
+impl Charge {
+    /// Total cycles these counts cost under model `m`.
+    pub fn cycles(&self, m: &CostModel) -> u64 {
+        self.alu as u64 * m.alu
+            + self.fp as u64 * m.fp
+            + self.sqrt as u64 * m.sqrt
+            + self.load as u64 * m.load
+            + self.store as u64 * m.store
+            + self.branch as u64 * m.branch
+            + self.call as u64 * m.call
+            + self.alloc as u64 * m.alloc
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,6 +132,21 @@ mod tests {
         let c = CostModel::sequent().with_sync(7);
         assert_eq!(c.sync, 7);
         assert_eq!(c.fp, CostModel::sequent().fp);
+    }
+
+    #[test]
+    fn charge_resolves_against_any_model() {
+        let c = Charge {
+            load: 2,
+            store: 1,
+            branch: 3,
+            ..Charge::default()
+        };
+        let m = CostModel::sequent();
+        assert_eq!(c.cycles(&m), 2 * m.load + m.store + 3 * m.branch);
+        let u = CostModel::uniform();
+        assert_eq!(c.cycles(&u), 2 * u.load + u.store + 3 * u.branch);
+        assert_eq!(Charge::default().cycles(&m), 0);
     }
 
     #[test]

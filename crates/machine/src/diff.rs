@@ -9,7 +9,7 @@
 //! discard the machine on error, and the VM may have evaluated operands
 //! textually after the faulting one (see [`crate::vm`] docs).
 
-use crate::compile::CompiledProgram;
+use crate::compile::{CompileOptions, CompiledProgram};
 use crate::exec::{Conflict, Exec, ExecStats, MachineConfig, RuntimeError};
 use crate::interp::Interp;
 use crate::shapecheck::ShapeReport;
@@ -66,6 +66,19 @@ pub fn run_pair(
     tp: &TypedProgram,
     cfg: &MachineConfig,
     entry: &str,
+    setup: impl FnMut(&mut dyn Exec) -> Vec<Value>,
+) -> (Outcome, Outcome) {
+    run_pair_with(tp, cfg, CompileOptions::default(), entry, setup)
+}
+
+/// [`run_pair`] with explicit compile-time optimization switches for the
+/// VM side (the interpreter has no compile step — it is the oracle for
+/// every switch combination).
+pub fn run_pair_with(
+    tp: &TypedProgram,
+    cfg: &MachineConfig,
+    opts: CompileOptions,
+    entry: &str,
     mut setup: impl FnMut(&mut dyn Exec) -> Vec<Value>,
 ) -> (Outcome, Outcome) {
     let mut interp = Interp::new(tp, cfg.clone());
@@ -73,7 +86,7 @@ pub fn run_pair(
     let r = Interp::call(&mut interp, entry, &args);
     let reference = Outcome::observe(&interp, r);
 
-    let compiled = CompiledProgram::compile(tp);
+    let compiled = CompiledProgram::compile_with(tp, opts);
     let mut vm = Vm::new(&compiled, cfg.clone());
     let args = setup(&mut vm);
     let r = Vm::call(&mut vm, entry, &args);
@@ -91,7 +104,19 @@ pub fn assert_equivalent(
     entry: &str,
     setup: impl FnMut(&mut dyn Exec) -> Vec<Value>,
 ) {
-    let (reference, candidate) = run_pair(tp, cfg, entry, setup);
+    assert_equivalent_with(label, tp, cfg, CompileOptions::default(), entry, setup)
+}
+
+/// [`assert_equivalent`] with explicit compile-time optimization switches.
+pub fn assert_equivalent_with(
+    label: &str,
+    tp: &TypedProgram,
+    cfg: &MachineConfig,
+    opts: CompileOptions,
+    entry: &str,
+    setup: impl FnMut(&mut dyn Exec) -> Vec<Value>,
+) {
+    let (reference, candidate) = run_pair_with(tp, cfg, opts, entry, setup);
     match (&reference.result, &candidate.result) {
         (Err(a), Err(b)) => {
             assert_eq!(a, b, "{label}: engines report different errors");
@@ -101,12 +126,15 @@ pub fn assert_equivalent(
                 reference,
                 candidate,
                 "{label}: VM diverged from the interpreter \
-                 (pes={}, speculative={}, detect={}, strict={}, shapes={})",
+                 (pes={}, speculative={}, detect={}, strict={}, shapes={}, \
+                  inline={}, fuse={})",
                 cfg.pes,
                 cfg.speculative,
                 cfg.detect_conflicts,
                 cfg.strict_conflicts,
-                cfg.check_shapes
+                cfg.check_shapes,
+                opts.inline,
+                opts.fuse
             );
         }
     }

@@ -37,9 +37,9 @@ pub mod shapecheck;
 pub mod value;
 pub mod vm;
 
-pub use compile::CompiledProgram;
+pub use compile::{CompileOptions, CompiledProgram};
 pub use conflict::ConflictTable;
-pub use cost::CostModel;
+pub use cost::{Charge, CostModel};
 pub use exec::{Conflict, Exec, ExecStats, MachineConfig, RuntimeError};
 pub use interp::Interp;
 pub use profile::{LoopProfile, Opcode, VmProfile};

@@ -15,6 +15,42 @@ fn type_err<T>(m: impl Into<String>) -> RResult<T> {
     Err(RuntimeError::Type(m.into()))
 }
 
+/// Operand-inspecting fast path for [`binop`]: the alu-charged cases a
+/// compiled loop hits constantly — int arithmetic and compares, and
+/// pointer / NULL equality. Every `Some` result is exactly what the
+/// general paths of [`binop`] would produce for an `alu` charge; `None`
+/// means coercion, error checks, or a non-alu charge is involved
+/// (`Div`/`Rem` stay on the slow path for their zero checks, `And`/`Or`
+/// for truthy coercion). Force-inlined so VM dispatch arms can keep the
+/// operands in registers instead of paying a call with by-memory
+/// `Value` arguments.
+#[inline(always)]
+pub(crate) fn binop_fast(op: BinOp, l: Value, r: Value) -> Option<Value> {
+    use BinOp::*;
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => Some(match op {
+            Add => Value::Int(a.wrapping_add(b)),
+            Sub => Value::Int(a.wrapping_sub(b)),
+            Mul => Value::Int(a.wrapping_mul(b)),
+            Lt => Value::Bool(a < b),
+            Le => Value::Bool(a <= b),
+            Gt => Value::Bool(a > b),
+            Ge => Value::Bool(a >= b),
+            Eq => Value::Bool(a == b),
+            Ne => Value::Bool(a != b),
+            Div | Rem | And | Or => return None,
+        }),
+        (Value::Ptr(a), Value::Ptr(b)) if matches!(op, Eq | Ne) => {
+            Some(Value::Bool((a == b) == (op == Eq)))
+        }
+        (Value::Ptr(_), Value::Null) | (Value::Null, Value::Ptr(_)) if matches!(op, Eq | Ne) => {
+            Some(Value::Bool(op == Ne))
+        }
+        (Value::Null, Value::Null) if matches!(op, Eq | Ne) => Some(Value::Bool(op == Eq)),
+        _ => None,
+    }
+}
+
 /// Apply a binary operator, charging `clock` per the cost model.
 pub(crate) fn binop(
     op: BinOp,
@@ -24,6 +60,10 @@ pub(crate) fn binop(
     clock: &mut u64,
 ) -> RResult<Value> {
     use BinOp::*;
+    if let Some(v) = binop_fast(op, l, r) {
+        *clock += cost.alu;
+        return Ok(v);
+    }
     // Pointer / NULL comparisons.
     if matches!(op, Eq | Ne) {
         let eq = match (l, r) {

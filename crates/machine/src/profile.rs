@@ -1,152 +1,174 @@
-//! Opt-in VM profiling: a dense per-opcode execution counter array plus
-//! per-`parfor`-site cycle attribution.
+//! Opt-in VM profiling: a dense per-opcode execution counter array,
+//! per-superblock execution counters, and per-`parfor`-site cycle
+//! attribution.
 //!
-//! The profile answers the two questions superinstruction work needs:
+//! The profile answers the questions superinstruction work needs:
 //! *which opcodes dominate dynamic dispatch* (so fusion candidates are
-//! chosen from evidence, not intuition) and *which parallel loops the
-//! simulated cycles actually go to*. Profiling is off by default — the
-//! dispatch loop pays one `Option` check per instruction — and enabled
-//! per-VM with [`crate::vm::Vm::enable_profiling`]; `adds-cli profile`
-//! is the user-facing frontend.
+//! chosen from evidence, not intuition), *which fused blocks actually
+//! run*, and *which parallel loops the simulated cycles go to*.
+//! Profiling is off by default — the dispatch loop pays one `Option`
+//! check per instruction — and enabled per-VM with
+//! [`crate::vm::Vm::enable_profiling`]; `adds-cli profile` is the
+//! user-facing frontend.
 
 use std::collections::HashMap;
 
 /// Dense opcode identifier — one variant per [`crate::compile`]
 /// instruction, used to index the profile's counter array.
+///
+/// Declaration order is the *dispatch order*: the superinstructions and
+/// hot fused statement forms occupy a contiguous low discriminant range
+/// so the VM's dispatch `match` compiles to a dense jump table with the
+/// hot arms packed first. Must mirror `Instr` exactly (pinned by test).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(u8)]
 #[allow(missing_docs)] // names mirror the Instr variants 1:1
 pub enum Opcode {
-    Const,
-    Copy,
-    Pes,
-    Alloc,
-    Load,
+    Super,
+    SuperLoop,
+    ChaseLoop,
     FuelLoad,
+    FieldRmw,
+    FieldRmwK,
+    GuardRmw,
+    JumpCmpFalse,
+    JumpCmpKFalse,
+    FuelJump,
     FuelCopy,
     FuelConst,
-    LoadIdx,
+    Copy,
+    Const,
+    Load,
     Store,
-    StoreIdx,
-    Un,
     Bin,
     BinK,
+    Jump,
+    JumpIfFalse,
+    Call,
+    InlineEnter,
+    InlineRet,
+    IntCheck,
+    ParFor,
+    IterEnd,
+    ForEnter,
+    ForHead,
+    ForNext,
+    Ret,
+    RetNull,
+    Fuel,
+    Branch,
+    Un,
     Sqrt,
     Fabs,
     Abs,
     MinMax,
     Itor,
+    Pes,
+    Alloc,
+    LoadIdx,
+    StoreIdx,
     Print,
-    Call,
-    Ret,
-    RetNull,
-    Jump,
-    JumpIfFalse,
-    JumpCmpFalse,
-    JumpCmpKFalse,
-    FuelJump,
-    Branch,
-    Fuel,
-    IntCheck,
-    ChaseLoop,
-    FieldRmw,
-    FieldRmwK,
-    ForEnter,
-    ForHead,
-    ForNext,
-    ParFor,
-    IterEnd,
 }
 
 impl Opcode {
     /// Number of opcodes (the counter array length).
-    pub const COUNT: usize = 39;
+    pub const COUNT: usize = 44;
 
     /// Every opcode, in declaration order (`as usize` indexes this).
     pub const ALL: &'static [Opcode] = &[
-        Opcode::Const,
-        Opcode::Copy,
-        Opcode::Pes,
-        Opcode::Alloc,
-        Opcode::Load,
+        Opcode::Super,
+        Opcode::SuperLoop,
+        Opcode::ChaseLoop,
         Opcode::FuelLoad,
+        Opcode::FieldRmw,
+        Opcode::FieldRmwK,
+        Opcode::GuardRmw,
+        Opcode::JumpCmpFalse,
+        Opcode::JumpCmpKFalse,
+        Opcode::FuelJump,
         Opcode::FuelCopy,
         Opcode::FuelConst,
-        Opcode::LoadIdx,
+        Opcode::Copy,
+        Opcode::Const,
+        Opcode::Load,
         Opcode::Store,
-        Opcode::StoreIdx,
-        Opcode::Un,
         Opcode::Bin,
         Opcode::BinK,
+        Opcode::Jump,
+        Opcode::JumpIfFalse,
+        Opcode::Call,
+        Opcode::InlineEnter,
+        Opcode::InlineRet,
+        Opcode::IntCheck,
+        Opcode::ParFor,
+        Opcode::IterEnd,
+        Opcode::ForEnter,
+        Opcode::ForHead,
+        Opcode::ForNext,
+        Opcode::Ret,
+        Opcode::RetNull,
+        Opcode::Fuel,
+        Opcode::Branch,
+        Opcode::Un,
         Opcode::Sqrt,
         Opcode::Fabs,
         Opcode::Abs,
         Opcode::MinMax,
         Opcode::Itor,
+        Opcode::Pes,
+        Opcode::Alloc,
+        Opcode::LoadIdx,
+        Opcode::StoreIdx,
         Opcode::Print,
-        Opcode::Call,
-        Opcode::Ret,
-        Opcode::RetNull,
-        Opcode::Jump,
-        Opcode::JumpIfFalse,
-        Opcode::JumpCmpFalse,
-        Opcode::JumpCmpKFalse,
-        Opcode::FuelJump,
-        Opcode::Branch,
-        Opcode::Fuel,
-        Opcode::IntCheck,
-        Opcode::ChaseLoop,
-        Opcode::FieldRmw,
-        Opcode::FieldRmwK,
-        Opcode::ForEnter,
-        Opcode::ForHead,
-        Opcode::ForNext,
-        Opcode::ParFor,
-        Opcode::IterEnd,
     ];
 
     /// Stable display name (matches the `Instr` variant).
     pub fn name(self) -> &'static str {
         match self {
-            Opcode::Const => "Const",
-            Opcode::Copy => "Copy",
-            Opcode::Pes => "Pes",
-            Opcode::Alloc => "Alloc",
-            Opcode::Load => "Load",
+            Opcode::Super => "Super",
+            Opcode::SuperLoop => "SuperLoop",
+            Opcode::ChaseLoop => "ChaseLoop",
             Opcode::FuelLoad => "FuelLoad",
+            Opcode::FieldRmw => "FieldRmw",
+            Opcode::FieldRmwK => "FieldRmwK",
+            Opcode::GuardRmw => "GuardRmw",
+            Opcode::JumpCmpFalse => "JumpCmpFalse",
+            Opcode::JumpCmpKFalse => "JumpCmpKFalse",
+            Opcode::FuelJump => "FuelJump",
             Opcode::FuelCopy => "FuelCopy",
             Opcode::FuelConst => "FuelConst",
-            Opcode::LoadIdx => "LoadIdx",
+            Opcode::Copy => "Copy",
+            Opcode::Const => "Const",
+            Opcode::Load => "Load",
             Opcode::Store => "Store",
-            Opcode::StoreIdx => "StoreIdx",
-            Opcode::Un => "Un",
             Opcode::Bin => "Bin",
             Opcode::BinK => "BinK",
+            Opcode::Jump => "Jump",
+            Opcode::JumpIfFalse => "JumpIfFalse",
+            Opcode::Call => "Call",
+            Opcode::InlineEnter => "InlineEnter",
+            Opcode::InlineRet => "InlineRet",
+            Opcode::IntCheck => "IntCheck",
+            Opcode::ParFor => "ParFor",
+            Opcode::IterEnd => "IterEnd",
+            Opcode::ForEnter => "ForEnter",
+            Opcode::ForHead => "ForHead",
+            Opcode::ForNext => "ForNext",
+            Opcode::Ret => "Ret",
+            Opcode::RetNull => "RetNull",
+            Opcode::Fuel => "Fuel",
+            Opcode::Branch => "Branch",
+            Opcode::Un => "Un",
             Opcode::Sqrt => "Sqrt",
             Opcode::Fabs => "Fabs",
             Opcode::Abs => "Abs",
             Opcode::MinMax => "MinMax",
             Opcode::Itor => "Itor",
+            Opcode::Pes => "Pes",
+            Opcode::Alloc => "Alloc",
+            Opcode::LoadIdx => "LoadIdx",
+            Opcode::StoreIdx => "StoreIdx",
             Opcode::Print => "Print",
-            Opcode::Call => "Call",
-            Opcode::Ret => "Ret",
-            Opcode::RetNull => "RetNull",
-            Opcode::Jump => "Jump",
-            Opcode::JumpIfFalse => "JumpIfFalse",
-            Opcode::JumpCmpFalse => "JumpCmpFalse",
-            Opcode::JumpCmpKFalse => "JumpCmpKFalse",
-            Opcode::FuelJump => "FuelJump",
-            Opcode::Branch => "Branch",
-            Opcode::Fuel => "Fuel",
-            Opcode::IntCheck => "IntCheck",
-            Opcode::ChaseLoop => "ChaseLoop",
-            Opcode::FieldRmw => "FieldRmw",
-            Opcode::FieldRmwK => "FieldRmwK",
-            Opcode::ForEnter => "ForEnter",
-            Opcode::ForHead => "ForHead",
-            Opcode::ForNext => "ForNext",
-            Opcode::ParFor => "ParFor",
-            Opcode::IterEnd => "IterEnd",
         }
     }
 }
@@ -164,13 +186,19 @@ pub struct LoopProfile {
     pub max_iter_cycles: u64,
 }
 
-/// A VM execution profile: dynamic opcode counts plus per-`parfor`
-/// cycle attribution. Deterministic for a deterministic program — the
-/// simulated clock, not wall time, is what's attributed.
+/// A VM execution profile: dynamic opcode counts, per-superblock
+/// execution counts, plus per-`parfor` cycle attribution. Deterministic
+/// for a deterministic program — the simulated clock, not wall time, is
+/// what's attributed.
 #[derive(Clone, Debug)]
 pub struct VmProfile {
     /// Dynamic execution count per opcode, indexed by `Opcode as usize`.
     pub op_counts: [u64; Opcode::COUNT],
+    /// Executions per superblock id (grown lazily to the program's block
+    /// count). Invariant: `sum(sb_counts) == op_counts[Super]` — every
+    /// `Super` dispatch and every `SuperLoop` iteration executes exactly
+    /// one superblock.
+    pub sb_counts: Vec<u64>,
     /// Per-`parfor`-site attribution, keyed by `(func id, body pc)`.
     pub loops: HashMap<(u32, u32), LoopProfile>,
 }
@@ -179,6 +207,7 @@ impl Default for VmProfile {
     fn default() -> Self {
         VmProfile {
             op_counts: [0; Opcode::COUNT],
+            sb_counts: Vec::new(),
             loops: HashMap::new(),
         }
     }
@@ -202,6 +231,20 @@ impl VmProfile {
         out
     }
 
+    /// Superblocks with non-zero execution counts, hottest first (count
+    /// desc, then id for determinism).
+    pub fn ranked_superblocks(&self) -> Vec<(u32, u64)> {
+        let mut out: Vec<(u32, u64)> = self
+            .sb_counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (i as u32, n))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
     /// `parfor` sites, hottest (most total cycles) first; ties break on
     /// the `(func, pc)` key for determinism.
     pub fn ranked_loops(&self) -> Vec<((u32, u32), LoopProfile)> {
@@ -214,6 +257,12 @@ impl VmProfile {
     /// Fold another profile into this one (aggregating across runs).
     pub fn merge(&mut self, other: &VmProfile) {
         for (a, b) in self.op_counts.iter_mut().zip(&other.op_counts) {
+            *a += b;
+        }
+        if self.sb_counts.len() < other.sb_counts.len() {
+            self.sb_counts.resize(other.sb_counts.len(), 0);
+        }
+        for (a, b) in self.sb_counts.iter_mut().zip(&other.sb_counts) {
             *a += b;
         }
         for (k, v) in &other.loops {
@@ -238,6 +287,17 @@ mod tests {
     }
 
     #[test]
+    fn hot_fused_ops_lead_the_dispatch_range() {
+        // The dense-range dispatch contract: superinstructions and fused
+        // statement forms occupy the low discriminants.
+        assert_eq!(Opcode::Super as usize, 0);
+        assert_eq!(Opcode::SuperLoop as usize, 1);
+        assert!((Opcode::FuelJump as usize) < 16);
+        assert!((Opcode::FieldRmw as usize) < 16);
+        assert!((Opcode::JumpCmpKFalse as usize) < 16);
+    }
+
+    #[test]
     fn ranking_is_deterministic_and_descending() {
         let mut p = VmProfile::default();
         p.op_counts[Opcode::Load as usize] = 10;
@@ -249,6 +309,24 @@ mod tests {
         assert_eq!(ranked[1], (Opcode::Load, 10));
         assert_eq!(ranked[2], (Opcode::Store, 10));
         assert_eq!(p.total_ops(), 119);
+    }
+
+    #[test]
+    fn superblock_ranking_and_merge() {
+        let mut a = VmProfile {
+            sb_counts: vec![5, 0, 9],
+            ..VmProfile::default()
+        };
+        let b = VmProfile {
+            sb_counts: vec![1, 2, 3, 4],
+            ..VmProfile::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.sb_counts, vec![6, 2, 12, 4]);
+        assert_eq!(
+            a.ranked_superblocks(),
+            vec![(2, 12), (0, 6), (3, 4), (1, 2)]
+        );
     }
 
     #[test]

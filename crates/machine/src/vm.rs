@@ -77,11 +77,19 @@ pub struct Vm<'p> {
     /// Opt-in execution profile ([`Vm::enable_profiling`]); `None` costs
     /// the dispatch loop one branch per instruction.
     profile: Option<Box<VmProfile>>,
+    /// Per-superblock static cycle charge, resolved once against this
+    /// VM's cost model (the program stores model-independent counts).
+    sb_cycles: Vec<u64>,
 }
 
 impl<'p> Vm<'p> {
     /// A fresh machine for `prog`.
     pub fn new(prog: &'p CompiledProgram, cfg: MachineConfig) -> Vm<'p> {
+        let sb_cycles = prog
+            .superblocks
+            .iter()
+            .map(|b| b.charge.cycles(&cfg.cost))
+            .collect();
         Vm {
             prog,
             fuel: cfg.fuel.unwrap_or(u64::MAX),
@@ -98,6 +106,7 @@ impl<'p> Vm<'p> {
             table: ConflictTable::default(),
             detecting: false,
             profile: None,
+            sb_cycles,
         }
     }
 
@@ -106,7 +115,12 @@ impl<'p> Vm<'p> {
     /// accumulate across calls until [`Vm::take_profile`].
     pub fn enable_profiling(&mut self) {
         if self.profile.is_none() {
-            self.profile = Some(Box::default());
+            let mut p = Box::<VmProfile>::default();
+            // Pre-size the per-superblock counters so the hot-path bump
+            // never takes the grow branch (ids are compiler-generated
+            // and bounded by the program's block count).
+            p.sb_counts.resize(self.prog.superblock_count(), 0);
+            self.profile = Some(p);
         }
     }
 
@@ -196,6 +210,19 @@ impl<'p> Vm<'p> {
         Ok(())
     }
 
+    /// [`crate::ops::binop`] with the alu fast path inlined at the call
+    /// site: int arithmetic and pointer/NULL compares never leave
+    /// registers, everything else takes the general (identical) path.
+    #[inline(always)]
+    fn binop(&mut self, op: adds_lang::ast::BinOp, l: Value, r: Value) -> RResult<Value> {
+        if let Some(v) = crate::ops::binop_fast(op, l, r) {
+            self.clock += self.cfg.cost.alu;
+            Ok(v)
+        } else {
+            crate::ops::binop(op, l, r, &self.cfg.cost, &mut self.clock)
+        }
+    }
+
     #[inline]
     fn slot(&self, base: usize, s: u32) -> Value {
         debug_assert!(base + (s as usize) < self.stack.len());
@@ -225,6 +252,19 @@ impl<'p> Vm<'p> {
                 p.op_counts[instr.opcode() as usize] += 1;
             }
             match instr {
+                Instr::Super { sb } => self.run_super(*sb, base)?,
+                Instr::SuperLoop { lp } => {
+                    self.run_loop(*lp, base)?;
+                    pc = prog.loop_blocks[*lp as usize].exit as usize;
+                    continue;
+                }
+                Instr::InlineEnter => {
+                    self.clock += self.cfg.cost.call;
+                    self.stats.calls += 1;
+                    self.depth += 1;
+                    self.stats.max_call_depth = self.stats.max_call_depth.max(self.depth);
+                }
+                Instr::InlineRet => self.depth -= 1,
                 Instr::Const { dst, v } => self.set_slot(base, *dst, *v),
                 Instr::Copy { dst, src } => {
                     let v = self.slot(base, *src);
@@ -244,7 +284,7 @@ impl<'p> Vm<'p> {
                     access,
                 } => {
                     let bv = self.slot(base, *b);
-                    let v = self.load(bv, *off as usize, *access)?;
+                    let v = self.load::<true>(bv, *off as usize, *access)?;
                     self.set_slot(base, *dst, v);
                 }
                 Instr::FuelLoad {
@@ -255,7 +295,7 @@ impl<'p> Vm<'p> {
                 } => {
                     self.burn_fuel()?;
                     let bv = self.slot(base, *b);
-                    let v = self.load(bv, *off as usize, *access)?;
+                    let v = self.load::<true>(bv, *off as usize, *access)?;
                     self.set_slot(base, *dst, v);
                 }
                 Instr::FuelCopy { dst, src } => {
@@ -278,9 +318,9 @@ impl<'p> Vm<'p> {
                     let i = self.index(base, *idx)?;
                     let bv = self.slot(base, *b);
                     let v = if i < *len as usize {
-                        self.load(bv, *off as usize + i, *access)?
+                        self.load::<true>(bv, *off as usize + i, *access)?
                     } else {
-                        self.load_oob(bv, i, *access)?
+                        self.load_oob::<true>(bv, i, *access)?
                     };
                     self.set_slot(base, *dst, v);
                 }
@@ -293,7 +333,7 @@ impl<'p> Vm<'p> {
                 } => {
                     let bv = self.slot(base, *b);
                     let v = self.slot(base, *src);
-                    self.store(bv, *off as usize, *is_ptr, *access, v)?;
+                    self.store::<true>(bv, *off as usize, *is_ptr, *access, v)?;
                 }
                 Instr::StoreIdx {
                     base: b,
@@ -308,9 +348,9 @@ impl<'p> Vm<'p> {
                     let bv = self.slot(base, *b);
                     let v = self.slot(base, *src);
                     if i < *len as usize {
-                        self.store(bv, *off as usize + i, *is_ptr, *access, v)?;
+                        self.store::<true>(bv, *off as usize + i, *is_ptr, *access, v)?;
                     } else {
-                        self.store_oob(bv, i, *access)?;
+                        self.store_oob::<true>(bv, i, *access)?;
                     }
                 }
                 Instr::Un { op, dst, src } => {
@@ -321,12 +361,12 @@ impl<'p> Vm<'p> {
                 Instr::Bin { op, dst, lhs, rhs } => {
                     let l = self.slot(base, *lhs);
                     let r = self.slot(base, *rhs);
-                    let v = crate::ops::binop(*op, l, r, &self.cfg.cost, &mut self.clock)?;
+                    let v = self.binop(*op, l, r)?;
                     self.set_slot(base, *dst, v);
                 }
                 Instr::BinK { op, dst, lhs, k } => {
                     let l = self.slot(base, *lhs);
-                    let v = crate::ops::binop(*op, l, *k, &self.cfg.cost, &mut self.clock)?;
+                    let v = self.binop(*op, l, *k)?;
                     self.set_slot(base, *dst, v);
                 }
                 Instr::Sqrt { dst, src } => {
@@ -426,7 +466,7 @@ impl<'p> Vm<'p> {
                     }
                     let l = self.slot(base, *lhs);
                     let r = self.slot(base, *rhs);
-                    let v = crate::ops::binop(*op, l, r, &self.cfg.cost, &mut self.clock)?;
+                    let v = self.binop(*op, l, r)?;
                     if !v.truthy().map_err(RuntimeError::Type)? {
                         pc = *target as usize;
                         continue;
@@ -443,7 +483,7 @@ impl<'p> Vm<'p> {
                         self.clock += self.cfg.cost.branch;
                     }
                     let l = self.slot(base, *lhs);
-                    let v = crate::ops::binop(*op, l, *k, &self.cfg.cost, &mut self.clock)?;
+                    let v = self.binop(*op, l, *k)?;
                     if !v.truthy().map_err(RuntimeError::Type)? {
                         pc = *target as usize;
                         continue;
@@ -476,22 +516,59 @@ impl<'p> Vm<'p> {
                     };
                     let off = *off as usize;
                     if i <= hi {
-                        loop {
-                            // ForHead: branch charge + loop-variable update.
-                            self.clock += self.cfg.cost.branch;
-                            self.set_slot(base, *k, Value::Int(i));
-                            // The chase statement: fuel, then the load
-                            // (same dispatch as the Load opcode).
-                            self.burn_fuel()?;
-                            let bv = self.slot(base, *ptr);
-                            let next = self.load(bv, off, *access)?;
-                            self.set_slot(base, *ptr, next);
-                            // ForNext: fuel, then advance or exit.
-                            self.burn_fuel()?;
-                            if i < hi {
-                                i += 1;
-                            } else {
-                                break;
+                        // The walk's length is fixed up front (no early
+                        // exit short of a fault), so when fuel covers the
+                        // whole walk and detection is off the charges can
+                        // be applied in bulk and the chase run as a tight
+                        // pointer loop. Totals are identical to the
+                        // per-step path; only the interleaving differs,
+                        // which is unobservable outside a fault.
+                        let steps = (hi as i128 - i as i128 + 1) as u128;
+                        let need = steps.saturating_mul(2);
+                        if !self.detecting && need <= self.fuel as u128 {
+                            let steps = steps as u64;
+                            self.fuel -= 2 * steps;
+                            self.stats.stmts += 2 * steps;
+                            self.clock += (self.cfg.cost.branch + self.cfg.cost.load) * steps;
+                            let mut bv = self.slot(base, *ptr);
+                            let mut rem = steps;
+                            while rem > 0 {
+                                match bv {
+                                    Value::Ptr(node) => {
+                                        bv = self
+                                            .heap
+                                            .load(node, off)
+                                            .map_err(RuntimeError::Other)?;
+                                        rem -= 1;
+                                    }
+                                    // Speculative walks ride NULL to the
+                                    // end: every remaining load yields
+                                    // NULL (and was already charged).
+                                    Value::Null if self.cfg.speculative => break,
+                                    other => return Err(self.read_fault(other, *access)),
+                                }
+                            }
+                            self.set_slot(base, *ptr, bv);
+                            self.set_slot(base, *k, Value::Int(hi));
+                        } else {
+                            loop {
+                                // ForHead: branch charge + loop-variable
+                                // update.
+                                self.clock += self.cfg.cost.branch;
+                                self.set_slot(base, *k, Value::Int(i));
+                                // The chase statement: fuel, then the load
+                                // (same dispatch as the Load opcode).
+                                self.burn_fuel()?;
+                                let bv = self.slot(base, *ptr);
+                                let next = self.load::<true>(bv, off, *access)?;
+                                self.set_slot(base, *ptr, next);
+                                // ForNext: fuel, then advance or exit.
+                                self.burn_fuel()?;
+                                if i < hi {
+                                    i += 1;
+                                } else {
+                                    break;
+                                }
                             }
                         }
                     }
@@ -506,10 +583,10 @@ impl<'p> Vm<'p> {
                 } => {
                     self.burn_fuel()?;
                     let bv = self.slot(base, *b);
-                    let cur = self.load(bv, *off as usize, *access)?;
+                    let cur = self.load::<true>(bv, *off as usize, *access)?;
                     let r = self.slot(base, *src);
-                    let v = crate::ops::binop(*op, cur, r, &self.cfg.cost, &mut self.clock)?;
-                    self.store(bv, *off as usize, *is_ptr, *access, v)?;
+                    let v = self.binop(*op, cur, r)?;
+                    self.store::<true>(bv, *off as usize, *is_ptr, *access, v)?;
                 }
                 Instr::FieldRmwK {
                     op,
@@ -521,9 +598,34 @@ impl<'p> Vm<'p> {
                 } => {
                     self.burn_fuel()?;
                     let bv = self.slot(base, *b);
-                    let cur = self.load(bv, *off as usize, *access)?;
-                    let v = crate::ops::binop(*op, cur, *k, &self.cfg.cost, &mut self.clock)?;
-                    self.store(bv, *off as usize, *is_ptr, *access, v)?;
+                    let cur = self.load::<true>(bv, *off as usize, *access)?;
+                    let v = self.binop(*op, cur, *k)?;
+                    self.store::<true>(bv, *off as usize, *is_ptr, *access, v)?;
+                }
+                Instr::GuardRmw {
+                    op,
+                    cond,
+                    src,
+                    off,
+                    is_ptr,
+                    access,
+                } => {
+                    // `Fuel` + `JumpCmpKFalse(Ne, NULL)` + guarded
+                    // `FieldRmw`, charge-for-charge.
+                    self.burn_fuel()?;
+                    self.clock += self.cfg.cost.branch;
+                    let bv = self.slot(base, *cond);
+                    let taken = self
+                        .binop(adds_lang::ast::BinOp::Ne, bv, Value::Null)?
+                        .truthy()
+                        .map_err(RuntimeError::Type)?;
+                    if taken {
+                        self.burn_fuel()?;
+                        let cur = self.load::<true>(bv, *off as usize, *access)?;
+                        let r = self.slot(base, *src);
+                        let v = self.binop(*op, cur, r)?;
+                        self.store::<true>(bv, *off as usize, *is_ptr, *access, v)?;
+                    }
                 }
                 Instr::ForEnter { i, hi, exit } => {
                     let (Value::Int(a), Value::Int(b)) =
@@ -575,6 +677,720 @@ impl<'p> Vm<'p> {
         }
     }
 
+    /// Execute one superblock: when remaining fuel covers the whole
+    /// block, charge the aggregate fuel and static cycles up front and
+    /// run the constituent ops without per-op accounting; otherwise fall
+    /// back to fully-charged per-op execution, which reproduces the
+    /// interpreter's exact fuel-exhaustion point (total burns exceed the
+    /// remaining fuel, so the slow path always stops inside the block).
+    #[inline]
+    fn run_super(&mut self, sb: u32, base: usize) -> RResult<()> {
+        let prog = self.prog;
+        debug_assert!((sb as usize) < prog.superblocks.len());
+        // SAFETY: superblock ids are compiler-generated indices into
+        // `superblocks`, and `sb_cycles` is built 1:1 from it in `new`.
+        let block = unsafe { prog.superblocks.get_unchecked(sb as usize) };
+        let need = block.fuel as u64;
+        if self.fuel >= need {
+            self.fuel -= need;
+            self.stats.stmts += need;
+            self.clock += unsafe { *self.sb_cycles.get_unchecked(sb as usize) };
+            for op in block.ops.iter() {
+                // The slot-shuffle ops that dominate inlined-call
+                // preambles run inline (their fuel/charges are already
+                // bulk-applied above); everything else dispatches.
+                match op {
+                    Instr::Copy { dst, src } | Instr::FuelCopy { dst, src } => {
+                        let v = self.slot(base, *src);
+                        self.set_slot(base, *dst, v);
+                    }
+                    Instr::Const { dst, v } | Instr::FuelConst { dst, v } => {
+                        self.set_slot(base, *dst, *v);
+                    }
+                    Instr::IntCheck { slot } => {
+                        self.slot(base, *slot)
+                            .as_int()
+                            .map_err(RuntimeError::Type)?;
+                    }
+                    Instr::InlineEnter => {
+                        self.stats.calls += 1;
+                        self.depth += 1;
+                        self.stats.max_call_depth = self.stats.max_call_depth.max(self.depth);
+                    }
+                    Instr::InlineRet => self.depth -= 1,
+                    op => self.exec_data::<false>(op, base)?,
+                }
+            }
+        } else {
+            for op in block.ops.iter() {
+                self.exec_data::<true>(op, base)?;
+            }
+        }
+        if let Some(p) = self.profile.as_deref_mut() {
+            let i = sb as usize;
+            if p.sb_counts.len() <= i {
+                p.sb_counts.resize(i + 1, 0);
+            }
+            p.sb_counts[i] += 1;
+        }
+        Ok(())
+    }
+
+    /// Run a fused `while` loop to completion: per iteration, the head
+    /// check (branch charge + comparison, as the fused jump it replaces),
+    /// the body superblock, and the backedge fuel burn — one dispatch for
+    /// the whole loop.
+    ///
+    /// The body is executed through [`Vm::drive_loop`], monomorphized
+    /// per recognized body shape: the canonical chase bodies the fusion
+    /// pass produces for list traversals compile to dedicated
+    /// straight-line loops with no per-op dispatch at all, everything
+    /// else takes the generic op-iterating instantiation.
+    fn run_loop(&mut self, lp: u32, base: usize) -> RResult<()> {
+        let prog = self.prog;
+        let lb = prog.loop_blocks[lp as usize];
+        debug_assert!((lb.body as usize) < prog.superblocks.len());
+        // SAFETY: loop bodies are compiler-assigned superblock ids; see
+        // `run_super`. Hoisting the block, its fuel, and its resolved
+        // cycle charge out of the iteration loop is what makes the fused
+        // loop pay one dispatch total instead of one per op.
+        let block = unsafe { prog.superblocks.get_unchecked(lb.body as usize) };
+        let cyc = unsafe { *self.sb_cycles.get_unchecked(lb.body as usize) };
+        let (iters, result) = match &*block.ops {
+            // `p.f := p.f ⊕ x; p := p.next` — in-place field update plus
+            // pointer advance (sequential list_scale, orth row bodies).
+            [Instr::FieldRmw {
+                op,
+                base: rb,
+                src,
+                off,
+                is_ptr,
+                access,
+            }, Instr::FuelLoad {
+                dst,
+                base: nb,
+                off: noff,
+                access: nacc,
+            }] => {
+                let (op, rb, src, off, is_ptr, access) =
+                    (*op, *rb, *src, *off as usize, *is_ptr, *access);
+                let (dst, nb, noff, nacc) = (*dst, *nb, *noff as usize, *nacc);
+                let canonical = matches!(
+                    lb.head,
+                    crate::compile::LoopHead::CmpK {
+                        op: adds_lang::ast::BinOp::Ne,
+                        lhs,
+                        k: Value::Null,
+                    } if lhs == dst
+                ) && rb == dst
+                    && nb == dst
+                    && src != dst
+                    && !self.detecting;
+                if canonical {
+                    self.loop_rmw_chase(
+                        lb, block, cyc, base, op, dst, src, off, is_ptr, access, noff,
+                    )
+                } else {
+                    self.drive_loop(lb.head, block, cyc, base, move |vm| {
+                        let bv = vm.slot(base, rb);
+                        let cur = vm.load::<false>(bv, off, access)?;
+                        let r = vm.slot(base, src);
+                        let v = vm.binop(op, cur, r)?;
+                        vm.store::<false>(bv, off, is_ptr, access, v)?;
+                        let nv = vm.slot(base, nb);
+                        let v = vm.load::<false>(nv, noff, nacc)?;
+                        vm.set_slot(base, dst, v);
+                        Ok(())
+                    })
+                }
+            }
+            // `acc := acc ⊕ p.f; p := p.next` — reduction over a chain
+            // (list_sum, sequential and passthrough-parallel).
+            [Instr::FuelLoad {
+                dst: t,
+                base: fb,
+                off: foff,
+                access: facc,
+            }, Instr::Bin {
+                op,
+                dst: a,
+                lhs,
+                rhs,
+            }, Instr::FuelLoad {
+                dst,
+                base: nb,
+                off: noff,
+                access: nacc,
+            }] => {
+                let (t, fb, foff, facc) = (*t, *fb, *foff as usize, *facc);
+                let (op, a, lhs, rhs) = (*op, *a, *lhs, *rhs);
+                let (dst, nb, noff, nacc) = (*dst, *nb, *noff as usize, *nacc);
+                let canonical = matches!(
+                    lb.head,
+                    crate::compile::LoopHead::CmpK {
+                        op: adds_lang::ast::BinOp::Ne,
+                        lhs,
+                        k: Value::Null,
+                    } if lhs == dst
+                ) && fb == dst
+                    && nb == dst
+                    && lhs == a
+                    && rhs == t
+                    && a != dst
+                    && t != dst
+                    && a != t
+                    && !self.detecting;
+                if canonical {
+                    self.loop_sum_chase(lb, block, cyc, base, op, dst, t, a, foff, noff)
+                } else {
+                    self.drive_loop(lb.head, block, cyc, base, move |vm| {
+                        let bv = vm.slot(base, fb);
+                        let v = vm.load::<false>(bv, foff, facc)?;
+                        vm.set_slot(base, t, v);
+                        let l = vm.slot(base, lhs);
+                        let r = vm.slot(base, rhs);
+                        let v = vm.binop(op, l, r)?;
+                        vm.set_slot(base, a, v);
+                        let nv = vm.slot(base, nb);
+                        let v = vm.load::<false>(nv, noff, nacc)?;
+                        vm.set_slot(base, dst, v);
+                        Ok(())
+                    })
+                }
+            }
+            _ => self.drive_loop(lb.head, block, cyc, base, |vm| {
+                for op in block.ops.iter() {
+                    vm.exec_data::<false>(op, base)?;
+                }
+                Ok(())
+            }),
+        };
+        if iters > 0 {
+            if let Some(p) = self.profile.as_deref_mut() {
+                // Each iteration executed one superblock; the SuperLoop
+                // dispatch itself was counted by the main loop.
+                p.op_counts[crate::profile::Opcode::Super as usize] += iters;
+                let i = lb.body as usize;
+                if p.sb_counts.len() <= i {
+                    p.sb_counts.resize(i + 1, 0);
+                }
+                p.sb_counts[i] += iters;
+            }
+        }
+        result
+    }
+
+    /// Register-carried driver for the canonical in-place update chase
+    /// `while (p != NULL) { p->f = p->f op x; p = p->next }`: the loop
+    /// pointer, fuel, clock, and statement counter live in locals for the
+    /// whole loop and are written back only on exit. Any state the tight
+    /// loop does not model — a non-pointer loop value, fuel below the
+    /// block charge — is synced back and handed to [`Vm::drive_loop`],
+    /// which replays the iteration with exact per-op accounting.
+    #[allow(clippy::too_many_arguments)]
+    fn loop_rmw_chase(
+        &mut self,
+        lb: crate::compile::LoopBlock,
+        block: &crate::compile::SuperBlock,
+        cyc: u64,
+        base: usize,
+        op: adds_lang::ast::BinOp,
+        ptr: u32,
+        src: u32,
+        off: usize,
+        is_ptr: bool,
+        access: u32,
+        noff: usize,
+    ) -> (u64, RResult<()>) {
+        let need = block.fuel as u64;
+        let head_chg = self.cfg.cost.branch + self.cfg.cost.alu;
+        let alu = self.cfg.cost.alu;
+        let check_shapes = self.cfg.check_shapes;
+        let mut p = self.slot(base, ptr);
+        // Loop-invariant: the body writes only `ptr` and the heap.
+        let xv = self.slot(base, src);
+        let mut fuel = self.fuel;
+        let mut clock = self.clock;
+        let mut stmts = self.stats.stmts;
+        let mut iters: u64 = 0;
+        let mut resume = false;
+        macro_rules! sync {
+            () => {
+                self.fuel = fuel;
+                self.clock = clock;
+                self.stats.stmts = stmts;
+                self.set_slot(base, ptr, p);
+            };
+        }
+        let result = loop {
+            let node = match p {
+                Value::Ptr(n) => n,
+                Value::Null => {
+                    clock += head_chg;
+                    break Ok(());
+                }
+                // Charges nothing: drive_loop replays the head exactly.
+                _ => {
+                    resume = true;
+                    break Ok(());
+                }
+            };
+            clock += head_chg;
+            if fuel < need {
+                clock -= head_chg;
+                resume = true;
+                break Ok(());
+            }
+            fuel -= need;
+            stmts += need;
+            clock += cyc;
+            let cur = match self.heap.load(node, off) {
+                Ok(v) => v,
+                Err(e) => break Err(RuntimeError::Other(e)),
+            };
+            let v = match crate::ops::binop_fast(op, cur, xv) {
+                Some(v) => {
+                    clock += alu;
+                    v
+                }
+                None => match crate::ops::binop(op, cur, xv, &self.cfg.cost, &mut clock) {
+                    Ok(v) => v,
+                    Err(e) => break Err(e),
+                },
+            };
+            if let Err(e) = self.heap.store(node, off, v) {
+                break Err(RuntimeError::Other(e));
+            }
+            if check_shapes && is_ptr {
+                if let Err(e) = self.shape_check_store(node, access, v) {
+                    break Err(e);
+                }
+            }
+            p = match self.heap.load(node, noff) {
+                Ok(v) => v,
+                Err(e) => break Err(RuntimeError::Other(e)),
+            };
+            iters += 1;
+            // Backedge fuel burn, inline ([`Vm::burn_fuel`]).
+            stmts += 1;
+            if fuel == 0 {
+                break Err(RuntimeError::OutOfFuel);
+            }
+            fuel -= 1;
+        };
+        sync!();
+        if resume {
+            let (more, r) = self.drive_loop(lb.head, block, cyc, base, |vm| {
+                for op in block.ops.iter() {
+                    vm.exec_data::<false>(op, base)?;
+                }
+                Ok(())
+            });
+            (iters + more, r)
+        } else {
+            (iters, result)
+        }
+    }
+
+    /// Register-carried driver for the canonical reduction chase
+    /// `while (p != NULL) { t = p->f; acc = acc op t; p = p->next }`;
+    /// the same sync/resume contract as [`Vm::loop_rmw_chase`].
+    #[allow(clippy::too_many_arguments)]
+    fn loop_sum_chase(
+        &mut self,
+        lb: crate::compile::LoopBlock,
+        block: &crate::compile::SuperBlock,
+        cyc: u64,
+        base: usize,
+        op: adds_lang::ast::BinOp,
+        ptr: u32,
+        t: u32,
+        a: u32,
+        foff: usize,
+        noff: usize,
+    ) -> (u64, RResult<()>) {
+        let need = block.fuel as u64;
+        let head_chg = self.cfg.cost.branch + self.cfg.cost.alu;
+        let alu = self.cfg.cost.alu;
+        let mut p = self.slot(base, ptr);
+        let mut acc = self.slot(base, a);
+        let mut tv = self.slot(base, t);
+        let mut fuel = self.fuel;
+        let mut clock = self.clock;
+        let mut stmts = self.stats.stmts;
+        let mut iters: u64 = 0;
+        let mut resume = false;
+        macro_rules! sync {
+            () => {
+                self.fuel = fuel;
+                self.clock = clock;
+                self.stats.stmts = stmts;
+                self.set_slot(base, ptr, p);
+                self.set_slot(base, a, acc);
+                self.set_slot(base, t, tv);
+            };
+        }
+        let result = loop {
+            let node = match p {
+                Value::Ptr(n) => n,
+                Value::Null => {
+                    clock += head_chg;
+                    break Ok(());
+                }
+                _ => {
+                    resume = true;
+                    break Ok(());
+                }
+            };
+            clock += head_chg;
+            if fuel < need {
+                clock -= head_chg;
+                resume = true;
+                break Ok(());
+            }
+            fuel -= need;
+            stmts += need;
+            clock += cyc;
+            tv = match self.heap.load(node, foff) {
+                Ok(v) => v,
+                Err(e) => break Err(RuntimeError::Other(e)),
+            };
+            acc = match crate::ops::binop_fast(op, acc, tv) {
+                Some(v) => {
+                    clock += alu;
+                    v
+                }
+                None => match crate::ops::binop(op, acc, tv, &self.cfg.cost, &mut clock) {
+                    Ok(v) => v,
+                    Err(e) => break Err(e),
+                },
+            };
+            p = match self.heap.load(node, noff) {
+                Ok(v) => v,
+                Err(e) => break Err(RuntimeError::Other(e)),
+            };
+            iters += 1;
+            stmts += 1;
+            if fuel == 0 {
+                break Err(RuntimeError::OutOfFuel);
+            }
+            fuel -= 1;
+        };
+        sync!();
+        if resume {
+            let (more, r) = self.drive_loop(lb.head, block, cyc, base, |vm| {
+                for op in block.ops.iter() {
+                    vm.exec_data::<false>(op, base)?;
+                }
+                Ok(())
+            });
+            (iters + more, r)
+        } else {
+            (iters, result)
+        }
+    }
+
+    /// The iteration engine behind [`Vm::run_loop`]: head check, bulk
+    /// accounting, `fast` for the body when fuel covers it (the caller
+    /// passes the uncharged-body closure matching `block.ops`), exact
+    /// per-op charged execution when it does not, backedge fuel burn.
+    /// Returns the completed iteration count alongside the outcome.
+    #[inline(always)]
+    fn drive_loop<F>(
+        &mut self,
+        head: crate::compile::LoopHead,
+        block: &crate::compile::SuperBlock,
+        cyc: u64,
+        base: usize,
+        mut fast: F,
+    ) -> (u64, RResult<()>)
+    where
+        F: FnMut(&mut Self) -> RResult<()>,
+    {
+        use crate::compile::LoopHead;
+        let need = block.fuel as u64;
+        let branch = self.cfg.cost.branch;
+        let mut iters: u64 = 0;
+        let result = 'l: loop {
+            self.clock += branch;
+            let go = match head {
+                LoopHead::Truthy { cond } => self.slot(base, cond).truthy(),
+                LoopHead::Cmp { op, lhs, rhs } => {
+                    let l = self.slot(base, lhs);
+                    let r = self.slot(base, rhs);
+                    match self.binop(op, l, r) {
+                        Ok(v) => v.truthy(),
+                        Err(e) => break Err(e),
+                    }
+                }
+                LoopHead::CmpK { op, lhs, k } => {
+                    let l = self.slot(base, lhs);
+                    match self.binop(op, l, k) {
+                        Ok(v) => v.truthy(),
+                        Err(e) => break Err(e),
+                    }
+                }
+            };
+            match go.map_err(RuntimeError::Type) {
+                Ok(true) => {}
+                Ok(false) => break Ok(()),
+                Err(e) => break Err(e),
+            }
+            if self.fuel >= need {
+                self.fuel -= need;
+                self.stats.stmts += need;
+                self.clock += cyc;
+                if let Err(e) = fast(self) {
+                    break Err(e);
+                }
+            } else {
+                // Not enough fuel for the whole block: fully-charged
+                // per-op execution reproduces the interpreter's exact
+                // exhaustion point (total burns exceed remaining fuel,
+                // so this always stops inside the block).
+                for op in block.ops.iter() {
+                    if let Err(e) = self.exec_data::<true>(op, base) {
+                        break 'l Err(e);
+                    }
+                }
+            }
+            iters += 1;
+            if let Err(e) = self.burn_fuel() {
+                break Err(e);
+            }
+        };
+        (iters, result)
+    }
+
+    /// Execute one data instruction inside a superblock. `CHARGED = true`
+    /// is the exact per-op accounting of the main dispatch loop;
+    /// `CHARGED = false` skips the static charges and fuel burns that the
+    /// block applied in bulk (value-dependent `Bin`/`Un` charges always
+    /// apply). Control flow never appears inside a superblock.
+    #[inline]
+    fn exec_data<const CHARGED: bool>(&mut self, instr: &Instr, base: usize) -> RResult<()> {
+        match instr {
+            Instr::Const { dst, v } => self.set_slot(base, *dst, *v),
+            Instr::Copy { dst, src } => {
+                let v = self.slot(base, *src);
+                self.set_slot(base, *dst, v);
+            }
+            Instr::Pes { dst } => self.set_slot(base, *dst, Value::Int(self.cfg.pes as i64)),
+            Instr::Alloc { dst, ty } => {
+                if CHARGED {
+                    self.clock += self.cfg.cost.alloc;
+                }
+                self.stats.allocs += 1;
+                let node = self.heap.alloc(&self.prog.type_layouts[*ty as usize]);
+                self.set_slot(base, *dst, Value::Ptr(node));
+            }
+            Instr::Load {
+                dst,
+                base: b,
+                off,
+                access,
+            } => {
+                let bv = self.slot(base, *b);
+                let v = self.load::<CHARGED>(bv, *off as usize, *access)?;
+                self.set_slot(base, *dst, v);
+            }
+            Instr::FuelLoad {
+                dst,
+                base: b,
+                off,
+                access,
+            } => {
+                if CHARGED {
+                    self.burn_fuel()?;
+                }
+                let bv = self.slot(base, *b);
+                let v = self.load::<CHARGED>(bv, *off as usize, *access)?;
+                self.set_slot(base, *dst, v);
+            }
+            Instr::FuelCopy { dst, src } => {
+                if CHARGED {
+                    self.burn_fuel()?;
+                }
+                let v = self.slot(base, *src);
+                self.set_slot(base, *dst, v);
+            }
+            Instr::FuelConst { dst, v } => {
+                if CHARGED {
+                    self.burn_fuel()?;
+                }
+                self.set_slot(base, *dst, *v);
+            }
+            Instr::LoadIdx {
+                dst,
+                base: b,
+                idx,
+                off,
+                len,
+                access,
+            } => {
+                let i = self.index(base, *idx)?;
+                let bv = self.slot(base, *b);
+                let v = if i < *len as usize {
+                    self.load::<CHARGED>(bv, *off as usize + i, *access)?
+                } else {
+                    self.load_oob::<CHARGED>(bv, i, *access)?
+                };
+                self.set_slot(base, *dst, v);
+            }
+            Instr::Store {
+                base: b,
+                src,
+                off,
+                is_ptr,
+                access,
+            } => {
+                let bv = self.slot(base, *b);
+                let v = self.slot(base, *src);
+                self.store::<CHARGED>(bv, *off as usize, *is_ptr, *access, v)?;
+            }
+            Instr::StoreIdx {
+                base: b,
+                idx,
+                src,
+                off,
+                len,
+                is_ptr,
+                access,
+            } => {
+                let i = self.index(base, *idx)?;
+                let bv = self.slot(base, *b);
+                let v = self.slot(base, *src);
+                if i < *len as usize {
+                    self.store::<CHARGED>(bv, *off as usize + i, *is_ptr, *access, v)?;
+                } else {
+                    self.store_oob::<CHARGED>(bv, i, *access)?;
+                }
+            }
+            Instr::FieldRmw {
+                op,
+                base: b,
+                src,
+                off,
+                is_ptr,
+                access,
+            } => {
+                if CHARGED {
+                    self.burn_fuel()?;
+                }
+                let bv = self.slot(base, *b);
+                let cur = self.load::<CHARGED>(bv, *off as usize, *access)?;
+                let r = self.slot(base, *src);
+                let v = self.binop(*op, cur, r)?;
+                self.store::<CHARGED>(bv, *off as usize, *is_ptr, *access, v)?;
+            }
+            Instr::FieldRmwK {
+                op,
+                base: b,
+                k,
+                off,
+                is_ptr,
+                access,
+            } => {
+                if CHARGED {
+                    self.burn_fuel()?;
+                }
+                let bv = self.slot(base, *b);
+                let cur = self.load::<CHARGED>(bv, *off as usize, *access)?;
+                let v = self.binop(*op, cur, *k)?;
+                self.store::<CHARGED>(bv, *off as usize, *is_ptr, *access, v)?;
+            }
+            Instr::Un { op, dst, src } => {
+                let v = self.slot(base, *src);
+                let r = crate::ops::unop(*op, v, &self.cfg.cost, &mut self.clock)?;
+                self.set_slot(base, *dst, r);
+            }
+            Instr::Bin { op, dst, lhs, rhs } => {
+                let l = self.slot(base, *lhs);
+                let r = self.slot(base, *rhs);
+                let v = self.binop(*op, l, r)?;
+                self.set_slot(base, *dst, v);
+            }
+            Instr::BinK { op, dst, lhs, k } => {
+                let l = self.slot(base, *lhs);
+                let v = self.binop(*op, l, *k)?;
+                self.set_slot(base, *dst, v);
+            }
+            Instr::Sqrt { dst, src } => {
+                let v = self
+                    .slot(base, *src)
+                    .as_real()
+                    .map_err(RuntimeError::Type)?;
+                if CHARGED {
+                    self.clock += self.cfg.cost.sqrt;
+                }
+                self.set_slot(base, *dst, Value::Real(v.sqrt()));
+            }
+            Instr::Fabs { dst, src } => {
+                let v = self
+                    .slot(base, *src)
+                    .as_real()
+                    .map_err(RuntimeError::Type)?;
+                if CHARGED {
+                    self.clock += self.cfg.cost.fp;
+                }
+                self.set_slot(base, *dst, Value::Real(v.abs()));
+            }
+            Instr::Abs { dst, src } => {
+                let v = self.slot(base, *src).as_int().map_err(RuntimeError::Type)?;
+                if CHARGED {
+                    self.clock += self.cfg.cost.alu;
+                }
+                self.set_slot(base, *dst, Value::Int(v.abs()));
+            }
+            Instr::MinMax { dst, a, b, is_min } => {
+                let x = self.slot(base, *a).as_real().map_err(RuntimeError::Type)?;
+                let y = self.slot(base, *b).as_real().map_err(RuntimeError::Type)?;
+                if CHARGED {
+                    self.clock += self.cfg.cost.fp;
+                }
+                let v = if *is_min { x.min(y) } else { x.max(y) };
+                self.set_slot(base, *dst, Value::Real(v));
+            }
+            Instr::Itor { dst, src } => {
+                let v = self.slot(base, *src).as_int().map_err(RuntimeError::Type)?;
+                if CHARGED {
+                    self.clock += self.cfg.cost.alu;
+                }
+                self.set_slot(base, *dst, Value::Real(v as f64));
+            }
+            Instr::Print { src } => {
+                let v = self.slot(base, *src);
+                self.output.push(v.to_string());
+            }
+            Instr::IntCheck { slot } => {
+                self.slot(base, *slot)
+                    .as_int()
+                    .map_err(RuntimeError::Type)?;
+            }
+            Instr::Branch => {
+                if CHARGED {
+                    self.clock += self.cfg.cost.branch;
+                }
+            }
+            Instr::Fuel => {
+                if CHARGED {
+                    self.burn_fuel()?;
+                }
+            }
+            Instr::InlineEnter => {
+                if CHARGED {
+                    self.clock += self.cfg.cost.call;
+                }
+                self.stats.calls += 1;
+                self.depth += 1;
+                self.stats.max_call_depth = self.stats.max_call_depth.max(self.depth);
+            }
+            Instr::InlineRet => self.depth -= 1,
+            other => unreachable!("control flow inside a superblock: {other:?}"),
+        }
+        Ok(())
+    }
+
     /// Execute a `parfor` region: iterations run over memcpy'd frame
     /// copies with a shared heap; the clock advances by the busiest PE
     /// under static strip scheduling, plus one barrier sync.
@@ -605,8 +1421,22 @@ impl<'p> Vm<'p> {
         }
         let frame_size = self.prog.funcs[func as usize].frame_size as usize;
 
+        // Per-site profile attribution accumulates in plain locals and
+        // lands in the hash map once, after the loop — a per-iteration
+        // map lookup is measurable overhead on hot parallel workloads.
+        // (An error aborts the region before the writeback, losing the
+        // partial loop attribution of the failed region.)
+        let mut site_iters: u64 = 0;
+        let mut site_cycles: u64 = 0;
+        let mut site_max: u64 = 0;
+
+        let mut pe = pes - 1;
         for (k, i) in (lo..=hi).enumerate() {
-            let pe = k % pes;
+            // Round-robin PE assignment without a per-iteration modulo.
+            pe += 1;
+            if pe == pes {
+                pe = 0;
+            }
             self.clock = start_clock;
             if detect {
                 self.table.begin_iter(k);
@@ -623,11 +1453,17 @@ impl<'p> Vm<'p> {
             }
             let iter_cycles = self.clock - start_clock;
             pe_time[pe] += iter_cycles;
+            site_iters += 1;
+            site_cycles += iter_cycles;
+            site_max = site_max.max(iter_cycles);
+        }
+
+        if site_iters > 0 {
             if let Some(p) = self.profile.as_deref_mut() {
                 let site = p.loops.entry((func, body_pc as u32)).or_default();
-                site.iters += 1;
-                site.cycles += iter_cycles;
-                site.max_iter_cycles = site.max_iter_cycles.max(iter_cycles);
+                site.iters += site_iters;
+                site.cycles += site_cycles;
+                site.max_iter_cycles = site.max_iter_cycles.max(site_max);
             }
         }
 
@@ -659,11 +1495,35 @@ impl<'p> Vm<'p> {
         Ok(i as usize)
     }
 
+    /// Non-pointer base on a field read: NULL faults (when not
+    /// speculative) or a type error. Outlined so the string formatting
+    /// stays off the inlined load path.
+    #[cold]
+    #[inline(never)]
+    fn read_fault(&self, bv: Value, access: u32) -> RuntimeError {
+        match bv {
+            Value::Null => RuntimeError::NullDeref(format!(
+                "read of `{}`",
+                self.prog.accesses[access as usize]
+            )),
+            other => RuntimeError::Type(format!("field read on non-pointer {other}")),
+        }
+    }
+
     /// Field load through `bv` at resolved offset `off` — charges `load`
-    /// first, exactly like the interpreter.
+    /// first, exactly like the interpreter. `CHARGED = false` runs inside
+    /// a bulk-charged superblock: the static load cost was already
+    /// applied, so only the access itself happens here.
+    ///
+    /// Kept a plain `#[inline]` candidate: force-inlining this into every
+    /// `exec` arm regresses the dispatch loop's codegen badly, while a
+    /// hard call boundary regresses the fused-loop bodies — the default
+    /// heuristics land well for both.
     #[inline]
-    fn load(&mut self, bv: Value, off: usize, access: u32) -> RResult<Value> {
-        self.clock += self.cfg.cost.load;
+    fn load<const CHARGED: bool>(&mut self, bv: Value, off: usize, access: u32) -> RResult<Value> {
+        if CHARGED {
+            self.clock += self.cfg.cost.load;
+        }
         match bv {
             Value::Ptr(node) => {
                 if self.detecting {
@@ -682,13 +1542,7 @@ impl<'p> Vm<'p> {
                 // structure yields NULL (the interpreter's behavior).
                 Ok(Value::Null)
             }
-            Value::Null => Err(RuntimeError::NullDeref(format!(
-                "read of `{}`",
-                self.prog.accesses[access as usize]
-            ))),
-            other => Err(RuntimeError::Type(format!(
-                "field read on non-pointer {other}"
-            ))),
+            other => Err(self.read_fault(other, access)),
         }
     }
 
@@ -696,8 +1550,15 @@ impl<'p> Vm<'p> {
     /// fault paths before the bounds error, exactly like the interpreter's
     /// `load_field` (which only bounds-checks on the pointer branch).
     #[cold]
-    fn load_oob(&mut self, bv: Value, idx: usize, access: u32) -> RResult<Value> {
-        self.clock += self.cfg.cost.load;
+    fn load_oob<const CHARGED: bool>(
+        &mut self,
+        bv: Value,
+        idx: usize,
+        access: u32,
+    ) -> RResult<Value> {
+        if CHARGED {
+            self.clock += self.cfg.cost.load;
+        }
         match bv {
             Value::Ptr(_) => Err(RuntimeError::Type(format!(
                 "index {idx} out of bounds for `{}`",
@@ -714,16 +1575,56 @@ impl<'p> Vm<'p> {
         }
     }
 
-    /// Field store through `bv` at resolved offset `off`.
+    /// NULL base on a field write. Outlined as [`Vm::read_fault`].
+    #[cold]
+    #[inline(never)]
+    fn write_fault(&self, access: u32) -> RuntimeError {
+        RuntimeError::NullDeref(format!(
+            "write to `{}` through NULL",
+            self.prog.accesses[access as usize]
+        ))
+    }
+
+    /// The dynamic shape check on a pointer store, outlined off the
+    /// inlined store path (`check_shapes` runs are not the fast case).
+    #[inline(never)]
+    fn shape_check_store(&mut self, node: NodeId, access: u32, v: Value) -> RResult<()> {
+        let prog = self.prog;
+        let ty = self
+            .heap
+            .type_of(node)
+            .map_err(RuntimeError::Other)?
+            .to_string();
+        let reports = crate::shapecheck::check_store(
+            &prog.adds,
+            &prog.layouts,
+            &self.heap,
+            &ty,
+            &prog.accesses[access as usize],
+            node,
+            v,
+        );
+        self.shape_reports.extend(reports);
+        Ok(())
+    }
+
+    /// Field store through `bv` at resolved offset `off`. `CHARGED` and
+    /// the inlining posture as in [`Vm::load`].
     #[inline]
-    fn store(&mut self, bv: Value, off: usize, is_ptr: bool, access: u32, v: Value) -> RResult<()> {
+    fn store<const CHARGED: bool>(
+        &mut self,
+        bv: Value,
+        off: usize,
+        is_ptr: bool,
+        access: u32,
+        v: Value,
+    ) -> RResult<()> {
         let Value::Ptr(node) = bv else {
-            return Err(RuntimeError::NullDeref(format!(
-                "write to `{}` through NULL",
-                self.prog.accesses[access as usize]
-            )));
+            return Err(self.write_fault(access));
         };
-        self.clock += self.cfg.cost.store;
+        if CHARGED {
+            self.clock += self.cfg.cost.store;
+        }
         if self.detecting {
             let flat = self
                 .heap
@@ -734,22 +1635,7 @@ impl<'p> Vm<'p> {
             self.heap.store(node, off, v).map_err(RuntimeError::Other)?;
         }
         if self.cfg.check_shapes && is_ptr {
-            let prog = self.prog;
-            let ty = self
-                .heap
-                .type_of(node)
-                .map_err(RuntimeError::Other)?
-                .to_string();
-            let reports = crate::shapecheck::check_store(
-                &prog.adds,
-                &prog.layouts,
-                &self.heap,
-                &ty,
-                &prog.accesses[access as usize],
-                node,
-                v,
-            );
-            self.shape_reports.extend(reports);
+            self.shape_check_store(node, access, v)?;
         }
         Ok(())
     }
@@ -758,14 +1644,21 @@ impl<'p> Vm<'p> {
     /// the bounds error, exactly like the interpreter's `assign` +
     /// `store_field` sequence.
     #[cold]
-    fn store_oob(&mut self, bv: Value, idx: usize, access: u32) -> RResult<()> {
+    fn store_oob<const CHARGED: bool>(
+        &mut self,
+        bv: Value,
+        idx: usize,
+        access: u32,
+    ) -> RResult<()> {
         let Value::Ptr(_) = bv else {
             return Err(RuntimeError::NullDeref(format!(
                 "write to `{}` through NULL",
                 self.prog.accesses[access as usize]
             )));
         };
-        self.clock += self.cfg.cost.store;
+        if CHARGED {
+            self.clock += self.cfg.cost.store;
+        }
         Err(RuntimeError::Type(format!(
             "index {idx} out of bounds for `{}`",
             self.prog.accesses[access as usize]

@@ -7,8 +7,10 @@
 
 use adds_lang::programs;
 use adds_lang::types::{check_source, TypedProgram};
-use adds_machine::diff::{assert_equivalent, run_pair, workloads};
-use adds_machine::{CostModel, Exec, MachineConfig, Value};
+use adds_machine::diff::{
+    assert_equivalent, assert_equivalent_with, run_pair, run_pair_with, workloads,
+};
+use adds_machine::{CompileOptions, CostModel, Exec, MachineConfig, Value};
 use proptest::prelude::*;
 
 /// One corpus workload the harness knows how to drive.
@@ -134,6 +136,95 @@ fn uniform_cost_model_matches_too() {
     };
     for w in corpus() {
         assert_equivalent(w.label, &w.tp, &c, w.entry, w.setup);
+    }
+}
+
+#[test]
+fn optimization_switches_preserve_equivalence() {
+    // Every compile-time optimization combination must match the
+    // interpreter on the whole corpus (the default all-on combination is
+    // covered by every other test in this file).
+    let grids = [
+        CompileOptions {
+            inline: false,
+            fuse: false,
+        },
+        CompileOptions {
+            inline: true,
+            fuse: false,
+        },
+        CompileOptions {
+            inline: false,
+            fuse: true,
+        },
+    ];
+    let c = cfg(4, true, true, false);
+    for w in corpus() {
+        for opts in grids {
+            assert_equivalent_with(w.label, &w.tp, &c, opts, w.entry, w.setup);
+        }
+    }
+}
+
+#[test]
+fn fuel_truncation_inside_superblocks_agrees() {
+    // Sweep every fuel point through the superblock-heavy list workloads:
+    // exhaustion landing *inside* a fused block must strike at exactly
+    // the interpreter's statement, which the fused VM reproduces by
+    // falling back to per-op accounting when remaining fuel is below the
+    // block charge. Statement counts are compared too — the only errors
+    // this sweep produces are out-of-fuel, which always takes the exact
+    // per-op path.
+    struct Case {
+        label: &'static str,
+        tp: TypedProgram,
+        entry: &'static str,
+        setup: fn(&mut dyn Exec) -> Vec<Value>,
+    }
+    let cases = [
+        Case {
+            label: "list_scale_adds",
+            tp: check_source(programs::LIST_SCALE_ADDS).unwrap(),
+            entry: "scale",
+            setup: |m| vec![workloads::scale_list(m, 4), Value::Int(2)],
+        },
+        Case {
+            label: "list_scale_adds (parallelized)",
+            tp: parallelized(programs::LIST_SCALE_ADDS),
+            entry: "scale",
+            setup: |m| vec![workloads::scale_list(m, 4), Value::Int(2)],
+        },
+        Case {
+            label: "list_sum",
+            tp: check_source(programs::LIST_SUM).unwrap(),
+            entry: "sum",
+            setup: |m| vec![workloads::sum_list(m, 4)],
+        },
+    ];
+    let unfused = CompileOptions {
+        inline: true,
+        fuse: false,
+    };
+    for case in &cases {
+        for fuel in 0..70u64 {
+            let c = MachineConfig {
+                fuel: Some(fuel),
+                ..MachineConfig::default()
+            };
+            let (a, b) = run_pair(&case.tp, &c, case.entry, case.setup);
+            assert_eq!(a.result, b.result, "{} fuel={fuel}", case.label);
+            assert_eq!(
+                a.stats.stmts, b.stats.stmts,
+                "{} fuel={fuel}: exhaustion point moved",
+                case.label
+            );
+            // The fused and unfused VM lowerings agree with each other
+            // too (same oracle, so comparing candidates pins the fusion
+            // fallback path specifically).
+            let (_, u) = run_pair_with(&case.tp, &c, unfused, case.entry, case.setup);
+            assert_eq!(b.result, u.result, "{} fuel={fuel}", case.label);
+            assert_eq!(b.stats.stmts, u.stats.stmts, "{} fuel={fuel}", case.label);
+        }
     }
 }
 
@@ -315,7 +406,8 @@ proptest! {
 
     /// Random machine configurations over the non-nbody corpus: PEs 1..8,
     /// speculative on/off, conflict detection on/off, shape checks
-    /// on/off, both cost models, varied workload sizes.
+    /// on/off, both cost models, varied workload sizes, and the
+    /// compile-time inlining/fusion switches.
     #[test]
     fn random_configs_are_equivalent(
         pes in 1usize..8,
@@ -323,6 +415,8 @@ proptest! {
         detect in (0u8..2).prop_map(|b| b == 1),
         shapes in (0u8..2).prop_map(|b| b == 1),
         uniform_cost in (0u8..2).prop_map(|b| b == 1),
+        inline in (0u8..2).prop_map(|b| b == 1),
+        fuse in (0u8..2).prop_map(|b| b == 1),
         n in 1usize..40,
         which in 0usize..5,
     ) {
@@ -335,40 +429,46 @@ proptest! {
             cost: if uniform_cost { CostModel::uniform() } else { CostModel::sequent() },
             fuel: Some(500_000_000),
         };
+        let opts = CompileOptions { inline, fuse };
         let widths = [n.max(1), 1, (n / 2).max(1), 3];
         match which {
-            0 => assert_equivalent(
+            0 => assert_equivalent_with(
                 "list_scale_adds",
                 &check_source(programs::LIST_SCALE_ADDS).unwrap(),
                 &c,
+                opts,
                 "scale",
                 |m| vec![workloads::scale_list(m, n), Value::Int(3)],
             ),
-            1 => assert_equivalent(
+            1 => assert_equivalent_with(
                 "list_scale_adds (parallelized)",
                 &parallelized(programs::LIST_SCALE_ADDS),
                 &c,
+                opts,
                 "scale",
                 |m| vec![workloads::scale_list(m, n), Value::Int(3)],
             ),
-            2 => assert_equivalent(
+            2 => assert_equivalent_with(
                 "orth_row_scale (parallelized)",
                 &parallelized(programs::ORTH_ROW_SCALE),
                 &c,
+                opts,
                 "scale_rows",
                 |m| vec![workloads::orth_rows(m, &widths), Value::Int(5)],
             ),
-            3 => assert_equivalent(
+            3 => assert_equivalent_with(
                 "list_sum",
                 &check_source(programs::LIST_SUM).unwrap(),
                 &c,
+                opts,
                 "sum",
                 |m| vec![workloads::sum_list(m, n)],
             ),
-            _ => assert_equivalent(
+            _ => assert_equivalent_with(
                 "illegal_parallel_sum",
                 &check_source(ILLEGAL_PARALLEL_SUM).unwrap(),
                 &c,
+                opts,
                 "bad_parallel_sum",
                 illegal_sum_args,
             ),

@@ -16,7 +16,7 @@
 //! | `effects(fn)` | `effects/v1(analyzed/…)#fn=NAME` |
 //! | `loop_verdict(fn, i)` | `loop-verdict/v1(effects/…)#loop=NAME@i` |
 //! | `transformed` | `transformed/v1(analyzed/…,typed/…)` |
-//! | `compiled` | `machine-bytecode/v1(typed/…)` |
+//! | `compiled` | `machine-bytecode/v2(typed/…)` |
 //! | report (`parse` …) | `parse/v1(roundtrip/…)` etc., version from [`Stage::schema`] |
 //! | `run` | `run/v1(transformed/…,machine-bytecode/…):pes=…;bodies=…` |
 //!
@@ -85,7 +85,7 @@ pub struct Fingerprints {
     pub analyzed: String,
     /// `transformed/v1(analyzed/…,typed/…)`
     pub transformed: String,
-    /// `machine-bytecode/v1(typed/…)`
+    /// `machine-bytecode/v2(typed/…)`
     pub compiled: String,
     effects_base: String,
     loop_verdict_base: String,
