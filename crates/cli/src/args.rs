@@ -33,6 +33,33 @@ pub enum Command {
     Profile,
     /// Long-running HTTP server over the batch executor.
     Serve,
+    /// Inspect or maintain a persistent `--store` directory.
+    Store,
+}
+
+/// Maintenance action for the `store` command.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreAction {
+    /// Print the store's counters and index shape.
+    Stats,
+    /// Rewrite live records into a fresh segment, dropping dead bytes.
+    Compact,
+    /// Write every committed entry to a snapshot file.
+    Export,
+    /// Load a snapshot file into the store.
+    Import,
+}
+
+impl StoreAction {
+    fn parse(s: &str) -> Option<StoreAction> {
+        Some(match s {
+            "stats" => StoreAction::Stats,
+            "compact" => StoreAction::Compact,
+            "export" => StoreAction::Export,
+            "import" => StoreAction::Import,
+            _ => return None,
+        })
+    }
 }
 
 impl Command {
@@ -46,6 +73,7 @@ impl Command {
             "ladder" => Command::Ladder,
             "profile" => Command::Profile,
             "serve" => Command::Serve,
+            "store" => Command::Store,
             _ => return None,
         })
     }
@@ -59,7 +87,9 @@ impl Command {
             Command::Check => Stage::Check,
             Command::Analyze => Stage::Analyze,
             Command::Parallelize => Stage::Parallelize,
-            Command::Run | Command::Ladder | Command::Profile | Command::Serve => return None,
+            Command::Run | Command::Ladder | Command::Profile | Command::Serve | Command::Store => {
+                return None
+            }
         })
     }
 }
@@ -99,6 +129,10 @@ pub struct Args {
     pub cache_cap: usize,
     /// `serve`: emit one JSON access-log line per request on stdout.
     pub log: bool,
+    /// `serve`/`store`: crash-safe disk cache directory.
+    pub store: Option<String>,
+    /// `store`: the maintenance action.
+    pub store_action: Option<StoreAction>,
     /// Record spans and write a Chrome `trace_event` JSON file on exit.
     pub trace: Option<String>,
     /// `profile`: validate the profile invariants instead of printing
@@ -125,6 +159,8 @@ impl Default for Args {
             addr: "127.0.0.1:8199".to_string(),
             cache_cap: 0,
             log: false,
+            store: None,
+            store_action: None,
             trace: None,
             check: false,
         }
@@ -167,6 +203,9 @@ COMMANDS:
     profile      run corpus workloads on the VM with profiling; ranked
                  hot-opcode, superblock, and parfor tables (adds.profile/v2 in JSON)
     serve        long-running HTTP server: POST /v1/{analyze,parallelize,run}
+    store        inspect or maintain a persistent --store directory:
+                 store stats|compact --store DIR
+                 store export|import --store DIR FILE   (snapshot file)
 
 INPUT SELECTION (parse/check/analyze/parallelize):
     --all             all built-in corpus programs
@@ -180,6 +219,8 @@ OPTIONS:
                       at every value)
     --addr HOST:PORT  serve: bind address            [default: 127.0.0.1:8199]
     --cache-cap N     serve: bound each cache to ~N entries (0 = unbounded)
+    --store DIR       serve/store: crash-safe disk cache directory; survives
+                      restarts and kill -9 (committed entries are never lost)
     --log             serve: one JSON access-log line per request on stdout
     --format FMT      text | json                      [default: text]
     --matrices        include exit path matrices in analyze reports
@@ -270,6 +311,9 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, UsageError> {
             "--addr" => {
                 args.addr = take_value("--addr", inline, &mut it)?;
             }
+            "--store" => {
+                args.store = Some(take_value("--store", inline, &mut it)?);
+            }
             "--trace" => {
                 args.trace = Some(take_value("--trace", inline, &mut it)?);
             }
@@ -330,6 +374,13 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, UsageError> {
             f if f.starts_with('-') => {
                 return Err(usage(format!("unknown option `{f}`")));
             }
+            _ if args.command == Command::Store && args.store_action.is_none() => {
+                args.store_action = Some(StoreAction::parse(raw).ok_or_else(|| {
+                    usage(format!(
+                        "unknown store action `{raw}`; expected stats|compact|export|import"
+                    ))
+                })?);
+            }
             _ => args.files.push(raw.clone()),
         }
     }
@@ -337,14 +388,39 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, UsageError> {
     if list {
         return Ok(ParsedArgs::ListCorpus);
     }
-    Ok(ParsedArgs::Run(args))
+    if args.command == Command::Store {
+        let Some(action) = args.store_action else {
+            return Err(usage(
+                "store requires an action: stats|compact|export|import",
+            ));
+        };
+        if args.store.is_none() {
+            return Err(usage("store requires --store DIR"));
+        }
+        let needs_file = matches!(action, StoreAction::Export | StoreAction::Import);
+        match (needs_file, args.files.len()) {
+            (true, 1) | (false, 0) => {}
+            (true, _) => {
+                return Err(usage(format!(
+                    "store {} takes exactly one snapshot FILE",
+                    if action == StoreAction::Export {
+                        "export"
+                    } else {
+                        "import"
+                    }
+                )))
+            }
+            (false, _) => return Err(usage("store stats/compact take no FILE arguments")),
+        }
+    }
+    Ok(ParsedArgs::Run(Box::new(args)))
 }
 
 /// Result of argument parsing.
 #[derive(Debug)]
 pub enum ParsedArgs {
     /// Run the command.
-    Run(Args),
+    Run(Box<Args>),
     /// `--list`: print corpus names and exit.
     ListCorpus,
 }
@@ -434,6 +510,41 @@ mod tests {
             Command::Analyze.stage(),
             Some(adds_serve::pipeline::Stage::Analyze)
         );
+    }
+
+    #[test]
+    fn parses_store_subcommand() {
+        let ParsedArgs::Run(a) = parse(&argv("store stats --store /tmp/cache")).unwrap() else {
+            panic!("expected Run");
+        };
+        assert_eq!(a.command, Command::Store);
+        assert_eq!(a.store_action, Some(StoreAction::Stats));
+        assert_eq!(a.store.as_deref(), Some("/tmp/cache"));
+
+        let ParsedArgs::Run(a) = parse(&argv("store export --store=/tmp/cache snap.bin")).unwrap()
+        else {
+            panic!("expected Run");
+        };
+        assert_eq!(a.store_action, Some(StoreAction::Export));
+        assert_eq!(a.files, vec!["snap.bin"]);
+
+        // Serve accepts the same flag.
+        let ParsedArgs::Run(a) = parse(&argv("serve --store /tmp/cache")).unwrap() else {
+            panic!("expected Run");
+        };
+        assert_eq!(a.store.as_deref(), Some("/tmp/cache"));
+    }
+
+    #[test]
+    fn store_usage_errors() {
+        // Unknown action, missing action, missing --store DIR.
+        assert!(parse(&argv("store frobnicate --store d")).is_err());
+        assert!(parse(&argv("store --store d")).is_err());
+        assert!(parse(&argv("store stats")).is_err());
+        // export/import need exactly one FILE; stats/compact take none.
+        assert!(parse(&argv("store export --store d")).is_err());
+        assert!(parse(&argv("store import --store d a.snap b.snap")).is_err());
+        assert!(parse(&argv("store compact --store d stray.snap")).is_err());
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! adds-cli ladder --format json                   # §2 precision ladder
 //! adds-cli profile --program barnes_hut           # VM hot-opcode/parfor table
 //! adds-cli serve --addr 127.0.0.1:8199 --jobs 4   # long-running HTTP server
+//! adds-cli serve --store .adds-store              # + crash-safe disk cache
+//! adds-cli store stats --store .adds-store        # disk-cache counters
 //! ```
 //!
 //! Every command accepts `--trace FILE` to record spans across the query,
@@ -210,6 +212,7 @@ fn run_command(args: &args::Args) -> i32 {
                 jobs: args.jobs,
                 cache_capacity: args.cache_cap,
                 log: args.log,
+                store_dir: args.store.clone(),
                 trace_path: args.trace.clone(),
                 ..ServeOptions::default()
             };
@@ -235,7 +238,128 @@ fn run_command(args: &args::Args) -> i32 {
                 }
             }
         }
+        Command::Store => run_store(args),
     }
+}
+
+/// `store stats|compact|export|import` over a `--store` directory: the
+/// same crash-safe segment store the server mounts, driven offline for
+/// inspection, maintenance, and pre-warmed corpus snapshots.
+fn run_store(args: &args::Args) -> i32 {
+    use args::StoreAction;
+    let dir = args.store.as_deref().expect("validated by args::parse");
+    let store = match adds::store::Store::open(dir) {
+        Ok(s) => s,
+        Err(e) => {
+            emit_err(&format!("error: cannot open store `{dir}`: {e}\n"));
+            return 1;
+        }
+    };
+    let action = args.store_action.expect("validated by args::parse");
+    match action {
+        StoreAction::Stats => {
+            let s = store.stats();
+            match args.format {
+                Format::Json => emit(&store_stats_json(&s).pretty()),
+                Format::Text => {
+                    emit(&format!(
+                        "store {dir}\n\
+                           entries:             {}\n\
+                           segments:            {}\n\
+                           live bytes:          {}\n\
+                           recovered records:   {}\n\
+                           truncated bytes:     {}\n\
+                           quarantined records: {}\n\
+                           rotations:           {}\n\
+                           compactions:         {}\n",
+                        s.entries,
+                        s.segments,
+                        s.live_bytes,
+                        s.recovered_records,
+                        s.truncated_bytes,
+                        s.quarantined_records,
+                        s.rotations,
+                        s.compactions,
+                    ));
+                }
+            }
+            0
+        }
+        StoreAction::Compact => match store.compact() {
+            Ok(o) => {
+                match args.format {
+                    Format::Json => emit(
+                        &Json::obj([
+                            ("schema", Json::str("adds.store-compact/v1")),
+                            ("segments_before", Json::UInt(o.segments_before)),
+                            ("segments_after", Json::UInt(o.segments_after)),
+                            ("live_records", Json::UInt(o.live_records)),
+                            ("reclaimed_bytes", Json::UInt(o.reclaimed_bytes)),
+                        ])
+                        .pretty(),
+                    ),
+                    Format::Text => emit(&format!(
+                        "compacted {dir}: {} -> {} segment(s), {} live record(s), \
+                         {} byte(s) reclaimed\n",
+                        o.segments_before, o.segments_after, o.live_records, o.reclaimed_bytes
+                    )),
+                }
+                0
+            }
+            Err(e) => {
+                emit_err(&format!("error: compact failed: {e}\n"));
+                1
+            }
+        },
+        StoreAction::Export | StoreAction::Import => {
+            let file = args.files.first().expect("validated by args::parse");
+            let result = if action == StoreAction::Export {
+                std::fs::File::create(file)
+                    .and_then(|mut f| store.export(&mut f))
+                    .map(|n| format!("exported {n} entr(ies) to {file}\n"))
+            } else {
+                std::fs::File::open(file)
+                    .and_then(|mut f| store.import(&mut f))
+                    .map(|n| format!("imported {n} record(s) from {file}\n"))
+            };
+            match result {
+                Ok(line) => {
+                    emit(&line);
+                    0
+                }
+                Err(e) => {
+                    emit_err(&format!("error: snapshot {file}: {e}\n"));
+                    1
+                }
+            }
+        }
+    }
+}
+
+/// Byte-stable JSON rendering of a store snapshot (`adds.store-stats/v1`),
+/// field-for-field the server's `/v1/stats` `store` section.
+fn store_stats_json(s: &adds::store::StoreSnapshot) -> Json {
+    Json::obj([
+        ("schema", Json::str("adds.store-stats/v1")),
+        ("entries", Json::UInt(s.entries)),
+        ("pending", Json::UInt(s.pending)),
+        ("segments", Json::UInt(s.segments)),
+        ("live_bytes", Json::UInt(s.live_bytes)),
+        ("gets", Json::UInt(s.gets)),
+        ("hits", Json::UInt(s.hits)),
+        ("misses", Json::UInt(s.misses)),
+        ("puts", Json::UInt(s.puts)),
+        ("puts_ignored", Json::UInt(s.puts_ignored)),
+        ("commits", Json::UInt(s.commits)),
+        ("commit_failures", Json::UInt(s.commit_failures)),
+        ("committed_records", Json::UInt(s.committed_records)),
+        ("committed_bytes", Json::UInt(s.committed_bytes)),
+        ("recovered_records", Json::UInt(s.recovered_records)),
+        ("truncated_bytes", Json::UInt(s.truncated_bytes)),
+        ("quarantined_records", Json::UInt(s.quarantined_records)),
+        ("rotations", Json::UInt(s.rotations)),
+        ("compactions", Json::UInt(s.compactions)),
+    ])
 }
 
 /// `run` takes exactly one input; default is the built-in Barnes–Hut.

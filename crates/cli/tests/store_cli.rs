@@ -1,0 +1,142 @@
+//! End-to-end tests for the `adds-cli store` maintenance commands and the
+//! `serve --store` flag, driving the real binary over a real directory.
+
+use adds::store::Store;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_adds-cli"))
+}
+
+fn run_ok(args: &[&str]) -> Output {
+    let out = cli().args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "adds-cli {args:?} failed (status {:?}):\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("adds_cli_store_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Seed a store with `n` committed entries through the library, the same
+/// code path the server's write-behind tier uses.
+fn seed(dir: &PathBuf, n: u8) {
+    let store = Store::open(dir).expect("open for seeding");
+    for i in 0..n {
+        let mut key = [0u8; 32];
+        key[0] = i;
+        assert!(store.put(&key, "analyze/v1", format!("value-{i}").as_bytes()));
+    }
+    store.commit().expect("commit seed");
+}
+
+#[test]
+fn store_stats_compact_export_import_lifecycle() {
+    let src = temp_dir("lifecycle_src");
+    let dst = temp_dir("lifecycle_dst");
+    let snap = std::env::temp_dir().join(format!("adds_cli_store_{}.snap", std::process::id()));
+    seed(&src, 3);
+    let src_s = src.to_str().unwrap();
+    let dst_s = dst.to_str().unwrap();
+    let snap_s = snap.to_str().unwrap();
+
+    // stats: JSON mode carries the schema tag and the seeded entry count.
+    let out = run_ok(&["store", "stats", "--store", src_s, "--format", "json"]);
+    let stats = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        stats.contains("\"schema\": \"adds.store-stats/v1\""),
+        "{stats}"
+    );
+    assert!(stats.contains("\"entries\": 3"), "{stats}");
+    assert!(stats.contains("\"recovered_records\": 3"), "{stats}");
+
+    // export -> import into a fresh directory moves every entry.
+    let out = run_ok(&["store", "export", "--store", src_s, snap_s]);
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("exported 3"),
+        "{out:?}"
+    );
+    let out = run_ok(&["store", "import", "--store", dst_s, snap_s]);
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("imported 3"),
+        "{out:?}"
+    );
+    let dst_store = Store::open(&dst).expect("open imported");
+    let mut key = [0u8; 32];
+    key[0] = 2;
+    assert_eq!(
+        dst_store.get(&key, "analyze/v1").as_deref(),
+        Some(b"value-2".as_ref()),
+        "imported store must serve the seeded values"
+    );
+    drop(dst_store);
+
+    // compact succeeds and reports the live record count.
+    let out = run_ok(&["store", "compact", "--store", src_s, "--format", "json"]);
+    let compact = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        compact.contains("\"schema\": \"adds.store-compact/v1\""),
+        "{compact}"
+    );
+    assert!(compact.contains("\"live_records\": 3"), "{compact}");
+
+    // Text-mode stats still renders after compaction.
+    let out = run_ok(&["store", "stats", "--store", src_s]);
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("entries:             3"),
+        "{out:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&src);
+    let _ = std::fs::remove_dir_all(&dst);
+    let _ = std::fs::remove_file(&snap);
+}
+
+#[test]
+fn store_usage_errors_exit_2() {
+    let out = cli()
+        .args(["store", "stats"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "missing --store must be usage");
+    let out = cli()
+        .args(["store", "frobnicate", "--store", "d"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "unknown action must be usage");
+}
+
+#[test]
+fn store_import_rejects_garbage_snapshot_with_exit_1() {
+    let dir = temp_dir("garbage");
+    let snap = std::env::temp_dir().join(format!(
+        "adds_cli_store_garbage_{}.snap",
+        std::process::id()
+    ));
+    std::fs::write(&snap, b"not a snapshot").unwrap();
+    let out = cli()
+        .args([
+            "store",
+            "import",
+            "--store",
+            dir.to_str().unwrap(),
+            snap.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("snapshot"),
+        "{out:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&snap);
+}

@@ -47,12 +47,15 @@ const SHARDS: usize = 16;
 /// How a lookup was satisfied.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Outcome {
-    /// The value was already cached.
+    /// The value was already cached in memory.
     Hit,
     /// This request computed the value.
     Miss,
     /// Another in-flight request computed it; this one waited.
     Coalesced,
+    /// The value was loaded from the persistent disk tier (and promoted
+    /// into the in-memory cache) instead of being recomputed.
+    Disk,
 }
 
 impl Outcome {
@@ -62,6 +65,7 @@ impl Outcome {
             Outcome::Hit => "hit",
             Outcome::Miss => "miss",
             Outcome::Coalesced => "coalesced",
+            Outcome::Disk => "disk",
         }
     }
 }
@@ -80,6 +84,9 @@ pub struct CacheStats {
     pub in_flight: AtomicU64,
     /// Completed entries evicted to stay under a capacity bound.
     pub evicted: AtomicU64,
+    /// Lookups satisfied from the persistent disk tier (subset of what
+    /// would otherwise have been misses).
+    pub disk_hits: AtomicU64,
 }
 
 impl CacheStats {
@@ -138,6 +145,15 @@ impl<V> Shard<V> {
     }
 }
 
+/// Observer invoked with `(digest, fingerprint, value)` as an entry is
+/// evicted — the write-behind hook that lets a disk tier capture values
+/// the CLOCK sweep would otherwise silently drop. Called with the shard
+/// lock held: the hook must not call back into the same cache.
+pub type EvictHook<V> = Arc<dyn Fn(&Digest, &str, &Arc<V>) + Send + Sync>;
+
+/// Borrowed [`EvictHook`], as threaded into the eviction sweep.
+type EvictHookRef<'a, V> = &'a (dyn Fn(&Digest, &str, &Arc<V>) + Send + Sync);
+
 /// A sharded single-flight cache from `(content digest, fingerprint)` to
 /// immutable values, optionally bounded with CLOCK eviction.
 pub struct Cache<V> {
@@ -145,6 +161,7 @@ pub struct Cache<V> {
     /// Completed-entry bound per shard; 0 = unbounded.
     shard_capacity: usize,
     stats: Arc<CacheStats>,
+    on_evict: Option<EvictHook<V>>,
 }
 
 impl<V> Cache<V> {
@@ -167,7 +184,15 @@ impl<V> Cache<V> {
                 capacity.div_ceil(SHARDS)
             },
             stats,
+            on_evict: None,
         }
+    }
+
+    /// Install the eviction observer ([`EvictHook`]). Built separately
+    /// from [`Cache::bounded`] so callers without a disk tier pay
+    /// nothing; replaces any previous hook.
+    pub fn set_evict_hook(&mut self, hook: EvictHook<V>) {
+        self.on_evict = Some(hook);
     }
 
     fn shard(&self, digest: &Digest) -> &Mutex<Shard<V>> {
@@ -216,7 +241,7 @@ impl<V> Cache<V> {
                     None => {
                         if self.shard_capacity > 0 {
                             if shard.map.len() >= self.shard_capacity {
-                                evict_one(&mut shard, &self.stats);
+                                evict_one(&mut shard, &self.stats, self.on_evict.as_deref());
                             }
                             // The ring only feeds the eviction sweep; an
                             // unbounded cache skips it entirely rather
@@ -316,8 +341,9 @@ impl<V> Cache<V> {
 /// out. Referenced entries get their second chance (bit cleared);
 /// in-flight entries are skipped; stale ring slots are discarded. If a
 /// full sweep finds only in-flight entries, the shard temporarily
-/// overshoots its bound rather than stalling the insert.
-fn evict_one<V>(shard: &mut Shard<V>, stats: &CacheStats) {
+/// overshoots its bound rather than stalling the insert. The victim is
+/// handed to `on_evict` before it disappears (write-behind hook).
+fn evict_one<V>(shard: &mut Shard<V>, stats: &CacheStats, on_evict: Option<EvictHookRef<'_, V>>) {
     let mut steps = 0;
     let budget = 2 * shard.ring.len() + 2;
     while steps < budget && !shard.ring.is_empty() {
@@ -338,7 +364,11 @@ fn evict_one<V>(shard: &mut Shard<V>, stats: &CacheStats) {
                 shard.hand += 1;
             }
             Some(Entry::Ready { .. }) => {
-                shard.map.remove(&key);
+                if let Some(Entry::Ready { value, .. }) = shard.map.remove(&key) {
+                    if let Some(hook) = on_evict {
+                        hook(&key.0, &key.1, &value);
+                    }
+                }
                 shard.ring.swap_remove(shard.hand);
                 stats.add(&stats.evicted);
                 return;
@@ -449,6 +479,22 @@ mod tests {
         assert!(c.peek(&d(2), "q/v1").is_none(), "cold entry evicted");
         assert!(c.peek(&d(3), "q/v1").is_some());
         assert_eq!(c.stats().get(&c.stats().evicted), 1);
+    }
+
+    #[test]
+    fn evict_hook_sees_the_victim_before_it_disappears() {
+        let mut c: Cache<u8> = Cache::bounded(Arc::new(CacheStats::default()), 16);
+        let seen: Arc<Mutex<Vec<(Digest, String, u8)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        c.set_evict_hook(Arc::new(move |digest, fp, value| {
+            sink.lock()
+                .unwrap()
+                .push((*digest, fp.to_string(), **value));
+        }));
+        c.get_or_compute(d(1), "q/v1", || 41);
+        c.get_or_compute(d(2), "q/v1", || 42);
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.as_slice(), &[(d(1), "q/v1".to_string(), 41)]);
     }
 
     #[test]

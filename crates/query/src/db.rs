@@ -33,6 +33,7 @@ use adds_machine::compile::CompiledProgram;
 use adds_machine::{uniform_cloud, CostModel};
 use adds_obs::metrics::Histogram;
 use adds_obs::trace;
+use adds_store::Store;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -230,14 +231,34 @@ struct Caches {
     compiled: Cache<Result<CompiledProgram, Failure>>,
     runs: Cache<Result<RunReport, String>>,
     reports: Cache<ProgramReport>,
+    /// The optional persistent second tier under the request-level caches
+    /// (reports + runs): misses probe it before recomputing, computes
+    /// write behind into it, and evictions flush through it.
+    store: Option<Arc<Store>>,
 }
 
 impl Caches {
-    fn new(capacity: usize) -> Caches {
+    fn new(capacity: usize, store: Option<Arc<Store>>) -> Caches {
         let artifact_stats = Arc::new(CacheStats::default());
         let report_stats = Arc::new(CacheStats::default());
         fn make<V>(stats: &Arc<CacheStats>, capacity: usize) -> Cache<V> {
             Cache::bounded(Arc::clone(stats), capacity)
+        }
+        let mut runs: Cache<Result<RunReport, String>> = make(&report_stats, capacity);
+        let mut reports: Cache<ProgramReport> = make(&report_stats, capacity);
+        if let Some(store) = &store {
+            // Write-behind on eviction: a value the CLOCK sweep drops is
+            // persisted (a no-op when the compute already buffered it), so
+            // a bounded RAM tier never costs a recompute that the disk
+            // tier could have answered.
+            let sink = Arc::clone(store);
+            reports.set_evict_hook(Arc::new(move |digest, fp, value| {
+                sink.put(&digest.0, fp, &crate::persist::encode_report(value));
+            }));
+            let sink = Arc::clone(store);
+            runs.set_evict_hook(Arc::new(move |digest, fp, value| {
+                sink.put(&digest.0, fp, &crate::persist::encode_run(value));
+            }));
         }
         Caches {
             parsed: make(&artifact_stats, capacity),
@@ -249,13 +270,14 @@ impl Caches {
             verdicts: make(&artifact_stats, capacity),
             transformed: make(&artifact_stats, capacity),
             compiled: make(&artifact_stats, capacity),
-            runs: make(&report_stats, capacity),
-            reports: make(&report_stats, capacity),
+            runs,
+            reports,
             counters: ComputeCounters::default(),
             par: ParCounters::new(),
             durations: std::array::from_fn(|_| Histogram::new()),
             artifact_stats,
             report_stats,
+            store,
         }
     }
 }
@@ -296,11 +318,28 @@ impl AnalysisDb {
     /// The budget only affects wall-clock: reports are byte-identical at
     /// every value.
     pub fn with_options(capacity: usize, jobs: usize) -> AnalysisDb {
+        AnalysisDb::with_store(capacity, jobs, None)
+    }
+
+    /// A database with an optional persistent second tier under the
+    /// request-level caches. With a store, a report/run miss probes disk
+    /// before recomputing (and promotes the hit into RAM), every compute
+    /// writes behind into the store's pending buffer, and evicted entries
+    /// flush through it — so a restart serves warm, byte-identical
+    /// answers. Persistence is invisible in report bytes: a disk hit and
+    /// a recompute are indistinguishable except in the counters.
+    pub fn with_store(capacity: usize, jobs: usize, store: Option<Arc<Store>>) -> AnalysisDb {
         AnalysisDb {
             fp: Arc::new(Fingerprints::default()),
-            caches: Arc::new(Caches::new(capacity)),
+            caches: Arc::new(Caches::new(capacity, store)),
             jobs,
         }
+    }
+
+    /// The persistent tier, when configured (commit scheduling and stats
+    /// belong to the frontend).
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.caches.store.as_ref()
     }
 
     /// A database sharing this one's caches and counters but keyed under
@@ -412,6 +451,60 @@ impl AnalysisDb {
             self.caches.durations[kind as usize].record(started.elapsed().as_micros() as u64);
             v
         });
+        if let Some(s) = span.as_mut() {
+            s.arg("layer", kind.name());
+            s.arg("digest", &digest.hex()[..8]);
+            s.arg("outcome", outcome.name());
+        }
+        (value, outcome)
+    }
+
+    /// [`AnalysisDb::counted`] with the persistent tier underneath: a RAM
+    /// miss probes the store (decoding the record back into the cached
+    /// value) before paying for a recompute, and a real compute writes
+    /// behind into the store's pending buffer. Disk loads bump neither
+    /// compute counters nor duration histograms — they are cache traffic,
+    /// not analysis work — and surface as [`Outcome::Disk`].
+    #[allow(clippy::too_many_arguments)]
+    fn counted_tiered<V>(
+        &self,
+        cache: &Cache<V>,
+        kind: QueryKind,
+        digest: Digest,
+        fingerprint: &str,
+        decode: impl Fn(&[u8]) -> Option<V>,
+        encode: impl Fn(&V) -> Vec<u8>,
+        f: impl FnOnce() -> V,
+    ) -> (Arc<V>, Outcome) {
+        let mut span = trace::span(kind.span_name(), "query");
+        let from_disk = std::cell::Cell::new(false);
+        let (value, outcome) = cache.get_or_compute(digest, fingerprint, || {
+            if let Some(store) = &self.caches.store {
+                if let Some(bytes) = store.get(&digest.0, fingerprint) {
+                    if let Some(v) = decode(&bytes) {
+                        from_disk.set(true);
+                        return v;
+                    }
+                }
+            }
+            self.caches.counters.bump(kind, digest);
+            let started = std::time::Instant::now();
+            let v = f();
+            self.caches.durations[kind as usize].record(started.elapsed().as_micros() as u64);
+            if let Some(store) = &self.caches.store {
+                store.put(&digest.0, fingerprint, &encode(&v));
+            }
+            v
+        });
+        let outcome = if from_disk.get() {
+            cache
+                .stats()
+                .disk_hits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Outcome::Disk
+        } else {
+            outcome
+        };
         if let Some(s) = span.as_mut() {
             s.arg("layer", kind.name());
             s.arg("digest", &digest.hex()[..8]);
@@ -649,11 +742,13 @@ impl AnalysisDb {
         let digest = sha256(src.as_bytes());
         let fingerprint = self.fp.run_report(opts);
         let opts = opts.clone();
-        let (result, outcome) = self.counted(
+        let (result, outcome) = self.counted_tiered(
             &self.caches.runs,
             QueryKind::Run,
             digest,
             &fingerprint,
+            crate::persist::decode_run,
+            crate::persist::encode_run,
             || self.run_uncached(src, &digest.hex(), &opts),
         );
         (digest, result, outcome)
@@ -760,27 +855,47 @@ impl AnalysisDb {
     ) -> (Digest, Arc<ProgramReport>, Outcome) {
         let digest = sha256(src.as_bytes());
         let fingerprint = self.fp.stage_report(stage, matrices);
-        let (report, outcome) = self.counted(
+        let (report, outcome) = self.counted_tiered(
             &self.caches.reports,
             QueryKind::Report,
             digest,
             &fingerprint,
+            crate::persist::decode_report,
+            crate::persist::encode_report,
             || self.compose_report(src, &digest.hex(), stage, matrices),
         );
         (digest, report, outcome)
     }
 
     /// Look up an already-computed stage report by content hash, without
-    /// computing (`GET /v1/report/{sha256}`).
+    /// computing (`GET /v1/report/{sha256}`). With a persistent tier, a
+    /// RAM miss probes the store and promotes the decoded report into the
+    /// in-memory cache — which is how a restarted server keeps serving
+    /// reports it computed in a previous life.
     pub fn lookup_report(
         &self,
         digest: &Digest,
         stage: Stage,
         matrices: bool,
     ) -> Option<Arc<ProgramReport>> {
+        let fingerprint = self.fp.stage_report(stage, matrices);
+        if let Some(report) = self.caches.reports.peek(digest, &fingerprint) {
+            return Some(report);
+        }
+        let store = self.caches.store.as_ref()?;
+        let bytes = store.get(&digest.0, &fingerprint)?;
+        let report = crate::persist::decode_report(&bytes)?;
         self.caches
+            .report_stats
+            .disk_hits
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // Promote; if a concurrent request is computing the same key we
+        // coalesce onto its (byte-identical) value instead.
+        let (report, _) = self
+            .caches
             .reports
-            .peek(digest, &self.fp.stage_report(stage, matrices))
+            .get_or_compute(*digest, &fingerprint, || report);
+        Some(report)
     }
 
     fn compose_report(&self, src: &str, name: &str, stage: Stage, matrices: bool) -> ProgramReport {
@@ -995,6 +1110,116 @@ mod tests {
         assert_eq!(
             counters.total(QueryKind::Parsed),
             MAX_TRACKED_DIGESTS as u64 + 1
+        );
+    }
+
+    fn mem_store(io: &Arc<adds_store::FaultIo>) -> Arc<Store> {
+        let io = Arc::clone(io) as Arc<dyn adds_store::StoreIo>;
+        Arc::new(Store::open_with(io, adds_store::StoreOptions::default()).expect("open"))
+    }
+
+    #[test]
+    fn store_tier_serves_reports_across_database_instances() {
+        let io = Arc::new(adds_store::FaultIo::new());
+        let db = AnalysisDb::with_store(0, 0, Some(mem_store(&io)));
+        let src = programs::LIST_SCALE_ADDS;
+        let digest = sha256(src.as_bytes());
+        let (_, cold, o) = db.stage_report(src, Stage::Analyze, true);
+        assert_eq!(o, Outcome::Miss);
+        db.store().expect("store").commit().expect("commit");
+
+        // A fresh database over the surviving bytes — the restart model.
+        let io2 = Arc::new(io.surviving());
+        let db2 = AnalysisDb::with_store(0, 0, Some(mem_store(&io2)));
+        let (_, warm, o2) = db2.stage_report(src, Stage::Analyze, true);
+        assert_eq!(o2, Outcome::Disk, "second life answers from disk");
+        assert_eq!(cold.to_json().pretty(), warm.to_json().pretty());
+        // No analysis work happened: the disk load is cache traffic.
+        assert_eq!(db2.computes(QueryKind::Report, &digest), 0);
+        assert_eq!(db2.computes(QueryKind::Parsed, &digest), 0);
+        assert_eq!(db2.report_stats().get(&db2.report_stats().disk_hits), 1);
+        // The disk hit promoted into RAM: the next request is a plain hit.
+        let (_, _, o3) = db2.stage_report(src, Stage::Analyze, true);
+        assert_eq!(o3, Outcome::Hit);
+
+        // `lookup_report` (GET /v1/report/{sha}) promotes from disk too.
+        let io3 = Arc::new(io.surviving());
+        let db3 = AnalysisDb::with_store(0, 0, Some(mem_store(&io3)));
+        let looked = db3
+            .lookup_report(&digest, Stage::Analyze, true)
+            .expect("on disk");
+        assert_eq!(cold.to_json().pretty(), looked.to_json().pretty());
+        assert!(db3.lookup_report(&digest, Stage::Check, false).is_none());
+    }
+
+    #[test]
+    fn store_tier_serves_runs_across_database_instances() {
+        let io = Arc::new(adds_store::FaultIo::new());
+        let db = AnalysisDb::with_store(0, 0, Some(mem_store(&io)));
+        let src = programs::BARNES_HUT;
+        let opts = RunOptions {
+            bodies: 16,
+            steps: 1,
+            pes: vec![2],
+            ..RunOptions::default()
+        };
+        let (digest, cold, o) = db.run(src, &opts);
+        assert_eq!(o, Outcome::Miss);
+        db.store().expect("store").commit().expect("commit");
+
+        let io2 = Arc::new(io.surviving());
+        let db2 = AnalysisDb::with_store(0, 0, Some(mem_store(&io2)));
+        let (_, warm, o2) = db2.run(src, &opts);
+        assert_eq!(o2, Outcome::Disk);
+        let (cold, warm) = (
+            cold.as_ref().as_ref().unwrap(),
+            warm.as_ref().as_ref().unwrap(),
+        );
+        assert_eq!(
+            crate::runner::to_json(cold).pretty(),
+            crate::runner::to_json(warm).pretty()
+        );
+        assert_eq!(db2.computes(QueryKind::Run, &digest), 0);
+        assert_eq!(
+            db2.computes(QueryKind::Compiled, &digest),
+            0,
+            "no simulation ran"
+        );
+    }
+
+    #[test]
+    fn evicted_report_is_a_disk_hit_not_a_recompute() {
+        let io = Arc::new(adds_store::FaultIo::new());
+        // Capacity 16 → one completed report per shard.
+        let db = AnalysisDb::with_store(16, 0, Some(mem_store(&io)));
+        let src = programs::LIST_SCALE_ADDS;
+        let digest = sha256(src.as_bytes());
+        // A second source whose digest lands in the same cache shard, so
+        // computing its report evicts the first one.
+        let rival = (0..)
+            .map(|i| format!("{src}\n// shard probe {i}\n"))
+            .find(|s| sha256(s.as_bytes()).0[0] % 16 == digest.0[0] % 16)
+            .expect("a colliding pad exists");
+
+        let (_, first, o1) = db.stage_report(src, Stage::Parse, false);
+        assert_eq!(o1, Outcome::Miss);
+        let (_, _, o2) = db.stage_report(&rival, Stage::Parse, false);
+        assert_eq!(o2, Outcome::Miss);
+        assert_eq!(
+            db.report_stats().get(&db.report_stats().evicted),
+            1,
+            "the rival must evict the first report"
+        );
+        // Evicted from RAM — but the write-behind tier still has it (no
+        // commit needed: pending entries are readable), so asking again
+        // costs a disk load, not a recompute.
+        let (_, again, o3) = db.stage_report(src, Stage::Parse, false);
+        assert_eq!(o3, Outcome::Disk);
+        assert_eq!(first.to_json().pretty(), again.to_json().pretty());
+        assert_eq!(
+            db.computes(QueryKind::Report, &digest),
+            1,
+            "never recomputed"
         );
     }
 

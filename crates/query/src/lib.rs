@@ -21,6 +21,9 @@
 //!   document renderers, and the cache/compute counters.
 //! * [`cache`] — the sharded, single-flight, optionally bounded
 //!   (CLOCK-evicting) content-hash cache underneath every query.
+//! * [`persist`] — the exact binary codec that carries request-level
+//!   cache values (stage reports, run results) to and from the optional
+//!   disk tier (`adds-store`) without perturbing a single output byte.
 //! * [`par`] — the deterministic parallel executor: fans independent
 //!   queries (per-function `effects`, per-PE runs, batch items) over a
 //!   bounded worker budget, merging results in canonical input order so
@@ -37,6 +40,7 @@ pub mod db;
 pub mod fingerprint;
 pub mod json;
 pub mod par;
+pub mod persist;
 pub mod report;
 pub mod runner;
 pub mod session;

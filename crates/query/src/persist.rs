@@ -1,0 +1,530 @@
+//! The exact binary codec between the request-level cache values
+//! ([`ProgramReport`], `run` results) and the disk tier's record bytes.
+//!
+//! Determinism is the whole point: persistence must never perturb a
+//! report byte, so the codec is a field-by-field exact encoding — strings
+//! as length-prefixed UTF-8, integers little-endian, floats by
+//! `f64::to_bits` — with **no** canonicalization, defaulting, or lossy
+//! conversion anywhere. `decode(encode(v))` reproduces `v` exactly, which
+//! the round-trip tests pin via the byte-stable JSON rendering.
+//!
+//! Decoding is total over arbitrary bytes: any truncation, trailing
+//! garbage, or structural mismatch returns `None` (the caller treats it
+//! as a miss and recomputes) rather than panicking — the disk tier
+//! already checksums records, this is the second seatbelt. A leading
+//! kind+version tag keeps report and run values from masquerading as one
+//! another if a future layer version reuses a fingerprint shape.
+
+use crate::report::{
+    AnalyzeReport, CheckReport, FnReport, LoopEffectsReport, LoopReport, ParseReport,
+    ProgramReport, ReasonEntry, SkippedLoop, TransformDecision, TransformReport, TypeSummary,
+};
+use crate::runner::{ParRun, RunReport};
+
+/// Tag byte of an encoded [`ProgramReport`].
+const REPORT_TAG: u8 = b'R';
+/// Tag byte of an encoded `run` result.
+const RUN_TAG: u8 = b'U';
+/// Codec version (bumped on any layout change; the fingerprint in the
+/// store key already isolates schema versions, this isolates the codec).
+const VERSION: u8 = 1;
+
+// ---------------------------------------------------------------- writer
+
+#[derive(Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        // Bit-exact: NaN payloads, signed zeros, everything survives.
+        self.u64(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn strs(&mut self, v: &[String]) {
+        self.u32(v.len() as u32);
+        for s in v {
+            self.str(s);
+        }
+    }
+
+    fn opt<T>(&mut self, v: Option<&T>, f: impl FnOnce(&mut Enc, &T)) {
+        match v {
+            None => self.u8(0),
+            Some(t) => {
+                self.u8(1);
+                f(self, t);
+            }
+        }
+    }
+
+    fn seq<T>(&mut self, items: &[T], f: impl Fn(&mut Enc, &T)) {
+        self.u32(items.len() as u32);
+        for item in items {
+            f(self, item);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- reader
+
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(bytes: &'a [u8]) -> Dec<'a> {
+        Dec { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        Some(i64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn strs(&mut self) -> Option<Vec<String>> {
+        self.seq(Dec::str)
+    }
+
+    fn opt<T>(&mut self, f: impl FnOnce(&mut Dec<'a>) -> Option<T>) -> Option<Option<T>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(f(self)?)),
+            _ => None,
+        }
+    }
+
+    fn seq<T>(&mut self, f: impl Fn(&mut Dec<'a>) -> Option<T>) -> Option<Vec<T>> {
+        let len = self.u32()? as usize;
+        // Every element is at least one byte; a length claiming more than
+        // the remaining input is corrupt, not a huge allocation.
+        if len > self.bytes.len() - self.pos.min(self.bytes.len()) {
+            return None;
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(f(self)?);
+        }
+        Some(out)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+// --------------------------------------------------------------- reports
+
+/// Encode a canonical stage report for the disk tier.
+pub fn encode_report(r: &ProgramReport) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.u8(REPORT_TAG);
+    e.u8(VERSION);
+    e.str(&r.name);
+    e.u8(match r.origin {
+        "builtin" => 1,
+        _ => 0,
+    });
+    e.bool(r.ok);
+    e.strs(&r.diagnostics);
+    e.opt(r.parse.as_ref(), |e, p| {
+        e.str(&p.pretty);
+        e.bool(p.roundtrip_stable);
+    });
+    e.opt(r.check.as_ref(), |e, c| {
+        e.seq(&c.types, |e, t| {
+            e.str(&t.name);
+            e.strs(&t.dims);
+            e.strs(&t.routes);
+        });
+        e.strs(&c.functions);
+    });
+    e.opt(r.analyze.as_ref(), |e, a| {
+        e.seq(&a.functions, encode_fn);
+    });
+    e.opt(r.transform.as_ref(), encode_transform);
+    e.buf
+}
+
+fn encode_reasons(e: &mut Enc, reasons: &[ReasonEntry]) {
+    e.seq(reasons, |e, r| {
+        e.str(&r.code);
+        e.str(&r.message);
+    });
+}
+
+fn encode_fn(e: &mut Enc, f: &FnReport) {
+    e.str(&f.name);
+    e.seq(&f.loops, |e, l| {
+        e.u32(l.line);
+        e.opt(l.pattern.as_ref(), |e, p| e.str(p));
+        e.bool(l.parallelizable);
+        encode_reasons(e, &l.reasons);
+        e.opt(l.effects.as_ref(), |e, fx| {
+            e.strs(&fx.writes);
+            e.strs(&fx.reads);
+            e.strs(&fx.ptr_writes);
+            e.strs(&fx.advances);
+        });
+    });
+    e.strs(&f.events);
+    e.bool(f.exit_valid);
+    e.opt(f.exit_matrix.as_ref(), |e, m| e.strs(m));
+}
+
+fn encode_transform(e: &mut Enc, t: &TransformReport) {
+    e.seq(&t.parallelized, |e, d| {
+        e.str(&d.func);
+        e.str(&d.var);
+        e.str(&d.field);
+    });
+    e.seq(&t.skipped, |e, s| {
+        e.str(&s.func);
+        e.u32(s.line);
+        encode_reasons(e, &s.reasons);
+    });
+    e.str(&t.source);
+    e.bool(t.reparses);
+}
+
+/// Decode a stage report; `None` on any damage or version mismatch.
+pub fn decode_report(bytes: &[u8]) -> Option<ProgramReport> {
+    let mut d = Dec::new(bytes);
+    if d.u8()? != REPORT_TAG || d.u8()? != VERSION {
+        return None;
+    }
+    let name = d.str()?;
+    let origin = match d.u8()? {
+        0 => "file",
+        1 => "builtin",
+        _ => return None,
+    };
+    let ok = d.bool()?;
+    let diagnostics = d.strs()?;
+    let parse = d.opt(|d| {
+        Some(ParseReport {
+            pretty: d.str()?,
+            roundtrip_stable: d.bool()?,
+        })
+    })?;
+    let check = d.opt(|d| {
+        Some(CheckReport {
+            types: d.seq(|d| {
+                Some(TypeSummary {
+                    name: d.str()?,
+                    dims: d.strs()?,
+                    routes: d.strs()?,
+                })
+            })?,
+            functions: d.strs()?,
+        })
+    })?;
+    let analyze = d.opt(|d| {
+        Some(AnalyzeReport {
+            functions: d.seq(decode_fn)?,
+        })
+    })?;
+    let transform = d.opt(decode_transform)?;
+    if !d.done() {
+        return None;
+    }
+    Some(ProgramReport {
+        name,
+        origin,
+        ok,
+        diagnostics,
+        parse,
+        check,
+        analyze,
+        transform,
+    })
+}
+
+fn decode_reasons(d: &mut Dec<'_>) -> Option<Vec<ReasonEntry>> {
+    d.seq(|d| {
+        Some(ReasonEntry {
+            code: d.str()?,
+            message: d.str()?,
+        })
+    })
+}
+
+fn decode_fn(d: &mut Dec<'_>) -> Option<FnReport> {
+    Some(FnReport {
+        name: d.str()?,
+        loops: d.seq(|d| {
+            Some(LoopReport {
+                line: d.u32()?,
+                pattern: d.opt(Dec::str)?,
+                parallelizable: d.bool()?,
+                reasons: decode_reasons(d)?,
+                effects: d.opt(|d| {
+                    Some(LoopEffectsReport {
+                        writes: d.strs()?,
+                        reads: d.strs()?,
+                        ptr_writes: d.strs()?,
+                        advances: d.strs()?,
+                    })
+                })?,
+            })
+        })?,
+        events: d.strs()?,
+        exit_valid: d.bool()?,
+        exit_matrix: d.opt(Dec::strs)?,
+    })
+}
+
+fn decode_transform(d: &mut Dec<'_>) -> Option<TransformReport> {
+    Some(TransformReport {
+        parallelized: d.seq(|d| {
+            Some(TransformDecision {
+                func: d.str()?,
+                var: d.str()?,
+                field: d.str()?,
+            })
+        })?,
+        skipped: d.seq(|d| {
+            Some(SkippedLoop {
+                func: d.str()?,
+                line: d.u32()?,
+                reasons: decode_reasons(d)?,
+            })
+        })?,
+        source: d.str()?,
+        reparses: d.bool()?,
+    })
+}
+
+// ------------------------------------------------------------------ runs
+
+/// Encode a canonical `run` result (cached errors included — the same
+/// bytes produce the same error, and the disk tier preserves that).
+pub fn encode_run(r: &Result<RunReport, String>) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.u8(RUN_TAG);
+    e.u8(VERSION);
+    match r {
+        Err(msg) => {
+            e.u8(0);
+            e.str(msg);
+        }
+        Ok(r) => {
+            e.u8(1);
+            e.str(&r.program);
+            e.u64(r.bodies as u64);
+            e.i64(r.steps);
+            e.u64(r.seq_cycles);
+            e.seq(&r.parallel, |e, p| {
+                e.u64(p.pes as u64);
+                e.u64(p.cycles);
+                e.f64(p.speedup);
+                e.u64(p.conflicts as u64);
+                e.u64(p.parallel_rounds);
+                e.bool(p.physics_matches);
+            });
+        }
+    }
+    e.buf
+}
+
+/// Decode a `run` result; `None` on any damage or version mismatch.
+pub fn decode_run(bytes: &[u8]) -> Option<Result<RunReport, String>> {
+    let mut d = Dec::new(bytes);
+    if d.u8()? != RUN_TAG || d.u8()? != VERSION {
+        return None;
+    }
+    let result = match d.u8()? {
+        0 => Err(d.str()?),
+        1 => Ok(RunReport {
+            program: d.str()?,
+            bodies: d.u64()? as usize,
+            steps: d.i64()?,
+            seq_cycles: d.u64()?,
+            parallel: d.seq(|d| {
+                Some(ParRun {
+                    pes: d.u64()? as usize,
+                    cycles: d.u64()?,
+                    speedup: d.f64()?,
+                    conflicts: d.u64()? as usize,
+                    parallel_rounds: d.u64()?,
+                    physics_matches: d.bool()?,
+                })
+            })?,
+        }),
+        _ => return None,
+    };
+    if !d.done() {
+        return None;
+    }
+    Some(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::AnalysisDb;
+    use crate::runner::RunOptions;
+    use crate::session::Stage;
+
+    /// Byte-stable JSON is the repo's equality oracle for reports.
+    fn report_bytes(r: &ProgramReport) -> String {
+        r.to_json().pretty()
+    }
+
+    const CORPUS: &[&str] = &[
+        adds_lang::programs::LIST_SCALE_PLAIN,
+        adds_lang::programs::LIST_SCALE_ADDS,
+        adds_lang::programs::SUBTREE_MOVE,
+        adds_lang::programs::ORTH_ROW_SCALE,
+        adds_lang::programs::OCTREE_DECL,
+        adds_lang::programs::BARNES_HUT,
+        adds_lang::programs::LIST_SUM,
+    ];
+
+    #[test]
+    fn every_corpus_report_round_trips_byte_identically() {
+        let db = AnalysisDb::new();
+        for src in CORPUS {
+            for stage in [
+                Stage::Parse,
+                Stage::Check,
+                Stage::Analyze,
+                Stage::Parallelize,
+            ] {
+                for matrices in [false, true] {
+                    let (_, report, _) = db.stage_report(src, stage, matrices);
+                    let encoded = encode_report(&report);
+                    let decoded = decode_report(&encoded).expect("round trip");
+                    assert_eq!(
+                        report_bytes(&report),
+                        report_bytes(&decoded),
+                        "stage {stage:?} matrices={matrices}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failed_reports_round_trip() {
+        let db = AnalysisDb::new();
+        let (_, report, _) = db.stage_report("type T {", Stage::Analyze, false);
+        assert!(!report.ok);
+        let decoded = decode_report(&encode_report(&report)).expect("round trip");
+        assert_eq!(report_bytes(&report), report_bytes(&decoded));
+    }
+
+    #[test]
+    fn run_results_round_trip_bit_exactly() {
+        let db = AnalysisDb::new();
+        let opts = RunOptions {
+            bodies: 16,
+            steps: 1,
+            pes: vec![2, 4],
+            ..RunOptions::default()
+        };
+        let (_, result, _) = db.run(adds_lang::programs::BARNES_HUT, &opts);
+        let report = result.as_ref().as_ref().expect("runs");
+        let decoded = decode_run(&encode_run(&result)).expect("round trip");
+        let decoded = decoded.expect("ok");
+        assert_eq!(
+            crate::runner::to_json(report).pretty(),
+            crate::runner::to_json(&decoded).pretty()
+        );
+        // Speedups are floats: the codec must preserve the exact bits,
+        // not a rendering.
+        for (a, b) in report.parallel.iter().zip(&decoded.parallel) {
+            assert_eq!(a.speedup.to_bits(), b.speedup.to_bits());
+        }
+        // Cached errors persist too.
+        let err: Result<RunReport, String> = Err("deadbeef: no `simulate` procedure".into());
+        let back = decode_run(&encode_run(&err)).expect("round trip");
+        assert_eq!(back.err(), err.err());
+    }
+
+    #[test]
+    fn damaged_bytes_decode_to_none_never_panic() {
+        let db = AnalysisDb::new();
+        let (_, report, _) =
+            db.stage_report(adds_lang::programs::LIST_SCALE_ADDS, Stage::Analyze, true);
+        let good = encode_report(&report);
+        // Every truncation is rejected (nothing decodes to a short read).
+        for len in 0..good.len() {
+            assert!(decode_report(&good[..len]).is_none(), "truncated at {len}");
+        }
+        // Trailing garbage is rejected.
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(decode_report(&padded).is_none());
+        // Tag confusion is rejected: a run value never decodes as a report.
+        let run = encode_run(&Err("x".to_string()));
+        assert!(decode_report(&run).is_none());
+        assert!(decode_run(&good).is_none());
+    }
+}

@@ -152,6 +152,12 @@ pub struct SessionConfig {
     /// Only affects wall-clock — every report is byte-identical at every
     /// value, which the determinism tests pin.
     pub jobs: usize,
+    /// Optional persistent second tier under the report/run caches: a
+    /// miss probes it before recomputing, computes write behind into it,
+    /// and a restart over the same directory serves warm, byte-identical
+    /// answers. The frontend owns commit scheduling (see
+    /// [`adds_store::Store::commit`]).
+    pub store: Option<Arc<adds_store::Store>>,
 }
 
 /// One demand-driven analysis session over a shared [`AnalysisDb`].
@@ -172,7 +178,7 @@ impl Session {
     /// A session with explicit capacity / fingerprint / parallelism
     /// configuration.
     pub fn with_config(config: &SessionConfig) -> Session {
-        let db = AnalysisDb::with_options(config.cache_capacity, config.jobs);
+        let db = AnalysisDb::with_store(config.cache_capacity, config.jobs, config.store.clone());
         let db = match &config.versions {
             Some(v) => db.fork_with_versions(v),
             None => db,

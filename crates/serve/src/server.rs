@@ -15,7 +15,7 @@
 //! | `GET /v1/report/{sha256}` | — | cached stage document or 404 |
 //! | `GET /v1/corpus` | — | built-in program list |
 //! | `GET /v1/corpus/{name}` | — | built-in program source (text) |
-//! | `GET /v1/stats` | — | `adds.serve-stats/v3` counters + latency |
+//! | `GET /v1/stats` | — | `adds.serve-stats/v4` counters + latency |
 //! | `GET /v1/metrics` | — | Prometheus text (`adds.metrics/v1`) |
 //! | `GET /v1/trace` | — | `adds.trace/v1` buffered spans (needs `--trace`) |
 //! | `GET /healthz` | — | `ok` |
@@ -26,7 +26,9 @@
 //! `GET /v1/report/{sha}` accepts `?stage=analyze|parallelize|check|parse`
 //! (default `analyze`), `&matrices=1`, and `&name=`. Responses to cacheable
 //! requests carry `X-Adds-Sha256` (the content address for later
-//! `/v1/report` fetches) and `X-Adds-Cache: hit|miss|coalesced`.
+//! `/v1/report` fetches) and `X-Adds-Cache: hit|miss|coalesced|disk`
+//! (`disk`: answered from the `--store` persistent tier, byte-identical
+//! to a recompute).
 //!
 //! ## `POST /v1/batch`
 //!
@@ -93,6 +95,11 @@ pub struct ServeOptions {
     /// Write a Chrome `trace_event` JSON file here on shutdown
     /// (`serve --trace out.json`); enables span recording.
     pub trace_path: Option<String>,
+    /// Persistent store directory (`serve --store DIR`): report/run cache
+    /// values survive restarts in an append-only, checksummed segment
+    /// store. A background thread commits the write-behind buffer every
+    /// [`COMMIT_INTERVAL`]; shutdown commits once more.
+    pub store_dir: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -104,6 +111,7 @@ impl Default for ServeOptions {
             log: false,
             instrument: true,
             trace_path: None,
+            store_dir: None,
         }
     }
 }
@@ -392,25 +400,27 @@ impl ServerState {
         }
     }
 
-    /// The `/v1/stats` document (`adds.serve-stats/v3`): request-level
+    /// The `/v1/stats` document (`adds.serve-stats/v4`): request-level
     /// cache counters, per-query-layer compute counters, per-endpoint
     /// request counts, latency quantiles (per route and per query layer,
     /// derived from the lock-free log₂ histograms), parallel-executor
-    /// counters, and connection gauges. No timestamps — the document is a
-    /// pure function of the counters, so tests can golden it. (`/v2`
-    /// added `queries.dropped`, `latency`, and `connections` to the `/v1`
-    /// shape; `/v3` added `parallel`.)
+    /// counters, connection gauges, and the persistent store's counters.
+    /// No timestamps — the document is a pure function of the counters,
+    /// so tests can golden it. (`/v2` added `queries.dropped`, `latency`,
+    /// and `connections` to the `/v1` shape; `/v3` added `parallel`;
+    /// `/v4` added `cache.disk_hits` and the `store` section.)
     pub fn stats_doc(&self) -> Json {
         let cs = self.service.stats();
         let u = |a: &AtomicU64| Json::UInt(a.load(Ordering::Relaxed));
         Json::obj([
-            ("schema", Json::str("adds.serve-stats/v3")),
+            ("schema", Json::str("adds.serve-stats/v4")),
             (
                 "cache",
                 Json::obj([
                     ("hits", u(&cs.hits)),
                     ("misses", u(&cs.misses)),
                     ("coalesced", u(&cs.coalesced)),
+                    ("disk_hits", u(&cs.disk_hits)),
                     ("in_flight", u(&cs.in_flight)),
                     ("evicted", u(&cs.evicted)),
                     ("entries", Json::UInt(self.service.entries() as u64)),
@@ -543,6 +553,38 @@ impl ServerState {
                     ),
                 ]),
             ),
+            ("store", self.store_doc()),
+        ])
+    }
+
+    /// The `store` section of `/v1/stats`: the persistent tier's counter
+    /// snapshot, or `{"enabled": false}` when the server runs without
+    /// `--store` — present either way so the document shape is stable.
+    fn store_doc(&self) -> Json {
+        let Some(store) = self.service.db().store() else {
+            return Json::obj([("enabled", Json::Bool(false))]);
+        };
+        let s = store.stats();
+        Json::obj([
+            ("enabled", Json::Bool(true)),
+            ("entries", Json::UInt(s.entries)),
+            ("pending", Json::UInt(s.pending)),
+            ("segments", Json::UInt(s.segments)),
+            ("live_bytes", Json::UInt(s.live_bytes)),
+            ("gets", Json::UInt(s.gets)),
+            ("hits", Json::UInt(s.hits)),
+            ("misses", Json::UInt(s.misses)),
+            ("puts", Json::UInt(s.puts)),
+            ("puts_ignored", Json::UInt(s.puts_ignored)),
+            ("commits", Json::UInt(s.commits)),
+            ("commit_failures", Json::UInt(s.commit_failures)),
+            ("committed_records", Json::UInt(s.committed_records)),
+            ("committed_bytes", Json::UInt(s.committed_bytes)),
+            ("recovered_records", Json::UInt(s.recovered_records)),
+            ("truncated_bytes", Json::UInt(s.truncated_bytes)),
+            ("quarantined_records", Json::UInt(s.quarantined_records)),
+            ("rotations", Json::UInt(s.rotations)),
+            ("compactions", Json::UInt(s.compactions)),
         ])
     }
 
@@ -586,6 +628,7 @@ impl ServerState {
         prom_counter(&mut out, "adds_cache_hits_total", "", a(&cs.hits));
         prom_counter(&mut out, "adds_cache_misses_total", "", a(&cs.misses));
         prom_counter(&mut out, "adds_cache_coalesced_total", "", a(&cs.coalesced));
+        prom_counter(&mut out, "adds_cache_disk_hits_total", "", a(&cs.disk_hits));
         prom_counter(&mut out, "adds_cache_evicted_total", "", a(&cs.evicted));
         prom_gauge(
             &mut out,
@@ -676,6 +719,51 @@ impl ServerState {
             "",
             self.metrics.keepalive_connections.get(),
         );
+
+        if let Some(store) = self.service.db().store() {
+            let s = store.stats();
+            out.push_str("# TYPE adds_store_entries gauge\n");
+            prom_gauge(&mut out, "adds_store_entries", "", s.entries as i64);
+            prom_gauge(&mut out, "adds_store_pending", "", s.pending as i64);
+            prom_gauge(&mut out, "adds_store_segments", "", s.segments as i64);
+            prom_gauge(&mut out, "adds_store_live_bytes", "", s.live_bytes as i64);
+            out.push_str("# TYPE adds_store_gets_total counter\n");
+            prom_counter(&mut out, "adds_store_gets_total", "", s.gets);
+            prom_counter(&mut out, "adds_store_hits_total", "", s.hits);
+            prom_counter(&mut out, "adds_store_misses_total", "", s.misses);
+            prom_counter(&mut out, "adds_store_puts_total", "", s.puts);
+            prom_counter(&mut out, "adds_store_commits_total", "", s.commits);
+            prom_counter(
+                &mut out,
+                "adds_store_commit_failures_total",
+                "",
+                s.commit_failures,
+            );
+            prom_counter(
+                &mut out,
+                "adds_store_committed_bytes_total",
+                "",
+                s.committed_bytes,
+            );
+            prom_counter(
+                &mut out,
+                "adds_store_recovered_records_total",
+                "",
+                s.recovered_records,
+            );
+            prom_counter(
+                &mut out,
+                "adds_store_truncated_bytes_total",
+                "",
+                s.truncated_bytes,
+            );
+            prom_counter(
+                &mut out,
+                "adds_store_quarantined_records_total",
+                "",
+                s.quarantined_records,
+            );
+        }
         out
     }
 
@@ -1107,6 +1195,13 @@ impl Server {
         if opts.trace_path.is_some() {
             trace::enable();
         }
+        // Opening the store runs recovery: segments are checksum-scanned,
+        // torn tails truncated, corrupt records quarantined — a crashed
+        // previous life never blocks startup.
+        let store = match &opts.store_dir {
+            Some(dir) => Some(Arc::new(adds_store::Store::open(dir)?)),
+            None => None,
+        };
         Ok(Server {
             listener,
             state: Arc::new(ServerState {
@@ -1119,6 +1214,7 @@ impl Server {
                     cache_capacity: opts.cache_capacity,
                     versions: None,
                     jobs: opts.jobs,
+                    store,
                 }),
                 requests: RequestStats::default(),
                 metrics: ServeMetrics::default(),
@@ -1144,6 +1240,7 @@ impl Server {
     /// the calling thread, all accepting on the shared listener.
     pub fn run(self) -> std::io::Result<()> {
         let stop = Arc::new(AtomicBool::new(false));
+        let flusher = spawn_flusher(&self.state, &stop);
         let mut workers = Vec::new();
         for _ in 1..self.jobs {
             workers.push(spawn_worker(&self.listener, &self.state, &stop)?);
@@ -1151,6 +1248,9 @@ impl Server {
         worker_loop(&self.listener, &self.state, &stop);
         for w in workers {
             let _ = w.join();
+        }
+        if let Some(f) = flusher {
+            let _ = f.join();
         }
         if let Some(path) = &self.trace_path {
             trace::dump_to_file(path)?;
@@ -1163,6 +1263,7 @@ impl Server {
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let flusher = spawn_flusher(&self.state, &stop);
         let mut workers = Vec::new();
         for _ in 0..self.jobs {
             workers.push(spawn_worker(&self.listener, &self.state, &stop)?);
@@ -1172,9 +1273,36 @@ impl Server {
             state: self.state,
             stop,
             workers,
+            flusher,
             trace_path: self.trace_path,
         })
     }
+}
+
+/// How often the store flusher commits the write-behind buffer. Between
+/// commits, freshly computed values are durable-pending only — a crash
+/// loses at most this window (recovery still never serves anything
+/// corrupt; it just recomputes what was lost).
+pub const COMMIT_INTERVAL: std::time::Duration = std::time::Duration::from_millis(200);
+
+/// The write-behind commit loop: every [`COMMIT_INTERVAL`], fold the
+/// store's pending puts into a durable, fsynced segment append. One
+/// committer thread per server; commit errors poison the store (observable
+/// in `/v1/stats` as `commit_failures`) rather than crashing the server.
+/// On shutdown the loop commits one final time so a clean stop is lossless.
+fn spawn_flusher(
+    state: &Arc<ServerState>,
+    stop: &Arc<AtomicBool>,
+) -> Option<std::thread::JoinHandle<()>> {
+    let store = Arc::clone(state.service.db().store()?);
+    let stop = Arc::clone(stop);
+    Some(std::thread::spawn(move || {
+        while !stop.load(Ordering::SeqCst) {
+            std::thread::sleep(COMMIT_INTERVAL);
+            let _ = store.commit();
+        }
+        let _ = store.commit();
+    }))
 }
 
 fn spawn_worker(
@@ -1390,6 +1518,7 @@ pub struct ServerHandle {
     state: Arc<ServerState>,
     stop: Arc<AtomicBool>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    flusher: Option<std::thread::JoinHandle<()>>,
     trace_path: Option<String>,
 }
 
@@ -1420,6 +1549,11 @@ impl Drop for ServerHandle {
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        // The flusher's exit path runs the final commit, so joining it is
+        // what makes a clean stop lossless.
+        if let Some(f) = self.flusher.take() {
+            let _ = f.join();
         }
         if let Some(path) = &self.trace_path {
             let _ = trace::dump_to_file(path);

@@ -46,12 +46,12 @@ fn corpus_reports_are_byte_identical_across_jobs() {
 
 /// One request on a fresh connection, framed by Content-Length (the
 /// server holds HTTP/1.1 sockets open by default). Returns (status, body).
-fn http_post(addr: std::net::SocketAddr, target: &str, body: &[u8]) -> (u16, Vec<u8>) {
+fn http_req(addr: std::net::SocketAddr, method: &str, target: &str, body: &[u8]) -> (u16, Vec<u8>) {
     let stream = TcpStream::connect(addr).expect("connect");
     stream.set_nodelay(true).expect("nodelay");
     let mut conn = BufReader::new(stream);
     let head = format!(
-        "POST {target} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
         body.len()
     );
     conn.get_mut().write_all(head.as_bytes()).expect("write");
@@ -81,6 +81,10 @@ fn http_post(addr: std::net::SocketAddr, target: &str, body: &[u8]) -> (u16, Vec
     let mut resp = vec![0u8; content_length];
     conn.read_exact(&mut resp).expect("body");
     (status, resp)
+}
+
+fn http_post(addr: std::net::SocketAddr, target: &str, body: &[u8]) -> (u16, Vec<u8>) {
+    http_req(addr, "POST", target, body)
 }
 
 fn spawn_server(jobs: usize) -> ServerHandle {
@@ -130,6 +134,105 @@ fn batch_responses_are_byte_identical_across_jobs() {
         }
         server.stop();
     }
+}
+
+/// Cross-restart determinism: run the full corpus through a store-backed
+/// server, stop it cleanly, start a second server over the same
+/// directory, and require (a) `GET /v1/report/{sha}` answers — documents
+/// the second life never computed — byte-identical to the first life's
+/// POST bytes, and (b) warm `POST /v1/analyze` responses byte-identical
+/// to the cold ones. Persistence must be invisible in every output byte.
+#[test]
+fn store_backed_server_is_byte_identical_across_restarts() {
+    let dir = std::env::temp_dir().join(format!(
+        "adds_serve_restart_determinism_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 2,
+        store_dir: Some(dir.to_string_lossy().into_owned()),
+        ..ServeOptions::default()
+    };
+
+    // First life: cold-compute analyze + parallelize over the corpus.
+    let mut cold: Vec<(String, String, Vec<u8>, Vec<u8>)> = Vec::new();
+    {
+        let server = Server::bind(&opts).expect("bind").spawn().expect("spawn");
+        for e in adds_serve::corpus::CORPUS {
+            let sha = adds_serve::sha::sha256(e.source.as_bytes()).hex();
+            let target = format!("/v1/analyze?name={}&matrices=1", e.name);
+            let (status, analyze) = http_post(server.addr(), &target, e.source.as_bytes());
+            assert_eq!(status, 200, "{}", e.name);
+            let target = format!("/v1/parallelize?name={}", e.name);
+            let (status, par) = http_post(server.addr(), &target, e.source.as_bytes());
+            assert_eq!(status, 200, "{}", e.name);
+            cold.push((e.name.to_string(), sha, analyze, par));
+        }
+        server.stop(); // clean stop = final commit
+    }
+
+    // Second life, same directory: recovery must hand every report back.
+    let server = Server::bind(&opts)
+        .expect("rebind")
+        .spawn()
+        .expect("respawn");
+    for (name, sha, analyze, par) in &cold {
+        // Documents this server never computed, served by content hash.
+        let target = format!("/v1/report/{sha}?stage=analyze&matrices=1&name={name}");
+        let (status, body) = http_req(server.addr(), "GET", &target, b"");
+        assert_eq!(status, 200, "{name} not on disk");
+        assert_eq!(
+            &body, analyze,
+            "{name}: GET /v1/report drifted across restart"
+        );
+        let target = format!("/v1/report/{sha}?stage=parallelize&name={name}");
+        let (status, body) = http_req(server.addr(), "GET", &target, b"");
+        assert_eq!(status, 200, "{name} parallelize not on disk");
+        assert_eq!(
+            &body, par,
+            "{name}: parallelize report drifted across restart"
+        );
+        // Warm POST: answered from the disk tier, byte-identical to cold.
+        let target = format!("/v1/analyze?name={name}&matrices=1");
+        let (status, body) = http_post(server.addr(), &target, cold_source(name));
+        assert_eq!(status, 200);
+        assert_eq!(&body, analyze, "{name}: warm POST drifted across restart");
+    }
+    // The warm traffic really came from the store, not recomputes.
+    let (status, stats) = http_req(server.addr(), "GET", "/v1/stats", b"");
+    assert_eq!(status, 200);
+    let doc = Json::parse(&String::from_utf8_lossy(&stats)).expect("stats JSON");
+    let store = doc.get("store").expect("store section");
+    assert_eq!(store.get("enabled").and_then(Json::as_bool), Some(true));
+    assert!(
+        store.get("hits").and_then(Json::as_usize).unwrap_or(0) >= cold.len(),
+        "store hits missing: {}",
+        String::from_utf8_lossy(&stats)
+    );
+    let disk_hits = doc
+        .get("cache")
+        .and_then(|c| c.get("disk_hits"))
+        .and_then(Json::as_usize)
+        .unwrap_or(0);
+    assert!(disk_hits >= cold.len(), "disk_hits = {disk_hits}");
+    assert_eq!(
+        doc.get("queries")
+            .and_then(|q| q.get("reports"))
+            .and_then(Json::as_usize),
+        Some(0),
+        "the second life must not recompute any report"
+    );
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn cold_source(name: &str) -> &'static [u8] {
+    adds_serve::corpus::find(name)
+        .expect("corpus entry")
+        .source
+        .as_bytes()
 }
 
 // A randomized sweep over thread counts and batch shapes: any mix of

@@ -1,0 +1,64 @@
+//! CRC-32 (IEEE 802.3, the zlib/gzip polynomial), table-driven. The build
+//! environment is offline, so the workspace cannot pull a checksum crate;
+//! this is the textbook reflected-polynomial implementation, pinned
+//! against the standard `"123456789"` check value below.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xedb8_8320;
+
+/// The 256-entry lookup table, built at compile time.
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `data` in one call.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_standard_check_value() {
+        // The universal CRC-32/ISO-HDLC check vector.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn detects_single_byte_flips() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let reference = crc32(data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.to_vec();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! The storage-IO seam: [`StoreIo`] abstracts "a directory of
+//! append-only files" so the same [`crate::Store`] logic runs over the
+//! real filesystem ([`DiskIo`]) and over the deterministic fault-injection
+//! harness ([`FaultIo`]), which can kill a write at any byte boundary and
+//! hand the surviving bytes to a fresh store — the durability tests'
+//! model of `kill -9` plus restart.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A directory of named append-only files. Implementations must be
+/// thread-safe; the store serializes mutations behind its own lock but
+/// issues reads concurrently with nothing held in `DiskIo`'s case.
+pub trait StoreIo: Send + Sync {
+    /// Names of the existing files (any order; the store sorts).
+    fn list(&self) -> io::Result<Vec<String>>;
+    /// Length of `name` in bytes.
+    fn len(&self, name: &str) -> io::Result<u64>;
+    /// The whole content of `name` (recovery scan).
+    fn read(&self, name: &str) -> io::Result<Vec<u8>>;
+    /// Exactly `len` bytes of `name` starting at `offset`.
+    fn read_at(&self, name: &str, offset: u64, len: usize) -> io::Result<Vec<u8>>;
+    /// Append `data` to `name`, creating it if missing.
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()>;
+    /// Durably flush `name` (the commit boundary's `fsync`).
+    fn sync(&self, name: &str) -> io::Result<()>;
+    /// Truncate `name` to `len` bytes (torn-tail recovery).
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()>;
+    /// Delete `name` (segment compaction).
+    fn remove(&self, name: &str) -> io::Result<()>;
+}
+
+// ------------------------------------------------------------------ disk
+
+/// [`StoreIo`] over a real directory via `std::fs`.
+pub struct DiskIo {
+    dir: PathBuf,
+}
+
+impl DiskIo {
+    /// Open (creating if needed) `dir` as a store directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<DiskIo> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(DiskIo { dir })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+}
+
+impl StoreIo for DiskIo {
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Some(name) = entry.file_name().to_str() {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        Ok(names)
+    }
+
+    fn len(&self, name: &str) -> io::Result<u64> {
+        Ok(std::fs::metadata(self.path(name))?.len())
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        std::fs::read(self.path(name))
+    }
+
+    fn read_at(&self, name: &str, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        let mut f = std::fs::File::open(self.path(name))?;
+        f.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        f.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(name))?;
+        f.write_all(data)
+    }
+
+    fn sync(&self, name: &str) -> io::Result<()> {
+        std::fs::File::open(self.path(name))?.sync_all()
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(self.path(name))?;
+        f.set_len(len)
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        std::fs::remove_file(self.path(name))
+    }
+}
+
+// ------------------------------------------------------- fault injection
+
+/// Deterministic in-memory [`StoreIo`] with a byte-granular write budget:
+/// once the budget runs out mid-append, the first `k` bytes land (the
+/// torn write) and the IO enters the *crashed* state, failing every
+/// subsequent operation — the moment of `kill -9`. The harness then calls
+/// [`FaultIo::surviving`] to get a fresh, healthy IO over exactly the
+/// bytes that made it to "disk" and reopens a store on it, which is how
+/// the fault-injection suites prove recovery at every byte boundary.
+#[derive(Default)]
+pub struct FaultIo {
+    files: Mutex<BTreeMap<String, Vec<u8>>>,
+    /// Bytes of `append` allowed before the injected crash
+    /// (`u64::MAX` = never crash).
+    budget: AtomicU64,
+    crashed: AtomicBool,
+    /// Total bytes ever appended (budget planning for sweep harnesses).
+    appended: AtomicU64,
+    /// Successful `sync` calls.
+    syncs: AtomicU64,
+}
+
+impl FaultIo {
+    /// A healthy, empty IO that never crashes.
+    pub fn new() -> FaultIo {
+        FaultIo {
+            budget: AtomicU64::new(u64::MAX),
+            ..FaultIo::default()
+        }
+    }
+
+    /// A healthy, empty IO that crashes after `budget` appended bytes.
+    pub fn with_budget(budget: u64) -> FaultIo {
+        FaultIo {
+            budget: AtomicU64::new(budget),
+            ..FaultIo::default()
+        }
+    }
+
+    /// True once the write budget was exceeded.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Total bytes ever appended (across crashes).
+    pub fn appended(&self) -> u64 {
+        self.appended.load(Ordering::SeqCst)
+    }
+
+    /// Successful `sync` calls.
+    pub fn syncs(&self) -> u64 {
+        self.syncs.load(Ordering::SeqCst)
+    }
+
+    /// The restart: a fresh, healthy, unbounded IO over exactly the bytes
+    /// that survived — what a process sees when it reopens the directory
+    /// after the crash.
+    pub fn surviving(&self) -> FaultIo {
+        let files = self.files.lock().expect("fault files").clone();
+        FaultIo {
+            files: Mutex::new(files),
+            budget: AtomicU64::new(u64::MAX),
+            ..FaultIo::default()
+        }
+    }
+
+    /// Flip one bit of `name` at `offset` (bit-rot injection for the
+    /// checksum-quarantine tests). Returns false when out of range.
+    pub fn flip_byte(&self, name: &str, offset: u64) -> bool {
+        let mut files = self.files.lock().expect("fault files");
+        match files.get_mut(name).and_then(|f| f.get_mut(offset as usize)) {
+            Some(b) => {
+                *b ^= 0x40;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn check_alive(&self) -> io::Result<()> {
+        if self.crashed() {
+            Err(io::Error::other("injected crash: store io is down"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl StoreIo for FaultIo {
+    fn list(&self) -> io::Result<Vec<String>> {
+        self.check_alive()?;
+        Ok(self
+            .files
+            .lock()
+            .expect("fault files")
+            .keys()
+            .cloned()
+            .collect())
+    }
+
+    fn len(&self, name: &str) -> io::Result<u64> {
+        self.check_alive()?;
+        let files = self.files.lock().expect("fault files");
+        files
+            .get(name)
+            .map(|f| f.len() as u64)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.check_alive()?;
+        let files = self.files.lock().expect("fault files");
+        files
+            .get(name)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))
+    }
+
+    fn read_at(&self, name: &str, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        self.check_alive()?;
+        let files = self.files.lock().expect("fault files");
+        let file = files
+            .get(name)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))?;
+        let start = offset as usize;
+        let end = start.checked_add(len).filter(|&e| e <= file.len());
+        match end {
+            Some(end) => Ok(file[start..end].to_vec()),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "read past end of file",
+            )),
+        }
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.check_alive()?;
+        // Spend the budget byte by byte: a write that exceeds what's left
+        // lands partially, then the "machine" goes down.
+        let budget = self.budget.load(Ordering::SeqCst);
+        let landed = (data.len() as u64).min(budget) as usize;
+        {
+            let mut files = self.files.lock().expect("fault files");
+            files
+                .entry(name.to_string())
+                .or_default()
+                .extend_from_slice(&data[..landed]);
+        }
+        self.appended.fetch_add(landed as u64, Ordering::SeqCst);
+        self.budget.fetch_sub(landed as u64, Ordering::SeqCst);
+        if landed < data.len() {
+            self.crashed.store(true, Ordering::SeqCst);
+            return Err(io::Error::other("injected crash: torn append"));
+        }
+        Ok(())
+    }
+
+    fn sync(&self, name: &str) -> io::Result<()> {
+        self.check_alive()?;
+        let _ = name;
+        self.syncs.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        self.check_alive()?;
+        let mut files = self.files.lock().expect("fault files");
+        let file = files
+            .get_mut(name)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))?;
+        file.truncate(len as usize);
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        self.check_alive()?;
+        let mut files = self.files.lock().expect("fault files");
+        files
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_io_round_trips_through_a_real_directory() {
+        let dir = std::env::temp_dir().join(format!("adds_store_diskio_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let io = DiskIo::open(&dir).expect("open");
+        io.append("a.seg", b"hello ").expect("append");
+        io.append("a.seg", b"world").expect("append");
+        io.sync("a.seg").expect("sync");
+        assert_eq!(io.read("a.seg").expect("read"), b"hello world");
+        assert_eq!(io.read_at("a.seg", 6, 5).expect("read_at"), b"world");
+        assert_eq!(io.len("a.seg").expect("len"), 11);
+        io.truncate("a.seg", 5).expect("truncate");
+        assert_eq!(io.read("a.seg").expect("read"), b"hello");
+        assert_eq!(io.list().expect("list"), vec!["a.seg".to_string()]);
+        io.remove("a.seg").expect("remove");
+        assert!(io.list().expect("list").is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_io_tears_the_append_at_the_budget_boundary() {
+        let io = FaultIo::with_budget(4);
+        assert!(io.append("a", b"abc").is_ok());
+        // 1 byte of budget left: the first byte lands, then the crash.
+        let err = io.append("a", b"xyz").unwrap_err();
+        assert!(err.to_string().contains("torn append"));
+        assert!(io.crashed());
+        assert!(io.read("a").is_err(), "crashed io refuses everything");
+        // The restart sees exactly the bytes that landed.
+        let after = io.surviving();
+        assert_eq!(after.read("a").expect("read"), b"abcx");
+        assert!(!after.crashed());
+        assert!(after.append("a", b"more").is_ok());
+    }
+
+    #[test]
+    fn fault_io_flip_byte_mutates_in_place() {
+        let io = FaultIo::new();
+        io.append("a", b"data").expect("append");
+        assert!(io.flip_byte("a", 2));
+        assert_eq!(io.read("a").expect("read"), b"da\x34a");
+        assert!(!io.flip_byte("a", 99));
+    }
+}

@@ -1,0 +1,43 @@
+//! # adds-store — the crash-safe disk tier of the analysis cache
+//!
+//! Cache entries are canonical, name-free documents keyed by
+//! `(sha256(source), composed fingerprint)` — immutable per key — so a
+//! content-addressed KV store layered under the in-RAM CLOCK tier makes
+//! whole fleets restart-warm. This crate is that tier:
+//!
+//! * [`Store`] — an append-only **segment-file KV store**
+//!   (`adds.store-segment/v1`): checksummed length-prefixed records in
+//!   numbered segment files, an in-memory index rebuilt by scanning on
+//!   open, write-behind [`Store::put`] buffered until an explicit
+//!   [`Store::commit`] (append + `fsync` + index publish, the durability
+//!   boundary), segment rotation at a size cap, offline
+//!   [`Store::compact`], and snapshot [`Store::export`]/[`Store::import`]
+//!   (`adds.store-snapshot/v1`) for pre-warmed corpus artifacts.
+//! * **Crash-safe recovery** — opening verifies every record checksum; a
+//!   torn tail (the record a crash cut short) is truncated silently, and
+//!   a record damaged anywhere else is *quarantined*: counted, skipped,
+//!   and never served. Every later read re-verifies its checksum too, so
+//!   bit rot after open is also caught. The store always opens; it just
+//!   refuses to serve damaged bytes.
+//! * [`StoreIo`] — the storage seam: [`DiskIo`] is `std::fs`;
+//!   [`FaultIo`] is the deterministic fault-injection harness that kills
+//!   writes at any byte boundary and hands the surviving bytes to a
+//!   reopened store, which is how the durability suites prove that no
+//!   committed entry is ever lost and no damaged entry ever served
+//!   (`cargo test -p adds-store --features fault-injection`).
+//!
+//! The layering follows cita-vm's state design — dirty-tracking entries
+//! above a KV layer with an explicit `commit()` — with the cache's
+//! immutability contract simplifying it further: a `put` of an existing
+//! key is a no-op, so records never update in place.
+
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod io;
+mod store;
+
+pub use io::{DiskIo, FaultIo, StoreIo};
+pub use store::{
+    CompactOutcome, Store, StoreOptions, StoreSnapshot, SEGMENT_SCHEMA, SNAPSHOT_SCHEMA,
+};

@@ -1,0 +1,1040 @@
+//! The append-only segment store: an in-memory index over checksummed,
+//! length-prefixed records in numbered segment files, with write-behind
+//! `put` (buffered until an explicit [`Store::commit`]), segment rotation
+//! at a size cap, offline compaction, and crash-safe recovery — a torn
+//! tail truncates silently, a checksum mismatch quarantines the record
+//! instead of serving it.
+
+use crate::crc::crc32;
+use crate::io::{DiskIo, StoreIo};
+use adds_obs::trace;
+use std::collections::{BTreeSet, HashMap};
+use std::io::{self, Read, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Schema tag of the on-disk segment record layout.
+pub const SEGMENT_SCHEMA: &str = "adds.store-segment/v1";
+
+/// Schema tag of the snapshot stream ([`Store::export`]/[`Store::import`]).
+pub const SNAPSHOT_SCHEMA: &str = "adds.store-snapshot/v1";
+
+/// 8-byte magic leading every segment file.
+const SEG_MAGIC: &[u8; 8] = b"ADDSSEG1";
+
+/// 8-byte magic leading a snapshot stream.
+const SNAP_MAGIC: &[u8; 8] = b"ADDSSNP1";
+
+/// Record header: payload length (u32 LE) + payload CRC-32 (u32 LE).
+const REC_HEADER: usize = 8;
+
+/// Minimum payload: 32-byte key + u16 fingerprint length.
+const REC_MIN_PAYLOAD: usize = 34;
+
+/// Store construction knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreOptions {
+    /// Rotate the active segment once it reaches this many bytes.
+    pub segment_cap: u64,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        // Reports are a few KB each; 8 MiB keeps segment counts low while
+        // still bounding the recovery scan and compaction unit.
+        StoreOptions {
+            segment_cap: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// Monotonic store counters (atomics; shared snapshots via
+/// [`Store::stats`]).
+#[derive(Debug, Default)]
+struct Counters {
+    gets: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    puts: AtomicU64,
+    puts_ignored: AtomicU64,
+    commits: AtomicU64,
+    commit_failures: AtomicU64,
+    committed_records: AtomicU64,
+    committed_bytes: AtomicU64,
+    recovered_records: AtomicU64,
+    truncated_bytes: AtomicU64,
+    quarantined_records: AtomicU64,
+    rotations: AtomicU64,
+    compactions: AtomicU64,
+}
+
+impl Counters {
+    fn bump(&self, c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn add(&self, c: &AtomicU64, n: u64) {
+        c.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn get(&self, c: &AtomicU64) -> u64 {
+        c.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time view of every store counter plus the index shape —
+/// what `/v1/stats` and `adds-cli store stats` render.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreSnapshot {
+    /// Committed entries in the index.
+    pub entries: u64,
+    /// Entries written behind but not yet committed.
+    pub pending: u64,
+    /// Segment files (including the active one).
+    pub segments: u64,
+    /// Bytes of live (indexed) records, headers included.
+    pub live_bytes: u64,
+    /// `get` calls.
+    pub gets: u64,
+    /// `get` calls answered (from the index or the pending buffer).
+    pub hits: u64,
+    /// `get` calls that found nothing.
+    pub misses: u64,
+    /// New entries accepted into the pending buffer.
+    pub puts: u64,
+    /// `put` calls ignored (key already stored, or store poisoned).
+    pub puts_ignored: u64,
+    /// Successful non-empty commits.
+    pub commits: u64,
+    /// Commits that failed at the IO layer (store poisoned).
+    pub commit_failures: u64,
+    /// Records made durable by commits.
+    pub committed_records: u64,
+    /// Bytes appended by commits.
+    pub committed_bytes: u64,
+    /// Records re-indexed by recovery on open.
+    pub recovered_records: u64,
+    /// Torn-tail bytes truncated by recovery.
+    pub truncated_bytes: u64,
+    /// Records dropped for checksum/framing mismatches (open or read).
+    pub quarantined_records: u64,
+    /// Segment rotations.
+    pub rotations: u64,
+    /// Compactions completed.
+    pub compactions: u64,
+}
+
+/// Where a committed record lives.
+#[derive(Clone, Copy, Debug)]
+struct Loc {
+    seg: u64,
+    /// Offset of the record header within the segment.
+    off: u64,
+    /// Payload length.
+    len: u32,
+}
+
+type Key = ([u8; 32], String);
+
+#[derive(Default)]
+struct Inner {
+    index: HashMap<Key, Loc>,
+    /// Write-behind buffer: insertion order is the commit's append order,
+    /// so two stores fed the same puts produce byte-identical segments.
+    pending: Vec<(Key, Vec<u8>)>,
+    segments: BTreeSet<u64>,
+    active: u64,
+    active_len: u64,
+    live_bytes: u64,
+    /// Set when a commit failed mid-append: the on-disk tail is untrusted
+    /// until a reopen re-runs recovery, so further writes are refused.
+    poisoned: bool,
+}
+
+impl Inner {
+    fn pending_get(&self, key: &[u8; 32], fp: &str) -> Option<&[u8]> {
+        self.pending
+            .iter()
+            .find(|((k, f), _)| k == key && f == fp)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    fn has(&self, key: &[u8; 32], fp: &str) -> bool {
+        // Cheap scan: the pending buffer stays small (it drains on every
+        // commit), and the index probe is a hash lookup.
+        self.index.contains_key(&(*key, fp.to_string())) || self.pending_get(key, fp).is_some()
+    }
+}
+
+/// The crash-safe disk tier: a content-addressed `(key, fingerprint) →
+/// bytes` store over append-only segment files. Values are immutable per
+/// key — the cache contract guarantees the same `(sha256, fingerprint)`
+/// always maps to the same bytes — so `put` of an existing key is a
+/// no-op, and recovery's last-record-wins rule only matters across
+/// compaction crash windows.
+pub struct Store {
+    io: Arc<dyn StoreIo>,
+    opts: StoreOptions,
+    counters: Counters,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("Store")
+            .field("entries", &s.entries)
+            .field("pending", &s.pending)
+            .field("segments", &s.segments)
+            .field("live_bytes", &s.live_bytes)
+            .finish()
+    }
+}
+
+fn seg_name(id: u64) -> String {
+    format!("seg-{id:06}.seg")
+}
+
+fn parse_seg_name(name: &str) -> Option<u64> {
+    name.strip_prefix("seg-")?
+        .strip_suffix(".seg")?
+        .parse()
+        .ok()
+}
+
+/// Append one framed record (`len | crc | key | fp_len | fp | value`).
+fn encode_record(buf: &mut Vec<u8>, key: &[u8; 32], fp: &str, value: &[u8]) -> io::Result<u32> {
+    if fp.len() > u16::MAX as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "fingerprint longer than 64KiB",
+        ));
+    }
+    let plen = REC_MIN_PAYLOAD + fp.len() + value.len();
+    if plen > u32::MAX as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "record larger than 4GiB",
+        ));
+    }
+    let mut payload = Vec::with_capacity(plen);
+    payload.extend_from_slice(key);
+    payload.extend_from_slice(&(fp.len() as u16).to_le_bytes());
+    payload.extend_from_slice(fp.as_bytes());
+    payload.extend_from_slice(value);
+    buf.extend_from_slice(&(plen as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+    buf.extend_from_slice(&payload);
+    Ok(plen as u32)
+}
+
+/// A decoded record payload.
+struct Record<'a> {
+    key: [u8; 32],
+    fp: &'a str,
+    value: &'a [u8],
+}
+
+fn decode_payload(payload: &[u8]) -> Option<Record<'_>> {
+    if payload.len() < REC_MIN_PAYLOAD {
+        return None;
+    }
+    let mut key = [0u8; 32];
+    key.copy_from_slice(&payload[..32]);
+    let fp_len = u16::from_le_bytes([payload[32], payload[33]]) as usize;
+    let fp_end = REC_MIN_PAYLOAD.checked_add(fp_len)?;
+    if fp_end > payload.len() {
+        return None;
+    }
+    let fp = std::str::from_utf8(&payload[REC_MIN_PAYLOAD..fp_end]).ok()?;
+    Some(Record {
+        key,
+        fp,
+        value: &payload[fp_end..],
+    })
+}
+
+/// Outcome of a [`Store::compact`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactOutcome {
+    /// Segment files before.
+    pub segments_before: u64,
+    /// Segment files after.
+    pub segments_after: u64,
+    /// Live records rewritten.
+    pub live_records: u64,
+    /// Bytes reclaimed (old file bytes minus rewritten bytes).
+    pub reclaimed_bytes: u64,
+}
+
+impl Store {
+    /// Open (or create) a store over a real directory.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Store> {
+        Store::open_with(
+            Arc::new(DiskIo::open(dir.as_ref().to_path_buf())?),
+            StoreOptions::default(),
+        )
+    }
+
+    /// Open a store over any [`StoreIo`], running recovery: every segment
+    /// is scanned, checksums verified, a torn tail of the newest segment
+    /// truncated (crash mid-append), and corrupt records quarantined —
+    /// the store always opens, it just refuses to serve damaged data.
+    pub fn open_with(io: Arc<dyn StoreIo>, opts: StoreOptions) -> io::Result<Store> {
+        let mut span = trace::span("store.open", "store");
+        let store = Store {
+            io,
+            opts,
+            counters: Counters::default(),
+            inner: Mutex::new(Inner::default()),
+        };
+        store.recover()?;
+        if let Some(s) = span.as_mut() {
+            let snap = store.stats();
+            s.arg("entries", snap.entries.to_string());
+            s.arg("segments", snap.segments.to_string());
+        }
+        Ok(store)
+    }
+
+    /// Rebuild the index by scanning every segment in id order (so a
+    /// later record for the same key — compaction's rewrite — wins).
+    fn recover(&self) -> io::Result<()> {
+        let mut span = trace::span("store.recover", "store");
+        let mut ids: Vec<u64> = self
+            .io
+            .list()?
+            .iter()
+            .filter_map(|n| parse_seg_name(n))
+            .collect();
+        ids.sort_unstable();
+        let mut inner = self.inner.lock().expect("store inner");
+        let last_idx = ids.len().saturating_sub(1);
+        for (i, &id) in ids.iter().enumerate() {
+            self.scan_segment(&mut inner, id, i == last_idx)?;
+            inner.segments.insert(id);
+        }
+        inner.active = ids.last().copied().unwrap_or(1);
+        let active = inner.active;
+        inner.segments.insert(active);
+        inner.active_len = self.io.len(&seg_name(inner.active)).unwrap_or(0);
+        if let Some(s) = span.as_mut() {
+            s.arg(
+                "recovered",
+                self.counters
+                    .get(&self.counters.recovered_records)
+                    .to_string(),
+            );
+            s.arg(
+                "truncated_bytes",
+                self.counters
+                    .get(&self.counters.truncated_bytes)
+                    .to_string(),
+            );
+        }
+        Ok(())
+    }
+
+    fn scan_segment(&self, inner: &mut Inner, id: u64, is_last: bool) -> io::Result<()> {
+        let name = seg_name(id);
+        let bytes = self.io.read(&name)?;
+        // A tail starting at `off` that cannot be a complete record: on
+        // the newest segment that is the torn write of a crashed commit —
+        // truncate it silently. On an older segment it is corruption
+        // (rotation only follows a successful commit), so quarantine the
+        // remainder without destroying evidence.
+        let torn_tail = |store: &Store, off: usize| -> io::Result<()> {
+            if is_last {
+                store.io.truncate(&name, off as u64)?;
+                store
+                    .counters
+                    .add(&store.counters.truncated_bytes, (bytes.len() - off) as u64);
+            } else {
+                store.counters.bump(&store.counters.quarantined_records);
+            }
+            Ok(())
+        };
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        if bytes.len() < SEG_MAGIC.len() || &bytes[..SEG_MAGIC.len()] != SEG_MAGIC {
+            return torn_tail(self, 0);
+        }
+        let mut off = SEG_MAGIC.len();
+        while off < bytes.len() {
+            let rem = bytes.len() - off;
+            if rem < REC_HEADER {
+                return torn_tail(self, off);
+            }
+            let plen = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
+            if plen < REC_MIN_PAYLOAD || plen > rem - REC_HEADER {
+                return torn_tail(self, off);
+            }
+            let payload = &bytes[off + REC_HEADER..off + REC_HEADER + plen];
+            let end = off + REC_HEADER + plen;
+            if crc32(payload) != crc {
+                if is_last && end == bytes.len() {
+                    // A partially-flushed final record: torn, not rot.
+                    return torn_tail(self, off);
+                }
+                // Mid-file damage: skip this record, never serve it. If
+                // the length field itself was hit, the scan resyncs at a
+                // wrong offset and the cascade quarantines the rest of
+                // the segment — still never serving a damaged byte.
+                self.counters.bump(&self.counters.quarantined_records);
+                off = end;
+                continue;
+            }
+            match decode_payload(payload) {
+                Some(rec) => {
+                    let key = (rec.key, rec.fp.to_string());
+                    let loc = Loc {
+                        seg: id,
+                        off: off as u64,
+                        len: plen as u32,
+                    };
+                    if let Some(old) = inner.index.insert(key, loc) {
+                        inner.live_bytes -= REC_HEADER as u64 + old.len as u64;
+                    }
+                    inner.live_bytes += (REC_HEADER + plen) as u64;
+                    self.counters.bump(&self.counters.recovered_records);
+                }
+                None => self.counters.bump(&self.counters.quarantined_records),
+            }
+            off = end;
+        }
+        Ok(())
+    }
+
+    /// Fetch the committed (or pending) value for `(key, fp)`. Every disk
+    /// read re-verifies the record checksum; a mismatch quarantines the
+    /// entry — it is dropped from the index and `None` returned, so the
+    /// caller recomputes rather than ever seeing damaged bytes.
+    pub fn get(&self, key: &[u8; 32], fp: &str) -> Option<Vec<u8>> {
+        let mut span = trace::span("store.get", "store");
+        self.counters.bump(&self.counters.gets);
+        let mut inner = self.inner.lock().expect("store inner");
+        if let Some(v) = inner.pending_get(key, fp) {
+            let v = v.to_vec();
+            self.counters.bump(&self.counters.hits);
+            if let Some(s) = span.as_mut() {
+                s.arg("outcome", "pending");
+            }
+            return Some(v);
+        }
+        let k = (*key, fp.to_string());
+        let Some(loc) = inner.index.get(&k).copied() else {
+            self.counters.bump(&self.counters.misses);
+            if let Some(s) = span.as_mut() {
+                s.arg("outcome", "miss");
+            }
+            return None;
+        };
+        match self.read_record(loc, key, fp) {
+            Some(value) => {
+                self.counters.bump(&self.counters.hits);
+                if let Some(s) = span.as_mut() {
+                    s.arg("outcome", "hit");
+                }
+                Some(value)
+            }
+            None => {
+                inner.index.remove(&k);
+                inner.live_bytes -= REC_HEADER as u64 + loc.len as u64;
+                self.counters.bump(&self.counters.quarantined_records);
+                self.counters.bump(&self.counters.misses);
+                if let Some(s) = span.as_mut() {
+                    s.arg("outcome", "quarantined");
+                }
+                None
+            }
+        }
+    }
+
+    /// Read and fully re-verify one indexed record.
+    fn read_record(&self, loc: Loc, key: &[u8; 32], fp: &str) -> Option<Vec<u8>> {
+        let bytes = self
+            .io
+            .read_at(&seg_name(loc.seg), loc.off, REC_HEADER + loc.len as usize)
+            .ok()?;
+        let plen = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if plen != loc.len {
+            return None;
+        }
+        let payload = &bytes[REC_HEADER..];
+        if crc32(payload) != crc {
+            return None;
+        }
+        let rec = decode_payload(payload)?;
+        if rec.key != *key || rec.fp != fp {
+            return None;
+        }
+        Some(rec.value.to_vec())
+    }
+
+    /// Write-behind: buffer `(key, fp) → value` for the next
+    /// [`Store::commit`]. Pending entries are served by [`Store::get`]
+    /// immediately but are not durable until committed. Returns `false`
+    /// (and changes nothing) when the key is already stored — values are
+    /// immutable under the cache contract — or when the store is
+    /// poisoned by a failed commit.
+    pub fn put(&self, key: &[u8; 32], fp: &str, value: &[u8]) -> bool {
+        let mut span = trace::span("store.put", "store");
+        let mut inner = self.inner.lock().expect("store inner");
+        let accepted = !inner.poisoned && !inner.has(key, fp);
+        if accepted {
+            inner.pending.push(((*key, fp.to_string()), value.to_vec()));
+            self.counters.bump(&self.counters.puts);
+        } else {
+            self.counters.bump(&self.counters.puts_ignored);
+        }
+        if let Some(s) = span.as_mut() {
+            s.arg("accepted", if accepted { "true" } else { "false" });
+        }
+        accepted
+    }
+
+    /// Entries currently buffered but not yet durable.
+    pub fn pending(&self) -> usize {
+        self.inner.lock().expect("store inner").pending.len()
+    }
+
+    /// Committed entries in the index.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("store inner").index.len()
+    }
+
+    /// True when no entry is committed or pending.
+    pub fn is_empty(&self) -> bool {
+        let inner = self.inner.lock().expect("store inner");
+        inner.index.is_empty() && inner.pending.is_empty()
+    }
+
+    /// The durability boundary: append every pending record to the active
+    /// segment, `fsync`, and only then move them into the index. An entry
+    /// is *committed* — guaranteed to survive any later crash — exactly
+    /// when the commit that covered it returned `Ok`. A failed commit
+    /// poisons the store (the on-disk tail is untrusted until a reopen
+    /// re-runs recovery). Returns the number of records made durable.
+    pub fn commit(&self) -> io::Result<usize> {
+        let mut span = trace::span("store.commit", "store");
+        let mut inner = self.inner.lock().expect("store inner");
+        if inner.poisoned {
+            return Err(io::Error::other(
+                "store poisoned by a failed commit; reopen to recover",
+            ));
+        }
+        if inner.pending.is_empty() {
+            return Ok(0);
+        }
+        let name = seg_name(inner.active);
+        let mut buf = Vec::new();
+        if inner.active_len == 0 {
+            buf.extend_from_slice(SEG_MAGIC);
+        }
+        let base = inner.active_len;
+        let mut placed = Vec::with_capacity(inner.pending.len());
+        for ((key, fp), value) in &inner.pending {
+            let off = base + buf.len() as u64;
+            let plen = encode_record(&mut buf, key, fp, value)?;
+            placed.push(((*key, fp.clone()), off, plen));
+        }
+        if let Err(e) = self
+            .io
+            .append(&name, &buf)
+            .and_then(|()| self.io.sync(&name))
+        {
+            inner.poisoned = true;
+            self.counters.bump(&self.counters.commit_failures);
+            return Err(e);
+        }
+        let seg = inner.active;
+        for (key, off, len) in placed {
+            if let Some(old) = inner.index.insert(key, Loc { seg, off, len }) {
+                inner.live_bytes -= REC_HEADER as u64 + old.len as u64;
+            }
+            inner.live_bytes += REC_HEADER as u64 + len as u64;
+        }
+        let committed = inner.pending.len();
+        inner.pending.clear();
+        inner.active_len += buf.len() as u64;
+        self.counters.bump(&self.counters.commits);
+        self.counters
+            .add(&self.counters.committed_records, committed as u64);
+        self.counters
+            .add(&self.counters.committed_bytes, buf.len() as u64);
+        if inner.active_len >= self.opts.segment_cap {
+            self.rotate_locked(&mut inner);
+        }
+        if let Some(s) = span.as_mut() {
+            s.arg("records", committed.to_string());
+            s.arg("bytes", buf.len().to_string());
+        }
+        Ok(committed)
+    }
+
+    fn rotate_locked(&self, inner: &mut Inner) {
+        inner.active += 1;
+        inner.active_len = 0;
+        let id = inner.active;
+        inner.segments.insert(id);
+        self.counters.bump(&self.counters.rotations);
+    }
+
+    /// Start a new active segment now (no-op while the active segment is
+    /// still empty). Normally rotation happens automatically when a
+    /// commit pushes the segment past [`StoreOptions::segment_cap`].
+    pub fn rotate(&self) {
+        let mut inner = self.inner.lock().expect("store inner");
+        if inner.active_len > 0 {
+            self.rotate_locked(&mut inner);
+        }
+    }
+
+    /// Rewrite every live record into fresh segments and delete the old
+    /// files. New segments carry higher ids than anything they replace,
+    /// so a crash mid-compaction recovers to the rewritten copies (or,
+    /// before the first sync, to the intact originals) by the recovery
+    /// scan's last-record-wins rule. Pending entries are committed first.
+    pub fn compact(&self) -> io::Result<CompactOutcome> {
+        let mut span = trace::span("store.compact", "store");
+        self.commit()?;
+        let mut inner = self.inner.lock().expect("store inner");
+        if inner.poisoned {
+            return Err(io::Error::other(
+                "store poisoned by a failed commit; reopen to recover",
+            ));
+        }
+        let old_segments: Vec<u64> = inner.segments.iter().copied().collect();
+        let old_bytes: u64 = old_segments
+            .iter()
+            .map(|&id| self.io.len(&seg_name(id)).unwrap_or(0))
+            .sum();
+        // Deterministic rewrite order: sorted by key, so two stores with
+        // the same live set compact to byte-identical segments.
+        let mut live: Vec<(Key, Loc)> = inner.index.iter().map(|(k, l)| (k.clone(), *l)).collect();
+        live.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut next = inner.active + 1;
+        let mut new_index: HashMap<Key, Loc> = HashMap::new();
+        let mut new_segments = BTreeSet::new();
+        let mut buf: Vec<u8> = Vec::from(*SEG_MAGIC);
+        let mut new_bytes = 0u64;
+        let flush = |id: u64, buf: &mut Vec<u8>, new_bytes: &mut u64| -> io::Result<()> {
+            let name = seg_name(id);
+            self.io.append(&name, buf)?;
+            self.io.sync(&name)?;
+            *new_bytes += buf.len() as u64;
+            buf.clear();
+            buf.extend_from_slice(SEG_MAGIC);
+            Ok(())
+        };
+        for ((key, fp), loc) in &live {
+            let value = self
+                .read_record(*loc, key, fp)
+                .ok_or_else(|| io::Error::other("compaction read failed checksum verification"))?;
+            let off = buf.len() as u64;
+            let plen = encode_record(&mut buf, key, fp, &value)?;
+            new_index.insert(
+                (*key, fp.clone()),
+                Loc {
+                    seg: next,
+                    off,
+                    len: plen,
+                },
+            );
+            if buf.len() as u64 >= self.opts.segment_cap {
+                flush(next, &mut buf, &mut new_bytes)?;
+                new_segments.insert(next);
+                next += 1;
+            }
+        }
+        let tail_len = buf.len() as u64;
+        if tail_len > SEG_MAGIC.len() as u64 || live.is_empty() {
+            // Always leave an active segment, even an empty one.
+            if tail_len > SEG_MAGIC.len() as u64 {
+                flush(next, &mut buf, &mut new_bytes)?;
+            }
+            new_segments.insert(next);
+        }
+        for &id in &old_segments {
+            if !new_segments.contains(&id) {
+                let _ = self.io.remove(&seg_name(id));
+            }
+        }
+        inner.index = new_index;
+        inner.live_bytes = inner
+            .index
+            .values()
+            .map(|l| REC_HEADER as u64 + l.len as u64)
+            .sum();
+        inner.active = *new_segments.iter().next_back().unwrap_or(&next);
+        inner.active_len = self.io.len(&seg_name(inner.active)).unwrap_or(0);
+        inner.segments = new_segments;
+        self.counters.bump(&self.counters.compactions);
+        let outcome = CompactOutcome {
+            segments_before: old_segments.len() as u64,
+            segments_after: inner.segments.len() as u64,
+            live_records: live.len() as u64,
+            reclaimed_bytes: old_bytes.saturating_sub(new_bytes),
+        };
+        if let Some(s) = span.as_mut() {
+            s.arg("live_records", outcome.live_records.to_string());
+            s.arg("reclaimed_bytes", outcome.reclaimed_bytes.to_string());
+        }
+        Ok(outcome)
+    }
+
+    /// Write a snapshot of every committed entry (pending entries are
+    /// committed first) to `w`: the `ADDSSNP1` magic followed by the same
+    /// framed records as segments, sorted by key for byte-stable output.
+    /// Returns the number of entries exported.
+    pub fn export(&self, w: &mut dyn Write) -> io::Result<usize> {
+        self.commit()?;
+        let inner = self.inner.lock().expect("store inner");
+        let mut live: Vec<(Key, Loc)> = inner.index.iter().map(|(k, l)| (k.clone(), *l)).collect();
+        live.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut buf = Vec::from(*SNAP_MAGIC);
+        for ((key, fp), loc) in &live {
+            let value = self
+                .read_record(*loc, key, fp)
+                .ok_or_else(|| io::Error::other("export read failed checksum verification"))?;
+            encode_record(&mut buf, key, fp, &value)?;
+        }
+        w.write_all(&buf)?;
+        Ok(live.len())
+    }
+
+    /// Load a snapshot stream produced by [`Store::export`]: every record
+    /// is checksum-verified strictly (a damaged snapshot is an error, not
+    /// a truncation), put, and committed. Entries already present are
+    /// skipped. Returns the number of records read.
+    pub fn import(&self, r: &mut dyn Read) -> io::Result<usize> {
+        let mut bytes = Vec::new();
+        r.read_to_end(&mut bytes)?;
+        if bytes.len() < SNAP_MAGIC.len() || &bytes[..SNAP_MAGIC.len()] != SNAP_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not an adds.store-snapshot/v1 stream",
+            ));
+        }
+        let mut off = SNAP_MAGIC.len();
+        let mut count = 0usize;
+        while off < bytes.len() {
+            let rem = bytes.len() - off;
+            let corrupt = || io::Error::new(io::ErrorKind::InvalidData, "corrupt snapshot record");
+            if rem < REC_HEADER {
+                return Err(corrupt());
+            }
+            let plen = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
+            if plen < REC_MIN_PAYLOAD || plen > rem - REC_HEADER {
+                return Err(corrupt());
+            }
+            let payload = &bytes[off + REC_HEADER..off + REC_HEADER + plen];
+            if crc32(payload) != crc {
+                return Err(corrupt());
+            }
+            let rec = decode_payload(payload).ok_or_else(corrupt)?;
+            self.put(&rec.key, rec.fp, rec.value);
+            count += 1;
+            off += REC_HEADER + plen;
+        }
+        self.commit()?;
+        Ok(count)
+    }
+
+    /// Snapshot every counter plus the index shape.
+    pub fn stats(&self) -> StoreSnapshot {
+        let (entries, pending, segments, live_bytes) = {
+            let inner = self.inner.lock().expect("store inner");
+            (
+                inner.index.len() as u64,
+                inner.pending.len() as u64,
+                inner.segments.len() as u64,
+                inner.live_bytes,
+            )
+        };
+        let c = &self.counters;
+        StoreSnapshot {
+            entries,
+            pending,
+            segments,
+            live_bytes,
+            gets: c.get(&c.gets),
+            hits: c.get(&c.hits),
+            misses: c.get(&c.misses),
+            puts: c.get(&c.puts),
+            puts_ignored: c.get(&c.puts_ignored),
+            commits: c.get(&c.commits),
+            commit_failures: c.get(&c.commit_failures),
+            committed_records: c.get(&c.committed_records),
+            committed_bytes: c.get(&c.committed_bytes),
+            recovered_records: c.get(&c.recovered_records),
+            truncated_bytes: c.get(&c.truncated_bytes),
+            quarantined_records: c.get(&c.quarantined_records),
+            rotations: c.get(&c.rotations),
+            compactions: c.get(&c.compactions),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::FaultIo;
+
+    fn key(n: u8) -> [u8; 32] {
+        let mut k = [0u8; 32];
+        k[0] = n;
+        k[31] = n;
+        k
+    }
+
+    fn mem_store(cap: u64) -> (Arc<FaultIo>, Store) {
+        let io = Arc::new(FaultIo::new());
+        let store = Store::open_with(
+            Arc::clone(&io) as Arc<dyn StoreIo>,
+            StoreOptions { segment_cap: cap },
+        )
+        .expect("open");
+        (io, store)
+    }
+
+    fn reopen(io: &Arc<FaultIo>) -> (Arc<FaultIo>, Store) {
+        let survivor = Arc::new(io.surviving());
+        let store = Store::open_with(
+            Arc::clone(&survivor) as Arc<dyn StoreIo>,
+            StoreOptions::default(),
+        )
+        .expect("reopen");
+        (survivor, store)
+    }
+
+    #[test]
+    fn put_get_commit_reopen_round_trip() {
+        let (io, store) = mem_store(1 << 20);
+        assert!(store.put(&key(1), "analyze/v2", b"report one"));
+        assert!(
+            !store.put(&key(1), "analyze/v2", b"other"),
+            "immutable keys: duplicate put ignored"
+        );
+        // Pending entries serve immediately but are not yet durable.
+        assert_eq!(
+            store.get(&key(1), "analyze/v2").as_deref(),
+            Some(&b"report one"[..])
+        );
+        assert_eq!(store.pending(), 1);
+        assert_eq!(store.len(), 0);
+        assert_eq!(store.commit().expect("commit"), 1);
+        assert_eq!(store.pending(), 0);
+        assert_eq!(store.len(), 1);
+        assert_eq!(
+            store.get(&key(1), "analyze/v2").as_deref(),
+            Some(&b"report one"[..])
+        );
+        assert_eq!(
+            store.get(&key(1), "parse/v1"),
+            None,
+            "fingerprint separates"
+        );
+        // Committed data survives the restart byte-identically.
+        let (_io2, store2) = reopen(&io);
+        assert_eq!(store2.len(), 1);
+        assert_eq!(
+            store2.get(&key(1), "analyze/v2").as_deref(),
+            Some(&b"report one"[..])
+        );
+        assert_eq!(store2.stats().recovered_records, 1);
+    }
+
+    #[test]
+    fn uncommitted_puts_do_not_survive_reopen() {
+        let (io, store) = mem_store(1 << 20);
+        store.put(&key(1), "f", b"committed");
+        store.commit().expect("commit");
+        store.put(&key(2), "f", b"pending only");
+        let (_io2, store2) = reopen(&io);
+        assert!(store2.get(&key(1), "f").is_some());
+        assert_eq!(store2.get(&key(2), "f"), None);
+    }
+
+    #[test]
+    fn empty_commit_is_a_no_op() {
+        let (_io, store) = mem_store(1 << 20);
+        assert_eq!(store.commit().expect("commit"), 0);
+        assert_eq!(store.stats().commits, 0);
+    }
+
+    #[test]
+    fn segments_rotate_at_the_cap_and_reads_span_them() {
+        let (io, store) = mem_store(256);
+        for n in 0..10u8 {
+            store.put(&key(n), "f", &[n; 64]);
+            store.commit().expect("commit");
+        }
+        let stats = store.stats();
+        assert!(stats.segments > 1, "cap 256 must rotate: {stats:?}");
+        assert!(stats.rotations >= 1);
+        for n in 0..10u8 {
+            assert_eq!(store.get(&key(n), "f").as_deref(), Some(&[n; 64][..]));
+        }
+        let (_io2, store2) = reopen(&io);
+        for n in 0..10u8 {
+            assert_eq!(store2.get(&key(n), "f").as_deref(), Some(&[n; 64][..]));
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_silently_on_open() {
+        let (io, store) = mem_store(1 << 20);
+        store.put(&key(1), "f", b"whole record");
+        store.commit().expect("commit");
+        // Simulate a crash mid-append: half a record lands after the good one.
+        io.append(&seg_name(1), &[0x55; 11]).expect("raw append");
+        let (io2, store2) = reopen(&io);
+        assert_eq!(
+            store2.get(&key(1), "f").as_deref(),
+            Some(&b"whole record"[..])
+        );
+        let stats = store2.stats();
+        assert_eq!(stats.truncated_bytes, 11);
+        assert_eq!(stats.quarantined_records, 0);
+        // The truncation is durable: a third open sees a clean file.
+        let (_io3, store3) = reopen(&io2);
+        assert_eq!(store3.stats().truncated_bytes, 0);
+        assert_eq!(store3.len(), 1);
+    }
+
+    #[test]
+    fn flipped_byte_is_quarantined_on_open_never_served() {
+        let (io, store) = mem_store(1 << 20);
+        store.put(&key(1), "f", b"target value");
+        store.put(&key(2), "f", b"later value");
+        store.commit().expect("commit");
+        // Find and damage a value byte of record 1 (header is 8 bytes of
+        // magic; record 1 payload starts at 8 + 8).
+        io.flip_byte(&seg_name(1), (8 + 8 + 34 + 1) as u64);
+        let (_io2, store2) = reopen(&io);
+        assert_eq!(
+            store2.get(&key(1), "f"),
+            None,
+            "damaged record never served"
+        );
+        assert_eq!(
+            store2.get(&key(2), "f").as_deref(),
+            Some(&b"later value"[..]),
+            "scan resyncs past the quarantined record"
+        );
+        assert!(store2.stats().quarantined_records >= 1);
+        assert_eq!(store2.stats().truncated_bytes, 0, "rot is not truncation");
+    }
+
+    #[test]
+    fn post_open_corruption_is_caught_by_the_read_path() {
+        let (io, store) = mem_store(1 << 20);
+        store.put(&key(1), "f", b"value");
+        store.commit().expect("commit");
+        assert!(store.get(&key(1), "f").is_some());
+        // Rot after open: the per-read verification quarantines it.
+        io.flip_byte(&seg_name(1), (8 + 8 + 34 + 1) as u64);
+        assert_eq!(store.get(&key(1), "f"), None);
+        assert_eq!(store.stats().quarantined_records, 1);
+        assert_eq!(store.len(), 0, "quarantined entry left the index");
+    }
+
+    #[test]
+    fn failed_commit_poisons_until_reopen() {
+        let io = Arc::new(FaultIo::with_budget(20));
+        let store = Store::open_with(Arc::clone(&io) as Arc<dyn StoreIo>, StoreOptions::default())
+            .expect("open");
+        store.put(&key(1), "f", b"does not fit in 20 bytes");
+        assert!(store.commit().is_err());
+        assert!(store.commit().is_err(), "poisoned store refuses commits");
+        assert!(
+            !store.put(&key(2), "f", b"x"),
+            "poisoned store refuses puts"
+        );
+        assert_eq!(store.stats().commit_failures, 1);
+        // The restart recovers: the torn record is truncated away.
+        let survivor = Arc::new(io.surviving());
+        let store2 = Store::open_with(survivor as Arc<dyn StoreIo>, StoreOptions::default())
+            .expect("reopen");
+        assert_eq!(store2.len(), 0);
+        assert!(store2.put(&key(2), "f", b"x"));
+        assert_eq!(store2.commit().expect("commit"), 1);
+    }
+
+    #[test]
+    fn compaction_drops_quarantined_weight_and_preserves_live_data() {
+        let (io, store) = mem_store(512);
+        for n in 0..20u8 {
+            store.put(&key(n), "f", &[n; 40]);
+        }
+        store.commit().expect("commit");
+        let before = store.stats();
+        assert!(before.segments > 1);
+        let outcome = store.compact().expect("compact");
+        assert_eq!(outcome.live_records, 20);
+        for n in 0..20u8 {
+            assert_eq!(store.get(&key(n), "f").as_deref(), Some(&[n; 40][..]));
+        }
+        // Compaction survives a restart.
+        let (_io2, store2) = reopen(&io);
+        assert_eq!(store2.len(), 20);
+        for n in 0..20u8 {
+            assert_eq!(store2.get(&key(n), "f").as_deref(), Some(&[n; 40][..]));
+        }
+    }
+
+    #[test]
+    fn export_import_round_trips_a_snapshot() {
+        let (_io, store) = mem_store(1 << 20);
+        for n in 0..5u8 {
+            store.put(&key(n), "analyze/v2", &[n; 16]);
+        }
+        let mut snap = Vec::new();
+        assert_eq!(store.export(&mut snap).expect("export"), 5);
+        assert_eq!(&snap[..8], SNAP_MAGIC);
+
+        let (_io2, fresh) = mem_store(1 << 20);
+        assert_eq!(fresh.import(&mut snap.as_slice()).expect("import"), 5);
+        assert_eq!(fresh.len(), 5);
+        for n in 0..5u8 {
+            assert_eq!(
+                fresh.get(&key(n), "analyze/v2").as_deref(),
+                Some(&[n; 16][..])
+            );
+        }
+        // Exports are byte-stable: the imported store exports identically.
+        let mut snap2 = Vec::new();
+        fresh.export(&mut snap2).expect("export");
+        assert_eq!(snap, snap2);
+        // A damaged snapshot is an error, not a partial import.
+        let mut damaged = snap.clone();
+        let last = damaged.len() - 1;
+        damaged[last] ^= 0x40;
+        let (_io3, other) = mem_store(1 << 20);
+        assert!(other.import(&mut damaged.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rotate_is_a_no_op_on_an_empty_active_segment() {
+        let (_io, store) = mem_store(1 << 20);
+        store.rotate();
+        store.rotate();
+        assert_eq!(store.stats().rotations, 0);
+        store.put(&key(1), "f", b"x");
+        store.commit().expect("commit");
+        store.rotate();
+        assert_eq!(store.stats().rotations, 1);
+        store.put(&key(2), "f", b"y");
+        store.commit().expect("commit");
+        assert_eq!(store.stats().segments, 2);
+        assert!(store.get(&key(1), "f").is_some());
+        assert!(store.get(&key(2), "f").is_some());
+    }
+}

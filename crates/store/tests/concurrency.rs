@@ -1,0 +1,157 @@
+//! Concurrency: 8 real threads hammering get/put/commit on one store
+//! while a background thread rotates segments under them — mirroring the
+//! single-flight pattern of `crates/serve/tests/server_http.rs`, but at
+//! the disk tier. The invariants: no torn read (every `get` is either
+//! absent or byte-identical to what was put), the index stays consistent,
+//! and a reopen after the storm recovers every committed entry.
+
+use adds_store::{FaultIo, Store, StoreIo, StoreOptions};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const KEYS_PER_THREAD: u8 = 40;
+
+fn key(thread: usize, n: u8) -> [u8; 32] {
+    let mut k = [0u8; 32];
+    k[0] = thread as u8;
+    k[1] = n;
+    k[31] = 0xa5;
+    k
+}
+
+/// Value bytes derived from the key — a torn or cross-wired read cannot
+/// produce a byte-identical match.
+fn value(thread: usize, n: u8) -> Vec<u8> {
+    let mut state = (thread as u64) << 32 | (n as u64) | 0x5eed;
+    let len = 16 + ((thread * 31 + n as usize) % 120);
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 29) as u8
+        })
+        .collect()
+}
+
+#[test]
+fn eight_threads_and_a_rotator_never_tear_a_read() {
+    // A small cap so organic rotation happens under load too.
+    let io = Arc::new(FaultIo::new());
+    let store = Arc::new(
+        Store::open_with(
+            Arc::clone(&io) as Arc<dyn StoreIo>,
+            StoreOptions { segment_cap: 4096 },
+        )
+        .expect("open"),
+    );
+
+    let done = Arc::new(AtomicBool::new(false));
+    let rotator = {
+        let store = Arc::clone(&store);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut rotations = 0u32;
+            while !done.load(Ordering::SeqCst) {
+                store.rotate();
+                rotations += 1;
+                std::thread::yield_now();
+            }
+            rotations
+        })
+    };
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                for n in 0..KEYS_PER_THREAD {
+                    let v = value(t, n);
+                    assert!(store.put(&key(t, n), "concurrency/v1", &v));
+                    // Re-read own writes (pending or committed) and probe
+                    // neighbors' keys while the rotator churns segments.
+                    let got = store.get(&key(t, n), "concurrency/v1");
+                    assert_eq!(got.as_deref(), Some(v.as_slice()), "own write torn");
+                    let peer = (t + 1) % THREADS;
+                    if let Some(got) = store.get(&key(peer, n), "concurrency/v1") {
+                        assert_eq!(got, value(peer, n), "peer read torn");
+                    }
+                    if n % 5 == 4 {
+                        store.commit().expect("commit under load");
+                    }
+                }
+                store.commit().expect("final thread commit");
+            })
+        })
+        .collect();
+
+    for w in workers {
+        w.join().expect("worker");
+    }
+    done.store(true, Ordering::SeqCst);
+    rotator.join().expect("rotator");
+
+    // Index consistency: every key present exactly once, byte-identical.
+    let total = THREADS * KEYS_PER_THREAD as usize;
+    assert_eq!(store.len(), total);
+    assert_eq!(store.pending(), 0);
+    for t in 0..THREADS {
+        for n in 0..KEYS_PER_THREAD {
+            assert_eq!(
+                store.get(&key(t, n), "concurrency/v1").as_deref(),
+                Some(value(t, n).as_slice())
+            );
+        }
+    }
+    let stats = store.stats();
+    assert_eq!(stats.entries, total as u64);
+    assert_eq!(stats.commit_failures, 0);
+    assert!(stats.segments >= 2, "rotator must have split the stream");
+
+    // Everything committed survives a restart.
+    let survivor = Arc::new(io.surviving());
+    let reopened =
+        Store::open_with(survivor as Arc<dyn StoreIo>, StoreOptions::default()).expect("reopen");
+    assert_eq!(reopened.len(), total);
+    for t in 0..THREADS {
+        for n in 0..KEYS_PER_THREAD {
+            assert_eq!(
+                reopened.get(&key(t, n), "concurrency/v1").as_deref(),
+                Some(value(t, n).as_slice()),
+                "committed entry lost across restart"
+            );
+        }
+    }
+    assert_eq!(reopened.stats().quarantined_records, 0);
+    assert_eq!(reopened.stats().truncated_bytes, 0);
+}
+
+/// The duplicate-put race: many threads putting the same key must settle
+/// on exactly one stored copy (values are immutable per key).
+#[test]
+fn concurrent_identical_puts_store_one_copy() {
+    let store = Arc::new(
+        Store::open_with(
+            Arc::new(FaultIo::new()) as Arc<dyn StoreIo>,
+            StoreOptions::default(),
+        )
+        .expect("open"),
+    );
+    let k = key(0, 7);
+    let v = value(0, 7);
+    let accepted: usize = {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let v = v.clone();
+                std::thread::spawn(move || store.put(&k, "single/v1", &v) as usize)
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("join")).sum()
+    };
+    assert_eq!(accepted, 1, "exactly one put wins");
+    store.commit().expect("commit");
+    assert_eq!(store.len(), 1);
+    assert_eq!(store.get(&k, "single/v1").as_deref(), Some(v.as_slice()));
+}

@@ -55,6 +55,7 @@ pub use adds_machine as machine;
 pub use adds_nbody as nbody;
 pub use adds_obs as obs;
 pub use adds_query as query;
+pub use adds_store as store;
 pub use adds_structures as structures;
 
 /// The **library API**: the same demand-driven [`Session`](api::Session)
