@@ -129,6 +129,10 @@ pub struct Args {
     pub cache_cap: usize,
     /// `serve`: emit one JSON access-log line per request on stdout.
     pub log: bool,
+    /// `serve`: connection engine (`reactor` | `blocking`).
+    pub engine: adds_serve::server::Engine,
+    /// `serve`: reactor connection budget (over it: `503 Retry-After`).
+    pub max_conns: usize,
     /// `serve`/`store`: crash-safe disk cache directory.
     pub store: Option<String>,
     /// `store`: the maintenance action.
@@ -159,6 +163,8 @@ impl Default for Args {
             addr: "127.0.0.1:8199".to_string(),
             cache_cap: 0,
             log: false,
+            engine: adds_serve::server::Engine::default(),
+            max_conns: adds_serve::server::DEFAULT_MAX_CONNECTIONS,
             store: None,
             store_action: None,
             trace: None,
@@ -222,6 +228,10 @@ OPTIONS:
     --store DIR       serve/store: crash-safe disk cache directory; survives
                       restarts and kill -9 (committed entries are never lost)
     --log             serve: one JSON access-log line per request on stdout
+    --engine E        serve: connection engine, reactor | blocking
+                      [default: reactor]
+    --max-conns N     serve: reactor connection budget; connections over
+                      it get 503 + Retry-After [default: 10240]
     --format FMT      text | json                      [default: text]
     --matrices        include exit path matrices in analyze reports
     --pes LIST        run: comma-separated PE counts   [default: 4]
@@ -316,6 +326,18 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, UsageError> {
             }
             "--trace" => {
                 args.trace = Some(take_value("--trace", inline, &mut it)?);
+            }
+            "--engine" => {
+                let v = take_value("--engine", inline, &mut it)?;
+                args.engine = adds_serve::server::Engine::parse(&v).ok_or_else(|| {
+                    usage(format!("--engine expects reactor|blocking, got `{v}`"))
+                })?;
+            }
+            "--max-conns" => {
+                let v = take_value("--max-conns", inline, &mut it)?;
+                args.max_conns = v
+                    .parse()
+                    .map_err(|_| usage(format!("--max-conns expects an integer, got `{v}`")))?;
             }
             "--cache-cap" => {
                 let v = take_value("--cache-cap", inline, &mut it)?;
@@ -510,6 +532,25 @@ mod tests {
             Command::Analyze.stage(),
             Some(adds_serve::pipeline::Stage::Analyze)
         );
+    }
+
+    #[test]
+    fn parses_serve_engine_and_budget() {
+        use adds_serve::server::Engine;
+        let ParsedArgs::Run(a) = parse(&argv("serve --engine blocking --max-conns=512")).unwrap()
+        else {
+            panic!("expected Run");
+        };
+        assert_eq!(a.engine, Engine::Blocking);
+        assert_eq!(a.max_conns, 512);
+        // Defaults: the reactor, with its stock budget.
+        let ParsedArgs::Run(a) = parse(&argv("serve")).unwrap() else {
+            panic!("expected Run");
+        };
+        assert_eq!(a.engine, Engine::Reactor);
+        assert_eq!(a.max_conns, adds_serve::server::DEFAULT_MAX_CONNECTIONS);
+        assert!(parse(&argv("serve --engine turbo")).is_err());
+        assert!(parse(&argv("serve --max-conns many")).is_err());
     }
 
     #[test]

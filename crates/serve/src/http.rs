@@ -19,7 +19,7 @@
 use std::io::{BufRead, BufReader, Read, Write};
 
 /// Largest accepted header block.
-const MAX_HEADER_BYTES: usize = 16 * 1024;
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
 /// Largest accepted request body (IL sources are a few KB; batch
 /// documents a few MB at most).
 pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
@@ -335,23 +335,20 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "",
     }
 }
 
-/// Serialize and send `resp`. With `keep_alive` the connection header
-/// invites the client to reuse the socket; otherwise it announces the
-/// close that follows. Head and body go out as **one** write: the server
-/// sets `TCP_NODELAY`, so a separate small head write would become its
-/// own segment (and its own syscall) on every response.
-pub fn write_response(
-    stream: &mut impl Write,
-    resp: &Response,
-    keep_alive: bool,
-) -> std::io::Result<()> {
+/// Serialize `resp` to wire bytes (head + body in one buffer). Both server
+/// engines — the blocking worker pool and the event-driven reactor — emit
+/// responses through this single function, which is what makes their
+/// response bytes identical by construction.
+pub fn serialize_response(resp: &Response, keep_alive: bool) -> Vec<u8> {
     let mut out = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         resp.status,
@@ -369,6 +366,20 @@ pub fn write_response(
     }
     out.extend_from_slice(b"\r\n");
     out.extend_from_slice(&resp.body);
+    out
+}
+
+/// Serialize and send `resp`. With `keep_alive` the connection header
+/// invites the client to reuse the socket; otherwise it announces the
+/// close that follows. Head and body go out as **one** write: the server
+/// sets `TCP_NODELAY`, so a separate small head write would become its
+/// own segment (and its own syscall) on every response.
+pub fn write_response(
+    stream: &mut impl Write,
+    resp: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let out = serialize_response(resp, keep_alive);
     stream.write_all(&out)?;
     stream.flush()
 }

@@ -1,6 +1,19 @@
-//! The `adds-cli serve` engine: a `TcpListener` accept loop fanned out
-//! over a fixed worker pool, routing the `/v1` API over [`crate::http`]
-//! into one shared, demand-driven [`Service`] session.
+//! The `adds-cli serve` engine: the `/v1` API over [`crate::http`] into
+//! one shared, demand-driven [`Service`] session, behind either of two
+//! connection engines:
+//!
+//! * [`Engine::Reactor`] (default) — the event-driven core from
+//!   [`adds_net`]: one nonblocking `poll(2)` loop owns every socket, an
+//!   explicit connection budget answers overload with `503 Retry-After`,
+//!   a timer wheel enforces read/idle deadlines (slow-loris defense), and
+//!   parsed requests are executed on the `--jobs` worker pool. Scales to
+//!   tens of thousands of keep-alive connections.
+//! * [`Engine::Blocking`] — the original thread-per-connection accept
+//!   loop over a fixed worker pool; one worker per in-flight connection.
+//!
+//! Both engines route through [`ServerState::handle`] and serialize through
+//! [`crate::http::serialize_response`], so responses are **byte-identical**
+//! between them (pinned by the `reactor_parity` tests).
 //!
 //! ## Endpoints
 //!
@@ -58,8 +71,8 @@
 
 use crate::corpus;
 use crate::http::{
-    read_request, write_response, BadRequest, Request, Response, KEEPALIVE_IDLE_TIMEOUT,
-    KEEPALIVE_MAX_REQUESTS,
+    read_request, serialize_response, write_response, BadRequest, Request, Response,
+    KEEPALIVE_IDLE_TIMEOUT, KEEPALIVE_MAX_REQUESTS, MAX_BODY_BYTES, MAX_HEADER_BYTES,
 };
 use crate::json::Json;
 use crate::logging;
@@ -67,12 +80,53 @@ use crate::pipeline::Stage;
 use crate::runner::RunOptions;
 use crate::service::{RunRequest, Service, SessionConfig, StageRequest};
 use crate::sha::Digest;
+use adds_net::reactor::{Framed, Protocol, Reactor, ReactorOptions, Reply, StopHandle};
+use adds_net::stats::NetStats;
 use adds_obs::metrics::{prom_counter, prom_gauge, prom_histogram, Counter, Gauge, Histogram};
 use adds_obs::trace;
 use adds_query::QueryKind;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Which connection engine drives the sockets. Responses are
+/// byte-identical between the two; only concurrency behavior differs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Event-driven: one `poll(2)` reactor thread owns every connection,
+    /// requests execute on the worker pool ([`adds_net`]).
+    #[default]
+    Reactor,
+    /// Thread-per-connection over a fixed worker pool (the pre-reactor
+    /// engine, kept for A/B comparison and as the parity oracle).
+    Blocking,
+}
+
+impl Engine {
+    /// Stable label (stats documents, CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Reactor => "reactor",
+            Engine::Blocking => "blocking",
+        }
+    }
+
+    /// Parse a CLI value.
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "reactor" => Some(Engine::Reactor),
+            "blocking" => Some(Engine::Blocking),
+            _ => None,
+        }
+    }
+}
+
+/// Default connection budget for the reactor engine.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 10_240;
+
+/// Default deadline for reading one full request (slow-loris bound).
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -100,6 +154,20 @@ pub struct ServeOptions {
     /// store. A background thread commits the write-behind buffer every
     /// [`COMMIT_INTERVAL`]; shutdown commits once more.
     pub store_dir: Option<String>,
+    /// Connection engine (`--engine reactor|blocking`).
+    pub engine: Engine,
+    /// Reactor connection budget: accepts beyond it are answered with
+    /// `503` + `Retry-After` and counted (`adds_net_rejected_total`)
+    /// instead of piling into the accept queue. Ignored by the blocking
+    /// engine (its budget is its thread count).
+    pub max_connections: usize,
+    /// Reactor deadline for reading one full request, from accept (or the
+    /// first byte after an idle gap) to the last body byte — the
+    /// slow-loris bound. A dribbling client cannot extend it.
+    pub read_timeout: Duration,
+    /// Reactor idle keep-alive timeout between requests (the blocking
+    /// engine's [`KEEPALIVE_IDLE_TIMEOUT`] is the same default).
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServeOptions {
@@ -112,6 +180,10 @@ impl Default for ServeOptions {
             instrument: true,
             trace_path: None,
             store_dir: None,
+            engine: Engine::Reactor,
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+            read_timeout: DEFAULT_READ_TIMEOUT,
+            idle_timeout: KEEPALIVE_IDLE_TIMEOUT,
         }
     }
 }
@@ -266,6 +338,11 @@ pub struct ServerState {
     /// Record latency/gauges and (when tracing) spans; off in the bench
     /// driver's bare mode.
     pub instrument: bool,
+    /// Event-loop counters (`/v1/stats` `net` section, `adds_net_*`
+    /// metrics). All-zero under the blocking engine.
+    pub net: Arc<NetStats>,
+    /// Which engine is serving (labels the stats document).
+    pub engine: Engine,
 }
 
 impl Default for ServerState {
@@ -276,6 +353,8 @@ impl Default for ServerState {
             metrics: ServeMetrics::default(),
             log_requests: false,
             instrument: true,
+            net: Arc::new(NetStats::default()),
+            engine: Engine::default(),
         }
     }
 }
@@ -400,20 +479,22 @@ impl ServerState {
         }
     }
 
-    /// The `/v1/stats` document (`adds.serve-stats/v4`): request-level
+    /// The `/v1/stats` document (`adds.serve-stats/v5`): request-level
     /// cache counters, per-query-layer compute counters, per-endpoint
     /// request counts, latency quantiles (per route and per query layer,
     /// derived from the lock-free log₂ histograms), parallel-executor
-    /// counters, connection gauges, and the persistent store's counters.
-    /// No timestamps — the document is a pure function of the counters,
-    /// so tests can golden it. (`/v2` added `queries.dropped`, `latency`,
-    /// and `connections` to the `/v1` shape; `/v3` added `parallel`;
-    /// `/v4` added `cache.disk_hits` and the `store` section.)
+    /// counters, connection gauges, event-loop counters, and the
+    /// persistent store's counters. No timestamps — the document is a
+    /// pure function of the counters, so tests can golden it. (`/v2`
+    /// added `queries.dropped`, `latency`, and `connections` to the `/v1`
+    /// shape; `/v3` added `parallel`; `/v4` added `cache.disk_hits` and
+    /// the `store` section; `/v5` added the `net` section for the
+    /// event-driven engine.)
     pub fn stats_doc(&self) -> Json {
         let cs = self.service.stats();
         let u = |a: &AtomicU64| Json::UInt(a.load(Ordering::Relaxed));
         Json::obj([
-            ("schema", Json::str("adds.serve-stats/v4")),
+            ("schema", Json::str("adds.serve-stats/v5")),
             (
                 "cache",
                 Json::obj([
@@ -553,6 +634,19 @@ impl ServerState {
                     ),
                 ]),
             ),
+            ("net", {
+                let n = self.net.snapshot();
+                Json::obj([
+                    ("engine", Json::str(self.engine.name())),
+                    ("open", Json::UInt(n.open)),
+                    ("accepted", Json::UInt(n.accepted)),
+                    ("rejected", Json::UInt(n.rejected)),
+                    ("dispatched", Json::UInt(n.dispatched)),
+                    ("inline", Json::UInt(n.inline_served)),
+                    ("poll_wakeups", Json::UInt(n.poll_wakeups)),
+                    ("timer_expirations", Json::UInt(n.timer_expirations)),
+                ])
+            }),
             ("store", self.store_doc()),
         ])
     }
@@ -719,6 +813,22 @@ impl ServerState {
             "",
             self.metrics.keepalive_connections.get(),
         );
+
+        let n = self.net.snapshot();
+        out.push_str("# TYPE adds_net_accepted_total counter\n");
+        prom_counter(&mut out, "adds_net_accepted_total", "", n.accepted);
+        prom_counter(&mut out, "adds_net_rejected_total", "", n.rejected);
+        prom_counter(&mut out, "adds_net_dispatched_total", "", n.dispatched);
+        prom_counter(&mut out, "adds_net_inline_total", "", n.inline_served);
+        prom_counter(&mut out, "adds_net_poll_wakeups_total", "", n.poll_wakeups);
+        prom_counter(
+            &mut out,
+            "adds_net_timer_expirations_total",
+            "",
+            n.timer_expirations,
+        );
+        out.push_str("# TYPE adds_net_open_connections gauge\n");
+        prom_gauge(&mut out, "adds_net_open_connections", "", n.open as i64);
 
         if let Some(store) = self.service.db().store() {
             let s = store.stats();
@@ -1177,6 +1287,18 @@ pub struct Server {
     state: Arc<ServerState>,
     jobs: usize,
     trace_path: Option<String>,
+    engine: Engine,
+    reactor_opts: ReactorOptions,
+}
+
+/// The reactor's timer-wheel granularity: 50ms normally, but finer when
+/// the configured deadlines are short (tests use sub-second timeouts and
+/// need expiry resolution well inside them).
+fn reactor_tick(read: Duration, idle: Duration) -> Duration {
+    Duration::from_millis(50)
+        .min(read / 2)
+        .min(idle / 2)
+        .max(Duration::from_millis(5))
 }
 
 impl Server {
@@ -1218,11 +1340,24 @@ impl Server {
                 }),
                 requests: RequestStats::default(),
                 metrics: ServeMetrics::default(),
+                net: Arc::new(NetStats::default()),
                 log_requests: opts.log,
                 instrument: opts.instrument,
+                engine: opts.engine,
             }),
             jobs,
             trace_path: opts.trace_path.clone(),
+            engine: opts.engine,
+            reactor_opts: ReactorOptions {
+                workers: jobs,
+                max_connections: opts.max_connections.max(1),
+                read_deadline: opts.read_timeout,
+                idle_deadline: opts.idle_timeout,
+                write_deadline: Duration::from_secs(30),
+                drain_deadline: Duration::from_secs(5),
+                tick: reactor_tick(opts.read_timeout, opts.idle_timeout),
+                max_frame_bytes: MAX_HEADER_BYTES + MAX_BODY_BYTES + 4096,
+            },
         })
     }
 
@@ -1236,19 +1371,39 @@ impl Server {
         Arc::clone(&self.state)
     }
 
-    /// Serve until the process exits: `jobs - 1` background workers plus
-    /// the calling thread, all accepting on the shared listener.
+    /// Serve until the process exits. [`Engine::Reactor`] runs the event
+    /// loop on the calling thread (workers live inside the reactor);
+    /// [`Engine::Blocking`] runs `jobs - 1` background accept workers
+    /// plus the calling thread.
     pub fn run(self) -> std::io::Result<()> {
         let stop = Arc::new(AtomicBool::new(false));
         let flusher = spawn_flusher(&self.state, &stop);
-        let mut workers = Vec::new();
-        for _ in 1..self.jobs {
-            workers.push(spawn_worker(&self.listener, &self.state, &stop)?);
+        match self.engine {
+            Engine::Blocking => {
+                let mut workers = Vec::new();
+                for _ in 1..self.jobs {
+                    workers.push(spawn_worker(&self.listener, &self.state, &stop)?);
+                }
+                worker_loop(&self.listener, &self.state, &stop);
+                for w in workers {
+                    let _ = w.join();
+                }
+            }
+            Engine::Reactor => {
+                let proto = Arc::new(HttpProto {
+                    state: Arc::clone(&self.state),
+                });
+                let reactor = Reactor::new(
+                    self.listener,
+                    proto,
+                    self.reactor_opts,
+                    Arc::clone(&self.state.net),
+                    Arc::clone(&stop),
+                )?;
+                reactor.run();
+            }
         }
-        worker_loop(&self.listener, &self.state, &stop);
-        for w in workers {
-            let _ = w.join();
-        }
+        stop.store(true, Ordering::SeqCst);
         if let Some(f) = flusher {
             let _ = f.join();
         }
@@ -1264,10 +1419,32 @@ impl Server {
         let addr = self.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let flusher = spawn_flusher(&self.state, &stop);
-        let mut workers = Vec::new();
-        for _ in 0..self.jobs {
-            workers.push(spawn_worker(&self.listener, &self.state, &stop)?);
-        }
+        let (workers, reactor_stop) = match self.engine {
+            Engine::Blocking => {
+                let mut workers = Vec::new();
+                for _ in 0..self.jobs {
+                    workers.push(spawn_worker(&self.listener, &self.state, &stop)?);
+                }
+                (workers, None)
+            }
+            Engine::Reactor => {
+                let proto = Arc::new(HttpProto {
+                    state: Arc::clone(&self.state),
+                });
+                let reactor = Reactor::new(
+                    self.listener,
+                    proto,
+                    self.reactor_opts,
+                    Arc::clone(&self.state.net),
+                    Arc::clone(&stop),
+                )?;
+                let handle = reactor.stop_handle();
+                let join = std::thread::Builder::new()
+                    .name("net-reactor".into())
+                    .spawn(move || reactor.run())?;
+                (vec![join], Some(handle))
+            }
+        };
         Ok(ServerHandle {
             addr,
             state: self.state,
@@ -1275,6 +1452,7 @@ impl Server {
             workers,
             flusher,
             trace_path: self.trace_path,
+            reactor_stop,
         })
     }
 }
@@ -1387,6 +1565,207 @@ impl Drop for ConnGauges<'_> {
     }
 }
 
+/// The shared request-execution path of **both** engines: routing, panic
+/// containment, tracing, route-latency metrics, and access logging, in
+/// exactly this order. Returns the response, whether the connection may
+/// be kept alive (`served` is 1-based), and the still-open `serve.request`
+/// span — the caller drops it after serializing, so span timing matches
+/// the blocking engine's historical shape.
+fn process_request(
+    state: &ServerState,
+    req: &Request,
+    served: usize,
+) -> (Response, bool, Option<trace::Span>) {
+    let tracing = state.instrument && trace::enabled();
+    let keep_alive = req.keep_alive && served < KEEPALIVE_MAX_REQUESTS;
+    let mut root = if tracing {
+        trace::span("serve.request", "serve")
+    } else {
+        None
+    };
+    let started = std::time::Instant::now();
+    let resp = {
+        let _execute = if tracing {
+            trace::span("serve.execute", "serve")
+        } else {
+            None
+        };
+        // A handler panic must not take down a pool worker (blocking
+        // engine) or wedge a reactor connection forever.
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| state.handle(req))) {
+            Ok(resp) => resp,
+            Err(_) => Response::error(500, "internal error"),
+        }
+    };
+    let micros = started.elapsed().as_micros() as u64;
+    if let Some(s) = root.as_mut() {
+        s.arg("method", req.method.clone());
+        s.arg("path", req.path.clone());
+        s.arg("status", resp.status.to_string());
+    }
+    if state.instrument {
+        let route = Route::classify(&req.method, &req.path);
+        state.metrics.route_latency[route as usize].record(micros);
+        state.metrics.bytes_in.add(req.body.len() as u64);
+    }
+    if state.log_requests {
+        emit_access_line(&req.method, &req.path, &resp, micros, req.body.len() as u64);
+    }
+    (resp, keep_alive, root)
+}
+
+/// Count, record, log, and render the response for an unreadable request —
+/// the shared error path of both engines (must stay byte-identical).
+fn bad_request_response(state: &ServerState, e: &BadRequest) -> Response {
+    state.requests.other.fetch_add(1, Ordering::Relaxed);
+    let status = match e {
+        BadRequest::TooLarge(_) => 413,
+        _ => 400,
+    };
+    let resp = Response::error(status, &e.to_string());
+    if state.log_requests {
+        emit_access_line("-", "-", &resp, 0, 0);
+    }
+    if state.instrument {
+        state.metrics.route_latency[Route::Other as usize].record(0);
+    }
+    resp
+}
+
+/// True once `buf` holds a complete header block (the blank line).
+fn headers_complete(buf: &[u8]) -> bool {
+    buf.windows(2).any(|w| w == b"\n\n") || buf.windows(3).any(|w| w == b"\n\r\n")
+}
+
+/// The HTTP glue between [`adds_net`]'s reactor and [`ServerState`]:
+/// frames with the exact [`read_request`] parser, executes through the
+/// exact [`process_request`] path, and serializes with the exact
+/// [`serialize_response`] bytes the blocking engine writes.
+struct HttpProto {
+    state: Arc<ServerState>,
+}
+
+impl HttpProto {
+    /// Parse one request from the head of `buf`, returning the result and
+    /// how many bytes of `buf` the parser consumed (header bytes plus the
+    /// `Content-Length` body, minus the reader's unconsumed look-ahead).
+    fn parse(buf: &[u8]) -> (Result<Request, BadRequest>, usize) {
+        let mut reader = std::io::BufReader::new(std::io::Cursor::new(buf));
+        let res = read_request(&mut reader);
+        let consumed = reader.get_ref().position() as usize - reader.buffer().len();
+        (res, consumed)
+    }
+
+    fn error_bytes(&self, e: &BadRequest) -> Vec<u8> {
+        serialize_response(&bad_request_response(&self.state, e), false)
+    }
+}
+
+impl Protocol for HttpProto {
+    type Frame = Request;
+
+    fn frame(&self, buf: &[u8], _served: usize) -> Framed<Request> {
+        // Wait for the full header block (or an oversized one — the
+        // parser rejects those): end-of-slice inside the headers would
+        // otherwise read as the connection closing mid-request.
+        if !headers_complete(buf) && buf.len() < MAX_HEADER_BYTES {
+            return Framed::Incomplete;
+        }
+        let parse_started = std::time::Instant::now();
+        match Self::parse(buf) {
+            (Ok(req), consumed) => {
+                if self.state.instrument && trace::enabled() {
+                    trace::complete_between(
+                        "serve.parse-body",
+                        "serve",
+                        parse_started,
+                        std::time::Instant::now(),
+                        vec![("path", req.path.clone())],
+                    );
+                }
+                Framed::Frame {
+                    consumed,
+                    frame: req,
+                }
+            }
+            // The declared body hasn't fully arrived yet.
+            (Err(BadRequest::Io(_)), _) | (Err(BadRequest::Closed), _) => Framed::Incomplete,
+            (Err(e), _) => Framed::Reject {
+                response: self.error_bytes(&e),
+            },
+        }
+    }
+
+    fn execute(&self, req: Request, served: usize) -> Reply {
+        let tracing = self.state.instrument && trace::enabled();
+        let (resp, keep_alive, root) = process_request(&self.state, &req, served);
+        let bytes = {
+            let _serialize = if tracing {
+                trace::span("serve.serialize", "serve")
+            } else {
+                None
+            };
+            serialize_response(&resp, keep_alive)
+        };
+        drop(root);
+        Reply { bytes, keep_alive }
+    }
+
+    fn try_inline(&self, req: Request, served: usize) -> Result<Reply, Request> {
+        // Only the health probe is cheap enough for the reactor thread;
+        // everything else goes to the worker pool.
+        if req.method == "GET" && req.path == "/healthz" {
+            Ok(self.execute(req, served))
+        } else {
+            Err(req)
+        }
+    }
+
+    fn busy_response(&self) -> Vec<u8> {
+        let resp = Response::error(503, "connection budget exhausted; retry shortly")
+            .with_header("Retry-After", "1".to_string());
+        serialize_response(&resp, false)
+    }
+
+    fn timeout_response(&self) -> Option<Vec<u8>> {
+        let resp = Response::error(408, "request read deadline exceeded");
+        Some(serialize_response(&resp, false))
+    }
+
+    fn eof_response(&self, buf: &[u8], served: usize) -> Option<Vec<u8>> {
+        // The client closed mid-request; the buffer really is all there
+        // is, so re-parse it with EOF semantics and mirror the blocking
+        // engine's error branch byte for byte.
+        match Self::parse(buf) {
+            (Ok(_), _) | (Err(BadRequest::Closed), _) => None,
+            // Mid-stream EOF on a keep-alive connection is silent there too.
+            (Err(BadRequest::Io(_)), _) if served > 0 => None,
+            (Err(e), _) => Some(self.error_bytes(&e)),
+        }
+    }
+
+    fn on_open(&self) {
+        if self.state.instrument {
+            self.state.metrics.open_connections.inc();
+        }
+    }
+
+    fn on_keepalive(&self) {
+        if self.state.instrument {
+            self.state.metrics.keepalive_connections.inc();
+        }
+    }
+
+    fn on_close(&self, was_keepalive: bool) {
+        if self.state.instrument {
+            self.state.metrics.open_connections.dec();
+            if was_keepalive {
+                self.state.metrics.keepalive_connections.dec();
+            }
+        }
+    }
+}
+
 fn handle_connection(conn: &mut TcpStream, state: &ServerState) {
     let _ = conn.set_read_timeout(Some(SOCKET_TIMEOUT));
     let _ = conn.set_write_timeout(Some(SOCKET_TIMEOUT));
@@ -1420,18 +1799,7 @@ fn handle_connection(conn: &mut TcpStream, state: &ServerState) {
                 return;
             }
             Err(e) => {
-                state.requests.other.fetch_add(1, Ordering::Relaxed);
-                let status = match &e {
-                    BadRequest::TooLarge(_) => 413,
-                    _ => 400,
-                };
-                let resp = Response::error(status, &e.to_string());
-                if state.log_requests {
-                    emit_access_line("-", "-", &resp, 0, 0);
-                }
-                if state.instrument {
-                    state.metrics.route_latency[Route::Other as usize].record(0);
-                }
+                let resp = bad_request_response(state, &e);
                 let _ = write_response(reader.get_mut(), &resp, false);
                 return;
             }
@@ -1446,35 +1814,7 @@ fn handle_connection(conn: &mut TcpStream, state: &ServerState) {
             );
         }
         served += 1;
-        let keep_alive = req.keep_alive && served < KEEPALIVE_MAX_REQUESTS;
-        let mut root = if tracing {
-            trace::span("serve.request", "serve")
-        } else {
-            None
-        };
-        let started = std::time::Instant::now();
-        let resp = {
-            let _execute = if tracing {
-                trace::span("serve.execute", "serve")
-            } else {
-                None
-            };
-            state.handle(&req)
-        };
-        let micros = started.elapsed().as_micros() as u64;
-        if let Some(s) = root.as_mut() {
-            s.arg("method", req.method.clone());
-            s.arg("path", req.path.clone());
-            s.arg("status", resp.status.to_string());
-        }
-        if state.instrument {
-            let route = Route::classify(&req.method, &req.path);
-            state.metrics.route_latency[route as usize].record(micros);
-            state.metrics.bytes_in.add(req.body.len() as u64);
-        }
-        if state.log_requests {
-            emit_access_line(&req.method, &req.path, &resp, micros, req.body.len() as u64);
-        }
+        let (resp, keep_alive, root) = process_request(state, &req, served);
         let write_ok = {
             let _serialize = if tracing {
                 trace::span("serve.serialize", "serve")
@@ -1520,6 +1860,7 @@ pub struct ServerHandle {
     workers: Vec<std::thread::JoinHandle<()>>,
     flusher: Option<std::thread::JoinHandle<()>>,
     trace_path: Option<String>,
+    reactor_stop: Option<StopHandle>,
 }
 
 impl ServerHandle {
@@ -1544,8 +1885,17 @@ impl ServerHandle {
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        for _ in 0..self.workers.len() {
-            let _ = TcpStream::connect(self.addr);
+        match &self.reactor_stop {
+            // The reactor owns every socket; its waker interrupts the
+            // poll, and drain closes idle connections immediately.
+            Some(h) => h.stop(),
+            // Blocking workers park in accept(); poke the listener once
+            // per worker so each observes the flag.
+            None => {
+                for _ in 0..self.workers.len() {
+                    let _ = TcpStream::connect(self.addr);
+                }
+            }
         }
         for w in self.workers.drain(..) {
             let _ = w.join();

@@ -1,0 +1,375 @@
+//! The reactor engine against the blocking engine, over real sockets:
+//!
+//! * **byte-identity** — the same request sequence against a fresh server
+//!   of each engine must produce byte-identical responses, across every
+//!   corpus program and stage, the GET endpoints, and the error paths
+//!   (this is the contract that makes the engines interchangeable);
+//! * **partial I/O torture** — requests dribbled a byte at a time and
+//!   pipelined requests split at arbitrary packet boundaries must
+//!   reassemble to the same responses;
+//! * **slow-loris defense** — a client that trickles headers forever is
+//!   answered `408` and reaped by the timer wheel, not parked on a worker;
+//! * **connection budget** — connections over `--max-conns` get
+//!   `503` + `Retry-After` and are counted, while established
+//!   connections keep working;
+//! * **`/v1/stats` v5** — the `net` section reports the live engine.
+
+use adds_serve::json::Json;
+use adds_serve::server::{Engine, ServeOptions, Server, ServerHandle};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn spawn_engine(engine: Engine) -> ServerHandle {
+    let opts = ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 2,
+        engine,
+        ..ServeOptions::default()
+    };
+    Server::bind(&opts).expect("bind").spawn().expect("spawn")
+}
+
+/// Read exactly one `Content-Length`-framed response as raw bytes,
+/// leaving the connection usable. (Byte-level framing on purpose: the
+/// parity tests compare entire responses, headers included.)
+fn read_raw_response(conn: &mut TcpStream) -> Vec<u8> {
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    // Head: read byte-wise until the blank line (responses are small).
+    while !raw.ends_with(b"\r\n\r\n") {
+        match conn.read(&mut byte) {
+            Ok(1) => raw.push(byte[0]),
+            Ok(_) => panic!(
+                "EOF inside response head: {:?}",
+                String::from_utf8_lossy(&raw)
+            ),
+            Err(e) => panic!("read head: {e}"),
+        }
+    }
+    let head = String::from_utf8_lossy(&raw).into_owned();
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (k, v) = l.split_once(": ")?;
+            k.eq_ignore_ascii_case("content-length")
+                .then(|| v.parse().ok())?
+        })
+        .expect("Content-Length");
+    let mut body = vec![0u8; content_length];
+    conn.read_exact(&mut body).expect("body");
+    raw.extend_from_slice(&body);
+    raw
+}
+
+/// One request on a fresh connection; returns the complete raw response.
+fn raw_request(addr: SocketAddr, request: &[u8]) -> Vec<u8> {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_nodelay(true).unwrap();
+    conn.write_all(request).expect("write");
+    read_raw_response(&mut conn)
+}
+
+fn post(target: &str, body: &str) -> Vec<u8> {
+    format!(
+        "POST {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+fn get(target: &str) -> Vec<u8> {
+    format!("GET {target} HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n").into_bytes()
+}
+
+fn status_of(raw: &[u8]) -> u16 {
+    String::from_utf8_lossy(raw)
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status")
+}
+
+#[test]
+fn engines_answer_byte_identically_across_the_corpus() {
+    let reactor = spawn_engine(Engine::Reactor);
+    let blocking = spawn_engine(Engine::Blocking);
+
+    // The same sequence against both fresh servers, so cache outcomes
+    // (`X-Adds-Cache: miss` then `hit`) line up too. Stats/metrics are
+    // excluded: their payloads intentionally differ per engine.
+    let mut requests: Vec<Vec<u8>> = Vec::new();
+    for entry in adds_serve::corpus::CORPUS {
+        for stage in ["analyze", "parallelize", "check", "parse"] {
+            requests.push(post(
+                &format!("/v1/{stage}?name={}", entry.name),
+                entry.source,
+            ));
+        }
+    }
+    // Cache hits (repeat of the first analyze), report fetch by digest,
+    // corpus endpoints, health, and the error paths.
+    let first = adds_serve::corpus::CORPUS[0];
+    requests.push(post(
+        &format!("/v1/analyze?name={}", first.name),
+        first.source,
+    ));
+    let digest = adds_serve::sha::sha256(first.source.as_bytes()).hex();
+    requests.push(get(&format!("/v1/report/{digest}?stage=analyze")));
+    requests.push(get("/v1/corpus"));
+    requests.push(get("/v1/corpus/barnes_hut"));
+    requests.push(get("/healthz"));
+    requests.push(get("/v1/nope"));
+    requests.push(b"BOGUS /x HTTP/0.9\r\nHost: t\r\n\r\n".to_vec());
+    requests.push(
+        b"GET /healthz HTTP/1.1\r\nHost: t\r\nContent-Length: 1\r\nContent-Length: 1\r\n\r\nx"
+            .to_vec(),
+    );
+
+    for (i, req) in requests.iter().enumerate() {
+        let a = raw_request(reactor.addr(), req);
+        let b = raw_request(blocking.addr(), req);
+        assert_eq!(
+            a,
+            b,
+            "request #{i} diverged:\nreactor:  {:?}\nblocking: {:?}",
+            String::from_utf8_lossy(&a),
+            String::from_utf8_lossy(&b)
+        );
+    }
+
+    reactor.stop();
+    blocking.stop();
+}
+
+#[test]
+fn engines_agree_on_truncated_requests() {
+    // A client that sends half a request and half-closes: the blocking
+    // engine answers 400 on the parse error; the reactor's EOF path must
+    // produce the identical bytes.
+    let reactor = spawn_engine(Engine::Reactor);
+    let blocking = spawn_engine(Engine::Blocking);
+    let truncated: &[u8] = b"POST /v1/analyze HTTP/1.1\r\nHost: t\r\nContent-Le";
+    let one = |addr: SocketAddr| {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        conn.write_all(truncated).expect("write");
+        conn.shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        let mut resp = Vec::new();
+        conn.read_to_end(&mut resp).expect("read");
+        resp
+    };
+    let a = one(reactor.addr());
+    let b = one(blocking.addr());
+    assert_eq!(status_of(&a), 400);
+    assert_eq!(a, b, "truncated-request responses diverged");
+    reactor.stop();
+    blocking.stop();
+}
+
+#[test]
+fn one_byte_writes_reassemble_to_the_same_response() {
+    let reactor = spawn_engine(Engine::Reactor);
+    let blocking = spawn_engine(Engine::Blocking);
+    let entry = adds_serve::corpus::find("list_scale_adds").unwrap();
+    let req = post("/v1/analyze", entry.source);
+
+    // Reference: the whole request in one write, against the oracle.
+    let want = raw_request(blocking.addr(), &req);
+
+    // Torture: the same bytes, one write syscall per byte.
+    let mut conn = TcpStream::connect(reactor.addr()).expect("connect");
+    conn.set_nodelay(true).unwrap();
+    for chunk in req.chunks(1) {
+        conn.write_all(chunk).expect("write byte");
+    }
+    let got = read_raw_response(&mut conn);
+
+    assert_eq!(status_of(&got), 200);
+    assert_eq!(got, want, "dribbled request produced different bytes");
+    reactor.stop();
+    blocking.stop();
+}
+
+#[test]
+fn pipelined_requests_split_at_odd_boundaries_stay_ordered() {
+    let reactor = spawn_engine(Engine::Reactor);
+    let blocking = spawn_engine(Engine::Blocking);
+    let sum = adds_serve::corpus::find("list_sum").unwrap();
+    let scale = adds_serve::corpus::find("list_scale_adds").unwrap();
+    let parts = [
+        post("/v1/check", sum.source),
+        post("/v1/analyze", scale.source),
+        get("/healthz"),
+        post("/v1/check", sum.source), // cache hit on its own prior item
+    ];
+
+    // Reference responses from the oracle, same order, fresh connections.
+    let want: Vec<Vec<u8>> = parts
+        .iter()
+        .map(|r| raw_request(blocking.addr(), r))
+        .collect();
+
+    // One reactor connection, all four requests pipelined back-to-back,
+    // written in 7-byte slices with pauses every 64 slices so the frames
+    // land split across reads in many different places.
+    let mut buf = Vec::new();
+    for p in &parts {
+        buf.extend_from_slice(p);
+    }
+    let mut conn = TcpStream::connect(reactor.addr()).expect("connect");
+    conn.set_nodelay(true).unwrap();
+    for (i, chunk) in buf.chunks(7).enumerate() {
+        conn.write_all(chunk).expect("write chunk");
+        if i % 64 == 63 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    for (i, want) in want.iter().enumerate() {
+        let got = read_raw_response(&mut conn);
+        assert_eq!(
+            &got, want,
+            "pipelined response #{i} diverged from the blocking oracle"
+        );
+    }
+    reactor.stop();
+    blocking.stop();
+}
+
+#[test]
+fn slow_loris_is_answered_408_and_reaped() {
+    let opts = ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 1,
+        read_timeout: Duration::from_millis(300),
+        ..ServeOptions::default()
+    };
+    let server = Server::bind(&opts).expect("bind").spawn().expect("spawn");
+
+    let mut conn = TcpStream::connect(server.addr()).expect("connect");
+    conn.set_nodelay(true).unwrap();
+    conn.set_read_timeout(Some(Duration::from_millis(50)))
+        .unwrap();
+    let started = std::time::Instant::now();
+    let mut resp = Vec::new();
+    // Dribble one header byte at a time, forever — each byte is activity,
+    // but the read deadline is absolute: it must NOT extend.
+    'dribble: for byte in b"GET /healthz HTTP/1.1\r\nHost: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+        .iter()
+        .cycle()
+    {
+        if conn.write_all(&[*byte]).is_err() {
+            break; // server already closed on us
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        let mut chunk = [0u8; 256];
+        loop {
+            match conn.read(&mut chunk) {
+                Ok(0) => break 'dribble, // closed: done
+                Ok(n) => resp.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    break
+                }
+                Err(_) => break 'dribble,
+            }
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "loris connection survived past the read deadline"
+        );
+    }
+    // Reaped within the deadline (plus wheel granularity), with a 408.
+    assert!(
+        started.elapsed() >= Duration::from_millis(250),
+        "closed before the read deadline could have fired"
+    );
+    let text = String::from_utf8_lossy(&resp);
+    assert!(
+        text.starts_with("HTTP/1.1 408"),
+        "expected 408, got: {text:?}"
+    );
+    let net = server.state().net.snapshot();
+    assert!(
+        net.timer_expirations >= 1,
+        "timer wheel never fired: {net:?}"
+    );
+    server.stop();
+}
+
+#[test]
+fn connection_budget_rejects_with_503_and_counts() {
+    let opts = ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 1,
+        max_connections: 2,
+        ..ServeOptions::default()
+    };
+    let server = Server::bind(&opts).expect("bind").spawn().expect("spawn");
+
+    // Two established connections fill the budget...
+    let mut a = TcpStream::connect(server.addr()).expect("connect a");
+    a.write_all(&get("/healthz")).unwrap();
+    let first = read_raw_response(&mut a);
+    assert_eq!(status_of(&first), 200);
+    let _b = TcpStream::connect(server.addr()).expect("connect b");
+    // ...wait until both are registered with the reactor.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while server.state().net.snapshot().accepted < 2 {
+        assert!(std::time::Instant::now() < deadline, "b never accepted");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // ...so the third is answered 503 + Retry-After and closed.
+    let mut c = TcpStream::connect(server.addr()).expect("connect c");
+    c.write_all(&get("/healthz")).unwrap();
+    let mut rejected = Vec::new();
+    c.read_to_end(&mut rejected).expect("read rejection");
+    let text = String::from_utf8_lossy(&rejected);
+    assert!(
+        text.starts_with("HTTP/1.1 503"),
+        "expected 503, got: {text:?}"
+    );
+    assert!(
+        text.contains("Retry-After: 1\r\n"),
+        "missing Retry-After: {text:?}"
+    );
+
+    // The established connection is unaffected, and the rejection is
+    // visible in both the stats snapshot and the Prometheus text.
+    a.write_all(&get("/v1/metrics")).unwrap();
+    let metrics = read_raw_response(&mut a);
+    assert_eq!(status_of(&metrics), 200);
+    let metrics = String::from_utf8_lossy(&metrics).into_owned();
+    assert!(
+        metrics.contains("adds_net_rejected_total 1"),
+        "metrics missing rejection: {metrics}"
+    );
+    assert_eq!(server.state().net.snapshot().rejected, 1);
+    server.stop();
+}
+
+#[test]
+fn stats_v5_net_section_reports_the_reactor() {
+    let server = spawn_engine(Engine::Reactor);
+    // One inline-served probe and one pool-dispatched request.
+    let h = raw_request(server.addr(), &get("/healthz"));
+    assert_eq!(status_of(&h), 200);
+    let entry = adds_serve::corpus::find("list_sum").unwrap();
+    let c = raw_request(server.addr(), &post("/v1/check", entry.source));
+    assert_eq!(status_of(&c), 200);
+
+    let raw = raw_request(server.addr(), &get("/v1/stats"));
+    let body_at = raw.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+    let doc = Json::parse(&String::from_utf8_lossy(&raw[body_at..])).expect("stats JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("adds.serve-stats/v5")
+    );
+    let net = doc.get("net").expect("net section");
+    assert_eq!(net.get("engine").and_then(Json::as_str), Some("reactor"));
+    assert!(net.get("accepted").unwrap().as_usize().unwrap() >= 3);
+    assert!(net.get("dispatched").unwrap().as_usize().unwrap() >= 1);
+    assert!(net.get("inline").unwrap().as_usize().unwrap() >= 1);
+    assert!(net.get("open").unwrap().as_usize().unwrap() >= 1);
+    server.stop();
+}

@@ -29,6 +29,11 @@
 //!   `transformed`, `compiled`, `run`) under the `(sha256, fingerprint)`
 //!   contract, shared by the CLI, the HTTP server, and — via [`api`] —
 //!   library consumers.
+//! * [`net`] — the **event-driven server core**: a dependency-free
+//!   `poll(2)` reactor with nonblocking sockets, a connection budget with
+//!   backpressure (503 + `Retry-After`), a coarse timer wheel for
+//!   idle/read/write deadlines, and worker-pool execution handoff — the
+//!   engine under the HTTP front end.
 //! * [`obs`] — the observability substrate threaded through all of the
 //!   above: lock-light span tracing with Chrome `trace_event` export
 //!   (`--trace out.json`), plus atomic counters/gauges and log-scale
@@ -53,6 +58,7 @@ pub use adds_klimit as klimit;
 pub use adds_lang as lang;
 pub use adds_machine as machine;
 pub use adds_nbody as nbody;
+pub use adds_net as net;
 pub use adds_obs as obs;
 pub use adds_query as query;
 pub use adds_store as store;
